@@ -1,0 +1,318 @@
+//! Exhaustive enumeration of adversary choices.
+//!
+//! Two granularities:
+//!
+//! * [`crash_outcomes`] — the complete, duplicate-free set of crash stages
+//!   available against **one** process's send plan in **one** round.  This
+//!   is what the model checker branches on: for a plan with data
+//!   destination set `Δ` and an ordered control list of length `c`, the
+//!   distinct observable outcomes are exactly
+//!
+//!   * `MidData{S}` for every *proper* subset `S ⊊ Δ` (the data step was
+//!     interrupted; includes `S = ∅`, which subsumes `BeforeSend`),
+//!   * `MidControl{k}` for `k = 0 ..= c` (data step completed, commit
+//!     prefix of length `k` delivered; `k = 0` subsumes `MidData{Δ}`),
+//!   * `EndOfRound` (full participation, then death).
+//!
+//!   Any other stage produces an outcome identical to one of these, so
+//!   enumerating them — and nothing else — makes the execution tree both
+//!   complete and non-redundant.
+//!
+//! * [`all_schedules`] — every static [`CrashSchedule`] over a palette of
+//!   stages, for bounded-exhaustive integration tests.  Grows fast
+//!   (`Σ_{|S| ≤ t} (rounds · stages)^{|S|}` over victim sets `S`); intended
+//!   for `n ≤ 5`.
+
+use twostep_model::{
+    CrashPoint, CrashSchedule, CrashStage, PidSet, ProcessId, Round, SystemConfig,
+};
+
+/// All distinct crash outcomes against a single round's send plan (see the
+/// module docs for why this set is complete and duplicate-free).
+///
+/// `n` is the system size; `data_dests` the plan's data destinations (order
+/// irrelevant); `control_len` the length of the ordered control list.
+///
+/// # Panics
+///
+/// Panics if `data_dests.len() > 20` — enumerating 2²⁰ subsets is never
+/// what a bounded model check wants; that limit is far above any `n` the
+/// checker can finish anyway.
+pub fn crash_outcomes(n: usize, data_dests: &[ProcessId], control_len: usize) -> Vec<CrashStage> {
+    assert!(
+        data_dests.len() <= 20,
+        "exhaustive subset enumeration capped at 20 destinations"
+    );
+    let d = data_dests.len();
+    let subsets = 1usize << d;
+    let mut out = Vec::with_capacity(subsets + control_len + 1);
+
+    // Proper subsets of the data destinations (the full set is subsumed by
+    // MidControl{0}).
+    for mask in 0..subsets {
+        if mask == subsets - 1 && d > 0 {
+            continue; // skip the full set
+        }
+        let mut delivered = PidSet::empty(n);
+        for (bit, pid) in data_dests.iter().enumerate() {
+            if mask & (1 << bit) != 0 {
+                delivered.insert(*pid);
+            }
+        }
+        out.push(CrashStage::MidData { delivered });
+    }
+
+    // MidControl{0} ("data step done, no commit out") is only distinct from
+    // MidData{∅} when there *was* a data step; for an empty data plan both
+    // mean "crashed having sent nothing, without receiving".
+    let k_start = if d > 0 { 0 } else { 1 };
+    for k in k_start..=control_len {
+        out.push(CrashStage::MidControl { prefix_len: k });
+    }
+    out.push(CrashStage::EndOfRound);
+    out
+}
+
+/// Number of outcomes [`crash_outcomes`] will return, without building
+/// them — used to report branching factors.
+pub fn crash_outcome_count(data_dest_count: usize, control_len: usize) -> usize {
+    let subsets = 1usize << data_dest_count;
+    let (proper, prefixes) = if data_dest_count > 0 {
+        (subsets - 1, control_len + 1)
+    } else {
+        (1, control_len)
+    };
+    proper + prefixes + 1
+}
+
+/// Which stage families a static schedule enumeration includes.
+#[derive(Clone, Copy, Debug)]
+pub struct StagePalette {
+    /// Include `BeforeSend`.
+    pub before_send: bool,
+    /// Include `EndOfRound`.
+    pub end_of_round: bool,
+    /// Include `MidControl{k}` for every `k = 0..n`.
+    pub mid_control: bool,
+    /// Include `MidData{S}` for every subset `S` of the *universe* (the
+    /// engine intersects with actual destinations).  Exponential — only
+    /// for very small `n`.
+    pub mid_data: bool,
+}
+
+impl StagePalette {
+    /// Lifecycle-only palette: crash silently or after full participation.
+    pub fn coarse() -> Self {
+        StagePalette {
+            before_send: true,
+            end_of_round: true,
+            mid_control: false,
+            mid_data: false,
+        }
+    }
+
+    /// Everything except data subsets (polynomial in `n`).
+    pub fn with_prefixes() -> Self {
+        StagePalette {
+            before_send: true,
+            end_of_round: true,
+            mid_control: true,
+            mid_data: false,
+        }
+    }
+
+    /// The full exponential palette.
+    pub fn full() -> Self {
+        StagePalette {
+            before_send: true,
+            end_of_round: true,
+            mid_control: true,
+            mid_data: true,
+        }
+    }
+
+    fn stages(&self, n: usize) -> Vec<CrashStage> {
+        let mut stages = Vec::new();
+        if self.before_send {
+            stages.push(CrashStage::BeforeSend);
+        }
+        if self.mid_data {
+            for mask in 0..(1usize << n) {
+                let mut delivered = PidSet::empty(n);
+                for bit in 0..n {
+                    if mask & (1 << bit) != 0 {
+                        delivered.insert(ProcessId::from_idx(bit));
+                    }
+                }
+                stages.push(CrashStage::MidData { delivered });
+            }
+        }
+        if self.mid_control {
+            for k in 0..n {
+                stages.push(CrashStage::MidControl { prefix_len: k });
+            }
+        }
+        if self.end_of_round {
+            stages.push(CrashStage::EndOfRound);
+        }
+        stages
+    }
+}
+
+/// Enumerates **every** crash schedule over `config` with crash rounds in
+/// `1..=max_round` and stages from `palette` — the failure-free schedule
+/// first.
+///
+/// Intended for bounded-exhaustive testing (`n ≤ 5`); see the module docs
+/// for the growth rate.
+pub fn all_schedules(config: &SystemConfig, max_round: u32, palette: StagePalette) -> Vec<CrashSchedule> {
+    let n = config.n();
+    let stages = palette.stages(n);
+    let mut per_victim: Vec<CrashPoint> = Vec::with_capacity(max_round as usize * stages.len());
+    for round in Round::up_to(max_round) {
+        for stage in &stages {
+            per_victim.push(CrashPoint::new(round, stage.clone()));
+        }
+    }
+
+    let mut out = Vec::new();
+    let mut current = CrashSchedule::none(n);
+    enumerate_victims(config, &per_victim, 0, 0, &mut current, &mut out);
+    out
+}
+
+fn enumerate_victims(
+    config: &SystemConfig,
+    points: &[CrashPoint],
+    next_pid_idx: usize,
+    crashes_so_far: usize,
+    current: &mut CrashSchedule,
+    out: &mut Vec<CrashSchedule>,
+) {
+    if next_pid_idx == config.n() {
+        out.push(current.clone());
+        return;
+    }
+    let pid = ProcessId::from_idx(next_pid_idx);
+    // Option 1: this process stays correct.
+    enumerate_victims(config, points, next_pid_idx + 1, crashes_so_far, current, out);
+    // Option 2: it crashes, at every possible point — if budget remains.
+    if crashes_so_far < config.t() {
+        for cp in points {
+            current.set(pid, Some(cp.clone()));
+            enumerate_victims(
+                config,
+                points,
+                next_pid_idx + 1,
+                crashes_so_far + 1,
+                current,
+                out,
+            );
+        }
+        current.set(pid, None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(r: u32) -> ProcessId {
+        ProcessId::new(r)
+    }
+
+    #[test]
+    fn outcome_count_matches_enumeration() {
+        let dests = [pid(2), pid(3), pid(4)];
+        for ctl in 0..=3usize {
+            let outs = crash_outcomes(5, &dests, ctl);
+            assert_eq!(outs.len(), crash_outcome_count(dests.len(), ctl));
+            // 2^3 - 1 proper subsets + (ctl+1) prefixes + EndOfRound.
+            assert_eq!(outs.len(), 7 + ctl + 1 + 1);
+        }
+    }
+
+    #[test]
+    fn outcomes_for_empty_plan_collapse() {
+        // A process sending nothing has exactly 2 distinct fates: die
+        // without receiving this round, or die after full participation.
+        let outs = crash_outcomes(4, &[], 0);
+        assert_eq!(outs.len(), crash_outcome_count(0, 0));
+        assert_eq!(outs.len(), 2);
+        // With control messages but no data: prefixes 1..=c are distinct.
+        let outs = crash_outcomes(4, &[], 2);
+        assert_eq!(outs.len(), crash_outcome_count(0, 2));
+        assert_eq!(outs.len(), 1 + 2 + 1);
+    }
+
+    fn assert_effects_distinct(n: usize, dests: &[ProcessId], ctl: usize) {
+        let outs = crash_outcomes(n, dests, ctl);
+        let mut effects = Vec::new();
+        for stage in &outs {
+            let e = stage.effect(n);
+            let data: Vec<u32> = match &e.data_filter {
+                None => dests.iter().map(|p| p.rank()).collect(),
+                Some(f) => dests
+                    .iter()
+                    .filter(|p| f.contains(**p))
+                    .map(|p| p.rank())
+                    .collect(),
+            };
+            let prefix = e.control_prefix.unwrap_or(ctl).min(ctl);
+            let key = (data, prefix, e.receives_this_round);
+            assert!(!effects.contains(&key), "duplicate effect {key:?}");
+            effects.push(key);
+        }
+    }
+
+    #[test]
+    fn outcomes_have_no_duplicate_effects() {
+        // Every enumerated stage yields a distinct
+        // (delivered-data, delivered-prefix, receives) triple — for data
+        // plans, control-only plans, empty plans, and mixed ones.
+        assert_effects_distinct(3, &[pid(2), pid(3)], 2);
+        assert_effects_distinct(3, &[pid(2), pid(3)], 0);
+        assert_effects_distinct(4, &[], 3);
+        assert_effects_distinct(4, &[], 0);
+        assert_effects_distinct(5, &[pid(2)], 4);
+    }
+
+    #[test]
+    fn all_schedules_counts() {
+        // n = 3, t = 1, 2 rounds, coarse palette: victim choices are
+        // "nobody" + 3 victims × (2 rounds × 2 stages) = 1 + 12.
+        let config = SystemConfig::new(3, 1).unwrap();
+        let schedules = all_schedules(&config, 2, StagePalette::coarse());
+        assert_eq!(schedules.len(), 13);
+        assert_eq!(schedules[0].f(), 0, "failure-free first");
+        for s in &schedules {
+            assert!(s.validate(&config).is_ok());
+        }
+    }
+
+    #[test]
+    fn all_schedules_two_victims() {
+        // n = 3, t = 2, 1 round, coarse: 2 choices per victim, so
+        // Σ_{k≤2} C(3,k)·2^k = 1 + 6 + 12 = 19.
+        let config = SystemConfig::new(3, 2).unwrap();
+        let schedules = all_schedules(&config, 1, StagePalette::coarse());
+        assert_eq!(schedules.len(), 19);
+        let max_f = schedules.iter().map(|s| s.f()).max().unwrap();
+        assert_eq!(max_f, 2);
+    }
+
+    #[test]
+    fn palette_stage_counts() {
+        let n = 3;
+        assert_eq!(StagePalette::coarse().stages(n).len(), 2);
+        assert_eq!(StagePalette::with_prefixes().stages(n).len(), 2 + 3);
+        assert_eq!(StagePalette::full().stages(n).len(), 2 + 3 + 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "capped at 20")]
+    fn subset_cap_enforced() {
+        let dests: Vec<ProcessId> = (1..=21).map(pid).collect();
+        let _ = crash_outcomes(30, &dests, 0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Worst-case adversary schedule families.
+//!
+//! The paper's bounds are realized by *coordinator cascades*: the first `f`
+//! coordinators each crash during the round they coordinate, forcing the
+//! run to round `f+1` (Theorem 1's worst case and the scenario behind
+//! Theorem 2's worst-case message count).  The families differ in *where*
+//! within the round each coordinator dies, which controls how many
+//! messages get transmitted and whether any process decides early.
+
+use twostep_model::{CrashPoint, CrashSchedule, CrashStage, PidSet, ProcessId, Round};
+
+/// Coordinators `p_1 … p_f` crash **before sending anything** in their own
+/// rounds.
+///
+/// Minimal-traffic worst case: the run still needs `f+1` rounds (nobody
+/// hears from the first `f` coordinators at all), but only round `f+1`
+/// carries messages.
+///
+/// # Examples
+///
+/// ```
+/// use twostep_adversary::silent_cascade;
+/// use twostep_model::{ProcessId, Round};
+///
+/// let schedule = silent_cascade(8, 3);
+/// assert_eq!(schedule.f(), 3);
+/// // p_2 dies in its own coordination round.
+/// assert_eq!(
+///     schedule.crash_point(ProcessId::new(2)).unwrap().round,
+///     Round::new(2)
+/// );
+/// ```
+pub fn silent_cascade(n: usize, f: usize) -> CrashSchedule {
+    assert!(f < n, "at least one coordinator must survive");
+    let mut s = CrashSchedule::none(n);
+    for k in 1..=f {
+        s.set(
+            ProcessId::new(k as u32),
+            Some(CrashPoint::new(Round::new(k as u32), CrashStage::BeforeSend)),
+        );
+    }
+    s
+}
+
+/// Coordinators `p_1 … p_f` crash **after the data step, before any commit**
+/// (`MidControl` with an empty prefix).
+///
+/// Maximal-data worst case: every doomed coordinator transmits its full
+/// complement of `n-k` data messages (so the data-message count matches
+/// Theorem 2's `Σ_{k=1}^{f+1} (n-k)` exactly), yet no commit is ever
+/// delivered early, so the run still takes `f+1` rounds.
+pub fn data_heavy_cascade(n: usize, f: usize) -> CrashSchedule {
+    assert!(f < n, "at least one coordinator must survive");
+    let mut s = CrashSchedule::none(n);
+    for k in 1..=f {
+        s.set(
+            ProcessId::new(k as u32),
+            Some(CrashPoint::new(
+                Round::new(k as u32),
+                CrashStage::MidControl { prefix_len: 0 },
+            )),
+        );
+    }
+    s
+}
+
+/// Coordinators `p_1 … p_f` crash mid-commit with a caller-chosen prefix
+/// per round (`prefix(k)` = number of commits coordinator `p_k` delivers,
+/// highest-ranked destinations first).
+///
+/// This is the family the lower-bound experiments sweep: prefixes that
+/// stop *just short* of the processes that must stay undecided produce the
+/// longest runs with the most traffic.
+pub fn commit_tease_cascade(
+    n: usize,
+    f: usize,
+    mut prefix: impl FnMut(usize) -> usize,
+) -> CrashSchedule {
+    assert!(f < n, "at least one coordinator must survive");
+    let mut s = CrashSchedule::none(n);
+    for k in 1..=f {
+        s.set(
+            ProcessId::new(k as u32),
+            Some(CrashPoint::new(
+                Round::new(k as u32),
+                CrashStage::MidControl {
+                    prefix_len: prefix(k),
+                },
+            )),
+        );
+    }
+    s
+}
+
+/// Coordinators `p_1 … p_f` complete their rounds fully — **deciding at
+/// line 6** — and crash at the end of the round.
+///
+/// The uniform-agreement stress case: `f` processes decide and die; their
+/// decisions must agree with the survivors'.  (Everyone actually decides
+/// in round 1 here, since `p_1`'s commits all go out; the cascade's later
+/// crash points never fire — which is itself asserted by tests.)
+pub fn decide_then_die_cascade(n: usize, f: usize) -> CrashSchedule {
+    assert!(f < n, "at least one coordinator must survive");
+    let mut s = CrashSchedule::none(n);
+    for k in 1..=f {
+        s.set(
+            ProcessId::new(k as u32),
+            Some(CrashPoint::new(Round::new(k as u32), CrashStage::EndOfRound)),
+        );
+    }
+    s
+}
+
+/// Coordinator `p_1` leaks its data to an arbitrary subset and dies; the
+/// subset is the highest-ranked `leak` processes.
+///
+/// Used by agreement tests: the leaked estimate must either be overwritten
+/// by the next coordinator or (if a commit had been delivered — impossible
+/// here) locked.
+pub fn leaky_first_coordinator(n: usize, leak: usize) -> CrashSchedule {
+    assert!(leak <= n.saturating_sub(1));
+    let delivered = PidSet::from_iter(
+        n,
+        (0..leak).map(|i| ProcessId::from_idx(n - 1 - i)),
+    );
+    CrashSchedule::none(n).with_crash(
+        ProcessId::new(1),
+        CrashPoint::new(Round::FIRST, CrashStage::MidData { delivered }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silent_cascade_shape() {
+        let s = silent_cascade(6, 3);
+        assert_eq!(s.f(), 3);
+        for k in 1..=3u32 {
+            let cp = s.crash_point(ProcessId::new(k)).unwrap();
+            assert_eq!(cp.round, Round::new(k));
+            assert_eq!(cp.stage, CrashStage::BeforeSend);
+        }
+        assert!(s.crash_point(ProcessId::new(4)).is_none());
+    }
+
+    #[test]
+    fn data_heavy_cascade_shape() {
+        let s = data_heavy_cascade(5, 2);
+        assert_eq!(s.f(), 2);
+        let cp = s.crash_point(ProcessId::new(2)).unwrap();
+        assert_eq!(cp.stage, CrashStage::MidControl { prefix_len: 0 });
+    }
+
+    #[test]
+    fn commit_tease_uses_prefix_fn() {
+        let s = commit_tease_cascade(6, 3, |k| k + 1);
+        for k in 1..=3u32 {
+            let cp = s.crash_point(ProcessId::new(k)).unwrap();
+            assert_eq!(
+                cp.stage,
+                CrashStage::MidControl {
+                    prefix_len: k as usize + 1
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn decide_then_die_shape() {
+        let s = decide_then_die_cascade(4, 2);
+        for k in 1..=2u32 {
+            assert_eq!(
+                s.crash_point(ProcessId::new(k)).unwrap().stage,
+                CrashStage::EndOfRound
+            );
+        }
+    }
+
+    #[test]
+    fn leaky_coordinator_targets_top_ranks() {
+        let s = leaky_first_coordinator(5, 2);
+        let cp = s.crash_point(ProcessId::new(1)).unwrap();
+        match &cp.stage {
+            CrashStage::MidData { delivered } => {
+                assert!(delivered.contains(ProcessId::new(5)));
+                assert!(delivered.contains(ProcessId::new(4)));
+                assert_eq!(delivered.len(), 2);
+            }
+            other => panic!("unexpected stage {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "survive")]
+    fn cascades_require_a_survivor() {
+        let _ = silent_cascade(3, 3);
+    }
+
+    #[test]
+    fn zero_f_is_failure_free() {
+        assert_eq!(silent_cascade(4, 0).f(), 0);
+        assert_eq!(data_heavy_cascade(4, 0).f(), 0);
+    }
+}

@@ -1,0 +1,481 @@
+//! CT96 — the Chandra–Toueg rotating-coordinator consensus for
+//! asynchronous systems with a ◇S failure detector (J. ACM 1996), the
+//! paper's reference \[5\].
+//!
+//! Section 4 of the paper cites this algorithm (together with MR99 and the
+//! indulgent-consensus line) as the coordinator-based asynchronous family
+//! its own synchronous algorithm belongs to.  Where MR99 compresses a
+//! round into two symmetric steps (coordinator broadcast + all-to-all
+//! echo), CT96 spends **four asymmetric phases** per round, all funnelled
+//! through the coordinator:
+//!
+//! 1. every process sends its timestamped estimate to the coordinator;
+//! 2. the coordinator collects a majority and re-broadcasts the estimate
+//!    with the **largest timestamp** (the value-locking step);
+//! 3. every process either adopts the proposal and `ACK`s, or — if its
+//!    detector suspects the coordinator — `NACK`s and moves on;
+//! 4. a majority of `ACK`s lets the coordinator reliably broadcast the
+//!    decision.
+//!
+//! The contrast the bridge experiment (E7) draws: the paper's extended
+//! synchronous model needs **one** communication step per round and `Θ(n)`
+//! messages, MR99 needs two steps and `Θ(n²)`, CT96 needs four
+//! coordinator-centric phases and `Θ(n)` — but pays them in round trips,
+//! not in message count.  All three lock a value through a majority-or-
+//! synchrony argument before anyone decides.
+//!
+//! Requirements, as for MR99: `t < n/2` and a detector that is complete
+//! and eventually accurate (◇S).  Decisions are diffused with a `DECIDE`
+//! relay so processes that advanced past the deciding round terminate.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use twostep_events::{Effects, TimedProcess};
+use twostep_model::timing::Ticks;
+use twostep_model::{PidSet, ProcessId};
+
+/// CT96 wire messages.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CtMsg<V> {
+    /// Phase 1: a process's current estimate and the round it last adopted
+    /// a coordinator proposal (`ts = 0` = never).
+    Estimate {
+        /// Asynchronous round number (1-based).
+        round: u64,
+        /// The sender's estimate.
+        est: V,
+        /// Adoption timestamp of `est`.
+        ts: u64,
+    },
+    /// Phase 2: the coordinator's proposal for this round.
+    Propose {
+        /// Asynchronous round number.
+        round: u64,
+        /// The proposed value (max-timestamp estimate of a majority).
+        est: V,
+    },
+    /// Phase 3 positive reply: the sender adopted the proposal.
+    Ack {
+        /// The acknowledged round.
+        round: u64,
+    },
+    /// Phase 3 negative reply: the sender suspects the coordinator.
+    Nack {
+        /// The refused round.
+        round: u64,
+    },
+    /// Decision diffusion (the R-broadcast of the original paper,
+    /// flattened to a one-hop relay under crash faults).  Carries the
+    /// round the decision originated in — CT96 processes race ahead of
+    /// the deciding coordinator, so the receiver's own round number says
+    /// nothing about when the value was locked.
+    Decide {
+        /// The round whose coordinator decided.
+        round: u64,
+        /// The decided value.
+        value: V,
+    },
+}
+
+/// Per-round receive buffer (kept for rounds ahead of and behind the
+/// process's own position — asynchrony lets messages race).
+#[derive(Clone, Debug)]
+struct RoundBuf<V> {
+    estimates: Vec<(ProcessId, V, u64)>,
+    proposal: Option<V>,
+    acks: usize,
+    proposal_sent: bool,
+    decided_here: bool,
+}
+
+impl<V> Default for RoundBuf<V> {
+    fn default() -> Self {
+        RoundBuf {
+            estimates: Vec::new(),
+            proposal: None,
+            acks: 0,
+            proposal_sent: false,
+            decided_here: false,
+        }
+    }
+}
+
+/// One CT96 process.
+///
+/// # Examples
+///
+/// ```
+/// use twostep_asynch::ct_processes;
+/// use twostep_events::{DelayModel, FdSpec, TimedKernel};
+///
+/// let proposals = vec![4u64, 8, 6];
+/// let report = TimedKernel::new(
+///     ct_processes(3, 1, &proposals),
+///     DelayModel::Fixed(100),
+/// )
+/// .fd(FdSpec::accurate(10))
+/// .run();
+/// assert_eq!(report.decided_values(), vec![4]); // p1 coordinates round 1
+/// ```
+#[derive(Clone, Debug)]
+pub struct ChandraToueg<V> {
+    me: ProcessId,
+    n: usize,
+    t: usize,
+    round: u64,
+    est: V,
+    ts: u64,
+    replied: bool,
+    suspected: PidSet,
+    bufs: BTreeMap<u64, RoundBuf<V>>,
+    relayed_decide: bool,
+    decided_round: Option<u64>,
+}
+
+impl<V: Clone + Eq + fmt::Debug> ChandraToueg<V> {
+    /// Creates process `me` of an `n`-process, `t`-resilient instance
+    /// (`t < n/2` required).
+    pub fn new(me: ProcessId, n: usize, t: usize, proposal: V) -> Self {
+        assert!(me.idx() < n, "{me} outside a system of {n} processes");
+        assert!(2 * t < n, "CT96 requires a correct majority (t < n/2)");
+        ChandraToueg {
+            me,
+            n,
+            t,
+            round: 0,
+            est: proposal,
+            ts: 0,
+            replied: false,
+            suspected: PidSet::empty(n),
+            bufs: BTreeMap::new(),
+            relayed_decide: false,
+            decided_round: None,
+        }
+    }
+
+    /// The coordinator of asynchronous round `r`: `p_{((r-1) mod n) + 1}`.
+    pub fn coordinator_of(r: u64, n: usize) -> ProcessId {
+        ProcessId::new(((r - 1) % n as u64) as u32 + 1)
+    }
+
+    /// The round this process decided in, if it has.
+    pub fn decided_round(&self) -> Option<u64> {
+        self.decided_round
+    }
+
+    /// The current asynchronous round.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The resilience bound this instance was built for.
+    pub fn resilience(&self) -> usize {
+        self.t
+    }
+
+    fn majority(&self) -> usize {
+        self.n / 2 + 1
+    }
+
+    fn enter_round(&mut self, r: u64, fx: &mut Effects<CtMsg<V>, V>) {
+        self.round = r;
+        self.replied = false;
+        let coord = Self::coordinator_of(r, self.n);
+        // Phase 1: everyone ships its timestamped estimate to the
+        // coordinator (self-delivery is immediate for the coordinator).
+        let est = self.est.clone();
+        let ts = self.ts;
+        if coord == self.me {
+            let me = self.me;
+            self.bufs.entry(r).or_default().estimates.push((me, est, ts));
+            self.check_phase2(fx);
+        } else {
+            fx.send(coord, CtMsg::Estimate { round: r, est, ts });
+        }
+        self.check_phase3(fx);
+    }
+
+    /// Phase 2 (coordinator only): majority of estimates collected →
+    /// propose the one with the largest adoption timestamp.
+    fn check_phase2(&mut self, fx: &mut Effects<CtMsg<V>, V>) {
+        let r = self.round;
+        if Self::coordinator_of(r, self.n) != self.me {
+            return;
+        }
+        let majority = self.majority();
+        let buf = self.bufs.entry(r).or_default();
+        if buf.proposal_sent || buf.estimates.len() < majority {
+            return;
+        }
+        let (_, best, _) = buf
+            .estimates
+            .iter()
+            .max_by_key(|(p, _, ts)| (*ts, std::cmp::Reverse(*p)))
+            .expect("majority ≥ 1")
+            .clone();
+        buf.proposal_sent = true;
+        buf.proposal = Some(best.clone());
+        fx.broadcast_others(self.me, self.n, CtMsg::Propose { round: r, est: best });
+        self.check_phase3(fx);
+    }
+
+    /// Phase 3: adopt-and-ack on a proposal, or nack on suspicion, then
+    /// move to the next round (CT96 processes do not linger — the
+    /// coordinator's phase 4 runs against the round buffer).
+    fn check_phase3(&mut self, fx: &mut Effects<CtMsg<V>, V>) {
+        if self.replied {
+            return;
+        }
+        let r = self.round;
+        let coord = Self::coordinator_of(r, self.n);
+        let proposal = self.bufs.entry(r).or_default().proposal.clone();
+        match proposal {
+            Some(v) => {
+                self.replied = true;
+                self.est = v;
+                self.ts = r;
+                if coord == self.me {
+                    self.record_ack(r, fx);
+                } else {
+                    fx.send(coord, CtMsg::Ack { round: r });
+                }
+                self.enter_round(r + 1, fx);
+            }
+            None if self.suspected.contains(coord) => {
+                self.replied = true;
+                if coord != self.me {
+                    fx.send(coord, CtMsg::Nack { round: r });
+                }
+                self.enter_round(r + 1, fx);
+            }
+            None => {} // keep waiting: asynchrony knows no timeout, only ◇S
+        }
+    }
+
+    /// Phase 4 bookkeeping (coordinator of `r`): a majority of `ACK`s
+    /// locks the proposal; R-broadcast the decision.
+    fn record_ack(&mut self, r: u64, fx: &mut Effects<CtMsg<V>, V>) {
+        let majority = self.majority();
+        let buf = self.bufs.entry(r).or_default();
+        buf.acks += 1;
+        if buf.acks >= majority && !buf.decided_here && !self.relayed_decide {
+            buf.decided_here = true;
+            let value = buf.proposal.clone().expect("acks imply a proposal");
+            self.relayed_decide = true;
+            self.decided_round = Some(r);
+            fx.broadcast_others(
+                self.me,
+                self.n,
+                CtMsg::Decide {
+                    round: r,
+                    value: value.clone(),
+                },
+            );
+            fx.decide(value);
+        }
+    }
+}
+
+impl<V> TimedProcess for ChandraToueg<V>
+where
+    V: Clone + Eq + fmt::Debug,
+{
+    type Msg = CtMsg<V>;
+    type Output = V;
+
+    fn on_start(&mut self, fx: &mut Effects<CtMsg<V>, V>) {
+        self.enter_round(1, fx);
+    }
+
+    fn on_message(
+        &mut self,
+        _at: Ticks,
+        from: ProcessId,
+        msg: CtMsg<V>,
+        fx: &mut Effects<CtMsg<V>, V>,
+    ) {
+        match msg {
+            CtMsg::Estimate { round, est, ts } => {
+                let buf = self.bufs.entry(round).or_default();
+                if !buf.estimates.iter().any(|(p, _, _)| *p == from) {
+                    buf.estimates.push((from, est, ts));
+                }
+                if round == self.round {
+                    self.check_phase2(fx);
+                } else if round < self.round
+                    && Self::coordinator_of(round, self.n) == self.me
+                    && !self.bufs.entry(round).or_default().proposal_sent
+                {
+                    // A straggler estimate can still complete an old
+                    // phase 2 — the proposal stays useful for laggards.
+                    let saved = self.round;
+                    self.round = round;
+                    self.check_phase2(fx);
+                    self.round = saved;
+                }
+            }
+            CtMsg::Propose { round, est } => {
+                let buf = self.bufs.entry(round).or_default();
+                if buf.proposal.is_none() {
+                    buf.proposal = Some(est);
+                }
+                if round == self.round {
+                    self.check_phase3(fx);
+                }
+            }
+            CtMsg::Ack { round } => self.record_ack(round, fx),
+            CtMsg::Nack { round: _ } => {
+                // Nacks carry no information under majority-ack deciding;
+                // they exist so the wire protocol matches CT96's shape.
+            }
+            CtMsg::Decide { round, value } => {
+                if !self.relayed_decide {
+                    self.relayed_decide = true;
+                    self.decided_round = Some(round);
+                    fx.broadcast_others(
+                        self.me,
+                        self.n,
+                        CtMsg::Decide {
+                            round,
+                            value: value.clone(),
+                        },
+                    );
+                }
+                fx.decide(value);
+            }
+        }
+    }
+
+    fn on_suspicion(&mut self, _at: Ticks, suspect: ProcessId, fx: &mut Effects<CtMsg<V>, V>) {
+        self.suspected.insert(suspect);
+        if Self::coordinator_of(self.round, self.n) == suspect {
+            self.check_phase3(fx);
+        }
+    }
+
+    fn on_timer(&mut self, _at: Ticks, _id: u64, _fx: &mut Effects<CtMsg<V>, V>) {}
+}
+
+/// Builds the `n` instances for `proposals[i]` = proposal of `p_{i+1}`.
+pub fn ct_processes<V: Clone + Eq + fmt::Debug>(
+    n: usize,
+    t: usize,
+    proposals: &[V],
+) -> Vec<ChandraToueg<V>> {
+    assert_eq!(proposals.len(), n, "one proposal per process");
+    proposals
+        .iter()
+        .enumerate()
+        .map(|(i, v)| ChandraToueg::new(ProcessId::new(i as u32 + 1), n, t, v.clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twostep_events::{DelayModel, FdSpec, TimedCrash, TimedKernel};
+
+    fn run_ct(
+        n: usize,
+        t: usize,
+        proposals: &[u64],
+        crashes: &[(u32, TimedCrash)],
+        fd: FdSpec,
+    ) -> twostep_events::TimedReport<u64> {
+        let mut kernel = TimedKernel::new(ct_processes(n, t, proposals), DelayModel::Fixed(100));
+        for (rank, crash) in crashes {
+            kernel = kernel.crash(ProcessId::new(*rank), *crash);
+        }
+        kernel.fd(fd).horizon(1_000_000).run()
+    }
+
+    #[test]
+    fn failure_free_decides_coordinator_value_in_round_one() {
+        let report = run_ct(5, 2, &[3, 1, 4, 1, 5], &[], FdSpec::accurate(10));
+        assert_eq!(report.decided_values(), vec![3]);
+        assert!(report.decisions.iter().all(|d| d.is_some()));
+        assert!(!report.hit_horizon);
+    }
+
+    #[test]
+    fn crashed_first_coordinator_is_suspected_and_bypassed() {
+        let report = run_ct(
+            5,
+            2,
+            &[9, 7, 7, 7, 7],
+            &[(1, TimedCrash { at: 0, keep_sends: 0 })],
+            FdSpec::accurate(10),
+        );
+        assert_eq!(report.decided_values(), vec![7], "p2's round-2 proposal wins");
+        for (i, d) in report.decisions.iter().enumerate() {
+            if i != 0 {
+                assert!(d.is_some(), "p{} decided", i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn false_suspicions_delay_but_never_split_the_decision() {
+        // A minority nacks round 1 due to injected false suspicions; the
+        // coordinator still gathers a majority of acks and decides.
+        let fd = FdSpec {
+            accurate_latency: Some(10),
+            injected_suspicions: vec![
+                (0, ProcessId::new(4), ProcessId::new(1)),
+                (0, ProcessId::new(5), ProcessId::new(1)),
+            ],
+        };
+        let report = run_ct(5, 2, &[2, 4, 6, 8, 10], &[], fd);
+        assert_eq!(report.decided_values().len(), 1, "uniform agreement");
+        assert!(report.decisions.iter().all(|d| d.is_some()));
+    }
+
+    #[test]
+    fn timestamp_locking_prevents_value_loss_across_rounds() {
+        // p1 proposes in round 1 and a majority adopts (ts = 1), but p1
+        // crashes before gathering acks.  Any later coordinator must pick
+        // a ts=1 estimate — i.e. p1's value — never a fresh ts=0 one.
+        let report = run_ct(
+            5,
+            2,
+            &[42, 1, 2, 3, 4],
+            // Crash lands between p1's proposal broadcast (t=100, when a
+            // majority of estimates arrives) and its first ack (t=200):
+            // the proposal is out, adopted with ts = 1, but never decided
+            // by its coordinator.
+            &[(1, TimedCrash { at: 150, keep_sends: 0 })],
+            FdSpec::accurate(10),
+        );
+        let vals = report.decided_values();
+        assert_eq!(vals.len(), 1);
+        assert_eq!(vals[0], 42, "the locked round-1 value survives the crash");
+    }
+
+    #[test]
+    fn deterministic_given_equal_inputs() {
+        let go = || {
+            run_ct(
+                7,
+                3,
+                &[5, 6, 7, 8, 9, 10, 11],
+                &[(1, TimedCrash { at: 50, keep_sends: 2 })],
+                FdSpec::accurate(25),
+            )
+            .decisions
+        };
+        assert_eq!(go(), go());
+    }
+
+    #[test]
+    #[should_panic(expected = "correct majority")]
+    fn rejects_t_at_least_half() {
+        let _ = ChandraToueg::new(ProcessId::new(1), 4, 2, 0u64);
+    }
+
+    #[test]
+    fn coordinator_rotation_wraps_around() {
+        assert_eq!(ChandraToueg::<u64>::coordinator_of(1, 3), ProcessId::new(1));
+        assert_eq!(ChandraToueg::<u64>::coordinator_of(3, 3), ProcessId::new(3));
+        assert_eq!(ChandraToueg::<u64>::coordinator_of(4, 3), ProcessId::new(1));
+    }
+}

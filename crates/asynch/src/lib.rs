@@ -1,0 +1,27 @@
+//! # twostep-asynch — the asynchronous side of the paper's Section 4 bridge
+//!
+//! Section 4 of the paper shows that its synchronous algorithm and the
+//! MR99 asynchronous ◇S consensus are "two implementations in different
+//! settings of the very same basic principle": MR99's second communication
+//! step (the all-to-all `aux` echo, needed because asynchrony hides the
+//! coordinator's fate) collapses, under the extended model's synchrony,
+//! into the coordinator's own pipelined one-bit commit.
+//!
+//! This crate supplies the asynchronous half of that comparison:
+//! [`Mr99`], running on the `twostep-events` kernel with a simulated ◇S
+//! detector (accurate completeness from the oracle + injectable false
+//! suspicions), and [`ChandraToueg`] (CT96, the paper's reference \[5\]) —
+//! the four-phase coordinator-centric ancestor of the same family.
+//! Experiment E7 (`repro e7-bridge`) runs all sides under equivalent
+//! failure patterns and tabulates steps and messages per round.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ct;
+pub mod mr99;
+pub mod scenario;
+
+pub use ct::{ct_processes, ChandraToueg, CtMsg};
+pub use mr99::{mr99_processes, Mr99, Mr99Msg};
+pub use scenario::SuspicionScript;

@@ -1,0 +1,478 @@
+//! MR99 — the Mostéfaoui–Raynal (DISC'99) quorum-based consensus for
+//! asynchronous systems equipped with a ◇S failure detector.
+//!
+//! Section 4 of the paper identifies this algorithm as the *asynchronous
+//! twin* of its synchronous algorithm: each MR99 round has two
+//! communication steps —
+//!
+//! 1. the round's coordinator broadcasts its estimate (`CURRENT`), and
+//!    every process sets `aux` to that value or, if it suspects the
+//!    coordinator, to `⊥`;
+//! 2. every process broadcasts `aux` (`ECHO`) and waits for `n - t`
+//!    echoes: a **majority** of `v` decides `v`; at least one `v` adopts
+//!    `v`; all `⊥` keeps the old estimate.
+//!
+//! The paper's point: its commit message plays exactly the role of this
+//! second step — but thanks to the extended model's synchrony it can be
+//! sent by the *coordinator alone*, pipelined right behind the data, with
+//! no extra message exchange.  Experiment E7 (`repro e7-bridge`) compares
+//! the two mechanically: steps per round, messages per round, and
+//! agreement of decisions under equivalent failure/suspicion patterns.
+//!
+//! Requirements: `t < n/2` (majority of correct processes — necessary for
+//! asynchronous consensus with ◇S) and a detector that is *complete*
+//! (crashed processes are eventually suspected — our kernel's accurate
+//! oracle) and *eventually accurate* (false suspicions — injectable via
+//! [`FdSpec::injected_suspicions`](twostep_events::FdSpec) — eventually
+//! stop).  Decisions are diffused with `DECIDE` relays so laggards
+//! terminate.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use twostep_events::{Effects, TimedProcess};
+use twostep_model::timing::Ticks;
+use twostep_model::{PidSet, ProcessId};
+
+/// MR99 wire messages.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Mr99Msg<V> {
+    /// Step 1: the round coordinator's estimate.
+    Current {
+        /// Asynchronous round number (1-based).
+        round: u64,
+        /// The coordinator's estimate.
+        est: V,
+    },
+    /// Step 2: a process's knowledge of the coordinator's estimate
+    /// (`None` = the sender suspected the coordinator).
+    Echo {
+        /// Asynchronous round number.
+        round: u64,
+        /// The echoed value, or `⊥`.
+        aux: Option<V>,
+    },
+    /// Decision diffusion (reliable-broadcast style relay).
+    Decide {
+        /// The decided value.
+        value: V,
+    },
+}
+
+/// Per-round receive buffer.
+#[derive(Clone, Debug)]
+struct RoundBuf<V> {
+    current: Option<V>,
+    echoes: Vec<(ProcessId, Option<V>)>,
+}
+
+impl<V> Default for RoundBuf<V> {
+    fn default() -> Self {
+        RoundBuf {
+            current: None,
+            echoes: Vec::new(),
+        }
+    }
+}
+
+/// One MR99 process.
+///
+/// # Examples
+///
+/// Failure-free asynchronous consensus: the round-1 coordinator's value
+/// wins after two communication steps:
+///
+/// ```
+/// use twostep_asynch::mr99_processes;
+/// use twostep_events::{DelayModel, FdSpec, TimedKernel};
+///
+/// let proposals = vec![9u64, 5, 7];
+/// let report = TimedKernel::new(
+///     mr99_processes(3, 1, &proposals),
+///     DelayModel::Fixed(100),
+/// )
+/// .fd(FdSpec::accurate(10))
+/// .run();
+/// assert_eq!(report.decided_values(), vec![9]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Mr99<V> {
+    me: ProcessId,
+    n: usize,
+    t: usize,
+    round: u64,
+    est: V,
+    sent_echo: bool,
+    suspected: PidSet,
+    bufs: BTreeMap<u64, RoundBuf<V>>,
+    relayed_decide: bool,
+    /// The round in which this process decided (for the bridge experiment).
+    decided_round: Option<u64>,
+}
+
+impl<V: Clone + Eq + fmt::Debug> Mr99<V> {
+    /// Creates process `me` of an `n`-process, `t`-resilient instance
+    /// (`t < n/2` required).
+    pub fn new(me: ProcessId, n: usize, t: usize, proposal: V) -> Self {
+        assert!(me.idx() < n, "{me} outside a system of {n} processes");
+        assert!(2 * t < n, "MR99 requires a correct majority (t < n/2)");
+        Mr99 {
+            me,
+            n,
+            t,
+            round: 0,
+            est: proposal,
+            sent_echo: false,
+            suspected: PidSet::empty(n),
+            bufs: BTreeMap::new(),
+            relayed_decide: false,
+            decided_round: None,
+        }
+    }
+
+    /// The coordinator of asynchronous round `r`: `p_{((r-1) mod n) + 1}`.
+    pub fn coordinator_of(r: u64, n: usize) -> ProcessId {
+        ProcessId::new(((r - 1) % n as u64) as u32 + 1)
+    }
+
+    /// The round this process decided in, if it has.
+    pub fn decided_round(&self) -> Option<u64> {
+        self.decided_round
+    }
+
+    /// The current asynchronous round.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    fn enter_round(&mut self, r: u64, fx: &mut Effects<Mr99Msg<V>, V>) {
+        self.round = r;
+        self.sent_echo = false;
+        if Self::coordinator_of(r, self.n) == self.me {
+            // Step 1: broadcast the estimate; self-delivery is immediate.
+            let est = self.est.clone();
+            fx.broadcast_others(
+                self.me,
+                self.n,
+                Mr99Msg::Current {
+                    round: r,
+                    est: est.clone(),
+                },
+            );
+            self.bufs.entry(r).or_default().current = Some(est);
+        }
+        self.check_step1(fx);
+    }
+
+    /// Step 1 exit condition: coordinator value received, or coordinator
+    /// suspected.
+    fn check_step1(&mut self, fx: &mut Effects<Mr99Msg<V>, V>) {
+        if self.sent_echo {
+            return;
+        }
+        let r = self.round;
+        let coord = Self::coordinator_of(r, self.n);
+        let aux: Option<V> = match self.bufs.get(&r).and_then(|b| b.current.clone()) {
+            Some(v) => Some(v),
+            None if self.suspected.contains(coord) => None,
+            None => return, // keep waiting (asynchrony: no timeout, only ◇S)
+        };
+        self.sent_echo = true;
+        fx.broadcast_others(
+            self.me,
+            self.n,
+            Mr99Msg::Echo {
+                round: r,
+                aux: aux.clone(),
+            },
+        );
+        let me = self.me;
+        self.bufs.entry(r).or_default().echoes.push((me, aux));
+        self.check_step2(fx);
+    }
+
+    /// Step 2 exit condition: `n - t` echoes collected.
+    fn check_step2(&mut self, fx: &mut Effects<Mr99Msg<V>, V>) {
+        if !self.sent_echo {
+            return;
+        }
+        let r = self.round;
+        let quorum = self.n - self.t;
+        let Some(buf) = self.bufs.get(&r) else { return };
+        if buf.echoes.len() < quorum {
+            return;
+        }
+        // Every non-⊥ aux of a round carries the unique coordinator
+        // broadcast — the crash model has no equivocation.
+        let mut value: Option<V> = None;
+        let mut count_v = 0usize;
+        for (_, aux) in &buf.echoes {
+            if let Some(v) = aux {
+                match &value {
+                    None => value = Some(v.clone()),
+                    Some(w) => debug_assert_eq!(w, v, "two distinct aux values in round {r}"),
+                }
+                count_v += 1;
+            }
+        }
+        match value {
+            Some(v) if 2 * count_v > self.n => {
+                // Locked by a majority: decide and diffuse.
+                self.relayed_decide = true;
+                self.decided_round = Some(r);
+                fx.broadcast_others(self.me, self.n, Mr99Msg::Decide { value: v.clone() });
+                fx.decide(v);
+            }
+            Some(v) => {
+                self.est = v;
+                self.enter_round(r + 1, fx);
+            }
+            None => {
+                self.enter_round(r + 1, fx);
+            }
+        }
+    }
+}
+
+impl<V> TimedProcess for Mr99<V>
+where
+    V: Clone + Eq + fmt::Debug,
+{
+    type Msg = Mr99Msg<V>;
+    type Output = V;
+
+    fn on_start(&mut self, fx: &mut Effects<Mr99Msg<V>, V>) {
+        self.enter_round(1, fx);
+    }
+
+    fn on_message(
+        &mut self,
+        _at: Ticks,
+        from: ProcessId,
+        msg: Mr99Msg<V>,
+        fx: &mut Effects<Mr99Msg<V>, V>,
+    ) {
+        match msg {
+            Mr99Msg::Current { round, est } => {
+                let buf = self.bufs.entry(round).or_default();
+                if buf.current.is_none() {
+                    buf.current = Some(est);
+                }
+                if round == self.round {
+                    self.check_step1(fx);
+                }
+            }
+            Mr99Msg::Echo { round, aux } => {
+                let buf = self.bufs.entry(round).or_default();
+                if !buf.echoes.iter().any(|(p, _)| *p == from) {
+                    buf.echoes.push((from, aux));
+                }
+                if round == self.round {
+                    self.check_step2(fx);
+                }
+            }
+            Mr99Msg::Decide { value } => {
+                if !self.relayed_decide {
+                    self.relayed_decide = true;
+                    self.decided_round = Some(self.round);
+                    fx.broadcast_others(self.me, self.n, Mr99Msg::Decide { value: value.clone() });
+                }
+                fx.decide(value);
+            }
+        }
+    }
+
+    fn on_suspicion(
+        &mut self,
+        _at: Ticks,
+        suspect: ProcessId,
+        fx: &mut Effects<Mr99Msg<V>, V>,
+    ) {
+        self.suspected.insert(suspect);
+        if Self::coordinator_of(self.round, self.n) == suspect {
+            self.check_step1(fx);
+        }
+    }
+
+    fn on_timer(&mut self, _at: Ticks, _id: u64, _fx: &mut Effects<Mr99Msg<V>, V>) {}
+}
+
+/// Builds the `n` instances for `proposals[i]` = proposal of `p_{i+1}`.
+pub fn mr99_processes<V: Clone + Eq + fmt::Debug>(
+    n: usize,
+    t: usize,
+    proposals: &[V],
+) -> Vec<Mr99<V>> {
+    assert_eq!(proposals.len(), n, "one proposal per process required");
+    proposals
+        .iter()
+        .enumerate()
+        .map(|(i, v)| Mr99::new(ProcessId::from_idx(i), n, t, v.clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twostep_events::{DelayModel, FdSpec, TimedCrash, TimedKernel};
+
+    fn pid(r: u32) -> ProcessId {
+        ProcessId::new(r)
+    }
+
+    const D: Ticks = 100;
+    const FD: Ticks = 10;
+
+    #[test]
+    fn coordinator_rotation_wraps() {
+        assert_eq!(Mr99::<u64>::coordinator_of(1, 3), pid(1));
+        assert_eq!(Mr99::<u64>::coordinator_of(3, 3), pid(3));
+        assert_eq!(Mr99::<u64>::coordinator_of(4, 3), pid(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "correct majority")]
+    fn majority_requirement_enforced() {
+        let _ = Mr99::new(pid(1), 4, 2, 0u64);
+    }
+
+    #[test]
+    fn failure_free_decides_in_round_one() {
+        let proposals = [104u64, 101, 103];
+        let (report, states) = TimedKernel::new(
+            mr99_processes(3, 1, &proposals),
+            DelayModel::Fixed(D),
+        )
+        .fd(FdSpec::accurate(FD))
+        .run_with_states();
+        for d in &report.decisions {
+            let (v, _) = d.as_ref().unwrap();
+            assert_eq!(*v, 104, "the round-1 coordinator imposes its value");
+        }
+        for s in &states {
+            assert_eq!(s.decided_round(), Some(1));
+        }
+        // Two communication steps: CURRENT (n-1) + ECHO (n(n-1)) + DECIDE
+        // relays — strictly more traffic than the paper's 2(n-1).
+        assert!(report.messages_sent >= (3 - 1) + 3 * (3 - 1));
+    }
+
+    #[test]
+    fn crashed_coordinator_moves_to_round_two() {
+        // p_1 dies at start before sending anything; ◇S completeness kicks
+        // in and everyone echoes ⊥, then round 2's coordinator decides.
+        let proposals = [104u64, 101, 103];
+        let (report, states) = TimedKernel::new(
+            mr99_processes(3, 1, &proposals),
+            DelayModel::Fixed(D),
+        )
+        .fd(FdSpec::accurate(FD))
+        .crash(pid(1), TimedCrash { at: 0, keep_sends: 0 })
+        .run_with_states();
+        assert!(report.decisions[0].is_none());
+        for d in report.decisions.iter().skip(1) {
+            let (v, _) = d.as_ref().unwrap();
+            assert_eq!(*v, 101, "round-2 coordinator p_2 imposes its value");
+        }
+        for s in states.iter().skip(1) {
+            assert_eq!(s.decided_round(), Some(2));
+        }
+    }
+
+    #[test]
+    fn partial_current_broadcast_is_safe() {
+        // The coordinator reaches only p_2 with CURRENT and dies.  The
+        // suspicion (latency 10) outruns the message (delay 100), so even
+        // p_2 echoes ⊥ before the coordinator's value arrives: round 1
+        // yields all-⊥, estimates are kept, and round 2's coordinator p_2
+        // imposes its own value.  p_1's value is lost — safely, since p_1
+        // never decided.  (This is exactly the asynchrony the paper's
+        // synchronous commit message eliminates: in the extended model the
+        // data message *cannot* lose the race.)
+        let proposals = [1u64, 2, 3, 4, 5];
+        let (report, _) = TimedKernel::new(
+            mr99_processes(5, 2, &proposals),
+            DelayModel::Fixed(D),
+        )
+        .fd(FdSpec::accurate(FD))
+        .crash(pid(1), TimedCrash { at: 0, keep_sends: 1 })
+        .run_with_states();
+        let vals = report.decided_values();
+        assert_eq!(vals.len(), 1, "uniform agreement: {vals:?}");
+        assert_eq!(vals[0], 2);
+    }
+
+    #[test]
+    fn false_suspicion_only_delays_decision() {
+        // ◇S may lie: p_2 and p_3 falsely suspect the (healthy) round-1
+        // coordinator before its CURRENT arrives, echo ⊥, and the round
+        // fails the majority test for them; the quorum evaluation varies
+        // with arrival order, but agreement must hold and p_1's value may
+        // only win where a majority echoed it.
+        let proposals = [7u64, 8, 9];
+        let (report, _) = TimedKernel::new(
+            mr99_processes(3, 1, &proposals),
+            DelayModel::Fixed(D),
+        )
+        .fd(FdSpec {
+            accurate_latency: Some(FD),
+            injected_suspicions: vec![(1, pid(2), pid(1)), (1, pid(3), pid(1))],
+        })
+        .run_with_states();
+        let vals = report.decided_values();
+        assert_eq!(vals.len(), 1, "agreement despite lies: {vals:?}");
+        assert!(!report.hit_horizon);
+    }
+
+    #[test]
+    fn asynchronous_delays_do_not_break_agreement() {
+        // Heterogeneous random delays: rounds interleave across processes;
+        // buffering by round number must keep everything straight.
+        for seed in 0..20u64 {
+            let proposals = [11u64, 22, 33, 44, 55];
+            let (report, _) = TimedKernel::new(
+                mr99_processes(5, 2, &proposals),
+                DelayModel::Uniform {
+                    min: 1,
+                    max: 500,
+                    seed,
+                },
+            )
+            .fd(FdSpec::accurate(FD))
+            .run_with_states();
+            let vals = report.decided_values();
+            assert_eq!(vals.len(), 1, "seed {seed}: {vals:?}");
+            assert_eq!(report.decisions.iter().flatten().count(), 5, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn crash_with_random_delays_stays_uniform() {
+        for seed in 0..20u64 {
+            let proposals = [11u64, 22, 33, 44, 55];
+            let (report, _) = TimedKernel::new(
+                mr99_processes(5, 2, &proposals),
+                DelayModel::Uniform {
+                    min: 1,
+                    max: 300,
+                    seed,
+                },
+            )
+            .fd(FdSpec::accurate(FD))
+            .crash(pid(1), TimedCrash { at: 0, keep_sends: 2 })
+            .crash(
+                pid(3),
+                TimedCrash {
+                    at: 150,
+                    keep_sends: 0,
+                },
+            )
+            .run_with_states();
+            let vals = report.decided_values();
+            assert!(vals.len() <= 1, "seed {seed}: {vals:?}");
+            // All correct processes decide (p_2, p_4, p_5).
+            assert!(report.decisions[1].is_some(), "seed {seed}");
+            assert!(report.decisions[3].is_some(), "seed {seed}");
+            assert!(report.decisions[4].is_some(), "seed {seed}");
+        }
+    }
+}

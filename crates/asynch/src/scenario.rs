@@ -1,0 +1,138 @@
+//! ◇S suspicion scenarios: declarative builders for the failure-detector
+//! behaviours the asynchronous experiments exercise.
+//!
+//! A ◇S (eventually strong) detector may suspect *anyone* for an arbitrary
+//! finite prefix of the run; it must eventually stop suspecting some
+//! correct process.  The kernel's accurate oracle supplies completeness
+//! (real crashes are reported); this module scripts the *lies* — bounded
+//! false-suspicion patterns before a global stabilization time (GST).
+
+use twostep_events::FdSpec;
+use twostep_model::timing::Ticks;
+use twostep_model::ProcessId;
+
+/// A declarative ◇S scenario: accurate completeness plus scripted false
+/// suspicions that all happen before `gst`.
+#[derive(Clone, Debug)]
+pub struct SuspicionScript {
+    n: usize,
+    detection_latency: Ticks,
+    gst: Ticks,
+    injections: Vec<(Ticks, ProcessId, ProcessId)>,
+}
+
+impl SuspicionScript {
+    /// A scenario over `n` processes with the given crash-detection
+    /// latency and stabilization time `gst` (no lie may be scheduled at or
+    /// after it).
+    pub fn new(n: usize, detection_latency: Ticks, gst: Ticks) -> Self {
+        SuspicionScript {
+            n,
+            detection_latency,
+            gst,
+            injections: Vec::new(),
+        }
+    }
+
+    /// The stabilization time.
+    pub fn gst(&self) -> Ticks {
+        self.gst
+    }
+
+    /// Everyone (except the target) falsely suspects `target` at `when`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `when >= gst` — ◇S lies must stop eventually, and the
+    /// scenario encodes "eventually" as GST.
+    pub fn everyone_suspects(mut self, when: Ticks, target: ProcessId) -> Self {
+        assert!(when < self.gst, "false suspicions must precede GST");
+        for obs in ProcessId::all(self.n) {
+            if obs != target {
+                self.injections.push((when, obs, target));
+            }
+        }
+        self
+    }
+
+    /// A single observer falsely suspects `target` at `when`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `when >= gst`.
+    pub fn one_suspects(mut self, when: Ticks, observer: ProcessId, target: ProcessId) -> Self {
+        assert!(when < self.gst, "false suspicions must precede GST");
+        self.injections.push((when, observer, target));
+        self
+    }
+
+    /// Rolling lies: at times `start, start+step, …` (strictly below GST),
+    /// observer `p_{1+k mod n}` suspects `p_{1+(k+1) mod n}` — a flapping
+    /// pattern that stresses round-skipping logic.
+    pub fn flapping(mut self, start: Ticks, step: Ticks) -> Self {
+        assert!(step > 0);
+        let mut when = start;
+        let mut k = 0u32;
+        while when < self.gst {
+            let obs = ProcessId::new(k % self.n as u32 + 1);
+            let target = ProcessId::new((k + 1) % self.n as u32 + 1);
+            if obs != target {
+                self.injections.push((when, obs, target));
+            }
+            when += step;
+            k += 1;
+        }
+        self
+    }
+
+    /// Materializes the kernel's detector configuration.
+    pub fn build(self) -> FdSpec {
+        FdSpec {
+            accurate_latency: Some(self.detection_latency),
+            injected_suspicions: self.injections,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(r: u32) -> ProcessId {
+        ProcessId::new(r)
+    }
+
+    #[test]
+    fn everyone_suspects_excludes_target() {
+        let spec = SuspicionScript::new(4, 10, 1000)
+            .everyone_suspects(5, pid(2))
+            .build();
+        assert_eq!(spec.injected_suspicions.len(), 3);
+        assert!(spec
+            .injected_suspicions
+            .iter()
+            .all(|(_, obs, target)| *target == pid(2) && *obs != pid(2)));
+        assert_eq!(spec.accurate_latency, Some(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "precede GST")]
+    fn lies_after_gst_rejected() {
+        let _ = SuspicionScript::new(3, 10, 100).everyone_suspects(100, pid(1));
+    }
+
+    #[test]
+    fn flapping_stays_below_gst() {
+        let spec = SuspicionScript::new(3, 10, 100).flapping(0, 30).build();
+        assert!(!spec.injected_suspicions.is_empty());
+        assert!(spec.injected_suspicions.iter().all(|(t, _, _)| *t < 100));
+    }
+
+    #[test]
+    fn one_suspects_is_single() {
+        let spec = SuspicionScript::new(5, 10, 50)
+            .one_suspects(1, pid(3), pid(1))
+            .build();
+        assert_eq!(spec.injected_suspicions, vec![(1, pid(3), pid(1))]);
+    }
+}

@@ -1,0 +1,151 @@
+//! CT96 under scripted ◇S misbehaviour and crash storms, plus the
+//! family comparison: CT96 and MR99 must reach the *same* decision under
+//! identical failure patterns when the same coordinator locks the value —
+//! they are, per the paper's Section 4 reading, one algorithm in two
+//! costumes.
+
+use twostep_asynch::{ct_processes, mr99_processes, SuspicionScript};
+use twostep_events::{DelayModel, TimedCrash, TimedKernel};
+use twostep_model::ProcessId;
+
+fn pid(r: u32) -> ProcessId {
+    ProcessId::new(r)
+}
+
+fn proposals(n: usize) -> Vec<u64> {
+    (0..n as u64).map(|i| 700 + i).collect()
+}
+
+#[test]
+fn flapping_suspicions_delay_but_do_not_break_ct() {
+    let n = 5;
+    let fd = SuspicionScript::new(n, 10, 2000).flapping(0, 50).build();
+    let (report, states) = TimedKernel::new(
+        ct_processes(n, 2, &proposals(n)),
+        DelayModel::Fixed(100),
+    )
+    .fd(fd)
+    .run_with_states();
+    assert_eq!(report.decided_values().len(), 1);
+    assert_eq!(report.decisions.iter().flatten().count(), n);
+    let max_round = states.iter().filter_map(|s| s.decided_round()).max().unwrap();
+    assert!(max_round <= n as u64 + 1, "round {max_round} exceeds lie horizon");
+}
+
+#[test]
+fn pile_on_lies_about_successive_coordinators_ct() {
+    let n = 5;
+    let fd = SuspicionScript::new(n, 10, 5000)
+        .everyone_suspects(1, pid(1))
+        .everyone_suspects(2, pid(2))
+        .build();
+    let (report, _) = TimedKernel::new(
+        ct_processes(n, 2, &proposals(n)),
+        DelayModel::Fixed(100),
+    )
+    .fd(fd)
+    .run_with_states();
+    assert_eq!(report.decided_values().len(), 1);
+    assert_eq!(report.decisions.iter().flatten().count(), n);
+}
+
+#[test]
+fn lies_plus_real_crashes_with_random_delays_ct() {
+    let n = 7;
+    let t = 3;
+    for seed in 0..25u64 {
+        let fd = SuspicionScript::new(n, 10, 1500)
+            .one_suspects(1, pid(3), pid(1))
+            .one_suspects(7, pid(4), pid(2))
+            .flapping(20, 90)
+            .build();
+        let (report, _) = TimedKernel::new(
+            ct_processes(n, t, &proposals(n)),
+            DelayModel::Uniform {
+                min: 1,
+                max: 250,
+                seed,
+            },
+        )
+        .fd(fd)
+        .crash(pid(1), TimedCrash { at: 30, keep_sends: 1 })
+        .crash(pid(6), TimedCrash { at: 400, keep_sends: 0 })
+        .run_with_states();
+        let vals = report.decided_values();
+        assert!(vals.len() <= 1, "seed {seed}: {vals:?}");
+        assert!(
+            report.decisions.iter().flatten().count() >= n - 2,
+            "seed {seed}: all correct processes decide"
+        );
+        assert!(!report.hit_horizon, "seed {seed}");
+    }
+}
+
+/// Validity under adversity: whatever CT96 decides was proposed.
+#[test]
+fn ct_decisions_are_always_proposed_values() {
+    let n = 5;
+    let props = proposals(n);
+    for seed in 0..40u64 {
+        let fd = SuspicionScript::new(n, 15, 1200)
+            .flapping(seed % 40, 35 + seed % 60)
+            .build();
+        let report = TimedKernel::new(
+            ct_processes(n, 2, &props),
+            DelayModel::Uniform {
+                min: 1,
+                max: 180,
+                seed,
+            },
+        )
+        .fd(fd)
+        .crash(
+            pid((seed % n as u64) as u32 + 1),
+            TimedCrash {
+                at: seed * 13 % 500,
+                keep_sends: (seed % 4) as usize,
+            },
+        )
+        .run();
+        for v in report.decided_values() {
+            assert!(props.contains(&v), "seed {seed}: {v} was never proposed");
+        }
+    }
+}
+
+/// The family property: with the same healthy first coordinator, CT96 and
+/// MR99 decide the same value (the coordinator's), differing only in cost.
+#[test]
+fn ct_and_mr99_agree_on_the_locked_value() {
+    let n = 7;
+    let t = 3;
+    let props = proposals(n);
+    for crashes in 0..=2usize {
+        let run =
+            |which: bool| -> Vec<u64> {
+                let fd = twostep_events::FdSpec::accurate(10);
+                let mut k_ct;
+                let mut k_mr;
+                let report = if which {
+                    k_ct = TimedKernel::new(ct_processes(n, t, &props), DelayModel::Fixed(100))
+                        .fd(fd);
+                    for c in 1..=crashes {
+                        k_ct = k_ct.crash(pid(c as u32), TimedCrash { at: 0, keep_sends: 0 });
+                    }
+                    k_ct.run()
+                } else {
+                    k_mr = TimedKernel::new(mr99_processes(n, t, &props), DelayModel::Fixed(100))
+                        .fd(fd);
+                    for c in 1..=crashes {
+                        k_mr = k_mr.crash(pid(c as u32), TimedCrash { at: 0, keep_sends: 0 });
+                    }
+                    k_mr.run()
+                };
+                report.decided_values()
+            };
+        let ct = run(true);
+        let mr = run(false);
+        assert_eq!(ct, mr, "{crashes} silent crashes: both pick p_{}", crashes + 1);
+        assert_eq!(ct, vec![props[crashes]], "first live coordinator's value");
+    }
+}

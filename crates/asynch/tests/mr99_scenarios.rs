@@ -1,0 +1,83 @@
+//! MR99 under scripted ◇S misbehaviour: flapping suspicions, pile-ons,
+//! lies combined with real crashes and random delays.  Agreement and
+//! termination must survive everything ◇S is allowed to do.
+
+use twostep_asynch::{mr99_processes, SuspicionScript};
+use twostep_events::{DelayModel, TimedCrash, TimedKernel};
+use twostep_model::ProcessId;
+
+fn pid(r: u32) -> ProcessId {
+    ProcessId::new(r)
+}
+
+fn proposals(n: usize) -> Vec<u64> {
+    (0..n as u64).map(|i| 700 + i).collect()
+}
+
+#[test]
+fn flapping_suspicions_delay_but_do_not_break() {
+    let n = 5;
+    let fd = SuspicionScript::new(n, 10, 2000).flapping(0, 50).build();
+    let (report, states) = TimedKernel::new(
+        mr99_processes(n, 2, &proposals(n)),
+        DelayModel::Fixed(100),
+    )
+    .fd(fd)
+    .run_with_states();
+    assert_eq!(report.decided_values().len(), 1);
+    assert_eq!(report.decisions.iter().flatten().count(), n);
+    // Flapping may push decisions past round 1, but they stay bounded by
+    // the lie horizon (every coordinator after GST succeeds).
+    let max_round = states.iter().filter_map(|s| s.decided_round()).max().unwrap();
+    assert!(max_round <= n as u64 + 1, "round {max_round} exceeds lie horizon");
+}
+
+#[test]
+fn pile_on_lies_about_successive_coordinators() {
+    let n = 5;
+    // Everyone falsely suspects p1 then p2 — two wasted-ish rounds at most.
+    let fd = SuspicionScript::new(n, 10, 5000)
+        .everyone_suspects(1, pid(1))
+        .everyone_suspects(2, pid(2))
+        .build();
+    let (report, _) = TimedKernel::new(
+        mr99_processes(n, 2, &proposals(n)),
+        DelayModel::Fixed(100),
+    )
+    .fd(fd)
+    .run_with_states();
+    assert_eq!(report.decided_values().len(), 1);
+    assert_eq!(report.decisions.iter().flatten().count(), n);
+}
+
+#[test]
+fn lies_plus_real_crashes_with_random_delays() {
+    let n = 7;
+    let t = 3;
+    for seed in 0..25u64 {
+        let fd = SuspicionScript::new(n, 10, 1500)
+            .one_suspects(1, pid(3), pid(1))
+            .one_suspects(7, pid(4), pid(2))
+            .flapping(20, 90)
+            .build();
+        let (report, _) = TimedKernel::new(
+            mr99_processes(n, t, &proposals(n)),
+            DelayModel::Uniform {
+                min: 1,
+                max: 250,
+                seed,
+            },
+        )
+        .fd(fd)
+        .crash(pid(1), TimedCrash { at: 30, keep_sends: 1 })
+        .crash(pid(6), TimedCrash { at: 400, keep_sends: 0 })
+        .run_with_states();
+        let vals = report.decided_values();
+        assert!(vals.len() <= 1, "seed {seed}: {vals:?}");
+        assert!(
+            report.decisions.iter().flatten().count() >= n - 2,
+            "seed {seed}: all correct processes decide"
+        );
+        assert!(!report.hit_horizon, "seed {seed}");
+    }
+}

@@ -1,0 +1,217 @@
+//! Early-deciding **non-uniform** consensus for the classic synchronous
+//! model: decision by round `f+1`, halting at `t+1`.
+//!
+//! This baseline completes the paper's comparison landscape.  The classic
+//! model admits `f+1`-round decisions for *plain* consensus (agreement
+//! among correct processes only), but **uniform** consensus provably needs
+//! `f+2` (Charron-Bost–Schiper, the paper's reference \[7\]).  The paper's
+//! contribution is exactly the missing cell: with pipelined
+//! synchronization messages, *uniform* consensus drops to `f+1`.
+//!
+//! | | classic model | extended model |
+//! |---|---|---|
+//! | plain consensus | `f+1` (this module) | `f+1` |
+//! | uniform consensus | `min(f+2, t+1)` (`earlystop`) | **`f+1` (the paper)** |
+//!
+//! ## The algorithm
+//!
+//! Every round, every process broadcasts its estimate (minimum seen) and
+//! tracks the *set* of processes heard from.  When that set repeats
+//! between consecutive rounds — nobody the process was still listening to
+//! failed — it **decides** its estimate but *keeps participating* (the
+//! engine's [`Step::DecideAndContinue`]); it halts at the `t+1` fallback.
+//! The set can shrink at most `f` times, so a repeat happens by round
+//! `f+1`.  Deciding without halting avoids the information loss that
+//! would otherwise cascade perceived failures (halting by `f+1` is
+//! impossible — Dolev–Reischuk–Strong).
+//!
+//! Why only *plain* agreement: a process may decide on a clean-looking
+//! view and then crash, while a value it never saw (delivered to others by
+//! another crasher) wins among the survivors.  The exhaustive model
+//! checker exhibits exactly such a run as a uniformity counterexample —
+//! and verifies that plain agreement holds on *every* execution
+//! (`tests/nonuniform_exhaustive.rs` in `twostep-modelcheck`).
+
+use std::fmt;
+use twostep_model::{BitSized, PidSet, ProcessId, Round};
+use twostep_sim::{Inbox, SendPlan, Step, SyncProtocol};
+
+/// One process of the non-uniform early-deciding consensus.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct NonUniformEarly<V> {
+    me: ProcessId,
+    n: usize,
+    t: usize,
+    est: V,
+    /// Senders heard from in the previous round (self included);
+    /// initialized to the full set.
+    prev: PidSet,
+    /// The early decision, once taken (the process keeps running).
+    decided: Option<V>,
+}
+
+impl<V: Clone> NonUniformEarly<V> {
+    /// Creates process `me` of an `n`-process, `t`-resilient instance.
+    pub fn new(me: ProcessId, n: usize, t: usize, proposal: V) -> Self {
+        assert!(me.idx() < n, "{me} outside a system of {n} processes");
+        assert!(t < n, "resilience must leave a survivor");
+        NonUniformEarly {
+            me,
+            n,
+            t,
+            est: proposal,
+            prev: PidSet::full(n),
+            decided: None,
+        }
+    }
+
+    /// The early decision, if taken.
+    pub fn decided(&self) -> Option<&V> {
+        self.decided.as_ref()
+    }
+}
+
+impl<V> SyncProtocol for NonUniformEarly<V>
+where
+    V: Ord + Clone + Eq + fmt::Debug + BitSized,
+{
+    type Msg = V;
+    type Output = V;
+
+    fn send(&mut self, _round: Round) -> SendPlan<V, V> {
+        // Broadcast every round until halting — including after an early
+        // decision, which is what keeps other processes' views clean.
+        let mut plan = SendPlan::quiet();
+        plan.data.reserve(self.n - 1);
+        for dst in ProcessId::all(self.n) {
+            if dst != self.me {
+                plan.data.push((dst, self.est.clone()));
+            }
+        }
+        plan
+    }
+
+    fn receive(&mut self, round: Round, inbox: &Inbox<V>) -> Step<V> {
+        let mut senders = PidSet::empty(self.n);
+        senders.insert(self.me);
+        for (from, est) in inbox.data() {
+            senders.insert(*from);
+            if *est < self.est {
+                self.est = est.clone();
+            }
+        }
+
+        let clean = senders == self.prev;
+        self.prev = senders;
+
+        if round.get() == self.t as u32 + 1 {
+            // Halting fallback; the recorded decision (if any) wins.
+            return Step::Decide(self.decided.clone().unwrap_or_else(|| self.est.clone()));
+        }
+        if clean && self.decided.is_none() {
+            self.decided = Some(self.est.clone());
+            return Step::DecideAndContinue(self.est.clone());
+        }
+        Step::Continue
+    }
+}
+
+/// Builds the `n` instances for `proposals[i]` = proposal of `p_{i+1}`.
+pub fn nonuniform_processes<V: Clone>(
+    n: usize,
+    t: usize,
+    proposals: &[V],
+) -> Vec<NonUniformEarly<V>> {
+    assert_eq!(proposals.len(), n, "one proposal per process required");
+    proposals
+        .iter()
+        .enumerate()
+        .map(|(i, v)| NonUniformEarly::new(ProcessId::from_idx(i), n, t, v.clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twostep_model::{CrashPoint, CrashSchedule, CrashStage, SystemConfig};
+    use twostep_sim::{ModelKind, Simulation};
+
+    fn pid(r: u32) -> ProcessId {
+        ProcessId::new(r)
+    }
+
+    fn run(
+        n: usize,
+        t: usize,
+        schedule: &CrashSchedule,
+        proposals: &[u64],
+    ) -> twostep_sim::RunReport<NonUniformEarly<u64>> {
+        let config = SystemConfig::new(n, t).unwrap();
+        Simulation::new(config, ModelKind::Classic, schedule)
+            .max_rounds(t as u32 + 2)
+            .run(nonuniform_processes(n, t, proposals))
+            .unwrap()
+    }
+
+    #[test]
+    fn failure_free_decides_in_one_round() {
+        // The classic model's f+1 = 1: round 1 is clean for everyone —
+        // one round faster than uniform early-stopping (f+2 = 2).
+        let proposals = [9u64, 4, 7];
+        let schedule = CrashSchedule::none(3);
+        let report = run(3, 2, &schedule, &proposals);
+        for d in &report.decisions {
+            let d = d.as_ref().unwrap();
+            assert_eq!(d.value, 4);
+            assert_eq!(d.round, Round::FIRST, "decision by f+1 = 1");
+        }
+        assert!(!report.hit_round_cap, "halting at t+1 still happens");
+    }
+
+    #[test]
+    fn one_visible_crash_decides_by_round_two() {
+        let proposals = [9u64, 4, 7, 5];
+        let schedule = CrashSchedule::none(4).with_crash(
+            pid(2),
+            CrashPoint::new(Round::FIRST, CrashStage::BeforeSend),
+        );
+        let report = run(4, 3, &schedule, &proposals);
+        for (i, d) in report.decisions.iter().enumerate() {
+            if i == 1 {
+                assert!(d.is_none());
+                continue;
+            }
+            let d = d.as_ref().unwrap();
+            assert_eq!(d.value, 5, "p_2's 4 died with it");
+            assert!(d.round.get() <= 2, "decision by f+1 = 2");
+        }
+    }
+
+    #[test]
+    fn deciders_keep_relaying_until_t_plus_1() {
+        // After deciding in round 1, processes still broadcast in rounds
+        // 2..t+1 — that is what protects the stragglers' views.
+        let proposals = [3u64, 2, 1];
+        let schedule = CrashSchedule::none(3);
+        let report = run(3, 2, &schedule, &proposals);
+        // Rounds executed = t+1 = 3 (halting), decisions all in round 1.
+        assert_eq!(report.metrics.rounds_executed, 3);
+        assert!(report
+            .decisions
+            .iter()
+            .all(|d| d.as_ref().unwrap().round == Round::FIRST));
+        // Traffic: 3 rounds × n(n-1) broadcasts.
+        assert_eq!(report.metrics.data_messages, 3 * 6);
+    }
+
+    #[test]
+    fn decided_accessor() {
+        let mut p = NonUniformEarly::new(pid(1), 2, 1, 5u64);
+        assert!(p.decided().is_none());
+        // Simulate a clean round-1 view: only itself and p_2 expected…
+        let inbox = Inbox::from_parts(vec![(pid(2), 7u64)], vec![]);
+        let step = p.receive(Round::FIRST, &inbox);
+        assert_eq!(step, Step::DecideAndContinue(5));
+        assert_eq!(p.decided(), Some(&5));
+    }
+}

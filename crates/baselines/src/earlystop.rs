@@ -1,0 +1,296 @@
+//! Early-deciding/stopping uniform consensus for the **classic**
+//! synchronous model: `min(f+2, t+1)` rounds (Charron-Bost–Schiper,
+//! Keidar–Rajsbaum; algorithmic form after Raynal).
+//!
+//! This is the baseline the paper's `f+1` result must be measured against:
+//! in the traditional model, early-deciding *uniform* consensus cannot beat
+//! `f+2` (when `f ≤ t-2`), and the extended model's synchronization
+//! messages buy exactly one round.
+//!
+//! ## The algorithm
+//!
+//! Every process keeps `est` (min of everything seen), an `early` flag and
+//! the count of processes heard from in the previous round (`prev_count`,
+//! initialized to `n`):
+//!
+//! 1. each round, broadcast `EST(est, early)`; **if `early` was set, decide
+//!    `est` right after the broadcast** and halt;
+//! 2. on receive: `est := min(est, received)`; let `count` = processes
+//!    heard from this round (including self);
+//! 3. set `early` if (a) someone's flag was set, or (b) `count ==
+//!    prev_count` — i.e. no *new* failure was perceived this round;
+//! 4. at round `t+1`, decide unconditionally.
+//!
+//! Why (b) is safe: senders this round are a subset of senders last round
+//! (crashes are permanent), so equal counts mean *equal sets* — and any
+//! process that sends in round `r` completed all its round `r-1` sends, so
+//! everything it knew then is already in `est`.  A smaller estimate held by
+//! someone else would have had to travel through a sender this process
+//! missed — contradiction.  The exhaustive model checker verifies this over
+//! the full adversary space for small `n` (see `tests/`).
+
+use std::fmt;
+use twostep_model::{BitSized, ProcessId, Round};
+use twostep_sim::{Inbox, SendPlan, Step, SyncProtocol};
+
+/// One early-stopping process.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct EarlyStopping<V> {
+    me: ProcessId,
+    n: usize,
+    t: usize,
+    est: V,
+    early: bool,
+    prev_count: usize,
+}
+
+impl<V: Clone> EarlyStopping<V> {
+    /// Creates process `me` of an `n`-process, `t`-resilient instance.
+    pub fn new(me: ProcessId, n: usize, t: usize, proposal: V) -> Self {
+        assert!(me.idx() < n, "{me} outside a system of {n} processes");
+        assert!(t < n, "resilience must leave a survivor");
+        EarlyStopping {
+            me,
+            n,
+            t,
+            est: proposal,
+            early: false,
+            prev_count: n,
+        }
+    }
+
+    /// The current estimate.
+    pub fn estimate(&self) -> &V {
+        &self.est
+    }
+
+    /// Whether the early-decision flag is set (deciding next round).
+    pub fn is_early(&self) -> bool {
+        self.early
+    }
+}
+
+impl<V> SyncProtocol for EarlyStopping<V>
+where
+    V: Ord + Clone + Eq + fmt::Debug + BitSized,
+{
+    type Msg = (V, bool);
+    type Output = V;
+
+    fn send(&mut self, _round: Round) -> SendPlan<(V, bool), V> {
+        let mut plan = SendPlan::quiet();
+        plan.data.reserve(self.n - 1);
+        for dst in ProcessId::all(self.n) {
+            if dst != self.me {
+                plan.data.push((dst, (self.est.clone(), self.early)));
+            }
+        }
+        if self.early {
+            // Decide right after the (completed) broadcast — the engine
+            // suppresses the decision if the broadcast is cut by a crash.
+            plan = plan.then_decide(self.est.clone());
+        }
+        plan
+    }
+
+    fn receive(&mut self, round: Round, inbox: &Inbox<(V, bool)>) -> Step<V> {
+        let count = inbox.data().len() + 1; // senders heard + self
+        let mut saw_flag = false;
+        for (_, (est, early)) in inbox.data() {
+            if *est < self.est {
+                self.est = est.clone();
+            }
+            saw_flag |= *early;
+        }
+        if saw_flag || count == self.prev_count {
+            self.early = true;
+        }
+        self.prev_count = count;
+
+        if round.get() == self.t as u32 + 1 {
+            Step::Decide(self.est.clone())
+        } else {
+            Step::Continue
+        }
+    }
+}
+
+/// Builds the `n` instances for `proposals[i]` = proposal of `p_{i+1}`.
+pub fn earlystop_processes<V: Clone>(n: usize, t: usize, proposals: &[V]) -> Vec<EarlyStopping<V>> {
+    assert_eq!(proposals.len(), n, "one proposal per process required");
+    proposals
+        .iter()
+        .enumerate()
+        .map(|(i, v)| EarlyStopping::new(ProcessId::from_idx(i), n, t, v.clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twostep_model::{CrashPoint, CrashSchedule, CrashStage, PidSet, SystemConfig};
+    use twostep_sim::{check_uniform_consensus, ModelKind, Simulation};
+
+    fn pid(r: u32) -> ProcessId {
+        ProcessId::new(r)
+    }
+
+    fn run(
+        n: usize,
+        t: usize,
+        schedule: &CrashSchedule,
+        proposals: &[u64],
+    ) -> twostep_sim::RunReport<EarlyStopping<u64>> {
+        let config = SystemConfig::new(n, t).unwrap();
+        Simulation::new(config, ModelKind::Classic, schedule)
+            .max_rounds(t as u32 + 2)
+            .run(earlystop_processes(n, t, proposals))
+            .unwrap()
+    }
+
+    #[test]
+    fn failure_free_decides_in_two_rounds() {
+        // f = 0 ⇒ round 1 is clean for everyone ⇒ early set ⇒ decide in
+        // round 2 = f + 2 (the classic model cannot do better uniformly).
+        let proposals = [104u64, 101, 103];
+        let schedule = CrashSchedule::none(3);
+        let report = run(3, 2, &schedule, &proposals);
+        for d in &report.decisions {
+            let d = d.as_ref().unwrap();
+            assert_eq!(d.value, 101);
+            assert_eq!(d.round, Round::new(2), "min(f+2, t+1) = 2");
+        }
+        let spec = check_uniform_consensus(&proposals, &report.decisions, &schedule, Some(2));
+        assert!(spec.ok(), "{spec}");
+    }
+
+    #[test]
+    fn t_equals_one_decides_at_t_plus_1() {
+        // min(f+2, t+1) caps at t+1 = 2 even with f = 0.
+        let proposals = [9u64, 4];
+        let schedule = CrashSchedule::none(2);
+        let report = run(2, 1, &schedule, &proposals);
+        for d in &report.decisions {
+            assert_eq!(d.as_ref().unwrap().round.get(), 2);
+            assert_eq!(d.as_ref().unwrap().value, 4);
+        }
+    }
+
+    #[test]
+    fn one_silent_crash_decides_by_f_plus_2() {
+        let proposals = [50u64, 60, 70, 80];
+        let schedule = CrashSchedule::none(4).with_crash(
+            pid(1),
+            CrashPoint::new(Round::FIRST, CrashStage::BeforeSend),
+        );
+        let report = run(4, 3, &schedule, &proposals);
+        let spec = check_uniform_consensus(&proposals, &report.decisions, &schedule, Some(3));
+        assert!(spec.ok(), "{spec}");
+        // All survivors decide 60 (the min among values that survived).
+        for d in report.decisions.iter().skip(1) {
+            assert_eq!(d.as_ref().unwrap().value, 60);
+        }
+        assert!(report.metrics.last_decision_round().unwrap() <= Round::new(3));
+    }
+
+    #[test]
+    fn staggered_crashes_respect_min_bound() {
+        // f = 2 crashes spread over two rounds: bound min(f+2, t+1) = 4.
+        let proposals = [5u64, 6, 7, 8, 9];
+        let schedule = CrashSchedule::none(5)
+            .with_crash(
+                pid(1),
+                CrashPoint::new(
+                    Round::FIRST,
+                    CrashStage::MidData {
+                        delivered: PidSet::from_iter(5, [pid(2)]),
+                    },
+                ),
+            )
+            .with_crash(
+                pid(2),
+                CrashPoint::new(
+                    Round::new(2),
+                    CrashStage::MidData {
+                        delivered: PidSet::from_iter(5, [pid(3)]),
+                    },
+                ),
+            );
+        let report = run(5, 3, &schedule, &proposals);
+        let spec = check_uniform_consensus(&proposals, &report.decisions, &schedule, Some(4));
+        assert!(spec.ok(), "{spec}");
+    }
+
+    #[test]
+    fn early_decider_crashing_mid_broadcast_stays_uniform() {
+        // The uniform-agreement trap this algorithm is built to survive:
+        // p_2 sets early in round 1, broadcasts its flagged estimate in
+        // round 2 but crashes mid-broadcast (reaching only p_3) — and
+        // since the broadcast did not complete, p_2 does NOT decide.
+        // Survivors must still agree among themselves.
+        let proposals = [10u64, 20, 30, 40];
+        let schedule = CrashSchedule::none(4).with_crash(
+            pid(2),
+            CrashPoint::new(
+                Round::new(2),
+                CrashStage::MidData {
+                    delivered: PidSet::from_iter(4, [pid(3)]),
+                },
+            ),
+        );
+        let report = run(4, 2, &schedule, &proposals);
+        assert!(
+            report.decisions[1].is_none(),
+            "p_2's interrupted broadcast must suppress its decision"
+        );
+        let spec = check_uniform_consensus(&proposals, &report.decisions, &schedule, Some(4));
+        assert!(spec.ok(), "{spec}");
+    }
+
+    #[test]
+    fn cascade_reaches_t_plus_1() {
+        // Worst case: a fresh crash every round keeps suppressing early
+        // decisions; the t+1 fallback fires.
+        let proposals = [1u64, 2, 3, 4];
+        let schedule = CrashSchedule::none(4)
+            .with_crash(
+                pid(1),
+                CrashPoint::new(
+                    Round::FIRST,
+                    CrashStage::MidData {
+                        delivered: PidSet::from_iter(4, [pid(2)]),
+                    },
+                ),
+            )
+            .with_crash(
+                pid(2),
+                CrashPoint::new(
+                    Round::new(2),
+                    CrashStage::MidData {
+                        delivered: PidSet::from_iter(4, [pid(3)]),
+                    },
+                ),
+            )
+            .with_crash(
+                pid(3),
+                CrashPoint::new(
+                    Round::new(3),
+                    CrashStage::MidData {
+                        delivered: PidSet::empty(4),
+                    },
+                ),
+            );
+        let report = run(4, 3, &schedule, &proposals);
+        let spec = check_uniform_consensus(&proposals, &report.decisions, &schedule, Some(4));
+        assert!(spec.ok(), "{spec}");
+        let d4 = report.decisions[3].as_ref().unwrap();
+        assert_eq!(d4.round, Round::new(4), "fallback at t+1");
+    }
+
+    #[test]
+    fn accessors() {
+        let p = EarlyStopping::new(pid(1), 3, 1, 5u64);
+        assert_eq!(*p.estimate(), 5);
+        assert!(!p.is_early());
+    }
+}

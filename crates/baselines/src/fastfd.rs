@@ -1,0 +1,292 @@
+//! Uniform consensus with a **fast failure detector** — a reconstruction of
+//! the approach of Aguilera, Le Lann and Toueg (DISC'02), the related work
+//! the paper singles out as the *other* way to beat the classic `f+2`
+//! bound ("these two approaches can be seen as complementary").
+//!
+//! ## Model
+//!
+//! Timed synchronous system: every message arrives within `D`; a process
+//! that crashes at time `c` is reported to every live process by the
+//! detector within `d ≪ D`.  Our kernel's oracle reports at **exactly**
+//! `c + d` to every observer, a deterministic instantiation of the
+//! `d`-timely detector under which all live processes always hold
+//! *identical* suspicion sets — the property the DISC'02 algorithm's
+//! timing analysis leans on.
+//!
+//! ## Reconstructed algorithm
+//!
+//! 1. At time 0 every process broadcasts its proposal.
+//! 2. Process `q` decides at the earliest *deadline* `D + k·d` such that
+//!    `k = |suspected(D + k·d)|` (a fixpoint: each new suspicion pushes the
+//!    deadline out by `d`), deciding the **minimum proposal received from
+//!    an unsuspected process**.
+//!
+//! Why this is uniform: if `p ∉ suspected(τ)` at a deadline `τ = D + k·d`,
+//! then `p` had not crashed by `τ - d ≥ D`, so `p`'s time-0 broadcast
+//! completed and *everyone* holds `p`'s proposal; and because the oracle
+//! delivers notices to all observers simultaneously, every process that
+//! reaches a deadline evaluates the same fixpoint over the same suspicion
+//! set, hence decides the same value at the same time.  With `f` actual
+//! crashes the fixpoint is reached at `k ≤ f`, so the decision time is at
+//! most **`D + f·d`** — the ALT'02 bound the paper compares against in its
+//! Section 2.2 discussion (decision in one `D` plus one detection latency
+//! per actual failure, vs the extended model's `(f+1)(D+d)`).
+
+use std::fmt;
+use twostep_events::{Effects, TimedProcess};
+use twostep_model::timing::Ticks;
+use twostep_model::{PidSet, ProcessId};
+
+/// One process of the fast-FD consensus.
+#[derive(Clone, Debug)]
+pub struct FastFd<V> {
+    me: ProcessId,
+    n: usize,
+    /// Message delay bound `D`.
+    big_d: Ticks,
+    /// Detection latency `d`.
+    small_d: Ticks,
+    proposal: V,
+    /// Proposals received so far (slot per process; own filled at start).
+    received: Vec<Option<V>>,
+    suspected: PidSet,
+}
+
+impl<V: Clone + Ord> FastFd<V> {
+    /// Creates process `me` of an `n`-process instance with timing
+    /// parameters `(D, d)`.
+    pub fn new(me: ProcessId, n: usize, big_d: Ticks, small_d: Ticks, proposal: V) -> Self {
+        assert!(me.idx() < n, "{me} outside a system of {n} processes");
+        assert!(
+            small_d <= big_d,
+            "the fast failure detector premise is d <= D (d << D in practice); \
+             with d > D a time-0 crash can escape detection until after the \
+             k=0 deadline and the fixpoint argument collapses"
+        );
+        FastFd {
+            me,
+            n,
+            big_d,
+            small_d,
+            proposal,
+            received: vec![None; n],
+            suspected: PidSet::empty(n),
+        }
+    }
+
+    /// The deadline for suspicion count `k`: `D + k·d`.
+    fn deadline(&self, k: usize) -> Ticks {
+        self.big_d + k as Ticks * self.small_d
+    }
+
+    fn try_decide(&mut self, at: Ticks, fx: &mut Effects<V, V>) {
+        let k = self.suspected.len();
+        if at < self.deadline(k) {
+            return; // a timer for the current deadline is (or will be) armed
+        }
+        // Fixpoint reached: decide min proposal among unsuspected senders.
+        let mut best: Option<&V> = None;
+        for pid in ProcessId::all(self.n) {
+            if self.suspected.contains(pid) {
+                continue;
+            }
+            if let Some(v) = &self.received[pid.idx()] {
+                if best.is_none_or(|b| v < b) {
+                    best = Some(v);
+                }
+            }
+        }
+        let v = best
+            .expect("an unsuspected process exists and its broadcast completed")
+            .clone();
+        fx.decide(v);
+    }
+}
+
+impl<V> TimedProcess for FastFd<V>
+where
+    V: Clone + Ord + Eq + fmt::Debug,
+{
+    type Msg = V;
+    type Output = V;
+
+    fn on_start(&mut self, fx: &mut Effects<V, V>) {
+        self.received[self.me.idx()] = Some(self.proposal.clone());
+        fx.broadcast_others(self.me, self.n, self.proposal.clone());
+        // Deadline for k = 0.
+        fx.set_timer(0, self.deadline(0));
+    }
+
+    fn on_message(&mut self, _at: Ticks, from: ProcessId, msg: V, _fx: &mut Effects<V, V>) {
+        self.received[from.idx()] = Some(msg);
+    }
+
+    fn on_suspicion(&mut self, at: Ticks, suspect: ProcessId, fx: &mut Effects<V, V>) {
+        if !self.suspected.insert(suspect) {
+            return;
+        }
+        let k = self.suspected.len();
+        let dl = self.deadline(k);
+        if dl > at {
+            fx.set_timer(k as u64, dl - at);
+        } else {
+            // Late crash: the new deadline is already past — the fixpoint
+            // holds right now (simultaneously at every live process).
+            self.try_decide(at, fx);
+        }
+    }
+
+    fn on_timer(&mut self, at: Ticks, id: u64, fx: &mut Effects<V, V>) {
+        // Stale timers (armed for an old k) fail the fixpoint test inside.
+        let _ = id;
+        self.try_decide(at, fx);
+    }
+}
+
+/// Builds the `n` instances for `proposals[i]` = proposal of `p_{i+1}`.
+pub fn fastfd_processes<V: Clone + Ord>(
+    n: usize,
+    big_d: Ticks,
+    small_d: Ticks,
+    proposals: &[V],
+) -> Vec<FastFd<V>> {
+    assert_eq!(proposals.len(), n, "one proposal per process required");
+    proposals
+        .iter()
+        .enumerate()
+        .map(|(i, v)| FastFd::new(ProcessId::from_idx(i), n, big_d, small_d, v.clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twostep_events::{DelayModel, FdSpec, TimedCrash, TimedKernel};
+
+    fn pid(r: u32) -> ProcessId {
+        ProcessId::new(r)
+    }
+
+    const D: Ticks = 1000;
+    const SMALL: Ticks = 50;
+
+    fn kernel(proposals: &[u64]) -> TimedKernel<FastFd<u64>> {
+        TimedKernel::new(
+            fastfd_processes(proposals.len(), D, SMALL, proposals),
+            DelayModel::Fixed(D),
+        )
+        .fd(FdSpec::accurate(SMALL))
+    }
+
+    #[test]
+    fn failure_free_decides_at_big_d() {
+        let proposals = [104u64, 101, 103];
+        let report = kernel(&proposals).run();
+        for d in &report.decisions {
+            let (v, t) = d.as_ref().unwrap();
+            assert_eq!(*v, 101);
+            assert_eq!(*t, D, "k = 0 fixpoint at exactly D");
+        }
+        assert_eq!(report.messages_sent, 3 * 2, "all-to-all broadcast");
+    }
+
+    #[test]
+    fn one_crash_decides_at_d_plus_d() {
+        // p_1 dies at time 0 mid-broadcast delivering only to p_2: the
+        // minimum 100 must be excluded everywhere (p_1 suspected by d),
+        // and decisions land at D + 1·d.
+        let proposals = [100u64, 200, 300];
+        let report = kernel(&proposals)
+            .crash(pid(1), TimedCrash { at: 0, keep_sends: 1 })
+            .run();
+        assert!(report.decisions[0].is_none());
+        for d in report.decisions.iter().skip(1) {
+            let (v, t) = d.as_ref().unwrap();
+            assert_eq!(*v, 200, "p_1's value excluded even where received");
+            assert_eq!(*t, D + SMALL, "D + f·d with f = 1");
+        }
+    }
+
+    #[test]
+    fn late_crash_after_complete_broadcast_keeps_value() {
+        // p_1 completes its broadcast and is scheduled to crash at 980.
+        // It actually dies on its first event at ≥ 980 (the proposals
+        // arriving at 1000), so its suspicion notices reach the survivors
+        // at 1050 — after their k=0 deadlines at 1000.  The survivors
+        // therefore decide at 1000 with p_1 unsuspected, and p_1's value
+        // is included: a *completed* broadcast's value survives its
+        // sender's crash, exactly like a completed line-4 execution locks
+        // the estimate in the paper's algorithm.
+        let proposals = [100u64, 200, 300];
+        let report = kernel(&proposals)
+            .crash(pid(1), TimedCrash { at: 980, keep_sends: 0 })
+            .run();
+        for d in report.decisions.iter().skip(1) {
+            let (v, t) = d.as_ref().unwrap();
+            assert_eq!(*v, 100, "completed broadcast's value survives");
+            assert_eq!(*t, D);
+        }
+    }
+
+    #[test]
+    fn cascade_matches_d_plus_f_d() {
+        // f crashes all at time 0: every deadline extension lands at
+        // D + f·d exactly.
+        let n = 6;
+        let proposals: Vec<u64> = (1..=n as u64).map(|i| 100 + i).collect();
+        for f in 0..=3usize {
+            let mut k = TimedKernel::new(
+                fastfd_processes(n, D, SMALL, &proposals),
+                DelayModel::Fixed(D),
+            )
+            .fd(FdSpec::accurate(SMALL));
+            for j in 1..=f {
+                k = k.crash(
+                    pid(j as u32),
+                    TimedCrash {
+                        at: 0,
+                        keep_sends: 0,
+                    },
+                );
+            }
+            let report = k.run();
+            let last = report.last_decision_time().unwrap();
+            assert_eq!(last, D + f as Ticks * SMALL, "f={f}");
+            // All survivors agree on the min unsuspected proposal.
+            let vals = report.decided_values();
+            assert_eq!(vals.len(), 1, "f={f}: {vals:?}");
+            assert_eq!(vals[0], 100 + f as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn uniform_under_partial_broadcast_and_staggered_crashes() {
+        // p_1 partial to {p_2}; p_2 dies on the messages arriving at D,
+        // so its suspicion lands at D + d — the same instant as the
+        // survivors' k=1 deadline.  Same-time ordering (suspicions before
+        // timers) makes every survivor count k=2 and push the deadline to
+        // D + 2d, excluding both dead proposals.  Survivors must agree.
+        let proposals = [1u64, 2, 3, 4];
+        let report = TimedKernel::new(
+            fastfd_processes(4, D, SMALL, &proposals),
+            DelayModel::Fixed(D),
+        )
+        .fd(FdSpec::accurate(SMALL))
+        .crash(pid(1), TimedCrash { at: 0, keep_sends: 1 })
+        .crash(
+            pid(2),
+            TimedCrash {
+                at: D,
+                keep_sends: 0,
+            },
+        )
+        .run();
+        assert!(report.decisions[0].is_none());
+        assert!(report.decisions[1].is_none(), "p_2 died at its deadline");
+        let vals = report.decided_values();
+        assert_eq!(vals.len(), 1, "uniform among deciders: {vals:?}");
+        assert_eq!(vals[0], 3, "p_1 and p_2 both suspected by the final deadline");
+        // Decisions at D + 2d.
+        assert_eq!(report.last_decision_time(), Some(D + 2 * SMALL));
+    }
+}

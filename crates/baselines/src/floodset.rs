@@ -1,0 +1,258 @@
+//! FloodSet: the classic `t+1`-round flooding consensus (Lynch, *Distributed
+//! Algorithms*, ch. 6), the paper's reference point for algorithms that
+//! consider only the resilience bound `t`.
+//!
+//! Every round, each process broadcasts the values it learned since its
+//! previous broadcast; after round `t+1` it decides the minimum of its
+//! known set.  With at most `t` crashes, some round among `1..=t+1` is
+//! crash-free, after which all live processes hold identical sets, so the
+//! (deterministic) decision rule yields uniform agreement.  The round
+//! complexity is `t+1` **regardless of `f`** — exactly what early-deciding
+//! algorithms and the paper's extended model improve on.
+//!
+//! Runs on the **classic** model (no control messages); the engine enforces
+//! that.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use twostep_model::{BitSized, ProcessId, Round};
+use twostep_sim::{Inbox, SendPlan, Step, SyncProtocol};
+
+/// One FloodSet process.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct FloodSet<V: Ord> {
+    me: ProcessId,
+    n: usize,
+    t: usize,
+    /// Everything learned so far (always contains the own proposal).
+    known: BTreeSet<V>,
+    /// Values learned since the last broadcast — the next round's payload.
+    fresh: Vec<V>,
+}
+
+impl<V: Ord + Clone> FloodSet<V> {
+    /// Creates process `me` of an `n`-process, `t`-resilient instance.
+    pub fn new(me: ProcessId, n: usize, t: usize, proposal: V) -> Self {
+        assert!(me.idx() < n, "{me} outside a system of {n} processes");
+        assert!(t < n, "resilience must leave a survivor");
+        let mut known = BTreeSet::new();
+        known.insert(proposal.clone());
+        FloodSet {
+            me,
+            n,
+            t,
+            known,
+            fresh: vec![proposal],
+        }
+    }
+
+    /// The values this process currently knows.
+    pub fn known(&self) -> &BTreeSet<V> {
+        &self.known
+    }
+
+    /// The decision round: always `t + 1`.
+    pub fn decision_round(&self) -> Round {
+        Round::new(self.t as u32 + 1)
+    }
+}
+
+impl<V> SyncProtocol for FloodSet<V>
+where
+    V: Ord + Clone + Eq + fmt::Debug + BitSized,
+{
+    type Msg = Vec<V>;
+    type Output = V;
+
+    fn send(&mut self, _round: Round) -> SendPlan<Vec<V>, V> {
+        let payload = std::mem::take(&mut self.fresh);
+        if payload.is_empty() {
+            return SendPlan::quiet();
+        }
+        let mut plan = SendPlan::quiet();
+        plan.data.reserve(self.n - 1);
+        for dst in ProcessId::all(self.n) {
+            if dst != self.me {
+                plan.data.push((dst, payload.clone()));
+            }
+        }
+        plan
+    }
+
+    fn receive(&mut self, round: Round, inbox: &Inbox<Vec<V>>) -> Step<V> {
+        for (_, values) in inbox.data() {
+            for v in values {
+                if self.known.insert(v.clone()) {
+                    self.fresh.push(v.clone());
+                }
+            }
+        }
+        if round == self.decision_round() {
+            Step::Decide(
+                self.known
+                    .iter()
+                    .next()
+                    .expect("known always holds the own proposal")
+                    .clone(),
+            )
+        } else {
+            Step::Continue
+        }
+    }
+}
+
+/// Builds the `n` instances for `proposals[i]` = proposal of `p_{i+1}`.
+pub fn floodset_processes<V: Ord + Clone>(
+    n: usize,
+    t: usize,
+    proposals: &[V],
+) -> Vec<FloodSet<V>> {
+    assert_eq!(proposals.len(), n, "one proposal per process required");
+    proposals
+        .iter()
+        .enumerate()
+        .map(|(i, v)| FloodSet::new(ProcessId::from_idx(i), n, t, v.clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twostep_model::{CrashPoint, CrashSchedule, CrashStage, PidSet, SystemConfig};
+    use twostep_sim::{check_uniform_consensus, ModelKind, Simulation};
+
+    fn pid(r: u32) -> ProcessId {
+        ProcessId::new(r)
+    }
+
+    fn run(
+        n: usize,
+        t: usize,
+        schedule: &CrashSchedule,
+        proposals: &[u64],
+    ) -> twostep_sim::RunReport<FloodSet<u64>> {
+        let config = SystemConfig::new(n, t).unwrap();
+        Simulation::new(config, ModelKind::Classic, schedule)
+            .max_rounds(t as u32 + 2)
+            .run(floodset_processes(n, t, proposals))
+            .unwrap()
+    }
+
+    #[test]
+    fn failure_free_decides_min_at_t_plus_1() {
+        let proposals = [104u64, 101, 103, 102];
+        let schedule = CrashSchedule::none(4);
+        let report = run(4, 2, &schedule, &proposals);
+        for d in &report.decisions {
+            let d = d.as_ref().unwrap();
+            assert_eq!(d.value, 101, "minimum of all proposals");
+            assert_eq!(d.round, Round::new(3), "decides at t+1 = 3 even with f=0");
+        }
+        let spec = check_uniform_consensus(&proposals, &report.decisions, &schedule, Some(3));
+        assert!(spec.ok(), "{spec}");
+    }
+
+    #[test]
+    fn hidden_minimum_chain_still_agrees() {
+        // p_1 holds the minimum and leaks it to p_2 only, then p_2 dies
+        // mid-relay reaching p_3 only — the classic chain scenario flooding
+        // is built for.  With t = 2 and 3 rounds the value still reaches
+        // everyone alive... or dies with its carriers; either way the spec
+        // holds.
+        let proposals = [1u64, 500, 600, 700];
+        let schedule = CrashSchedule::none(4)
+            .with_crash(
+                pid(1),
+                CrashPoint::new(
+                    Round::FIRST,
+                    CrashStage::MidData {
+                        delivered: PidSet::from_iter(4, [pid(2)]),
+                    },
+                ),
+            )
+            .with_crash(
+                pid(2),
+                CrashPoint::new(
+                    Round::new(2),
+                    CrashStage::MidData {
+                        delivered: PidSet::from_iter(4, [pid(3)]),
+                    },
+                ),
+            );
+        let report = run(4, 2, &schedule, &proposals);
+        // The chain p_1 → p_2 → p_3 happened; p_3 relays in round 3, so
+        // p_4 learns 1 as well: everyone decides 1.
+        for d in report.decisions.iter().skip(2) {
+            assert_eq!(d.as_ref().unwrap().value, 1);
+        }
+        let spec = check_uniform_consensus(&proposals, &report.decisions, &schedule, Some(3));
+        assert!(spec.ok(), "{spec}");
+    }
+
+    #[test]
+    fn value_dies_with_its_carriers() {
+        // Minimum leaks to p_2 only; p_2 dies before relaying: 1 is gone,
+        // survivors agree on the next minimum.  Uniformity holds because
+        // nobody ever decided 1.
+        let proposals = [1u64, 500, 600, 700];
+        let schedule = CrashSchedule::none(4)
+            .with_crash(
+                pid(1),
+                CrashPoint::new(
+                    Round::FIRST,
+                    CrashStage::MidData {
+                        delivered: PidSet::from_iter(4, [pid(2)]),
+                    },
+                ),
+            )
+            .with_crash(
+                pid(2),
+                CrashPoint::new(Round::new(2), CrashStage::BeforeSend),
+            );
+        let report = run(4, 2, &schedule, &proposals);
+        for d in report.decisions.iter().skip(2) {
+            assert_eq!(d.as_ref().unwrap().value, 500);
+        }
+        let spec = check_uniform_consensus(&proposals, &report.decisions, &schedule, Some(3));
+        assert!(spec.ok(), "{spec}");
+    }
+
+    #[test]
+    fn decide_then_die_at_final_round_is_uniform() {
+        let proposals = [5u64, 9, 7];
+        let schedule = CrashSchedule::none(3).with_crash(
+            pid(2),
+            CrashPoint::new(Round::new(2), CrashStage::EndOfRound),
+        );
+        let report = run(3, 1, &schedule, &proposals);
+        let d2 = report.decisions[1].as_ref().expect("decided at t+1 then died");
+        assert_eq!(d2.value, 5);
+        let spec = check_uniform_consensus(&proposals, &report.decisions, &schedule, Some(2));
+        assert!(spec.ok(), "{spec}");
+    }
+
+    #[test]
+    fn fresh_only_payloads_shrink_traffic() {
+        // After round 1, a process with no news stays silent: the classic
+        // "send only new values" optimization.
+        let proposals = [3u64, 3, 3];
+        let schedule = CrashSchedule::none(3);
+        let report = run(3, 1, &schedule, &proposals);
+        // Round 1: 3 processes × 2 destinations × 1 value; round 2: all
+        // sets already complete ⇒ zero messages.
+        assert_eq!(report.metrics.data_messages, 6);
+        let spec = check_uniform_consensus(&proposals, &report.decisions, &schedule, Some(2));
+        assert!(spec.ok(), "{spec}");
+    }
+
+    #[test]
+    fn t_zero_decides_immediately() {
+        let proposals = [8u64, 2];
+        let schedule = CrashSchedule::none(2);
+        let report = run(2, 0, &schedule, &proposals);
+        for d in &report.decisions {
+            assert_eq!(d.as_ref().unwrap().round, Round::FIRST);
+            assert_eq!(d.as_ref().unwrap().value, 2);
+        }
+    }
+}

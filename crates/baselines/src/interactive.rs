@@ -1,0 +1,254 @@
+//! Interactive consistency: the vector-agreement problem behind the
+//! paper's `t+1` lower-bound citation.
+//!
+//! The paper's reference \[10\] (Fischer–Lynch 1982, *A Lower Bound for the
+//! Time to Assure Interactive Consistency*) proves the `t+1`-round bound
+//! for this problem — agreement not on a single value but on a **vector**
+//! with one slot per process:
+//!
+//! * **Agreement** — all deciders obtain the same vector;
+//! * **Validity** — slot `i` holds `v_i` (the proposal of `p_{i+1}`)
+//!   whenever `p_{i+1}` is correct; a faulty process's slot holds either
+//!   its real proposal or `⊥` (here `None`), consistently for everyone.
+//!
+//! Consensus reduces to it (decide any agreed non-`⊥` slot), which is why
+//! the `t+1` bound transfers and why the paper can cite \[10\] and
+//! Aguilera–Toueg interchangeably.  The implementation floods labelled
+//! pairs `(rank, value)` for `t+1` rounds on the **classic** model — the
+//! same clean-round argument as [`FloodSet`](crate::FloodSet), lifted to
+//! vectors: some round among `1..=t+1` is crash-free, after which all
+//! live processes hold identical slot sets forever.
+
+use std::fmt;
+use twostep_model::{BitSized, ProcessId, Round};
+use twostep_sim::{Inbox, SendPlan, Step, SyncProtocol};
+
+/// One interactive-consistency process.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct InteractiveConsistency<V> {
+    me: ProcessId,
+    n: usize,
+    t: usize,
+    /// `vector[i]` = the proposal of `p_{i+1}`, once learned.
+    vector: Vec<Option<V>>,
+    /// Slots learned since the last broadcast: `(rank, value)` pairs.
+    fresh: Vec<(u32, V)>,
+}
+
+impl<V: Clone> InteractiveConsistency<V> {
+    /// Creates process `me` of an `n`-process, `t`-resilient instance.
+    pub fn new(me: ProcessId, n: usize, t: usize, proposal: V) -> Self {
+        assert!(me.idx() < n, "{me} outside a system of {n} processes");
+        assert!(t < n, "resilience must leave a survivor");
+        let mut vector = vec![None; n];
+        vector[me.idx()] = Some(proposal.clone());
+        InteractiveConsistency {
+            me,
+            n,
+            t,
+            vector,
+            fresh: vec![(me.rank(), proposal)],
+        }
+    }
+
+    /// The slots this process has filled so far.
+    pub fn vector(&self) -> &[Option<V>] {
+        &self.vector
+    }
+
+    /// The decision round: always `t + 1` (the \[10\] lower bound is tight).
+    pub fn decision_round(&self) -> Round {
+        Round::new(self.t as u32 + 1)
+    }
+
+    /// How many slots are still unknown.
+    pub fn missing_slots(&self) -> usize {
+        self.vector.iter().filter(|s| s.is_none()).count()
+    }
+}
+
+impl<V> SyncProtocol for InteractiveConsistency<V>
+where
+    V: Clone + Eq + fmt::Debug + BitSized + std::hash::Hash,
+{
+    type Msg = Vec<(u32, V)>;
+    type Output = Vec<Option<V>>;
+
+    fn send(&mut self, _round: Round) -> SendPlan<Self::Msg, Self::Output> {
+        let payload = std::mem::take(&mut self.fresh);
+        if payload.is_empty() {
+            return SendPlan::quiet();
+        }
+        let mut plan = SendPlan::quiet();
+        plan.data.reserve(self.n - 1);
+        for dst in ProcessId::all(self.n) {
+            if dst != self.me {
+                plan.data.push((dst, payload.clone()));
+            }
+        }
+        plan
+    }
+
+    fn receive(&mut self, round: Round, inbox: &Inbox<Self::Msg>) -> Step<Self::Output> {
+        for (_, pairs) in inbox.data() {
+            for (rank, value) in pairs {
+                let slot = &mut self.vector[ProcessId::new(*rank).idx()];
+                if slot.is_none() {
+                    *slot = Some(value.clone());
+                    self.fresh.push((*rank, value.clone()));
+                }
+            }
+        }
+        if round == self.decision_round() {
+            Step::Decide(self.vector.clone())
+        } else {
+            Step::Continue
+        }
+    }
+}
+
+/// Builds the `n` instances for `proposals[i]` = proposal of `p_{i+1}`.
+pub fn interactive_processes<V: Clone>(
+    n: usize,
+    t: usize,
+    proposals: &[V],
+) -> Vec<InteractiveConsistency<V>> {
+    assert_eq!(proposals.len(), n, "one proposal per process required");
+    proposals
+        .iter()
+        .enumerate()
+        .map(|(i, v)| InteractiveConsistency::new(ProcessId::from_idx(i), n, t, v.clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twostep_model::{CrashPoint, CrashSchedule, CrashStage, PidSet, SystemConfig};
+    use twostep_sim::{ModelKind, Simulation};
+
+    fn pid(r: u32) -> ProcessId {
+        ProcessId::new(r)
+    }
+
+    fn run(
+        n: usize,
+        t: usize,
+        schedule: &CrashSchedule,
+        proposals: &[u64],
+    ) -> twostep_sim::RunReport<InteractiveConsistency<u64>> {
+        let config = SystemConfig::new(n, t).unwrap();
+        Simulation::new(config, ModelKind::Classic, schedule)
+            .max_rounds(t as u32 + 2)
+            .run(interactive_processes(n, t, proposals))
+            .unwrap()
+    }
+
+    /// All decided vectors must be identical; returns the agreed vector.
+    fn agreed_vector(
+        report: &twostep_sim::RunReport<InteractiveConsistency<u64>>,
+    ) -> Vec<Option<u64>> {
+        let mut decided = report
+            .decisions
+            .iter()
+            .flatten()
+            .map(|d| d.value.clone());
+        let first = decided.next().expect("someone decides");
+        for v in decided {
+            assert_eq!(v, first, "vector agreement violated");
+        }
+        first
+    }
+
+    #[test]
+    fn failure_free_vector_is_complete_and_exact() {
+        let proposals = [11u64, 22, 33, 44];
+        let schedule = CrashSchedule::none(4);
+        let report = run(4, 2, &schedule, &proposals);
+        let vector = agreed_vector(&report);
+        assert_eq!(
+            vector,
+            proposals.iter().map(|v| Some(*v)).collect::<Vec<_>>()
+        );
+        for d in report.decisions.iter().flatten() {
+            assert_eq!(d.round, Round::new(3), "decides at t+1");
+        }
+    }
+
+    #[test]
+    fn correct_processes_slots_are_never_bot() {
+        // p_1 whispers its value to p_2 and dies; p_2 dies before the
+        // relay lands everywhere.  Slot 1 may be ⊥ or 11 — but slots of
+        // correct processes must hold their true proposals.
+        let proposals = [11u64, 22, 33, 44];
+        let schedule = CrashSchedule::none(4)
+            .with_crash(
+                pid(1),
+                CrashPoint::new(
+                    Round::FIRST,
+                    CrashStage::MidData {
+                        delivered: PidSet::from_iter(4, [pid(2)]),
+                    },
+                ),
+            )
+            .with_crash(
+                pid(2),
+                CrashPoint::new(Round::new(2), CrashStage::BeforeSend),
+            );
+        let report = run(4, 2, &schedule, &proposals);
+        let vector = agreed_vector(&report);
+        assert_eq!(vector[2], Some(33));
+        assert_eq!(vector[3], Some(44));
+        // p_2 broadcast fully in round 1 before its round-2 crash.
+        assert_eq!(vector[1], Some(22));
+        // p_1's value died with its only carrier.
+        assert_eq!(vector[0], None);
+    }
+
+    #[test]
+    fn faulty_slot_is_consistent_even_when_filled() {
+        // p_1 reaches everyone in round 1, then dies: slot 1 is filled
+        // identically for all deciders.
+        let proposals = [7u64, 8, 9];
+        let schedule = CrashSchedule::none(3).with_crash(
+            pid(1),
+            CrashPoint::new(Round::FIRST, CrashStage::EndOfRound),
+        );
+        let report = run(3, 1, &schedule, &proposals);
+        let vector = agreed_vector(&report);
+        assert_eq!(vector, vec![Some(7), Some(8), Some(9)]);
+    }
+
+    #[test]
+    fn consensus_reduces_to_interactive_consistency() {
+        // Decide the minimum over agreed non-⊥ slots: a valid uniform
+        // consensus (the reduction the lower-bound transfer uses).
+        let proposals = [40u64, 10, 30];
+        let schedule = CrashSchedule::none(3);
+        let report = run(3, 1, &schedule, &proposals);
+        let vector = agreed_vector(&report);
+        let decided = vector.iter().flatten().min().copied().unwrap();
+        assert_eq!(decided, 10);
+        assert!(proposals.contains(&decided), "validity via the reduction");
+    }
+
+    #[test]
+    fn t_zero_is_a_single_exchange() {
+        let proposals = [5u64, 6];
+        let schedule = CrashSchedule::none(2);
+        let report = run(2, 0, &schedule, &proposals);
+        let vector = agreed_vector(&report);
+        assert_eq!(vector, vec![Some(5), Some(6)]);
+        for d in report.decisions.iter().flatten() {
+            assert_eq!(d.round, Round::FIRST);
+        }
+    }
+
+    #[test]
+    fn missing_slots_counts_down_as_rounds_progress() {
+        let ic = InteractiveConsistency::new(pid(1), 5, 2, 9u64);
+        assert_eq!(ic.missing_slots(), 4);
+        assert_eq!(ic.vector()[0], Some(9));
+        assert_eq!(ic.decision_round(), Round::new(3));
+    }
+}

@@ -1,0 +1,38 @@
+//! # twostep-baselines — every comparator the paper measures against
+//!
+//! The paper's claims are relative: `f+1` extended rounds must be compared
+//! with what the classic synchronous model and the fast-failure-detector
+//! model can do.  This crate implements those comparators from scratch:
+//!
+//! | baseline | model | property | rounds / time | module |
+//! |---|---|---|---|---|
+//! | [`FloodSet`] | classic synchronous | uniform | `t+1` rounds, regardless of `f` | [`floodset`] |
+//! | [`EarlyStopping`] | classic synchronous | uniform | `min(f+2, t+1)` rounds | [`earlystop`] |
+//! | [`NonUniformEarly`] | classic synchronous | **plain** (non-uniform) | decide by `f+1`, halt at `t+1` | [`earlydecide`] |
+//! | [`FastFd`] | timed synchronous + fast FD | uniform | `D + f·d` | [`fastfd`] |
+//! | [`InteractiveConsistency`] | classic synchronous | vector agreement | `t+1` rounds (the exact problem of the paper's `t+1` citation \[10\]) | [`interactive`] |
+//!
+//! The non-uniform row is what makes the paper's cell interesting: `f+1`
+//! was already achievable classically — but only by giving up uniformity
+//! (Charron-Bost–Schiper).  The round-based baselines run on the
+//! `twostep-sim` engine under [`ModelKind::Classic`] (the engine rejects
+//! any attempt to use the extended model's control step); the timed one
+//! runs on the `twostep-events` kernel with the exact-latency fast-FD
+//! oracle.
+//!
+//! [`ModelKind::Classic`]: twostep_sim::ModelKind::Classic
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod earlydecide;
+pub mod earlystop;
+pub mod fastfd;
+pub mod floodset;
+pub mod interactive;
+
+pub use earlydecide::{nonuniform_processes, NonUniformEarly};
+pub use earlystop::{earlystop_processes, EarlyStopping};
+pub use fastfd::{fastfd_processes, FastFd};
+pub use floodset::{floodset_processes, FloodSet};
+pub use interactive::{interactive_processes, InteractiveConsistency};

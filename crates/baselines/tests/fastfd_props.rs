@@ -1,0 +1,82 @@
+//! Property tests for the fast-FD consensus reconstruction: uniform
+//! agreement and the `D + f·d` decision-time shape under randomized crash
+//! patterns (times, partial-broadcast cuts, victim sets).
+
+use proptest::prelude::*;
+use twostep_baselines::fastfd_processes;
+use twostep_events::{DelayModel, FdSpec, TimedCrash, TimedKernel};
+use twostep_model::ProcessId;
+
+const D: u64 = 1000;
+const SMALL: u64 = 40;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn uniform_agreement_under_random_crashes(
+        n in 3usize..=9,
+        crashes in prop::collection::vec(
+            (1u32..=9, 0u64..=3000, 0usize..=9),
+            0..3,
+        ),
+    ) {
+        let proposals: Vec<u64> = (0..n as u64).map(|i| 100 + i).collect();
+        let mut kernel = TimedKernel::new(
+            fastfd_processes(n, D, SMALL, &proposals),
+            DelayModel::Fixed(D),
+        )
+        .fd(FdSpec::accurate(SMALL));
+        let mut victims = Vec::new();
+        for (rank, at, keep) in &crashes {
+            let rank = (*rank % n as u32) + 1;
+            if victims.contains(&rank) || victims.len() >= n - 1 {
+                continue;
+            }
+            victims.push(rank);
+            kernel = kernel.crash(
+                ProcessId::new(rank),
+                TimedCrash {
+                    at: *at,
+                    keep_sends: *keep,
+                },
+            );
+        }
+        let report = kernel.horizon(100_000).run();
+        prop_assert!(!report.hit_horizon);
+        // Uniform agreement across all deciders.
+        let vals = report.decided_values();
+        prop_assert!(vals.len() <= 1, "{:?}", vals);
+        // Every survivor decides, and decisions respect D + f·d with the
+        // actual number of *suspected-before-decision* crashes bounded by
+        // the victim count.
+        let f = victims.len() as u64;
+        if let Some(t_last) = report.last_decision_time() {
+            prop_assert!(t_last <= D + f * SMALL, "last={} bound={}", t_last, D + f * SMALL);
+            prop_assert!(t_last >= D);
+        }
+        // Validity: the decided value is one of the proposals.
+        if let Some(v) = vals.first() {
+            prop_assert!(proposals.contains(v));
+        }
+    }
+
+    #[test]
+    fn failure_free_always_decides_min_at_d(n in 2usize..=12, seed in any::<u64>()) {
+        let proposals: Vec<u64> = (0..n as u64)
+            .map(|i| seed.wrapping_add(i * 2654435761) % 10_000)
+            .collect();
+        let report = TimedKernel::new(
+            fastfd_processes(n, D, SMALL, &proposals),
+            DelayModel::Fixed(D),
+        )
+        .fd(FdSpec::accurate(SMALL))
+        .run();
+        let min = *proposals.iter().min().unwrap();
+        for d in report.decisions.iter() {
+            let (v, t) = d.as_ref().unwrap();
+            prop_assert_eq!(*v, min);
+            prop_assert_eq!(*t, D);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Algorithm comparison benches: one complete consensus instance per
+//! iteration, same workload across every algorithm in the workspace
+//! (the wall-clock companion to experiment tables E1/E2/E7).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use twostep_adversary::silent_cascade;
+use twostep_asynch::mr99_processes;
+use twostep_baselines::{earlystop_processes, fastfd_processes, floodset_processes};
+use twostep_core::run_crw;
+use twostep_events::{DelayModel, FdSpec, TimedKernel};
+use twostep_model::{CrashSchedule, SystemConfig};
+use twostep_sim::{ModelKind, Simulation, TraceLevel};
+
+const N: usize = 32;
+
+fn proposals() -> Vec<u64> {
+    (0..N as u64).map(|i| 1000 + i).collect()
+}
+
+fn bench_failure_free(c: &mut Criterion) {
+    let config = SystemConfig::max_resilience(N).unwrap();
+    let t = config.t();
+    let schedule = CrashSchedule::none(N);
+    let props = proposals();
+
+    let mut group = c.benchmark_group("algorithms_failure_free_n32");
+    group.bench_function("crw_extended", |b| {
+        b.iter(|| run_crw(&config, &schedule, &props, TraceLevel::Off).unwrap())
+    });
+    group.bench_function("earlystop_classic", |b| {
+        b.iter(|| {
+            Simulation::new(config, ModelKind::Classic, &schedule)
+                .max_rounds(t as u32 + 2)
+                .run(earlystop_processes(N, t, &props))
+                .unwrap()
+        })
+    });
+    group.bench_function("floodset_classic", |b| {
+        b.iter(|| {
+            Simulation::new(config, ModelKind::Classic, &schedule)
+                .max_rounds(t as u32 + 2)
+                .run(floodset_processes(N, t, &props))
+                .unwrap()
+        })
+    });
+    group.bench_function("fastfd_timed", |b| {
+        b.iter(|| {
+            TimedKernel::new(
+                fastfd_processes(N, 1000, 50, &props),
+                DelayModel::Fixed(1000),
+            )
+            .fd(FdSpec::accurate(50))
+            .run()
+        })
+    });
+    group.bench_function("mr99_async", |b| {
+        let t_mr = N.div_ceil(2) - 1;
+        b.iter(|| {
+            TimedKernel::new(mr99_processes(N, t_mr, &props), DelayModel::Fixed(100))
+                .fd(FdSpec::accurate(10))
+                .run()
+        })
+    });
+    group.finish();
+}
+
+fn bench_with_crashes(c: &mut Criterion) {
+    let config = SystemConfig::max_resilience(N).unwrap();
+    let t = config.t();
+    let f = 4;
+    let schedule = silent_cascade(N, f);
+    let props = proposals();
+
+    let mut group = c.benchmark_group("algorithms_f4_cascade_n32");
+    group.bench_function("crw_extended", |b| {
+        b.iter(|| run_crw(&config, &schedule, &props, TraceLevel::Off).unwrap())
+    });
+    group.bench_function("earlystop_classic", |b| {
+        b.iter(|| {
+            Simulation::new(config, ModelKind::Classic, &schedule)
+                .max_rounds(t as u32 + 2)
+                .run(earlystop_processes(N, t, &props))
+                .unwrap()
+        })
+    });
+    group.bench_function("floodset_classic", |b| {
+        b.iter(|| {
+            Simulation::new(config, ModelKind::Classic, &schedule)
+                .max_rounds(t as u32 + 2)
+                .run(floodset_processes(N, t, &props))
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_failure_free, bench_with_crashes);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Engine throughput: complete CRW consensus runs per second on the
+//! deterministic simulator, failure-free and under the worst-case
+//! coordinator cascade (E8 substrate evidence).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use twostep_adversary::data_heavy_cascade;
+use twostep_core::run_crw;
+use twostep_model::{CrashSchedule, SystemConfig};
+use twostep_sim::TraceLevel;
+
+fn proposals(n: usize) -> Vec<u64> {
+    (0..n as u64).map(|i| 1000 + i).collect()
+}
+
+fn bench_failure_free(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crw_failure_free");
+    for n in [8usize, 32, 128, 512] {
+        let config = SystemConfig::max_resilience(n).unwrap();
+        let schedule = CrashSchedule::none(n);
+        let props = proposals(n);
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| run_crw(&config, &schedule, &props, TraceLevel::Off).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_worst_case(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crw_worst_case_cascade");
+    for n in [8usize, 32, 128] {
+        let config = SystemConfig::max_resilience(n).unwrap();
+        let f = n / 2;
+        let schedule = data_heavy_cascade(n, f);
+        let props = proposals(n);
+        // Work per run grows with f: report round-throughput.
+        group.throughput(Throughput::Elements(f as u64 + 1));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| run_crw(&config, &schedule, &props, TraceLevel::Off).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    // How much does full tracing cost?  (Justifies TraceLevel::Off on the
+    // hot path.)
+    let n = 32;
+    let config = SystemConfig::max_resilience(n).unwrap();
+    let schedule = data_heavy_cascade(n, 8);
+    let props = proposals(n);
+    let mut group = c.benchmark_group("trace_overhead_n32_f8");
+    group.bench_function("off", |b| {
+        b.iter(|| run_crw(&config, &schedule, &props, TraceLevel::Off).unwrap())
+    });
+    group.bench_function("decisions", |b| {
+        b.iter(|| run_crw(&config, &schedule, &props, TraceLevel::DecisionsOnly).unwrap())
+    });
+    group.bench_function("full", |b| {
+        b.iter(|| run_crw(&config, &schedule, &props, TraceLevel::Full).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_failure_free, bench_worst_case, bench_trace_overhead);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Model-checker benches: full execution-space exploration cost for the
+//! E5 lower-bound systems (E8 substrate evidence).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use twostep_core::crw_processes;
+use twostep_model::{SystemConfig, WideValue};
+use twostep_modelcheck::{explore, ExploreConfig};
+
+fn binary_proposals(n: usize) -> Vec<WideValue> {
+    (0..n).map(|i| WideValue::new(1, (i % 2) as u64)).collect()
+}
+
+fn bench_exhaustive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("modelcheck_crw_exhaustive");
+    group.sample_size(10);
+    for (n, t) in [(3usize, 2usize), (4, 2), (4, 3)] {
+        let system = SystemConfig::new(n, t).unwrap();
+        let proposals = binary_proposals(n);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_t{t}")),
+            &(n, t),
+            |b, _| {
+                b.iter(|| {
+                    explore(
+                        system,
+                        ExploreConfig::for_crw(&system),
+                        crw_processes(&system, &proposals),
+                        proposals.clone(),
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exhaustive);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Threaded-runtime benches: cost of real threads + channels + phase
+//! barriers per consensus instance, vs the deterministic simulator on the
+//! identical workload (E8: what the lockstep abstraction costs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use twostep_adversary::silent_cascade;
+use twostep_core::{crw_processes, run_crw};
+use twostep_model::{CrashSchedule, SystemConfig};
+use twostep_runtime::ThreadedRuntime;
+use twostep_sim::TraceLevel;
+
+fn proposals(n: usize) -> Vec<u64> {
+    (0..n as u64).map(|i| 1000 + i).collect()
+}
+
+fn bench_threads_vs_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_vs_sim_failure_free");
+    group.sample_size(20);
+    for n in [4usize, 8, 16] {
+        let config = SystemConfig::max_resilience(n).unwrap();
+        let schedule = CrashSchedule::none(n);
+        let props = proposals(n);
+        group.bench_with_input(BenchmarkId::new("threads", n), &n, |b, _| {
+            b.iter(|| {
+                ThreadedRuntime::new(config, &schedule)
+                    .run(crw_processes(&config, &props))
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("simulator", n), &n, |b, _| {
+            b.iter(|| run_crw(&config, &schedule, &props, TraceLevel::Off).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_threads_under_crashes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_cascade_f4");
+    group.sample_size(20);
+    let n = 12;
+    let config = SystemConfig::max_resilience(n).unwrap();
+    let schedule = silent_cascade(n, 4);
+    let props = proposals(n);
+    group.bench_function("threads", |b| {
+        b.iter(|| {
+            ThreadedRuntime::new(config, &schedule)
+                .run(crw_processes(&config, &props))
+                .unwrap()
+        })
+    });
+    group.bench_function("simulator", |b| {
+        b.iter(|| run_crw(&config, &schedule, &props, TraceLevel::Off).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_threads_vs_sim, bench_threads_under_crashes);
+criterion_main!(benches);

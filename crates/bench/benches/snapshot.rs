@@ -1,0 +1,109 @@
+//! Snapshot-layer benches (related-work system, experiment E9): full
+//! Chandy–Lamport rounds on the bank workload across cluster sizes, the
+//! FIFO-clamp overhead, and the CT96-vs-MR99 asynchronous family cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use twostep_asynch::{ct_processes, mr99_processes};
+use twostep_events::{DelayModel, FdSpec, TimedKernel};
+use twostep_model::ProcessId;
+use twostep_snapshot::{collect, run_snapshot, verify_flow, BankApp, SnapshotSetup};
+
+fn setup() -> SnapshotSetup {
+    SnapshotSetup {
+        initiators: vec![ProcessId::new(1)],
+        initiate_at: 500,
+        repeat: None,
+        horizon: 500_000,
+        fifo: true,
+    }
+}
+
+/// One complete snapshotted bank run: workload + markers + cut assembly
+/// + flow verification, per iteration.
+fn bench_snapshot_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot_bank_full_run");
+    for n in [4usize, 8, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let run = run_snapshot(
+                    BankApp::cluster(n, 1_000, 0xBEEF),
+                    DelayModel::Fixed(20),
+                    setup(),
+                );
+                let snap = collect(&run.wrappers).unwrap();
+                verify_flow(&snap, &run.wrappers).unwrap();
+                snap.in_transit_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The kernel-side cost of the per-channel FIFO clamp, isolated on the
+/// same workload (fixed delays, where the clamp never fires).
+fn bench_fifo_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot_fifo_clamp_overhead");
+    for fifo in [false, true] {
+        let label = if fifo { "fifo_on" } else { "fifo_off" };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let run = run_snapshot(
+                    BankApp::cluster(12, 1_000, 0xBEEF),
+                    DelayModel::Fixed(20),
+                    SnapshotSetup {
+                        fifo,
+                        ..setup()
+                    },
+                );
+                run.report.messages_sent
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The asynchronous ◇S family under one silent coordinator crash:
+/// CT96's coordinator-centric phases vs MR99's all-to-all echoes.
+fn bench_async_family(c: &mut Criterion) {
+    let n = 16;
+    let t = n / 2 - 1;
+    let props: Vec<u64> = (0..n as u64).map(|i| 1000 + i).collect();
+    let mut group = c.benchmark_group("async_family_one_crash_n16");
+    group.bench_function("ct96", |b| {
+        b.iter(|| {
+            TimedKernel::new(ct_processes(n, t, &props), DelayModel::Fixed(100))
+                .fd(FdSpec::accurate(10))
+                .crash(
+                    ProcessId::new(1),
+                    twostep_events::TimedCrash {
+                        at: 0,
+                        keep_sends: 0,
+                    },
+                )
+                .run()
+        })
+    });
+    group.bench_function("mr99", |b| {
+        b.iter(|| {
+            TimedKernel::new(mr99_processes(n, t, &props), DelayModel::Fixed(100))
+                .fd(FdSpec::accurate(10))
+                .crash(
+                    ProcessId::new(1),
+                    twostep_events::TimedCrash {
+                        at: 0,
+                        keep_sends: 0,
+                    },
+                )
+                .run()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_snapshot_sizes,
+    bench_fifo_overhead,
+    bench_async_family
+);
+criterion_main!(benches);

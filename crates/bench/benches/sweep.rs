@@ -1,0 +1,48 @@
+//! Parallel sweep scaling: how the `par_map` executor spreads a batch of
+//! independent simulations over worker threads (E8 scaling evidence).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use twostep_adversary::{random_schedule, RandomScheduleSpec};
+use twostep_core::run_crw;
+use twostep_model::SystemConfig;
+use twostep_sim::{default_threads, par_map, TraceLevel};
+
+fn bench_sweep_scaling(c: &mut Criterion) {
+    let n = 16;
+    let config = SystemConfig::max_resilience(n).unwrap();
+    let props: Vec<u64> = (0..n as u64).map(|i| 1000 + i).collect();
+    let seeds: Vec<u64> = (0..512).collect();
+
+    let mut group = c.benchmark_group("sweep_512_runs_n16");
+    group.throughput(Throughput::Elements(seeds.len() as u64));
+    let max_threads = default_threads();
+    let mut candidates = vec![1usize, 2, 4, 8];
+    candidates.retain(|&t| t <= max_threads.max(1));
+    if !candidates.contains(&max_threads) {
+        candidates.push(max_threads);
+    }
+    for threads in candidates {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    par_map(&seeds, threads, |_, seed| {
+                        let sched = random_schedule(
+                            &config,
+                            RandomScheduleSpec::uniform(&config),
+                            *seed,
+                        );
+                        let report =
+                            run_crw(&config, &sched, &props, TraceLevel::Off).unwrap();
+                        report.last_decision_round().map_or(0, |r| r.get())
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_scaling);
+criterion_main!(benches);

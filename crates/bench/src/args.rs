@@ -1,0 +1,122 @@
+//! Tiny `key=value` argument parsing for the `repro` binary — enough to
+//! override experiment parameters without pulling in a CLI framework.
+//!
+//! ```text
+//! repro e1-rounds n=32 seeds=5000
+//! repro fig1-trace n=6 schedule="p1@r1:mid-control/2"
+//! ```
+
+use std::collections::BTreeMap;
+
+/// Parsed `key=value` overrides (keys are case-sensitive).
+#[derive(Clone, Debug, Default)]
+pub struct Overrides {
+    map: BTreeMap<String, String>,
+}
+
+impl Overrides {
+    /// Parses every `key=value` token; other tokens are ignored.
+    pub fn from_args(args: &[String]) -> Self {
+        let mut map = BTreeMap::new();
+        for a in args {
+            if let Some((k, v)) = a.split_once('=') {
+                map.insert(k.trim().to_string(), v.trim().to_string());
+            }
+        }
+        Overrides { map }
+    }
+
+    /// Raw string lookup.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.map.get(key).map(String::as_str)
+    }
+
+    /// `usize` lookup with a default; panics with a clear message on a
+    /// malformed value (CLI surface — fail loudly).
+    pub fn usize_or(&self, key: &str, default: usize) -> usize {
+        match self.get(key) {
+            None => default,
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| panic!("expected an integer for {key}=, got '{v}'")),
+        }
+    }
+
+    /// `u64` lookup with a default.
+    pub fn u64_or(&self, key: &str, default: u64) -> u64 {
+        match self.get(key) {
+            None => default,
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| panic!("expected an integer for {key}=, got '{v}'")),
+        }
+    }
+
+    /// Comma-separated `usize` list with a default.
+    pub fn usize_list_or(&self, key: &str, default: &[usize]) -> Vec<usize> {
+        match self.get(key) {
+            None => default.to_vec(),
+            Some(v) => v
+                .split(',')
+                .map(|p| {
+                    p.trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad list entry '{p}' for {key}="))
+                })
+                .collect(),
+        }
+    }
+
+    /// Comma-separated `u64` list with a default.
+    pub fn u64_list_or(&self, key: &str, default: &[u64]) -> Vec<u64> {
+        match self.get(key) {
+            None => default.to_vec(),
+            Some(v) => v
+                .split(',')
+                .map(|p| {
+                    p.trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad list entry '{p}' for {key}="))
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ov(args: &[&str]) -> Overrides {
+        Overrides::from_args(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_key_values_and_ignores_rest() {
+        let o = ov(&["e1-rounds", "n=32", "--csv", "seeds=5000"]);
+        assert_eq!(o.get("n"), Some("32"));
+        assert_eq!(o.usize_or("n", 8), 32);
+        assert_eq!(o.u64_or("seeds", 10), 5000);
+        assert_eq!(o.usize_or("missing", 7), 7);
+    }
+
+    #[test]
+    fn lists() {
+        let o = ov(&["sizes=4, 8,16"]);
+        assert_eq!(o.usize_list_or("sizes", &[1]), vec![4, 8, 16]);
+        assert_eq!(o.u64_list_or("ds", &[5]), vec![5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected an integer")]
+    fn malformed_integer_panics() {
+        let o = ov(&["n=banana"]);
+        let _ = o.usize_or("n", 1);
+    }
+
+    #[test]
+    fn schedule_strings_pass_through() {
+        let o = ov(&["schedule=p1@r1:mid-control/2"]);
+        assert_eq!(o.get("schedule"), Some("p1@r1:mid-control/2"));
+    }
+}

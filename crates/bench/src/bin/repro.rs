@@ -1,0 +1,198 @@
+//! `repro` — regenerate every table/figure-level claim of the paper.
+//!
+//! ```text
+//! repro [--csv] <experiment> [key=value ...]
+//!
+//! experiments:
+//!   e1-rounds               Theorem 1: decision rounds vs f
+//!                             (n=16 max_f=8 seeds=1000 threads=auto)
+//!   e2-bestcase             §3.2: failure-free runs (sizes=4,8,…,256)
+//!   e3-bits                 Theorem 2: bit/message complexity
+//!                             (sizes=8,16,32,64 widths=8,64,512)
+//!   e4-cost                 §2.2: timed cost model + crossover
+//!                             (n=9 D=1000 ds=1,10,…)
+//!   e5-lowerbound           Theorems 3–5: exhaustive lower bound + bivalency
+//!   e6-equivalence          §2.2: extended-on-classic simulation
+//!                             (sizes=3,…,8 seeds=500)
+//!   e7-bridge               §4: CRW vs MR99 (n=9 delay=100 fd=10)
+//!   e8-scaling              sweep-executor speedup vs threads
+//!                             (n=16 batch=2048 threads=1,2,4,8 reps=3)
+//!   e9-snapshot             §1 related work: Chandy-Lamport snapshots
+//!                             (sizes=3,…,16 initial=1000 seeds=20)
+//!   fig1-trace              Figure 1: annotated execution trace
+//!                             (n=5 prefix=2 | schedule="p1@r1:mid-control/2")
+//!   ablation-commit-order   line 5 reconstruction ablation (n=4 t=2)
+//!   all                     everything above, default parameters
+//! ```
+
+use twostep_bench::{exp, Overrides, Table};
+
+fn emit(table: &Table, csv: bool) {
+    if csv {
+        println!("{}", table.render_csv());
+    } else {
+        println!("{}", table.render());
+    }
+}
+
+fn run(cmd: &str, csv: bool, ov: &Overrides) -> bool {
+    match cmd {
+        "e1-rounds" => {
+            let d = exp::e1::E1Params::default();
+            emit(
+                &exp::e1::table(exp::e1::E1Params {
+                    n: ov.usize_or("n", d.n),
+                    max_f: ov.usize_or("max_f", d.max_f),
+                    seeds: ov.u64_or("seeds", d.seeds),
+                    threads: ov.usize_or("threads", d.threads),
+                }),
+                csv,
+            );
+        }
+        "e2-bestcase" => {
+            let d = exp::e2::E2Params::default();
+            emit(
+                &exp::e2::table(exp::e2::E2Params {
+                    sizes: ov.usize_list_or("sizes", &d.sizes),
+                }),
+                csv,
+            );
+        }
+        "e3-bits" => {
+            let d = exp::e3::E3Params::default();
+            emit(
+                &exp::e3::table(exp::e3::E3Params {
+                    sizes: ov.usize_list_or("sizes", &d.sizes),
+                    widths: ov
+                        .u64_list_or("widths", &d.widths.iter().map(|w| *w as u64).collect::<Vec<_>>())
+                        .into_iter()
+                        .map(|w| w as u32)
+                        .collect(),
+                }),
+                csv,
+            );
+        }
+        "e4-cost" => {
+            let d = exp::e4::E4Params::default();
+            emit(
+                &exp::e4::table(exp::e4::E4Params {
+                    n: ov.usize_or("n", d.n),
+                    big_d: ov.u64_or("D", d.big_d),
+                    small_ds: ov.u64_list_or("ds", &d.small_ds),
+                    fs: ov.usize_list_or("fs", &d.fs),
+                }),
+                csv,
+            );
+        }
+        "e5-lowerbound" => {
+            for t in exp::e5::tables(exp::e5::E5Params::default()) {
+                emit(&t, csv);
+            }
+        }
+        "e6-equivalence" => {
+            let d = exp::e6::E6Params::default();
+            emit(
+                &exp::e6::table(exp::e6::E6Params {
+                    sizes: ov.usize_list_or("sizes", &d.sizes),
+                    seeds: ov.u64_or("seeds", d.seeds),
+                    threads: ov.usize_or("threads", d.threads),
+                }),
+                csv,
+            );
+        }
+        "e7-bridge" => {
+            let d = exp::e7::E7Params::default();
+            emit(
+                &exp::e7::table(exp::e7::E7Params {
+                    n: ov.usize_or("n", d.n),
+                    delay: ov.u64_or("delay", d.delay),
+                    fd_latency: ov.u64_or("fd", d.fd_latency),
+                }),
+                csv,
+            );
+        }
+        "e8-scaling" => {
+            let d = exp::e8::E8Params::default();
+            emit(
+                &exp::e8::table(exp::e8::E8Params {
+                    n: ov.usize_or("n", d.n),
+                    batch: ov.u64_or("batch", d.batch),
+                    threads: ov.usize_list_or("threads", &d.threads),
+                    reps: ov.usize_or("reps", d.reps as usize) as u32,
+                }),
+                csv,
+            );
+        }
+        "e9-snapshot" => {
+            let d = exp::e9::E9Params::default();
+            for t in exp::e9::tables(exp::e9::E9Params {
+                sizes: ov.usize_list_or("sizes", &d.sizes),
+                initial: ov.u64_or("initial", d.initial),
+                seeds: ov.u64_or("seeds", d.seeds),
+            }) {
+                emit(&t, csv);
+            }
+        }
+        "fig1-trace" => {
+            let n = ov.usize_or("n", 5);
+            match ov.get("schedule") {
+                Some(text) => match twostep_model::parse_schedule(n, text) {
+                    Ok(schedule) => println!("{}", exp::fig1::render_with(n, &schedule)),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return false;
+                    }
+                },
+                None => println!("{}", exp::fig1::render(n, ov.usize_or("prefix", 2))),
+            }
+        }
+        "ablation-commit-order" => emit(
+            &exp::ablation::table(ov.usize_or("n", 4), ov.usize_or("t", 2)),
+            csv,
+        ),
+        "all" => {
+            for c in [
+                "e1-rounds",
+                "e2-bestcase",
+                "e3-bits",
+                "e4-cost",
+                "e5-lowerbound",
+                "e6-equivalence",
+                "e7-bridge",
+                "e8-scaling",
+                "e9-snapshot",
+                "fig1-trace",
+                "ablation-commit-order",
+            ] {
+                if !run(c, csv, ov) {
+                    return false;
+                }
+            }
+        }
+        _ => return false,
+    }
+    true
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    let cmd = args
+        .iter()
+        .find(|a| !a.starts_with("--") && !a.contains('='))
+        .cloned();
+    let overrides = Overrides::from_args(&args);
+
+    let Some(cmd) = cmd else {
+        eprintln!("usage: repro [--csv] <experiment> [key=value ...]   (try: repro all)");
+        eprintln!("experiments: e1-rounds e2-bestcase e3-bits e4-cost e5-lowerbound");
+        eprintln!("             e6-equivalence e7-bridge e8-scaling e9-snapshot");
+        eprintln!("             fig1-trace ablation-commit-order all");
+        std::process::exit(2);
+    };
+
+    if !run(&cmd, csv, &overrides) {
+        eprintln!("unknown experiment or bad arguments: {cmd}");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,116 @@
+//! **E2 — the best case (§3.2):** failure-free runs.  The paper's
+//! algorithm decides in **one** round for every `n`, where uniform
+//! early-stopping needs two classic rounds and FloodSet needs `t+1`.
+//! Message counts expose the coordinator-vs-flooding asymmetry:
+//! `2(n-1)` one-way transmissions vs `Θ(n²)`.
+
+use crate::cells;
+use crate::table::Table;
+use twostep_baselines::{earlystop_processes, floodset_processes, interactive_processes};
+use twostep_core::run_crw;
+use twostep_model::{CrashSchedule, SystemConfig};
+use twostep_sim::{ModelKind, Simulation, TraceLevel};
+
+/// System sizes to sweep.
+#[derive(Clone, Debug)]
+pub struct E2Params {
+    /// The `n` values of the sweep.
+    pub sizes: Vec<usize>,
+}
+
+impl Default for E2Params {
+    fn default() -> Self {
+        E2Params {
+            sizes: vec![4, 8, 16, 32, 64, 128, 256],
+        }
+    }
+}
+
+fn proposals(n: usize) -> Vec<u64> {
+    (0..n as u64).map(|i| 1000 + i).collect()
+}
+
+/// Runs E2 and renders the table.
+pub fn table(p: E2Params) -> Table {
+    let mut table = Table::new(
+        "E2: failure-free runs (f=0, t=n-1) — §3.2 best case",
+        &[
+            "n",
+            "CRW rounds",
+            "CRW msgs",
+            "EarlyStop rounds",
+            "EarlyStop msgs",
+            "FloodSet rounds",
+            "FloodSet msgs",
+            "IC rounds",
+            "IC msgs",
+        ],
+    );
+
+    for &n in &p.sizes {
+        let config = SystemConfig::max_resilience(n).expect("n >= 1");
+        let t = config.t();
+        let schedule = CrashSchedule::none(n);
+        let props = proposals(n);
+
+        let crw = run_crw(&config, &schedule, &props, TraceLevel::Off).expect("run");
+        let es = Simulation::new(config, ModelKind::Classic, &schedule)
+            .max_rounds(t as u32 + 2)
+            .run(earlystop_processes(n, t, &props))
+            .expect("run");
+        let fl = Simulation::new(config, ModelKind::Classic, &schedule)
+            .max_rounds(t as u32 + 2)
+            .run(floodset_processes(n, t, &props))
+            .expect("run");
+        let ic = Simulation::new(config, ModelKind::Classic, &schedule)
+            .max_rounds(t as u32 + 2)
+            .run(interactive_processes(n, t, &props))
+            .expect("run");
+
+        table.row(cells!(
+            n,
+            crw.last_decision_round().unwrap().get(),
+            crw.metrics.total_messages(),
+            es.last_decision_round().unwrap().get(),
+            es.metrics.total_messages(),
+            fl.last_decision_round().unwrap().get(),
+            fl.metrics.total_messages(),
+            ic.last_decision_round().unwrap().get(),
+            ic.metrics.total_messages()
+        ));
+    }
+    table.note("CRW: one round, 2(n-1) messages (Theorem 2 best case).");
+    table.note("EarlyStop: two rounds (the classic uniform bound f+2 at f=0), Θ(n²) messages.");
+    table.note("FloodSet decides at t+1 = n regardless; messages stay Θ(n²) thanks to the fresh-values optimization.");
+    table.note("IC = interactive consistency (vector agreement), the exact problem of the paper's t+1 citation [10]: also t+1 rounds; 2n(n-1) labelled-pair messages failure-free (flood + one re-flood).");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e2_shapes() {
+        let t = table(E2Params {
+            sizes: vec![4, 8, 16],
+        });
+        let csv = t.render_csv();
+        for line in csv.lines().skip(2).take(3) {
+            let cols: Vec<&str> = line.split(',').collect();
+            let n: u64 = cols[0].parse().unwrap();
+            assert_eq!(cols[1], "1", "CRW decides in one round");
+            let crw_msgs: u64 = cols[2].parse().unwrap();
+            assert_eq!(crw_msgs, 2 * (n - 1));
+            assert_eq!(cols[3], "2", "EarlyStop decides in two rounds");
+            let fl_rounds: u64 = cols[5].parse().unwrap();
+            assert_eq!(fl_rounds, n, "FloodSet decides at t+1 = n");
+            let ic_rounds: u64 = cols[7].parse().unwrap();
+            assert_eq!(ic_rounds, n, "IC decides at t+1 = n (the [10] bound)");
+            // Round 1 floods own pairs, round 2 re-floods the n-1 learned
+            // pairs (a receiver cannot know the origin reached everyone).
+            let ic_msgs: u64 = cols[8].parse().unwrap();
+            assert_eq!(ic_msgs, 2 * n * (n - 1), "two flooding waves");
+        }
+    }
+}

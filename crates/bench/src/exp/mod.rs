@@ -1,0 +1,14 @@
+//! One module per experiment; see `DESIGN.md` §4 for the per-experiment
+//! index (paper claim → workload → modules → regenerating target).
+
+pub mod ablation;
+pub mod e1;
+pub mod e2;
+pub mod e3;
+pub mod e4;
+pub mod e5;
+pub mod e6;
+pub mod e7;
+pub mod e8;
+pub mod e9;
+pub mod fig1;

@@ -1,0 +1,29 @@
+//! # twostep-bench — the experiment harness
+//!
+//! Every analytical table/figure-level claim of the paper is regenerated
+//! by a module under [`exp`], each printing a paper-shaped table (both
+//! aligned text and CSV).  The `repro` binary dispatches them; the
+//! Criterion benches under `benches/` measure the substrate itself.
+//!
+//! | subcommand | paper source | module |
+//! |---|---|---|
+//! | `e1-rounds` | Theorem 1 | [`exp::e1`] |
+//! | `e2-bestcase` | §3.2 best case | [`exp::e2`] |
+//! | `e3-bits` | Theorem 2 | [`exp::e3`] |
+//! | `e4-cost` | §2.2 cost model | [`exp::e4`] |
+//! | `e5-lowerbound` | Theorems 3–5 | [`exp::e5`] |
+//! | `e6-equivalence` | §2.2 computability | [`exp::e6`] |
+//! | `e7-bridge` | §4 (MR99) | [`exp::e7`] |
+//! | `e8-scaling` | substrate scaling | [`exp::e8`] |
+//! | `fig1-trace` | Figure 1 | [`exp::fig1`] |
+//! | `ablation-commit-order` | line 5 reconstruction | [`exp::ablation`] |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod exp;
+pub mod table;
+
+pub use args::Overrides;
+pub use table::Table;

@@ -1,0 +1,147 @@
+//! Plain-text experiment tables: monospace (human) and CSV (machine).
+//!
+//! The experiment harness prints every table in the paper-shaped layout;
+//! no serialization dependency is needed for what is tabular text output.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table with a title and footnotes.
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row width must match the header"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Appends a footnote line.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the aligned monospace form.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let mut header = String::new();
+        for (w, c) in widths.iter().zip(&self.columns) {
+            let _ = write!(header, "{c:>w$}  ");
+        }
+        let _ = writeln!(out, "{}", header.trim_end());
+        let _ = writeln!(out, "{}", "-".repeat(header.trim_end().len()));
+        for row in &self.rows {
+            let mut line = String::new();
+            for (w, cell) in widths.iter().zip(row) {
+                let _ = write!(line, "{cell:>w$}  ");
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "  * {note}");
+        }
+        out
+    }
+
+    /// Renders the CSV form (title and notes as `#` comments).
+    pub fn render_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let _ = writeln!(out, "{}", self.columns.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "# {note}");
+        }
+        out
+    }
+}
+
+/// Shorthand for building a row of heterogeneous displayable cells.
+#[macro_export]
+macro_rules! cells {
+    ($($x:expr),* $(,)?) => {
+        vec![$(format!("{}", $x)),*]
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["f", "rounds"]);
+        t.row(cells!(0, 1));
+        t.row(cells!(10, 11));
+        let s = t.render();
+        assert!(s.contains("== demo =="), "{s}");
+        assert!(s.contains(" f  rounds"), "{s}");
+        assert!(s.contains("10      11"), "{s}");
+    }
+
+    #[test]
+    fn csv_form() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(cells!(1, 2));
+        t.note("a note");
+        let s = t.render_csv();
+        assert!(s.starts_with("# demo\na,b\n1,2\n# a note\n"), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(cells!(1));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = Table::new("demo", &["a"]);
+        assert!(t.is_empty());
+        t.row(cells!(1));
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,291 @@
+//! The paper's proof obligations (Section 3.3), mechanized as trace-level
+//! checkers.
+//!
+//! Lemma 2's agreement argument rests on two claims:
+//!
+//! * **C1** — some coordinator executes line 4 entirely (there are at most
+//!   `t < n` faulty processes, so one of the first `t+1` coordinators
+//!   completes its data step);
+//! * **C2** — before the *first* such round `r`, nobody decided, and every
+//!   earlier coordinator crashed.
+//!
+//! From C1+C2 the decided value is **locked**: it is the estimate the
+//! first line-4-completing coordinator broadcast, and no other value can
+//! ever be decided.
+//!
+//! These checkers read a full-trace [`RunReport`] of the algorithm and
+//! verify the claims on the *observed* execution — a lemma-level test
+//! oracle that property tests run against thousands of random schedules.
+//! They are deliberately independent of the algorithm's internals: they
+//! look only at transmitted messages and decisions, exactly like the
+//! paper's proofs quantify over executions.
+
+use crate::crw::{coordinator_of, Crw};
+use std::collections::BTreeMap;
+use std::fmt;
+use twostep_model::{BitSized, ProcessId, Round};
+use twostep_sim::RunReport;
+
+/// A violation of the Section 3.3 proof structure on an observed run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LemmaViolation<V> {
+    /// No coordinator ever completed line 4 even though decisions exist.
+    NoLockingRound,
+    /// Someone decided strictly before the first line-4-complete round
+    /// (contradicts claim C2).
+    EarlyDecision {
+        /// The early decider.
+        pid: ProcessId,
+        /// Its decision round.
+        round: Round,
+        /// The first locking round.
+        locking_round: Round,
+    },
+    /// A coordinator earlier than the locking round survived its own round
+    /// without deciding (contradicts C2's "they all crashed").
+    SurvivingEarlyCoordinator {
+        /// The coordinator that should have crashed.
+        pid: ProcessId,
+    },
+    /// A decision differs from the locked value (contradicts Lemma 2).
+    UnlockedDecision {
+        /// The deviating decider.
+        pid: ProcessId,
+        /// What it decided.
+        decided: V,
+        /// The locked value.
+        locked: V,
+    },
+}
+
+impl<V: fmt::Debug> fmt::Display for LemmaViolation<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LemmaViolation::NoLockingRound => {
+                write!(f, "decisions exist but no coordinator completed line 4")
+            }
+            LemmaViolation::EarlyDecision { pid, round, locking_round } => write!(
+                f,
+                "{pid} decided in round {round}, before the locking round {locking_round}"
+            ),
+            LemmaViolation::SurvivingEarlyCoordinator { pid } => write!(
+                f,
+                "{pid} coordinated before the locking round yet neither crashed nor decided"
+            ),
+            LemmaViolation::UnlockedDecision { pid, decided, locked } => write!(
+                f,
+                "{pid} decided {decided:?} but the locked value is {locked:?}"
+            ),
+        }
+    }
+}
+
+/// The locking analysis of one observed run.
+#[derive(Clone, Debug)]
+pub struct LockReport<V> {
+    /// The first round whose coordinator completed line 4, with the
+    /// coordinator and the estimate it locked (`None` if no round did —
+    /// only possible when nobody decides).
+    pub locking: Option<(Round, ProcessId, V)>,
+    /// All claim violations found (empty = the run matches the proofs).
+    pub violations: Vec<LemmaViolation<V>>,
+}
+
+impl<V> LockReport<V> {
+    /// Whether the observed run satisfies claims C1/C2 and Lemma 2.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Analyzes a **full-trace** run of the algorithm against the Section 3.3
+/// claims.
+///
+/// # Panics
+///
+/// Panics if the report was not recorded at
+/// [`TraceLevel::Full`](twostep_sim::TraceLevel) (the analysis needs the
+/// per-message events).
+pub fn check_value_locking<V>(n: usize, report: &RunReport<Crw<V>>) -> LockReport<V>
+where
+    V: Clone + Eq + fmt::Debug + BitSized,
+{
+    // Count the data transmissions of each round's coordinator; line 4 is
+    // complete when all `n - r` higher-ranked destinations were served.
+    // (Transmission, not delivery: the lock is about what left the
+    // coordinator — a halted receiver still "knows" nothing new can win.)
+    let mut tx_per_round: BTreeMap<u32, (usize, Option<V>)> = BTreeMap::new();
+    for ev in report.trace.events() {
+        if let twostep_sim::Event::Data {
+            round,
+            from,
+            transmitted: true,
+            msg,
+            ..
+        } = ev
+        {
+            if coordinator_of(*round, n) == Some(*from) {
+                let entry = tx_per_round.entry(round.get()).or_insert((0, None));
+                entry.0 += 1;
+                entry.1 = Some(msg.clone());
+            }
+        }
+    }
+    let mut locking: Option<(Round, ProcessId, V)> = None;
+    for r in 1..=n as u32 {
+        let expected = n - r as usize; // destinations of line 4
+        if expected == 0 {
+            // Round n: the top-ranked coordinator has nobody above it, so
+            // line 4 completes *vacuously* the moment it executes the
+            // round — witnessed by its line-6 decision in that round.
+            let coord = ProcessId::new(r);
+            if let Some(d) = &report.decisions[coord.idx()] {
+                if d.round.get() == r {
+                    locking = Some((Round::new(r), coord, d.value.clone()));
+                    break;
+                }
+            }
+        } else if let Some((count, value)) = tx_per_round.get(&r) {
+            if *count == expected {
+                locking = Some((
+                    Round::new(r),
+                    ProcessId::new(r),
+                    value.clone().expect("complete round has messages"),
+                ));
+                break;
+            }
+        }
+    }
+
+    let mut violations: Vec<LemmaViolation<V>> = Vec::new();
+    let any_decision = report.decisions.iter().any(|d| d.is_some());
+
+    let Some((lock_round, _lock_coord, locked)) = locking.clone() else {
+        if any_decision {
+            violations.push(LemmaViolation::NoLockingRound);
+        }
+        return LockReport { locking, violations };
+    };
+
+    for (i, d) in report.decisions.iter().enumerate() {
+        if let Some(d) = d {
+            // C2: no decision before the locking round.
+            if d.round < lock_round {
+                violations.push(LemmaViolation::EarlyDecision {
+                    pid: ProcessId::from_idx(i),
+                    round: d.round,
+                    locking_round: lock_round,
+                });
+            }
+            // Lemma 2: every decision equals the locked value.
+            if d.value != locked {
+                violations.push(LemmaViolation::UnlockedDecision {
+                    pid: ProcessId::from_idx(i),
+                    decided: d.value.clone(),
+                    locked: locked.clone(),
+                });
+            }
+        }
+    }
+
+    // C2, second half: coordinators of rounds before `lock_round` must all
+    // have crashed (had one survived its round undecided, it would have
+    // completed line 4 itself; had it decided, the early-decision check
+    // fires).
+    for r in 1..lock_round.get() {
+        let pid = ProcessId::new(r);
+        if !report.crashed.contains(pid) && report.decisions[pid.idx()].is_none() {
+            violations.push(LemmaViolation::SurvivingEarlyCoordinator { pid });
+        }
+    }
+
+    LockReport { locking, violations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crw::run_crw;
+    use twostep_model::{CrashPoint, CrashSchedule, CrashStage, PidSet, SystemConfig};
+    use twostep_sim::TraceLevel;
+
+    fn pid(r: u32) -> ProcessId {
+        ProcessId::new(r)
+    }
+
+    fn props(n: usize) -> Vec<u64> {
+        (1..=n as u64).map(|i| 100 + i).collect()
+    }
+
+    #[test]
+    fn clean_run_locks_in_round_one() {
+        let config = SystemConfig::new(5, 2).unwrap();
+        let report = run_crw(&config, &CrashSchedule::none(5), &props(5), TraceLevel::Full)
+            .unwrap();
+        let lock = check_value_locking(5, &report);
+        assert!(lock.ok(), "{:?}", lock.violations);
+        let (r, c, v) = lock.locking.unwrap();
+        assert_eq!((r, c, v), (Round::FIRST, pid(1), 101));
+    }
+
+    #[test]
+    fn mid_data_crash_defers_locking() {
+        // p_1's incomplete line 4 must NOT count as a lock; p_2 locks in
+        // round 2.
+        let config = SystemConfig::new(5, 2).unwrap();
+        let schedule = CrashSchedule::none(5).with_crash(
+            pid(1),
+            CrashPoint::new(
+                Round::FIRST,
+                CrashStage::MidData {
+                    delivered: PidSet::from_iter(5, [pid(3), pid(4)]),
+                },
+            ),
+        );
+        let report = run_crw(&config, &schedule, &props(5), TraceLevel::Full).unwrap();
+        let lock = check_value_locking(5, &report);
+        assert!(lock.ok(), "{:?}", lock.violations);
+        let (r, c, v) = lock.locking.unwrap();
+        assert_eq!(r, Round::new(2));
+        assert_eq!(c, pid(2));
+        assert_eq!(v, 102, "p_2's own estimate: p_1's partial data reached only p_3/p_4");
+    }
+
+    #[test]
+    fn mid_control_crash_still_locks() {
+        // Line 4 completed (all data transmitted) — the value is locked in
+        // round 1 even though the commit step was cut.
+        let config = SystemConfig::new(5, 2).unwrap();
+        let schedule = CrashSchedule::none(5).with_crash(
+            pid(1),
+            CrashPoint::new(Round::FIRST, CrashStage::MidControl { prefix_len: 0 }),
+        );
+        let report = run_crw(&config, &schedule, &props(5), TraceLevel::Full).unwrap();
+        let lock = check_value_locking(5, &report);
+        assert!(lock.ok(), "{:?}", lock.violations);
+        let (r, _, v) = lock.locking.unwrap();
+        assert_eq!((r, v), (Round::FIRST, 101), "lock = line 4 completion, not commits");
+    }
+
+    #[test]
+    fn cascade_locks_at_first_survivor() {
+        let config = SystemConfig::new(6, 3).unwrap();
+        let schedule = CrashSchedule::none(6)
+            .with_crash(pid(1), CrashPoint::new(Round::new(1), CrashStage::BeforeSend))
+            .with_crash(pid(2), CrashPoint::new(Round::new(2), CrashStage::BeforeSend));
+        let report = run_crw(&config, &schedule, &props(6), TraceLevel::Full).unwrap();
+        let lock = check_value_locking(6, &report);
+        assert!(lock.ok(), "{:?}", lock.violations);
+        assert_eq!(lock.locking.unwrap().1, pid(3));
+    }
+
+    #[test]
+    fn single_process_locks_vacuously() {
+        let config = SystemConfig::new(1, 0).unwrap();
+        let report = run_crw(&config, &CrashSchedule::none(1), &[9u64], TraceLevel::Full)
+            .unwrap();
+        let lock = check_value_locking(1, &report);
+        assert!(lock.ok());
+        assert_eq!(lock.locking.unwrap().2, 9);
+    }
+}

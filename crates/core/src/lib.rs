@@ -1,0 +1,35 @@
+//! # twostep-core — the paper's contribution
+//!
+//! The uniform consensus algorithm of *"The Power and Limit of Adding
+//! Synchronization Messages for Synchronous Agreement"* (Cao, Raynal, Wang,
+//! Wu — ICPP 2006), plus the Section 2.2 model transformations.
+//!
+//! * [`Crw`] — the Figure 1 rotating-coordinator algorithm: in round `r`,
+//!   coordinator `p_r` sends `DATA(est)` to every higher-ranked process,
+//!   then `COMMIT` to the same processes highest-rank-first (see the
+//!   reconstruction note in [`crw`]), then decides.  Uniform consensus in
+//!   at most `f+1` extended rounds (Theorem 1), one round when `p_1` is
+//!   not crashed — the optimum for the extended model (Theorems 4–5).
+//! * [`CommitOrder`] — the paper's commit order plus the broken ascending
+//!   variant kept for ablation experiments.
+//! * [`ExtendedOnClassic`] / [`ClassicOnExtended`] /
+//!   [`translate_schedule`] — the two simulation directions proving the
+//!   extended and classic models computationally equivalent (Section 2.2);
+//!   the costly direction expands each extended round into `n` classic
+//!   rounds to preserve the ordered-prefix commit semantics.
+//! * [`run_crw`] — one-call driver used by examples, tests and benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crw;
+pub mod lemmas;
+pub mod log;
+pub mod xform;
+
+pub use crw::{coordinator_of, crw_processes, run_crw, CommitOrder, Crw};
+pub use lemmas::{check_value_locking, LemmaViolation, LockReport};
+pub use log::{LogError, ReplicatedLog, SlotReport};
+pub use xform::{
+    simulation_overhead, translate_schedule, ClassicOnExtended, ExtendedOnClassic, XMsg,
+};

@@ -1,0 +1,370 @@
+//! A replicated command log built from consecutive consensus instances —
+//! the application pattern the paper's introduction motivates ("agree on
+//! the execution of the same action"), packaged as a reusable layer.
+//!
+//! Slot `k` of the log is decided by one full run of the Figure 1
+//! algorithm.  Crashes accumulate across slots (a crashed process stays
+//! crashed), and the layer enforces the system-wide resilience budget: the
+//! *total* number of crashes over the log's lifetime must stay within `t`,
+//! because each slot's uniform-consensus guarantee assumes at most `t`
+//! faulty processes.
+//!
+//! Guarantees inherited from uniform consensus, per slot:
+//!
+//! * **log agreement** — all processes that commit slot `k` commit the
+//!   same value, *even those that crash afterwards*;
+//! * **log validity** — slot `k`'s value was proposed for slot `k`;
+//! * **prefix consistency** — a process that crashes during slot `k` has
+//!   committed a prefix of the survivors' log;
+//! * **latency** — slot `k` costs `f_k + 1` extended rounds, where `f_k`
+//!   is the number of crashes that actually hit slot `k` (one round in the
+//!   common failure-free case).
+
+use crate::crw::{crw_processes, run_crw};
+use std::fmt;
+use std::hash::Hash;
+use twostep_model::{
+    BitSized, CrashPoint, CrashSchedule, CrashStage, PidSet, Round, SystemConfig,
+};
+use twostep_sim::{Decision, SimError, TraceLevel};
+
+/// Errors surfaced by the log layer.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LogError {
+    /// Scheduling more lifetime crashes than the resilience bound allows.
+    ResilienceExhausted {
+        /// Crashes so far plus newly scheduled ones.
+        total: usize,
+        /// The bound `t`.
+        bound: usize,
+    },
+    /// A slot's schedule failed validation or execution.
+    Slot(SimError),
+    /// A slot ended with no decision at all (cannot happen within the
+    /// resilience budget; reported rather than panicking).
+    NoDecision {
+        /// The slot index.
+        slot: usize,
+    },
+    /// Wrong number of proposals for a slot.
+    WrongProposalCount {
+        /// Supplied proposals.
+        got: usize,
+        /// Expected (`n`).
+        want: usize,
+    },
+}
+
+impl fmt::Display for LogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogError::ResilienceExhausted { total, bound } => {
+                write!(f, "lifetime crashes {total} would exceed t={bound}")
+            }
+            LogError::Slot(e) => write!(f, "slot execution failed: {e}"),
+            LogError::NoDecision { slot } => write!(f, "slot {slot} ended undecided"),
+            LogError::WrongProposalCount { got, want } => {
+                write!(f, "got {got} proposals for n={want}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LogError {}
+
+/// Outcome of one committed slot.
+#[derive(Clone, Debug)]
+pub struct SlotReport<V> {
+    /// The committed value.
+    pub value: V,
+    /// Per-process decision for this slot (`None` = crashed before
+    /// deciding, this slot or earlier).
+    pub decisions: Vec<Option<Decision<V>>>,
+    /// Extended rounds this slot took (`f_k + 1` worst case).
+    pub rounds: u32,
+    /// Crashes that hit during this slot (not carried-over ones).
+    pub fresh_crashes: usize,
+}
+
+/// A replicated log: one CRW consensus instance per slot, crash state
+/// carried across slots.
+///
+/// # Examples
+///
+/// ```
+/// use twostep_core::ReplicatedLog;
+/// use twostep_model::{CrashSchedule, SystemConfig};
+///
+/// let config = SystemConfig::new(4, 1).unwrap();
+/// let mut log: ReplicatedLog<u64> = ReplicatedLog::new(config);
+///
+/// log.append(&[11, 12, 13, 14], &CrashSchedule::none(4)).unwrap();
+/// log.append(&[21, 22, 23, 24], &CrashSchedule::none(4)).unwrap();
+///
+/// assert_eq!(log.committed(), &[11, 21]); // p_1 leads both slots
+/// assert!(log.check_prefix_consistency());
+/// ```
+#[derive(Clone, Debug)]
+pub struct ReplicatedLog<V> {
+    config: SystemConfig,
+    crashed: PidSet,
+    committed: Vec<V>,
+    /// Per-process count of committed slots (prefix lengths).
+    committed_upto: Vec<usize>,
+}
+
+impl<V> ReplicatedLog<V>
+where
+    V: Clone + Eq + Hash + fmt::Debug + BitSized,
+{
+    /// An empty log over `config`.
+    pub fn new(config: SystemConfig) -> Self {
+        let n = config.n();
+        ReplicatedLog {
+            config,
+            crashed: PidSet::empty(n),
+            committed: Vec::new(),
+            committed_upto: vec![0; n],
+        }
+    }
+
+    /// The committed values so far.
+    pub fn committed(&self) -> &[V] {
+        &self.committed
+    }
+
+    /// Processes crashed so far.
+    pub fn crashed(&self) -> &PidSet {
+        &self.crashed
+    }
+
+    /// How many slots each process has committed — crashed processes stop
+    /// at the slot where they died (prefix consistency).
+    pub fn committed_upto(&self) -> &[usize] {
+        &self.committed_upto
+    }
+
+    /// Remaining crash budget.
+    pub fn remaining_resilience(&self) -> usize {
+        self.config.t() - self.crashed.len()
+    }
+
+    /// Runs one consensus instance to commit the next slot.
+    ///
+    /// `proposals[i]` is `p_{i+1}`'s proposal for this slot (ignored for
+    /// already-crashed processes); `slot_schedule` may crash additional
+    /// processes *during* this slot, within the remaining lifetime budget.
+    pub fn append(
+        &mut self,
+        proposals: &[V],
+        slot_schedule: &CrashSchedule,
+    ) -> Result<SlotReport<V>, LogError> {
+        let n = self.config.n();
+        if proposals.len() != n {
+            return Err(LogError::WrongProposalCount {
+                got: proposals.len(),
+                want: n,
+            });
+        }
+
+        // Merge carried-over crashes (dead from round 1) with this slot's
+        // fresh schedule, and check the lifetime budget.
+        let mut merged = slot_schedule.clone();
+        let mut fresh = 0usize;
+        for pid in self.config.pids() {
+            if self.crashed.contains(pid) {
+                merged.set(
+                    pid,
+                    Some(CrashPoint::new(Round::FIRST, CrashStage::BeforeSend)),
+                );
+            } else if slot_schedule.crash_point(pid).is_some() {
+                fresh += 1;
+            }
+        }
+        let total = self.crashed.len() + fresh;
+        if total > self.config.t() {
+            return Err(LogError::ResilienceExhausted {
+                total,
+                bound: self.config.t(),
+            });
+        }
+
+        let report = run_crw(&self.config, &merged, proposals, TraceLevel::Off)
+            .map_err(LogError::Slot)?;
+
+        let value = report
+            .decisions
+            .iter()
+            .flatten()
+            .next()
+            .map(|d| d.value.clone())
+            .ok_or(LogError::NoDecision {
+                slot: self.committed.len(),
+            })?;
+
+        // Advance per-process prefixes and the crashed set.
+        for pid in self.config.pids() {
+            if report.decisions[pid.idx()].is_some() {
+                self.committed_upto[pid.idx()] += 1;
+            }
+            if report.crashed.contains(pid) {
+                self.crashed.insert(pid);
+            }
+        }
+        self.committed.push(value.clone());
+
+        Ok(SlotReport {
+            value,
+            rounds: report
+                .decisions
+                .iter()
+                .flatten()
+                .map(|d| d.round.get())
+                .max()
+                .unwrap_or(0),
+            decisions: report.decisions,
+            fresh_crashes: fresh,
+        })
+    }
+
+    /// Checks prefix consistency: every process's committed count is at
+    /// most the log length, and correct processes are fully caught up.
+    pub fn check_prefix_consistency(&self) -> bool {
+        let len = self.committed.len();
+        self.config.pids().all(|pid| {
+            let upto = self.committed_upto[pid.idx()];
+            upto <= len && (self.crashed.contains(pid) || upto == len)
+        })
+    }
+}
+
+/// Convenience: builds the protocol instances for one slot (exposed for
+/// tests that want to drive the engine directly).
+pub fn slot_processes<V: Clone>(config: &SystemConfig, proposals: &[V]) -> Vec<crate::crw::Crw<V>> {
+    crw_processes(config, proposals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twostep_model::ProcessId;
+
+    fn pid(r: u32) -> ProcessId {
+        ProcessId::new(r)
+    }
+
+    fn cfg(n: usize, t: usize) -> SystemConfig {
+        SystemConfig::new(n, t).unwrap()
+    }
+
+    #[test]
+    fn failure_free_log_commits_first_proposals() {
+        let mut log: ReplicatedLog<u64> = ReplicatedLog::new(cfg(4, 2));
+        for slot in 0..5u64 {
+            let proposals = vec![slot * 10 + 1, slot * 10 + 2, slot * 10 + 3, slot * 10 + 4];
+            let report = log.append(&proposals, &CrashSchedule::none(4)).unwrap();
+            assert_eq!(report.value, slot * 10 + 1, "p1 imposes its proposal");
+            assert_eq!(report.rounds, 1, "one round per slot, failure-free");
+        }
+        assert_eq!(log.committed(), &[1, 11, 21, 31, 41]);
+        assert!(log.check_prefix_consistency());
+        assert_eq!(log.remaining_resilience(), 2);
+    }
+
+    #[test]
+    fn crashes_carry_across_slots() {
+        let mut log: ReplicatedLog<u64> = ReplicatedLog::new(cfg(4, 2));
+        let proposals = vec![1u64, 2, 3, 4];
+
+        // Slot 0: p1 crashes before sending — p2's value commits.
+        let s0 = CrashSchedule::none(4).with_crash(
+            pid(1),
+            CrashPoint::new(Round::FIRST, CrashStage::BeforeSend),
+        );
+        let r0 = log.append(&proposals, &s0).unwrap();
+        assert_eq!(r0.value, 2);
+        assert_eq!(r0.rounds, 2, "f=1 in this slot");
+        assert_eq!(r0.fresh_crashes, 1);
+
+        // Slot 1: nobody new crashes, but p1 stays dead — p2 still leads
+        // (it coordinates round 2 after dead p1's silent round 1).
+        let r1 = log.append(&proposals, &CrashSchedule::none(4)).unwrap();
+        assert_eq!(r1.value, 2);
+        assert_eq!(r1.fresh_crashes, 0);
+        assert!(log.crashed().contains(pid(1)));
+        assert!(log.check_prefix_consistency());
+        // p1 committed nothing; the others committed both slots.
+        assert_eq!(log.committed_upto()[0], 0);
+        assert_eq!(log.committed_upto()[1], 2);
+    }
+
+    #[test]
+    fn decide_then_die_keeps_prefix_consistency() {
+        let mut log: ReplicatedLog<u64> = ReplicatedLog::new(cfg(4, 2));
+        let proposals = vec![1u64, 2, 3, 4];
+        // p1 completes slot 0 (decides!) then dies.
+        let s0 = CrashSchedule::none(4).with_crash(
+            pid(1),
+            CrashPoint::new(Round::FIRST, CrashStage::EndOfRound),
+        );
+        let r0 = log.append(&proposals, &s0).unwrap();
+        assert_eq!(r0.value, 1, "its value committed before it died");
+        let _ = log.append(&proposals, &CrashSchedule::none(4)).unwrap();
+        assert!(log.check_prefix_consistency());
+        assert_eq!(
+            log.committed_upto()[0],
+            1,
+            "p1 committed exactly the slot it decided before dying"
+        );
+        assert_eq!(log.committed_upto()[2], 2);
+    }
+
+    #[test]
+    fn lifetime_resilience_budget_enforced() {
+        let mut log: ReplicatedLog<u64> = ReplicatedLog::new(cfg(4, 1));
+        let proposals = vec![1u64, 2, 3, 4];
+        let s0 = CrashSchedule::none(4).with_crash(
+            pid(1),
+            CrashPoint::new(Round::FIRST, CrashStage::BeforeSend),
+        );
+        log.append(&proposals, &s0).unwrap();
+        // A second crash would exceed t = 1, across slots.
+        let s1 = CrashSchedule::none(4).with_crash(
+            pid(2),
+            CrashPoint::new(Round::FIRST, CrashStage::BeforeSend),
+        );
+        let err = log.append(&proposals, &s1).unwrap_err();
+        assert_eq!(
+            err,
+            LogError::ResilienceExhausted { total: 2, bound: 1 }
+        );
+        // The failed append must not have mutated the log.
+        assert_eq!(log.committed().len(), 1);
+        assert_eq!(log.remaining_resilience(), 0);
+    }
+
+    #[test]
+    fn wrong_proposal_count_rejected() {
+        let mut log: ReplicatedLog<u64> = ReplicatedLog::new(cfg(3, 1));
+        let err = log
+            .append(&[1u64, 2], &CrashSchedule::none(3))
+            .unwrap_err();
+        assert_eq!(err, LogError::WrongProposalCount { got: 2, want: 3 });
+    }
+
+    #[test]
+    fn mid_slot_partial_commit_is_still_uniform_per_slot() {
+        let mut log: ReplicatedLog<u64> = ReplicatedLog::new(cfg(5, 2));
+        let proposals = vec![1u64, 2, 3, 4, 5];
+        // p1 commits only to the top process, then dies: p5 decides in
+        // round 1, the rest in round 2 — all on value 1.
+        let s0 = CrashSchedule::none(5).with_crash(
+            pid(1),
+            CrashPoint::new(Round::FIRST, CrashStage::MidControl { prefix_len: 1 }),
+        );
+        let r0 = log.append(&proposals, &s0).unwrap();
+        assert_eq!(r0.value, 1, "locked value");
+        assert!(r0.decisions.iter().skip(1).all(|d| d.as_ref().unwrap().value == 1));
+        assert!(log.check_prefix_consistency());
+    }
+}

@@ -1,0 +1,657 @@
+//! The discrete-event kernel: a deterministic priority-queue executor for
+//! timed message-passing systems with crash faults and a failure-detector
+//! oracle.
+//!
+//! Determinism: events are ordered by `(time, sequence number)`; sequence
+//! numbers are assigned at enqueue time, so equal-time events fire in
+//! enqueue order and a run is a pure function of (processes, delay model,
+//! crash specs, injected suspicions).
+//!
+//! Crash semantics: a [`TimedCrash`] names an absolute time `at` and a
+//! `keep_sends` budget.  The process handles events strictly before `at`
+//! normally; the **first** handler invoked at a time `≥ at` is its last —
+//! only the first `keep_sends` sends of that invocation are emitted (its
+//! timers and decision are discarded), after which the process is dead.
+//! This reproduces, in the timed domain, the extended model's "crash during
+//! an ordered send sequence delivers a prefix".
+//!
+//! Failure detection: with [`FdSpec::accurate`], every crash at time `c` is
+//! reported to every live process at exactly `c + latency` — a
+//! deterministic instantiation of the *fast failure detector* of
+//! Aguilera–Le Lann–Toueg (every observer learns within `d`, here exactly
+//! at `d`).  [`FdSpec::injected_suspicions`] additionally delivers false
+//! (◇S-style) suspicions for the asynchronous experiments.
+
+use crate::process::{Effects, TimedProcess};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use twostep_model::timing::Ticks;
+use twostep_model::ProcessId;
+
+/// Message delay model.
+#[derive(Clone, Debug)]
+pub enum DelayModel {
+    /// Every message takes exactly `Ticks` (the synchronous bound `D`).
+    Fixed(Ticks),
+    /// Per-message delay drawn uniformly from `[min, max]`, deterministic
+    /// in `seed` and the message sequence number.
+    Uniform {
+        /// Minimum delay.
+        min: Ticks,
+        /// Maximum delay (inclusive).
+        max: Ticks,
+        /// RNG seed; two runs with equal seeds see equal delays.
+        seed: u64,
+    },
+}
+
+impl DelayModel {
+    fn delay_of(&self, seq: u64) -> Ticks {
+        match self {
+            DelayModel::Fixed(d) => *d,
+            DelayModel::Uniform { min, max, seed } => {
+                debug_assert!(min <= max);
+                let mut rng = SmallRng::seed_from_u64(seed ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                rng.gen_range(*min..=*max)
+            }
+        }
+    }
+
+    /// The worst-case delay this model can produce (the `D` of the timed
+    /// bounds).
+    pub fn max_delay(&self) -> Ticks {
+        match self {
+            DelayModel::Fixed(d) => *d,
+            DelayModel::Uniform { max, .. } => *max,
+        }
+    }
+}
+
+/// A scheduled crash of one process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimedCrash {
+    /// The crash time: the first handler at `time ≥ at` is the last.
+    pub at: Ticks,
+    /// How many sends of that final handler still go out (prefix).
+    pub keep_sends: usize,
+}
+
+/// Failure-detector configuration.
+#[derive(Clone, Debug, Default)]
+pub struct FdSpec {
+    /// If set, every real crash at `c` is reported to every live process
+    /// at `c + latency` (the fast-FD oracle).
+    pub accurate_latency: Option<Ticks>,
+    /// Extra (possibly false) suspicion deliveries:
+    /// `(when, observer, suspect)` — the ◇S simulation knob.
+    pub injected_suspicions: Vec<(Ticks, ProcessId, ProcessId)>,
+}
+
+impl FdSpec {
+    /// No failure detection at all.
+    pub fn none() -> Self {
+        FdSpec::default()
+    }
+
+    /// The accurate fast-FD oracle with detection latency `d`.
+    pub fn accurate(d: Ticks) -> Self {
+        FdSpec {
+            accurate_latency: Some(d),
+            injected_suspicions: Vec::new(),
+        }
+    }
+}
+
+/// Result of a timed run.
+#[derive(Clone, Debug)]
+pub struct TimedReport<O> {
+    /// Per-process decision and its absolute time.
+    pub decisions: Vec<Option<(O, Ticks)>>,
+    /// Messages actually emitted (after crash prefix cuts).
+    pub messages_sent: u64,
+    /// The time of the last handled event.
+    pub end_time: Ticks,
+    /// Whether the run was cut off by the horizon rather than quiescence.
+    pub hit_horizon: bool,
+}
+
+impl<O: Clone> TimedReport<O> {
+    /// Latest decision time — the quantity the timed bounds (`(f+1)(D+d)`,
+    /// `D + f·d`) speak about.
+    pub fn last_decision_time(&self) -> Option<Ticks> {
+        self.decisions.iter().flatten().map(|(_, t)| *t).max()
+    }
+
+    /// Distinct decided values.
+    pub fn decided_values(&self) -> Vec<O>
+    where
+        O: PartialEq,
+    {
+        let mut vals = Vec::new();
+        for (v, _) in self.decisions.iter().flatten() {
+            if !vals.contains(v) {
+                vals.push(v.clone());
+            }
+        }
+        vals
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Payload<M> {
+    Start,
+    Message { from: ProcessId, msg: M },
+    Suspicion { suspect: ProcessId },
+    Timer { id: u64 },
+}
+
+impl<M> Payload<M> {
+    /// Same-time ordering rank.  A message with delay `≤ D` arriving *at*
+    /// time `τ` is visible to any computation happening at `τ`, and a
+    /// suspicion reported *at* `τ` is visible to a deadline evaluated at
+    /// `τ` — so messages order before suspicions order before timers.
+    /// This rule is global, keeping simultaneous observers consistent
+    /// (which the fast-FD fixpoint argument relies on).
+    fn rank(&self) -> u8 {
+        match self {
+            Payload::Start => 0,
+            Payload::Message { .. } => 1,
+            Payload::Suspicion { .. } => 2,
+            Payload::Timer { .. } => 3,
+        }
+    }
+}
+
+struct QueuedEvent<M> {
+    at: Ticks,
+    rank: u8,
+    seq: u64,
+    to: ProcessId,
+    payload: Payload<M>,
+}
+
+// Order by (time, kind rank, seq) — BinaryHeap is a max-heap, wrapped in
+// Reverse at the call sites.
+impl<M> PartialEq for QueuedEvent<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.rank == other.rank && self.seq == other.seq
+    }
+}
+impl<M> Eq for QueuedEvent<M> {}
+impl<M> PartialOrd for QueuedEvent<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for QueuedEvent<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.rank, self.seq).cmp(&(other.at, other.rank, other.seq))
+    }
+}
+
+/// The timed executor.
+///
+/// # Examples
+///
+/// A one-message protocol under a fixed delay, with a crash cutting the
+/// sender's broadcast to a prefix:
+///
+/// ```
+/// use twostep_events::{DelayModel, Effects, TimedCrash, TimedKernel, TimedProcess};
+/// use twostep_model::{timing::Ticks, ProcessId};
+///
+/// #[derive(Clone)]
+/// struct Hello { me: ProcessId, n: usize }
+/// impl TimedProcess for Hello {
+///     type Msg = u8;
+///     type Output = u8;
+///     fn on_start(&mut self, fx: &mut Effects<u8, u8>) {
+///         if self.me == ProcessId::new(1) {
+///             fx.broadcast_others(self.me, self.n, 9); // p2 first, then p3
+///         }
+///     }
+///     fn on_message(&mut self, _at: Ticks, _f: ProcessId, m: u8, fx: &mut Effects<u8, u8>) {
+///         fx.decide(m);
+///     }
+///     fn on_suspicion(&mut self, _a: Ticks, _s: ProcessId, _fx: &mut Effects<u8, u8>) {}
+///     fn on_timer(&mut self, _a: Ticks, _i: u64, _fx: &mut Effects<u8, u8>) {}
+/// }
+///
+/// let procs = (1..=3).map(|r| Hello { me: ProcessId::new(r), n: 3 }).collect();
+/// let report = TimedKernel::new(procs, DelayModel::Fixed(50))
+///     .crash(ProcessId::new(1), TimedCrash { at: 0, keep_sends: 1 })
+///     .run();
+/// assert_eq!(report.decisions[1], Some((9, 50))); // prefix reached p2
+/// assert_eq!(report.decisions[2], None);          // p3 was cut off
+/// ```
+pub struct TimedKernel<P: TimedProcess> {
+    procs: Vec<P>,
+    delays: DelayModel,
+    crashes: Vec<Option<TimedCrash>>,
+    fd: FdSpec,
+    horizon: Ticks,
+    fifo: bool,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum St {
+    Alive,
+    Decided,
+    Dead,
+}
+
+impl<P: TimedProcess> TimedKernel<P> {
+    /// Builds a kernel over `procs` (index `i` = `p_{i+1}`).
+    pub fn new(procs: Vec<P>, delays: DelayModel) -> Self {
+        let n = procs.len();
+        TimedKernel {
+            procs,
+            delays,
+            crashes: vec![None; n],
+            fd: FdSpec::none(),
+            horizon: Ticks::MAX,
+            fifo: false,
+        }
+    }
+
+    /// Schedules a crash.
+    pub fn crash(mut self, pid: ProcessId, crash: TimedCrash) -> Self {
+        self.crashes[pid.idx()] = Some(crash);
+        self
+    }
+
+    /// Configures failure detection.
+    pub fn fd(mut self, fd: FdSpec) -> Self {
+        self.fd = fd;
+        self
+    }
+
+    /// Caps simulated time; reaching the cap sets
+    /// [`TimedReport::hit_horizon`].
+    pub fn horizon(mut self, horizon: Ticks) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Enforces per-channel **FIFO** delivery: on each directed channel
+    /// `(from, to)` a message never arrives earlier than one sent before it.
+    ///
+    /// Under [`DelayModel::Fixed`] channels are FIFO already (equal delays,
+    /// equal-time ties broken by send order), so this is a no-op there.
+    /// Under [`DelayModel::Uniform`] a later message may draw a smaller
+    /// delay and overtake; with `fifo()` its arrival is clamped to the
+    /// latest arrival already scheduled on that channel (the queuing
+    /// discipline of a reliable in-order transport such as TCP on a LAN).
+    /// Chandy–Lamport snapshots (`twostep-snapshot`) are only correct on
+    /// FIFO channels, which is why this knob exists.
+    pub fn fifo(mut self) -> Self {
+        self.fifo = true;
+        self
+    }
+
+    /// Runs to quiescence (empty queue), all-terminated, or the horizon.
+    pub fn run(self) -> TimedReport<P::Output> {
+        self.run_with_states().0
+    }
+
+    /// Like [`run`](Self::run), additionally returning the final protocol
+    /// states (for post-hoc inspection, e.g. which logical round an
+    /// asynchronous algorithm decided in).
+    pub fn run_with_states(mut self) -> (TimedReport<P::Output>, Vec<P>) {
+        let n = self.procs.len();
+        let mut st = vec![St::Alive; n];
+        let mut decisions: Vec<Option<(P::Output, Ticks)>> = vec![None; n];
+        let mut messages_sent: u64 = 0;
+        let mut end_time: Ticks = 0;
+        let mut hit_horizon = false;
+        // Latest scheduled arrival per directed channel, flattened n×n
+        // (sender-major); only consulted when `fifo` is on.
+        let mut channel_front: Vec<Ticks> = if self.fifo { vec![0; n * n] } else { Vec::new() };
+
+        let mut heap: BinaryHeap<Reverse<QueuedEvent<P::Msg>>> = BinaryHeap::new();
+        let mut seq: u64 = 0;
+        let push = |heap: &mut BinaryHeap<Reverse<QueuedEvent<P::Msg>>>,
+                        seq: &mut u64,
+                        at: Ticks,
+                        to: ProcessId,
+                        payload: Payload<P::Msg>| {
+            *seq += 1;
+            heap.push(Reverse(QueuedEvent {
+                at,
+                rank: payload.rank(),
+                seq: *seq,
+                to,
+                payload,
+            }));
+        };
+
+        // Seed: start events for everyone, injected suspicions.
+        for pid in ProcessId::all(n) {
+            push(&mut heap, &mut seq, 0, pid, Payload::Start);
+        }
+        for (when, observer, suspect) in self.fd.injected_suspicions.clone() {
+            push(
+                &mut heap,
+                &mut seq,
+                when,
+                observer,
+                Payload::Suspicion { suspect },
+            );
+        }
+
+        while let Some(Reverse(ev)) = heap.pop() {
+            if ev.at > self.horizon {
+                hit_horizon = true;
+                break;
+            }
+            end_time = end_time.max(ev.at);
+            let i = ev.to.idx();
+            if st[i] != St::Alive {
+                continue;
+            }
+
+            // Crash check: the first event at time ≥ `at` is this process's
+            // last; its handler runs but only `keep_sends` sends survive.
+            let dying = match self.crashes[i] {
+                Some(c) if ev.at >= c.at => Some(c.keep_sends),
+                _ => None,
+            };
+
+            let mut fx: Effects<P::Msg, P::Output> = Effects::new();
+            match ev.payload {
+                Payload::Start => self.procs[i].on_start(&mut fx),
+                Payload::Message { from, msg } => {
+                    self.procs[i].on_message(ev.at, from, msg, &mut fx)
+                }
+                Payload::Suspicion { suspect } => {
+                    self.procs[i].on_suspicion(ev.at, suspect, &mut fx)
+                }
+                Payload::Timer { id } => self.procs[i].on_timer(ev.at, id, &mut fx),
+            }
+
+            // Apply effects, truncated to a prefix when dying.
+            let send_budget = dying.unwrap_or(usize::MAX);
+            for (k, (to, msg)) in fx.sends.into_iter().enumerate() {
+                if k >= send_budget {
+                    break;
+                }
+                messages_sent += 1;
+                let delay = self.delays.delay_of(seq + 1);
+                let mut arrival = ev.at + delay;
+                if self.fifo {
+                    let ch = &mut channel_front[i * n + to.idx()];
+                    arrival = arrival.max(*ch);
+                    *ch = arrival;
+                }
+                push(
+                    &mut heap,
+                    &mut seq,
+                    arrival,
+                    to,
+                    Payload::Message { from: ev.to, msg },
+                );
+            }
+
+            if let Some(keep) = dying {
+                let _ = keep;
+                st[i] = St::Dead;
+                // Oracle: report the crash to every other live process.
+                if let Some(d) = self.fd.accurate_latency {
+                    for obs in ProcessId::all(n) {
+                        if obs != ev.to {
+                            push(
+                                &mut heap,
+                                &mut seq,
+                                ev.at + d,
+                                obs,
+                                Payload::Suspicion { suspect: ev.to },
+                            );
+                        }
+                    }
+                }
+                continue;
+            }
+
+            for (id, delay) in fx.timers {
+                push(&mut heap, &mut seq, ev.at + delay, ev.to, Payload::Timer { id });
+            }
+            if let Some(v) = fx.decision {
+                decisions[i] = Some((v, ev.at));
+                st[i] = St::Decided;
+            }
+
+            if st.iter().all(|s| *s != St::Alive) {
+                break;
+            }
+        }
+
+        (
+            TimedReport {
+                decisions,
+                messages_sent,
+                end_time,
+                hit_horizon,
+            },
+            self.procs,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(r: u32) -> ProcessId {
+        ProcessId::new(r)
+    }
+
+    /// p_1 sends PING to everyone at start; receivers decide on receipt;
+    /// p_1 decides at its timer.
+    #[derive(Clone)]
+    struct Ping {
+        me: ProcessId,
+        n: usize,
+    }
+
+    impl TimedProcess for Ping {
+        type Msg = u8;
+        type Output = u8;
+
+        fn on_start(&mut self, fx: &mut Effects<u8, u8>) {
+            if self.me == ProcessId::new(1) {
+                fx.broadcast_others(self.me, self.n, 7);
+                fx.set_timer(0, 50);
+            }
+        }
+        fn on_message(&mut self, _at: Ticks, _from: ProcessId, msg: u8, fx: &mut Effects<u8, u8>) {
+            fx.decide(msg);
+        }
+        fn on_suspicion(&mut self, _at: Ticks, _s: ProcessId, _fx: &mut Effects<u8, u8>) {}
+        fn on_timer(&mut self, _at: Ticks, _id: u64, fx: &mut Effects<u8, u8>) {
+            fx.decide(7);
+        }
+    }
+
+    #[test]
+    fn fixed_delay_delivery_and_timer() {
+        let procs = (1..=3).map(|r| Ping { me: pid(r), n: 3 }).collect();
+        let report = TimedKernel::new(procs, DelayModel::Fixed(100)).run();
+        assert_eq!(report.decisions[1], Some((7, 100)));
+        assert_eq!(report.decisions[2], Some((7, 100)));
+        assert_eq!(report.decisions[0], Some((7, 50)), "timer fired at 50");
+        assert_eq!(report.messages_sent, 2);
+        assert!(!report.hit_horizon);
+        assert_eq!(report.last_decision_time(), Some(100));
+    }
+
+    #[test]
+    fn crash_cuts_send_prefix() {
+        // p_1 dies during its start broadcast keeping only the first send
+        // (to p_2): p_3 never hears anything.
+        let procs: Vec<Ping> = (1..=3).map(|r| Ping { me: pid(r), n: 3 }).collect();
+        let report = TimedKernel::new(procs, DelayModel::Fixed(10))
+            .crash(pid(1), TimedCrash { at: 0, keep_sends: 1 })
+            .run();
+        assert_eq!(report.decisions[1], Some((7, 10)), "prefix reached p_2");
+        assert_eq!(report.decisions[2], None, "p_3 cut off");
+        assert_eq!(report.decisions[0], None, "dead processes do not decide");
+        assert_eq!(report.messages_sent, 1);
+    }
+
+    #[test]
+    fn fd_oracle_reports_at_exact_latency() {
+        // p_2 must handle an event at a time ≥ 30 to die, so p_1 pokes it
+        // with a message arriving exactly at 30.
+        #[derive(Clone)]
+        struct Poker {
+            me: ProcessId,
+        }
+        impl TimedProcess for Poker {
+            type Msg = u8;
+            type Output = u32;
+            fn on_start(&mut self, fx: &mut Effects<u8, u32>) {
+                if self.me == ProcessId::new(1) {
+                    fx.send(ProcessId::new(2), 1);
+                }
+            }
+            fn on_message(&mut self, _a: Ticks, _f: ProcessId, _m: u8, _fx: &mut Effects<u8, u32>) {}
+            fn on_suspicion(&mut self, at: Ticks, s: ProcessId, fx: &mut Effects<u8, u32>) {
+                assert_eq!(at, 35);
+                fx.decide(s.rank());
+            }
+            fn on_timer(&mut self, _a: Ticks, _i: u64, _fx: &mut Effects<u8, u32>) {}
+        }
+        let procs: Vec<Poker> = (1..=3).map(|r| Poker { me: pid(r) }).collect();
+        let report = TimedKernel::new(procs, DelayModel::Fixed(30))
+            .crash(pid(2), TimedCrash { at: 30, keep_sends: 0 })
+            .fd(FdSpec::accurate(5))
+            .run();
+        // p_1 and p_3 decide rank 2 at time 35.
+        assert_eq!(report.decisions[0], Some((2, 35)));
+        assert_eq!(report.decisions[2], Some((2, 35)));
+    }
+
+    #[test]
+    fn injected_suspicions_are_delivered() {
+        #[derive(Clone)]
+        struct S {
+            hits: u32,
+        }
+        impl TimedProcess for S {
+            type Msg = u8;
+            type Output = u32;
+            fn on_start(&mut self, _fx: &mut Effects<u8, u32>) {}
+            fn on_message(&mut self, _a: Ticks, _f: ProcessId, _m: u8, _fx: &mut Effects<u8, u32>) {}
+            fn on_suspicion(&mut self, _at: Ticks, s: ProcessId, fx: &mut Effects<u8, u32>) {
+                self.hits += 1;
+                fx.decide(s.rank());
+            }
+            fn on_timer(&mut self, _a: Ticks, _i: u64, _fx: &mut Effects<u8, u32>) {}
+        }
+        let report = TimedKernel::new(vec![S { hits: 0 }, S { hits: 0 }], DelayModel::Fixed(1))
+            .fd(FdSpec {
+                accurate_latency: None,
+                injected_suspicions: vec![(20, pid(1), pid(2))],
+            })
+            .run();
+        assert_eq!(report.decisions[0], Some((2, 20)), "false suspicion delivered");
+        assert_eq!(report.decisions[1], None);
+    }
+
+    #[test]
+    fn uniform_delays_are_deterministic() {
+        let mk = || -> Vec<Ping> { (1..=4).map(|r| Ping { me: pid(r), n: 4 }).collect() };
+        let d = DelayModel::Uniform {
+            min: 10,
+            max: 100,
+            seed: 5,
+        };
+        let a = TimedKernel::new(mk(), d.clone()).run();
+        let b = TimedKernel::new(mk(), d).run();
+        assert_eq!(a.decisions.len(), b.decisions.len());
+        for (x, y) in a.decisions.iter().zip(&b.decisions) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn horizon_cuts_runs() {
+        let procs: Vec<Ping> = (1..=3).map(|r| Ping { me: pid(r), n: 3 }).collect();
+        let report = TimedKernel::new(procs, DelayModel::Fixed(1000))
+            .horizon(10)
+            .run();
+        assert!(report.hit_horizon);
+        assert_eq!(report.decisions[1], None);
+    }
+
+    /// `p_1` fires `k` timers and sends the timer id to `p_2` from each
+    /// handler; `p_2` records the arrival order.  Used by the FIFO tests.
+    #[derive(Clone)]
+    struct Stream {
+        me: ProcessId,
+        k: u64,
+        seen: Vec<u64>,
+    }
+    impl TimedProcess for Stream {
+        type Msg = u64;
+        type Output = u8;
+        fn on_start(&mut self, fx: &mut Effects<u64, u8>) {
+            if self.me == ProcessId::new(1) {
+                for id in 0..self.k {
+                    fx.set_timer(id, 10 * (id + 1));
+                }
+            }
+        }
+        fn on_message(&mut self, _a: Ticks, _f: ProcessId, m: u64, _fx: &mut Effects<u64, u8>) {
+            self.seen.push(m);
+        }
+        fn on_suspicion(&mut self, _a: Ticks, _s: ProcessId, _fx: &mut Effects<u64, u8>) {}
+        fn on_timer(&mut self, _a: Ticks, id: u64, fx: &mut Effects<u64, u8>) {
+            fx.send(ProcessId::new(2), id);
+        }
+    }
+
+    fn stream_arrivals(seed: u64, fifo: bool) -> Vec<u64> {
+        let procs = (1..=2)
+            .map(|r| Stream {
+                me: pid(r),
+                k: 12,
+                seen: Vec::new(),
+            })
+            .collect();
+        let delays = DelayModel::Uniform {
+            min: 1,
+            max: 500,
+            seed,
+        };
+        let kernel = TimedKernel::new(procs, delays);
+        let kernel = if fifo { kernel.fifo() } else { kernel };
+        let (_, states) = kernel.run_with_states();
+        states[1].seen.clone()
+    }
+
+    #[test]
+    fn fifo_clamp_restores_channel_order() {
+        // Find a seed where wide uniform delays actually reorder the
+        // stream, then check fifo() repairs exactly that run.
+        let overtaking = (0..64).find(|&s| {
+            let got = stream_arrivals(s, false);
+            got.windows(2).any(|w| w[0] > w[1])
+        });
+        let seed = overtaking.expect("some seed reorders across 64 tries");
+        let fixed = stream_arrivals(seed, true);
+        assert_eq!(fixed, (0..12).collect::<Vec<_>>(), "fifo() delivers in send order");
+    }
+
+    #[test]
+    fn fifo_preserves_message_count_and_is_noop_for_fixed_delays() {
+        let mk = || -> Vec<Ping> { (1..=4).map(|r| Ping { me: pid(r), n: 4 }).collect() };
+        let plain = TimedKernel::new(mk(), DelayModel::Fixed(50)).run();
+        let fifo = TimedKernel::new(mk(), DelayModel::Fixed(50)).fifo().run();
+        assert_eq!(plain.messages_sent, fifo.messages_sent);
+        assert_eq!(plain.decisions, fifo.decisions);
+        assert_eq!(plain.end_time, fifo.end_time);
+    }
+}

@@ -1,0 +1,29 @@
+//! # twostep-events — deterministic discrete-event timed kernel
+//!
+//! The round-based simulator (`twostep-sim`) covers the paper's own model;
+//! two of its comparison points live in *timed* or *asynchronous* models
+//! instead:
+//!
+//! * the **fast failure detector** consensus of Aguilera–Le Lann–Toueg
+//!   (DISC'02), the paper's cited alternative for beating the classic
+//!   `f+2` bound — a timed synchronous model where message delay is
+//!   bounded by `D` and crashes are reported within `d ≪ D`;
+//! * the **MR99** quorum-based consensus (Mostéfaoui–Raynal, DISC'99) for
+//!   asynchronous systems with a ◇S failure detector, which Section 4 of
+//!   the paper identifies as the structural twin of its algorithm.
+//!
+//! This crate provides the substrate both run on: a deterministic
+//! event-queue executor ([`TimedKernel`]) with pluggable message delays
+//! ([`DelayModel`]), ordered-prefix crash semantics ([`TimedCrash`] — the
+//! timed counterpart of the extended model's commit-sequence cuts), and a
+//! failure-detector oracle ([`FdSpec`]: the exact-latency fast-FD oracle
+//! plus injected ◇S-style false suspicions).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kernel;
+pub mod process;
+
+pub use kernel::{DelayModel, FdSpec, TimedCrash, TimedKernel, TimedReport};
+pub use process::{Effects, TimedProcess};

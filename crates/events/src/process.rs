@@ -1,0 +1,123 @@
+//! The timed/asynchronous process interface.
+//!
+//! Unlike the lockstep `SyncProtocol` (of `twostep-sim`), a timed
+//! process is a pure event handler: it reacts to message arrivals, failure
+//! detector notices and its own timers, emitting *effects* (sends, timers,
+//! a decision).  The kernel owns time; processes never read a clock other
+//! than the `at` stamp handed to each handler.
+
+use twostep_model::timing::Ticks;
+use twostep_model::ProcessId;
+
+/// What a handler invocation wants the kernel to do.
+#[derive(Clone, Debug)]
+pub struct Effects<M, O> {
+    pub(crate) sends: Vec<(ProcessId, M)>,
+    pub(crate) timers: Vec<(u64, Ticks)>,
+    pub(crate) decision: Option<O>,
+}
+
+impl<M, O> Effects<M, O> {
+    pub(crate) fn new() -> Self {
+        Effects {
+            sends: Vec::new(),
+            timers: Vec::new(),
+            decision: None,
+        }
+    }
+
+    /// Queues a unicast message.  Sends are emitted **in call order**; a
+    /// crash scheduled inside this handler cuts the sequence to a prefix
+    /// (see [`TimedCrash`](crate::kernel::TimedCrash)) — the timed
+    /// counterpart of the extended model's ordered sending.
+    pub fn send(&mut self, to: ProcessId, msg: M) {
+        self.sends.push((to, msg));
+    }
+
+    /// Queues the same message to every process except `me`, in ascending
+    /// rank order.
+    pub fn broadcast_others(&mut self, me: ProcessId, n: usize, msg: M)
+    where
+        M: Clone,
+    {
+        for dst in ProcessId::all(n) {
+            if dst != me {
+                self.send(dst, msg.clone());
+            }
+        }
+    }
+
+    /// Arms a timer that fires `delay` ticks from now with the given id.
+    /// Multiple timers may be outstanding; ids are process-local and may
+    /// repeat (handlers disambiguate by their own state).
+    pub fn set_timer(&mut self, id: u64, delay: Ticks) {
+        self.timers.push((id, delay));
+    }
+
+    /// Records the decision.  The process halts after this handler: later
+    /// events addressed to it are dropped (the paper's `return`).
+    pub fn decide(&mut self, value: O) {
+        debug_assert!(self.decision.is_none(), "decided twice in one handler");
+        self.decision = Some(value);
+    }
+}
+
+/// A process driven by the timed kernel.
+pub trait TimedProcess {
+    /// Message payload.
+    type Msg: Clone;
+    /// Decision value.
+    type Output: Clone + Eq + std::fmt::Debug;
+
+    /// Invoked once at time 0.
+    fn on_start(&mut self, fx: &mut Effects<Self::Msg, Self::Output>);
+
+    /// A message arrived.
+    fn on_message(
+        &mut self,
+        at: Ticks,
+        from: ProcessId,
+        msg: Self::Msg,
+        fx: &mut Effects<Self::Msg, Self::Output>,
+    );
+
+    /// The failure detector reports `suspect` as crashed.  With the
+    /// accurate oracle this arrives exactly `d` after a real crash; test
+    /// harnesses may also inject *false* suspicions (◇S-style), so
+    /// implementations must not treat a notice as proof of death unless
+    /// they opted into the accurate oracle.
+    fn on_suspicion(
+        &mut self,
+        at: Ticks,
+        suspect: ProcessId,
+        fx: &mut Effects<Self::Msg, Self::Output>,
+    );
+
+    /// A timer armed by this process fired.
+    fn on_timer(&mut self, at: Ticks, id: u64, fx: &mut Effects<Self::Msg, Self::Output>);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effects_accumulate_in_order() {
+        let mut fx: Effects<u64, u64> = Effects::new();
+        fx.send(ProcessId::new(2), 10);
+        fx.send(ProcessId::new(1), 20);
+        fx.set_timer(7, 100);
+        fx.decide(99);
+        assert_eq!(fx.sends, vec![(ProcessId::new(2), 10), (ProcessId::new(1), 20)]);
+        assert_eq!(fx.timers, vec![(7, 100)]);
+        assert_eq!(fx.decision, Some(99));
+    }
+
+    #[test]
+    fn broadcast_skips_self() {
+        let mut fx: Effects<u64, u64> = Effects::new();
+        fx.broadcast_others(ProcessId::new(2), 4, 5);
+        let dsts: Vec<u32> = fx.sends.iter().map(|(d, _)| d.rank()).collect();
+        assert_eq!(dsts, vec![1, 3, 4]);
+    }
+}

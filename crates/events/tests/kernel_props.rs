@@ -1,0 +1,152 @@
+//! Property tests for the timed kernel: determinism, crash prefix cuts,
+//! delay-model bounds, and oracle timing.
+
+use proptest::prelude::*;
+use twostep_events::{DelayModel, Effects, FdSpec, TimedCrash, TimedKernel, TimedProcess};
+use twostep_model::timing::Ticks;
+use twostep_model::ProcessId;
+
+/// A gossip process: on start, broadcasts a token; every received token is
+/// re-broadcast once with a decremented TTL; decides when it has seen
+/// `quota` tokens.  Stresses queue ordering and fan-out.
+#[derive(Clone, Debug)]
+struct Gossip {
+    me: ProcessId,
+    n: usize,
+    quota: u32,
+    seen: u32,
+}
+
+impl TimedProcess for Gossip {
+    type Msg = u8; // TTL
+    type Output = u32;
+
+    fn on_start(&mut self, fx: &mut Effects<u8, u32>) {
+        fx.broadcast_others(self.me, self.n, 2);
+    }
+    fn on_message(&mut self, _at: Ticks, _from: ProcessId, ttl: u8, fx: &mut Effects<u8, u32>) {
+        self.seen += 1;
+        if self.seen >= self.quota {
+            fx.decide(self.seen);
+            return;
+        }
+        if ttl > 0 {
+            fx.broadcast_others(self.me, self.n, ttl - 1);
+        }
+    }
+    fn on_suspicion(&mut self, _at: Ticks, _s: ProcessId, _fx: &mut Effects<u8, u32>) {}
+    fn on_timer(&mut self, _at: Ticks, _id: u64, _fx: &mut Effects<u8, u32>) {}
+}
+
+fn gossip(n: usize, quota: u32) -> Vec<Gossip> {
+    (0..n)
+        .map(|i| Gossip {
+            me: ProcessId::from_idx(i),
+            n,
+            quota,
+            seen: 0,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn runs_are_deterministic(
+        n in 2usize..=6,
+        quota in 1u32..=6,
+        seed in any::<u64>(),
+        min in 1u64..=50,
+        span in 0u64..=200,
+    ) {
+        let delays = DelayModel::Uniform { min, max: min + span, seed };
+        let run = || {
+            TimedKernel::new(gossip(n, quota), delays.clone())
+                .horizon(1_000_000)
+                .run()
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.decisions, b.decisions);
+        prop_assert_eq!(a.messages_sent, b.messages_sent);
+        prop_assert_eq!(a.end_time, b.end_time);
+    }
+
+    #[test]
+    fn crash_keep_sends_bounds_traffic(
+        n in 3usize..=6,
+        keep in 0usize..=5,
+    ) {
+        // p_1 dies at time 0 keeping `keep` sends of its start broadcast:
+        // exactly min(keep, n-1) messages from p_1 reach the wire.
+        let full = TimedKernel::new(gossip(n, u32::MAX), DelayModel::Fixed(10))
+            .horizon(10_000)
+            .run();
+        let cut = TimedKernel::new(gossip(n, u32::MAX), DelayModel::Fixed(10))
+            .crash(ProcessId::new(1), TimedCrash { at: 0, keep_sends: keep })
+            .horizon(10_000)
+            .run();
+        let lost_from_p1 = (n - 1).saturating_sub(keep) as u64;
+        // Losing p_1's tokens also removes the re-broadcast cascades they
+        // would have triggered, so the cut run sends strictly fewer (or
+        // equal when keep >= n-1) messages.
+        if keep >= n - 1 {
+            // p_1 transmitted everything before dying: only its *reactions*
+            // are lost.
+            prop_assert!(cut.messages_sent <= full.messages_sent);
+        } else {
+            prop_assert!(cut.messages_sent + lost_from_p1 <= full.messages_sent);
+        }
+    }
+
+    #[test]
+    fn fixed_delays_deliver_at_exact_offsets(d in 1u64..=1000) {
+        let report = TimedKernel::new(gossip(2, 1), DelayModel::Fixed(d)).run();
+        // Both processes receive the other's start token at exactly d and
+        // decide then.
+        prop_assert_eq!(report.decisions[0].as_ref().map(|(_, t)| *t), Some(d));
+        prop_assert_eq!(report.decisions[1].as_ref().map(|(_, t)| *t), Some(d));
+    }
+
+    #[test]
+    fn oracle_reports_exactly_at_latency(
+        crash_at in 0u64..=500,
+        latency in 1u64..=200,
+    ) {
+        #[derive(Clone)]
+        struct Listener {
+            me: ProcessId,
+        }
+        impl TimedProcess for Listener {
+            type Msg = u8;
+            type Output = Ticks;
+            fn on_start(&mut self, fx: &mut Effects<u8, Ticks>) {
+                if self.me == ProcessId::new(1) {
+                    // Poke p_2 so it has an event to die on.
+                    fx.send(ProcessId::new(2), 0);
+                }
+            }
+            fn on_message(&mut self, _a: Ticks, _f: ProcessId, _m: u8, _fx: &mut Effects<u8, Ticks>) {}
+            fn on_suspicion(&mut self, at: Ticks, _s: ProcessId, fx: &mut Effects<u8, Ticks>) {
+                fx.decide(at);
+            }
+            fn on_timer(&mut self, _a: Ticks, _i: u64, _fx: &mut Effects<u8, Ticks>) {}
+        }
+        let procs = vec![
+            Listener { me: ProcessId::new(1) },
+            Listener { me: ProcessId::new(2) },
+            Listener { me: ProcessId::new(3) },
+        ];
+        let report = TimedKernel::new(procs, DelayModel::Fixed(crash_at.max(1)))
+            .crash(ProcessId::new(2), TimedCrash { at: crash_at, keep_sends: 0 })
+            .fd(FdSpec::accurate(latency))
+            .run();
+        // p_2 dies on its first event at a time >= crash_at: its Start
+        // event (time 0) when crash_at == 0, else the poke arriving at
+        // delay = crash_at.max(1) >= crash_at.
+        let death = if crash_at == 0 { 0 } else { crash_at.max(1) };
+        prop_assert_eq!(report.decisions[0].as_ref().map(|(v, _)| *v), Some(death + latency));
+        prop_assert_eq!(report.decisions[2].as_ref().map(|(v, _)| *v), Some(death + latency));
+    }
+}

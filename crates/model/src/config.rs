@@ -1,0 +1,195 @@
+//! System configuration: the `(n, t)` pair and its well-formedness rules.
+
+use crate::pid::ProcessId;
+use std::fmt;
+
+/// The static configuration of a synchronous system run.
+///
+/// * `n` — number of processes `p_1 … p_n`;
+/// * `t` — resilience: the maximum number of processes *allowed* to crash.
+///   The paper assumes `1 ≤ t < n` (an algorithm tolerating `t = n` crashes
+///   is trivial: nothing has to be guaranteed when everybody may die), and
+///   the lower-bound section additionally assumes `n ≥ t + 2` so that at
+///   least two correct processes can compare their views (Section 5).
+///
+/// The number of crashes that *actually occur* in a run, `f ≤ t`, is a
+/// property of a [`CrashSchedule`](crate::fault::CrashSchedule), not of the
+/// configuration.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SystemConfig {
+    n: usize,
+    t: usize,
+}
+
+/// Errors produced when validating a [`SystemConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `n == 0`: a system needs at least one process.
+    NoProcesses,
+    /// `t >= n`: the resilience bound must leave at least one process alive.
+    ResilienceTooHigh {
+        /// Requested number of processes.
+        n: usize,
+        /// Requested resilience bound.
+        t: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NoProcesses => write!(f, "system must have at least one process"),
+            ConfigError::ResilienceTooHigh { n, t } => {
+                write!(f, "resilience t={t} must be < n={n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl SystemConfig {
+    /// Creates a configuration, validating `n ≥ 1` and `t < n`.
+    pub fn new(n: usize, t: usize) -> Result<Self, ConfigError> {
+        if n == 0 {
+            return Err(ConfigError::NoProcesses);
+        }
+        if t >= n {
+            return Err(ConfigError::ResilienceTooHigh { n, t });
+        }
+        Ok(Self { n, t })
+    }
+
+    /// Creates a configuration with the maximum resilience `t = n - 1`
+    /// (the paper's algorithm tolerates any `t < n`).
+    pub fn max_resilience(n: usize) -> Result<Self, ConfigError> {
+        Self::new(n, n.saturating_sub(1))
+    }
+
+    /// Number of processes `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Resilience bound `t` (maximum crashes tolerated).
+    #[inline]
+    pub fn t(&self) -> usize {
+        self.t
+    }
+
+    /// Whether the lower-bound section's standing assumption `n ≥ t + 2`
+    /// holds (Section 5 requires two correct processes to compare views).
+    #[inline]
+    pub fn satisfies_lower_bound_assumption(&self) -> bool {
+        self.n >= self.t + 2
+    }
+
+    /// Whether MR99's requirement of a correct majority (`t < n/2`) holds —
+    /// needed when comparing against the asynchronous bridge of Section 4.
+    #[inline]
+    pub fn has_correct_majority(&self) -> bool {
+        2 * self.t < self.n
+    }
+
+    /// All process ids `p_1 … p_n`.
+    pub fn pids(&self) -> impl DoubleEndedIterator<Item = ProcessId> + Clone {
+        ProcessId::all(self.n)
+    }
+
+    /// The worst-case decision round of the paper's algorithm for `f`
+    /// actual crashes: `f + 1` (Theorem 1).
+    #[inline]
+    pub fn crw_round_bound(&self, f: usize) -> u32 {
+        debug_assert!(f <= self.t);
+        (f + 1) as u32
+    }
+
+    /// The classic-model early-deciding uniform consensus bound for `f`
+    /// actual crashes: `min(f + 2, t + 1)`.
+    #[inline]
+    pub fn classic_early_bound(&self, f: usize) -> u32 {
+        debug_assert!(f <= self.t);
+        ((f + 2).min(self.t + 1)) as u32
+    }
+
+    /// The classic-model flooding bound: `t + 1` rounds regardless of `f`.
+    #[inline]
+    pub fn flooding_bound(&self) -> u32 {
+        (self.t + 1) as u32
+    }
+}
+
+impl fmt::Debug for SystemConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SystemConfig(n={}, t={})", self.n, self.t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_config() {
+        let c = SystemConfig::new(5, 3).unwrap();
+        assert_eq!(c.n(), 5);
+        assert_eq!(c.t(), 3);
+        assert_eq!(c.pids().count(), 5);
+    }
+
+    #[test]
+    fn rejects_zero_processes() {
+        assert_eq!(SystemConfig::new(0, 0), Err(ConfigError::NoProcesses));
+    }
+
+    #[test]
+    fn rejects_t_geq_n() {
+        assert_eq!(
+            SystemConfig::new(4, 4),
+            Err(ConfigError::ResilienceTooHigh { n: 4, t: 4 })
+        );
+        assert!(SystemConfig::new(4, 5).is_err());
+    }
+
+    #[test]
+    fn max_resilience_is_n_minus_one() {
+        let c = SystemConfig::max_resilience(6).unwrap();
+        assert_eq!(c.t(), 5);
+        // n = 1 ⇒ t = 0 is still valid (a lone process can't crash "more").
+        let c1 = SystemConfig::max_resilience(1).unwrap();
+        assert_eq!(c1.t(), 0);
+    }
+
+    #[test]
+    fn lower_bound_assumption() {
+        assert!(SystemConfig::new(5, 3).unwrap().satisfies_lower_bound_assumption());
+        assert!(!SystemConfig::new(5, 4).unwrap().satisfies_lower_bound_assumption());
+    }
+
+    #[test]
+    fn majority_check() {
+        assert!(SystemConfig::new(5, 2).unwrap().has_correct_majority());
+        assert!(!SystemConfig::new(4, 2).unwrap().has_correct_majority());
+    }
+
+    #[test]
+    fn round_bounds_match_paper() {
+        let c = SystemConfig::new(10, 6).unwrap();
+        // Theorem 1: f + 1.
+        assert_eq!(c.crw_round_bound(0), 1);
+        assert_eq!(c.crw_round_bound(6), 7);
+        // Classic early deciding: min(f+2, t+1).
+        assert_eq!(c.classic_early_bound(0), 2);
+        assert_eq!(c.classic_early_bound(5), 7);
+        assert_eq!(c.classic_early_bound(6), 7, "capped at t+1");
+        // Flooding: t + 1.
+        assert_eq!(c.flooding_bound(), 7);
+    }
+
+    #[test]
+    fn display_of_errors() {
+        let e = SystemConfig::new(3, 3).unwrap_err();
+        assert!(e.to_string().contains("t=3"));
+    }
+}

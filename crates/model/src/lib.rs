@@ -1,0 +1,50 @@
+//! # twostep-model — foundation types for the extended synchronous model
+//!
+//! This crate defines the vocabulary shared by every layer of the `twostep`
+//! workspace, which reproduces *"The Power and Limit of Adding
+//! Synchronization Messages for Synchronous Agreement"* (Cao, Raynal, Wang,
+//! Wu — ICPP 2006):
+//!
+//! * [`ProcessId`] / [`PidSet`] — 1-based process ranks (the paper's
+//!   `p_1 … p_n`) and dense bitsets over them;
+//! * [`Round`] — 1-based synchronous round numbers;
+//! * [`CrashStage`], [`CrashPoint`], [`CrashSchedule`] — the paper's crash
+//!   fault model, in which a process that crashes during the *data* sending
+//!   step delivers an **arbitrary subset** of its data messages, while a
+//!   process that crashes during the *control* (synchronization) sending
+//!   step delivers an ordered **prefix** of its control messages
+//!   (Section 2.1 of the paper);
+//! * [`SystemConfig`] — the `(n, t)` resilience configuration;
+//! * [`RunMetrics`] and the [`theorem2`] closed forms — message/bit
+//!   accounting exactly as Theorem 2 counts it (a data message costs `b`
+//!   bits, a commit message costs one bit);
+//! * [`TimingModel`] and the [`timing`] formulas — the Section 2.2 cost
+//!   model (`D` = classic round duration, `d` = marginal cost of the
+//!   pipelined control step, extended round = `D + d`).
+//!
+//! Everything here is deterministic, allocation-light and independent of any
+//! particular simulator; the round engine (`twostep-sim`), the event kernel
+//! (`twostep-events`), the threaded runtime (`twostep-runtime`) and the
+//! model checker (`twostep-modelcheck`) all consume these types.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod fault;
+pub mod metrics;
+pub mod pid;
+pub mod round;
+pub mod schedule_text;
+pub mod theorem2;
+pub mod timing;
+pub mod value;
+
+pub use config::SystemConfig;
+pub use fault::{CrashPoint, CrashSchedule, CrashStage, DeliveryOutcome};
+pub use metrics::RunMetrics;
+pub use pid::{PidSet, ProcessId};
+pub use round::Round;
+pub use schedule_text::{format_schedule, parse_schedule};
+pub use timing::TimingModel;
+pub use value::{BitSized, WideValue};

@@ -1,0 +1,183 @@
+//! Run metrics: rounds, messages, bits, decision rounds.
+//!
+//! Accounting follows Theorem 2 of the paper exactly:
+//!
+//! * a **data** message carrying a `b`-bit value costs `b` bits;
+//! * a **commit** (control/synchronization) message costs **one** bit;
+//! * messages count when *transmitted* (put on the wire by a sender whose
+//!   crash filter let them through) — a sender cannot know a destination
+//!   has halted, and the paper's worst-case scenario sums the messages the
+//!   surviving coordinators send.  A message suppressed by the sender's own
+//!   mid-send crash was never transmitted and does not count.
+//!
+//! Decision rounds are tracked per process so the experiments can report
+//! both the *first* decision (the coordinator's, Figure 1 line 6) and the
+//! *last* decision (the round-complexity figure of Theorem 1: "no process
+//! decides after round `f+1`").
+
+use crate::pid::ProcessId;
+use crate::round::Round;
+use std::fmt;
+
+/// Counters collected while executing one run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RunMetrics {
+    /// Number of rounds the engine executed before every live process had
+    /// decided (or the round cap was hit).
+    pub rounds_executed: u32,
+    /// Data messages actually delivered.
+    pub data_messages: u64,
+    /// Control (commit) messages actually delivered.
+    pub control_messages: u64,
+    /// Total bits of delivered data messages (`Σ b` per Theorem 2).
+    pub data_bits: u64,
+    /// Total bits of delivered control messages (one per message).
+    pub control_bits: u64,
+    /// Per-process decision round (`None` = never decided, e.g. crashed
+    /// first or the protocol did not terminate for it).
+    pub decision_round: Vec<Option<Round>>,
+}
+
+impl RunMetrics {
+    /// Fresh counters for a system of `n` processes.
+    pub fn new(n: usize) -> Self {
+        RunMetrics {
+            rounds_executed: 0,
+            data_messages: 0,
+            control_messages: 0,
+            data_bits: 0,
+            control_bits: 0,
+            decision_round: vec![None; n],
+        }
+    }
+
+    /// Records the delivery of one data message of `bits` bits.
+    #[inline]
+    pub fn count_data(&mut self, bits: u64) {
+        self.data_messages += 1;
+        self.data_bits += bits;
+    }
+
+    /// Records the delivery of one one-bit control message.
+    #[inline]
+    pub fn count_control(&mut self) {
+        self.control_messages += 1;
+        self.control_bits += 1;
+    }
+
+    /// Records that `pid` decided in `round` (first decision wins; a
+    /// process decides at most once).
+    pub fn record_decision(&mut self, pid: ProcessId, round: Round) {
+        let slot = &mut self.decision_round[pid.idx()];
+        if slot.is_none() {
+            *slot = Some(round);
+        }
+    }
+
+    /// Total messages delivered (data + control).
+    #[inline]
+    pub fn total_messages(&self) -> u64 {
+        self.data_messages + self.control_messages
+    }
+
+    /// Total bits delivered (data + control) — Theorem 2's bit complexity.
+    #[inline]
+    pub fn total_bits(&self) -> u64 {
+        self.data_bits + self.control_bits
+    }
+
+    /// The earliest decision round across all processes, if any decided.
+    pub fn first_decision_round(&self) -> Option<Round> {
+        self.decision_round.iter().flatten().min().copied()
+    }
+
+    /// The latest decision round across all processes, if any decided —
+    /// the quantity bounded by Theorem 1 ("no process decides after round
+    /// `f+1`").
+    pub fn last_decision_round(&self) -> Option<Round> {
+        self.decision_round.iter().flatten().max().copied()
+    }
+
+    /// Number of processes that decided.
+    pub fn deciders(&self) -> usize {
+        self.decision_round.iter().filter(|d| d.is_some()).count()
+    }
+}
+
+impl fmt::Display for RunMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rounds={} msgs={} (data={}, ctl={}) bits={} deciders={}/{} last-decision={}",
+            self.rounds_executed,
+            self.total_messages(),
+            self.data_messages,
+            self.control_messages,
+            self.total_bits(),
+            self.deciders(),
+            self.decision_round.len(),
+            match self.last_decision_round() {
+                Some(r) => r.to_string(),
+                None => "-".into(),
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_metrics_are_zero() {
+        let m = RunMetrics::new(3);
+        assert_eq!(m.total_messages(), 0);
+        assert_eq!(m.total_bits(), 0);
+        assert_eq!(m.deciders(), 0);
+        assert_eq!(m.first_decision_round(), None);
+        assert_eq!(m.last_decision_round(), None);
+    }
+
+    #[test]
+    fn counting_follows_theorem2() {
+        let mut m = RunMetrics::new(2);
+        m.count_data(64);
+        m.count_data(64);
+        m.count_control();
+        assert_eq!(m.data_messages, 2);
+        assert_eq!(m.data_bits, 128);
+        assert_eq!(m.control_messages, 1);
+        assert_eq!(m.control_bits, 1, "a commit message costs exactly one bit");
+        assert_eq!(m.total_bits(), 129);
+        assert_eq!(m.total_messages(), 3);
+    }
+
+    #[test]
+    fn first_decision_sticks() {
+        let mut m = RunMetrics::new(2);
+        let p1 = ProcessId::new(1);
+        m.record_decision(p1, Round::new(2));
+        m.record_decision(p1, Round::new(5)); // ignored: decides at most once
+        assert_eq!(m.decision_round[0], Some(Round::new(2)));
+    }
+
+    #[test]
+    fn first_and_last_decisions() {
+        let mut m = RunMetrics::new(3);
+        m.record_decision(ProcessId::new(1), Round::new(1));
+        m.record_decision(ProcessId::new(3), Round::new(4));
+        assert_eq!(m.first_decision_round(), Some(Round::new(1)));
+        assert_eq!(m.last_decision_round(), Some(Round::new(4)));
+        assert_eq!(m.deciders(), 2);
+    }
+
+    #[test]
+    fn display_smoke() {
+        let mut m = RunMetrics::new(2);
+        m.rounds_executed = 1;
+        m.count_data(8);
+        let s = m.to_string();
+        assert!(s.contains("rounds=1"), "{s}");
+        assert!(s.contains("bits=8"), "{s}");
+    }
+}

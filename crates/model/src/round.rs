@@ -1,0 +1,105 @@
+//! Synchronous round numbers.
+//!
+//! The paper's global clock variable `r` takes the successive integer values
+//! `1, 2, …` (Section 2.1); processes can only read it. [`Round`] mirrors
+//! that: a 1-based counter with explicit, overflow-checked arithmetic.
+
+use std::fmt;
+
+/// A 1-based synchronous round number.
+///
+/// Round numbers index the lockstep structure of both the classic and the
+/// extended model; in the paper's Figure 1, round `r` is coordinated by
+/// process `p_r`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Round(u32);
+
+impl Round {
+    /// The first round, `r = 1`.
+    pub const FIRST: Round = Round(1);
+
+    /// Creates a round number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r == 0`; rounds are 1-based.
+    #[inline]
+    pub fn new(r: u32) -> Self {
+        assert!(r >= 1, "rounds are 1-based; round 0 is invalid");
+        Round(r)
+    }
+
+    /// The round's numeric value.
+    #[inline]
+    pub fn get(self) -> u32 {
+        self.0
+    }
+
+    /// The next round, `r + 1`.
+    #[inline]
+    pub fn next(self) -> Self {
+        Round(self.0.checked_add(1).expect("round counter overflow"))
+    }
+
+    /// The previous round, or `None` if this is round 1.
+    #[inline]
+    pub fn prev(self) -> Option<Self> {
+        (self.0 > 1).then(|| Round(self.0 - 1))
+    }
+
+    /// Iterator over rounds `1..=last`.
+    pub fn up_to(last: u32) -> impl DoubleEndedIterator<Item = Round> + Clone {
+        (1..=last).map(Round)
+    }
+}
+
+impl fmt::Debug for Round {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for Round {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_is_one() {
+        assert_eq!(Round::FIRST.get(), 1);
+        assert_eq!(Round::FIRST, Round::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn round_zero_panics() {
+        let _ = Round::new(0);
+    }
+
+    #[test]
+    fn next_prev() {
+        let r3 = Round::new(3);
+        assert_eq!(r3.next(), Round::new(4));
+        assert_eq!(r3.prev(), Some(Round::new(2)));
+        assert_eq!(Round::FIRST.prev(), None);
+    }
+
+    #[test]
+    fn up_to_enumerates() {
+        let rs: Vec<u32> = Round::up_to(4).map(Round::get).collect();
+        assert_eq!(rs, vec![1, 2, 3, 4]);
+        assert_eq!(Round::up_to(0).count(), 0);
+    }
+
+    #[test]
+    fn ordering_follows_numbers() {
+        assert!(Round::new(2) < Round::new(10));
+        assert_eq!(format!("{:?}", Round::new(7)), "r7");
+        assert_eq!(format!("{}", Round::new(7)), "7");
+    }
+}

@@ -1,0 +1,253 @@
+//! A compact textual format for crash schedules, for CLI use and debug
+//! output.
+//!
+//! Grammar (whitespace-insensitive around separators):
+//!
+//! ```text
+//! schedule   := "none" | entry ("," entry)*
+//! entry      := "p" RANK "@r" ROUND ":" stage
+//! stage      := "before-send"
+//!             | "mid-data{" RANK ("," RANK)* "}" | "mid-data{}"
+//!             | "mid-control/" PREFIX
+//!             | "end-of-round"
+//! ```
+//!
+//! Examples: `p1@r1:mid-control/2`, `p1@r1:mid-data{3,5},p2@r2:before-send`.
+
+use crate::fault::{CrashPoint, CrashSchedule, CrashStage};
+use crate::pid::{PidSet, ProcessId};
+use crate::round::Round;
+use std::fmt;
+
+/// Renders a schedule in the textual format (`none` when failure-free).
+pub fn format_schedule(schedule: &CrashSchedule) -> String {
+    let n = schedule.universe();
+    let mut parts: Vec<String> = Vec::new();
+    for pid in ProcessId::all(n) {
+        let Some(cp) = schedule.crash_point(pid) else {
+            continue;
+        };
+        let stage = match &cp.stage {
+            CrashStage::BeforeSend => "before-send".to_string(),
+            CrashStage::MidData { delivered } => {
+                let ranks: Vec<String> =
+                    delivered.iter().map(|p| p.rank().to_string()).collect();
+                format!("mid-data{{{}}}", ranks.join(","))
+            }
+            CrashStage::MidControl { prefix_len } => format!("mid-control/{prefix_len}"),
+            CrashStage::EndOfRound => "end-of-round".to_string(),
+        };
+        parts.push(format!("p{}@r{}:{stage}", pid.rank(), cp.round));
+    }
+    if parts.is_empty() {
+        "none".to_string()
+    } else {
+        parts.join(",")
+    }
+}
+
+/// Errors from [`parse_schedule`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "schedule parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        message: message.into(),
+    })
+}
+
+/// Parses the textual format into a schedule over a universe of `n`.
+pub fn parse_schedule(n: usize, text: &str) -> Result<CrashSchedule, ParseError> {
+    let text = text.trim();
+    let mut schedule = CrashSchedule::none(n);
+    if text.is_empty() || text == "none" {
+        return Ok(schedule);
+    }
+
+    // Split on commas that are not inside a mid-data brace group.
+    let mut entries: Vec<String> = Vec::new();
+    let mut depth = 0usize;
+    let mut current = String::new();
+    for c in text.chars() {
+        match c {
+            '{' => {
+                depth += 1;
+                current.push(c);
+            }
+            '}' => {
+                depth = depth.saturating_sub(1);
+                current.push(c);
+            }
+            ',' if depth == 0 => {
+                entries.push(std::mem::take(&mut current));
+            }
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() {
+        entries.push(current);
+    }
+
+    for entry in entries {
+        let entry = entry.trim();
+        let Some(rest) = entry.strip_prefix('p') else {
+            return err(format!("entry '{entry}' must start with 'p<rank>'"));
+        };
+        let Some((rank_str, rest)) = rest.split_once("@r") else {
+            return err(format!("entry '{entry}' is missing '@r<round>'"));
+        };
+        let Some((round_str, stage_str)) = rest.split_once(':') else {
+            return err(format!("entry '{entry}' is missing ':<stage>'"));
+        };
+        let rank: u32 = match rank_str.trim().parse() {
+            Ok(r) if r >= 1 => r,
+            _ => return err(format!("bad rank '{rank_str}' in '{entry}'")),
+        };
+        if rank as usize > n {
+            return err(format!("rank p{rank} outside universe 1..={n}"));
+        }
+        let round: u32 = match round_str.trim().parse() {
+            Ok(r) if r >= 1 => r,
+            _ => return err(format!("bad round '{round_str}' in '{entry}'")),
+        };
+
+        let stage_str = stage_str.trim();
+        let stage = if stage_str == "before-send" {
+            CrashStage::BeforeSend
+        } else if stage_str == "end-of-round" {
+            CrashStage::EndOfRound
+        } else if let Some(prefix) = stage_str.strip_prefix("mid-control/") {
+            match prefix.trim().parse::<usize>() {
+                Ok(k) => CrashStage::MidControl { prefix_len: k },
+                Err(_) => return err(format!("bad prefix '{prefix}' in '{entry}'")),
+            }
+        } else if let Some(body) = stage_str
+            .strip_prefix("mid-data{")
+            .and_then(|s| s.strip_suffix('}'))
+        {
+            let mut delivered = PidSet::empty(n);
+            for part in body.split(',') {
+                let part = part.trim();
+                if part.is_empty() {
+                    continue;
+                }
+                match part.parse::<u32>() {
+                    Ok(r) if r >= 1 && r as usize <= n => {
+                        delivered.insert(ProcessId::new(r));
+                    }
+                    _ => return err(format!("bad delivered rank '{part}' in '{entry}'")),
+                }
+            }
+            CrashStage::MidData { delivered }
+        } else {
+            return err(format!("unknown stage '{stage_str}' in '{entry}'"));
+        };
+
+        if schedule.crash_point(ProcessId::new(rank)).is_some() {
+            return err(format!("p{rank} crashes twice"));
+        }
+        schedule.set(
+            ProcessId::new(rank),
+            Some(CrashPoint::new(Round::new(round), stage)),
+        );
+    }
+    Ok(schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(r: u32) -> ProcessId {
+        ProcessId::new(r)
+    }
+
+    #[test]
+    fn none_round_trips() {
+        let s = CrashSchedule::none(4);
+        assert_eq!(format_schedule(&s), "none");
+        assert_eq!(parse_schedule(4, "none").unwrap(), s);
+        assert_eq!(parse_schedule(4, "  ").unwrap(), s);
+    }
+
+    #[test]
+    fn every_stage_round_trips() {
+        let s = CrashSchedule::none(5)
+            .with_crash(pid(1), CrashPoint::new(Round::new(1), CrashStage::BeforeSend))
+            .with_crash(
+                pid(2),
+                CrashPoint::new(
+                    Round::new(2),
+                    CrashStage::MidData {
+                        delivered: PidSet::from_iter(5, [pid(3), pid(5)]),
+                    },
+                ),
+            )
+            .with_crash(
+                pid(3),
+                CrashPoint::new(Round::new(1), CrashStage::MidControl { prefix_len: 2 }),
+            )
+            .with_crash(pid(4), CrashPoint::new(Round::new(3), CrashStage::EndOfRound));
+        let text = format_schedule(&s);
+        assert_eq!(
+            text,
+            "p1@r1:before-send,p2@r2:mid-data{3,5},p3@r1:mid-control/2,p4@r3:end-of-round"
+        );
+        assert_eq!(parse_schedule(5, &text).unwrap(), s);
+    }
+
+    #[test]
+    fn empty_mid_data_round_trips() {
+        let s = CrashSchedule::none(3).with_crash(
+            pid(2),
+            CrashPoint::new(
+                Round::new(1),
+                CrashStage::MidData {
+                    delivered: PidSet::empty(3),
+                },
+            ),
+        );
+        let text = format_schedule(&s);
+        assert_eq!(text, "p2@r1:mid-data{}");
+        assert_eq!(parse_schedule(3, &text).unwrap(), s);
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let s = parse_schedule(4, " p1@r1:mid-control/0 , p3@r2:before-send ").unwrap();
+        assert_eq!(s.f(), 2);
+    }
+
+    #[test]
+    fn parse_errors_are_descriptive() {
+        for (input, needle) in [
+            ("q1@r1:before-send", "must start with 'p"),
+            ("p1:before-send", "missing '@r"),
+            ("p1@r1", "missing ':"),
+            ("p0@r1:before-send", "bad rank"),
+            ("p9@r1:before-send", "outside universe"),
+            ("p1@r0:before-send", "bad round"),
+            ("p1@r1:exploded", "unknown stage"),
+            ("p1@r1:mid-control/x", "bad prefix"),
+            ("p1@r1:mid-data{7}", "bad delivered rank"),
+            ("p1@r1:before-send,p1@r2:before-send", "crashes twice"),
+        ] {
+            let e = parse_schedule(4, input).unwrap_err();
+            assert!(
+                e.to_string().contains(needle),
+                "input '{input}': got '{e}', wanted '{needle}'"
+            );
+        }
+    }
+}

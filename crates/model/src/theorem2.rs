@@ -1,0 +1,134 @@
+//! Closed forms from Theorem 2: the bit/message complexity of the paper's
+//! algorithm (Figure 1) in the best and worst case.
+//!
+//! Theorem 2 considers proposed values of `b ≥ 1` bits, data messages
+//! costing `b` bits and commit messages costing one bit, and derives:
+//!
+//! * **Best case** (no crash): a single round coordinated by `p_1`, which
+//!   sends one data and one commit message to each of the other `n-1`
+//!   processes — `(n-1)·(b+1)` bits in `2(n-1)` messages.
+//!
+//! * **Worst case** (`f = t` crashes, each coordinator crashing after
+//!   partially sending): coordinator `p_k` (for `k = 1..t+1`, with the
+//!   first `t` crashing) sends up to `n-k` data messages and up to `n-k`
+//!   commit messages, so the number of data messages is bounded by
+//!
+//!   ```text
+//!   Σ_{k=1}^{t+1} (n-k)  =  (t+1)·n − (t+1)(t+2)/2
+//!   ```
+//!
+//!   giving `O(n·t)` messages and `O(n·t·b)` bits overall.
+//!
+//! These functions are the reference curves for experiment **E3**
+//! (`repro e3-bits`): the harness runs the real algorithm under the
+//! best-case (no-crash) and worst-case adversaries and checks the measured
+//! counters against these forms.
+
+/// Number of messages (data + commit) in the **best case** (no crash):
+/// `2(n-1)` — one data and one commit from `p_1` to each other process.
+pub fn best_case_messages(n: usize) -> u64 {
+    2 * (n as u64 - 1)
+}
+
+/// Bit complexity in the **best case** (no crash): `(n-1)(b+1)`.
+pub fn best_case_bits(n: usize, b: u64) -> u64 {
+    (n as u64 - 1) * (b + 1)
+}
+
+/// Upper bound on the number of **data** messages in the worst case with
+/// `f` crashing coordinators (so coordinators `p_1 … p_{f+1}` all send):
+/// `Σ_{k=1}^{f+1} (n-k) = (f+1)n − (f+1)(f+2)/2`.
+///
+/// # Panics
+///
+/// Panics if `f + 1 > n` (there are only `n` possible coordinators).
+pub fn worst_case_data_messages(n: usize, f: usize) -> u64 {
+    assert!(f < n, "at most n coordinators exist");
+    let n = n as u64;
+    let k = f as u64 + 1; // number of coordinators that get to send
+    k * n - k * (k + 1) / 2
+}
+
+/// Upper bound on the number of **commit** messages in the worst case —
+/// same count as the data messages (each coordinator commits to at most the
+/// processes it sent data to).
+pub fn worst_case_control_messages(n: usize, f: usize) -> u64 {
+    worst_case_data_messages(n, f)
+}
+
+/// Upper bound on the total number of messages in the worst case:
+/// `≤ 2·[(f+1)n − (f+1)(f+2)/2] = O(n·t)`.
+pub fn worst_case_messages(n: usize, f: usize) -> u64 {
+    2 * worst_case_data_messages(n, f)
+}
+
+/// Upper bound on the total bit complexity in the worst case:
+/// `(b+1)·[(f+1)n − (f+1)(f+2)/2] = O(n·t·b)`.
+pub fn worst_case_bits(n: usize, f: usize, b: u64) -> u64 {
+    (b + 1) * worst_case_data_messages(n, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_case_forms() {
+        // n = 5, b = 8: p_1 sends 4 data (8 bits each) + 4 commits (1 bit).
+        assert_eq!(best_case_messages(5), 8);
+        assert_eq!(best_case_bits(5, 8), 4 * 9);
+        // Theorem 2's statement: (n-1)(b+1).
+        for n in 2..50 {
+            for b in [1u64, 8, 64, 1024] {
+                assert_eq!(best_case_bits(n, b), (n as u64 - 1) * (b + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn worst_case_sum_matches_naive() {
+        // The closed form equals the literal sum Σ_{k=1}^{f+1}(n-k).
+        for n in 2..30usize {
+            for f in 0..n {
+                if f + 1 > n {
+                    continue;
+                }
+                let naive: u64 = (1..=f as u64 + 1).map(|k| n as u64 - k).sum();
+                assert_eq!(worst_case_data_messages(n, f), naive, "n={n} f={f}");
+            }
+        }
+    }
+
+    #[test]
+    fn worst_case_zero_crash_degenerates_to_best_case() {
+        // f = 0: only p_1 sends, n-1 data + n-1 commits.
+        assert_eq!(worst_case_data_messages(10, 0), 9);
+        assert_eq!(worst_case_messages(10, 0), best_case_messages(10));
+        assert_eq!(worst_case_bits(10, 0, 8), best_case_bits(10, 8));
+    }
+
+    #[test]
+    fn worst_case_is_monotone_in_f() {
+        for f in 0..9 {
+            assert!(worst_case_bits(10, f + 1, 8) >= worst_case_bits(10, f, 8));
+        }
+    }
+
+    #[test]
+    fn worst_case_is_o_ntb() {
+        // Sanity: the bound is ≤ (f+1)·n·(b+1), the O(ntb) shape.
+        for n in 2..20usize {
+            for f in 0..n {
+                for b in [1u64, 16, 256] {
+                    assert!(worst_case_bits(n, f, b) <= (f as u64 + 1) * n as u64 * (b + 1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most n coordinators")]
+    fn too_many_coordinators_panics() {
+        let _ = worst_case_data_messages(3, 3);
+    }
+}

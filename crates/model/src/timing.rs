@@ -1,0 +1,209 @@
+//! The Section 2.2 cost model: round durations and the crossover analysis.
+//!
+//! Let `D` be the duration of a round in the **classic** synchronous model
+//! (an upper bound on message transfer + local processing).  The extended
+//! model appends the pipelined control sending step; because no waiting or
+//! computation happens between the two steps, and the data + control
+//! messages are pipelined in the channel, the extra cost is a small `d`
+//! that does **not** have to cover a full message transfer delay.  An
+//! extended round therefore lasts `D + d` with `d ≪ D` on a LAN with
+//! reliable links.
+//!
+//! The paper's comparison (Section 2.2): an algorithm taking `f+1` extended
+//! rounds beats an algorithm taking `f+2` classic rounds iff
+//!
+//! ```text
+//! (f+1)(D+d) < (f+2)·D   ⇔   (f+1)·d < D
+//! ```
+//!
+//! which holds for all realistic `d/D` on reliable LANs (and fails when
+//! retransmission makes `d` large — exactly the paper's caveat about lossy
+//! networks).  These formulas drive experiment **E4** (`repro e4-cost`).
+//!
+//! Times are in integer *ticks* (think microseconds): the model is
+//! deterministic and exact, no floating-point drift.
+
+/// Time in model ticks (microseconds in the examples).
+pub type Ticks = u64;
+
+/// The `(D, d)` timing parameters of Section 2.2.
+///
+/// # Examples
+///
+/// A LAN-ish ratio `d/D = 5%`: the extended model wins for every `f` up to
+/// the crossover `(f+1)·d ≥ D`:
+///
+/// ```
+/// use twostep_model::TimingModel;
+///
+/// let tm = TimingModel::new(1000, 50);
+/// assert_eq!(tm.crw_decision_time(0), 1050);            // (f+1)(D+d)
+/// assert_eq!(tm.classic_early_decision_time(0, 8), 2000); // min(f+2,t+1)·D
+/// assert!(tm.extended_beats_classic(0, 8));
+/// assert!(tm.extended_beats_classic(18, 100));
+/// assert!(!tm.extended_beats_classic(19, 100), "(19+1)*50 = D: boundary");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TimingModel {
+    /// `D`: duration of a classic round (message transfer + processing).
+    pub round: Ticks,
+    /// `d`: marginal duration of the pipelined control sending step
+    /// (also used as the detection latency of the fast failure detector
+    /// when comparing with the ALT'02 model — both are "the small quantity
+    /// `d ≪ D`" in the paper's discussion).
+    pub ctl: Ticks,
+}
+
+impl TimingModel {
+    /// Creates a timing model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `round == 0` — a zero-length round is meaningless.
+    pub fn new(round: Ticks, ctl: Ticks) -> Self {
+        assert!(round > 0, "classic round duration D must be positive");
+        TimingModel { round, ctl }
+    }
+
+    /// Duration of one **extended** round: `D + d`.
+    #[inline]
+    pub fn extended_round(&self) -> Ticks {
+        self.round + self.ctl
+    }
+
+    /// Wall-clock cost of `rounds` extended rounds: `rounds · (D + d)`.
+    #[inline]
+    pub fn extended_time(&self, rounds: u32) -> Ticks {
+        rounds as Ticks * self.extended_round()
+    }
+
+    /// Wall-clock cost of `rounds` classic rounds: `rounds · D`.
+    #[inline]
+    pub fn classic_time(&self, rounds: u32) -> Ticks {
+        rounds as Ticks * self.round
+    }
+
+    /// Decision time of the paper's algorithm with `f` actual crashes:
+    /// `(f+1)(D+d)` (Theorem 1 × extended round duration).
+    #[inline]
+    pub fn crw_decision_time(&self, f: usize) -> Ticks {
+        self.extended_time(f as u32 + 1)
+    }
+
+    /// Decision time of classic early-deciding uniform consensus:
+    /// `min(f+2, t+1) · D`.
+    #[inline]
+    pub fn classic_early_decision_time(&self, f: usize, t: usize) -> Ticks {
+        self.classic_time(((f + 2).min(t + 1)) as u32)
+    }
+
+    /// Decision time of classic flooding consensus: `(t+1) · D`.
+    #[inline]
+    pub fn flooding_decision_time(&self, t: usize) -> Ticks {
+        self.classic_time(t as u32 + 1)
+    }
+
+    /// Decision time of the fast-failure-detector consensus of
+    /// Aguilera–Le Lann–Toueg (cited comparator \[1\]): `D + f·d`.
+    #[inline]
+    pub fn fastfd_decision_time(&self, f: usize) -> Ticks {
+        self.round + f as Ticks * self.ctl
+    }
+
+    /// The paper's crossover predicate: the extended-model algorithm
+    /// strictly beats the classic `min(f+2, t+1)`-round algorithm.
+    ///
+    /// When `f + 2 ≤ t + 1` this reduces to the paper's `(f+1)·d < D`.
+    #[inline]
+    pub fn extended_beats_classic(&self, f: usize, t: usize) -> bool {
+        self.crw_decision_time(f) < self.classic_early_decision_time(f, t)
+    }
+
+    /// The break-even ratio `d/D` below which the extended model wins for a
+    /// given `f` (assuming the uncapped `f+2` classic bound):
+    /// `(f+1)(D+d) < (f+2)D ⇔ d/D < 1/(f+1)`.
+    #[inline]
+    pub fn breakeven_ratio(f: usize) -> f64 {
+        1.0 / (f as f64 + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_round_panics() {
+        let _ = TimingModel::new(0, 1);
+    }
+
+    #[test]
+    fn durations() {
+        let tm = TimingModel::new(1000, 50);
+        assert_eq!(tm.extended_round(), 1050);
+        assert_eq!(tm.extended_time(3), 3150);
+        assert_eq!(tm.classic_time(3), 3000);
+    }
+
+    #[test]
+    fn decision_time_formulas() {
+        let tm = TimingModel::new(1000, 50);
+        // CRW: (f+1)(D+d).
+        assert_eq!(tm.crw_decision_time(0), 1050);
+        assert_eq!(tm.crw_decision_time(2), 3150);
+        // Classic early: min(f+2, t+1)·D.
+        assert_eq!(tm.classic_early_decision_time(0, 5), 2000);
+        assert_eq!(tm.classic_early_decision_time(5, 5), 6000, "capped at t+1");
+        // Flooding: (t+1)·D.
+        assert_eq!(tm.flooding_decision_time(5), 6000);
+        // Fast FD: D + f·d.
+        assert_eq!(tm.fastfd_decision_time(0), 1000);
+        assert_eq!(tm.fastfd_decision_time(4), 1200);
+    }
+
+    #[test]
+    fn crossover_matches_paper_inequality() {
+        // (f+1)·d < D  ⇔ extended wins (uncapped region).
+        let t = 10;
+        for f in 0..8usize {
+            for (d_num, d_den) in [(1u64, 100u64), (1, 10), (1, 4), (1, 2), (2, 1)] {
+                let dd = 1000 * d_num / d_den;
+                let tm = TimingModel::new(1000, dd);
+                let paper_predicate = (f as u64 + 1) * dd < 1000;
+                if f + 2 <= t + 1 {
+                    assert_eq!(
+                        tm.extended_beats_classic(f, t),
+                        paper_predicate,
+                        "f={f} d={dd}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn failure_free_case_always_wins_with_small_d() {
+        // §2.2: f = 0 is the common case; extended wins whenever d < D.
+        let tm = TimingModel::new(1000, 999);
+        assert!(tm.extended_beats_classic(0, 3));
+        let tm_eq = TimingModel::new(1000, 1000);
+        assert!(!tm_eq.extended_beats_classic(0, 3), "d = D is the boundary");
+    }
+
+    #[test]
+    fn breakeven_ratio_values() {
+        assert!((TimingModel::breakeven_ratio(0) - 1.0).abs() < 1e-12);
+        assert!((TimingModel::breakeven_ratio(3) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lossy_network_caveat() {
+        // When d grows to retransmission scale (d ≥ D), the advantage
+        // disappears — the paper's stated limitation.
+        let tm = TimingModel::new(1000, 2000);
+        for f in 0..5 {
+            assert!(!tm.extended_beats_classic(f, 10));
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Proposed values and their bit sizes.
+//!
+//! Theorem 2 of the paper counts complexity in *bits*: a data message
+//! carries a proposed value of `b ≥ 1` bits, while a commit message is a
+//! pure one-bit signal.  (Footnote 7: a one-bit message is recognized as a
+//! commit; two or more bits make it a data message.)  The [`BitSized`]
+//! trait lets any message type report the bit size Theorem 2 would charge
+//! for it, and [`WideValue`] is a test/workload value with an *exact*,
+//! caller-chosen bit width `b` so the experiments can sweep `b`
+//! independently of the Rust representation.
+
+use std::fmt;
+
+/// Types that know the number of bits Theorem 2's accounting charges for
+/// them when carried inside a data message.
+pub trait BitSized {
+    /// The bit size `b` of this value.
+    fn bit_size(&self) -> u64;
+}
+
+macro_rules! impl_bitsized_prim {
+    ($($ty:ty),*) => {
+        $(impl BitSized for $ty {
+            #[inline]
+            fn bit_size(&self) -> u64 {
+                (std::mem::size_of::<$ty>() * 8) as u64
+            }
+        })*
+    };
+}
+
+impl_bitsized_prim!(u8, u16, u32, u64, u128, i8, i16, i32, i64, i128);
+
+impl BitSized for bool {
+    #[inline]
+    fn bit_size(&self) -> u64 {
+        1
+    }
+}
+
+impl BitSized for () {
+    #[inline]
+    fn bit_size(&self) -> u64 {
+        0
+    }
+}
+
+impl<T: BitSized> BitSized for Option<T> {
+    #[inline]
+    fn bit_size(&self) -> u64 {
+        // One presence bit plus the payload when present.
+        1 + self.as_ref().map_or(0, BitSized::bit_size)
+    }
+}
+
+impl<T: BitSized> BitSized for Vec<T> {
+    #[inline]
+    fn bit_size(&self) -> u64 {
+        self.iter().map(BitSized::bit_size).sum()
+    }
+}
+
+impl<A: BitSized, B: BitSized> BitSized for (A, B) {
+    #[inline]
+    fn bit_size(&self) -> u64 {
+        self.0.bit_size() + self.1.bit_size()
+    }
+}
+
+/// A proposed value with an exact, caller-chosen logical bit width.
+///
+/// `WideValue` stores a numeric identity (so validity/agreement checks can
+/// compare values) together with the logical width `b` used for Theorem 2
+/// accounting.  Two values are equal iff both the identity and the width
+/// match — mixing widths inside one run would make bit accounting
+/// meaningless, and the constructors of the experiment harness never do.
+///
+/// The identity is kept in the *low* `min(b, 64)` bits; constructing a
+/// `WideValue` masks the identity to the declared width so that, e.g., a
+/// 1-bit value can only be 0 or 1 (as in the binary-input lower-bound
+/// experiments).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WideValue {
+    bits: u32,
+    ident: u64,
+}
+
+impl WideValue {
+    /// Creates a value of logical width `bits` (`1..=u32::MAX`) with the
+    /// given identity, masked to the width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits == 0`; Theorem 2 assumes `b ≥ 1`.
+    pub fn new(bits: u32, ident: u64) -> Self {
+        assert!(bits >= 1, "Theorem 2 assumes values of at least one bit");
+        let masked = if bits >= 64 {
+            ident
+        } else {
+            ident & ((1u64 << bits) - 1)
+        };
+        WideValue {
+            bits,
+            ident: masked,
+        }
+    }
+
+    /// The value's identity (its low 64 bits of payload).
+    #[inline]
+    pub fn ident(&self) -> u64 {
+        self.ident
+    }
+
+    /// The declared logical width `b`.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.bits
+    }
+}
+
+impl BitSized for WideValue {
+    #[inline]
+    fn bit_size(&self) -> u64 {
+        self.bits as u64
+    }
+}
+
+impl fmt::Debug for WideValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}b", self.ident, self.bits)
+    }
+}
+
+impl fmt::Display for WideValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.ident)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_bit_sizes() {
+        assert_eq!(5u64.bit_size(), 64);
+        assert_eq!(5u8.bit_size(), 8);
+        assert_eq!(true.bit_size(), 1);
+        assert_eq!(().bit_size(), 0);
+    }
+
+    #[test]
+    fn option_and_vec_sizes() {
+        assert_eq!(Some(1u8).bit_size(), 9);
+        assert_eq!(None::<u8>.bit_size(), 1);
+        assert_eq!(vec![1u8, 2, 3].bit_size(), 24);
+        assert_eq!((1u8, 2u16).bit_size(), 24);
+    }
+
+    #[test]
+    fn wide_value_width_and_mask() {
+        let v = WideValue::new(4, 0xFF);
+        assert_eq!(v.width(), 4);
+        assert_eq!(v.ident(), 0x0F, "identity masked to declared width");
+        assert_eq!(v.bit_size(), 4);
+
+        let w = WideValue::new(128, 42);
+        assert_eq!(w.bit_size(), 128);
+        assert_eq!(w.ident(), 42);
+    }
+
+    #[test]
+    fn binary_values_are_binary() {
+        // Width-1 values can only be 0 or 1 — the lower-bound experiments
+        // rely on this.
+        assert_eq!(WideValue::new(1, 7).ident(), 1);
+        assert_eq!(WideValue::new(1, 6).ident(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn zero_width_panics() {
+        let _ = WideValue::new(0, 1);
+    }
+
+    #[test]
+    fn equality_includes_width() {
+        assert_ne!(WideValue::new(8, 1), WideValue::new(9, 1));
+        assert_eq!(WideValue::new(8, 1), WideValue::new(8, 1));
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let a = WideValue::new(8, 1);
+        let b = WideValue::new(8, 2);
+        assert!(a < b);
+        assert_eq!(a.min(b), a);
+    }
+}

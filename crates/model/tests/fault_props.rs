@@ -1,0 +1,145 @@
+//! Property-based verification of the fault model: crash-stage effects,
+//! schedule bookkeeping, and the Theorem 2 / timing closed forms.
+
+use proptest::prelude::*;
+use twostep_model::{
+    theorem2, CrashPoint, CrashSchedule, CrashStage, PidSet, ProcessId, Round, SystemConfig,
+    TimingModel, WideValue,
+};
+
+fn stage_strategy(n: usize) -> impl Strategy<Value = CrashStage> {
+    prop_oneof![
+        Just(CrashStage::BeforeSend),
+        prop::collection::btree_set(1u32..=n as u32, 0..=n).prop_map(move |ranks| {
+            CrashStage::MidData {
+                delivered: PidSet::from_iter(n, ranks.into_iter().map(ProcessId::new)),
+            }
+        }),
+        (0usize..=n).prop_map(|k| CrashStage::MidControl { prefix_len: k }),
+        Just(CrashStage::EndOfRound),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn stage_effects_are_internally_consistent(
+        n in 1usize..=16,
+        stage in (1usize..=16).prop_flat_map(stage_strategy),
+    ) {
+        let e = stage.effect(n);
+        // A stage that completes the send phase must deliver everything.
+        if stage.completes_send_phase() {
+            prop_assert_eq!(e.data_filter.clone(), None);
+            prop_assert_eq!(e.control_prefix, None);
+            prop_assert!(e.receives_this_round);
+        } else {
+            // Every non-completing stage kills the receive phase.
+            prop_assert!(!e.receives_this_round);
+        }
+        // Control can only flow if the data step completed.
+        if let Some(k) = e.control_prefix {
+            if k > 0 {
+                prop_assert!(e.data_filter.is_none(), "commit implies full data step");
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_bookkeeping_is_consistent(
+        n in 2usize..=12,
+        crashers in prop::collection::btree_set(1u32..=12u32, 0..6),
+        round in 1u32..=6,
+    ) {
+        let crashers: Vec<u32> = crashers.into_iter().filter(|r| *r <= n as u32).collect();
+        let mut s = CrashSchedule::none(n);
+        for (i, r) in crashers.iter().enumerate() {
+            s.set(
+                ProcessId::new(*r),
+                Some(CrashPoint::new(
+                    Round::new(round + (i as u32 % 2)),
+                    CrashStage::BeforeSend,
+                )),
+            );
+        }
+        prop_assert_eq!(s.f(), crashers.len());
+        prop_assert_eq!(s.faulty().len(), crashers.len());
+        prop_assert_eq!(s.correct().len(), n - crashers.len());
+        let mut both = s.faulty();
+        both.union_with(&s.correct());
+        prop_assert!(both.is_full(), "faulty ∪ correct = everyone");
+        let per_round: usize = (1..=8)
+            .map(|r| s.crashing_in(Round::new(r)).count())
+            .sum();
+        prop_assert_eq!(per_round, crashers.len(), "each crasher in exactly one round");
+        // Validation agrees with the count: t = n-1 admits any f < n.
+        if let Ok(config) = SystemConfig::new(n, n - 1) {
+            prop_assert_eq!(s.validate(&config).is_ok(), crashers.len() < n);
+        }
+        if !crashers.is_empty() {
+            let tight = SystemConfig::new(n, crashers.len() - 1);
+            if let Ok(tight) = tight {
+                prop_assert!(s.validate(&tight).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn theorem2_worst_case_is_monotone_and_exact(
+        n in 2usize..=64,
+        b in 1u64..=1024,
+    ) {
+        for f in 0..n - 1 {
+            let naive: u64 = (1..=f as u64 + 1).map(|k| n as u64 - k).sum();
+            prop_assert_eq!(theorem2::worst_case_data_messages(n, f), naive);
+            prop_assert!(theorem2::worst_case_bits(n, f, b) >= theorem2::best_case_bits(n, b) || f == 0);
+            if f > 0 {
+                prop_assert!(
+                    theorem2::worst_case_data_messages(n, f)
+                        > theorem2::worst_case_data_messages(n, f - 1)
+                );
+            }
+        }
+        prop_assert_eq!(
+            theorem2::worst_case_bits(n, 0, b),
+            theorem2::best_case_bits(n, b),
+            "f = 0 degenerates to the best case"
+        );
+    }
+
+    #[test]
+    fn timing_model_is_monotone(
+        big_d in 1u64..=1_000_000,
+        small_d in 0u64..=1_000_000,
+        t in 1usize..=32,
+    ) {
+        let tm = TimingModel::new(big_d, small_d);
+        for f in 0..t {
+            prop_assert!(tm.crw_decision_time(f + 1) > tm.crw_decision_time(f));
+            prop_assert!(
+                tm.classic_early_decision_time(f + 1, t)
+                    >= tm.classic_early_decision_time(f, t)
+            );
+            prop_assert!(tm.fastfd_decision_time(f + 1) >= tm.fastfd_decision_time(f));
+            // The paper's crossover inequality, both directions.
+            let wins = tm.extended_beats_classic(f, t);
+            let lhs = (f as u64 + 1) * tm.extended_round();
+            let rhs = ((f + 2).min(t + 1)) as u64 * tm.round;
+            prop_assert_eq!(wins, lhs < rhs);
+        }
+    }
+
+    #[test]
+    fn wide_values_respect_width(bits in 1u32..=128, ident in any::<u64>()) {
+        let v = WideValue::new(bits, ident);
+        prop_assert_eq!(v.width(), bits);
+        if bits < 64 {
+            prop_assert!(v.ident() < (1u64 << bits));
+        }
+        use twostep_model::BitSized;
+        prop_assert_eq!(v.bit_size(), bits as u64);
+        // Idempotent re-wrap.
+        prop_assert_eq!(WideValue::new(bits, v.ident()), v);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based verification of `PidSet` against a reference
+//! implementation (`BTreeSet`), across universe sizes that straddle the
+//! 64-bit word boundary.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use twostep_model::{PidSet, ProcessId};
+
+/// A universe size and a list of member operations within it.
+fn ops_strategy() -> impl Strategy<Value = (usize, Vec<(bool, u32)>)> {
+    (1usize..=130).prop_flat_map(|n| {
+        let ops = prop::collection::vec((any::<bool>(), 1u32..=n as u32), 0..200);
+        (Just(n), ops)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn insert_remove_matches_reference((n, ops) in ops_strategy()) {
+        let mut set = PidSet::empty(n);
+        let mut reference: BTreeSet<u32> = BTreeSet::new();
+        for (insert, rank) in ops {
+            let pid = ProcessId::new(rank);
+            if insert {
+                prop_assert_eq!(set.insert(pid), reference.insert(rank));
+            } else {
+                prop_assert_eq!(set.remove(pid), reference.remove(&rank));
+            }
+        }
+        prop_assert_eq!(set.len(), reference.len());
+        prop_assert_eq!(set.is_empty(), reference.is_empty());
+        let got: Vec<u32> = set.iter().map(|p| p.rank()).collect();
+        let want: Vec<u32> = reference.iter().copied().collect();
+        prop_assert_eq!(got, want, "iteration in ascending rank order");
+        prop_assert_eq!(set.min().map(|p| p.rank()), reference.first().copied());
+        for rank in 1..=n as u32 {
+            prop_assert_eq!(
+                set.contains(ProcessId::new(rank)),
+                reference.contains(&rank)
+            );
+        }
+    }
+
+    #[test]
+    fn algebra_matches_reference(
+        (n, ops_a) in ops_strategy(),
+        seed in any::<u64>(),
+    ) {
+        // Build two sets over the same universe from ops_a and a rotation.
+        let mut a = PidSet::empty(n);
+        let mut ra: BTreeSet<u32> = BTreeSet::new();
+        let mut b = PidSet::empty(n);
+        let mut rb: BTreeSet<u32> = BTreeSet::new();
+        for (i, (ins, rank)) in ops_a.iter().enumerate() {
+            let rotated = (*rank as u64 + seed) % n as u64 + 1;
+            let pid_a = ProcessId::new(*rank);
+            let pid_b = ProcessId::new(rotated as u32);
+            if *ins || i % 3 == 0 {
+                a.insert(pid_a);
+                ra.insert(*rank);
+                b.insert(pid_b);
+                rb.insert(rotated as u32);
+            }
+        }
+
+        let mut union = a.clone();
+        union.union_with(&b);
+        let r_union: BTreeSet<u32> = ra.union(&rb).copied().collect();
+        prop_assert_eq!(
+            union.iter().map(|p| p.rank()).collect::<Vec<_>>(),
+            r_union.iter().copied().collect::<Vec<_>>()
+        );
+
+        let mut inter = a.clone();
+        inter.intersect_with(&b);
+        let r_inter: BTreeSet<u32> = ra.intersection(&rb).copied().collect();
+        prop_assert_eq!(
+            inter.iter().map(|p| p.rank()).collect::<Vec<_>>(),
+            r_inter.iter().copied().collect::<Vec<_>>()
+        );
+
+        let mut diff = a.clone();
+        diff.difference_with(&b);
+        let r_diff: BTreeSet<u32> = ra.difference(&rb).copied().collect();
+        prop_assert_eq!(
+            diff.iter().map(|p| p.rank()).collect::<Vec<_>>(),
+            r_diff.iter().copied().collect::<Vec<_>>()
+        );
+
+        // Subset laws.
+        prop_assert!(inter.is_subset(&a));
+        prop_assert!(inter.is_subset(&b));
+        prop_assert!(a.is_subset(&union));
+        prop_assert!(diff.is_subset(&a));
+    }
+
+    #[test]
+    fn full_and_empty_are_extremes(n in 1usize..=130) {
+        let full = PidSet::full(n);
+        let empty = PidSet::empty(n);
+        prop_assert_eq!(full.len(), n);
+        prop_assert!(full.is_full());
+        prop_assert!(empty.is_subset(&full));
+        prop_assert!(!full.is_subset(&empty) || n == 0);
+        // Every pid is in full, none in empty.
+        for pid in ProcessId::all(n) {
+            prop_assert!(full.contains(pid));
+            prop_assert!(!empty.contains(pid));
+        }
+    }
+
+    #[test]
+    fn eq_and_hash_agree((n, ops) in ops_strategy()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut a = PidSet::empty(n);
+        let mut b = PidSet::empty(n);
+        for (ins, rank) in &ops {
+            let pid = ProcessId::new(*rank);
+            if *ins {
+                a.insert(pid);
+                b.insert(pid);
+            } else {
+                a.remove(pid);
+                b.remove(pid);
+            }
+        }
+        prop_assert_eq!(&a, &b);
+        let hash = |s: &PidSet| {
+            let mut h = DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        };
+        prop_assert_eq!(hash(&a), hash(&b));
+    }
+}

@@ -1,0 +1,777 @@
+//! Bounded exhaustive exploration of a protocol's execution space.
+//!
+//! The explorer walks **every** execution of a round-based protocol under
+//! the extended (or classic) model for a given `(n, t)`: at each round the
+//! adversary may crash any subset of the live processes (within the
+//! remaining budget), and each crash takes one of the *distinct* outcomes
+//! enumerated by [`twostep_adversary::crash_outcomes`] against that
+//! process's concrete send plan — arbitrary data subsets, ordered commit
+//! prefixes, end-of-round death.
+//!
+//! Identical configurations reached along different paths are merged: the
+//! execution space is a DAG, and each node's subtree is summarized once
+//! ([`Summary`]) and memoized.  A summary carries
+//!
+//! * how many terminal executions the subtree contains,
+//! * the worst last-decision round per total crash count `f` (the Theorem
+//!   1 / Theorem 4 quantity),
+//! * the set of values decidable in the subtree (the **valency** of the
+//!   configuration, the engine of the paper's Section 5 bivalency
+//!   argument),
+//! * whether any terminal violates the uniform-consensus spec.
+//!
+//! This regenerates the paper's lower-bound content mechanically for small
+//! `n`: over all executions with `f` crashes the worst decision round is
+//! exactly `f+1`, and bivalent configurations persist until the adversary's
+//! budget is spent.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::rc::Rc;
+
+use twostep_adversary::crash_outcomes;
+use twostep_model::{CrashPoint, CrashSchedule, CrashStage, ProcessId, SystemConfig};
+use twostep_sim::{
+    check_uniform_consensus, Decision, ModelKind, PlanShape, ProcStatus, RoundActions, SimError,
+    SpecViolation, Stepper, SyncProtocol, TraceLevel,
+};
+
+/// Protocols the explorer can check: cloneable (to fork executions) and
+/// hashable (to merge identical configurations).
+pub trait CheckableProtocol: SyncProtocol + Clone + Eq + Hash {}
+impl<T: SyncProtocol + Clone + Eq + Hash> CheckableProtocol for T {}
+
+/// Decision-round bounds to verify at every terminal, as a function of the
+/// run's actual crash count `f`.
+#[derive(Clone, Copy, Debug)]
+pub enum RoundBound {
+    /// `f + c` — Theorem 1 is `FPlus(1)`.
+    FPlus(u32),
+    /// `min(f + 2, t + 1)` — the classic early-deciding bound.
+    ClassicEarly {
+        /// The resilience bound `t`.
+        t: usize,
+    },
+    /// A fixed bound independent of `f` — flooding's `t + 1`.
+    Fixed(u32),
+    /// `base + f·per_f` — e.g. the block simulation of the extended model
+    /// on the classic one decides within `(f+1)·n` classic rounds, which
+    /// is `Scaled { base: n, per_f: n }`.
+    Scaled {
+        /// The `f = 0` bound.
+        base: u32,
+        /// Extra rounds per crash.
+        per_f: u32,
+    },
+}
+
+impl RoundBound {
+    /// The bound for a run with `f` crashes.
+    pub fn bound(&self, f: usize) -> u32 {
+        match self {
+            RoundBound::FPlus(c) => f as u32 + c,
+            RoundBound::ClassicEarly { t } => ((f + 2).min(t + 1)) as u32,
+            RoundBound::Fixed(b) => *b,
+            RoundBound::Scaled { base, per_f } => base + f as u32 * per_f,
+        }
+    }
+}
+
+/// Which agreement property to verify at terminals.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SpecMode {
+    /// Uniform consensus: no two processes — correct or faulty — decide
+    /// differently (the paper's problem).
+    #[default]
+    Uniform,
+    /// Plain consensus: only *correct* processes must agree; a faulty
+    /// decider may deviate.  Used to check the classic-model `f+1`
+    /// early-deciding baseline, for which uniformity provably fails
+    /// (Charron-Bost–Schiper).
+    NonUniform,
+}
+
+/// Exploration limits and options.
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreConfig {
+    /// Which model semantics to run under.
+    pub model: ModelKind,
+    /// Round cap: reaching it with live undecided processes is a
+    /// termination violation.
+    pub max_rounds: u32,
+    /// Distinct-configuration budget; exceeding it aborts with
+    /// [`ExploreError::StateLimit`].
+    pub max_states: usize,
+    /// Optional decision-round bound to verify at every terminal.
+    pub round_bound: Option<RoundBound>,
+    /// Agreement property to verify (uniform by default).
+    pub spec: SpecMode,
+    /// Cap on crashes *per round* (`None` = only the global `t` budget).
+    /// `Some(1)` is the restricted adversary of **Theorem 3** — the §5
+    /// proof kills at most one process per round, so the `f+1` lower
+    /// bound already holds against this weaker adversary.
+    pub max_crashes_per_round: Option<usize>,
+}
+
+impl ExploreConfig {
+    /// Defaults for checking the paper's algorithm: extended model, round
+    /// cap `n + 1`, Theorem 1 bound, a generous state budget.
+    pub fn for_crw(system: &SystemConfig) -> Self {
+        ExploreConfig {
+            model: ModelKind::Extended,
+            max_rounds: system.n() as u32 + 1,
+            max_states: 5_000_000,
+            round_bound: Some(RoundBound::FPlus(1)),
+            spec: SpecMode::Uniform,
+            max_crashes_per_round: None,
+        }
+    }
+
+    /// The same exploration under the Theorem 3 adversary: at most one
+    /// crash in each round.
+    pub fn theorem3(system: &SystemConfig) -> Self {
+        ExploreConfig {
+            max_crashes_per_round: Some(1),
+            ..Self::for_crw(system)
+        }
+    }
+}
+
+/// Errors aborting an exploration.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ExploreError {
+    /// The distinct-state budget was exhausted.
+    StateLimit {
+        /// The configured budget.
+        budget: usize,
+    },
+    /// The engine rejected a step (e.g. control messages under classic
+    /// semantics).
+    Engine(SimError),
+}
+
+impl std::fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExploreError::StateLimit { budget } => {
+                write!(f, "exploration exceeded the {budget}-state budget")
+            }
+            ExploreError::Engine(e) => write!(f, "engine error during exploration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExploreError {}
+
+/// Memoized summary of everything reachable from one configuration.
+#[derive(Clone, Debug)]
+pub struct Summary<O> {
+    /// Terminal executions in the subtree.
+    pub terminals: u64,
+    /// `worst_round_by_f[f]` = the latest decision round over all subtree
+    /// terminals whose total crash count is `f` (`None` = no such terminal
+    /// or no decision in it).
+    pub worst_round_by_f: Vec<Option<u32>>,
+    /// Distinct values decided somewhere in the subtree — the
+    /// configuration's valency.
+    pub decided: Vec<O>,
+    /// Whether some terminal in the subtree violates the spec.
+    pub violating: bool,
+}
+
+impl<O: Clone + Eq> Summary<O> {
+    fn empty(t: usize) -> Self {
+        Summary {
+            terminals: 0,
+            worst_round_by_f: vec![None; t + 1],
+            decided: Vec::new(),
+            violating: false,
+        }
+    }
+
+    fn absorb(&mut self, child: &Summary<O>) {
+        self.terminals += child.terminals;
+        for (mine, theirs) in self.worst_round_by_f.iter_mut().zip(&child.worst_round_by_f) {
+            *mine = match (*mine, *theirs) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            };
+        }
+        for v in &child.decided {
+            if !self.decided.contains(v) {
+                self.decided.push(v.clone());
+            }
+        }
+        self.violating |= child.violating;
+    }
+
+    /// Whether at least two different values are reachable — the
+    /// configuration is *bivalent* in the sense of the paper's Section 5.
+    pub fn is_bivalent(&self) -> bool {
+        self.decided.len() >= 2
+    }
+}
+
+/// Canonical snapshot of one process inside a configuration key.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Snap<P: SyncProtocol>
+where
+    P::Output: Hash,
+{
+    Active(P),
+    Decided(P::Output, u32),
+    Crashed(Option<(P::Output, u32)>),
+}
+
+/// Configuration key: the upcoming round plus per-process snapshots.  The
+/// remaining crash budget is derivable (crashed count is in the snaps), so
+/// equal keys have identical futures *and* identical past decisions.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct Key<P: SyncProtocol>
+where
+    P::Output: Hash,
+{
+    round: u32,
+    snaps: Vec<Snap<P>>,
+}
+
+fn make_key<P>(stepper: &Stepper<P>) -> Key<P>
+where
+    P: CheckableProtocol,
+    P::Output: Hash,
+{
+    let snaps = stepper
+        .status()
+        .iter()
+        .zip(stepper.procs())
+        .zip(stepper.decisions())
+        .map(|((status, proc), decision)| match status {
+            ProcStatus::Active => Snap::Active(proc.clone()),
+            ProcStatus::Decided => {
+                let d = decision.as_ref().expect("decided process has a decision");
+                Snap::Decided(d.value.clone(), d.round.get())
+            }
+            ProcStatus::Crashed(_) => {
+                Snap::Crashed(decision.as_ref().map(|d| (d.value.clone(), d.round.get())))
+            }
+        })
+        .collect();
+    Key {
+        round: stepper.round().get(),
+        snaps,
+    }
+}
+
+/// The result of a completed exploration.
+#[derive(Clone, Debug)]
+pub struct ExploreReport<O> {
+    /// Distinct configurations visited.
+    pub distinct_states: usize,
+    /// Root summary: terminals, worst rounds per `f`, valency, violations.
+    pub root: Summary<O>,
+    /// Per-round configuration census: `(round, configs, bivalent configs)`
+    /// over all memoized configurations, ascending by round.  This is the
+    /// empirical bivalency table of experiment E5.
+    pub bivalency_by_round: Vec<(u32, usize, usize)>,
+    /// A concrete violating schedule, if any terminal violated the spec:
+    /// the crash points along one violating path plus the violations found
+    /// at its terminal.
+    pub witness: Option<Witness<O>>,
+}
+
+/// A reconstructed counterexample.
+#[derive(Clone, Debug)]
+pub struct Witness<O> {
+    /// The crash schedule of the violating execution.
+    pub schedule: CrashSchedule,
+    /// The violations at its terminal.
+    pub violations: Vec<SpecViolation<O>>,
+    /// The terminal's decision table.
+    pub decisions: Vec<Option<Decision<O>>>,
+}
+
+/// Exhaustively explores `initial` under every admissible adversary.
+///
+/// `proposals[i]` must be the value `p_{i+1}` proposed (for the validity
+/// check).  See [`ExploreConfig`] for limits.
+///
+/// # Examples
+///
+/// Verifying the paper's algorithm over the complete adversary space of a
+/// 3-process system — every crash subset, every data-delivery subset,
+/// every commit prefix — and reading off the exact Theorem 1/4 worst case:
+///
+/// ```
+/// use twostep_core::crw_processes;
+/// use twostep_model::{SystemConfig, WideValue};
+/// use twostep_modelcheck::{SpecMode, explore, ExploreConfig};
+///
+/// let system = SystemConfig::new(3, 2).unwrap();
+/// let proposals: Vec<WideValue> =
+///     (0..3).map(|i| WideValue::new(1, i as u64 % 2)).collect();
+/// let report = explore(
+///     system,
+///     ExploreConfig::for_crw(&system),
+///     crw_processes(&system, &proposals),
+///     proposals,
+/// )
+/// .unwrap();
+///
+/// assert!(!report.root.violating);                     // spec holds everywhere
+/// assert_eq!(report.root.worst_round_by_f[2], Some(3)); // worst = f+1, exactly
+/// assert!(report.root.is_bivalent());                  // §5's starting point
+/// ```
+pub fn explore<P>(
+    system: SystemConfig,
+    options: ExploreConfig,
+    initial: Vec<P>,
+    proposals: Vec<P::Output>,
+) -> Result<ExploreReport<P::Output>, ExploreError>
+where
+    P: CheckableProtocol,
+    P::Output: Hash,
+{
+    let mut ctx = Ctx {
+        system,
+        options,
+        proposals,
+        memo: HashMap::new(),
+    };
+    let root_stepper = Stepper::new(system, options.model, TraceLevel::Off, initial)
+        .map_err(ExploreError::Engine)?;
+    let root = ctx.dfs(root_stepper)?;
+
+    let mut by_round: HashMap<u32, (usize, usize)> = HashMap::new();
+    for (key, summary) in &ctx.memo {
+        let slot = by_round.entry(key.round).or_insert((0, 0));
+        slot.0 += 1;
+        if summary.is_bivalent() {
+            slot.1 += 1;
+        }
+    }
+    let mut bivalency_by_round: Vec<(u32, usize, usize)> = by_round
+        .into_iter()
+        .map(|(r, (c, b))| (r, c, b))
+        .collect();
+    bivalency_by_round.sort_unstable();
+
+    let witness = if root.violating {
+        Some(ctx.reconstruct_witness()?)
+    } else {
+        None
+    };
+
+    Ok(ExploreReport {
+        distinct_states: ctx.memo.len(),
+        root: (*root).clone(),
+        bivalency_by_round,
+        witness,
+    })
+}
+
+struct Ctx<P>
+where
+    P: CheckableProtocol,
+    P::Output: Hash,
+{
+    system: SystemConfig,
+    options: ExploreConfig,
+    proposals: Vec<P::Output>,
+    memo: HashMap<Key<P>, Rc<Summary<P::Output>>>,
+}
+
+impl<P> Ctx<P>
+where
+    P: CheckableProtocol,
+    P::Output: Hash,
+{
+    fn dfs(&mut self, stepper: Stepper<P>) -> Result<Rc<Summary<P::Output>>, ExploreError> {
+        let key = make_key(&stepper);
+        if let Some(s) = self.memo.get(&key) {
+            return Ok(Rc::clone(s));
+        }
+        if self.memo.len() >= self.options.max_states {
+            return Err(ExploreError::StateLimit {
+                budget: self.options.max_states,
+            });
+        }
+
+        let summary = if self.is_terminal(&stepper) {
+            self.evaluate_terminal(&stepper)
+        } else {
+            let mut acc = Summary::empty(self.system.t());
+            let mut actions_buf: RoundActions = vec![None; self.system.n()];
+            let action_sets = self.enumerate_action_sets(&stepper);
+            for actions in action_sets {
+                actions_buf.clone_from(&actions);
+                let mut child = stepper.clone();
+                child.step(&actions_buf).map_err(ExploreError::Engine)?;
+                let child_summary = self.dfs(child)?;
+                acc.absorb(&child_summary);
+            }
+            acc
+        };
+
+        let rc = Rc::new(summary);
+        self.memo.insert(key, Rc::clone(&rc));
+        Ok(rc)
+    }
+
+    fn is_terminal(&self, stepper: &Stepper<P>) -> bool {
+        stepper.is_quiescent() || stepper.round().get() > self.options.max_rounds
+    }
+
+    fn evaluate_terminal(&self, stepper: &Stepper<P>) -> Summary<P::Output> {
+        let n = self.system.n();
+        let mut pseudo_schedule = CrashSchedule::none(n);
+        let mut f = 0usize;
+        for (i, status) in stepper.status().iter().enumerate() {
+            if let ProcStatus::Crashed(round) = status {
+                f += 1;
+                // Stage is irrelevant to the spec check; only the correct
+                // set and rounds matter.
+                pseudo_schedule.set(
+                    ProcessId::from_idx(i),
+                    Some(CrashPoint::new(*round, CrashStage::BeforeSend)),
+                );
+            }
+        }
+
+        let bound = self.options.round_bound.map(|rb| rb.bound(f));
+        let mut report =
+            check_uniform_consensus(&self.proposals, stepper.decisions(), &pseudo_schedule, bound);
+        if self.options.spec == SpecMode::NonUniform {
+            report
+                .violations
+                .retain(|v| !matches!(v, SpecViolation::UniformAgreement { .. }));
+        }
+
+        let mut summary = Summary::empty(self.system.t());
+        summary.terminals = 1;
+        let last = stepper
+            .decisions()
+            .iter()
+            .flatten()
+            .map(|d| d.round.get())
+            .max();
+        summary.worst_round_by_f[f] = last;
+        for d in stepper.decisions().iter().flatten() {
+            if !summary.decided.contains(&d.value) {
+                summary.decided.push(d.value.clone());
+            }
+        }
+        summary.violating = !report.ok();
+        summary
+    }
+
+    /// All adversary moves for the upcoming round: every subset of live
+    /// processes within the remaining budget, each with every distinct
+    /// crash outcome against its concrete plan.  The no-crash move comes
+    /// first.
+    fn enumerate_action_sets(&self, stepper: &Stepper<P>) -> Vec<RoundActions> {
+        let n = self.system.n();
+        let crashed_so_far = stepper
+            .status()
+            .iter()
+            .filter(|s| matches!(s, ProcStatus::Crashed(_)))
+            .count();
+        let budget = self.system.t() - crashed_so_far;
+
+        let shapes = stepper.peek_plan_shapes();
+        let active: Vec<usize> = (0..n)
+            .filter(|i| matches!(stepper.status()[*i], ProcStatus::Active))
+            .collect();
+        let outcomes: Vec<Vec<CrashStage>> = active
+            .iter()
+            .map(|&i| {
+                let shape: &PlanShape = shapes[i].as_ref().expect("active process has a shape");
+                crash_outcomes(n, &shape.data_dests, shape.control_len)
+            })
+            .collect();
+
+        let round_budget = self
+            .options
+            .max_crashes_per_round
+            .unwrap_or(usize::MAX)
+            .min(budget);
+        let mut out: Vec<RoundActions> = Vec::new();
+        let mut current: RoundActions = vec![None; n];
+        Self::rec_actions(&active, &outcomes, 0, round_budget, &mut current, &mut out);
+        out
+    }
+
+    fn rec_actions(
+        active: &[usize],
+        outcomes: &[Vec<CrashStage>],
+        idx: usize,
+        budget: usize,
+        current: &mut RoundActions,
+        out: &mut Vec<RoundActions>,
+    ) {
+        if idx == active.len() {
+            out.push(current.clone());
+            return;
+        }
+        // This process survives the round.
+        Self::rec_actions(active, outcomes, idx + 1, budget, current, out);
+        // Or it crashes, in every distinct way — if budget remains (the
+        // tighter of the global `t` budget and the per-round cap).
+        if budget > 0 {
+            for stage in &outcomes[idx] {
+                current[active[idx]] = Some(stage.clone());
+                Self::rec_actions(active, outcomes, idx + 1, budget - 1, current, out);
+            }
+            current[active[idx]] = None;
+        }
+    }
+
+    /// Walks one violating path, rebuilding its crash schedule and the
+    /// terminal's violations.  Only called when the root summary is
+    /// violating, in which case a violating child exists at every level.
+    fn reconstruct_witness(&mut self) -> Result<Witness<P::Output>, ExploreError> {
+        // Re-create the root stepper from the memo is impossible (keys hold
+        // snapshots, not steppers); instead re-drive from scratch, choosing
+        // at each level the first child whose memoized summary violates.
+        // All children are memoized because the violating subtree was fully
+        // explored.
+        let initial: Vec<P> = self
+            .memo
+            .keys()
+            .find(|k| k.round == 1 && k.snaps.iter().all(|s| matches!(s, Snap::Active(_))))
+            .map(|k| {
+                k.snaps
+                    .iter()
+                    .map(|s| match s {
+                        Snap::Active(p) => p.clone(),
+                        _ => unreachable!(),
+                    })
+                    .collect()
+            })
+            .expect("root configuration is memoized");
+
+        let mut stepper = Stepper::new(self.system, self.options.model, TraceLevel::Off, initial)
+            .map_err(ExploreError::Engine)?;
+        let mut schedule = CrashSchedule::none(self.system.n());
+
+        loop {
+            if self.is_terminal(&stepper) {
+                let summary = self.evaluate_terminal(&stepper);
+                debug_assert!(summary.violating);
+                let n = self.system.n();
+                let mut pseudo = CrashSchedule::none(n);
+                for (i, status) in stepper.status().iter().enumerate() {
+                    if let ProcStatus::Crashed(round) = status {
+                        pseudo.set(
+                            ProcessId::from_idx(i),
+                            Some(CrashPoint::new(*round, CrashStage::BeforeSend)),
+                        );
+                    }
+                }
+                let f = pseudo.f();
+                let bound = self.options.round_bound.map(|rb| rb.bound(f));
+                let mut report = check_uniform_consensus(
+                    &self.proposals,
+                    stepper.decisions(),
+                    &pseudo,
+                    bound,
+                );
+                if self.options.spec == SpecMode::NonUniform {
+                    report
+                        .violations
+                        .retain(|v| !matches!(v, SpecViolation::UniformAgreement { .. }));
+                }
+                return Ok(Witness {
+                    schedule,
+                    violations: report.violations,
+                    decisions: stepper.decisions().to_vec(),
+                });
+            }
+
+            let round = stepper.round();
+            let mut advanced = false;
+            for actions in self.enumerate_action_sets(&stepper) {
+                let mut child = stepper.clone();
+                child.step(&actions).map_err(ExploreError::Engine)?;
+                let key = make_key(&child);
+                let violating = self
+                    .memo
+                    .get(&key)
+                    .map(|s| s.violating)
+                    .unwrap_or(false);
+                if violating {
+                    for (i, a) in actions.iter().enumerate() {
+                        if let Some(stage) = a {
+                            schedule.set(
+                                ProcessId::from_idx(i),
+                                Some(CrashPoint::new(round, stage.clone())),
+                            );
+                        }
+                    }
+                    stepper = child;
+                    advanced = true;
+                    break;
+                }
+            }
+            assert!(
+                advanced,
+                "violating summary without violating child — memo inconsistency"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twostep_model::{BitSized, Round};
+    use twostep_sim::{Inbox, SendPlan, Step};
+
+    /// A deliberately broken "consensus": everyone decides its own proposal
+    /// in round 1.  Uniform agreement must be violated whenever two
+    /// proposals differ, and the explorer must find a witness.
+    #[derive(Clone, PartialEq, Eq, Hash, Debug)]
+    struct DecideOwn {
+        v: u64,
+    }
+
+    impl SyncProtocol for DecideOwn {
+        type Msg = u64;
+        type Output = u64;
+        fn send(&mut self, _round: Round) -> SendPlan<u64, u64> {
+            SendPlan::quiet()
+        }
+        fn receive(&mut self, _round: Round, _inbox: &Inbox<u64>) -> Step<u64> {
+            Step::Decide(self.v)
+        }
+    }
+
+    /// A protocol that never decides — termination must be flagged.
+    #[derive(Clone, PartialEq, Eq, Hash, Debug)]
+    struct NeverDecide;
+
+    impl SyncProtocol for NeverDecide {
+        type Msg = u64;
+        type Output = u64;
+        fn send(&mut self, _round: Round) -> SendPlan<u64, u64> {
+            SendPlan::quiet()
+        }
+        fn receive(&mut self, _round: Round, _inbox: &Inbox<u64>) -> Step<u64> {
+            Step::Continue
+        }
+    }
+
+    const _: () = {
+        // Compile-time check that u64 message payloads satisfy BitSized.
+        fn assert_bitsized<T: BitSized>() {}
+        fn probe() {
+            assert_bitsized::<u64>();
+        }
+        let _ = probe;
+    };
+
+    #[test]
+    fn round_bounds_evaluate() {
+        assert_eq!(RoundBound::FPlus(1).bound(3), 4);
+        assert_eq!(RoundBound::ClassicEarly { t: 3 }.bound(1), 3);
+        assert_eq!(RoundBound::ClassicEarly { t: 3 }.bound(3), 4, "capped");
+        assert_eq!(RoundBound::Fixed(5).bound(0), 5);
+    }
+
+    #[test]
+    fn finds_agreement_violation_with_witness() {
+        let system = SystemConfig::new(2, 1).unwrap();
+        let options = ExploreConfig {
+            model: ModelKind::Extended,
+            max_rounds: 2,
+            max_states: 100_000,
+            round_bound: None,
+        max_crashes_per_round: None,
+            spec: SpecMode::Uniform,
+    };
+        let report = explore(
+            system,
+            options,
+            vec![DecideOwn { v: 0 }, DecideOwn { v: 1 }],
+            vec![0u64, 1],
+        )
+        .unwrap();
+        assert!(report.root.violating);
+        assert!(report.root.is_bivalent(), "both values get decided somewhere");
+        let witness = report.witness.expect("witness reconstructed");
+        assert!(witness
+            .violations
+            .iter()
+            .any(|v| matches!(v, SpecViolation::UniformAgreement { .. })));
+    }
+
+    #[test]
+    fn flags_non_termination_at_round_cap() {
+        let system = SystemConfig::new(2, 0).unwrap();
+        let options = ExploreConfig {
+            model: ModelKind::Extended,
+            max_rounds: 3,
+            max_states: 10_000,
+            round_bound: None,
+        max_crashes_per_round: None,
+            spec: SpecMode::Uniform,
+    };
+        let report = explore(
+            system,
+            options,
+            vec![NeverDecide, NeverDecide],
+            vec![0u64, 0],
+        )
+        .unwrap();
+        assert!(report.root.violating, "termination violation expected");
+        assert_eq!(report.root.terminals, 1, "t = 0 ⇒ single execution");
+    }
+
+    #[test]
+    fn state_budget_is_enforced() {
+        let system = SystemConfig::new(3, 2).unwrap();
+        let options = ExploreConfig {
+            model: ModelKind::Extended,
+            max_rounds: 4,
+            max_states: 3,
+            round_bound: None,
+        max_crashes_per_round: None,
+            spec: SpecMode::Uniform,
+    };
+        let err = explore(
+            system,
+            options,
+            vec![DecideOwn { v: 0 }, DecideOwn { v: 0 }, DecideOwn { v: 0 }],
+            vec![0u64, 0, 0],
+        )
+        .unwrap_err();
+        assert_eq!(err, ExploreError::StateLimit { budget: 3 });
+    }
+
+    #[test]
+    fn agreeing_decide_own_is_clean() {
+        // If everyone proposes the same value, DecideOwn is "correct":
+        // no violation, univalent, decisions in round 1.
+        let system = SystemConfig::new(3, 1).unwrap();
+        let options = ExploreConfig {
+            model: ModelKind::Extended,
+            max_rounds: 2,
+            max_states: 100_000,
+            round_bound: Some(RoundBound::Fixed(1)),
+        max_crashes_per_round: None,
+            spec: SpecMode::Uniform,
+    };
+        let report = explore(
+            system,
+            options,
+            vec![DecideOwn { v: 7 }, DecideOwn { v: 7 }, DecideOwn { v: 7 }],
+            vec![7u64, 7, 7],
+        )
+        .unwrap();
+        assert!(!report.root.violating);
+        assert_eq!(report.root.decided, vec![7]);
+        assert!(!report.root.is_bivalent());
+        assert!(report.root.terminals >= 1);
+        // Bivalency census exists and no round has bivalent configs.
+        assert!(report.bivalency_by_round.iter().all(|(_, _, b)| *b == 0));
+    }
+}

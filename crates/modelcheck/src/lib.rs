@@ -1,0 +1,38 @@
+//! # twostep-modelcheck — bounded exhaustive verification
+//!
+//! The paper's Section 5 lower bound is a bivalency proof: it argues over
+//! *all* executions that uniform consensus cannot finish before round
+//! `f+1` in the extended model.  A proof cannot be "run", but its content
+//! can be regenerated mechanically for small systems: this crate explores
+//! the **complete** execution space of a protocol under every admissible
+//! crash adversary (arbitrary data subsets, ordered commit prefixes,
+//! decide-then-die), verifies the uniform-consensus specification on every
+//! terminal execution, and computes configuration **valency** round by
+//! round.
+//!
+//! Highlights:
+//!
+//! * [`explore`] — memoized DAG exploration with per-subtree
+//!   [`Summary`]s (terminal counts, worst decision round per `f`,
+//!   reachable decision values, violations);
+//! * [`Witness`] — concrete counterexample schedules, reconstructed when
+//!   a violation exists (used by the commit-order ablation, where the
+//!   ascending variant mechanically violates Theorem 1);
+//! * [`RoundBound`] — the `f+1` / `min(f+2, t+1)` / `t+1` bounds as
+//!   checkable predicates.
+//!
+//! Used by experiment **E5** (`repro e5-lowerbound`) and by the
+//! cross-crate test suite to validate every algorithm in the workspace
+//! over the full schedule space for small `n`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod explorer;
+pub mod sample;
+
+pub use explorer::{
+    explore, CheckableProtocol, ExploreConfig, ExploreError, ExploreReport, RoundBound, SpecMode,
+    Summary, Witness,
+};
+pub use sample::{sample, SampleConfig, SampleReport, SampleStrategy, SampleViolation};

@@ -1,0 +1,253 @@
+//! Exhaustive verification of the paper's algorithm over the complete
+//! adversary space for small systems — the mechanical counterpart of
+//! Theorems 1–5.
+
+use twostep_core::{crw_processes, CommitOrder, Crw};
+use twostep_model::{ProcessId, SystemConfig, WideValue};
+use twostep_modelcheck::{SpecMode, explore, ExploreConfig, ExploreError, RoundBound};
+use twostep_sim::ModelKind;
+
+/// Binary proposals 0/1 alternating — the bivalency argument's input space.
+fn binary_proposals(n: usize) -> Vec<WideValue> {
+    (0..n).map(|i| WideValue::new(1, (i % 2) as u64)).collect()
+}
+
+fn explore_crw(
+    n: usize,
+    t: usize,
+    proposals: &[WideValue],
+) -> twostep_modelcheck::ExploreReport<WideValue> {
+    let system = SystemConfig::new(n, t).unwrap();
+    let options = ExploreConfig::for_crw(&system);
+    explore(
+        system,
+        options,
+        crw_processes(&system, proposals),
+        proposals.to_vec(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn crw_satisfies_spec_on_every_execution_n3() {
+    let report = explore_crw(3, 2, &binary_proposals(3));
+    assert!(!report.root.violating, "spec holds on all executions");
+    assert!(report.witness.is_none());
+    assert!(report.root.terminals > 20, "space is non-trivial");
+}
+
+#[test]
+fn crw_satisfies_spec_on_every_execution_n4() {
+    let report = explore_crw(4, 3, &binary_proposals(4));
+    assert!(!report.root.violating);
+    assert!(report.root.terminals > 1_000);
+}
+
+#[test]
+fn crw_satisfies_spec_at_intermediate_resilience_n4_t2() {
+    // A different corner: budget below n-1.  The adversary can no longer
+    // kill every coordinator, and the bound tightens accordingly.
+    let report = explore_crw(4, 2, &binary_proposals(4));
+    assert!(!report.root.violating);
+    for f in 0..=2usize {
+        assert_eq!(report.root.worst_round_by_f[f], Some(f as u32 + 1));
+    }
+}
+
+#[test]
+fn crw_satisfies_spec_wide_system_thin_budget_n5_t1() {
+    // Wide system, a single allowed crash: every one-crash behaviour
+    // (all data subsets over four destinations, all commit prefixes,
+    // decide-then-die) is enumerated.
+    let report = explore_crw(5, 1, &binary_proposals(5));
+    assert!(!report.root.violating);
+    assert_eq!(report.root.worst_round_by_f[0], Some(1));
+    assert_eq!(report.root.worst_round_by_f[1], Some(2));
+    // With ≤ 1 crash and mixed binary inputs, the adversary can still
+    // steer: the initial configuration is bivalent.
+    assert!(report.root.is_bivalent());
+}
+
+#[test]
+fn crw_worst_round_is_exactly_f_plus_1() {
+    // Theorem 1 (upper bound) + Theorem 4 (matching lower bound), checked
+    // over *every* execution: for each actual crash count f, the worst
+    // last-decision round equals f + 1 exactly.
+    for (n, t) in [(3usize, 2usize), (4, 3)] {
+        let report = explore_crw(n, t, &binary_proposals(n));
+        for f in 0..=t {
+            let worst = report.root.worst_round_by_f[f]
+                .unwrap_or_else(|| panic!("no terminal with f={f}?"));
+            assert_eq!(
+                worst,
+                f as u32 + 1,
+                "n={n}: worst decision round for f={f}"
+            );
+        }
+    }
+}
+
+#[test]
+fn crw_initial_configuration_is_bivalent_with_mixed_proposals() {
+    // Both 0 and 1 are decidable from the initial configuration (the
+    // adversary steers by killing coordinators) — the starting point of
+    // the bivalency lower-bound argument.
+    let report = explore_crw(3, 2, &binary_proposals(3));
+    assert!(report.root.is_bivalent());
+    // And bivalent configurations exist beyond round 1: the census must
+    // show at least one bivalent configuration at rounds 1 and 2.
+    let r1 = report
+        .bivalency_by_round
+        .iter()
+        .find(|(r, _, _)| *r == 1)
+        .unwrap();
+    let r2 = report
+        .bivalency_by_round
+        .iter()
+        .find(|(r, _, _)| *r == 2)
+        .unwrap();
+    assert!(r1.2 >= 1, "round-1 bivalent configs: {r1:?}");
+    assert!(r2.2 >= 1, "round-2 bivalent configs: {r2:?}");
+}
+
+#[test]
+fn crw_univalent_with_unanimous_proposals() {
+    // Validity forces univalence when everyone proposes the same value.
+    let unanimous: Vec<WideValue> = (0..3).map(|_| WideValue::new(1, 1)).collect();
+    let report = explore_crw(3, 2, &unanimous);
+    assert!(!report.root.violating);
+    assert_eq!(report.root.decided.len(), 1);
+    assert_eq!(report.root.decided[0].ident(), 1);
+}
+
+#[test]
+fn ablation_ascending_commits_violate_theorem1_exhaustively() {
+    // The commit-order reconstruction (see twostep-core docs): with
+    // ascending commits the f+1 bound fails somewhere in the execution
+    // space, and the explorer both flags it and reconstructs a concrete
+    // schedule.  Uniform agreement itself still holds (checked by running
+    // again without the round bound).
+    let n = 4;
+    let system = SystemConfig::new(n, 2).unwrap();
+    let proposals = binary_proposals(n);
+    let procs: Vec<Crw<WideValue>> = proposals
+        .iter()
+        .enumerate()
+        .map(|(i, v)| Crw::with_order(ProcessId::from_idx(i), n, *v, CommitOrder::LowestFirst))
+        .collect();
+
+    let with_bound = ExploreConfig {
+        model: ModelKind::Extended,
+        max_rounds: n as u32 + 1,
+        max_states: 5_000_000,
+        round_bound: Some(RoundBound::FPlus(1)),
+        max_crashes_per_round: None,
+            spec: SpecMode::Uniform,
+    };
+    let report = explore(system, with_bound, procs.clone(), proposals.clone()).unwrap();
+    assert!(
+        report.root.violating,
+        "ascending commit order must break the f+1 bound somewhere"
+    );
+    let witness = report.witness.expect("counterexample schedule");
+    assert!(
+        !witness.violations.is_empty(),
+        "witness carries the violations"
+    );
+
+    let no_bound = ExploreConfig {
+        round_bound: None,
+        ..with_bound
+    };
+    let report = explore(system, no_bound, procs, proposals).unwrap();
+    assert!(
+        !report.root.violating,
+        "agreement/validity/termination still hold without the bound"
+    );
+}
+
+#[test]
+fn state_budget_error_is_reported_not_panicked() {
+    let system = SystemConfig::new(4, 3).unwrap();
+    let options = ExploreConfig {
+        max_states: 10,
+        ..ExploreConfig::for_crw(&system)
+    };
+    let proposals = binary_proposals(4);
+    let err = explore(
+        system,
+        options,
+        crw_processes(&system, &proposals),
+        proposals,
+    )
+    .unwrap_err();
+    assert!(matches!(err, ExploreError::StateLimit { budget: 10 }));
+}
+
+/// Theorem 3's restricted adversary (at most one crash per round) still
+/// forces the `f+1` worst case — the §5 proof does not need crash bursts
+/// — while exploring a strictly smaller execution space.
+#[test]
+fn theorem3_one_crash_per_round_adversary_still_forces_f_plus_1() {
+    let proposals = binary_proposals(4);
+    let system = SystemConfig::new(4, 3).unwrap();
+
+    let full = explore(
+        system,
+        ExploreConfig::for_crw(&system),
+        crw_processes(&system, &proposals),
+        proposals.clone(),
+    )
+    .unwrap();
+    let restricted = explore(
+        system,
+        ExploreConfig::theorem3(&system),
+        crw_processes(&system, &proposals),
+        proposals.clone(),
+    )
+    .unwrap();
+
+    assert!(!restricted.root.violating, "spec holds under the restriction");
+    for f in 0..=3usize {
+        assert_eq!(
+            restricted.root.worst_round_by_f[f],
+            Some(f as u32 + 1),
+            "restricted worst at f={f}"
+        );
+        assert_eq!(
+            full.root.worst_round_by_f[f],
+            Some(f as u32 + 1),
+            "unrestricted worst at f={f}"
+        );
+    }
+    assert!(
+        restricted.root.terminals < full.root.terminals,
+        "one-per-round is a strict subset of the adversary space: {} vs {}",
+        restricted.root.terminals,
+        full.root.terminals
+    );
+    // The initial configuration stays bivalent under the restriction —
+    // the starting point of the Theorem 3 bivalency argument.
+    assert!(restricted.root.is_bivalent());
+}
+
+/// With the per-round cap at 0 the adversary is impotent: every run is
+/// failure-free and decides in round 1.
+#[test]
+fn zero_crashes_per_round_cap_means_failure_free_space() {
+    let proposals = binary_proposals(3);
+    let system = SystemConfig::new(3, 2).unwrap();
+    let report = explore(
+        system,
+        ExploreConfig {
+            max_crashes_per_round: Some(0),
+            ..ExploreConfig::for_crw(&system)
+        },
+        crw_processes(&system, &proposals),
+        proposals.clone(),
+    )
+    .unwrap();
+    assert_eq!(report.root.terminals, 1, "exactly the failure-free run");
+    assert_eq!(report.root.worst_round_by_f[0], Some(1));
+    assert!(!report.root.is_bivalent(), "p1 always wins: univalent");
+}

@@ -1,0 +1,135 @@
+//! Statistical model checking at sizes exhaustive enumeration cannot
+//! reach: spec confidence sweeps, tight reproduction of the `f+1` worst
+//! case via the coordinator-hunting adversary, and violation *discovery*
+//! on the broken commit-order ablation.
+
+use twostep_core::{crw_processes, CommitOrder, Crw};
+use twostep_model::{ProcessId, SystemConfig, WideValue};
+use twostep_modelcheck::{sample, RoundBound, SampleConfig, SampleStrategy};
+use twostep_sim::ModelKind;
+
+fn binary_proposals(n: usize) -> Vec<WideValue> {
+    (0..n).map(|i| WideValue::new(1, (i % 2) as u64)).collect()
+}
+
+#[test]
+fn uniform_random_sampling_finds_no_violation_n8() {
+    let n = 8;
+    let system = SystemConfig::max_resilience(n).unwrap();
+    let proposals = binary_proposals(n);
+    let config = SampleConfig {
+        model: ModelKind::Extended,
+        max_rounds: n as u32 + 1,
+        runs: 3000,
+        seed: 0x5A_5A,
+        strategy: SampleStrategy::UniformRandom { crash_prob: 0.15 },
+        round_bound: Some(RoundBound::FPlus(1)),
+    };
+    let report = sample(
+        system,
+        config,
+        || crw_processes(&system, &proposals),
+        &proposals,
+    )
+    .unwrap();
+    assert!(
+        report.ok(),
+        "violation: {:?}",
+        report.violation.map(|v| (v.seed, v.schedule, v.violations))
+    );
+    assert_eq!(report.runs, 3000);
+    // Coverage: several distinct f values must have been exercised.
+    let covered = report.runs_by_f.iter().filter(|c| **c > 0).count();
+    assert!(covered >= 3, "crash-count coverage too thin: {:?}", report.runs_by_f);
+}
+
+#[test]
+fn coordinator_hunter_realizes_f_plus_1_at_n8() {
+    // Exhaustive checking tops out around n = 4; the biased sampler
+    // reproduces the tight worst case well beyond that.
+    let n = 8;
+    let system = SystemConfig::max_resilience(n).unwrap();
+    let proposals = binary_proposals(n);
+    let config = SampleConfig {
+        model: ModelKind::Extended,
+        max_rounds: n as u32 + 1,
+        runs: 4000,
+        seed: 0xC0FFEE,
+        strategy: SampleStrategy::CoordinatorHunter { hunt_prob: 0.8 },
+        round_bound: Some(RoundBound::FPlus(1)),
+    };
+    let report = sample(
+        system,
+        config,
+        || crw_processes(&system, &proposals),
+        &proposals,
+    )
+    .unwrap();
+    assert!(report.ok());
+    // The hunter must achieve worst = f+1 for a solid range of f.
+    for f in 0..=4usize {
+        assert_eq!(
+            report.worst_round_by_f[f],
+            Some(f as u32 + 1),
+            "hunter failed to realize the bound at f={f}: {:?}",
+            report.worst_round_by_f
+        );
+    }
+}
+
+#[test]
+fn sampler_discovers_the_ablation_violation_beyond_exhaustive_reach() {
+    // n = 6 with ascending commits: too big to enumerate, but the hunter
+    // trips the Theorem 1 violation quickly (it decides a low-ranked
+    // process early and orphans its coordination round).
+    let n = 6;
+    let system = SystemConfig::new(n, 3).unwrap();
+    let proposals = binary_proposals(n);
+    let config = SampleConfig {
+        model: ModelKind::Extended,
+        max_rounds: n as u32 + 2,
+        runs: 4000,
+        seed: 7,
+        strategy: SampleStrategy::CoordinatorHunter { hunt_prob: 0.8 },
+        round_bound: Some(RoundBound::FPlus(1)),
+    };
+    let report = sample(
+        system,
+        config,
+        || {
+            proposals
+                .iter()
+                .enumerate()
+                .map(|(i, v)| {
+                    Crw::with_order(ProcessId::from_idx(i), n, *v, CommitOrder::LowestFirst)
+                })
+                .collect::<Vec<_>>()
+        },
+        &proposals,
+    )
+    .unwrap();
+    let v = report
+        .violation
+        .expect("the broken order must be caught statistically too");
+    assert!(!v.violations.is_empty());
+    assert!(v.schedule.f() >= 1, "a crash is needed to trigger it");
+}
+
+#[test]
+fn sampling_is_seed_deterministic() {
+    let n = 5;
+    let system = SystemConfig::new(n, 2).unwrap();
+    let proposals = binary_proposals(n);
+    let config = SampleConfig {
+        model: ModelKind::Extended,
+        max_rounds: n as u32 + 1,
+        runs: 200,
+        seed: 99,
+        strategy: SampleStrategy::UniformRandom { crash_prob: 0.2 },
+        round_bound: None,
+    };
+    let a = sample(system, config, || crw_processes(&system, &proposals), &proposals).unwrap();
+    let b = sample(system, config, || crw_processes(&system, &proposals), &proposals).unwrap();
+    assert_eq!(a.worst_round_by_f, b.worst_round_by_f);
+    assert_eq!(a.runs_by_f, b.runs_by_f);
+}

@@ -1,0 +1,60 @@
+//! Runtime stress tests: larger systems, repeated runs, and randomized
+//! schedules — guarding against deadlocks and bookkeeping drift between
+//! the coordinator and the worker threads.
+
+use twostep_adversary::{random_schedule, RandomScheduleSpec};
+use twostep_core::crw_processes;
+use twostep_model::{CrashSchedule, SystemConfig};
+use twostep_runtime::ThreadedRuntime;
+use twostep_sim::check_uniform_consensus;
+
+#[test]
+fn thirty_two_threads_failure_free() {
+    let n = 32;
+    let config = SystemConfig::max_resilience(n).unwrap();
+    let schedule = CrashSchedule::none(n);
+    let proposals: Vec<u64> = (0..n as u64).collect();
+    let report = ThreadedRuntime::new(config, &schedule)
+        .run(crw_processes(&config, &proposals))
+        .unwrap();
+    assert_eq!(report.decided_values(), vec![0]);
+    assert!(!report.hit_round_cap);
+    let spec = check_uniform_consensus(&proposals, &report.decisions, &schedule, Some(1));
+    assert!(spec.ok(), "{spec}");
+}
+
+#[test]
+fn repeated_runs_are_stable() {
+    // 50 consecutive full runtimes: no deadlock, no flaky decisions.
+    let n = 8;
+    let config = SystemConfig::max_resilience(n).unwrap();
+    let schedule = CrashSchedule::none(n);
+    let proposals: Vec<u64> = (0..n as u64).map(|i| 70 + i).collect();
+    for round_trip in 0..50 {
+        let report = ThreadedRuntime::new(config, &schedule)
+            .run(crw_processes(&config, &proposals))
+            .unwrap();
+        assert_eq!(report.decided_values(), vec![70], "iteration {round_trip}");
+    }
+}
+
+#[test]
+fn randomized_schedules_never_hang_or_disagree() {
+    let n = 10;
+    let config = SystemConfig::new(n, 5).unwrap();
+    let proposals: Vec<u64> = (0..n as u64).map(|i| 40 + i).collect();
+    for seed in 0..60u64 {
+        let schedule = random_schedule(&config, RandomScheduleSpec::uniform(&config), seed);
+        let report = ThreadedRuntime::new(config, &schedule)
+            .run(crw_processes(&config, &proposals))
+            .unwrap();
+        assert!(!report.hit_round_cap, "seed {seed} hit the cap");
+        let spec = check_uniform_consensus(
+            &proposals,
+            &report.decisions,
+            &schedule,
+            Some(schedule.f() as u32 + 1),
+        );
+        assert!(spec.ok(), "seed {seed}: {spec}");
+    }
+}

@@ -1,0 +1,828 @@
+//! The lockstep round engine for the extended (and classic) synchronous
+//! model.
+//!
+//! [`Stepper`] executes one round at a time under explicit adversary
+//! actions, which is what the exhaustive model checker needs; [`Simulation`]
+//! drives a `Stepper` from a [`CrashSchedule`] until quiescence, which is
+//! what tests, experiments and benchmarks use.
+//!
+//! ## Semantics enforced here (paper Section 2.1)
+//!
+//! * the complete send plan of a round is produced before anything of that
+//!   round is delivered (no computation between the two send steps);
+//! * a crash in the **data step** delivers an arbitrary subset of the data
+//!   messages and *no* control message;
+//! * a crash in the **control step** delivers all data and an ordered
+//!   *prefix* of the control list;
+//! * a message is *received* only if its destination executes the round's
+//!   receive phase (it is alive, has not decided-and-halted, and is not
+//!   crashing mid-send this round);
+//! * a decision scheduled for the end of the send phase (Figure 1 line 6)
+//!   is recorded only if the send phase completed — but an
+//!   [`CrashStage::EndOfRound`] crash happens *after* the decision, which is
+//!   precisely the "decide then die" scenario uniform agreement must
+//!   survive;
+//! * classic-model runs reject control messages outright (suppressing the
+//!   second send step recovers the traditional model, Section 2.2).
+
+use crate::protocol::{Inbox, SendPlan, Step, SyncProtocol};
+use crate::trace::{Event, Trace, TraceLevel};
+use std::fmt;
+use twostep_model::fault::ScheduleError;
+use twostep_model::{
+    BitSized, CrashSchedule, CrashStage, DeliveryOutcome, PidSet, ProcessId, Round, RunMetrics,
+    SystemConfig,
+};
+
+/// Which round semantics the engine enforces.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ModelKind {
+    /// The paper's extended model: data step + ordered control step.
+    Extended,
+    /// The traditional synchronous model: data step only; any attempt to
+    /// send a control message is a protocol error.
+    Classic,
+}
+
+/// Errors surfaced while executing a run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SimError {
+    /// A protocol emitted control messages under classic semantics.
+    ControlInClassicModel {
+        /// Offending process.
+        pid: ProcessId,
+        /// Round of the offence.
+        round: Round,
+    },
+    /// The crash schedule failed validation against the configuration.
+    BadSchedule(ScheduleError),
+    /// The number of protocol instances does not match `n`.
+    WrongProcessCount {
+        /// Instances supplied.
+        got: usize,
+        /// Configured `n`.
+        want: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::ControlInClassicModel { pid, round } => write!(
+                f,
+                "{pid} sent a control message in round {round} under classic semantics"
+            ),
+            SimError::BadSchedule(e) => write!(f, "invalid crash schedule: {e}"),
+            SimError::WrongProcessCount { got, want } => {
+                write!(f, "got {got} protocol instances for n={want}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A recorded decision: value + the round it was taken in.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Decision<O> {
+    /// The decided value.
+    pub value: O,
+    /// The round in which the decision was taken.
+    pub round: Round,
+}
+
+/// Lifecycle state of one process inside the engine.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ProcStatus {
+    /// Participating normally.
+    Active,
+    /// Decided and halted (the paper's `return`); round recorded in the
+    /// decision table.
+    Decided,
+    /// Crashed in the given round.
+    Crashed(Round),
+}
+
+/// The adversary's choice for a single round: which processes crash now and
+/// at which stage.  Indexed by process; `None` = no crash this round.
+pub type RoundActions = Vec<Option<CrashStage>>;
+
+/// The externally visible shape of one process's send plan for a round:
+/// enough for an adversary to enumerate its distinct crash outcomes,
+/// nothing more (payloads stay hidden).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PlanShape {
+    /// Destinations of the data step (order irrelevant).
+    pub data_dests: Vec<ProcessId>,
+    /// Length of the ordered control list.
+    pub control_len: usize,
+}
+
+/// Round-at-a-time executor.  Drive it with [`Stepper::step`]; inspect state
+/// with the accessors.  Cloneable when the protocol is cloneable, which is
+/// how the model checker forks executions.
+#[derive(Clone)]
+pub struct Stepper<P: SyncProtocol> {
+    config: SystemConfig,
+    model: ModelKind,
+    procs: Vec<P>,
+    status: Vec<ProcStatus>,
+    decisions: Vec<Option<Decision<P::Output>>>,
+    round: Round,
+    metrics: RunMetrics,
+    trace: Trace<P::Msg>,
+    /// Reusable per-destination inboxes (cleared each round).
+    inboxes: Vec<Inbox<P::Msg>>,
+}
+
+impl<P: SyncProtocol> Stepper<P> {
+    /// Creates a stepper over `procs` (one instance per process, `p_1`
+    /// first).
+    pub fn new(
+        config: SystemConfig,
+        model: ModelKind,
+        trace_level: TraceLevel,
+        procs: Vec<P>,
+    ) -> Result<Self, SimError> {
+        if procs.len() != config.n() {
+            return Err(SimError::WrongProcessCount {
+                got: procs.len(),
+                want: config.n(),
+            });
+        }
+        let n = config.n();
+        Ok(Stepper {
+            config,
+            model,
+            procs,
+            status: vec![ProcStatus::Active; n],
+            decisions: vec![None; n],
+            round: Round::FIRST,
+            metrics: RunMetrics::new(n),
+            trace: Trace::new(trace_level),
+            inboxes: (0..n).map(|_| Inbox::new()).collect(),
+        })
+    }
+
+    /// The round the next [`step`](Self::step) will execute.
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// Per-process lifecycle status.
+    pub fn status(&self) -> &[ProcStatus] {
+        &self.status
+    }
+
+    /// Per-process decisions (present even for processes that crashed
+    /// *after* deciding — uniform agreement quantifies over these).
+    pub fn decisions(&self) -> &[Option<Decision<P::Output>>] {
+        &self.decisions
+    }
+
+    /// Accumulated metrics.
+    pub fn metrics(&self) -> &RunMetrics {
+        &self.metrics
+    }
+
+    /// Recorded trace.
+    pub fn trace(&self) -> &Trace<P::Msg> {
+        &self.trace
+    }
+
+    /// The protocol instances (for state inspection / hashing by the model
+    /// checker).
+    pub fn procs(&self) -> &[P] {
+        &self.procs
+    }
+
+    /// The configured system.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Whether no process is `Active` any more (every process decided or
+    /// crashed) — nothing can ever happen again.
+    pub fn is_quiescent(&self) -> bool {
+        self.status.iter().all(|s| !matches!(s, ProcStatus::Active))
+    }
+
+    /// Processes currently `Active`.
+    pub fn active(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.status
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, ProcStatus::Active))
+            .map(|(i, _)| ProcessId::from_idx(i))
+    }
+
+    /// The *shape* (data destinations + control list length) of the plan
+    /// each active process would produce this round, computed on clones so
+    /// the real protocol state is untouched.
+    ///
+    /// The model checker uses this to enumerate exactly the distinct crash
+    /// outcomes available to the adversary this round.
+    pub fn peek_plan_shapes(&self) -> Vec<Option<PlanShape>>
+    where
+        P: Clone,
+    {
+        let round = self.round;
+        self.procs
+            .iter()
+            .zip(&self.status)
+            .map(|(p, s)| {
+                if matches!(s, ProcStatus::Active) {
+                    let plan = p.clone().send(round);
+                    Some(PlanShape {
+                        data_dests: plan.data.iter().map(|(d, _)| *d).collect(),
+                        control_len: plan.control.len(),
+                    })
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Executes one full round under the given adversary `actions`.
+    ///
+    /// `actions[i]` is the crash stage of `p_{i+1}` *in this round*, or
+    /// `None`.  Crashing an already-crashed or decided process is a no-op
+    /// (the adversary wasted a move); schedule-level validation prevents it
+    /// in normal runs.
+    pub fn step(&mut self, actions: &RoundActions) -> Result<(), SimError> {
+        debug_assert_eq!(actions.len(), self.config.n());
+        let n = self.config.n();
+        let round = self.round;
+        self.metrics.rounds_executed = round.get();
+        self.trace.record(|| Event::RoundBegan { round });
+
+        // --- Send phase: collect complete plans from every active process.
+        // Plans are produced before any delivery: no computation can sneak
+        // in between the data and control steps.
+        let mut plans: Vec<Option<SendPlan<P::Msg, P::Output>>> = Vec::with_capacity(n);
+        for i in 0..n {
+            if matches!(self.status[i], ProcStatus::Active) {
+                let plan = self.procs[i].send(round);
+                if self.model == ModelKind::Classic && !plan.control.is_empty() {
+                    return Err(SimError::ControlInClassicModel {
+                        pid: ProcessId::from_idx(i),
+                        round,
+                    });
+                }
+                plans.push(Some(plan));
+            } else {
+                plans.push(None);
+            }
+        }
+
+        // --- Adversary: materialize this round's delivery outcomes.
+        let outcomes: Vec<Option<DeliveryOutcome>> = (0..n)
+            .map(|i| {
+                if matches!(self.status[i], ProcStatus::Active) {
+                    Some(match &actions[i] {
+                        Some(stage) => stage.effect(n),
+                        None => DeliveryOutcome::unimpeded(),
+                    })
+                } else {
+                    None
+                }
+            })
+            .collect();
+
+        // Which processes execute the receive phase this round?
+        let receives: Vec<bool> = (0..n)
+            .map(|i| {
+                matches!(self.status[i], ProcStatus::Active)
+                    && outcomes[i].as_ref().is_some_and(|o| o.receives_this_round)
+                    && plans[i]
+                        .as_ref()
+                        .is_some_and(|p| p.decide_after_send.is_none())
+            })
+            .collect();
+
+        // --- Delivery: data step first, then control step, in sender rank
+        // order so inboxes stay sorted by sender.
+        for ib in &mut self.inboxes {
+            ib.clear();
+        }
+        for i in 0..n {
+            let Some(plan) = &plans[i] else { continue };
+            let out = outcomes[i].as_ref().expect("active sender has an outcome");
+            let from = ProcessId::from_idx(i);
+
+            for (dst, msg) in &plan.data {
+                // "Transmitted" = the sender put it on the wire (it passed
+                // the sender's crash filter); Theorem 2's accounting counts
+                // transmissions — a coordinator cannot know a destination
+                // has already halted.  "Delivered" additionally requires
+                // the destination to execute this round's receive phase.
+                let transmitted = out
+                    .data_filter
+                    .as_ref()
+                    .is_none_or(|filter| filter.contains(*dst));
+                if transmitted {
+                    self.metrics.count_data(msg.bit_size());
+                }
+                let delivered = transmitted && receives[dst.idx()];
+                if delivered {
+                    self.inboxes[dst.idx()].push_data(from, msg.clone());
+                }
+                self.trace.record(|| Event::Data {
+                    round,
+                    from,
+                    to: *dst,
+                    transmitted,
+                    delivered,
+                    msg: msg.clone(),
+                });
+            }
+
+            let prefix = out
+                .control_prefix
+                .unwrap_or(plan.control.len())
+                .min(plan.control.len());
+            for (k, dst) in plan.control.iter().enumerate() {
+                let transmitted = k < prefix;
+                if transmitted {
+                    self.metrics.count_control();
+                }
+                let delivered = transmitted && receives[dst.idx()];
+                if delivered {
+                    self.inboxes[dst.idx()].push_control(from);
+                }
+                self.trace.record(|| Event::Control {
+                    round,
+                    from,
+                    to: *dst,
+                    transmitted,
+                    delivered,
+                });
+            }
+        }
+
+        // --- Send-phase decisions (Figure 1 line 6): recorded only when the
+        // send phase completed, i.e. the process did not crash mid-send.
+        for i in 0..n {
+            let Some(plan) = &mut plans[i] else { continue };
+            let Some(value) = plan.decide_after_send.take() else {
+                continue;
+            };
+            let completed = match &actions[i] {
+                None => true,
+                Some(stage) => stage.completes_send_phase(),
+            };
+            if completed {
+                self.record_decision(ProcessId::from_idx(i), value, round);
+                self.status[i] = ProcStatus::Decided;
+            }
+        }
+
+        // --- Receive + computation phase.  (A process that just decided in
+        // its send phase skipped receive — filtered via `receives` above.)
+        for (i, receives_now) in receives.iter().enumerate() {
+            if !receives_now {
+                continue;
+            }
+            let pid = ProcessId::from_idx(i);
+            match self.procs[i].receive(round, &self.inboxes[i]) {
+                Step::Continue => {}
+                Step::Decide(value) => {
+                    self.record_decision(pid, value, round);
+                    self.status[i] = ProcStatus::Decided;
+                }
+                Step::DecideAndContinue(value) => {
+                    // Early deciding, late stopping: record now, halt later.
+                    self.record_decision(pid, value, round);
+                }
+            }
+        }
+
+        // --- Crashes take effect: any active process with an action dies
+        // now (EndOfRound crashers participated fully above; a process that
+        // decided this round and was scheduled to crash is marked crashed —
+        // its decision stands, which is the uniform-agreement trap).
+        for (i, action) in actions.iter().enumerate() {
+            if action.is_some()
+                && !matches!(self.status[i], ProcStatus::Crashed(_))
+            {
+                self.status[i] = ProcStatus::Crashed(round);
+                self.trace.record(|| Event::Crashed {
+                    pid: ProcessId::from_idx(i),
+                    round,
+                });
+            }
+        }
+
+        self.round = round.next();
+        Ok(())
+    }
+
+    fn record_decision(&mut self, pid: ProcessId, value: P::Output, round: Round) {
+        // First decision wins: an early decider (DecideAndContinue) later
+        // emits a halting Decide whose value must not overwrite the
+        // recorded one (and consensus processes decide at most once anyway).
+        let slot = &mut self.decisions[pid.idx()];
+        if slot.is_none() {
+            self.metrics.record_decision(pid, round);
+            self.trace.record(|| Event::Decided { pid, round });
+            *slot = Some(Decision { value, round });
+        }
+    }
+
+    /// Consumes the stepper into its outcome pieces.
+    pub fn finish(self, hit_round_cap: bool) -> RunReport<P> {
+        let crashed = PidSet::from_iter(
+            self.config.n(),
+            self.status
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| matches!(s, ProcStatus::Crashed(_)))
+                .map(|(i, _)| ProcessId::from_idx(i)),
+        );
+        RunReport {
+            decisions: self.decisions,
+            crashed,
+            metrics: self.metrics,
+            trace: self.trace,
+            hit_round_cap,
+            final_states: self.procs,
+        }
+    }
+}
+
+/// The result of a complete run.
+#[derive(Clone)]
+pub struct RunReport<P: SyncProtocol> {
+    /// Per-process decision (present for decided-then-crashed processes
+    /// too).
+    pub decisions: Vec<Option<Decision<P::Output>>>,
+    /// Processes that crashed during the run.
+    pub crashed: PidSet,
+    /// Metrics per Theorem 2 accounting.
+    pub metrics: RunMetrics,
+    /// Event trace (contents depend on the configured [`TraceLevel`]).
+    pub trace: Trace<P::Msg>,
+    /// Whether the run stopped because it hit the round cap rather than
+    /// quiescence — a termination-property red flag.
+    pub hit_round_cap: bool,
+    /// The protocol instances in their final states.
+    pub final_states: Vec<P>,
+}
+
+impl<P: SyncProtocol> fmt::Debug for RunReport<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunReport")
+            .field("decisions", &self.decisions)
+            .field("crashed", &self.crashed)
+            .field("metrics", &self.metrics)
+            .field("hit_round_cap", &self.hit_round_cap)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<P: SyncProtocol> RunReport<P> {
+    /// The distinct decided values (for agreement inspection).
+    pub fn decided_values(&self) -> Vec<&P::Output> {
+        let mut vals: Vec<&P::Output> = Vec::new();
+        for d in self.decisions.iter().flatten() {
+            if !vals.contains(&&d.value) {
+                vals.push(&d.value);
+            }
+        }
+        vals
+    }
+
+    /// Latest decision round, the Theorem 1 quantity.
+    pub fn last_decision_round(&self) -> Option<Round> {
+        self.decisions
+            .iter()
+            .flatten()
+            .map(|d| d.round)
+            .max()
+    }
+}
+
+/// Whole-run driver: schedule in, report out.
+///
+/// # Examples
+///
+/// Running a trivial one-shot protocol (everyone decides 7 in round 1)
+/// under the failure-free schedule:
+///
+/// ```
+/// use twostep_model::{CrashSchedule, ProcessId, Round, SystemConfig};
+/// use twostep_sim::{Inbox, ModelKind, SendPlan, Simulation, Step, SyncProtocol};
+///
+/// #[derive(Clone)]
+/// struct Lucky;
+/// impl SyncProtocol for Lucky {
+///     type Msg = u8;
+///     type Output = u8;
+///     fn send(&mut self, _r: Round) -> SendPlan<u8, u8> { SendPlan::quiet() }
+///     fn receive(&mut self, _r: Round, _i: &Inbox<u8>) -> Step<u8> { Step::Decide(7) }
+/// }
+///
+/// let config = SystemConfig::new(3, 1).unwrap();
+/// let schedule = CrashSchedule::none(3);
+/// let report = Simulation::new(config, ModelKind::Extended, &schedule)
+///     .run(vec![Lucky, Lucky, Lucky])
+///     .unwrap();
+/// assert!(report.decisions.iter().all(|d| d.as_ref().unwrap().value == 7));
+/// ```
+pub struct Simulation<'a> {
+    config: SystemConfig,
+    model: ModelKind,
+    schedule: &'a CrashSchedule,
+    max_rounds: u32,
+    trace_level: TraceLevel,
+}
+
+impl<'a> Simulation<'a> {
+    /// Creates a simulation of `config` under `schedule`.
+    ///
+    /// The default round cap is `n + t + 2`, comfortably above every bound
+    /// in the paper (`t+1` classic flooding being the largest); protocols
+    /// that fail to terminate by then yield `hit_round_cap = true`.
+    pub fn new(config: SystemConfig, model: ModelKind, schedule: &'a CrashSchedule) -> Self {
+        Simulation {
+            config,
+            model,
+            schedule,
+            max_rounds: (config.n() + config.t() + 2) as u32,
+            trace_level: TraceLevel::Off,
+        }
+    }
+
+    /// Overrides the safety round cap.
+    pub fn max_rounds(mut self, cap: u32) -> Self {
+        self.max_rounds = cap;
+        self
+    }
+
+    /// Sets the trace verbosity.
+    pub fn trace_level(mut self, level: TraceLevel) -> Self {
+        self.trace_level = level;
+        self
+    }
+
+    /// Runs `procs` to quiescence (or the round cap).
+    pub fn run<P: SyncProtocol>(&self, procs: Vec<P>) -> Result<RunReport<P>, SimError> {
+        self.schedule
+            .validate(&self.config)
+            .map_err(SimError::BadSchedule)?;
+        let mut stepper = Stepper::new(self.config, self.model, self.trace_level, procs)?;
+        let n = self.config.n();
+        let mut actions: RoundActions = vec![None; n];
+        let mut hit_cap = true;
+        for round in Round::up_to(self.max_rounds) {
+            actions.iter_mut().for_each(|a| *a = None);
+            for pid in self.config.pids() {
+                if let Some(cp) = self.schedule.crash_point(pid) {
+                    if cp.round == round {
+                        actions[pid.idx()] = Some(cp.stage.clone());
+                    }
+                }
+            }
+            stepper.step(&actions)?;
+            if stepper.is_quiescent() {
+                hit_cap = false;
+                break;
+            }
+        }
+        Ok(stepper.finish(hit_cap))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twostep_model::{CrashPoint, CrashSchedule};
+
+    fn pid(r: u32) -> ProcessId {
+        ProcessId::new(r)
+    }
+
+    /// Toy protocol: p_1 broadcasts its value + commits in rank order and
+    /// decides after sending; everyone else decides the received value when
+    /// the commit arrives.  (A one-coordinator slice of Figure 1.)
+    #[derive(Clone, PartialEq, Eq, Hash, Debug)]
+    struct OneShot {
+        me: ProcessId,
+        n: usize,
+        est: u64,
+    }
+
+    impl SyncProtocol for OneShot {
+        type Msg = u64;
+        type Output = u64;
+
+        fn send(&mut self, round: Round) -> SendPlan<u64, u64> {
+            if round == Round::FIRST && self.me == pid(1) {
+                let mut plan = SendPlan::quiet();
+                for dst in self.me.higher(self.n) {
+                    plan = plan.with_data(dst, self.est);
+                }
+                for dst in self.me.higher(self.n) {
+                    plan = plan.with_control(dst);
+                }
+                plan.then_decide(self.est)
+            } else {
+                SendPlan::quiet()
+            }
+        }
+
+        fn receive(&mut self, _round: Round, inbox: &Inbox<u64>) -> Step<u64> {
+            if let Some(v) = inbox.data_from(pid(1)) {
+                self.est = *v;
+            }
+            if inbox.control_from(pid(1)) {
+                Step::Decide(self.est)
+            } else {
+                Step::Continue
+            }
+        }
+    }
+
+    fn procs(n: usize) -> Vec<OneShot> {
+        (1..=n as u32)
+            .map(|r| OneShot {
+                me: pid(r),
+                n,
+                est: 100 + r as u64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn failure_free_one_round() {
+        let config = SystemConfig::new(4, 2).unwrap();
+        let schedule = CrashSchedule::none(4);
+        let report = Simulation::new(config, ModelKind::Extended, &schedule)
+            .run(procs(4))
+            .unwrap();
+        // Everyone decides 101 (p_1's value) in round 1.
+        for d in &report.decisions {
+            let d = d.as_ref().expect("all decide");
+            assert_eq!(d.value, 101);
+            assert_eq!(d.round, Round::FIRST);
+        }
+        assert!(!report.hit_round_cap);
+        // Metrics: 3 data × 64 bits + 3 control × 1 bit.
+        assert_eq!(report.metrics.data_messages, 3);
+        assert_eq!(report.metrics.control_messages, 3);
+        assert_eq!(report.metrics.total_bits(), 3 * 64 + 3);
+    }
+
+    #[test]
+    fn mid_data_crash_delivers_subset_and_no_control() {
+        let config = SystemConfig::new(4, 2).unwrap();
+        // p_1 crashes mid-data: only p_3 gets the data message; no commits;
+        // p_1 must NOT decide (its send phase never completed).
+        let schedule = CrashSchedule::none(4).with_crash(
+            pid(1),
+            CrashPoint::new(
+                Round::FIRST,
+                CrashStage::MidData {
+                    delivered: PidSet::from_iter(4, [pid(3)]),
+                },
+            ),
+        );
+        let report = Simulation::new(config, ModelKind::Extended, &schedule)
+            .run(procs(4))
+            .unwrap();
+        assert!(report.decisions[0].is_none(), "crashed coordinator decided");
+        assert!(report.decisions.iter().skip(1).all(|d| d.is_none()));
+        assert_eq!(report.metrics.data_messages, 1);
+        assert_eq!(report.metrics.control_messages, 0);
+        assert!(report.crashed.contains(pid(1)));
+        // Nobody decides, so the run ends at the cap.
+        assert!(report.hit_round_cap);
+        // p_3 adopted the value even though it could not decide.
+        assert_eq!(report.final_states[2].est, 101);
+        assert_eq!(report.final_states[1].est, 102, "p_2 saw nothing");
+    }
+
+    #[test]
+    fn mid_control_crash_delivers_ordered_prefix() {
+        let config = SystemConfig::new(4, 2).unwrap();
+        // p_1 crashes after committing to p_2 only: all data arrived, and
+        // exactly p_2 decides in round 1 — prefix semantics.
+        let schedule = CrashSchedule::none(4).with_crash(
+            pid(1),
+            CrashPoint::new(Round::FIRST, CrashStage::MidControl { prefix_len: 1 }),
+        );
+        let report = Simulation::new(config, ModelKind::Extended, &schedule)
+            .run(procs(4))
+            .unwrap();
+        assert!(report.decisions[0].is_none(), "send phase did not complete");
+        let d2 = report.decisions[1].as_ref().expect("p_2 got the commit");
+        assert_eq!((d2.value, d2.round), (101, Round::FIRST));
+        assert!(report.decisions[2].is_none());
+        assert!(report.decisions[3].is_none());
+        // All three data messages delivered, one control.
+        assert_eq!(report.metrics.data_messages, 3);
+        assert_eq!(report.metrics.control_messages, 1);
+        // p_3/p_4 adopted the estimate.
+        assert_eq!(report.final_states[2].est, 101);
+        assert_eq!(report.final_states[3].est, 101);
+    }
+
+    #[test]
+    fn end_of_round_crash_decides_then_dies() {
+        let config = SystemConfig::new(4, 2).unwrap();
+        // p_1 completes the round (everyone decides), then crashes: its own
+        // decision must be recorded — uniform agreement ranges over it.
+        let schedule = CrashSchedule::none(4).with_crash(
+            pid(1),
+            CrashPoint::new(Round::FIRST, CrashStage::EndOfRound),
+        );
+        let report = Simulation::new(config, ModelKind::Extended, &schedule)
+            .run(procs(4))
+            .unwrap();
+        let d1 = report.decisions[0].as_ref().expect("decided before dying");
+        assert_eq!(d1.value, 101);
+        assert!(report.crashed.contains(pid(1)));
+        for d in report.decisions.iter().skip(1) {
+            assert_eq!(d.as_ref().unwrap().value, 101);
+        }
+    }
+
+    #[test]
+    fn classic_model_rejects_control() {
+        let config = SystemConfig::new(3, 1).unwrap();
+        let schedule = CrashSchedule::none(3);
+        let err = Simulation::new(config, ModelKind::Classic, &schedule)
+            .run(procs(3))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::ControlInClassicModel { pid, round }
+                if pid == ProcessId::new(1) && round == Round::FIRST
+        ));
+    }
+
+    #[test]
+    fn schedule_validation_is_enforced() {
+        let config = SystemConfig::new(3, 0).unwrap();
+        let schedule = CrashSchedule::none(3).with_crash(
+            pid(1),
+            CrashPoint::new(Round::FIRST, CrashStage::BeforeSend),
+        );
+        let err = Simulation::new(config, ModelKind::Extended, &schedule)
+            .run(procs(3))
+            .unwrap_err();
+        assert!(matches!(err, SimError::BadSchedule(_)));
+    }
+
+    #[test]
+    fn wrong_process_count_rejected() {
+        let config = SystemConfig::new(3, 1).unwrap();
+        let schedule = CrashSchedule::none(3);
+        let err = Simulation::new(config, ModelKind::Extended, &schedule)
+            .run(procs(2))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::WrongProcessCount { got: 2, want: 3 }
+        ));
+    }
+
+    #[test]
+    fn transmissions_to_dead_destinations_count_but_are_not_received() {
+        let config = SystemConfig::new(3, 2).unwrap();
+        // p_2 is dead from the start; p_1 still *transmits* to it (it cannot
+        // know), so Theorem 2 accounting charges the message — but p_2 never
+        // receives it.
+        let schedule = CrashSchedule::none(3).with_crash(
+            pid(2),
+            CrashPoint::new(Round::FIRST, CrashStage::BeforeSend),
+        );
+        let report = Simulation::new(config, ModelKind::Extended, &schedule)
+            .run(procs(3))
+            .unwrap();
+        assert_eq!(report.metrics.data_messages, 2, "both transmissions count");
+        assert_eq!(report.metrics.control_messages, 2);
+        assert!(report.decisions[1].is_none(), "dead p_2 received nothing");
+        assert_eq!(report.decisions[2].as_ref().unwrap().value, 101);
+    }
+
+    #[test]
+    fn stepper_accessors_expose_state() {
+        let config = SystemConfig::new(3, 1).unwrap();
+        let mut stepper = Stepper::new(
+            config,
+            ModelKind::Extended,
+            TraceLevel::Off,
+            procs(3),
+        )
+        .unwrap();
+        assert_eq!(stepper.round(), Round::FIRST);
+        assert_eq!(stepper.active().count(), 3);
+        assert!(!stepper.is_quiescent());
+        stepper.step(&vec![None, None, None]).unwrap();
+        assert!(stepper.is_quiescent(), "everyone decided in round 1");
+        assert_eq!(stepper.round(), Round::new(2));
+        assert_eq!(stepper.decisions().iter().flatten().count(), 3);
+    }
+}

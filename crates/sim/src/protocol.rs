@@ -1,0 +1,306 @@
+//! The protocol interface: what a round-based algorithm looks like to the
+//! execution substrates.
+//!
+//! A round of the extended model (paper Section 2.1) is:
+//!
+//! 1. a **send phase** with two pipelined steps — data messages to an
+//!    arbitrary per-destination set, then one-bit control messages to an
+//!    **ordered** sequence — with *no local computation in between*;
+//! 2. a **receive phase**;
+//! 3. a **computation phase**.
+//!
+//! [`SyncProtocol::send`] returns the complete [`SendPlan`] for the round
+//! *atomically*, which structurally enforces "no computation between the two
+//! sending steps": the control list cannot depend on anything received in
+//! the current round.  [`SyncProtocol::receive`] covers the receive +
+//! computation phases and may decide.
+//!
+//! The paper's Figure 1 coordinator decides *during the send phase*
+//! (line 6, right after issuing its commits); [`SendPlan::decide_after_send`]
+//! models exactly that — the engine records the decision only if the
+//! process's entire send phase completes (i.e. it does not crash in
+//! `BeforeSend`/`MidData`/`MidControl`).
+
+use std::fmt;
+use twostep_model::{BitSized, ProcessId, Round};
+
+/// Everything a process emits in one round's send phase.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct SendPlan<M, O> {
+    /// Data messages: `(destination, payload)` pairs.  Destinations form an
+    /// arbitrary set; a crash during this step delivers an arbitrary subset.
+    pub data: Vec<(ProcessId, M)>,
+    /// Control (synchronization) destinations **in sending order**.  A crash
+    /// during this step delivers an ordered prefix.
+    pub control: Vec<ProcessId>,
+    /// A decision taken at the end of the send phase (Figure 1 line 6).
+    /// Recorded only if the send phase completes without a crash; the
+    /// process then halts without executing the receive phase (the paper's
+    /// `return`).
+    pub decide_after_send: Option<O>,
+}
+
+impl<M, O> SendPlan<M, O> {
+    /// A plan that sends nothing and keeps participating.
+    pub fn quiet() -> Self {
+        SendPlan {
+            data: Vec::new(),
+            control: Vec::new(),
+            decide_after_send: None,
+        }
+    }
+
+    /// Adds a data message, builder style.
+    pub fn with_data(mut self, to: ProcessId, msg: M) -> Self {
+        self.data.push((to, msg));
+        self
+    }
+
+    /// Appends a control destination (order is the sending order).
+    pub fn with_control(mut self, to: ProcessId) -> Self {
+        self.control.push(to);
+        self
+    }
+
+    /// Schedules a decision for the end of the send phase.
+    pub fn then_decide(mut self, value: O) -> Self {
+        self.decide_after_send = Some(value);
+        self
+    }
+}
+
+/// The messages a process finds in its inbox during the receive phase.
+///
+/// Senders appear in ascending rank order.  The extended model guarantees a
+/// channel carries at most one data message and one control bit per round
+/// (paper footnote 3), so per-sender lookups return at most one entry.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Inbox<M> {
+    data: Vec<(ProcessId, M)>,
+    control: Vec<ProcessId>,
+}
+
+impl<M> Inbox<M> {
+    /// An empty inbox.
+    pub fn new() -> Self {
+        Inbox {
+            data: Vec::new(),
+            control: Vec::new(),
+        }
+    }
+
+    /// Clears the inbox for reuse (keeps allocations).
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.control.clear();
+    }
+
+    /// Assembles an inbox from unordered parts, sorting by sender rank.
+    ///
+    /// Intended for substrates outside this crate (the classic-model
+    /// simulation of the extended model, the threaded runtime) that collect
+    /// deliveries in arrival order and must present them in the canonical
+    /// sender order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sender appears twice in either part — the model
+    /// guarantees at most one data and one control message per channel per
+    /// round (paper footnote 3).
+    pub fn from_parts(mut data: Vec<(ProcessId, M)>, mut control: Vec<ProcessId>) -> Self {
+        data.sort_by_key(|(p, _)| *p);
+        control.sort();
+        assert!(
+            data.windows(2).all(|w| w[0].0 != w[1].0),
+            "duplicate data sender in one round"
+        );
+        assert!(
+            control.windows(2).all(|w| w[0] != w[1]),
+            "duplicate control sender in one round"
+        );
+        Inbox { data, control }
+    }
+
+    /// Records a delivered data message (engine-side).
+    pub(crate) fn push_data(&mut self, from: ProcessId, msg: M) {
+        debug_assert!(
+            self.data.last().is_none_or(|(p, _)| *p < from),
+            "engine delivers in ascending sender order"
+        );
+        self.data.push((from, msg));
+    }
+
+    /// Records a delivered control message (engine-side).
+    pub(crate) fn push_control(&mut self, from: ProcessId) {
+        debug_assert!(
+            self.control.last().is_none_or(|p| *p < from),
+            "engine delivers in ascending sender order"
+        );
+        self.control.push(from);
+    }
+
+    /// The data message received from `from` this round, if any.
+    pub fn data_from(&self, from: ProcessId) -> Option<&M> {
+        self.data
+            .binary_search_by_key(&from, |(p, _)| *p)
+            .ok()
+            .map(|i| &self.data[i].1)
+    }
+
+    /// Whether a control message from `from` arrived this round.
+    pub fn control_from(&self, from: ProcessId) -> bool {
+        self.control.binary_search(&from).is_ok()
+    }
+
+    /// All data messages, ascending sender rank.
+    pub fn data(&self) -> &[(ProcessId, M)] {
+        &self.data
+    }
+
+    /// All control senders, ascending rank.
+    pub fn control(&self) -> &[ProcessId] {
+        &self.control
+    }
+
+    /// Whether nothing at all was received.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty() && self.control.is_empty()
+    }
+}
+
+/// The outcome of a process's receive/computation phase.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Step<O> {
+    /// Keep participating in the next round.
+    Continue,
+    /// Decide `O` and halt (the paper's `return v`).
+    Decide(O),
+    /// Decide `O` but **keep participating** — the *early deciding, late
+    /// stopping* pattern of the classic-model literature (decision by
+    /// `f+1`, halting only by `f+2` / `t+1`; Dolev–Reischuk–Strong).  The
+    /// engine records the decision (first one wins) and the process stays
+    /// active; it must eventually emit [`Step::Decide`] to halt.
+    DecideAndContinue(O),
+}
+
+/// A round-based synchronous protocol, written against the extended model.
+///
+/// A protocol instance is the state of **one** process.  The engine calls
+/// [`send`](Self::send) at the start of each round for every live,
+/// undecided process, applies the adversary's crash/delivery choices, then
+/// calls [`receive`](Self::receive) on every process that reaches the
+/// receive phase.
+///
+/// Protocols written for the **classic** model simply keep
+/// [`SendPlan::control`] empty; the engine rejects control messages when
+/// running with classic semantics, which is how the "suppress the second
+/// sending step and you get the traditional model" remark of Section 2.2 is
+/// enforced mechanically.
+///
+/// # Examples
+///
+/// A one-round broadcaster: `p_1` pushes its value with a pipelined commit;
+/// receivers decide when the commit arrives:
+///
+/// ```
+/// use twostep_model::{ProcessId, Round};
+/// use twostep_sim::{Inbox, SendPlan, Step, SyncProtocol};
+///
+/// #[derive(Clone)]
+/// struct OneShot { me: ProcessId, n: usize, value: u64 }
+///
+/// impl SyncProtocol for OneShot {
+///     type Msg = u64;
+///     type Output = u64;
+///
+///     fn send(&mut self, round: Round) -> SendPlan<u64, u64> {
+///         if round == Round::FIRST && self.me == ProcessId::new(1) {
+///             let mut plan = SendPlan::quiet();
+///             for dst in self.me.higher(self.n) {
+///                 plan = plan.with_data(dst, self.value);
+///             }
+///             for dst in self.me.higher(self.n).rev() {
+///                 plan = plan.with_control(dst); // ordered: highest first
+///             }
+///             plan.then_decide(self.value)       // Figure 1 line 6
+///         } else {
+///             SendPlan::quiet()
+///         }
+///     }
+///
+///     fn receive(&mut self, _round: Round, inbox: &Inbox<u64>) -> Step<u64> {
+///         match (inbox.data_from(ProcessId::new(1)), inbox.control_from(ProcessId::new(1))) {
+///             (Some(v), true) => Step::Decide(*v),
+///             _ => Step::Continue,
+///         }
+///     }
+/// }
+/// ```
+pub trait SyncProtocol {
+    /// Data message payload.
+    type Msg: Clone + BitSized + fmt::Debug;
+    /// Decision value.
+    type Output: Clone + Eq + fmt::Debug;
+
+    /// Produce the complete send phase for `round`.
+    fn send(&mut self, round: Round) -> SendPlan<Self::Msg, Self::Output>;
+
+    /// Consume the round's inbox (receive + computation phases).
+    fn receive(&mut self, round: Round, inbox: &Inbox<Self::Msg>) -> Step<Self::Output>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(r: u32) -> ProcessId {
+        ProcessId::new(r)
+    }
+
+    #[test]
+    fn plan_builders() {
+        let plan: SendPlan<u64, u64> = SendPlan::quiet()
+            .with_data(pid(2), 7)
+            .with_data(pid(3), 7)
+            .with_control(pid(2))
+            .with_control(pid(3))
+            .then_decide(7);
+        assert_eq!(plan.data.len(), 2);
+        assert_eq!(plan.control, vec![pid(2), pid(3)]);
+        assert_eq!(plan.decide_after_send, Some(7));
+    }
+
+    #[test]
+    fn quiet_plan_is_empty() {
+        let plan: SendPlan<u64, u64> = SendPlan::quiet();
+        assert!(plan.data.is_empty());
+        assert!(plan.control.is_empty());
+        assert!(plan.decide_after_send.is_none());
+    }
+
+    #[test]
+    fn inbox_lookup() {
+        let mut inbox: Inbox<u64> = Inbox::new();
+        assert!(inbox.is_empty());
+        inbox.push_data(pid(1), 10);
+        inbox.push_data(pid(3), 30);
+        inbox.push_control(pid(3));
+
+        assert_eq!(inbox.data_from(pid(1)), Some(&10));
+        assert_eq!(inbox.data_from(pid(2)), None);
+        assert_eq!(inbox.data_from(pid(3)), Some(&30));
+        assert!(!inbox.control_from(pid(1)));
+        assert!(inbox.control_from(pid(3)));
+        assert!(!inbox.is_empty());
+    }
+
+    #[test]
+    fn inbox_clear_reuses() {
+        let mut inbox: Inbox<u64> = Inbox::new();
+        inbox.push_data(pid(1), 1);
+        inbox.push_control(pid(1));
+        inbox.clear();
+        assert!(inbox.is_empty());
+        assert_eq!(inbox.data_from(pid(1)), None);
+    }
+}

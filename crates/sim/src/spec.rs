@@ -1,0 +1,336 @@
+//! The consensus specification as a post-hoc checker.
+//!
+//! The paper's uniform consensus problem (Section 3.1):
+//!
+//! * **Termination** — every correct process eventually decides;
+//! * **Validity** — a decided value was proposed by some process;
+//! * **Agreement** — no two *correct* processes decide differently;
+//! * **Uniform agreement** — no two processes decide differently,
+//!   *be they correct or faulty*.
+//!
+//! The checker runs over a completed run's decision table and the crash
+//! schedule (which determines the correct set).  It reports *all*
+//! violations rather than failing fast — counterexample traces in the model
+//! checker and in proptest shrink better when the full story is visible.
+
+use crate::engine::Decision;
+use std::fmt;
+use twostep_model::{CrashSchedule, ProcessId, Round};
+
+/// A single violation of the consensus specification.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SpecViolation<O> {
+    /// A process decided a value nobody proposed.
+    Validity {
+        /// The deciding process.
+        pid: ProcessId,
+        /// The non-proposed value it decided.
+        decided: O,
+    },
+    /// Two processes (any two — the *uniform* property) decided different
+    /// values.
+    UniformAgreement {
+        /// First decider and its value.
+        a: (ProcessId, O),
+        /// Second decider and its conflicting value.
+        b: (ProcessId, O),
+    },
+    /// Two *correct* processes decided different values (the weaker,
+    /// non-uniform property — reported separately so a checker run can tell
+    /// "uniformity broke but plain agreement held" from "everything broke").
+    Agreement {
+        /// First correct decider and its value.
+        a: (ProcessId, O),
+        /// Second correct decider and its conflicting value.
+        b: (ProcessId, O),
+    },
+    /// A correct process never decided.
+    Termination {
+        /// The non-deciding correct process.
+        pid: ProcessId,
+    },
+    /// A process decided later than the stated round bound.
+    RoundBound {
+        /// The tardy process.
+        pid: ProcessId,
+        /// The round it decided in.
+        round: Round,
+        /// The bound it violated.
+        bound: u32,
+    },
+}
+
+impl<O: fmt::Debug> fmt::Display for SpecViolation<O> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecViolation::Validity { pid, decided } => {
+                write!(f, "validity: {pid} decided non-proposed value {decided:?}")
+            }
+            SpecViolation::UniformAgreement { a, b } => write!(
+                f,
+                "uniform agreement: {} decided {:?} but {} decided {:?}",
+                a.0, a.1, b.0, b.1
+            ),
+            SpecViolation::Agreement { a, b } => write!(
+                f,
+                "agreement: correct {} decided {:?} but correct {} decided {:?}",
+                a.0, a.1, b.0, b.1
+            ),
+            SpecViolation::Termination { pid } => {
+                write!(f, "termination: correct {pid} never decided")
+            }
+            SpecViolation::RoundBound { pid, round, bound } => {
+                write!(f, "round bound: {pid} decided in round {round} > bound {bound}")
+            }
+        }
+    }
+}
+
+/// The outcome of checking one run against the specification.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SpecReport<O> {
+    /// Every violation found (empty = the run satisfies the spec).
+    pub violations: Vec<SpecViolation<O>>,
+}
+
+impl<O> SpecReport<O> {
+    /// Whether the run satisfies the specification.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl<O: fmt::Debug> fmt::Display for SpecReport<O> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.ok() {
+            write!(f, "spec satisfied")
+        } else {
+            writeln!(f, "{} violation(s):", self.violations.len())?;
+            for v in &self.violations {
+                writeln!(f, "  - {v}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Checks a run against uniform consensus.
+///
+/// * `proposals[i]` — the value `p_{i+1}` proposed;
+/// * `decisions[i]` — its decision, if it took one (including processes
+///   that decided and then crashed);
+/// * `schedule` — determines which processes are correct;
+/// * `round_bound` — if given, every decision must happen in a round
+///   `≤ bound` (use `f+1` for Theorem 1, `min(f+2, t+1)` for the classic
+///   early-deciding baseline, `t+1` for flooding).
+pub fn check_uniform_consensus<O: Clone + Eq + fmt::Debug>(
+    proposals: &[O],
+    decisions: &[Option<Decision<O>>],
+    schedule: &CrashSchedule,
+    round_bound: Option<u32>,
+) -> SpecReport<O> {
+    assert_eq!(
+        proposals.len(),
+        decisions.len(),
+        "proposals and decisions must cover the same processes"
+    );
+    let mut violations = Vec::new();
+
+    // Validity.
+    for (i, d) in decisions.iter().enumerate() {
+        if let Some(d) = d {
+            if !proposals.contains(&d.value) {
+                violations.push(SpecViolation::Validity {
+                    pid: ProcessId::from_idx(i),
+                    decided: d.value.clone(),
+                });
+            }
+        }
+    }
+
+    // Uniform agreement: every pair of deciders, faulty or not.
+    let deciders: Vec<(ProcessId, &Decision<O>)> = decisions
+        .iter()
+        .enumerate()
+        .filter_map(|(i, d)| d.as_ref().map(|d| (ProcessId::from_idx(i), d)))
+        .collect();
+    if let Some((first_pid, first)) = deciders.first() {
+        for (pid, d) in deciders.iter().skip(1) {
+            if d.value != first.value {
+                violations.push(SpecViolation::UniformAgreement {
+                    a: (*first_pid, first.value.clone()),
+                    b: (*pid, d.value.clone()),
+                });
+            }
+        }
+    }
+
+    // Plain agreement: pairs of *correct* deciders.
+    let correct = schedule.correct();
+    let correct_deciders: Vec<&(ProcessId, &Decision<O>)> = deciders
+        .iter()
+        .filter(|(pid, _)| correct.contains(*pid))
+        .collect();
+    if let Some((first_pid, first)) = correct_deciders.first() {
+        for (pid, d) in correct_deciders.iter().skip(1) {
+            if d.value != first.value {
+                violations.push(SpecViolation::Agreement {
+                    a: (*first_pid, first.value.clone()),
+                    b: (*pid, d.value.clone()),
+                });
+            }
+        }
+    }
+
+    // Termination (+ optional round bound).
+    for pid in correct.iter() {
+        match &decisions[pid.idx()] {
+            None => violations.push(SpecViolation::Termination { pid }),
+            Some(d) => {
+                if let Some(bound) = round_bound {
+                    if d.round.get() > bound {
+                        violations.push(SpecViolation::RoundBound {
+                            pid,
+                            round: d.round,
+                            bound,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    // The round bound also applies to faulty deciders: Theorem 1 says *no
+    // process* decides after round f+1.
+    if let Some(bound) = round_bound {
+        for (pid, d) in &deciders {
+            if !correct.contains(*pid) && d.round.get() > bound {
+                violations.push(SpecViolation::RoundBound {
+                    pid: *pid,
+                    round: d.round,
+                    bound,
+                });
+            }
+        }
+    }
+
+    SpecReport { violations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twostep_model::{CrashPoint, CrashStage};
+
+    fn pid(r: u32) -> ProcessId {
+        ProcessId::new(r)
+    }
+
+    fn dec(v: u64, r: u32) -> Option<Decision<u64>> {
+        Some(Decision {
+            value: v,
+            round: Round::new(r),
+        })
+    }
+
+    #[test]
+    fn clean_run_passes() {
+        let schedule = CrashSchedule::none(3);
+        let report = check_uniform_consensus(
+            &[5u64, 7, 9],
+            &[dec(5, 1), dec(5, 1), dec(5, 1)],
+            &schedule,
+            Some(1),
+        );
+        assert!(report.ok(), "{report}");
+    }
+
+    #[test]
+    fn validity_violation_detected() {
+        let schedule = CrashSchedule::none(2);
+        let report =
+            check_uniform_consensus(&[1u64, 2], &[dec(3, 1), dec(3, 1)], &schedule, None);
+        assert!(!report.ok());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, SpecViolation::Validity { decided: 3, .. })));
+    }
+
+    #[test]
+    fn uniform_agreement_covers_faulty_deciders() {
+        // p_1 decides 1 then crashes; p_2 (correct) decides 2: plain
+        // agreement holds (only one correct decider) but uniformity breaks.
+        let schedule = CrashSchedule::none(2).with_crash(
+            pid(1),
+            CrashPoint::new(Round::FIRST, CrashStage::EndOfRound),
+        );
+        let report =
+            check_uniform_consensus(&[1u64, 2], &[dec(1, 1), dec(2, 2)], &schedule, None);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, SpecViolation::UniformAgreement { .. })));
+        assert!(
+            !report
+                .violations
+                .iter()
+                .any(|v| matches!(v, SpecViolation::Agreement { .. })),
+            "plain agreement holds: only one correct decider"
+        );
+    }
+
+    #[test]
+    fn termination_requires_correct_deciders() {
+        let schedule = CrashSchedule::none(2);
+        let report = check_uniform_consensus(&[1u64, 1], &[dec(1, 1), None], &schedule, None);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, SpecViolation::Termination { pid } if *pid == pid2())));
+        fn pid2() -> ProcessId {
+            ProcessId::new(2)
+        }
+    }
+
+    #[test]
+    fn faulty_processes_need_not_decide() {
+        let schedule = CrashSchedule::none(2).with_crash(
+            pid(2),
+            CrashPoint::new(Round::FIRST, CrashStage::BeforeSend),
+        );
+        let report = check_uniform_consensus(&[1u64, 2], &[dec(1, 1), None], &schedule, Some(2));
+        assert!(report.ok(), "{report}");
+    }
+
+    #[test]
+    fn round_bound_applies_to_everyone() {
+        // Theorem 1: *no process* decides after round f+1 — including a
+        // faulty one that decides late and then crashes.
+        let schedule = CrashSchedule::none(2).with_crash(
+            pid(1),
+            CrashPoint::new(Round::new(3), CrashStage::EndOfRound),
+        );
+        let report =
+            check_uniform_consensus(&[1u64, 1], &[dec(1, 3), dec(1, 1)], &schedule, Some(2));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, SpecViolation::RoundBound { round, .. } if round.get() == 3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "same processes")]
+    fn mismatched_lengths_panic() {
+        let schedule = CrashSchedule::none(2);
+        let _ = check_uniform_consensus(&[1u64], &[dec(1, 1), dec(1, 1)], &schedule, None);
+    }
+
+    #[test]
+    fn display_formats() {
+        let schedule = CrashSchedule::none(2);
+        let report =
+            check_uniform_consensus(&[1u64, 2], &[dec(1, 1), dec(2, 1)], &schedule, None);
+        let text = report.to_string();
+        assert!(text.contains("uniform agreement"), "{text}");
+    }
+}

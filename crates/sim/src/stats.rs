@@ -1,0 +1,279 @@
+//! Sweep statistics: aggregating thousands of runs into the numbers the
+//! experiment tables report.
+//!
+//! Everything is integer-exact where possible (counts, min/max, exact
+//! histogram buckets); means are the only floating-point outputs.  The
+//! experiments aggregate *decision rounds* and *message counts*, which are
+//! small integers — a dense [`Histogram`] is the right tool.
+
+use std::fmt;
+
+/// A dense histogram over small non-negative integer observations
+/// (decision rounds, crash counts, …).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u32) {
+        let idx = value as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Merges another histogram into this one (for per-worker partials).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// Number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count of a specific value.
+    pub fn count(&self, value: u32) -> u64 {
+        self.counts.get(value as usize).copied().unwrap_or(0)
+    }
+
+    /// Smallest observed value.
+    pub fn min(&self) -> Option<u32> {
+        self.counts.iter().position(|c| *c > 0).map(|i| i as u32)
+    }
+
+    /// Largest observed value.
+    pub fn max(&self) -> Option<u32> {
+        self.counts.iter().rposition(|c| *c > 0).map(|i| i as u32)
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> Option<f64> {
+        (self.total > 0).then(|| {
+            let sum: u128 = self
+                .counts
+                .iter()
+                .enumerate()
+                .map(|(v, c)| v as u128 * *c as u128)
+                .sum();
+            sum as f64 / self.total as f64
+        })
+    }
+
+    /// Smallest value `v` such that at least `q` (0..=1) of the mass is at
+    /// `≤ v` — e.g. `quantile(1.0)` = max, `quantile(0.5)` = median-ish.
+    pub fn quantile(&self, q: f64) -> Option<u32> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let threshold = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut acc = 0u64;
+        for (v, c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= threshold {
+                return Some(v as u32);
+            }
+        }
+        self.max()
+    }
+
+    /// Iterates `(value, count)` over non-empty buckets.
+    pub fn buckets(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(v, c)| (v as u32, *c))
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n={}", self.total)?;
+        if let (Some(mn), Some(mx), Some(mean)) = (self.min(), self.max(), self.mean()) {
+            write!(f, " min={mn} mean={mean:.2} max={mx}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Summary statistics over `u64` observations (message counts, bits) where
+/// a dense histogram would be wasteful.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Summary {
+    count: u64,
+    sum: u128,
+    min: Option<u64>,
+    max: Option<u64>,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = Some(self.min.map_or(value, |m| m.min(value)));
+        self.max = Some(self.max.map_or(value, |m| m.max(value)));
+    }
+
+    /// Merges another summary.
+    pub fn merge(&mut self, other: &Summary) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Minimum, if any observations were recorded.
+    pub fn min(&self) -> Option<u64> {
+        self.min
+    }
+
+    /// Maximum, if any observations were recorded.
+    pub fn max(&self) -> Option<u64> {
+        self.max
+    }
+
+    /// Mean, if any observations were recorded.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n={}", self.count)?;
+        if let (Some(mn), Some(mx), Some(mean)) = (self.min, self.max, self.mean()) {
+            write!(f, " min={mn} mean={mean:.2} max={mx}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_basics() {
+        let mut h = Histogram::new();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.mean(), None);
+        for v in [1u32, 2, 2, 3, 3, 3] {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.count(2), 2);
+        assert_eq!(h.count(9), 0);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(3));
+        assert!((h.mean().unwrap() - 14.0 / 6.0).abs() < 1e-12);
+        let buckets: Vec<_> = h.buckets().collect();
+        assert_eq!(buckets, vec![(1, 1), (2, 2), (3, 3)]);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new();
+        for v in 1..=100u32 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(0.5), Some(50));
+        assert_eq!(h.quantile(0.99), Some(99));
+        assert_eq!(h.quantile(1.0), Some(100));
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        a.record(1);
+        a.record(5);
+        let mut b = Histogram::new();
+        b.record(5);
+        b.record(9);
+        a.merge(&b);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.count(5), 2);
+        assert_eq!(a.max(), Some(9));
+    }
+
+    #[test]
+    fn summary_basics() {
+        let mut s = Summary::new();
+        assert_eq!(s.mean(), None);
+        for v in [10u64, 20, 30] {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.min(), Some(10));
+        assert_eq!(s.max(), Some(30));
+        assert_eq!(s.mean(), Some(20.0));
+    }
+
+    #[test]
+    fn summary_merge() {
+        let mut a = Summary::new();
+        a.record(1);
+        let mut b = Summary::new();
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Some(1));
+        assert_eq!(a.max(), Some(100));
+        assert_eq!(a.mean(), Some(50.5));
+    }
+
+    #[test]
+    fn displays() {
+        let mut h = Histogram::new();
+        h.record(2);
+        assert!(h.to_string().contains("n=1"));
+        let mut s = Summary::new();
+        s.record(7);
+        assert!(s.to_string().contains("max=7"));
+    }
+
+    #[test]
+    fn huge_values_do_not_overflow_sum() {
+        let mut s = Summary::new();
+        for _ in 0..1000 {
+            s.record(u64::MAX);
+        }
+        assert!(s.mean().unwrap() > 1e18);
+    }
+}

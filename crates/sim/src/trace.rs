@@ -1,0 +1,256 @@
+//! Execution traces: optional, level-gated event recording.
+//!
+//! Traces serve two audiences: the `repro fig1-trace` experiment pretty-
+//! prints a full trace in the vocabulary of the paper's Figure 1, and tests
+//! assert fine-grained delivery facts (e.g. "the commit to `p_3` was lost
+//! but the one to `p_2` arrived — prefix semantics").  Benchmarks run with
+//! [`TraceLevel::Off`], which skips event construction entirely (the
+//! recording closure is never invoked).
+
+use twostep_model::{ProcessId, Round};
+
+/// How much gets recorded.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum TraceLevel {
+    /// Record nothing (hot-path default).
+    #[default]
+    Off,
+    /// Record decisions and crashes only.
+    DecisionsOnly,
+    /// Record everything, including per-message delivery events.
+    Full,
+}
+
+/// One observable event of a run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Event<M> {
+    /// A round started.
+    RoundBegan {
+        /// The round.
+        round: Round,
+    },
+    /// A data message was sent (and transmitted/delivered or lost).
+    Data {
+        /// Round of the send.
+        round: Round,
+        /// Sender.
+        from: ProcessId,
+        /// Destination.
+        to: ProcessId,
+        /// Whether the sender actually put it on the wire (false = cut by
+        /// the sender's own mid-send crash).
+        transmitted: bool,
+        /// Whether the destination actually received it (requires
+        /// `transmitted` plus a destination that executes the round's
+        /// receive phase).
+        delivered: bool,
+        /// The payload.
+        msg: M,
+    },
+    /// A control (commit) message was sent (and transmitted/delivered or
+    /// lost).
+    Control {
+        /// Round of the send.
+        round: Round,
+        /// Sender.
+        from: ProcessId,
+        /// Destination.
+        to: ProcessId,
+        /// Whether the sender actually put it on the wire (false = beyond
+        /// the crash-delivered prefix).
+        transmitted: bool,
+        /// Whether the destination actually received it.
+        delivered: bool,
+    },
+    /// A process crashed.
+    Crashed {
+        /// The crashed process.
+        pid: ProcessId,
+        /// Its crash round.
+        round: Round,
+    },
+    /// A process decided.
+    Decided {
+        /// The deciding process.
+        pid: ProcessId,
+        /// Its decision round.
+        round: Round,
+    },
+}
+
+impl<M> Event<M> {
+    /// Whether this event kind is recorded at `DecisionsOnly` level.
+    fn is_lifecycle(&self) -> bool {
+        matches!(self, Event::Crashed { .. } | Event::Decided { .. })
+    }
+}
+
+/// An append-only event log with a recording level.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Trace<M> {
+    level: TraceLevel,
+    events: Vec<Event<M>>,
+}
+
+impl<M> Trace<M> {
+    /// An empty trace recording at `level`.
+    pub fn new(level: TraceLevel) -> Self {
+        Trace {
+            level,
+            events: Vec::new(),
+        }
+    }
+
+    /// The recording level.
+    pub fn level(&self) -> TraceLevel {
+        self.level
+    }
+
+    /// The recorded events, in order.
+    pub fn events(&self) -> &[Event<M>] {
+        &self.events
+    }
+
+    /// Records the event produced by `make` if the level admits it.  The
+    /// closure is not invoked when filtered out, so `Off` traces cost one
+    /// branch per call site.
+    #[inline]
+    pub fn record(&mut self, make: impl FnOnce() -> Event<M>) {
+        match self.level {
+            TraceLevel::Off => {}
+            TraceLevel::DecisionsOnly => {
+                let ev = make();
+                if ev.is_lifecycle() {
+                    self.events.push(ev);
+                }
+            }
+            TraceLevel::Full => self.events.push(make()),
+        }
+    }
+
+    /// Convenience: all delivered-data events as `(round, from, to)`.
+    pub fn delivered_data(&self) -> impl Iterator<Item = (Round, ProcessId, ProcessId)> + '_ {
+        self.events.iter().filter_map(|e| match e {
+            Event::Data {
+                round,
+                from,
+                to,
+                delivered: true,
+                ..
+            } => Some((*round, *from, *to)),
+            _ => None,
+        })
+    }
+
+    /// Convenience: all transmitted-data events as `(round, from, to)`.
+    pub fn transmitted_data(&self) -> impl Iterator<Item = (Round, ProcessId, ProcessId)> + '_ {
+        self.events.iter().filter_map(|e| match e {
+            Event::Data {
+                round,
+                from,
+                to,
+                transmitted: true,
+                ..
+            } => Some((*round, *from, *to)),
+            _ => None,
+        })
+    }
+
+    /// Convenience: all delivered-control events as `(round, from, to)`.
+    pub fn delivered_control(&self) -> impl Iterator<Item = (Round, ProcessId, ProcessId)> + '_ {
+        self.events.iter().filter_map(|e| match e {
+            Event::Control {
+                round,
+                from,
+                to,
+                delivered: true,
+                ..
+            } => Some((*round, *from, *to)),
+            _ => None,
+        })
+    }
+
+    /// Convenience: all transmitted-control events as `(round, from, to)`,
+    /// in send order — the sequence the ordered-prefix invariant speaks
+    /// about.
+    pub fn transmitted_control(&self) -> impl Iterator<Item = (Round, ProcessId, ProcessId)> + '_ {
+        self.events.iter().filter_map(|e| match e {
+            Event::Control {
+                round,
+                from,
+                to,
+                transmitted: true,
+                ..
+            } => Some((*round, *from, *to)),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(r: u32) -> ProcessId {
+        ProcessId::new(r)
+    }
+
+    #[test]
+    fn off_records_nothing_and_skips_closure() {
+        let mut trace: Trace<u64> = Trace::new(TraceLevel::Off);
+        let mut called = false;
+        trace.record(|| {
+            called = true;
+            Event::RoundBegan { round: Round::FIRST }
+        });
+        assert!(!called, "event construction must be skipped at Off");
+        assert!(trace.events().is_empty());
+    }
+
+    #[test]
+    fn decisions_only_filters() {
+        let mut trace: Trace<u64> = Trace::new(TraceLevel::DecisionsOnly);
+        trace.record(|| Event::RoundBegan { round: Round::FIRST });
+        trace.record(|| Event::Decided {
+            pid: pid(1),
+            round: Round::FIRST,
+        });
+        trace.record(|| Event::Crashed {
+            pid: pid(2),
+            round: Round::FIRST,
+        });
+        assert_eq!(trace.events().len(), 2);
+    }
+
+    #[test]
+    fn full_records_everything() {
+        let mut trace: Trace<u64> = Trace::new(TraceLevel::Full);
+        trace.record(|| Event::Data {
+            round: Round::FIRST,
+            from: pid(1),
+            to: pid(2),
+            transmitted: true,
+            delivered: true,
+            msg: 9,
+        });
+        trace.record(|| Event::Control {
+            round: Round::FIRST,
+            from: pid(1),
+            to: pid(3),
+            transmitted: true,
+            delivered: false,
+        });
+        assert_eq!(trace.events().len(), 2);
+        assert_eq!(
+            trace.delivered_data().collect::<Vec<_>>(),
+            vec![(Round::FIRST, pid(1), pid(2))]
+        );
+        assert_eq!(trace.delivered_control().count(), 0, "undelivered filtered");
+        assert_eq!(
+            trace.transmitted_control().collect::<Vec<_>>(),
+            vec![(Round::FIRST, pid(1), pid(3))],
+            "transmitted-but-undelivered still visible to the prefix checks"
+        );
+        assert_eq!(trace.transmitted_data().count(), 1);
+    }
+}

@@ -1,0 +1,237 @@
+//! Engine edge cases: degenerate systems, no-op crash points, prefix
+//! clamping, self-sends, stale schedules, and round-cap behaviour.
+
+use twostep_model::{
+    CrashPoint, CrashSchedule, CrashStage, PidSet, ProcessId, Round, SystemConfig,
+};
+use twostep_sim::{Inbox, ModelKind, SendPlan, Simulation, Step, SyncProtocol};
+
+fn pid(r: u32) -> ProcessId {
+    ProcessId::new(r)
+}
+
+/// Echoes one data message + one commit to a fixed destination each round;
+/// decides on receipt of any commit.
+#[derive(Clone, Debug)]
+struct Echoer {
+    me: ProcessId,
+    to: ProcessId,
+    rounds_to_send: u32,
+}
+
+impl SyncProtocol for Echoer {
+    type Msg = u64;
+    type Output = u64;
+    fn send(&mut self, round: Round) -> SendPlan<u64, u64> {
+        if round.get() <= self.rounds_to_send && self.me != self.to {
+            SendPlan::quiet()
+                .with_data(self.to, round.get() as u64)
+                .with_control(self.to)
+        } else {
+            SendPlan::quiet()
+        }
+    }
+    fn receive(&mut self, _round: Round, inbox: &Inbox<u64>) -> Step<u64> {
+        if !inbox.control().is_empty() {
+            Step::Decide(inbox.data().first().map(|(_, m)| *m).unwrap_or(0))
+        } else {
+            Step::Continue
+        }
+    }
+}
+
+#[test]
+fn single_process_system_runs() {
+    #[derive(Clone)]
+    struct Loner;
+    impl SyncProtocol for Loner {
+        type Msg = u64;
+        type Output = u64;
+        fn send(&mut self, _r: Round) -> SendPlan<u64, u64> {
+            SendPlan::quiet().then_decide(1)
+        }
+        fn receive(&mut self, _r: Round, _i: &Inbox<u64>) -> Step<u64> {
+            Step::Continue
+        }
+    }
+    let config = SystemConfig::new(1, 0).unwrap();
+    let schedule = CrashSchedule::none(1);
+    let report = Simulation::new(config, ModelKind::Extended, &schedule)
+        .run(vec![Loner])
+        .unwrap();
+    assert_eq!(report.decisions[0].as_ref().unwrap().value, 1);
+    assert_eq!(report.metrics.total_messages(), 0);
+}
+
+#[test]
+fn crash_point_after_decision_is_a_noop() {
+    // p_1 is scheduled to crash in round 3, but everyone decides in round
+    // 1: the crash never fires and p_1 counts as a decider, not a crash.
+    let config = SystemConfig::new(2, 1).unwrap();
+    let schedule = CrashSchedule::none(2).with_crash(
+        pid(1),
+        CrashPoint::new(Round::new(3), CrashStage::BeforeSend),
+    );
+    let procs = vec![
+        Echoer { me: pid(1), to: pid(2), rounds_to_send: 1 },
+        Echoer { me: pid(2), to: pid(1), rounds_to_send: 1 },
+    ];
+    let report = Simulation::new(config, ModelKind::Extended, &schedule)
+        .run(procs)
+        .unwrap();
+    assert!(report.decisions[0].is_some());
+    assert!(report.decisions[1].is_some());
+    assert!(report.crashed.is_empty(), "no-op crash point must not fire");
+}
+
+#[test]
+fn mid_control_prefix_longer_than_list_is_clamped() {
+    // Prefix 99 on a 1-element control list: everything is delivered, but
+    // the send phase still did not complete (no decide-after-send).
+    let config = SystemConfig::new(2, 1).unwrap();
+    let schedule = CrashSchedule::none(2).with_crash(
+        pid(1),
+        CrashPoint::new(Round::FIRST, CrashStage::MidControl { prefix_len: 99 }),
+    );
+    let procs = vec![
+        Echoer { me: pid(1), to: pid(2), rounds_to_send: 1 },
+        Echoer { me: pid(2), to: pid(1), rounds_to_send: 0 },
+    ];
+    let report = Simulation::new(config, ModelKind::Extended, &schedule)
+        .run(procs)
+        .unwrap();
+    // p_2 received data + commit from p_1 and decides.
+    assert_eq!(report.decisions[1].as_ref().unwrap().value, 1);
+    assert!(report.crashed.contains(pid(1)));
+    assert_eq!(report.metrics.control_messages, 1, "clamped to list length");
+}
+
+#[test]
+fn mid_data_subset_is_intersected_with_actual_destinations() {
+    // The adversary's subset may include processes the plan never sends
+    // to; only the intersection matters.
+    let config = SystemConfig::new(3, 1).unwrap();
+    let schedule = CrashSchedule::none(3).with_crash(
+        pid(1),
+        CrashPoint::new(
+            Round::FIRST,
+            CrashStage::MidData {
+                delivered: PidSet::full(3), // "deliver to everyone"
+            },
+        ),
+    );
+    let procs = vec![
+        Echoer { me: pid(1), to: pid(2), rounds_to_send: 1 }, // sends to p_2 only
+        Echoer { me: pid(2), to: pid(3), rounds_to_send: 0 },
+        Echoer { me: pid(3), to: pid(2), rounds_to_send: 0 },
+    ];
+    let report = Simulation::new(config, ModelKind::Extended, &schedule)
+        .max_rounds(3)
+        .run(procs)
+        .unwrap();
+    assert_eq!(
+        report.metrics.data_messages, 1,
+        "only the actual destination counts"
+    );
+    assert_eq!(report.metrics.control_messages, 0, "control step never ran");
+}
+
+#[test]
+fn round_cap_reports_without_deciding() {
+    #[derive(Clone)]
+    struct Stubborn;
+    impl SyncProtocol for Stubborn {
+        type Msg = u64;
+        type Output = u64;
+        fn send(&mut self, _r: Round) -> SendPlan<u64, u64> {
+            SendPlan::quiet()
+        }
+        fn receive(&mut self, _r: Round, _i: &Inbox<u64>) -> Step<u64> {
+            Step::Continue
+        }
+    }
+    let config = SystemConfig::new(2, 0).unwrap();
+    let schedule = CrashSchedule::none(2);
+    let report = Simulation::new(config, ModelKind::Extended, &schedule)
+        .max_rounds(5)
+        .run(vec![Stubborn, Stubborn])
+        .unwrap();
+    assert!(report.hit_round_cap);
+    assert_eq!(report.metrics.rounds_executed, 5);
+    assert!(report.decisions.iter().all(|d| d.is_none()));
+}
+
+#[test]
+fn self_send_is_delivered_in_same_round() {
+    #[derive(Clone)]
+    struct SelfTalker {
+        me: ProcessId,
+    }
+    impl SyncProtocol for SelfTalker {
+        type Msg = u64;
+        type Output = u64;
+        fn send(&mut self, _r: Round) -> SendPlan<u64, u64> {
+            SendPlan::quiet().with_data(self.me, 42)
+        }
+        fn receive(&mut self, _r: Round, inbox: &Inbox<u64>) -> Step<u64> {
+            match inbox.data_from(self.me) {
+                Some(v) => Step::Decide(*v),
+                None => Step::Continue,
+            }
+        }
+    }
+    let config = SystemConfig::new(2, 0).unwrap();
+    let schedule = CrashSchedule::none(2);
+    let report = Simulation::new(config, ModelKind::Extended, &schedule)
+        .run(vec![
+            SelfTalker { me: pid(1) },
+            SelfTalker { me: pid(2) },
+        ])
+        .unwrap();
+    for d in &report.decisions {
+        assert_eq!(d.as_ref().unwrap().value, 42);
+        assert_eq!(d.as_ref().unwrap().round, Round::FIRST);
+    }
+}
+
+#[test]
+fn duplicate_commit_senders_are_each_counted_once_per_destination() {
+    // Two different senders commit to the same destination in one round:
+    // the inbox holds both, sorted by sender.
+    #[derive(Clone)]
+    struct Committer {
+        me: ProcessId,
+    }
+    impl SyncProtocol for Committer {
+        type Msg = u64;
+        type Output = u64;
+        fn send(&mut self, round: Round) -> SendPlan<u64, u64> {
+            if round == Round::FIRST && self.me != pid(3) {
+                SendPlan::quiet().with_control(pid(3))
+            } else {
+                SendPlan::quiet()
+            }
+        }
+        fn receive(&mut self, _r: Round, inbox: &Inbox<u64>) -> Step<u64> {
+            if self.me == pid(3) && inbox.control().len() == 2 {
+                assert_eq!(inbox.control(), &[pid(1), pid(2)]);
+                Step::Decide(2)
+            } else if self.me != pid(3) {
+                Step::Decide(0)
+            } else {
+                Step::Continue
+            }
+        }
+    }
+    let config = SystemConfig::new(3, 0).unwrap();
+    let schedule = CrashSchedule::none(3);
+    let report = Simulation::new(config, ModelKind::Extended, &schedule)
+        .run(vec![
+            Committer { me: pid(1) },
+            Committer { me: pid(2) },
+            Committer { me: pid(3) },
+        ])
+        .unwrap();
+    assert_eq!(report.decisions[2].as_ref().unwrap().value, 2);
+    assert_eq!(report.metrics.control_messages, 2);
+}

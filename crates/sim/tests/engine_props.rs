@@ -1,0 +1,220 @@
+//! Engine-level property tests: determinism, accounting consistency, halt
+//! semantics, and crash-stage behaviour — driven by a seed-configurable
+//! "chaos" protocol that exercises arbitrary send patterns.
+
+use proptest::prelude::*;
+use twostep_model::{
+    BitSized, CrashPoint, CrashSchedule, CrashStage, PidSet, ProcessId, Round, SystemConfig,
+};
+use twostep_sim::{
+    Inbox, ModelKind, SendPlan, Simulation, Step, SyncProtocol, TraceLevel,
+};
+
+/// A protocol whose behaviour is an arbitrary (but deterministic) function
+/// of a seed: each round it sends data to a seed-chosen subset, control to
+/// a seed-chosen ordered list, and decides after a seed-chosen number of
+/// rounds.  It is *not* a consensus algorithm; it exists to stress the
+/// engine's bookkeeping under maximal behavioural diversity.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct Chaos {
+    me: ProcessId,
+    n: usize,
+    seed: u64,
+    rounds_seen: u32,
+    inbox_digest: u64,
+}
+
+impl Chaos {
+    fn mix(&self, round: u32, salt: u64) -> u64 {
+        let mut x = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((self.me.rank() as u64) << 32)
+            .wrapping_add(round as u64)
+            .wrapping_add(salt.wrapping_mul(0xD134_2543_DE82_EF95));
+        x ^= x >> 31;
+        x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        x ^= x >> 29;
+        x
+    }
+}
+
+impl SyncProtocol for Chaos {
+    type Msg = u64;
+    type Output = u64;
+
+    fn send(&mut self, round: Round) -> SendPlan<u64, u64> {
+        let r = round.get();
+        let mut plan = SendPlan::quiet();
+        for dst in ProcessId::all(self.n) {
+            if dst != self.me && self.mix(r, dst.rank() as u64) % 3 == 0 {
+                plan.data.push((dst, self.mix(r, 1000 + dst.rank() as u64)));
+            }
+        }
+        // An ordered control list: a seed-chosen permutation prefix.
+        let mut ctl: Vec<ProcessId> = ProcessId::all(self.n)
+            .filter(|d| *d != self.me && self.mix(r, 2000 + d.rank() as u64) % 4 == 0)
+            .collect();
+        if self.mix(r, 3000) % 2 == 0 {
+            ctl.reverse();
+        }
+        plan.control = ctl;
+        // Decide-after-send occasionally.
+        if self.mix(r, 4000) % 11 == 0 {
+            plan = plan.then_decide(self.inbox_digest);
+        }
+        plan
+    }
+
+    fn receive(&mut self, round: Round, inbox: &Inbox<u64>) -> Step<u64> {
+        self.rounds_seen += 1;
+        for (from, msg) in inbox.data() {
+            self.inbox_digest = self
+                .inbox_digest
+                .wrapping_mul(31)
+                .wrapping_add(*msg ^ from.rank() as u64);
+        }
+        for from in inbox.control() {
+            self.inbox_digest = self.inbox_digest.wrapping_add(from.rank() as u64) << 1;
+        }
+        if self.mix(round.get(), 5000) % 7 == 0 {
+            Step::Decide(self.inbox_digest)
+        } else {
+            Step::Continue
+        }
+    }
+}
+
+fn chaos_system(n: usize, seed: u64) -> Vec<Chaos> {
+    (0..n)
+        .map(|i| Chaos {
+            me: ProcessId::from_idx(i),
+            n,
+            seed,
+            rounds_seen: 0,
+            inbox_digest: 0,
+        })
+        .collect()
+}
+
+fn schedule_from(n: usize, crashes: &[(u32, u32, u8)]) -> CrashSchedule {
+    let mut s = CrashSchedule::none(n);
+    for (rank, round_raw, kind) in crashes {
+        let rank = (*rank % n as u32) + 1;
+        let round = Round::new((*round_raw % 4) + 1);
+        let stage = match kind % 4 {
+            0 => CrashStage::BeforeSend,
+            1 => CrashStage::MidData {
+                delivered: PidSet::from_iter(
+                    n,
+                    (1..=n as u32).filter(|r| r % 2 == 0).map(ProcessId::new),
+                ),
+            },
+            2 => CrashStage::MidControl {
+                prefix_len: (*round_raw as usize) % (n + 1),
+            },
+            _ => CrashStage::EndOfRound,
+        };
+        s.set(ProcessId::new(rank), Some(CrashPoint::new(round, stage)));
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn engine_is_deterministic(
+        n in 2usize..=10,
+        seed in any::<u64>(),
+        crashes in prop::collection::vec((any::<u32>(), any::<u32>(), any::<u8>()), 0..4),
+    ) {
+        let config = SystemConfig::new(n, n - 1).unwrap();
+        let schedule = schedule_from(n, &crashes);
+        if schedule.validate(&config).is_err() {
+            return Ok(()); // duplicate victims collapsed below t anyway; skip rare invalids
+        }
+        let run = |lvl| {
+            Simulation::new(config, ModelKind::Extended, &schedule)
+                .max_rounds(8)
+                .trace_level(lvl)
+                .run(chaos_system(n, seed))
+                .unwrap()
+        };
+        let a = run(TraceLevel::Off);
+        let b = run(TraceLevel::Off);
+        prop_assert_eq!(&a.decisions, &b.decisions);
+        prop_assert_eq!(&a.crashed, &b.crashed);
+        prop_assert_eq!(&a.metrics, &b.metrics);
+        // Trace level must not affect semantics.
+        let c = run(TraceLevel::Full);
+        prop_assert_eq!(&a.decisions, &c.decisions);
+        prop_assert_eq!(&a.metrics.data_messages, &c.metrics.data_messages);
+    }
+
+    #[test]
+    fn accounting_matches_trace(
+        n in 2usize..=8,
+        seed in any::<u64>(),
+        crashes in prop::collection::vec((any::<u32>(), any::<u32>(), any::<u8>()), 0..3),
+    ) {
+        let config = SystemConfig::new(n, n - 1).unwrap();
+        let schedule = schedule_from(n, &crashes);
+        if schedule.validate(&config).is_err() {
+            return Ok(());
+        }
+        let report = Simulation::new(config, ModelKind::Extended, &schedule)
+            .max_rounds(8)
+            .trace_level(TraceLevel::Full)
+            .run(chaos_system(n, seed))
+            .unwrap();
+
+        // Metrics == what the full trace says was transmitted.
+        let data_tx = report.trace.transmitted_data().count() as u64;
+        let ctl_tx = report.trace.transmitted_control().count() as u64;
+        prop_assert_eq!(report.metrics.data_messages, data_tx);
+        prop_assert_eq!(report.metrics.control_messages, ctl_tx);
+        prop_assert_eq!(report.metrics.control_bits, ctl_tx, "one bit per commit");
+        // Chaos messages are u64: 64 bits each.
+        prop_assert_eq!(report.metrics.data_bits, 64 * data_tx);
+        // Delivery ⊆ transmission.
+        prop_assert!(report.trace.delivered_data().count() as u64 <= data_tx);
+        prop_assert!(report.trace.delivered_control().count() as u64 <= ctl_tx);
+        prop_assert_eq!(0u64.bit_size(), 64);
+    }
+
+    #[test]
+    fn decided_and_crashed_processes_go_silent(
+        n in 2usize..=8,
+        seed in any::<u64>(),
+    ) {
+        // After a process decides (or crashes) in round r, the trace must
+        // contain no transmissions from it in rounds > r.
+        let config = SystemConfig::new(n, n - 1).unwrap();
+        let schedule = schedule_from(n, &[(0, 0, 0), (1, 1, 3)]);
+        if schedule.validate(&config).is_err() {
+            return Ok(());
+        }
+        let report = Simulation::new(config, ModelKind::Extended, &schedule)
+            .max_rounds(8)
+            .trace_level(TraceLevel::Full)
+            .run(chaos_system(n, seed))
+            .unwrap();
+
+        let mut gone_after: Vec<Option<u32>> = vec![None; n];
+        for ev in report.trace.events() {
+            if let twostep_sim::Event::Decided { pid, round } = ev {
+                gone_after[pid.idx()] = Some(round.get());
+            }
+            if let twostep_sim::Event::Crashed { pid, round } = ev {
+                let g = &mut gone_after[pid.idx()];
+                *g = Some(g.map_or(round.get(), |x| x.min(round.get())));
+            }
+        }
+        for (round, from, _to) in report.trace.transmitted_data() {
+            if let Some(g) = gone_after[from.idx()] {
+                prop_assert!(round.get() <= g, "{from} transmitted after leaving at {g}");
+            }
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! The application interface seen by the snapshot layer.
+//!
+//! A [`LocalApp`] is an ordinary deterministic event-driven program: it
+//! reacts to messages and timers, sends messages, arms timers, and exposes
+//! its current local state on demand.  It knows nothing about snapshots —
+//! the [`ChandyLamport`](crate::ChandyLamport) wrapper interposes
+//! transparently, which is the modularity the Chandy–Lamport paper claims
+//! for marker-based snapshots ("the snapshot algorithm is superimposed on
+//! the underlying computation without altering it").
+
+use std::fmt;
+use twostep_model::timing::Ticks;
+use twostep_model::ProcessId;
+
+/// What an application handler asks of its environment: sends and timers.
+///
+/// This is the fault-free subset of the kernel's
+/// [`Effects`](twostep_events::Effects): snapshot workloads never decide
+/// (the run ends by quiescence or horizon), and the wrapper owns the real
+/// effect buffer.
+#[derive(Clone, Debug, Default)]
+pub struct AppEffects<M> {
+    pub(crate) sends: Vec<(ProcessId, M)>,
+    pub(crate) timers: Vec<(u64, Ticks)>,
+}
+
+impl<M> AppEffects<M> {
+    /// An empty effect set.
+    pub fn new() -> Self {
+        AppEffects {
+            sends: Vec::new(),
+            timers: Vec::new(),
+        }
+    }
+
+    /// Queues an application message to `to`.  Sends are emitted in call
+    /// order on FIFO channels.
+    pub fn send(&mut self, to: ProcessId, msg: M) {
+        self.sends.push((to, msg));
+    }
+
+    /// Arms a timer `delay` ticks from now.  Timer ids are application
+    /// scoped; the value `u64::MAX` is reserved by the snapshot layer for
+    /// its own initiation timer and must not be used.
+    pub fn set_timer(&mut self, id: u64, delay: Ticks) {
+        debug_assert!(id != u64::MAX, "u64::MAX is the snapshot layer's timer id");
+        self.timers.push((id, delay));
+    }
+
+    /// Messages queued so far, in send order.
+    pub fn sends(&self) -> &[(ProcessId, M)] {
+        &self.sends
+    }
+
+    /// Timers armed so far.
+    pub fn timers(&self) -> &[(u64, Ticks)] {
+        &self.timers
+    }
+}
+
+/// A deterministic message/timer-driven application with an observable
+/// local state — the "underlying computation" a snapshot records.
+///
+/// # Examples
+///
+/// A counter that increments on every message and forwards once:
+///
+/// ```
+/// use twostep_model::{timing::Ticks, ProcessId};
+/// use twostep_snapshot::{AppEffects, LocalApp};
+///
+/// #[derive(Clone)]
+/// struct Counter { me: ProcessId, n: usize, count: u64 }
+///
+/// impl LocalApp for Counter {
+///     type Msg = u8;
+///     type State = u64;
+///     fn on_start(&mut self, fx: &mut AppEffects<u8>) {
+///         if self.me == ProcessId::new(1) {
+///             fx.send(ProcessId::new(2), 1);
+///         }
+///     }
+///     fn on_message(&mut self, _at: Ticks, _from: ProcessId, _m: u8,
+///                   fx: &mut AppEffects<u8>) {
+///         self.count += 1;
+///         let next = ProcessId::new(self.me.rank() % self.n as u32 + 1);
+///         if self.count == 1 { fx.send(next, 1); }
+///     }
+///     fn on_timer(&mut self, _at: Ticks, _id: u64, _fx: &mut AppEffects<u8>) {}
+///     fn snapshot_state(&self) -> u64 { self.count }
+/// }
+/// ```
+pub trait LocalApp: Clone {
+    /// Application message payload.
+    type Msg: Clone + fmt::Debug;
+    /// The local state a snapshot records.
+    type State: Clone + PartialEq + fmt::Debug;
+
+    /// Invoked once at time 0.
+    fn on_start(&mut self, fx: &mut AppEffects<Self::Msg>);
+
+    /// An application message arrived.
+    fn on_message(
+        &mut self,
+        at: Ticks,
+        from: ProcessId,
+        msg: Self::Msg,
+        fx: &mut AppEffects<Self::Msg>,
+    );
+
+    /// An application timer fired.
+    fn on_timer(&mut self, at: Ticks, id: u64, fx: &mut AppEffects<Self::Msg>);
+
+    /// The current local state, as the snapshot would record it.  Called
+    /// by the wrapper at the instant the marker rule fires; must be a pure
+    /// observation (no side effects).
+    fn snapshot_state(&self) -> Self::State;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effects_accumulate_in_order() {
+        let mut fx: AppEffects<u8> = AppEffects::new();
+        fx.send(ProcessId::new(3), 1);
+        fx.send(ProcessId::new(2), 2);
+        fx.set_timer(7, 40);
+        assert_eq!(
+            fx.sends(),
+            &[(ProcessId::new(3), 1), (ProcessId::new(2), 2)]
+        );
+        assert_eq!(fx.timers(), &[(7, 40)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot layer")]
+    #[cfg(debug_assertions)]
+    fn reserved_timer_id_is_rejected() {
+        let mut fx: AppEffects<u8> = AppEffects::new();
+        fx.set_timer(u64::MAX, 1);
+    }
+}

@@ -1,0 +1,379 @@
+//! Assembling and certifying the global snapshot.
+//!
+//! A global snapshot is a *cut*: one recorded local state per process plus
+//! one recorded message sequence per directed channel.  Chandy–Lamport
+//! guarantees the cut is **consistent** — it could have occurred in a
+//! legal global state: no message is received before the cut that was
+//! sent after it — and that the channel records are exactly the messages
+//! in transit across the cut.
+//!
+//! [`verify_flow`] checks both claims mechanically with a per-channel
+//! conservation equation over counters the wrapper maintains live:
+//!
+//! ```text
+//! sent_pre_cut(i → j)  =  recv_pre_cut(i → j)  +  |recorded(i → j)|
+//! ```
+//!
+//! * If a post-cut message overtook the marker (a FIFO violation), the
+//!   receiver counted it pre-cut and the right side exceeds the left.
+//! * If a pre-cut message escaped the record (marker overtook it), the
+//!   right side falls short.
+//!
+//! So the equation holds iff the cut is consistent *and* the recording is
+//! complete — the testable content of the Chandy–Lamport theorem.
+
+use crate::app::LocalApp;
+use crate::wrapper::ChandyLamport;
+use std::fmt;
+use twostep_model::timing::Ticks;
+use twostep_model::ProcessId;
+
+/// Why a global snapshot could not be assembled.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SnapshotError {
+    /// A process never recorded its local state (no marker reached it
+    /// before the horizon, or no one initiated).
+    NotRecorded {
+        /// The process still waiting.
+        process: ProcessId,
+    },
+    /// A channel's recording never closed (its marker did not arrive
+    /// before the horizon).
+    ChannelOpen {
+        /// Channel source.
+        from: ProcessId,
+        /// Channel destination (the recording process).
+        to: ProcessId,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::NotRecorded { process } => {
+                write!(f, "p{} never took its local snapshot", process.rank())
+            }
+            SnapshotError::ChannelOpen { from, to } => write!(
+                f,
+                "channel p{} -> p{} was still recording at the horizon",
+                from.rank(),
+                to.rank()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// A violated flow equation: the cut is inconsistent or the recording
+/// incomplete on one channel.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CutViolation {
+    /// Channel source.
+    pub from: ProcessId,
+    /// Channel destination.
+    pub to: ProcessId,
+    /// Messages the source sent before its cut.
+    pub sent_pre_cut: u64,
+    /// Messages the destination received before its cut.
+    pub recv_pre_cut: u64,
+    /// Messages recorded as in transit.
+    pub recorded: u64,
+}
+
+impl fmt::Display for CutViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "inconsistent cut on p{} -> p{}: sent-pre-cut {} != received-pre-cut {} + recorded {}",
+            self.from.rank(),
+            self.to.rank(),
+            self.sent_pre_cut,
+            self.recv_pre_cut,
+            self.recorded
+        )
+    }
+}
+
+impl std::error::Error for CutViolation {}
+
+/// The assembled global snapshot (one instance).
+#[derive(Clone, Debug)]
+pub struct GlobalSnapshot<S, M> {
+    /// The snapshot instance this cut belongs to (0 for single-snapshot
+    /// runs).
+    pub instance: u32,
+    /// Recorded local states, index `i` = `p_{i+1}`.
+    pub states: Vec<S>,
+    /// Recorded channel contents: `channels[i][j]` = messages in transit
+    /// on `p_{i+1} -> p_{j+1}` (diagonal empty).
+    pub channels: Vec<Vec<Vec<M>>>,
+    /// When each process took its local snapshot.
+    pub recorded_at: Vec<Ticks>,
+}
+
+impl<S, M> GlobalSnapshot<S, M> {
+    /// Number of processes in the cut.
+    pub fn n(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The recorded content of channel `from -> to`.
+    pub fn channel(&self, from: ProcessId, to: ProcessId) -> &[M] {
+        &self.channels[from.idx()][to.idx()]
+    }
+
+    /// Total messages recorded in transit across the cut.
+    pub fn in_transit_count(&self) -> usize {
+        self.channels
+            .iter()
+            .flat_map(|row| row.iter())
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// Folds a numeric measure over every in-transit message — e.g. the
+    /// money riding the wires in the [`BankApp`](crate::BankApp) demo.
+    pub fn in_transit_sum<F>(&self, measure: F) -> u64
+    where
+        F: FnMut(&M) -> u64,
+    {
+        self.channels
+            .iter()
+            .flat_map(|row| row.iter())
+            .flat_map(|msgs| msgs.iter())
+            .map(measure)
+            .sum()
+    }
+
+    /// The spread between the earliest and latest local cut times — how
+    /// "non-instantaneous" the consistent cut is.
+    pub fn cut_skew(&self) -> Ticks {
+        let min = self.recorded_at.iter().copied().min().unwrap_or(0);
+        let max = self.recorded_at.iter().copied().max().unwrap_or(0);
+        max - min
+    }
+}
+
+/// Assembles the global snapshot of **instance 0** from the final wrapper
+/// states, failing if any local snapshot or channel record is incomplete.
+pub fn collect<A: LocalApp>(
+    wrappers: &[ChandyLamport<A>],
+) -> Result<GlobalSnapshot<A::State, A::Msg>, SnapshotError> {
+    collect_instance(wrappers, 0)
+}
+
+/// Assembles the global snapshot of instance `snap` (repeated-snapshot
+/// runs initiate several; each yields its own cut).
+pub fn collect_instance<A: LocalApp>(
+    wrappers: &[ChandyLamport<A>],
+    snap: u32,
+) -> Result<GlobalSnapshot<A::State, A::Msg>, SnapshotError> {
+    let n = wrappers.len();
+    let mut states = Vec::with_capacity(n);
+    let mut recorded_at = Vec::with_capacity(n);
+    for w in wrappers {
+        states.push(
+            w.recorded_state_of(snap)
+                .cloned()
+                .ok_or(SnapshotError::NotRecorded { process: w.id() })?,
+        );
+        recorded_at.push(w.recorded_at_of(snap).expect("recorded_at set with state"));
+    }
+
+    let mut channels = vec![vec![Vec::new(); n]; n];
+    for to in wrappers {
+        for from in ProcessId::all(n) {
+            if from == to.id() {
+                continue;
+            }
+            let rec = to
+                .channel_record_of(snap, from)
+                .ok_or(SnapshotError::ChannelOpen { from, to: to.id() })?;
+            channels[from.idx()][to.id().idx()] = rec.to_vec();
+        }
+    }
+
+    Ok(GlobalSnapshot {
+        instance: snap,
+        states,
+        channels,
+        recorded_at,
+    })
+}
+
+/// Certifies the cut with the per-channel flow equation (see the module
+/// docs), using the at-cut counters of the snapshot's own instance.
+/// Returns the first violated channel, if any.
+pub fn verify_flow<A: LocalApp>(
+    snap: &GlobalSnapshot<A::State, A::Msg>,
+    wrappers: &[ChandyLamport<A>],
+) -> Result<(), CutViolation> {
+    let n = wrappers.len();
+    let k = snap.instance;
+    for from in ProcessId::all(n) {
+        for to in ProcessId::all(n) {
+            if from == to {
+                continue;
+            }
+            let sent = wrappers[from.idx()].sent_at_cut(k, to).unwrap_or(0);
+            let recv = wrappers[to.idx()].recv_at_cut(k, from).unwrap_or(0);
+            let recorded = snap.channel(from, to).len() as u64;
+            if sent != recv + recorded {
+                return Err(CutViolation {
+                    from,
+                    to,
+                    sent_pre_cut: sent,
+                    recv_pre_cut: recv,
+                    recorded,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::AppEffects;
+    use crate::wrapper::{run_snapshot, SnapshotSetup};
+    use twostep_events::DelayModel;
+
+    /// `p_2` streams `k` unit messages to `p_1` spaced `gap` apart.
+    ///
+    /// With `p_1` initiating, `p_1`'s cut precedes `p_2`'s by one marker
+    /// hop, so the stream crosses the cut on the `p_2 -> p_1` channel —
+    /// the canonical "messages caught mid-flight" picture.
+    #[derive(Clone, Debug)]
+    struct Streamer {
+        me: ProcessId,
+        k: u64,
+        gap: Ticks,
+        sent: u64,
+        received: u64,
+    }
+    impl LocalApp for Streamer {
+        type Msg = u64;
+        type State = u64;
+        fn on_start(&mut self, fx: &mut AppEffects<u64>) {
+            if self.me == ProcessId::new(2) {
+                fx.set_timer(0, self.gap);
+            }
+        }
+        fn on_message(&mut self, _at: Ticks, _f: ProcessId, _m: u64, _fx: &mut AppEffects<u64>) {
+            self.received += 1;
+        }
+        fn on_timer(&mut self, _at: Ticks, _id: u64, fx: &mut AppEffects<u64>) {
+            if self.sent < self.k {
+                self.sent += 1;
+                fx.send(ProcessId::new(1), 1);
+                fx.set_timer(0, self.gap);
+            }
+        }
+        fn snapshot_state(&self) -> u64 {
+            self.received
+        }
+    }
+
+    fn streamers() -> Vec<Streamer> {
+        (1..=2)
+            .map(|r| Streamer {
+                me: ProcessId::new(r),
+                k: 10,
+                gap: 10,
+                sent: 0,
+                received: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn in_transit_messages_are_captured_exactly() {
+        // Delay 35, sends at t = 10, 20, …, 100.  p1 cuts at 52, p2 cuts
+        // at 87 (marker arrival).  Sent before p2's cut: t ≤ 80 → 8.
+        // Received before p1's cut: arrival 45 only → 1.  The channel
+        // record must hold exactly the 7 messages that crossed the cut.
+        let setup = SnapshotSetup {
+            initiators: vec![ProcessId::new(1)],
+            initiate_at: 52,
+            repeat: None,
+        horizon: 10_000,
+            fifo: true,
+        };
+        let run = run_snapshot(streamers(), DelayModel::Fixed(35), setup);
+        let snap = collect(&run.wrappers).unwrap();
+        verify_flow(&snap, &run.wrappers).unwrap();
+
+        let recorded = snap.channel(ProcessId::new(2), ProcessId::new(1)).len() as u64;
+        let sent = run.wrappers[1].sent_pre_cut(ProcessId::new(1));
+        let recv = run.wrappers[0].recv_pre_cut(ProcessId::new(2));
+        assert_eq!(sent, 8, "8 sends strictly before p2's cut at t=87");
+        assert_eq!(recv, 1, "only the t=45 arrival precedes p1's cut at t=52");
+        assert_eq!(recorded, 7, "the seven crossing messages are the record");
+        assert_eq!(snap.in_transit_count(), 7);
+    }
+
+    #[test]
+    fn collect_reports_missing_local_snapshot() {
+        let setup = SnapshotSetup {
+            initiators: vec![],
+            ..SnapshotSetup::default()
+        };
+        let run = run_snapshot(streamers(), DelayModel::Fixed(5), setup);
+        match collect(&run.wrappers) {
+            Err(SnapshotError::NotRecorded { process }) => {
+                assert_eq!(process, ProcessId::new(1));
+            }
+            other => panic!("expected NotRecorded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn collect_reports_open_channel_at_horizon() {
+        // Horizon shorter than one message delay: the initiator records,
+        // but no marker ever arrives anywhere.
+        let setup = SnapshotSetup {
+            initiators: vec![ProcessId::new(1)],
+            initiate_at: 0,
+            repeat: None,
+        horizon: 3,
+            fifo: true,
+        };
+        let run = run_snapshot(streamers(), DelayModel::Fixed(50), setup);
+        let err = collect(&run.wrappers).unwrap_err();
+        assert!(matches!(
+            err,
+            SnapshotError::NotRecorded { .. } | SnapshotError::ChannelOpen { .. }
+        ));
+    }
+
+    #[test]
+    fn cut_skew_is_one_marker_hop_for_single_initiator() {
+        let setup = SnapshotSetup {
+            initiators: vec![ProcessId::new(1)],
+            initiate_at: 52,
+            repeat: None,
+        horizon: 10_000,
+            fifo: true,
+        };
+        let run = run_snapshot(streamers(), DelayModel::Fixed(35), setup);
+        let snap = collect(&run.wrappers).unwrap();
+        assert_eq!(snap.cut_skew(), 35);
+        assert_eq!(snap.n(), 2);
+    }
+
+    #[test]
+    fn violation_display_names_the_channel() {
+        let v = CutViolation {
+            from: ProcessId::new(1),
+            to: ProcessId::new(2),
+            sent_pre_cut: 5,
+            recv_pre_cut: 3,
+            recorded: 1,
+        };
+        let text = v.to_string();
+        assert!(text.contains("p1 -> p2"), "{text}");
+        assert!(text.contains("5"), "{text}");
+    }
+}

@@ -1,0 +1,160 @@
+//! A token-ring workload: the sharpest consistency probe.
+//!
+//! Exactly one token circulates `p_1 → p_2 → … → p_n → p_1`.  In every
+//! legal global state the token exists exactly once — either held by one
+//! process or in flight on one channel.  A consistent cut must therefore
+//! record **exactly one** token across all states and channel records; an
+//! inconsistent cut records zero (the token slipped between the local
+//! snapshots) or two (it was double-counted).  This binary invariant makes
+//! cut bugs impossible to miss, which is why the token ring is the
+//! classic counterexample generator for naive (uncoordinated) snapshots.
+
+use crate::app::{AppEffects, LocalApp};
+use twostep_model::timing::Ticks;
+use twostep_model::ProcessId;
+
+/// Timer id for the hold delay.
+const HOLD_TIMER: u64 = 1;
+
+/// One station of the ring.
+#[derive(Clone, Debug)]
+pub struct TokenRing {
+    me: ProcessId,
+    n: usize,
+    holding: bool,
+    /// How long a station holds the token before forwarding.
+    hold_for: Ticks,
+    /// Stations stop forwarding at this time so the run quiesces.
+    stop_at: Ticks,
+    passes: u64,
+}
+
+impl TokenRing {
+    /// Builds the whole ring; `p_1` starts with the token.
+    pub fn ring(n: usize, hold_for: Ticks, stop_at: Ticks) -> Vec<TokenRing> {
+        ProcessId::all(n)
+            .map(|me| TokenRing {
+                me,
+                n,
+                holding: me == ProcessId::new(1),
+                hold_for,
+                stop_at,
+                passes: 0,
+            })
+            .collect()
+    }
+
+    /// Whether this station currently holds the token.
+    pub fn holding(&self) -> bool {
+        self.holding
+    }
+
+    /// How many times this station has forwarded the token.
+    pub fn passes(&self) -> u64 {
+        self.passes
+    }
+
+    fn next(&self) -> ProcessId {
+        ProcessId::new(self.me.rank() % self.n as u32 + 1)
+    }
+}
+
+/// The token: a unit message.
+pub type Token = ();
+
+impl LocalApp for TokenRing {
+    type Msg = Token;
+    type State = bool;
+
+    fn on_start(&mut self, fx: &mut AppEffects<Token>) {
+        if self.holding && self.n > 1 {
+            fx.set_timer(HOLD_TIMER, self.hold_for);
+        }
+    }
+
+    fn on_message(&mut self, at: Ticks, _from: ProcessId, _token: Token, fx: &mut AppEffects<Token>) {
+        debug_assert!(!self.holding, "two tokens at one station");
+        self.holding = true;
+        if at < self.stop_at {
+            fx.set_timer(HOLD_TIMER, self.hold_for);
+        }
+    }
+
+    fn on_timer(&mut self, _at: Ticks, id: u64, fx: &mut AppEffects<Token>) {
+        debug_assert_eq!(id, HOLD_TIMER);
+        if self.holding {
+            self.holding = false;
+            self.passes += 1;
+            fx.send(self.next(), ());
+        }
+    }
+
+    fn snapshot_state(&self) -> bool {
+        self.holding
+    }
+}
+
+/// Counts the tokens a snapshot recorded: held states plus in-flight
+/// messages.  Consistency ⇔ the answer is exactly 1.
+pub fn tokens_in_cut(snap: &crate::GlobalSnapshot<bool, Token>) -> usize {
+    snap.states.iter().filter(|h| **h).count() + snap.in_transit_count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::global::{collect, verify_flow};
+    use crate::wrapper::{run_snapshot, SnapshotSetup};
+    use twostep_events::DelayModel;
+
+    #[test]
+    fn exactly_one_token_in_every_consistent_cut() {
+        // Sweep initiation times across several token positions; the cut
+        // must always contain exactly one token.
+        for initiate_at in [0u64, 13, 55, 127, 300, 601] {
+            let apps = TokenRing::ring(5, 20, 1_000);
+            let setup = SnapshotSetup {
+                initiators: vec![ProcessId::new(2)],
+                initiate_at,
+                repeat: None,
+        horizon: 50_000,
+                fifo: true,
+            };
+            let run = run_snapshot(apps, DelayModel::Fixed(9), setup);
+            let snap = collect(&run.wrappers).unwrap();
+            verify_flow(&snap, &run.wrappers).unwrap();
+            assert_eq!(
+                tokens_in_cut(&snap),
+                1,
+                "cut at t={initiate_at} must hold one token"
+            );
+        }
+    }
+
+    #[test]
+    fn token_keeps_moving_and_run_quiesces() {
+        let apps = TokenRing::ring(4, 10, 500);
+        let setup = SnapshotSetup {
+            initiate_at: 50,
+            ..SnapshotSetup::default()
+        };
+        let run = run_snapshot(apps, DelayModel::Fixed(5), setup);
+        assert!(!run.report.hit_horizon);
+        let total_passes: u64 = run.wrappers.iter().map(|w| w.app().passes()).sum();
+        assert!(total_passes > 10, "token circulated: {total_passes} passes");
+        let holders = run.wrappers.iter().filter(|w| w.app().holding()).count();
+        assert_eq!(holders, 1, "after quiescence exactly one holder remains");
+    }
+
+    #[test]
+    fn ring_of_one_keeps_its_token() {
+        let apps = TokenRing::ring(1, 10, 100);
+        let setup = SnapshotSetup {
+            initiate_at: 5,
+            ..SnapshotSetup::default()
+        };
+        let run = run_snapshot(apps, DelayModel::Fixed(5), setup);
+        let snap = collect(&run.wrappers).unwrap();
+        assert_eq!(tokens_in_cut(&snap), 1);
+    }
+}

@@ -1,0 +1,574 @@
+//! The Chandy–Lamport snapshot layer: a [`TimedProcess`] wrapped around a
+//! [`LocalApp`], superimposing the marker protocol on the application's
+//! message flow.
+//!
+//! The marker rules (Chandy & Lamport 1985, over a complete graph of FIFO
+//! channels), per snapshot **instance** `k` — the original algorithm
+//! explicitly supports repeated snapshots by tagging markers with an
+//! instance id, and so does this layer:
+//!
+//! * **Initiation / first marker.** When a process takes its local
+//!   snapshot for instance `k` — spontaneously at a configured initiation
+//!   time, or on the first `k`-marker it receives — it records its
+//!   application state *before processing anything else*, starts
+//!   recording every incoming channel for `k` (the channel the first
+//!   marker arrived on closes immediately, empty), and sends a `k`-marker
+//!   on **every outgoing channel**.
+//! * **Recording.** An application message arriving on a channel that is
+//!   being recorded for `k` is appended to that instance's channel record
+//!   (and still delivered to the app — recording copies, never diverts).
+//!   With overlapping instances one message can be recorded by several.
+//! * **Closing.** A `k`-marker arriving on a recorded channel closes it
+//!   for `k`; instance `k` is locally complete when the state is recorded
+//!   and every incoming channel is closed.
+//!
+//! The marker is precisely the paper's "synchronization message": it
+//! carries no data beyond its instance tag, and on a FIFO channel it
+//! separates pre-cut from post-cut traffic.  To make the kinship visible,
+//! markers are emitted **highest rank first** — the same ordered
+//! descending sequence as the Figure 1 commit step (the order is
+//! immaterial to Chandy–Lamport correctness; the citation is the point).
+//!
+//! Verification hooks: the wrapper keeps **cumulative** per-channel send
+//! and receive counters and samples them at each local cut;
+//! [`verify_flow`](crate::verify_flow) turns the sampled counters plus the
+//! channel records into a per-channel conservation equation that holds
+//! **iff** the recorded cut is consistent — the mechanical replacement for
+//! the Chandy–Lamport paper's reachability proof.
+
+use crate::app::{AppEffects, LocalApp};
+use std::fmt;
+use twostep_events::{DelayModel, Effects, TimedKernel, TimedProcess, TimedReport};
+use twostep_model::timing::Ticks;
+use twostep_model::ProcessId;
+
+/// Timer ids at or above this value are reserved for snapshot initiation;
+/// `SNAP_TIMER_BASE + k` initiates instance `k`.
+const SNAP_TIMER_BASE: u64 = u64::MAX - u32::MAX as u64;
+
+/// Wire messages of the wrapped system: application traffic or a marker.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ClMsg<M> {
+    /// An application message, passed through verbatim.
+    App(M),
+    /// The Chandy–Lamport marker — a pure synchronization message whose
+    /// only content is the snapshot instance it belongs to (the paper's
+    /// one-bit control message, in the timed world).
+    Marker {
+        /// Snapshot instance id.
+        snap: u32,
+    },
+}
+
+/// Recording status of one incoming channel, for one instance.
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum ChannelRec<M> {
+    /// Between the local cut and this channel's marker: messages are
+    /// copied here.
+    Recording(Vec<M>),
+    /// Marker received; the record is final.
+    Closed(Vec<M>),
+}
+
+/// Per-instance local snapshot state.
+#[derive(Clone, Debug)]
+struct Instance<A: LocalApp> {
+    recorded: A::State,
+    recorded_at: Ticks,
+    /// One slot per peer (self slot unused, kept `Closed(vec![])`).
+    channels: Vec<ChannelRec<A::Msg>>,
+    /// Cumulative sends to each peer, sampled at the local cut.
+    sent_at_cut: Vec<u64>,
+    /// Cumulative receives from each peer, sampled at the local cut.
+    recv_at_cut: Vec<u64>,
+}
+
+/// One process of the snapshotted system: the app plus the marker layer.
+///
+/// Construct with [`ChandyLamport::new`], arrange spontaneous initiation
+/// with [`initiate_at`](Self::initiate_at), and drive the whole cluster
+/// with [`run_snapshot`].
+#[derive(Clone, Debug)]
+pub struct ChandyLamport<A: LocalApp> {
+    me: ProcessId,
+    n: usize,
+    app: A,
+    /// `(instance, at)` spontaneous-initiation schedule.
+    initiations: Vec<(u32, Ticks)>,
+    /// Dense by instance id; `None` = this instance's cut has not passed
+    /// here yet.
+    instances: Vec<Option<Instance<A>>>,
+    /// Cumulative application messages sent to each peer.
+    sent_total: Vec<u64>,
+    /// Cumulative application messages received from each peer.
+    recv_total: Vec<u64>,
+    markers_sent: u64,
+}
+
+impl<A: LocalApp> ChandyLamport<A> {
+    /// Wraps `app` as process `me` of an `n`-process complete graph.
+    pub fn new(me: ProcessId, n: usize, app: A) -> Self {
+        ChandyLamport {
+            me,
+            n,
+            app,
+            initiations: Vec::new(),
+            instances: Vec::new(),
+            sent_total: vec![0; n],
+            recv_total: vec![0; n],
+            markers_sent: 0,
+        }
+    }
+
+    /// Schedules spontaneous initiation of instance 0 at absolute time
+    /// `at` (single-snapshot convenience).  Multiple processes may
+    /// initiate concurrently; the algorithm produces one coherent cut per
+    /// instance regardless (their markers close each other's channels).
+    pub fn initiate_at(self, at: Ticks) -> Self {
+        self.initiate_instance_at(0, at)
+    }
+
+    /// Schedules spontaneous initiation of instance `snap` at `at`.
+    pub fn initiate_instance_at(mut self, snap: u32, at: Ticks) -> Self {
+        self.initiations.push((snap, at));
+        self
+    }
+
+    /// The process this wrapper instruments.
+    pub fn id(&self) -> ProcessId {
+        self.me
+    }
+
+    /// Instances whose cut has passed this process.
+    pub fn instances_recorded(&self) -> usize {
+        self.instances.iter().flatten().count()
+    }
+
+    fn instance(&self, snap: u32) -> Option<&Instance<A>> {
+        self.instances.get(snap as usize).and_then(Option::as_ref)
+    }
+
+    /// The recorded local state of instance `snap`, once its cut has
+    /// passed this process.
+    pub fn recorded_state_of(&self, snap: u32) -> Option<&A::State> {
+        self.instance(snap).map(|i| &i.recorded)
+    }
+
+    /// The recorded local state of instance 0.
+    pub fn recorded_state(&self) -> Option<&A::State> {
+        self.recorded_state_of(0)
+    }
+
+    /// When instance `snap` took its local snapshot here.
+    pub fn recorded_at_of(&self, snap: u32) -> Option<Ticks> {
+        self.instance(snap).map(|i| i.recorded_at)
+    }
+
+    /// When instance 0 took its local snapshot here.
+    pub fn recorded_at(&self) -> Option<Ticks> {
+        self.recorded_at_of(0)
+    }
+
+    /// The final record of the incoming channel from `from` for `snap`,
+    /// if closed.
+    pub fn channel_record_of(&self, snap: u32, from: ProcessId) -> Option<&[A::Msg]> {
+        match self.instance(snap).map(|i| &i.channels[from.idx()]) {
+            Some(ChannelRec::Closed(msgs)) => Some(msgs),
+            _ => None,
+        }
+    }
+
+    /// The instance-0 record of the incoming channel from `from`.
+    pub fn channel_record(&self, from: ProcessId) -> Option<&[A::Msg]> {
+        self.channel_record_of(0, from)
+    }
+
+    /// Whether instance `snap` is locally complete: state recorded and
+    /// every incoming channel closed.
+    pub fn is_complete_of(&self, snap: u32) -> bool {
+        self.instance(snap).is_some_and(|i| {
+            i.channels
+                .iter()
+                .enumerate()
+                .all(|(j, c)| j == self.me.idx() || matches!(c, ChannelRec::Closed(_)))
+        })
+    }
+
+    /// Whether instance 0 is locally complete.
+    pub fn is_complete(&self) -> bool {
+        self.is_complete_of(0)
+    }
+
+    /// Application messages sent to `to` before this process's cut for
+    /// instance `snap` (used by the flow-equation verifier).
+    pub fn sent_at_cut(&self, snap: u32, to: ProcessId) -> Option<u64> {
+        self.instance(snap).map(|i| i.sent_at_cut[to.idx()])
+    }
+
+    /// Application messages received from `from` before this process's
+    /// cut for instance `snap`.
+    pub fn recv_at_cut(&self, snap: u32, from: ProcessId) -> Option<u64> {
+        self.instance(snap).map(|i| i.recv_at_cut[from.idx()])
+    }
+
+    /// Instance-0 convenience for [`sent_at_cut`](Self::sent_at_cut).
+    pub fn sent_pre_cut(&self, to: ProcessId) -> u64 {
+        self.sent_at_cut(0, to).unwrap_or(0)
+    }
+
+    /// Instance-0 convenience for [`recv_at_cut`](Self::recv_at_cut).
+    pub fn recv_pre_cut(&self, from: ProcessId) -> u64 {
+        self.recv_at_cut(0, from).unwrap_or(0)
+    }
+
+    /// Markers this process has emitted across all instances
+    /// (`n-1` per instance it participated in).
+    pub fn markers_sent(&self) -> u64 {
+        self.markers_sent
+    }
+
+    /// A read-only view of the wrapped application.
+    pub fn app(&self) -> &A {
+        &self.app
+    }
+
+    /// Takes the local snapshot for `snap` (if not already taken) and
+    /// emits its markers highest-rank-first — the Figure 1 commit order.
+    fn record_now(&mut self, snap: u32, at: Ticks, fx: &mut Effects<ClMsg<A::Msg>, ()>) {
+        let idx = snap as usize;
+        if self.instances.len() <= idx {
+            self.instances.resize_with(idx + 1, || None);
+        }
+        if self.instances[idx].is_some() {
+            return;
+        }
+        let mut channels = vec![ChannelRec::Recording(Vec::new()); self.n];
+        channels[self.me.idx()] = ChannelRec::Closed(Vec::new());
+        self.instances[idx] = Some(Instance {
+            recorded: self.app.snapshot_state(),
+            recorded_at: at,
+            channels,
+            sent_at_cut: self.sent_total.clone(),
+            recv_at_cut: self.recv_total.clone(),
+        });
+        for rank in (1..=self.n as u32).rev() {
+            let dst = ProcessId::new(rank);
+            if dst != self.me {
+                fx.send(dst, ClMsg::Marker { snap });
+                self.markers_sent += 1;
+            }
+        }
+    }
+
+    /// Forwards buffered app effects to the kernel, bumping the
+    /// cumulative send counters.
+    fn flush_app(&mut self, app_fx: AppEffects<A::Msg>, fx: &mut Effects<ClMsg<A::Msg>, ()>) {
+        for (to, msg) in app_fx.sends {
+            self.sent_total[to.idx()] += 1;
+            fx.send(to, ClMsg::App(msg));
+        }
+        for (id, delay) in app_fx.timers {
+            debug_assert!(id < SNAP_TIMER_BASE, "app timer id in the reserved range");
+            fx.set_timer(id, delay);
+        }
+    }
+}
+
+impl<A: LocalApp> TimedProcess for ChandyLamport<A>
+where
+    A::Msg: fmt::Debug,
+{
+    type Msg = ClMsg<A::Msg>;
+    type Output = ();
+
+    fn on_start(&mut self, fx: &mut Effects<Self::Msg, ()>) {
+        for &(snap, at) in &self.initiations {
+            fx.set_timer(SNAP_TIMER_BASE + snap as u64, at);
+        }
+        let mut app_fx = AppEffects::new();
+        self.app.on_start(&mut app_fx);
+        self.flush_app(app_fx, fx);
+    }
+
+    fn on_message(
+        &mut self,
+        at: Ticks,
+        from: ProcessId,
+        msg: Self::Msg,
+        fx: &mut Effects<Self::Msg, ()>,
+    ) {
+        match msg {
+            ClMsg::Marker { snap } => {
+                // First `snap`-marker: take the cut now; `record_now`
+                // opens every incoming channel (the one this marker
+                // arrived on then closes below, possibly empty — the
+                // Chandy–Lamport "marker channel records nothing" rule).
+                self.record_now(snap, at, fx);
+                let inst = self.instances[snap as usize]
+                    .as_mut()
+                    .expect("record_now created the instance");
+                let ch = &mut inst.channels[from.idx()];
+                match std::mem::replace(ch, ChannelRec::Closed(Vec::new())) {
+                    ChannelRec::Recording(msgs) => *ch = ChannelRec::Closed(msgs),
+                    ChannelRec::Closed(_) => {
+                        unreachable!("each process markers each channel once per instance")
+                    }
+                }
+            }
+            ClMsg::App(m) => {
+                self.recv_total[from.idx()] += 1;
+                for inst in self.instances.iter_mut().flatten() {
+                    if let ChannelRec::Recording(msgs) = &mut inst.channels[from.idx()] {
+                        msgs.push(m.clone());
+                    }
+                }
+                let mut app_fx = AppEffects::new();
+                self.app.on_message(at, from, m, &mut app_fx);
+                self.flush_app(app_fx, fx);
+            }
+        }
+    }
+
+    fn on_suspicion(&mut self, _at: Ticks, _suspect: ProcessId, _fx: &mut Effects<Self::Msg, ()>) {
+        // Chandy–Lamport is a fault-free algorithm (the paper cites it as
+        // such); snapshot runs schedule no crashes and no detector.
+    }
+
+    fn on_timer(&mut self, at: Ticks, id: u64, fx: &mut Effects<Self::Msg, ()>) {
+        if id >= SNAP_TIMER_BASE {
+            self.record_now((id - SNAP_TIMER_BASE) as u32, at, fx);
+        } else {
+            let mut app_fx = AppEffects::new();
+            self.app.on_timer(at, id, &mut app_fx);
+            self.flush_app(app_fx, fx);
+        }
+    }
+}
+
+/// How a snapshot run is set up: who initiates, when, for how long.
+#[derive(Clone, Debug)]
+pub struct SnapshotSetup {
+    /// Processes that spontaneously initiate (at least one required for a
+    /// snapshot to happen).
+    pub initiators: Vec<ProcessId>,
+    /// Absolute initiation time of instance 0.
+    pub initiate_at: Ticks,
+    /// Optional repeated instances `1..=count` at `initiate_at + k·every`.
+    pub repeat: Option<Repeat>,
+    /// Simulation horizon — snapshot workloads are often non-quiescent, so
+    /// the run is cut here.
+    pub horizon: Ticks,
+    /// Whether to enforce per-channel FIFO (required for correctness;
+    /// exposed so the tests can demonstrate the failure mode without it).
+    pub fifo: bool,
+}
+
+/// A periodic-snapshot schedule: `count` further instances, one every
+/// `every` ticks after instance 0.
+#[derive(Clone, Copy, Debug)]
+pub struct Repeat {
+    /// How many instances beyond instance 0.
+    pub count: u32,
+    /// Spacing between consecutive initiations.
+    pub every: Ticks,
+}
+
+impl Default for SnapshotSetup {
+    fn default() -> Self {
+        SnapshotSetup {
+            initiators: vec![ProcessId::new(1)],
+            initiate_at: 0,
+            repeat: None,
+            horizon: 100_000,
+            fifo: true,
+        }
+    }
+}
+
+/// Everything a snapshot run produces.
+#[derive(Clone, Debug)]
+pub struct SnapshotRun<A: LocalApp> {
+    /// The final wrapper states (snapshot records + counters + apps).
+    pub wrappers: Vec<ChandyLamport<A>>,
+    /// The kernel's report (messages, end time, horizon flag).
+    pub report: TimedReport<()>,
+}
+
+impl<A: LocalApp> SnapshotRun<A> {
+    /// Total snapshot instances this setup initiated.
+    pub fn instance_count(&self) -> u32 {
+        self.wrappers
+            .iter()
+            .map(|w| w.instances_recorded() as u32)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Wraps each app, runs the cluster under `delays`, and returns the final
+/// states.  `apps[i]` becomes process `p_{i+1}`.
+///
+/// # Panics
+///
+/// Panics if `setup.initiators` names a rank outside `1..=apps.len()`.
+pub fn run_snapshot<A: LocalApp>(
+    apps: Vec<A>,
+    delays: DelayModel,
+    setup: SnapshotSetup,
+) -> SnapshotRun<A>
+where
+    A::Msg: fmt::Debug,
+{
+    let n = apps.len();
+    assert!(
+        setup.initiators.iter().all(|p| p.idx() < n),
+        "initiator rank out of range"
+    );
+    let wrappers: Vec<ChandyLamport<A>> = apps
+        .into_iter()
+        .enumerate()
+        .map(|(i, app)| {
+            let me = ProcessId::new(i as u32 + 1);
+            let mut w = ChandyLamport::new(me, n, app);
+            if setup.initiators.contains(&me) {
+                w = w.initiate_at(setup.initiate_at);
+                if let Some(rep) = setup.repeat {
+                    for k in 1..=rep.count {
+                        w = w.initiate_instance_at(k, setup.initiate_at + k as u64 * rep.every);
+                    }
+                }
+            }
+            w
+        })
+        .collect();
+
+    let kernel = TimedKernel::new(wrappers, delays).horizon(setup.horizon);
+    let kernel = if setup.fifo { kernel.fifo() } else { kernel };
+    let (report, wrappers) = kernel.run_with_states();
+    SnapshotRun { wrappers, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A silent app: no messages, constant state.
+    #[derive(Clone, Debug)]
+    struct Still(u64);
+    impl LocalApp for Still {
+        type Msg = u8;
+        type State = u64;
+        fn on_start(&mut self, _fx: &mut AppEffects<u8>) {}
+        fn on_message(&mut self, _at: Ticks, _f: ProcessId, _m: u8, _fx: &mut AppEffects<u8>) {}
+        fn on_timer(&mut self, _at: Ticks, _id: u64, _fx: &mut AppEffects<u8>) {}
+        fn snapshot_state(&self) -> u64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn quiescent_app_snapshot_completes_with_empty_channels() {
+        let apps = vec![Still(10), Still(20), Still(30)];
+        let run = run_snapshot(apps, DelayModel::Fixed(5), SnapshotSetup::default());
+        for w in &run.wrappers {
+            assert!(w.is_complete(), "p{} incomplete", w.id().rank());
+            for from in ProcessId::all(3) {
+                if from != w.id() {
+                    assert_eq!(w.channel_record(from), Some(&[] as &[u8]));
+                }
+            }
+        }
+        assert_eq!(run.wrappers[0].recorded_state(), Some(&10));
+        assert_eq!(run.wrappers[2].recorded_state(), Some(&30));
+        // n(n-1) markers and nothing else.
+        assert_eq!(run.report.messages_sent, 6);
+    }
+
+    #[test]
+    fn markers_emitted_highest_rank_first_complete_by_one_initiator() {
+        let apps = vec![Still(0); 5];
+        let run = run_snapshot(apps, DelayModel::Fixed(7), SnapshotSetup::default());
+        assert!(run.wrappers.iter().all(|w| w.is_complete()));
+        assert!(run.wrappers.iter().all(|w| w.markers_sent() == 4));
+        // Initiator records at its initiation time, everyone else one hop
+        // later.
+        assert_eq!(run.wrappers[0].recorded_at(), Some(0));
+        for w in &run.wrappers[1..] {
+            assert_eq!(w.recorded_at(), Some(7));
+        }
+    }
+
+    #[test]
+    fn concurrent_initiators_still_produce_one_complete_cut() {
+        let apps = vec![Still(1); 4];
+        let setup = SnapshotSetup {
+            initiators: vec![ProcessId::new(2), ProcessId::new(4)],
+            initiate_at: 50,
+            ..SnapshotSetup::default()
+        };
+        let run = run_snapshot(apps, DelayModel::Fixed(9), setup);
+        assert!(run.wrappers.iter().all(|w| w.is_complete()));
+        // Each process sends its markers exactly once.
+        assert!(run.wrappers.iter().all(|w| w.markers_sent() == 3));
+    }
+
+    #[test]
+    fn no_initiator_means_no_snapshot() {
+        let apps = vec![Still(0); 3];
+        let setup = SnapshotSetup {
+            initiators: vec![],
+            ..SnapshotSetup::default()
+        };
+        let run = run_snapshot(apps, DelayModel::Fixed(5), setup);
+        assert!(run.wrappers.iter().all(|w| !w.is_complete()));
+        assert!(run.wrappers.iter().all(|w| w.recorded_state().is_none()));
+        assert_eq!(run.report.messages_sent, 0);
+    }
+
+    #[test]
+    fn repeated_instances_complete_independently() {
+        let apps = vec![Still(7); 4];
+        let setup = SnapshotSetup {
+            initiate_at: 10,
+            repeat: Some(Repeat { count: 3, every: 40 }),
+            ..SnapshotSetup::default()
+        };
+        let run = run_snapshot(apps, DelayModel::Fixed(6), setup);
+        assert_eq!(run.instance_count(), 4);
+        for w in &run.wrappers {
+            for k in 0..4 {
+                assert!(w.is_complete_of(k), "p{} instance {k}", w.id().rank());
+                assert_eq!(w.recorded_state_of(k), Some(&7));
+            }
+            assert_eq!(w.markers_sent(), 4 * 3, "3 markers per instance");
+        }
+        // Instance k's cut at the initiator is its initiation time.
+        assert_eq!(run.wrappers[0].recorded_at_of(2), Some(10 + 80));
+    }
+
+    #[test]
+    fn instance_ids_can_be_sparse() {
+        let apps = vec![Still(1); 3];
+        let wrappers: Vec<_> = apps
+            .into_iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let me = ProcessId::new(i as u32 + 1);
+                let w = ChandyLamport::new(me, 3, a);
+                if i == 0 {
+                    w.initiate_instance_at(5, 20)
+                } else {
+                    w
+                }
+            })
+            .collect();
+        let (_, wrappers) = TimedKernel::new(wrappers, DelayModel::Fixed(4))
+            .fifo()
+            .run_with_states();
+        for w in &wrappers {
+            assert!(w.is_complete_of(5));
+            assert!(!w.is_complete_of(0), "instance 0 never ran");
+            assert!(w.recorded_state_of(0).is_none());
+        }
+    }
+}

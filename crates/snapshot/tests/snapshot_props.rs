@@ -1,0 +1,256 @@
+//! Property and failure-injection tests for the Chandy–Lamport layer.
+//!
+//! The central claims (Chandy & Lamport 1985, cited by the paper's
+//! related-work section as *the* synchronization-message algorithm):
+//!
+//! 1. on FIFO channels every completed snapshot is a **consistent cut**
+//!    (the per-channel flow equation holds), and
+//! 2. consequently any conserved global quantity is conserved *in the
+//!    recorded cut* even though no process ever observed a global instant;
+//! 3. without FIFO the guarantee evaporates — there are runs whose
+//!    "snapshot" loses or double-counts messages.
+
+use proptest::prelude::*;
+use twostep_events::DelayModel;
+use twostep_model::ProcessId;
+use twostep_snapshot::{
+    collect, run_snapshot, tokens_in_cut, verify_flow, BankApp, SnapshotSetup, TokenRing,
+};
+
+fn setup(initiator: u32, at: u64, fifo: bool) -> SnapshotSetup {
+    SnapshotSetup {
+        initiators: vec![ProcessId::new(initiator)],
+        initiate_at: at,
+        repeat: None,
+        horizon: 200_000,
+        fifo,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Conservation of money over arbitrary seeds, delays, cluster sizes
+    /// and initiation times — the headline snapshot property.
+    #[test]
+    fn bank_cut_conserves_money(
+        n in 2usize..8,
+        initial in 50u64..2_000,
+        seed in any::<u64>(),
+        delay_min in 1u64..30,
+        delay_spread in 0u64..80,
+        initiate_at in 0u64..3_000,
+        initiator in 1u32..3,
+    ) {
+        let initiator = initiator.min(n as u32);
+        let apps = BankApp::cluster(n, initial, seed);
+        let delays = if delay_spread == 0 {
+            DelayModel::Fixed(delay_min)
+        } else {
+            DelayModel::Uniform { min: delay_min, max: delay_min + delay_spread, seed }
+        };
+        let run = run_snapshot(apps, delays, setup(initiator, initiate_at, true));
+        let snap = collect(&run.wrappers).expect("completes before a generous horizon");
+        verify_flow(&snap, &run.wrappers).expect("consistent cut on FIFO channels");
+        let recorded = snap.states.iter().sum::<u64>() + snap.in_transit_sum(|m| *m);
+        prop_assert_eq!(recorded, n as u64 * initial);
+    }
+
+    /// The token ring invariant: every consistent cut holds exactly one
+    /// token, wherever the cut lands relative to the moving token.
+    #[test]
+    fn token_ring_cut_holds_exactly_one_token(
+        n in 2usize..9,
+        hold_for in 1u64..40,
+        delay in 1u64..60,
+        initiate_at in 0u64..2_000,
+        initiator in 1u32..9,
+    ) {
+        let initiator = (initiator - 1) % n as u32 + 1;
+        let apps = TokenRing::ring(n, hold_for, 3_000);
+        let run = run_snapshot(apps, DelayModel::Fixed(delay), setup(initiator, initiate_at, true));
+        let snap = collect(&run.wrappers).expect("ring quiesces and snapshot completes");
+        verify_flow(&snap, &run.wrappers).expect("consistent cut");
+        prop_assert_eq!(tokens_in_cut(&snap), 1);
+    }
+
+    /// Snapshot transparency: wrapping an app in the snapshot layer does
+    /// not change the application outcome (final balances equal a run
+    /// that never initiates a snapshot).
+    #[test]
+    fn snapshot_layer_is_transparent_to_the_app(
+        n in 2usize..6,
+        seed in any::<u64>(),
+        initiate_at in 0u64..2_500,
+    ) {
+        let with_snap = run_snapshot(
+            BankApp::cluster(n, 400, seed),
+            DelayModel::Fixed(21),
+            setup(1, initiate_at, true),
+        );
+        let without_snap = run_snapshot(
+            BankApp::cluster(n, 400, seed),
+            DelayModel::Fixed(21),
+            SnapshotSetup { initiators: vec![], ..setup(1, 0, true) },
+        );
+        for (a, b) in with_snap.wrappers.iter().zip(&without_snap.wrappers) {
+            prop_assert_eq!(a.app().balance(), b.app().balance());
+            prop_assert_eq!(a.app().transfers_sent(), b.app().transfers_sent());
+        }
+    }
+}
+
+/// Failure injection: *without* FIFO channels, overtaking breaks the cut.
+/// Deterministically hunts a seed whose non-FIFO run violates either the
+/// flow equation or conservation, then shows the same seed is clean with
+/// `fifo: true` — the exact hypothesis-to-guarantee edge of the theorem.
+#[test]
+fn non_fifo_channels_break_the_cut_for_some_seed() {
+    let broken = (0u64..200).find_map(|seed| {
+        let apps = BankApp::cluster(4, 500, seed);
+        let delays = DelayModel::Uniform {
+            min: 1,
+            max: 400,
+            seed,
+        };
+        let run = run_snapshot(apps, delays, setup(1, 500, false));
+        let snap = collect(&run.wrappers).ok()?;
+        let flow_broken = verify_flow(&snap, &run.wrappers).is_err();
+        let total = snap.states.iter().sum::<u64>() + snap.in_transit_sum(|m| *m);
+        (flow_broken || total != 2_000).then_some((seed, flow_broken, total))
+    });
+    let (seed, flow_broken, total) =
+        broken.expect("within 200 seeds some non-FIFO run breaks the snapshot");
+    assert!(
+        flow_broken || total != 2_000,
+        "seed {seed}: expected a violation, flow_broken={flow_broken}, total={total}"
+    );
+
+    // The same adversarial delays are harmless once FIFO is enforced.
+    let apps = BankApp::cluster(4, 500, seed);
+    let delays = DelayModel::Uniform {
+        min: 1,
+        max: 400,
+        seed,
+    };
+    let run = run_snapshot(apps, delays, setup(1, 500, true));
+    let snap = collect(&run.wrappers).unwrap();
+    verify_flow(&snap, &run.wrappers).unwrap();
+    assert_eq!(
+        snap.states.iter().sum::<u64>() + snap.in_transit_sum(|m| *m),
+        2_000
+    );
+}
+
+/// Initiation during a completely idle system records all balances with
+/// empty channels — the degenerate but legal cut.
+#[test]
+fn idle_system_snapshot_is_the_trivial_cut() {
+    // stop_at = 0: the bank never issues a transfer.
+    let apps = BankApp::cluster_until(5, 777, 1, 0);
+    let run = run_snapshot(apps, DelayModel::Fixed(10), setup(2, 100, true));
+    let snap = collect(&run.wrappers).unwrap();
+    verify_flow(&snap, &run.wrappers).unwrap();
+    assert_eq!(snap.in_transit_count(), 0);
+    assert!(snap.states.iter().all(|b| *b == 777));
+}
+
+/// All n processes initiating simultaneously is legal and still yields a
+/// single consistent cut.
+#[test]
+fn everyone_initiates_at_once() {
+    let n = 6;
+    let apps = BankApp::cluster(n, 250, 9);
+    let s = SnapshotSetup {
+        initiators: ProcessId::all(n).collect(),
+        initiate_at: 321,
+        repeat: None,
+        horizon: 100_000,
+        fifo: true,
+    };
+    let run = run_snapshot(apps, DelayModel::Fixed(15), s);
+    let snap = collect(&run.wrappers).unwrap();
+    verify_flow(&snap, &run.wrappers).unwrap();
+    assert_eq!(
+        snap.states.iter().sum::<u64>() + snap.in_transit_sum(|m| *m),
+        n as u64 * 250
+    );
+    // Simultaneous initiation ⇒ zero cut skew.
+    assert_eq!(snap.cut_skew(), 0);
+}
+
+/// Repeated snapshots with deliberately overlapping cuts (interval below
+/// the marker propagation time): every instance must independently be a
+/// consistent, conserving cut, even while several recordings share the
+/// same channels.
+#[test]
+fn overlapping_repeated_snapshots_each_conserve_money() {
+    use twostep_snapshot::{collect_instance, Repeat};
+    let n = 6;
+    let initial = 800u64;
+    for seed in 0..10u64 {
+        let apps = BankApp::cluster(n, initial, seed);
+        let setup = SnapshotSetup {
+            initiators: vec![ProcessId::new(1)],
+            initiate_at: 300,
+            // Markers need up to 90 ticks per hop; initiating every 25
+            // ticks guarantees instance k+1 starts while k still records.
+            repeat: Some(Repeat { count: 5, every: 25 }),
+            horizon: 300_000,
+            fifo: true,
+        };
+        let delays = DelayModel::Uniform {
+            min: 10,
+            max: 90,
+            seed: seed ^ 0xABCD,
+        };
+        let run = run_snapshot(apps, delays, setup);
+        for k in 0..=5u32 {
+            let snap = collect_instance(&run.wrappers, k)
+                .unwrap_or_else(|e| panic!("seed {seed} instance {k}: {e}"));
+            verify_flow(&snap, &run.wrappers)
+                .unwrap_or_else(|e| panic!("seed {seed} instance {k}: {e}"));
+            let total = snap.states.iter().sum::<u64>() + snap.in_transit_sum(|m| *m);
+            assert_eq!(total, n as u64 * initial, "seed {seed} instance {k}");
+            assert_eq!(snap.instance, k);
+        }
+    }
+}
+
+/// Cut monotonicity across instances: at every process, instance k+1's
+/// local cut never precedes instance k's (initiations are ordered and
+/// FIFO preserves marker order per channel from the same initiator).
+#[test]
+fn repeated_instance_cuts_are_monotone_per_process() {
+    use twostep_snapshot::Repeat;
+    let n = 5;
+    let apps = BankApp::cluster(n, 400, 77);
+    let setup = SnapshotSetup {
+        initiators: vec![ProcessId::new(2)],
+        initiate_at: 100,
+        repeat: Some(Repeat { count: 4, every: 30 }),
+        horizon: 300_000,
+        fifo: true,
+    };
+    let run = run_snapshot(
+        apps,
+        DelayModel::Uniform {
+            min: 5,
+            max: 80,
+            seed: 3,
+        },
+        setup,
+    );
+    for w in &run.wrappers {
+        for k in 0..4u32 {
+            let a = w.recorded_at_of(k).unwrap();
+            let b = w.recorded_at_of(k + 1).unwrap();
+            assert!(
+                a <= b,
+                "p{}: instance {k} at {a} vs {} at {b}",
+                w.id().rank(),
+                k + 1
+            );
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! The §5 lower bound, regenerated exhaustively.
+//!
+//! ```sh
+//! cargo run --release --example lower_bound
+//! ```
+//!
+//! For a small system the model checker walks *every* execution under
+//! *every* admissible adversary (all crash subsets, data subsets, commit
+//! prefixes, decide-then-die) and reports the worst decision round per
+//! actual crash count — exactly `f+1`, matching Theorem 1's upper bound
+//! and Theorem 4's lower bound: the algorithm is optimal (Theorem 5).
+//! The bivalency census shows the proof's engine at work.
+
+use twostep::modelcheck::{explore, ExploreConfig};
+use twostep::prelude::*;
+
+fn main() {
+    for (n, t) in [(3usize, 2usize), (4, 3)] {
+        let system = SystemConfig::new(n, t).unwrap();
+        // Binary inputs, mixed: the bivalency argument's input space.
+        let proposals: Vec<WideValue> =
+            (0..n).map(|i| WideValue::new(1, (i % 2) as u64)).collect();
+
+        println!("== exhaustive exploration: n={n}, t={t}, binary proposals ==");
+        let report = explore(
+            system,
+            ExploreConfig::for_crw(&system),
+            crw_processes(&system, &proposals),
+            proposals.clone(),
+        )
+        .expect("within state budget");
+
+        println!(
+            "  configurations: {}   terminal executions: {}   spec violations: {}",
+            report.distinct_states, report.root.terminals, report.root.violating
+        );
+        assert!(!report.root.violating, "uniform consensus holds everywhere");
+
+        println!("  worst last-decision round, over ALL executions:");
+        for f in 0..=t {
+            let worst = report.root.worst_round_by_f[f];
+            println!(
+                "    f={f}: {}  (bound f+1 = {})",
+                worst.map_or("-".into(), |r| r.to_string()),
+                f + 1
+            );
+            assert_eq!(worst, Some(f as u32 + 1), "optimality is exact");
+        }
+
+        println!("  bivalency census (configs still steerable to either value):");
+        for (round, configs, bivalent) in &report.bivalency_by_round {
+            println!("    round {round}: {configs} configs, {bivalent} bivalent");
+        }
+        println!();
+    }
+    println!("the measured worst case meets the lower bound: f+1 is both achievable");
+    println!("and unbeatable in the extended model — the paper's \"power and limit\".");
+}

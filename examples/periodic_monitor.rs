@@ -1,0 +1,83 @@
+//! Periodic cluster monitoring with overlapping snapshots.
+//!
+//! ```sh
+//! cargo run --example periodic_monitor
+//! ```
+//!
+//! A monitoring service wants a consistent view of a live token-ring
+//! cluster every 25 ticks — faster than a marker wave can even cross the
+//! network, so consecutive snapshot instances *overlap* on the channels.
+//! Chandy–Lamport handles this by tagging markers with an instance id
+//! (the repeated-snapshot mode of the original 1985 paper); every
+//! instance independently certifies as a consistent cut, and every cut
+//! contains **exactly one** token — held or in flight — even though no
+//! process ever saw a global instant.
+
+use twostep::model::ProcessId;
+use twostep::snapshot::{
+    collect_instance, run_snapshot, tokens_in_cut, verify_flow, Repeat, SnapshotSetup, TokenRing,
+};
+use twostep_events::DelayModel;
+
+fn main() {
+    let n = 6;
+    let instances = 8u32;
+    let apps = TokenRing::ring(n, 15, 2_000);
+    let setup = SnapshotSetup {
+        initiators: vec![ProcessId::new(1)],
+        initiate_at: 200,
+        repeat: Some(Repeat {
+            count: instances - 1,
+            every: 25,
+        }),
+        horizon: 200_000,
+        fifo: true,
+    };
+    let delays = DelayModel::Uniform {
+        min: 10,
+        max: 80,
+        seed: 0x70CE,
+    };
+
+    println!(
+        "token ring, n = {n}; snapshots every 25 ticks but markers take 10-80 ticks:\n\
+         instances overlap on the wire, each still certifies independently\n"
+    );
+
+    let run = run_snapshot(apps, delays, setup);
+    println!("instance  initiated  cut-skew  token seen at        consistent  tokens-in-cut");
+    for k in 0..instances {
+        let snap = collect_instance(&run.wrappers, k).expect("instance completed");
+        let consistent = verify_flow(&snap, &run.wrappers).is_ok();
+        let holder = snap
+            .states
+            .iter()
+            .position(|h| *h)
+            .map(|i| format!("p{} (held)", i + 1))
+            .unwrap_or_else(|| "on the wire".into());
+        println!(
+            "{:>8}  {:>9}  {:>8}  {:<19}  {:>10}  {:>13}",
+            k,
+            200 + k as u64 * 25,
+            snap.cut_skew(),
+            holder,
+            consistent,
+            tokens_in_cut(&snap)
+        );
+        assert!(consistent);
+        assert_eq!(tokens_in_cut(&snap), 1, "instance {k} must hold one token");
+    }
+
+    let passes: u64 = run.wrappers.iter().map(|w| w.app().passes()).sum();
+    println!(
+        "\nworkload kept running throughout: {passes} token passes; \
+         {} markers paid for {} certified cuts",
+        run.wrappers.iter().map(|w| w.markers_sent()).sum::<u64>(),
+        instances
+    );
+    println!(
+        "\nthe instance tag on the marker is one more synchronization bit —\n\
+         the same trick as the paper's per-round commit: cheap control\n\
+         information that gives every receiver consistent global knowledge."
+    );
+}

@@ -1,0 +1,47 @@
+//! Quickstart: uniform consensus in one round on the extended model.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! Five processes propose values; nobody crashes; everyone decides the
+//! first coordinator's value in round 1 after `2(n-1)` one-way messages —
+//! the paper's §3.2 best case.
+
+use twostep::prelude::*;
+
+fn main() {
+    let n = 5;
+    let config = SystemConfig::new(n, 2).expect("n=5, t=2 is valid");
+    let schedule = CrashSchedule::none(n);
+    let proposals = vec![7u64, 3, 9, 1, 5];
+
+    println!("running CRW uniform consensus: n={n}, t=2, proposals {proposals:?}\n");
+
+    let report = run_crw(&config, &schedule, &proposals, TraceLevel::Off)
+        .expect("simulation runs");
+
+    for (i, d) in report.decisions.iter().enumerate() {
+        match d {
+            Some(d) => println!("  p{} decided {} in round {}", i + 1, d.value, d.round),
+            None => println!("  p{} never decided", i + 1),
+        }
+    }
+    println!("\nmetrics: {}", report.metrics);
+
+    // The consensus specification, checked mechanically.
+    let spec = check_uniform_consensus(
+        &proposals,
+        &report.decisions,
+        &schedule,
+        Some(config.crw_round_bound(0)), // Theorem 1: f+1 = 1 round here
+    );
+    println!("specification: {spec}");
+    assert!(spec.ok());
+
+    println!(
+        "\nTheorem 2 best case: {} bits == (n-1)(b+1) = {}",
+        report.metrics.total_bits(),
+        twostep::model::theorem2::best_case_bits(n, 64)
+    );
+}

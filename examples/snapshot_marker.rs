@@ -1,0 +1,92 @@
+//! Chandy–Lamport snapshots: the related-work face of synchronization
+//! messages.
+//!
+//! ```sh
+//! cargo run --example snapshot_marker
+//! ```
+//!
+//! The paper's related-work section singles out the Chandy–Lamport marker
+//! as the classic synchronization message: a data-free send that defines a
+//! "synchronization point" on each channel, separating the messages before
+//! it from those after it — precisely the role the commit message plays
+//! inside an extended round.  This example runs a six-account bank over
+//! jittery FIFO links, takes a snapshot mid-traffic, and shows that the
+//! recorded cut conserves the total money even though some of it was
+//! riding the wires when the cut passed.
+
+use twostep::model::ProcessId;
+use twostep::snapshot::{collect, run_snapshot, verify_flow, BankApp, SnapshotSetup};
+use twostep_events::DelayModel;
+
+fn main() {
+    let n = 6;
+    let initial = 1_000u64;
+    let apps = BankApp::cluster(n, initial, 0xC0FFEE);
+    let setup = SnapshotSetup {
+        initiators: vec![ProcessId::new(3)],
+        initiate_at: 900,
+        repeat: None,
+        horizon: 100_000,
+        fifo: true,
+    };
+    let delays = DelayModel::Uniform {
+        min: 5,
+        max: 60,
+        seed: 7,
+    };
+
+    println!("n = {n} accounts x {initial} initial; p3 initiates a snapshot at t=900\n");
+    let run = run_snapshot(apps, delays, setup);
+    let snap = collect(&run.wrappers).expect("snapshot completed");
+    verify_flow(&snap, &run.wrappers).expect("consistent cut (FIFO channels)");
+
+    println!("recorded local states (cut skew {} ticks):", snap.cut_skew());
+    for (i, bal) in snap.states.iter().enumerate() {
+        println!(
+            "  p{} @ t={:>4}: balance {bal}",
+            i + 1,
+            snap.recorded_at[i]
+        );
+    }
+
+    println!("\nmessages caught in flight by the marker rule:");
+    let mut in_transit = 0u64;
+    for from in ProcessId::all(n) {
+        for to in ProcessId::all(n) {
+            if from == to {
+                continue;
+            }
+            let msgs = snap.channel(from, to);
+            if !msgs.is_empty() {
+                let sum: u64 = msgs.iter().sum();
+                in_transit += sum;
+                println!(
+                    "  p{} -> p{}: {} transfer(s) worth {sum}",
+                    from.rank(),
+                    to.rank(),
+                    msgs.len()
+                );
+            }
+        }
+    }
+    if in_transit == 0 {
+        println!("  (none this run)");
+    }
+
+    let states_sum: u64 = snap.states.iter().sum();
+    println!(
+        "\nconservation: {} (balances) + {} (in transit) = {} = {} * {}",
+        states_sum,
+        in_transit,
+        states_sum + in_transit,
+        n,
+        initial
+    );
+    assert_eq!(states_sum + in_transit, n as u64 * initial);
+
+    println!(
+        "\nthe marker here = the paper's commit message there: both are one-bit\n\
+         synchronization sends that give the receiver consistent global knowledge\n\
+         (a cut position / \"everyone has the coordinator's estimate\")."
+    );
+}

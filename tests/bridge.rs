@@ -1,0 +1,144 @@
+//! Integration tests for the timed/asynchronous comparators: the fast-FD
+//! baseline and MR99 satisfy uniform consensus across randomized delay
+//! and crash scenarios, and their decision-time/round shapes match the
+//! bounds the paper's §2.2 and §4 discussions use.
+
+use twostep::asynch::mr99_processes;
+use twostep::baselines::fastfd_processes;
+use twostep::events::{DelayModel, FdSpec, TimedCrash, TimedKernel};
+use twostep::prelude::*;
+
+const D: u64 = 1000;
+const SMALL: u64 = 50;
+
+#[test]
+fn fastfd_time_shape_is_d_plus_f_d() {
+    let n = 8;
+    let proposals: Vec<u64> = (0..n as u64).map(|i| 100 + i).collect();
+    for f in 0..=5usize {
+        let mut kernel = TimedKernel::new(
+            fastfd_processes(n, D, SMALL, &proposals),
+            DelayModel::Fixed(D),
+        )
+        .fd(FdSpec::accurate(SMALL));
+        for k in 1..=f {
+            kernel = kernel.crash(
+                ProcessId::new(k as u32),
+                TimedCrash { at: 0, keep_sends: 0 },
+            );
+        }
+        let report = kernel.run();
+        assert_eq!(
+            report.last_decision_time(),
+            Some(D + f as u64 * SMALL),
+            "f={f}"
+        );
+        assert_eq!(report.decided_values().len(), 1, "f={f}");
+        assert_eq!(
+            report.decisions.iter().flatten().count(),
+            n - f,
+            "all survivors decide (f={f})"
+        );
+    }
+}
+
+#[test]
+fn fastfd_uniform_under_partial_broadcasts() {
+    let n = 6;
+    let proposals: Vec<u64> = (0..n as u64).map(|i| 100 + i).collect();
+    for keep in 0..n {
+        let report = TimedKernel::new(
+            fastfd_processes(n, D, SMALL, &proposals),
+            DelayModel::Fixed(D),
+        )
+        .fd(FdSpec::accurate(SMALL))
+        .crash(ProcessId::new(1), TimedCrash { at: 0, keep_sends: keep })
+        .run();
+        let vals = report.decided_values();
+        assert_eq!(vals.len(), 1, "keep={keep}: {vals:?}");
+        assert_eq!(
+            vals[0], 101,
+            "p1 is suspected by every deadline, so its value is excluded \
+             uniformly regardless of who received it (keep={keep})"
+        );
+    }
+}
+
+#[test]
+fn mr99_decides_like_crw_one_coordinator_per_failure() {
+    // The §4 structural correspondence: with the first k coordinators
+    // dead-on-arrival, both algorithms decide through coordinator k+1.
+    let n = 7;
+    let t = (n / 2).min(3); // t < n/2 → 3 for n=7
+    let proposals: Vec<u64> = (0..n as u64).map(|i| 100 + i).collect();
+    for f in 0..=t {
+        let mut kernel = TimedKernel::new(
+            mr99_processes(n, 3, &proposals),
+            DelayModel::Fixed(100),
+        )
+        .fd(FdSpec::accurate(10));
+        for k in 1..=f {
+            kernel = kernel.crash(
+                ProcessId::new(k as u32),
+                TimedCrash { at: 0, keep_sends: 0 },
+            );
+        }
+        let (report, states) = kernel.run_with_states();
+        let vals = report.decided_values();
+        assert_eq!(vals.len(), 1, "f={f}");
+        assert_eq!(vals[0], 100 + f as u64, "coordinator f+1 imposes its value");
+        let max_round = states.iter().filter_map(|s| s.decided_round()).max();
+        assert_eq!(max_round, Some(f as u64 + 1), "decides in async round f+1");
+    }
+}
+
+#[test]
+fn mr99_survives_random_asynchrony_with_crashes() {
+    let n = 9;
+    let t = 4; // < n/2
+    let proposals: Vec<u64> = (0..n as u64).map(|i| 100 + i).collect();
+    for seed in 0..40u64 {
+        let (report, _) = TimedKernel::new(
+            mr99_processes(n, t, &proposals),
+            DelayModel::Uniform {
+                min: 1,
+                max: 400,
+                seed,
+            },
+        )
+        .fd(FdSpec::accurate(10))
+        .crash(ProcessId::new(2), TimedCrash { at: 0, keep_sends: 3 })
+        .crash(ProcessId::new(5), TimedCrash { at: 120, keep_sends: 1 })
+        .run_with_states();
+        let vals = report.decided_values();
+        assert!(vals.len() <= 1, "seed {seed}: {vals:?}");
+        // Correct processes: all except p2 and p5.
+        let deciders = report.decisions.iter().flatten().count();
+        assert!(deciders >= n - 2, "seed {seed}: {deciders} deciders");
+    }
+}
+
+#[test]
+fn mr99_tolerates_false_suspicions() {
+    let n = 5;
+    let proposals: Vec<u64> = (0..n as u64).map(|i| 100 + i).collect();
+    // Everyone falsely suspects p1 immediately; p1 is healthy.
+    let mut fd = FdSpec::accurate(10);
+    for obs in 2..=n as u32 {
+        fd.injected_suspicions
+            .push((1, ProcessId::new(obs), ProcessId::new(1)));
+    }
+    let (report, _) = TimedKernel::new(
+        mr99_processes(n, 2, &proposals),
+        DelayModel::Fixed(100),
+    )
+    .fd(fd)
+    .run_with_states();
+    let vals = report.decided_values();
+    assert_eq!(vals.len(), 1, "◇S lies are tolerated: {vals:?}");
+    assert_eq!(
+        report.decisions.iter().flatten().count(),
+        n,
+        "everyone decides"
+    );
+}

@@ -1,0 +1,91 @@
+//! Cross-substrate equivalence: the same protocol under the same crash
+//! schedule must produce identical decisions on the deterministic
+//! simulator and on the threaded lockstep runtime — the model, not the
+//! substrate, determines the outcome.
+
+use twostep::adversary::{
+    commit_tease_cascade, data_heavy_cascade, decide_then_die_cascade, random_schedule,
+    silent_cascade, RandomScheduleSpec,
+};
+use twostep::prelude::*;
+use twostep::runtime::ThreadedRuntime;
+
+fn assert_equivalent(n: usize, t: usize, schedule: &CrashSchedule, tag: &str) {
+    let config = SystemConfig::new(n, t).unwrap();
+    let proposals: Vec<u64> = (1..=n as u64).map(|i| 900 + i).collect();
+
+    let sim = run_crw(&config, schedule, &proposals, TraceLevel::Off).unwrap();
+    let thr = ThreadedRuntime::new(config, schedule)
+        .run(crw_processes(&config, &proposals))
+        .unwrap();
+
+    for i in 0..n {
+        let a = sim.decisions[i].as_ref().map(|d| (d.value, d.round));
+        let b = thr.decisions[i].as_ref().map(|d| (d.value, d.round));
+        assert_eq!(a, b, "{tag}: p{} differs (sim vs threads)", i + 1);
+    }
+    assert_eq!(sim.crashed, thr.crashed, "{tag}: crashed sets differ");
+    assert_eq!(
+        sim.metrics.data_messages, thr.metrics.data_messages,
+        "{tag}: data transmission counts differ"
+    );
+    assert_eq!(
+        sim.metrics.control_messages, thr.metrics.control_messages,
+        "{tag}: control transmission counts differ"
+    );
+
+    let spec = check_uniform_consensus(
+        &proposals,
+        &thr.decisions,
+        schedule,
+        Some(schedule.f() as u32 + 1),
+    );
+    assert!(spec.ok(), "{tag}: {spec}");
+}
+
+#[test]
+fn failure_free_runs_match() {
+    for n in [2usize, 3, 5, 8, 12] {
+        let schedule = CrashSchedule::none(n);
+        assert_equivalent(n, n - 1, &schedule, &format!("n={n} clean"));
+    }
+}
+
+#[test]
+fn silent_cascades_match() {
+    for f in 0..=4usize {
+        let schedule = silent_cascade(8, f);
+        assert_equivalent(8, 7, &schedule, &format!("silent f={f}"));
+    }
+}
+
+#[test]
+fn data_heavy_cascades_match() {
+    for f in 0..=4usize {
+        let schedule = data_heavy_cascade(8, f);
+        assert_equivalent(8, 7, &schedule, &format!("data-heavy f={f}"));
+    }
+}
+
+#[test]
+fn commit_teasing_matches() {
+    for prefix in 0..=3usize {
+        let schedule = commit_tease_cascade(7, 3, |_| prefix);
+        assert_equivalent(7, 6, &schedule, &format!("tease prefix={prefix}"));
+    }
+}
+
+#[test]
+fn decide_then_die_matches() {
+    let schedule = decide_then_die_cascade(6, 2);
+    assert_equivalent(6, 5, &schedule, "decide-then-die");
+}
+
+#[test]
+fn random_schedules_match() {
+    let config = SystemConfig::new(7, 4).unwrap();
+    for seed in 0..200u64 {
+        let schedule = random_schedule(&config, RandomScheduleSpec::uniform(&config), seed);
+        assert_equivalent(7, 4, &schedule, &format!("random seed={seed}"));
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests for the replicated-log layer: per-slot validity, uniform
+//! commits, prefix consistency and budget accounting under random
+//! multi-slot crash schedules.
+
+use proptest::prelude::*;
+use twostep::adversary::{random_schedule, RandomScheduleSpec};
+use twostep::core::ReplicatedLog;
+use twostep::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn multi_slot_logs_stay_consistent(
+        n in 3usize..=8,
+        slots in 1usize..=6,
+        seed in any::<u64>(),
+    ) {
+        let t = n - 1;
+        let config = SystemConfig::new(n, t).unwrap();
+        let mut log: ReplicatedLog<u64> = ReplicatedLog::new(config);
+
+        for slot in 0..slots {
+            let proposals: Vec<u64> = (0..n as u64)
+                .map(|i| (slot as u64) * 1000 + 100 + i)
+                .collect();
+
+            // Draw a fresh-slot schedule within the remaining budget.
+            let budget = log.remaining_resilience();
+            let sub_config = SystemConfig::new(n, budget).ok();
+            let schedule = match (&sub_config, budget) {
+                (Some(c), b) if b > 0 => {
+                    random_schedule(c, RandomScheduleSpec::uniform(c), seed ^ slot as u64)
+                }
+                _ => CrashSchedule::none(n),
+            };
+            // Skip fresh crashes of already-dead processes (they would not
+            // count as fresh anyway, but keep the schedule clean).
+            let mut clean = CrashSchedule::none(n);
+            for pid in config.pids() {
+                if let Some(cp) = schedule.crash_point(pid) {
+                    if !log.crashed().contains(pid) {
+                        clean.set(pid, Some(cp.clone()));
+                    }
+                }
+            }
+
+            let before_committed = log.committed().len();
+            let report = log.append(&proposals, &clean);
+            let report = match report {
+                Ok(r) => r,
+                Err(e) => {
+                    // Only the budget error is acceptable, and only if the
+                    // clean schedule really overdrew it.
+                    prop_assert!(
+                        matches!(e, twostep::core::LogError::ResilienceExhausted { .. }),
+                        "unexpected error: {e}"
+                    );
+                    prop_assert_eq!(log.committed().len(), before_committed,
+                        "failed append must not mutate");
+                    continue;
+                }
+            };
+
+            // Per-slot validity: the committed value was proposed this slot.
+            prop_assert!(proposals.contains(&report.value));
+            // Per-slot uniformity: every decision equals the committed one.
+            for d in report.decisions.iter().flatten() {
+                prop_assert_eq!(d.value, report.value);
+            }
+            // Latency bound: f_slot + 1 where f_slot counts every crashed
+            // process (carried-over ones occupy silent coordinator rounds).
+            let f_total = log.crashed().len();
+            prop_assert!(report.rounds <= f_total as u32 + 1);
+        }
+
+        prop_assert!(log.check_prefix_consistency());
+        prop_assert!(log.crashed().len() <= t);
+        // Prefix lengths: correct processes hold the full log.
+        for pid in config.pids() {
+            if !log.crashed().contains(pid) {
+                prop_assert_eq!(log.committed_upto()[pid.idx()], log.committed().len());
+            }
+        }
+    }
+}

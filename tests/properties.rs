@@ -1,0 +1,160 @@
+//! Property-based verification of the uniform-consensus specification and
+//! the round/bit bounds, across all three round-based algorithms, under
+//! arbitrary seeded crash schedules.
+
+use proptest::prelude::*;
+use twostep::adversary::{random_schedule, random_wide_proposals, RandomScheduleSpec};
+use twostep::baselines::{earlystop_processes, floodset_processes};
+use twostep::core::check_value_locking;
+use twostep::model::theorem2;
+use twostep::prelude::*;
+use twostep::sim::Simulation;
+
+/// Strategy: a system size, a resilience bound, and a schedule seed.
+fn system_strategy() -> impl Strategy<Value = (usize, usize, u64)> {
+    (2usize..=10).prop_flat_map(|n| (Just(n), 0usize..n, any::<u64>()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn crw_satisfies_spec_and_theorem1((n, t, seed) in system_strategy()) {
+        let config = SystemConfig::new(n, t).unwrap();
+        let schedule = random_schedule(&config, RandomScheduleSpec::uniform(&config), seed);
+        let proposals: Vec<u64> = (0..n as u64).map(|i| seed.wrapping_add(i * 7919)).collect();
+
+        let report = run_crw(&config, &schedule, &proposals, TraceLevel::Off).unwrap();
+        prop_assert!(!report.hit_round_cap, "CRW must terminate within n+1 rounds");
+
+        let spec = check_uniform_consensus(
+            &proposals,
+            &report.decisions,
+            &schedule,
+            Some(schedule.f() as u32 + 1),
+        );
+        prop_assert!(spec.ok(), "{}", spec);
+    }
+
+    #[test]
+    fn earlystop_satisfies_spec_and_bound((n, t, seed) in system_strategy()) {
+        let config = SystemConfig::new(n, t).unwrap();
+        let schedule = random_schedule(&config, RandomScheduleSpec::uniform(&config), seed);
+        let proposals: Vec<u64> = (0..n as u64).map(|i| seed.wrapping_add(i * 104729)).collect();
+
+        let report = Simulation::new(config, ModelKind::Classic, &schedule)
+            .max_rounds(t as u32 + 2)
+            .run(earlystop_processes(n, t, &proposals))
+            .unwrap();
+        prop_assert!(!report.hit_round_cap);
+
+        let bound = ((schedule.f() + 2).min(t + 1)) as u32;
+        let spec = check_uniform_consensus(&proposals, &report.decisions, &schedule, Some(bound));
+        prop_assert!(spec.ok(), "{}", spec);
+    }
+
+    #[test]
+    fn floodset_satisfies_spec_and_bound((n, t, seed) in system_strategy()) {
+        let config = SystemConfig::new(n, t).unwrap();
+        let schedule = random_schedule(&config, RandomScheduleSpec::uniform(&config), seed);
+        let proposals: Vec<u64> = (0..n as u64).map(|i| seed.wrapping_add(i * 31)).collect();
+
+        let report = Simulation::new(config, ModelKind::Classic, &schedule)
+            .max_rounds(t as u32 + 2)
+            .run(floodset_processes(n, t, &proposals))
+            .unwrap();
+        prop_assert!(!report.hit_round_cap);
+
+        let spec = check_uniform_consensus(
+            &proposals,
+            &report.decisions,
+            &schedule,
+            Some(t as u32 + 1),
+        );
+        prop_assert!(spec.ok(), "{}", spec);
+
+        // FloodSet decides the global minimum of the values that survive;
+        // failure-free it is exactly the minimum of all proposals.
+        if schedule.f() == 0 {
+            let min = proposals.iter().min().unwrap();
+            for d in report.decisions.iter().flatten() {
+                prop_assert_eq!(&d.value, min);
+            }
+        }
+    }
+
+    #[test]
+    fn crw_bit_accounting_matches_theorem2_in_clean_runs(
+        n in 2usize..=24,
+        b in 1u32..=256,
+        seed in any::<u64>(),
+    ) {
+        let config = SystemConfig::max_resilience(n).unwrap();
+        let schedule = CrashSchedule::none(n);
+        let proposals = random_wide_proposals(n, b, seed);
+        let report = run_crw(&config, &schedule, &proposals, TraceLevel::Off).unwrap();
+        prop_assert_eq!(report.metrics.total_bits(), theorem2::best_case_bits(n, b as u64));
+        prop_assert_eq!(report.metrics.total_messages(), theorem2::best_case_messages(n));
+    }
+
+    #[test]
+    fn lemma2_value_locking_holds_on_random_runs((n, t, seed) in system_strategy()) {
+        // The paper's §3.3 proof structure (claims C1/C2 + Lemma 2),
+        // checked on the observed execution: the first coordinator that
+        // completes line 4 locks its estimate; nobody decides earlier;
+        // every decision equals the locked value.
+        let config = SystemConfig::new(n, t).unwrap();
+        let schedule = random_schedule(&config, RandomScheduleSpec::uniform(&config), seed);
+        let proposals: Vec<u64> = (0..n as u64).map(|i| seed ^ (i * 6151)).collect();
+        let report = run_crw(&config, &schedule, &proposals, TraceLevel::Full).unwrap();
+        let lock = check_value_locking(n, &report);
+        prop_assert!(lock.ok(), "{:?}", lock.violations);
+    }
+
+    #[test]
+    fn commit_delivery_is_always_a_prefix_and_implies_data(
+        n in 3usize..=8,
+        seed in any::<u64>(),
+    ) {
+        // Model-level invariant, observed through full traces: the set of
+        // delivered commits of any sender in any round is a prefix of its
+        // ordered control list, and a delivered commit implies the
+        // destination also received the sender's data that round.
+        let config = SystemConfig::max_resilience(n).unwrap();
+        let schedule = random_schedule(&config, RandomScheduleSpec::uniform(&config), seed);
+        let proposals: Vec<u64> = (0..n as u64).collect();
+        let report = run_crw(&config, &schedule, &proposals, TraceLevel::Full).unwrap();
+
+        let data: Vec<_> = report.trace.delivered_data().collect();
+        for (round, from, to) in report.trace.delivered_control() {
+            prop_assert!(
+                data.contains(&(round, from, to)),
+                "commit without data: {} -> {} in round {}", from, to, round
+            );
+        }
+        // Prefix property: per (round, sender), *transmitted* commits must
+        // be a contiguous leading segment of the highest-first order
+        // n, n-1, …, r+1.  (Delivered commits can have gaps where the
+        // receiver already halted; transmission is what the ordered-send
+        // semantics constrains.)
+        for r in 1..=n as u32 {
+            let round = Round::new(r);
+            let coord = ProcessId::new(r);
+            let transmitted: Vec<u32> = report
+                .trace
+                .transmitted_control()
+                .filter(|(rr, from, _)| *rr == round && *from == coord)
+                .map(|(_, _, to)| to.rank())
+                .collect();
+            for (k, rank) in transmitted.iter().enumerate() {
+                prop_assert_eq!(*rank, n as u32 - k as u32, "prefix broken in round {}", r);
+            }
+            // And delivery implies transmission.
+            for (rr, from, to) in report.trace.delivered_control() {
+                if rr == round && from == coord {
+                    prop_assert!(transmitted.contains(&to.rank()));
+                }
+            }
+        }
+    }
+}

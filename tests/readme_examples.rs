@@ -1,0 +1,71 @@
+//! The README's code snippets, as compiled tests — so the front-page
+//! examples can never rot.
+
+use twostep::prelude::*;
+
+#[test]
+fn readme_quickstart() {
+    let config = SystemConfig::new(5, 2).unwrap();
+    let schedule = CrashSchedule::none(5);
+    let proposals = vec![7u64, 3, 9, 1, 5];
+
+    let report = run_crw(&config, &schedule, &proposals, TraceLevel::Off).unwrap();
+    for d in report.decisions.iter().flatten() {
+        assert_eq!(d.value, 7);
+        assert_eq!(d.round.get(), 1);
+    }
+
+    let spec = check_uniform_consensus(&proposals, &report.decisions, &schedule, Some(1));
+    assert!(spec.ok());
+}
+
+#[test]
+fn readme_mid_commit_crash() {
+    let config = SystemConfig::new(5, 2).unwrap();
+    let schedule = CrashSchedule::none(5).with_crash(
+        ProcessId::new(1),
+        CrashPoint::new(Round::FIRST, CrashStage::MidControl { prefix_len: 1 }),
+    );
+    let report = run_crw(&config, &schedule, &[7u64, 3, 9, 1, 5], TraceLevel::Off).unwrap();
+    assert!(report.decisions.iter().flatten().all(|d| d.value == 7));
+    // Highest-rank-first: exactly p5 decided in round 1, the rest at f+1=2.
+    assert_eq!(
+        report.decisions[4].as_ref().unwrap().round,
+        Round::new(1)
+    );
+    assert_eq!(
+        report.decisions[1].as_ref().unwrap().round,
+        Round::new(2)
+    );
+}
+
+#[test]
+fn readme_schedule_text_round_trip() {
+    // The CLI schedule format shown in the README/fig1 docs.
+    let schedule = parse_schedule(5, "p1@r1:mid-control/2,p3@r2:mid-data{4,5}").unwrap();
+    assert_eq!(schedule.f(), 2);
+    let text = format_schedule(&schedule);
+    assert_eq!(parse_schedule(5, &text).unwrap(), schedule);
+}
+
+#[test]
+fn readme_replicated_log() {
+    let config = SystemConfig::new(4, 1).unwrap();
+    let mut log: ReplicatedLog<u64> = ReplicatedLog::new(config);
+    log.append(&[11, 12, 13, 14], &CrashSchedule::none(4)).unwrap();
+    log.append(&[21, 22, 23, 24], &CrashSchedule::none(4)).unwrap();
+    assert_eq!(log.committed(), &[11, 21]);
+    assert!(log.check_prefix_consistency());
+}
+
+#[test]
+fn readme_lemma_checker() {
+    // The §3.3 value-locking analysis exposed through the prelude.
+    let config = SystemConfig::new(4, 2).unwrap();
+    let schedule = CrashSchedule::none(4);
+    let proposals = vec![4u64, 3, 2, 1];
+    let report = run_crw(&config, &schedule, &proposals, TraceLevel::Full).unwrap();
+    let lock = check_value_locking(4, &report);
+    assert!(lock.ok());
+    assert_eq!(lock.locking.unwrap().2, 4, "p1 locks its own proposal");
+}

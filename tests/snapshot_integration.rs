@@ -1,0 +1,105 @@
+//! Cross-crate integration: the snapshot layer (related-work system)
+//! through the `twostep` facade, exercised together with the foundation
+//! types the rest of the workspace uses.
+//!
+//! These tests pin the public API surface a downstream user sees:
+//! `twostep::snapshot::*` over `twostep::model::ProcessId`, with the
+//! events kernel's delay models, and the paper-facing analogy (marker
+//! cost = commit cost) stated as an executable assertion.
+
+use twostep::model::{ProcessId, SystemConfig};
+use twostep::prelude::*;
+use twostep::snapshot::{
+    collect, collect_instance, run_snapshot, tokens_in_cut, verify_flow, BankApp, Repeat,
+    SnapshotSetup, TokenRing,
+};
+use twostep_events::DelayModel;
+
+/// The §1 analogy, as numbers: one snapshot instance costs exactly the
+/// synchronization messages a failure-free CRW round costs — `n-1`
+/// one-bit sends per emitting process (markers there, commits here).
+#[test]
+fn marker_cost_equals_commit_cost_per_emitter() {
+    let n = 7;
+
+    // CRW failure-free: the single coordinator emits n-1 commits.
+    let config = SystemConfig::new(n, 2).unwrap();
+    let schedule = CrashSchedule::none(n);
+    let proposals: Vec<u64> = (0..n as u64).collect();
+    let report = run_crw(&config, &schedule, &proposals, TraceLevel::Off).unwrap();
+    let commits = report.metrics.control_messages;
+
+    // Snapshot: every process emits n-1 markers once the wave reaches it.
+    let run = run_snapshot(
+        BankApp::cluster_until(n, 100, 1, 0),
+        DelayModel::Fixed(10),
+        SnapshotSetup::default(),
+    );
+    let per_emitter: Vec<u64> = run.wrappers.iter().map(|w| w.markers_sent()).collect();
+
+    assert_eq!(commits, (n - 1) as u64, "one commit wave");
+    assert!(
+        per_emitter.iter().all(|&m| m == (n - 1) as u64),
+        "one marker wave per process: {per_emitter:?}"
+    );
+}
+
+/// Consensus and snapshots composed: agree on a config value with CRW,
+/// apply it as bank balances, then certify the deployment with a cut.
+#[test]
+fn consensus_then_snapshot_pipeline() {
+    let n = 5;
+    let config = SystemConfig::new(n, 2).unwrap();
+    let schedule = CrashSchedule::none(n);
+    let proposals: Vec<u64> = vec![640, 480, 800, 600, 1024];
+    let report = run_crw(&config, &schedule, &proposals, TraceLevel::Off).unwrap();
+    let agreed = report.decisions[0].as_ref().unwrap().value;
+    assert_eq!(agreed, 640, "first coordinator's proposal wins");
+
+    // Deploy `agreed` as everyone's budget, then audit under traffic.
+    let apps = BankApp::cluster(n, agreed, 99);
+    let run = run_snapshot(
+        apps,
+        DelayModel::Uniform {
+            min: 5,
+            max: 55,
+            seed: 21,
+        },
+        SnapshotSetup {
+            initiators: vec![ProcessId::new(2)],
+            initiate_at: 650,
+            repeat: None,
+            horizon: 200_000,
+            fifo: true,
+        },
+    );
+    let snap = collect(&run.wrappers).unwrap();
+    verify_flow(&snap, &run.wrappers).unwrap();
+    assert_eq!(
+        snap.states.iter().sum::<u64>() + snap.in_transit_sum(|m| *m),
+        n as u64 * agreed,
+        "the audited total is exactly the agreed budget times n"
+    );
+}
+
+/// The facade re-exports are usable end to end for the repeated mode.
+#[test]
+fn facade_periodic_snapshots_on_token_ring() {
+    let run = run_snapshot(
+        TokenRing::ring(4, 12, 900),
+        DelayModel::Fixed(7),
+        SnapshotSetup {
+            initiators: vec![ProcessId::new(3)],
+            initiate_at: 100,
+            repeat: Some(Repeat { count: 3, every: 50 }),
+            horizon: 100_000,
+            fifo: true,
+        },
+    );
+    assert_eq!(run.instance_count(), 4);
+    for k in 0..4 {
+        let snap = collect_instance(&run.wrappers, k).unwrap();
+        verify_flow(&snap, &run.wrappers).unwrap();
+        assert_eq!(tokens_in_cut(&snap), 1, "instance {k}");
+    }
+}
