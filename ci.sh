@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# CI entry point: build, test, lint, format check.
+#
+# Usage: ./ci.sh [--quick]
+#   --quick   lighter property-test load (PROPTEST_CASES=32) for smoke runs
+#
+# Knobs respected by the test suite:
+#   TWOSTEP_THREADS    worker count for sweeps + the parallel explorer
+#   PROPTEST_CASES     per-test case count for property tests
+#   CRITERION_SAMPLES  samples per benchmark (benches are not run here)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+if [[ "${1:-}" == "--quick" ]]; then
+    export PROPTEST_CASES="${PROPTEST_CASES:-32}"
+fi
+
+echo "== cargo build --release"
+cargo build --release --workspace --all-targets
+
+echo "== cargo test -q"
+cargo test -q --workspace
+
+echo "== cargo clippy --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "CI OK"

@@ -33,44 +33,136 @@ use twostep_model::{
 /// `n` is the system size; `data_dests` the plan's data destinations (order
 /// irrelevant); `control_len` the length of the ordered control list.
 ///
+/// Allocates a fresh `Vec` per call; the model checker's hot loop should
+/// prefer [`crash_outcomes_iter`] (lazy, allocation-free per item) or
+/// [`crash_outcomes_into`] (caller-supplied reusable buffer).
+///
 /// # Panics
 ///
 /// Panics if `data_dests.len() > 20` — enumerating 2²⁰ subsets is never
 /// what a bounded model check wants; that limit is far above any `n` the
 /// checker can finish anyway.
 pub fn crash_outcomes(n: usize, data_dests: &[ProcessId], control_len: usize) -> Vec<CrashStage> {
+    crash_outcomes_iter(n, data_dests, control_len).collect()
+}
+
+/// Fills `out` (cleared first, allocation reused) with exactly the
+/// sequence [`crash_outcomes`] returns.  The explorer calls this once per
+/// active process per configuration; reusing the buffer removes a `Vec`
+/// allocation from the innermost enumeration loop.
+pub fn crash_outcomes_into(
+    n: usize,
+    data_dests: &[ProcessId],
+    control_len: usize,
+    out: &mut Vec<CrashStage>,
+) {
+    out.clear();
+    out.extend(crash_outcomes_iter(n, data_dests, control_len));
+}
+
+/// Lazy iterator over the distinct crash outcomes against one send plan,
+/// in the same order [`crash_outcomes`] materializes them: proper data
+/// subsets by ascending mask, then commit prefixes by ascending length,
+/// then [`CrashStage::EndOfRound`].
+///
+/// # Panics
+///
+/// Panics if `data_dests.len() > 20` (see [`crash_outcomes`]).
+pub fn crash_outcomes_iter<'a>(
+    n: usize,
+    data_dests: &'a [ProcessId],
+    control_len: usize,
+) -> CrashOutcomes<'a> {
     assert!(
         data_dests.len() <= 20,
         "exhaustive subset enumeration capped at 20 destinations"
     );
-    let d = data_dests.len();
-    let subsets = 1usize << d;
-    let mut out = Vec::with_capacity(subsets + control_len + 1);
+    CrashOutcomes {
+        n,
+        data_dests,
+        control_len,
+        phase: OutcomePhase::DataSubset { mask: 0 },
+    }
+}
 
-    // Proper subsets of the data destinations (the full set is subsumed by
-    // MidControl{0}).
-    for mask in 0..subsets {
-        if mask == subsets - 1 && d > 0 {
-            continue; // skip the full set
-        }
-        let mut delivered = PidSet::empty(n);
-        for (bit, pid) in data_dests.iter().enumerate() {
-            if mask & (1 << bit) != 0 {
-                delivered.insert(*pid);
+/// See [`crash_outcomes_iter`].
+#[derive(Clone, Debug)]
+pub struct CrashOutcomes<'a> {
+    n: usize,
+    data_dests: &'a [ProcessId],
+    control_len: usize,
+    phase: OutcomePhase,
+}
+
+#[derive(Clone, Debug)]
+enum OutcomePhase {
+    /// Emitting `MidData{S}` for proper subsets `S ⊊ Δ` (the full set is
+    /// subsumed by `MidControl{0}`).
+    DataSubset {
+        mask: usize,
+    },
+    /// Emitting `MidControl{k}`.  `MidControl{0}` ("data step done, no
+    /// commit out") is only distinct from `MidData{∅}` when there *was* a
+    /// data step; for an empty data plan both mean "crashed having sent
+    /// nothing, without receiving", so `k` starts at 1 there.
+    ControlPrefix {
+        k: usize,
+    },
+    /// Emitting the final full-participation-then-death outcome.
+    EndOfRound,
+    Done,
+}
+
+impl Iterator for CrashOutcomes<'_> {
+    type Item = CrashStage;
+
+    fn next(&mut self) -> Option<CrashStage> {
+        let d = self.data_dests.len();
+        let subsets = 1usize << d;
+        loop {
+            match self.phase {
+                OutcomePhase::DataSubset { mask } => {
+                    if mask >= subsets || (mask == subsets - 1 && d > 0) {
+                        let k_start = if d > 0 { 0 } else { 1 };
+                        self.phase = OutcomePhase::ControlPrefix { k: k_start };
+                        continue;
+                    }
+                    self.phase = OutcomePhase::DataSubset { mask: mask + 1 };
+                    let mut delivered = PidSet::empty(self.n);
+                    for (bit, pid) in self.data_dests.iter().enumerate() {
+                        if mask & (1 << bit) != 0 {
+                            delivered.insert(*pid);
+                        }
+                    }
+                    return Some(CrashStage::MidData { delivered });
+                }
+                OutcomePhase::ControlPrefix { k } => {
+                    if k > self.control_len {
+                        self.phase = OutcomePhase::EndOfRound;
+                        continue;
+                    }
+                    self.phase = OutcomePhase::ControlPrefix { k: k + 1 };
+                    return Some(CrashStage::MidControl { prefix_len: k });
+                }
+                OutcomePhase::EndOfRound => {
+                    self.phase = OutcomePhase::Done;
+                    return Some(CrashStage::EndOfRound);
+                }
+                OutcomePhase::Done => return None,
             }
         }
-        out.push(CrashStage::MidData { delivered });
     }
 
-    // MidControl{0} ("data step done, no commit out") is only distinct from
-    // MidData{∅} when there *was* a data step; for an empty data plan both
-    // mean "crashed having sent nothing, without receiving".
-    let k_start = if d > 0 { 0 } else { 1 };
-    for k in k_start..=control_len {
-        out.push(CrashStage::MidControl { prefix_len: k });
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        // Exact when still at the start; a safe lower bound of 0 otherwise.
+        match self.phase {
+            OutcomePhase::DataSubset { mask: 0 } => {
+                let exact = crash_outcome_count(self.data_dests.len(), self.control_len);
+                (exact, Some(exact))
+            }
+            _ => (0, None),
+        }
     }
-    out.push(CrashStage::EndOfRound);
-    out
 }
 
 /// Number of outcomes [`crash_outcomes`] will return, without building
@@ -165,7 +257,11 @@ impl StagePalette {
 ///
 /// Intended for bounded-exhaustive testing (`n ≤ 5`); see the module docs
 /// for the growth rate.
-pub fn all_schedules(config: &SystemConfig, max_round: u32, palette: StagePalette) -> Vec<CrashSchedule> {
+pub fn all_schedules(
+    config: &SystemConfig,
+    max_round: u32,
+    palette: StagePalette,
+) -> Vec<CrashSchedule> {
     let n = config.n();
     let stages = palette.stages(n);
     let mut per_victim: Vec<CrashPoint> = Vec::with_capacity(max_round as usize * stages.len());
@@ -195,7 +291,14 @@ fn enumerate_victims(
     }
     let pid = ProcessId::from_idx(next_pid_idx);
     // Option 1: this process stays correct.
-    enumerate_victims(config, points, next_pid_idx + 1, crashes_so_far, current, out);
+    enumerate_victims(
+        config,
+        points,
+        next_pid_idx + 1,
+        crashes_so_far,
+        current,
+        out,
+    );
     // Option 2: it crashes, at every possible point — if budget remains.
     if crashes_so_far < config.t() {
         for cp in points {
@@ -219,6 +322,69 @@ mod tests {
 
     fn pid(r: u32) -> ProcessId {
         ProcessId::new(r)
+    }
+
+    /// Reference implementation: the original eager enumeration, kept
+    /// verbatim so the lazy iterator and buffer APIs can be diffed
+    /// against the exact pre-refactor sequence.
+    fn crash_outcomes_reference(
+        n: usize,
+        data_dests: &[ProcessId],
+        control_len: usize,
+    ) -> Vec<CrashStage> {
+        let d = data_dests.len();
+        let subsets = 1usize << d;
+        let mut out = Vec::with_capacity(subsets + control_len + 1);
+        for mask in 0..subsets {
+            if mask == subsets - 1 && d > 0 {
+                continue;
+            }
+            let mut delivered = PidSet::empty(n);
+            for (bit, pid) in data_dests.iter().enumerate() {
+                if mask & (1 << bit) != 0 {
+                    delivered.insert(*pid);
+                }
+            }
+            out.push(CrashStage::MidData { delivered });
+        }
+        let k_start = if d > 0 { 0 } else { 1 };
+        for k in k_start..=control_len {
+            out.push(CrashStage::MidControl { prefix_len: k });
+        }
+        out.push(CrashStage::EndOfRound);
+        out
+    }
+
+    #[test]
+    fn iterator_and_buffer_match_reference_sequence_exactly() {
+        let dest_sets: Vec<Vec<ProcessId>> = vec![
+            vec![],
+            vec![pid(2)],
+            vec![pid(2), pid(3)],
+            vec![pid(2), pid(3), pid(5)],
+            (1..=5).map(pid).collect(),
+        ];
+        let mut buf = Vec::new();
+        for dests in &dest_sets {
+            for ctl in 0..=4usize {
+                let want = crash_outcomes_reference(6, dests, ctl);
+                assert_eq!(crash_outcomes(6, dests, ctl), want, "eager API");
+                let got: Vec<CrashStage> = crash_outcomes_iter(6, dests, ctl).collect();
+                assert_eq!(got, want, "lazy iterator");
+                // The reusable buffer keeps its allocation across calls.
+                crash_outcomes_into(6, dests, ctl, &mut buf);
+                assert_eq!(buf, want, "buffer API");
+            }
+        }
+    }
+
+    #[test]
+    fn iterator_size_hint_is_exact_at_start() {
+        let dests = [pid(2), pid(3)];
+        let it = crash_outcomes_iter(4, &dests, 2);
+        // 3 proper subsets + prefixes 0..=2 + EndOfRound = 7.
+        assert_eq!(it.size_hint(), (7, Some(7)));
+        assert_eq!(it.count(), 7);
     }
 
     #[test]

@@ -21,7 +21,10 @@ pub mod enumerate;
 pub mod random;
 pub mod worst_case;
 
-pub use enumerate::{all_schedules, crash_outcome_count, crash_outcomes, StagePalette};
+pub use enumerate::{
+    all_schedules, crash_outcome_count, crash_outcomes, crash_outcomes_into, crash_outcomes_iter,
+    CrashOutcomes, StagePalette,
+};
 pub use random::{
     random_binary_proposals, random_proposals, random_schedule, random_wide_proposals,
     RandomScheduleSpec,

@@ -46,7 +46,11 @@ impl RandomScheduleSpec {
 /// Draws a valid random crash schedule: victims, rounds and stages
 /// (including random `MidData` subsets and random `MidControl` prefixes)
 /// are all seed-determined.
-pub fn random_schedule(config: &SystemConfig, spec: RandomScheduleSpec, seed: u64) -> CrashSchedule {
+pub fn random_schedule(
+    config: &SystemConfig,
+    spec: RandomScheduleSpec,
+    seed: u64,
+) -> CrashSchedule {
     let mut rng = SmallRng::seed_from_u64(seed);
     let n = config.n();
     let f = spec

@@ -36,7 +36,10 @@ pub fn silent_cascade(n: usize, f: usize) -> CrashSchedule {
     for k in 1..=f {
         s.set(
             ProcessId::new(k as u32),
-            Some(CrashPoint::new(Round::new(k as u32), CrashStage::BeforeSend)),
+            Some(CrashPoint::new(
+                Round::new(k as u32),
+                CrashStage::BeforeSend,
+            )),
         );
     }
     s
@@ -105,7 +108,10 @@ pub fn decide_then_die_cascade(n: usize, f: usize) -> CrashSchedule {
     for k in 1..=f {
         s.set(
             ProcessId::new(k as u32),
-            Some(CrashPoint::new(Round::new(k as u32), CrashStage::EndOfRound)),
+            Some(CrashPoint::new(
+                Round::new(k as u32),
+                CrashStage::EndOfRound,
+            )),
         );
     }
     s
@@ -119,10 +125,7 @@ pub fn decide_then_die_cascade(n: usize, f: usize) -> CrashSchedule {
 /// here) locked.
 pub fn leaky_first_coordinator(n: usize, leak: usize) -> CrashSchedule {
     assert!(leak <= n.saturating_sub(1));
-    let delivered = PidSet::from_iter(
-        n,
-        (0..leak).map(|i| ProcessId::from_idx(n - 1 - i)),
-    );
+    let delivered = PidSet::from_iter(n, (0..leak).map(|i| ProcessId::from_idx(n - 1 - i)));
     CrashSchedule::none(n).with_crash(
         ProcessId::new(1),
         CrashPoint::new(Round::FIRST, CrashStage::MidData { delivered }),

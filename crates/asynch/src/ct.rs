@@ -187,7 +187,11 @@ impl<V: Clone + Eq + fmt::Debug> ChandraToueg<V> {
         let ts = self.ts;
         if coord == self.me {
             let me = self.me;
-            self.bufs.entry(r).or_default().estimates.push((me, est, ts));
+            self.bufs
+                .entry(r)
+                .or_default()
+                .estimates
+                .push((me, est, ts));
             self.check_phase2(fx);
         } else {
             fx.send(coord, CtMsg::Estimate { round: r, est, ts });
@@ -215,7 +219,14 @@ impl<V: Clone + Eq + fmt::Debug> ChandraToueg<V> {
             .clone();
         buf.proposal_sent = true;
         buf.proposal = Some(best.clone());
-        fx.broadcast_others(self.me, self.n, CtMsg::Propose { round: r, est: best });
+        fx.broadcast_others(
+            self.me,
+            self.n,
+            CtMsg::Propose {
+                round: r,
+                est: best,
+            },
+        );
         self.check_phase3(fx);
     }
 
@@ -403,10 +414,20 @@ mod tests {
             5,
             2,
             &[9, 7, 7, 7, 7],
-            &[(1, TimedCrash { at: 0, keep_sends: 0 })],
+            &[(
+                1,
+                TimedCrash {
+                    at: 0,
+                    keep_sends: 0,
+                },
+            )],
             FdSpec::accurate(10),
         );
-        assert_eq!(report.decided_values(), vec![7], "p2's round-2 proposal wins");
+        assert_eq!(
+            report.decided_values(),
+            vec![7],
+            "p2's round-2 proposal wins"
+        );
         for (i, d) in report.decisions.iter().enumerate() {
             if i != 0 {
                 assert!(d.is_some(), "p{} decided", i + 1);
@@ -443,7 +464,13 @@ mod tests {
             // majority of estimates arrives) and its first ack (t=200):
             // the proposal is out, adopted with ts = 1, but never decided
             // by its coordinator.
-            &[(1, TimedCrash { at: 150, keep_sends: 0 })],
+            &[(
+                1,
+                TimedCrash {
+                    at: 150,
+                    keep_sends: 0,
+                },
+            )],
             FdSpec::accurate(10),
         );
         let vals = report.decided_values();
@@ -458,7 +485,13 @@ mod tests {
                 7,
                 3,
                 &[5, 6, 7, 8, 9, 10, 11],
-                &[(1, TimedCrash { at: 50, keep_sends: 2 })],
+                &[(
+                    1,
+                    TimedCrash {
+                        at: 50,
+                        keep_sends: 2,
+                    },
+                )],
                 FdSpec::accurate(25),
             )
             .decisions

@@ -274,19 +274,20 @@ where
                 if !self.relayed_decide {
                     self.relayed_decide = true;
                     self.decided_round = Some(self.round);
-                    fx.broadcast_others(self.me, self.n, Mr99Msg::Decide { value: value.clone() });
+                    fx.broadcast_others(
+                        self.me,
+                        self.n,
+                        Mr99Msg::Decide {
+                            value: value.clone(),
+                        },
+                    );
                 }
                 fx.decide(value);
             }
         }
     }
 
-    fn on_suspicion(
-        &mut self,
-        _at: Ticks,
-        suspect: ProcessId,
-        fx: &mut Effects<Mr99Msg<V>, V>,
-    ) {
+    fn on_suspicion(&mut self, _at: Ticks, suspect: ProcessId, fx: &mut Effects<Mr99Msg<V>, V>) {
         self.suspected.insert(suspect);
         if Self::coordinator_of(self.round, self.n) == suspect {
             self.check_step1(fx);
@@ -338,12 +339,10 @@ mod tests {
     #[test]
     fn failure_free_decides_in_round_one() {
         let proposals = [104u64, 101, 103];
-        let (report, states) = TimedKernel::new(
-            mr99_processes(3, 1, &proposals),
-            DelayModel::Fixed(D),
-        )
-        .fd(FdSpec::accurate(FD))
-        .run_with_states();
+        let (report, states) =
+            TimedKernel::new(mr99_processes(3, 1, &proposals), DelayModel::Fixed(D))
+                .fd(FdSpec::accurate(FD))
+                .run_with_states();
         for d in &report.decisions {
             let (v, _) = d.as_ref().unwrap();
             assert_eq!(*v, 104, "the round-1 coordinator imposes its value");
@@ -361,13 +360,17 @@ mod tests {
         // p_1 dies at start before sending anything; ◇S completeness kicks
         // in and everyone echoes ⊥, then round 2's coordinator decides.
         let proposals = [104u64, 101, 103];
-        let (report, states) = TimedKernel::new(
-            mr99_processes(3, 1, &proposals),
-            DelayModel::Fixed(D),
-        )
-        .fd(FdSpec::accurate(FD))
-        .crash(pid(1), TimedCrash { at: 0, keep_sends: 0 })
-        .run_with_states();
+        let (report, states) =
+            TimedKernel::new(mr99_processes(3, 1, &proposals), DelayModel::Fixed(D))
+                .fd(FdSpec::accurate(FD))
+                .crash(
+                    pid(1),
+                    TimedCrash {
+                        at: 0,
+                        keep_sends: 0,
+                    },
+                )
+                .run_with_states();
         assert!(report.decisions[0].is_none());
         for d in report.decisions.iter().skip(1) {
             let (v, _) = d.as_ref().unwrap();
@@ -389,13 +392,16 @@ mod tests {
         // synchronous commit message eliminates: in the extended model the
         // data message *cannot* lose the race.)
         let proposals = [1u64, 2, 3, 4, 5];
-        let (report, _) = TimedKernel::new(
-            mr99_processes(5, 2, &proposals),
-            DelayModel::Fixed(D),
-        )
-        .fd(FdSpec::accurate(FD))
-        .crash(pid(1), TimedCrash { at: 0, keep_sends: 1 })
-        .run_with_states();
+        let (report, _) = TimedKernel::new(mr99_processes(5, 2, &proposals), DelayModel::Fixed(D))
+            .fd(FdSpec::accurate(FD))
+            .crash(
+                pid(1),
+                TimedCrash {
+                    at: 0,
+                    keep_sends: 1,
+                },
+            )
+            .run_with_states();
         let vals = report.decided_values();
         assert_eq!(vals.len(), 1, "uniform agreement: {vals:?}");
         assert_eq!(vals[0], 2);
@@ -409,15 +415,12 @@ mod tests {
         // with arrival order, but agreement must hold and p_1's value may
         // only win where a majority echoed it.
         let proposals = [7u64, 8, 9];
-        let (report, _) = TimedKernel::new(
-            mr99_processes(3, 1, &proposals),
-            DelayModel::Fixed(D),
-        )
-        .fd(FdSpec {
-            accurate_latency: Some(FD),
-            injected_suspicions: vec![(1, pid(2), pid(1)), (1, pid(3), pid(1))],
-        })
-        .run_with_states();
+        let (report, _) = TimedKernel::new(mr99_processes(3, 1, &proposals), DelayModel::Fixed(D))
+            .fd(FdSpec {
+                accurate_latency: Some(FD),
+                injected_suspicions: vec![(1, pid(2), pid(1)), (1, pid(3), pid(1))],
+            })
+            .run_with_states();
         let vals = report.decided_values();
         assert_eq!(vals.len(), 1, "agreement despite lies: {vals:?}");
         assert!(!report.hit_horizon);
@@ -458,7 +461,13 @@ mod tests {
                 },
             )
             .fd(FdSpec::accurate(FD))
-            .crash(pid(1), TimedCrash { at: 0, keep_sends: 2 })
+            .crash(
+                pid(1),
+                TimedCrash {
+                    at: 0,
+                    keep_sends: 2,
+                },
+            )
             .crash(
                 pid(3),
                 TimedCrash {

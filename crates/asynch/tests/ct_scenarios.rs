@@ -20,16 +20,21 @@ fn proposals(n: usize) -> Vec<u64> {
 fn flapping_suspicions_delay_but_do_not_break_ct() {
     let n = 5;
     let fd = SuspicionScript::new(n, 10, 2000).flapping(0, 50).build();
-    let (report, states) = TimedKernel::new(
-        ct_processes(n, 2, &proposals(n)),
-        DelayModel::Fixed(100),
-    )
-    .fd(fd)
-    .run_with_states();
+    let (report, states) =
+        TimedKernel::new(ct_processes(n, 2, &proposals(n)), DelayModel::Fixed(100))
+            .fd(fd)
+            .run_with_states();
     assert_eq!(report.decided_values().len(), 1);
     assert_eq!(report.decisions.iter().flatten().count(), n);
-    let max_round = states.iter().filter_map(|s| s.decided_round()).max().unwrap();
-    assert!(max_round <= n as u64 + 1, "round {max_round} exceeds lie horizon");
+    let max_round = states
+        .iter()
+        .filter_map(|s| s.decided_round())
+        .max()
+        .unwrap();
+    assert!(
+        max_round <= n as u64 + 1,
+        "round {max_round} exceeds lie horizon"
+    );
 }
 
 #[test]
@@ -39,12 +44,9 @@ fn pile_on_lies_about_successive_coordinators_ct() {
         .everyone_suspects(1, pid(1))
         .everyone_suspects(2, pid(2))
         .build();
-    let (report, _) = TimedKernel::new(
-        ct_processes(n, 2, &proposals(n)),
-        DelayModel::Fixed(100),
-    )
-    .fd(fd)
-    .run_with_states();
+    let (report, _) = TimedKernel::new(ct_processes(n, 2, &proposals(n)), DelayModel::Fixed(100))
+        .fd(fd)
+        .run_with_states();
     assert_eq!(report.decided_values().len(), 1);
     assert_eq!(report.decisions.iter().flatten().count(), n);
 }
@@ -68,8 +70,20 @@ fn lies_plus_real_crashes_with_random_delays_ct() {
             },
         )
         .fd(fd)
-        .crash(pid(1), TimedCrash { at: 30, keep_sends: 1 })
-        .crash(pid(6), TimedCrash { at: 400, keep_sends: 0 })
+        .crash(
+            pid(1),
+            TimedCrash {
+                at: 30,
+                keep_sends: 1,
+            },
+        )
+        .crash(
+            pid(6),
+            TimedCrash {
+                at: 400,
+                keep_sends: 0,
+            },
+        )
         .run_with_states();
         let vals = report.decided_values();
         assert!(vals.len() <= 1, "seed {seed}: {vals:?}");
@@ -121,31 +135,46 @@ fn ct_and_mr99_agree_on_the_locked_value() {
     let t = 3;
     let props = proposals(n);
     for crashes in 0..=2usize {
-        let run =
-            |which: bool| -> Vec<u64> {
-                let fd = twostep_events::FdSpec::accurate(10);
-                let mut k_ct;
-                let mut k_mr;
-                let report = if which {
-                    k_ct = TimedKernel::new(ct_processes(n, t, &props), DelayModel::Fixed(100))
-                        .fd(fd);
-                    for c in 1..=crashes {
-                        k_ct = k_ct.crash(pid(c as u32), TimedCrash { at: 0, keep_sends: 0 });
-                    }
-                    k_ct.run()
-                } else {
-                    k_mr = TimedKernel::new(mr99_processes(n, t, &props), DelayModel::Fixed(100))
-                        .fd(fd);
-                    for c in 1..=crashes {
-                        k_mr = k_mr.crash(pid(c as u32), TimedCrash { at: 0, keep_sends: 0 });
-                    }
-                    k_mr.run()
-                };
-                report.decided_values()
+        let run = |which: bool| -> Vec<u64> {
+            let fd = twostep_events::FdSpec::accurate(10);
+            let mut k_ct;
+            let mut k_mr;
+            let report = if which {
+                k_ct = TimedKernel::new(ct_processes(n, t, &props), DelayModel::Fixed(100)).fd(fd);
+                for c in 1..=crashes {
+                    k_ct = k_ct.crash(
+                        pid(c as u32),
+                        TimedCrash {
+                            at: 0,
+                            keep_sends: 0,
+                        },
+                    );
+                }
+                k_ct.run()
+            } else {
+                k_mr =
+                    TimedKernel::new(mr99_processes(n, t, &props), DelayModel::Fixed(100)).fd(fd);
+                for c in 1..=crashes {
+                    k_mr = k_mr.crash(
+                        pid(c as u32),
+                        TimedCrash {
+                            at: 0,
+                            keep_sends: 0,
+                        },
+                    );
+                }
+                k_mr.run()
             };
+            report.decided_values()
+        };
         let ct = run(true);
         let mr = run(false);
-        assert_eq!(ct, mr, "{crashes} silent crashes: both pick p_{}", crashes + 1);
+        assert_eq!(
+            ct,
+            mr,
+            "{crashes} silent crashes: both pick p_{}",
+            crashes + 1
+        );
         assert_eq!(ct, vec![props[crashes]], "first live coordinator's value");
     }
 }

@@ -18,18 +18,23 @@ fn proposals(n: usize) -> Vec<u64> {
 fn flapping_suspicions_delay_but_do_not_break() {
     let n = 5;
     let fd = SuspicionScript::new(n, 10, 2000).flapping(0, 50).build();
-    let (report, states) = TimedKernel::new(
-        mr99_processes(n, 2, &proposals(n)),
-        DelayModel::Fixed(100),
-    )
-    .fd(fd)
-    .run_with_states();
+    let (report, states) =
+        TimedKernel::new(mr99_processes(n, 2, &proposals(n)), DelayModel::Fixed(100))
+            .fd(fd)
+            .run_with_states();
     assert_eq!(report.decided_values().len(), 1);
     assert_eq!(report.decisions.iter().flatten().count(), n);
     // Flapping may push decisions past round 1, but they stay bounded by
     // the lie horizon (every coordinator after GST succeeds).
-    let max_round = states.iter().filter_map(|s| s.decided_round()).max().unwrap();
-    assert!(max_round <= n as u64 + 1, "round {max_round} exceeds lie horizon");
+    let max_round = states
+        .iter()
+        .filter_map(|s| s.decided_round())
+        .max()
+        .unwrap();
+    assert!(
+        max_round <= n as u64 + 1,
+        "round {max_round} exceeds lie horizon"
+    );
 }
 
 #[test]
@@ -40,12 +45,9 @@ fn pile_on_lies_about_successive_coordinators() {
         .everyone_suspects(1, pid(1))
         .everyone_suspects(2, pid(2))
         .build();
-    let (report, _) = TimedKernel::new(
-        mr99_processes(n, 2, &proposals(n)),
-        DelayModel::Fixed(100),
-    )
-    .fd(fd)
-    .run_with_states();
+    let (report, _) = TimedKernel::new(mr99_processes(n, 2, &proposals(n)), DelayModel::Fixed(100))
+        .fd(fd)
+        .run_with_states();
     assert_eq!(report.decided_values().len(), 1);
     assert_eq!(report.decisions.iter().flatten().count(), n);
 }
@@ -69,8 +71,20 @@ fn lies_plus_real_crashes_with_random_delays() {
             },
         )
         .fd(fd)
-        .crash(pid(1), TimedCrash { at: 30, keep_sends: 1 })
-        .crash(pid(6), TimedCrash { at: 400, keep_sends: 0 })
+        .crash(
+            pid(1),
+            TimedCrash {
+                at: 30,
+                keep_sends: 1,
+            },
+        )
+        .crash(
+            pid(6),
+            TimedCrash {
+                at: 400,
+                keep_sends: 0,
+            },
+        )
         .run_with_states();
         let vals = report.decided_values();
         assert!(vals.len() <= 1, "seed {seed}: {vals:?}");

@@ -73,7 +73,7 @@ impl<V: Clone> NonUniformEarly<V> {
 
 impl<V> SyncProtocol for NonUniformEarly<V>
 where
-    V: Ord + Clone + Eq + fmt::Debug + BitSized,
+    V: Ord + Clone + Eq + fmt::Debug + BitSized + Send + Sync,
 {
     type Msg = V;
     type Output = V;

@@ -72,7 +72,7 @@ impl<V: Clone> EarlyStopping<V> {
 
 impl<V> SyncProtocol for EarlyStopping<V>
 where
-    V: Ord + Clone + Eq + fmt::Debug + BitSized,
+    V: Ord + Clone + Eq + fmt::Debug + BitSized + Send + Sync,
 {
     type Msg = (V, bool);
     type Output = V;

@@ -197,7 +197,13 @@ mod tests {
         // and decisions land at D + 1·d.
         let proposals = [100u64, 200, 300];
         let report = kernel(&proposals)
-            .crash(pid(1), TimedCrash { at: 0, keep_sends: 1 })
+            .crash(
+                pid(1),
+                TimedCrash {
+                    at: 0,
+                    keep_sends: 1,
+                },
+            )
             .run();
         assert!(report.decisions[0].is_none());
         for d in report.decisions.iter().skip(1) {
@@ -219,7 +225,13 @@ mod tests {
         // the estimate in the paper's algorithm.
         let proposals = [100u64, 200, 300];
         let report = kernel(&proposals)
-            .crash(pid(1), TimedCrash { at: 980, keep_sends: 0 })
+            .crash(
+                pid(1),
+                TimedCrash {
+                    at: 980,
+                    keep_sends: 0,
+                },
+            )
             .run();
         for d in report.decisions.iter().skip(1) {
             let (v, t) = d.as_ref().unwrap();
@@ -272,7 +284,13 @@ mod tests {
             DelayModel::Fixed(D),
         )
         .fd(FdSpec::accurate(SMALL))
-        .crash(pid(1), TimedCrash { at: 0, keep_sends: 1 })
+        .crash(
+            pid(1),
+            TimedCrash {
+                at: 0,
+                keep_sends: 1,
+            },
+        )
         .crash(
             pid(2),
             TimedCrash {
@@ -285,7 +303,10 @@ mod tests {
         assert!(report.decisions[1].is_none(), "p_2 died at its deadline");
         let vals = report.decided_values();
         assert_eq!(vals.len(), 1, "uniform among deciders: {vals:?}");
-        assert_eq!(vals[0], 3, "p_1 and p_2 both suspected by the final deadline");
+        assert_eq!(
+            vals[0], 3,
+            "p_1 and p_2 both suspected by the final deadline"
+        );
         // Decisions at D + 2d.
         assert_eq!(report.last_decision_time(), Some(D + 2 * SMALL));
     }

@@ -59,7 +59,7 @@ impl<V: Ord + Clone> FloodSet<V> {
 
 impl<V> SyncProtocol for FloodSet<V>
 where
-    V: Ord + Clone + Eq + fmt::Debug + BitSized,
+    V: Ord + Clone + Eq + fmt::Debug + BitSized + Send + Sync,
 {
     type Msg = Vec<V>;
     type Output = V;
@@ -102,11 +102,7 @@ where
 }
 
 /// Builds the `n` instances for `proposals[i]` = proposal of `p_{i+1}`.
-pub fn floodset_processes<V: Ord + Clone>(
-    n: usize,
-    t: usize,
-    proposals: &[V],
-) -> Vec<FloodSet<V>> {
+pub fn floodset_processes<V: Ord + Clone>(n: usize, t: usize, proposals: &[V]) -> Vec<FloodSet<V>> {
     assert_eq!(proposals.len(), n, "one proposal per process required");
     proposals
         .iter()
@@ -225,7 +221,9 @@ mod tests {
             CrashPoint::new(Round::new(2), CrashStage::EndOfRound),
         );
         let report = run(3, 1, &schedule, &proposals);
-        let d2 = report.decisions[1].as_ref().expect("decided at t+1 then died");
+        let d2 = report.decisions[1]
+            .as_ref()
+            .expect("decided at t+1 then died");
         assert_eq!(d2.value, 5);
         let spec = check_uniform_consensus(&proposals, &report.decisions, &schedule, Some(2));
         assert!(spec.ok(), "{spec}");

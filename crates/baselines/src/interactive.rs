@@ -69,7 +69,7 @@ impl<V: Clone> InteractiveConsistency<V> {
 
 impl<V> SyncProtocol for InteractiveConsistency<V>
 where
-    V: Clone + Eq + fmt::Debug + BitSized + std::hash::Hash,
+    V: Clone + Eq + fmt::Debug + BitSized + std::hash::Hash + Send + Sync,
 {
     type Msg = Vec<(u32, V)>;
     type Output = Vec<Option<V>>;
@@ -148,11 +148,7 @@ mod tests {
     fn agreed_vector(
         report: &twostep_sim::RunReport<InteractiveConsistency<u64>>,
     ) -> Vec<Option<u64>> {
-        let mut decided = report
-            .decisions
-            .iter()
-            .flatten()
-            .map(|d| d.value.clone());
+        let mut decided = report.decisions.iter().flatten().map(|d| d.value.clone());
         let first = decided.next().expect("someone decides");
         for v in decided {
             assert_eq!(v, first, "vector agreement violated");

@@ -62,5 +62,10 @@ fn bench_trace_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_failure_free, bench_worst_case, bench_trace_overhead);
+criterion_group!(
+    benches,
+    bench_failure_free,
+    bench_worst_case,
+    bench_trace_overhead
+);
 criterion_main!(benches);

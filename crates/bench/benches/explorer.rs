@@ -1,10 +1,21 @@
 //! Model-checker benches: full execution-space exploration cost for the
-//! E5 lower-bound systems (E8 substrate evidence).
+//! E5 lower-bound systems (E8 substrate evidence), now measuring the
+//! parallel work-sharing engine against the serial walk.
+//!
+//! Two groups:
+//!
+//! * `modelcheck_crw_exhaustive` — the historical serial-walk numbers,
+//!   kept comparable across commits;
+//! * `modelcheck_parallel_speedup` — serial vs parallel at the largest
+//!   `(n, t)` feasible in CI, with throughput reported in
+//!   **distinct states per second** (the memo insert rate is the
+//!   exploration engine's natural unit of work).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use twostep_core::crw_processes;
 use twostep_model::{SystemConfig, WideValue};
-use twostep_modelcheck::{explore, ExploreConfig};
+use twostep_modelcheck::{explore, explore_with, ExploreConfig, ExploreOptions};
+use twostep_sim::default_threads;
 
 fn binary_proposals(n: usize) -> Vec<WideValue> {
     (0..n).map(|i| WideValue::new(1, (i % 2) as u64)).collect()
@@ -35,5 +46,54 @@ fn bench_exhaustive(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_exhaustive);
+fn bench_parallel_speedup(c: &mut Criterion) {
+    // The largest system the CI budget tolerates exhaustively (~70ms per
+    // serial exploration, 3249 distinct configurations — big enough that
+    // worker spawn + donation overhead amortizes); bump when hardware
+    // allows.  State count is measured once so each thread
+    // configuration's throughput is reported in distinct states/second.
+    let (n, t) = (6usize, 5usize);
+    let system = SystemConfig::new(n, t).unwrap();
+    let proposals = binary_proposals(n);
+    let states = explore(
+        system,
+        ExploreConfig::for_crw(&system),
+        crw_processes(&system, &proposals),
+        proposals.clone(),
+    )
+    .unwrap()
+    .distinct_states;
+    println!("modelcheck_parallel_speedup: n={n} t={t}, {states} distinct states per exploration");
+
+    let mut group = c.benchmark_group("modelcheck_parallel_speedup");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(states as u64));
+
+    let mut thread_counts = vec![1usize, 2, 4];
+    let auto = default_threads();
+    if !thread_counts.contains(&auto) {
+        thread_counts.push(auto);
+    }
+    for threads in thread_counts {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_t{t}_threads{threads}")),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    explore_with(
+                        system,
+                        ExploreConfig::for_crw(&system),
+                        ExploreOptions::with_threads(threads),
+                        crw_processes(&system, &proposals),
+                        proposals.clone(),
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exhaustive, bench_parallel_speedup);
 criterion_main!(benches);

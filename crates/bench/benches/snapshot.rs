@@ -50,10 +50,7 @@ fn bench_fifo_overhead(c: &mut Criterion) {
                 let run = run_snapshot(
                     BankApp::cluster(12, 1_000, 0xBEEF),
                     DelayModel::Fixed(20),
-                    SnapshotSetup {
-                        fifo,
-                        ..setup()
-                    },
+                    SnapshotSetup { fifo, ..setup() },
                 );
                 run.report.messages_sent
             })

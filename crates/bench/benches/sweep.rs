@@ -28,13 +28,9 @@ fn bench_sweep_scaling(c: &mut Criterion) {
             |b, &threads| {
                 b.iter(|| {
                     par_map(&seeds, threads, |_, seed| {
-                        let sched = random_schedule(
-                            &config,
-                            RandomScheduleSpec::uniform(&config),
-                            *seed,
-                        );
-                        let report =
-                            run_crw(&config, &sched, &props, TraceLevel::Off).unwrap();
+                        let sched =
+                            random_schedule(&config, RandomScheduleSpec::uniform(&config), *seed);
+                        let report = run_crw(&config, &sched, &props, TraceLevel::Off).unwrap();
                         report.last_decision_round().map_or(0, |r| r.get())
                     })
                 })

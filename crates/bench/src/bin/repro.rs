@@ -64,7 +64,10 @@ fn run(cmd: &str, csv: bool, ov: &Overrides) -> bool {
                 &exp::e3::table(exp::e3::E3Params {
                     sizes: ov.usize_list_or("sizes", &d.sizes),
                     widths: ov
-                        .u64_list_or("widths", &d.widths.iter().map(|w| *w as u64).collect::<Vec<_>>())
+                        .u64_list_or(
+                            "widths",
+                            &d.widths.iter().map(|w| *w as u64).collect::<Vec<_>>(),
+                        )
                         .into_iter()
                         .map(|w| w as u32)
                         .collect(),

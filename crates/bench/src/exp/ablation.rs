@@ -12,7 +12,7 @@ use crate::cells;
 use crate::table::Table;
 use twostep_core::{CommitOrder, Crw};
 use twostep_model::{ProcessId, SystemConfig, WideValue};
-use twostep_modelcheck::{SpecMode, explore, ExploreConfig, RoundBound};
+use twostep_modelcheck::{explore_with, ExploreConfig, ExploreOptions, RoundBound, SpecMode};
 use twostep_sim::ModelKind;
 
 /// Runs the ablation for one `(n, t)` and renders the table.
@@ -47,7 +47,14 @@ pub fn table(n: usize, t: usize) -> Table {
             spec: SpecMode::Uniform,
             max_crashes_per_round: None,
         };
-        let report = explore(system, options, procs, proposals.clone()).expect("within budget");
+        let report = explore_with(
+            system,
+            options,
+            ExploreOptions::default(),
+            procs,
+            proposals.clone(),
+        )
+        .expect("within budget");
 
         let worst: Vec<String> = report
             .root

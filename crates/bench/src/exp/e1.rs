@@ -5,8 +5,8 @@
 //! Expected shape (the paper's headline): CRW = `f+1`, early-stopping =
 //! `min(f+2, t+1)`, FloodSet = `t+1` flat.
 
-use crate::table::Table;
 use crate::cells;
+use crate::table::Table;
 use twostep_adversary::{data_heavy_cascade, random_schedule, silent_cascade, RandomScheduleSpec};
 use twostep_baselines::{earlystop_processes, floodset_processes, nonuniform_processes};
 use twostep_core::run_crw;
@@ -68,10 +68,7 @@ pub fn table(p: E1Params) -> Table {
         // CRW under the maximal-traffic coordinator cascade.
         let crw_sched = data_heavy_cascade(n, f);
         let crw = run_crw(&config, &crw_sched, &props, TraceLevel::Off).expect("run");
-        let crw_worst = crw
-            .last_decision_round()
-            .expect("someone decides")
-            .get();
+        let crw_worst = crw.last_decision_round().expect("someone decides").get();
 
         // CRW under random schedules with exactly f crashes.
         let seeds: Vec<u64> = (0..p.seeds).collect();
@@ -89,10 +86,7 @@ pub fn table(p: E1Params) -> Table {
             .max_rounds(t as u32 + 2)
             .run(earlystop_processes(n, t, &props))
             .expect("run");
-        let es_worst = es
-            .last_decision_round()
-            .expect("someone decides")
-            .get();
+        let es_worst = es.last_decision_round().expect("someone decides").get();
 
         // Non-uniform early deciding (classic model, plain agreement)
         // under the same cascade: decisions by f+1 — the CBS landscape's
@@ -101,20 +95,14 @@ pub fn table(p: E1Params) -> Table {
             .max_rounds(t as u32 + 2)
             .run(nonuniform_processes(n, t, &props))
             .expect("run");
-        let nu_worst = nu
-            .last_decision_round()
-            .expect("someone decides")
-            .get();
+        let nu_worst = nu.last_decision_round().expect("someone decides").get();
 
         // FloodSet under the same cascade.
         let fl = Simulation::new(config, ModelKind::Classic, &es_sched)
             .max_rounds(t as u32 + 2)
             .run(floodset_processes(n, t, &props))
             .expect("run");
-        let fl_rounds = fl
-            .last_decision_round()
-            .expect("someone decides")
-            .get();
+        let fl_rounds = fl.last_decision_round().expect("someone decides").get();
 
         table.row(cells!(
             f,

@@ -60,8 +60,8 @@ pub fn table(p: E3Params) -> Table {
             let props = random_wide_proposals(n, b, 0xE3 + n as u64 + b as u64);
 
             // Best case.
-            let best = run_crw(&config, &CrashSchedule::none(n), &props, TraceLevel::Off)
-                .expect("run");
+            let best =
+                run_crw(&config, &CrashSchedule::none(n), &props, TraceLevel::Off).expect("run");
             let best_bits = best.metrics.total_bits();
             let best_formula = theorem2::best_case_bits(n, b as u64);
 

@@ -191,6 +191,9 @@ mod tests {
         let small: Vec<&str> = rows[0].split(',').collect();
         let big: Vec<&str> = rows[1].split(',').collect();
         assert_eq!(small[9], "true", "d << D: extended wins");
-        assert_eq!(big[9], "false", "d >= D: advantage gone (lossy-network caveat)");
+        assert_eq!(
+            big[9], "false",
+            "d >= D: advantage gone (lossy-network caveat)"
+        );
     }
 }

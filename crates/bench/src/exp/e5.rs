@@ -20,7 +20,7 @@ use crate::table::Table;
 use twostep_core::crw_processes;
 use twostep_model::{SystemConfig, WideValue};
 use twostep_modelcheck::{
-    explore, sample, ExploreConfig, RoundBound, SampleConfig, SampleStrategy,
+    explore_with, sample, ExploreConfig, ExploreOptions, RoundBound, SampleConfig, SampleStrategy,
 };
 use twostep_sim::ModelKind;
 
@@ -57,9 +57,10 @@ pub fn tables(p: E5Params) -> Vec<Table> {
     for &(n, t) in &p.systems {
         let system = SystemConfig::new(n, t).expect("valid system");
         let proposals = binary_proposals(n);
-        let report = explore(
+        let report = explore_with(
             system,
             ExploreConfig::for_crw(&system),
+            ExploreOptions::default(),
             crw_processes(&system, &proposals),
             proposals.clone(),
         )
@@ -106,9 +107,10 @@ pub fn tables(p: E5Params) -> Vec<Table> {
         // The Theorem 3 adversary: at most ONE crash per round — the
         // restriction the §5 proof actually uses.  The worst case must
         // still be exactly f+1: the lower bound needs no crash bursts.
-        let t3 = explore(
+        let t3 = explore_with(
             system,
             ExploreConfig::theorem3(&system),
+            ExploreOptions::default(),
             crw_processes(&system, &proposals),
             proposals.clone(),
         )

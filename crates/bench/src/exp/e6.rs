@@ -78,9 +78,7 @@ pub fn table(p: E6Params) -> Table {
                 .decisions
                 .iter()
                 .zip(&simulated.decisions)
-                .all(|(a, b)| {
-                    a.as_ref().map(|d| &d.value) == b.as_ref().map(|d| &d.value)
-                });
+                .all(|(a, b)| a.as_ref().map(|d| &d.value) == b.as_ref().map(|d| &d.value));
             let native_rounds = native.last_decision_round().map_or(0, |r| r.get());
             let sim_rounds = simulated.last_decision_round().map_or(0, |r| r.get());
             (identical, native_rounds, sim_rounds)
@@ -100,7 +98,9 @@ pub fn table(p: E6Params) -> Table {
         ));
     }
     table.note("simulated decision rounds land inside the block of the native round: worst simulated <= worst native x n.");
-    table.note("same computability, n-fold round cost: the extended model buys efficiency, not power.");
+    table.note(
+        "same computability, n-fold round cost: the extended model buys efficiency, not power.",
+    );
     table
 }
 

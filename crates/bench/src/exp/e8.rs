@@ -58,8 +58,7 @@ pub fn table(p: E8Params) -> Table {
         for _ in 0..p.reps.max(1) {
             let start = Instant::now();
             let rounds = par_map(&seeds, threads, |_, seed| {
-                let sched =
-                    random_schedule(&config, RandomScheduleSpec::uniform(&config), *seed);
+                let sched = random_schedule(&config, RandomScheduleSpec::uniform(&config), *seed);
                 run_crw(&config, &sched, &proposals, TraceLevel::Off)
                     .expect("run")
                     .last_decision_round()

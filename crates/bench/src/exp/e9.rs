@@ -45,12 +45,7 @@ impl Default for E9Params {
     }
 }
 
-fn one_run(
-    n: usize,
-    initial: u64,
-    seed: u64,
-    fifo: bool,
-) -> (bool, bool, u64, u64, u64) {
+fn one_run(n: usize, initial: u64, seed: u64, fifo: bool) -> (bool, bool, u64, u64, u64) {
     let apps = BankApp::cluster(n, initial, seed);
     let setup = SnapshotSetup {
         initiators: vec![ProcessId::new((seed % n as u64) as u32 + 1)],
@@ -124,7 +119,12 @@ pub fn tables(p: E9Params) -> Vec<Table> {
 
     let mut ablation = Table::new(
         "E9b: ablation — the same runs without FIFO channels",
-        &["n", "seeds", "broken cuts (flow eq.)", "money lost/duplicated"],
+        &[
+            "n",
+            "seeds",
+            "broken cuts (flow eq.)",
+            "money lost/duplicated",
+        ],
     );
     for &n in &p.sizes {
         let mut broken = 0u64;
@@ -159,7 +159,10 @@ pub fn tables(p: E9Params) -> Vec<Table> {
         let setup = SnapshotSetup {
             initiators: vec![ProcessId::new(1)],
             initiate_at: 300,
-            repeat: Some(Repeat { count: 7, every: 25 }),
+            repeat: Some(Repeat {
+                count: 7,
+                every: 25,
+            }),
             horizon: 500_000,
             fifo: true,
         };

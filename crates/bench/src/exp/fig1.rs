@@ -23,8 +23,7 @@ pub fn render(n: usize, prefix_len: usize) -> String {
 pub fn render_with(n: usize, schedule: &CrashSchedule) -> String {
     let config = SystemConfig::max_resilience(n).expect("n >= 1");
     let proposals: Vec<u64> = (1..=n as u64).map(|i| 100 + i).collect();
-    let report =
-        run_crw(&config, schedule, &proposals, TraceLevel::Full).expect("run succeeds");
+    let report = run_crw(&config, schedule, &proposals, TraceLevel::Full).expect("run succeeds");
 
     let mut out = String::new();
     let _ = writeln!(

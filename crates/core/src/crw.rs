@@ -129,7 +129,7 @@ pub fn coordinator_of(round: Round, n: usize) -> Option<ProcessId> {
 
 impl<V> SyncProtocol for Crw<V>
 where
-    V: Clone + Eq + fmt::Debug + BitSized,
+    V: Clone + Eq + fmt::Debug + BitSized + Send + Sync,
 {
     type Msg = V;
     type Output = V;
@@ -251,7 +251,7 @@ pub fn run_crw<V>(
     trace: TraceLevel,
 ) -> Result<RunReport<Crw<V>>, SimError>
 where
-    V: Clone + Eq + fmt::Debug + BitSized,
+    V: Clone + Eq + fmt::Debug + BitSized + Send + Sync,
 {
     Simulation::new(*config, ModelKind::Extended, schedule)
         .max_rounds(config.n() as u32 + 1)

@@ -64,7 +64,11 @@ impl<V: fmt::Debug> fmt::Display for LemmaViolation<V> {
             LemmaViolation::NoLockingRound => {
                 write!(f, "decisions exist but no coordinator completed line 4")
             }
-            LemmaViolation::EarlyDecision { pid, round, locking_round } => write!(
+            LemmaViolation::EarlyDecision {
+                pid,
+                round,
+                locking_round,
+            } => write!(
                 f,
                 "{pid} decided in round {round}, before the locking round {locking_round}"
             ),
@@ -72,7 +76,11 @@ impl<V: fmt::Debug> fmt::Display for LemmaViolation<V> {
                 f,
                 "{pid} coordinated before the locking round yet neither crashed nor decided"
             ),
-            LemmaViolation::UnlockedDecision { pid, decided, locked } => write!(
+            LemmaViolation::UnlockedDecision {
+                pid,
+                decided,
+                locked,
+            } => write!(
                 f,
                 "{pid} decided {decided:?} but the locked value is {locked:?}"
             ),
@@ -108,7 +116,7 @@ impl<V> LockReport<V> {
 /// per-message events).
 pub fn check_value_locking<V>(n: usize, report: &RunReport<Crw<V>>) -> LockReport<V>
 where
-    V: Clone + Eq + fmt::Debug + BitSized,
+    V: Clone + Eq + fmt::Debug + BitSized + Send + Sync,
 {
     // Count the data transmissions of each round's coordinator; line 4 is
     // complete when all `n - r` higher-ranked destinations were served.
@@ -164,7 +172,10 @@ where
         if any_decision {
             violations.push(LemmaViolation::NoLockingRound);
         }
-        return LockReport { locking, violations };
+        return LockReport {
+            locking,
+            violations,
+        };
     };
 
     for (i, d) in report.decisions.iter().enumerate() {
@@ -199,7 +210,10 @@ where
         }
     }
 
-    LockReport { locking, violations }
+    LockReport {
+        locking,
+        violations,
+    }
 }
 
 #[cfg(test)]
@@ -220,8 +234,13 @@ mod tests {
     #[test]
     fn clean_run_locks_in_round_one() {
         let config = SystemConfig::new(5, 2).unwrap();
-        let report = run_crw(&config, &CrashSchedule::none(5), &props(5), TraceLevel::Full)
-            .unwrap();
+        let report = run_crw(
+            &config,
+            &CrashSchedule::none(5),
+            &props(5),
+            TraceLevel::Full,
+        )
+        .unwrap();
         let lock = check_value_locking(5, &report);
         assert!(lock.ok(), "{:?}", lock.violations);
         let (r, c, v) = lock.locking.unwrap();
@@ -248,7 +267,10 @@ mod tests {
         let (r, c, v) = lock.locking.unwrap();
         assert_eq!(r, Round::new(2));
         assert_eq!(c, pid(2));
-        assert_eq!(v, 102, "p_2's own estimate: p_1's partial data reached only p_3/p_4");
+        assert_eq!(
+            v, 102,
+            "p_2's own estimate: p_1's partial data reached only p_3/p_4"
+        );
     }
 
     #[test]
@@ -264,15 +286,25 @@ mod tests {
         let lock = check_value_locking(5, &report);
         assert!(lock.ok(), "{:?}", lock.violations);
         let (r, _, v) = lock.locking.unwrap();
-        assert_eq!((r, v), (Round::FIRST, 101), "lock = line 4 completion, not commits");
+        assert_eq!(
+            (r, v),
+            (Round::FIRST, 101),
+            "lock = line 4 completion, not commits"
+        );
     }
 
     #[test]
     fn cascade_locks_at_first_survivor() {
         let config = SystemConfig::new(6, 3).unwrap();
         let schedule = CrashSchedule::none(6)
-            .with_crash(pid(1), CrashPoint::new(Round::new(1), CrashStage::BeforeSend))
-            .with_crash(pid(2), CrashPoint::new(Round::new(2), CrashStage::BeforeSend));
+            .with_crash(
+                pid(1),
+                CrashPoint::new(Round::new(1), CrashStage::BeforeSend),
+            )
+            .with_crash(
+                pid(2),
+                CrashPoint::new(Round::new(2), CrashStage::BeforeSend),
+            );
         let report = run_crw(&config, &schedule, &props(6), TraceLevel::Full).unwrap();
         let lock = check_value_locking(6, &report);
         assert!(lock.ok(), "{:?}", lock.violations);
@@ -282,8 +314,7 @@ mod tests {
     #[test]
     fn single_process_locks_vacuously() {
         let config = SystemConfig::new(1, 0).unwrap();
-        let report = run_crw(&config, &CrashSchedule::none(1), &[9u64], TraceLevel::Full)
-            .unwrap();
+        let report = run_crw(&config, &CrashSchedule::none(1), &[9u64], TraceLevel::Full).unwrap();
         let lock = check_value_locking(1, &report);
         assert!(lock.ok());
         assert_eq!(lock.locking.unwrap().2, 9);

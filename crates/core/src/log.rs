@@ -23,9 +23,7 @@
 use crate::crw::{crw_processes, run_crw};
 use std::fmt;
 use std::hash::Hash;
-use twostep_model::{
-    BitSized, CrashPoint, CrashSchedule, CrashStage, PidSet, Round, SystemConfig,
-};
+use twostep_model::{BitSized, CrashPoint, CrashSchedule, CrashStage, PidSet, Round, SystemConfig};
 use twostep_sim::{Decision, SimError, TraceLevel};
 
 /// Errors surfaced by the log layer.
@@ -115,7 +113,7 @@ pub struct ReplicatedLog<V> {
 
 impl<V> ReplicatedLog<V>
 where
-    V: Clone + Eq + Hash + fmt::Debug + BitSized,
+    V: Clone + Eq + Hash + fmt::Debug + BitSized + Send + Sync,
 {
     /// An empty log over `config`.
     pub fn new(config: SystemConfig) -> Self {
@@ -189,8 +187,8 @@ where
             });
         }
 
-        let report = run_crw(&self.config, &merged, proposals, TraceLevel::Off)
-            .map_err(LogError::Slot)?;
+        let report =
+            run_crw(&self.config, &merged, proposals, TraceLevel::Off).map_err(LogError::Slot)?;
 
         let value = report
             .decisions
@@ -334,10 +332,7 @@ mod tests {
             CrashPoint::new(Round::FIRST, CrashStage::BeforeSend),
         );
         let err = log.append(&proposals, &s1).unwrap_err();
-        assert_eq!(
-            err,
-            LogError::ResilienceExhausted { total: 2, bound: 1 }
-        );
+        assert_eq!(err, LogError::ResilienceExhausted { total: 2, bound: 1 });
         // The failed append must not have mutated the log.
         assert_eq!(log.committed().len(), 1);
         assert_eq!(log.remaining_resilience(), 0);
@@ -346,9 +341,7 @@ mod tests {
     #[test]
     fn wrong_proposal_count_rejected() {
         let mut log: ReplicatedLog<u64> = ReplicatedLog::new(cfg(3, 1));
-        let err = log
-            .append(&[1u64, 2], &CrashSchedule::none(3))
-            .unwrap_err();
+        let err = log.append(&[1u64, 2], &CrashSchedule::none(3)).unwrap_err();
         assert_eq!(err, LogError::WrongProposalCount { got: 2, want: 3 });
     }
 
@@ -364,7 +357,11 @@ mod tests {
         );
         let r0 = log.append(&proposals, &s0).unwrap();
         assert_eq!(r0.value, 1, "locked value");
-        assert!(r0.decisions.iter().skip(1).all(|d| d.as_ref().unwrap().value == 1));
+        assert!(r0
+            .decisions
+            .iter()
+            .skip(1)
+            .all(|d| d.as_ref().unwrap().value == 1));
         assert!(log.check_prefix_consistency());
     }
 }

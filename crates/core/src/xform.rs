@@ -28,9 +28,7 @@
 //! e6-equivalence`).
 
 use std::fmt;
-use twostep_model::{
-    BitSized, CrashPoint, CrashSchedule, CrashStage, PidSet, ProcessId, Round,
-};
+use twostep_model::{BitSized, CrashPoint, CrashSchedule, CrashStage, PidSet, ProcessId, Round};
 use twostep_sim::{Inbox, SendPlan, Step, SyncProtocol};
 
 /// Marker wrapper for running a classic-model protocol on the extended
@@ -328,8 +326,7 @@ mod tests {
             // Round correspondence: the simulated decision lands inside the
             // block of the native round.
             if let (Some(nd), Some(sd)) = (&native.decisions[i], &simulated.decisions[i]) {
-                let (ext_round, _slot) =
-                    ExtendedOnClassic::<Crw<u64>>::decompose(sd.round, n);
+                let (ext_round, _slot) = ExtendedOnClassic::<Crw<u64>>::decompose(sd.round, n);
                 assert_eq!(ext_round, nd.round, "p_{} round block mismatch", i + 1);
             }
         }
@@ -420,9 +417,12 @@ mod tests {
             )
             .with_crash(
                 pid(2),
-                CrashPoint::new(Round::new(2), CrashStage::MidData {
-                    delivered: PidSet::from_iter(6, [pid(4)]),
-                }),
+                CrashPoint::new(
+                    Round::new(2),
+                    CrashStage::MidData {
+                        delivered: PidSet::from_iter(6, [pid(4)]),
+                    },
+                ),
             );
         assert_equivalent(6, 3, &schedule);
     }
@@ -491,7 +491,10 @@ mod tests {
     fn translate_schedule_maps_every_stage() {
         let n = 4;
         let ext = CrashSchedule::none(n)
-            .with_crash(pid(1), CrashPoint::new(Round::FIRST, CrashStage::BeforeSend))
+            .with_crash(
+                pid(1),
+                CrashPoint::new(Round::FIRST, CrashStage::BeforeSend),
+            )
             .with_crash(
                 pid(2),
                 CrashPoint::new(Round::new(2), CrashStage::MidControl { prefix_len: 1 }),

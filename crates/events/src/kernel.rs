@@ -53,7 +53,8 @@ impl DelayModel {
             DelayModel::Fixed(d) => *d,
             DelayModel::Uniform { min, max, seed } => {
                 debug_assert!(min <= max);
-                let mut rng = SmallRng::seed_from_u64(seed ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let mut rng =
+                    SmallRng::seed_from_u64(seed ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15));
                 rng.gen_range(*min..=*max)
             }
         }
@@ -308,15 +309,19 @@ impl<P: TimedProcess> TimedKernel<P> {
         let mut hit_horizon = false;
         // Latest scheduled arrival per directed channel, flattened n×n
         // (sender-major); only consulted when `fifo` is on.
-        let mut channel_front: Vec<Ticks> = if self.fifo { vec![0; n * n] } else { Vec::new() };
+        let mut channel_front: Vec<Ticks> = if self.fifo {
+            vec![0; n * n]
+        } else {
+            Vec::new()
+        };
 
         let mut heap: BinaryHeap<Reverse<QueuedEvent<P::Msg>>> = BinaryHeap::new();
         let mut seq: u64 = 0;
         let push = |heap: &mut BinaryHeap<Reverse<QueuedEvent<P::Msg>>>,
-                        seq: &mut u64,
-                        at: Ticks,
-                        to: ProcessId,
-                        payload: Payload<P::Msg>| {
+                    seq: &mut u64,
+                    at: Ticks,
+                    to: ProcessId,
+                    payload: Payload<P::Msg>| {
             *seq += 1;
             heap.push(Reverse(QueuedEvent {
                 at,
@@ -415,7 +420,13 @@ impl<P: TimedProcess> TimedKernel<P> {
             }
 
             for (id, delay) in fx.timers {
-                push(&mut heap, &mut seq, ev.at + delay, ev.to, Payload::Timer { id });
+                push(
+                    &mut heap,
+                    &mut seq,
+                    ev.at + delay,
+                    ev.to,
+                    Payload::Timer { id },
+                );
             }
             if let Some(v) = fx.decision {
                 decisions[i] = Some((v, ev.at));
@@ -492,7 +503,13 @@ mod tests {
         // (to p_2): p_3 never hears anything.
         let procs: Vec<Ping> = (1..=3).map(|r| Ping { me: pid(r), n: 3 }).collect();
         let report = TimedKernel::new(procs, DelayModel::Fixed(10))
-            .crash(pid(1), TimedCrash { at: 0, keep_sends: 1 })
+            .crash(
+                pid(1),
+                TimedCrash {
+                    at: 0,
+                    keep_sends: 1,
+                },
+            )
             .run();
         assert_eq!(report.decisions[1], Some((7, 10)), "prefix reached p_2");
         assert_eq!(report.decisions[2], None, "p_3 cut off");
@@ -516,7 +533,8 @@ mod tests {
                     fx.send(ProcessId::new(2), 1);
                 }
             }
-            fn on_message(&mut self, _a: Ticks, _f: ProcessId, _m: u8, _fx: &mut Effects<u8, u32>) {}
+            fn on_message(&mut self, _a: Ticks, _f: ProcessId, _m: u8, _fx: &mut Effects<u8, u32>) {
+            }
             fn on_suspicion(&mut self, at: Ticks, s: ProcessId, fx: &mut Effects<u8, u32>) {
                 assert_eq!(at, 35);
                 fx.decide(s.rank());
@@ -525,7 +543,13 @@ mod tests {
         }
         let procs: Vec<Poker> = (1..=3).map(|r| Poker { me: pid(r) }).collect();
         let report = TimedKernel::new(procs, DelayModel::Fixed(30))
-            .crash(pid(2), TimedCrash { at: 30, keep_sends: 0 })
+            .crash(
+                pid(2),
+                TimedCrash {
+                    at: 30,
+                    keep_sends: 0,
+                },
+            )
             .fd(FdSpec::accurate(5))
             .run();
         // p_1 and p_3 decide rank 2 at time 35.
@@ -543,7 +567,8 @@ mod tests {
             type Msg = u8;
             type Output = u32;
             fn on_start(&mut self, _fx: &mut Effects<u8, u32>) {}
-            fn on_message(&mut self, _a: Ticks, _f: ProcessId, _m: u8, _fx: &mut Effects<u8, u32>) {}
+            fn on_message(&mut self, _a: Ticks, _f: ProcessId, _m: u8, _fx: &mut Effects<u8, u32>) {
+            }
             fn on_suspicion(&mut self, _at: Ticks, s: ProcessId, fx: &mut Effects<u8, u32>) {
                 self.hits += 1;
                 fx.decide(s.rank());
@@ -556,7 +581,11 @@ mod tests {
                 injected_suspicions: vec![(20, pid(1), pid(2))],
             })
             .run();
-        assert_eq!(report.decisions[0], Some((2, 20)), "false suspicion delivered");
+        assert_eq!(
+            report.decisions[0],
+            Some((2, 20)),
+            "false suspicion delivered"
+        );
         assert_eq!(report.decisions[1], None);
     }
 
@@ -642,7 +671,11 @@ mod tests {
         });
         let seed = overtaking.expect("some seed reorders across 64 tries");
         let fixed = stream_arrivals(seed, true);
-        assert_eq!(fixed, (0..12).collect::<Vec<_>>(), "fifo() delivers in send order");
+        assert_eq!(
+            fixed,
+            (0..12).collect::<Vec<_>>(),
+            "fifo() delivers in send order"
+        );
     }
 
     #[test]

@@ -108,7 +108,10 @@ mod tests {
         fx.send(ProcessId::new(1), 20);
         fx.set_timer(7, 100);
         fx.decide(99);
-        assert_eq!(fx.sends, vec![(ProcessId::new(2), 10), (ProcessId::new(1), 20)]);
+        assert_eq!(
+            fx.sends,
+            vec![(ProcessId::new(2), 10), (ProcessId::new(1), 20)]
+        );
         assert_eq!(fx.timers, vec![(7, 100)]);
         assert_eq!(fx.decision, Some(99));
     }

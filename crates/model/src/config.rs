@@ -163,8 +163,12 @@ mod tests {
 
     #[test]
     fn lower_bound_assumption() {
-        assert!(SystemConfig::new(5, 3).unwrap().satisfies_lower_bound_assumption());
-        assert!(!SystemConfig::new(5, 4).unwrap().satisfies_lower_bound_assumption());
+        assert!(SystemConfig::new(5, 3)
+            .unwrap()
+            .satisfies_lower_bound_assumption());
+        assert!(!SystemConfig::new(5, 4)
+            .unwrap()
+            .satisfies_lower_bound_assumption());
     }
 
     #[test]

@@ -173,7 +173,10 @@ impl fmt::Display for ScheduleError {
             ScheduleError::TooManyCrashes { scheduled, bound } => {
                 write!(f, "schedule crashes {scheduled} processes but t={bound}")
             }
-            ScheduleError::WrongUniverse { schedule_n, config_n } => {
+            ScheduleError::WrongUniverse {
+                schedule_n,
+                config_n,
+            } => {
                 write!(f, "schedule universe n={schedule_n} != config n={config_n}")
             }
             ScheduleError::SubsetUniverseMismatch { pid } => {
@@ -388,7 +391,10 @@ mod tests {
         let e = CrashStage::EndOfRound.effect(5);
         assert_eq!(e.data_filter, None);
         assert_eq!(e.control_prefix, None);
-        assert!(e.receives_this_round, "may decide before dying — uniform agreement must cover it");
+        assert!(
+            e.receives_this_round,
+            "may decide before dying — uniform agreement must cover it"
+        );
         assert!(CrashStage::EndOfRound.completes_send_phase());
     }
 
@@ -399,10 +405,16 @@ mod tests {
         assert!(s.faulty().is_empty());
         assert!(s.correct().is_full());
 
-        s.set(pid(1), Some(CrashPoint::new(Round::new(1), CrashStage::BeforeSend)));
+        s.set(
+            pid(1),
+            Some(CrashPoint::new(Round::new(1), CrashStage::BeforeSend)),
+        );
         s.set(
             pid(3),
-            Some(CrashPoint::new(Round::new(2), CrashStage::MidControl { prefix_len: 1 })),
+            Some(CrashPoint::new(
+                Round::new(2),
+                CrashStage::MidControl { prefix_len: 1 },
+            )),
         );
         assert_eq!(s.f(), 2);
         assert_eq!(s.faulty(), PidSet::from_iter(4, [pid(1), pid(3)]));
@@ -414,8 +426,10 @@ mod tests {
 
     #[test]
     fn builder_style() {
-        let s = CrashSchedule::none(3)
-            .with_crash(pid(2), CrashPoint::new(Round::FIRST, CrashStage::EndOfRound));
+        let s = CrashSchedule::none(3).with_crash(
+            pid(2),
+            CrashPoint::new(Round::FIRST, CrashStage::EndOfRound),
+        );
         assert_eq!(s.f(), 1);
         assert!(s.crash_point(pid(2)).is_some());
         assert!(s.crash_point(pid(1)).is_none());
@@ -425,11 +439,20 @@ mod tests {
     fn validation_catches_too_many_crashes() {
         let config = SystemConfig::new(4, 1).unwrap();
         let s = CrashSchedule::none(4)
-            .with_crash(pid(1), CrashPoint::new(Round::FIRST, CrashStage::BeforeSend))
-            .with_crash(pid(2), CrashPoint::new(Round::FIRST, CrashStage::BeforeSend));
+            .with_crash(
+                pid(1),
+                CrashPoint::new(Round::FIRST, CrashStage::BeforeSend),
+            )
+            .with_crash(
+                pid(2),
+                CrashPoint::new(Round::FIRST, CrashStage::BeforeSend),
+            );
         assert_eq!(
             s.validate(&config),
-            Err(ScheduleError::TooManyCrashes { scheduled: 2, bound: 1 })
+            Err(ScheduleError::TooManyCrashes {
+                scheduled: 2,
+                bound: 1
+            })
         );
     }
 
@@ -439,7 +462,10 @@ mod tests {
         let s = CrashSchedule::none(4);
         assert!(matches!(
             s.validate(&config),
-            Err(ScheduleError::WrongUniverse { schedule_n: 4, config_n: 5 })
+            Err(ScheduleError::WrongUniverse {
+                schedule_n: 4,
+                config_n: 5
+            })
         ));
     }
 
@@ -449,7 +475,12 @@ mod tests {
         let bad_subset = PidSet::empty(7); // wrong universe
         let s = CrashSchedule::none(4).with_crash(
             pid(2),
-            CrashPoint::new(Round::FIRST, CrashStage::MidData { delivered: bad_subset }),
+            CrashPoint::new(
+                Round::FIRST,
+                CrashStage::MidData {
+                    delivered: bad_subset,
+                },
+            ),
         );
         assert_eq!(
             s.validate(&config),

@@ -247,7 +247,10 @@ impl PidSet {
     /// Panics if the universes differ.
     pub fn is_subset(&self, other: &PidSet) -> bool {
         assert_eq!(self.n, other.n, "PidSet universes differ");
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterates over members in ascending rank order.
@@ -273,11 +276,7 @@ impl PidSet {
     #[inline]
     fn checked_bit(&self, pid: ProcessId) -> usize {
         let i = pid.idx();
-        assert!(
-            i < self.n,
-            "{pid} out of universe 1..={n}",
-            n = self.n
-        );
+        assert!(i < self.n, "{pid} out of universe 1..={n}", n = self.n);
         i
     }
 
@@ -368,7 +367,10 @@ mod tests {
     #[test]
     fn all_enumerates_in_order() {
         let ids: Vec<_> = ProcessId::all(3).collect();
-        assert_eq!(ids, vec![ProcessId::new(1), ProcessId::new(2), ProcessId::new(3)]);
+        assert_eq!(
+            ids,
+            vec![ProcessId::new(1), ProcessId::new(2), ProcessId::new(3)]
+        );
     }
 
     #[test]

@@ -30,8 +30,7 @@ pub fn format_schedule(schedule: &CrashSchedule) -> String {
         let stage = match &cp.stage {
             CrashStage::BeforeSend => "before-send".to_string(),
             CrashStage::MidData { delivered } => {
-                let ranks: Vec<String> =
-                    delivered.iter().map(|p| p.rank().to_string()).collect();
+                let ranks: Vec<String> = delivered.iter().map(|p| p.rank().to_string()).collect();
                 format!("mid-data{{{}}}", ranks.join(","))
             }
             CrashStage::MidControl { prefix_len } => format!("mid-control/{prefix_len}"),
@@ -184,7 +183,10 @@ mod tests {
     #[test]
     fn every_stage_round_trips() {
         let s = CrashSchedule::none(5)
-            .with_crash(pid(1), CrashPoint::new(Round::new(1), CrashStage::BeforeSend))
+            .with_crash(
+                pid(1),
+                CrashPoint::new(Round::new(1), CrashStage::BeforeSend),
+            )
             .with_crash(
                 pid(2),
                 CrashPoint::new(
@@ -198,7 +200,10 @@ mod tests {
                 pid(3),
                 CrashPoint::new(Round::new(1), CrashStage::MidControl { prefix_len: 2 }),
             )
-            .with_crash(pid(4), CrashPoint::new(Round::new(3), CrashStage::EndOfRound));
+            .with_crash(
+                pid(4),
+                CrashPoint::new(Round::new(3), CrashStage::EndOfRound),
+            );
         let text = format_schedule(&s);
         assert_eq!(
             text,

@@ -1,10 +1,11 @@
-//! Bounded exhaustive exploration of a protocol's execution space.
+//! Bounded exhaustive exploration of a protocol's execution space — as a
+//! parallel, work-sharing, sharded-memo model-checking engine.
 //!
 //! The explorer walks **every** execution of a round-based protocol under
 //! the extended (or classic) model for a given `(n, t)`: at each round the
 //! adversary may crash any subset of the live processes (within the
 //! remaining budget), and each crash takes one of the *distinct* outcomes
-//! enumerated by [`twostep_adversary::crash_outcomes`] against that
+//! enumerated by [`twostep_adversary::crash_outcomes_iter`] against that
 //! process's concrete send plan — arbitrary data subsets, ordered commit
 //! prefixes, end-of-round death.
 //!
@@ -24,22 +25,71 @@
 //! `n`: over all executions with `f` crashes the worst decision round is
 //! exactly `f+1`, and bivalent configurations persist until the adversary's
 //! budget is spent.
+//!
+//! ## Engine architecture
+//!
+//! The walk is **iterative** — an explicit frame stack per walker, so the
+//! reachable depth is bounded by memory, not the OS stack — and
+//! **parallel** with [`ExploreOptions::threads`] workers:
+//!
+//! * the memo table is split into [`ExploreOptions::shards`] hash-sharded,
+//!   mutex-guarded `HashMap`s ([`Summary`]s behind `Arc`s), so concurrent
+//!   walkers contend on `1/shards` of the table instead of one lock;
+//! * workers share work dynamically through a
+//!   [`twostep_sim::WorkQueue`] injector: whenever a busy walker expands a
+//!   configuration while some worker is idle, it donates child subtrees
+//!   (tail-first — the ones it would reach last) to the queue.  Stealing
+//!   walkers explore those subtrees into the shared memo and discard the
+//!   local result; the primary walker later finds them memoized;
+//! * worker 0 — the **primary** walker, running on the calling thread via
+//!   [`twostep_sim::run_on_workers`] — performs the canonical root walk.
+//!
+//! ## Determinism argument
+//!
+//! Results are **bit-identical** to the serial (`threads = 1`) walk.  The
+//! primary walker expands every configuration's children in the fixed
+//! enumeration order and absorbs their summaries in that order, exactly as
+//! the serial walk does; whether a child summary was computed locally or
+//! arrived via the memo from a stealer is unobservable, because each
+//! subtree summary is itself the result of the same deterministic
+//! child-order merge wherever it is computed, and merged summaries don't
+//! depend on *when* they were computed.  Duplicate in-flight work (two
+//! workers racing on one subtree) produces identical `Arc<Summary>`
+//! values; the first insert wins and the count of distinct states is
+//! key-set cardinality, not insert attempts — so `distinct_states`, the
+//! per-round census, the root summary, and witness reconstruction all
+//! match the serial walk byte for byte.
+//!
+//! One carve-out: the `max_states` budget is a **resource safety valve**,
+//! not part of the deterministic result.  Whenever the budget is not
+//! exhausted (it is at least the number of distinct reachable
+//! configurations), no engine configuration can abort — a fresh memo miss
+//! with the count already at the budget would require more distinct
+//! states than exist — and every engine returns the identical report.
+//! When the space genuinely overflows the budget, *which* configuration
+//! trips [`ExploreError::StateLimit`] depends on timing (and was always
+//! approximate: the pre-parallel recursive walk checked the budget only
+//! on node entry, never on the inserts performed while unwinding).
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::Hash;
-use std::rc::Rc;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
-use twostep_adversary::crash_outcomes;
+use twostep_adversary::crash_outcomes_into;
 use twostep_model::{CrashPoint, CrashSchedule, CrashStage, ProcessId, SystemConfig};
 use twostep_sim::{
-    check_uniform_consensus, Decision, ModelKind, PlanShape, ProcStatus, RoundActions, SimError,
-    SpecViolation, Stepper, SyncProtocol, TraceLevel,
+    check_uniform_consensus, default_threads, run_on_workers, Decision, ModelKind, PlanShape,
+    ProcStatus, RoundActions, SimError, SpecViolation, Stepper, SyncProtocol, TraceLevel,
+    WorkQueue,
 };
 
-/// Protocols the explorer can check: cloneable (to fork executions) and
-/// hashable (to merge identical configurations).
-pub trait CheckableProtocol: SyncProtocol + Clone + Eq + Hash {}
-impl<T: SyncProtocol + Clone + Eq + Hash> CheckableProtocol for T {}
+/// Protocols the explorer can check: cloneable (to fork executions),
+/// hashable (to merge identical configurations), and `Send` (to move
+/// forked executions between worker threads).
+pub trait CheckableProtocol: SyncProtocol + Clone + Eq + Hash + Send {}
+impl<T: SyncProtocol + Clone + Eq + Hash + Send> CheckableProtocol for T {}
 
 /// Decision-round bounds to verify at every terminal, as a function of the
 /// run's actual crash count `f`.
@@ -91,7 +141,11 @@ pub enum SpecMode {
     NonUniform,
 }
 
-/// Exploration limits and options.
+/// Exploration limits and model options (what to explore).
+///
+/// Engine parallelism (how to explore it) lives in [`ExploreOptions`];
+/// the two are orthogonal, and every [`ExploreOptions`] produces the same
+/// report for a given `ExploreConfig`.
 #[derive(Clone, Copy, Debug)]
 pub struct ExploreConfig {
     /// Which model semantics to run under.
@@ -100,7 +154,10 @@ pub struct ExploreConfig {
     /// termination violation.
     pub max_rounds: u32,
     /// Distinct-configuration budget; exceeding it aborts with
-    /// [`ExploreError::StateLimit`].
+    /// [`ExploreError::StateLimit`].  A resource safety valve: when the
+    /// budget covers the reachable space the result is engine-independent,
+    /// but a space that overflows it may abort at an engine-dependent
+    /// point (see the module docs).
     pub max_states: usize,
     /// Optional decision-round bound to verify at every terminal.
     pub round_bound: Option<RoundBound>,
@@ -133,6 +190,50 @@ impl ExploreConfig {
         ExploreConfig {
             max_crashes_per_round: Some(1),
             ..Self::for_crw(system)
+        }
+    }
+}
+
+/// Engine options: how many workers walk the space and how finely the
+/// memo table is sharded.
+///
+/// `threads = 1` *is* the serial engine — there is no separate code path —
+/// and any thread count produces bit-identical reports whenever the
+/// [`ExploreConfig::max_states`] safety valve is not exhausted (see the
+/// module docs for the determinism argument and the budget carve-out).
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreOptions {
+    /// Worker threads ([`twostep_sim::default_threads`] by default, which
+    /// honors the `TWOSTEP_THREADS` env override; min 1).
+    pub threads: usize,
+    /// Memo shards (power of two recommended; min 1).  More shards mean
+    /// less lock contention and slightly more per-lookup overhead.
+    pub shards: usize,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            threads: default_threads(),
+            shards: 64,
+        }
+    }
+}
+
+impl ExploreOptions {
+    /// The serial engine: one walker, one shard.
+    pub fn serial() -> Self {
+        ExploreOptions {
+            threads: 1,
+            shards: 1,
+        }
+    }
+
+    /// A parallel engine with an explicit worker count.
+    pub fn with_threads(threads: usize) -> Self {
+        ExploreOptions {
+            threads: threads.max(1),
+            ..Self::default()
         }
     }
 }
@@ -191,7 +292,11 @@ impl<O: Clone + Eq> Summary<O> {
 
     fn absorb(&mut self, child: &Summary<O>) {
         self.terminals += child.terminals;
-        for (mine, theirs) in self.worst_round_by_f.iter_mut().zip(&child.worst_round_by_f) {
+        for (mine, theirs) in self
+            .worst_round_by_f
+            .iter_mut()
+            .zip(&child.worst_round_by_f)
+        {
             *mine = match (*mine, *theirs) {
                 (Some(a), Some(b)) => Some(a.max(b)),
                 (a, b) => a.or(b),
@@ -262,6 +367,161 @@ where
     }
 }
 
+/// A configuration key bundled with its full hash, computed **once**.
+///
+/// Hashing a key is the memo path's dominant fixed cost (it walks every
+/// process's protocol snapshot), and a naive sharded map would pay it
+/// twice per operation — once to pick the shard, once inside the shard's
+/// `HashMap`.  `HashedKey` caches the SipHash of the key; the shard index
+/// derives from the cached value and the map's own `Hash` impl just
+/// re-emits it, so each get/insert hashes the underlying key exactly
+/// once.  Equality still compares full keys, so hash collisions stay
+/// correct.
+struct HashedKey<P: SyncProtocol>
+where
+    P::Output: Hash,
+{
+    hash: u64,
+    key: Key<P>,
+}
+
+impl<P> HashedKey<P>
+where
+    P: CheckableProtocol,
+    P::Output: Hash,
+{
+    fn new(key: Key<P>) -> Self {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        HashedKey {
+            hash: hasher.finish(),
+            key,
+        }
+    }
+}
+
+impl<P: SyncProtocol> Hash for HashedKey<P>
+where
+    P::Output: Hash,
+{
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+impl<P: SyncProtocol> PartialEq for HashedKey<P>
+where
+    P: PartialEq,
+    P::Output: Hash,
+{
+    fn eq(&self, other: &Self) -> bool {
+        self.hash == other.hash && self.key == other.key
+    }
+}
+
+impl<P: SyncProtocol> Eq for HashedKey<P>
+where
+    P: Eq,
+    P::Output: Hash,
+{
+}
+
+/// The memo table, split into hash-addressed mutex-guarded shards so
+/// concurrent walkers rarely contend on the same lock.
+///
+/// `distinct` counts *fresh* key insertions only: racing walkers that
+/// compute the same subtree insert identical summaries, the first wins,
+/// and the count stays equal to the key-set cardinality — which is what
+/// makes the state budget and `distinct_states` deterministic.
+type MemoShard<P> = Mutex<HashMap<HashedKey<P>, Arc<Summary<<P as SyncProtocol>::Output>>>>;
+
+struct ShardedMemo<P>
+where
+    P: CheckableProtocol,
+    P::Output: Hash,
+{
+    shards: Vec<MemoShard<P>>,
+    distinct: AtomicUsize,
+}
+
+impl<P> ShardedMemo<P>
+where
+    P: CheckableProtocol,
+    P::Output: Hash,
+{
+    fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        ShardedMemo {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            distinct: AtomicUsize::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &HashedKey<P>) -> usize {
+        // The map hashes the cached value through SipHash again, so using
+        // the raw value's low bits here does not correlate with bucket
+        // choice inside the shard.
+        (key.hash as usize) % self.shards.len()
+    }
+
+    fn get(&self, key: &HashedKey<P>) -> Option<Arc<Summary<P::Output>>> {
+        self.shards[self.shard_of(key)]
+            .lock()
+            .expect("memo shard poisoned")
+            .get(key)
+            .cloned()
+    }
+
+    /// Inserts if absent; returns the canonical summary for the key (the
+    /// existing one on a race) so all holders share one `Arc`.
+    fn insert(
+        &self,
+        key: HashedKey<P>,
+        summary: Arc<Summary<P::Output>>,
+    ) -> Arc<Summary<P::Output>> {
+        let shard = self.shard_of(&key);
+        let mut map = self.shards[shard].lock().expect("memo shard poisoned");
+        match map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => Arc::clone(e.get()),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(Arc::clone(&summary));
+                self.distinct.fetch_add(1, Ordering::Relaxed);
+                summary
+            }
+        }
+    }
+
+    /// Distinct configurations memoized so far.
+    fn len(&self) -> usize {
+        self.distinct.load(Ordering::Relaxed)
+    }
+
+    /// Visits every memoized entry (single-threaded, post-exploration).
+    fn for_each(&self, mut f: impl FnMut(&Key<P>, &Arc<Summary<P::Output>>)) {
+        for shard in &self.shards {
+            for (key, summary) in shard.lock().expect("memo shard poisoned").iter() {
+                f(&key.key, summary);
+            }
+        }
+    }
+
+    /// First `Some` produced by `f` over the memoized entries, stopping
+    /// the scan as soon as it is found.
+    fn find_map<R>(
+        &self,
+        mut f: impl FnMut(&Key<P>, &Arc<Summary<P::Output>>) -> Option<R>,
+    ) -> Option<R> {
+        for shard in &self.shards {
+            for (key, summary) in shard.lock().expect("memo shard poisoned").iter() {
+                if let Some(found) = f(&key.key, summary) {
+                    return Some(found);
+                }
+            }
+        }
+        None
+    }
+}
+
 /// The result of a completed exploration.
 #[derive(Clone, Debug)]
 pub struct ExploreReport<O> {
@@ -290,10 +550,12 @@ pub struct Witness<O> {
     pub decisions: Vec<Option<Decision<O>>>,
 }
 
-/// Exhaustively explores `initial` under every admissible adversary.
+/// Exhaustively explores `initial` under every admissible adversary, with
+/// the **serial** engine (`ExploreOptions::serial()`).
 ///
 /// `proposals[i]` must be the value `p_{i+1}` proposed (for the validity
-/// check).  See [`ExploreConfig`] for limits.
+/// check).  See [`ExploreConfig`] for limits and [`explore_with`] for the
+/// parallel engine (which produces the identical report faster).
 ///
 /// # Examples
 ///
@@ -323,7 +585,7 @@ pub struct Witness<O> {
 /// ```
 pub fn explore<P>(
     system: SystemConfig,
-    options: ExploreConfig,
+    config: ExploreConfig,
     initial: Vec<P>,
     proposals: Vec<P::Output>,
 ) -> Result<ExploreReport<P::Output>, ExploreError>
@@ -331,98 +593,341 @@ where
     P: CheckableProtocol,
     P::Output: Hash,
 {
-    let mut ctx = Ctx {
-        system,
-        options,
-        proposals,
-        memo: HashMap::new(),
-    };
-    let root_stepper = Stepper::new(system, options.model, TraceLevel::Off, initial)
-        .map_err(ExploreError::Engine)?;
-    let root = ctx.dfs(root_stepper)?;
+    explore_with(system, config, ExploreOptions::serial(), initial, proposals)
+}
 
+/// Exhaustively explores `initial` under every admissible adversary with
+/// an explicit engine configuration.
+///
+/// The report is bit-identical for every [`ExploreOptions`]; `threads > 1`
+/// only changes how fast it is produced.
+///
+/// # Examples
+///
+/// ```
+/// use twostep_core::crw_processes;
+/// use twostep_model::{SystemConfig, WideValue};
+/// use twostep_modelcheck::{explore_with, ExploreConfig, ExploreOptions};
+///
+/// let system = SystemConfig::new(3, 2).unwrap();
+/// let proposals: Vec<WideValue> =
+///     (0..3).map(|i| WideValue::new(1, i as u64 % 2)).collect();
+/// let parallel = explore_with(
+///     system,
+///     ExploreConfig::for_crw(&system),
+///     ExploreOptions::with_threads(4),
+///     crw_processes(&system, &proposals),
+///     proposals.clone(),
+/// )
+/// .unwrap();
+/// assert!(!parallel.root.violating);
+/// assert_eq!(parallel.root.worst_round_by_f[2], Some(3));
+/// ```
+pub fn explore_with<P>(
+    system: SystemConfig,
+    config: ExploreConfig,
+    options: ExploreOptions,
+    initial: Vec<P>,
+    proposals: Vec<P::Output>,
+) -> Result<ExploreReport<P::Output>, ExploreError>
+where
+    P: CheckableProtocol,
+    P::Output: Hash,
+{
+    let root_stepper = Stepper::new(system, config.model, TraceLevel::Off, initial)
+        .map_err(ExploreError::Engine)?;
+
+    let shared = Shared {
+        system,
+        config,
+        proposals: &proposals,
+        memo: ShardedMemo::new(options.shards),
+        queue: WorkQueue::new(),
+        stop: AtomicBool::new(false),
+        failure: Mutex::new(None),
+    };
+
+    type RootSlot<O> = Mutex<Option<Result<Arc<Summary<O>>, Interrupt>>>;
+    let threads = options.threads.max(1);
+    let root_slot: RootSlot<P::Output> = Mutex::new(None);
+    // Handed to worker 0 through a mutex so the closure only needs the
+    // stepper to be `Send`, not `Sync`.
+    let root_handoff = Mutex::new(Some(root_stepper));
+
+    run_on_workers(threads, |worker| {
+        if worker == 0 {
+            // Primary walker: canonical root walk on the calling thread.
+            // Close the queue however we exit (including by panic), so
+            // stealers never block forever.
+            let _closer = QueueCloser(&shared.queue);
+            let root = root_handoff
+                .lock()
+                .expect("root handoff poisoned")
+                .take()
+                .expect("root stepper taken once");
+            let mut walker = Walker::new(&shared);
+            let result = walker.explore_subtree(root);
+            *root_slot.lock().expect("root slot poisoned") = Some(result);
+        } else {
+            // Stealer: drain donated subtrees into the shared memo.
+            let mut walker = Walker::new(&shared);
+            while let Some(job) = shared.queue.pop_wait() {
+                match walker.explore_subtree(job) {
+                    Ok(_) | Err(Interrupt::Stopped) => {}
+                    Err(Interrupt::Failed(error)) => {
+                        shared.fail(error);
+                    }
+                }
+            }
+        }
+    });
+
+    let root = match root_slot
+        .into_inner()
+        .expect("root slot poisoned")
+        .expect("primary walker always reports")
+    {
+        Ok(summary) => summary,
+        Err(Interrupt::Failed(error)) => return Err(error),
+        Err(Interrupt::Stopped) => {
+            // The primary walker only observes a stop signal when a
+            // stealer recorded a failure first.
+            return Err(shared
+                .failure
+                .lock()
+                .expect("failure slot poisoned")
+                .clone()
+                .expect("stop without failure"));
+        }
+    };
+
+    // --- Post-processing (single-threaded): census + witness.
     let mut by_round: HashMap<u32, (usize, usize)> = HashMap::new();
-    for (key, summary) in &ctx.memo {
+    shared.memo.for_each(|key, summary| {
         let slot = by_round.entry(key.round).or_insert((0, 0));
         slot.0 += 1;
         if summary.is_bivalent() {
             slot.1 += 1;
         }
-    }
-    let mut bivalency_by_round: Vec<(u32, usize, usize)> = by_round
-        .into_iter()
-        .map(|(r, (c, b))| (r, c, b))
-        .collect();
+    });
+    let mut bivalency_by_round: Vec<(u32, usize, usize)> =
+        by_round.into_iter().map(|(r, (c, b))| (r, c, b)).collect();
     bivalency_by_round.sort_unstable();
 
     let witness = if root.violating {
-        Some(ctx.reconstruct_witness()?)
+        let mut walker = Walker::new(&shared);
+        Some(walker.reconstruct_witness()?)
     } else {
         None
     };
 
     Ok(ExploreReport {
-        distinct_states: ctx.memo.len(),
+        distinct_states: shared.memo.len(),
         root: (*root).clone(),
         bivalency_by_round,
         witness,
     })
 }
 
-struct Ctx<P>
+/// Guard closing the work queue when the primary walker exits its scope,
+/// normally or by unwind.
+struct QueueCloser<'a, T>(&'a WorkQueue<T>);
+
+impl<T> Drop for QueueCloser<'_, T> {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}
+
+/// Why a walker stopped before finishing its subtree.
+#[derive(Clone, Debug)]
+enum Interrupt {
+    /// A real error: propagate to the caller.
+    Failed(ExploreError),
+    /// Another worker failed (or the run is over); discard quietly.
+    Stopped,
+}
+
+/// State shared by every walker of one exploration.
+struct Shared<'a, P>
 where
     P: CheckableProtocol,
     P::Output: Hash,
 {
     system: SystemConfig,
-    options: ExploreConfig,
-    proposals: Vec<P::Output>,
-    memo: HashMap<Key<P>, Rc<Summary<P::Output>>>,
+    config: ExploreConfig,
+    proposals: &'a [P::Output],
+    memo: ShardedMemo<P>,
+    queue: WorkQueue<Stepper<P>>,
+    stop: AtomicBool,
+    failure: Mutex<Option<ExploreError>>,
 }
 
-impl<P> Ctx<P>
+impl<P> Shared<'_, P>
 where
     P: CheckableProtocol,
     P::Output: Hash,
 {
-    fn dfs(&mut self, stepper: Stepper<P>) -> Result<Rc<Summary<P::Output>>, ExploreError> {
-        let key = make_key(&stepper);
-        if let Some(s) = self.memo.get(&key) {
-            return Ok(Rc::clone(s));
+    /// Records the first failure and signals every walker to stop.
+    fn fail(&self, error: ExploreError) {
+        let mut slot = self.failure.lock().expect("failure slot poisoned");
+        if slot.is_none() {
+            *slot = Some(error);
         }
-        if self.memo.len() >= self.options.max_states {
-            return Err(ExploreError::StateLimit {
-                budget: self.options.max_states,
-            });
+        drop(slot);
+        self.stop.store(true, Ordering::Relaxed);
+        self.queue.close();
+    }
+}
+
+/// One exploration walker: an explicit DFS stack plus reusable scratch
+/// buffers, so the hot enumeration loop performs no per-configuration
+/// `Vec` allocation for crash outcomes.
+struct Walker<'s, 'a, P>
+where
+    P: CheckableProtocol,
+    P::Output: Hash,
+{
+    shared: &'s Shared<'a, P>,
+    /// Per-active-process crash-outcome buffers, reused across
+    /// configurations (`crash_outcomes_into`).
+    outcome_bufs: Vec<Vec<CrashStage>>,
+}
+
+/// One level of the explicit DFS stack: a configuration mid-expansion.
+struct Frame<P>
+where
+    P: CheckableProtocol,
+    P::Output: Hash,
+{
+    stepper: Stepper<P>,
+    key: HashedKey<P>,
+    /// Every adversary move for this round, in canonical enumeration
+    /// order (the merge order that makes reports deterministic).
+    actions: Vec<RoundActions>,
+    next_action: usize,
+    acc: Summary<P::Output>,
+}
+
+/// Outcome of entering a configuration.
+enum Entered<O> {
+    /// Summary already available (memo hit or terminal).
+    Ready(Arc<Summary<O>>),
+    /// A new frame was pushed; children must be walked first.
+    Expanded,
+}
+
+impl<'s, 'a, P> Walker<'s, 'a, P>
+where
+    P: CheckableProtocol,
+    P::Output: Hash,
+{
+    fn new(shared: &'s Shared<'a, P>) -> Self {
+        Walker {
+            shared,
+            outcome_bufs: Vec::new(),
+        }
+    }
+
+    /// Fully explores the subtree rooted at `root`, memoizing every
+    /// configuration in it, and returns its summary.
+    fn explore_subtree(&mut self, root: Stepper<P>) -> Result<Arc<Summary<P::Output>>, Interrupt> {
+        let mut stack: Vec<Frame<P>> = Vec::new();
+        let mut pending: Option<Arc<Summary<P::Output>>> = None;
+
+        match self.enter(root, &mut stack)? {
+            Entered::Ready(summary) => return Ok(summary),
+            Entered::Expanded => {}
         }
 
-        let summary = if self.is_terminal(&stepper) {
-            self.evaluate_terminal(&stepper)
-        } else {
-            let mut acc = Summary::empty(self.system.t());
-            let mut actions_buf: RoundActions = vec![None; self.system.n()];
-            let action_sets = self.enumerate_action_sets(&stepper);
-            for actions in action_sets {
-                actions_buf.clone_from(&actions);
-                let mut child = stepper.clone();
-                child.step(&actions_buf).map_err(ExploreError::Engine)?;
-                let child_summary = self.dfs(child)?;
-                acc.absorb(&child_summary);
+        loop {
+            let frame = stack.last_mut().expect("non-empty stack in DFS loop");
+            if let Some(child_summary) = pending.take() {
+                frame.acc.absorb(&child_summary);
             }
-            acc
-        };
+            if frame.next_action < frame.actions.len() {
+                let idx = frame.next_action;
+                frame.next_action += 1;
+                let mut child = frame.stepper.clone();
+                child
+                    .step(&frame.actions[idx])
+                    .map_err(|e| Interrupt::Failed(ExploreError::Engine(e)))?;
+                match self.enter(child, &mut stack)? {
+                    Entered::Ready(summary) => pending = Some(summary),
+                    Entered::Expanded => {}
+                }
+            } else {
+                let done = stack.pop().expect("popping the completed frame");
+                let summary = self.shared.memo.insert(done.key, Arc::new(done.acc));
+                if stack.is_empty() {
+                    return Ok(summary);
+                }
+                pending = Some(summary);
+            }
+        }
+    }
 
-        let rc = Rc::new(summary);
-        self.memo.insert(key, Rc::clone(&rc));
-        Ok(rc)
+    /// Enters one configuration: memo hit, terminal evaluation, or frame
+    /// push — donating tail children to idle workers on the way.
+    fn enter(
+        &mut self,
+        stepper: Stepper<P>,
+        stack: &mut Vec<Frame<P>>,
+    ) -> Result<Entered<P::Output>, Interrupt> {
+        if self.shared.stop.load(Ordering::Relaxed) {
+            return Err(Interrupt::Stopped);
+        }
+        let key = HashedKey::new(make_key(&stepper));
+        if let Some(summary) = self.shared.memo.get(&key) {
+            return Ok(Entered::Ready(summary));
+        }
+        if self.shared.memo.len() >= self.shared.config.max_states {
+            return Err(Interrupt::Failed(ExploreError::StateLimit {
+                budget: self.shared.config.max_states,
+            }));
+        }
+
+        if self.is_terminal(&stepper) {
+            let summary = self
+                .shared
+                .memo
+                .insert(key, Arc::new(self.evaluate_terminal(&stepper)));
+            return Ok(Entered::Ready(summary));
+        }
+
+        let actions = self.enumerate_action_sets(&stepper);
+
+        // Work-sharing: if workers are parked on the injector, hand them
+        // the subtrees this walker would reach last.  They explore into
+        // the shared memo; this walker finds the results memoized when it
+        // gets there.  Cost: one extra `step` per donated child.
+        let idle = self.shared.queue.idle_workers();
+        if idle > 0 && actions.len() > 1 {
+            for donated in actions.iter().rev().take(idle.min(actions.len() - 1)) {
+                let mut child = stepper.clone();
+                if child.step(donated).is_ok() {
+                    self.shared.queue.push(child);
+                }
+            }
+        }
+
+        stack.push(Frame {
+            stepper,
+            key,
+            actions,
+            next_action: 0,
+            acc: Summary::empty(self.shared.system.t()),
+        });
+        Ok(Entered::Expanded)
     }
 
     fn is_terminal(&self, stepper: &Stepper<P>) -> bool {
-        stepper.is_quiescent() || stepper.round().get() > self.options.max_rounds
+        stepper.is_quiescent() || stepper.round().get() > self.shared.config.max_rounds
     }
 
     fn evaluate_terminal(&self, stepper: &Stepper<P>) -> Summary<P::Output> {
-        let n = self.system.n();
+        let config = &self.shared.config;
+        let n = self.shared.system.n();
         let mut pseudo_schedule = CrashSchedule::none(n);
         let mut f = 0usize;
         for (i, status) in stepper.status().iter().enumerate() {
@@ -437,16 +942,20 @@ where
             }
         }
 
-        let bound = self.options.round_bound.map(|rb| rb.bound(f));
-        let mut report =
-            check_uniform_consensus(&self.proposals, stepper.decisions(), &pseudo_schedule, bound);
-        if self.options.spec == SpecMode::NonUniform {
+        let bound = config.round_bound.map(|rb| rb.bound(f));
+        let mut report = check_uniform_consensus(
+            self.shared.proposals,
+            stepper.decisions(),
+            &pseudo_schedule,
+            bound,
+        );
+        if config.spec == SpecMode::NonUniform {
             report
                 .violations
                 .retain(|v| !matches!(v, SpecViolation::UniformAgreement { .. }));
         }
 
-        let mut summary = Summary::empty(self.system.t());
+        let mut summary = Summary::empty(self.shared.system.t());
         summary.terminals = 1;
         let last = stepper
             .decisions()
@@ -467,36 +976,51 @@ where
     /// All adversary moves for the upcoming round: every subset of live
     /// processes within the remaining budget, each with every distinct
     /// crash outcome against its concrete plan.  The no-crash move comes
-    /// first.
-    fn enumerate_action_sets(&self, stepper: &Stepper<P>) -> Vec<RoundActions> {
-        let n = self.system.n();
+    /// first.  Per-process outcome vectors live in reusable walker-local
+    /// buffers — no allocation for them after the first few
+    /// configurations.
+    fn enumerate_action_sets(&mut self, stepper: &Stepper<P>) -> Vec<RoundActions> {
+        let n = self.shared.system.n();
         let crashed_so_far = stepper
             .status()
             .iter()
             .filter(|s| matches!(s, ProcStatus::Crashed(_)))
             .count();
-        let budget = self.system.t() - crashed_so_far;
+        let budget = self.shared.system.t() - crashed_so_far;
 
         let shapes = stepper.peek_plan_shapes();
         let active: Vec<usize> = (0..n)
             .filter(|i| matches!(stepper.status()[*i], ProcStatus::Active))
             .collect();
-        let outcomes: Vec<Vec<CrashStage>> = active
-            .iter()
-            .map(|&i| {
-                let shape: &PlanShape = shapes[i].as_ref().expect("active process has a shape");
-                crash_outcomes(n, &shape.data_dests, shape.control_len)
-            })
-            .collect();
+        while self.outcome_bufs.len() < active.len() {
+            self.outcome_bufs.push(Vec::new());
+        }
+        for (slot, &i) in active.iter().enumerate() {
+            let shape: &PlanShape = shapes[i].as_ref().expect("active process has a shape");
+            crash_outcomes_into(
+                n,
+                &shape.data_dests,
+                shape.control_len,
+                &mut self.outcome_bufs[slot],
+            );
+        }
 
         let round_budget = self
-            .options
+            .shared
+            .config
             .max_crashes_per_round
             .unwrap_or(usize::MAX)
             .min(budget);
         let mut out: Vec<RoundActions> = Vec::new();
         let mut current: RoundActions = vec![None; n];
-        Self::rec_actions(&active, &outcomes, 0, round_budget, &mut current, &mut out);
+        Self::rec_actions(
+            &active,
+            &self.outcome_bufs[..active.len()],
+            0,
+            round_budget,
+            &mut current,
+            &mut out,
+        );
         out
     }
 
@@ -525,39 +1049,50 @@ where
         }
     }
 
-    /// Walks one violating path, rebuilding its crash schedule and the
-    /// terminal's violations.  Only called when the root summary is
-    /// violating, in which case a violating child exists at every level.
+    /// Walks one violating path through the completed memo, rebuilding its
+    /// crash schedule and the terminal's violations.  Only called when the
+    /// root summary is violating, in which case a violating child exists
+    /// at every level; works against the sharded memo because the whole
+    /// violating subtree is memoized by then.
     fn reconstruct_witness(&mut self) -> Result<Witness<P::Output>, ExploreError> {
-        // Re-create the root stepper from the memo is impossible (keys hold
-        // snapshots, not steppers); instead re-drive from scratch, choosing
-        // at each level the first child whose memoized summary violates.
-        // All children are memoized because the violating subtree was fully
-        // explored.
+        // Re-creating the root stepper from the memo is impossible (keys
+        // hold snapshots, not steppers); instead re-drive from scratch,
+        // choosing at each level the first child whose memoized summary
+        // violates.
         let initial: Vec<P> = self
+            .shared
             .memo
-            .keys()
-            .find(|k| k.round == 1 && k.snaps.iter().all(|s| matches!(s, Snap::Active(_))))
-            .map(|k| {
-                k.snaps
-                    .iter()
-                    .map(|s| match s {
-                        Snap::Active(p) => p.clone(),
-                        _ => unreachable!(),
-                    })
-                    .collect()
+            .find_map(|key, _| {
+                if key.round == 1 && key.snaps.iter().all(|s| matches!(s, Snap::Active(_))) {
+                    Some(
+                        key.snaps
+                            .iter()
+                            .map(|s| match s {
+                                Snap::Active(p) => p.clone(),
+                                _ => unreachable!("filtered to all-active snapshots"),
+                            })
+                            .collect(),
+                    )
+                } else {
+                    None
+                }
             })
             .expect("root configuration is memoized");
 
-        let mut stepper = Stepper::new(self.system, self.options.model, TraceLevel::Off, initial)
-            .map_err(ExploreError::Engine)?;
-        let mut schedule = CrashSchedule::none(self.system.n());
+        let mut stepper = Stepper::new(
+            self.shared.system,
+            self.shared.config.model,
+            TraceLevel::Off,
+            initial,
+        )
+        .map_err(ExploreError::Engine)?;
+        let mut schedule = CrashSchedule::none(self.shared.system.n());
 
         loop {
             if self.is_terminal(&stepper) {
                 let summary = self.evaluate_terminal(&stepper);
                 debug_assert!(summary.violating);
-                let n = self.system.n();
+                let n = self.shared.system.n();
                 let mut pseudo = CrashSchedule::none(n);
                 for (i, status) in stepper.status().iter().enumerate() {
                     if let ProcStatus::Crashed(round) = status {
@@ -568,14 +1103,14 @@ where
                     }
                 }
                 let f = pseudo.f();
-                let bound = self.options.round_bound.map(|rb| rb.bound(f));
+                let bound = self.shared.config.round_bound.map(|rb| rb.bound(f));
                 let mut report = check_uniform_consensus(
-                    &self.proposals,
+                    self.shared.proposals,
                     stepper.decisions(),
                     &pseudo,
                     bound,
                 );
-                if self.options.spec == SpecMode::NonUniform {
+                if self.shared.config.spec == SpecMode::NonUniform {
                     report
                         .violations
                         .retain(|v| !matches!(v, SpecViolation::UniformAgreement { .. }));
@@ -592,8 +1127,9 @@ where
             for actions in self.enumerate_action_sets(&stepper) {
                 let mut child = stepper.clone();
                 child.step(&actions).map_err(ExploreError::Engine)?;
-                let key = make_key(&child);
+                let key = HashedKey::new(make_key(&child));
                 let violating = self
+                    .shared
                     .memo
                     .get(&key)
                     .map(|s| s.violating)
@@ -660,6 +1196,47 @@ mod tests {
         }
     }
 
+    /// A small but non-trivial broadcaster: rank 1 floods its value with
+    /// commits for two rounds; others adopt and echo.  Gives the explorer
+    /// a real branching space for the parallel-equivalence tests.
+    #[derive(Clone, PartialEq, Eq, Hash, Debug)]
+    struct Flooder {
+        me: u32,
+        n: usize,
+        est: u64,
+    }
+
+    impl SyncProtocol for Flooder {
+        type Msg = u64;
+        type Output = u64;
+        fn send(&mut self, round: Round) -> SendPlan<u64, u64> {
+            let mut plan = SendPlan::quiet();
+            if round.get() <= 2 {
+                for r in 1..=self.n as u32 {
+                    if r != self.me {
+                        plan = plan.with_data(ProcessId::new(r), self.est);
+                    }
+                }
+                if self.me == 1 {
+                    for r in (2..=self.n as u32).rev() {
+                        plan = plan.with_control(ProcessId::new(r));
+                    }
+                }
+            }
+            plan
+        }
+        fn receive(&mut self, round: Round, inbox: &Inbox<u64>) -> Step<u64> {
+            if let Some(v) = inbox.data_from(ProcessId::new(1)) {
+                self.est = *v;
+            }
+            if round.get() >= 2 {
+                Step::Decide(self.est)
+            } else {
+                Step::Continue
+            }
+        }
+    }
+
     const _: () = {
         // Compile-time check that u64 message payloads satisfy BitSized.
         fn assert_bitsized<T: BitSized>() {}
@@ -668,6 +1245,17 @@ mod tests {
         }
         let _ = probe;
     };
+
+    fn options(max_rounds: u32, max_states: usize) -> ExploreConfig {
+        ExploreConfig {
+            model: ModelKind::Extended,
+            max_rounds,
+            max_states,
+            round_bound: None,
+            max_crashes_per_round: None,
+            spec: SpecMode::Uniform,
+        }
+    }
 
     #[test]
     fn round_bounds_evaluate() {
@@ -680,23 +1268,18 @@ mod tests {
     #[test]
     fn finds_agreement_violation_with_witness() {
         let system = SystemConfig::new(2, 1).unwrap();
-        let options = ExploreConfig {
-            model: ModelKind::Extended,
-            max_rounds: 2,
-            max_states: 100_000,
-            round_bound: None,
-        max_crashes_per_round: None,
-            spec: SpecMode::Uniform,
-    };
         let report = explore(
             system,
-            options,
+            options(2, 100_000),
             vec![DecideOwn { v: 0 }, DecideOwn { v: 1 }],
             vec![0u64, 1],
         )
         .unwrap();
         assert!(report.root.violating);
-        assert!(report.root.is_bivalent(), "both values get decided somewhere");
+        assert!(
+            report.root.is_bivalent(),
+            "both values get decided somewhere"
+        );
         let witness = report.witness.expect("witness reconstructed");
         assert!(witness
             .violations
@@ -707,17 +1290,9 @@ mod tests {
     #[test]
     fn flags_non_termination_at_round_cap() {
         let system = SystemConfig::new(2, 0).unwrap();
-        let options = ExploreConfig {
-            model: ModelKind::Extended,
-            max_rounds: 3,
-            max_states: 10_000,
-            round_bound: None,
-        max_crashes_per_round: None,
-            spec: SpecMode::Uniform,
-    };
         let report = explore(
             system,
-            options,
+            options(3, 10_000),
             vec![NeverDecide, NeverDecide],
             vec![0u64, 0],
         )
@@ -729,17 +1304,23 @@ mod tests {
     #[test]
     fn state_budget_is_enforced() {
         let system = SystemConfig::new(3, 2).unwrap();
-        let options = ExploreConfig {
-            model: ModelKind::Extended,
-            max_rounds: 4,
-            max_states: 3,
-            round_bound: None,
-        max_crashes_per_round: None,
-            spec: SpecMode::Uniform,
-    };
         let err = explore(
             system,
-            options,
+            options(4, 3),
+            vec![DecideOwn { v: 0 }, DecideOwn { v: 0 }, DecideOwn { v: 0 }],
+            vec![0u64, 0, 0],
+        )
+        .unwrap_err();
+        assert_eq!(err, ExploreError::StateLimit { budget: 3 });
+    }
+
+    #[test]
+    fn state_budget_is_enforced_in_parallel_too() {
+        let system = SystemConfig::new(3, 2).unwrap();
+        let err = explore_with(
+            system,
+            options(4, 3),
+            ExploreOptions::with_threads(4),
             vec![DecideOwn { v: 0 }, DecideOwn { v: 0 }, DecideOwn { v: 0 }],
             vec![0u64, 0, 0],
         )
@@ -752,17 +1333,13 @@ mod tests {
         // If everyone proposes the same value, DecideOwn is "correct":
         // no violation, univalent, decisions in round 1.
         let system = SystemConfig::new(3, 1).unwrap();
-        let options = ExploreConfig {
-            model: ModelKind::Extended,
-            max_rounds: 2,
-            max_states: 100_000,
+        let config = ExploreConfig {
             round_bound: Some(RoundBound::Fixed(1)),
-        max_crashes_per_round: None,
-            spec: SpecMode::Uniform,
-    };
+            ..options(2, 100_000)
+        };
         let report = explore(
             system,
-            options,
+            config,
             vec![DecideOwn { v: 7 }, DecideOwn { v: 7 }, DecideOwn { v: 7 }],
             vec![7u64, 7, 7],
         )
@@ -773,5 +1350,109 @@ mod tests {
         assert!(report.root.terminals >= 1);
         // Bivalency census exists and no round has bivalent configs.
         assert!(report.bivalency_by_round.iter().all(|(_, _, b)| *b == 0));
+    }
+
+    /// Structural equality of full reports — the bit-identical claim.
+    fn assert_reports_identical(a: &ExploreReport<u64>, b: &ExploreReport<u64>, label: &str) {
+        assert_eq!(a.distinct_states, b.distinct_states, "{label}: states");
+        assert_eq!(a.root.terminals, b.root.terminals, "{label}: terminals");
+        assert_eq!(
+            a.root.worst_round_by_f, b.root.worst_round_by_f,
+            "{label}: worst rounds"
+        );
+        assert_eq!(a.root.decided, b.root.decided, "{label}: valency order");
+        assert_eq!(a.root.violating, b.root.violating, "{label}: violating");
+        assert_eq!(
+            a.bivalency_by_round, b.bivalency_by_round,
+            "{label}: census"
+        );
+    }
+
+    #[test]
+    fn parallel_walk_is_bit_identical_to_serial() {
+        for (n, t) in [(3usize, 1usize), (3, 2), (4, 2)] {
+            let system = SystemConfig::new(n, t).unwrap();
+            let procs: Vec<Flooder> = (1..=n as u32)
+                .map(|r| Flooder {
+                    me: r,
+                    n,
+                    est: 100 + r as u64,
+                })
+                .collect();
+            let proposals: Vec<u64> = (1..=n as u64).map(|r| 100 + r).collect();
+            let serial = explore(
+                system,
+                options(4, 2_000_000),
+                procs.clone(),
+                proposals.clone(),
+            )
+            .unwrap();
+            for threads in [2usize, 4, 8] {
+                let parallel = explore_with(
+                    system,
+                    options(4, 2_000_000),
+                    ExploreOptions { threads, shards: 8 },
+                    procs.clone(),
+                    proposals.clone(),
+                )
+                .unwrap();
+                assert_reports_identical(
+                    &serial,
+                    &parallel,
+                    &format!("n={n} t={t} threads={threads}"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_witness_matches_serial() {
+        let system = SystemConfig::new(2, 1).unwrap();
+        let serial = explore(
+            system,
+            options(2, 100_000),
+            vec![DecideOwn { v: 0 }, DecideOwn { v: 1 }],
+            vec![0u64, 1],
+        )
+        .unwrap();
+        let parallel = explore_with(
+            system,
+            options(2, 100_000),
+            ExploreOptions::with_threads(4),
+            vec![DecideOwn { v: 0 }, DecideOwn { v: 1 }],
+            vec![0u64, 1],
+        )
+        .unwrap();
+        let ws = serial.witness.expect("serial witness");
+        let wp = parallel.witness.expect("parallel witness");
+        assert_eq!(format!("{:?}", ws.schedule), format!("{:?}", wp.schedule));
+        assert_eq!(ws.decisions, wp.decisions);
+    }
+
+    #[test]
+    fn deep_spaces_do_not_overflow_the_stack() {
+        // 64 rounds of a non-deciding protocol: the old recursive engine
+        // walked one stack frame per round (fine at 64, fatal at tens of
+        // thousands); the iterative engine's depth is heap-bounded.  Use a
+        // large round cap with the trivial t = 0 space to make the path
+        // long without exploding the state count.
+        let system = SystemConfig::new(2, 0).unwrap();
+        let report = explore(
+            system,
+            options(20_000, 50_000),
+            vec![NeverDecide, NeverDecide],
+            vec![0u64, 0],
+        )
+        .unwrap();
+        assert!(report.root.violating, "never terminates");
+        assert_eq!(report.distinct_states, 20_001);
+    }
+
+    #[test]
+    fn explore_options_defaults_are_sane() {
+        assert_eq!(ExploreOptions::serial().threads, 1);
+        assert!(ExploreOptions::default().threads >= 1);
+        assert!(ExploreOptions::default().shards >= 1);
+        assert_eq!(ExploreOptions::with_threads(0).threads, 1);
     }
 }

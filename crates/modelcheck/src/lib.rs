@@ -12,9 +12,12 @@
 //!
 //! Highlights:
 //!
-//! * [`explore`] — memoized DAG exploration with per-subtree
-//!   [`Summary`]s (terminal counts, worst decision round per `f`,
-//!   reachable decision values, violations);
+//! * [`explore`] / [`explore_with`] — memoized DAG exploration with
+//!   per-subtree [`Summary`]s (terminal counts, worst decision round per
+//!   `f`, reachable decision values, violations); the engine is an
+//!   iterative, work-sharing parallel walker over a sharded memo
+//!   ([`ExploreOptions`] selects thread/shard counts, `threads = 1` is
+//!   the serial walk, and every option produces bit-identical reports);
 //! * [`Witness`] — concrete counterexample schedules, reconstructed when
 //!   a violation exists (used by the commit-order ablation, where the
 //!   ascending variant mechanically violates Theorem 1);
@@ -32,7 +35,7 @@ pub mod explorer;
 pub mod sample;
 
 pub use explorer::{
-    explore, CheckableProtocol, ExploreConfig, ExploreError, ExploreReport, RoundBound, SpecMode,
-    Summary, Witness,
+    explore, explore_with, CheckableProtocol, ExploreConfig, ExploreError, ExploreOptions,
+    ExploreReport, RoundBound, SpecMode, Summary, Witness,
 };
 pub use sample::{sample, SampleConfig, SampleReport, SampleStrategy, SampleViolation};

@@ -22,12 +22,10 @@ use crate::explorer::{CheckableProtocol, RoundBound};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::hash::Hash;
-use twostep_model::{
-    CrashPoint, CrashSchedule, CrashStage, PidSet, ProcessId, SystemConfig,
-};
+use twostep_model::{CrashPoint, CrashSchedule, CrashStage, PidSet, ProcessId, SystemConfig};
 use twostep_sim::{
-    check_uniform_consensus, ModelKind, ProcStatus, RoundActions, SimError, SpecViolation,
-    Stepper, TraceLevel,
+    check_uniform_consensus, ModelKind, ProcStatus, RoundActions, SimError, SpecViolation, Stepper,
+    TraceLevel,
 };
 
 /// How the sampler picks adversary actions.
@@ -214,8 +212,7 @@ where
 
         if violation.is_none() {
             let bound = config.round_bound.map(|rb| rb.bound(f));
-            let report =
-                check_uniform_consensus(proposals, stepper.decisions(), &schedule, bound);
+            let report = check_uniform_consensus(proposals, stepper.decisions(), &schedule, bound);
             if !report.ok() {
                 violation = Some(SampleViolation {
                     seed,

@@ -5,7 +5,30 @@
 
 use twostep_baselines::{earlystop_processes, floodset_processes};
 use twostep_model::SystemConfig;
-use twostep_modelcheck::{SpecMode, explore, ExploreConfig, RoundBound};
+use twostep_modelcheck::{explore_with, ExploreConfig, ExploreOptions, RoundBound, SpecMode};
+
+/// All exhaustive suites run through the parallel default engine; the
+/// differential suite (`parallel_differential.rs`) pins its equivalence
+/// to the serial walk.
+fn explore<P>(
+    system: twostep_model::SystemConfig,
+    config: ExploreConfig,
+    initial: Vec<P>,
+    proposals: Vec<P::Output>,
+) -> Result<twostep_modelcheck::ExploreReport<P::Output>, twostep_modelcheck::ExploreError>
+where
+    P: twostep_modelcheck::CheckableProtocol,
+    P::Output: std::hash::Hash,
+{
+    explore_with(
+        system,
+        config,
+        ExploreOptions::default(),
+        initial,
+        proposals,
+    )
+}
+
 use twostep_sim::ModelKind;
 
 fn proposals(n: usize) -> Vec<u64> {
@@ -21,7 +44,7 @@ fn floodset_exhaustive_n3_t2() {
         max_states: 5_000_000,
         round_bound: Some(RoundBound::Fixed(3)), // t + 1
         max_crashes_per_round: None,
-            spec: SpecMode::Uniform,
+        spec: SpecMode::Uniform,
     };
     let report = explore(
         system,
@@ -47,7 +70,7 @@ fn floodset_exhaustive_n4_t1() {
         max_states: 5_000_000,
         round_bound: Some(RoundBound::Fixed(2)),
         max_crashes_per_round: None,
-            spec: SpecMode::Uniform,
+        spec: SpecMode::Uniform,
     };
     let report = explore(
         system,
@@ -68,7 +91,7 @@ fn earlystop_exhaustive_n3_t2() {
         max_states: 10_000_000,
         round_bound: Some(RoundBound::ClassicEarly { t: 2 }),
         max_crashes_per_round: None,
-            spec: SpecMode::Uniform,
+        spec: SpecMode::Uniform,
     };
     let report = explore(
         system,
@@ -96,7 +119,7 @@ fn earlystop_exhaustive_n4_t2() {
         max_states: 20_000_000,
         round_bound: Some(RoundBound::ClassicEarly { t: 2 }),
         max_crashes_per_round: None,
-            spec: SpecMode::Uniform,
+        spec: SpecMode::Uniform,
     };
     let report = explore(
         system,

@@ -4,7 +4,32 @@
 
 use twostep_core::{crw_processes, CommitOrder, Crw};
 use twostep_model::{ProcessId, SystemConfig, WideValue};
-use twostep_modelcheck::{SpecMode, explore, ExploreConfig, ExploreError, RoundBound};
+use twostep_modelcheck::{
+    explore_with, ExploreConfig, ExploreError, ExploreOptions, RoundBound, SpecMode,
+};
+
+/// All exhaustive suites run through the parallel default engine; the
+/// differential suite (`parallel_differential.rs`) pins its equivalence
+/// to the serial walk.
+fn explore<P>(
+    system: twostep_model::SystemConfig,
+    config: ExploreConfig,
+    initial: Vec<P>,
+    proposals: Vec<P::Output>,
+) -> Result<twostep_modelcheck::ExploreReport<P::Output>, twostep_modelcheck::ExploreError>
+where
+    P: twostep_modelcheck::CheckableProtocol,
+    P::Output: std::hash::Hash,
+{
+    explore_with(
+        system,
+        config,
+        ExploreOptions::default(),
+        initial,
+        proposals,
+    )
+}
+
 use twostep_sim::ModelKind;
 
 /// Binary proposals 0/1 alternating — the bivalency argument's input space.
@@ -78,11 +103,7 @@ fn crw_worst_round_is_exactly_f_plus_1() {
         for f in 0..=t {
             let worst = report.root.worst_round_by_f[f]
                 .unwrap_or_else(|| panic!("no terminal with f={f}?"));
-            assert_eq!(
-                worst,
-                f as u32 + 1,
-                "n={n}: worst decision round for f={f}"
-            );
+            assert_eq!(worst, f as u32 + 1, "n={n}: worst decision round for f={f}");
         }
     }
 }
@@ -142,7 +163,7 @@ fn ablation_ascending_commits_violate_theorem1_exhaustively() {
         max_states: 5_000_000,
         round_bound: Some(RoundBound::FPlus(1)),
         max_crashes_per_round: None,
-            spec: SpecMode::Uniform,
+        spec: SpecMode::Uniform,
     };
     let report = explore(system, with_bound, procs.clone(), proposals.clone()).unwrap();
     assert!(
@@ -207,7 +228,10 @@ fn theorem3_one_crash_per_round_adversary_still_forces_f_plus_1() {
     )
     .unwrap();
 
-    assert!(!restricted.root.violating, "spec holds under the restriction");
+    assert!(
+        !restricted.root.violating,
+        "spec holds under the restriction"
+    );
     for f in 0..=3usize {
         assert_eq!(
             restricted.root.worst_round_by_f[f],

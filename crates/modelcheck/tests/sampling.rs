@@ -40,7 +40,11 @@ fn uniform_random_sampling_finds_no_violation_n8() {
     assert_eq!(report.runs, 3000);
     // Coverage: several distinct f values must have been exercised.
     let covered = report.runs_by_f.iter().filter(|c| **c > 0).count();
-    assert!(covered >= 3, "crash-count coverage too thin: {:?}", report.runs_by_f);
+    assert!(
+        covered >= 3,
+        "crash-count coverage too thin: {:?}",
+        report.runs_by_f
+    );
 }
 
 #[test]
@@ -128,8 +132,20 @@ fn sampling_is_seed_deterministic() {
         strategy: SampleStrategy::UniformRandom { crash_prob: 0.2 },
         round_bound: None,
     };
-    let a = sample(system, config, || crw_processes(&system, &proposals), &proposals).unwrap();
-    let b = sample(system, config, || crw_processes(&system, &proposals), &proposals).unwrap();
+    let a = sample(
+        system,
+        config,
+        || crw_processes(&system, &proposals),
+        &proposals,
+    )
+    .unwrap();
+    let b = sample(
+        system,
+        config,
+        || crw_processes(&system, &proposals),
+        &proposals,
+    )
+    .unwrap();
     assert_eq!(a.worst_round_by_f, b.worst_round_by_f);
     assert_eq!(a.runs_by_f, b.runs_by_f);
 }

@@ -253,9 +253,7 @@ impl<'a> ThreadedRuntime<'a> {
             // --- Coordinator.
             let mut status: Vec<Status> = vec![Status::Active; n];
             'rounds: for round in Round::up_to(self.max_rounds) {
-                let live: Vec<usize> = (0..n)
-                    .filter(|i| status[*i] == Status::Active)
-                    .collect();
+                let live: Vec<usize> = (0..n).filter(|i| status[*i] == Status::Active).collect();
                 if live.is_empty() {
                     hit_round_cap = false;
                     break;
@@ -283,7 +281,9 @@ impl<'a> ThreadedRuntime<'a> {
                             }
                             if let Some(v) = decided {
                                 decisions[idx] = Some(Decision { value: v, round });
-                                metrics.lock().record_decision(ProcessId::from_idx(idx), round);
+                                metrics
+                                    .lock()
+                                    .record_decision(ProcessId::from_idx(idx), round);
                                 // A decided worker has exited; if it was also
                                 // scheduled to die this round, count the crash.
                                 status[idx] = if stage_of(schedule, idx, round)
@@ -331,7 +331,12 @@ impl<'a> ThreadedRuntime<'a> {
                 }
                 for _ in 0..receivers.len() {
                     match fb_rx.recv() {
-                        Ok(Feedback::RecvDone { idx, decision, halts, dies }) => {
+                        Ok(Feedback::RecvDone {
+                            idx,
+                            decision,
+                            halts,
+                            dies,
+                        }) => {
                             if let Some(v) = decision {
                                 // First decision wins (an early decider's
                                 // later halting Decide must not overwrite).
@@ -444,15 +449,16 @@ fn worker_loop<P>(
                 // Protocol code is untrusted here: catch its panics and
                 // report them, otherwise the coordinator deadlocks waiting
                 // for this worker's phase feedback.
-                let plan: SendPlan<P::Msg, P::Output> = match std::panic::catch_unwind(
-                    std::panic::AssertUnwindSafe(|| proto.send(round)),
-                ) {
-                    Ok(plan) => plan,
-                    Err(_) => {
-                        let _ = fb.send(Feedback::Panicked { idx: me.idx() });
-                        return;
-                    }
-                };
+                let plan: SendPlan<P::Msg, P::Output> =
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        proto.send(round)
+                    })) {
+                        Ok(plan) => plan,
+                        Err(_) => {
+                            let _ = fb.send(Feedback::Panicked { idx: me.idx() });
+                            return;
+                        }
+                    };
                 if model == ModelKind::Classic && !plan.control.is_empty() {
                     let _ = fb.send(Feedback::SendDone {
                         idx: me.idx(),
@@ -712,14 +718,22 @@ mod tests {
         let err = ThreadedRuntime::new(config, &schedule)
             .max_rounds(4)
             .run(vec![
-                Grenade { me: ProcessId::new(1) },
-                Grenade { me: ProcessId::new(2) },
-                Grenade { me: ProcessId::new(3) },
+                Grenade {
+                    me: ProcessId::new(1),
+                },
+                Grenade {
+                    me: ProcessId::new(2),
+                },
+                Grenade {
+                    me: ProcessId::new(3),
+                },
             ])
             .unwrap_err();
         assert_eq!(
             err,
-            RuntimeError::WorkerPanicked { pid: ProcessId::new(2) }
+            RuntimeError::WorkerPanicked {
+                pid: ProcessId::new(2)
+            }
         );
     }
 

@@ -403,9 +403,7 @@ impl<P: SyncProtocol> Stepper<P> {
         // decided this round and was scheduled to crash is marked crashed —
         // its decision stands, which is the uniform-agreement trap).
         for (i, action) in actions.iter().enumerate() {
-            if action.is_some()
-                && !matches!(self.status[i], ProcStatus::Crashed(_))
-            {
+            if action.is_some() && !matches!(self.status[i], ProcStatus::Crashed(_)) {
                 self.status[i] = ProcStatus::Crashed(round);
                 self.trace.record(|| Event::Crashed {
                     pid: ProcessId::from_idx(i),
@@ -495,11 +493,7 @@ impl<P: SyncProtocol> RunReport<P> {
 
     /// Latest decision round, the Theorem 1 quantity.
     pub fn last_decision_round(&self) -> Option<Round> {
-        self.decisions
-            .iter()
-            .flatten()
-            .map(|d| d.round)
-            .max()
+        self.decisions.iter().flatten().map(|d| d.round).max()
     }
 }
 
@@ -810,13 +804,8 @@ mod tests {
     #[test]
     fn stepper_accessors_expose_state() {
         let config = SystemConfig::new(3, 1).unwrap();
-        let mut stepper = Stepper::new(
-            config,
-            ModelKind::Extended,
-            TraceLevel::Off,
-            procs(3),
-        )
-        .unwrap();
+        let mut stepper =
+            Stepper::new(config, ModelKind::Extended, TraceLevel::Off, procs(3)).unwrap();
         assert_eq!(stepper.round(), Round::FIRST);
         assert_eq!(stepper.active().count(), 3);
         assert!(!stepper.is_quiescent());

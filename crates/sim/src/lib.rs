@@ -15,7 +15,11 @@
 //!   post-hoc checker (module [`spec`]);
 //! * [`Trace`] — optional event recording (module [`trace`]);
 //! * [`par_map`] / [`Sweeper`] — parallel parameter sweeps (module
-//!   [`sweep`]).
+//!   [`sweep`]);
+//! * [`run_on_workers`] / [`WorkQueue`] / [`default_threads`] — the
+//!   workspace-wide worker scheduler and work-sharing injector (module
+//!   [`scheduler`]), shared by sweeps and the exhaustive explorer and
+//!   honoring the `TWOSTEP_THREADS` env override.
 //!
 //! The engine is fully deterministic: given the same protocol states and
 //! the same [`CrashSchedule`](twostep_model::CrashSchedule), it produces
@@ -27,6 +31,7 @@
 
 pub mod engine;
 pub mod protocol;
+pub mod scheduler;
 pub mod spec;
 pub mod stats;
 pub mod sweep;
@@ -37,7 +42,8 @@ pub use engine::{
     Stepper,
 };
 pub use protocol::{Inbox, SendPlan, Step, SyncProtocol};
+pub use scheduler::{default_threads, run_on_workers, WorkQueue};
 pub use spec::{check_uniform_consensus, SpecReport, SpecViolation};
 pub use stats::{Histogram, Summary};
-pub use sweep::{default_threads, par_map, Sweeper};
+pub use sweep::{par_map, Sweeper};
 pub use trace::{Event, Trace, TraceLevel};

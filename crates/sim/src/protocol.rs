@@ -237,10 +237,12 @@ pub enum Step<O> {
 /// }
 /// ```
 pub trait SyncProtocol {
-    /// Data message payload.
-    type Msg: Clone + BitSized + fmt::Debug;
-    /// Decision value.
-    type Output: Clone + Eq + fmt::Debug;
+    /// Data message payload.  `Send` so steppers (which buffer messages in
+    /// flight) can move between the parallel explorer's worker threads.
+    type Msg: Clone + BitSized + fmt::Debug + Send;
+    /// Decision value.  `Send + Sync` so memoized subtree summaries (which
+    /// carry decided values) can be shared across worker threads.
+    type Output: Clone + Eq + fmt::Debug + Send + Sync;
 
     /// Produce the complete send phase for `round`.
     fn send(&mut self, round: Round) -> SendPlan<Self::Msg, Self::Output>;

@@ -80,7 +80,10 @@ impl<O: fmt::Debug> fmt::Display for SpecViolation<O> {
                 write!(f, "termination: correct {pid} never decided")
             }
             SpecViolation::RoundBound { pid, round, bound } => {
-                write!(f, "round bound: {pid} decided in round {round} > bound {bound}")
+                write!(
+                    f,
+                    "round bound: {pid} decided in round {round} > bound {bound}"
+                )
             }
         }
     }
@@ -247,8 +250,7 @@ mod tests {
     #[test]
     fn validity_violation_detected() {
         let schedule = CrashSchedule::none(2);
-        let report =
-            check_uniform_consensus(&[1u64, 2], &[dec(3, 1), dec(3, 1)], &schedule, None);
+        let report = check_uniform_consensus(&[1u64, 2], &[dec(3, 1), dec(3, 1)], &schedule, None);
         assert!(!report.ok());
         assert!(report
             .violations
@@ -264,8 +266,7 @@ mod tests {
             pid(1),
             CrashPoint::new(Round::FIRST, CrashStage::EndOfRound),
         );
-        let report =
-            check_uniform_consensus(&[1u64, 2], &[dec(1, 1), dec(2, 2)], &schedule, None);
+        let report = check_uniform_consensus(&[1u64, 2], &[dec(1, 1), dec(2, 2)], &schedule, None);
         assert!(report
             .violations
             .iter()
@@ -328,8 +329,7 @@ mod tests {
     #[test]
     fn display_formats() {
         let schedule = CrashSchedule::none(2);
-        let report =
-            check_uniform_consensus(&[1u64, 2], &[dec(1, 1), dec(2, 1)], &schedule, None);
+        let report = check_uniform_consensus(&[1u64, 2], &[dec(1, 1), dec(2, 1)], &schedule, None);
         let text = report.to_string();
         assert!(text.contains("uniform agreement"), "{text}");
     }

@@ -2,10 +2,12 @@
 //!
 //! Experiments routinely evaluate thousands of `(n, f, seed)` cells, each
 //! an independent deterministic simulation — an embarrassingly parallel
-//! workload.  [`par_map`] fans the cells out over `std::thread::scope`
-//! workers with dynamic (atomic-counter) scheduling, the work-splitting
-//! idiom the domain guides recommend, without pulling a thread-pool
-//! dependency into the workspace.
+//! workload.  [`par_map`] fans the cells out over the workspace-wide
+//! scoped-worker scheduler ([`crate::scheduler::run_on_workers`], also
+//! used by the exhaustive explorer) with dynamic (atomic-counter)
+//! scheduling, without pulling a thread-pool dependency into the
+//! workspace.  Worker counts default through
+//! [`default_threads`], which honors the `TWOSTEP_THREADS` env override.
 //!
 //! Results come back **in input order** regardless of completion order, so
 //! sweep output is deterministic and directly zippable with the inputs.
@@ -13,13 +15,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Number of worker threads to use by default: the machine's available
-/// parallelism (min 1).
-pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}
+pub use crate::scheduler::default_threads;
+use crate::scheduler::run_on_workers;
 
 /// Applies `f` to every item on `threads` workers, returning results in
 /// input order.
@@ -62,24 +59,20 @@ where
     slots.resize_with(items.len(), || None);
     let slots = Mutex::new(slots);
 
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(items.len()) {
-            scope.spawn(|| {
-                // Collect locally, publish once at the end: one lock per
-                // worker instead of one per item.
-                let mut local: Vec<(usize, R)> = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= items.len() {
-                        break;
-                    }
-                    local.push((i, f(i, &items[i])));
-                }
-                let mut slots = slots.lock().expect("sweep result mutex poisoned");
-                for (i, r) in local {
-                    slots[i] = Some(r);
-                }
-            });
+    run_on_workers(threads.min(items.len()), |_| {
+        // Collect locally, publish once at the end: one lock per
+        // worker instead of one per item.
+        let mut local: Vec<(usize, R)> = Vec::new();
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= items.len() {
+                break;
+            }
+            local.push((i, f(i, &items[i])));
+        }
+        let mut slots = slots.lock().expect("sweep result mutex poisoned");
+        for (i, r) in local {
+            slots[i] = Some(r);
         }
     });
 

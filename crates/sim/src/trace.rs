@@ -201,7 +201,9 @@ mod tests {
         let mut called = false;
         trace.record(|| {
             called = true;
-            Event::RoundBegan { round: Round::FIRST }
+            Event::RoundBegan {
+                round: Round::FIRST,
+            }
         });
         assert!(!called, "event construction must be skipped at Off");
         assert!(trace.events().is_empty());
@@ -210,7 +212,9 @@ mod tests {
     #[test]
     fn decisions_only_filters() {
         let mut trace: Trace<u64> = Trace::new(TraceLevel::DecisionsOnly);
-        trace.record(|| Event::RoundBegan { round: Round::FIRST });
+        trace.record(|| Event::RoundBegan {
+            round: Round::FIRST,
+        });
         trace.record(|| Event::Decided {
             pid: pid(1),
             round: Round::FIRST,

@@ -73,8 +73,16 @@ fn crash_point_after_decision_is_a_noop() {
         CrashPoint::new(Round::new(3), CrashStage::BeforeSend),
     );
     let procs = vec![
-        Echoer { me: pid(1), to: pid(2), rounds_to_send: 1 },
-        Echoer { me: pid(2), to: pid(1), rounds_to_send: 1 },
+        Echoer {
+            me: pid(1),
+            to: pid(2),
+            rounds_to_send: 1,
+        },
+        Echoer {
+            me: pid(2),
+            to: pid(1),
+            rounds_to_send: 1,
+        },
     ];
     let report = Simulation::new(config, ModelKind::Extended, &schedule)
         .run(procs)
@@ -94,8 +102,16 @@ fn mid_control_prefix_longer_than_list_is_clamped() {
         CrashPoint::new(Round::FIRST, CrashStage::MidControl { prefix_len: 99 }),
     );
     let procs = vec![
-        Echoer { me: pid(1), to: pid(2), rounds_to_send: 1 },
-        Echoer { me: pid(2), to: pid(1), rounds_to_send: 0 },
+        Echoer {
+            me: pid(1),
+            to: pid(2),
+            rounds_to_send: 1,
+        },
+        Echoer {
+            me: pid(2),
+            to: pid(1),
+            rounds_to_send: 0,
+        },
     ];
     let report = Simulation::new(config, ModelKind::Extended, &schedule)
         .run(procs)
@@ -121,9 +137,21 @@ fn mid_data_subset_is_intersected_with_actual_destinations() {
         ),
     );
     let procs = vec![
-        Echoer { me: pid(1), to: pid(2), rounds_to_send: 1 }, // sends to p_2 only
-        Echoer { me: pid(2), to: pid(3), rounds_to_send: 0 },
-        Echoer { me: pid(3), to: pid(2), rounds_to_send: 0 },
+        Echoer {
+            me: pid(1),
+            to: pid(2),
+            rounds_to_send: 1,
+        }, // sends to p_2 only
+        Echoer {
+            me: pid(2),
+            to: pid(3),
+            rounds_to_send: 0,
+        },
+        Echoer {
+            me: pid(3),
+            to: pid(2),
+            rounds_to_send: 0,
+        },
     ];
     let report = Simulation::new(config, ModelKind::Extended, &schedule)
         .max_rounds(3)
@@ -183,10 +211,7 @@ fn self_send_is_delivered_in_same_round() {
     let config = SystemConfig::new(2, 0).unwrap();
     let schedule = CrashSchedule::none(2);
     let report = Simulation::new(config, ModelKind::Extended, &schedule)
-        .run(vec![
-            SelfTalker { me: pid(1) },
-            SelfTalker { me: pid(2) },
-        ])
+        .run(vec![SelfTalker { me: pid(1) }, SelfTalker { me: pid(2) }])
         .unwrap();
     for d in &report.decisions {
         assert_eq!(d.as_ref().unwrap().value, 42);

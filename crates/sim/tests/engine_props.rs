@@ -6,9 +6,7 @@ use proptest::prelude::*;
 use twostep_model::{
     BitSized, CrashPoint, CrashSchedule, CrashStage, PidSet, ProcessId, Round, SystemConfig,
 };
-use twostep_sim::{
-    Inbox, ModelKind, SendPlan, Simulation, Step, SyncProtocol, TraceLevel,
-};
+use twostep_sim::{Inbox, ModelKind, SendPlan, Simulation, Step, SyncProtocol, TraceLevel};
 
 /// A protocol whose behaviour is an arbitrary (but deterministic) function
 /// of a seed: each round it sends data to a seed-chosen subset, control to
@@ -47,20 +45,20 @@ impl SyncProtocol for Chaos {
         let r = round.get();
         let mut plan = SendPlan::quiet();
         for dst in ProcessId::all(self.n) {
-            if dst != self.me && self.mix(r, dst.rank() as u64) % 3 == 0 {
+            if dst != self.me && self.mix(r, dst.rank() as u64).is_multiple_of(3) {
                 plan.data.push((dst, self.mix(r, 1000 + dst.rank() as u64)));
             }
         }
         // An ordered control list: a seed-chosen permutation prefix.
         let mut ctl: Vec<ProcessId> = ProcessId::all(self.n)
-            .filter(|d| *d != self.me && self.mix(r, 2000 + d.rank() as u64) % 4 == 0)
+            .filter(|d| *d != self.me && self.mix(r, 2000 + d.rank() as u64).is_multiple_of(4))
             .collect();
-        if self.mix(r, 3000) % 2 == 0 {
+        if self.mix(r, 3000).is_multiple_of(2) {
             ctl.reverse();
         }
         plan.control = ctl;
         // Decide-after-send occasionally.
-        if self.mix(r, 4000) % 11 == 0 {
+        if self.mix(r, 4000).is_multiple_of(11) {
             plan = plan.then_decide(self.inbox_digest);
         }
         plan
@@ -77,7 +75,7 @@ impl SyncProtocol for Chaos {
         for from in inbox.control() {
             self.inbox_digest = self.inbox_digest.wrapping_add(from.rank() as u64) << 1;
         }
-        if self.mix(round.get(), 5000) % 7 == 0 {
+        if self.mix(round.get(), 5000).is_multiple_of(7) {
             Step::Decide(self.inbox_digest)
         } else {
             Step::Continue

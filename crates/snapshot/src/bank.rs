@@ -144,7 +144,7 @@ mod tests {
             initiators: vec![ProcessId::new(3)],
             initiate_at: 700,
             repeat: None,
-        horizon: 60_000,
+            horizon: 60_000,
             fifo: true,
         };
         let run = run_snapshot(apps, DelayModel::Fixed(17), setup);
@@ -162,7 +162,7 @@ mod tests {
             initiators: vec![ProcessId::new(1), ProcessId::new(5)],
             initiate_at: 444,
             repeat: None,
-        horizon: 60_000,
+            horizon: 60_000,
             fifo: true,
         };
         let delays = DelayModel::Uniform {
@@ -187,7 +187,7 @@ mod tests {
             initiators: vec![ProcessId::new(1)],
             initiate_at: 100,
             repeat: None,
-        horizon: 60_000,
+            horizon: 60_000,
             fifo: true,
         };
         let run = run_snapshot(apps, DelayModel::Fixed(13), setup);

@@ -298,7 +298,7 @@ mod tests {
             initiators: vec![ProcessId::new(1)],
             initiate_at: 52,
             repeat: None,
-        horizon: 10_000,
+            horizon: 10_000,
             fifo: true,
         };
         let run = run_snapshot(streamers(), DelayModel::Fixed(35), setup);
@@ -337,7 +337,7 @@ mod tests {
             initiators: vec![ProcessId::new(1)],
             initiate_at: 0,
             repeat: None,
-        horizon: 3,
+            horizon: 3,
             fifo: true,
         };
         let run = run_snapshot(streamers(), DelayModel::Fixed(50), setup);
@@ -354,7 +354,7 @@ mod tests {
             initiators: vec![ProcessId::new(1)],
             initiate_at: 52,
             repeat: None,
-        horizon: 10_000,
+            horizon: 10_000,
             fifo: true,
         };
         let run = run_snapshot(streamers(), DelayModel::Fixed(35), setup);

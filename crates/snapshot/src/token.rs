@@ -72,7 +72,13 @@ impl LocalApp for TokenRing {
         }
     }
 
-    fn on_message(&mut self, at: Ticks, _from: ProcessId, _token: Token, fx: &mut AppEffects<Token>) {
+    fn on_message(
+        &mut self,
+        at: Ticks,
+        _from: ProcessId,
+        _token: Token,
+        fx: &mut AppEffects<Token>,
+    ) {
         debug_assert!(!self.holding, "two tokens at one station");
         self.holding = true;
         if at < self.stop_at {
@@ -117,7 +123,7 @@ mod tests {
                 initiators: vec![ProcessId::new(2)],
                 initiate_at,
                 repeat: None,
-        horizon: 50_000,
+                horizon: 50_000,
                 fifo: true,
             };
             let run = run_snapshot(apps, DelayModel::Fixed(9), setup);

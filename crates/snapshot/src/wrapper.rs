@@ -530,7 +530,10 @@ mod tests {
         let apps = vec![Still(7); 4];
         let setup = SnapshotSetup {
             initiate_at: 10,
-            repeat: Some(Repeat { count: 3, every: 40 }),
+            repeat: Some(Repeat {
+                count: 3,
+                every: 40,
+            }),
             ..SnapshotSetup::default()
         };
         let run = run_snapshot(apps, DelayModel::Fixed(6), setup);

@@ -195,7 +195,10 @@ fn overlapping_repeated_snapshots_each_conserve_money() {
             initiate_at: 300,
             // Markers need up to 90 ticks per hop; initiating every 25
             // ticks guarantees instance k+1 starts while k still records.
-            repeat: Some(Repeat { count: 5, every: 25 }),
+            repeat: Some(Repeat {
+                count: 5,
+                every: 25,
+            }),
             horizon: 300_000,
             fifo: true,
         };
@@ -228,7 +231,10 @@ fn repeated_instance_cuts_are_monotone_per_process() {
     let setup = SnapshotSetup {
         initiators: vec![ProcessId::new(2)],
         initiate_at: 100,
-        repeat: Some(Repeat { count: 4, every: 30 }),
+        repeat: Some(Repeat {
+            count: 4,
+            every: 30,
+        }),
         horizon: 300_000,
         fifo: true,
     };

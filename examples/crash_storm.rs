@@ -22,7 +22,10 @@ fn main() {
     let proposals: Vec<u64> = (1..=n as u64).map(|i| 100 + i).collect();
 
     println!("== coordinator cascades (n={n}, t={}) ==", config.t());
-    println!("{:>3} {:>18} {:>12} {:>10}", "f", "last decision", "bound f+1", "value");
+    println!(
+        "{:>3} {:>18} {:>12} {:>10}",
+        "f", "last decision", "bound f+1", "value"
+    );
     for f in 0..=6usize {
         let schedule = data_heavy_cascade(n, f);
         let report = run_crw(&config, &schedule, &proposals, TraceLevel::Off).unwrap();
@@ -42,7 +45,8 @@ fn main() {
             None => println!("  p{:<2} crashed undecided", i + 1),
         }
     }
-    let spec = check_uniform_consensus(&proposals, &report.decisions, &schedule, Some(f as u32 + 1));
+    let spec =
+        check_uniform_consensus(&proposals, &report.decisions, &schedule, Some(f as u32 + 1));
     assert!(spec.ok(), "{spec}");
     println!("  spec: {spec}");
 

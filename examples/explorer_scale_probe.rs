@@ -1,0 +1,63 @@
+//! Scale probe for the exhaustive explorer: how big does the memoized
+//! execution DAG get, and what does the parallel engine buy, as `(n, t)`
+//! grows?
+//!
+//! Run with `cargo run --release --example explorer_scale_probe`.
+//! Set `TWOSTEP_THREADS` to pin the parallel engine's worker count.
+
+use std::time::Instant;
+use twostep_core::crw_processes;
+use twostep_model::{SystemConfig, WideValue};
+use twostep_modelcheck::{explore_with, ExploreConfig, ExploreOptions};
+use twostep_sim::default_threads;
+
+fn main() {
+    println!(
+        "{:>6} {:>10} {:>12} {:>14} {:>14}  (parallel = {} threads)",
+        "(n,t)",
+        "states",
+        "terminals",
+        "serial",
+        "parallel",
+        default_threads()
+    );
+    for (n, t) in [(4usize, 3usize), (5, 4), (6, 5)] {
+        let system = SystemConfig::new(n, t).unwrap();
+        let proposals: Vec<WideValue> = (0..n).map(|i| WideValue::new(1, (i % 2) as u64)).collect();
+        let config = ExploreConfig {
+            max_states: 50_000_000,
+            ..ExploreConfig::for_crw(&system)
+        };
+
+        let t0 = Instant::now();
+        let serial = explore_with(
+            system,
+            config,
+            ExploreOptions::serial(),
+            crw_processes(&system, &proposals),
+            proposals.clone(),
+        )
+        .unwrap();
+        let serial_time = t0.elapsed();
+
+        let t1 = Instant::now();
+        let parallel = explore_with(
+            system,
+            config,
+            ExploreOptions::default(),
+            crw_processes(&system, &proposals),
+            proposals.clone(),
+        )
+        .unwrap();
+        let parallel_time = t1.elapsed();
+
+        assert_eq!(serial.distinct_states, parallel.distinct_states);
+        assert_eq!(serial.root.terminals, parallel.root.terminals);
+        assert_eq!(serial.root.worst_round_by_f, parallel.root.worst_round_by_f);
+
+        println!(
+            "({n},{t}) {:>10} {:>12} {:>14?} {:>14?}",
+            serial.distinct_states, serial.root.terminals, serial_time, parallel_time
+        );
+    }
+}

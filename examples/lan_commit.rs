@@ -36,7 +36,12 @@ fn main() {
     println!("threaded runtime:");
     for (i, d) in threaded.decisions.iter().enumerate() {
         match d {
-            Some(d) => println!("  node {} commits epoch {} (round {})", i + 1, d.value, d.round),
+            Some(d) => println!(
+                "  node {} commits epoch {} (round {})",
+                i + 1,
+                d.value,
+                d.round
+            ),
             None => println!("  node {} crashed undecided", i + 1),
         }
     }

@@ -18,8 +18,7 @@ fn main() {
     for (n, t) in [(3usize, 2usize), (4, 3)] {
         let system = SystemConfig::new(n, t).unwrap();
         // Binary inputs, mixed: the bivalency argument's input space.
-        let proposals: Vec<WideValue> =
-            (0..n).map(|i| WideValue::new(1, (i % 2) as u64)).collect();
+        let proposals: Vec<WideValue> = (0..n).map(|i| WideValue::new(1, (i % 2) as u64)).collect();
 
         println!("== exhaustive exploration: n={n}, t={t}, binary proposals ==");
         let report = explore(

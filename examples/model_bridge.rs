@@ -48,9 +48,19 @@ fn main() {
         DelayModel::Fixed(100),
     )
     .fd(FdSpec::accurate(10))
-    .crash(ProcessId::new(1), TimedCrash { at: 0, keep_sends: 0 })
+    .crash(
+        ProcessId::new(1),
+        TimedCrash {
+            at: 0,
+            keep_sends: 0,
+        },
+    )
     .run_with_states();
-    let decided_round = states.iter().filter_map(|s| s.decided_round()).max().unwrap();
+    let decided_round = states
+        .iter()
+        .filter_map(|s| s.decided_round())
+        .max()
+        .unwrap();
     println!("\nasynchronous + diamond-S (MR99):");
     println!(
         "  decision: {} in async round {decided_round} — 2 communication steps per round",
@@ -64,7 +74,8 @@ fn main() {
     // --- The bridge, in one sentence.
     println!("\nboth runs: round 1 dies with p1, round 2's coordinator imposes its estimate.");
     println!("the paper's point (§4): the commit message IS MR99's echo step, compressed");
-    println!("to one pipelined bit by the extended model's synchrony — {} vs {} messages here.",
+    println!(
+        "to one pipelined bit by the extended model's synchrony — {} vs {} messages here.",
         sync_report.metrics.total_messages(),
         async_report.messages_sent
     );

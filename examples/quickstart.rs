@@ -18,8 +18,7 @@ fn main() {
 
     println!("running CRW uniform consensus: n={n}, t=2, proposals {proposals:?}\n");
 
-    let report = run_crw(&config, &schedule, &proposals, TraceLevel::Off)
-        .expect("simulation runs");
+    let report = run_crw(&config, &schedule, &proposals, TraceLevel::Off).expect("simulation runs");
 
     for (i, d) in report.decisions.iter().enumerate() {
         match d {

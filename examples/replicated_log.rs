@@ -60,7 +60,10 @@ fn main() {
 
     println!("\ncommitted log: {:?}", log.committed());
     println!("crashed nodes: {:?}", log.crashed());
-    println!("per-node committed prefix lengths: {:?}", log.committed_upto());
+    println!(
+        "per-node committed prefix lengths: {:?}",
+        log.committed_upto()
+    );
     assert!(log.check_prefix_consistency());
     println!("prefix consistency: ok");
     println!(

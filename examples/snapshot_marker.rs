@@ -40,13 +40,12 @@ fn main() {
     let snap = collect(&run.wrappers).expect("snapshot completed");
     verify_flow(&snap, &run.wrappers).expect("consistent cut (FIFO channels)");
 
-    println!("recorded local states (cut skew {} ticks):", snap.cut_skew());
+    println!(
+        "recorded local states (cut skew {} ticks):",
+        snap.cut_skew()
+    );
     for (i, bal) in snap.states.iter().enumerate() {
-        println!(
-            "  p{} @ t={:>4}: balance {bal}",
-            i + 1,
-            snap.recorded_at[i]
-        );
+        println!("  p{} @ t={:>4}: balance {bal}", i + 1, snap.recorded_at[i]);
     }
 
     println!("\nmessages caught in flight by the marker rule:");

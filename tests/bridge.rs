@@ -24,7 +24,10 @@ fn fastfd_time_shape_is_d_plus_f_d() {
         for k in 1..=f {
             kernel = kernel.crash(
                 ProcessId::new(k as u32),
-                TimedCrash { at: 0, keep_sends: 0 },
+                TimedCrash {
+                    at: 0,
+                    keep_sends: 0,
+                },
             );
         }
         let report = kernel.run();
@@ -52,7 +55,13 @@ fn fastfd_uniform_under_partial_broadcasts() {
             DelayModel::Fixed(D),
         )
         .fd(FdSpec::accurate(SMALL))
-        .crash(ProcessId::new(1), TimedCrash { at: 0, keep_sends: keep })
+        .crash(
+            ProcessId::new(1),
+            TimedCrash {
+                at: 0,
+                keep_sends: keep,
+            },
+        )
         .run();
         let vals = report.decided_values();
         assert_eq!(vals.len(), 1, "keep={keep}: {vals:?}");
@@ -72,15 +81,15 @@ fn mr99_decides_like_crw_one_coordinator_per_failure() {
     let t = (n / 2).min(3); // t < n/2 → 3 for n=7
     let proposals: Vec<u64> = (0..n as u64).map(|i| 100 + i).collect();
     for f in 0..=t {
-        let mut kernel = TimedKernel::new(
-            mr99_processes(n, 3, &proposals),
-            DelayModel::Fixed(100),
-        )
-        .fd(FdSpec::accurate(10));
+        let mut kernel = TimedKernel::new(mr99_processes(n, 3, &proposals), DelayModel::Fixed(100))
+            .fd(FdSpec::accurate(10));
         for k in 1..=f {
             kernel = kernel.crash(
                 ProcessId::new(k as u32),
-                TimedCrash { at: 0, keep_sends: 0 },
+                TimedCrash {
+                    at: 0,
+                    keep_sends: 0,
+                },
             );
         }
         let (report, states) = kernel.run_with_states();
@@ -107,8 +116,20 @@ fn mr99_survives_random_asynchrony_with_crashes() {
             },
         )
         .fd(FdSpec::accurate(10))
-        .crash(ProcessId::new(2), TimedCrash { at: 0, keep_sends: 3 })
-        .crash(ProcessId::new(5), TimedCrash { at: 120, keep_sends: 1 })
+        .crash(
+            ProcessId::new(2),
+            TimedCrash {
+                at: 0,
+                keep_sends: 3,
+            },
+        )
+        .crash(
+            ProcessId::new(5),
+            TimedCrash {
+                at: 120,
+                keep_sends: 1,
+            },
+        )
         .run_with_states();
         let vals = report.decided_values();
         assert!(vals.len() <= 1, "seed {seed}: {vals:?}");
@@ -128,12 +149,9 @@ fn mr99_tolerates_false_suspicions() {
         fd.injected_suspicions
             .push((1, ProcessId::new(obs), ProcessId::new(1)));
     }
-    let (report, _) = TimedKernel::new(
-        mr99_processes(n, 2, &proposals),
-        DelayModel::Fixed(100),
-    )
-    .fd(fd)
-    .run_with_states();
+    let (report, _) = TimedKernel::new(mr99_processes(n, 2, &proposals), DelayModel::Fixed(100))
+        .fd(fd)
+        .run_with_states();
     let vals = report.decided_values();
     assert_eq!(vals.len(), 1, "◇S lies are tolerated: {vals:?}");
     assert_eq!(

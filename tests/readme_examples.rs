@@ -29,14 +29,8 @@ fn readme_mid_commit_crash() {
     let report = run_crw(&config, &schedule, &[7u64, 3, 9, 1, 5], TraceLevel::Off).unwrap();
     assert!(report.decisions.iter().flatten().all(|d| d.value == 7));
     // Highest-rank-first: exactly p5 decided in round 1, the rest at f+1=2.
-    assert_eq!(
-        report.decisions[4].as_ref().unwrap().round,
-        Round::new(1)
-    );
-    assert_eq!(
-        report.decisions[1].as_ref().unwrap().round,
-        Round::new(2)
-    );
+    assert_eq!(report.decisions[4].as_ref().unwrap().round, Round::new(1));
+    assert_eq!(report.decisions[1].as_ref().unwrap().round, Round::new(2));
 }
 
 #[test]
@@ -52,8 +46,10 @@ fn readme_schedule_text_round_trip() {
 fn readme_replicated_log() {
     let config = SystemConfig::new(4, 1).unwrap();
     let mut log: ReplicatedLog<u64> = ReplicatedLog::new(config);
-    log.append(&[11, 12, 13, 14], &CrashSchedule::none(4)).unwrap();
-    log.append(&[21, 22, 23, 24], &CrashSchedule::none(4)).unwrap();
+    log.append(&[11, 12, 13, 14], &CrashSchedule::none(4))
+        .unwrap();
+    log.append(&[21, 22, 23, 24], &CrashSchedule::none(4))
+        .unwrap();
     assert_eq!(log.committed(), &[11, 21]);
     assert!(log.check_prefix_consistency());
 }

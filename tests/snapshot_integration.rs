@@ -91,7 +91,10 @@ fn facade_periodic_snapshots_on_token_ring() {
         SnapshotSetup {
             initiators: vec![ProcessId::new(3)],
             initiate_at: 100,
-            repeat: Some(Repeat { count: 3, every: 50 }),
+            repeat: Some(Repeat {
+                count: 3,
+                every: 50,
+            }),
             horizon: 100_000,
             fifo: true,
         },

@@ -32,8 +32,7 @@ fn run_both(n: usize, t: usize, seed: u64) -> Result<(), TestCaseError> {
         prop_assert_eq!(nv, sv, "p{} value differs (seed {})", i + 1, seed);
 
         if let (Some(nd), Some(sd)) = (&native.decisions[i], &simulated.decisions[i]) {
-            let (block_round, _slot) =
-                ExtendedOnClassic::<Crw<u64>>::decompose(sd.round, n);
+            let (block_round, _slot) = ExtendedOnClassic::<Crw<u64>>::decompose(sd.round, n);
             prop_assert_eq!(
                 block_round,
                 nd.round,
