@@ -7,7 +7,10 @@
 # Knobs respected by the test suite:
 #   TWOSTEP_THREADS    worker count for sweeps + the parallel explorer
 #   PROPTEST_CASES     per-test case count for property tests
-#   CRITERION_SAMPLES  samples per benchmark (benches are not run here)
+#   CRITERION_SAMPLES  samples per benchmark (criterion benches are not
+#                      run here; the quick explorer bench below is)
+#   TWOSTEP_BENCH_N/T  (n, t) for the explorer bench (raise toward (7, 6)
+#                      as runners allow)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -26,5 +29,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== cargo fmt --check"
 cargo fmt --all --check
+
+echo "== explorer bench (quick) -> BENCH_explorer.json"
+cargo run --release -q -p twostep-bench --bin explorer_bench -- --quick
+cat BENCH_explorer.json
 
 echo "CI OK"

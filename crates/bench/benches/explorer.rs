@@ -2,19 +2,22 @@
 //! E5 lower-bound systems (E8 substrate evidence), now measuring the
 //! parallel work-sharing engine against the serial walk.
 //!
-//! Two groups:
+//! Three groups:
 //!
 //! * `modelcheck_crw_exhaustive` — the historical serial-walk numbers,
 //!   kept comparable across commits;
 //! * `modelcheck_parallel_speedup` — serial vs parallel at the largest
 //!   `(n, t)` feasible in CI, with throughput reported in
 //!   **distinct states per second** (the memo insert rate is the
-//!   exploration engine's natural unit of work).
+//!   exploration engine's natural unit of work);
+//! * `modelcheck_spill_vs_ram` — the same exploration under the two-tier
+//!   memo at descending hot capacities, pricing the disk tier against
+//!   the all-RAM engine in the same distinct-states/sec unit.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use twostep_core::crw_processes;
 use twostep_model::{SystemConfig, WideValue};
-use twostep_modelcheck::{explore, explore_with, ExploreConfig, ExploreOptions};
+use twostep_modelcheck::{explore, explore_with, ExploreConfig, ExploreOptions, MemoConfig};
 use twostep_sim::default_threads;
 
 fn binary_proposals(n: usize) -> Vec<WideValue> {
@@ -95,5 +98,56 @@ fn bench_parallel_speedup(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_exhaustive, bench_parallel_speedup);
+fn bench_spill_vs_ram(c: &mut Criterion) {
+    // Same system as the speedup group, so states/sec is comparable
+    // across groups; hot capacities chosen to put the memo under no,
+    // moderate, and heavy eviction pressure (3249 distinct states).
+    let (n, t) = (6usize, 5usize);
+    let system = SystemConfig::new(n, t).unwrap();
+    let proposals = binary_proposals(n);
+    let states = explore(
+        system,
+        ExploreConfig::for_crw(&system),
+        crw_processes(&system, &proposals),
+        proposals.clone(),
+    )
+    .unwrap()
+    .distinct_states;
+
+    let mut group = c.benchmark_group("modelcheck_spill_vs_ram");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(states as u64));
+
+    let configs = [
+        ("ram", MemoConfig::all_ram()),
+        ("spill_hot1024", MemoConfig::spill(1024)),
+        ("spill_hot128", MemoConfig::spill(128)),
+    ];
+    for (label, memo) in configs {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_t{t}_{label}")),
+            &memo,
+            |b, memo| {
+                b.iter(|| {
+                    explore_with(
+                        system,
+                        ExploreConfig::for_crw(&system),
+                        ExploreOptions::serial().with_memo(memo.clone()),
+                        crw_processes(&system, &proposals),
+                        proposals.clone(),
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_exhaustive,
+    bench_parallel_speedup,
+    bench_spill_vs_ram
+);
 criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! CI-facing explorer benchmark: times the exhaustive CRW exploration
+//! under the serial, parallel, and spilling engines and writes the
+//! distinct-states/sec trajectory to `BENCH_explorer.json` so the perf
+//! trend is recorded from every CI run (see `ci.sh`).
+//!
+//! Usage: `explorer_bench [--quick] [--out PATH]`
+//!
+//! * `--quick` — the `(5, 4)` system with one timed iteration per
+//!   engine: a few hundred milliseconds total, suitable for every CI
+//!   run;
+//! * default — the `(6, 5)` speedup-bench system with three timed
+//!   iterations (best-of reported).  Raise toward `(7, 6)` via
+//!   `TWOSTEP_BENCH_N`/`TWOSTEP_BENCH_T` as runners allow.
+
+use std::time::Instant;
+
+use twostep_core::crw_processes;
+use twostep_model::{SystemConfig, WideValue};
+use twostep_modelcheck::{explore_with, ExploreConfig, ExploreOptions, MemoConfig};
+use twostep_sim::default_threads;
+
+struct EngineResult {
+    engine: &'static str,
+    threads: usize,
+    hot_capacity: Option<usize>,
+    best_seconds: f64,
+    states_per_sec: f64,
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    let raw = std::env::var(name).ok()?;
+    match raw.trim().parse() {
+        Ok(n) => Some(n),
+        Err(_) => {
+            // Same policy as TWOSTEP_THREADS: never silently ignore a
+            // set-but-broken knob.
+            eprintln!("explorer_bench: {name}={raw:?} is not a number; using the default");
+            None
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_explorer.json".to_string());
+
+    let (default_n, default_t) = if quick { (5, 4) } else { (6, 5) };
+    let n = env_usize("TWOSTEP_BENCH_N").unwrap_or(default_n);
+    let t = env_usize("TWOSTEP_BENCH_T").unwrap_or(default_t);
+    let iters = if quick { 1 } else { 3 };
+
+    let system = SystemConfig::new(n, t).expect("valid bench system");
+    let proposals: Vec<WideValue> = (0..n).map(|i| WideValue::new(1, (i % 2) as u64)).collect();
+    let config = ExploreConfig {
+        max_states: 50_000_000,
+        ..ExploreConfig::for_crw(&system)
+    };
+
+    let threads = default_threads();
+    let engines: Vec<(&'static str, ExploreOptions)> = vec![
+        ("serial", ExploreOptions::serial()),
+        ("parallel", ExploreOptions::with_threads(threads)),
+        (
+            "spill",
+            ExploreOptions::with_threads(threads).with_memo(MemoConfig::spill(1024)),
+        ),
+    ];
+
+    let mut distinct_states = 0usize;
+    let mut results: Vec<EngineResult> = Vec::new();
+    for (engine, options) in engines {
+        let mut best = f64::INFINITY;
+        for _ in 0..iters {
+            let t0 = Instant::now();
+            let report = explore_with(
+                system,
+                config,
+                options.clone(),
+                crw_processes(&system, &proposals),
+                proposals.clone(),
+            )
+            .expect("bench exploration within budget");
+            best = best.min(t0.elapsed().as_secs_f64());
+            distinct_states = report.distinct_states;
+        }
+        let result = EngineResult {
+            engine,
+            threads: options.threads,
+            hot_capacity: options
+                .memo
+                .spill_enabled()
+                .then_some(options.memo.hot_capacity),
+            best_seconds: best,
+            states_per_sec: distinct_states as f64 / best,
+        };
+        eprintln!(
+            "explorer_bench: (n={n}, t={t}) {engine:<8} threads={} {:>10.1} states/sec",
+            result.threads, result.states_per_sec
+        );
+        results.push(result);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"bench\": \"explorer\",\n  \"quick\": {quick},\n  \"n\": {n},\n  \"t\": {t},\n"
+    ));
+    json.push_str(&format!("  \"distinct_states\": {distinct_states},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let hot = r.hot_capacity.map_or("null".to_string(), |h| h.to_string());
+        json.push_str(&format!(
+            "    {{\"engine\": \"{}\", \"threads\": {}, \"hot_capacity\": {}, \
+             \"best_seconds\": {:.6}, \"states_per_sec\": {:.1}}}{}\n",
+            r.engine,
+            r.threads,
+            hot,
+            r.best_seconds,
+            r.states_per_sec,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, json).expect("writing bench JSON");
+    eprintln!("explorer_bench: wrote {out_path}");
+}

@@ -35,6 +35,13 @@
 //! * the memo table is split into [`ExploreOptions::shards`] hash-sharded,
 //!   mutex-guarded `HashMap`s ([`Summary`]s behind `Arc`s), so concurrent
 //!   walkers contend on `1/shards` of the table instead of one lock;
+//! * each shard is optionally **two-tier** ([`MemoConfig`]): a bounded hot
+//!   map of live summaries plus an append-only on-disk segment file of
+//!   cold ones, evicted in clock (second-chance) order and addressed by
+//!   an in-memory key → record index.  A lookup that misses the hot tier
+//!   rehydrates the compact binary record ([`crate::spill`]) from disk
+//!   and promotes it back, so `max_states` bounds *distinct*
+//!   configurations — no longer resident RAM;
 //! * workers share work dynamically through a
 //!   [`twostep_sim::WorkQueue`] injector: whenever a busy walker expands a
 //!   configuration while some worker is idle, it donates child subtrees
@@ -60,6 +67,14 @@
 //! per-round census, the root summary, and witness reconstruction all
 //! match the serial walk byte for byte.
 //!
+//! The two-tier memo preserves this argument wholesale: spilling changes
+//! only where a summary *resides*, never whether a key is memoized — a
+//! `get` answers exactly as the all-RAM map would (rehydrating from disk
+//! on a cold hit), and `distinct_states` still counts fresh insertions.
+//! Reports are therefore bit-identical spill-vs-no-spill at any
+//! `hot_capacity` and any thread count (differentially tested in
+//! `tests/spill_differential.rs`).
+//!
 //! One carve-out: the `max_states` budget is a **resource safety valve**,
 //! not part of the deterministic result.  Whenever the budget is not
 //! exhausted (it is at least the number of distinct reachable
@@ -70,11 +85,23 @@
 //! trips [`ExploreError::StateLimit`] depends on timing (and was always
 //! approximate: the pre-parallel recursive walk checked the budget only
 //! on node entry, never on the inserts performed while unwinding).
+//!
+//! ## `StateLimit` abort protocol
+//!
+//! Aborts are **cooperative and prompt**.  Whichever walker first
+//! exhausts the state budget — or hits an engine or spill error — records
+//! the failure, raises the shared cancel flag, and closes the work queue
+//! *before* it unwinds (`Shared::fail`).  Every peer walker polls the
+//! flag on each configuration entry and bails with a quiet interrupt;
+//! workers parked in `pop_wait` wake to `None` immediately because the
+//! queue is already closed.  No walker can keep expanding configurations
+//! or block on the queue after an abort, so the exploration call joins
+//! promptly and returns the first recorded failure (regression-tested at
+//! `threads = 4` in this module).
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::hash::Hash;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 use twostep_adversary::crash_outcomes_into;
@@ -85,11 +112,15 @@ use twostep_sim::{
     WorkQueue,
 };
 
+use crate::memo::{HashedKey, Key, MemoConfig, ShardedMemo, Snap};
+use crate::spill::{SpillCodec, SpillError};
+
 /// Protocols the explorer can check: cloneable (to fork executions),
-/// hashable (to merge identical configurations), and `Send` (to move
-/// forked executions between worker threads).
-pub trait CheckableProtocol: SyncProtocol + Clone + Eq + Hash + Send {}
-impl<T: SyncProtocol + Clone + Eq + Hash + Send> CheckableProtocol for T {}
+/// hashable (to merge identical configurations), and `Send + Sync` (to
+/// move forked executions between worker threads and share memoized
+/// configuration keys across the memo's tiers).
+pub trait CheckableProtocol: SyncProtocol + Clone + Eq + Hash + Send + Sync {}
+impl<T: SyncProtocol + Clone + Eq + Hash + Send + Sync> CheckableProtocol for T {}
 
 /// Decision-round bounds to verify at every terminal, as a function of the
 /// run's actual crash count `f`.
@@ -194,14 +225,15 @@ impl ExploreConfig {
     }
 }
 
-/// Engine options: how many workers walk the space and how finely the
-/// memo table is sharded.
+/// Engine options: how many workers walk the space, how finely the memo
+/// table is sharded, and how the memo tiers between RAM and disk.
 ///
 /// `threads = 1` *is* the serial engine — there is no separate code path —
-/// and any thread count produces bit-identical reports whenever the
-/// [`ExploreConfig::max_states`] safety valve is not exhausted (see the
-/// module docs for the determinism argument and the budget carve-out).
-#[derive(Clone, Copy, Debug)]
+/// and any thread count and any [`MemoConfig`] produce bit-identical
+/// reports whenever the [`ExploreConfig::max_states`] safety valve is not
+/// exhausted (see the module docs for the determinism argument and the
+/// budget carve-out).
+#[derive(Clone, Debug)]
 pub struct ExploreOptions {
     /// Worker threads ([`twostep_sim::default_threads`] by default, which
     /// honors the `TWOSTEP_THREADS` env override; min 1).
@@ -209,6 +241,10 @@ pub struct ExploreOptions {
     /// Memo shards (power of two recommended; min 1).  More shards mean
     /// less lock contention and slightly more per-lookup overhead.
     pub shards: usize,
+    /// Memo tiering: all-RAM by default; a finite
+    /// [`MemoConfig::hot_capacity`] spills cold summaries to disk so the
+    /// reachable `(n, t)` stops being bounded by RAM.
+    pub memo: MemoConfig,
 }
 
 impl Default for ExploreOptions {
@@ -216,6 +252,7 @@ impl Default for ExploreOptions {
         ExploreOptions {
             threads: default_threads(),
             shards: 64,
+            memo: MemoConfig::all_ram(),
         }
     }
 }
@@ -226,6 +263,7 @@ impl ExploreOptions {
         ExploreOptions {
             threads: 1,
             shards: 1,
+            memo: MemoConfig::all_ram(),
         }
     }
 
@@ -235,6 +273,11 @@ impl ExploreOptions {
             threads: threads.max(1),
             ..Self::default()
         }
+    }
+
+    /// The same engine with an explicit memo tier configuration.
+    pub fn with_memo(self, memo: MemoConfig) -> Self {
+        ExploreOptions { memo, ..self }
     }
 }
 
@@ -249,6 +292,18 @@ pub enum ExploreError {
     /// The engine rejected a step (e.g. control messages under classic
     /// semantics).
     Engine(SimError),
+    /// The disk tier of the memo failed (segment I/O or a corrupt
+    /// record).
+    Spill {
+        /// What failed, human-readable.
+        detail: String,
+    },
+}
+
+impl From<SpillError> for ExploreError {
+    fn from(e: SpillError) -> Self {
+        ExploreError::Spill { detail: e.detail }
+    }
 }
 
 impl std::fmt::Display for ExploreError {
@@ -258,6 +313,9 @@ impl std::fmt::Display for ExploreError {
                 write!(f, "exploration exceeded the {budget}-state budget")
             }
             ExploreError::Engine(e) => write!(f, "engine error during exploration: {e}"),
+            ExploreError::Spill { detail } => {
+                write!(f, "memo spill failure during exploration: {detail}")
+            }
         }
     }
 }
@@ -265,7 +323,12 @@ impl std::fmt::Display for ExploreError {
 impl std::error::Error for ExploreError {}
 
 /// Memoized summary of everything reachable from one configuration.
-#[derive(Clone, Debug)]
+///
+/// Under a spilling memo ([`MemoConfig`]) summaries round-trip through
+/// the compact binary record of [`crate::spill`]; equality is derived so
+/// the round-trip (and the spill-vs-RAM differential suite) can assert
+/// identity directly.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Summary<O> {
     /// Terminal executions in the subtree.
     pub terminals: u64,
@@ -317,29 +380,6 @@ impl<O: Clone + Eq> Summary<O> {
     }
 }
 
-/// Canonical snapshot of one process inside a configuration key.
-#[derive(Clone, PartialEq, Eq, Hash)]
-enum Snap<P: SyncProtocol>
-where
-    P::Output: Hash,
-{
-    Active(P),
-    Decided(P::Output, u32),
-    Crashed(Option<(P::Output, u32)>),
-}
-
-/// Configuration key: the upcoming round plus per-process snapshots.  The
-/// remaining crash budget is derivable (crashed count is in the snaps), so
-/// equal keys have identical futures *and* identical past decisions.
-#[derive(Clone, PartialEq, Eq, Hash)]
-struct Key<P: SyncProtocol>
-where
-    P::Output: Hash,
-{
-    round: u32,
-    snaps: Vec<Snap<P>>,
-}
-
 fn make_key<P>(stepper: &Stepper<P>) -> Key<P>
 where
     P: CheckableProtocol,
@@ -364,161 +404,6 @@ where
     Key {
         round: stepper.round().get(),
         snaps,
-    }
-}
-
-/// A configuration key bundled with its full hash, computed **once**.
-///
-/// Hashing a key is the memo path's dominant fixed cost (it walks every
-/// process's protocol snapshot), and a naive sharded map would pay it
-/// twice per operation — once to pick the shard, once inside the shard's
-/// `HashMap`.  `HashedKey` caches the SipHash of the key; the shard index
-/// derives from the cached value and the map's own `Hash` impl just
-/// re-emits it, so each get/insert hashes the underlying key exactly
-/// once.  Equality still compares full keys, so hash collisions stay
-/// correct.
-struct HashedKey<P: SyncProtocol>
-where
-    P::Output: Hash,
-{
-    hash: u64,
-    key: Key<P>,
-}
-
-impl<P> HashedKey<P>
-where
-    P: CheckableProtocol,
-    P::Output: Hash,
-{
-    fn new(key: Key<P>) -> Self {
-        let mut hasher = DefaultHasher::new();
-        key.hash(&mut hasher);
-        HashedKey {
-            hash: hasher.finish(),
-            key,
-        }
-    }
-}
-
-impl<P: SyncProtocol> Hash for HashedKey<P>
-where
-    P::Output: Hash,
-{
-    fn hash<H: Hasher>(&self, state: &mut H) {
-        state.write_u64(self.hash);
-    }
-}
-
-impl<P: SyncProtocol> PartialEq for HashedKey<P>
-where
-    P: PartialEq,
-    P::Output: Hash,
-{
-    fn eq(&self, other: &Self) -> bool {
-        self.hash == other.hash && self.key == other.key
-    }
-}
-
-impl<P: SyncProtocol> Eq for HashedKey<P>
-where
-    P: Eq,
-    P::Output: Hash,
-{
-}
-
-/// The memo table, split into hash-addressed mutex-guarded shards so
-/// concurrent walkers rarely contend on the same lock.
-///
-/// `distinct` counts *fresh* key insertions only: racing walkers that
-/// compute the same subtree insert identical summaries, the first wins,
-/// and the count stays equal to the key-set cardinality — which is what
-/// makes the state budget and `distinct_states` deterministic.
-type MemoShard<P> = Mutex<HashMap<HashedKey<P>, Arc<Summary<<P as SyncProtocol>::Output>>>>;
-
-struct ShardedMemo<P>
-where
-    P: CheckableProtocol,
-    P::Output: Hash,
-{
-    shards: Vec<MemoShard<P>>,
-    distinct: AtomicUsize,
-}
-
-impl<P> ShardedMemo<P>
-where
-    P: CheckableProtocol,
-    P::Output: Hash,
-{
-    fn new(shards: usize) -> Self {
-        let shards = shards.max(1);
-        ShardedMemo {
-            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
-            distinct: AtomicUsize::new(0),
-        }
-    }
-
-    fn shard_of(&self, key: &HashedKey<P>) -> usize {
-        // The map hashes the cached value through SipHash again, so using
-        // the raw value's low bits here does not correlate with bucket
-        // choice inside the shard.
-        (key.hash as usize) % self.shards.len()
-    }
-
-    fn get(&self, key: &HashedKey<P>) -> Option<Arc<Summary<P::Output>>> {
-        self.shards[self.shard_of(key)]
-            .lock()
-            .expect("memo shard poisoned")
-            .get(key)
-            .cloned()
-    }
-
-    /// Inserts if absent; returns the canonical summary for the key (the
-    /// existing one on a race) so all holders share one `Arc`.
-    fn insert(
-        &self,
-        key: HashedKey<P>,
-        summary: Arc<Summary<P::Output>>,
-    ) -> Arc<Summary<P::Output>> {
-        let shard = self.shard_of(&key);
-        let mut map = self.shards[shard].lock().expect("memo shard poisoned");
-        match map.entry(key) {
-            std::collections::hash_map::Entry::Occupied(e) => Arc::clone(e.get()),
-            std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(Arc::clone(&summary));
-                self.distinct.fetch_add(1, Ordering::Relaxed);
-                summary
-            }
-        }
-    }
-
-    /// Distinct configurations memoized so far.
-    fn len(&self) -> usize {
-        self.distinct.load(Ordering::Relaxed)
-    }
-
-    /// Visits every memoized entry (single-threaded, post-exploration).
-    fn for_each(&self, mut f: impl FnMut(&Key<P>, &Arc<Summary<P::Output>>)) {
-        for shard in &self.shards {
-            for (key, summary) in shard.lock().expect("memo shard poisoned").iter() {
-                f(&key.key, summary);
-            }
-        }
-    }
-
-    /// First `Some` produced by `f` over the memoized entries, stopping
-    /// the scan as soon as it is found.
-    fn find_map<R>(
-        &self,
-        mut f: impl FnMut(&Key<P>, &Arc<Summary<P::Output>>) -> Option<R>,
-    ) -> Option<R> {
-        for shard in &self.shards {
-            for (key, summary) in shard.lock().expect("memo shard poisoned").iter() {
-                if let Some(found) = f(&key.key, summary) {
-                    return Some(found);
-                }
-            }
-        }
-        None
     }
 }
 
@@ -591,7 +476,7 @@ pub fn explore<P>(
 ) -> Result<ExploreReport<P::Output>, ExploreError>
 where
     P: CheckableProtocol,
-    P::Output: Hash,
+    P::Output: Hash + SpillCodec,
 {
     explore_with(system, config, ExploreOptions::serial(), initial, proposals)
 }
@@ -632,7 +517,7 @@ pub fn explore_with<P>(
 ) -> Result<ExploreReport<P::Output>, ExploreError>
 where
     P: CheckableProtocol,
-    P::Output: Hash,
+    P::Output: Hash + SpillCodec,
 {
     let root_stepper = Stepper::new(system, config.model, TraceLevel::Off, initial)
         .map_err(ExploreError::Engine)?;
@@ -641,7 +526,7 @@ where
         system,
         config,
         proposals: &proposals,
-        memo: ShardedMemo::new(options.shards),
+        memo: ShardedMemo::new(options.shards, &options.memo)?,
         queue: WorkQueue::new(),
         stop: AtomicBool::new(false),
         failure: Mutex::new(None),
@@ -669,14 +554,14 @@ where
             let result = walker.explore_subtree(root);
             *root_slot.lock().expect("root slot poisoned") = Some(result);
         } else {
-            // Stealer: drain donated subtrees into the shared memo.
+            // Stealer: drain donated subtrees into the shared memo.  A
+            // failing walk already recorded its error and signalled the
+            // abort at the failure site (`Shared::fail`), so both
+            // interrupt flavors are discarded here.
             let mut walker = Walker::new(&shared);
             while let Some(job) = shared.queue.pop_wait() {
                 match walker.explore_subtree(job) {
-                    Ok(_) | Err(Interrupt::Stopped) => {}
-                    Err(Interrupt::Failed(error)) => {
-                        shared.fail(error);
-                    }
+                    Ok(_) | Err(Interrupt::Stopped) | Err(Interrupt::Failed(_)) => {}
                 }
             }
         }
@@ -709,7 +594,7 @@ where
         if summary.is_bivalent() {
             slot.1 += 1;
         }
-    });
+    })?;
     let mut bivalency_by_round: Vec<(u32, usize, usize)> =
         by_round.into_iter().map(|(r, (c, b))| (r, c, b)).collect();
     bivalency_by_round.sort_unstable();
@@ -768,15 +653,21 @@ where
     P: CheckableProtocol,
     P::Output: Hash,
 {
-    /// Records the first failure and signals every walker to stop.
-    fn fail(&self, error: ExploreError) {
+    /// Records the first failure and signals every walker to stop —
+    /// **before** the failing walker unwinds: the cancel flag halts peers
+    /// at their next configuration entry, and closing the queue wakes
+    /// anyone parked in `pop_wait` (the `StateLimit` abort protocol in
+    /// the module docs).  Returns the interrupt to propagate, so every
+    /// failure site reads `return Err(self.shared.fail(error))`.
+    fn fail(&self, error: ExploreError) -> Interrupt {
         let mut slot = self.failure.lock().expect("failure slot poisoned");
         if slot.is_none() {
-            *slot = Some(error);
+            *slot = Some(error.clone());
         }
         drop(slot);
         self.stop.store(true, Ordering::Relaxed);
         self.queue.close();
+        Interrupt::Failed(error)
     }
 }
 
@@ -820,7 +711,7 @@ enum Entered<O> {
 impl<'s, 'a, P> Walker<'s, 'a, P>
 where
     P: CheckableProtocol,
-    P::Output: Hash,
+    P::Output: Hash + SpillCodec,
 {
     fn new(shared: &'s Shared<'a, P>) -> Self {
         Walker {
@@ -851,14 +742,18 @@ where
                 let mut child = frame.stepper.clone();
                 child
                     .step(&frame.actions[idx])
-                    .map_err(|e| Interrupt::Failed(ExploreError::Engine(e)))?;
+                    .map_err(|e| self.shared.fail(ExploreError::Engine(e)))?;
                 match self.enter(child, &mut stack)? {
                     Entered::Ready(summary) => pending = Some(summary),
                     Entered::Expanded => {}
                 }
             } else {
                 let done = stack.pop().expect("popping the completed frame");
-                let summary = self.shared.memo.insert(done.key, Arc::new(done.acc));
+                let summary = self
+                    .shared
+                    .memo
+                    .insert(done.key, Arc::new(done.acc))
+                    .map_err(|e| self.shared.fail(e.into()))?;
                 if stack.is_empty() {
                     return Ok(summary);
                 }
@@ -878,11 +773,19 @@ where
             return Err(Interrupt::Stopped);
         }
         let key = HashedKey::new(make_key(&stepper));
-        if let Some(summary) = self.shared.memo.get(&key) {
+        if let Some(summary) = self
+            .shared
+            .memo
+            .get(&key)
+            .map_err(|e| self.shared.fail(e.into()))?
+        {
             return Ok(Entered::Ready(summary));
         }
         if self.shared.memo.len() >= self.shared.config.max_states {
-            return Err(Interrupt::Failed(ExploreError::StateLimit {
+            // Raise the abort (cancel flag + queue close) before this
+            // walker unwinds, so no peer hangs in `pop_wait` or keeps
+            // expanding configurations past the budget.
+            return Err(self.shared.fail(ExploreError::StateLimit {
                 budget: self.shared.config.max_states,
             }));
         }
@@ -891,7 +794,8 @@ where
             let summary = self
                 .shared
                 .memo
-                .insert(key, Arc::new(self.evaluate_terminal(&stepper)));
+                .insert(key, Arc::new(self.evaluate_terminal(&stepper)))
+                .map_err(|e| self.shared.fail(e.into()))?;
             return Ok(Entered::Ready(summary));
         }
 
@@ -1076,7 +980,7 @@ where
                 } else {
                     None
                 }
-            })
+            })?
             .expect("root configuration is memoized");
 
         let mut stepper = Stepper::new(
@@ -1131,7 +1035,7 @@ where
                 let violating = self
                     .shared
                     .memo
-                    .get(&key)
+                    .get(&key)?
                     .map(|s| s.violating)
                     .unwrap_or(false);
                 if violating {
@@ -1391,7 +1295,11 @@ mod tests {
                 let parallel = explore_with(
                     system,
                     options(4, 2_000_000),
-                    ExploreOptions { threads, shards: 8 },
+                    ExploreOptions {
+                        threads,
+                        shards: 8,
+                        memo: MemoConfig::all_ram(),
+                    },
                     procs.clone(),
                     proposals.clone(),
                 )
@@ -1454,5 +1362,143 @@ mod tests {
         assert!(ExploreOptions::default().threads >= 1);
         assert!(ExploreOptions::default().shards >= 1);
         assert_eq!(ExploreOptions::with_threads(0).threads, 1);
+        assert!(!ExploreOptions::default().memo.spill_enabled());
+        assert!(ExploreOptions::default()
+            .with_memo(MemoConfig::spill(16))
+            .memo
+            .spill_enabled());
+    }
+
+    fn flooder_procs(n: usize) -> (Vec<Flooder>, Vec<u64>) {
+        let procs = (1..=n as u32)
+            .map(|r| Flooder {
+                me: r,
+                n,
+                est: 100 + r as u64,
+            })
+            .collect();
+        let proposals = (1..=n as u64).map(|r| 100 + r).collect();
+        (procs, proposals)
+    }
+
+    /// Regression test for the parallel abort protocol: a `StateLimit`
+    /// raised by any walker must set the cancel flag and close the work
+    /// queue *before* unwinding, so the whole exploration joins promptly
+    /// instead of leaving peers parked in `pop_wait` or churning through
+    /// the rest of the space.
+    #[test]
+    fn state_limit_abort_joins_promptly_at_four_threads() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let system = SystemConfig::new(4, 3).unwrap();
+            let (procs, proposals) = flooder_procs(4);
+            let result = explore_with(
+                system,
+                options(4, 10),
+                ExploreOptions::with_threads(4),
+                procs,
+                proposals,
+            );
+            let _ = tx.send(result);
+        });
+        let result = rx
+            .recv_timeout(std::time::Duration::from_secs(60))
+            .expect("parallel StateLimit abort must join promptly, not hang");
+        assert_eq!(result.unwrap_err(), ExploreError::StateLimit { budget: 10 });
+    }
+
+    /// The two-tier memo is invisible to results: spill-vs-RAM reports
+    /// are identical at 1 and 4 threads (the broad differential matrix
+    /// lives in `tests/spill_differential.rs`).
+    #[test]
+    fn spill_memo_matches_all_ram_engine() {
+        let system = SystemConfig::new(4, 2).unwrap();
+        let (procs, proposals) = flooder_procs(4);
+        let ram = explore(
+            system,
+            options(4, 2_000_000),
+            procs.clone(),
+            proposals.clone(),
+        )
+        .unwrap();
+        for threads in [1usize, 4] {
+            let spilled = explore_with(
+                system,
+                options(4, 2_000_000),
+                ExploreOptions {
+                    threads,
+                    shards: 8,
+                    memo: MemoConfig::spill(16),
+                },
+                procs.clone(),
+                proposals.clone(),
+            )
+            .unwrap();
+            assert_reports_identical(&ram, &spilled, &format!("spill threads={threads}"));
+        }
+    }
+
+    /// `max_states` stops being a RAM bound: a hot capacity far below the
+    /// distinct-state count must still complete (eviction never forgets a
+    /// key, so the budget counts distinct configurations as before).
+    #[test]
+    fn tiny_hot_capacity_completes_without_state_limit() {
+        let system = SystemConfig::new(4, 2).unwrap();
+        let (procs, proposals) = flooder_procs(4);
+        let report = explore_with(
+            system,
+            options(4, 2_000_000),
+            ExploreOptions::serial().with_memo(MemoConfig::spill(2)),
+            procs,
+            proposals,
+        )
+        .unwrap();
+        assert!(
+            report.distinct_states > 50,
+            "space must dwarf the 2-entry hot tier (got {})",
+            report.distinct_states
+        );
+    }
+
+    /// A spilling exploration must also still *fail* correctly: the state
+    /// budget counts distinct keys across both tiers.
+    #[test]
+    fn state_budget_is_enforced_with_spill_too() {
+        let system = SystemConfig::new(3, 2).unwrap();
+        let err = explore_with(
+            system,
+            options(4, 3),
+            ExploreOptions::serial().with_memo(MemoConfig::spill(1)),
+            vec![DecideOwn { v: 0 }, DecideOwn { v: 0 }, DecideOwn { v: 0 }],
+            vec![0u64, 0, 0],
+        )
+        .unwrap_err();
+        assert_eq!(err, ExploreError::StateLimit { budget: 3 });
+    }
+
+    /// Witness reconstruction reads summaries back through the two-tier
+    /// memo; a violating space must yield the same witness spilled.
+    #[test]
+    fn spilled_witness_matches_ram_witness() {
+        let system = SystemConfig::new(2, 1).unwrap();
+        let ram = explore(
+            system,
+            options(2, 100_000),
+            vec![DecideOwn { v: 0 }, DecideOwn { v: 1 }],
+            vec![0u64, 1],
+        )
+        .unwrap();
+        let spilled = explore_with(
+            system,
+            options(2, 100_000),
+            ExploreOptions::serial().with_memo(MemoConfig::spill(4)),
+            vec![DecideOwn { v: 0 }, DecideOwn { v: 1 }],
+            vec![0u64, 1],
+        )
+        .unwrap();
+        let ws = ram.witness.expect("ram witness");
+        let wp = spilled.witness.expect("spilled witness");
+        assert_eq!(format!("{:?}", ws.schedule), format!("{:?}", wp.schedule));
+        assert_eq!(ws.decisions, wp.decisions);
     }
 }

@@ -15,9 +15,15 @@
 //! * [`explore`] / [`explore_with`] — memoized DAG exploration with
 //!   per-subtree [`Summary`]s (terminal counts, worst decision round per
 //!   `f`, reachable decision values, violations); the engine is an
-//!   iterative, work-sharing parallel walker over a sharded memo
-//!   ([`ExploreOptions`] selects thread/shard counts, `threads = 1` is
-//!   the serial walk, and every option produces bit-identical reports);
+//!   iterative, work-sharing parallel walker over a sharded, optionally
+//!   **two-tier (RAM + disk)** memo ([`ExploreOptions`] selects
+//!   thread/shard counts and the [`MemoConfig`] tiering, `threads = 1`
+//!   is the serial walk, and every option produces bit-identical
+//!   reports);
+//! * [`MemoConfig`] / [`SpillCodec`] — the disk tier: a bounded hot map
+//!   per shard plus append-only segment files of compactly encoded cold
+//!   summaries (module [`spill`]), so the reachable `(n, t)` is bounded
+//!   by disk, not RAM;
 //! * [`Witness`] — concrete counterexample schedules, reconstructed when
 //!   a violation exists (used by the commit-order ablation, where the
 //!   ascending variant mechanically violates Theorem 1);
@@ -32,10 +38,14 @@
 #![warn(missing_docs)]
 
 pub mod explorer;
+pub mod memo;
 pub mod sample;
+pub mod spill;
 
 pub use explorer::{
     explore, explore_with, CheckableProtocol, ExploreConfig, ExploreError, ExploreOptions,
     ExploreReport, RoundBound, SpecMode, Summary, Witness,
 };
+pub use memo::MemoConfig;
 pub use sample::{sample, SampleConfig, SampleReport, SampleStrategy, SampleViolation};
+pub use spill::{decode_summary, encode_summary, SpillCodec, SpillError};

@@ -1,0 +1,503 @@
+//! The explorer's memo table: a hash-sharded, optionally **two-tier**
+//! (RAM + disk) map from configuration keys to subtree summaries.
+//!
+//! Tier one is a bounded per-shard `HashMap` of live `Arc<Summary>`
+//! values — the *hot* tier.  When [`MemoConfig::hot_capacity`] is finite,
+//! each shard evicts its coldest entries (clock / second-chance order) to
+//! tier two: an append-only segment file per shard
+//! ([`crate::spill::SegmentStore`]), with an in-memory `key → (segment,
+//! offset, len)` index.  A lookup that misses the hot tier but hits the
+//! index rehydrates the record from disk and promotes it back to hot.
+//!
+//! Two invariants make the tiers invisible to the exploration result:
+//!
+//! * **membership is exact** — a key is "memoized" iff it is in the hot
+//!   map or the spill index, so `get`/`insert` answer exactly as the
+//!   all-RAM memo would; eviction never forgets a key (only its summary's
+//!   residence changes), so `distinct` still counts fresh insertions and
+//!   the `max_states` budget and `distinct_states` are unaffected;
+//! * **summaries are immutable** — once inserted, a summary never
+//!   changes, so a record spilled once is never rewritten: re-evicting a
+//!   rehydrated entry just drops the hot copy and keeps the old index
+//!   ref.
+//!
+//! Keys (the per-process protocol snapshots) always stay in memory — the
+//! index needs them for exact-match lookups.  What spilling buys is
+//! evicting the *summaries*, whose `worst_round_by_f`/valency payload
+//! dominates per-entry size for non-trivial `(n, t)`.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use twostep_sim::SyncProtocol;
+
+use crate::explorer::Summary;
+use crate::spill::{
+    decode_summary, encode_summary, SegmentStore, SpillCodec, SpillDir, SpillError,
+};
+
+/// Memo-tier configuration: how many summaries stay hot in RAM and where
+/// cold ones spill.
+///
+/// The default ([`MemoConfig::all_ram`]) keeps every entry in memory —
+/// behavior identical to the pre-spill engine.  Setting a finite
+/// [`hot_capacity`](Self::hot_capacity) enables the disk tier: the memo
+/// keeps at most that many summaries hot (split across shards, minimum
+/// one per shard) and spills the rest to segment files under
+/// [`spill_dir`](Self::spill_dir) — or under a fresh directory inside the
+/// system temp dir when `None`.  Either way the segment files live in a
+/// unique per-exploration subdirectory that is removed when the
+/// exploration finishes (the caller's `spill_dir` root itself is never
+/// deleted).
+///
+/// Spilling changes **only** memory residence: reports are bit-identical
+/// to the all-RAM engine at any `hot_capacity` and any thread count, and
+/// the `max_states` budget still counts *distinct* configurations, not
+/// resident ones — which is the point: `max_states` stops being a RAM
+/// bound.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MemoConfig {
+    /// Target number of summaries resident in RAM, split evenly across
+    /// the engine's shards; `usize::MAX` (the default) disables the disk
+    /// tier entirely.  The split quantizes: each shard holds at least one
+    /// hot summary, so actual residency is
+    /// `shards · max(1, hot_capacity / shards)` — up to `shards` entries
+    /// when `hot_capacity < shards`.  Results never depend on the value,
+    /// only memory/IO do.
+    pub hot_capacity: usize,
+    /// Root directory for segment files (`None` = system temp dir).
+    /// Ignored unless `hot_capacity` is finite.
+    pub spill_dir: Option<PathBuf>,
+}
+
+impl Default for MemoConfig {
+    fn default() -> Self {
+        Self::all_ram()
+    }
+}
+
+impl MemoConfig {
+    /// Everything stays in RAM — the pre-spill engine, unchanged.
+    pub fn all_ram() -> Self {
+        MemoConfig {
+            hot_capacity: usize::MAX,
+            spill_dir: None,
+        }
+    }
+
+    /// Spill to a fresh directory under the system temp dir, keeping at
+    /// most `hot_capacity` summaries in RAM.
+    pub fn spill(hot_capacity: usize) -> Self {
+        MemoConfig {
+            hot_capacity,
+            spill_dir: None,
+        }
+    }
+
+    /// Spill to a fresh subdirectory of `dir`, keeping at most
+    /// `hot_capacity` summaries in RAM.
+    pub fn spill_to(hot_capacity: usize, dir: impl Into<PathBuf>) -> Self {
+        MemoConfig {
+            hot_capacity,
+            spill_dir: Some(dir.into()),
+        }
+    }
+
+    /// Whether the disk tier is active.
+    pub fn spill_enabled(&self) -> bool {
+        self.hot_capacity != usize::MAX
+    }
+}
+
+/// Canonical snapshot of one process inside a configuration key.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub(crate) enum Snap<P: SyncProtocol>
+where
+    P::Output: Hash,
+{
+    Active(P),
+    Decided(P::Output, u32),
+    Crashed(Option<(P::Output, u32)>),
+}
+
+/// Configuration key: the upcoming round plus per-process snapshots.  The
+/// remaining crash budget is derivable (crashed count is in the snaps), so
+/// equal keys have identical futures *and* identical past decisions.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub(crate) struct Key<P: SyncProtocol>
+where
+    P::Output: Hash,
+{
+    pub(crate) round: u32,
+    pub(crate) snaps: Vec<Snap<P>>,
+}
+
+/// A configuration key bundled with its full hash, computed **once**.
+///
+/// Hashing a key is the memo path's dominant fixed cost (it walks every
+/// process's protocol snapshot), and a naive sharded map would pay it
+/// twice per operation — once to pick the shard, once inside the shard's
+/// `HashMap`.  `HashedKey` caches the SipHash of the key; the shard index
+/// derives from the cached value and the map's own `Hash` impl just
+/// re-emits it, so each get/insert hashes the underlying key exactly
+/// once.  Equality still compares full keys, so hash collisions stay
+/// correct.
+pub(crate) struct HashedKey<P: SyncProtocol>
+where
+    P::Output: Hash,
+{
+    pub(crate) hash: u64,
+    pub(crate) key: Key<P>,
+}
+
+impl<P> HashedKey<P>
+where
+    P: SyncProtocol + Clone + Eq + Hash,
+    P::Output: Hash,
+{
+    pub(crate) fn new(key: Key<P>) -> Self {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        HashedKey {
+            hash: hasher.finish(),
+            key,
+        }
+    }
+}
+
+impl<P: SyncProtocol> Hash for HashedKey<P>
+where
+    P::Output: Hash,
+{
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+impl<P: SyncProtocol> PartialEq for HashedKey<P>
+where
+    P: PartialEq,
+    P::Output: Hash,
+{
+    fn eq(&self, other: &Self) -> bool {
+        self.hash == other.hash && self.key == other.key
+    }
+}
+
+impl<P: SyncProtocol> Eq for HashedKey<P>
+where
+    P: Eq,
+    P::Output: Hash,
+{
+}
+
+/// One hot-tier entry: the live summary plus its clock reference bit.
+struct HotEntry<O> {
+    summary: Arc<Summary<O>>,
+    /// Second-chance bit: set on every touch, cleared (and the entry
+    /// rotated to the clock tail) the first time the hand reaches it.
+    referenced: bool,
+}
+
+/// One memo shard.  Keys are shared between the hot map, the clock queue,
+/// and the spill index via `Arc`, so the clock and index never clone the
+/// (potentially large) protocol snapshots.
+struct Shard<P>
+where
+    P: SyncProtocol + Clone + Eq + Hash,
+    P::Output: Hash,
+{
+    hot: HashMap<Arc<HashedKey<P>>, HotEntry<P::Output>>,
+    /// Clock order over the hot entries; front = eviction hand.
+    clock: VecDeque<Arc<HashedKey<P>>>,
+    /// Spilled records: every key that has ever been evicted.
+    index: HashMap<Arc<HashedKey<P>>, crate::spill::SpillRef>,
+    store: Option<SegmentStore>,
+    /// Reusable encode buffer for evictions.
+    scratch: Vec<u8>,
+}
+
+impl<P> Shard<P>
+where
+    P: SyncProtocol + Clone + Eq + Hash,
+    P::Output: Hash + Clone + Eq + SpillCodec,
+{
+    fn new(store: Option<SegmentStore>) -> Self {
+        Shard {
+            hot: HashMap::new(),
+            clock: VecDeque::new(),
+            index: HashMap::new(),
+            store,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Reads and decodes one spilled record.  An associated fn over the
+    /// destructured store (not `&mut self`) so `for_each`/`find_map` can
+    /// call it while iterating the index.
+    fn read_spilled(
+        store: &mut Option<SegmentStore>,
+        spill_ref: &crate::spill::SpillRef,
+    ) -> Result<Summary<P::Output>, SpillError> {
+        let payload = store
+            .as_mut()
+            .expect("spill index entries require a segment store")
+            .read(spill_ref)?;
+        decode_summary::<P::Output>(&payload).ok_or_else(|| SpillError {
+            detail: format!(
+                "corrupt summary record at segment {} offset {}",
+                spill_ref.segment, spill_ref.offset
+            ),
+        })
+    }
+
+    /// Reads and decodes `key`'s spilled record, if it has one.  The
+    /// caller promotes the result back to the hot tier via [`Self::admit`].
+    fn rehydrate(
+        &mut self,
+        key: &HashedKey<P>,
+    ) -> Result<Option<Arc<Summary<P::Output>>>, SpillError> {
+        let spill_ref = match self.index.get(key) {
+            Some(r) => *r,
+            None => return Ok(None),
+        };
+        Ok(Some(Arc::new(Self::read_spilled(
+            &mut self.store,
+            &spill_ref,
+        )?)))
+    }
+
+    fn admit(
+        &mut self,
+        key: Arc<HashedKey<P>>,
+        summary: Arc<Summary<P::Output>>,
+        hot_capacity: usize,
+    ) -> Result<(), SpillError> {
+        if hot_capacity != usize::MAX {
+            while self.hot.len() >= hot_capacity {
+                self.evict_one()?;
+            }
+            self.clock.push_back(Arc::clone(&key));
+        }
+        self.hot.insert(
+            key,
+            HotEntry {
+                summary,
+                referenced: true,
+            },
+        );
+        Ok(())
+    }
+
+    /// Evicts exactly one hot entry in clock (second-chance) order,
+    /// spilling its summary unless an earlier eviction already did.
+    fn evict_one(&mut self) -> Result<(), SpillError> {
+        loop {
+            let key = self
+                .clock
+                .pop_front()
+                .expect("clock queue tracks every hot entry");
+            let entry = self
+                .hot
+                .get_mut(&*key)
+                .expect("clock queue tracks every hot entry");
+            if entry.referenced {
+                entry.referenced = false;
+                self.clock.push_back(key);
+                continue;
+            }
+            let entry = self.hot.remove(&*key).expect("entry present above");
+            if !self.index.contains_key(&*key) {
+                self.scratch.clear();
+                encode_summary(&entry.summary, &mut self.scratch);
+                let spill_ref = self
+                    .store
+                    .as_mut()
+                    .expect("bounded hot tier requires a segment store")
+                    .append(&self.scratch)?;
+                self.index.insert(key, spill_ref);
+            }
+            return Ok(());
+        }
+    }
+}
+
+/// The memo table, split into hash-addressed mutex-guarded shards so
+/// concurrent walkers rarely contend on the same lock, each shard holding
+/// a hot RAM tier and (under a finite [`MemoConfig::hot_capacity`]) a
+/// cold disk tier.
+///
+/// `distinct` counts *fresh* key insertions only: racing walkers that
+/// compute the same subtree insert identical summaries, the first wins,
+/// and the count stays equal to the key-set cardinality — which is what
+/// makes the state budget and `distinct_states` deterministic, spilled
+/// or not.
+pub(crate) struct ShardedMemo<P>
+where
+    P: SyncProtocol + Clone + Eq + Hash,
+    P::Output: Hash,
+{
+    shards: Vec<Mutex<Shard<P>>>,
+    distinct: AtomicUsize,
+    /// Hot entries allowed per shard; `usize::MAX` = unbounded (no spill).
+    per_shard_hot: usize,
+    /// Owns the on-disk spill directory; dropped (and removed) with the
+    /// memo.
+    _spill_dir: Option<SpillDir>,
+}
+
+impl<P> ShardedMemo<P>
+where
+    P: SyncProtocol + Clone + Eq + Hash,
+    P::Output: Hash + Clone + Eq + SpillCodec,
+{
+    pub(crate) fn new(shards: usize, config: &MemoConfig) -> Result<Self, SpillError> {
+        let shards = shards.max(1);
+        let (spill_dir, per_shard_hot) = if config.spill_enabled() {
+            let dir = SpillDir::create(config.spill_dir.as_deref())?;
+            (Some(dir), (config.hot_capacity / shards).max(1))
+        } else {
+            (None, usize::MAX)
+        };
+        let shard_vec = (0..shards)
+            .map(|i| {
+                let store = spill_dir
+                    .as_ref()
+                    .map(|dir| SegmentStore::new(dir.path(), i));
+                Mutex::new(Shard::new(store))
+            })
+            .collect();
+        Ok(ShardedMemo {
+            shards: shard_vec,
+            distinct: AtomicUsize::new(0),
+            per_shard_hot,
+            _spill_dir: spill_dir,
+        })
+    }
+
+    fn shard_of(&self, key: &HashedKey<P>) -> usize {
+        // The map hashes the cached value through SipHash again, so using
+        // the raw value's low bits here does not correlate with bucket
+        // choice inside the shard.
+        (key.hash as usize) % self.shards.len()
+    }
+
+    pub(crate) fn get(
+        &self,
+        key: &HashedKey<P>,
+    ) -> Result<Option<Arc<Summary<P::Output>>>, SpillError> {
+        let mut shard = self.shards[self.shard_of(key)]
+            .lock()
+            .expect("memo shard poisoned");
+        if let Some(entry) = shard.hot.get_mut(key) {
+            entry.referenced = true;
+            return Ok(Some(Arc::clone(&entry.summary)));
+        }
+        match shard.rehydrate(key)? {
+            Some(summary) => {
+                let arc_key = shard
+                    .index
+                    .get_key_value(key)
+                    .map(|(k, _)| Arc::clone(k))
+                    .expect("rehydrated key is indexed");
+                shard.admit(arc_key, Arc::clone(&summary), self.per_shard_hot)?;
+                Ok(Some(summary))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Inserts if absent; returns the canonical summary for the key (the
+    /// existing one on a race) so all holders share one `Arc`.
+    pub(crate) fn insert(
+        &self,
+        key: HashedKey<P>,
+        summary: Arc<Summary<P::Output>>,
+    ) -> Result<Arc<Summary<P::Output>>, SpillError> {
+        let idx = self.shard_of(&key);
+        let mut shard = self.shards[idx].lock().expect("memo shard poisoned");
+        if self.per_shard_hot == usize::MAX {
+            // All-RAM fast path: a single probe of the hot map (there is
+            // no index, no clock, and no eviction to interleave).
+            return Ok(match shard.hot.entry(Arc::new(key)) {
+                std::collections::hash_map::Entry::Occupied(e) => Arc::clone(&e.get().summary),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(HotEntry {
+                        summary: Arc::clone(&summary),
+                        referenced: true,
+                    });
+                    self.distinct.fetch_add(1, Ordering::Relaxed);
+                    summary
+                }
+            });
+        }
+        if let Some(entry) = shard.hot.get_mut(&key) {
+            entry.referenced = true;
+            return Ok(Arc::clone(&entry.summary));
+        }
+        if let Some(existing) = shard.rehydrate(&key)? {
+            let arc_key = shard
+                .index
+                .get_key_value(&key)
+                .map(|(k, _)| Arc::clone(k))
+                .expect("rehydrated key is indexed");
+            shard.admit(arc_key, Arc::clone(&existing), self.per_shard_hot)?;
+            return Ok(existing);
+        }
+        shard.admit(Arc::new(key), Arc::clone(&summary), self.per_shard_hot)?;
+        self.distinct.fetch_add(1, Ordering::Relaxed);
+        Ok(summary)
+    }
+
+    /// Distinct configurations memoized so far (hot + spilled).
+    pub(crate) fn len(&self) -> usize {
+        self.distinct.load(Ordering::Relaxed)
+    }
+
+    /// Visits every memoized entry, rehydrating spilled ones
+    /// (single-threaded, post-exploration).
+    pub(crate) fn for_each(
+        &self,
+        mut f: impl FnMut(&Key<P>, &Arc<Summary<P::Output>>),
+    ) -> Result<(), SpillError> {
+        self.find_map(|key, summary| {
+            f(key, summary);
+            None::<()>
+        })
+        .map(|_| ())
+    }
+
+    /// First `Some` produced by `f` over the memoized entries (hot first,
+    /// then spilled-only — each key exactly once), stopping the scan as
+    /// soon as it is found.
+    pub(crate) fn find_map<R>(
+        &self,
+        mut f: impl FnMut(&Key<P>, &Arc<Summary<P::Output>>) -> Option<R>,
+    ) -> Result<Option<R>, SpillError> {
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("memo shard poisoned");
+            for (key, entry) in shard.hot.iter() {
+                if let Some(found) = f(&key.key, &entry.summary) {
+                    return Ok(Some(found));
+                }
+            }
+            let Shard {
+                hot, index, store, ..
+            } = &mut *shard;
+            for (key, spill_ref) in index.iter() {
+                if hot.contains_key(key) {
+                    continue; // already visited via the hot tier
+                }
+                let summary = Arc::new(Shard::<P>::read_spilled(store, spill_ref)?);
+                if let Some(found) = f(&key.key, &summary) {
+                    return Ok(Some(found));
+                }
+            }
+        }
+        Ok(None)
+    }
+}

@@ -1,0 +1,448 @@
+//! Binary encoding and append-only segment storage for spilled memo
+//! entries — the cold tier of the explorer's two-tier memo.
+//!
+//! The hot tier of [`crate::memo`] keeps recently used summaries as live
+//! `Arc<Summary>` values; everything evicted from it lands here, as a
+//! compact, self-delimiting binary record inside an append-only **segment
+//! file**.  Three pieces:
+//!
+//! * [`SpillCodec`] — the byte encoding of decision values (and of the
+//!   containers [`Summary`](crate::Summary) is built from).  Every output
+//!   type a protocol wants to model-check under a spilling memo must
+//!   implement it; impls are provided for the primitive integers, `bool`,
+//!   `()`, [`WideValue`], `Option<T>`, `Vec<T>`, and pairs.
+//! * [`encode_summary`] / [`decode_summary`] — the record payload: round
+//!   census (`worst_round_by_f`), terminal count, valency set, violation
+//!   flag.  Encoding then decoding is the identity (round-trip tested
+//!   here and property-tested in `tests/spill_roundtrip.rs`).
+//! * [`SegmentStore`] — one shard's append-only storage: length-prefixed
+//!   records written sequentially, rotated into a fresh segment file every
+//!   [`SEGMENT_BYTES`], addressed by [`SpillRef`] `(segment, offset,
+//!   len)`.  Records are immutable once written — a summary that was
+//!   spilled, rehydrated, and evicted again is *not* rewritten; its old
+//!   record is still valid.
+//!
+//! Segment files live in a [`SpillDir`]: a unique per-exploration
+//! subdirectory of either a caller-chosen root or the system temp dir,
+//! removed recursively when the exploration's memo is dropped.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use twostep_model::WideValue;
+
+use crate::explorer::Summary;
+
+/// Bytes after which a shard rotates to a fresh segment file.
+pub(crate) const SEGMENT_BYTES: u64 = 64 * 1024 * 1024;
+
+/// An error from the spill tier: directory creation, segment I/O, or a
+/// record that fails to decode.
+#[derive(Clone, Debug)]
+pub struct SpillError {
+    /// Human-readable description of what failed.
+    pub detail: String,
+}
+
+impl SpillError {
+    fn io(context: &str, e: std::io::Error) -> Self {
+        SpillError {
+            detail: format!("{context}: {e}"),
+        }
+    }
+}
+
+impl std::fmt::Display for SpillError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "memo spill failure: {}", self.detail)
+    }
+}
+
+impl std::error::Error for SpillError {}
+
+// ---------------------------------------------------------------------------
+// Value codec
+// ---------------------------------------------------------------------------
+
+/// Byte encoding for values stored in spilled memo records.
+///
+/// The contract is the obvious one: `decode` must invert `encode` —
+/// appending `encode`'s output to a buffer and then decoding from it
+/// yields an equal value and consumes exactly the bytes `encode`
+/// produced.  `decode` returns `None` on truncated or malformed input
+/// instead of panicking; the memo treats that as a corrupt segment.
+pub trait SpillCodec: Sized {
+    /// Appends this value's encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Decodes one value from the front of `input`, advancing it past the
+    /// consumed bytes; `None` if the bytes do not form a valid value.
+    fn decode(input: &mut &[u8]) -> Option<Self>;
+}
+
+fn take<'a>(input: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+    if input.len() < n {
+        return None;
+    }
+    let (head, tail) = input.split_at(n);
+    *input = tail;
+    Some(head)
+}
+
+macro_rules! impl_spill_codec_int {
+    ($($ty:ty),*) => {$(
+        impl SpillCodec for $ty {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode(input: &mut &[u8]) -> Option<Self> {
+                let bytes = take(input, std::mem::size_of::<$ty>())?;
+                Some(<$ty>::from_le_bytes(bytes.try_into().ok()?))
+            }
+        }
+    )*};
+}
+
+impl_spill_codec_int!(u8, u16, u32, u64, u128, i8, i16, i32, i64, i128);
+
+impl SpillCodec for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        match take(input, 1)?[0] {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+}
+
+impl SpillCodec for () {
+    fn encode(&self, _out: &mut Vec<u8>) {}
+    fn decode(_input: &mut &[u8]) -> Option<Self> {
+        Some(())
+    }
+}
+
+impl SpillCodec for WideValue {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.width().encode(out);
+        self.ident().encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let bits = u32::decode(input)?;
+        let ident = u64::decode(input)?;
+        if bits == 0 {
+            return None; // Theorem 2 values are at least one bit wide.
+        }
+        Some(WideValue::new(bits, ident))
+    }
+}
+
+impl<T: SpillCodec> SpillCodec for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        match take(input, 1)?[0] {
+            0 => Some(None),
+            1 => Some(Some(T::decode(input)?)),
+            _ => None,
+        }
+    }
+}
+
+impl<T: SpillCodec> SpillCodec for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        for v in self {
+            v.encode(out);
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let len = u32::decode(input)? as usize;
+        let mut out = Vec::with_capacity(len.min(1024));
+        for _ in 0..len {
+            out.push(T::decode(input)?);
+        }
+        Some(out)
+    }
+}
+
+impl<A: SpillCodec, B: SpillCodec> SpillCodec for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some((A::decode(input)?, B::decode(input)?))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Summary records
+// ---------------------------------------------------------------------------
+
+/// Appends the compact binary record for a [`Summary`] to `out`.
+pub fn encode_summary<O: SpillCodec>(summary: &Summary<O>, out: &mut Vec<u8>) {
+    summary.terminals.encode(out);
+    summary.worst_round_by_f.encode(out);
+    summary.decided.encode(out);
+    summary.violating.encode(out);
+}
+
+/// Decodes a [`Summary`] record produced by [`encode_summary`]; `None` if
+/// the bytes are truncated, malformed, or carry trailing garbage.
+pub fn decode_summary<O: SpillCodec>(mut input: &[u8]) -> Option<Summary<O>> {
+    let summary = Summary {
+        terminals: u64::decode(&mut input)?,
+        worst_round_by_f: Vec::<Option<u32>>::decode(&mut input)?,
+        decided: Vec::<O>::decode(&mut input)?,
+        violating: bool::decode(&mut input)?,
+    };
+    if !input.is_empty() {
+        return None;
+    }
+    Some(summary)
+}
+
+// ---------------------------------------------------------------------------
+// Spill directory lifecycle
+// ---------------------------------------------------------------------------
+
+static SPILL_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A unique, owned directory holding one exploration's segment files,
+/// removed recursively on drop.
+///
+/// Created as a fresh `twostep-spill-<pid>-<seq>` subdirectory of the
+/// caller's root (or the system temp dir), so concurrent explorations —
+/// even ones sharing a `spill_dir` root — never collide, and the root
+/// itself is never deleted.
+pub(crate) struct SpillDir {
+    path: PathBuf,
+}
+
+impl SpillDir {
+    /// Creates the unique spill directory under `root` (system temp dir
+    /// when `None`).
+    pub(crate) fn create(root: Option<&Path>) -> Result<SpillDir, SpillError> {
+        let root = root.map_or_else(std::env::temp_dir, Path::to_path_buf);
+        let path = root.join(format!(
+            "twostep-spill-{}-{}",
+            std::process::id(),
+            SPILL_DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&path)
+            .map_err(|e| SpillError::io(&format!("creating spill dir {}", path.display()), e))?;
+        Ok(SpillDir { path })
+    }
+
+    /// The directory's path.
+    pub(crate) fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for SpillDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Segment store
+// ---------------------------------------------------------------------------
+
+/// Address of one spilled record: which segment file of the owning shard,
+/// the byte offset of its length prefix, and the payload length.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct SpillRef {
+    pub(crate) segment: u32,
+    pub(crate) offset: u64,
+    pub(crate) len: u32,
+}
+
+/// One shard's append-only spill storage: length-prefixed records in a
+/// chain of segment files (`shard<S>-seg<K>.spill`), rotated every
+/// [`SEGMENT_BYTES`].  All access is serialized by the owning shard's
+/// lock, so a plain `File` per segment (shared cursor, explicit seeks)
+/// suffices.
+pub(crate) struct SegmentStore {
+    dir: PathBuf,
+    shard: usize,
+    segments: Vec<File>,
+    /// Bytes written to the last segment (`0` when no segment is open).
+    tail_len: u64,
+}
+
+impl SegmentStore {
+    /// An empty store writing `shard<shard>-seg*.spill` under `dir`.
+    /// Segment files are created lazily on first append.
+    pub(crate) fn new(dir: &Path, shard: usize) -> Self {
+        SegmentStore {
+            dir: dir.to_path_buf(),
+            shard,
+            segments: Vec::new(),
+            tail_len: 0,
+        }
+    }
+
+    fn open_segment(&mut self) -> Result<(), SpillError> {
+        let path = self.dir.join(format!(
+            "shard{}-seg{}.spill",
+            self.shard,
+            self.segments.len()
+        ));
+        let file = OpenOptions::new()
+            .create_new(true)
+            .read(true)
+            .write(true)
+            .open(&path)
+            .map_err(|e| SpillError::io(&format!("creating segment {}", path.display()), e))?;
+        self.segments.push(file);
+        self.tail_len = 0;
+        Ok(())
+    }
+
+    /// Appends one `[u32 len][payload]` record, returning its address.
+    pub(crate) fn append(&mut self, payload: &[u8]) -> Result<SpillRef, SpillError> {
+        if self.segments.is_empty() || self.tail_len >= SEGMENT_BYTES {
+            self.open_segment()?;
+        }
+        let segment = self.segments.len() - 1;
+        let offset = self.tail_len;
+        let file = &mut self.segments[segment];
+        // Reads share this handle's cursor, so position explicitly.
+        file.seek(SeekFrom::Start(offset))
+            .map_err(|e| SpillError::io("seeking segment tail", e))?;
+        file.write_all(&(payload.len() as u32).to_le_bytes())
+            .map_err(|e| SpillError::io("writing record length", e))?;
+        file.write_all(payload)
+            .map_err(|e| SpillError::io("writing record payload", e))?;
+        self.tail_len = offset + 4 + payload.len() as u64;
+        Ok(SpillRef {
+            segment: segment as u32,
+            offset,
+            len: payload.len() as u32,
+        })
+    }
+
+    /// Reads the record at `r`, verifying its length prefix.
+    pub(crate) fn read(&mut self, r: &SpillRef) -> Result<Vec<u8>, SpillError> {
+        let file = self
+            .segments
+            .get_mut(r.segment as usize)
+            .ok_or_else(|| SpillError {
+                detail: format!("segment {} does not exist", r.segment),
+            })?;
+        file.seek(SeekFrom::Start(r.offset))
+            .map_err(|e| SpillError::io("seeking record", e))?;
+        let mut prefix = [0u8; 4];
+        file.read_exact(&mut prefix)
+            .map_err(|e| SpillError::io("reading record length", e))?;
+        let stored = u32::from_le_bytes(prefix);
+        if stored != r.len {
+            return Err(SpillError {
+                detail: format!(
+                    "record length mismatch at segment {} offset {}: stored {stored}, expected {}",
+                    r.segment, r.offset, r.len
+                ),
+            });
+        }
+        let mut payload = vec![0u8; r.len as usize];
+        file.read_exact(&mut payload)
+            .map_err(|e| SpillError::io("reading record payload", e))?;
+        Ok(payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: SpillCodec + PartialEq + std::fmt::Debug>(value: T) {
+        let mut buf = Vec::new();
+        value.encode(&mut buf);
+        let mut input = buf.as_slice();
+        let back = T::decode(&mut input).expect("decodes");
+        assert_eq!(back, value);
+        assert!(input.is_empty(), "decode consumed exactly the encoding");
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        roundtrip(0u8);
+        roundtrip(u64::MAX);
+        roundtrip(-5i64);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(Some(17u32));
+        roundtrip(None::<u32>);
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip(Vec::<u64>::new());
+        roundtrip((7u32, Some(9u64)));
+        roundtrip(WideValue::new(1, 1));
+        roundtrip(WideValue::new(128, 42));
+    }
+
+    #[test]
+    fn truncated_input_decodes_to_none() {
+        let mut buf = Vec::new();
+        12345u64.encode(&mut buf);
+        let mut short = &buf[..5];
+        assert!(u64::decode(&mut short).is_none());
+        let mut bad_bool = &[7u8][..];
+        assert!(bool::decode(&mut bad_bool).is_none());
+    }
+
+    #[test]
+    fn summary_record_roundtrips() {
+        let summary = Summary {
+            terminals: 42,
+            worst_round_by_f: vec![Some(1), None, Some(3)],
+            decided: vec![WideValue::new(1, 0), WideValue::new(1, 1)],
+            violating: true,
+        };
+        let mut buf = Vec::new();
+        encode_summary(&summary, &mut buf);
+        let back: Summary<WideValue> = decode_summary(&buf).expect("decodes");
+        assert_eq!(back, summary);
+        // Trailing garbage is rejected.
+        buf.push(0);
+        assert!(decode_summary::<WideValue>(&buf).is_none());
+    }
+
+    #[test]
+    fn segment_store_append_and_read() {
+        let dir = SpillDir::create(None).unwrap();
+        let mut store = SegmentStore::new(dir.path(), 3);
+        let refs: Vec<SpillRef> = (0..50u8)
+            .map(|i| store.append(&vec![i; i as usize + 1]).unwrap())
+            .collect();
+        // Read back in a scrambled order; every record must be intact.
+        for (i, r) in refs.iter().enumerate().rev() {
+            let payload = store.read(r).unwrap();
+            assert_eq!(payload, vec![i as u8; i + 1]);
+        }
+        assert_eq!(refs[0].segment, 0);
+    }
+
+    #[test]
+    fn spill_dir_is_removed_on_drop() {
+        let dir = SpillDir::create(None).unwrap();
+        let path = dir.path().to_path_buf();
+        std::fs::write(path.join("probe"), b"x").unwrap();
+        assert!(path.exists());
+        drop(dir);
+        assert!(!path.exists(), "temp spill dir cleaned on drop");
+    }
+}

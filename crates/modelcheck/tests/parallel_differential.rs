@@ -16,7 +16,8 @@ use twostep_baselines::floodset_processes;
 use twostep_core::crw_processes;
 use twostep_model::{SystemConfig, WideValue};
 use twostep_modelcheck::{
-    explore, explore_with, ExploreConfig, ExploreOptions, ExploreReport, RoundBound, SpecMode,
+    explore, explore_with, ExploreConfig, ExploreOptions, ExploreReport, MemoConfig, RoundBound,
+    SpecMode,
 };
 use twostep_sim::ModelKind;
 
@@ -86,6 +87,7 @@ fn extended_model_crw_parallel_equals_serial() {
                 ExploreOptions {
                     threads,
                     shards: 16,
+                    memo: MemoConfig::all_ram(),
                 },
                 crw_processes(&system, &proposals),
                 proposals.clone(),
@@ -127,6 +129,7 @@ fn classic_model_floodset_parallel_equals_serial() {
                 ExploreOptions {
                     threads,
                     shards: 16,
+                    memo: MemoConfig::all_ram(),
                 },
                 floodset_processes(n, t, &proposals),
                 proposals.clone(),

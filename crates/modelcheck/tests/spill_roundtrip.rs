@@ -1,0 +1,72 @@
+//! Property tests for the spill tier's binary `Summary` encoding:
+//! encode → decode must be the identity across generated census shapes,
+//! valency sets, and value types (`u64` and width-carrying `WideValue`).
+
+use proptest::prelude::*;
+use twostep_model::WideValue;
+use twostep_modelcheck::{decode_summary, encode_summary, SpillCodec, Summary};
+
+fn option_round() -> impl Strategy<Value = Option<u32>> {
+    prop_oneof![
+        Just(None),
+        (0u32..100_000).prop_map(Some),
+        Just(Some(u32::MAX)),
+    ]
+}
+
+fn roundtrip<O: SpillCodec + Clone + Eq + std::fmt::Debug>(
+    summary: &Summary<O>,
+) -> Result<(), TestCaseError> {
+    let mut buf = Vec::new();
+    encode_summary(summary, &mut buf);
+    let back: Summary<O> = match decode_summary(&buf) {
+        Some(back) => back,
+        None => return Err(TestCaseError::fail("encoding failed to decode")),
+    };
+    prop_assert_eq!(&back, summary);
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn u64_summaries_roundtrip(
+        terminals in any::<u64>(),
+        rounds in prop::collection::vec(option_round(), 0..=9),
+        decided in prop::collection::vec(any::<u64>(), 0..=6),
+        violating in any::<bool>(),
+    ) {
+        roundtrip(&Summary { terminals, worst_round_by_f: rounds, decided, violating })?;
+    }
+
+    #[test]
+    fn wide_value_summaries_roundtrip(
+        terminals in any::<u64>(),
+        rounds in prop::collection::vec(option_round(), 0..=9),
+        raw in prop::collection::vec((1u32..=130, any::<u64>()), 0..=6),
+        violating in any::<bool>(),
+    ) {
+        // Valency sets carry *distinct* values, but the codec must not
+        // care; feed it whatever the generator produced.
+        let decided: Vec<WideValue> =
+            raw.into_iter().map(|(bits, ident)| WideValue::new(bits, ident)).collect();
+        roundtrip(&Summary { terminals, worst_round_by_f: rounds, decided, violating })?;
+    }
+
+    #[test]
+    fn truncation_never_decodes(
+        terminals in any::<u64>(),
+        rounds in prop::collection::vec(option_round(), 0..=5),
+        decided in prop::collection::vec(any::<u64>(), 0..=4),
+        violating in any::<bool>(),
+        cut in any::<u64>(),
+    ) {
+        let summary = Summary { terminals, worst_round_by_f: rounds, decided, violating };
+        let mut buf = Vec::new();
+        encode_summary(&summary, &mut buf);
+        // Any strict prefix must be rejected, as must trailing garbage.
+        let cut = (cut as usize) % buf.len();
+        prop_assert!(decode_summary::<u64>(&buf[..cut]).is_none());
+        buf.push(0xAB);
+        prop_assert!(decode_summary::<u64>(&buf).is_none());
+    }
+}

@@ -21,7 +21,7 @@ fn explore<P>(
 ) -> Result<twostep_modelcheck::ExploreReport<P::Output>, twostep_modelcheck::ExploreError>
 where
     P: twostep_modelcheck::CheckableProtocol,
-    P::Output: std::hash::Hash,
+    P::Output: std::hash::Hash + twostep_modelcheck::SpillCodec,
 {
     explore_with(
         system,

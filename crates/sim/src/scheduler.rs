@@ -21,24 +21,70 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 
+/// Hard cap on the worker count accepted from `TWOSTEP_THREADS`: values
+/// above this are almost certainly typos (no machine this workspace
+/// targets has thousands of cores, and each worker pins a thread), so
+/// they are clamped rather than honored.
+pub const MAX_THREADS: usize = 4096;
+
 /// Number of worker threads to use by default.
 ///
 /// Resolution order:
 ///
-/// 1. `TWOSTEP_THREADS` environment variable, parsed as an integer and
-///    clamped to a minimum of 1 (useful to pin CI or reproduce serial
-///    behavior: `TWOSTEP_THREADS=1`);
+/// 1. `TWOSTEP_THREADS` environment variable (useful to pin CI or
+///    reproduce serial behavior: `TWOSTEP_THREADS=1`); surrounding
+///    whitespace is tolerated, values above [`MAX_THREADS`] are clamped,
+///    and `0` or an unparseable value is **not** silently honored — it
+///    falls back to machine parallelism with a one-time warning on
+///    stderr;
 /// 2. the machine's available parallelism;
 /// 3. 1, if neither is known.
 pub fn default_threads() -> usize {
-    if let Ok(v) = std::env::var("TWOSTEP_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
-        }
-    }
-    std::thread::available_parallelism()
+    let machine = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(1)
+        .unwrap_or(1);
+    let raw = std::env::var("TWOSTEP_THREADS").ok();
+    let (threads, warning) = resolve_threads(raw.as_deref(), machine);
+    if let Some(warning) = warning {
+        static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+        WARN_ONCE.call_once(|| eprintln!("twostep: {warning}"));
+    }
+    threads
+}
+
+/// Pure resolution of a `TWOSTEP_THREADS` value against the machine's
+/// parallelism: the worker count plus an optional warning describing a
+/// loud fallback or clamp.  Split from [`default_threads`] so the policy
+/// is unit-testable without touching process environment.
+fn resolve_threads(raw: Option<&str>, machine: usize) -> (usize, Option<String>) {
+    let machine = machine.max(1);
+    let raw = match raw {
+        None => return (machine, None),
+        Some(raw) => raw,
+    };
+    match raw.trim().parse::<usize>() {
+        Ok(0) => (
+            machine,
+            Some(format!(
+                "TWOSTEP_THREADS=0 is invalid (need at least one worker); \
+                 falling back to machine parallelism ({machine})"
+            )),
+        ),
+        Ok(n) if n > MAX_THREADS => (
+            MAX_THREADS,
+            Some(format!(
+                "TWOSTEP_THREADS={n} exceeds the {MAX_THREADS}-thread cap; clamping"
+            )),
+        ),
+        Ok(n) => (n, None),
+        Err(_) => (
+            machine,
+            Some(format!(
+                "TWOSTEP_THREADS={raw:?} is not a thread count; \
+                 falling back to machine parallelism ({machine})"
+            )),
+        ),
+    }
 }
 
 /// Runs `work(worker_index)` on `threads` workers: indexes `1..threads`
@@ -165,6 +211,38 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn resolve_threads_honors_plain_values_with_whitespace() {
+        assert_eq!(resolve_threads(Some("  8 "), 4), (8, None));
+        assert_eq!(resolve_threads(Some("1"), 4), (1, None));
+        assert_eq!(resolve_threads(None, 4), (4, None));
+    }
+
+    #[test]
+    fn resolve_threads_rejects_zero_loudly() {
+        let (threads, warning) = resolve_threads(Some("0"), 8);
+        assert_eq!(threads, 8, "falls back to machine parallelism");
+        let warning = warning.expect("zero must warn, not be silently ignored");
+        assert!(warning.contains("TWOSTEP_THREADS=0"), "{warning}");
+    }
+
+    #[test]
+    fn resolve_threads_rejects_garbage_loudly() {
+        let (threads, warning) = resolve_threads(Some("not-a-number"), 6);
+        assert_eq!(threads, 6, "falls back to machine parallelism");
+        let warning = warning.expect("garbage must warn, not be silently ignored");
+        assert!(warning.contains("not-a-number"), "{warning}");
+    }
+
+    #[test]
+    fn resolve_threads_clamps_absurd_values() {
+        let (threads, warning) = resolve_threads(Some("10000"), 8);
+        assert_eq!(threads, MAX_THREADS);
+        assert!(warning.expect("clamping warns").contains("10000"));
+        // The cap itself is accepted silently.
+        assert_eq!(resolve_threads(Some("4096"), 8), (MAX_THREADS, None));
     }
 
     #[test]

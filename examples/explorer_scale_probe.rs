@@ -1,27 +1,48 @@
 //! Scale probe for the exhaustive explorer: how big does the memoized
-//! execution DAG get, and what does the parallel engine buy, as `(n, t)`
-//! grows?
+//! execution DAG get, and what do the parallel engine and the two-tier
+//! (RAM + disk) memo buy, as `(n, t)` grows?
 //!
 //! Run with `cargo run --release --example explorer_scale_probe`.
-//! Set `TWOSTEP_THREADS` to pin the parallel engine's worker count.
+//! Set `TWOSTEP_THREADS` to pin the parallel engine's worker count,
+//! `TWOSTEP_PROBE_BIG=1` to add the `(7, 6)` row (minutes, not seconds),
+//! and `TWOSTEP_PROBE_HOT` to change the spill engine's hot capacity
+//! (default 1024 summaries in RAM; everything colder lives on disk).
 
 use std::time::Instant;
 use twostep_core::crw_processes;
 use twostep_model::{SystemConfig, WideValue};
-use twostep_modelcheck::{explore_with, ExploreConfig, ExploreOptions};
+use twostep_modelcheck::{explore_with, ExploreConfig, ExploreOptions, MemoConfig};
 use twostep_sim::default_threads;
 
 fn main() {
+    let hot_capacity: usize = std::env::var("TWOSTEP_PROBE_HOT")
+        .ok()
+        .and_then(|v| match v.trim().parse() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                eprintln!(
+                    "explorer_scale_probe: TWOSTEP_PROBE_HOT={v:?} is not a number; using 1024"
+                );
+                None
+            }
+        })
+        .unwrap_or(1024);
     println!(
-        "{:>6} {:>10} {:>12} {:>14} {:>14}  (parallel = {} threads)",
+        "{:>6} {:>10} {:>12} {:>14} {:>14} {:>14}  (parallel = {} threads, spill hot = {})",
         "(n,t)",
         "states",
         "terminals",
         "serial",
         "parallel",
-        default_threads()
+        "spill",
+        default_threads(),
+        hot_capacity,
     );
-    for (n, t) in [(4usize, 3usize), (5, 4), (6, 5)] {
+    let mut systems = vec![(4usize, 3usize), (5, 4), (6, 5)];
+    if std::env::var("TWOSTEP_PROBE_BIG").is_ok_and(|v| v == "1") {
+        systems.push((7, 6));
+    }
+    for (n, t) in systems {
         let system = SystemConfig::new(n, t).unwrap();
         let proposals: Vec<WideValue> = (0..n).map(|i| WideValue::new(1, (i % 2) as u64)).collect();
         let config = ExploreConfig {
@@ -51,13 +72,30 @@ fn main() {
         .unwrap();
         let parallel_time = t1.elapsed();
 
+        // The two-tier memo: same exploration with only `hot_capacity`
+        // summaries resident; the rest spill to segment files in a temp
+        // dir (removed when the exploration drops).
+        let t2 = Instant::now();
+        let spilled = explore_with(
+            system,
+            config,
+            ExploreOptions::default().with_memo(MemoConfig::spill(hot_capacity)),
+            crw_processes(&system, &proposals),
+            proposals.clone(),
+        )
+        .unwrap();
+        let spill_time = t2.elapsed();
+
         assert_eq!(serial.distinct_states, parallel.distinct_states);
         assert_eq!(serial.root.terminals, parallel.root.terminals);
         assert_eq!(serial.root.worst_round_by_f, parallel.root.worst_round_by_f);
+        assert_eq!(serial.distinct_states, spilled.distinct_states);
+        assert_eq!(serial.root, spilled.root);
+        assert_eq!(serial.bivalency_by_round, spilled.bivalency_by_round);
 
         println!(
-            "({n},{t}) {:>10} {:>12} {:>14?} {:>14?}",
-            serial.distinct_states, serial.root.terminals, serial_time, parallel_time
+            "({n},{t}) {:>10} {:>12} {:>14?} {:>14?} {:>14?}",
+            serial.distinct_states, serial.root.terminals, serial_time, parallel_time, spill_time
         );
     }
 }
