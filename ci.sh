@@ -5,12 +5,13 @@
 #   --quick   lighter property-test load (PROPTEST_CASES=32) for smoke runs
 #
 # Knobs respected by the test suite:
-#   TWOSTEP_THREADS    worker count for sweeps + the parallel explorer
-#   PROPTEST_CASES     per-test case count for property tests
-#   CRITERION_SAMPLES  samples per benchmark (criterion benches are not
-#                      run here; the quick explorer bench below is)
-#   TWOSTEP_BENCH_N/T  (n, t) for the explorer bench (raise toward (7, 6)
-#                      as runners allow)
+#   TWOSTEP_THREADS       worker count for sweeps + the parallel explorer
+#   PROPTEST_CASES        per-test case count for property tests
+#   CRITERION_SAMPLES     samples per benchmark (criterion benches are not
+#                         run here; the quick explorer bench below is)
+#   TWOSTEP_BENCH_N/T     (n, t) for the explorer bench (raise toward (7, 6)
+#                         as runners allow)
+#   TWOSTEP_DONATE_DEPTH  donation cutoff for the bench's "donate" row
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -33,5 +34,8 @@ cargo fmt --all --check
 echo "== explorer bench (quick) -> BENCH_explorer.json"
 cargo run --release -q -p twostep-bench --bin explorer_bench -- --quick
 cat BENCH_explorer.json
+
+echo "== partitioned exploration (2 worker processes, quick)"
+cargo run --release -q -p twostep-bench --bin twostep-dist -- --quick --partitions 2
 
 echo "CI OK"

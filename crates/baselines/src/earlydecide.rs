@@ -33,7 +33,7 @@
 //! (`tests/nonuniform_exhaustive.rs` in `twostep-modelcheck`).
 
 use std::fmt;
-use twostep_model::{BitSized, PidSet, ProcessId, Round};
+use twostep_model::{BitSized, PidSet, ProcessId, Round, SpillCodec};
 use twostep_sim::{Inbox, SendPlan, Step, SyncProtocol};
 
 /// One process of the non-uniform early-deciding consensus.
@@ -113,6 +113,35 @@ where
             return Step::DecideAndContinue(self.est.clone());
         }
         Step::Continue
+    }
+}
+
+/// Spillable state for the model checker's disk-backed and distributed
+/// memo tiers.
+impl<V: SpillCodec> SpillCodec for NonUniformEarly<V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.me.encode(out);
+        self.n.encode(out);
+        self.t.encode(out);
+        self.est.encode(out);
+        self.prev.encode(out);
+        self.decided.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let me = ProcessId::decode(input)?;
+        let n = usize::decode(input)?;
+        let t = usize::decode(input)?;
+        let est = V::decode(input)?;
+        let prev = PidSet::decode(input)?;
+        let decided = Option::<V>::decode(input)?;
+        (me.idx() < n && t < n).then_some(NonUniformEarly {
+            me,
+            n,
+            t,
+            est,
+            prev,
+            decided,
+        })
     }
 }
 

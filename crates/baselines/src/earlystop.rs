@@ -30,7 +30,7 @@
 //! the full adversary space for small `n` (see `tests/`).
 
 use std::fmt;
-use twostep_model::{BitSized, ProcessId, Round};
+use twostep_model::{BitSized, ProcessId, Round, SpillCodec};
 use twostep_sim::{Inbox, SendPlan, Step, SyncProtocol};
 
 /// One early-stopping process.
@@ -112,6 +112,35 @@ where
         } else {
             Step::Continue
         }
+    }
+}
+
+/// Spillable state for the model checker's disk-backed and distributed
+/// memo tiers.
+impl<V: SpillCodec> SpillCodec for EarlyStopping<V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.me.encode(out);
+        self.n.encode(out);
+        self.t.encode(out);
+        self.est.encode(out);
+        self.early.encode(out);
+        self.prev_count.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let me = ProcessId::decode(input)?;
+        let n = usize::decode(input)?;
+        let t = usize::decode(input)?;
+        let est = V::decode(input)?;
+        let early = bool::decode(input)?;
+        let prev_count = usize::decode(input)?;
+        (me.idx() < n && t < n).then_some(EarlyStopping {
+            me,
+            n,
+            t,
+            est,
+            early,
+            prev_count,
+        })
     }
 }
 

@@ -15,7 +15,7 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
-use twostep_model::{BitSized, ProcessId, Round};
+use twostep_model::{BitSized, ProcessId, Round, SpillCodec};
 use twostep_sim::{Inbox, SendPlan, Step, SyncProtocol};
 
 /// One FloodSet process.
@@ -98,6 +98,33 @@ where
         } else {
             Step::Continue
         }
+    }
+}
+
+/// Spillable state, so FloodSet runs under the model checker's two-tier
+/// memo and distributed engine (it is the classic-model half of the
+/// differential suites).
+impl<V: Ord + SpillCodec> SpillCodec for FloodSet<V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.me.encode(out);
+        self.n.encode(out);
+        self.t.encode(out);
+        self.known.encode(out);
+        self.fresh.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let me = ProcessId::decode(input)?;
+        let n = usize::decode(input)?;
+        let t = usize::decode(input)?;
+        let known = BTreeSet::<V>::decode(input)?;
+        let fresh = Vec::<V>::decode(input)?;
+        (me.idx() < n && t < n).then_some(FloodSet {
+            me,
+            n,
+            t,
+            known,
+            fresh,
+        })
     }
 }
 

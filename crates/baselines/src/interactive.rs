@@ -20,7 +20,7 @@
 //! live processes hold identical slot sets forever.
 
 use std::fmt;
-use twostep_model::{BitSized, ProcessId, Round};
+use twostep_model::{BitSized, ProcessId, Round, SpillCodec};
 use twostep_sim::{Inbox, SendPlan, Step, SyncProtocol};
 
 /// One interactive-consistency process.
@@ -104,6 +104,32 @@ where
         } else {
             Step::Continue
         }
+    }
+}
+
+/// Spillable state for the model checker's disk-backed and distributed
+/// memo tiers.
+impl<V: SpillCodec> SpillCodec for InteractiveConsistency<V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.me.encode(out);
+        self.n.encode(out);
+        self.t.encode(out);
+        self.vector.encode(out);
+        self.fresh.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let me = ProcessId::decode(input)?;
+        let n = usize::decode(input)?;
+        let t = usize::decode(input)?;
+        let vector = Vec::<Option<V>>::decode(input)?;
+        let fresh = Vec::<(u32, V)>::decode(input)?;
+        (me.idx() < n && t < n && vector.len() == n).then_some(InteractiveConsistency {
+            me,
+            n,
+            t,
+            vector,
+            fresh,
+        })
     }
 }
 

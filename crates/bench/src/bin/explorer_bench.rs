@@ -1,5 +1,6 @@
 //! CI-facing explorer benchmark: times the exhaustive CRW exploration
-//! under the serial, parallel, and spilling engines and writes the
+//! under the serial, parallel, donation-tuned, spilling, and
+//! **partitioned multi-process** engines and writes the
 //! distinct-states/sec trajectory to `BENCH_explorer.json` so the perf
 //! trend is recorded from every CI run (see `ci.sh`).
 //!
@@ -11,11 +12,18 @@
 //! * default — the `(6, 5)` speedup-bench system with three timed
 //!   iterations (best-of reported).  Raise toward `(7, 6)` via
 //!   `TWOSTEP_BENCH_N`/`TWOSTEP_BENCH_T` as runners allow.
+//!
+//! The `donate` row reports the depth-aware donation policy
+//! (`TWOSTEP_DONATE_DEPTH`, default cutoff 2) against the unrestricted
+//! `parallel` row.  The `partitioned` row is end-to-end — two worker OS
+//! processes (re-executions of this binary) plus segment merge plus the
+//! canonical replay — so its states/sec **includes merge time**.
 
 use std::time::Instant;
 
+use twostep_bench::distcli::{bench_proposals, maybe_run_dist_worker, run_partitioned_crw};
 use twostep_core::crw_processes;
-use twostep_model::{SystemConfig, WideValue};
+use twostep_model::SystemConfig;
 use twostep_modelcheck::{explore_with, ExploreConfig, ExploreOptions, MemoConfig};
 use twostep_sim::default_threads;
 
@@ -40,8 +48,15 @@ fn env_usize(name: &str) -> Option<usize> {
     }
 }
 
+const PARTITIONS: usize = 2;
+const MAX_STATES: usize = 50_000_000;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(code) = maybe_run_dist_worker(&args) {
+        // This process is one of the partitioned row's workers.
+        std::process::exit(code);
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let out_path = args
         .iter()
@@ -55,19 +70,31 @@ fn main() {
     let iters = if quick { 1 } else { 3 };
 
     let system = SystemConfig::new(n, t).expect("valid bench system");
-    let proposals: Vec<WideValue> = (0..n).map(|i| WideValue::new(1, (i % 2) as u64)).collect();
+    let proposals = bench_proposals(n);
     let config = ExploreConfig {
-        max_states: 50_000_000,
+        max_states: MAX_STATES,
         ..ExploreConfig::for_crw(&system)
     };
 
     let threads = default_threads();
+    let donate_depth = env_usize("TWOSTEP_DONATE_DEPTH")
+        .map(|d| d as u32)
+        .or(Some(2));
     let engines: Vec<(&'static str, ExploreOptions)> = vec![
         ("serial", ExploreOptions::serial()),
-        ("parallel", ExploreOptions::with_threads(threads)),
+        (
+            "parallel",
+            ExploreOptions::with_threads(threads).with_donate_depth(None),
+        ),
+        (
+            "donate",
+            ExploreOptions::with_threads(threads).with_donate_depth(donate_depth),
+        ),
         (
             "spill",
-            ExploreOptions::with_threads(threads).with_memo(MemoConfig::spill(1024)),
+            ExploreOptions::with_threads(threads)
+                .with_memo(MemoConfig::spill(1024))
+                .with_donate_depth(None),
         ),
     ];
 
@@ -99,8 +126,35 @@ fn main() {
             states_per_sec: distinct_states as f64 / best,
         };
         eprintln!(
-            "explorer_bench: (n={n}, t={t}) {engine:<8} threads={} {:>10.1} states/sec",
+            "explorer_bench: (n={n}, t={t}) {engine:<11} threads={} {:>10.1} states/sec",
             result.threads, result.states_per_sec
+        );
+        results.push(result);
+    }
+
+    // Partitioned row: worker OS processes + merge + canonical replay,
+    // timed end to end (merge time included).
+    {
+        let mut best = f64::INFINITY;
+        for _ in 0..iters {
+            let run = run_partitioned_crw(n, t, PARTITIONS, 1, threads, None, MAX_STATES)
+                .expect("partitioned bench exploration");
+            assert_eq!(
+                run.report.distinct_states, distinct_states,
+                "partitioned report must match the single-process engines"
+            );
+            best = best.min(run.total_seconds);
+        }
+        let result = EngineResult {
+            engine: "partitioned",
+            threads: PARTITIONS * threads,
+            hot_capacity: None,
+            best_seconds: best,
+            states_per_sec: distinct_states as f64 / best,
+        };
+        eprintln!(
+            "explorer_bench: (n={n}, t={t}) {:<11} procs={PARTITIONS} {:>10.1} states/sec (incl. merge)",
+            result.engine, result.states_per_sec
         );
         results.push(result);
     }
@@ -111,6 +165,7 @@ fn main() {
         "  \"bench\": \"explorer\",\n  \"quick\": {quick},\n  \"n\": {n},\n  \"t\": {t},\n"
     ));
     json.push_str(&format!("  \"distinct_states\": {distinct_states},\n"));
+    json.push_str(&format!("  \"partitions\": {PARTITIONS},\n"));
     json.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         let hot = r.hot_capacity.map_or("null".to_string(), |h| h.to_string());

@@ -1,0 +1,94 @@
+//! `twostep-dist` — multi-process partitioned exploration of the CRW
+//! algorithm, end to end: spawns one worker OS process per frontier
+//! partition (re-executions of this binary), merges their exported memo
+//! segments, replays the canonical root walk, and prints the report —
+//! which is bit-identical to what the serial single-process engine would
+//! produce.
+//!
+//! Usage: `twostep-dist [--quick] [--n N] [--t T] [--partitions K]
+//!                      [--depth D] [--worker-threads W] [--spill HOT]`
+//!
+//! * default — the `(6, 5)` speedup-bench system across 2 partitions;
+//! * `--quick` — the `(5, 4)` system (sub-second), used by `ci.sh`;
+//! * `--spill HOT` — workers run a two-tier memo with the given hot
+//!   capacity instead of all-RAM;
+//! * worker processes are recognized by the `--dist-worker` argument
+//!   vector (see `twostep_bench::distcli`) — never pass it by hand.
+
+use twostep_bench::distcli::{maybe_run_dist_worker, run_partitioned_crw};
+
+fn arg_value<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    match args.iter().position(|a| a == flag) {
+        None => default,
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse().ok()) {
+            Some(v) => v,
+            None => {
+                eprintln!("twostep-dist: {flag} needs a value; using the default");
+                default
+            }
+        },
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(code) = maybe_run_dist_worker(&args) {
+        std::process::exit(code);
+    }
+
+    let quick = args.iter().any(|a| a == "--quick");
+    let (default_n, default_t) = if quick { (5, 4) } else { (6, 5) };
+    let n = arg_value(&args, "--n", default_n);
+    let t = arg_value(&args, "--t", default_t);
+    let partitions = arg_value(&args, "--partitions", 2usize).max(1);
+    let depth = arg_value(&args, "--depth", 1u32);
+    let worker_threads = arg_value(&args, "--worker-threads", twostep_sim::default_threads());
+    let hot_capacity: usize = arg_value(&args, "--spill", 0);
+    let hot_capacity = (hot_capacity > 0).then_some(hot_capacity);
+
+    eprintln!(
+        "twostep-dist: exploring ({n}, {t}) across {partitions} worker processes \
+         (depth {depth}, {worker_threads} threads each, memo {})",
+        match hot_capacity {
+            Some(h) => format!("spill@{h}"),
+            None => "all-RAM".to_string(),
+        }
+    );
+    let run = match run_partitioned_crw(
+        n,
+        t,
+        partitions,
+        depth,
+        worker_threads,
+        hot_capacity,
+        50_000_000,
+    ) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("twostep-dist: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let report = &run.report;
+    let worst = report
+        .root
+        .worst_round_by_f
+        .iter()
+        .enumerate()
+        .filter_map(|(f, r)| r.map(|r| format!("f={f}:{r}")))
+        .collect::<Vec<_>>()
+        .join(" ");
+    // Stable, machine-parseable summary line (asserted by the bench
+    // crate's integration test).
+    println!(
+        "twostep-dist: n={n} t={t} partitions={partitions} distinct_states={} \
+         terminals={} violating={} seconds={:.3} states_per_sec={:.1}",
+        report.distinct_states,
+        report.root.terminals,
+        report.root.violating,
+        run.total_seconds,
+        report.distinct_states as f64 / run.total_seconds
+    );
+    println!("twostep-dist: worst decision round by crash count: {worst}");
+}

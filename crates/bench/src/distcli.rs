@@ -1,0 +1,301 @@
+//! CLI plumbing for multi-process partitioned exploration of the CRW
+//! algorithm — shared by the `twostep-dist` coordinator binary and the
+//! `explorer_bench` partitioned row.
+//!
+//! The distributed engine in `twostep_modelcheck::dist` is
+//! protocol-generic but process-agnostic: the coordinator launches
+//! workers through a closure.  OS-process deployment needs one concrete
+//! decision — how a worker process learns *which* exploration to run —
+//! and this module pins it for the canonical bench workload (CRW with
+//! binary proposals `i % 2`): the coordinator re-executes **its own
+//! binary** with a `--dist-worker` argument vector describing the system
+//! and the partition, and the worker half of `main` recognizes it before
+//! doing anything else.  No network, no serialization of protocol
+//! objects across the wire — both sides reconstruct the identical
+//! initial configuration from `(n, t)` and deterministically agree on
+//! the frontier split.
+
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::Instant;
+
+use twostep_core::crw_processes;
+use twostep_model::{SystemConfig, WideValue};
+use twostep_modelcheck::{
+    explore_partitioned, run_worker, DistOptions, ExploreConfig, ExploreError, ExploreOptions,
+    ExploreReport, MemoConfig, WorkerTask,
+};
+
+/// Argv marker that switches a binary into worker mode.
+pub const WORKER_FLAG: &str = "--dist-worker";
+
+/// Everything a CRW partition worker needs to reproduce its assignment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CrwWorkerArgs {
+    /// System size.
+    pub n: usize,
+    /// Resilience bound.
+    pub t: usize,
+    /// Frontier depth.
+    pub depth: u32,
+    /// This worker's partition.
+    pub partition: usize,
+    /// Total partitions.
+    pub partitions: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Spill hot capacity (`None` = all-RAM memo).
+    pub hot_capacity: Option<usize>,
+    /// Distinct-state budget.
+    pub max_states: usize,
+    /// Where to write the sealed export segment.
+    pub export_path: PathBuf,
+}
+
+impl CrwWorkerArgs {
+    /// The argument vector (starting with [`WORKER_FLAG`]) that
+    /// [`parse`](Self::parse) inverts.
+    pub fn to_args(&self) -> Vec<String> {
+        let mut args = vec![
+            WORKER_FLAG.to_string(),
+            self.n.to_string(),
+            self.t.to_string(),
+            self.depth.to_string(),
+            self.partition.to_string(),
+            self.partitions.to_string(),
+            self.threads.to_string(),
+            self.hot_capacity.map_or("ram".into(), |h| h.to_string()),
+            self.max_states.to_string(),
+        ];
+        args.push(self.export_path.display().to_string());
+        args
+    }
+
+    /// Parses an argument vector produced by [`to_args`](Self::to_args);
+    /// `None` if `args` is not a worker invocation.
+    pub fn parse(args: &[String]) -> Option<CrwWorkerArgs> {
+        let mut it = args.iter();
+        if it.next().map(String::as_str) != Some(WORKER_FLAG) {
+            return None;
+        }
+        let n = it.next()?.parse().ok()?;
+        let t = it.next()?.parse().ok()?;
+        let depth = it.next()?.parse().ok()?;
+        let partition = it.next()?.parse().ok()?;
+        let partitions = it.next()?.parse().ok()?;
+        let threads = it.next()?.parse().ok()?;
+        let hot_raw = it.next()?;
+        let hot_capacity = if hot_raw == "ram" {
+            None
+        } else {
+            Some(hot_raw.parse().ok()?)
+        };
+        let max_states = it.next()?.parse().ok()?;
+        let export_path = PathBuf::from(it.next()?);
+        it.next().is_none().then_some(CrwWorkerArgs {
+            n,
+            t,
+            depth,
+            partition,
+            partitions,
+            threads,
+            hot_capacity,
+            max_states,
+            export_path,
+        })
+    }
+
+    fn engine(&self) -> ExploreOptions {
+        let memo = match self.hot_capacity {
+            Some(hot) => MemoConfig::spill(hot),
+            None => MemoConfig::all_ram(),
+        };
+        ExploreOptions::with_threads(self.threads).with_memo(memo)
+    }
+
+    fn config(&self, system: &SystemConfig) -> ExploreConfig {
+        ExploreConfig {
+            max_states: self.max_states,
+            ..ExploreConfig::for_crw(system)
+        }
+    }
+}
+
+/// The canonical bench proposals: `p_{i+1}` proposes bit `i % 2`.
+pub fn bench_proposals(n: usize) -> Vec<WideValue> {
+    (0..n).map(|i| WideValue::new(1, (i % 2) as u64)).collect()
+}
+
+/// Runs one CRW partition worker from parsed args; the body of a worker
+/// process.  Returns the process exit code.
+pub fn run_crw_worker(args: &CrwWorkerArgs) -> i32 {
+    let system = match SystemConfig::new(args.n, args.t) {
+        Ok(system) => system,
+        Err(e) => {
+            eprintln!("dist-worker: invalid system ({}, {}): {e}", args.n, args.t);
+            return 2;
+        }
+    };
+    let proposals = bench_proposals(args.n);
+    let task = WorkerTask {
+        partition: args.partition,
+        partitions: args.partitions,
+        depth: args.depth,
+        export_path: args.export_path.clone(),
+    };
+    match run_worker(
+        system,
+        args.config(&system),
+        args.engine(),
+        crw_processes(&system, &proposals),
+        proposals,
+        &task,
+    ) {
+        Ok(report) => {
+            eprintln!(
+                "dist-worker: partition {}/{} owned {}/{} frontier subtrees, \
+                 {} distinct states, {} records exported",
+                args.partition,
+                args.partitions,
+                report.owned,
+                report.frontier,
+                report.distinct_states,
+                report.exported
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("dist-worker: partition {} failed: {e}", args.partition);
+            1
+        }
+    }
+}
+
+/// If `argv` (without the program name) is a worker invocation, runs the
+/// worker and returns its exit code; `None` means "not a worker, carry
+/// on".  Call first thing in `main` of any binary that launches workers
+/// by re-executing itself.
+pub fn maybe_run_dist_worker(argv: &[String]) -> Option<i32> {
+    CrwWorkerArgs::parse(argv).as_ref().map(run_crw_worker)
+}
+
+/// Timing breakdown of a multi-process partitioned exploration.
+pub struct DistRun {
+    /// The merged report (bit-identical to the serial walk).
+    pub report: ExploreReport<WideValue>,
+    /// End-to-end wall time: workers + validation + merge + replay.
+    pub total_seconds: f64,
+}
+
+/// Runs a `(n, t)` CRW exploration split across `partitions` worker OS
+/// processes (re-executions of the current binary), merging their
+/// exported segments and replaying the canonical walk in this process.
+pub fn run_partitioned_crw(
+    n: usize,
+    t: usize,
+    partitions: usize,
+    depth: u32,
+    worker_threads: usize,
+    hot_capacity: Option<usize>,
+    max_states: usize,
+) -> Result<DistRun, ExploreError> {
+    let system = SystemConfig::new(n, t).expect("valid bench system");
+    let proposals = bench_proposals(n);
+    let config = ExploreConfig {
+        max_states,
+        ..ExploreConfig::for_crw(&system)
+    };
+    let exe = std::env::current_exe().map_err(|e| ExploreError::Coordinator {
+        detail: format!("cannot locate own binary for re-exec: {e}"),
+    })?;
+    let options = DistOptions {
+        partitions,
+        depth,
+        attempts: 3,
+        scratch_dir: None,
+        replay: ExploreOptions::default(),
+    };
+    let launch = |task: &WorkerTask| {
+        let args = CrwWorkerArgs {
+            n,
+            t,
+            depth: task.depth,
+            partition: task.partition,
+            partitions: task.partitions,
+            threads: worker_threads,
+            hot_capacity,
+            max_states,
+            export_path: task.export_path.clone(),
+        };
+        let status = Command::new(&exe)
+            .args(args.to_args())
+            .status()
+            .map_err(|e| format!("spawning worker process: {e}"))?;
+        if status.success() {
+            Ok(())
+        } else {
+            Err(format!("worker process exited with {status}"))
+        }
+    };
+    let start = Instant::now();
+    let report = explore_partitioned(
+        system,
+        config,
+        &options,
+        crw_processes(&system, &proposals),
+        proposals,
+        launch,
+    )?;
+    Ok(DistRun {
+        report,
+        total_seconds: start.elapsed().as_secs_f64(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_args_roundtrip() {
+        let args = CrwWorkerArgs {
+            n: 6,
+            t: 5,
+            depth: 1,
+            partition: 1,
+            partitions: 2,
+            threads: 4,
+            hot_capacity: Some(1024),
+            max_states: 50_000_000,
+            export_path: PathBuf::from("/tmp/worker1.seg"),
+        };
+        assert_eq!(CrwWorkerArgs::parse(&args.to_args()), Some(args.clone()));
+        let ram = CrwWorkerArgs {
+            hot_capacity: None,
+            ..args
+        };
+        assert_eq!(CrwWorkerArgs::parse(&ram.to_args()), Some(ram));
+    }
+
+    #[test]
+    fn non_worker_argv_is_ignored() {
+        assert_eq!(CrwWorkerArgs::parse(&[]), None);
+        assert_eq!(CrwWorkerArgs::parse(&["--quick".to_string()]), None);
+        assert_eq!(maybe_run_dist_worker(&["--out".to_string()]), None);
+        // A mangled worker vector parses to None rather than panicking.
+        let mut broken = CrwWorkerArgs {
+            n: 4,
+            t: 2,
+            depth: 1,
+            partition: 0,
+            partitions: 2,
+            threads: 1,
+            hot_capacity: None,
+            max_states: 1000,
+            export_path: PathBuf::from("x"),
+        }
+        .to_args();
+        broken.truncate(4);
+        assert_eq!(CrwWorkerArgs::parse(&broken), None);
+    }
+}

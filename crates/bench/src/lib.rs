@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod args;
+pub mod distcli;
 pub mod exp;
 pub mod table;
 

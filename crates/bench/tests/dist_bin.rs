@@ -1,0 +1,70 @@
+//! End-to-end test of the `twostep-dist` binary: a real multi-process
+//! partitioned exploration — coordinator spawning worker OS processes,
+//! segment-file rendezvous, merge, canonical replay — whose printed
+//! aggregates must match an in-process serial exploration of the same
+//! system exactly.
+
+use std::process::Command;
+
+use twostep_core::crw_processes;
+use twostep_model::{SystemConfig, WideValue};
+use twostep_modelcheck::{explore_with, ExploreConfig, ExploreOptions};
+
+fn field(line: &str, key: &str) -> String {
+    line.split_whitespace()
+        .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+        .unwrap_or_else(|| panic!("no {key}= field in {line:?}"))
+        .to_string()
+}
+
+#[test]
+fn dist_bin_matches_serial_exploration() {
+    let (n, t) = (4usize, 3usize);
+    let system = SystemConfig::new(n, t).unwrap();
+    let proposals: Vec<WideValue> = (0..n).map(|i| WideValue::new(1, (i % 2) as u64)).collect();
+    let serial = explore_with(
+        system,
+        ExploreConfig::for_crw(&system),
+        ExploreOptions::serial(),
+        crw_processes(&system, &proposals),
+        proposals,
+    )
+    .unwrap();
+
+    let output = Command::new(env!("CARGO_BIN_EXE_twostep-dist"))
+        .args([
+            "--n",
+            &n.to_string(),
+            "--t",
+            &t.to_string(),
+            "--partitions",
+            "2",
+            "--worker-threads",
+            "2",
+        ])
+        .output()
+        .expect("twostep-dist runs");
+    assert!(
+        output.status.success(),
+        "twostep-dist failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let summary = stdout
+        .lines()
+        .find(|l| l.contains("distinct_states="))
+        .unwrap_or_else(|| panic!("no summary line in {stdout:?}"));
+
+    assert_eq!(
+        field(summary, "distinct_states"),
+        serial.distinct_states.to_string(),
+        "distinct states across process boundary"
+    );
+    assert_eq!(
+        field(summary, "terminals"),
+        serial.root.terminals.to_string(),
+        "terminal executions across process boundary"
+    );
+    assert_eq!(field(summary, "violating"), "false");
+    assert_eq!(field(summary, "partitions"), "2");
+}

@@ -53,7 +53,7 @@
 
 use std::fmt;
 use std::hash::Hash;
-use twostep_model::{BitSized, CrashSchedule, ProcessId, Round, SystemConfig};
+use twostep_model::{BitSized, CrashSchedule, ProcessId, Round, SpillCodec, SystemConfig};
 use twostep_sim::{
     Inbox, ModelKind, RunReport, SendPlan, SimError, Simulation, Step, SyncProtocol, TraceLevel,
 };
@@ -115,6 +115,41 @@ impl<V: Clone> Crw<V> {
     /// The current estimate `est_i`.
     pub fn estimate(&self) -> &V {
         &self.est
+    }
+}
+
+impl SpillCodec for CommitOrder {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            CommitOrder::HighestFirst => 0,
+            CommitOrder::LowestFirst => 1,
+        });
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        match u8::decode(input)? {
+            0 => Some(CommitOrder::HighestFirst),
+            1 => Some(CommitOrder::LowestFirst),
+            _ => None,
+        }
+    }
+}
+
+/// CRW process state is spillable so the model checker can evict memo
+/// entries keyed by it to disk and exchange them between worker processes
+/// (distributed exploration).
+impl<V: SpillCodec> SpillCodec for Crw<V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.me.encode(out);
+        self.n.encode(out);
+        self.est.encode(out);
+        self.order.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let me = ProcessId::decode(input)?;
+        let n = usize::decode(input)?;
+        let est = V::decode(input)?;
+        let order = CommitOrder::decode(input)?;
+        (me.idx() < n).then_some(Crw { me, n, est, order })
     }
 }
 

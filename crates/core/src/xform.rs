@@ -28,7 +28,9 @@
 //! e6-equivalence`).
 
 use std::fmt;
-use twostep_model::{BitSized, CrashPoint, CrashSchedule, CrashStage, PidSet, ProcessId, Round};
+use twostep_model::{
+    BitSized, CrashPoint, CrashSchedule, CrashStage, PidSet, ProcessId, Round, SpillCodec,
+};
 use twostep_sim::{Inbox, SendPlan, Step, SyncProtocol};
 
 /// Marker wrapper for running a classic-model protocol on the extended
@@ -55,6 +57,15 @@ impl<P: SyncProtocol> SyncProtocol for ClassicOnExtended<P> {
 
     fn receive(&mut self, round: Round, inbox: &Inbox<P::Msg>) -> Step<P::Output> {
         self.0.receive(round, inbox)
+    }
+}
+
+impl<P: SpillCodec> SpillCodec for ClassicOnExtended<P> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(ClassicOnExtended(P::decode(input)?))
     }
 }
 
@@ -141,6 +152,39 @@ impl<P: SyncProtocol> ExtendedOnClassic<P> {
     /// Access to the wrapped protocol state.
     pub fn inner(&self) -> &P {
         &self.inner
+    }
+}
+
+/// Mid-block simulation state (the stashed plan and the buffered inbox)
+/// is part of the configuration key under the model checker, so the
+/// whole wrapper must round-trip through bytes for the spilling memo and
+/// the distributed interchange format.
+impl<P> SpillCodec for ExtendedOnClassic<P>
+where
+    P: SyncProtocol + SpillCodec,
+    P::Msg: SpillCodec,
+    P::Output: SpillCodec,
+{
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.inner.encode(out);
+        self.n.encode(out);
+        self.stash.encode(out);
+        self.buf_data.encode(out);
+        self.buf_control.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let inner = P::decode(input)?;
+        let n = usize::decode(input)?;
+        let stash = Option::<SendPlan<P::Msg, P::Output>>::decode(input)?;
+        let buf_data = Vec::<(ProcessId, P::Msg)>::decode(input)?;
+        let buf_control = Vec::<ProcessId>::decode(input)?;
+        (n >= 1).then_some(ExtendedOnClassic {
+            inner,
+            n,
+            stash,
+            buf_data,
+            buf_control,
+        })
     }
 }
 

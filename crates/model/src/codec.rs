@@ -1,0 +1,246 @@
+//! Compact, self-delimiting byte encoding for model-checker state — the
+//! [`SpillCodec`] trait and its impls for the primitive building blocks.
+//!
+//! The model checker's two-tier memo spills cold entries to disk, and its
+//! distributed engine ships whole memo segments between worker processes
+//! as a portable interchange format.  Both paths need every piece of a
+//! memo entry — the configuration key (per-process protocol snapshots)
+//! *and* the subtree summary — to round-trip through bytes.  The trait
+//! lives here, at the bottom of the workspace, so every crate that
+//! defines protocol state (`twostep-core`, `twostep-baselines`, test
+//! protocols…) can implement it without depending on the model checker.
+//!
+//! The contract is the obvious one: `decode` must invert `encode` —
+//! appending `encode`'s output to a buffer and then decoding from it
+//! yields an equal value and consumes exactly the bytes `encode`
+//! produced.  `decode` returns `None` on truncated or malformed input
+//! instead of panicking; the memo treats that as a corrupt record.
+
+use std::collections::BTreeSet;
+
+use crate::pid::ProcessId;
+use crate::value::WideValue;
+
+/// Byte encoding for values stored in spilled memo records and
+/// distributed-exploration interchange segments.
+///
+/// Implemented for the primitive integers, `usize`, `bool`, `()`,
+/// [`ProcessId`], [`PidSet`](crate::PidSet), [`WideValue`], `Option<T>`,
+/// `Vec<T>`, `BTreeSet<T>`, and pairs.  Protocol crates implement it for
+/// their process-state types so the model checker can spill and exchange
+/// configuration keys.
+pub trait SpillCodec: Sized {
+    /// Appends this value's encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Decodes one value from the front of `input`, advancing it past the
+    /// consumed bytes; `None` if the bytes do not form a valid value.
+    fn decode(input: &mut &[u8]) -> Option<Self>;
+}
+
+/// Splits `n` bytes off the front of `input`, or `None` if it is shorter.
+pub fn take<'a>(input: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+    if input.len() < n {
+        return None;
+    }
+    let (head, tail) = input.split_at(n);
+    *input = tail;
+    Some(head)
+}
+
+macro_rules! impl_spill_codec_int {
+    ($($ty:ty),*) => {$(
+        impl SpillCodec for $ty {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode(input: &mut &[u8]) -> Option<Self> {
+                let bytes = take(input, std::mem::size_of::<$ty>())?;
+                Some(<$ty>::from_le_bytes(bytes.try_into().ok()?))
+            }
+        }
+    )*};
+}
+
+impl_spill_codec_int!(u8, u16, u32, u64, u128, i8, i16, i32, i64, i128);
+
+impl SpillCodec for usize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        u64::decode(input)?.try_into().ok()
+    }
+}
+
+impl SpillCodec for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        match take(input, 1)?[0] {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+}
+
+impl SpillCodec for () {
+    fn encode(&self, _out: &mut Vec<u8>) {}
+    fn decode(_input: &mut &[u8]) -> Option<Self> {
+        Some(())
+    }
+}
+
+impl SpillCodec for ProcessId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.rank().encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let rank = u32::decode(input)?;
+        (rank >= 1).then(|| ProcessId::new(rank))
+    }
+}
+
+impl SpillCodec for WideValue {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.width().encode(out);
+        self.ident().encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let bits = u32::decode(input)?;
+        let ident = u64::decode(input)?;
+        if bits == 0 {
+            return None; // Theorem 2 values are at least one bit wide.
+        }
+        let value = WideValue::new(bits, ident);
+        // Reject non-canonical encodings (identity bits above the width):
+        // equal values must have equal encodings.
+        (value.ident() == ident).then_some(value)
+    }
+}
+
+impl<T: SpillCodec> SpillCodec for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        match take(input, 1)?[0] {
+            0 => Some(None),
+            1 => Some(Some(T::decode(input)?)),
+            _ => None,
+        }
+    }
+}
+
+impl<T: SpillCodec> SpillCodec for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        for v in self {
+            v.encode(out);
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let len = u32::decode(input)? as usize;
+        let mut out = Vec::with_capacity(len.min(1024));
+        for _ in 0..len {
+            out.push(T::decode(input)?);
+        }
+        Some(out)
+    }
+}
+
+impl<T: SpillCodec + Ord> SpillCodec for BTreeSet<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        for v in self {
+            v.encode(out);
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let len = u32::decode(input)? as usize;
+        let mut out = BTreeSet::new();
+        for _ in 0..len {
+            if !out.insert(T::decode(input)?) {
+                return None; // duplicate element: not a set encoding
+            }
+        }
+        Some(out)
+    }
+}
+
+impl<A: SpillCodec, B: SpillCodec> SpillCodec for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some((A::decode(input)?, B::decode(input)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PidSet;
+
+    fn roundtrip<T: SpillCodec + PartialEq + std::fmt::Debug>(value: T) {
+        let mut buf = Vec::new();
+        value.encode(&mut buf);
+        let mut input = buf.as_slice();
+        let back = T::decode(&mut input).expect("decodes");
+        assert_eq!(back, value);
+        assert!(input.is_empty(), "decode consumed exactly the encoding");
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        roundtrip(0u8);
+        roundtrip(u64::MAX);
+        roundtrip(-5i64);
+        roundtrip(usize::MAX);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(Some(17u32));
+        roundtrip(None::<u32>);
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip(Vec::<u64>::new());
+        roundtrip((7u32, Some(9u64)));
+        roundtrip(BTreeSet::from([3u64, 1, 2]));
+        roundtrip(WideValue::new(1, 1));
+        roundtrip(WideValue::new(128, 42));
+        roundtrip(ProcessId::new(7));
+        roundtrip(PidSet::from_iter(
+            130,
+            [ProcessId::new(1), ProcessId::new(130)],
+        ));
+    }
+
+    #[test]
+    fn truncated_input_decodes_to_none() {
+        let mut buf = Vec::new();
+        12345u64.encode(&mut buf);
+        let mut short = &buf[..5];
+        assert!(u64::decode(&mut short).is_none());
+        let mut bad_bool = &[7u8][..];
+        assert!(bool::decode(&mut bad_bool).is_none());
+        let mut zero_rank = &[0u8; 4][..];
+        assert!(ProcessId::decode(&mut zero_rank).is_none());
+    }
+
+    #[test]
+    fn duplicate_set_elements_rejected() {
+        let mut buf = Vec::new();
+        2u32.encode(&mut buf);
+        5u64.encode(&mut buf);
+        5u64.encode(&mut buf);
+        let mut input = buf.as_slice();
+        assert!(BTreeSet::<u64>::decode(&mut input).is_none());
+    }
+}

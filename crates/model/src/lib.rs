@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod config;
 pub mod fault;
 pub mod metrics;
@@ -40,6 +41,7 @@ pub mod theorem2;
 pub mod timing;
 pub mod value;
 
+pub use codec::SpillCodec;
 pub use config::SystemConfig;
 pub use fault::{CrashPoint, CrashSchedule, CrashStage, DeliveryOutcome};
 pub use metrics::RunMetrics;

@@ -10,6 +10,8 @@
 use std::fmt;
 use std::num::NonZeroU32;
 
+use crate::codec::SpillCodec;
+
 /// A process identifier: the 1-based rank of a process in `p_1 … p_n`.
 ///
 /// The rank order is semantically meaningful throughout the paper: the
@@ -288,6 +290,26 @@ impl PidSet {
                 *last &= (1u64 << tail) - 1;
             }
         }
+    }
+}
+
+impl SpillCodec for PidSet {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.n.encode(out);
+        self.words.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let n = usize::decode(input)?;
+        let words = Vec::<u64>::decode(input)?;
+        if words.len() != n.div_ceil(WORD_BITS) {
+            return None;
+        }
+        let set = PidSet { n, words };
+        // Reject non-canonical tails: `Eq`/`Hash` assume the bits above
+        // `n` are zero, so a decoded set must honor that too.
+        let mut canonical = set.clone();
+        canonical.clear_tail();
+        (canonical.words == set.words).then_some(set)
     }
 }
 

@@ -1,0 +1,336 @@
+//! Distributed exploration: a frontier-split, multi-process pipeline over
+//! the walker core of [`crate::explorer`].
+//!
+//! One machine's RAM and cores stopped being the ceiling in two earlier
+//! steps (the work-sharing parallel engine, then the disk-backed memo);
+//! this module removes the "one process" bound.  The scheme has three
+//! phases, none of which needs a network — processes rendezvous through
+//! checksummed segment files under a shared scratch directory:
+//!
+//! 1. **Frontier split.**  Every worker deterministically expands the
+//!    root configuration to the depth-`d` frontier (the distinct
+//!    configurations reachable in exactly `d` rounds, deduplicated by
+//!    configuration key) and keeps the subtree roots whose key hash
+//!    lands in its partition (`hash % partitions == partition`).  The
+//!    key hash is the memo's own cached hash, computed by a keyless
+//!    hasher — identical in every process running the same build — so
+//!    the workers partition the frontier consistently *without talking
+//!    to each other*.
+//! 2. **Partition walks.**  Each worker runs the ordinary work-sharing
+//!    engine ([`crate::explorer::walk_roots`]) over its subtree roots —
+//!    any thread count, any memo tiering — and exports its entire memo
+//!    (full keys *and* summaries) as one sealed interchange segment via
+//!    [`crate::memo::ShardedMemo::export_to`].
+//! 3. **Merge and replay.**  The coordinator imports every worker's
+//!    segment into a fresh memo and replays the canonical root walk over
+//!    it.  The replay finds every frontier subtree already memoized, so
+//!    it only computes the (tiny) region above the frontier plus
+//!    anything a worker did not cover.
+//!
+//! ## Determinism
+//!
+//! The final report is **bit-identical** to the serial walk.  Every
+//! subtree summary is the result of the same deterministic child-order
+//! merge *wherever* it is computed — a worker process is no different
+//! from a stealer thread in this respect — and the merged memo is a
+//! plain key → summary mapping, insensitive to import order because two
+//! workers that both memoize a shared descendant necessarily computed
+//! identical summaries for it.  The coordinator's replay then absorbs
+//! child summaries in canonical enumeration order exactly as the serial
+//! walk does; whether a summary came from its own walk, a thread, or
+//! another process is unobservable.  Under-coverage is *safe*, not just
+//! tolerated: a worker that was never launched, crashed, or exported
+//! only part of its work merely leaves more for the replay to compute.
+//! The coordinator still **fails loudly** ([`ExploreError::Worker`])
+//! when a worker cannot be completed within its launch attempts, because
+//! silent fallback to a near-serial replay would defeat the point of
+//! distributing.
+//!
+//! ## Fault tolerance
+//!
+//! Workers are crash-retryable by construction: an export is written to
+//! a fresh file and *sealed* (record count patched into the header) only
+//! at the end, so a killed worker leaves an unfinished file that fails
+//! validation, and the coordinator relaunches it — the rerun overwrites
+//! the remains.  Validation covers the magic/version header, every
+//! record's CRC32, and the sealed record count
+//! ([`crate::spill::SpillError`] classifies the failure modes).  The
+//! retry loop is [`twostep_sim::run_tasks_with_retry`]; per-partition
+//! attempts are bounded by [`DistOptions::attempts`].
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::path::PathBuf;
+
+use twostep_model::SystemConfig;
+use twostep_sim::{run_tasks_with_retry, Stepper, TaskAttempt, TraceLevel};
+
+use crate::explorer::{
+    build_report, make_key, walk_roots, CheckableProtocol, ExploreConfig, ExploreError,
+    ExploreOptions, ExploreReport, Shared, Walker,
+};
+use crate::memo::HashedKey;
+use crate::spill::{SpillCodec, SpillDir};
+
+/// How a partitioned exploration is split and merged.
+#[derive(Clone, Debug)]
+pub struct DistOptions {
+    /// Number of frontier partitions == number of workers (min 1).
+    pub partitions: usize,
+    /// Frontier depth `d`: workers own the subtrees rooted at the
+    /// distinct configurations reachable in exactly `d` rounds.  Depth 1
+    /// already yields a frontier far wider than any sane partition count
+    /// (every adversary move of round 1); deeper frontiers give finer
+    /// partitions at the cost of a longer shared prefix that every
+    /// worker re-expands.
+    pub depth: u32,
+    /// Launch attempts per worker before the coordinator gives up and
+    /// reports [`ExploreError::Worker`] (min 1).
+    pub attempts: usize,
+    /// Root directory for the shared scratch (worker export segments);
+    /// system temp dir when `None`.  A unique subdirectory is created
+    /// per run and removed when the coordinator finishes.
+    pub scratch_dir: Option<PathBuf>,
+    /// Engine options for the coordinator's merge replay (and the
+    /// in-process workers of [`explore_partitioned_in_process`]).
+    pub replay: ExploreOptions,
+}
+
+impl DistOptions {
+    /// Defaults for `partitions` workers: depth-1 frontier, 3 attempts,
+    /// temp-dir scratch, default replay engine.
+    pub fn new(partitions: usize) -> Self {
+        DistOptions {
+            partitions: partitions.max(1),
+            depth: 1,
+            attempts: 3,
+            scratch_dir: None,
+            replay: ExploreOptions::default(),
+        }
+    }
+}
+
+/// One worker's assignment: which frontier partition to explore and
+/// where to export the resulting memo segment.
+#[derive(Clone, Debug)]
+pub struct WorkerTask {
+    /// This worker's partition, `0..partitions`.
+    pub partition: usize,
+    /// Total partition count.
+    pub partitions: usize,
+    /// Frontier depth (must match the coordinator's).
+    pub depth: u32,
+    /// Where the worker writes its sealed interchange segment.
+    pub export_path: PathBuf,
+}
+
+/// What one worker did, for logs and benches.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkerReport {
+    /// Distinct configurations on the full depth-`d` frontier.
+    pub frontier: usize,
+    /// Frontier subtree roots owned by this partition.
+    pub owned: usize,
+    /// Distinct configurations this worker memoized.
+    pub distinct_states: usize,
+    /// Records in the exported segment file.
+    pub exported: u64,
+}
+
+/// Expands `root` to the depth-`depth` frontier: the distinct
+/// configurations reachable in exactly `depth` rounds, each paired with
+/// its partitioning hash, in deterministic (enumeration-order, first
+/// occurrence) order.  Terminal configurations reached earlier are
+/// dropped — they are leaves the coordinator's replay evaluates itself.
+fn expand_frontier<P>(
+    walker: &mut Walker<'_, '_, P>,
+    root: Stepper<P>,
+    depth: u32,
+) -> Result<Vec<(u64, Stepper<P>)>, ExploreError>
+where
+    P: CheckableProtocol,
+    P::Output: Hash + SpillCodec,
+{
+    // Each level carries the partitioning hash alongside the stepper —
+    // computed once per configuration, when it enters the dedup set.
+    let root_hash = HashedKey::new(make_key(&root)).hash;
+    let mut level: Vec<(u64, Stepper<P>)> = vec![(root_hash, root)];
+    for _ in 0..depth {
+        let mut seen: HashSet<HashedKey<P>> = HashSet::new();
+        let mut next: Vec<(u64, Stepper<P>)> = Vec::new();
+        for (_, stepper) in level {
+            if walker.is_terminal(&stepper) {
+                continue;
+            }
+            for actions in walker.enumerate_action_sets(&stepper) {
+                let mut child = stepper.clone();
+                child.step(&actions).map_err(ExploreError::Engine)?;
+                let key = HashedKey::new(make_key(&child));
+                let hash = key.hash;
+                if seen.insert(key) {
+                    next.push((hash, child));
+                }
+            }
+        }
+        level = next;
+    }
+    Ok(level)
+}
+
+/// Runs one partition worker to completion: expands the frontier,
+/// explores the owned subtrees with the given engine, and exports the
+/// memo as a sealed interchange segment at `task.export_path`.
+///
+/// Callable in-process (the differential suite does) or as the body of a
+/// worker OS process (`twostep-dist --dist-worker`); either way the
+/// exported segment is identical.
+pub fn run_worker<P>(
+    system: SystemConfig,
+    config: ExploreConfig,
+    engine: ExploreOptions,
+    initial: Vec<P>,
+    proposals: Vec<P::Output>,
+    task: &WorkerTask,
+) -> Result<WorkerReport, ExploreError>
+where
+    P: CheckableProtocol,
+    P::Output: Hash + SpillCodec,
+{
+    assert!(task.partitions >= 1, "at least one partition");
+    assert!(
+        task.partition < task.partitions,
+        "partition {} out of range (of {})",
+        task.partition,
+        task.partitions
+    );
+    let root = Stepper::new(system, config.model, TraceLevel::Off, initial)
+        .map_err(ExploreError::Engine)?;
+    let shared = Shared::new(system, config, &engine, &proposals)?;
+    let frontier = {
+        let mut walker = Walker::new(&shared);
+        expand_frontier(&mut walker, root, task.depth)?
+    };
+    let frontier_len = frontier.len();
+    let owned: Vec<Stepper<P>> = frontier
+        .into_iter()
+        .filter(|(hash, _)| (hash % task.partitions as u64) as usize == task.partition)
+        .map(|(_, stepper)| stepper)
+        .collect();
+    let owned_len = owned.len();
+    walk_roots(&shared, engine.threads, owned)?;
+    let exported = shared.memo.export_to(&task.export_path)?;
+    Ok(WorkerReport {
+        frontier: frontier_len,
+        owned: owned_len,
+        distinct_states: shared.memo.len(),
+        exported,
+    })
+}
+
+/// Explores `initial` by frontier partitioning: launches one worker per
+/// partition via `launch`, validates and retries failed workers, merges
+/// every exported segment into a pre-seeded memo, and replays the
+/// canonical root walk over it.
+///
+/// The report is bit-identical to [`crate::explore_with`] at any
+/// partition count, any worker engine, and any worker crash/retry
+/// history (module docs give the argument).  `launch` runs one worker to
+/// completion — typically by spawning an OS process with the task's
+/// parameters and waiting for it — and returns a human-readable error if
+/// the worker could not run; the coordinator additionally validates the
+/// export file itself, so a worker that *claims* success with a damaged
+/// or unsealed export is also retried.
+pub fn explore_partitioned<P, L>(
+    system: SystemConfig,
+    config: ExploreConfig,
+    options: &DistOptions,
+    initial: Vec<P>,
+    proposals: Vec<P::Output>,
+    launch: L,
+) -> Result<ExploreReport<P::Output>, ExploreError>
+where
+    P: CheckableProtocol,
+    P::Output: Hash + SpillCodec,
+    L: Fn(&WorkerTask) -> Result<(), String> + Sync,
+{
+    let partitions = options.partitions.max(1);
+    let scratch = SpillDir::create(options.scratch_dir.as_deref())?;
+    let tasks: Vec<WorkerTask> = (0..partitions)
+        .map(|partition| WorkerTask {
+            partition,
+            partitions,
+            depth: options.depth,
+            export_path: scratch.path().join(format!("worker{partition}.seg")),
+        })
+        .collect();
+
+    let root = Stepper::new(system, config.model, TraceLevel::Off, initial)
+        .map_err(ExploreError::Engine)?;
+    let shared = Shared::new(system, config, &options.replay, &proposals)?;
+    let outcomes = run_tasks_with_retry(
+        partitions,
+        options.attempts.max(1),
+        |attempt: TaskAttempt| {
+            let task = &tasks[attempt.index];
+            launch(task)?;
+            // Trust nothing a process boundary crossed: the import scans
+            // header, every record's CRC, and the sealed record count —
+            // merging and validating in one pass over the file.  A
+            // partial import of a file that fails mid-scan is harmless:
+            // every record that passed its CRC is a correct
+            // (key, summary) pair, so it simply pre-seeds the memo the
+            // retried worker would re-export anyway (duplicate inserts
+            // are absorbed).
+            shared
+                .memo
+                .import_from(&task.export_path)
+                .map(|_| ())
+                .map_err(|e| e.to_string())
+        },
+    );
+    for (partition, outcome) in outcomes.into_iter().enumerate() {
+        if let Err(detail) = outcome {
+            return Err(ExploreError::Worker { partition, detail });
+        }
+    }
+
+    let mut summaries = walk_roots(&shared, options.replay.threads, vec![root])?;
+    let root_summary = summaries.pop().expect("one root, one summary");
+    build_report(&shared, root_summary)
+}
+
+/// [`explore_partitioned`] with every worker run inside this process —
+/// the zero-setup path (and the one the differential suite exercises):
+/// workers still communicate solely through exported segment files, so
+/// the merge path is identical to the multi-process deployment.
+///
+/// `worker_engine` selects each worker's thread count and memo tiering;
+/// the coordinator's replay uses `options.replay`.
+pub fn explore_partitioned_in_process<P>(
+    system: SystemConfig,
+    config: ExploreConfig,
+    options: &DistOptions,
+    worker_engine: ExploreOptions,
+    initial: Vec<P>,
+    proposals: Vec<P::Output>,
+) -> Result<ExploreReport<P::Output>, ExploreError>
+where
+    P: CheckableProtocol,
+    P::Output: Hash + SpillCodec,
+{
+    let worker_initial = initial.clone();
+    let worker_proposals = proposals.clone();
+    let launch = |task: &WorkerTask| {
+        run_worker(
+            system,
+            config,
+            worker_engine.clone(),
+            worker_initial.clone(),
+            worker_proposals.clone(),
+            task,
+        )
+        .map(|_| ())
+        .map_err(|e| e.to_string())
+    };
+    explore_partitioned(system, config, options, initial, proposals, launch)
+}

@@ -36,20 +36,27 @@
 //!   mutex-guarded `HashMap`s ([`Summary`]s behind `Arc`s), so concurrent
 //!   walkers contend on `1/shards` of the table instead of one lock;
 //! * each shard is optionally **two-tier** ([`MemoConfig`]): a bounded hot
-//!   map of live summaries plus an append-only on-disk segment file of
-//!   cold ones, evicted in clock (second-chance) order and addressed by
-//!   an in-memory key → record index.  A lookup that misses the hot tier
-//!   rehydrates the compact binary record ([`crate::spill`]) from disk
-//!   and promotes it back, so `max_states` bounds *distinct*
-//!   configurations — no longer resident RAM;
+//!   map of live entries plus an append-only on-disk segment file of
+//!   cold ones — full keys *and* summaries, checksummed — evicted in
+//!   clock (second-chance) order and addressed by an in-memory index of
+//!   fixed-width hashed keys.  A lookup that misses the hot tier
+//!   rehydrates candidate records ([`crate::spill`]) from disk, verifies
+//!   the decoded key against the probe, and promotes the match back, so
+//!   `max_states` bounds *distinct* configurations — no longer resident
+//!   RAM, not even for the keys;
 //! * workers share work dynamically through a
 //!   [`twostep_sim::WorkQueue`] injector: whenever a busy walker expands a
 //!   configuration while some worker is idle, it donates child subtrees
 //!   (tail-first — the ones it would reach last) to the queue.  Stealing
 //!   walkers explore those subtrees into the shared memo and discard the
-//!   local result; the primary walker later finds them memoized;
+//!   local result; the primary walker later finds them memoized.  The
+//!   depth-aware policy [`ExploreOptions::donate_depth`]
+//!   (`TWOSTEP_DONATE_DEPTH`) optionally confines donation to shallow
+//!   rounds, where subtrees are still big enough to repay the handoff;
 //! * worker 0 — the **primary** walker, running on the calling thread via
-//!   [`twostep_sim::run_on_workers`] — performs the canonical root walk.
+//!   [`twostep_sim::run_on_workers`] — performs the canonical root walk
+//!   (or, for a distributed worker, the canonical walk of each assigned
+//!   subtree root in order — the core is root-agnostic).
 //!
 //! ## Determinism argument
 //!
@@ -68,12 +75,41 @@
 //! match the serial walk byte for byte.
 //!
 //! The two-tier memo preserves this argument wholesale: spilling changes
-//! only where a summary *resides*, never whether a key is memoized — a
+//! only where an entry *resides*, never whether a key is memoized — a
 //! `get` answers exactly as the all-RAM map would (rehydrating from disk
-//! on a cold hit), and `distinct_states` still counts fresh insertions.
-//! Reports are therefore bit-identical spill-vs-no-spill at any
-//! `hot_capacity` and any thread count (differentially tested in
-//! `tests/spill_differential.rs`).
+//! on a cold hit, full-key-verified), and `distinct_states` still counts
+//! fresh insertions.  Reports are therefore bit-identical
+//! spill-vs-no-spill at any `hot_capacity` and any thread count
+//! (differentially tested in `tests/spill_differential.rs`).
+//!
+//! ## Distributed exploration
+//!
+//! The same argument extends across **process boundaries**, which is what
+//! [`crate::dist`] exploits.  A partitioned exploration deterministically
+//! expands the root to a depth-`d` frontier, assigns each distinct
+//! frontier subtree to a worker process by key hash, and merges the
+//! workers' exported memo segments before a final canonical root walk.
+//! Three observations carry the proof over:
+//!
+//! 1. a worker process is indistinguishable from a stealer thread: it
+//!    computes subtree summaries with the identical child-order merge,
+//!    just into a private memo that is shipped as a segment file instead
+//!    of shared memory;
+//! 2. the merged memo is a plain key → summary mapping and summaries are
+//!    a *function of the key* (each is the deterministic merge of its
+//!    subtree), so the merge is conflict-free and insensitive to import
+//!    order — two workers that both computed a shared descendant
+//!    necessarily exported identical records for it;
+//! 3. the coordinator's replay is the canonical root walk over a
+//!    pre-seeded memo, and the walk never observes *where* a memoized
+//!    summary came from — its own expansion, a thread, or another
+//!    process.  Missing coverage (a crashed worker, a dropped segment)
+//!    only moves work back into the replay; it cannot change the result.
+//!
+//! The differential suite `tests/dist_differential.rs` pins this:
+//! partitioned reports are bit-identical to `threads = 1` across
+//! partition counts, frontier depths, worker memo tierings, and worker
+//! crash/retry histories.
 //!
 //! One carve-out: the `max_states` budget is a **resource safety valve**,
 //! not part of the deterministic result.  Whenever the budget is not
@@ -116,11 +152,13 @@ use crate::memo::{HashedKey, Key, MemoConfig, ShardedMemo, Snap};
 use crate::spill::{SpillCodec, SpillError};
 
 /// Protocols the explorer can check: cloneable (to fork executions),
-/// hashable (to merge identical configurations), and `Send + Sync` (to
-/// move forked executions between worker threads and share memoized
-/// configuration keys across the memo's tiers).
-pub trait CheckableProtocol: SyncProtocol + Clone + Eq + Hash + Send + Sync {}
-impl<T: SyncProtocol + Clone + Eq + Hash + Send + Sync> CheckableProtocol for T {}
+/// hashable (to merge identical configurations), `Send + Sync` (to move
+/// forked executions between worker threads and share memoized
+/// configuration keys across the memo's tiers), and [`SpillCodec`] (so
+/// configuration keys — per-process protocol snapshots — can spill to
+/// disk and travel between worker processes as interchange segments).
+pub trait CheckableProtocol: SyncProtocol + Clone + Eq + Hash + Send + Sync + SpillCodec {}
+impl<T: SyncProtocol + Clone + Eq + Hash + Send + Sync + SpillCodec> CheckableProtocol for T {}
 
 /// Decision-round bounds to verify at every terminal, as a function of the
 /// run's actual crash count `f`.
@@ -242,9 +280,19 @@ pub struct ExploreOptions {
     /// less lock contention and slightly more per-lookup overhead.
     pub shards: usize,
     /// Memo tiering: all-RAM by default; a finite
-    /// [`MemoConfig::hot_capacity`] spills cold summaries to disk so the
+    /// [`MemoConfig::hot_capacity`] spills cold entries to disk so the
     /// reachable `(n, t)` stops being bounded by RAM.
     pub memo: MemoConfig,
+    /// Depth-aware donation policy: a configuration donates child
+    /// subtrees to idle workers only while its round is `<=` this cutoff
+    /// (`None` = donate at any depth, the historical behavior).  Shallow
+    /// subtrees are the big ones, so a small cutoff keeps the
+    /// work-sharing benefit while avoiding donation overhead (one extra
+    /// `step` per donated child) deep in the tree, where subtrees are
+    /// tiny and mostly memoized anyway.  Defaults to the
+    /// `TWOSTEP_DONATE_DEPTH` env var when set; results are identical
+    /// under every policy — only load balance changes.
+    pub donate_depth: Option<u32>,
 }
 
 impl Default for ExploreOptions {
@@ -253,6 +301,7 @@ impl Default for ExploreOptions {
             threads: default_threads(),
             shards: 64,
             memo: MemoConfig::all_ram(),
+            donate_depth: donate_depth_from_env(),
         }
     }
 }
@@ -264,6 +313,7 @@ impl ExploreOptions {
             threads: 1,
             shards: 1,
             memo: MemoConfig::all_ram(),
+            donate_depth: None,
         }
     }
 
@@ -279,6 +329,35 @@ impl ExploreOptions {
     pub fn with_memo(self, memo: MemoConfig) -> Self {
         ExploreOptions { memo, ..self }
     }
+
+    /// The same engine with an explicit donation-depth cutoff.
+    pub fn with_donate_depth(self, donate_depth: Option<u32>) -> Self {
+        ExploreOptions {
+            donate_depth,
+            ..self
+        }
+    }
+}
+
+/// Resolves the `TWOSTEP_DONATE_DEPTH` donation cutoff from the
+/// environment — unset means "donate at any depth".  Same policy as
+/// `TWOSTEP_THREADS`: a set-but-unparseable value is never silently
+/// ignored (one-time stderr warning, then the default).
+fn donate_depth_from_env() -> Option<u32> {
+    let raw = std::env::var("TWOSTEP_DONATE_DEPTH").ok()?;
+    match raw.trim().parse::<u32>() {
+        Ok(depth) => Some(depth),
+        Err(_) => {
+            static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+            WARN_ONCE.call_once(|| {
+                eprintln!(
+                    "twostep: TWOSTEP_DONATE_DEPTH={raw:?} is not a round number; \
+                     donating at any depth"
+                )
+            });
+            None
+        }
+    }
 }
 
 /// Errors aborting an exploration.
@@ -292,9 +371,25 @@ pub enum ExploreError {
     /// The engine rejected a step (e.g. control messages under classic
     /// semantics).
     Engine(SimError),
-    /// The disk tier of the memo failed (segment I/O or a corrupt
-    /// record).
+    /// The disk tier of the memo failed (segment I/O, a corrupt or
+    /// foreign segment file).
     Spill {
+        /// What failed, human-readable.
+        detail: String,
+    },
+    /// A distributed-exploration worker failed every launch attempt
+    /// (see [`crate::dist`]).
+    Worker {
+        /// The frontier partition whose worker could not be completed.
+        partition: usize,
+        /// The last attempt's failure, human-readable.
+        detail: String,
+    },
+    /// The distributed coordinator itself failed before or while
+    /// orchestrating workers (e.g. it cannot locate its own binary for
+    /// re-exec) — distinct from [`ExploreError::Worker`] so operators
+    /// don't chase a worker that never launched.
+    Coordinator {
         /// What failed, human-readable.
         detail: String,
     },
@@ -302,7 +397,9 @@ pub enum ExploreError {
 
 impl From<SpillError> for ExploreError {
     fn from(e: SpillError) -> Self {
-        ExploreError::Spill { detail: e.detail }
+        ExploreError::Spill {
+            detail: e.to_string(),
+        }
     }
 }
 
@@ -315,6 +412,15 @@ impl std::fmt::Display for ExploreError {
             ExploreError::Engine(e) => write!(f, "engine error during exploration: {e}"),
             ExploreError::Spill { detail } => {
                 write!(f, "memo spill failure during exploration: {detail}")
+            }
+            ExploreError::Worker { partition, detail } => {
+                write!(
+                    f,
+                    "partition {partition} worker failed every attempt: {detail}"
+                )
+            }
+            ExploreError::Coordinator { detail } => {
+                write!(f, "distributed coordinator failure: {detail}")
             }
         }
     }
@@ -380,7 +486,7 @@ impl<O: Clone + Eq> Summary<O> {
     }
 }
 
-fn make_key<P>(stepper: &Stepper<P>) -> Key<P>
+pub(crate) fn make_key<P>(stepper: &Stepper<P>) -> Key<P>
 where
     P: CheckableProtocol,
     P::Output: Hash,
@@ -521,44 +627,70 @@ where
 {
     let root_stepper = Stepper::new(system, config.model, TraceLevel::Off, initial)
         .map_err(ExploreError::Engine)?;
+    let shared = Shared::new(system, config, &options, &proposals)?;
+    let mut summaries = walk_roots(&shared, options.threads, vec![root_stepper])?;
+    let root = summaries.pop().expect("one root, one summary");
+    build_report(&shared, root)
+}
 
-    let shared = Shared {
-        system,
-        config,
-        proposals: &proposals,
-        memo: ShardedMemo::new(options.shards, &options.memo)?,
-        queue: WorkQueue::new(),
-        stop: AtomicBool::new(false),
-        failure: Mutex::new(None),
-    };
-
-    type RootSlot<O> = Mutex<Option<Result<Arc<Summary<O>>, Interrupt>>>;
-    let threads = options.threads.max(1);
-    let root_slot: RootSlot<P::Output> = Mutex::new(None);
+/// Walks every subtree in `roots` (in order, each fully memoized) with
+/// `threads` work-sharing walkers, returning one summary per root.
+///
+/// This is the extracted walker core: the roots may be *any*
+/// configurations — the canonical initial configuration
+/// ([`explore_with`]), or a batch of frontier subtree roots assigned to
+/// one distributed worker ([`crate::dist`]) — and the memo inside
+/// `shared` may be pre-seeded with summaries computed elsewhere; a walk
+/// simply finds those subtrees already answered.
+pub(crate) fn walk_roots<P>(
+    shared: &Shared<'_, P>,
+    threads: usize,
+    roots: Vec<Stepper<P>>,
+) -> Result<Vec<Arc<Summary<P::Output>>>, ExploreError>
+where
+    P: CheckableProtocol,
+    P::Output: Hash + SpillCodec,
+{
+    type Slot<O> = Mutex<Option<Result<Vec<Arc<Summary<O>>>, Interrupt>>>;
+    let threads = threads.max(1);
+    let result_slot: Slot<P::Output> = Mutex::new(None);
     // Handed to worker 0 through a mutex so the closure only needs the
-    // stepper to be `Send`, not `Sync`.
-    let root_handoff = Mutex::new(Some(root_stepper));
+    // steppers to be `Send`, not `Sync`.
+    let root_handoff = Mutex::new(Some(roots));
 
     run_on_workers(threads, |worker| {
         if worker == 0 {
-            // Primary walker: canonical root walk on the calling thread.
-            // Close the queue however we exit (including by panic), so
-            // stealers never block forever.
+            // Primary walker: canonical walk of every root, in order, on
+            // the calling thread.  Close the queue however we exit
+            // (including by panic), so stealers never block forever.
             let _closer = QueueCloser(&shared.queue);
-            let root = root_handoff
+            let roots = root_handoff
                 .lock()
                 .expect("root handoff poisoned")
                 .take()
-                .expect("root stepper taken once");
-            let mut walker = Walker::new(&shared);
-            let result = walker.explore_subtree(root);
-            *root_slot.lock().expect("root slot poisoned") = Some(result);
+                .expect("roots taken once");
+            let mut walker = Walker::new(shared);
+            let mut summaries = Vec::with_capacity(roots.len());
+            let mut failed = None;
+            for root in roots {
+                match walker.explore_subtree(root) {
+                    Ok(summary) => summaries.push(summary),
+                    Err(interrupt) => {
+                        failed = Some(interrupt);
+                        break;
+                    }
+                }
+            }
+            *result_slot.lock().expect("result slot poisoned") = Some(match failed {
+                None => Ok(summaries),
+                Some(interrupt) => Err(interrupt),
+            });
         } else {
             // Stealer: drain donated subtrees into the shared memo.  A
             // failing walk already recorded its error and signalled the
             // abort at the failure site (`Shared::fail`), so both
             // interrupt flavors are discarded here.
-            let mut walker = Walker::new(&shared);
+            let mut walker = Walker::new(shared);
             while let Some(job) = shared.queue.pop_wait() {
                 match walker.explore_subtree(job) {
                     Ok(_) | Err(Interrupt::Stopped) | Err(Interrupt::Failed(_)) => {}
@@ -567,26 +699,37 @@ where
         }
     });
 
-    let root = match root_slot
+    match result_slot
         .into_inner()
-        .expect("root slot poisoned")
+        .expect("result slot poisoned")
         .expect("primary walker always reports")
     {
-        Ok(summary) => summary,
-        Err(Interrupt::Failed(error)) => return Err(error),
+        Ok(summaries) => Ok(summaries),
+        Err(Interrupt::Failed(error)) => Err(error),
         Err(Interrupt::Stopped) => {
             // The primary walker only observes a stop signal when a
             // stealer recorded a failure first.
-            return Err(shared
+            Err(shared
                 .failure
                 .lock()
                 .expect("failure slot poisoned")
                 .clone()
-                .expect("stop without failure"));
+                .expect("stop without failure"))
         }
-    };
+    }
+}
 
-    // --- Post-processing (single-threaded): census + witness.
+/// Post-processing over a completed walk (single-threaded): the
+/// bivalency census over every memoized configuration, plus witness
+/// reconstruction when the root summary violates.
+pub(crate) fn build_report<P>(
+    shared: &Shared<'_, P>,
+    root: Arc<Summary<P::Output>>,
+) -> Result<ExploreReport<P::Output>, ExploreError>
+where
+    P: CheckableProtocol,
+    P::Output: Hash + SpillCodec,
+{
     let mut by_round: HashMap<u32, (usize, usize)> = HashMap::new();
     shared.memo.for_each(|key, summary| {
         let slot = by_round.entry(key.round).or_insert((0, 0));
@@ -600,7 +743,7 @@ where
     bivalency_by_round.sort_unstable();
 
     let witness = if root.violating {
-        let mut walker = Walker::new(&shared);
+        let mut walker = Walker::new(shared);
         Some(walker.reconstruct_witness()?)
     } else {
         None
@@ -633,19 +776,47 @@ enum Interrupt {
     Stopped,
 }
 
-/// State shared by every walker of one exploration.
-struct Shared<'a, P>
+/// State shared by every walker of one exploration: the memo, the
+/// work-sharing queue, and the abort machinery.  Constructed once per
+/// walk; the distributed engine constructs it directly so it can
+/// pre-seed [`Self::memo`] before calling [`walk_roots`].
+pub(crate) struct Shared<'a, P>
 where
     P: CheckableProtocol,
     P::Output: Hash,
 {
-    system: SystemConfig,
-    config: ExploreConfig,
-    proposals: &'a [P::Output],
-    memo: ShardedMemo<P>,
+    pub(crate) system: SystemConfig,
+    pub(crate) config: ExploreConfig,
+    pub(crate) proposals: &'a [P::Output],
+    pub(crate) memo: ShardedMemo<P>,
     queue: WorkQueue<Stepper<P>>,
     stop: AtomicBool,
     failure: Mutex<Option<ExploreError>>,
+    donate_depth: Option<u32>,
+}
+
+impl<'a, P> Shared<'a, P>
+where
+    P: CheckableProtocol,
+    P::Output: Hash + SpillCodec,
+{
+    pub(crate) fn new(
+        system: SystemConfig,
+        config: ExploreConfig,
+        options: &ExploreOptions,
+        proposals: &'a [P::Output],
+    ) -> Result<Self, ExploreError> {
+        Ok(Shared {
+            system,
+            config,
+            proposals,
+            memo: ShardedMemo::new(options.shards, &options.memo)?,
+            queue: WorkQueue::new(),
+            stop: AtomicBool::new(false),
+            failure: Mutex::new(None),
+            donate_depth: options.donate_depth,
+        })
+    }
 }
 
 impl<P> Shared<'_, P>
@@ -653,6 +824,12 @@ where
     P: CheckableProtocol,
     P::Output: Hash,
 {
+    /// Whether a configuration at `round` may donate its children to
+    /// idle workers under the depth-aware donation policy.
+    fn donate_allowed(&self, round: u32) -> bool {
+        self.donate_depth.is_none_or(|cutoff| round <= cutoff)
+    }
+
     /// Records the first failure and signals every walker to stop —
     /// **before** the failing walker unwinds: the cancel flag halts peers
     /// at their next configuration entry, and closing the queue wakes
@@ -674,7 +851,7 @@ where
 /// One exploration walker: an explicit DFS stack plus reusable scratch
 /// buffers, so the hot enumeration loop performs no per-configuration
 /// `Vec` allocation for crash outcomes.
-struct Walker<'s, 'a, P>
+pub(crate) struct Walker<'s, 'a, P>
 where
     P: CheckableProtocol,
     P::Output: Hash,
@@ -713,7 +890,7 @@ where
     P: CheckableProtocol,
     P::Output: Hash + SpillCodec,
 {
-    fn new(shared: &'s Shared<'a, P>) -> Self {
+    pub(crate) fn new(shared: &'s Shared<'a, P>) -> Self {
         Walker {
             shared,
             outcome_bufs: Vec::new(),
@@ -804,9 +981,12 @@ where
         // Work-sharing: if workers are parked on the injector, hand them
         // the subtrees this walker would reach last.  They explore into
         // the shared memo; this walker finds the results memoized when it
-        // gets there.  Cost: one extra `step` per donated child.
+        // gets there.  Cost: one extra `step` per donated child.  The
+        // depth-aware policy (`ExploreOptions::donate_depth`) can confine
+        // donation to shallow rounds, where subtrees are still large
+        // enough to be worth the handoff.
         let idle = self.shared.queue.idle_workers();
-        if idle > 0 && actions.len() > 1 {
+        if idle > 0 && actions.len() > 1 && self.shared.donate_allowed(stepper.round().get()) {
             for donated in actions.iter().rev().take(idle.min(actions.len() - 1)) {
                 let mut child = stepper.clone();
                 if child.step(donated).is_ok() {
@@ -825,7 +1005,7 @@ where
         Ok(Entered::Expanded)
     }
 
-    fn is_terminal(&self, stepper: &Stepper<P>) -> bool {
+    pub(crate) fn is_terminal(&self, stepper: &Stepper<P>) -> bool {
         stepper.is_quiescent() || stepper.round().get() > self.shared.config.max_rounds
     }
 
@@ -883,7 +1063,7 @@ where
     /// first.  Per-process outcome vectors live in reusable walker-local
     /// buffers — no allocation for them after the first few
     /// configurations.
-    fn enumerate_action_sets(&mut self, stepper: &Stepper<P>) -> Vec<RoundActions> {
+    pub(crate) fn enumerate_action_sets(&mut self, stepper: &Stepper<P>) -> Vec<RoundActions> {
         let n = self.shared.system.n();
         let crashed_so_far = stepper
             .status()
@@ -1085,6 +1265,17 @@ mod tests {
         }
     }
 
+    impl SpillCodec for DecideOwn {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.v.encode(out);
+        }
+        fn decode(input: &mut &[u8]) -> Option<Self> {
+            Some(DecideOwn {
+                v: u64::decode(input)?,
+            })
+        }
+    }
+
     /// A protocol that never decides — termination must be flagged.
     #[derive(Clone, PartialEq, Eq, Hash, Debug)]
     struct NeverDecide;
@@ -1097,6 +1288,13 @@ mod tests {
         }
         fn receive(&mut self, _round: Round, _inbox: &Inbox<u64>) -> Step<u64> {
             Step::Continue
+        }
+    }
+
+    impl SpillCodec for NeverDecide {
+        fn encode(&self, _out: &mut Vec<u8>) {}
+        fn decode(_input: &mut &[u8]) -> Option<Self> {
+            Some(NeverDecide)
         }
     }
 
@@ -1138,6 +1336,21 @@ mod tests {
             } else {
                 Step::Continue
             }
+        }
+    }
+
+    impl SpillCodec for Flooder {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.me.encode(out);
+            self.n.encode(out);
+            self.est.encode(out);
+        }
+        fn decode(input: &mut &[u8]) -> Option<Self> {
+            Some(Flooder {
+                me: u32::decode(input)?,
+                n: usize::decode(input)?,
+                est: u64::decode(input)?,
+            })
         }
     }
 
@@ -1299,6 +1512,7 @@ mod tests {
                         threads,
                         shards: 8,
                         memo: MemoConfig::all_ram(),
+                        donate_depth: None,
                     },
                     procs.clone(),
                     proposals.clone(),
@@ -1429,6 +1643,7 @@ mod tests {
                     threads,
                     shards: 8,
                     memo: MemoConfig::spill(16),
+                    donate_depth: None,
                 },
                 procs.clone(),
                 proposals.clone(),
@@ -1474,6 +1689,45 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err, ExploreError::StateLimit { budget: 3 });
+    }
+
+    /// The depth-aware donation policy changes only load balance, never
+    /// the result: every cutoff (including 0 = never donate) produces a
+    /// report identical to the unrestricted parallel walk and the serial
+    /// walk.
+    #[test]
+    fn donation_depth_cutoffs_are_result_invisible() {
+        let system = SystemConfig::new(4, 2).unwrap();
+        let (procs, proposals) = flooder_procs(4);
+        let serial = explore(
+            system,
+            options(4, 2_000_000),
+            procs.clone(),
+            proposals.clone(),
+        )
+        .unwrap();
+        for donate_depth in [Some(0u32), Some(1), Some(2), None] {
+            let tuned = explore_with(
+                system,
+                options(4, 2_000_000),
+                ExploreOptions::with_threads(4).with_donate_depth(donate_depth),
+                procs.clone(),
+                proposals.clone(),
+            )
+            .unwrap();
+            assert_reports_identical(&serial, &tuned, &format!("donate_depth={donate_depth:?}"));
+        }
+    }
+
+    #[test]
+    fn explore_options_donation_builder() {
+        assert_eq!(ExploreOptions::serial().donate_depth, None);
+        assert_eq!(
+            ExploreOptions::serial()
+                .with_donate_depth(Some(3))
+                .donate_depth,
+            Some(3)
+        );
     }
 
     /// Witness reconstruction reads summaries back through the two-tier

@@ -21,9 +21,15 @@
 //!   is the serial walk, and every option produces bit-identical
 //!   reports);
 //! * [`MemoConfig`] / [`SpillCodec`] — the disk tier: a bounded hot map
-//!   per shard plus append-only segment files of compactly encoded cold
-//!   summaries (module [`spill`]), so the reachable `(n, t)` is bounded
-//!   by disk, not RAM;
+//!   per shard plus append-only, checksummed segment files of compactly
+//!   encoded cold entries — keys *and* summaries, indexed in RAM only by
+//!   fixed-width hashes (module [`spill`]), so the reachable `(n, t)` is
+//!   bounded by disk, not RAM;
+//! * [`explore_partitioned`] / [`run_worker`] (module [`dist`]) — the
+//!   **distributed** engine: hash-partition the depth-`d` frontier
+//!   across worker OS processes, merge their exported memo segments, and
+//!   replay the canonical walk — bit-identical to the serial report,
+//!   with crashed workers validated out and retried;
 //! * [`Witness`] — concrete counterexample schedules, reconstructed when
 //!   a violation exists (used by the commit-order ablation, where the
 //!   ascending variant mechanically violates Theorem 1);
@@ -37,11 +43,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dist;
 pub mod explorer;
 pub mod memo;
 pub mod sample;
 pub mod spill;
 
+pub use dist::{
+    explore_partitioned, explore_partitioned_in_process, run_worker, DistOptions, WorkerReport,
+    WorkerTask,
+};
 pub use explorer::{
     explore, explore_with, CheckableProtocol, ExploreConfig, ExploreError, ExploreOptions,
     ExploreReport, RoundBound, SpecMode, Summary, Witness,

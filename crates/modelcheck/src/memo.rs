@@ -1,35 +1,45 @@
 //! The explorer's memo table: a hash-sharded, optionally **two-tier**
-//! (RAM + disk) map from configuration keys to subtree summaries.
+//! (RAM + disk) map from configuration keys to subtree summaries, with
+//! export/import of whole memo images as portable interchange segments.
 //!
 //! Tier one is a bounded per-shard `HashMap` of live `Arc<Summary>`
 //! values — the *hot* tier.  When [`MemoConfig::hot_capacity`] is finite,
 //! each shard evicts its coldest entries (clock / second-chance order) to
 //! tier two: an append-only segment file per shard
-//! ([`crate::spill::SegmentStore`]), with an in-memory `key → (segment,
-//! offset, len)` index.  A lookup that misses the hot tier but hits the
-//! index rehydrates the record from disk and promotes it back to hot.
+//! ([`crate::spill::SegmentStore`]) whose records hold the **full key and
+//! summary**, addressed by an in-memory index of **fixed-width hashed
+//! keys** (`u64 → [(segment, offset, len)]`).  A lookup that misses the
+//! hot tier probes the index by hash, rehydrates each candidate record,
+//! and accepts it only if the decoded key matches the probe exactly — so
+//! 64-bit hash collisions cost one extra read, never a wrong answer.
+//!
+//! Spilling the keys along with the summaries is what removed the last
+//! RAM bound: a cold entry costs 8 bytes of hash plus one 16-byte record
+//! ref, regardless of how large the per-process protocol snapshots are.
+//! It is also what makes segment files **portable**: every record is
+//! self-contained, so [`ShardedMemo::export_to`] can write one
+//! exploration's entire memo as a single checksummed interchange file and
+//! [`ShardedMemo::import_from`] can pre-seed a fresh memo from it — the
+//! mechanism distributed exploration ([`crate::dist`]) uses to merge
+//! worker results.
 //!
 //! Two invariants make the tiers invisible to the exploration result:
 //!
 //! * **membership is exact** — a key is "memoized" iff it is in the hot
-//!   map or the spill index, so `get`/`insert` answer exactly as the
-//!   all-RAM memo would; eviction never forgets a key (only its summary's
-//!   residence changes), so `distinct` still counts fresh insertions and
-//!   the `max_states` budget and `distinct_states` are unaffected;
+//!   map or (by full-key comparison against its record) the spill index,
+//!   so `get`/`insert` answer exactly as the all-RAM memo would; eviction
+//!   never forgets a key (only its residence changes), so `distinct`
+//!   still counts fresh insertions and the `max_states` budget and
+//!   `distinct_states` are unaffected;
 //! * **summaries are immutable** — once inserted, a summary never
 //!   changes, so a record spilled once is never rewritten: re-evicting a
-//!   rehydrated entry just drops the hot copy and keeps the old index
-//!   ref.
-//!
-//! Keys (the per-process protocol snapshots) always stay in memory — the
-//! index needs them for exact-match lookups.  What spilling buys is
-//! evicting the *summaries*, whose `worst_round_by_f`/valency payload
-//! dominates per-entry size for non-trivial `(n, t)`.
+//!   rehydrated entry just drops the hot copy and keeps the old record
+//!   (tracked by a per-entry `spilled` bit).
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -37,7 +47,8 @@ use twostep_sim::SyncProtocol;
 
 use crate::explorer::Summary;
 use crate::spill::{
-    decode_summary, encode_summary, SegmentStore, SpillCodec, SpillDir, SpillError,
+    decode_summary_prefix, encode_summary, SegmentReader, SegmentStore, SegmentWriter, SpillCodec,
+    SpillDir, SpillError,
 };
 
 /// Memo-tier configuration: how many summaries stay hot in RAM and where
@@ -46,13 +57,13 @@ use crate::spill::{
 /// The default ([`MemoConfig::all_ram`]) keeps every entry in memory —
 /// behavior identical to the pre-spill engine.  Setting a finite
 /// [`hot_capacity`](Self::hot_capacity) enables the disk tier: the memo
-/// keeps at most that many summaries hot (split across shards, minimum
-/// one per shard) and spills the rest to segment files under
-/// [`spill_dir`](Self::spill_dir) — or under a fresh directory inside the
-/// system temp dir when `None`.  Either way the segment files live in a
-/// unique per-exploration subdirectory that is removed when the
-/// exploration finishes (the caller's `spill_dir` root itself is never
-/// deleted).
+/// keeps at most that many entries hot (split across shards, minimum
+/// one per shard) and spills the rest — keys *and* summaries — to
+/// segment files under [`spill_dir`](Self::spill_dir), or under a fresh
+/// directory inside the system temp dir when `None`.  Either way the
+/// segment files live in a unique per-exploration subdirectory that is
+/// removed when the exploration finishes (the caller's `spill_dir` root
+/// itself is never deleted).
 ///
 /// Spilling changes **only** memory residence: reports are bit-identical
 /// to the all-RAM engine at any `hot_capacity` and any thread count, and
@@ -61,10 +72,10 @@ use crate::spill::{
 /// bound.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MemoConfig {
-    /// Target number of summaries resident in RAM, split evenly across
+    /// Target number of entries resident in RAM, split evenly across
     /// the engine's shards; `usize::MAX` (the default) disables the disk
     /// tier entirely.  The split quantizes: each shard holds at least one
-    /// hot summary, so actual residency is
+    /// hot entry, so actual residency is
     /// `shards · max(1, hot_capacity / shards)` — up to `shards` entries
     /// when `hot_capacity < shards`.  Results never depend on the value,
     /// only memory/IO do.
@@ -90,7 +101,7 @@ impl MemoConfig {
     }
 
     /// Spill to a fresh directory under the system temp dir, keeping at
-    /// most `hot_capacity` summaries in RAM.
+    /// most `hot_capacity` entries in RAM.
     pub fn spill(hot_capacity: usize) -> Self {
         MemoConfig {
             hot_capacity,
@@ -99,7 +110,7 @@ impl MemoConfig {
     }
 
     /// Spill to a fresh subdirectory of `dir`, keeping at most
-    /// `hot_capacity` summaries in RAM.
+    /// `hot_capacity` entries in RAM.
     pub fn spill_to(hot_capacity: usize, dir: impl Into<PathBuf>) -> Self {
         MemoConfig {
             hot_capacity,
@@ -145,7 +156,10 @@ where
 /// derives from the cached value and the map's own `Hash` impl just
 /// re-emits it, so each get/insert hashes the underlying key exactly
 /// once.  Equality still compares full keys, so hash collisions stay
-/// correct.
+/// correct.  The same cached hash is the **fixed-width spill-index key**
+/// and the **partitioning hash** of distributed exploration —
+/// `DefaultHasher::new()` is keyless, so the value is stable across
+/// threads and across processes running the same build.
 pub(crate) struct HashedKey<P: SyncProtocol>
 where
     P::Output: Hash,
@@ -195,17 +209,96 @@ where
 {
 }
 
-/// One hot-tier entry: the live summary plus its clock reference bit.
+// ---------------------------------------------------------------------------
+// Entry codec: (key, summary) records
+// ---------------------------------------------------------------------------
+
+/// Appends the self-contained record for one memo entry — full key, then
+/// summary — to `out`.  This is both the spill-tier record format and the
+/// distributed interchange format.
+pub(crate) fn encode_entry<P>(key: &Key<P>, summary: &Summary<P::Output>, out: &mut Vec<u8>)
+where
+    P: SyncProtocol + SpillCodec,
+    P::Output: Hash + SpillCodec,
+{
+    key.round.encode(out);
+    (key.snaps.len() as u32).encode(out);
+    for snap in &key.snaps {
+        match snap {
+            Snap::Active(p) => {
+                out.push(0);
+                p.encode(out);
+            }
+            Snap::Decided(v, round) => {
+                out.push(1);
+                v.encode(out);
+                round.encode(out);
+            }
+            Snap::Crashed(d) => {
+                out.push(2);
+                d.encode(out);
+            }
+        }
+    }
+    encode_summary(summary, out);
+}
+
+/// Decodes a record produced by [`encode_entry`]; `None` on truncated,
+/// malformed, or trailing-garbage input.
+pub(crate) fn decode_entry<P>(mut input: &[u8]) -> Option<(Key<P>, Summary<P::Output>)>
+where
+    P: SyncProtocol + SpillCodec,
+    P::Output: Hash + SpillCodec,
+{
+    let key = decode_key_prefix::<P>(&mut input)?;
+    let summary = decode_summary_prefix::<P::Output>(&mut input)?;
+    if !input.is_empty() {
+        return None;
+    }
+    Some((key, summary))
+}
+
+/// Decodes just the key prefix of an entry record (used to test hot-tier
+/// membership without decoding the summary).
+pub(crate) fn decode_key_prefix<P>(input: &mut &[u8]) -> Option<Key<P>>
+where
+    P: SyncProtocol + SpillCodec,
+    P::Output: Hash + SpillCodec,
+{
+    let round = u32::decode(input)?;
+    let len = u32::decode(input)? as usize;
+    let mut snaps = Vec::with_capacity(len.min(1024));
+    for _ in 0..len {
+        let tag = u8::decode(input)?;
+        snaps.push(match tag {
+            0 => Snap::Active(P::decode(input)?),
+            1 => Snap::Decided(P::Output::decode(input)?, u32::decode(input)?),
+            2 => Snap::Crashed(Option::<(P::Output, u32)>::decode(input)?),
+            _ => return None,
+        });
+    }
+    Some(Key { round, snaps })
+}
+
+// ---------------------------------------------------------------------------
+// Shards
+// ---------------------------------------------------------------------------
+
+/// One hot-tier entry: the live summary, its clock reference bit, and
+/// whether a spill record for this key already exists on disk.
 struct HotEntry<O> {
     summary: Arc<Summary<O>>,
     /// Second-chance bit: set on every touch, cleared (and the entry
     /// rotated to the clock tail) the first time the hand reaches it.
     referenced: bool,
+    /// A segment record for this key already exists (the entry was
+    /// rehydrated), so evicting it again writes nothing.
+    spilled: bool,
 }
 
-/// One memo shard.  Keys are shared between the hot map, the clock queue,
-/// and the spill index via `Arc`, so the clock and index never clone the
-/// (potentially large) protocol snapshots.
+/// One memo shard.  Hot keys are shared between the hot map and the clock
+/// queue via `Arc`; spilled keys live **only in their segment records**,
+/// leaving an 8-byte hash and a record ref per cold entry in RAM.
 struct Shard<P>
 where
     P: SyncProtocol + Clone + Eq + Hash,
@@ -214,8 +307,10 @@ where
     hot: HashMap<Arc<HashedKey<P>>, HotEntry<P::Output>>,
     /// Clock order over the hot entries; front = eviction hand.
     clock: VecDeque<Arc<HashedKey<P>>>,
-    /// Spilled records: every key that has ever been evicted.
-    index: HashMap<Arc<HashedKey<P>>, crate::spill::SpillRef>,
+    /// Spilled records by fixed-width key hash.  Distinct keys sharing a
+    /// 64-bit hash chain into the same slot; rehydration verifies the
+    /// full key decoded from each candidate record.
+    index: HashMap<u64, Vec<crate::spill::SpillRef>>,
     store: Option<SegmentStore>,
     /// Reusable encode buffer for evictions.
     scratch: Vec<u8>,
@@ -223,7 +318,7 @@ where
 
 impl<P> Shard<P>
 where
-    P: SyncProtocol + Clone + Eq + Hash,
+    P: SyncProtocol + Clone + Eq + Hash + SpillCodec,
     P::Output: Hash + Clone + Eq + SpillCodec,
 {
     fn new(store: Option<SegmentStore>) -> Self {
@@ -239,42 +334,50 @@ where
     /// Reads and decodes one spilled record.  An associated fn over the
     /// destructured store (not `&mut self`) so `for_each`/`find_map` can
     /// call it while iterating the index.
-    fn read_spilled(
+    fn read_record(
         store: &mut Option<SegmentStore>,
         spill_ref: &crate::spill::SpillRef,
-    ) -> Result<Summary<P::Output>, SpillError> {
+    ) -> Result<(Key<P>, Summary<P::Output>), SpillError> {
         let payload = store
             .as_mut()
             .expect("spill index entries require a segment store")
             .read(spill_ref)?;
-        decode_summary::<P::Output>(&payload).ok_or_else(|| SpillError {
-            detail: format!(
-                "corrupt summary record at segment {} offset {}",
+        decode_entry::<P>(&payload).ok_or_else(|| {
+            SpillError::corrupt(format!(
+                "undecodable entry record at segment {} offset {}",
                 spill_ref.segment, spill_ref.offset
-            ),
+            ))
         })
     }
 
-    /// Reads and decodes `key`'s spilled record, if it has one.  The
-    /// caller promotes the result back to the hot tier via [`Self::admit`].
+    /// Finds `probe`'s spilled record, if any: probes the hashed index
+    /// and verifies candidates by full-key comparison.  The caller
+    /// promotes the result back to the hot tier via [`Self::admit`].
     fn rehydrate(
         &mut self,
-        key: &HashedKey<P>,
+        probe: &HashedKey<P>,
     ) -> Result<Option<Arc<Summary<P::Output>>>, SpillError> {
-        let spill_ref = match self.index.get(key) {
-            Some(r) => *r,
+        // Destructure so the index borrow and the store's mutable borrow
+        // are disjoint — this is the cold-tier hot path, no allocation.
+        let Shard { index, store, .. } = self;
+        let refs = match index.get(&probe.hash) {
+            Some(refs) => refs,
             None => return Ok(None),
         };
-        Ok(Some(Arc::new(Self::read_spilled(
-            &mut self.store,
-            &spill_ref,
-        )?)))
+        for spill_ref in refs {
+            let (key, summary) = Self::read_record(store, spill_ref)?;
+            if key == probe.key {
+                return Ok(Some(Arc::new(summary)));
+            }
+        }
+        Ok(None)
     }
 
     fn admit(
         &mut self,
         key: Arc<HashedKey<P>>,
         summary: Arc<Summary<P::Output>>,
+        spilled: bool,
         hot_capacity: usize,
     ) -> Result<(), SpillError> {
         if hot_capacity != usize::MAX {
@@ -288,13 +391,16 @@ where
             HotEntry {
                 summary,
                 referenced: true,
+                spilled,
             },
         );
         Ok(())
     }
 
     /// Evicts exactly one hot entry in clock (second-chance) order,
-    /// spilling its summary unless an earlier eviction already did.
+    /// spilling its full `(key, summary)` record unless one already
+    /// exists.  After this, the evicted key's only full copy lives on
+    /// disk — the RAM cost of a cold entry is its index slot.
     fn evict_one(&mut self) -> Result<(), SpillError> {
         loop {
             let key = self
@@ -311,15 +417,15 @@ where
                 continue;
             }
             let entry = self.hot.remove(&*key).expect("entry present above");
-            if !self.index.contains_key(&*key) {
+            if !entry.spilled {
                 self.scratch.clear();
-                encode_summary(&entry.summary, &mut self.scratch);
+                encode_entry(&key.key, &entry.summary, &mut self.scratch);
                 let spill_ref = self
                     .store
                     .as_mut()
                     .expect("bounded hot tier requires a segment store")
                     .append(&self.scratch)?;
-                self.index.insert(key, spill_ref);
+                self.index.entry(key.hash).or_default().push(spill_ref);
             }
             return Ok(());
         }
@@ -329,7 +435,7 @@ where
 /// The memo table, split into hash-addressed mutex-guarded shards so
 /// concurrent walkers rarely contend on the same lock, each shard holding
 /// a hot RAM tier and (under a finite [`MemoConfig::hot_capacity`]) a
-/// cold disk tier.
+/// cold disk tier addressed by hashed keys.
 ///
 /// `distinct` counts *fresh* key insertions only: racing walkers that
 /// compute the same subtree insert identical summaries, the first wins,
@@ -352,7 +458,7 @@ where
 
 impl<P> ShardedMemo<P>
 where
-    P: SyncProtocol + Clone + Eq + Hash,
+    P: SyncProtocol + Clone + Eq + Hash + SpillCodec,
     P::Output: Hash + Clone + Eq + SpillCodec,
 {
     pub(crate) fn new(shards: usize, config: &MemoConfig) -> Result<Self, SpillError> {
@@ -399,12 +505,13 @@ where
         }
         match shard.rehydrate(key)? {
             Some(summary) => {
-                let arc_key = shard
-                    .index
-                    .get_key_value(key)
-                    .map(|(k, _)| Arc::clone(k))
-                    .expect("rehydrated key is indexed");
-                shard.admit(arc_key, Arc::clone(&summary), self.per_shard_hot)?;
+                // Promote: the full key re-enters RAM from the record's
+                // copy (`key` is only borrowed here).
+                let arc_key = Arc::new(HashedKey {
+                    hash: key.hash,
+                    key: key.key.clone(),
+                });
+                shard.admit(arc_key, Arc::clone(&summary), true, self.per_shard_hot)?;
                 Ok(Some(summary))
             }
             None => Ok(None),
@@ -429,6 +536,7 @@ where
                     e.insert(HotEntry {
                         summary: Arc::clone(&summary),
                         referenced: true,
+                        spilled: false,
                     });
                     self.distinct.fetch_add(1, Ordering::Relaxed);
                     summary
@@ -440,15 +548,20 @@ where
             return Ok(Arc::clone(&entry.summary));
         }
         if let Some(existing) = shard.rehydrate(&key)? {
-            let arc_key = shard
-                .index
-                .get_key_value(&key)
-                .map(|(k, _)| Arc::clone(k))
-                .expect("rehydrated key is indexed");
-            shard.admit(arc_key, Arc::clone(&existing), self.per_shard_hot)?;
+            shard.admit(
+                Arc::new(key),
+                Arc::clone(&existing),
+                true,
+                self.per_shard_hot,
+            )?;
             return Ok(existing);
         }
-        shard.admit(Arc::new(key), Arc::clone(&summary), self.per_shard_hot)?;
+        shard.admit(
+            Arc::new(key),
+            Arc::clone(&summary),
+            false,
+            self.per_shard_hot,
+        )?;
         self.distinct.fetch_add(1, Ordering::Relaxed);
         Ok(summary)
     }
@@ -488,16 +601,249 @@ where
             let Shard {
                 hot, index, store, ..
             } = &mut *shard;
-            for (key, spill_ref) in index.iter() {
-                if hot.contains_key(key) {
-                    continue; // already visited via the hot tier
-                }
-                let summary = Arc::new(Shard::<P>::read_spilled(store, spill_ref)?);
-                if let Some(found) = f(&key.key, &summary) {
-                    return Ok(Some(found));
+            for (hash, refs) in index.iter() {
+                for spill_ref in refs {
+                    let (key, summary) = Shard::<P>::read_record(store, spill_ref)?;
+                    let hashed = HashedKey { hash: *hash, key };
+                    if hot.contains_key(&hashed) {
+                        continue; // already visited via the hot tier
+                    }
+                    if let Some(found) = f(&hashed.key, &Arc::new(summary)) {
+                        return Ok(Some(found));
+                    }
                 }
             }
         }
         Ok(None)
+    }
+
+    /// Exports every memoized entry — full keys and summaries — as one
+    /// sealed interchange segment file at `path`, overwriting it.
+    /// Returns the number of records written.
+    ///
+    /// The file is self-contained and position-independent: importing it
+    /// into any fresh memo (any shard count, any tiering) reproduces the
+    /// exact key → summary mapping, which is what lets distributed
+    /// workers hand their results to the coordinator.
+    pub(crate) fn export_to(&self, path: &Path) -> Result<u64, SpillError> {
+        let mut writer = SegmentWriter::create(path)?;
+        let mut scratch: Vec<u8> = Vec::new();
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("memo shard poisoned");
+            for (key, entry) in shard.hot.iter() {
+                scratch.clear();
+                encode_entry(&key.key, &entry.summary, &mut scratch);
+                writer.append(&scratch)?;
+            }
+            let Shard {
+                hot, index, store, ..
+            } = &mut *shard;
+            for (hash, refs) in index.iter() {
+                for spill_ref in refs {
+                    // Entries both hot and spilled were exported above;
+                    // decode the record's key prefix to detect them.
+                    let payload = store
+                        .as_mut()
+                        .expect("spill index entries require a segment store")
+                        .read(spill_ref)?;
+                    let mut input = payload.as_slice();
+                    let key = decode_key_prefix::<P>(&mut input).ok_or_else(|| {
+                        SpillError::corrupt(format!(
+                            "undecodable key at segment {} offset {}",
+                            spill_ref.segment, spill_ref.offset
+                        ))
+                    })?;
+                    let hashed = HashedKey { hash: *hash, key };
+                    if hot.contains_key(&hashed) {
+                        continue;
+                    }
+                    writer.append(&payload)?;
+                }
+            }
+        }
+        writer.finish()
+    }
+
+    /// Pre-seeds this memo from an interchange segment file written by
+    /// [`Self::export_to`] — validating header, CRCs, record count, and
+    /// every record's decodability.  Records whose key is already present
+    /// are skipped (their summaries are necessarily identical, both being
+    /// the deterministic merge for that key).  Returns the number of
+    /// records read.
+    pub(crate) fn import_from(&self, path: &Path) -> Result<u64, SpillError> {
+        let mut reader = SegmentReader::open(path)?;
+        let mut records = 0u64;
+        while let Some(payload) = reader.next_record()? {
+            let (key, summary) = decode_entry::<P>(&payload).ok_or_else(|| {
+                SpillError::corrupt(format!(
+                    "{}: undecodable entry in record {records}",
+                    path.display()
+                ))
+            })?;
+            self.insert(HashedKey::new(key), Arc::new(summary))?;
+            records += 1;
+        }
+        Ok(records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twostep_model::Round;
+    use twostep_sim::{Inbox, SendPlan, Step};
+
+    /// Minimal protocol whose state is one u64 — enough to build keys.
+    #[derive(Clone, PartialEq, Eq, Hash, Debug)]
+    struct Probe {
+        v: u64,
+    }
+
+    impl SyncProtocol for Probe {
+        type Msg = u64;
+        type Output = u64;
+        fn send(&mut self, _round: Round) -> SendPlan<u64, u64> {
+            SendPlan::quiet()
+        }
+        fn receive(&mut self, _round: Round, _inbox: &Inbox<u64>) -> Step<u64> {
+            Step::Continue
+        }
+    }
+
+    impl SpillCodec for Probe {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.v.encode(out);
+        }
+        fn decode(input: &mut &[u8]) -> Option<Self> {
+            Some(Probe {
+                v: u64::decode(input)?,
+            })
+        }
+    }
+
+    fn key_for(i: u64) -> HashedKey<Probe> {
+        HashedKey::new(Key {
+            round: (i % 7) as u32 + 1,
+            snaps: vec![Snap::Active(Probe { v: i }), Snap::Crashed(None)],
+        })
+    }
+
+    /// The summary every thread must agree on for key `i`.
+    fn summary_for(i: u64) -> Summary<u64> {
+        Summary {
+            terminals: i + 1,
+            worst_round_by_f: vec![Some(i as u32), None],
+            decided: vec![i, i + 100],
+            violating: i.is_multiple_of(3),
+        }
+    }
+
+    #[test]
+    fn entry_record_roundtrips() {
+        let key = key_for(42).key;
+        let summary = summary_for(42);
+        let mut buf = Vec::new();
+        encode_entry(&key, &summary, &mut buf);
+        let (k2, s2) = decode_entry::<Probe>(&buf).expect("decodes");
+        assert!(k2 == key);
+        assert_eq!(s2, summary);
+        buf.push(0);
+        assert!(decode_entry::<Probe>(&buf).is_none(), "trailing garbage");
+    }
+
+    #[test]
+    fn spilled_key_is_verified_on_rehydrate() {
+        // hot_capacity 1 on a single shard: every second insert evicts,
+        // so most keys live only on disk.  Each get must return exactly
+        // its own summary (full-key verification behind the hashed
+        // index), never a neighbor's.
+        let memo: ShardedMemo<Probe> = ShardedMemo::new(1, &MemoConfig::spill(1)).unwrap();
+        for i in 0..200u64 {
+            memo.insert(key_for(i), Arc::new(summary_for(i))).unwrap();
+        }
+        assert_eq!(memo.len(), 200);
+        for i in (0..200u64).rev() {
+            let got = memo.get(&key_for(i)).unwrap().expect("spilled key found");
+            assert_eq!(*got, summary_for(i), "key {i}");
+        }
+        assert!(memo.get(&key_for(777)).unwrap().is_none(), "absent key");
+        assert_eq!(memo.len(), 200, "gets never mint distinct states");
+    }
+
+    /// Satellite regression: concurrent rehydrate/promote/evict races at
+    /// a tiny hot capacity.  Many threads hammer overlapping key ranges
+    /// with interleaved gets and inserts; every observed summary must be
+    /// the key's canonical one, and the distinct count must equal the
+    /// key-set cardinality exactly.
+    #[test]
+    fn eviction_races_preserve_memo_contents() {
+        const KEYS: u64 = 64;
+        const THREADS: u64 = 8;
+        const ROUNDS: u64 = 6;
+        let memo: ShardedMemo<Probe> = ShardedMemo::new(2, &MemoConfig::spill(2)).unwrap();
+        std::thread::scope(|scope| {
+            for tid in 0..THREADS {
+                let memo = &memo;
+                scope.spawn(move || {
+                    // Deterministic per-thread permutation of the keys,
+                    // interleaving gets and inserts so rehydrates and
+                    // promotes race with evictions on other threads.
+                    for round in 0..ROUNDS {
+                        for step in 0..KEYS {
+                            let i = (step * (2 * tid + 1) + round * 13) % KEYS;
+                            if (step + tid + round) % 2 == 0 {
+                                if let Some(seen) = memo.get(&key_for(i)).unwrap() {
+                                    assert_eq!(*seen, summary_for(i), "get({i})");
+                                }
+                            }
+                            let canonical =
+                                memo.insert(key_for(i), Arc::new(summary_for(i))).unwrap();
+                            assert_eq!(*canonical, summary_for(i), "insert({i})");
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(memo.len(), KEYS as usize, "distinct == key-set size");
+        // Every key is present exactly once with its canonical summary.
+        let mut seen = vec![0usize; KEYS as usize];
+        memo.for_each(|key, summary| {
+            let i = match &key.snaps[0] {
+                Snap::Active(p) => p.v,
+                _ => panic!("unexpected snapshot shape"),
+            };
+            seen[i as usize] += 1;
+            assert_eq!(**summary, summary_for(i), "for_each({i})");
+        })
+        .unwrap();
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "each key visited once: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn export_import_roundtrips_across_tierings() {
+        let dir = crate::spill::SpillDir::create(None).unwrap();
+        let path = dir.path().join("memo.seg");
+        // Source: spilling memo, so the export walks both tiers.
+        let source: ShardedMemo<Probe> = ShardedMemo::new(4, &MemoConfig::spill(3)).unwrap();
+        for i in 0..100u64 {
+            source.insert(key_for(i), Arc::new(summary_for(i))).unwrap();
+        }
+        assert_eq!(source.export_to(&path).unwrap(), 100);
+
+        // Destination: all-RAM with a different shard count.
+        let dest: ShardedMemo<Probe> = ShardedMemo::new(7, &MemoConfig::all_ram()).unwrap();
+        assert_eq!(dest.import_from(&path).unwrap(), 100);
+        assert_eq!(dest.len(), 100);
+        for i in 0..100u64 {
+            let got = dest.get(&key_for(i)).unwrap().expect("imported key");
+            assert_eq!(*got, summary_for(i));
+        }
+
+        // Importing the same file again is idempotent.
+        assert_eq!(dest.import_from(&path).unwrap(), 100);
+        assert_eq!(dest.len(), 100, "duplicate imports mint nothing");
     }
 }

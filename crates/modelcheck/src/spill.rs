@@ -1,190 +1,167 @@
-//! Binary encoding and append-only segment storage for spilled memo
-//! entries — the cold tier of the explorer's two-tier memo.
+//! Binary encoding, checksummed segment files, and the portable
+//! interchange format for memo entries — the cold tier of the explorer's
+//! two-tier memo and the wire format of its distributed engine.
 //!
 //! The hot tier of [`crate::memo`] keeps recently used summaries as live
 //! `Arc<Summary>` values; everything evicted from it lands here, as a
 //! compact, self-delimiting binary record inside an append-only **segment
-//! file**.  Three pieces:
+//! file**.  The same record format doubles as the **interchange format**
+//! of distributed exploration ([`crate::dist`]): a worker process exports
+//! its entire memo — keys *and* summaries — as one segment file, and the
+//! coordinator imports those files to pre-seed the memo of its final
+//! canonical walk.  Pieces:
 //!
-//! * [`SpillCodec`] — the byte encoding of decision values (and of the
-//!   containers [`Summary`](crate::Summary) is built from).  Every output
-//!   type a protocol wants to model-check under a spilling memo must
-//!   implement it; impls are provided for the primitive integers, `bool`,
-//!   `()`, [`WideValue`], `Option<T>`, `Vec<T>`, and pairs.
-//! * [`encode_summary`] / [`decode_summary`] — the record payload: round
+//! * [`SpillCodec`] — the byte encoding of protocol state and decision
+//!   values (re-exported from [`twostep_model::codec`], where the impls
+//!   for the primitive building blocks live; protocol crates implement it
+//!   for their process-state types).
+//! * [`encode_summary`] / [`decode_summary`] — the summary payload: round
 //!   census (`worst_round_by_f`), terminal count, valency set, violation
 //!   flag.  Encoding then decoding is the identity (round-trip tested
 //!   here and property-tested in `tests/spill_roundtrip.rs`).
-//! * [`SegmentStore`] — one shard's append-only storage: length-prefixed
-//!   records written sequentially, rotated into a fresh segment file every
-//!   [`SEGMENT_BYTES`], addressed by [`SpillRef`] `(segment, offset,
-//!   len)`.  Records are immutable once written — a summary that was
-//!   spilled, rehydrated, and evicted again is *not* rewritten; its old
-//!   record is still valid.
+//! * **Segment files** — a 24-byte header (8-byte magic, format version,
+//!   record count) followed by `[u32 len][u32 crc32][payload]` records.
+//!   Every record is covered by an IEEE CRC32 of its payload, so a
+//!   truncated write, a flipped bit, or a file produced by something else
+//!   entirely is detected *before* its bytes are interpreted — a
+//!   requirement once files travel between processes.  Three access
+//!   paths:
+//!   [`SegmentStore`] (one memo shard's append-only spill storage,
+//!   random-access by [`SpillRef`], rotated every [`SEGMENT_BYTES`]),
+//!   [`SegmentWriter`] (builds one export file, patching the true record
+//!   count into the header on [`finish`](SegmentWriter::finish) so an
+//!   unfinished file is distinguishable from a complete one), and
+//!   [`SegmentReader`] (sequential scan of an export file, validating
+//!   header, CRCs, and record count).
 //!
-//! Segment files live in a [`SpillDir`]: a unique per-exploration
+//! Spill segment files live in a [`SpillDir`]: a unique per-exploration
 //! subdirectory of either a caller-chosen root or the system temp dir,
 //! removed recursively when the exploration's memo is dropped.
+//!
+//! Failures are classified by [`SpillError`]: [`SpillError::Io`] for
+//! operating-system failures, [`SpillError::Foreign`] for files that are
+//! not segment files this build can read (bad magic, unsupported
+//! version, header cut short), and [`SpillError::Corrupt`] for segment
+//! files damaged after the header (CRC mismatch, truncated record,
+//! record-count mismatch, undecodable payload).
 
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::{BufReader, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use twostep_model::WideValue;
+pub use twostep_model::codec::SpillCodec;
 
 use crate::explorer::Summary;
 
 /// Bytes after which a shard rotates to a fresh segment file.
 pub(crate) const SEGMENT_BYTES: u64 = 64 * 1024 * 1024;
 
-/// An error from the spill tier: directory creation, segment I/O, or a
-/// record that fails to decode.
-#[derive(Clone, Debug)]
-pub struct SpillError {
-    /// Human-readable description of what failed.
-    pub detail: String,
+/// First 8 bytes of every segment file.
+pub(crate) const MAGIC: [u8; 8] = *b"TWOSPILL";
+
+/// Format version; bumped whenever the header or record layout changes.
+pub(crate) const FORMAT_VERSION: u32 = 2;
+
+/// Header record-count sentinel for streaming (never-finished) segment
+/// files — the in-exploration spill segments, which are only ever read
+/// back through their in-memory [`SpillRef`] index.
+pub(crate) const STREAMING_COUNT: u64 = u64::MAX;
+
+/// Header layout: magic (8) + version (4) + record count (8) + reserved
+/// (4).
+pub(crate) const HEADER_LEN: u64 = 24;
+
+/// Byte offset of the record-count field inside the header.
+const COUNT_OFFSET: u64 = 12;
+
+/// An error from the spill / interchange tier.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpillError {
+    /// An operating-system I/O operation failed (directory creation,
+    /// segment read/write, …).
+    Io {
+        /// What failed, human-readable.
+        detail: String,
+    },
+    /// A segment file is damaged past its header: a record failed its
+    /// CRC, was truncated, failed to decode, or the file holds a
+    /// different number of records than its header promises.
+    Corrupt {
+        /// What failed, human-readable.
+        detail: String,
+    },
+    /// A file is not a segment file this build can read: wrong magic,
+    /// unsupported format version, or too short to hold a header.
+    Foreign {
+        /// What failed, human-readable.
+        detail: String,
+    },
 }
 
 impl SpillError {
-    fn io(context: &str, e: std::io::Error) -> Self {
-        SpillError {
+    pub(crate) fn io(context: &str, e: std::io::Error) -> Self {
+        SpillError::Io {
             detail: format!("{context}: {e}"),
+        }
+    }
+
+    pub(crate) fn corrupt(detail: impl Into<String>) -> Self {
+        SpillError::Corrupt {
+            detail: detail.into(),
+        }
+    }
+
+    pub(crate) fn foreign(detail: impl Into<String>) -> Self {
+        SpillError::Foreign {
+            detail: detail.into(),
         }
     }
 }
 
 impl std::fmt::Display for SpillError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "memo spill failure: {}", self.detail)
+        match self {
+            SpillError::Io { detail } => write!(f, "spill I/O failure: {detail}"),
+            SpillError::Corrupt { detail } => write!(f, "corrupt segment file: {detail}"),
+            SpillError::Foreign { detail } => write!(f, "foreign segment file: {detail}"),
+        }
     }
 }
 
 impl std::error::Error for SpillError {}
 
 // ---------------------------------------------------------------------------
-// Value codec
+// CRC32 (IEEE 802.3), table-driven, no dependencies
 // ---------------------------------------------------------------------------
 
-/// Byte encoding for values stored in spilled memo records.
-///
-/// The contract is the obvious one: `decode` must invert `encode` —
-/// appending `encode`'s output to a buffer and then decoding from it
-/// yields an equal value and consumes exactly the bytes `encode`
-/// produced.  `decode` returns `None` on truncated or malformed input
-/// instead of panicking; the memo treats that as a corrupt segment.
-pub trait SpillCodec: Sized {
-    /// Appends this value's encoding to `out`.
-    fn encode(&self, out: &mut Vec<u8>);
-    /// Decodes one value from the front of `input`, advancing it past the
-    /// consumed bytes; `None` if the bytes do not form a valid value.
-    fn decode(input: &mut &[u8]) -> Option<Self>;
-}
-
-fn take<'a>(input: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
-    if input.len() < n {
-        return None;
-    }
-    let (head, tail) = input.split_at(n);
-    *input = tail;
-    Some(head)
-}
-
-macro_rules! impl_spill_codec_int {
-    ($($ty:ty),*) => {$(
-        impl SpillCodec for $ty {
-            fn encode(&self, out: &mut Vec<u8>) {
-                out.extend_from_slice(&self.to_le_bytes());
-            }
-            fn decode(input: &mut &[u8]) -> Option<Self> {
-                let bytes = take(input, std::mem::size_of::<$ty>())?;
-                Some(<$ty>::from_le_bytes(bytes.try_into().ok()?))
-            }
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
         }
-    )*};
-}
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
 
-impl_spill_codec_int!(u8, u16, u32, u64, u128, i8, i16, i32, i64, i128);
-
-impl SpillCodec for bool {
-    fn encode(&self, out: &mut Vec<u8>) {
-        out.push(*self as u8);
+/// IEEE CRC32 of `bytes` — the per-record checksum of segment files.
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
     }
-    fn decode(input: &mut &[u8]) -> Option<Self> {
-        match take(input, 1)?[0] {
-            0 => Some(false),
-            1 => Some(true),
-            _ => None,
-        }
-    }
-}
-
-impl SpillCodec for () {
-    fn encode(&self, _out: &mut Vec<u8>) {}
-    fn decode(_input: &mut &[u8]) -> Option<Self> {
-        Some(())
-    }
-}
-
-impl SpillCodec for WideValue {
-    fn encode(&self, out: &mut Vec<u8>) {
-        self.width().encode(out);
-        self.ident().encode(out);
-    }
-    fn decode(input: &mut &[u8]) -> Option<Self> {
-        let bits = u32::decode(input)?;
-        let ident = u64::decode(input)?;
-        if bits == 0 {
-            return None; // Theorem 2 values are at least one bit wide.
-        }
-        Some(WideValue::new(bits, ident))
-    }
-}
-
-impl<T: SpillCodec> SpillCodec for Option<T> {
-    fn encode(&self, out: &mut Vec<u8>) {
-        match self {
-            None => out.push(0),
-            Some(v) => {
-                out.push(1);
-                v.encode(out);
-            }
-        }
-    }
-    fn decode(input: &mut &[u8]) -> Option<Self> {
-        match take(input, 1)?[0] {
-            0 => Some(None),
-            1 => Some(Some(T::decode(input)?)),
-            _ => None,
-        }
-    }
-}
-
-impl<T: SpillCodec> SpillCodec for Vec<T> {
-    fn encode(&self, out: &mut Vec<u8>) {
-        (self.len() as u32).encode(out);
-        for v in self {
-            v.encode(out);
-        }
-    }
-    fn decode(input: &mut &[u8]) -> Option<Self> {
-        let len = u32::decode(input)? as usize;
-        let mut out = Vec::with_capacity(len.min(1024));
-        for _ in 0..len {
-            out.push(T::decode(input)?);
-        }
-        Some(out)
-    }
-}
-
-impl<A: SpillCodec, B: SpillCodec> SpillCodec for (A, B) {
-    fn encode(&self, out: &mut Vec<u8>) {
-        self.0.encode(out);
-        self.1.encode(out);
-    }
-    fn decode(input: &mut &[u8]) -> Option<Self> {
-        Some((A::decode(input)?, B::decode(input)?))
-    }
+    c ^ 0xFFFF_FFFF
 }
 
 // ---------------------------------------------------------------------------
@@ -202,16 +179,22 @@ pub fn encode_summary<O: SpillCodec>(summary: &Summary<O>, out: &mut Vec<u8>) {
 /// Decodes a [`Summary`] record produced by [`encode_summary`]; `None` if
 /// the bytes are truncated, malformed, or carry trailing garbage.
 pub fn decode_summary<O: SpillCodec>(mut input: &[u8]) -> Option<Summary<O>> {
-    let summary = Summary {
-        terminals: u64::decode(&mut input)?,
-        worst_round_by_f: Vec::<Option<u32>>::decode(&mut input)?,
-        decided: Vec::<O>::decode(&mut input)?,
-        violating: bool::decode(&mut input)?,
-    };
+    let summary = decode_summary_prefix(&mut input)?;
     if !input.is_empty() {
         return None;
     }
     Some(summary)
+}
+
+/// Decodes a [`Summary`] from the front of `input`, advancing past it —
+/// the building block for records that carry a key *and* a summary.
+pub(crate) fn decode_summary_prefix<O: SpillCodec>(input: &mut &[u8]) -> Option<Summary<O>> {
+    Some(Summary {
+        terminals: u64::decode(input)?,
+        worst_round_by_f: Vec::<Option<u32>>::decode(input)?,
+        decided: Vec::<O>::decode(input)?,
+        violating: bool::decode(input)?,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -259,7 +242,58 @@ impl Drop for SpillDir {
 }
 
 // ---------------------------------------------------------------------------
-// Segment store
+// Header helpers
+// ---------------------------------------------------------------------------
+
+fn header_bytes(record_count: u64) -> [u8; HEADER_LEN as usize] {
+    let mut h = [0u8; HEADER_LEN as usize];
+    h[..8].copy_from_slice(&MAGIC);
+    h[8..12].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+    h[12..20].copy_from_slice(&record_count.to_le_bytes());
+    h
+}
+
+/// Writes one `[u32 len][u32 crc][payload]` framed record — the single
+/// definition of the record layout, shared by the in-exploration spill
+/// store and the interchange export writer so the two can never
+/// silently diverge within one `FORMAT_VERSION`.
+fn write_framed_record(w: &mut impl Write, payload: &[u8]) -> Result<(), SpillError> {
+    w.write_all(&(payload.len() as u32).to_le_bytes())
+        .map_err(|e| SpillError::io("writing record length", e))?;
+    w.write_all(&crc32(payload).to_le_bytes())
+        .map_err(|e| SpillError::io("writing record checksum", e))?;
+    w.write_all(payload)
+        .map_err(|e| SpillError::io("writing record payload", e))
+}
+
+/// Validates a header and returns its record count (`STREAMING_COUNT`
+/// for never-finished streaming segments).
+fn parse_header(h: &[u8], path: &Path) -> Result<u64, SpillError> {
+    if h.len() < HEADER_LEN as usize {
+        return Err(SpillError::foreign(format!(
+            "{}: {} bytes is too short for a segment header",
+            path.display(),
+            h.len()
+        )));
+    }
+    if h[..8] != MAGIC {
+        return Err(SpillError::foreign(format!(
+            "{}: bad magic (not a twostep segment file)",
+            path.display()
+        )));
+    }
+    let version = u32::from_le_bytes(h[8..12].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(SpillError::foreign(format!(
+            "{}: format version {version}, this build reads {FORMAT_VERSION}",
+            path.display()
+        )));
+    }
+    Ok(u64::from_le_bytes(h[12..20].try_into().expect("8 bytes")))
+}
+
+// ---------------------------------------------------------------------------
+// Segment store (in-exploration spill tier)
 // ---------------------------------------------------------------------------
 
 /// Address of one spilled record: which segment file of the owning shard,
@@ -271,8 +305,8 @@ pub(crate) struct SpillRef {
     pub(crate) len: u32,
 }
 
-/// One shard's append-only spill storage: length-prefixed records in a
-/// chain of segment files (`shard<S>-seg<K>.spill`), rotated every
+/// One shard's append-only spill storage: checksummed records in a chain
+/// of segment files (`shard<S>-seg<K>.spill`), rotated every
 /// [`SEGMENT_BYTES`].  All access is serialized by the owning shard's
 /// lock, so a plain `File` per segment (shared cursor, explicit seeks)
 /// suffices.
@@ -302,18 +336,23 @@ impl SegmentStore {
             self.shard,
             self.segments.len()
         ));
-        let file = OpenOptions::new()
+        let mut file = OpenOptions::new()
             .create_new(true)
             .read(true)
             .write(true)
             .open(&path)
             .map_err(|e| SpillError::io(&format!("creating segment {}", path.display()), e))?;
+        // Streaming segments never learn their final record count; they
+        // are indexed in memory, not scanned.
+        file.write_all(&header_bytes(STREAMING_COUNT))
+            .map_err(|e| SpillError::io("writing segment header", e))?;
         self.segments.push(file);
-        self.tail_len = 0;
+        self.tail_len = HEADER_LEN;
         Ok(())
     }
 
-    /// Appends one `[u32 len][payload]` record, returning its address.
+    /// Appends one `[u32 len][u32 crc][payload]` record, returning its
+    /// address.
     pub(crate) fn append(&mut self, payload: &[u8]) -> Result<SpillRef, SpillError> {
         if self.segments.is_empty() || self.tail_len >= SEGMENT_BYTES {
             self.open_segment()?;
@@ -324,11 +363,8 @@ impl SegmentStore {
         // Reads share this handle's cursor, so position explicitly.
         file.seek(SeekFrom::Start(offset))
             .map_err(|e| SpillError::io("seeking segment tail", e))?;
-        file.write_all(&(payload.len() as u32).to_le_bytes())
-            .map_err(|e| SpillError::io("writing record length", e))?;
-        file.write_all(payload)
-            .map_err(|e| SpillError::io("writing record payload", e))?;
-        self.tail_len = offset + 4 + payload.len() as u64;
+        write_framed_record(file, payload)?;
+        self.tail_len = offset + 8 + payload.len() as u64;
         Ok(SpillRef {
             segment: segment as u32,
             offset,
@@ -336,38 +372,240 @@ impl SegmentStore {
         })
     }
 
-    /// Reads the record at `r`, verifying its length prefix.
+    /// Reads the record at `r`, verifying its length prefix and CRC.
     pub(crate) fn read(&mut self, r: &SpillRef) -> Result<Vec<u8>, SpillError> {
         let file = self
             .segments
             .get_mut(r.segment as usize)
-            .ok_or_else(|| SpillError {
-                detail: format!("segment {} does not exist", r.segment),
-            })?;
+            .ok_or_else(|| SpillError::corrupt(format!("segment {} does not exist", r.segment)))?;
         file.seek(SeekFrom::Start(r.offset))
             .map_err(|e| SpillError::io("seeking record", e))?;
-        let mut prefix = [0u8; 4];
+        let mut prefix = [0u8; 8];
         file.read_exact(&mut prefix)
-            .map_err(|e| SpillError::io("reading record length", e))?;
-        let stored = u32::from_le_bytes(prefix);
-        if stored != r.len {
-            return Err(SpillError {
-                detail: format!(
-                    "record length mismatch at segment {} offset {}: stored {stored}, expected {}",
-                    r.segment, r.offset, r.len
-                ),
-            });
+            .map_err(|e| SpillError::io("reading record prefix", e))?;
+        let stored_len = u32::from_le_bytes(prefix[..4].try_into().expect("4 bytes"));
+        let stored_crc = u32::from_le_bytes(prefix[4..].try_into().expect("4 bytes"));
+        if stored_len != r.len {
+            return Err(SpillError::corrupt(format!(
+                "record length mismatch at segment {} offset {}: stored {stored_len}, expected {}",
+                r.segment, r.offset, r.len
+            )));
         }
         let mut payload = vec![0u8; r.len as usize];
         file.read_exact(&mut payload)
             .map_err(|e| SpillError::io("reading record payload", e))?;
+        if crc32(&payload) != stored_crc {
+            return Err(SpillError::corrupt(format!(
+                "CRC mismatch at segment {} offset {}",
+                r.segment, r.offset
+            )));
+        }
         Ok(payload)
     }
+}
+
+// ---------------------------------------------------------------------------
+// Interchange files (export / import)
+// ---------------------------------------------------------------------------
+
+/// Writes one interchange segment file: header, records, then a
+/// [`finish`](Self::finish) that patches the true record count into the
+/// header.  A file missing that patch (worker died mid-export) is
+/// rejected by [`SegmentReader::open`] as corrupt.
+///
+/// Creation truncates an existing file, so a retried worker simply
+/// overwrites the remains of its crashed predecessor.
+pub(crate) struct SegmentWriter {
+    file: File,
+    path: PathBuf,
+    records: u64,
+}
+
+impl SegmentWriter {
+    pub(crate) fn create(path: &Path) -> Result<Self, SpillError> {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| SpillError::io(&format!("creating export {}", path.display()), e))?;
+        file.write_all(&header_bytes(STREAMING_COUNT))
+            .map_err(|e| SpillError::io("writing export header", e))?;
+        Ok(SegmentWriter {
+            file,
+            path: path.to_path_buf(),
+            records: 0,
+        })
+    }
+
+    pub(crate) fn append(&mut self, payload: &[u8]) -> Result<(), SpillError> {
+        write_framed_record(&mut self.file, payload)?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Seals the file: patches the record count into the header and
+    /// flushes.  Returns the number of records written.
+    pub(crate) fn finish(mut self) -> Result<u64, SpillError> {
+        self.file
+            .seek(SeekFrom::Start(COUNT_OFFSET))
+            .map_err(|e| SpillError::io("seeking export header", e))?;
+        self.file
+            .write_all(&self.records.to_le_bytes())
+            .map_err(|e| SpillError::io("patching export record count", e))?;
+        self.file
+            .sync_all()
+            .map_err(|e| SpillError::io(&format!("syncing export {}", self.path.display()), e))?;
+        Ok(self.records)
+    }
+}
+
+/// Sequential reader over one interchange segment file, validating the
+/// header on open and every record's CRC on read; at end of file the
+/// scanned record count must match the header's.
+#[derive(Debug)]
+pub(crate) struct SegmentReader {
+    reader: BufReader<File>,
+    path: PathBuf,
+    expected: u64,
+    seen: u64,
+    /// Bytes left in the file after the current read position — the
+    /// upper bound any record length prefix must respect *before* its
+    /// payload buffer is allocated (a corrupted prefix must surface as
+    /// `Corrupt`, never as a multi-gigabyte allocation).
+    remaining: u64,
+}
+
+impl SegmentReader {
+    /// Opens and validates the header.  [`SpillError::Foreign`] if the
+    /// file is not a segment file of this format version;
+    /// [`SpillError::Corrupt`] if it is an unfinished export (a worker
+    /// died before sealing it).
+    pub(crate) fn open(path: &Path) -> Result<Self, SpillError> {
+        let file = File::open(path)
+            .map_err(|e| SpillError::io(&format!("opening segment {}", path.display()), e))?;
+        let file_len = file
+            .metadata()
+            .map_err(|e| SpillError::io("reading segment metadata", e))?
+            .len();
+        let mut reader = BufReader::new(file);
+        let mut header = [0u8; HEADER_LEN as usize];
+        let mut filled = 0;
+        while filled < header.len() {
+            match reader
+                .read(&mut header[filled..])
+                .map_err(|e| SpillError::io("reading segment header", e))?
+            {
+                0 => return Err(parse_header(&header[..filled], path).unwrap_err()),
+                n => filled += n,
+            }
+        }
+        let expected = parse_header(&header, path)?;
+        if expected == STREAMING_COUNT {
+            return Err(SpillError::corrupt(format!(
+                "{}: unfinished export (record count never sealed)",
+                path.display()
+            )));
+        }
+        Ok(SegmentReader {
+            reader,
+            path: path.to_path_buf(),
+            expected,
+            seen: 0,
+            remaining: file_len.saturating_sub(HEADER_LEN),
+        })
+    }
+
+    /// The next record's payload, or `None` at a clean end of file.
+    pub(crate) fn next_record(&mut self) -> Result<Option<Vec<u8>>, SpillError> {
+        let mut prefix = [0u8; 8];
+        let mut filled = 0;
+        while filled < prefix.len() {
+            match self
+                .reader
+                .read(&mut prefix[filled..])
+                .map_err(|e| SpillError::io("reading record prefix", e))?
+            {
+                0 if filled == 0 => {
+                    if self.seen != self.expected {
+                        return Err(SpillError::corrupt(format!(
+                            "{}: header promises {} records, file holds {}",
+                            self.path.display(),
+                            self.expected,
+                            self.seen
+                        )));
+                    }
+                    return Ok(None);
+                }
+                0 => {
+                    return Err(SpillError::corrupt(format!(
+                        "{}: truncated record prefix",
+                        self.path.display()
+                    )))
+                }
+                n => filled += n,
+            }
+        }
+        let len = u32::from_le_bytes(prefix[..4].try_into().expect("4 bytes")) as usize;
+        let stored_crc = u32::from_le_bytes(prefix[4..].try_into().expect("4 bytes"));
+        self.remaining = self.remaining.saturating_sub(8);
+        if len as u64 > self.remaining {
+            // The length prefix itself is not checksummed; bound it by
+            // the file size so a corrupted prefix cannot demand an
+            // absurd allocation before the CRC gets a chance to fail.
+            return Err(SpillError::corrupt(format!(
+                "{}: record {} claims {len} bytes but only {} remain in the file",
+                self.path.display(),
+                self.seen,
+                self.remaining
+            )));
+        }
+        self.remaining -= len as u64;
+        let mut payload = vec![0u8; len];
+        self.reader.read_exact(&mut payload).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                SpillError::corrupt(format!("{}: truncated record payload", self.path.display()))
+            } else {
+                SpillError::io("reading record payload", e)
+            }
+        })?;
+        if crc32(&payload) != stored_crc {
+            return Err(SpillError::corrupt(format!(
+                "{}: CRC mismatch in record {}",
+                self.path.display(),
+                self.seen
+            )));
+        }
+        self.seen += 1;
+        Ok(Some(payload))
+    }
+
+    /// Records promised by the header.
+    #[cfg(test)]
+    pub(crate) fn expected_records(&self) -> u64 {
+        self.expected
+    }
+}
+
+/// Scans a whole interchange file, validating the header, every record's
+/// CRC, and the record count; returns the record count.  (The
+/// distributed coordinator gets the same guarantees from the import scan
+/// itself — `ShardedMemo::import_from` — without a second pass over the
+/// file; this standalone check exists for tests and tooling.)
+#[cfg(test)]
+pub(crate) fn validate_segment_file(path: &Path) -> Result<u64, SpillError> {
+    let mut reader = SegmentReader::open(path)?;
+    let mut records = 0u64;
+    while reader.next_record()?.is_some() {
+        records += 1;
+    }
+    Ok(records)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use twostep_model::WideValue;
 
     fn roundtrip<T: SpillCodec + PartialEq + std::fmt::Debug>(value: T) {
         let mut buf = Vec::new();
@@ -384,24 +622,18 @@ mod tests {
         roundtrip(u64::MAX);
         roundtrip(-5i64);
         roundtrip(true);
-        roundtrip(false);
         roundtrip(Some(17u32));
-        roundtrip(None::<u32>);
         roundtrip(vec![1u64, 2, 3]);
-        roundtrip(Vec::<u64>::new());
         roundtrip((7u32, Some(9u64)));
         roundtrip(WideValue::new(1, 1));
         roundtrip(WideValue::new(128, 42));
     }
 
     #[test]
-    fn truncated_input_decodes_to_none() {
-        let mut buf = Vec::new();
-        12345u64.encode(&mut buf);
-        let mut short = &buf[..5];
-        assert!(u64::decode(&mut short).is_none());
-        let mut bad_bool = &[7u8][..];
-        assert!(bool::decode(&mut bad_bool).is_none());
+    fn crc32_matches_known_vectors() {
+        // The classic IEEE 802.3 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 
     #[test]
@@ -434,6 +666,139 @@ mod tests {
             assert_eq!(payload, vec![i as u8; i + 1]);
         }
         assert_eq!(refs[0].segment, 0);
+        assert_eq!(refs[0].offset, HEADER_LEN, "records start after the header");
+    }
+
+    #[test]
+    fn segment_store_detects_bit_rot() {
+        let dir = SpillDir::create(None).unwrap();
+        let mut store = SegmentStore::new(dir.path(), 0);
+        let r = store.append(b"precious bytes").unwrap();
+        // Flip one payload byte behind the store's back.
+        let path = dir.path().join("shard0-seg0.spill");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let idx = (r.offset + 8) as usize + 3;
+        bytes[idx] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = store.read(&r).unwrap_err();
+        assert!(
+            matches!(err, SpillError::Corrupt { .. }),
+            "bit rot must surface as Corrupt, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn export_roundtrips_through_reader() {
+        let dir = SpillDir::create(None).unwrap();
+        let path = dir.path().join("export.seg");
+        let mut writer = SegmentWriter::create(&path).unwrap();
+        for i in 0..10u8 {
+            writer.append(&[i; 5]).unwrap();
+        }
+        assert_eq!(writer.finish().unwrap(), 10);
+
+        assert_eq!(validate_segment_file(&path).unwrap(), 10);
+        let mut reader = SegmentReader::open(&path).unwrap();
+        assert_eq!(reader.expected_records(), 10);
+        for i in 0..10u8 {
+            assert_eq!(reader.next_record().unwrap().unwrap(), vec![i; 5]);
+        }
+        assert!(reader.next_record().unwrap().is_none());
+    }
+
+    #[test]
+    fn foreign_file_is_rejected_as_foreign() {
+        let dir = SpillDir::create(None).unwrap();
+        let path = dir.path().join("not-a-segment");
+        std::fs::write(&path, b"{\"json\": \"definitely not a segment file\"}").unwrap();
+        let err = SegmentReader::open(&path).unwrap_err();
+        assert!(matches!(err, SpillError::Foreign { .. }), "{err:?}");
+
+        // Too short to even hold a header.
+        std::fs::write(&path, b"short").unwrap();
+        let err = SegmentReader::open(&path).unwrap_err();
+        assert!(matches!(err, SpillError::Foreign { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn wrong_version_is_rejected_as_foreign() {
+        let dir = SpillDir::create(None).unwrap();
+        let path = dir.path().join("future.seg");
+        let mut header = header_bytes(0);
+        header[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        std::fs::write(&path, header).unwrap();
+        let err = SegmentReader::open(&path).unwrap_err();
+        assert!(matches!(err, SpillError::Foreign { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn unsealed_export_is_rejected_as_corrupt() {
+        let dir = SpillDir::create(None).unwrap();
+        let path = dir.path().join("killed.seg");
+        let mut writer = SegmentWriter::create(&path).unwrap();
+        writer.append(b"only record").unwrap();
+        drop(writer); // worker "killed" before finish(): count never sealed
+        let err = SegmentReader::open(&path).unwrap_err();
+        assert!(matches!(err, SpillError::Corrupt { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn truncated_export_is_rejected_as_corrupt() {
+        let dir = SpillDir::create(None).unwrap();
+        let path = dir.path().join("cut.seg");
+        let mut writer = SegmentWriter::create(&path).unwrap();
+        for _ in 0..4 {
+            writer.append(&[7u8; 32]).unwrap();
+        }
+        writer.finish().unwrap();
+        // Cut the file mid-record.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
+        let err = validate_segment_file(&path).unwrap_err();
+        assert!(matches!(err, SpillError::Corrupt { .. }), "{err:?}");
+
+        // Cut exactly at a record boundary: the record count exposes it.
+        std::fs::write(&path, &bytes[..bytes.len() - 40]).unwrap();
+        let err = validate_segment_file(&path).unwrap_err();
+        assert!(matches!(err, SpillError::Corrupt { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn corrupted_length_prefix_is_rejected_before_allocation() {
+        // The length prefix is not checksummed; a flipped high byte must
+        // surface as Corrupt via the file-size bound, not as a huge
+        // payload allocation.
+        let dir = SpillDir::create(None).unwrap();
+        let path = dir.path().join("bigclaim.seg");
+        let mut writer = SegmentWriter::create(&path).unwrap();
+        writer.append(&[9u8; 16]).unwrap();
+        writer.finish().unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[HEADER_LEN as usize + 3] = 0xFF; // len u32 high byte: ~4 GiB claim
+        std::fs::write(&path, &bytes).unwrap();
+        let err = validate_segment_file(&path).unwrap_err();
+        match &err {
+            SpillError::Corrupt { detail } => {
+                assert!(detail.contains("claims"), "{detail}")
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_export_record_is_rejected_as_corrupt() {
+        let dir = SpillDir::create(None).unwrap();
+        let path = dir.path().join("rot.seg");
+        let mut writer = SegmentWriter::create(&path).unwrap();
+        writer.append(&[1u8; 16]).unwrap();
+        writer.append(&[2u8; 16]).unwrap();
+        writer.finish().unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = validate_segment_file(&path).unwrap_err();
+        assert!(matches!(err, SpillError::Corrupt { .. }), "{err:?}");
     }
 
     #[test]

@@ -88,6 +88,7 @@ fn extended_model_crw_parallel_equals_serial() {
                     threads,
                     shards: 16,
                     memo: MemoConfig::all_ram(),
+                    donate_depth: None,
                 },
                 crw_processes(&system, &proposals),
                 proposals.clone(),
@@ -130,6 +131,7 @@ fn classic_model_floodset_parallel_equals_serial() {
                     threads,
                     shards: 16,
                     memo: MemoConfig::all_ram(),
+                    donate_depth: None,
                 },
                 floodset_processes(n, t, &proposals),
                 proposals.clone(),

@@ -86,6 +86,7 @@ fn extended_model_crw_spill_equals_ram() {
                         threads,
                         shards: 8,
                         memo,
+                        donate_depth: None,
                     },
                     crw_processes(&system, &proposals),
                     proposals.clone(),
@@ -130,6 +131,7 @@ fn classic_model_floodset_spill_equals_ram() {
                     threads,
                     shards: 8,
                     memo: MemoConfig::spill(HOT_CAPACITY),
+                    donate_depth: None,
                 },
                 floodset_processes(n, t, &proposals),
                 proposals.clone(),

@@ -42,7 +42,9 @@ pub use engine::{
     Stepper,
 };
 pub use protocol::{Inbox, SendPlan, Step, SyncProtocol};
-pub use scheduler::{default_threads, run_on_workers, WorkQueue, MAX_THREADS};
+pub use scheduler::{
+    default_threads, run_on_workers, run_tasks_with_retry, TaskAttempt, WorkQueue, MAX_THREADS,
+};
 pub use spec::{check_uniform_consensus, SpecReport, SpecViolation};
 pub use stats::{Histogram, Summary};
 pub use sweep::{par_map, Sweeper};

@@ -22,7 +22,7 @@
 //! `BeforeSend`/`MidData`/`MidControl`).
 
 use std::fmt;
-use twostep_model::{BitSized, ProcessId, Round};
+use twostep_model::{BitSized, ProcessId, Round, SpillCodec};
 
 /// Everything a process emits in one round's send phase.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
@@ -66,6 +66,25 @@ impl<M, O> SendPlan<M, O> {
     pub fn then_decide(mut self, value: O) -> Self {
         self.decide_after_send = Some(value);
         self
+    }
+}
+
+/// Plans are part of some protocol wrappers' state (the §2.2 block
+/// simulation stashes one mid-block), so they must be spillable for the
+/// model checker's disk-backed memo and its distributed interchange
+/// segments.
+impl<M: SpillCodec, O: SpillCodec> SpillCodec for SendPlan<M, O> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.data.encode(out);
+        self.control.encode(out);
+        self.decide_after_send.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(SendPlan {
+            data: Vec::decode(input)?,
+            control: Vec::decode(input)?,
+            decide_after_send: Option::decode(input)?,
+        })
     }
 }
 

@@ -109,6 +109,62 @@ where
     });
 }
 
+/// One launch attempt of a retried task: which task, and which attempt
+/// (0-based) this is.  Passed to the closure of [`run_tasks_with_retry`]
+/// so callers can, e.g., log retries or vary behavior per attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TaskAttempt {
+    /// The task index, `0..count`.
+    pub index: usize,
+    /// The attempt number for this task, `0..attempts`.
+    pub attempt: usize,
+}
+
+/// Runs `count` independent fallible tasks concurrently — one scoped
+/// thread per task — retrying each failed task up to `attempts` total
+/// launches, and returns the per-task outcome (`Ok(())`, or the error of
+/// the *last* failed attempt).
+///
+/// This is the workspace's process-orchestration idiom: the distributed
+/// explorer uses it to launch one worker OS process per partition, where
+/// "failure" covers both a non-zero exit and an export file that fails
+/// validation, and a crashed worker is simply launched again.  Tasks are
+/// expected to be coarse (each backed by a process or a long computation),
+/// so a plain thread per task is the right cost model — no pooling.
+///
+/// # Panics
+///
+/// Panics if `attempts == 0` (every task needs at least one launch).
+pub fn run_tasks_with_retry<E, F>(count: usize, attempts: usize, run: F) -> Vec<Result<(), E>>
+where
+    E: Send,
+    F: Fn(TaskAttempt) -> Result<(), E> + Sync,
+{
+    assert!(attempts >= 1, "every task needs at least one attempt");
+    let mut results: Vec<Result<(), E>> = Vec::with_capacity(count);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..count)
+            .map(|index| {
+                let run = &run;
+                scope.spawn(move || {
+                    let mut last = run(TaskAttempt { index, attempt: 0 });
+                    for attempt in 1..attempts {
+                        if last.is_ok() {
+                            break;
+                        }
+                        last = run(TaskAttempt { index, attempt });
+                    }
+                    last
+                })
+            })
+            .collect();
+        for handle in handles {
+            results.push(handle.join().expect("task thread panicked"));
+        }
+    });
+    results
+}
+
 /// A closable multi-producer multi-consumer work injector.
 ///
 /// Producers [`push`](Self::push) items; consumers block in
@@ -261,6 +317,43 @@ mod tests {
             assert_eq!(idx, 0);
             assert_eq!(std::thread::current().id(), caller);
         });
+    }
+
+    #[test]
+    fn run_tasks_with_retry_retries_until_success() {
+        // Task 1 fails its first two attempts, then succeeds; the others
+        // succeed immediately.  Attempt numbers must be sequential.
+        let attempts_seen = Mutex::new(Vec::new());
+        let results = run_tasks_with_retry(3, 3, |task: TaskAttempt| {
+            attempts_seen.lock().unwrap().push(task);
+            if task.index == 1 && task.attempt < 2 {
+                Err(format!("task {} attempt {} died", task.index, task.attempt))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(results.iter().all(Result::is_ok), "{results:?}");
+        let seen = attempts_seen.into_inner().unwrap();
+        let task1: Vec<usize> = seen
+            .iter()
+            .filter(|t| t.index == 1)
+            .map(|t| t.attempt)
+            .collect();
+        assert_eq!(task1, vec![0, 1, 2]);
+        assert_eq!(seen.iter().filter(|t| t.index == 0).count(), 1);
+    }
+
+    #[test]
+    fn run_tasks_with_retry_reports_exhausted_task() {
+        let results = run_tasks_with_retry(2, 2, |task: TaskAttempt| {
+            if task.index == 0 {
+                Err("always dies")
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(results[0], Err("always dies"));
+        assert_eq!(results[1], Ok(()));
     }
 
     #[test]
