@@ -38,4 +38,26 @@ cat BENCH_explorer.json
 echo "== partitioned exploration (2 worker processes, quick)"
 cargo run --release -q -p twostep-bench --bin twostep-dist -- --quick --partitions 2
 
+echo "== persistent cache: cold-then-warm partitioned exploration (quick)"
+CACHE_DIR="$(mktemp -d)"
+trap 'rm -rf "$CACHE_DIR"' EXIT
+cold_out="$(cargo run --release -q -p twostep-bench --bin twostep-dist -- \
+    --quick --partitions 2 --cache-dir "$CACHE_DIR")"
+warm_out="$(cargo run --release -q -p twostep-bench --bin twostep-dist -- \
+    --quick --partitions 2 --cache-dir "$CACHE_DIR")"
+cold_result="$(grep '^twostep-dist: result' <<<"$cold_out")"
+warm_result="$(grep '^twostep-dist: result' <<<"$warm_out")"
+echo "cold: $cold_result"
+echo "warm: $warm_result"
+if [[ "$cold_result" != "$warm_result" ]]; then
+    echo "FAIL: warm cached report differs from cold report" >&2
+    exit 1
+fi
+grep '^twostep-dist: cache cache_hits=0 ' <<<"$cold_out" >/dev/null \
+    || { echo "FAIL: cold run must start with zero cache hits" >&2; exit 1; }
+distinct="$(sed -n 's/.* distinct_states=\([0-9]*\).*/\1/p' <<<"$warm_result")"
+grep "^twostep-dist: cache cache_hits=$distinct fresh_states=0$" <<<"$warm_out" >/dev/null \
+    || { echo "FAIL: warm run must be answered entirely by the cache" >&2; exit 1; }
+echo "cache OK: warm run reused all $distinct states"
+
 echo "CI OK"

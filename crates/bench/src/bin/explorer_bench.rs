@@ -24,7 +24,7 @@ use std::time::Instant;
 use twostep_bench::distcli::{bench_proposals, maybe_run_dist_worker, run_partitioned_crw};
 use twostep_core::crw_processes;
 use twostep_model::SystemConfig;
-use twostep_modelcheck::{explore_with, ExploreConfig, ExploreOptions, MemoConfig};
+use twostep_modelcheck::{explore_with, CacheConfig, ExploreConfig, ExploreOptions, MemoConfig};
 use twostep_sim::default_threads;
 
 struct EngineResult {
@@ -33,6 +33,9 @@ struct EngineResult {
     hot_capacity: Option<usize>,
     best_seconds: f64,
     states_per_sec: f64,
+    /// Extra JSON fields spliced verbatim into this result's object
+    /// (the partitioned row's per-phase breakdown).
+    extra: Option<String>,
 }
 
 fn env_usize(name: &str) -> Option<usize> {
@@ -80,21 +83,30 @@ fn main() {
     let donate_depth = env_usize("TWOSTEP_DONATE_DEPTH")
         .map(|d| d as u32)
         .or(Some(2));
+    // Every row pins `cache: None` explicitly: a user-level
+    // `TWOSTEP_CACHE_DIR` (inherited through `ExploreOptions::default`)
+    // must not silently warm some rows and not others, or mutate the
+    // user's cache from a benchmark.  The cache's own row is `warm`.
     let engines: Vec<(&'static str, ExploreOptions)> = vec![
         ("serial", ExploreOptions::serial()),
         (
             "parallel",
-            ExploreOptions::with_threads(threads).with_donate_depth(None),
+            ExploreOptions::with_threads(threads)
+                .with_donate_depth(None)
+                .with_cache(None),
         ),
         (
             "donate",
-            ExploreOptions::with_threads(threads).with_donate_depth(donate_depth),
+            ExploreOptions::with_threads(threads)
+                .with_donate_depth(donate_depth)
+                .with_cache(None),
         ),
         (
             "spill",
             ExploreOptions::with_threads(threads)
                 .with_memo(MemoConfig::spill(1024))
-                .with_donate_depth(None),
+                .with_donate_depth(None)
+                .with_cache(None),
         ),
     ];
 
@@ -124,6 +136,7 @@ fn main() {
                 .then_some(options.memo.hot_capacity),
             best_seconds: best,
             states_per_sec: distinct_states as f64 / best,
+            extra: None,
         };
         eprintln!(
             "explorer_bench: (n={n}, t={t}) {engine:<11} threads={} {:>10.1} states/sec",
@@ -132,18 +145,92 @@ fn main() {
         results.push(result);
     }
 
-    // Partitioned row: worker OS processes + merge + canonical replay,
-    // timed end to end (merge time included).
+    // Warm row: the persistent result cache.  One untimed cold run
+    // primes a throwaway cache directory; the timed iterations then
+    // warm-start from it and must be answered entirely by cache hits.
     {
+        let cache_root = std::env::temp_dir().join(format!(
+            "twostep-bench-cache-{}-{n}-{t}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&cache_root);
+        let cache = Some(CacheConfig::read_write(&cache_root));
+        let engine = || ExploreOptions::serial().with_cache(cache.clone());
+        let prime = explore_with(
+            system,
+            config,
+            engine(),
+            crw_processes(&system, &proposals),
+            proposals.clone(),
+        )
+        .expect("cache-priming exploration");
+        assert_eq!(prime.cache_hits, 0, "priming run starts cold");
+        assert_eq!(prime.distinct_states, distinct_states);
         let mut best = f64::INFINITY;
         for _ in 0..iters {
-            let run = run_partitioned_crw(n, t, PARTITIONS, 1, threads, None, MAX_STATES)
+            let t0 = Instant::now();
+            let report = explore_with(
+                system,
+                config,
+                engine(),
+                crw_processes(&system, &proposals),
+                proposals.clone(),
+            )
+            .expect("warm exploration");
+            best = best.min(t0.elapsed().as_secs_f64());
+            assert_eq!(
+                report.cache_hits, report.distinct_states,
+                "warm run must be answered entirely by the cache"
+            );
+            assert_eq!(report.distinct_states, distinct_states);
+        }
+        let _ = std::fs::remove_dir_all(&cache_root);
+        let result = EngineResult {
+            engine: "warm",
+            threads: 1,
+            hot_capacity: None,
+            best_seconds: best,
+            states_per_sec: distinct_states as f64 / best,
+            extra: None,
+        };
+        eprintln!(
+            "explorer_bench: (n={n}, t={t}) {:<11} threads=1 {:>10.1} states/sec (cache hits)",
+            result.engine, result.states_per_sec
+        );
+        results.push(result);
+    }
+
+    // Partitioned row: worker OS processes + merge + canonical replay,
+    // timed end to end (merge time included), with the best run's
+    // per-phase attribution recorded alongside the single number.
+    {
+        let mut best = f64::INFINITY;
+        let mut phases = String::new();
+        for _ in 0..iters {
+            let run = run_partitioned_crw(n, t, PARTITIONS, 1, threads, None, MAX_STATES, None)
                 .expect("partitioned bench exploration");
             assert_eq!(
                 run.report.distinct_states, distinct_states,
                 "partitioned report must match the single-process engines"
             );
-            best = best.min(run.total_seconds);
+            if run.total_seconds < best {
+                best = run.total_seconds;
+                phases = format!(
+                    "\"phases\": {{\"seed\": {:.6}, \"workers_wall\": {:.6}, \
+                     \"worker_seed_max\": {:.6}, \"worker_frontier_max\": {:.6}, \
+                     \"worker_walk_max\": {:.6}, \"worker_export_max\": {:.6}, \
+                     \"merge\": {:.6}, \"replay\": {:.6}, \"report\": {:.6}}}",
+                    run.timings.seed_seconds,
+                    run.timings.workers_wall_seconds,
+                    run.worker_seed_seconds,
+                    run.worker_frontier_seconds,
+                    run.worker_walk_seconds,
+                    run.worker_export_seconds,
+                    run.timings.merge_seconds,
+                    run.timings.replay_seconds,
+                    run.timings.report_seconds
+                );
+            }
         }
         let result = EngineResult {
             engine: "partitioned",
@@ -151,6 +238,7 @@ fn main() {
             hot_capacity: None,
             best_seconds: best,
             states_per_sec: distinct_states as f64 / best,
+            extra: Some(phases),
         };
         eprintln!(
             "explorer_bench: (n={n}, t={t}) {:<11} procs={PARTITIONS} {:>10.1} states/sec (incl. merge)",
@@ -169,14 +257,19 @@ fn main() {
     json.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         let hot = r.hot_capacity.map_or("null".to_string(), |h| h.to_string());
+        let extra = r
+            .extra
+            .as_ref()
+            .map_or(String::new(), |extra| format!(", {extra}"));
         json.push_str(&format!(
             "    {{\"engine\": \"{}\", \"threads\": {}, \"hot_capacity\": {}, \
-             \"best_seconds\": {:.6}, \"states_per_sec\": {:.1}}}{}\n",
+             \"best_seconds\": {:.6}, \"states_per_sec\": {:.1}{}}}{}\n",
             r.engine,
             r.threads,
             hot,
             r.best_seconds,
             r.states_per_sec,
+            extra,
             if i + 1 < results.len() { "," } else { "" }
         ));
     }

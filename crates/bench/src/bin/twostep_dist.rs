@@ -6,16 +6,26 @@
 //! produce.
 //!
 //! Usage: `twostep-dist [--quick] [--n N] [--t T] [--partitions K]
-//!                      [--depth D] [--worker-threads W] [--spill HOT]`
+//!                      [--depth D] [--worker-threads W] [--spill HOT]
+//!                      [--cache-dir DIR]`
 //!
 //! * default — the `(6, 5)` speedup-bench system across 2 partitions;
 //! * `--quick` — the `(5, 4)` system (sub-second), used by `ci.sh`;
 //! * `--spill HOT` — workers run a two-tier memo with the given hot
 //!   capacity instead of all-RAM;
+//! * `--cache-dir DIR` — persistent result cache (read-write): the
+//!   coordinator and every worker warm-start from `DIR` when its
+//!   fingerprint matches this run, and the run's newly discovered
+//!   states are committed back as a delta segment.  Falls back to the
+//!   `TWOSTEP_CACHE_DIR` env var (same warn-on-garbage policy as
+//!   `TWOSTEP_THREADS`) when the flag is absent;
 //! * worker processes are recognized by the `--dist-worker` argument
 //!   vector (see `twostep_bench::distcli`) — never pass it by hand.
 
+use std::path::PathBuf;
+
 use twostep_bench::distcli::{maybe_run_dist_worker, run_partitioned_crw};
+use twostep_modelcheck::cache_from_env;
 
 fn arg_value<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
     match args.iter().position(|a| a == flag) {
@@ -45,13 +55,30 @@ fn main() {
     let worker_threads = arg_value(&args, "--worker-threads", twostep_sim::default_threads());
     let hot_capacity: usize = arg_value(&args, "--spill", 0);
     let hot_capacity = (hot_capacity > 0).then_some(hot_capacity);
+    let cache_dir: Option<PathBuf> = match args.iter().position(|a| a == "--cache-dir") {
+        Some(i) => match args.get(i + 1).filter(|v| !v.starts_with("--")) {
+            Some(dir) => Some(PathBuf::from(dir)),
+            None => {
+                // Same policy as every other knob: a broken value is
+                // never silently dropped (the user would believe later
+                // runs are warm-started when nothing was cached).
+                eprintln!("twostep-dist: --cache-dir needs a directory; cache disabled");
+                None
+            }
+        },
+        None => cache_from_env().map(|c| c.dir),
+    };
 
     eprintln!(
         "twostep-dist: exploring ({n}, {t}) across {partitions} worker processes \
-         (depth {depth}, {worker_threads} threads each, memo {})",
+         (depth {depth}, {worker_threads} threads each, memo {}, cache {})",
         match hot_capacity {
             Some(h) => format!("spill@{h}"),
             None => "all-RAM".to_string(),
+        },
+        match &cache_dir {
+            Some(dir) => dir.display().to_string(),
+            None => "off".to_string(),
         }
     );
     let run = match run_partitioned_crw(
@@ -62,6 +89,7 @@ fn main() {
         worker_threads,
         hot_capacity,
         50_000_000,
+        cache_dir,
     ) {
         Ok(run) => run,
         Err(e) => {
@@ -89,6 +117,29 @@ fn main() {
         report.root.violating,
         run.total_seconds,
         report.distinct_states as f64 / run.total_seconds
+    );
+    // Timing-free result line: identical between a cold and a warm run
+    // of the same system, which is what `ci.sh` asserts.
+    println!(
+        "twostep-dist: result n={n} t={t} distinct_states={} terminals={} violating={} worst=[{worst}]",
+        report.distinct_states, report.root.terminals, report.root.violating
+    );
+    println!(
+        "twostep-dist: cache cache_hits={} fresh_states={}",
+        report.cache_hits, report.fresh_states
+    );
+    println!(
+        "twostep-dist: phases seed={:.3} workers={:.3} (seed<={:.3} frontier<={:.3} walk<={:.3} \
+         export<={:.3}) merge={:.3} replay={:.3} report={:.3}",
+        run.timings.seed_seconds,
+        run.timings.workers_wall_seconds,
+        run.worker_seed_seconds,
+        run.worker_frontier_seconds,
+        run.worker_walk_seconds,
+        run.worker_export_seconds,
+        run.timings.merge_seconds,
+        run.timings.replay_seconds,
+        run.timings.report_seconds
     );
     println!("twostep-dist: worst decision round by crash count: {worst}");
 }

@@ -17,13 +17,14 @@
 
 use std::path::PathBuf;
 use std::process::Command;
+use std::sync::Mutex;
 use std::time::Instant;
 
 use twostep_core::crw_processes;
 use twostep_model::{SystemConfig, WideValue};
 use twostep_modelcheck::{
-    explore_partitioned, run_worker, DistOptions, ExploreConfig, ExploreError, ExploreOptions,
-    ExploreReport, MemoConfig, WorkerTask,
+    explore_partitioned_timed, run_worker, CacheConfig, DistOptions, DistTimings, ExploreConfig,
+    ExploreError, ExploreOptions, ExploreReport, MemoConfig, WorkerTask,
 };
 
 /// Argv marker that switches a binary into worker mode.
@@ -50,6 +51,9 @@ pub struct CrwWorkerArgs {
     pub max_states: usize,
     /// Where to write the sealed export segment.
     pub export_path: PathBuf,
+    /// Optional seed segment to import before walking (the coordinator's
+    /// consolidated cache image).
+    pub seed_path: Option<PathBuf>,
 }
 
 impl CrwWorkerArgs {
@@ -68,6 +72,11 @@ impl CrwWorkerArgs {
             self.max_states.to_string(),
         ];
         args.push(self.export_path.display().to_string());
+        args.push(
+            self.seed_path
+                .as_ref()
+                .map_or("unseeded".into(), |p| p.display().to_string()),
+        );
         args
     }
 
@@ -92,6 +101,8 @@ impl CrwWorkerArgs {
         };
         let max_states = it.next()?.parse().ok()?;
         let export_path = PathBuf::from(it.next()?);
+        let seed_raw = it.next()?;
+        let seed_path = (seed_raw != "unseeded").then(|| PathBuf::from(seed_raw));
         it.next().is_none().then_some(CrwWorkerArgs {
             n,
             t,
@@ -102,6 +113,7 @@ impl CrwWorkerArgs {
             hot_capacity,
             max_states,
             export_path,
+            seed_path,
         })
     }
 
@@ -142,6 +154,7 @@ pub fn run_crw_worker(args: &CrwWorkerArgs) -> i32 {
         partitions: args.partitions,
         depth: args.depth,
         export_path: args.export_path.clone(),
+        seed_path: args.seed_path.clone(),
     };
     match run_worker(
         system,
@@ -154,13 +167,24 @@ pub fn run_crw_worker(args: &CrwWorkerArgs) -> i32 {
         Ok(report) => {
             eprintln!(
                 "dist-worker: partition {}/{} owned {}/{} frontier subtrees, \
-                 {} distinct states, {} records exported",
+                 {} distinct states ({} seeded), {} records exported",
                 args.partition,
                 args.partitions,
                 report.owned,
                 report.frontier,
                 report.distinct_states,
+                report.seeded,
                 report.exported
+            );
+            // Machine-parseable phase attribution, read back by the
+            // coordinator (`run_partitioned_crw` captures stdout).
+            println!(
+                "dist-worker-timing: partition={} seed={:.6} frontier={:.6} walk={:.6} export={:.6}",
+                args.partition,
+                report.seed_seconds,
+                report.frontier_seconds,
+                report.walk_seconds,
+                report.export_seconds
             );
             0
         }
@@ -185,11 +209,67 @@ pub struct DistRun {
     pub report: ExploreReport<WideValue>,
     /// End-to-end wall time: workers + validation + merge + replay.
     pub total_seconds: f64,
+    /// Coordinator-side phase attribution (seed, worker wall, merge,
+    /// replay, report).
+    pub timings: DistTimings,
+    /// Worker-reported seed-import seconds, max across workers — the
+    /// dominant worker-side cost of a warm run.
+    pub worker_seed_seconds: f64,
+    /// Worker-reported frontier-expansion seconds, max across workers
+    /// (they run concurrently, so the max approximates the phase's
+    /// wall-clock share).
+    pub worker_frontier_seconds: f64,
+    /// Worker-reported subtree-walk seconds, max across workers.
+    pub worker_walk_seconds: f64,
+    /// Worker-reported delta-export seconds, max across workers.
+    pub worker_export_seconds: f64,
+}
+
+/// One worker's phase attribution, parsed back from its stdout.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct WorkerPhaseSeconds {
+    seed: f64,
+    frontier: f64,
+    walk: f64,
+    export: f64,
+}
+
+/// Extracts the phase attribution a worker printed on its stdout.
+fn parse_worker_timing(stdout: &str) -> Option<WorkerPhaseSeconds> {
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("dist-worker-timing:"))?;
+    let mut seed = None;
+    let mut frontier = None;
+    let mut walk = None;
+    let mut export = None;
+    for token in line.split_whitespace() {
+        if let Some((key, value)) = token.split_once('=') {
+            let slot = match key {
+                "seed" => &mut seed,
+                "frontier" => &mut frontier,
+                "walk" => &mut walk,
+                "export" => &mut export,
+                _ => continue,
+            };
+            *slot = value.parse::<f64>().ok();
+        }
+    }
+    Some(WorkerPhaseSeconds {
+        seed: seed?,
+        frontier: frontier?,
+        walk: walk?,
+        export: export?,
+    })
 }
 
 /// Runs a `(n, t)` CRW exploration split across `partitions` worker OS
 /// processes (re-executions of the current binary), merging their
 /// exported segments and replaying the canonical walk in this process.
+/// `cache_dir` enables the persistent result cache (read-write): the
+/// coordinator seeds itself and every worker from it, and commits the
+/// run's delta back.
+#[allow(clippy::too_many_arguments)]
 pub fn run_partitioned_crw(
     n: usize,
     t: usize,
@@ -198,6 +278,7 @@ pub fn run_partitioned_crw(
     worker_threads: usize,
     hot_capacity: Option<usize>,
     max_states: usize,
+    cache_dir: Option<PathBuf>,
 ) -> Result<DistRun, ExploreError> {
     let system = SystemConfig::new(n, t).expect("valid bench system");
     let proposals = bench_proposals(n);
@@ -214,7 +295,11 @@ pub fn run_partitioned_crw(
         attempts: 3,
         scratch_dir: None,
         replay: ExploreOptions::default(),
+        cache: cache_dir.map(CacheConfig::read_write),
     };
+    // Last successful attempt's worker-side phase timings, per partition.
+    let worker_timings: Mutex<Vec<Option<WorkerPhaseSeconds>>> =
+        Mutex::new(vec![None; partitions.max(1)]);
     let launch = |task: &WorkerTask| {
         let args = CrwWorkerArgs {
             n,
@@ -226,19 +311,23 @@ pub fn run_partitioned_crw(
             hot_capacity,
             max_states,
             export_path: task.export_path.clone(),
+            seed_path: task.seed_path.clone(),
         };
-        let status = Command::new(&exe)
+        let output = Command::new(&exe)
             .args(args.to_args())
-            .status()
+            .output()
             .map_err(|e| format!("spawning worker process: {e}"))?;
-        if status.success() {
-            Ok(())
-        } else {
-            Err(format!("worker process exited with {status}"))
+        // The worker's stderr (status + warnings) stays visible.
+        eprint!("{}", String::from_utf8_lossy(&output.stderr));
+        if !output.status.success() {
+            return Err(format!("worker process exited with {}", output.status));
         }
+        let timing = parse_worker_timing(&String::from_utf8_lossy(&output.stdout));
+        worker_timings.lock().expect("worker timings poisoned")[task.partition] = timing;
+        Ok(())
     };
     let start = Instant::now();
-    let report = explore_partitioned(
+    let (report, timings) = explore_partitioned_timed(
         system,
         config,
         &options,
@@ -246,9 +335,25 @@ pub fn run_partitioned_crw(
         proposals,
         launch,
     )?;
+    let total_seconds = start.elapsed().as_secs_f64();
+    let worker_timings = worker_timings
+        .into_inner()
+        .expect("worker timings poisoned");
+    let phase_max = |pick: fn(&WorkerPhaseSeconds) -> f64| {
+        worker_timings
+            .iter()
+            .flatten()
+            .map(pick)
+            .fold(0f64, f64::max)
+    };
     Ok(DistRun {
         report,
-        total_seconds: start.elapsed().as_secs_f64(),
+        total_seconds,
+        timings,
+        worker_seed_seconds: phase_max(|t| t.seed),
+        worker_frontier_seconds: phase_max(|t| t.frontier),
+        worker_walk_seconds: phase_max(|t| t.walk),
+        worker_export_seconds: phase_max(|t| t.export),
     })
 }
 
@@ -268,13 +373,37 @@ mod tests {
             hot_capacity: Some(1024),
             max_states: 50_000_000,
             export_path: PathBuf::from("/tmp/worker1.seg"),
+            seed_path: Some(PathBuf::from("/tmp/seed.seg")),
         };
         assert_eq!(CrwWorkerArgs::parse(&args.to_args()), Some(args.clone()));
         let ram = CrwWorkerArgs {
             hot_capacity: None,
+            seed_path: None,
             ..args
         };
         assert_eq!(CrwWorkerArgs::parse(&ram.to_args()), Some(ram));
+    }
+
+    #[test]
+    fn worker_timing_line_roundtrips() {
+        let stdout = "dist-worker: partition 0/2 ...\n\
+                      dist-worker-timing: partition=0 seed=0.001000 frontier=0.002000 \
+                      walk=1.500000 export=0.250000\n";
+        assert_eq!(
+            parse_worker_timing(stdout),
+            Some(WorkerPhaseSeconds {
+                seed: 0.001,
+                frontier: 0.002,
+                walk: 1.5,
+                export: 0.25,
+            })
+        );
+        assert_eq!(parse_worker_timing("no timing here"), None);
+        assert_eq!(
+            parse_worker_timing("dist-worker-timing: partition=0 seed=x"),
+            None,
+            "mangled values must not parse"
+        );
     }
 
     #[test]
@@ -293,6 +422,7 @@ mod tests {
             hot_capacity: None,
             max_states: 1000,
             export_path: PathBuf::from("x"),
+            seed_path: None,
         }
         .to_args();
         broken.truncate(4);

@@ -185,6 +185,218 @@ impl<A: SpillCodec, B: SpillCodec> SpillCodec for (A, B) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Varint + LZ compression for segment records
+// ---------------------------------------------------------------------------
+
+/// Appends the LEB128 varint encoding of `value` to `out` (1–10 bytes).
+///
+/// Used by the segment-record compressor below, where lengths and match
+/// distances are overwhelmingly small and a fixed-width `u64` would
+/// double the size of short records.
+pub fn encode_varint(mut value: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decodes one LEB128 varint from the front of `input`, advancing past
+/// it; `None` on truncation or a non-canonical over-long encoding.
+pub fn decode_varint(input: &mut &[u8]) -> Option<u64> {
+    let mut value: u64 = 0;
+    for (i, &byte) in input.iter().enumerate() {
+        if i == 9 && byte > 0x01 {
+            return None; // would overflow 64 bits
+        }
+        value |= u64::from(byte & 0x7F) << (7 * i as u32);
+        if byte & 0x80 == 0 {
+            if i > 0 && byte == 0 {
+                return None; // over-long encoding: not canonical
+            }
+            *input = &input[i + 1..];
+            return Some(value);
+        }
+        if i == 9 {
+            return None;
+        }
+    }
+    None // ran out of bytes mid-varint
+}
+
+/// Shortest run the compressor encodes as a back-reference instead of
+/// literals: a match token costs at least two varint bytes plus the
+/// literal-run header, so anything shorter is a net loss.
+const MIN_MATCH: usize = 4;
+
+/// How far back a match may reach.  64 KiB covers whole memo records
+/// many times over while keeping distances one or two varint bytes.
+const MAX_DISTANCE: usize = 64 * 1024;
+
+/// Log2 of the compressor's hash-table size (positions of 4-byte seeds).
+const HASH_BITS: u32 = 14;
+
+fn hash4(bytes: &[u8]) -> usize {
+    let seed = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes"));
+    (seed.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Reusable compressor state: the 4-byte-seed hash table, generation
+/// stamped so back-to-back records (the memo's eviction and export hot
+/// paths) pay neither a fresh allocation nor a 64 KiB zeroing per call.
+/// Output is byte-identical to a fresh compressor every time — a slot
+/// from an earlier record is simply invisible to the current one.
+pub struct Compressor {
+    /// `(generation, position + 1)` of the most recent occurrence of
+    /// each seed hash; a slot is live only when its generation matches
+    /// the current call's.  One probe, no chain — compression ratio is
+    /// traded for a simple, allocation-free hot path.
+    table: Vec<(u32, u32)>,
+    generation: u32,
+}
+
+impl Default for Compressor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Compressor {
+    /// A fresh compressor (128 KiB of table, allocated once).
+    pub fn new() -> Self {
+        Compressor {
+            table: vec![(0, 0); 1 << HASH_BITS],
+            generation: 0,
+        }
+    }
+
+    /// Compresses `raw` into `out` (cleared first) with the workspace's
+    /// LZ-style codec: a varint uncompressed length, then alternating
+    /// literal runs and back-references (`varint literal_len, literals,
+    /// varint match_len - MIN_MATCH, varint distance`), the final run
+    /// literal-only.  Self-contained — no external crates — because
+    /// segment files must be writable and readable in offline builds.
+    ///
+    /// Memo records are highly repetitive (per-process snapshots of
+    /// mostly identical processes), so even this greedy single-pass
+    /// matcher typically halves them; incompressible input costs a few
+    /// header bytes.  [`decompress`] inverts the encoding exactly.
+    /// Inputs are bounded by the segment record framing (`u32` lengths),
+    /// comfortably within the table's `u32` positions.
+    pub fn compress_into(&mut self, raw: &[u8], out: &mut Vec<u8>) {
+        out.clear();
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // Generation wrapped: ancient stamps could alias as live.
+            // Reset once per 2^32 calls.
+            self.table.fill((0, 0));
+            self.generation = 1;
+        }
+        let generation = self.generation;
+        encode_varint(raw.len() as u64, out);
+        let mut i = 0;
+        let mut literal_start = 0;
+        while i + MIN_MATCH <= raw.len() {
+            let slot = hash4(&raw[i..]);
+            let (seen_generation, stored) = self.table[slot];
+            self.table[slot] = (generation, (i + 1) as u32);
+            if seen_generation == generation && stored > 0 {
+                let candidate = (stored - 1) as usize;
+                let distance = i - candidate;
+                if (1..=MAX_DISTANCE).contains(&distance)
+                    && raw[candidate..candidate + MIN_MATCH] == raw[i..i + MIN_MATCH]
+                {
+                    let mut len = MIN_MATCH;
+                    while i + len < raw.len() && raw[candidate + len] == raw[i + len] {
+                        len += 1;
+                    }
+                    encode_varint((i - literal_start) as u64, out);
+                    out.extend_from_slice(&raw[literal_start..i]);
+                    encode_varint((len - MIN_MATCH) as u64, out);
+                    encode_varint(distance as u64, out);
+                    i += len;
+                    literal_start = i;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+        if literal_start < raw.len() {
+            encode_varint((raw.len() - literal_start) as u64, out);
+            out.extend_from_slice(&raw[literal_start..]);
+        }
+    }
+}
+
+/// One-shot convenience over [`Compressor::compress_into`] for call
+/// sites without a compressor to reuse (tests, single records).
+pub fn compress(raw: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(raw.len() / 2 + 10);
+    Compressor::new().compress_into(raw, &mut out);
+    out
+}
+
+/// Decompresses a buffer produced by [`compress`]; `None` if the bytes
+/// are truncated, malformed, carry trailing garbage, or claim an
+/// uncompressed length above `max_len` (the caller's allocation bound —
+/// a corrupted length claim must never force a giant allocation).
+pub fn decompress(mut input: &[u8], max_len: usize) -> Option<Vec<u8>> {
+    let raw_len = decode_varint(&mut input)? as usize;
+    if raw_len > max_len {
+        return None;
+    }
+    let mut out = Vec::with_capacity(raw_len.min(1 << 20));
+    while out.len() < raw_len {
+        let literal_len = decode_varint(&mut input)? as usize;
+        if literal_len > raw_len - out.len() || literal_len > input.len() {
+            return None;
+        }
+        out.extend_from_slice(take(&mut input, literal_len)?);
+        if out.len() == raw_len {
+            break;
+        }
+        // Bound the match-length token *before* adding MIN_MATCH: a
+        // crafted varint near u64::MAX must be rejected, not overflow
+        // the addition (debug panic / release wrap).
+        let remaining_out = raw_len - out.len();
+        if remaining_out < MIN_MATCH {
+            return None; // no admissible match fits in the output
+        }
+        let token = decode_varint(&mut input)?;
+        if token > (remaining_out - MIN_MATCH) as u64 {
+            return None;
+        }
+        let match_len = token as usize + MIN_MATCH;
+        let distance = decode_varint(&mut input)? as usize;
+        if distance == 0 || distance > out.len() {
+            return None;
+        }
+        let start = out.len() - distance;
+        if distance >= match_len {
+            // Non-overlapping match — the common case for memo records —
+            // copies as one block instead of per-byte pushes (this is
+            // the rehydrate-read hot path of the spill tier).
+            out.extend_from_within(start..start + match_len);
+        } else {
+            // Overlapping match (the run-length idiom): the source grows
+            // as we copy, so it must go byte by byte.
+            for k in 0..match_len {
+                let byte = out[start + k];
+                out.push(byte);
+            }
+        }
+    }
+    if !input.is_empty() {
+        return None; // trailing garbage is never a valid encoding
+    }
+    Some(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,6 +444,142 @@ mod tests {
         assert!(bool::decode(&mut bad_bool).is_none());
         let mut zero_rank = &[0u8; 4][..];
         assert!(ProcessId::decode(&mut zero_rank).is_none());
+    }
+
+    #[test]
+    fn varint_roundtrips() {
+        for value in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            encode_varint(value, &mut buf);
+            let mut input = buf.as_slice();
+            assert_eq!(decode_varint(&mut input), Some(value));
+            assert!(input.is_empty(), "value {value} consumed exactly");
+        }
+        // Truncated mid-varint.
+        let mut buf = Vec::new();
+        encode_varint(u64::MAX, &mut buf);
+        let mut short = &buf[..4];
+        assert!(decode_varint(&mut short).is_none());
+        // Over-long (non-canonical) encoding of 1.
+        let mut overlong = &[0x81u8, 0x00][..];
+        assert!(decode_varint(&mut overlong).is_none());
+        // An 11-byte continuation chain can never be a u64.
+        let mut absurd = &[0xFFu8; 11][..];
+        assert!(decode_varint(&mut absurd).is_none());
+    }
+
+    fn compression_roundtrip(raw: &[u8]) -> usize {
+        let packed = compress(raw);
+        let back = decompress(&packed, raw.len().max(1)).expect("decompresses");
+        assert_eq!(back, raw, "roundtrip of {} bytes", raw.len());
+        packed.len()
+    }
+
+    #[test]
+    fn compression_roundtrips() {
+        compression_roundtrip(b"");
+        compression_roundtrip(b"x");
+        compression_roundtrip(b"abc");
+        compression_roundtrip(&[0u8; 1000]);
+        compression_roundtrip(b"abcdabcdabcdabcdabcdabcd");
+        // Overlapping match (run-length idiom: distance < match length).
+        compression_roundtrip(b"aaaaaaaaaaaaaaaaaaaaaaaaaaaab");
+        // Pseudo-random (incompressible) bytes survive untouched.
+        let noise: Vec<u8> = (0..4096u32)
+            .map(|i| (i.wrapping_mul(2_654_435_761) >> 13) as u8)
+            .collect();
+        compression_roundtrip(&noise);
+        // A long repetitive buffer must actually shrink.
+        let repetitive: Vec<u8> = b"round census terminal valency "
+            .iter()
+            .cycle()
+            .take(30_000)
+            .copied()
+            .collect();
+        let packed = compression_roundtrip(&repetitive);
+        assert!(
+            packed < repetitive.len() / 4,
+            "repetitive input must compress well: {packed} of {}",
+            repetitive.len()
+        );
+    }
+
+    #[test]
+    fn reused_compressor_matches_fresh_compressor() {
+        // The generation-stamped table makes reuse output-identical to a
+        // fresh compressor: stale slots from earlier records never leak
+        // matches into later ones.
+        let inputs: Vec<Vec<u8>> = vec![
+            b"abcdabcdabcdabcd".to_vec(),
+            b"completely different content, no overlap".to_vec(),
+            vec![0u8; 500],
+            b"abcdabcdabcdabcd".to_vec(), // repeat of the first
+            (0..512u32).map(|i| (i % 7) as u8).collect(),
+        ];
+        let mut reused = Compressor::new();
+        let mut out = Vec::new();
+        for raw in &inputs {
+            reused.compress_into(raw, &mut out);
+            assert_eq!(out, compress(raw), "reuse must not change the encoding");
+            let back = decompress(&out, raw.len().max(1)).expect("decompresses");
+            assert_eq!(&back, raw);
+        }
+    }
+
+    #[test]
+    fn decompress_rejects_malformed_input() {
+        // Truncated compressed stream.
+        let packed = compress(b"abcdabcdabcdabcdXYZ");
+        for cut in 0..packed.len() {
+            assert!(
+                decompress(&packed[..cut], 1024).is_none(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+        // Trailing garbage.
+        let mut noisy = packed.clone();
+        noisy.push(0x55);
+        assert!(decompress(&noisy, 1024).is_none());
+        // A length claim above the caller's bound is refused before any
+        // allocation of that size.
+        let mut absurd = Vec::new();
+        encode_varint(u64::MAX, &mut absurd);
+        assert!(decompress(&absurd, 1 << 20).is_none());
+        // Distance reaching before the start of the output.
+        let mut bad = Vec::new();
+        encode_varint(8, &mut bad); // raw_len
+        encode_varint(2, &mut bad); // two literals
+        bad.extend_from_slice(b"ab");
+        encode_varint(0, &mut bad); // match_len = MIN_MATCH
+        encode_varint(7, &mut bad); // distance 7 > 2 bytes produced
+        assert!(decompress(&bad, 1024).is_none());
+        // Zero distance is never valid.
+        let mut zero = Vec::new();
+        encode_varint(8, &mut zero);
+        encode_varint(2, &mut zero);
+        zero.extend_from_slice(b"ab");
+        encode_varint(0, &mut zero);
+        encode_varint(0, &mut zero);
+        assert!(decompress(&zero, 1024).is_none());
+        // A match-length token near u64::MAX must be rejected before the
+        // `+ MIN_MATCH` addition, not overflow it (debug panic).
+        let mut huge = Vec::new();
+        encode_varint(8, &mut huge);
+        encode_varint(2, &mut huge);
+        huge.extend_from_slice(b"ab");
+        encode_varint(u64::MAX, &mut huge);
+        encode_varint(1, &mut huge);
+        assert!(decompress(&huge, 1024).is_none());
     }
 
     #[test]

@@ -61,10 +61,13 @@
 use std::collections::HashSet;
 use std::hash::Hash;
 use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::Instant;
 
 use twostep_model::SystemConfig;
 use twostep_sim::{run_tasks_with_retry, Stepper, TaskAttempt, TraceLevel};
 
+use crate::cache::{CacheConfig, CacheSession};
 use crate::explorer::{
     build_report, make_key, walk_roots, CheckableProtocol, ExploreConfig, ExploreError,
     ExploreOptions, ExploreReport, Shared, Walker,
@@ -92,13 +95,23 @@ pub struct DistOptions {
     /// per run and removed when the coordinator finishes.
     pub scratch_dir: Option<PathBuf>,
     /// Engine options for the coordinator's merge replay (and the
-    /// in-process workers of [`explore_partitioned_in_process`]).
+    /// in-process workers of [`explore_partitioned_in_process`]).  The
+    /// replay's own [`ExploreOptions::cache`] field is ignored — the
+    /// partitioned engine's cache is configured by
+    /// [`DistOptions::cache`], which also seeds the workers.
     pub replay: ExploreOptions,
+    /// Persistent result cache ([`crate::cache`]).  When its
+    /// fingerprint matches, the coordinator pre-seeds its own memo *and*
+    /// writes a consolidated seed segment that every worker imports
+    /// before walking — warm workers skip whole memoized subtrees and
+    /// export only their (often empty) deltas, which is what removes the
+    /// merge traffic from repeated runs.
+    pub cache: Option<CacheConfig>,
 }
 
 impl DistOptions {
     /// Defaults for `partitions` workers: depth-1 frontier, 3 attempts,
-    /// temp-dir scratch, default replay engine.
+    /// temp-dir scratch, default replay engine, no cache.
     pub fn new(partitions: usize) -> Self {
         DistOptions {
             partitions: partitions.max(1),
@@ -106,6 +119,7 @@ impl DistOptions {
             attempts: 3,
             scratch_dir: None,
             replay: ExploreOptions::default(),
+            cache: None,
         }
     }
 }
@@ -120,8 +134,13 @@ pub struct WorkerTask {
     pub partitions: usize,
     /// Frontier depth (must match the coordinator's).
     pub depth: u32,
-    /// Where the worker writes its sealed interchange segment.
+    /// Where the worker writes its sealed interchange segment — a
+    /// **delta**: only the entries it computed beyond the seed.
     pub export_path: PathBuf,
+    /// Optional seed segment (the coordinator's consolidated cache
+    /// image) the worker imports before walking; subtrees answered by it
+    /// are skipped, not re-explored, and excluded from the export.
+    pub seed_path: Option<PathBuf>,
 }
 
 /// What one worker did, for logs and benches.
@@ -131,10 +150,20 @@ pub struct WorkerReport {
     pub frontier: usize,
     /// Frontier subtree roots owned by this partition.
     pub owned: usize,
-    /// Distinct configurations this worker memoized.
+    /// Distinct configurations this worker memoized (seeded + fresh).
     pub distinct_states: usize,
-    /// Records in the exported segment file.
+    /// Entries pre-seeded from [`WorkerTask::seed_path`].
+    pub seeded: u64,
+    /// Records in the exported delta segment.
     pub exported: u64,
+    /// Seconds spent importing the seed segment.
+    pub seed_seconds: f64,
+    /// Seconds spent deterministically expanding the depth-`d` frontier.
+    pub frontier_seconds: f64,
+    /// Seconds spent walking the owned subtrees.
+    pub walk_seconds: f64,
+    /// Seconds spent exporting the delta segment.
+    pub export_seconds: f64,
 }
 
 /// Expands `root` to the depth-`depth` frontier: the distinct
@@ -206,10 +235,22 @@ where
     let root = Stepper::new(system, config.model, TraceLevel::Off, initial)
         .map_err(ExploreError::Engine)?;
     let shared = Shared::new(system, config, &engine, &proposals)?;
+    let seed_start = Instant::now();
+    let seeded = match &task.seed_path {
+        // A worker's seed comes from its own coordinator over a process
+        // boundary it shares a disk with; a damaged seed means the run
+        // is broken, so fail (and let the coordinator retry) rather than
+        // silently exploring cold and re-exporting the whole space.
+        Some(seed) => shared.memo.import_seed_from(seed)?,
+        None => 0,
+    };
+    let seed_seconds = seed_start.elapsed().as_secs_f64();
+    let frontier_start = Instant::now();
     let frontier = {
         let mut walker = Walker::new(&shared);
         expand_frontier(&mut walker, root, task.depth)?
     };
+    let frontier_seconds = frontier_start.elapsed().as_secs_f64();
     let frontier_len = frontier.len();
     let owned: Vec<Stepper<P>> = frontier
         .into_iter()
@@ -217,13 +258,21 @@ where
         .map(|(_, stepper)| stepper)
         .collect();
     let owned_len = owned.len();
+    let walk_start = Instant::now();
     walk_roots(&shared, engine.threads, owned)?;
-    let exported = shared.memo.export_to(&task.export_path)?;
+    let walk_seconds = walk_start.elapsed().as_secs_f64();
+    let export_start = Instant::now();
+    let exported = shared.memo.export_delta(&task.export_path)?;
     Ok(WorkerReport {
         frontier: frontier_len,
         owned: owned_len,
         distinct_states: shared.memo.len(),
+        seeded,
         exported,
+        seed_seconds,
+        frontier_seconds,
+        walk_seconds,
+        export_seconds: export_start.elapsed().as_secs_f64(),
     })
 }
 
@@ -253,20 +302,106 @@ where
     P::Output: Hash + SpillCodec,
     L: Fn(&WorkerTask) -> Result<(), String> + Sync,
 {
+    explore_partitioned_timed(system, config, options, initial, proposals, launch)
+        .map(|(report, _)| report)
+}
+
+/// Per-phase wall-clock breakdown of one partitioned exploration, so
+/// coordinator overhead is attributable instead of one opaque number.
+/// Worker-internal phases (frontier expand, subtree walk, delta export)
+/// are reported per worker in [`WorkerReport`]; these are the
+/// coordinator-side phases.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DistTimings {
+    /// Seeding: importing the persistent cache into the coordinator
+    /// memo and writing the consolidated worker seed segment.
+    pub seed_seconds: f64,
+    /// The worker phase, wall clock: first launch to last validated
+    /// import (includes crashed-worker retries).
+    pub workers_wall_seconds: f64,
+    /// Segment merge: summed durations of the coordinator-side imports
+    /// of worker export segments (they overlap in wall time — workers
+    /// finish at different moments — so this is CPU attribution, not a
+    /// wall-clock slice).
+    pub merge_seconds: f64,
+    /// The canonical root replay over the merged memo.
+    pub replay_seconds: f64,
+    /// Census and (if violating) witness reconstruction.
+    pub report_seconds: f64,
+}
+
+/// [`explore_partitioned`], additionally returning the coordinator's
+/// per-phase [`DistTimings`].
+pub fn explore_partitioned_timed<P, L>(
+    system: SystemConfig,
+    config: ExploreConfig,
+    options: &DistOptions,
+    initial: Vec<P>,
+    proposals: Vec<P::Output>,
+    launch: L,
+) -> Result<(ExploreReport<P::Output>, DistTimings), ExploreError>
+where
+    P: CheckableProtocol,
+    P::Output: Hash + SpillCodec,
+    L: Fn(&WorkerTask) -> Result<(), String> + Sync,
+{
     let partitions = options.partitions.max(1);
+    let fingerprint = crate::cache::run_fingerprint(system, &config, &initial, &proposals);
+    let mut session = CacheSession::open(options.cache.clone(), fingerprint);
+    // The scratch dir is owned by this function: whichever way it exits
+    // — success, worker-retry exhaustion, validation failure, engine
+    // error, even unwind — `scratch` drops and the directory is removed
+    // recursively (`SpillDir`); only the caller-provided root outlives
+    // the run.
     let scratch = SpillDir::create(options.scratch_dir.as_deref())?;
+
+    let root = Stepper::new(system, config.model, TraceLevel::Off, initial)
+        .map_err(ExploreError::Engine)?;
+    let mut shared = Shared::new(system, config, &options.replay, &proposals)?;
+    let mut timings = DistTimings::default();
+
+    // Seed phase: pull the cache into the coordinator memo and hand the
+    // workers one consolidated seed segment (at this point the memo
+    // holds exactly the cache's contents, so a full export *is* the
+    // cache image, merged across its delta segments).  A broken cache
+    // is discarded whole — partial images silently shrink the report's
+    // aggregates (see `CacheSession::seed`) — and replaced on commit.
+    let seed_start = Instant::now();
+    let seed_path = match session.seed(&shared.memo) {
+        None => {
+            shared = Shared::new(system, config, &options.replay, &proposals)?;
+            None
+        }
+        Some(0) => None,
+        Some(_) => {
+            let mut segments = session.segments();
+            if segments.len() == 1 {
+                // The common warm case: one sealed image the coordinator
+                // just imported end to end.  Hand workers that very file
+                // (they only read it) instead of re-compressing and
+                // re-writing the whole image into the scratch dir.
+                segments.pop()
+            } else {
+                let path = scratch.path().join("seed.seg");
+                shared.memo.export_to(&path)?;
+                Some(path)
+            }
+        }
+    };
+    timings.seed_seconds = seed_start.elapsed().as_secs_f64();
+
     let tasks: Vec<WorkerTask> = (0..partitions)
         .map(|partition| WorkerTask {
             partition,
             partitions,
             depth: options.depth,
             export_path: scratch.path().join(format!("worker{partition}.seg")),
+            seed_path: seed_path.clone(),
         })
         .collect();
 
-    let root = Stepper::new(system, config.model, TraceLevel::Off, initial)
-        .map_err(ExploreError::Engine)?;
-    let shared = Shared::new(system, config, &options.replay, &proposals)?;
+    let merge_seconds = Mutex::new(0f64);
+    let workers_start = Instant::now();
     let outcomes = run_tasks_with_retry(
         partitions,
         options.attempts.max(1),
@@ -280,23 +415,36 @@ where
             // every record that passed its CRC is a correct
             // (key, summary) pair, so it simply pre-seeds the memo the
             // retried worker would re-export anyway (duplicate inserts
-            // are absorbed).
-            shared
+            // are absorbed).  Deltas import as *fresh*: relative to the
+            // persistent cache they are exactly what this run added.
+            let merge_start = Instant::now();
+            let result = shared
                 .memo
                 .import_from(&task.export_path)
                 .map(|_| ())
-                .map_err(|e| e.to_string())
+                .map_err(|e| e.to_string());
+            *merge_seconds.lock().expect("merge timing poisoned") +=
+                merge_start.elapsed().as_secs_f64();
+            result
         },
     );
+    timings.workers_wall_seconds = workers_start.elapsed().as_secs_f64();
+    timings.merge_seconds = merge_seconds.into_inner().expect("merge timing poisoned");
     for (partition, outcome) in outcomes.into_iter().enumerate() {
         if let Err(detail) = outcome {
             return Err(ExploreError::Worker { partition, detail });
         }
     }
 
+    let replay_start = Instant::now();
     let mut summaries = walk_roots(&shared, options.replay.threads, vec![root])?;
     let root_summary = summaries.pop().expect("one root, one summary");
-    build_report(&shared, root_summary)
+    timings.replay_seconds = replay_start.elapsed().as_secs_f64();
+    let report_start = Instant::now();
+    let report = build_report(&shared, root_summary)?;
+    timings.report_seconds = report_start.elapsed().as_secs_f64();
+    session.commit(&shared.memo);
+    Ok((report, timings))
 }
 
 /// [`explore_partitioned`] with every worker run inside this process —

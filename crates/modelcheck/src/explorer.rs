@@ -111,6 +111,45 @@
 //! partition counts, frontier depths, worker memo tierings, and worker
 //! crash/retry histories.
 //!
+//! ## Persistent cache
+//!
+//! The same portability argument extends across **run boundaries**
+//! ([`crate::cache`], [`ExploreOptions::cache`]).  Because a summary is
+//! a pure function of its key, a previous run's memo image — stored as
+//! compressed, CRC'd interchange segments plus a fingerprinted
+//! manifest — can pre-seed this run's memo, and the walk short-circuits
+//! on every seeded subtree; a fully warm run touches exactly the root.
+//! Three rules keep it sound:
+//!
+//! * **fingerprinting** — segments are only reused when the manifest's
+//!   fingerprint matches this run ([`crate::cache::run_fingerprint`]:
+//!   segment format and exploration-logic versions, `(n, t)`, the
+//!   exploration-relevant [`ExploreConfig`] fields, and
+//!   protocol/proposal identity via [`CheckableProtocol::fingerprint`],
+//!   a stable FNV-1a over the [`SpillCodec`] encoding).  A mismatch is
+//!   loudly ignored — one stderr line, then a cold run — never silently
+//!   reused.  The `max_states` safety valve is excluded: it cannot
+//!   change results, so it must not invalidate caches.  Changes to what
+//!   the checker *computes* must bump the logic version constant in
+//!   [`crate::cache`], or old caches would replay pre-change results;
+//! * **delta commit** — the memo tracks which entries were seeded and
+//!   which this run inserted, so a ReadWrite commit appends a segment
+//!   holding only the *new* entries (nothing at all when fully warm);
+//!   a stale or absent cache is replaced wholesale.  Distributed runs
+//!   use the same machinery end to end: the coordinator seeds workers
+//!   with one consolidated segment and workers export deltas only;
+//! * **invalidation** — a cache that fails validation mid-import
+//!   (corrupt segment, bad CRC, undecompressable record) is discarded
+//!   *whole* and the run explores cold: a partial image would be
+//!   result-correct for the root but silently shrink `distinct_states`
+//!   and the census, because a seeded parent hides its missing
+//!   descendants from the walk.
+//!
+//! Cold-vs-warm bit-identity across both model kinds and every engine
+//! shape is pinned by `tests/cache_differential.rs`; the report's
+//! [`ExploreReport::cache_hits`] / [`ExploreReport::fresh_states`]
+//! counters attribute the split without affecting any result field.
+//!
 //! One carve-out: the `max_states` budget is a **resource safety valve**,
 //! not part of the deterministic result.  Whenever the budget is not
 //! exhausted (it is at least the number of distinct reachable
@@ -148,6 +187,7 @@ use twostep_sim::{
     WorkQueue,
 };
 
+use crate::cache::{CacheConfig, CacheSession};
 use crate::memo::{HashedKey, Key, MemoConfig, ShardedMemo, Snap};
 use crate::spill::{SpillCodec, SpillError};
 
@@ -157,7 +197,20 @@ use crate::spill::{SpillCodec, SpillError};
 /// configuration keys across the memo's tiers), and [`SpillCodec`] (so
 /// configuration keys — per-process protocol snapshots — can spill to
 /// disk and travel between worker processes as interchange segments).
-pub trait CheckableProtocol: SyncProtocol + Clone + Eq + Hash + Send + Sync + SpillCodec {}
+pub trait CheckableProtocol: SyncProtocol + Clone + Eq + Hash + Send + Sync + SpillCodec {
+    /// Stable 64-bit identity of this protocol snapshot, derived from
+    /// its [`SpillCodec`] encoding via FNV-1a — the protocol-identity
+    /// component of the persistent cache's run fingerprint
+    /// ([`crate::cache::run_fingerprint`]).  Two snapshots fingerprint
+    /// equal iff their encodings are byte-equal, and the hash is stable
+    /// across builds and platforms (unlike `DefaultHasher`), so a cache
+    /// written yesterday still identifies today's identical run.
+    fn fingerprint(&self) -> u64 {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        crate::cache::fnv1a(&buf, crate::cache::fnv1a_start())
+    }
+}
 impl<T: SyncProtocol + Clone + Eq + Hash + Send + Sync + SpillCodec> CheckableProtocol for T {}
 
 /// Decision-round bounds to verify at every terminal, as a function of the
@@ -293,6 +346,15 @@ pub struct ExploreOptions {
     /// `TWOSTEP_DONATE_DEPTH` env var when set; results are identical
     /// under every policy — only load balance changes.
     pub donate_depth: Option<u32>,
+    /// Persistent result cache ([`crate::cache`]): `Some` pre-seeds the
+    /// memo from the cache directory when its fingerprint matches this
+    /// run (warm-started walks short-circuit on every memoized subtree)
+    /// and, in [`CacheMode::ReadWrite`](crate::CacheMode::ReadWrite),
+    /// commits newly discovered entries back as a delta segment.
+    /// Defaults to the `TWOSTEP_CACHE_DIR` env var when set (ReadWrite);
+    /// results are identical with and without a cache — only speed
+    /// changes.
+    pub cache: Option<CacheConfig>,
 }
 
 impl Default for ExploreOptions {
@@ -302,6 +364,7 @@ impl Default for ExploreOptions {
             shards: 64,
             memo: MemoConfig::all_ram(),
             donate_depth: donate_depth_from_env(),
+            cache: crate::cache::cache_from_env(),
         }
     }
 }
@@ -314,6 +377,7 @@ impl ExploreOptions {
             shards: 1,
             memo: MemoConfig::all_ram(),
             donate_depth: None,
+            cache: None,
         }
     }
 
@@ -336,6 +400,11 @@ impl ExploreOptions {
             donate_depth,
             ..self
         }
+    }
+
+    /// The same engine with an explicit persistent-cache configuration.
+    pub fn with_cache(self, cache: Option<CacheConfig>) -> Self {
+        ExploreOptions { cache, ..self }
     }
 }
 
@@ -518,6 +587,15 @@ where
 pub struct ExploreReport<O> {
     /// Distinct configurations visited.
     pub distinct_states: usize,
+    /// Distinct configurations answered by the persistent cache (or
+    /// distributed seed) instead of being explored: `0` on a cold run,
+    /// equal to [`distinct_states`](Self::distinct_states) on a fully
+    /// warm one.  Purely informational — the exploration *result* is
+    /// identical with and without a cache.
+    pub cache_hits: usize,
+    /// Distinct configurations this run actually had to explore:
+    /// `distinct_states - cache_hits`.
+    pub fresh_states: usize,
     /// Root summary: terminals, worst rounds per `f`, valency, violations.
     pub root: Summary<O>,
     /// Per-round configuration census: `(round, configs, bivalent configs)`
@@ -625,12 +703,24 @@ where
     P: CheckableProtocol,
     P::Output: Hash + SpillCodec,
 {
+    // Fingerprint before `initial` moves into the stepper; a stale or
+    // absent cache is reported (loudly) by the session and ignored.
+    let fingerprint = crate::cache::run_fingerprint(system, &config, &initial, &proposals);
+    let mut session = CacheSession::open(options.cache.clone(), fingerprint);
     let root_stepper = Stepper::new(system, config.model, TraceLevel::Off, initial)
         .map_err(ExploreError::Engine)?;
-    let shared = Shared::new(system, config, &options, &proposals)?;
+    let mut shared = Shared::new(system, config, &options, &proposals)?;
+    if session.seed(&shared.memo).is_none() {
+        // Broken cache: discard the partial seed (a fresh memo) and run
+        // cold; the session is now stale, so a ReadWrite commit replaces
+        // the broken cache with this run's full image.
+        shared = Shared::new(system, config, &options, &proposals)?;
+    }
     let mut summaries = walk_roots(&shared, options.threads, vec![root_stepper])?;
     let root = summaries.pop().expect("one root, one summary");
-    build_report(&shared, root)
+    let report = build_report(&shared, root)?;
+    session.commit(&shared.memo);
+    Ok(report)
 }
 
 /// Walks every subtree in `roots` (in order, each fully memoized) with
@@ -749,8 +839,12 @@ where
         None
     };
 
+    let distinct_states = shared.memo.len();
+    let cache_hits = shared.memo.seeded_len();
     Ok(ExploreReport {
-        distinct_states: shared.memo.len(),
+        distinct_states,
+        cache_hits,
+        fresh_states: distinct_states - cache_hits,
         root: (*root).clone(),
         bivalency_by_round,
         witness,
@@ -1513,6 +1607,7 @@ mod tests {
                         shards: 8,
                         memo: MemoConfig::all_ram(),
                         donate_depth: None,
+                        cache: None,
                     },
                     procs.clone(),
                     proposals.clone(),
@@ -1644,6 +1739,7 @@ mod tests {
                     shards: 8,
                     memo: MemoConfig::spill(16),
                     donate_depth: None,
+                    cache: None,
                 },
                 procs.clone(),
                 proposals.clone(),

@@ -43,15 +43,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod dist;
 pub mod explorer;
 pub mod memo;
 pub mod sample;
 pub mod spill;
 
+pub use cache::{cache_from_env, run_fingerprint, CacheConfig, CacheMode};
 pub use dist::{
-    explore_partitioned, explore_partitioned_in_process, run_worker, DistOptions, WorkerReport,
-    WorkerTask,
+    explore_partitioned, explore_partitioned_in_process, explore_partitioned_timed, run_worker,
+    DistOptions, DistTimings, WorkerReport, WorkerTask,
 };
 pub use explorer::{
     explore, explore_with, CheckableProtocol, ExploreConfig, ExploreError, ExploreOptions,
@@ -59,4 +61,4 @@ pub use explorer::{
 };
 pub use memo::MemoConfig;
 pub use sample::{sample, SampleConfig, SampleReport, SampleStrategy, SampleViolation};
-pub use spill::{decode_summary, encode_summary, SpillCodec, SpillError};
+pub use spill::{decode_summary, encode_summary, validate_segment_file, SpillCodec, SpillError};

@@ -294,7 +294,21 @@ struct HotEntry<O> {
     /// A segment record for this key already exists (the entry was
     /// rehydrated), so evicting it again writes nothing.
     spilled: bool,
+    /// Inserted fresh by this run's own exploration (as opposed to
+    /// seeded from a persistent cache / distributed seed segment).
+    /// [`ShardedMemo::export_delta`] writes exactly the fresh entries.
+    fresh: bool,
 }
+
+/// One spilled record's address plus its freshness — the cold-tier twin
+/// of [`HotEntry::fresh`], so delta export survives eviction.
+struct SpillSlot {
+    spill_ref: crate::spill::SpillRef,
+    fresh: bool,
+}
+
+/// A rehydrated summary paired with its record's freshness bit.
+type Rehydrated<O> = Option<(Arc<Summary<O>>, bool)>;
 
 /// One memo shard.  Hot keys are shared between the hot map and the clock
 /// queue via `Arc`; spilled keys live **only in their segment records**,
@@ -310,7 +324,7 @@ where
     /// Spilled records by fixed-width key hash.  Distinct keys sharing a
     /// 64-bit hash chain into the same slot; rehydration verifies the
     /// full key decoded from each candidate record.
-    index: HashMap<u64, Vec<crate::spill::SpillRef>>,
+    index: HashMap<u64, Vec<SpillSlot>>,
     store: Option<SegmentStore>,
     /// Reusable encode buffer for evictions.
     scratch: Vec<u8>,
@@ -351,23 +365,21 @@ where
     }
 
     /// Finds `probe`'s spilled record, if any: probes the hashed index
-    /// and verifies candidates by full-key comparison.  The caller
-    /// promotes the result back to the hot tier via [`Self::admit`].
-    fn rehydrate(
-        &mut self,
-        probe: &HashedKey<P>,
-    ) -> Result<Option<Arc<Summary<P::Output>>>, SpillError> {
+    /// and verifies candidates by full-key comparison.  Returns the
+    /// summary together with the record's freshness; the caller promotes
+    /// the result back to the hot tier via [`Self::admit`].
+    fn rehydrate(&mut self, probe: &HashedKey<P>) -> Result<Rehydrated<P::Output>, SpillError> {
         // Destructure so the index borrow and the store's mutable borrow
         // are disjoint — this is the cold-tier hot path, no allocation.
         let Shard { index, store, .. } = self;
-        let refs = match index.get(&probe.hash) {
-            Some(refs) => refs,
+        let slots = match index.get(&probe.hash) {
+            Some(slots) => slots,
             None => return Ok(None),
         };
-        for spill_ref in refs {
-            let (key, summary) = Self::read_record(store, spill_ref)?;
+        for slot in slots {
+            let (key, summary) = Self::read_record(store, &slot.spill_ref)?;
             if key == probe.key {
-                return Ok(Some(Arc::new(summary)));
+                return Ok(Some((Arc::new(summary), slot.fresh)));
             }
         }
         Ok(None)
@@ -378,6 +390,7 @@ where
         key: Arc<HashedKey<P>>,
         summary: Arc<Summary<P::Output>>,
         spilled: bool,
+        fresh: bool,
         hot_capacity: usize,
     ) -> Result<(), SpillError> {
         if hot_capacity != usize::MAX {
@@ -392,6 +405,7 @@ where
                 summary,
                 referenced: true,
                 spilled,
+                fresh,
             },
         );
         Ok(())
@@ -425,7 +439,10 @@ where
                     .as_mut()
                     .expect("bounded hot tier requires a segment store")
                     .append(&self.scratch)?;
-                self.index.entry(key.hash).or_default().push(spill_ref);
+                self.index.entry(key.hash).or_default().push(SpillSlot {
+                    spill_ref,
+                    fresh: entry.fresh,
+                });
             }
             return Ok(());
         }
@@ -449,6 +466,11 @@ where
 {
     shards: Vec<Mutex<Shard<P>>>,
     distinct: AtomicUsize,
+    /// Distinct entries that arrived via [`Self::import_seed_from`] — the
+    /// persistent-cache / distributed-seed pre-seeds, as opposed to
+    /// entries this run computed (or imported as another run's delta).
+    /// `distinct - seeded` is the delta [`Self::export_delta`] writes.
+    seeded: AtomicUsize,
     /// Hot entries allowed per shard; `usize::MAX` = unbounded (no spill).
     per_shard_hot: usize,
     /// Owns the on-disk spill directory; dropped (and removed) with the
@@ -480,6 +502,7 @@ where
         Ok(ShardedMemo {
             shards: shard_vec,
             distinct: AtomicUsize::new(0),
+            seeded: AtomicUsize::new(0),
             per_shard_hot,
             _spill_dir: spill_dir,
         })
@@ -504,14 +527,20 @@ where
             return Ok(Some(Arc::clone(&entry.summary)));
         }
         match shard.rehydrate(key)? {
-            Some(summary) => {
+            Some((summary, fresh)) => {
                 // Promote: the full key re-enters RAM from the record's
                 // copy (`key` is only borrowed here).
                 let arc_key = Arc::new(HashedKey {
                     hash: key.hash,
                     key: key.key.clone(),
                 });
-                shard.admit(arc_key, Arc::clone(&summary), true, self.per_shard_hot)?;
+                shard.admit(
+                    arc_key,
+                    Arc::clone(&summary),
+                    true,
+                    fresh,
+                    self.per_shard_hot,
+                )?;
                 Ok(Some(summary))
             }
             None => Ok(None),
@@ -525,6 +554,15 @@ where
         key: HashedKey<P>,
         summary: Arc<Summary<P::Output>>,
     ) -> Result<Arc<Summary<P::Output>>, SpillError> {
+        self.insert_inner(key, summary, true)
+    }
+
+    fn insert_inner(
+        &self,
+        key: HashedKey<P>,
+        summary: Arc<Summary<P::Output>>,
+        fresh: bool,
+    ) -> Result<Arc<Summary<P::Output>>, SpillError> {
         let idx = self.shard_of(&key);
         let mut shard = self.shards[idx].lock().expect("memo shard poisoned");
         if self.per_shard_hot == usize::MAX {
@@ -537,8 +575,12 @@ where
                         summary: Arc::clone(&summary),
                         referenced: true,
                         spilled: false,
+                        fresh,
                     });
                     self.distinct.fetch_add(1, Ordering::Relaxed);
+                    if !fresh {
+                        self.seeded.fetch_add(1, Ordering::Relaxed);
+                    }
                     summary
                 }
             });
@@ -547,11 +589,12 @@ where
             entry.referenced = true;
             return Ok(Arc::clone(&entry.summary));
         }
-        if let Some(existing) = shard.rehydrate(&key)? {
+        if let Some((existing, was_fresh)) = shard.rehydrate(&key)? {
             shard.admit(
                 Arc::new(key),
                 Arc::clone(&existing),
                 true,
+                was_fresh,
                 self.per_shard_hot,
             )?;
             return Ok(existing);
@@ -560,15 +603,25 @@ where
             Arc::new(key),
             Arc::clone(&summary),
             false,
+            fresh,
             self.per_shard_hot,
         )?;
         self.distinct.fetch_add(1, Ordering::Relaxed);
+        if !fresh {
+            self.seeded.fetch_add(1, Ordering::Relaxed);
+        }
         Ok(summary)
     }
 
     /// Distinct configurations memoized so far (hot + spilled).
     pub(crate) fn len(&self) -> usize {
         self.distinct.load(Ordering::Relaxed)
+    }
+
+    /// Distinct configurations that were pre-seeded via
+    /// [`Self::import_seed_from`] — the persistent cache's contribution.
+    pub(crate) fn seeded_len(&self) -> usize {
+        self.seeded.load(Ordering::Relaxed)
     }
 
     /// Visits every memoized entry, rehydrating spilled ones
@@ -601,9 +654,9 @@ where
             let Shard {
                 hot, index, store, ..
             } = &mut *shard;
-            for (hash, refs) in index.iter() {
-                for spill_ref in refs {
-                    let (key, summary) = Shard::<P>::read_record(store, spill_ref)?;
+            for (hash, slots) in index.iter() {
+                for slot in slots {
+                    let (key, summary) = Shard::<P>::read_record(store, &slot.spill_ref)?;
                     let hashed = HashedKey { hash: *hash, key };
                     if hot.contains_key(&hashed) {
                         continue; // already visited via the hot tier
@@ -626,11 +679,30 @@ where
     /// exact key → summary mapping, which is what lets distributed
     /// workers hand their results to the coordinator.
     pub(crate) fn export_to(&self, path: &Path) -> Result<u64, SpillError> {
+        self.export_filtered(path, false)
+    }
+
+    /// Exports only the **fresh** entries — those inserted by this run's
+    /// own exploration (or imported as another run's delta), excluding
+    /// everything pre-seeded via [`Self::import_seed_from`] — as one
+    /// sealed interchange segment at `path`.  This is the persistent
+    /// cache's delta commit and the distributed worker's export: a
+    /// warm-started run ships what it *added*, not a re-image of the
+    /// whole memo.  With no seed imported, the delta **is** the full
+    /// image.  Returns the number of records written.
+    pub(crate) fn export_delta(&self, path: &Path) -> Result<u64, SpillError> {
+        self.export_filtered(path, true)
+    }
+
+    fn export_filtered(&self, path: &Path, only_fresh: bool) -> Result<u64, SpillError> {
         let mut writer = SegmentWriter::create(path)?;
         let mut scratch: Vec<u8> = Vec::new();
         for shard in &self.shards {
             let mut shard = shard.lock().expect("memo shard poisoned");
             for (key, entry) in shard.hot.iter() {
+                if only_fresh && !entry.fresh {
+                    continue;
+                }
                 scratch.clear();
                 encode_entry(&key.key, &entry.summary, &mut scratch);
                 writer.append(&scratch)?;
@@ -638,19 +710,22 @@ where
             let Shard {
                 hot, index, store, ..
             } = &mut *shard;
-            for (hash, refs) in index.iter() {
-                for spill_ref in refs {
+            for (hash, slots) in index.iter() {
+                for slot in slots {
+                    if only_fresh && !slot.fresh {
+                        continue;
+                    }
                     // Entries both hot and spilled were exported above;
                     // decode the record's key prefix to detect them.
                     let payload = store
                         .as_mut()
                         .expect("spill index entries require a segment store")
-                        .read(spill_ref)?;
+                        .read(&slot.spill_ref)?;
                     let mut input = payload.as_slice();
                     let key = decode_key_prefix::<P>(&mut input).ok_or_else(|| {
                         SpillError::corrupt(format!(
                             "undecodable key at segment {} offset {}",
-                            spill_ref.segment, spill_ref.offset
+                            slot.spill_ref.segment, slot.spill_ref.offset
                         ))
                     })?;
                     let hashed = HashedKey { hash: *hash, key };
@@ -664,13 +739,27 @@ where
         writer.finish()
     }
 
-    /// Pre-seeds this memo from an interchange segment file written by
-    /// [`Self::export_to`] — validating header, CRCs, record count, and
-    /// every record's decodability.  Records whose key is already present
-    /// are skipped (their summaries are necessarily identical, both being
-    /// the deterministic merge for that key).  Returns the number of
-    /// records read.
+    /// Merges an interchange segment file written by [`Self::export_to`]
+    /// / [`Self::export_delta`] into this memo — validating header, CRCs,
+    /// record count, and every record's decodability.  Records whose key
+    /// is already present are skipped (their summaries are necessarily
+    /// identical, both being the deterministic merge for that key).
+    /// Imported entries count as **fresh** — this is how a coordinator
+    /// absorbs worker deltas it must itself re-export.  Returns the
+    /// number of records read.
     pub(crate) fn import_from(&self, path: &Path) -> Result<u64, SpillError> {
+        self.import_inner(path, true)
+    }
+
+    /// [`Self::import_from`], but the entries count as **seeded** (not
+    /// fresh): they pre-existed this run — a persistent cache image or a
+    /// distributed seed segment — so [`Self::export_delta`] excludes
+    /// them and [`Self::seeded_len`] reports them as cache hits.
+    pub(crate) fn import_seed_from(&self, path: &Path) -> Result<u64, SpillError> {
+        self.import_inner(path, false)
+    }
+
+    fn import_inner(&self, path: &Path, fresh: bool) -> Result<u64, SpillError> {
         let mut reader = SegmentReader::open(path)?;
         let mut records = 0u64;
         while let Some(payload) = reader.next_record()? {
@@ -680,7 +769,7 @@ where
                     path.display()
                 ))
             })?;
-            self.insert(HashedKey::new(key), Arc::new(summary))?;
+            self.insert_inner(HashedKey::new(key), Arc::new(summary), fresh)?;
             records += 1;
         }
         Ok(records)
@@ -845,5 +934,68 @@ mod tests {
         // Importing the same file again is idempotent.
         assert_eq!(dest.import_from(&path).unwrap(), 100);
         assert_eq!(dest.len(), 100, "duplicate imports mint nothing");
+    }
+
+    /// Delta export writes exactly the entries inserted *after* the
+    /// seed import — across both tiers, surviving eviction and
+    /// rehydration — and a seed-only memo has an empty delta.
+    #[test]
+    fn delta_export_excludes_seeded_entries() {
+        let dir = crate::spill::SpillDir::create(None).unwrap();
+        let seed_path = dir.path().join("seed.seg");
+        let delta_path = dir.path().join("delta.seg");
+
+        // Build the seed image: keys 0..40.
+        let origin: ShardedMemo<Probe> = ShardedMemo::new(2, &MemoConfig::all_ram()).unwrap();
+        for i in 0..40u64 {
+            origin.insert(key_for(i), Arc::new(summary_for(i))).unwrap();
+        }
+        assert_eq!(origin.export_to(&seed_path).unwrap(), 40);
+        // A memo with no seed: the delta IS the full image.
+        assert_eq!(origin.export_delta(&delta_path).unwrap(), 40);
+
+        // Warm-start a tiny-hot-tier memo from the seed, then add keys
+        // 40..100 (interleaved with gets so seeded entries are evicted,
+        // rehydrated, and re-evicted along the way).
+        let memo: ShardedMemo<Probe> = ShardedMemo::new(2, &MemoConfig::spill(2)).unwrap();
+        assert_eq!(memo.import_seed_from(&seed_path).unwrap(), 40);
+        assert_eq!(memo.seeded_len(), 40);
+        for i in 0..100u64 {
+            if i % 3 == 0 {
+                let seen = memo.get(&key_for(i % 40)).unwrap().expect("seeded key");
+                assert_eq!(*seen, summary_for(i % 40));
+            }
+            memo.insert(key_for(i), Arc::new(summary_for(i))).unwrap();
+        }
+        assert_eq!(memo.len(), 100);
+        assert_eq!(memo.seeded_len(), 40, "re-inserting seeds changes nothing");
+
+        assert_eq!(
+            memo.export_delta(&delta_path).unwrap(),
+            60,
+            "delta = fresh entries only"
+        );
+        let fresh: ShardedMemo<Probe> = ShardedMemo::new(1, &MemoConfig::all_ram()).unwrap();
+        fresh.import_from(&delta_path).unwrap();
+        for i in 40..100u64 {
+            let got = fresh.get(&key_for(i)).unwrap().expect("fresh key in delta");
+            assert_eq!(*got, summary_for(i));
+        }
+        for i in 0..40u64 {
+            assert!(
+                fresh.get(&key_for(i)).unwrap().is_none(),
+                "seeded key {i} must not appear in the delta"
+            );
+        }
+
+        // A memo that only re-walked the seed has nothing to commit.
+        let warm: ShardedMemo<Probe> = ShardedMemo::new(2, &MemoConfig::all_ram()).unwrap();
+        warm.import_seed_from(&seed_path).unwrap();
+        for i in 0..40u64 {
+            warm.insert(key_for(i), Arc::new(summary_for(i))).unwrap();
+        }
+        assert_eq!(warm.export_delta(&delta_path).unwrap(), 0);
+        assert_eq!(warm.len(), 40);
+        assert_eq!(warm.seeded_len(), 40);
     }
 }

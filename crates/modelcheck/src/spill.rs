@@ -61,7 +61,19 @@ pub(crate) const SEGMENT_BYTES: u64 = 64 * 1024 * 1024;
 pub(crate) const MAGIC: [u8; 8] = *b"TWOSPILL";
 
 /// Format version; bumped whenever the header or record layout changes.
-pub(crate) const FORMAT_VERSION: u32 = 2;
+/// Version 3 added the header compression flag: record payloads are
+/// stored through the [`twostep_model::codec::compress`] codec, with the
+/// CRC taken over the *stored* (compressed) bytes so damage is detected
+/// before decompression is attempted.
+pub(crate) const FORMAT_VERSION: u32 = 3;
+
+/// Header flag bit: record payloads are compressed.
+pub(crate) const FLAG_COMPRESSED: u8 = 1;
+
+/// Upper bound on a single record's uncompressed size, enforced by the
+/// decompressor so a corrupted (CRC-colliding) or crafted length claim
+/// can never force a giant allocation.
+const MAX_RAW_RECORD: usize = 1 << 30;
 
 /// Header record-count sentinel for streaming (never-finished) segment
 /// files — the in-exploration spill segments, which are only ever read
@@ -245,11 +257,14 @@ impl Drop for SpillDir {
 // Header helpers
 // ---------------------------------------------------------------------------
 
-fn header_bytes(record_count: u64) -> [u8; HEADER_LEN as usize] {
+fn header_bytes(record_count: u64, compressed: bool) -> [u8; HEADER_LEN as usize] {
     let mut h = [0u8; HEADER_LEN as usize];
     h[..8].copy_from_slice(&MAGIC);
     h[8..12].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
     h[12..20].copy_from_slice(&record_count.to_le_bytes());
+    if compressed {
+        h[20] = FLAG_COMPRESSED;
+    }
     h
 }
 
@@ -267,8 +282,9 @@ fn write_framed_record(w: &mut impl Write, payload: &[u8]) -> Result<(), SpillEr
 }
 
 /// Validates a header and returns its record count (`STREAMING_COUNT`
-/// for never-finished streaming segments).
-fn parse_header(h: &[u8], path: &Path) -> Result<u64, SpillError> {
+/// for never-finished streaming segments) plus whether its records are
+/// compressed.
+fn parse_header(h: &[u8], path: &Path) -> Result<(u64, bool), SpillError> {
     if h.len() < HEADER_LEN as usize {
         return Err(SpillError::foreign(format!(
             "{}: {} bytes is too short for a segment header",
@@ -289,7 +305,31 @@ fn parse_header(h: &[u8], path: &Path) -> Result<u64, SpillError> {
             path.display()
         )));
     }
-    Ok(u64::from_le_bytes(h[12..20].try_into().expect("8 bytes")))
+    let flags = h[20];
+    if flags & !FLAG_COMPRESSED != 0 {
+        return Err(SpillError::foreign(format!(
+            "{}: unknown header flags {flags:#04x}",
+            path.display()
+        )));
+    }
+    let count = u64::from_le_bytes(h[12..20].try_into().expect("8 bytes"));
+    Ok((count, flags & FLAG_COMPRESSED != 0))
+}
+
+/// Unpacks one stored record payload: decompresses when the owning
+/// file's header says so (classifying failures as corruption — the CRC
+/// already passed, so undecompressable bytes mean the file was written
+/// wrong, not damaged in flight), or returns the raw bytes as-is.
+fn unpack_payload(
+    payload: Vec<u8>,
+    compressed: bool,
+    context: impl Fn() -> String,
+) -> Result<Vec<u8>, SpillError> {
+    if !compressed {
+        return Ok(payload);
+    }
+    twostep_model::codec::decompress(&payload, MAX_RAW_RECORD)
+        .ok_or_else(|| SpillError::corrupt(format!("{}: undecompressable record", context())))
 }
 
 // ---------------------------------------------------------------------------
@@ -316,6 +356,10 @@ pub(crate) struct SegmentStore {
     segments: Vec<File>,
     /// Bytes written to the last segment (`0` when no segment is open).
     tail_len: u64,
+    /// Reusable compressor + output buffer: eviction appends are the
+    /// spill tier's hot path, so compressing a record must not allocate.
+    compressor: twostep_model::codec::Compressor,
+    packed: Vec<u8>,
 }
 
 impl SegmentStore {
@@ -327,6 +371,8 @@ impl SegmentStore {
             shard,
             segments: Vec::new(),
             tail_len: 0,
+            compressor: twostep_model::codec::Compressor::new(),
+            packed: Vec::new(),
         }
     }
 
@@ -344,31 +390,32 @@ impl SegmentStore {
             .map_err(|e| SpillError::io(&format!("creating segment {}", path.display()), e))?;
         // Streaming segments never learn their final record count; they
         // are indexed in memory, not scanned.
-        file.write_all(&header_bytes(STREAMING_COUNT))
+        file.write_all(&header_bytes(STREAMING_COUNT, true))
             .map_err(|e| SpillError::io("writing segment header", e))?;
         self.segments.push(file);
         self.tail_len = HEADER_LEN;
         Ok(())
     }
 
-    /// Appends one `[u32 len][u32 crc][payload]` record, returning its
-    /// address.
+    /// Compresses and appends one `[u32 len][u32 crc][payload]` record,
+    /// returning its address (`len` is the *stored*, compressed length).
     pub(crate) fn append(&mut self, payload: &[u8]) -> Result<SpillRef, SpillError> {
         if self.segments.is_empty() || self.tail_len >= SEGMENT_BYTES {
             self.open_segment()?;
         }
+        self.compressor.compress_into(payload, &mut self.packed);
         let segment = self.segments.len() - 1;
         let offset = self.tail_len;
         let file = &mut self.segments[segment];
         // Reads share this handle's cursor, so position explicitly.
         file.seek(SeekFrom::Start(offset))
             .map_err(|e| SpillError::io("seeking segment tail", e))?;
-        write_framed_record(file, payload)?;
-        self.tail_len = offset + 8 + payload.len() as u64;
+        write_framed_record(file, &self.packed)?;
+        self.tail_len = offset + 8 + self.packed.len() as u64;
         Ok(SpillRef {
             segment: segment as u32,
             offset,
-            len: payload.len() as u32,
+            len: self.packed.len() as u32,
         })
     }
 
@@ -400,7 +447,9 @@ impl SegmentStore {
                 r.segment, r.offset
             )));
         }
-        Ok(payload)
+        unpack_payload(payload, true, || {
+            format!("segment {} offset {}", r.segment, r.offset)
+        })
     }
 }
 
@@ -419,27 +468,47 @@ pub(crate) struct SegmentWriter {
     file: File,
     path: PathBuf,
     records: u64,
+    compressed: bool,
+    /// Reusable compressor + output buffer for the export loop.
+    compressor: twostep_model::codec::Compressor,
+    packed: Vec<u8>,
 }
 
 impl SegmentWriter {
+    /// A compressed export file — the uniform default for spill, export,
+    /// and dist interchange segments.
     pub(crate) fn create(path: &Path) -> Result<Self, SpillError> {
+        Self::create_with(path, true)
+    }
+
+    /// An export file with an explicit compression flag (tests exercise
+    /// the uncompressed reader path through this).
+    pub(crate) fn create_with(path: &Path, compressed: bool) -> Result<Self, SpillError> {
         let mut file = OpenOptions::new()
             .create(true)
             .write(true)
             .truncate(true)
             .open(path)
             .map_err(|e| SpillError::io(&format!("creating export {}", path.display()), e))?;
-        file.write_all(&header_bytes(STREAMING_COUNT))
+        file.write_all(&header_bytes(STREAMING_COUNT, compressed))
             .map_err(|e| SpillError::io("writing export header", e))?;
         Ok(SegmentWriter {
             file,
             path: path.to_path_buf(),
             records: 0,
+            compressed,
+            compressor: twostep_model::codec::Compressor::new(),
+            packed: Vec::new(),
         })
     }
 
     pub(crate) fn append(&mut self, payload: &[u8]) -> Result<(), SpillError> {
-        write_framed_record(&mut self.file, payload)?;
+        if self.compressed {
+            self.compressor.compress_into(payload, &mut self.packed);
+            write_framed_record(&mut self.file, &self.packed)?;
+        } else {
+            write_framed_record(&mut self.file, payload)?;
+        }
         self.records += 1;
         Ok(())
     }
@@ -469,6 +538,8 @@ pub(crate) struct SegmentReader {
     path: PathBuf,
     expected: u64,
     seen: u64,
+    /// Whether record payloads must be decompressed (header flag).
+    compressed: bool,
     /// Bytes left in the file after the current read position — the
     /// upper bound any record length prefix must respect *before* its
     /// payload buffer is allocated (a corrupted prefix must surface as
@@ -500,7 +571,7 @@ impl SegmentReader {
                 n => filled += n,
             }
         }
-        let expected = parse_header(&header, path)?;
+        let (expected, compressed) = parse_header(&header, path)?;
         if expected == STREAMING_COUNT {
             return Err(SpillError::corrupt(format!(
                 "{}: unfinished export (record count never sealed)",
@@ -512,6 +583,7 @@ impl SegmentReader {
             path: path.to_path_buf(),
             expected,
             seen: 0,
+            compressed,
             remaining: file_len.saturating_sub(HEADER_LEN),
         })
     }
@@ -576,6 +648,9 @@ impl SegmentReader {
                 self.seen
             )));
         }
+        let payload = unpack_payload(payload, self.compressed, || {
+            format!("{} record {}", self.path.display(), self.seen)
+        })?;
         self.seen += 1;
         Ok(Some(payload))
     }
@@ -588,12 +663,13 @@ impl SegmentReader {
 }
 
 /// Scans a whole interchange file, validating the header, every record's
-/// CRC, and the record count; returns the record count.  (The
-/// distributed coordinator gets the same guarantees from the import scan
-/// itself — `ShardedMemo::import_from` — without a second pass over the
-/// file; this standalone check exists for tests and tooling.)
-#[cfg(test)]
-pub(crate) fn validate_segment_file(path: &Path) -> Result<u64, SpillError> {
+/// CRC, the record count, and (under the compression flag) every
+/// payload's decompressability; returns the record count.  (The
+/// distributed coordinator and the cache seed get the same guarantees
+/// from the import scan itself — `ShardedMemo::import_from` — without a
+/// second pass over the file; this standalone check exists for tests and
+/// tooling, e.g. auditing a persistent cache directory.)
+pub fn validate_segment_file(path: &Path) -> Result<u64, SpillError> {
     let mut reader = SegmentReader::open(path)?;
     let mut records = 0u64;
     while reader.next_record()?.is_some() {
@@ -724,11 +800,84 @@ mod tests {
     fn wrong_version_is_rejected_as_foreign() {
         let dir = SpillDir::create(None).unwrap();
         let path = dir.path().join("future.seg");
-        let mut header = header_bytes(0);
+        let mut header = header_bytes(0, true);
         header[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
         std::fs::write(&path, header).unwrap();
         let err = SegmentReader::open(&path).unwrap_err();
         assert!(matches!(err, SpillError::Foreign { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn unknown_header_flags_are_rejected_as_foreign() {
+        let dir = SpillDir::create(None).unwrap();
+        let path = dir.path().join("flags.seg");
+        let mut header = header_bytes(0, false);
+        header[20] = 0x82; // an unknown flag bit alongside garbage
+        std::fs::write(&path, header).unwrap();
+        let err = SegmentReader::open(&path).unwrap_err();
+        assert!(matches!(err, SpillError::Foreign { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn uncompressed_export_reads_back_via_flag() {
+        // The compression flag is honored per file: a flag-off export
+        // stores raw payloads and the reader returns them untouched.
+        let dir = SpillDir::create(None).unwrap();
+        let path = dir.path().join("raw.seg");
+        let mut writer = SegmentWriter::create_with(&path, false).unwrap();
+        writer.append(b"stored verbatim").unwrap();
+        writer.finish().unwrap();
+        let mut reader = SegmentReader::open(&path).unwrap();
+        assert!(!reader.compressed);
+        assert_eq!(reader.next_record().unwrap().unwrap(), b"stored verbatim");
+        assert!(reader.next_record().unwrap().is_none());
+    }
+
+    #[test]
+    fn compressed_export_actually_shrinks_repetitive_records() {
+        let dir = SpillDir::create(None).unwrap();
+        let raw_path = dir.path().join("raw.seg");
+        let packed_path = dir.path().join("packed.seg");
+        let record: Vec<u8> = b"snapshot ".iter().cycle().take(4096).copied().collect();
+        for (path, compressed) in [(&raw_path, false), (&packed_path, true)] {
+            let mut writer = SegmentWriter::create_with(path, compressed).unwrap();
+            for _ in 0..8 {
+                writer.append(&record).unwrap();
+            }
+            writer.finish().unwrap();
+            let mut reader = SegmentReader::open(path).unwrap();
+            while let Some(payload) = reader.next_record().unwrap() {
+                assert_eq!(payload, record);
+            }
+        }
+        let raw_len = std::fs::metadata(&raw_path).unwrap().len();
+        let packed_len = std::fs::metadata(&packed_path).unwrap().len();
+        assert!(
+            packed_len < raw_len / 4,
+            "compressed export must shrink: {packed_len} vs {raw_len}"
+        );
+    }
+
+    #[test]
+    fn undecompressable_record_with_valid_crc_is_corrupt() {
+        // A record whose CRC passes but whose payload is not a valid
+        // compressed stream must classify as Corrupt — never a panic, a
+        // silent empty read, or a huge allocation.
+        let dir = SpillDir::create(None).unwrap();
+        let path = dir.path().join("garble.seg");
+        let garbage = b"\xFF\xFF\xFF\xFF definitely not an LZ stream";
+        let mut file = std::fs::File::create(&path).unwrap();
+        file.write_all(&header_bytes(1, true)).unwrap();
+        write_framed_record(&mut file, garbage).unwrap();
+        drop(file);
+        let mut reader = SegmentReader::open(&path).unwrap();
+        let err = reader.next_record().unwrap_err();
+        match &err {
+            SpillError::Corrupt { detail } => {
+                assert!(detail.contains("undecompressable"), "{detail}")
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
     }
 
     #[test]

@@ -72,6 +72,7 @@ fn dist_options(partitions: usize) -> DistOptions {
         depth: 1,
         attempts: 3,
         scratch_dir: None,
+        cache: None,
         replay: ExploreOptions::serial(),
     }
 }
@@ -378,6 +379,82 @@ fn exhausted_worker_attempts_fail_loudly() {
         }
         other => panic!("expected Worker error, got {other:?}"),
     }
+}
+
+/// Satellite audit: the coordinator's shared scratch directory (worker
+/// export segments, the seed segment) is removed on **every** outcome —
+/// success, worker-retry exhaustion, and validation failure — because
+/// `explore_partitioned` owns it as a drop-cleaned `SpillDir`.  Only the
+/// caller-provided root must survive.
+#[test]
+fn scratch_dir_is_removed_on_every_coordinator_outcome() {
+    let (n, t) = (3usize, 1usize);
+    let system = SystemConfig::new(n, t).unwrap();
+    let proposals = crw_proposals(n);
+    let config = ExploreConfig::for_crw(&system);
+    let root = std::env::temp_dir().join(format!("twostep-scratch-audit-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).unwrap();
+    let options = DistOptions {
+        scratch_dir: Some(root.clone()),
+        attempts: 2,
+        ..dist_options(2)
+    };
+    let assert_scratch_empty = |label: &str| {
+        let leftovers: Vec<_> = std::fs::read_dir(&root)
+            .expect("caller-provided scratch root must survive")
+            .flatten()
+            .map(|e| e.path())
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "{label}: scratch root must be empty, found {leftovers:?}"
+        );
+    };
+
+    // Success path.
+    explore_partitioned_in_process(
+        system,
+        config,
+        &options,
+        ExploreOptions::serial(),
+        crw_processes(&system, &proposals),
+        proposals.clone(),
+    )
+    .unwrap();
+    assert_scratch_empty("success");
+
+    // Worker-retry exhaustion: a worker that never comes up.
+    let err = explore_partitioned(
+        system,
+        config,
+        &options,
+        crw_processes(&system, &proposals),
+        proposals.clone(),
+        |_task: &WorkerTask| Err("never comes up".to_string()),
+    )
+    .unwrap_err();
+    assert!(matches!(err, ExploreError::Worker { .. }), "{err:?}");
+    assert_scratch_empty("retry exhaustion");
+
+    // Validation failure: a worker that always claims success but leaves
+    // a damaged export, exhausting every attempt.
+    let err = explore_partitioned(
+        system,
+        config,
+        &options,
+        crw_processes(&system, &proposals),
+        proposals.clone(),
+        |task: &WorkerTask| {
+            std::fs::write(&task.export_path, b"damaged beyond repair").unwrap();
+            Ok(())
+        },
+    )
+    .unwrap_err();
+    assert!(matches!(err, ExploreError::Worker { .. }), "{err:?}");
+    assert_scratch_empty("validation failure");
+
+    std::fs::remove_dir_all(&root).unwrap();
 }
 
 /// Partition counts far beyond the frontier size leave some workers with

@@ -89,6 +89,7 @@ fn extended_model_crw_parallel_equals_serial() {
                     shards: 16,
                     memo: MemoConfig::all_ram(),
                     donate_depth: None,
+                    cache: None,
                 },
                 crw_processes(&system, &proposals),
                 proposals.clone(),
@@ -132,6 +133,7 @@ fn classic_model_floodset_parallel_equals_serial() {
                     shards: 16,
                     memo: MemoConfig::all_ram(),
                     donate_depth: None,
+                    cache: None,
                 },
                 floodset_processes(n, t, &proposals),
                 proposals.clone(),

@@ -87,6 +87,7 @@ fn extended_model_crw_spill_equals_ram() {
                         shards: 8,
                         memo,
                         donate_depth: None,
+                        cache: None,
                     },
                     crw_processes(&system, &proposals),
                     proposals.clone(),
@@ -132,6 +133,7 @@ fn classic_model_floodset_spill_equals_ram() {
                     shards: 8,
                     memo: MemoConfig::spill(HOT_CAPACITY),
                     donate_depth: None,
+                    cache: None,
                 },
                 floodset_processes(n, t, &proposals),
                 proposals.clone(),
