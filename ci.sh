@@ -12,6 +12,8 @@
 #   TWOSTEP_BENCH_N/T     (n, t) for the explorer bench (raise toward (7, 6)
 #                         as runners allow)
 #   TWOSTEP_DONATE_DEPTH  donation cutoff for the bench's "donate" row
+#   TWOSTEP_BENCH_SKIP_GATE=1  skip the serial states/sec regression gate
+#                         (escape hatch for slow or heavily shared runners)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -31,9 +33,59 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo fmt --check"
 cargo fmt --all --check
 
-echo "== explorer bench (quick) -> BENCH_explorer.json"
-cargo run --release -q -p twostep-bench --bin explorer_bench -- --quick
+echo "== explorer bench (quick) -> BENCH_explorer.json (+ BENCH_history.jsonl)"
+# The perf gate below compares the fresh serial states/sec against the
+# **committed** baseline (git HEAD, not the working tree — the bench
+# overwrites the working-tree file, so reading it back would silently
+# rebaseline every rerun onto the previous local result).  Fall back to
+# the working-tree copy only when git can't produce one (shallow tools,
+# first commit).
+baseline_json="$(git show HEAD:BENCH_explorer.json 2>/dev/null || true)"
+if [[ -z "$baseline_json" && -f BENCH_explorer.json ]]; then
+    baseline_json="$(cat BENCH_explorer.json)"
+fi
+baseline_serial=""
+baseline_n=""
+baseline_t=""
+baseline_file_present=0
+if [[ -n "$baseline_json" ]]; then
+    baseline_file_present=1
+    baseline_serial="$(sed -n 's/.*"engine": "serial".*"states_per_sec": \([0-9.]*\).*/\1/p' <<<"$baseline_json" | head -1)"
+    baseline_n="$(sed -n 's/^  "n": \([0-9]*\),$/\1/p' <<<"$baseline_json")"
+    baseline_t="$(sed -n 's/^  "t": \([0-9]*\),$/\1/p' <<<"$baseline_json")"
+fi
+commit_sha="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+cargo run --release -q -p twostep-bench --bin explorer_bench -- --quick \
+    --history BENCH_history.jsonl --commit "$commit_sha"
 cat BENCH_explorer.json
+
+echo "== perf smoke-gate (serial states/sec vs committed baseline)"
+new_serial="$(sed -n 's/.*"engine": "serial".*"states_per_sec": \([0-9.]*\).*/\1/p' BENCH_explorer.json | head -1)"
+new_n="$(sed -n 's/^  "n": \([0-9]*\),$/\1/p' BENCH_explorer.json)"
+new_t="$(sed -n 's/^  "t": \([0-9]*\),$/\1/p' BENCH_explorer.json)"
+if [[ "${TWOSTEP_BENCH_SKIP_GATE:-0}" == "1" ]]; then
+    echo "perf gate skipped (TWOSTEP_BENCH_SKIP_GATE=1): serial=$new_serial states/sec"
+elif [[ "$baseline_file_present" == "0" ]]; then
+    echo "perf gate: no committed baseline to compare against (first run); serial=$new_serial states/sec"
+elif [[ -z "$baseline_serial" || -z "$new_serial" ]]; then
+    # A baseline file that exists but cannot be parsed must fail, not
+    # silently disarm the gate forever after a format change.
+    echo "FAIL: perf gate could not parse a serial states/sec value" >&2
+    echo "      (baseline='$baseline_serial', current='$new_serial') — update the sed extraction in ci.sh alongside the bench JSON format." >&2
+    exit 1
+elif [[ "$baseline_n" != "$new_n" || "$baseline_t" != "$new_t" ]]; then
+    echo "perf gate: baseline is ($baseline_n, $baseline_t), this run is ($new_n, $new_t) — not comparable; serial=$new_serial states/sec"
+else
+    awk -v new="$new_serial" -v base="$baseline_serial" 'BEGIN {
+        floor = 0.7 * base;
+        if (new < floor) {
+            printf "FAIL: serial throughput regressed >30%%: %.1f states/sec vs committed baseline %.1f (floor %.1f).\n", new, base, floor;
+            printf "      Investigate before committing, or rerun with TWOSTEP_BENCH_SKIP_GATE=1 on a known-slow runner.\n";
+            exit 1;
+        }
+        printf "perf gate OK: %.1f states/sec vs baseline %.1f (floor %.1f)\n", new, base, floor;
+    }' >&2 || exit 1
+fi
 
 echo "== partitioned exploration (2 worker processes, quick)"
 cargo run --release -q -p twostep-bench --bin twostep-dist -- --quick --partitions 2

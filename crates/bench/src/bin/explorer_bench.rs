@@ -4,14 +4,22 @@
 //! distinct-states/sec trajectory to `BENCH_explorer.json` so the perf
 //! trend is recorded from every CI run (see `ci.sh`).
 //!
-//! Usage: `explorer_bench [--quick] [--out PATH]`
+//! Usage: `explorer_bench [--quick] [--out PATH] [--history PATH]
+//! [--commit SHA]`
 //!
-//! * `--quick` — the `(5, 4)` system with one timed iteration per
-//!   engine: a few hundred milliseconds total, suitable for every CI
-//!   run;
-//! * default — the `(6, 5)` speedup-bench system with three timed
-//!   iterations (best-of reported).  Raise toward `(7, 6)` via
-//!   `TWOSTEP_BENCH_N`/`TWOSTEP_BENCH_T` as runners allow.
+//! * `--quick` — the pinned `(6, 5)` system with two timed iterations
+//!   per engine (best-of, so one scheduler hiccup doesn't pollute the
+//!   recorded trajectory): a couple of seconds total, suitable for
+//!   every CI run.  The pin was `(5, 4)` until the hot-path overhaul
+//!   made `(6, 5)` cheap enough for CI;
+//! * default — the same `(6, 5)` system with three timed iterations.
+//!   Raise toward `(7, 6)` via `TWOSTEP_BENCH_N`/`TWOSTEP_BENCH_T` as
+//!   runners allow;
+//! * `--history PATH` — additionally **append** one compact JSON line
+//!   (commit, system, per-engine states/sec) to `PATH`, so the
+//!   states/sec trajectory accumulates across commits instead of being
+//!   overwritten by every run (`ci.sh` points this at
+//!   `BENCH_history.jsonl`); `--commit SHA` labels that line.
 //!
 //! The `donate` row reports the depth-aware donation policy
 //! (`TWOSTEP_DONATE_DEPTH`, default cutoff 2) against the unrestricted
@@ -66,11 +74,19 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_explorer.json".to_string());
+    let history_path = args
+        .iter()
+        .position(|a| a == "--history")
+        .and_then(|i| args.get(i + 1).cloned());
+    let commit = args
+        .iter()
+        .position(|a| a == "--commit")
+        .and_then(|i| args.get(i + 1).cloned());
 
-    let (default_n, default_t) = if quick { (5, 4) } else { (6, 5) };
+    let (default_n, default_t) = (6, 5);
     let n = env_usize("TWOSTEP_BENCH_N").unwrap_or(default_n);
     let t = env_usize("TWOSTEP_BENCH_T").unwrap_or(default_t);
-    let iters = if quick { 1 } else { 3 };
+    let iters = if quick { 2 } else { 3 };
 
     let system = SystemConfig::new(n, t).expect("valid bench system");
     let proposals = bench_proposals(n);
@@ -277,4 +293,36 @@ fn main() {
 
     std::fs::write(&out_path, json).expect("writing bench JSON");
     eprintln!("explorer_bench: wrote {out_path}");
+
+    // Perf trajectory: append (never rewrite) one line per run, so the
+    // ROADMAP's "record distinct-states/sec trends across commits" has
+    // an accumulating dataset instead of only the latest snapshot.
+    if let Some(history_path) = history_path {
+        let mut line = String::new();
+        line.push('{');
+        line.push_str(&format!(
+            "\"commit\": \"{}\", \"quick\": {quick}, \"n\": {n}, \"t\": {t}, \
+             \"distinct_states\": {distinct_states}, \"states_per_sec\": {{",
+            commit.as_deref().unwrap_or("unknown"),
+        ));
+        for (i, r) in results.iter().enumerate() {
+            line.push_str(&format!(
+                "\"{}\": {:.1}{}",
+                r.engine,
+                r.states_per_sec,
+                if i + 1 < results.len() { ", " } else { "" }
+            ));
+        }
+        line.push_str("}}\n");
+        use std::io::Write;
+        let appended = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&history_path)
+            .and_then(|mut f| f.write_all(line.as_bytes()));
+        match appended {
+            Ok(()) => eprintln!("explorer_bench: appended history to {history_path}"),
+            Err(e) => eprintln!("explorer_bench: could not append history to {history_path}: {e}"),
+        }
+    }
 }

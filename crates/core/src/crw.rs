@@ -170,13 +170,23 @@ where
     type Output = V;
 
     fn send(&mut self, round: Round) -> SendPlan<V, V> {
+        let mut plan = SendPlan::quiet();
+        self.send_into(round, &mut plan);
+        plan
+    }
+
+    /// The allocation-free hot path: the model checker executes this
+    /// once per process per explored round, so the plan's buffers are
+    /// refilled in place instead of rebuilt ([`SendPlan::clear`] keeps
+    /// their allocations).
+    fn send_into(&mut self, round: Round, plan: &mut SendPlan<V, V>) {
+        plan.clear();
         if round.get() == self.me.rank() {
             // Lines 4–6: I coordinate this round.  Data to all higher
             // processes, then commits to the same processes (order per
             // `self.order`), then decide.  The whole plan is one atomic
             // send phase: no computation between the data and control
             // steps, exactly as the model prescribes.
-            let mut plan = SendPlan::quiet();
             plan.data.reserve(self.n - self.me.idx() - 1);
             for dst in self.me.higher(self.n) {
                 plan.data.push((dst, self.est.clone()));
@@ -194,7 +204,7 @@ where
                     }
                 }
             }
-            plan.then_decide(self.est.clone())
+            plan.decide_after_send = Some(self.est.clone());
         } else {
             // Line 9: r > i cannot happen — p_i would have decided (line 6)
             // or crashed while coordinating round i < r.  (This invariant
@@ -207,7 +217,6 @@ where
                  coordination round — Figure 1 line 9 violated",
                 me = self.me
             );
-            SendPlan::quiet()
         }
     }
 

@@ -186,6 +186,56 @@ impl<A: SpillCodec, B: SpillCodec> SpillCodec for (A, B) {
 }
 
 // ---------------------------------------------------------------------------
+// Stable 64-bit hashing for encoded state
+// ---------------------------------------------------------------------------
+
+/// Multiplicative mixing constants (from the wyhash family of hashes).
+const STABLE_P0: u64 = 0xa076_1d64_78bd_642f;
+const STABLE_P1: u64 = 0xe703_7ed1_a0b4_28db;
+
+/// Folds a 128-bit product back to 64 bits (the wyhash "mum" step).
+#[inline]
+fn stable_mix(a: u64, b: u64) -> u64 {
+    let r = u128::from(a).wrapping_mul(u128::from(b));
+    (r as u64) ^ ((r >> 64) as u64)
+}
+
+/// Stable, fast 64-bit hash of a byte string — the hash of the model
+/// checker's canonical configuration-key encodings.
+///
+/// Three properties the memo, spill index, distributed partitioner, and
+/// persistent cache all rely on:
+///
+/// * **stable** — the value depends only on the bytes: identical across
+///   runs, builds, platforms, and processes (explicit little-endian
+///   chunking, no per-process seed), unlike `DefaultHasher`, which the
+///   standard library is free to change;
+/// * **one pass, word-at-a-time** — a wyhash-style multiply-mix over
+///   8-byte chunks, several times faster than the byte-at-a-time FNV the
+///   cache fingerprint uses (fine there: fingerprints hash a few dozen
+///   bytes once per run, while this runs once per configuration visit);
+/// * **length-aware** — the length is folded into the seed, so a prefix
+///   of a string never trivially collides with it.
+///
+/// Collisions are still possible (any 64-bit hash has them); every
+/// consumer chains on the full key bytes and compares them on hit.
+pub fn stable_hash64(bytes: &[u8]) -> u64 {
+    let mut h = STABLE_P0 ^ (bytes.len() as u64).wrapping_mul(STABLE_P1);
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        h = stable_mix(h ^ word, STABLE_P1);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rem.len()].copy_from_slice(rem);
+        h = stable_mix(h ^ u64::from_le_bytes(tail), STABLE_P1);
+    }
+    stable_mix(h, STABLE_P0)
+}
+
+// ---------------------------------------------------------------------------
 // Varint + LZ compression for segment records
 // ---------------------------------------------------------------------------
 
@@ -432,6 +482,44 @@ mod tests {
             130,
             [ProcessId::new(1), ProcessId::new(130)],
         ));
+    }
+
+    #[test]
+    fn stable_hash64_is_pinned() {
+        // The hash keys on-disk spill indexes, interchange partitioning,
+        // and persistent-cache reuse, so its values must never drift
+        // between builds or platforms: pin them.
+        assert_eq!(stable_hash64(b""), 0xf47c_dffd_9671_363d);
+        assert_eq!(stable_hash64(b"a"), 0x4445_08c4_5b1e_0093);
+        assert_eq!(stable_hash64(b"abc"), 0x5373_c0d1_9c8c_277a);
+        assert_eq!(stable_hash64(b"12345678"), 0x22e2_940f_d14f_72c5);
+        assert_eq!(stable_hash64(b"123456789"), 0x62b4_ba6e_e5ba_7e6b);
+        assert_eq!(
+            stable_hash64(b"the quick brown fox jumps over the lazy dog"),
+            0x1bbb_390d_5f54_a386
+        );
+        assert_eq!(stable_hash64(&[0u8; 8]), 0x9da8_e3ea_9593_a726);
+        assert_eq!(stable_hash64(&[0u8; 16]), 0xbd5e_3218_5e8e_fe99);
+    }
+
+    #[test]
+    fn stable_hash64_separates_lengths_and_contents() {
+        // Zero-padded tails must not collide with their padded forms,
+        // and single-bit flips anywhere must change the hash (a smoke
+        // test, not a cryptographic claim).
+        let mut seen = std::collections::BTreeSet::new();
+        for len in 0..32usize {
+            assert!(seen.insert(stable_hash64(&vec![0u8; len])), "len {len}");
+        }
+        let base: Vec<u8> = (0..32u8).collect();
+        let h0 = stable_hash64(&base);
+        for i in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(stable_hash64(&flipped), h0, "flip {i}.{bit}");
+            }
+        }
     }
 
     #[test]

@@ -227,6 +227,15 @@ impl CrashSchedule {
         }
     }
 
+    /// Clears every crash point in place — a reusable schedule buffer
+    /// returns to the failure-free state without reallocating (the
+    /// model checker rebuilds a pseudo-schedule per explored terminal).
+    pub fn reset(&mut self) {
+        for point in &mut self.points {
+            *point = None;
+        }
+    }
+
     /// Adds (or replaces) a crash point for `pid`, builder style.
     ///
     /// # Panics

@@ -20,7 +20,7 @@ use crate::round::Round;
 use std::fmt;
 
 /// Counters collected while executing one run.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(PartialEq, Eq, Debug)]
 pub struct RunMetrics {
     /// Number of rounds the engine executed before every live process had
     /// decided (or the round cap was hit).
@@ -36,6 +36,42 @@ pub struct RunMetrics {
     /// Per-process decision round (`None` = never decided, e.g. crashed
     /// first or the protocol did not terminate for it).
     pub decision_round: Vec<Option<Round>>,
+}
+
+/// Manual so `clone_from` reuses the decision-round vector's
+/// allocation: the model checker re-forks pooled executions once per
+/// explored edge, and the derived struct `clone_from` (a full
+/// `*self = source.clone()`) would reallocate it every time.  Adding a
+/// field to the struct shows up here as a compile error, never a
+/// silently un-copied field.
+impl Clone for RunMetrics {
+    fn clone(&self) -> Self {
+        RunMetrics {
+            rounds_executed: self.rounds_executed,
+            data_messages: self.data_messages,
+            control_messages: self.control_messages,
+            data_bits: self.data_bits,
+            control_bits: self.control_bits,
+            decision_round: self.decision_round.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        let RunMetrics {
+            rounds_executed,
+            data_messages,
+            control_messages,
+            data_bits,
+            control_bits,
+            decision_round,
+        } = source;
+        self.rounds_executed = *rounds_executed;
+        self.data_messages = *data_messages;
+        self.control_messages = *control_messages;
+        self.data_bits = *data_bits;
+        self.control_bits = *control_bits;
+        self.decision_round.clone_from(decision_round);
+    }
 }
 
 impl RunMetrics {

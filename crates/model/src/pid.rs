@@ -112,25 +112,72 @@ pub struct PidSet {
     /// Universe size `n`; member ranks are in `1..=n`.
     n: usize,
     /// Bit `i` of the concatenated words == membership of rank `i+1`.
-    words: Vec<u64>,
+    words: PidWords,
+}
+
+/// Word storage for a [`PidSet`].  Universes of up to 128 processes —
+/// every system the checker's hot paths ever build — live **inline**:
+/// constructing, cloning, and dropping such a set touches no allocator,
+/// which is what makes crash-outcome enumeration and delivery filtering
+/// allocation-free.  Larger universes (the flooding baselines allow
+/// them) fall back to heap words.  The representation is a function of
+/// `n` alone, so derived `Eq`/`Hash` never compare across variants; the
+/// words beyond `word_count(n)` in an inline set are kept zero.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum PidWords {
+    Inline([u64; INLINE_WORDS]),
+    Heap(Vec<u64>),
 }
 
 const WORD_BITS: usize = 64;
 
+/// Inline words: 2 × 64 bits covers `n ≤ 128`.
+const INLINE_WORDS: usize = 2;
+
 impl PidSet {
     /// The empty set over a universe of `n` processes.
     pub fn empty(n: usize) -> Self {
+        let count = Self::word_count(n);
         Self {
             n,
-            words: vec![0; n.div_ceil(WORD_BITS)],
+            words: if count <= INLINE_WORDS {
+                PidWords::Inline([0; INLINE_WORDS])
+            } else {
+                PidWords::Heap(vec![0; count])
+            },
+        }
+    }
+
+    /// Words needed for a universe of `n` processes.
+    #[inline]
+    fn word_count(n: usize) -> usize {
+        n.div_ceil(WORD_BITS)
+    }
+
+    /// The live words of this set (exactly `word_count(n)` of them).
+    #[inline]
+    fn words(&self) -> &[u64] {
+        match &self.words {
+            PidWords::Inline(words) => &words[..Self::word_count(self.n)],
+            PidWords::Heap(words) => words,
+        }
+    }
+
+    /// Mutable view of the live words.
+    #[inline]
+    fn words_mut(&mut self) -> &mut [u64] {
+        let count = Self::word_count(self.n);
+        match &mut self.words {
+            PidWords::Inline(words) => &mut words[..count],
+            PidWords::Heap(words) => words,
         }
     }
 
     /// The full set `{p_1, …, p_n}`.
     pub fn full(n: usize) -> Self {
         let mut s = Self::empty(n);
-        for w in 0..s.words.len() {
-            s.words[w] = u64::MAX;
+        for w in s.words_mut() {
+            *w = u64::MAX;
         }
         s.clear_tail();
         s
@@ -158,13 +205,13 @@ impl PidSet {
     /// Number of members.
     #[inline]
     pub fn len(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        self.words().iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// Whether the set has no members.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.words.iter().all(|&w| w == 0)
+        self.words().iter().all(|&w| w == 0)
     }
 
     /// Whether the set contains every process in the universe.
@@ -181,14 +228,14 @@ impl PidSet {
     #[inline]
     pub fn contains(&self, pid: ProcessId) -> bool {
         let i = self.checked_bit(pid);
-        self.words[i / WORD_BITS] & (1u64 << (i % WORD_BITS)) != 0
+        self.words()[i / WORD_BITS] & (1u64 << (i % WORD_BITS)) != 0
     }
 
     /// Inserts a member; returns `true` if it was newly inserted.
     #[inline]
     pub fn insert(&mut self, pid: ProcessId) -> bool {
         let i = self.checked_bit(pid);
-        let w = &mut self.words[i / WORD_BITS];
+        let w = &mut self.words_mut()[i / WORD_BITS];
         let mask = 1u64 << (i % WORD_BITS);
         let fresh = *w & mask == 0;
         *w |= mask;
@@ -199,7 +246,7 @@ impl PidSet {
     #[inline]
     pub fn remove(&mut self, pid: ProcessId) -> bool {
         let i = self.checked_bit(pid);
-        let w = &mut self.words[i / WORD_BITS];
+        let w = &mut self.words_mut()[i / WORD_BITS];
         let mask = 1u64 << (i % WORD_BITS);
         let present = *w & mask != 0;
         *w &= !mask;
@@ -213,7 +260,7 @@ impl PidSet {
     /// Panics if the universes differ.
     pub fn union_with(&mut self, other: &PidSet) {
         assert_eq!(self.n, other.n, "PidSet universes differ");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
+        for (a, b) in self.words_mut().iter_mut().zip(other.words()) {
             *a |= b;
         }
     }
@@ -225,7 +272,7 @@ impl PidSet {
     /// Panics if the universes differ.
     pub fn intersect_with(&mut self, other: &PidSet) {
         assert_eq!(self.n, other.n, "PidSet universes differ");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
+        for (a, b) in self.words_mut().iter_mut().zip(other.words()) {
             *a &= b;
         }
     }
@@ -237,7 +284,7 @@ impl PidSet {
     /// Panics if the universes differ.
     pub fn difference_with(&mut self, other: &PidSet) {
         assert_eq!(self.n, other.n, "PidSet universes differ");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
+        for (a, b) in self.words_mut().iter_mut().zip(other.words()) {
             *a &= !b;
         }
     }
@@ -249,15 +296,15 @@ impl PidSet {
     /// Panics if the universes differ.
     pub fn is_subset(&self, other: &PidSet) -> bool {
         assert_eq!(self.n, other.n, "PidSet universes differ");
-        self.words
+        self.words()
             .iter()
-            .zip(&other.words)
+            .zip(other.words())
             .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterates over members in ascending rank order.
     pub fn iter(&self) -> impl Iterator<Item = ProcessId> + '_ {
-        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+        self.words().iter().enumerate().flat_map(|(wi, &w)| {
             let base = wi * WORD_BITS;
             BitIter { word: w, base }
         })
@@ -270,7 +317,7 @@ impl PidSet {
 
     /// Removes all members.
     pub fn clear(&mut self) {
-        for w in &mut self.words {
+        for w in self.words_mut() {
             *w = 0;
         }
     }
@@ -286,7 +333,7 @@ impl PidSet {
     fn clear_tail(&mut self) {
         let tail = self.n % WORD_BITS;
         if tail != 0 {
-            if let Some(last) = self.words.last_mut() {
+            if let Some(last) = self.words_mut().last_mut() {
                 *last &= (1u64 << tail) - 1;
             }
         }
@@ -296,20 +343,27 @@ impl PidSet {
 impl SpillCodec for PidSet {
     fn encode(&self, out: &mut Vec<u8>) {
         self.n.encode(out);
-        self.words.encode(out);
+        // Byte-identical to the former `Vec<u64>` encoding: u32 count,
+        // then the live words little-endian.
+        let words = self.words();
+        (words.len() as u32).encode(out);
+        for w in words {
+            w.encode(out);
+        }
     }
     fn decode(input: &mut &[u8]) -> Option<Self> {
         let n = usize::decode(input)?;
         let words = Vec::<u64>::decode(input)?;
-        if words.len() != n.div_ceil(WORD_BITS) {
+        if words.len() != Self::word_count(n) {
             return None;
         }
-        let set = PidSet { n, words };
+        let mut set = PidSet::empty(n);
+        set.words_mut().copy_from_slice(&words);
         // Reject non-canonical tails: `Eq`/`Hash` assume the bits above
         // `n` are zero, so a decoded set must honor that too.
         let mut canonical = set.clone();
         canonical.clear_tail();
-        (canonical.words == set.words).then_some(set)
+        (canonical == set).then_some(set)
     }
 }
 

@@ -1,0 +1,47 @@
+//! Property tests for [`twostep_model::codec::stable_hash64`], the
+//! single hash of the model checker's canonical configuration keys.
+//!
+//! The pinned cross-platform test vectors live in the codec's unit
+//! tests; these properties cover the behaviors consumers lean on:
+//! determinism (same bytes, same hash — across calls and across byte
+//! layouts), and practical injectivity (distinct generated inputs never
+//! collide — any counterexample here would be a 2⁻⁶⁴ miracle worth
+//! investigating, not shrinking).
+
+use proptest::prelude::*;
+use twostep_model::codec::stable_hash64;
+
+proptest! {
+    #[test]
+    fn equal_bytes_hash_equal(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let copy = bytes.clone();
+        prop_assert_eq!(stable_hash64(&bytes), stable_hash64(&copy));
+        // Slicing a larger buffer down to the same bytes changes nothing.
+        let mut padded = vec![0xEEu8; 8];
+        padded.extend_from_slice(&bytes);
+        prop_assert_eq!(stable_hash64(&padded[8..]), stable_hash64(&bytes));
+    }
+
+    #[test]
+    fn distinct_bytes_hash_distinct(
+        a in prop::collection::vec(any::<u8>(), 0..128),
+        b in prop::collection::vec(any::<u8>(), 0..128),
+    ) {
+        if a == b {
+            return Ok(());
+        }
+        prop_assert_ne!(stable_hash64(&a), stable_hash64(&b));
+    }
+
+    #[test]
+    fn extending_changes_the_hash(
+        bytes in prop::collection::vec(any::<u8>(), 0..128),
+        extra in any::<u8>(),
+    ) {
+        // A string and any extension of it must differ — the length is
+        // folded into the seed, so zero-padded tails cannot alias.
+        let mut longer = bytes.clone();
+        longer.push(extra);
+        prop_assert_ne!(stable_hash64(&longer), stable_hash64(&bytes));
+    }
+}

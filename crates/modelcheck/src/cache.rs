@@ -15,8 +15,9 @@
 //!   64-bit **fingerprint** of everything that determines their
 //!   contents: the segment format version, the system `(n, t)`, the
 //!   exploration-relevant [`ExploreConfig`] options, and the protocol /
-//!   proposal identity via [`CheckableProtocol::fingerprint`] (an FNV-1a
-//!   hash of each initial process's [`SpillCodec`] encoding).
+//!   proposal identity via [`CheckableProtocol::fingerprint`] (a
+//!   [`stable_hash64`](twostep_model::codec::stable_hash64) of each
+//!   initial process's [`SpillCodec`] encoding).
 //!
 //! A run that opens the cache with a **matching** fingerprint pre-seeds
 //! its memo from the segments before walking; the walk then
@@ -75,7 +76,14 @@ const CACHE_FORMAT_VERSION: u32 = 1;
 /// to disk; without this knob a semantic fix would fingerprint-match
 /// old caches and silently reproduce pre-fix (wrong) reports, which is
 /// exactly the failure the loud-ignore policy exists to prevent.
-const EXPLORER_LOGIC_VERSION: u32 = 1;
+///
+/// Version 2: configurations are merged by canonical key *bytes*
+/// (hashed with [`twostep_model::codec::stable_hash64`]) instead of
+/// structured snapshot comparison, and
+/// [`CheckableProtocol::fingerprint`] switched to the same hasher.  The
+/// v4 segment format bump invalidates v3-era caches by itself; this
+/// bump records that the key path changed too.
+const EXPLORER_LOGIC_VERSION: u32 = 2;
 
 /// How a run uses the persistent cache.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -414,14 +422,14 @@ impl CacheSession {
     /// report's aggregates — a seeded parent short-circuits the walk, so
     /// its missing descendants would never be re-counted and
     /// `distinct_states` / the bivalency census would silently shrink.
-    pub(crate) fn seed<P>(&mut self, memo: &ShardedMemo<P>) -> Option<u64>
+    pub(crate) fn seed<O, V>(&mut self, memo: &ShardedMemo<O>, validate_key: V) -> Option<u64>
     where
-        P: CheckableProtocol,
-        P::Output: Hash + SpillCodec,
+        O: Clone + Eq + SpillCodec,
+        V: Fn(&[u8]) -> bool,
     {
         let mut records = 0u64;
         for path in self.segments() {
-            match memo.import_seed_from(&path) {
+            match memo.import_seed_from(&path, &validate_key) {
                 Ok(n) => records += n,
                 Err(e) => {
                     eprintln!(
@@ -450,10 +458,9 @@ impl CacheSession {
     /// Cache write failures warn and return `None` — they never fail the
     /// exploration that produced the (already correct) report.  Returns
     /// the number of records written otherwise.
-    pub(crate) fn commit<P>(&self, memo: &ShardedMemo<P>) -> Option<u64>
+    pub(crate) fn commit<O>(&self, memo: &ShardedMemo<O>) -> Option<u64>
     where
-        P: CheckableProtocol,
-        P::Output: Hash + SpillCodec,
+        O: Clone + Eq + SpillCodec,
     {
         let cache = match &self.config {
             Some(cache) if cache.mode == CacheMode::ReadWrite => cache,
@@ -472,14 +479,13 @@ impl CacheSession {
         }
     }
 
-    fn try_commit<P>(
+    fn try_commit<O>(
         &self,
         cache: &CacheConfig,
-        memo: &ShardedMemo<P>,
+        memo: &ShardedMemo<O>,
     ) -> Result<Option<u64>, SpillError>
     where
-        P: CheckableProtocol,
-        P::Output: Hash + SpillCodec,
+        O: Clone + Eq + SpillCodec,
     {
         if self.state == CacheState::Ready && memo.len() == memo.seeded_len() {
             // Fully warm: the cache already holds everything this run

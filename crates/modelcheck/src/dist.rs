@@ -67,12 +67,13 @@ use std::time::Instant;
 use twostep_model::SystemConfig;
 use twostep_sim::{run_tasks_with_retry, Stepper, TaskAttempt, TraceLevel};
 
+use twostep_model::codec::stable_hash64;
+
 use crate::cache::{CacheConfig, CacheSession};
 use crate::explorer::{
-    build_report, make_key, walk_roots, CheckableProtocol, ExploreConfig, ExploreError,
+    build_report, make_key_into, walk_roots, CheckableProtocol, ExploreConfig, ExploreError,
     ExploreOptions, ExploreReport, Shared, Walker,
 };
-use crate::memo::HashedKey;
 use crate::spill::{SpillCodec, SpillDir};
 
 /// How a partitioned exploration is split and merged.
@@ -182,10 +183,14 @@ where
 {
     // Each level carries the partitioning hash alongside the stepper —
     // computed once per configuration, when it enters the dedup set.
-    let root_hash = HashedKey::new(make_key(&root)).hash;
+    // The hash is the memo's own stable key-byte hash, so every process
+    // running the same build partitions identically.
+    let mut scratch: Vec<u8> = Vec::new();
+    make_key_into(&root, &mut scratch);
+    let root_hash = stable_hash64(&scratch);
     let mut level: Vec<(u64, Stepper<P>)> = vec![(root_hash, root)];
     for _ in 0..depth {
-        let mut seen: HashSet<HashedKey<P>> = HashSet::new();
+        let mut seen: HashSet<Vec<u8>> = HashSet::new();
         let mut next: Vec<(u64, Stepper<P>)> = Vec::new();
         for (_, stepper) in level {
             if walker.is_terminal(&stepper) {
@@ -194,9 +199,9 @@ where
             for actions in walker.enumerate_action_sets(&stepper) {
                 let mut child = stepper.clone();
                 child.step(&actions).map_err(ExploreError::Engine)?;
-                let key = HashedKey::new(make_key(&child));
-                let hash = key.hash;
-                if seen.insert(key) {
+                make_key_into(&child, &mut scratch);
+                let hash = stable_hash64(&scratch);
+                if seen.insert(scratch.clone()) {
                     next.push((hash, child));
                 }
             }
@@ -241,7 +246,9 @@ where
         // boundary it shares a disk with; a damaged seed means the run
         // is broken, so fail (and let the coordinator retry) rather than
         // silently exploring cold and re-exporting the whole space.
-        Some(seed) => shared.memo.import_seed_from(seed)?,
+        Some(seed) => shared
+            .memo
+            .import_seed_from(seed, crate::memo::key_validator::<P>())?,
         None => 0,
     };
     let seed_seconds = seed_start.elapsed().as_secs_f64();
@@ -367,7 +374,7 @@ where
     // is discarded whole — partial images silently shrink the report's
     // aggregates (see `CacheSession::seed`) — and replaced on commit.
     let seed_start = Instant::now();
-    let seed_path = match session.seed(&shared.memo) {
+    let seed_path = match session.seed(&shared.memo, crate::memo::key_validator::<P>()) {
         None => {
             shared = Shared::new(system, config, &options.replay, &proposals)?;
             None
@@ -420,7 +427,7 @@ where
             let merge_start = Instant::now();
             let result = shared
                 .memo
-                .import_from(&task.export_path)
+                .import_from(&task.export_path, crate::memo::key_validator::<P>())
                 .map(|_| ())
                 .map_err(|e| e.to_string());
             *merge_seconds.lock().expect("merge timing poisoned") +=

@@ -58,6 +58,49 @@
 //!   (or, for a distributed worker, the canonical walk of each assigned
 //!   subtree root in order — the core is root-agnostic).
 //!
+//! ## Hot path
+//!
+//! Everything every engine does funnels through one loop — fork a child
+//! configuration, step it one round, key it, probe the memo — so that
+//! loop is engineered to allocate nothing and hash once in steady
+//! state:
+//!
+//! * **canonical byte keys** — entering a configuration encodes it once
+//!   into a walker-local scratch buffer (`make_key_into`: round,
+//!   process count, then per-process tag + [`SpillCodec`] encoding)
+//!   instead of cloning per-process snapshots into a structured key.
+//!   Byte equality coincides with the structured equality the explorer
+//!   has always merged by (property-tested in this module), because the
+//!   component encodings are canonical;
+//! * **a single stable hash** — the key bytes are hashed exactly once
+//!   ([`twostep_model::codec::stable_hash64`]); that one `u64` picks
+//!   the memo shard, indexes the shard's raw table (behind a
+//!   pass-through hasher — nothing re-hashes the bytes), keys the spill
+//!   index, and partitions distributed frontiers.  Collisions chain on
+//!   full key bytes, so they cost a `memcmp`, never correctness;
+//! * **lock-lean probes** — a memo hit (the dominant outcome in warm
+//!   and late-exploration walks) takes only the shard's read lock and
+//!   touches an atomic clock bit; write locks are for misses with a
+//!   disk tier and for inserts ([`crate::memo`]);
+//! * **clone-free successors** — per-process snapshots live behind
+//!   `Arc`s ([`twostep_sim::Stepper`] copy-on-write), child steppers
+//!   are recycled through a walker pool and re-forked in place
+//!   (`Stepper::fork_from` reuses every buffer), round scratch (send
+//!   plans, outcomes, receive flags, inboxes) persists inside the
+//!   stepper, and hot protocols refill their plans in place
+//!   ([`twostep_sim::SyncProtocol::send_into`]);
+//! * **pooled enumeration** — crash-outcome buffers, action-set
+//!   vectors and their rows, key buffers, and the terminal
+//!   pseudo-schedule are all recycled across configurations.
+//!
+//! None of this changes a single observable bit: keys merge exactly the
+//! configurations the structured comparison merged, summaries are the
+//! same deterministic child-order merges, and the differential suites
+//! (parallel/spill/dist/cache) pin the reports unchanged.  The spill /
+//! interchange record format did change shape (key bytes stored
+//! verbatim, length-prefixed), which is segment format **v4** — v3-era
+//! files and caches are foreign and loudly replaced, never reused.
+//!
 //! ## Determinism argument
 //!
 //! Results are **bit-identical** to the serial (`threads = 1`) walk.  The
@@ -180,6 +223,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 use twostep_adversary::crash_outcomes_into;
+use twostep_model::codec::stable_hash64;
 use twostep_model::{CrashPoint, CrashSchedule, CrashStage, ProcessId, SystemConfig};
 use twostep_sim::{
     check_uniform_consensus, default_threads, run_on_workers, Decision, ModelKind, PlanShape,
@@ -188,7 +232,7 @@ use twostep_sim::{
 };
 
 use crate::cache::{CacheConfig, CacheSession};
-use crate::memo::{HashedKey, Key, MemoConfig, ShardedMemo, Snap};
+use crate::memo::{decode_key_prefix, key_round, MemoConfig, ShardedMemo, Snap};
 use crate::spill::{SpillCodec, SpillError};
 
 /// Protocols the explorer can check: cloneable (to fork executions),
@@ -199,16 +243,26 @@ use crate::spill::{SpillCodec, SpillError};
 /// disk and travel between worker processes as interchange segments).
 pub trait CheckableProtocol: SyncProtocol + Clone + Eq + Hash + Send + Sync + SpillCodec {
     /// Stable 64-bit identity of this protocol snapshot, derived from
-    /// its [`SpillCodec`] encoding via FNV-1a — the protocol-identity
-    /// component of the persistent cache's run fingerprint
-    /// ([`crate::cache::run_fingerprint`]).  Two snapshots fingerprint
-    /// equal iff their encodings are byte-equal, and the hash is stable
-    /// across builds and platforms (unlike `DefaultHasher`), so a cache
-    /// written yesterday still identifies today's identical run.
+    /// its [`SpillCodec`] encoding via
+    /// [`stable_hash64`](twostep_model::codec::stable_hash64) — the same
+    /// hasher the memo applies to whole configuration keys, and the
+    /// protocol-identity component of the persistent cache's run
+    /// fingerprint ([`crate::cache::run_fingerprint`]).  Two snapshots
+    /// fingerprint equal iff their encodings are byte-equal, and the
+    /// hash is stable across builds and platforms (unlike
+    /// `DefaultHasher`), so a cache written yesterday still identifies
+    /// today's identical run.
+    ///
+    /// The encoding must therefore be **canonical**: `decode` inverts
+    /// `encode` (the [`SpillCodec`] contract) and `Eq`-equal snapshots
+    /// encode to equal bytes — the explorer merges configurations by
+    /// comparing these bytes, so a snapshot whose encoding includes
+    /// state its `Eq` ignores would split states the structured
+    /// comparison used to merge.
     fn fingerprint(&self) -> u64 {
         let mut buf = Vec::new();
         self.encode(&mut buf);
-        crate::cache::fnv1a(&buf, crate::cache::fnv1a_start())
+        stable_hash64(&buf)
     }
 }
 impl<T: SyncProtocol + Clone + Eq + Hash + Send + Sync + SpillCodec> CheckableProtocol for T {}
@@ -555,30 +609,57 @@ impl<O: Clone + Eq> Summary<O> {
     }
 }
 
-pub(crate) fn make_key<P>(stepper: &Stepper<P>) -> Key<P>
+/// Encodes `stepper`'s configuration into its **canonical key bytes**,
+/// reusing `out` (cleared first) — the hot-path replacement for the old
+/// structured key clone: no per-process snapshot is cloned, no `Vec` of
+/// snapshots is built, and in steady state no allocation happens at all
+/// (the buffer is walker-local and reused across configurations).
+///
+/// Layout (self-delimiting, decoded by
+/// [`decode_key_prefix`](crate::memo::decode_key_prefix) on the cold
+/// witness path): `round: u32`, `process count: u32`, then per process a
+/// tag byte — `0` active + protocol encoding, `1` decided + value +
+/// round, `2` crashed + optional `(value, round)`.  Byte equality of two
+/// keys coincides with structural equality of the configurations because
+/// every component encoding is canonical (see
+/// [`CheckableProtocol::fingerprint`]).
+pub(crate) fn make_key_into<P>(stepper: &Stepper<P>, out: &mut Vec<u8>)
 where
     P: CheckableProtocol,
-    P::Output: Hash,
+    P::Output: Hash + SpillCodec,
 {
-    let snaps = stepper
+    out.clear();
+    stepper.round().get().encode(out);
+    (stepper.procs().len() as u32).encode(out);
+    for ((status, proc), decision) in stepper
         .status()
         .iter()
         .zip(stepper.procs())
         .zip(stepper.decisions())
-        .map(|((status, proc), decision)| match status {
-            ProcStatus::Active => Snap::Active(proc.clone()),
+    {
+        match status {
+            ProcStatus::Active => {
+                out.push(0);
+                proc.encode(out);
+            }
             ProcStatus::Decided => {
                 let d = decision.as_ref().expect("decided process has a decision");
-                Snap::Decided(d.value.clone(), d.round.get())
+                out.push(1);
+                d.value.encode(out);
+                d.round.get().encode(out);
             }
             ProcStatus::Crashed(_) => {
-                Snap::Crashed(decision.as_ref().map(|d| (d.value.clone(), d.round.get())))
+                out.push(2);
+                match decision {
+                    None => out.push(0),
+                    Some(d) => {
+                        out.push(1);
+                        d.value.encode(out);
+                        d.round.get().encode(out);
+                    }
+                }
             }
-        })
-        .collect();
-    Key {
-        round: stepper.round().get(),
-        snaps,
+        }
     }
 }
 
@@ -710,7 +791,10 @@ where
     let root_stepper = Stepper::new(system, config.model, TraceLevel::Off, initial)
         .map_err(ExploreError::Engine)?;
     let mut shared = Shared::new(system, config, &options, &proposals)?;
-    if session.seed(&shared.memo).is_none() {
+    if session
+        .seed(&shared.memo, crate::memo::key_validator::<P>())
+        .is_none()
+    {
         // Broken cache: discard the partial seed (a fresh memo) and run
         // cold; the session is now stale, so a ReadWrite commit replaces
         // the broken cache with this run's full image.
@@ -822,7 +906,9 @@ where
 {
     let mut by_round: HashMap<u32, (usize, usize)> = HashMap::new();
     shared.memo.for_each(|key, summary| {
-        let slot = by_round.entry(key.round).or_insert((0, 0));
+        // The round is the key encoding's leading field — read it off
+        // the bytes, no decode.
+        let slot = by_round.entry(key_round(key)).or_insert((0, 0));
         slot.0 += 1;
         if summary.is_bivalent() {
             slot.1 += 1;
@@ -882,7 +968,7 @@ where
     pub(crate) system: SystemConfig,
     pub(crate) config: ExploreConfig,
     pub(crate) proposals: &'a [P::Output],
-    pub(crate) memo: ShardedMemo<P>,
+    pub(crate) memo: ShardedMemo<P::Output>,
     queue: WorkQueue<Stepper<P>>,
     stop: AtomicBool,
     failure: Mutex<Option<ExploreError>>,
@@ -943,8 +1029,9 @@ where
 }
 
 /// One exploration walker: an explicit DFS stack plus reusable scratch
-/// buffers, so the hot enumeration loop performs no per-configuration
-/// `Vec` allocation for crash outcomes.
+/// buffers and recycling pools, so the hot enumeration loop performs no
+/// per-configuration `Vec` allocation in steady state — not for crash
+/// outcomes, not for key bytes, not for action sets.
 pub(crate) struct Walker<'s, 'a, P>
 where
     P: CheckableProtocol,
@@ -954,6 +1041,27 @@ where
     /// Per-active-process crash-outcome buffers, reused across
     /// configurations (`crash_outcomes_into`).
     outcome_bufs: Vec<Vec<CrashStage>>,
+    /// Scratch for the canonical key encoding of the configuration being
+    /// entered; swapped into the frame (and replaced from `key_pool`)
+    /// when the configuration expands.
+    key_scratch: Vec<u8>,
+    /// Retired frame key buffers, reused for future frames.
+    key_pool: Vec<Vec<u8>>,
+    /// Retired action-set vectors (outer), reused per expansion.
+    actions_pool: Vec<Vec<RoundActions>>,
+    /// Retired action rows (inner), refilled via `clone_from` so their
+    /// allocations survive recycling.
+    row_pool: Vec<RoundActions>,
+    /// Reusable index buffer of the configuration's active processes.
+    active_buf: Vec<usize>,
+    /// Retired steppers, re-forked (`Stepper::fork_from`) for future
+    /// children so successor generation reuses their buffers instead of
+    /// allocating a full clone per child.
+    stepper_pool: Vec<Stepper<P>>,
+    /// Reusable plan-shape buffer for `Stepper::peek_plan_shape_into`.
+    shape_buf: PlanShape,
+    /// Reusable pseudo-schedule for terminal evaluation.
+    schedule_buf: CrashSchedule,
 }
 
 /// One level of the explicit DFS stack: a configuration mid-expansion.
@@ -963,7 +1071,9 @@ where
     P::Output: Hash,
 {
     stepper: Stepper<P>,
-    key: HashedKey<P>,
+    /// The configuration's canonical key bytes and their single hash.
+    hash: u64,
+    key: Vec<u8>,
     /// Every adversary move for this round, in canonical enumeration
     /// order (the merge order that makes reports deterministic).
     actions: Vec<RoundActions>,
@@ -972,9 +1082,18 @@ where
 }
 
 /// Outcome of entering a configuration.
-enum Entered<O> {
-    /// Summary already available (memo hit or terminal).
-    Ready(Arc<Summary<O>>),
+///
+/// `Ready` intentionally carries the (large) stepper inline: it exists
+/// precisely to hand the buffer back to the walker's pool, and boxing
+/// it would reintroduce an allocation on the hottest return path.
+#[allow(clippy::large_enum_variant)]
+enum Entered<P, O>
+where
+    P: SyncProtocol,
+{
+    /// Summary already available (memo hit or terminal); the entered
+    /// stepper comes back so the walker can recycle its buffers.
+    Ready(Arc<Summary<O>>, Stepper<P>),
     /// A new frame was pushed; children must be walked first.
     Expanded,
 }
@@ -988,6 +1107,38 @@ where
         Walker {
             shared,
             outcome_bufs: Vec::new(),
+            key_scratch: Vec::new(),
+            key_pool: Vec::new(),
+            actions_pool: Vec::new(),
+            row_pool: Vec::new(),
+            active_buf: Vec::new(),
+            stepper_pool: Vec::new(),
+            shape_buf: PlanShape {
+                data_dests: Vec::new(),
+                control_len: 0,
+            },
+            schedule_buf: CrashSchedule::none(shared.system.n()),
+        }
+    }
+
+    /// Returns a completed frame's buffers to the walker's pools so the
+    /// next expansion reuses their allocations.
+    fn recycle(&mut self, key: Vec<u8>, mut actions: Vec<RoundActions>) {
+        self.key_pool.push(key);
+        self.row_pool.append(&mut actions);
+        self.actions_pool.push(actions);
+    }
+
+    /// A configuration forked from `parent` — from the stepper pool when
+    /// possible, so steady-state successor generation reuses buffers
+    /// instead of allocating a fresh clone.
+    fn fork(&mut self, parent: &Stepper<P>) -> Stepper<P> {
+        match self.stepper_pool.pop() {
+            Some(mut stepper) => {
+                stepper.fork_from(parent);
+                stepper
+            }
+            None => parent.clone(),
         }
     }
 
@@ -998,7 +1149,10 @@ where
         let mut pending: Option<Arc<Summary<P::Output>>> = None;
 
         match self.enter(root, &mut stack)? {
-            Entered::Ready(summary) => return Ok(summary),
+            Entered::Ready(summary, stepper) => {
+                self.stepper_pool.push(stepper);
+                return Ok(summary);
+            }
             Entered::Expanded => {}
         }
 
@@ -1010,12 +1164,15 @@ where
             if frame.next_action < frame.actions.len() {
                 let idx = frame.next_action;
                 frame.next_action += 1;
-                let mut child = frame.stepper.clone();
+                let mut child = self.fork(&frame.stepper);
                 child
                     .step(&frame.actions[idx])
                     .map_err(|e| self.shared.fail(ExploreError::Engine(e)))?;
                 match self.enter(child, &mut stack)? {
-                    Entered::Ready(summary) => pending = Some(summary),
+                    Entered::Ready(summary, stepper) => {
+                        self.stepper_pool.push(stepper);
+                        pending = Some(summary);
+                    }
                     Entered::Expanded => {}
                 }
             } else {
@@ -1023,8 +1180,10 @@ where
                 let summary = self
                     .shared
                     .memo
-                    .insert(done.key, Arc::new(done.acc))
+                    .insert(done.hash, &done.key, Arc::new(done.acc))
                     .map_err(|e| self.shared.fail(e.into()))?;
+                self.recycle(done.key, done.actions);
+                self.stepper_pool.push(done.stepper);
                 if stack.is_empty() {
                     return Ok(summary);
                 }
@@ -1035,22 +1194,28 @@ where
 
     /// Enters one configuration: memo hit, terminal evaluation, or frame
     /// push — donating tail children to idle workers on the way.
+    ///
+    /// This is the hot path: the configuration is encoded once into the
+    /// walker's reusable scratch buffer, hashed once, and the memo is
+    /// probed with the `(hash, bytes)` pair — a hit allocates nothing
+    /// and (on an all-RAM memo) takes only a shared read lock.
     fn enter(
         &mut self,
         stepper: Stepper<P>,
         stack: &mut Vec<Frame<P>>,
-    ) -> Result<Entered<P::Output>, Interrupt> {
+    ) -> Result<Entered<P, P::Output>, Interrupt> {
         if self.shared.stop.load(Ordering::Relaxed) {
             return Err(Interrupt::Stopped);
         }
-        let key = HashedKey::new(make_key(&stepper));
+        make_key_into(&stepper, &mut self.key_scratch);
+        let hash = stable_hash64(&self.key_scratch);
         if let Some(summary) = self
             .shared
             .memo
-            .get(&key)
+            .get(hash, &self.key_scratch)
             .map_err(|e| self.shared.fail(e.into()))?
         {
-            return Ok(Entered::Ready(summary));
+            return Ok(Entered::Ready(summary, stepper));
         }
         if self.shared.memo.len() >= self.shared.config.max_states {
             // Raise the abort (cancel flag + queue close) before this
@@ -1062,12 +1227,13 @@ where
         }
 
         if self.is_terminal(&stepper) {
+            let terminal_summary = Arc::new(self.evaluate_terminal(&stepper));
             let summary = self
                 .shared
                 .memo
-                .insert(key, Arc::new(self.evaluate_terminal(&stepper)))
+                .insert(hash, &self.key_scratch, terminal_summary)
                 .map_err(|e| self.shared.fail(e.into()))?;
-            return Ok(Entered::Ready(summary));
+            return Ok(Entered::Ready(summary, stepper));
         }
 
         let actions = self.enumerate_action_sets(&stepper);
@@ -1082,15 +1248,23 @@ where
         let idle = self.shared.queue.idle_workers();
         if idle > 0 && actions.len() > 1 && self.shared.donate_allowed(stepper.round().get()) {
             for donated in actions.iter().rev().take(idle.min(actions.len() - 1)) {
-                let mut child = stepper.clone();
+                let mut child = self.fork(&stepper);
                 if child.step(donated).is_ok() {
                     self.shared.queue.push(child);
                 }
             }
         }
 
+        // The scratch becomes the frame's key; the frame's eventual
+        // insert needs exactly these bytes, and the pool hands the
+        // scratch slot a recycled buffer for the next enter.
+        let key = std::mem::replace(
+            &mut self.key_scratch,
+            self.key_pool.pop().unwrap_or_default(),
+        );
         stack.push(Frame {
             stepper,
+            hash,
             key,
             actions,
             next_action: 0,
@@ -1103,17 +1277,16 @@ where
         stepper.is_quiescent() || stepper.round().get() > self.shared.config.max_rounds
     }
 
-    fn evaluate_terminal(&self, stepper: &Stepper<P>) -> Summary<P::Output> {
+    fn evaluate_terminal(&mut self, stepper: &Stepper<P>) -> Summary<P::Output> {
         let config = &self.shared.config;
-        let n = self.shared.system.n();
-        let mut pseudo_schedule = CrashSchedule::none(n);
+        self.schedule_buf.reset();
         let mut f = 0usize;
         for (i, status) in stepper.status().iter().enumerate() {
             if let ProcStatus::Crashed(round) = status {
                 f += 1;
                 // Stage is irrelevant to the spec check; only the correct
                 // set and rounds matter.
-                pseudo_schedule.set(
+                self.schedule_buf.set(
                     ProcessId::from_idx(i),
                     Some(CrashPoint::new(*round, CrashStage::BeforeSend)),
                 );
@@ -1124,7 +1297,7 @@ where
         let mut report = check_uniform_consensus(
             self.shared.proposals,
             stepper.decisions(),
-            &pseudo_schedule,
+            &self.schedule_buf,
             bound,
         );
         if config.spec == SpecMode::NonUniform {
@@ -1154,9 +1327,11 @@ where
     /// All adversary moves for the upcoming round: every subset of live
     /// processes within the remaining budget, each with every distinct
     /// crash outcome against its concrete plan.  The no-crash move comes
-    /// first.  Per-process outcome vectors live in reusable walker-local
-    /// buffers — no allocation for them after the first few
-    /// configurations.
+    /// first.  Per-process outcome vectors, the active-index buffer, the
+    /// result vector, and the action rows themselves all live in
+    /// reusable walker-local pools — in steady state the enumeration
+    /// performs no allocation of its own (rows are refilled via
+    /// `clone_from`, which reuses their spines).
     pub(crate) fn enumerate_action_sets(&mut self, stepper: &Stepper<P>) -> Vec<RoundActions> {
         let n = self.shared.system.n();
         let crashed_so_far = stepper
@@ -1166,19 +1341,20 @@ where
             .count();
         let budget = self.shared.system.t() - crashed_so_far;
 
-        let shapes = stepper.peek_plan_shapes();
-        let active: Vec<usize> = (0..n)
-            .filter(|i| matches!(stepper.status()[*i], ProcStatus::Active))
-            .collect();
+        self.active_buf.clear();
+        self.active_buf
+            .extend((0..n).filter(|i| matches!(stepper.status()[*i], ProcStatus::Active)));
+        let active = &self.active_buf;
         while self.outcome_bufs.len() < active.len() {
             self.outcome_bufs.push(Vec::new());
         }
         for (slot, &i) in active.iter().enumerate() {
-            let shape: &PlanShape = shapes[i].as_ref().expect("active process has a shape");
+            let shaped = stepper.peek_plan_shape_into(i, &mut self.shape_buf);
+            debug_assert!(shaped, "active process has a shape");
             crash_outcomes_into(
                 n,
-                &shape.data_dests,
-                shape.control_len,
+                &self.shape_buf.data_dests,
+                self.shape_buf.control_len,
                 &mut self.outcome_bufs[slot],
             );
         }
@@ -1189,19 +1365,25 @@ where
             .max_crashes_per_round
             .unwrap_or(usize::MAX)
             .min(budget);
-        let mut out: Vec<RoundActions> = Vec::new();
-        let mut current: RoundActions = vec![None; n];
+        let mut out: Vec<RoundActions> = self.actions_pool.pop().unwrap_or_default();
+        debug_assert!(out.is_empty(), "pooled action vectors are drained");
+        let mut current: RoundActions = self.row_pool.pop().unwrap_or_default();
+        current.clear();
+        current.resize(n, None);
         Self::rec_actions(
-            &active,
+            active,
             &self.outcome_bufs[..active.len()],
             0,
             round_budget,
             &mut current,
             &mut out,
+            &mut self.row_pool,
         );
+        self.row_pool.push(current);
         out
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn rec_actions(
         active: &[usize],
         outcomes: &[Vec<CrashStage>],
@@ -1209,19 +1391,30 @@ where
         budget: usize,
         current: &mut RoundActions,
         out: &mut Vec<RoundActions>,
+        row_pool: &mut Vec<RoundActions>,
     ) {
         if idx == active.len() {
-            out.push(current.clone());
+            let mut row = row_pool.pop().unwrap_or_default();
+            row.clone_from(current);
+            out.push(row);
             return;
         }
         // This process survives the round.
-        Self::rec_actions(active, outcomes, idx + 1, budget, current, out);
+        Self::rec_actions(active, outcomes, idx + 1, budget, current, out, row_pool);
         // Or it crashes, in every distinct way — if budget remains (the
         // tighter of the global `t` budget and the per-round cap).
         if budget > 0 {
             for stage in &outcomes[idx] {
                 current[active[idx]] = Some(stage.clone());
-                Self::rec_actions(active, outcomes, idx + 1, budget - 1, current, out);
+                Self::rec_actions(
+                    active,
+                    outcomes,
+                    idx + 1,
+                    budget - 1,
+                    current,
+                    out,
+                    row_pool,
+                );
             }
             current[active[idx]] = None;
         }
@@ -1236,24 +1429,32 @@ where
         // Re-creating the root stepper from the memo is impossible (keys
         // hold snapshots, not steppers); instead re-drive from scratch,
         // choosing at each level the first child whose memoized summary
-        // violates.
+        // violates.  Keys are stored as canonical bytes: filter on the
+        // round prefix first, then decode the handful of candidates.
         let initial: Vec<P> = self
             .shared
             .memo
             .find_map(|key, _| {
-                if key.round == 1 && key.snaps.iter().all(|s| matches!(s, Snap::Active(_))) {
-                    Some(
-                        key.snaps
-                            .iter()
+                if key_round(key) != 1 {
+                    return None;
+                }
+                let mut input = key;
+                let decoded = decode_key_prefix::<P>(&mut input)
+                    .expect("memoized key bytes decode to a configuration");
+                decoded
+                    .snaps
+                    .iter()
+                    .all(|s| matches!(s, Snap::Active(_)))
+                    .then(|| {
+                        decoded
+                            .snaps
+                            .into_iter()
                             .map(|s| match s {
-                                Snap::Active(p) => p.clone(),
+                                Snap::Active(p) => p,
                                 _ => unreachable!("filtered to all-active snapshots"),
                             })
-                            .collect(),
-                    )
-                } else {
-                    None
-                }
+                            .collect()
+                    })
             })?
             .expect("root configuration is memoized");
 
@@ -1305,11 +1506,12 @@ where
             for actions in self.enumerate_action_sets(&stepper) {
                 let mut child = stepper.clone();
                 child.step(&actions).map_err(ExploreError::Engine)?;
-                let key = HashedKey::new(make_key(&child));
+                make_key_into(&child, &mut self.key_scratch);
+                let hash = stable_hash64(&self.key_scratch);
                 let violating = self
                     .shared
                     .memo
-                    .get(&key)?
+                    .get(hash, &self.key_scratch)?
                     .map(|s| s.violating)
                     .unwrap_or(false);
                 if violating {
@@ -1824,6 +2026,107 @@ mod tests {
                 .donate_depth,
             Some(3)
         );
+    }
+
+    /// Structural equality of two configurations, field by field — the
+    /// ground truth the canonical key encoding must reproduce: round,
+    /// per-process lifecycle, decisions, and the protocol state of every
+    /// **active** process.  Two things are deliberately excluded, as the
+    /// structured `Snap` comparison always excluded them: a settled
+    /// (decided or crashed) process's internal state (it can never act
+    /// again — only its decision matters to the future) and the round a
+    /// crashed process died in (the spec check consumes only *who*
+    /// crashed).
+    fn configs_equal(a: &Stepper<Flooder>, b: &Stepper<Flooder>) -> bool {
+        let lifecycles_match = a.status().iter().zip(b.status()).all(|(x, y)| {
+            matches!(
+                (x, y),
+                (ProcStatus::Active, ProcStatus::Active)
+                    | (ProcStatus::Decided, ProcStatus::Decided)
+                    | (ProcStatus::Crashed(_), ProcStatus::Crashed(_))
+            )
+        });
+        a.round() == b.round()
+            && lifecycles_match
+            && a.decisions() == b.decisions()
+            && a.procs()
+                .iter()
+                .zip(a.status())
+                .zip(b.procs())
+                .all(|((x, status), y)| !matches!(status, ProcStatus::Active) || **x == **y)
+    }
+
+    /// Walks one seeded pseudo-random path from the initial Flooder
+    /// configuration, returning every prefix configuration with its
+    /// canonical key bytes.
+    fn random_walk_keys(
+        shared: &Shared<'_, Flooder>,
+        procs: Vec<Flooder>,
+        mut state: u64,
+    ) -> Vec<(Stepper<Flooder>, Vec<u8>)> {
+        let mut walker = Walker::new(shared);
+        let mut stepper =
+            Stepper::new(shared.system, shared.config.model, TraceLevel::Off, procs).unwrap();
+        let mut out = Vec::new();
+        loop {
+            let mut key = Vec::new();
+            make_key_into(&stepper, &mut key);
+            out.push((stepper.clone(), key));
+            if walker.is_terminal(&stepper) {
+                break;
+            }
+            let actions = walker.enumerate_action_sets(&stepper);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let pick = (state >> 33) as usize % actions.len();
+            stepper.step(&actions[pick]).unwrap();
+        }
+        out
+    }
+
+    proptest::proptest! {
+        /// Satellite property: the canonical byte encoding is injective
+        /// on reachable configurations — key-byte equality coincides
+        /// exactly with structural configuration equality (in both
+        /// directions), and equal keys always hash equal.  This is the
+        /// soundness of merging configurations by bytes instead of by
+        /// structured comparison.
+        #[test]
+        fn key_encoding_is_injective_on_reachable_configurations(
+            seed_a in proptest::prelude::any::<u64>(),
+            seed_b in proptest::prelude::any::<u64>(),
+        ) {
+            let system = SystemConfig::new(4, 2).unwrap();
+            let (procs, proposals) = flooder_procs(4);
+            let shared =
+                Shared::new(system, options(4, 1_000_000), &ExploreOptions::serial(), &proposals)
+                    .unwrap();
+            let mut configs = random_walk_keys(&shared, procs.clone(), seed_a);
+            configs.extend(random_walk_keys(&shared, procs, seed_b));
+            for (i, (stepper_i, key_i)) in configs.iter().enumerate() {
+                // Every key decodes, consuming exactly its bytes.
+                let mut input = key_i.as_slice();
+                let decoded = crate::memo::decode_key_prefix::<Flooder>(&mut input);
+                proptest::prop_assert!(decoded.is_some(), "key {i} must decode");
+                proptest::prop_assert!(input.is_empty(), "key {i} must be self-delimiting");
+                for (j, (stepper_j, key_j)) in configs.iter().enumerate().skip(i) {
+                    let keys_equal = key_i == key_j;
+                    let structs_equal = configs_equal(stepper_i, stepper_j);
+                    proptest::prop_assert_eq!(
+                        keys_equal, structs_equal,
+                        "configs {} and {}: key-byte equality must coincide with structural equality",
+                        i, j
+                    );
+                    if keys_equal {
+                        proptest::prop_assert_eq!(
+                            stable_hash64(key_i), stable_hash64(key_j),
+                            "equal keys must hash equal"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     /// Witness reconstruction reads summaries back through the two-tier

@@ -1,48 +1,67 @@
 //! The explorer's memo table: a hash-sharded, optionally **two-tier**
-//! (RAM + disk) map from configuration keys to subtree summaries, with
-//! export/import of whole memo images as portable interchange segments.
+//! (RAM + disk) map from **canonical key bytes** to subtree summaries,
+//! with export/import of whole memo images as portable interchange
+//! segments.
 //!
-//! Tier one is a bounded per-shard `HashMap` of live `Arc<Summary>`
-//! values — the *hot* tier.  When [`MemoConfig::hot_capacity`] is finite,
-//! each shard evicts its coldest entries (clock / second-chance order) to
-//! tier two: an append-only segment file per shard
-//! ([`crate::spill::SegmentStore`]) whose records hold the **full key and
-//! summary**, addressed by an in-memory index of **fixed-width hashed
-//! keys** (`u64 → [(segment, offset, len)]`).  A lookup that misses the
-//! hot tier probes the index by hash, rehydrates each candidate record,
-//! and accepts it only if the decoded key matches the probe exactly — so
-//! 64-bit hash collisions cost one extra read, never a wrong answer.
+//! Keys are opaque byte strings — the canonical [`SpillCodec`] encoding
+//! of a configuration, produced once per visit into a reusable scratch
+//! buffer by the explorer ([`crate::explorer`]'s `make_key_into`) and
+//! hashed exactly once with [`twostep_model::codec::stable_hash64`].
+//! That single `u64` then does *all* the addressing work:
 //!
-//! Spilling the keys along with the summaries is what removed the last
-//! RAM bound: a cold entry costs 8 bytes of hash plus one 16-byte record
-//! ref, regardless of how large the per-process protocol snapshots are.
-//! It is also what makes segment files **portable**: every record is
-//! self-contained, so [`ShardedMemo::export_to`] can write one
-//! exploration's entire memo as a single checksummed interchange file and
-//! [`ShardedMemo::import_from`] can pre-seed a fresh memo from it — the
-//! mechanism distributed exploration ([`crate::dist`]) uses to merge
-//! worker results.
+//! * it picks the shard (top bits) and the bucket inside the shard's
+//!   raw-index table (a `HashMap<u64, Vec<entry>>` behind a pass-through
+//!   hasher — the key bytes are **never re-hashed**, not by the shard
+//!   map and not by the spill index);
+//! * it is the fixed-width key of the cold tier's on-disk record index;
+//! * it is the partitioning hash of distributed exploration — stable
+//!   across processes, builds, and platforms by construction.
+//!
+//! Distinct keys that collide on the 64-bit hash chain into the same
+//! bucket and are told apart by comparing full key bytes, exactly like
+//! the spill index always has; a collision costs one extra `memcmp`,
+//! never a wrong answer.
+//!
+//! Tier one is a bounded per-shard table of live `Arc<Summary>` values —
+//! the *hot* tier — behind an `RwLock` whose **read lock suffices for a
+//! hit**: lookups in a warm or late-stage walk (where hits dominate)
+//! take the shared lock, compare bytes, bump an atomic clock bit, and
+//! leave; only misses that must consult the disk tier, and inserts,
+//! take the write lock.  When [`MemoConfig::hot_capacity`] is finite,
+//! each shard evicts its coldest entries (clock / second-chance order)
+//! to tier two: an append-only segment file per shard
+//! ([`crate::spill::SegmentStore`]) whose records hold the **full key
+//! bytes and summary**, addressed by the in-memory hash index.  A lookup
+//! that misses the hot tier probes the index by hash, rehydrates each
+//! candidate record, and accepts it only if the stored key bytes equal
+//! the probe exactly.
+//!
+//! Storing the key as its canonical bytes is also what makes segment
+//! files cheap to move: a record is `[u32 key_len][key bytes][summary]`,
+//! so spilling, exporting ([`ShardedMemo::export_to`]), and importing
+//! ([`ShardedMemo::import_from`]) all copy the key bytes verbatim — no
+//! structured re-encode anywhere on those paths.
 //!
 //! Two invariants make the tiers invisible to the exploration result:
 //!
 //! * **membership is exact** — a key is "memoized" iff it is in the hot
-//!   map or (by full-key comparison against its record) the spill index,
-//!   so `get`/`insert` answer exactly as the all-RAM memo would; eviction
-//!   never forgets a key (only its residence changes), so `distinct`
-//!   still counts fresh insertions and the `max_states` budget and
-//!   `distinct_states` are unaffected;
+//!   table or (by full-byte comparison against its record) the spill
+//!   index, so `get`/`insert` answer exactly as a flat map would;
+//!   eviction never forgets a key (only its residence changes), so
+//!   `distinct` still counts fresh insertions and the `max_states`
+//!   budget and `distinct_states` are unaffected;
 //! * **summaries are immutable** — once inserted, a summary never
 //!   changes, so a record spilled once is never rewritten: re-evicting a
 //!   rehydrated entry just drops the hot copy and keeps the old record
 //!   (tracked by a per-entry `spilled` bit).
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, VecDeque};
-use std::hash::{Hash, Hasher};
+use std::hash::{BuildHasherDefault, Hasher};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
 
+use twostep_model::codec::stable_hash64;
 use twostep_sim::SyncProtocol;
 
 use crate::explorer::Summary;
@@ -124,173 +143,141 @@ impl MemoConfig {
     }
 }
 
-/// Canonical snapshot of one process inside a configuration key.
-#[derive(Clone, PartialEq, Eq, Hash)]
-pub(crate) enum Snap<P: SyncProtocol>
-where
-    P::Output: Hash,
-{
+/// Canonical snapshot of one process inside a *decoded* configuration
+/// key.  The hot path never builds these — keys live as canonical bytes
+/// — but witness reconstruction decodes them to recover the initial
+/// process states ([`decode_key_prefix`]); the decided/crashed payloads
+/// are parsed (to advance the input) and discarded, since only active
+/// snapshots are ever extracted.
+pub(crate) enum Snap<P: SyncProtocol> {
     Active(P),
-    Decided(P::Output, u32),
-    Crashed(Option<(P::Output, u32)>),
+    Decided,
+    Crashed,
 }
 
-/// Configuration key: the upcoming round plus per-process snapshots.  The
-/// remaining crash budget is derivable (crashed count is in the snaps), so
-/// equal keys have identical futures *and* identical past decisions.
-#[derive(Clone, PartialEq, Eq, Hash)]
-pub(crate) struct Key<P: SyncProtocol>
-where
-    P::Output: Hash,
-{
-    pub(crate) round: u32,
+/// A decoded configuration key: the per-process snapshots (the round is
+/// read off the raw bytes by [`key_round`], not stored here).
+pub(crate) struct Key<P: SyncProtocol> {
     pub(crate) snaps: Vec<Snap<P>>,
 }
 
-/// A configuration key bundled with its full hash, computed **once**.
-///
-/// Hashing a key is the memo path's dominant fixed cost (it walks every
-/// process's protocol snapshot), and a naive sharded map would pay it
-/// twice per operation — once to pick the shard, once inside the shard's
-/// `HashMap`.  `HashedKey` caches the SipHash of the key; the shard index
-/// derives from the cached value and the map's own `Hash` impl just
-/// re-emits it, so each get/insert hashes the underlying key exactly
-/// once.  Equality still compares full keys, so hash collisions stay
-/// correct.  The same cached hash is the **fixed-width spill-index key**
-/// and the **partitioning hash** of distributed exploration —
-/// `DefaultHasher::new()` is keyless, so the value is stable across
-/// threads and across processes running the same build.
-pub(crate) struct HashedKey<P: SyncProtocol>
-where
-    P::Output: Hash,
-{
-    pub(crate) hash: u64,
-    pub(crate) key: Key<P>,
+/// The round a canonical key encoding begins with (its first field) —
+/// the census reads this straight off the bytes without decoding
+/// anything else.
+pub(crate) fn key_round(key: &[u8]) -> u32 {
+    u32::from_le_bytes(key[..4].try_into().expect("keys start with a round"))
 }
 
-impl<P> HashedKey<P>
-where
-    P: SyncProtocol + Clone + Eq + Hash,
-    P::Output: Hash,
-{
-    pub(crate) fn new(key: Key<P>) -> Self {
-        let mut hasher = DefaultHasher::new();
-        key.hash(&mut hasher);
-        HashedKey {
-            hash: hasher.finish(),
-            key,
-        }
-    }
-}
-
-impl<P: SyncProtocol> Hash for HashedKey<P>
-where
-    P::Output: Hash,
-{
-    fn hash<H: Hasher>(&self, state: &mut H) {
-        state.write_u64(self.hash);
-    }
-}
-
-impl<P: SyncProtocol> PartialEq for HashedKey<P>
-where
-    P: PartialEq,
-    P::Output: Hash,
-{
-    fn eq(&self, other: &Self) -> bool {
-        self.hash == other.hash && self.key == other.key
-    }
-}
-
-impl<P: SyncProtocol> Eq for HashedKey<P>
-where
-    P: Eq,
-    P::Output: Hash,
-{
-}
-
-// ---------------------------------------------------------------------------
-// Entry codec: (key, summary) records
-// ---------------------------------------------------------------------------
-
-/// Appends the self-contained record for one memo entry — full key, then
-/// summary — to `out`.  This is both the spill-tier record format and the
-/// distributed interchange format.
-pub(crate) fn encode_entry<P>(key: &Key<P>, summary: &Summary<P::Output>, out: &mut Vec<u8>)
-where
-    P: SyncProtocol + SpillCodec,
-    P::Output: Hash + SpillCodec,
-{
-    key.round.encode(out);
-    (key.snaps.len() as u32).encode(out);
-    for snap in &key.snaps {
-        match snap {
-            Snap::Active(p) => {
-                out.push(0);
-                p.encode(out);
-            }
-            Snap::Decided(v, round) => {
-                out.push(1);
-                v.encode(out);
-                round.encode(out);
-            }
-            Snap::Crashed(d) => {
-                out.push(2);
-                d.encode(out);
-            }
-        }
-    }
-    encode_summary(summary, out);
-}
-
-/// Decodes a record produced by [`encode_entry`]; `None` on truncated,
-/// malformed, or trailing-garbage input.
-pub(crate) fn decode_entry<P>(mut input: &[u8]) -> Option<(Key<P>, Summary<P::Output>)>
-where
-    P: SyncProtocol + SpillCodec,
-    P::Output: Hash + SpillCodec,
-{
-    let key = decode_key_prefix::<P>(&mut input)?;
-    let summary = decode_summary_prefix::<P::Output>(&mut input)?;
-    if !input.is_empty() {
-        return None;
-    }
-    Some((key, summary))
-}
-
-/// Decodes just the key prefix of an entry record (used to test hot-tier
-/// membership without decoding the summary).
+/// Decodes a full configuration key from the front of `input` (the
+/// inverse of the explorer's `make_key_into` encoding), advancing past
+/// it; `None` on malformed bytes.
 pub(crate) fn decode_key_prefix<P>(input: &mut &[u8]) -> Option<Key<P>>
 where
     P: SyncProtocol + SpillCodec,
-    P::Output: Hash + SpillCodec,
+    P::Output: SpillCodec,
 {
-    let round = u32::decode(input)?;
+    let _round = u32::decode(input)?;
     let len = u32::decode(input)? as usize;
     let mut snaps = Vec::with_capacity(len.min(1024));
     for _ in 0..len {
         let tag = u8::decode(input)?;
         snaps.push(match tag {
             0 => Snap::Active(P::decode(input)?),
-            1 => Snap::Decided(P::Output::decode(input)?, u32::decode(input)?),
-            2 => Snap::Crashed(Option::<(P::Output, u32)>::decode(input)?),
+            1 => {
+                let _value = P::Output::decode(input)?;
+                let _decided_round = u32::decode(input)?;
+                Snap::Decided
+            }
+            2 => {
+                let _decision = Option::<(P::Output, u32)>::decode(input)?;
+                Snap::Crashed
+            }
             _ => return None,
         });
     }
-    Some(Key { round, snaps })
+    Some(Key { snaps })
+}
+
+// ---------------------------------------------------------------------------
+// Entry codec: (key bytes, summary) records
+// ---------------------------------------------------------------------------
+
+/// Appends the self-contained record for one memo entry — the canonical
+/// key bytes (length-prefixed, copied verbatim), then the summary — to
+/// `out`.  This is both the spill-tier record format and the distributed
+/// interchange format (segment format v4).
+pub(crate) fn encode_entry<O>(key: &[u8], summary: &Summary<O>, out: &mut Vec<u8>)
+where
+    O: SpillCodec,
+{
+    (key.len() as u32).encode(out);
+    out.extend_from_slice(key);
+    encode_summary(summary, out);
+}
+
+/// Splits a record produced by [`encode_entry`] into its borrowed key
+/// bytes and decoded summary; `None` on truncated, malformed, or
+/// trailing-garbage input.
+pub(crate) fn split_entry<O>(payload: &[u8]) -> Option<(&[u8], Summary<O>)>
+where
+    O: SpillCodec,
+{
+    let mut input = payload;
+    let key = split_key_prefix(&mut input)?;
+    let summary = decode_summary_prefix::<O>(&mut input)?;
+    if !input.is_empty() {
+        return None;
+    }
+    Some((key, summary))
+}
+
+/// Borrows just the key bytes off the front of a record, advancing the
+/// input past them — used where the summary is not needed (export's
+/// hot-tier dedup check).
+pub(crate) fn split_key_prefix<'a>(input: &mut &'a [u8]) -> Option<&'a [u8]> {
+    let len = u32::decode(input)? as usize;
+    twostep_model::codec::take(input, len)
 }
 
 // ---------------------------------------------------------------------------
 // Shards
 // ---------------------------------------------------------------------------
 
-/// One hot-tier entry: the live summary, its clock reference bit, and
-/// whether a spill record for this key already exists on disk.
+/// Pass-through hasher for the shard tables: the key bytes were already
+/// hashed once ([`stable_hash64`], well-mixed in every bit), so the maps
+/// keyed by that `u64` must not pay a second hash — this hasher just
+/// forwards the value.  Shard selection uses the *top* bits
+/// ([`ShardedMemo::shard_of`]) precisely so that the low bits feeding
+/// the buckets stay unconstrained within a shard.
+#[derive(Default)]
+struct PassThroughHasher(u64);
+
+impl Hasher for PassThroughHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("the memo's tables are keyed by u64 hashes only")
+    }
+    fn write_u64(&mut self, value: u64) {
+        self.0 = value;
+    }
+}
+
+type PassThroughState = BuildHasherDefault<PassThroughHasher>;
+
+/// One hot-tier entry: the full key bytes, the live summary, its clock
+/// reference bit, and whether a spill record for this key already exists
+/// on disk.
 struct HotEntry<O> {
+    /// Canonical key bytes, shared with the clock queue.
+    key: Arc<[u8]>,
     summary: Arc<Summary<O>>,
     /// Second-chance bit: set on every touch, cleared (and the entry
     /// rotated to the clock tail) the first time the hand reaches it.
-    referenced: bool,
+    /// Atomic so the read-locked hit path can set it without upgrading
+    /// to the write lock.
+    referenced: AtomicBool,
     /// A segment record for this key already exists (the entry was
     /// rehydrated), so evicting it again writes nothing.
     spilled: bool,
@@ -310,39 +297,80 @@ struct SpillSlot {
 /// A rehydrated summary paired with its record's freshness bit.
 type Rehydrated<O> = Option<(Arc<Summary<O>>, bool)>;
 
-/// One memo shard.  Hot keys are shared between the hot map and the clock
-/// queue via `Arc`; spilled keys live **only in their segment records**,
-/// leaving an 8-byte hash and a record ref per cold entry in RAM.
-struct Shard<P>
-where
-    P: SyncProtocol + Clone + Eq + Hash,
-    P::Output: Hash,
-{
-    hot: HashMap<Arc<HashedKey<P>>, HotEntry<P::Output>>,
+/// A hot-table bucket: the overwhelmingly common single entry lives
+/// inline (no `Vec` allocation or extra pointer chase per configuration
+/// probe); genuine 64-bit hash collisions promote the bucket to a
+/// chain.
+enum Bucket<O> {
+    One(HotEntry<O>),
+    Many(Vec<HotEntry<O>>),
+}
+
+impl<O> Bucket<O> {
+    fn as_slice(&self) -> &[HotEntry<O>] {
+        match self {
+            Bucket::One(entry) => std::slice::from_ref(entry),
+            Bucket::Many(entries) => entries,
+        }
+    }
+
+    fn push(&mut self, entry: HotEntry<O>) {
+        match self {
+            Bucket::Many(entries) => entries.push(entry),
+            Bucket::One(_) => {
+                let Bucket::One(first) = std::mem::replace(self, Bucket::Many(Vec::new())) else {
+                    unreachable!("just matched One")
+                };
+                let Bucket::Many(entries) = self else {
+                    unreachable!("just replaced with Many")
+                };
+                entries.reserve(2);
+                entries.push(first);
+                entries.push(entry);
+            }
+        }
+    }
+}
+
+/// One memo shard.  Both tables are keyed by the precomputed 64-bit key
+/// hash behind a pass-through hasher; 64-bit collisions chain inside
+/// the bucket and are resolved by comparing full key bytes.
+struct Shard<O> {
+    hot: HashMap<u64, Bucket<O>, PassThroughState>,
+    /// Entries across all hot buckets (`hot.len()` counts buckets).
+    hot_len: usize,
     /// Clock order over the hot entries; front = eviction hand.
-    clock: VecDeque<Arc<HashedKey<P>>>,
-    /// Spilled records by fixed-width key hash.  Distinct keys sharing a
-    /// 64-bit hash chain into the same slot; rehydration verifies the
-    /// full key decoded from each candidate record.
-    index: HashMap<u64, Vec<SpillSlot>>,
+    clock: VecDeque<(u64, Arc<[u8]>)>,
+    /// Spilled records by fixed-width key hash.
+    index: HashMap<u64, Vec<SpillSlot>, PassThroughState>,
     store: Option<SegmentStore>,
     /// Reusable encode buffer for evictions.
     scratch: Vec<u8>,
 }
 
-impl<P> Shard<P>
+impl<O> Shard<O>
 where
-    P: SyncProtocol + Clone + Eq + Hash + SpillCodec,
-    P::Output: Hash + Clone + Eq + SpillCodec,
+    O: Clone + Eq + SpillCodec,
 {
     fn new(store: Option<SegmentStore>) -> Self {
         Shard {
-            hot: HashMap::new(),
+            hot: HashMap::default(),
+            hot_len: 0,
             clock: VecDeque::new(),
-            index: HashMap::new(),
+            index: HashMap::default(),
             store,
             scratch: Vec::new(),
         }
+    }
+
+    /// The hot entry for `key`, if resident: one u64 bucket probe plus a
+    /// byte comparison per collision-chained candidate.
+    fn hot_get(&self, hash: u64, key: &[u8]) -> Option<&HotEntry<O>> {
+        self.hot
+            .get(&hash)?
+            .as_slice()
+            .iter()
+            .find(|e| &*e.key == key)
     }
 
     /// Reads and decodes one spilled record.  An associated fn over the
@@ -351,34 +379,34 @@ where
     fn read_record(
         store: &mut Option<SegmentStore>,
         spill_ref: &crate::spill::SpillRef,
-    ) -> Result<(Key<P>, Summary<P::Output>), SpillError> {
-        let payload = store
+    ) -> Result<Vec<u8>, SpillError> {
+        store
             .as_mut()
             .expect("spill index entries require a segment store")
-            .read(spill_ref)?;
-        decode_entry::<P>(&payload).ok_or_else(|| {
-            SpillError::corrupt(format!(
-                "undecodable entry record at segment {} offset {}",
-                spill_ref.segment, spill_ref.offset
-            ))
-        })
+            .read(spill_ref)
     }
 
-    /// Finds `probe`'s spilled record, if any: probes the hashed index
-    /// and verifies candidates by full-key comparison.  Returns the
+    /// Finds `key`'s spilled record, if any: probes the hashed index and
+    /// verifies candidates by full-key-byte comparison.  Returns the
     /// summary together with the record's freshness; the caller promotes
     /// the result back to the hot tier via [`Self::admit`].
-    fn rehydrate(&mut self, probe: &HashedKey<P>) -> Result<Rehydrated<P::Output>, SpillError> {
+    fn rehydrate(&mut self, hash: u64, key: &[u8]) -> Result<Rehydrated<O>, SpillError> {
         // Destructure so the index borrow and the store's mutable borrow
         // are disjoint — this is the cold-tier hot path, no allocation.
         let Shard { index, store, .. } = self;
-        let slots = match index.get(&probe.hash) {
+        let slots = match index.get(&hash) {
             Some(slots) => slots,
             None => return Ok(None),
         };
         for slot in slots {
-            let (key, summary) = Self::read_record(store, &slot.spill_ref)?;
-            if key == probe.key {
+            let payload = Self::read_record(store, &slot.spill_ref)?;
+            let (stored_key, summary) = split_entry::<O>(&payload).ok_or_else(|| {
+                SpillError::corrupt(format!(
+                    "undecodable entry record at segment {} offset {}",
+                    slot.spill_ref.segment, slot.spill_ref.offset
+                ))
+            })?;
+            if stored_key == key {
                 return Ok(Some((Arc::new(summary), slot.fresh)));
             }
         }
@@ -387,59 +415,91 @@ where
 
     fn admit(
         &mut self,
-        key: Arc<HashedKey<P>>,
-        summary: Arc<Summary<P::Output>>,
+        hash: u64,
+        key: Arc<[u8]>,
+        summary: Arc<Summary<O>>,
         spilled: bool,
         fresh: bool,
         hot_capacity: usize,
     ) -> Result<(), SpillError> {
         if hot_capacity != usize::MAX {
-            while self.hot.len() >= hot_capacity {
+            while self.hot_len >= hot_capacity {
                 self.evict_one()?;
             }
-            self.clock.push_back(Arc::clone(&key));
+            self.clock.push_back((hash, Arc::clone(&key)));
         }
-        self.hot.insert(
+        let entry = HotEntry {
             key,
-            HotEntry {
-                summary,
-                referenced: true,
-                spilled,
-                fresh,
-            },
-        );
+            summary,
+            referenced: AtomicBool::new(true),
+            spilled,
+            fresh,
+        };
+        match self.hot.entry(hash) {
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(Bucket::One(entry));
+            }
+            std::collections::hash_map::Entry::Occupied(slot) => {
+                slot.into_mut().push(entry);
+            }
+        }
+        self.hot_len += 1;
         Ok(())
     }
 
     /// Evicts exactly one hot entry in clock (second-chance) order,
-    /// spilling its full `(key, summary)` record unless one already
-    /// exists.  After this, the evicted key's only full copy lives on
-    /// disk — the RAM cost of a cold entry is its index slot.
+    /// spilling its full `(key bytes, summary)` record unless one
+    /// already exists.  After this, the evicted key's only full copy
+    /// lives on disk — the RAM cost of a cold entry is its index slot.
     fn evict_one(&mut self) -> Result<(), SpillError> {
         loop {
-            let key = self
+            let (hash, key) = self
                 .clock
                 .pop_front()
                 .expect("clock queue tracks every hot entry");
-            let entry = self
-                .hot
-                .get_mut(&*key)
-                .expect("clock queue tracks every hot entry");
-            if entry.referenced {
-                entry.referenced = false;
-                self.clock.push_back(key);
-                continue;
-            }
-            let entry = self.hot.remove(&*key).expect("entry present above");
+            let entry = {
+                let mut slot = match self.hot.entry(hash) {
+                    std::collections::hash_map::Entry::Occupied(slot) => slot,
+                    std::collections::hash_map::Entry::Vacant(_) => {
+                        unreachable!("clock queue tracks every hot entry")
+                    }
+                };
+                let entries = slot.get().as_slice();
+                let pos = entries
+                    .iter()
+                    .position(|e| Arc::ptr_eq(&e.key, &key))
+                    .expect("clock queue tracks every hot entry");
+                if entries[pos].referenced.load(Ordering::Relaxed) {
+                    entries[pos].referenced.store(false, Ordering::Relaxed);
+                    self.clock.push_back((hash, key));
+                    continue;
+                }
+                match slot.get_mut() {
+                    Bucket::One(_) => {
+                        let Bucket::One(entry) = slot.remove() else {
+                            unreachable!("just matched One")
+                        };
+                        entry
+                    }
+                    Bucket::Many(entries) => {
+                        let entry = entries.swap_remove(pos);
+                        if entries.is_empty() {
+                            slot.remove();
+                        }
+                        entry
+                    }
+                }
+            };
+            self.hot_len -= 1;
             if !entry.spilled {
                 self.scratch.clear();
-                encode_entry(&key.key, &entry.summary, &mut self.scratch);
+                encode_entry(&entry.key, &entry.summary, &mut self.scratch);
                 let spill_ref = self
                     .store
                     .as_mut()
                     .expect("bounded hot tier requires a segment store")
                     .append(&self.scratch)?;
-                self.index.entry(key.hash).or_default().push(SpillSlot {
+                self.index.entry(hash).or_default().push(SpillSlot {
                     spill_ref,
                     fresh: entry.fresh,
                 });
@@ -449,22 +509,19 @@ where
     }
 }
 
-/// The memo table, split into hash-addressed mutex-guarded shards so
-/// concurrent walkers rarely contend on the same lock, each shard holding
-/// a hot RAM tier and (under a finite [`MemoConfig::hot_capacity`]) a
-/// cold disk tier addressed by hashed keys.
+/// The memo table, split into hash-addressed shards behind `RwLock`s so
+/// concurrent walkers rarely contend — and, on the dominant hit path,
+/// share the lock instead of serializing on it.  Each shard holds a hot
+/// RAM tier and (under a finite [`MemoConfig::hot_capacity`]) a cold
+/// disk tier, both addressed by the key's single precomputed hash.
 ///
 /// `distinct` counts *fresh* key insertions only: racing walkers that
 /// compute the same subtree insert identical summaries, the first wins,
 /// and the count stays equal to the key-set cardinality — which is what
 /// makes the state budget and `distinct_states` deterministic, spilled
 /// or not.
-pub(crate) struct ShardedMemo<P>
-where
-    P: SyncProtocol + Clone + Eq + Hash,
-    P::Output: Hash,
-{
-    shards: Vec<Mutex<Shard<P>>>,
+pub(crate) struct ShardedMemo<O> {
+    shards: Vec<RwLock<Shard<O>>>,
     distinct: AtomicUsize,
     /// Distinct entries that arrived via [`Self::import_seed_from`] — the
     /// persistent-cache / distributed-seed pre-seeds, as opposed to
@@ -478,10 +535,9 @@ where
     _spill_dir: Option<SpillDir>,
 }
 
-impl<P> ShardedMemo<P>
+impl<O> ShardedMemo<O>
 where
-    P: SyncProtocol + Clone + Eq + Hash + SpillCodec,
-    P::Output: Hash + Clone + Eq + SpillCodec,
+    O: Clone + Eq + SpillCodec,
 {
     pub(crate) fn new(shards: usize, config: &MemoConfig) -> Result<Self, SpillError> {
         let shards = shards.max(1);
@@ -496,7 +552,7 @@ where
                 let store = spill_dir
                     .as_ref()
                     .map(|dir| SegmentStore::new(dir.path(), i));
-                Mutex::new(Shard::new(store))
+                RwLock::new(Shard::new(store))
             })
             .collect();
         Ok(ShardedMemo {
@@ -508,34 +564,47 @@ where
         })
     }
 
-    fn shard_of(&self, key: &HashedKey<P>) -> usize {
-        // The map hashes the cached value through SipHash again, so using
-        // the raw value's low bits here does not correlate with bucket
-        // choice inside the shard.
-        (key.hash as usize) % self.shards.len()
+    /// Shard selection uses the hash's **top** 32 bits: the shard tables'
+    /// pass-through hasher feeds the *low* bits to the bucket mask, so
+    /// the two must draw on disjoint parts of the hash or every bucket
+    /// inside a shard would share its low bits.
+    fn shard_of(&self, hash: u64) -> usize {
+        ((hash >> 32) as usize) % self.shards.len()
     }
 
-    pub(crate) fn get(
-        &self,
-        key: &HashedKey<P>,
-    ) -> Result<Option<Arc<Summary<P::Output>>>, SpillError> {
-        let mut shard = self.shards[self.shard_of(key)]
-            .lock()
-            .expect("memo shard poisoned");
-        if let Some(entry) = shard.hot.get_mut(key) {
-            entry.referenced = true;
+    /// Looks `key` (with its precomputed `hash`) up across both tiers.
+    ///
+    /// The hit path — dominant in warm and late-exploration walks —
+    /// takes only the shard's **read** lock: probe the bucket, compare
+    /// bytes, set the atomic clock bit, clone the `Arc`.  Only a miss
+    /// with a disk tier to consult (rehydrate + promote mutate the
+    /// shard) upgrades to the write lock.
+    pub(crate) fn get(&self, hash: u64, key: &[u8]) -> Result<Option<Arc<Summary<O>>>, SpillError> {
+        let lock = &self.shards[self.shard_of(hash)];
+        {
+            let shard = lock.read().expect("memo shard poisoned");
+            if let Some(entry) = shard.hot_get(hash, key) {
+                entry.referenced.store(true, Ordering::Relaxed);
+                return Ok(Some(Arc::clone(&entry.summary)));
+            }
+        }
+        if self.per_shard_hot == usize::MAX {
+            // All-RAM memo: a hot miss is a miss, no tier below.
+            return Ok(None);
+        }
+        let mut shard = lock.write().expect("memo shard poisoned");
+        if let Some(entry) = shard.hot_get(hash, key) {
+            // A racing walker promoted it between our locks.
+            entry.referenced.store(true, Ordering::Relaxed);
             return Ok(Some(Arc::clone(&entry.summary)));
         }
-        match shard.rehydrate(key)? {
+        match shard.rehydrate(hash, key)? {
             Some((summary, fresh)) => {
-                // Promote: the full key re-enters RAM from the record's
-                // copy (`key` is only borrowed here).
-                let arc_key = Arc::new(HashedKey {
-                    hash: key.hash,
-                    key: key.key.clone(),
-                });
+                // Promote: the full key re-enters RAM from the probe's
+                // bytes (identical to the record's copy by construction).
                 shard.admit(
-                    arc_key,
+                    hash,
+                    Arc::from(key),
                     Arc::clone(&summary),
                     true,
                     fresh,
@@ -551,56 +620,42 @@ where
     /// existing one on a race) so all holders share one `Arc`.
     pub(crate) fn insert(
         &self,
-        key: HashedKey<P>,
-        summary: Arc<Summary<P::Output>>,
-    ) -> Result<Arc<Summary<P::Output>>, SpillError> {
-        self.insert_inner(key, summary, true)
+        hash: u64,
+        key: &[u8],
+        summary: Arc<Summary<O>>,
+    ) -> Result<Arc<Summary<O>>, SpillError> {
+        self.insert_inner(hash, key, summary, true)
     }
 
     fn insert_inner(
         &self,
-        key: HashedKey<P>,
-        summary: Arc<Summary<P::Output>>,
+        hash: u64,
+        key: &[u8],
+        summary: Arc<Summary<O>>,
         fresh: bool,
-    ) -> Result<Arc<Summary<P::Output>>, SpillError> {
-        let idx = self.shard_of(&key);
-        let mut shard = self.shards[idx].lock().expect("memo shard poisoned");
-        if self.per_shard_hot == usize::MAX {
-            // All-RAM fast path: a single probe of the hot map (there is
-            // no index, no clock, and no eviction to interleave).
-            return Ok(match shard.hot.entry(Arc::new(key)) {
-                std::collections::hash_map::Entry::Occupied(e) => Arc::clone(&e.get().summary),
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(HotEntry {
-                        summary: Arc::clone(&summary),
-                        referenced: true,
-                        spilled: false,
-                        fresh,
-                    });
-                    self.distinct.fetch_add(1, Ordering::Relaxed);
-                    if !fresh {
-                        self.seeded.fetch_add(1, Ordering::Relaxed);
-                    }
-                    summary
-                }
-            });
-        }
-        if let Some(entry) = shard.hot.get_mut(&key) {
-            entry.referenced = true;
+    ) -> Result<Arc<Summary<O>>, SpillError> {
+        let lock = &self.shards[self.shard_of(hash)];
+        let mut shard = lock.write().expect("memo shard poisoned");
+        if let Some(entry) = shard.hot_get(hash, key) {
+            entry.referenced.store(true, Ordering::Relaxed);
             return Ok(Arc::clone(&entry.summary));
         }
-        if let Some((existing, was_fresh)) = shard.rehydrate(&key)? {
-            shard.admit(
-                Arc::new(key),
-                Arc::clone(&existing),
-                true,
-                was_fresh,
-                self.per_shard_hot,
-            )?;
-            return Ok(existing);
+        if self.per_shard_hot != usize::MAX {
+            if let Some((existing, was_fresh)) = shard.rehydrate(hash, key)? {
+                shard.admit(
+                    hash,
+                    Arc::from(key),
+                    Arc::clone(&existing),
+                    true,
+                    was_fresh,
+                    self.per_shard_hot,
+                )?;
+                return Ok(existing);
+            }
         }
         shard.admit(
-            Arc::new(key),
+            hash,
+            Arc::from(key),
             Arc::clone(&summary),
             false,
             fresh,
@@ -624,11 +679,11 @@ where
         self.seeded.load(Ordering::Relaxed)
     }
 
-    /// Visits every memoized entry, rehydrating spilled ones
-    /// (single-threaded, post-exploration).
+    /// Visits every memoized entry as `(key bytes, summary)`, rehydrating
+    /// spilled ones (single-threaded, post-exploration).
     pub(crate) fn for_each(
         &self,
-        mut f: impl FnMut(&Key<P>, &Arc<Summary<P::Output>>),
+        mut f: impl FnMut(&[u8], &Arc<Summary<O>>),
     ) -> Result<(), SpillError> {
         self.find_map(|key, summary| {
             f(key, summary);
@@ -642,13 +697,15 @@ where
     /// soon as it is found.
     pub(crate) fn find_map<R>(
         &self,
-        mut f: impl FnMut(&Key<P>, &Arc<Summary<P::Output>>) -> Option<R>,
+        mut f: impl FnMut(&[u8], &Arc<Summary<O>>) -> Option<R>,
     ) -> Result<Option<R>, SpillError> {
-        for shard in &self.shards {
-            let mut shard = shard.lock().expect("memo shard poisoned");
-            for (key, entry) in shard.hot.iter() {
-                if let Some(found) = f(&key.key, &entry.summary) {
-                    return Ok(Some(found));
+        for lock in &self.shards {
+            let mut shard = lock.write().expect("memo shard poisoned");
+            for bucket in shard.hot.values() {
+                for entry in bucket.as_slice() {
+                    if let Some(found) = f(&entry.key, &entry.summary) {
+                        return Ok(Some(found));
+                    }
                 }
             }
             let Shard {
@@ -656,12 +713,20 @@ where
             } = &mut *shard;
             for (hash, slots) in index.iter() {
                 for slot in slots {
-                    let (key, summary) = Shard::<P>::read_record(store, &slot.spill_ref)?;
-                    let hashed = HashedKey { hash: *hash, key };
-                    if hot.contains_key(&hashed) {
+                    let payload = Shard::<O>::read_record(store, &slot.spill_ref)?;
+                    let (key, summary) = split_entry::<O>(&payload).ok_or_else(|| {
+                        SpillError::corrupt(format!(
+                            "undecodable entry record at segment {} offset {}",
+                            slot.spill_ref.segment, slot.spill_ref.offset
+                        ))
+                    })?;
+                    let resident = hot
+                        .get(hash)
+                        .is_some_and(|b| b.as_slice().iter().any(|e| &*e.key == key));
+                    if resident {
                         continue; // already visited via the hot tier
                     }
-                    if let Some(found) = f(&hashed.key, &Arc::new(summary)) {
+                    if let Some(found) = f(key, &Arc::new(summary)) {
                         return Ok(Some(found));
                     }
                 }
@@ -670,8 +735,8 @@ where
         Ok(None)
     }
 
-    /// Exports every memoized entry — full keys and summaries — as one
-    /// sealed interchange segment file at `path`, overwriting it.
+    /// Exports every memoized entry — full key bytes and summaries — as
+    /// one sealed interchange segment file at `path`, overwriting it.
     /// Returns the number of records written.
     ///
     /// The file is self-contained and position-independent: importing it
@@ -697,15 +762,17 @@ where
     fn export_filtered(&self, path: &Path, only_fresh: bool) -> Result<u64, SpillError> {
         let mut writer = SegmentWriter::create(path)?;
         let mut scratch: Vec<u8> = Vec::new();
-        for shard in &self.shards {
-            let mut shard = shard.lock().expect("memo shard poisoned");
-            for (key, entry) in shard.hot.iter() {
-                if only_fresh && !entry.fresh {
-                    continue;
+        for lock in &self.shards {
+            let mut shard = lock.write().expect("memo shard poisoned");
+            for bucket in shard.hot.values() {
+                for entry in bucket.as_slice() {
+                    if only_fresh && !entry.fresh {
+                        continue;
+                    }
+                    scratch.clear();
+                    encode_entry(&entry.key, &entry.summary, &mut scratch);
+                    writer.append(&scratch)?;
                 }
-                scratch.clear();
-                encode_entry(&key.key, &entry.summary, &mut scratch);
-                writer.append(&scratch)?;
             }
             let Shard {
                 hot, index, store, ..
@@ -716,20 +783,24 @@ where
                         continue;
                     }
                     // Entries both hot and spilled were exported above;
-                    // decode the record's key prefix to detect them.
+                    // the record's key-byte prefix detects them without
+                    // decoding the summary — and the record ships
+                    // verbatim, no re-encode.
                     let payload = store
                         .as_mut()
                         .expect("spill index entries require a segment store")
                         .read(&slot.spill_ref)?;
                     let mut input = payload.as_slice();
-                    let key = decode_key_prefix::<P>(&mut input).ok_or_else(|| {
+                    let key = split_key_prefix(&mut input).ok_or_else(|| {
                         SpillError::corrupt(format!(
                             "undecodable key at segment {} offset {}",
                             slot.spill_ref.segment, slot.spill_ref.offset
                         ))
                     })?;
-                    let hashed = HashedKey { hash: *hash, key };
-                    if hot.contains_key(&hashed) {
+                    let resident = hot
+                        .get(hash)
+                        .is_some_and(|b| b.as_slice().iter().any(|e| &*e.key == key));
+                    if resident {
                         continue;
                     }
                     writer.append(&payload)?;
@@ -741,80 +812,99 @@ where
 
     /// Merges an interchange segment file written by [`Self::export_to`]
     /// / [`Self::export_delta`] into this memo — validating header, CRCs,
-    /// record count, and every record's decodability.  Records whose key
-    /// is already present are skipped (their summaries are necessarily
+    /// record count, and every record's shape, and rejecting any record
+    /// whose key bytes fail the caller's `validate_key` (the protocol's
+    /// canonical-key decoder, [`key_validator`]): a malformed key that
+    /// slipped past the CRC must classify as [`SpillError::Corrupt`]
+    /// here, at the trust boundary, not panic later in the census or
+    /// witness paths.  Accepted key bytes are adopted verbatim (hashed
+    /// once, never structurally re-encoded); records whose key is
+    /// already present are skipped (their summaries are necessarily
     /// identical, both being the deterministic merge for that key).
     /// Imported entries count as **fresh** — this is how a coordinator
     /// absorbs worker deltas it must itself re-export.  Returns the
     /// number of records read.
-    pub(crate) fn import_from(&self, path: &Path) -> Result<u64, SpillError> {
-        self.import_inner(path, true)
+    pub(crate) fn import_from(
+        &self,
+        path: &Path,
+        validate_key: impl Fn(&[u8]) -> bool,
+    ) -> Result<u64, SpillError> {
+        self.import_inner(path, validate_key, true)
     }
 
     /// [`Self::import_from`], but the entries count as **seeded** (not
     /// fresh): they pre-existed this run — a persistent cache image or a
     /// distributed seed segment — so [`Self::export_delta`] excludes
     /// them and [`Self::seeded_len`] reports them as cache hits.
-    pub(crate) fn import_seed_from(&self, path: &Path) -> Result<u64, SpillError> {
-        self.import_inner(path, false)
+    pub(crate) fn import_seed_from(
+        &self,
+        path: &Path,
+        validate_key: impl Fn(&[u8]) -> bool,
+    ) -> Result<u64, SpillError> {
+        self.import_inner(path, validate_key, false)
     }
 
-    fn import_inner(&self, path: &Path, fresh: bool) -> Result<u64, SpillError> {
+    fn import_inner(
+        &self,
+        path: &Path,
+        validate_key: impl Fn(&[u8]) -> bool,
+        fresh: bool,
+    ) -> Result<u64, SpillError> {
         let mut reader = SegmentReader::open(path)?;
         let mut records = 0u64;
         while let Some(payload) = reader.next_record()? {
-            let (key, summary) = decode_entry::<P>(&payload).ok_or_else(|| {
+            let (key, summary) = split_entry::<O>(&payload).ok_or_else(|| {
                 SpillError::corrupt(format!(
                     "{}: undecodable entry in record {records}",
                     path.display()
                 ))
             })?;
-            self.insert_inner(HashedKey::new(key), Arc::new(summary), fresh)?;
+            if !validate_key(key) {
+                return Err(SpillError::corrupt(format!(
+                    "{}: record {records} holds undecodable key bytes",
+                    path.display()
+                )));
+            }
+            self.insert_inner(stable_hash64(key), key, Arc::new(summary), fresh)?;
             records += 1;
         }
         Ok(records)
     }
 }
 
+/// The canonical key validator for protocol `P`: accepts exactly the
+/// byte strings that decode as one self-delimiting configuration key
+/// (`make_key_into`'s output).  Import paths run every foreign record's
+/// key through this before adopting it.
+pub(crate) fn key_validator<P>() -> impl Fn(&[u8]) -> bool
+where
+    P: SyncProtocol + SpillCodec,
+    P::Output: SpillCodec,
+{
+    |key: &[u8]| {
+        let mut input = key;
+        decode_key_prefix::<P>(&mut input).is_some() && input.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use twostep_model::Round;
-    use twostep_sim::{Inbox, SendPlan, Step};
 
-    /// Minimal protocol whose state is one u64 — enough to build keys.
-    #[derive(Clone, PartialEq, Eq, Hash, Debug)]
-    struct Probe {
-        v: u64,
+    /// A deterministic canonical-looking key for index `i`: round prefix
+    /// plus some payload bytes of varying length.
+    fn key_for(i: u64) -> Vec<u8> {
+        let mut key = Vec::new();
+        ((i % 7) as u32 + 1).encode(&mut key);
+        2u32.encode(&mut key);
+        key.push(0);
+        i.encode(&mut key);
+        key.extend(std::iter::repeat_n(0xA5, (i % 5) as usize));
+        key
     }
 
-    impl SyncProtocol for Probe {
-        type Msg = u64;
-        type Output = u64;
-        fn send(&mut self, _round: Round) -> SendPlan<u64, u64> {
-            SendPlan::quiet()
-        }
-        fn receive(&mut self, _round: Round, _inbox: &Inbox<u64>) -> Step<u64> {
-            Step::Continue
-        }
-    }
-
-    impl SpillCodec for Probe {
-        fn encode(&self, out: &mut Vec<u8>) {
-            self.v.encode(out);
-        }
-        fn decode(input: &mut &[u8]) -> Option<Self> {
-            Some(Probe {
-                v: u64::decode(input)?,
-            })
-        }
-    }
-
-    fn key_for(i: u64) -> HashedKey<Probe> {
-        HashedKey::new(Key {
-            round: (i % 7) as u32 + 1,
-            snaps: vec![Snap::Active(Probe { v: i }), Snap::Crashed(None)],
-        })
+    fn hash_for(key: &[u8]) -> u64 {
+        stable_hash64(key)
     }
 
     /// The summary every thread must agree on for key `i`.
@@ -827,35 +917,46 @@ mod tests {
         }
     }
 
+    fn insert(memo: &ShardedMemo<u64>, i: u64) -> Arc<Summary<u64>> {
+        let key = key_for(i);
+        memo.insert(hash_for(&key), &key, Arc::new(summary_for(i)))
+            .unwrap()
+    }
+
+    fn get(memo: &ShardedMemo<u64>, i: u64) -> Option<Arc<Summary<u64>>> {
+        let key = key_for(i);
+        memo.get(hash_for(&key), &key).unwrap()
+    }
+
     #[test]
     fn entry_record_roundtrips() {
-        let key = key_for(42).key;
+        let key = key_for(42);
         let summary = summary_for(42);
         let mut buf = Vec::new();
         encode_entry(&key, &summary, &mut buf);
-        let (k2, s2) = decode_entry::<Probe>(&buf).expect("decodes");
-        assert!(k2 == key);
+        let (k2, s2) = split_entry::<u64>(&buf).expect("decodes");
+        assert_eq!(k2, key.as_slice());
         assert_eq!(s2, summary);
         buf.push(0);
-        assert!(decode_entry::<Probe>(&buf).is_none(), "trailing garbage");
+        assert!(split_entry::<u64>(&buf).is_none(), "trailing garbage");
     }
 
     #[test]
     fn spilled_key_is_verified_on_rehydrate() {
         // hot_capacity 1 on a single shard: every second insert evicts,
         // so most keys live only on disk.  Each get must return exactly
-        // its own summary (full-key verification behind the hashed
+        // its own summary (full-key-byte verification behind the hashed
         // index), never a neighbor's.
-        let memo: ShardedMemo<Probe> = ShardedMemo::new(1, &MemoConfig::spill(1)).unwrap();
+        let memo: ShardedMemo<u64> = ShardedMemo::new(1, &MemoConfig::spill(1)).unwrap();
         for i in 0..200u64 {
-            memo.insert(key_for(i), Arc::new(summary_for(i))).unwrap();
+            insert(&memo, i);
         }
         assert_eq!(memo.len(), 200);
         for i in (0..200u64).rev() {
-            let got = memo.get(&key_for(i)).unwrap().expect("spilled key found");
+            let got = get(&memo, i).expect("spilled key found");
             assert_eq!(*got, summary_for(i), "key {i}");
         }
-        assert!(memo.get(&key_for(777)).unwrap().is_none(), "absent key");
+        assert!(get(&memo, 777).is_none(), "absent key");
         assert_eq!(memo.len(), 200, "gets never mint distinct states");
     }
 
@@ -869,7 +970,7 @@ mod tests {
         const KEYS: u64 = 64;
         const THREADS: u64 = 8;
         const ROUNDS: u64 = 6;
-        let memo: ShardedMemo<Probe> = ShardedMemo::new(2, &MemoConfig::spill(2)).unwrap();
+        let memo: ShardedMemo<u64> = ShardedMemo::new(2, &MemoConfig::spill(2)).unwrap();
         std::thread::scope(|scope| {
             for tid in 0..THREADS {
                 let memo = &memo;
@@ -881,12 +982,11 @@ mod tests {
                         for step in 0..KEYS {
                             let i = (step * (2 * tid + 1) + round * 13) % KEYS;
                             if (step + tid + round) % 2 == 0 {
-                                if let Some(seen) = memo.get(&key_for(i)).unwrap() {
+                                if let Some(seen) = get(memo, i) {
                                     assert_eq!(*seen, summary_for(i), "get({i})");
                                 }
                             }
-                            let canonical =
-                                memo.insert(key_for(i), Arc::new(summary_for(i))).unwrap();
+                            let canonical = insert(memo, i);
                             assert_eq!(*canonical, summary_for(i), "insert({i})");
                         }
                     }
@@ -897,10 +997,9 @@ mod tests {
         // Every key is present exactly once with its canonical summary.
         let mut seen = vec![0usize; KEYS as usize];
         memo.for_each(|key, summary| {
-            let i = match &key.snaps[0] {
-                Snap::Active(p) => p.v,
-                _ => panic!("unexpected snapshot shape"),
-            };
+            let i = (0..KEYS)
+                .find(|i| key_for(*i) == key)
+                .expect("known key bytes");
             seen[i as usize] += 1;
             assert_eq!(**summary, summary_for(i), "for_each({i})");
         })
@@ -916,24 +1015,54 @@ mod tests {
         let dir = crate::spill::SpillDir::create(None).unwrap();
         let path = dir.path().join("memo.seg");
         // Source: spilling memo, so the export walks both tiers.
-        let source: ShardedMemo<Probe> = ShardedMemo::new(4, &MemoConfig::spill(3)).unwrap();
+        let source: ShardedMemo<u64> = ShardedMemo::new(4, &MemoConfig::spill(3)).unwrap();
         for i in 0..100u64 {
-            source.insert(key_for(i), Arc::new(summary_for(i))).unwrap();
+            insert(&source, i);
         }
         assert_eq!(source.export_to(&path).unwrap(), 100);
 
         // Destination: all-RAM with a different shard count.
-        let dest: ShardedMemo<Probe> = ShardedMemo::new(7, &MemoConfig::all_ram()).unwrap();
-        assert_eq!(dest.import_from(&path).unwrap(), 100);
+        let dest: ShardedMemo<u64> = ShardedMemo::new(7, &MemoConfig::all_ram()).unwrap();
+        assert_eq!(dest.import_from(&path, |_| true).unwrap(), 100);
         assert_eq!(dest.len(), 100);
         for i in 0..100u64 {
-            let got = dest.get(&key_for(i)).unwrap().expect("imported key");
+            let got = get(&dest, i).expect("imported key");
             assert_eq!(*got, summary_for(i));
         }
 
         // Importing the same file again is idempotent.
-        assert_eq!(dest.import_from(&path).unwrap(), 100);
+        assert_eq!(dest.import_from(&path, |_| true).unwrap(), 100);
         assert_eq!(dest.len(), 100, "duplicate imports mint nothing");
+    }
+
+    /// Import is the trust boundary for foreign records: a sealed,
+    /// CRC-valid segment whose record carries key bytes the caller's
+    /// validator rejects must classify as `Corrupt` — never be adopted
+    /// (and panic later in census/witness paths).
+    #[test]
+    fn import_rejects_records_with_invalid_key_bytes() {
+        let dir = crate::spill::SpillDir::create(None).unwrap();
+        let path = dir.path().join("evil.seg");
+        let source: ShardedMemo<u64> = ShardedMemo::new(1, &MemoConfig::all_ram()).unwrap();
+        let tiny_key = [0xAAu8; 3]; // shorter than a round prefix
+        source
+            .insert(
+                stable_hash64(&tiny_key),
+                &tiny_key,
+                Arc::new(summary_for(1)),
+            )
+            .unwrap();
+        assert_eq!(source.export_to(&path).unwrap(), 1);
+
+        let dest: ShardedMemo<u64> = ShardedMemo::new(1, &MemoConfig::all_ram()).unwrap();
+        let err = dest
+            .import_from(&path, |key: &[u8]| key.len() >= 8)
+            .expect_err("invalid key bytes must not import");
+        assert!(
+            matches!(err, SpillError::Corrupt { .. }),
+            "expected Corrupt, got {err:?}"
+        );
+        assert_eq!(dest.len(), 0, "nothing is adopted from a rejected segment");
     }
 
     /// Delta export writes exactly the entries inserted *after* the
@@ -946,9 +1075,9 @@ mod tests {
         let delta_path = dir.path().join("delta.seg");
 
         // Build the seed image: keys 0..40.
-        let origin: ShardedMemo<Probe> = ShardedMemo::new(2, &MemoConfig::all_ram()).unwrap();
+        let origin: ShardedMemo<u64> = ShardedMemo::new(2, &MemoConfig::all_ram()).unwrap();
         for i in 0..40u64 {
-            origin.insert(key_for(i), Arc::new(summary_for(i))).unwrap();
+            insert(&origin, i);
         }
         assert_eq!(origin.export_to(&seed_path).unwrap(), 40);
         // A memo with no seed: the delta IS the full image.
@@ -957,15 +1086,15 @@ mod tests {
         // Warm-start a tiny-hot-tier memo from the seed, then add keys
         // 40..100 (interleaved with gets so seeded entries are evicted,
         // rehydrated, and re-evicted along the way).
-        let memo: ShardedMemo<Probe> = ShardedMemo::new(2, &MemoConfig::spill(2)).unwrap();
-        assert_eq!(memo.import_seed_from(&seed_path).unwrap(), 40);
+        let memo: ShardedMemo<u64> = ShardedMemo::new(2, &MemoConfig::spill(2)).unwrap();
+        assert_eq!(memo.import_seed_from(&seed_path, |_| true).unwrap(), 40);
         assert_eq!(memo.seeded_len(), 40);
         for i in 0..100u64 {
             if i % 3 == 0 {
-                let seen = memo.get(&key_for(i % 40)).unwrap().expect("seeded key");
+                let seen = get(&memo, i % 40).expect("seeded key");
                 assert_eq!(*seen, summary_for(i % 40));
             }
-            memo.insert(key_for(i), Arc::new(summary_for(i))).unwrap();
+            insert(&memo, i);
         }
         assert_eq!(memo.len(), 100);
         assert_eq!(memo.seeded_len(), 40, "re-inserting seeds changes nothing");
@@ -975,27 +1104,61 @@ mod tests {
             60,
             "delta = fresh entries only"
         );
-        let fresh: ShardedMemo<Probe> = ShardedMemo::new(1, &MemoConfig::all_ram()).unwrap();
-        fresh.import_from(&delta_path).unwrap();
+        let fresh: ShardedMemo<u64> = ShardedMemo::new(1, &MemoConfig::all_ram()).unwrap();
+        fresh.import_from(&delta_path, |_| true).unwrap();
         for i in 40..100u64 {
-            let got = fresh.get(&key_for(i)).unwrap().expect("fresh key in delta");
+            let got = get(&fresh, i).expect("fresh key in delta");
             assert_eq!(*got, summary_for(i));
         }
         for i in 0..40u64 {
             assert!(
-                fresh.get(&key_for(i)).unwrap().is_none(),
+                get(&fresh, i).is_none(),
                 "seeded key {i} must not appear in the delta"
             );
         }
 
         // A memo that only re-walked the seed has nothing to commit.
-        let warm: ShardedMemo<Probe> = ShardedMemo::new(2, &MemoConfig::all_ram()).unwrap();
-        warm.import_seed_from(&seed_path).unwrap();
+        let warm: ShardedMemo<u64> = ShardedMemo::new(2, &MemoConfig::all_ram()).unwrap();
+        warm.import_seed_from(&seed_path, |_| true).unwrap();
         for i in 0..40u64 {
-            warm.insert(key_for(i), Arc::new(summary_for(i))).unwrap();
+            insert(&warm, i);
         }
         assert_eq!(warm.export_delta(&delta_path).unwrap(), 0);
         assert_eq!(warm.len(), 40);
         assert_eq!(warm.seeded_len(), 40);
+    }
+
+    /// Keys sharing a 64-bit hash must chain, not clobber: simulate a
+    /// full collision by inserting two different byte keys under the
+    /// same forged hash.
+    #[test]
+    fn hash_collisions_chain_on_key_bytes() {
+        let memo: ShardedMemo<u64> = ShardedMemo::new(1, &MemoConfig::all_ram()).unwrap();
+        let (a, b) = (b"key-a".to_vec(), b"key-b-longer".to_vec());
+        let forged = 0xDEAD_BEEF_u64;
+        memo.insert(forged, &a, Arc::new(summary_for(1))).unwrap();
+        memo.insert(forged, &b, Arc::new(summary_for(2))).unwrap();
+        assert_eq!(memo.len(), 2, "colliding keys are distinct states");
+        assert_eq!(*memo.get(forged, &a).unwrap().unwrap(), summary_for(1));
+        assert_eq!(*memo.get(forged, &b).unwrap().unwrap(), summary_for(2));
+        assert!(memo.get(forged, b"key-c").unwrap().is_none());
+    }
+
+    /// Same, but through the spill tier: colliding keys evicted to disk
+    /// rehydrate to their own summaries.
+    #[test]
+    fn hash_collisions_chain_through_the_spill_tier() {
+        let memo: ShardedMemo<u64> = ShardedMemo::new(1, &MemoConfig::spill(1)).unwrap();
+        let (a, b) = (b"key-a".to_vec(), b"key-b-longer".to_vec());
+        let forged = 0xDEAD_BEEF_u64;
+        memo.insert(forged, &a, Arc::new(summary_for(1))).unwrap();
+        memo.insert(forged, &b, Arc::new(summary_for(2))).unwrap();
+        // Push both out of the hot tier.
+        for i in 10..20u64 {
+            insert(&memo, i);
+        }
+        assert_eq!(*memo.get(forged, &a).unwrap().unwrap(), summary_for(1));
+        assert_eq!(*memo.get(forged, &b).unwrap().unwrap(), summary_for(2));
+        assert_eq!(memo.len(), 12);
     }
 }

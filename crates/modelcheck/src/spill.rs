@@ -64,8 +64,14 @@ pub(crate) const MAGIC: [u8; 8] = *b"TWOSPILL";
 /// Version 3 added the header compression flag: record payloads are
 /// stored through the [`twostep_model::codec::compress`] codec, with the
 /// CRC taken over the *stored* (compressed) bytes so damage is detected
-/// before decompression is attempted.
-pub(crate) const FORMAT_VERSION: u32 = 3;
+/// before decompression is attempted.  Version 4 changed the record
+/// layout to `[u32 key_len][canonical key bytes][summary]`: keys are the
+/// explorer's canonical byte encodings stored verbatim (hashed with
+/// [`twostep_model::codec::stable_hash64`], never re-encoded on spill or
+/// export), where v3 records held structured per-snapshot re-encodings.
+/// A v3 file is a different format: readers classify it as
+/// [`SpillError::Foreign`] and cache consumers loudly replace it.
+pub(crate) const FORMAT_VERSION: u32 = 4;
 
 /// Header flag bit: record payloads are compressed.
 pub(crate) const FLAG_COMPRESSED: u8 = 1;
@@ -465,7 +471,11 @@ impl SegmentStore {
 /// Creation truncates an existing file, so a retried worker simply
 /// overwrites the remains of its crashed predecessor.
 pub(crate) struct SegmentWriter {
-    file: File,
+    /// Buffered: an export appends thousands of small framed records,
+    /// and three tiny `write` syscalls per record were measurable in the
+    /// partitioned engine's `worker_export` phase.  The buffer is
+    /// flushed (and the handle recovered) before the header patch seeks.
+    file: std::io::BufWriter<File>,
     path: PathBuf,
     records: u64,
     compressed: bool,
@@ -493,7 +503,7 @@ impl SegmentWriter {
         file.write_all(&header_bytes(STREAMING_COUNT, compressed))
             .map_err(|e| SpillError::io("writing export header", e))?;
         Ok(SegmentWriter {
-            file,
+            file: std::io::BufWriter::with_capacity(256 * 1024, file),
             path: path.to_path_buf(),
             records: 0,
             compressed,
@@ -513,17 +523,19 @@ impl SegmentWriter {
         Ok(())
     }
 
-    /// Seals the file: patches the record count into the header and
-    /// flushes.  Returns the number of records written.
-    pub(crate) fn finish(mut self) -> Result<u64, SpillError> {
-        self.file
-            .seek(SeekFrom::Start(COUNT_OFFSET))
+    /// Seals the file: flushes the write buffer, patches the record
+    /// count into the header, and syncs.  Returns the number of records
+    /// written.
+    pub(crate) fn finish(self) -> Result<u64, SpillError> {
+        let mut file = self
+            .file
+            .into_inner()
+            .map_err(|e| SpillError::io("flushing export buffer", e.into_error()))?;
+        file.seek(SeekFrom::Start(COUNT_OFFSET))
             .map_err(|e| SpillError::io("seeking export header", e))?;
-        self.file
-            .write_all(&self.records.to_le_bytes())
+        file.write_all(&self.records.to_le_bytes())
             .map_err(|e| SpillError::io("patching export record count", e))?;
-        self.file
-            .sync_all()
+        file.sync_all()
             .map_err(|e| SpillError::io(&format!("syncing export {}", self.path.display()), e))?;
         Ok(self.records)
     }
@@ -805,6 +817,32 @@ mod tests {
         std::fs::write(&path, header).unwrap();
         let err = SegmentReader::open(&path).unwrap_err();
         assert!(matches!(err, SpillError::Foreign { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn v3_segment_is_rejected_as_foreign_under_v4() {
+        // A sealed, internally consistent v3 file (the pre-byte-key
+        // record layout) must classify as Foreign — its records would
+        // parse as garbage under the v4 `[key_len][key][summary]`
+        // layout, so the version gate has to reject it before any
+        // record is interpreted, and cache consumers replace it loudly.
+        assert_eq!(FORMAT_VERSION, 4, "this test pins the v3→v4 boundary");
+        let dir = SpillDir::create(None).unwrap();
+        let path = dir.path().join("v3.seg");
+        let mut bytes = header_bytes(1, true).to_vec();
+        bytes[8..12].copy_from_slice(&3u32.to_le_bytes());
+        let record = twostep_model::codec::compress(b"a v3-era structured record");
+        bytes.extend_from_slice(&(record.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&crc32(&record).to_le_bytes());
+        bytes.extend_from_slice(&record);
+        std::fs::write(&path, bytes).unwrap();
+        let err = SegmentReader::open(&path).unwrap_err();
+        match &err {
+            SpillError::Foreign { detail } => {
+                assert!(detail.contains("format version 3"), "{detail}")
+            }
+            other => panic!("expected Foreign, got {other:?}"),
+        }
     }
 
     #[test]

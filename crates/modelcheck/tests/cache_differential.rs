@@ -561,3 +561,94 @@ fn corrupted_cache_segment_degrades_to_cold_run() {
     assert_identical(&baseline, &healed, "healed cache warms again");
     assert_eq!(healed.cache_hits, healed.distinct_states);
 }
+
+/// Satellite regression for the v4 format bump: a cache whose segment is
+/// a **v3-era file** (the pre-byte-key record layout) must be classified
+/// foreign and discarded whole — never silently reused — and a ReadWrite
+/// run must loudly replace it with a fresh v4 image.
+#[test]
+fn v3_segment_cache_is_foreign_and_replaced() {
+    let (n, t) = (4usize, 2usize);
+    let system = SystemConfig::new(n, t).unwrap();
+    let config = ExploreConfig::for_crw(&system);
+    let proposals = crw_proposals(n);
+    let baseline = explore_with(
+        system,
+        config,
+        ExploreOptions::serial(),
+        crw_processes(&system, &proposals),
+        proposals.clone(),
+    )
+    .unwrap();
+
+    // Prime a valid cache, then rewrite its segment as a sealed, empty
+    // v3 file: 8-byte magic, version 3, zero records, compression flag.
+    // The manifest still matches this run's fingerprint, so the segment
+    // itself is what the seed import must reject.
+    let dir = TempDir::new("v3-cache");
+    explore_with(
+        system,
+        config,
+        ExploreOptions::serial().with_cache(Some(CacheConfig::read_write(dir.path()))),
+        crw_processes(&system, &proposals),
+        proposals.clone(),
+    )
+    .unwrap();
+    let segment = std::fs::read_dir(dir.path())
+        .unwrap()
+        .flatten()
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|e| e == "seg"))
+        .expect("committed cache holds one segment");
+    let mut v3_header = Vec::new();
+    v3_header.extend_from_slice(b"TWOSPILL");
+    v3_header.extend_from_slice(&3u32.to_le_bytes());
+    v3_header.extend_from_slice(&0u64.to_le_bytes());
+    v3_header.push(1); // FLAG_COMPRESSED
+    v3_header.extend_from_slice(&[0u8; 3]);
+    assert_eq!(v3_header.len(), 24, "segment header is 24 bytes");
+    std::fs::write(&segment, &v3_header).unwrap();
+    let err = validate_segment_file(&segment).expect_err("v3 must not validate under v4");
+    assert!(
+        matches!(err, SpillError::Foreign { .. }),
+        "expected Foreign, got {err:?}"
+    );
+
+    // Read-only: the v3 cache is ignored, the run is cold and correct.
+    let cold = explore_with(
+        system,
+        config,
+        ExploreOptions::serial().with_cache(Some(CacheConfig::read(dir.path()))),
+        crw_processes(&system, &proposals),
+        proposals.clone(),
+    )
+    .unwrap();
+    assert_identical(&baseline, &cold, "v3 cache ignored");
+    assert_eq!(
+        cold.cache_hits, 0,
+        "no record of a v3 segment is ever reused"
+    );
+
+    // ReadWrite: the broken cache is replaced; the next run warms fully
+    // from the fresh v4 image.
+    let replacing = explore_with(
+        system,
+        config,
+        ExploreOptions::serial().with_cache(Some(CacheConfig::read_write(dir.path()))),
+        crw_processes(&system, &proposals),
+        proposals.clone(),
+    )
+    .unwrap();
+    assert_identical(&baseline, &replacing, "replacing run");
+    assert_eq!(replacing.cache_hits, 0);
+    let warmed = explore_with(
+        system,
+        config,
+        ExploreOptions::serial().with_cache(Some(CacheConfig::read_write(dir.path()))),
+        crw_processes(&system, &proposals),
+        proposals.clone(),
+    )
+    .unwrap();
+    assert_identical(&baseline, &warmed, "replaced cache warms again");
+    assert_eq!(warmed.cache_hits, warmed.distinct_states);
+}

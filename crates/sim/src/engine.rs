@@ -28,6 +28,7 @@
 use crate::protocol::{Inbox, SendPlan, Step, SyncProtocol};
 use crate::trace::{Event, Trace, TraceLevel};
 use std::fmt;
+use std::sync::Arc;
 use twostep_model::fault::ScheduleError;
 use twostep_model::{
     BitSized, CrashSchedule, CrashStage, DeliveryOutcome, PidSet, ProcessId, Round, RunMetrics,
@@ -119,20 +120,60 @@ pub struct PlanShape {
 }
 
 /// Round-at-a-time executor.  Drive it with [`Stepper::step`]; inspect state
-/// with the accessors.  Cloneable when the protocol is cloneable, which is
-/// how the model checker forks executions.
-#[derive(Clone)]
+/// with the accessors.  Cloneable, which is how the model checker forks
+/// executions — and forking is **cheap**: per-process protocol snapshots
+/// live behind [`Arc`]s shared between a stepper and its clones, so a
+/// clone bumps `n` reference counts instead of deep-copying `n` protocol
+/// states.  [`step`](Self::step) copies a snapshot on write
+/// (`Arc::make_mut`) only for the processes it actually mutates — the
+/// active ones — so the states of crashed and decided processes are
+/// shared by every execution forked after their fate was sealed.  This
+/// is the model checker's successor-generation hot path: late in an
+/// exploration most processes are settled, and forking a child
+/// configuration touches none of their snapshots.
 pub struct Stepper<P: SyncProtocol> {
     config: SystemConfig,
     model: ModelKind,
-    procs: Vec<P>,
+    procs: Vec<Arc<P>>,
     status: Vec<ProcStatus>,
     decisions: Vec<Option<Decision<P::Output>>>,
     round: Round,
     metrics: RunMetrics,
     trace: Trace<P::Msg>,
-    /// Reusable per-destination inboxes (cleared each round).
+    /// Reusable per-destination inboxes (cleared each round).  Scratch:
+    /// their contents are only meaningful *inside* one [`step`](Self::step)
+    /// call, so [`Clone`] gives the copy fresh empty inboxes instead of
+    /// duplicating the previous round's dead messages.
     inboxes: Vec<Inbox<P::Msg>>,
+    /// Per-round scratch (complete send plans, adversary delivery
+    /// outcomes, receive eligibility), reused across [`step`](Self::step)
+    /// calls so a step allocates none of its own bookkeeping.  Like the
+    /// inboxes, never cloned.  `plans[i]` is meaningful only while
+    /// `status[i]` is `Active` this round ([`SyncProtocol::send_into`]
+    /// refills it in place); slots of settled processes hold stale
+    /// plans that no phase reads.
+    plans: Vec<SendPlan<P::Msg, P::Output>>,
+    outcomes: Vec<Option<DeliveryOutcome>>,
+    receives: Vec<bool>,
+}
+
+impl<P: SyncProtocol> Clone for Stepper<P> {
+    fn clone(&self) -> Self {
+        Stepper {
+            config: self.config,
+            model: self.model,
+            procs: self.procs.clone(), // Arc bumps, not protocol deep-copies
+            status: self.status.clone(),
+            decisions: self.decisions.clone(),
+            round: self.round,
+            metrics: self.metrics.clone(),
+            trace: self.trace.clone(),
+            inboxes: (0..self.config.n()).map(|_| Inbox::new()).collect(),
+            plans: Vec::new(),
+            outcomes: Vec::new(),
+            receives: Vec::new(),
+        }
+    }
 }
 
 impl<P: SyncProtocol> Stepper<P> {
@@ -154,14 +195,54 @@ impl<P: SyncProtocol> Stepper<P> {
         Ok(Stepper {
             config,
             model,
-            procs,
+            procs: procs.into_iter().map(Arc::new).collect(),
             status: vec![ProcStatus::Active; n],
             decisions: vec![None; n],
             round: Round::FIRST,
             metrics: RunMetrics::new(n),
             trace: Trace::new(trace_level),
             inboxes: (0..n).map(|_| Inbox::new()).collect(),
+            plans: Vec::new(),
+            outcomes: Vec::new(),
+            receives: Vec::new(),
         })
+    }
+
+    /// Rewrites `self` into a copy of `source`, **reusing `self`'s
+    /// buffers**: the status/decision/metrics vectors are refilled in
+    /// place, a process snapshot whose `Arc` is uniquely owned is
+    /// overwritten through it (no allocation), and the per-round scratch
+    /// stays `self`'s own.  This is the model checker's fork path — a
+    /// pooled stepper re-forked from a parent configuration allocates
+    /// nothing in steady state, where `clone` would allocate half a
+    /// dozen vectors per child.
+    ///
+    /// Both steppers must come from the same exploration (same `n`);
+    /// forking across system sizes is a logic error.
+    pub fn fork_from(&mut self, source: &Self)
+    where
+        P: Clone,
+    {
+        debug_assert_eq!(self.config.n(), source.config.n(), "fork across systems");
+        self.config = source.config;
+        self.model = source.model;
+        self.round = source.round;
+        for (mine, theirs) in self.procs.iter_mut().zip(&source.procs) {
+            if Arc::ptr_eq(mine, theirs) {
+                continue;
+            }
+            match Arc::get_mut(mine) {
+                // Sole owner: refill the existing allocation.
+                Some(slot) => slot.clone_from(theirs),
+                // Shared: drop our handle and share the source's.
+                None => *mine = Arc::clone(theirs),
+            }
+        }
+        self.status.clone_from(&source.status);
+        self.decisions.clone_from(&source.decisions);
+        // RunMetrics implements clone_from buffer-reusingly itself.
+        self.metrics.clone_from(&source.metrics);
+        self.trace.clone_from(&source.trace);
     }
 
     /// The round the next [`step`](Self::step) will execute.
@@ -190,9 +271,10 @@ impl<P: SyncProtocol> Stepper<P> {
         &self.trace
     }
 
-    /// The protocol instances (for state inspection / hashing by the model
-    /// checker).
-    pub fn procs(&self) -> &[P] {
+    /// The protocol instances (for state inspection / key encoding by the
+    /// model checker), behind the copy-on-write `Arc`s that make cloning
+    /// a stepper cheap.
+    pub fn procs(&self) -> &[Arc<P>] {
         &self.procs
     }
 
@@ -216,6 +298,25 @@ impl<P: SyncProtocol> Stepper<P> {
             .map(|(i, _)| ProcessId::from_idx(i))
     }
 
+    /// The plan shape process `i` would produce this round, written into
+    /// `shape` (its destination buffer is reused); `false` when the
+    /// process is not active.  The allocation-free single-process
+    /// counterpart of [`Self::peek_plan_shapes`], for the model
+    /// checker's per-configuration enumeration loop.
+    pub fn peek_plan_shape_into(&self, i: usize, shape: &mut PlanShape) -> bool
+    where
+        P: Clone,
+    {
+        if !matches!(self.status[i], ProcStatus::Active) {
+            return false;
+        }
+        let plan = (*self.procs[i]).clone().send(self.round);
+        shape.data_dests.clear();
+        shape.data_dests.extend(plan.data.iter().map(|(d, _)| *d));
+        shape.control_len = plan.control.len();
+        true
+    }
+
     /// The *shape* (data destinations + control list length) of the plan
     /// each active process would produce this round, computed on clones so
     /// the real protocol state is untouched.
@@ -232,7 +333,7 @@ impl<P: SyncProtocol> Stepper<P> {
             .zip(&self.status)
             .map(|(p, s)| {
                 if matches!(s, ProcStatus::Active) {
-                    let plan = p.clone().send(round);
+                    let plan = (**p).clone().send(round);
                     Some(PlanShape {
                         data_dests: plan.data.iter().map(|(d, _)| *d).collect(),
                         control_len: plan.control.len(),
@@ -250,56 +351,56 @@ impl<P: SyncProtocol> Stepper<P> {
     /// `None`.  Crashing an already-crashed or decided process is a no-op
     /// (the adversary wasted a move); schedule-level validation prevents it
     /// in normal runs.
-    pub fn step(&mut self, actions: &RoundActions) -> Result<(), SimError> {
+    ///
+    /// Needs `P: Clone` for the copy-on-write snapshots: a process whose
+    /// state this round mutates is unshared (`Arc::make_mut`) first.  On
+    /// an unforked stepper every `Arc` is unique and no clone happens.
+    pub fn step(&mut self, actions: &RoundActions) -> Result<(), SimError>
+    where
+        P: Clone,
+    {
         debug_assert_eq!(actions.len(), self.config.n());
         let n = self.config.n();
         let round = self.round;
         self.metrics.rounds_executed = round.get();
         self.trace.record(|| Event::RoundBegan { round });
 
-        // --- Send phase: collect complete plans from every active process.
-        // Plans are produced before any delivery: no computation can sneak
-        // in between the data and control steps.
-        let mut plans: Vec<Option<SendPlan<P::Msg, P::Output>>> = Vec::with_capacity(n);
-        for i in 0..n {
-            if matches!(self.status[i], ProcStatus::Active) {
-                let plan = self.procs[i].send(round);
-                if self.model == ModelKind::Classic && !plan.control.is_empty() {
-                    return Err(SimError::ControlInClassicModel {
-                        pid: ProcessId::from_idx(i),
-                        round,
-                    });
-                }
-                plans.push(Some(plan));
-            } else {
-                plans.push(None);
+        // --- Send phase, one pass per process: collect the complete
+        // plan into the reusable per-slot scratch (each slot's buffers
+        // are refilled in place, so a steady-state round allocates no
+        // plan storage), materialize the adversary's delivery outcome,
+        // and decide receive eligibility.  All plans are produced before
+        // any delivery — the delivery loop below starts only after this
+        // pass — so no computation can sneak in between the data and
+        // control steps.
+        self.plans.resize_with(n, SendPlan::quiet);
+        self.outcomes.clear();
+        self.receives.clear();
+        for (i, action) in actions.iter().enumerate() {
+            if !matches!(self.status[i], ProcStatus::Active) {
+                self.outcomes.push(None);
+                self.receives.push(false);
+                continue;
             }
+            let plan = &mut self.plans[i];
+            plan.clear();
+            Arc::make_mut(&mut self.procs[i]).send_into(round, plan);
+            if self.model == ModelKind::Classic && !plan.control.is_empty() {
+                return Err(SimError::ControlInClassicModel {
+                    pid: ProcessId::from_idx(i),
+                    round,
+                });
+            }
+            let outcome = match action {
+                Some(stage) => stage.effect(n),
+                None => DeliveryOutcome::unimpeded(),
+            };
+            // Receive phase requires surviving the round's deliveries
+            // and not halting on a send-phase decision.
+            let receives_now = outcome.receives_this_round && plan.decide_after_send.is_none();
+            self.outcomes.push(Some(outcome));
+            self.receives.push(receives_now);
         }
-
-        // --- Adversary: materialize this round's delivery outcomes.
-        let outcomes: Vec<Option<DeliveryOutcome>> = (0..n)
-            .map(|i| {
-                if matches!(self.status[i], ProcStatus::Active) {
-                    Some(match &actions[i] {
-                        Some(stage) => stage.effect(n),
-                        None => DeliveryOutcome::unimpeded(),
-                    })
-                } else {
-                    None
-                }
-            })
-            .collect();
-
-        // Which processes execute the receive phase this round?
-        let receives: Vec<bool> = (0..n)
-            .map(|i| {
-                matches!(self.status[i], ProcStatus::Active)
-                    && outcomes[i].as_ref().is_some_and(|o| o.receives_this_round)
-                    && plans[i]
-                        .as_ref()
-                        .is_some_and(|p| p.decide_after_send.is_none())
-            })
-            .collect();
 
         // --- Delivery: data step first, then control step, in sender rank
         // order so inboxes stay sorted by sender.
@@ -307,8 +408,13 @@ impl<P: SyncProtocol> Stepper<P> {
             ib.clear();
         }
         for i in 0..n {
-            let Some(plan) = &plans[i] else { continue };
-            let out = outcomes[i].as_ref().expect("active sender has an outcome");
+            if !matches!(self.status[i], ProcStatus::Active) {
+                continue;
+            }
+            let plan = &self.plans[i];
+            let out = self.outcomes[i]
+                .as_ref()
+                .expect("active sender has an outcome");
             let from = ProcessId::from_idx(i);
 
             for (dst, msg) in &plan.data {
@@ -324,7 +430,7 @@ impl<P: SyncProtocol> Stepper<P> {
                 if transmitted {
                     self.metrics.count_data(msg.bit_size());
                 }
-                let delivered = transmitted && receives[dst.idx()];
+                let delivered = transmitted && self.receives[dst.idx()];
                 if delivered {
                     self.inboxes[dst.idx()].push_data(from, msg.clone());
                 }
@@ -347,7 +453,7 @@ impl<P: SyncProtocol> Stepper<P> {
                 if transmitted {
                     self.metrics.count_control();
                 }
-                let delivered = transmitted && receives[dst.idx()];
+                let delivered = transmitted && self.receives[dst.idx()];
                 if delivered {
                     self.inboxes[dst.idx()].push_control(from);
                 }
@@ -363,12 +469,17 @@ impl<P: SyncProtocol> Stepper<P> {
 
         // --- Send-phase decisions (Figure 1 line 6): recorded only when the
         // send phase completed, i.e. the process did not crash mid-send.
-        for i in 0..n {
-            let Some(plan) = &mut plans[i] else { continue };
-            let Some(value) = plan.decide_after_send.take() else {
+        for (i, action) in actions.iter().enumerate() {
+            // Status is still the round-start status here: the send
+            // phase never mutates it, and this loop only settles the
+            // index it is currently processing.
+            if !matches!(self.status[i], ProcStatus::Active) {
+                continue;
+            }
+            let Some(value) = self.plans[i].decide_after_send.take() else {
                 continue;
             };
-            let completed = match &actions[i] {
+            let completed = match action {
                 None => true,
                 Some(stage) => stage.completes_send_phase(),
             };
@@ -380,12 +491,12 @@ impl<P: SyncProtocol> Stepper<P> {
 
         // --- Receive + computation phase.  (A process that just decided in
         // its send phase skipped receive — filtered via `receives` above.)
-        for (i, receives_now) in receives.iter().enumerate() {
-            if !receives_now {
+        for i in 0..n {
+            if !self.receives[i] {
                 continue;
             }
             let pid = ProcessId::from_idx(i);
-            match self.procs[i].receive(round, &self.inboxes[i]) {
+            match Arc::make_mut(&mut self.procs[i]).receive(round, &self.inboxes[i]) {
                 Step::Continue => {}
                 Step::Decide(value) => {
                     self.record_decision(pid, value, round);
@@ -428,8 +539,13 @@ impl<P: SyncProtocol> Stepper<P> {
         }
     }
 
-    /// Consumes the stepper into its outcome pieces.
-    pub fn finish(self, hit_round_cap: bool) -> RunReport<P> {
+    /// Consumes the stepper into its outcome pieces.  Needs `P: Clone`
+    /// only for final states still shared with a live clone (an unforked
+    /// run unwraps every `Arc` without copying).
+    pub fn finish(self, hit_round_cap: bool) -> RunReport<P>
+    where
+        P: Clone,
+    {
         let crashed = PidSet::from_iter(
             self.config.n(),
             self.status
@@ -444,7 +560,11 @@ impl<P: SyncProtocol> Stepper<P> {
             metrics: self.metrics,
             trace: self.trace,
             hit_round_cap,
-            final_states: self.procs,
+            final_states: self
+                .procs
+                .into_iter()
+                .map(|p| Arc::try_unwrap(p).unwrap_or_else(|shared| (*shared).clone()))
+                .collect(),
         }
     }
 }
@@ -561,7 +681,7 @@ impl<'a> Simulation<'a> {
     }
 
     /// Runs `procs` to quiescence (or the round cap).
-    pub fn run<P: SyncProtocol>(&self, procs: Vec<P>) -> Result<RunReport<P>, SimError> {
+    pub fn run<P: SyncProtocol + Clone>(&self, procs: Vec<P>) -> Result<RunReport<P>, SimError> {
         self.schedule
             .validate(&self.config)
             .map_err(SimError::BadSchedule)?;

@@ -151,18 +151,19 @@ pub fn check_uniform_consensus<O: Clone + Eq + fmt::Debug>(
         }
     }
 
-    // Uniform agreement: every pair of deciders, faulty or not.
-    let deciders: Vec<(ProcessId, &Decision<O>)> = decisions
+    // Uniform agreement: every later decider against the first one,
+    // faulty or not.  (Streaming — this check runs once per terminal of
+    // an exhaustive exploration, so it must not allocate decider lists.)
+    let mut deciders = decisions
         .iter()
         .enumerate()
-        .filter_map(|(i, d)| d.as_ref().map(|d| (ProcessId::from_idx(i), d)))
-        .collect();
-    if let Some((first_pid, first)) = deciders.first() {
-        for (pid, d) in deciders.iter().skip(1) {
+        .filter_map(|(i, d)| d.as_ref().map(|d| (ProcessId::from_idx(i), d)));
+    if let Some((first_pid, first)) = deciders.next() {
+        for (pid, d) in deciders {
             if d.value != first.value {
                 violations.push(SpecViolation::UniformAgreement {
-                    a: (*first_pid, first.value.clone()),
-                    b: (*pid, d.value.clone()),
+                    a: (first_pid, first.value.clone()),
+                    b: (pid, d.value.clone()),
                 });
             }
         }
@@ -170,16 +171,17 @@ pub fn check_uniform_consensus<O: Clone + Eq + fmt::Debug>(
 
     // Plain agreement: pairs of *correct* deciders.
     let correct = schedule.correct();
-    let correct_deciders: Vec<&(ProcessId, &Decision<O>)> = deciders
+    let mut correct_deciders = decisions
         .iter()
-        .filter(|(pid, _)| correct.contains(*pid))
-        .collect();
-    if let Some((first_pid, first)) = correct_deciders.first() {
-        for (pid, d) in correct_deciders.iter().skip(1) {
+        .enumerate()
+        .filter_map(|(i, d)| d.as_ref().map(|d| (ProcessId::from_idx(i), d)))
+        .filter(|(pid, _)| correct.contains(*pid));
+    if let Some((first_pid, first)) = correct_deciders.next() {
+        for (pid, d) in correct_deciders {
             if d.value != first.value {
                 violations.push(SpecViolation::Agreement {
-                    a: (*first_pid, first.value.clone()),
-                    b: (*pid, d.value.clone()),
+                    a: (first_pid, first.value.clone()),
+                    b: (pid, d.value.clone()),
                 });
             }
         }
@@ -205,10 +207,12 @@ pub fn check_uniform_consensus<O: Clone + Eq + fmt::Debug>(
     // The round bound also applies to faulty deciders: Theorem 1 says *no
     // process* decides after round f+1.
     if let Some(bound) = round_bound {
-        for (pid, d) in &deciders {
-            if !correct.contains(*pid) && d.round.get() > bound {
+        for (i, d) in decisions.iter().enumerate() {
+            let Some(d) = d else { continue };
+            let pid = ProcessId::from_idx(i);
+            if !correct.contains(pid) && d.round.get() > bound {
                 violations.push(SpecViolation::RoundBound {
-                    pid: *pid,
+                    pid,
                     round: d.round,
                     bound,
                 });

@@ -1,0 +1,80 @@
+//! Hot-path allocation probe: runs the serial exhaustive CRW
+//! exploration under a counting global allocator and reports total
+//! heap allocations alongside best-of-6 distinct-states/sec.
+//!
+//! This is the measurement harness behind the explorer's hot-path
+//! budget ("the inner loop allocates nothing in steady state"): watch
+//! `allocs_total` when touching the walker, the stepper fork path, or
+//! the memo — a regression shows up here as thousands of extra
+//! allocations long before it is visible in wall-clock noise.
+//!
+//! Usage: `cargo run --release --example alloc_probe` (set
+//! `TWOSTEP_BENCH_N`/`TWOSTEP_BENCH_T` to change the system).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct Counting;
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTING: Counting = Counting;
+
+use twostep_core::crw_processes;
+use twostep_model::{SystemConfig, WideValue};
+use twostep_modelcheck::{explore_with, ExploreConfig, ExploreOptions};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|raw| raw.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let n = env_usize("TWOSTEP_BENCH_N", 5);
+    let t = env_usize("TWOSTEP_BENCH_T", 4);
+    let system = SystemConfig::new(n, t).expect("valid probe system");
+    let proposals: Vec<WideValue> = (0..n).map(|i| WideValue::new(1, (i % 2) as u64)).collect();
+    let config = ExploreConfig {
+        max_states: 50_000_000,
+        ..ExploreConfig::for_crw(&system)
+    };
+    let mut best = f64::INFINITY;
+    let mut states = 0;
+    for _ in 0..6 {
+        let t0 = std::time::Instant::now();
+        let report = explore_with(
+            system,
+            config,
+            ExploreOptions::serial(),
+            crw_processes(&system, &proposals),
+            proposals.clone(),
+        )
+        .expect("probe exploration within budget");
+        best = best.min(t0.elapsed().as_secs_f64());
+        states = report.distinct_states;
+    }
+    let allocs = ALLOCS.load(Ordering::Relaxed);
+    println!(
+        "(n={n}, t={t}) states={} allocs_total={} best_secs={:.4} states/sec={:.0}",
+        states,
+        allocs,
+        best,
+        states as f64 / best
+    );
+}
