@@ -48,9 +48,11 @@ baseline_serial=""
 baseline_n=""
 baseline_t=""
 baseline_file_present=0
+baseline_symmetry=""
 if [[ -n "$baseline_json" ]]; then
     baseline_file_present=1
     baseline_serial="$(sed -n 's/.*"engine": "serial".*"states_per_sec": \([0-9.]*\).*/\1/p' <<<"$baseline_json" | head -1)"
+    baseline_symmetry="$(sed -n 's/.*"engine": "symmetry".*"states_per_sec": \([0-9.]*\).*/\1/p' <<<"$baseline_json" | head -1)"
     baseline_n="$(sed -n 's/^  "n": \([0-9]*\),$/\1/p' <<<"$baseline_json")"
     baseline_t="$(sed -n 's/^  "t": \([0-9]*\),$/\1/p' <<<"$baseline_json")"
 fi
@@ -58,6 +60,18 @@ commit_sha="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 cargo run --release -q -p twostep-bench --bin explorer_bench -- --quick \
     --history BENCH_history.jsonl --commit "$commit_sha"
 cat BENCH_explorer.json
+
+echo "== symmetry row: both modes ran, verdicts identical"
+# The bench runs the pinned system in both symmetry modes (the Off rows
+# plus the Full-mode `symmetry` row) and asserts the verdict summaries
+# are equal in-process; the marker it writes is the committed witness of
+# that assertion, so its absence means the symmetry row silently
+# disappeared.
+grep '"engine": "symmetry"' BENCH_explorer.json >/dev/null \
+    || { echo "FAIL: BENCH_explorer.json is missing the symmetry row" >&2; exit 1; }
+grep '"verdicts_identical": true' BENCH_explorer.json >/dev/null \
+    || { echo "FAIL: symmetry row lost its verdict-equality witness" >&2; exit 1; }
+sed -n 's/.*"symmetry": {\("mode[^}]*\)}.*/symmetry OK: \1/p' BENCH_explorer.json
 
 echo "== perf smoke-gate (serial states/sec vs committed baseline)"
 new_serial="$(sed -n 's/.*"engine": "serial".*"states_per_sec": \([0-9.]*\).*/\1/p' BENCH_explorer.json | head -1)"
@@ -87,8 +101,46 @@ else
     }' >&2 || exit 1
 fi
 
-echo "== partitioned exploration (2 worker processes, quick)"
-cargo run --release -q -p twostep-bench --bin twostep-dist -- --quick --partitions 2
+echo "== perf smoke-gate (symmetry states/sec vs committed baseline, like mode vs like mode)"
+# Full-mode throughput is only comparable with Full-mode throughput (it
+# counts orbits, not raw states), so this row gets its own gate — armed
+# only once a committed baseline *has* a symmetry row.
+new_symmetry="$(sed -n 's/.*"engine": "symmetry".*"states_per_sec": \([0-9.]*\).*/\1/p' BENCH_explorer.json | head -1)"
+if [[ "${TWOSTEP_BENCH_SKIP_GATE:-0}" == "1" ]]; then
+    echo "symmetry gate skipped (TWOSTEP_BENCH_SKIP_GATE=1): symmetry=$new_symmetry states/sec"
+elif [[ -z "$baseline_symmetry" ]]; then
+    echo "symmetry gate: committed baseline has no symmetry row yet; symmetry=$new_symmetry states/sec"
+elif [[ "$baseline_n" != "$new_n" || "$baseline_t" != "$new_t" ]]; then
+    echo "symmetry gate: baseline is ($baseline_n, $baseline_t), this run is ($new_n, $new_t) — not comparable"
+else
+    awk -v new="$new_symmetry" -v base="$baseline_symmetry" 'BEGIN {
+        floor = 0.7 * base;
+        if (new < floor) {
+            printf "FAIL: symmetry-mode throughput regressed >30%%: %.1f orbit-states/sec vs committed baseline %.1f (floor %.1f).\n", new, base, floor;
+            exit 1;
+        }
+        printf "symmetry gate OK: %.1f orbit-states/sec vs baseline %.1f (floor %.1f)\n", new, base, floor;
+    }' >&2 || exit 1
+fi
+
+echo "== partitioned exploration (2 worker processes, quick, both symmetry modes)"
+dist_off_out="$(cargo run --release -q -p twostep-bench --bin twostep-dist -- --quick --partitions 2 --symmetry off)"
+dist_full_out="$(cargo run --release -q -p twostep-bench --bin twostep-dist -- --quick --partitions 2 --symmetry full)"
+grep '^twostep-dist: result' <<<"$dist_off_out"
+grep '^twostep-dist: result' <<<"$dist_full_out"
+# Verdict equality across modes: everything except the state count —
+# which symmetry exists to shrink — must agree between Off and Full.
+verdict_of() { sed -n 's/^twostep-dist: result .*\(terminals=.*\)$/\1/p' <<<"$1"; }
+states_of() { sed -n 's/^twostep-dist: result .* distinct_states=\([0-9]*\) .*/\1/p' <<<"$1"; }
+if [[ "$(verdict_of "$dist_off_out")" != "$(verdict_of "$dist_full_out")" ]]; then
+    echo "FAIL: symmetry-reduced partitioned verdict differs from the raw one" >&2
+    exit 1
+fi
+if (( $(states_of "$dist_full_out") > $(states_of "$dist_off_out") )); then
+    echo "FAIL: symmetry reduction must never add states" >&2
+    exit 1
+fi
+echo "symmetry modes agree: $(verdict_of "$dist_off_out") ($(states_of "$dist_off_out") raw -> $(states_of "$dist_full_out") orbit states)"
 
 echo "== persistent cache: cold-then-warm partitioned exploration (quick)"
 CACHE_DIR="$(mktemp -d)"

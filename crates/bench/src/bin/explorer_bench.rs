@@ -32,7 +32,9 @@ use std::time::Instant;
 use twostep_bench::distcli::{bench_proposals, maybe_run_dist_worker, run_partitioned_crw};
 use twostep_core::crw_processes;
 use twostep_model::SystemConfig;
-use twostep_modelcheck::{explore_with, CacheConfig, ExploreConfig, ExploreOptions, MemoConfig};
+use twostep_modelcheck::{
+    explore_with, CacheConfig, ExploreConfig, ExploreOptions, MemoConfig, Summary, Symmetry,
+};
 use twostep_sim::default_threads;
 
 struct EngineResult {
@@ -90,12 +92,21 @@ fn main() {
 
     let system = SystemConfig::new(n, t).expect("valid bench system");
     let proposals = bench_proposals(n);
+    // Symmetry is pinned `Off` for the baseline rows (`for_crw` reads
+    // the TWOSTEP_SYMMETRY env override, which must not silently skew
+    // the recorded trajectory); the `symmetry` row below opts in
+    // explicitly and is compared against these rows.
     let config = ExploreConfig {
         max_states: MAX_STATES,
+        symmetry: Symmetry::Off,
         ..ExploreConfig::for_crw(&system)
     };
 
-    let threads = default_threads();
+    // Never time the work-sharing engines on one thread: a single-core
+    // CI runner would silently record `parallel`/`donate` rows that are
+    // really serial walks, making the trajectory incomparable across
+    // runners.
+    let threads = default_threads().max(2);
     let donate_depth = env_usize("TWOSTEP_DONATE_DEPTH")
         .map(|d| d as u32)
         .or(Some(2));
@@ -127,6 +138,7 @@ fn main() {
     ];
 
     let mut distinct_states = 0usize;
+    let mut serial_root: Option<Summary<twostep_model::WideValue>> = None;
     let mut results: Vec<EngineResult> = Vec::new();
     for (engine, options) in engines {
         let mut best = f64::INFINITY;
@@ -142,6 +154,9 @@ fn main() {
             .expect("bench exploration within budget");
             best = best.min(t0.elapsed().as_secs_f64());
             distinct_states = report.distinct_states;
+            if engine == "serial" {
+                serial_root = Some(report.root.clone());
+            }
         }
         let result = EngineResult {
             engine,
@@ -223,8 +238,18 @@ fn main() {
         let mut best = f64::INFINITY;
         let mut phases = String::new();
         for _ in 0..iters {
-            let run = run_partitioned_crw(n, t, PARTITIONS, 1, threads, None, MAX_STATES, None)
-                .expect("partitioned bench exploration");
+            let run = run_partitioned_crw(
+                n,
+                t,
+                PARTITIONS,
+                1,
+                threads,
+                None,
+                MAX_STATES,
+                Symmetry::Off,
+                None,
+            )
+            .expect("partitioned bench exploration");
             assert_eq!(
                 run.report.distinct_states, distinct_states,
                 "partitioned report must match the single-process engines"
@@ -259,6 +284,68 @@ fn main() {
         eprintln!(
             "explorer_bench: (n={n}, t={t}) {:<11} procs={PARTITIONS} {:>10.1} states/sec (incl. merge)",
             result.engine, result.states_per_sec
+        );
+        results.push(result);
+    }
+
+    // Symmetry row: the serial engine with pid-permutation symmetry
+    // reduction on.  CRW is rank-dependent, so this exercises the
+    // settled-record canonicalization tier, whose root summary is
+    // *exactly* the Off summary — asserted on every iteration, which is
+    // what lets `ci.sh` treat the committed JSON as a verdict-equality
+    // witness.  Its states/sec is computed over its own (smaller)
+    // distinct-state count, so the row stays like-for-like comparable
+    // with previous runs of itself.
+    {
+        let full_config = ExploreConfig {
+            symmetry: Symmetry::Full,
+            ..config
+        };
+        let mut best = f64::INFINITY;
+        let mut sym_distinct = 0usize;
+        for _ in 0..iters {
+            let t0 = Instant::now();
+            let report = explore_with(
+                system,
+                full_config,
+                ExploreOptions::serial(),
+                crw_processes(&system, &proposals),
+                proposals.clone(),
+            )
+            .expect("symmetry bench exploration within budget");
+            best = best.min(t0.elapsed().as_secs_f64());
+            sym_distinct = report.distinct_states;
+            let base = serial_root.as_ref().expect("serial row ran first");
+            assert_eq!(
+                &report.root, base,
+                "symmetry reduction must preserve the verdict summary"
+            );
+            assert!(
+                report.distinct_states < distinct_states,
+                "symmetry reduction must merge at least one orbit \
+                 ({} vs {distinct_states} raw)",
+                report.distinct_states
+            );
+        }
+        let result = EngineResult {
+            engine: "symmetry",
+            threads: 1,
+            hot_capacity: None,
+            best_seconds: best,
+            states_per_sec: sym_distinct as f64 / best,
+            extra: Some(format!(
+                "\"symmetry\": {{\"mode\": \"full\", \"distinct_states\": {sym_distinct}, \
+                 \"raw_distinct_states\": {distinct_states}, \"reduction\": {:.3}, \
+                 \"verdicts_identical\": true}}",
+                distinct_states as f64 / sym_distinct as f64
+            )),
+        };
+        eprintln!(
+            "explorer_bench: (n={n}, t={t}) {:<11} threads=1 {:>10.1} states/sec \
+             ({sym_distinct} orbits, {:.2}x reduction)",
+            result.engine,
+            result.states_per_sec,
+            distinct_states as f64 / sym_distinct as f64
         );
         results.push(result);
     }

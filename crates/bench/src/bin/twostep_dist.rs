@@ -7,12 +7,16 @@
 //!
 //! Usage: `twostep-dist [--quick] [--n N] [--t T] [--partitions K]
 //!                      [--depth D] [--worker-threads W] [--spill HOT]
-//!                      [--cache-dir DIR]`
+//!                      [--symmetry off|full] [--cache-dir DIR]`
 //!
 //! * default — the `(6, 5)` speedup-bench system across 2 partitions;
 //! * `--quick` — the `(5, 4)` system (sub-second), used by `ci.sh`;
 //! * `--spill HOT` — workers run a two-tier memo with the given hot
 //!   capacity instead of all-RAM;
+//! * `--symmetry off|full` — symmetry reduction mode for the whole run
+//!   (coordinator *and* every worker; the mode rides in the worker argv
+//!   so a worker's own environment cannot diverge).  Defaults to the
+//!   `TWOSTEP_SYMMETRY` env var, else `off`;
 //! * `--cache-dir DIR` — persistent result cache (read-write): the
 //!   coordinator and every worker warm-start from `DIR` when its
 //!   fingerprint matches this run, and the run's newly discovered
@@ -25,7 +29,7 @@
 use std::path::PathBuf;
 
 use twostep_bench::distcli::{maybe_run_dist_worker, run_partitioned_crw};
-use twostep_modelcheck::cache_from_env;
+use twostep_modelcheck::{cache_from_env, ExploreConfig, Symmetry};
 
 fn arg_value<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
     match args.iter().position(|a| a == flag) {
@@ -55,6 +59,24 @@ fn main() {
     let worker_threads = arg_value(&args, "--worker-threads", twostep_sim::default_threads());
     let hot_capacity: usize = arg_value(&args, "--spill", 0);
     let hot_capacity = (hot_capacity > 0).then_some(hot_capacity);
+    let symmetry = match args
+        .iter()
+        .position(|a| a == "--symmetry")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        Some("off") => Symmetry::Off,
+        Some("full") => Symmetry::Full,
+        Some(other) => {
+            eprintln!("twostep-dist: --symmetry must be off|full (got {other:?}); using off");
+            Symmetry::Off
+        }
+        // `for_crw` resolves the TWOSTEP_SYMMETRY env override; the
+        // system itself does not influence the mode.
+        None => {
+            ExploreConfig::for_crw(&twostep_model::SystemConfig::new(2, 1).expect("valid")).symmetry
+        }
+    };
     let cache_dir: Option<PathBuf> = match args.iter().position(|a| a == "--cache-dir") {
         Some(i) => match args.get(i + 1).filter(|v| !v.starts_with("--")) {
             Some(dir) => Some(PathBuf::from(dir)),
@@ -71,10 +93,14 @@ fn main() {
 
     eprintln!(
         "twostep-dist: exploring ({n}, {t}) across {partitions} worker processes \
-         (depth {depth}, {worker_threads} threads each, memo {}, cache {})",
+         (depth {depth}, {worker_threads} threads each, memo {}, symmetry {}, cache {})",
         match hot_capacity {
             Some(h) => format!("spill@{h}"),
             None => "all-RAM".to_string(),
+        },
+        match symmetry {
+            Symmetry::Off => "off",
+            Symmetry::Full => "full",
         },
         match &cache_dir {
             Some(dir) => dir.display().to_string(),
@@ -89,6 +115,7 @@ fn main() {
         worker_threads,
         hot_capacity,
         50_000_000,
+        symmetry,
         cache_dir,
     ) {
         Ok(run) => run,

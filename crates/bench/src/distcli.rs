@@ -24,7 +24,7 @@ use twostep_core::crw_processes;
 use twostep_model::{SystemConfig, WideValue};
 use twostep_modelcheck::{
     explore_partitioned_timed, run_worker, CacheConfig, DistOptions, DistTimings, ExploreConfig,
-    ExploreError, ExploreOptions, ExploreReport, MemoConfig, WorkerTask,
+    ExploreError, ExploreOptions, ExploreReport, MemoConfig, Symmetry, WorkerTask,
 };
 
 /// Argv marker that switches a binary into worker mode.
@@ -49,6 +49,12 @@ pub struct CrwWorkerArgs {
     pub hot_capacity: Option<usize>,
     /// Distinct-state budget.
     pub max_states: usize,
+    /// Symmetry-reduction mode.  Workers rebuild their `ExploreConfig`
+    /// from this argv, so the mode must ride along explicitly — every
+    /// process of one run has to key (and partition) configurations
+    /// identically, regardless of what `TWOSTEP_SYMMETRY` says in the
+    /// worker's environment.
+    pub symmetry: Symmetry,
     /// Where to write the sealed export segment.
     pub export_path: PathBuf,
     /// Optional seed segment to import before walking (the coordinator's
@@ -70,6 +76,10 @@ impl CrwWorkerArgs {
             self.threads.to_string(),
             self.hot_capacity.map_or("ram".into(), |h| h.to_string()),
             self.max_states.to_string(),
+            match self.symmetry {
+                Symmetry::Off => "off".to_string(),
+                Symmetry::Full => "full".to_string(),
+            },
         ];
         args.push(self.export_path.display().to_string());
         args.push(
@@ -100,6 +110,11 @@ impl CrwWorkerArgs {
             Some(hot_raw.parse().ok()?)
         };
         let max_states = it.next()?.parse().ok()?;
+        let symmetry = match it.next()?.as_str() {
+            "off" => Symmetry::Off,
+            "full" => Symmetry::Full,
+            _ => return None,
+        };
         let export_path = PathBuf::from(it.next()?);
         let seed_raw = it.next()?;
         let seed_path = (seed_raw != "unseeded").then(|| PathBuf::from(seed_raw));
@@ -112,6 +127,7 @@ impl CrwWorkerArgs {
             threads,
             hot_capacity,
             max_states,
+            symmetry,
             export_path,
             seed_path,
         })
@@ -128,6 +144,7 @@ impl CrwWorkerArgs {
     fn config(&self, system: &SystemConfig) -> ExploreConfig {
         ExploreConfig {
             max_states: self.max_states,
+            symmetry: self.symmetry,
             ..ExploreConfig::for_crw(system)
         }
     }
@@ -278,12 +295,14 @@ pub fn run_partitioned_crw(
     worker_threads: usize,
     hot_capacity: Option<usize>,
     max_states: usize,
+    symmetry: Symmetry,
     cache_dir: Option<PathBuf>,
 ) -> Result<DistRun, ExploreError> {
     let system = SystemConfig::new(n, t).expect("valid bench system");
     let proposals = bench_proposals(n);
     let config = ExploreConfig {
         max_states,
+        symmetry,
         ..ExploreConfig::for_crw(&system)
     };
     let exe = std::env::current_exe().map_err(|e| ExploreError::Coordinator {
@@ -310,6 +329,7 @@ pub fn run_partitioned_crw(
             threads: worker_threads,
             hot_capacity,
             max_states,
+            symmetry,
             export_path: task.export_path.clone(),
             seed_path: task.seed_path.clone(),
         };
@@ -372,6 +392,7 @@ mod tests {
             threads: 4,
             hot_capacity: Some(1024),
             max_states: 50_000_000,
+            symmetry: Symmetry::Full,
             export_path: PathBuf::from("/tmp/worker1.seg"),
             seed_path: Some(PathBuf::from("/tmp/seed.seg")),
         };
@@ -379,9 +400,17 @@ mod tests {
         let ram = CrwWorkerArgs {
             hot_capacity: None,
             seed_path: None,
-            ..args
+            symmetry: Symmetry::Off,
+            ..args.clone()
         };
         assert_eq!(CrwWorkerArgs::parse(&ram.to_args()), Some(ram));
+        // An unknown symmetry token is a parse failure, not a default:
+        // silently falling back to `Off` would make one worker partition
+        // the frontier differently from the rest of the run.
+        let mut mangled = args.to_args();
+        let slot = mangled.iter().position(|a| a == "full").unwrap();
+        mangled[slot] = "sideways".to_string();
+        assert_eq!(CrwWorkerArgs::parse(&mangled), None);
     }
 
     #[test]
@@ -421,6 +450,7 @@ mod tests {
             threads: 1,
             hot_capacity: None,
             max_states: 1000,
+            symmetry: Symmetry::Off,
             export_path: PathBuf::from("x"),
             seed_path: None,
         }

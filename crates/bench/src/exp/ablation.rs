@@ -12,7 +12,9 @@ use crate::cells;
 use crate::table::Table;
 use twostep_core::{CommitOrder, Crw};
 use twostep_model::{ProcessId, SystemConfig, WideValue};
-use twostep_modelcheck::{explore_with, ExploreConfig, ExploreOptions, RoundBound, SpecMode};
+use twostep_modelcheck::{
+    explore_with, ExploreConfig, ExploreOptions, RoundBound, SpecMode, Symmetry,
+};
 use twostep_sim::ModelKind;
 
 /// Runs the ablation for one `(n, t)` and renders the table.
@@ -46,6 +48,7 @@ pub fn table(n: usize, t: usize) -> Table {
             round_bound: Some(RoundBound::FPlus(1)),
             spec: SpecMode::Uniform,
             max_crashes_per_round: None,
+            symmetry: Symmetry::Off,
         };
         let report = explore_with(
             system,

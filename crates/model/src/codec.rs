@@ -35,6 +35,43 @@ pub trait SpillCodec: Sized {
     /// Decodes one value from the front of `input`, advancing it past the
     /// consumed bytes; `None` if the bytes do not form a valid value.
     fn decode(input: &mut &[u8]) -> Option<Self>;
+
+    /// Whether this protocol-state type is **pid-symmetric**: its dynamics
+    /// are invariant under any permutation of process indexes, provided
+    /// each moved state is re-encoded for its new slot with
+    /// [`encode_relabelled`](SpillCodec::encode_relabelled).
+    ///
+    /// The contract a `true` answer asserts (it is a *semantic* promise
+    /// about the protocol, not just about the encoding):
+    ///
+    /// * the owning process id is used only for self-identification
+    ///   (e.g. excluding itself from a broadcast), never to special-case
+    ///   a rank (rotating coordinators, ring successors, leader ranks);
+    /// * no other process's id or rank is embedded in the state (views,
+    ///   heard-from sets, per-rank vectors all break the symmetry);
+    /// * `encode_relabelled(at, …)` with a fixed `at` is injective on
+    ///   states modulo the owner id: two states relabelled to the same
+    ///   slot encode equal iff they differ only in their owner.
+    ///
+    /// Symmetry reduction in the model checker uses this to quotient the
+    /// state space by the full permutation group; rank-dependent
+    /// protocols keep the default `false` and still benefit from the
+    /// weaker (always-sound) settled-record canonicalization.
+    fn pid_symmetric() -> bool {
+        false
+    }
+
+    /// Appends this value's encoding *as if its owner were the process at
+    /// 0-based index `at`* — the permutation remap used by symmetry
+    /// reduction when it moves a state to a canonical slot.
+    ///
+    /// The default encodes unchanged, which is correct for every state
+    /// that does not embed its owner's id.  Types that do embed it (and
+    /// opt into [`pid_symmetric`](SpillCodec::pid_symmetric)) must
+    /// override this to substitute the owner for the process at `at`.
+    fn encode_relabelled(&self, _at: usize, out: &mut Vec<u8>) {
+        self.encode(out)
+    }
 }
 
 /// Splits `n` bytes off the front of `input`, or `None` if it is shorter.
@@ -182,6 +219,86 @@ impl<A: SpillCodec, B: SpillCodec> SpillCodec for (A, B) {
     }
     fn decode(input: &mut &[u8]) -> Option<Self> {
         Some((A::decode(input)?, B::decode(input)?))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Canonical ordering of encoded records (symmetry reduction)
+// ---------------------------------------------------------------------------
+
+/// Reusable scratch for sorting a batch of encoded records into a
+/// canonical order — the permutation step of the model checker's
+/// symmetry reduction, which runs once per configuration visit and must
+/// therefore not allocate in steady state.
+///
+/// Usage: [`begin`](Canonicalizer::begin), then one
+/// [`record`](Canonicalizer::record) call per item (append the item's
+/// bytes to the returned buffer), then [`sort`](Canonicalizer::sort),
+/// then read back via [`iter_sorted`](Canonicalizer::iter_sorted).
+/// Record buffers are pooled across calls; the sort is an argsort (the
+/// buffers never move), ordered by record bytes with ties broken by
+/// original index — ties encode identical bytes, so the tie-break keeps
+/// the sort deterministic without breaking the normal form.
+#[derive(Default)]
+pub struct Canonicalizer {
+    /// Pooled record buffers; only the first `live` are meaningful.
+    bufs: Vec<Vec<u8>>,
+    /// Number of records appended since the last `begin`.
+    live: usize,
+    /// Argsort of `bufs[..live]`, valid after `sort`.
+    order: Vec<u32>,
+}
+
+impl Canonicalizer {
+    /// A fresh canonicalizer with no pooled buffers yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a new batch, forgetting previous records but keeping their
+    /// buffers pooled.
+    pub fn begin(&mut self) {
+        self.live = 0;
+    }
+
+    /// Opens the next record and returns its (cleared) buffer; append
+    /// the record's encoding to it.
+    pub fn record(&mut self) -> &mut Vec<u8> {
+        if self.live == self.bufs.len() {
+            self.bufs.push(Vec::new());
+        }
+        let buf = &mut self.bufs[self.live];
+        self.live += 1;
+        buf.clear();
+        buf
+    }
+
+    /// Number of records in the current batch.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the current batch has no records.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Sorts the batch by record bytes (ties by original index).
+    pub fn sort(&mut self) {
+        self.order.clear();
+        self.order.extend(0..self.live as u32);
+        let bufs = &self.bufs;
+        self.order
+            .sort_unstable_by(|&a, &b| bufs[a as usize].cmp(&bufs[b as usize]).then(a.cmp(&b)));
+    }
+
+    /// The sorted batch as `(original_index, record_bytes)` pairs; call
+    /// only after [`sort`](Canonicalizer::sort).
+    pub fn iter_sorted(&self) -> impl Iterator<Item = (usize, &[u8])> + '_ {
+        debug_assert_eq!(self.order.len(), self.live, "sort() before iter_sorted()");
+        self.order
+            .iter()
+            .map(move |&i| (i as usize, self.bufs[i as usize].as_slice()))
     }
 }
 
@@ -668,6 +785,56 @@ mod tests {
         encode_varint(u64::MAX, &mut huge);
         encode_varint(1, &mut huge);
         assert!(decompress(&huge, 1024).is_none());
+    }
+
+    #[test]
+    fn canonicalizer_sorts_and_pools() {
+        let mut canon = Canonicalizer::new();
+        for _ in 0..2 {
+            // Two passes: the second reuses pooled buffers and must see
+            // none of the first batch's bytes.
+            canon.begin();
+            assert!(canon.is_empty());
+            canon.record().extend_from_slice(b"bb");
+            canon.record().extend_from_slice(b"aa");
+            canon.record().extend_from_slice(b"aa");
+            canon.record().extend_from_slice(b"a");
+            assert_eq!(canon.len(), 4);
+            canon.sort();
+            let sorted: Vec<(usize, &[u8])> = canon.iter_sorted().collect();
+            // Byte order with index tie-break: "a" < "aa"(idx 1) <
+            // "aa"(idx 2) < "bb".
+            assert_eq!(
+                sorted,
+                vec![
+                    (3, b"a".as_slice()),
+                    (1, b"aa".as_slice()),
+                    (2, b"aa".as_slice()),
+                    (0, b"bb".as_slice()),
+                ]
+            );
+        }
+        // A shrinking batch must not resurrect stale records.
+        canon.begin();
+        canon.record().extend_from_slice(b"zz");
+        canon.sort();
+        assert_eq!(canon.iter_sorted().count(), 1);
+    }
+
+    #[test]
+    fn default_codec_is_not_pid_symmetric() {
+        // The opt-in must never leak through the blanket defaults: every
+        // primitive keeps `false`, and the default relabel is the plain
+        // encoding.
+        assert!(!u64::pid_symmetric());
+        assert!(!ProcessId::pid_symmetric());
+        assert!(!Vec::<u32>::pid_symmetric());
+        let v = WideValue::new(4, 9);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        v.encode(&mut a);
+        v.encode_relabelled(3, &mut b);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -10,6 +10,40 @@
 
 use proptest::prelude::*;
 use twostep_model::codec::stable_hash64;
+use twostep_model::Canonicalizer;
+
+/// The canonical byte image of a multiset of per-process records, as
+/// the model checker's symmetry reduction produces it: records pooled
+/// through a [`Canonicalizer`], emitted in sorted order, each
+/// length-prefixed (real configuration records are self-delimiting;
+/// the prefix stands in for that here so record boundaries cannot
+/// alias across concatenation).
+fn canonical_image(records: &[Vec<u8>]) -> Vec<u8> {
+    let mut canon = Canonicalizer::new();
+    canon.begin();
+    for r in records {
+        canon.record().extend_from_slice(r);
+    }
+    canon.sort();
+    let mut out = Vec::new();
+    for (_, bytes) in canon.iter_sorted() {
+        out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(bytes);
+    }
+    out
+}
+
+/// Deterministic Fisher–Yates driven by an LCG, so a plain `u64` seed
+/// names a pid permutation.
+fn permute<T>(items: &mut [T], mut seed: u64) {
+    for i in (1..items.len()).rev() {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (seed >> 33) as usize % (i + 1);
+        items.swap(i, j);
+    }
+}
 
 proptest! {
     #[test]
@@ -43,5 +77,47 @@ proptest! {
         let mut longer = bytes.clone();
         longer.push(extra);
         prop_assert_ne!(stable_hash64(&longer), stable_hash64(&bytes));
+    }
+
+    /// Canonicalization is a true normal form: relabelling the processes
+    /// (any permutation of the record slots) leaves the canonical image
+    /// — and therefore the memo key and its hash — byte-identical.
+    #[test]
+    fn canonical_image_is_permutation_invariant(
+        records in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..12), 0..8),
+        seed in any::<u64>(),
+    ) {
+        let reference = canonical_image(&records);
+        let mut permuted = records.clone();
+        permute(&mut permuted, seed);
+        prop_assert_eq!(
+            canonical_image(&permuted),
+            reference.clone(),
+            "permuting record slots must not change the canonical image"
+        );
+        prop_assert_eq!(
+            stable_hash64(&canonical_image(&permuted)),
+            stable_hash64(&reference)
+        );
+    }
+
+    /// And it is injective on the quotient: two record *multisets* that
+    /// actually differ (not mere relabellings of each other) produce
+    /// different canonical images — the reduction merges exactly the
+    /// permutation orbit, never distinct configurations.
+    #[test]
+    fn canonical_image_separates_distinct_multisets(
+        a in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..12), 0..8),
+        b in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..12), 0..8),
+    ) {
+        let mut a_sorted = a.clone();
+        let mut b_sorted = b.clone();
+        a_sorted.sort();
+        b_sorted.sort();
+        if a_sorted == b_sorted {
+            prop_assert_eq!(canonical_image(&a), canonical_image(&b));
+        } else {
+            prop_assert_ne!(canonical_image(&a), canonical_image(&b));
+        }
     }
 }

@@ -83,7 +83,14 @@ const CACHE_FORMAT_VERSION: u32 = 1;
 /// [`CheckableProtocol::fingerprint`] switched to the same hasher.  The
 /// v4 segment format bump invalidates v3-era caches by itself; this
 /// bump records that the key path changed too.
-const EXPLORER_LOGIC_VERSION: u32 = 2;
+///
+/// Version 3: symmetry reduction ([`crate::Symmetry`]) — the key path
+/// gained canonicalization modulo pid permutation, and the fingerprint
+/// gained the run's *effective canonicalization strength* byte.  The
+/// strength byte keeps `Off` and `Full` caches apart from here on; the
+/// version bump keeps every version-2 cache (written before the byte
+/// existed) from fingerprint-matching a version-3 `Off` run.
+const EXPLORER_LOGIC_VERSION: u32 = 3;
 
 /// How a run uses the persistent cache.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -201,6 +208,12 @@ where
         SpecMode::NonUniform => 1,
     });
     config.max_crashes_per_round.encode(&mut buf);
+    // The *effective* canonicalization strength (off / settled-only /
+    // full-orbit), not just the configured mode: `pid_symmetric` is a
+    // type-level declaration that can change between builds without any
+    // encoding changing, and a cache keyed at the other strength holds a
+    // differently quotiented state space.
+    buf.push(config.symmetry.strength::<P>());
     let mut state = fnv1a(&buf, fnv1a_start());
     for process in initial {
         state = fnv1a(&process.fingerprint().to_le_bytes(), state);

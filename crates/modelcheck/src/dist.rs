@@ -67,12 +67,12 @@ use std::time::Instant;
 use twostep_model::SystemConfig;
 use twostep_sim::{run_tasks_with_retry, Stepper, TaskAttempt, TraceLevel};
 
-use twostep_model::codec::stable_hash64;
+use twostep_model::codec::{stable_hash64, Canonicalizer};
 
 use crate::cache::{CacheConfig, CacheSession};
 use crate::explorer::{
-    build_report, make_key_into, walk_roots, CheckableProtocol, ExploreConfig, ExploreError,
-    ExploreOptions, ExploreReport, Shared, Walker,
+    build_report, canonical_key_into, walk_roots, CheckableProtocol, ExploreConfig, ExploreError,
+    ExploreOptions, ExploreReport, Shared, Symmetry, Walker,
 };
 use crate::spill::{SpillCodec, SpillDir};
 
@@ -176,6 +176,7 @@ fn expand_frontier<P>(
     walker: &mut Walker<'_, '_, P>,
     root: Stepper<P>,
     depth: u32,
+    symmetry: Symmetry,
 ) -> Result<Vec<(u64, Stepper<P>)>, ExploreError>
 where
     P: CheckableProtocol,
@@ -183,10 +184,14 @@ where
 {
     // Each level carries the partitioning hash alongside the stepper —
     // computed once per configuration, when it enters the dedup set.
-    // The hash is the memo's own stable key-byte hash, so every process
-    // running the same build partitions identically.
+    // The hash is the memo's own stable key-byte hash — canonicalized
+    // under the run's symmetry mode, exactly as the walkers key their
+    // memo lookups — so every process running the same build partitions
+    // identically, and pid-permuted frontier variants collapse onto one
+    // owner instead of being walked by several.
+    let mut canon = Canonicalizer::new();
     let mut scratch: Vec<u8> = Vec::new();
-    make_key_into(&root, &mut scratch);
+    canonical_key_into(&root, symmetry, &mut canon, &mut scratch);
     let root_hash = stable_hash64(&scratch);
     let mut level: Vec<(u64, Stepper<P>)> = vec![(root_hash, root)];
     for _ in 0..depth {
@@ -199,7 +204,7 @@ where
             for actions in walker.enumerate_action_sets(&stepper) {
                 let mut child = stepper.clone();
                 child.step(&actions).map_err(ExploreError::Engine)?;
-                make_key_into(&child, &mut scratch);
+                canonical_key_into(&child, symmetry, &mut canon, &mut scratch);
                 let hash = stable_hash64(&scratch);
                 if seen.insert(scratch.clone()) {
                     next.push((hash, child));
@@ -237,9 +242,9 @@ where
         task.partition,
         task.partitions
     );
-    let root = Stepper::new(system, config.model, TraceLevel::Off, initial)
+    let root = Stepper::new(system, config.model, TraceLevel::Off, initial.clone())
         .map_err(ExploreError::Engine)?;
-    let shared = Shared::new(system, config, &engine, &proposals)?;
+    let shared = Shared::new(system, config, &engine, &proposals, initial)?;
     let seed_start = Instant::now();
     let seeded = match &task.seed_path {
         // A worker's seed comes from its own coordinator over a process
@@ -255,7 +260,7 @@ where
     let frontier_start = Instant::now();
     let frontier = {
         let mut walker = Walker::new(&shared);
-        expand_frontier(&mut walker, root, task.depth)?
+        expand_frontier(&mut walker, root, task.depth, config.symmetry)?
     };
     let frontier_seconds = frontier_start.elapsed().as_secs_f64();
     let frontier_len = frontier.len();
@@ -362,9 +367,9 @@ where
     // the run.
     let scratch = SpillDir::create(options.scratch_dir.as_deref())?;
 
-    let root = Stepper::new(system, config.model, TraceLevel::Off, initial)
+    let root = Stepper::new(system, config.model, TraceLevel::Off, initial.clone())
         .map_err(ExploreError::Engine)?;
-    let mut shared = Shared::new(system, config, &options.replay, &proposals)?;
+    let mut shared = Shared::new(system, config, &options.replay, &proposals, initial)?;
     let mut timings = DistTimings::default();
 
     // Seed phase: pull the cache into the coordinator memo and hand the
@@ -376,7 +381,8 @@ where
     let seed_start = Instant::now();
     let seed_path = match session.seed(&shared.memo, crate::memo::key_validator::<P>()) {
         None => {
-            shared = Shared::new(system, config, &options.replay, &proposals)?;
+            let initial = std::mem::take(&mut shared.initial);
+            shared = Shared::new(system, config, &options.replay, &proposals, initial)?;
             None
         }
         Some(0) => None,

@@ -101,6 +101,59 @@
 //! verbatim, length-prefixed), which is segment format **v4** — v3-era
 //! files and caches are foreign and loudly replaced, never reused.
 //!
+//! ## Symmetry reduction
+//!
+//! The paper's processes are identical up to rank, so many distinct
+//! configurations are mere relabelings of one another — and exploring
+//! each label variant separately pays up to `n!` redundancy that no
+//! constant-factor hot-path win can touch.  [`ExploreConfig::symmetry`]
+//! (`Symmetry::Off | Full`, env override `TWOSTEP_SYMMETRY`) quotients
+//! the key path by the largest permutation group that is *sound for the
+//! protocol being checked*, at two strengths:
+//!
+//! * **settled-record canonicalization** — always applied under
+//!   [`Symmetry::Full`], sound for **every** protocol.  Before hashing,
+//!   the records of settled (decided or crashed) processes are sorted
+//!   into their index slots in canonical byte order; active processes
+//!   keep their true indexes and encodings.  Two configurations merged
+//!   this way have *identical* active processes at *identical* indexes
+//!   (hence identical future dynamics: a settled process is inert, and
+//!   the silent-index set is unchanged) and multiset-equal settled
+//!   records — and every quantity a [`Summary`] carries is a function
+//!   of decision values/counts and the crash count, never of which
+//!   index holds which settled record (validity is membership in the
+//!   proposal set, agreement compares values pairwise, termination and
+//!   `f` are counts).  Merged subtrees therefore summarize
+//!   **bit-identically**, and the root report matches `Off` exactly;
+//! * **full-orbit canonicalization** — additionally applied when the
+//!   protocol declares itself pid-symmetric
+//!   ([`SpillCodec::pid_symmetric`]): *all* records are sorted (each
+//!   active stripped to its owner-relabelled-to-slot-0 encoding via
+//!   [`SpillCodec::encode_relabelled`], ties broken by index — tied
+//!   records are byte-identical, so the tie-break never breaks the
+//!   normal form) and each active is re-encoded as owned by its sorted
+//!   position.  This is the full `n!` quotient; it is sound only when
+//!   the dynamics are invariant under index permutation (the
+//!   `pid_symmetric` contract), which rank-dependent protocols — the
+//!   paper's rotating-coordinator algorithm among them — do **not**
+//!   satisfy, so they keep the settled-only strength automatically.
+//!
+//! What changes and what doesn't: `distinct_states` drops (each memo
+//! entry now summarizes an orbit of configurations), and the per-round
+//! census counts *orbits* rather than raw configurations — rounds,
+//! bivalency flags, and the zero/non-zero structure are preserved, only
+//! the counts shrink.  Verdicts, the root summary, and witness validity
+//! are unchanged: witness reconstruction re-drives real (uncanonicalized)
+//! configurations from the true initial configuration and probes the
+//! memo through the same canonical keys, and an orbit representative's
+//! `violating` bit equals every member's.  Disable symmetry
+//! (`Symmetry::Off`, the default) when raw per-configuration counts or
+//! differential comparison against historical baselines matter.  The
+//! effective strength (off / settled-only / full-orbit) is part of the
+//! persistent-cache fingerprint, so caches never cross modes — or
+//! strengths, should a protocol's `pid_symmetric` declaration change —
+//! silently.
+//!
 //! ## Determinism argument
 //!
 //! Results are **bit-identical** to the serial (`threads = 1`) walk.  The
@@ -223,7 +276,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 use twostep_adversary::crash_outcomes_into;
-use twostep_model::codec::stable_hash64;
+use twostep_model::codec::{stable_hash64, Canonicalizer};
 use twostep_model::{CrashPoint, CrashSchedule, CrashStage, ProcessId, SystemConfig};
 use twostep_sim::{
     check_uniform_consensus, default_threads, run_on_workers, Decision, ModelKind, PlanShape,
@@ -232,7 +285,7 @@ use twostep_sim::{
 };
 
 use crate::cache::{CacheConfig, CacheSession};
-use crate::memo::{decode_key_prefix, key_round, MemoConfig, ShardedMemo, Snap};
+use crate::memo::{key_round, MemoConfig, ShardedMemo};
 use crate::spill::{SpillCodec, SpillError};
 
 /// Protocols the explorer can check: cloneable (to fork executions),
@@ -317,6 +370,42 @@ pub enum SpecMode {
     NonUniform,
 }
 
+/// Symmetry-reduction mode: whether configurations are canonicalized
+/// modulo process-index permutation before keying the memo (the module
+/// docs' "Symmetry reduction" section).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Symmetry {
+    /// No canonicalization: every raw configuration is a distinct memo
+    /// entry.  The default, and the differential baseline the symmetry
+    /// suites compare against.
+    #[default]
+    Off,
+    /// Canonicalize modulo the largest sound permutation group: settled
+    /// (decided/crashed) records are sorted into their slots for every
+    /// protocol, and the full `n!` orbit is quotiented for protocols
+    /// declaring [`SpillCodec::pid_symmetric`].  Verdicts, the root
+    /// summary, and witness validity are unchanged; `distinct_states`
+    /// and the census count orbits instead of raw configurations.
+    Full,
+}
+
+impl Symmetry {
+    /// The effective canonicalization strength for protocol `P`, as the
+    /// byte the persistent-cache fingerprint records: `0` off, `1`
+    /// settled-record canonicalization, `2` full-orbit.  Fingerprinting
+    /// the *strength* (not just the mode) matters because
+    /// `pid_symmetric` is a type-level declaration: it can change
+    /// between builds without any encoding changing, and a cache written
+    /// at the other strength would otherwise be silently reused.
+    pub(crate) fn strength<P: SpillCodec>(self) -> u8 {
+        match self {
+            Symmetry::Off => 0,
+            Symmetry::Full if !P::pid_symmetric() => 1,
+            Symmetry::Full => 2,
+        }
+    }
+}
+
 /// Exploration limits and model options (what to explore).
 ///
 /// Engine parallelism (how to explore it) lives in [`ExploreOptions`];
@@ -344,11 +433,21 @@ pub struct ExploreConfig {
     /// proof kills at most one process per round, so the `f+1` lower
     /// bound already holds against this weaker adversary.
     pub max_crashes_per_round: Option<usize>,
+    /// Symmetry-reduction mode (default [`Symmetry::Off`]; the
+    /// [`for_crw`](Self::for_crw) constructor honors the
+    /// `TWOSTEP_SYMMETRY` env override).  Part of the persistent-cache
+    /// fingerprint: runs at different effective strengths never share a
+    /// cache.
+    pub symmetry: Symmetry,
 }
 
 impl ExploreConfig {
     /// Defaults for checking the paper's algorithm: extended model, round
-    /// cap `n + 1`, Theorem 1 bound, a generous state budget.
+    /// cap `n + 1`, Theorem 1 bound, a generous state budget.  Honors
+    /// the `TWOSTEP_SYMMETRY` env override (`off` / `full`) so operators
+    /// can flip symmetry reduction without recompiling; explicit callers
+    /// (the bench harness runs both modes in one process) just assign
+    /// [`ExploreConfig::symmetry`] after construction.
     pub fn for_crw(system: &SystemConfig) -> Self {
         ExploreConfig {
             model: ModelKind::Extended,
@@ -357,6 +456,7 @@ impl ExploreConfig {
             round_bound: Some(RoundBound::FPlus(1)),
             spec: SpecMode::Uniform,
             max_crashes_per_round: None,
+            symmetry: symmetry_from_env(),
         }
     }
 
@@ -479,6 +579,30 @@ fn donate_depth_from_env() -> Option<u32> {
                 )
             });
             None
+        }
+    }
+}
+
+/// Resolves the `TWOSTEP_SYMMETRY` mode override from the environment —
+/// unset means [`Symmetry::Off`].  Same policy as `TWOSTEP_THREADS`: a
+/// set-but-unrecognized value is never silently ignored (one-time stderr
+/// warning, then the default).
+fn symmetry_from_env() -> Symmetry {
+    let Ok(raw) = std::env::var("TWOSTEP_SYMMETRY") else {
+        return Symmetry::Off;
+    };
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "off" => Symmetry::Off,
+        "full" => Symmetry::Full,
+        _ => {
+            static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+            WARN_ONCE.call_once(|| {
+                eprintln!(
+                    "twostep: TWOSTEP_SYMMETRY={raw:?} is not \"off\" or \"full\"; \
+                     symmetry reduction stays off"
+                )
+            });
+            Symmetry::Off
         }
     }
 }
@@ -642,23 +766,145 @@ where
                 out.push(0);
                 proc.encode(out);
             }
-            ProcStatus::Decided => {
-                let d = decision.as_ref().expect("decided process has a decision");
-                out.push(1);
-                d.value.encode(out);
-                d.round.get().encode(out);
-            }
-            ProcStatus::Crashed(_) => {
-                out.push(2);
-                match decision {
-                    None => out.push(0),
-                    Some(d) => {
-                        out.push(1);
-                        d.value.encode(out);
-                        d.round.get().encode(out);
-                    }
+            settled => encode_settled_record(settled, decision, out),
+        }
+    }
+}
+
+/// Appends the key record of one **settled** (decided or crashed)
+/// process: tag `1` decided + value + round, or tag `2` crashed +
+/// optional `(value, round)`.  Shared by the plain key encoding and both
+/// canonical variants, so a settled process encodes identically whether
+/// or not its record is about to be sorted.
+fn encode_settled_record<O: SpillCodec>(
+    status: &ProcStatus,
+    decision: &Option<Decision<O>>,
+    out: &mut Vec<u8>,
+) {
+    match status {
+        ProcStatus::Active => unreachable!("settled records only"),
+        ProcStatus::Decided => {
+            let d = decision.as_ref().expect("decided process has a decision");
+            out.push(1);
+            d.value.encode(out);
+            d.round.get().encode(out);
+        }
+        ProcStatus::Crashed(_) => {
+            out.push(2);
+            match decision {
+                None => out.push(0),
+                Some(d) => {
+                    out.push(1);
+                    d.value.encode(out);
+                    d.round.get().encode(out);
                 }
             }
+        }
+    }
+}
+
+/// Encodes `stepper`'s configuration into its canonical key bytes under
+/// the given symmetry mode — the one key-path dispatch point shared by
+/// the walker hot path, witness reconstruction, and the distributed
+/// frontier expander, so every engine keys (and therefore hashes,
+/// shards, and partitions) a configuration identically.
+///
+/// `Symmetry::Off` is the plain [`make_key_into`] encoding.
+/// `Symmetry::Full` canonicalizes at the strongest strength sound for
+/// `P` (see the module docs): settled-record sorting for every
+/// protocol, the full pid-permutation orbit when `P` declares
+/// [`SpillCodec::pid_symmetric`].  Both canonical layouts remain valid
+/// key encodings — `decode_key_prefix` and the segment key validator
+/// accept them unchanged.
+pub(crate) fn canonical_key_into<P>(
+    stepper: &Stepper<P>,
+    symmetry: Symmetry,
+    canon: &mut Canonicalizer,
+    out: &mut Vec<u8>,
+) where
+    P: CheckableProtocol,
+    P::Output: Hash + SpillCodec,
+{
+    match symmetry {
+        Symmetry::Off => make_key_into(stepper, out),
+        Symmetry::Full if P::pid_symmetric() => full_orbit_key_into(stepper, canon, out),
+        Symmetry::Full => settled_sorted_key_into(stepper, canon, out),
+    }
+}
+
+/// The settled-record canonical key: active processes keep their true
+/// indexes and encodings; the settled records are sorted by bytes and
+/// redistributed over the settled index slots in that order.  Sound for
+/// every protocol (module docs), and byte-layout-identical to the plain
+/// key — only the assignment of settled records to slots changes.
+fn settled_sorted_key_into<P>(stepper: &Stepper<P>, canon: &mut Canonicalizer, out: &mut Vec<u8>)
+where
+    P: CheckableProtocol,
+    P::Output: Hash + SpillCodec,
+{
+    out.clear();
+    stepper.round().get().encode(out);
+    (stepper.procs().len() as u32).encode(out);
+    canon.begin();
+    for (status, decision) in stepper.status().iter().zip(stepper.decisions()) {
+        if !matches!(status, ProcStatus::Active) {
+            encode_settled_record(status, decision, canon.record());
+        }
+    }
+    canon.sort();
+    let mut settled = canon.iter_sorted();
+    for (status, proc) in stepper.status().iter().zip(stepper.procs()) {
+        match status {
+            ProcStatus::Active => {
+                out.push(0);
+                proc.encode(out);
+            }
+            _ => {
+                let (_, bytes) = settled.next().expect("one sorted record per settled slot");
+                out.extend_from_slice(bytes);
+            }
+        }
+    }
+}
+
+/// The full-orbit canonical key for pid-symmetric protocols: every
+/// record (actives stripped to their owner-relabelled-to-slot-0
+/// encoding, settled as-is) is sorted by bytes, and each active is then
+/// re-encoded as owned by its sorted position.  Equivalent
+/// configurations — any index permutation with consistent owner
+/// relabeling — produce byte-identical keys; ties in the sort encode
+/// identical bytes, so the index tie-break cannot break the normal form.
+fn full_orbit_key_into<P>(stepper: &Stepper<P>, canon: &mut Canonicalizer, out: &mut Vec<u8>)
+where
+    P: CheckableProtocol,
+    P::Output: Hash + SpillCodec,
+{
+    out.clear();
+    stepper.round().get().encode(out);
+    (stepper.procs().len() as u32).encode(out);
+    canon.begin();
+    for ((status, proc), decision) in stepper
+        .status()
+        .iter()
+        .zip(stepper.procs())
+        .zip(stepper.decisions())
+    {
+        let rec = canon.record();
+        match status {
+            ProcStatus::Active => {
+                rec.push(0);
+                proc.encode_relabelled(0, rec);
+            }
+            settled => encode_settled_record(settled, decision, rec),
+        }
+    }
+    canon.sort();
+    for (pos, (orig, bytes)) in canon.iter_sorted().enumerate() {
+        if bytes.first() == Some(&0) {
+            out.push(0);
+            stepper.procs()[orig].encode_relabelled(pos, out);
+        } else {
+            out.extend_from_slice(bytes);
         }
     }
 }
@@ -788,9 +1034,9 @@ where
     // absent cache is reported (loudly) by the session and ignored.
     let fingerprint = crate::cache::run_fingerprint(system, &config, &initial, &proposals);
     let mut session = CacheSession::open(options.cache.clone(), fingerprint);
-    let root_stepper = Stepper::new(system, config.model, TraceLevel::Off, initial)
+    let root_stepper = Stepper::new(system, config.model, TraceLevel::Off, initial.clone())
         .map_err(ExploreError::Engine)?;
-    let mut shared = Shared::new(system, config, &options, &proposals)?;
+    let mut shared = Shared::new(system, config, &options, &proposals, initial)?;
     if session
         .seed(&shared.memo, crate::memo::key_validator::<P>())
         .is_none()
@@ -798,7 +1044,8 @@ where
         // Broken cache: discard the partial seed (a fresh memo) and run
         // cold; the session is now stale, so a ReadWrite commit replaces
         // the broken cache with this run's full image.
-        shared = Shared::new(system, config, &options, &proposals)?;
+        let initial = std::mem::take(&mut shared.initial);
+        shared = Shared::new(system, config, &options, &proposals, initial)?;
     }
     let mut summaries = walk_roots(&shared, options.threads, vec![root_stepper])?;
     let root = summaries.pop().expect("one root, one summary");
@@ -968,6 +1215,13 @@ where
     pub(crate) system: SystemConfig,
     pub(crate) config: ExploreConfig,
     pub(crate) proposals: &'a [P::Output],
+    /// The true (uncanonicalized) initial configuration — witness
+    /// reconstruction re-drives real executions from here.  Under
+    /// symmetry reduction a memoized round-1 key may be a canonical
+    /// *representative* of the initial configuration rather than the
+    /// configuration itself, so the initial processes must be kept, not
+    /// recovered from key bytes.
+    pub(crate) initial: Vec<P>,
     pub(crate) memo: ShardedMemo<P::Output>,
     queue: WorkQueue<Stepper<P>>,
     stop: AtomicBool,
@@ -985,11 +1239,13 @@ where
         config: ExploreConfig,
         options: &ExploreOptions,
         proposals: &'a [P::Output],
+        initial: Vec<P>,
     ) -> Result<Self, ExploreError> {
         Ok(Shared {
             system,
             config,
             proposals,
+            initial,
             memo: ShardedMemo::new(options.shards, &options.memo)?,
             queue: WorkQueue::new(),
             stop: AtomicBool::new(false),
@@ -1062,6 +1318,9 @@ where
     shape_buf: PlanShape,
     /// Reusable pseudo-schedule for terminal evaluation.
     schedule_buf: CrashSchedule,
+    /// Reusable record-sorting scratch for symmetry-reduced keying
+    /// (unused when [`ExploreConfig::symmetry`] is off).
+    canon: Canonicalizer,
 }
 
 /// One level of the explicit DFS stack: a configuration mid-expansion.
@@ -1118,6 +1377,7 @@ where
                 control_len: 0,
             },
             schedule_buf: CrashSchedule::none(shared.system.n()),
+            canon: Canonicalizer::new(),
         }
     }
 
@@ -1207,7 +1467,12 @@ where
         if self.shared.stop.load(Ordering::Relaxed) {
             return Err(Interrupt::Stopped);
         }
-        make_key_into(&stepper, &mut self.key_scratch);
+        canonical_key_into(
+            &stepper,
+            self.shared.config.symmetry,
+            &mut self.canon,
+            &mut self.key_scratch,
+        );
         let hash = stable_hash64(&self.key_scratch);
         if let Some(summary) = self
             .shared
@@ -1426,37 +1691,12 @@ where
     /// at every level; works against the sharded memo because the whole
     /// violating subtree is memoized by then.
     fn reconstruct_witness(&mut self) -> Result<Witness<P::Output>, ExploreError> {
-        // Re-creating the root stepper from the memo is impossible (keys
-        // hold snapshots, not steppers); instead re-drive from scratch,
-        // choosing at each level the first child whose memoized summary
-        // violates.  Keys are stored as canonical bytes: filter on the
-        // round prefix first, then decode the handful of candidates.
-        let initial: Vec<P> = self
-            .shared
-            .memo
-            .find_map(|key, _| {
-                if key_round(key) != 1 {
-                    return None;
-                }
-                let mut input = key;
-                let decoded = decode_key_prefix::<P>(&mut input)
-                    .expect("memoized key bytes decode to a configuration");
-                decoded
-                    .snaps
-                    .iter()
-                    .all(|s| matches!(s, Snap::Active(_)))
-                    .then(|| {
-                        decoded
-                            .snaps
-                            .into_iter()
-                            .map(|s| match s {
-                                Snap::Active(p) => p,
-                                _ => unreachable!("filtered to all-active snapshots"),
-                            })
-                            .collect()
-                    })
-            })?
-            .expect("root configuration is memoized");
+        // Re-drive real executions from the true initial configuration
+        // (kept in `Shared` — under symmetry reduction the memoized
+        // round-1 key may be a canonical representative, so it must not
+        // be decoded back into processes), choosing at each level the
+        // first child whose memoized summary violates.
+        let initial: Vec<P> = self.shared.initial.clone();
 
         let mut stepper = Stepper::new(
             self.shared.system,
@@ -1506,7 +1746,12 @@ where
             for actions in self.enumerate_action_sets(&stepper) {
                 let mut child = stepper.clone();
                 child.step(&actions).map_err(ExploreError::Engine)?;
-                make_key_into(&child, &mut self.key_scratch);
+                canonical_key_into(
+                    &child,
+                    self.shared.config.symmetry,
+                    &mut self.canon,
+                    &mut self.key_scratch,
+                );
                 let hash = stable_hash64(&self.key_scratch);
                 let violating = self
                     .shared
@@ -1570,6 +1815,11 @@ mod tests {
                 v: u64::decode(input)?,
             })
         }
+        // Quiet and rank-oblivious: sends nothing, embeds no pid — the
+        // full-orbit quotient is sound.
+        fn pid_symmetric() -> bool {
+            true
+        }
     }
 
     /// A protocol that never decides — termination must be flagged.
@@ -1591,6 +1841,9 @@ mod tests {
         fn encode(&self, _out: &mut Vec<u8>) {}
         fn decode(_input: &mut &[u8]) -> Option<Self> {
             Some(NeverDecide)
+        }
+        fn pid_symmetric() -> bool {
+            true
         }
     }
 
@@ -1667,6 +1920,7 @@ mod tests {
             round_bound: None,
             max_crashes_per_round: None,
             spec: SpecMode::Uniform,
+            symmetry: Symmetry::Off,
         }
     }
 
@@ -2099,9 +2353,14 @@ mod tests {
         ) {
             let system = SystemConfig::new(4, 2).unwrap();
             let (procs, proposals) = flooder_procs(4);
-            let shared =
-                Shared::new(system, options(4, 1_000_000), &ExploreOptions::serial(), &proposals)
-                    .unwrap();
+            let shared = Shared::new(
+                system,
+                options(4, 1_000_000),
+                &ExploreOptions::serial(),
+                &proposals,
+                procs.clone(),
+            )
+            .unwrap();
             let mut configs = random_walk_keys(&shared, procs.clone(), seed_a);
             configs.extend(random_walk_keys(&shared, procs, seed_b));
             for (i, (stepper_i, key_i)) in configs.iter().enumerate() {
@@ -2127,6 +2386,281 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// A genuinely pid-symmetric protocol (embeds its own pid, so the
+    /// relabelling remap is exercised): everyone broadcasts its estimate
+    /// to everyone else for two rounds, adopts the minimum it hears, and
+    /// decides at the end of round 2.  No rank is special and peers are
+    /// treated uniformly, so the full-orbit quotient is sound.
+    #[derive(Clone, PartialEq, Eq, Hash, Debug)]
+    struct Gossip {
+        me: u32,
+        n: usize,
+        est: u64,
+    }
+
+    impl SyncProtocol for Gossip {
+        type Msg = u64;
+        type Output = u64;
+        fn send(&mut self, round: Round) -> SendPlan<u64, u64> {
+            let mut plan = SendPlan::quiet();
+            if round.get() <= 2 {
+                for r in 1..=self.n as u32 {
+                    if r != self.me {
+                        plan = plan.with_data(ProcessId::new(r), self.est);
+                    }
+                }
+            }
+            plan
+        }
+        fn receive(&mut self, round: Round, inbox: &Inbox<u64>) -> Step<u64> {
+            for r in 1..=self.n as u32 {
+                if let Some(v) = inbox.data_from(ProcessId::new(r)) {
+                    if *v < self.est {
+                        self.est = *v;
+                    }
+                }
+            }
+            if round.get() >= 2 {
+                Step::Decide(self.est)
+            } else {
+                Step::Continue
+            }
+        }
+    }
+
+    impl SpillCodec for Gossip {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.me.encode(out);
+            self.n.encode(out);
+            self.est.encode(out);
+        }
+        fn decode(input: &mut &[u8]) -> Option<Self> {
+            Some(Gossip {
+                me: u32::decode(input)?,
+                n: usize::decode(input)?,
+                est: u64::decode(input)?,
+            })
+        }
+        fn pid_symmetric() -> bool {
+            true
+        }
+        fn encode_relabelled(&self, at: usize, out: &mut Vec<u8>) {
+            (at as u32 + 1).encode(out); // owner rewritten to rank at+1
+            self.n.encode(out);
+            self.est.encode(out);
+        }
+    }
+
+    fn gossip_procs(n: usize, ests: &[u64]) -> Vec<Gossip> {
+        ests.iter()
+            .enumerate()
+            .map(|(i, &est)| Gossip {
+                me: i as u32 + 1,
+                n,
+                est,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn symmetry_strength_is_protocol_dependent() {
+        // Off is strength 0 for everyone; Full is settled-only (1) for
+        // rank-dependent protocols and full-orbit (2) for declared
+        // pid-symmetric ones.
+        assert_eq!(Symmetry::Off.strength::<Flooder>(), 0);
+        assert_eq!(Symmetry::Off.strength::<DecideOwn>(), 0);
+        assert_eq!(Symmetry::Full.strength::<Flooder>(), 1);
+        assert_eq!(Symmetry::Full.strength::<DecideOwn>(), 2);
+        assert_eq!(Symmetry::Full.strength::<Gossip>(), 2);
+    }
+
+    #[test]
+    fn full_orbit_key_is_permutation_invariant() {
+        // Two initial configurations that are owner-relabelled index
+        // permutations of each other: canonical keys must coincide under
+        // Full and stay distinct under Off.
+        let system = SystemConfig::new(3, 1).unwrap();
+        let mk = |ests: &[u64]| {
+            Stepper::new(
+                system,
+                ModelKind::Extended,
+                TraceLevel::Off,
+                gossip_procs(3, ests),
+            )
+            .unwrap()
+        };
+        let a = mk(&[5, 9, 5]);
+        let b = mk(&[5, 5, 9]);
+        let mut canon = Canonicalizer::new();
+        let (mut ka, mut kb) = (Vec::new(), Vec::new());
+        canonical_key_into(&a, Symmetry::Full, &mut canon, &mut ka);
+        canonical_key_into(&b, Symmetry::Full, &mut canon, &mut kb);
+        assert_eq!(ka, kb, "permuted configurations share one canonical key");
+        let (mut oa, mut ob) = (Vec::new(), Vec::new());
+        canonical_key_into(&a, Symmetry::Off, &mut canon, &mut oa);
+        canonical_key_into(&b, Symmetry::Off, &mut canon, &mut ob);
+        assert_ne!(oa, ob, "Off keeps raw configurations distinct");
+        // The canonical key still decodes as an ordinary key encoding.
+        let mut input = ka.as_slice();
+        assert!(crate::memo::decode_key_prefix::<Gossip>(&mut input).is_some());
+        assert!(input.is_empty());
+    }
+
+    /// Census semantics under symmetry: same rounds, counts never grow,
+    /// and a round has bivalent orbits iff it had bivalent
+    /// configurations.
+    fn assert_census_shrinks(off: &ExploreReport<u64>, full: &ExploreReport<u64>, label: &str) {
+        assert_eq!(
+            off.bivalency_by_round.len(),
+            full.bivalency_by_round.len(),
+            "{label}: census rounds"
+        );
+        for ((r_off, c_off, b_off), (r_full, c_full, b_full)) in
+            off.bivalency_by_round.iter().zip(&full.bivalency_by_round)
+        {
+            assert_eq!(r_off, r_full, "{label}: census round order");
+            assert!(
+                c_full <= c_off,
+                "{label}: round {r_off} orbit count {c_full} > raw count {c_off}"
+            );
+            assert!(b_full <= b_off, "{label}: round {r_off} bivalent counts");
+            assert_eq!(
+                *b_off > 0,
+                *b_full > 0,
+                "{label}: round {r_off} bivalency presence"
+            );
+        }
+    }
+
+    /// Settled-record canonicalization (the strength every protocol
+    /// gets, the rank-dependent `Flooder` included) is summary-exact:
+    /// the root summary — `decided` order included — matches `Off`
+    /// bit for bit while the state count shrinks or holds.
+    #[test]
+    fn settled_canonicalization_is_summary_exact_for_rank_dependent_protocols() {
+        let system = SystemConfig::new(4, 2).unwrap();
+        let (procs, proposals) = flooder_procs(4);
+        let off = explore(
+            system,
+            options(4, 2_000_000),
+            procs.clone(),
+            proposals.clone(),
+        )
+        .unwrap();
+        let full = explore(
+            system,
+            ExploreConfig {
+                symmetry: Symmetry::Full,
+                ..options(4, 2_000_000)
+            },
+            procs,
+            proposals,
+        )
+        .unwrap();
+        assert_eq!(off.root, full.root, "settled-only merges are bit-identical");
+        assert!(
+            full.distinct_states < off.distinct_states,
+            "crashed/decided permutations must merge: {} !< {}",
+            full.distinct_states,
+            off.distinct_states
+        );
+        assert_census_shrinks(&off, &full, "flooder");
+    }
+
+    /// The full-orbit quotient for a pid-symmetric protocol: verdicts
+    /// and per-`f` worst rounds are identical, valency agrees as a set,
+    /// the witness remains a real violating execution, and the state
+    /// count strictly drops (permuted actives merge).
+    #[test]
+    fn full_orbit_quotient_matches_off_for_pid_symmetric_protocols() {
+        let system = SystemConfig::new(3, 2).unwrap();
+        let procs = gossip_procs(3, &[5, 5, 9]);
+        let proposals = vec![5u64, 5, 9];
+        let off = explore(
+            system,
+            options(3, 2_000_000),
+            procs.clone(),
+            proposals.clone(),
+        )
+        .unwrap();
+        let full = explore(
+            system,
+            ExploreConfig {
+                symmetry: Symmetry::Full,
+                ..options(3, 2_000_000)
+            },
+            procs,
+            proposals,
+        )
+        .unwrap();
+        assert_eq!(off.root.terminals, full.root.terminals);
+        assert_eq!(off.root.worst_round_by_f, full.root.worst_round_by_f);
+        assert_eq!(off.root.violating, full.root.violating);
+        let sorted = |mut v: Vec<u64>| {
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(
+            sorted(off.root.decided.clone()),
+            sorted(full.root.decided.clone()),
+            "valency agrees as a set (order may follow the orbit representative)"
+        );
+        assert!(
+            full.distinct_states < off.distinct_states,
+            "permuted actives must merge: {} !< {}",
+            full.distinct_states,
+            off.distinct_states
+        );
+        assert_census_shrinks(&off, &full, "gossip");
+    }
+
+    /// A violating pid-symmetric space must still reconstruct a valid
+    /// witness under the quotient: the schedule is a real execution's
+    /// (re-driven from the true initial configuration, not decoded from
+    /// a canonical representative) and its violations are non-empty.
+    #[test]
+    fn symmetric_witness_is_a_real_execution() {
+        let system = SystemConfig::new(3, 2).unwrap();
+        let initial = vec![DecideOwn { v: 0 }, DecideOwn { v: 1 }, DecideOwn { v: 1 }];
+        let proposals = vec![0u64, 1, 1];
+        let off = explore(
+            system,
+            options(2, 100_000),
+            initial.clone(),
+            proposals.clone(),
+        )
+        .unwrap();
+        let full = explore(
+            system,
+            ExploreConfig {
+                symmetry: Symmetry::Full,
+                ..options(2, 100_000)
+            },
+            initial,
+            proposals,
+        )
+        .unwrap();
+        assert!(off.root.violating && full.root.violating);
+        assert!(
+            full.distinct_states < off.distinct_states,
+            "settled permutations of (decided, crashed) must merge: {} !< {}",
+            full.distinct_states,
+            off.distinct_states
+        );
+        let witness = full.witness.expect("witness under symmetry");
+        assert!(
+            witness
+                .violations
+                .iter()
+                .any(|v| matches!(v, SpecViolation::UniformAgreement { .. })),
+            "witness carries the uniform-agreement violation"
+        );
+        assert!(
+            witness.decisions.iter().flatten().count() >= 2,
+            "violating terminal has at least two deciders"
+        );
     }
 
     /// Witness reconstruction reads summaries back through the two-tier

@@ -57,7 +57,7 @@ pub use dist::{
 };
 pub use explorer::{
     explore, explore_with, CheckableProtocol, ExploreConfig, ExploreError, ExploreOptions,
-    ExploreReport, RoundBound, SpecMode, Summary, Witness,
+    ExploreReport, RoundBound, SpecMode, Summary, Symmetry, Witness,
 };
 pub use memo::MemoConfig;
 pub use sample::{sample, SampleConfig, SampleReport, SampleStrategy, SampleViolation};

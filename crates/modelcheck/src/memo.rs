@@ -143,24 +143,6 @@ impl MemoConfig {
     }
 }
 
-/// Canonical snapshot of one process inside a *decoded* configuration
-/// key.  The hot path never builds these — keys live as canonical bytes
-/// — but witness reconstruction decodes them to recover the initial
-/// process states ([`decode_key_prefix`]); the decided/crashed payloads
-/// are parsed (to advance the input) and discarded, since only active
-/// snapshots are ever extracted.
-pub(crate) enum Snap<P: SyncProtocol> {
-    Active(P),
-    Decided,
-    Crashed,
-}
-
-/// A decoded configuration key: the per-process snapshots (the round is
-/// read off the raw bytes by [`key_round`], not stored here).
-pub(crate) struct Key<P: SyncProtocol> {
-    pub(crate) snaps: Vec<Snap<P>>,
-}
-
 /// The round a canonical key encoding begins with (its first field) —
 /// the census reads this straight off the bytes without decoding
 /// anything else.
@@ -168,34 +150,37 @@ pub(crate) fn key_round(key: &[u8]) -> u32 {
     u32::from_le_bytes(key[..4].try_into().expect("keys start with a round"))
 }
 
-/// Decodes a full configuration key from the front of `input` (the
-/// inverse of the explorer's `make_key_into` encoding), advancing past
-/// it; `None` on malformed bytes.
-pub(crate) fn decode_key_prefix<P>(input: &mut &[u8]) -> Option<Key<P>>
+/// Walks a full configuration key at the front of `input` (the inverse
+/// of the explorer's `make_key_into` encoding — symmetry-canonicalized
+/// keys use the same record grammar, only in a different record order),
+/// advancing past it; `None` on malformed bytes.  Nothing structural is
+/// retained: the hot path keys by canonical bytes and witness
+/// reconstruction re-drives from the run's stored initial processes, so
+/// decoding exists purely to *validate* imported segments.
+pub(crate) fn decode_key_prefix<P>(input: &mut &[u8]) -> Option<()>
 where
     P: SyncProtocol + SpillCodec,
     P::Output: SpillCodec,
 {
     let _round = u32::decode(input)?;
     let len = u32::decode(input)? as usize;
-    let mut snaps = Vec::with_capacity(len.min(1024));
     for _ in 0..len {
         let tag = u8::decode(input)?;
-        snaps.push(match tag {
-            0 => Snap::Active(P::decode(input)?),
+        match tag {
+            0 => {
+                P::decode(input)?;
+            }
             1 => {
                 let _value = P::Output::decode(input)?;
                 let _decided_round = u32::decode(input)?;
-                Snap::Decided
             }
             2 => {
                 let _decision = Option::<(P::Output, u32)>::decode(input)?;
-                Snap::Crashed
             }
             _ => return None,
-        });
+        }
     }
-    Some(Key { snaps })
+    Some(())
 }
 
 // ---------------------------------------------------------------------------

@@ -5,7 +5,9 @@
 
 use twostep_baselines::{earlystop_processes, floodset_processes};
 use twostep_model::SystemConfig;
-use twostep_modelcheck::{explore_with, ExploreConfig, ExploreOptions, RoundBound, SpecMode};
+use twostep_modelcheck::{
+    explore_with, ExploreConfig, ExploreOptions, RoundBound, SpecMode, Symmetry,
+};
 
 /// All exhaustive suites run through the parallel default engine; the
 /// differential suite (`parallel_differential.rs`) pins its equivalence
@@ -44,6 +46,7 @@ fn floodset_exhaustive_n3_t2() {
         max_states: 5_000_000,
         round_bound: Some(RoundBound::Fixed(3)), // t + 1
         max_crashes_per_round: None,
+        symmetry: Symmetry::Off,
         spec: SpecMode::Uniform,
     };
     let report = explore(
@@ -70,6 +73,7 @@ fn floodset_exhaustive_n4_t1() {
         max_states: 5_000_000,
         round_bound: Some(RoundBound::Fixed(2)),
         max_crashes_per_round: None,
+        symmetry: Symmetry::Off,
         spec: SpecMode::Uniform,
     };
     let report = explore(
@@ -91,6 +95,7 @@ fn earlystop_exhaustive_n3_t2() {
         max_states: 10_000_000,
         round_bound: Some(RoundBound::ClassicEarly { t: 2 }),
         max_crashes_per_round: None,
+        symmetry: Symmetry::Off,
         spec: SpecMode::Uniform,
     };
     let report = explore(
@@ -119,6 +124,7 @@ fn earlystop_exhaustive_n4_t2() {
         max_states: 20_000_000,
         round_bound: Some(RoundBound::ClassicEarly { t: 2 }),
         max_crashes_per_round: None,
+        symmetry: Symmetry::Off,
         spec: SpecMode::Uniform,
     };
     let report = explore(

@@ -21,7 +21,7 @@ use twostep_model::{ProcessId, SystemConfig, WideValue};
 use twostep_modelcheck::{
     explore_partitioned_in_process, explore_with, validate_segment_file, CacheConfig, CacheMode,
     DistOptions, ExploreConfig, ExploreOptions, ExploreReport, MemoConfig, RoundBound, SpecMode,
-    SpillError,
+    SpillError, Symmetry,
 };
 use twostep_sim::ModelKind;
 
@@ -126,6 +126,7 @@ fn floodset_workload(n: usize, t: usize) -> Workload<twostep_baselines::FloodSet
         round_bound: Some(RoundBound::Fixed(t as u32 + 1)),
         spec: SpecMode::Uniform,
         max_crashes_per_round: None,
+        symmetry: Symmetry::Off,
     };
     let initial = {
         let proposals = proposals.clone();
@@ -462,6 +463,72 @@ fn stale_fingerprint_is_ignored_and_replaced() {
         b"not the cache's file",
         "cache GC must never delete files it did not write"
     );
+}
+
+/// The symmetry mode is part of the run fingerprint: a cache committed
+/// under `Symmetry::Full` must be **loudly replaced** — never silently
+/// reused — by a `Symmetry::Off` run, and vice versa.  The two modes
+/// memoize different key spaces (orbit representatives vs raw
+/// configurations), so reusing either image for the other would corrupt
+/// `distinct_states` and the census even where the verdicts agree.
+#[test]
+fn symmetry_mode_changes_the_cache_fingerprint() {
+    let (n, t) = (4usize, 2usize);
+    let system = SystemConfig::new(n, t).unwrap();
+    let proposals = crw_proposals(n);
+    let config = |symmetry: Symmetry| ExploreConfig {
+        symmetry,
+        ..ExploreConfig::for_crw(&system)
+    };
+    let dir = TempDir::new("symmetry-mode");
+    let cached = || Some(CacheConfig::read_write(dir.path()));
+    let run = |symmetry: Symmetry, cache: Option<CacheConfig>| {
+        explore_with(
+            system,
+            config(symmetry),
+            ExploreOptions::serial().with_cache(cache),
+            crw_processes(&system, &proposals),
+            proposals.clone(),
+        )
+        .unwrap()
+    };
+
+    // Prime the cache under Full.
+    let full_baseline = run(Symmetry::Full, None);
+    let full_cold = run(Symmetry::Full, cached());
+    assert_identical(&full_baseline, &full_cold, "full cold");
+    assert_eq!(full_cold.cache_hits, 0);
+
+    // An Off run sees a foreign fingerprint: zero hits, its own correct
+    // cold report, and (ReadWrite) it replaces the Full image.
+    let off_baseline = run(Symmetry::Off, None);
+    assert!(
+        full_baseline.distinct_states < off_baseline.distinct_states,
+        "the two modes must actually key different state spaces here"
+    );
+    let off_over_full = run(Symmetry::Off, cached());
+    assert_identical(&off_baseline, &off_over_full, "off over full cache");
+    assert_eq!(
+        off_over_full.cache_hits, 0,
+        "a Full-mode cache must never warm an Off-mode run"
+    );
+    let off_warm = run(Symmetry::Off, cached());
+    assert_identical(&off_baseline, &off_warm, "off warm");
+    assert_eq!(
+        off_warm.cache_hits, off_warm.distinct_states,
+        "the replacement image warms its own mode"
+    );
+
+    // And the other direction: the Off image is foreign to Full.
+    let full_over_off = run(Symmetry::Full, cached());
+    assert_identical(&full_baseline, &full_over_off, "full over off cache");
+    assert_eq!(
+        full_over_off.cache_hits, 0,
+        "an Off-mode cache must never warm a Full-mode run"
+    );
+    let full_warm = run(Symmetry::Full, cached());
+    assert_identical(&full_baseline, &full_warm, "full warm");
+    assert_eq!(full_warm.cache_hits, full_warm.distinct_states);
 }
 
 /// A damaged cache segment is detected (CRC / decompression / framing),

@@ -5,7 +5,7 @@
 use twostep_core::{crw_processes, CommitOrder, Crw};
 use twostep_model::{ProcessId, SystemConfig, WideValue};
 use twostep_modelcheck::{
-    explore_with, ExploreConfig, ExploreError, ExploreOptions, RoundBound, SpecMode,
+    explore_with, ExploreConfig, ExploreError, ExploreOptions, RoundBound, SpecMode, Symmetry,
 };
 
 /// All exhaustive suites run through the parallel default engine; the
@@ -163,6 +163,7 @@ fn ablation_ascending_commits_violate_theorem1_exhaustively() {
         max_states: 5_000_000,
         round_bound: Some(RoundBound::FPlus(1)),
         max_crashes_per_round: None,
+        symmetry: Symmetry::Off,
         spec: SpecMode::Uniform,
     };
     let report = explore(system, with_bound, procs.clone(), proposals.clone()).unwrap();

@@ -18,7 +18,7 @@ use twostep_model::{ProcessId, SystemConfig, WideValue};
 use twostep_modelcheck::{
     explore_partitioned, explore_partitioned_in_process, explore_with, run_worker, DistOptions,
     ExploreConfig, ExploreError, ExploreOptions, ExploreReport, MemoConfig, RoundBound, SpecMode,
-    WorkerTask,
+    Symmetry, WorkerTask,
 };
 use twostep_sim::ModelKind;
 
@@ -128,6 +128,7 @@ fn classic_model_floodset_partitioned_equals_serial() {
             round_bound: Some(RoundBound::Fixed(t as u32 + 1)),
             spec: SpecMode::Uniform,
             max_crashes_per_round: None,
+            symmetry: Symmetry::Off,
         };
         let serial = explore_with(
             system,

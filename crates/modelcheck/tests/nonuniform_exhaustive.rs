@@ -10,7 +10,9 @@
 
 use twostep_baselines::nonuniform_processes;
 use twostep_model::SystemConfig;
-use twostep_modelcheck::{explore_with, ExploreConfig, ExploreOptions, RoundBound, SpecMode};
+use twostep_modelcheck::{
+    explore_with, ExploreConfig, ExploreOptions, RoundBound, SpecMode, Symmetry,
+};
 
 /// All exhaustive suites run through the parallel default engine; the
 /// differential suite (`parallel_differential.rs`) pins its equivalence
@@ -51,6 +53,7 @@ fn plain_agreement_holds_and_decides_by_f_plus_1_n3() {
         max_states: 10_000_000,
         round_bound: Some(RoundBound::FPlus(1)),
         max_crashes_per_round: None,
+        symmetry: Symmetry::Off,
         spec: SpecMode::NonUniform,
     };
     let report = explore(
@@ -83,6 +86,7 @@ fn plain_agreement_holds_n4_t2() {
         max_states: 30_000_000,
         round_bound: Some(RoundBound::FPlus(1)),
         max_crashes_per_round: None,
+        symmetry: Symmetry::Off,
         spec: SpecMode::NonUniform,
     };
     let report = explore(
@@ -114,6 +118,7 @@ fn uniformity_provably_fails_with_witness() {
         max_states: 10_000_000,
         round_bound: None, // isolate the agreement property
         max_crashes_per_round: None,
+        symmetry: Symmetry::Off,
         spec: SpecMode::Uniform,
     };
     let report = explore(

@@ -17,7 +17,7 @@ use twostep_core::crw_processes;
 use twostep_model::{SystemConfig, WideValue};
 use twostep_modelcheck::{
     explore, explore_with, ExploreConfig, ExploreOptions, ExploreReport, MemoConfig, RoundBound,
-    SpecMode,
+    SpecMode, Symmetry,
 };
 use twostep_sim::ModelKind;
 
@@ -116,6 +116,7 @@ fn classic_model_floodset_parallel_equals_serial() {
             round_bound: Some(RoundBound::Fixed(t as u32 + 1)),
             spec: SpecMode::Uniform,
             max_crashes_per_round: None,
+            symmetry: Symmetry::Off,
         };
         let serial = explore(
             system,

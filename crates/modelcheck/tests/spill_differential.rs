@@ -16,6 +16,7 @@ use twostep_core::crw_processes;
 use twostep_model::{SystemConfig, WideValue};
 use twostep_modelcheck::{
     explore_with, ExploreConfig, ExploreOptions, ExploreReport, MemoConfig, RoundBound, SpecMode,
+    Symmetry,
 };
 use twostep_sim::ModelKind;
 
@@ -115,6 +116,7 @@ fn classic_model_floodset_spill_equals_ram() {
             round_bound: Some(RoundBound::Fixed(t as u32 + 1)),
             spec: SpecMode::Uniform,
             max_crashes_per_round: None,
+            symmetry: Symmetry::Off,
         };
         let ram = explore_with(
             system,

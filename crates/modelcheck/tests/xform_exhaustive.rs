@@ -8,7 +8,9 @@
 
 use twostep_core::{crw_processes, Crw, ExtendedOnClassic};
 use twostep_model::{SystemConfig, WideValue};
-use twostep_modelcheck::{explore_with, ExploreConfig, ExploreOptions, RoundBound, SpecMode};
+use twostep_modelcheck::{
+    explore_with, ExploreConfig, ExploreOptions, RoundBound, SpecMode, Symmetry,
+};
 
 /// All exhaustive suites run through the parallel default engine; the
 /// differential suite (`parallel_differential.rs`) pins its equivalence
@@ -54,6 +56,7 @@ fn wrapped_crw_survives_arbitrary_classic_crashes_n3() {
             per_f: n as u32,
         }),
         max_crashes_per_round: None,
+        symmetry: Symmetry::Off,
         spec: SpecMode::Uniform,
     };
     let report = explore(system, options, wrapped, proposals).unwrap();
