@@ -101,6 +101,28 @@ else
     }' >&2 || exit 1
 fi
 
+echo "== perf gate (stepped driver within 10% of the owned-loop serial walk, same run)"
+# Both rows come from the same bench invocation (same machine state,
+# best-of-N), so this is a same-run overhead bound on the frame-stepped
+# core — one step() call plus one arbiter inspection per configuration —
+# not a cross-commit trend gate.
+new_stepped="$(sed -n 's/.*"engine": "stepped".*"states_per_sec": \([0-9.]*\).*/\1/p' BENCH_explorer.json | head -1)"
+if [[ -z "$new_stepped" ]]; then
+    echo "FAIL: BENCH_explorer.json is missing the stepped row" >&2
+    exit 1
+elif [[ "${TWOSTEP_BENCH_SKIP_GATE:-0}" == "1" ]]; then
+    echo "stepped gate skipped (TWOSTEP_BENCH_SKIP_GATE=1): stepped=$new_stepped states/sec"
+else
+    awk -v stepped="$new_stepped" -v serial="$new_serial" 'BEGIN {
+        floor = 0.9 * serial;
+        if (stepped < floor) {
+            printf "FAIL: frame-stepped driver overhead exceeds 10%%: %.1f states/sec vs serial %.1f (floor %.1f).\n", stepped, serial, floor;
+            exit 1;
+        }
+        printf "stepped gate OK: %.1f states/sec vs serial %.1f (floor %.1f)\n", stepped, serial, floor;
+    }' >&2 || exit 1
+fi
+
 echo "== perf smoke-gate (symmetry states/sec vs committed baseline, like mode vs like mode)"
 # Full-mode throughput is only comparable with Full-mode throughput (it
 # counts orbits, not raw states), so this row gets its own gate — armed
@@ -163,5 +185,47 @@ distinct="$(sed -n 's/.* distinct_states=\([0-9]*\).*/\1/p' <<<"$warm_result")"
 grep "^twostep-dist: cache cache_hits=$distinct fresh_states=0$" <<<"$warm_out" >/dev/null \
     || { echo "FAIL: warm run must be answered entirely by the cache" >&2; exit 1; }
 echo "cache OK: warm run reused all $distinct states"
+
+echo "== checkpoint/resume: deadline-interrupted then resumed partitioned run (quick)"
+CKPT_DIR="$(mktemp -d)"
+trap 'rm -rf "$CACHE_DIR" "$CKPT_DIR"' EXIT
+# An already-hopeless 1ms deadline over the whole pipeline: the run must
+# suspend (exit 3) at a phase boundary with a parseable line and a
+# resumable artifact, never a hard failure.
+set +e
+suspended_out="$(cargo run --release -q -p twostep-bench --bin twostep-dist -- \
+    --quick --partitions 2 --symmetry off --deadline-ms 1 --checkpoint-dir "$CKPT_DIR")"
+suspended_code=$?
+set -e
+if [[ "$suspended_code" != "3" ]]; then
+    echo "FAIL: deadline-budgeted run should suspend with exit 3, got $suspended_code" >&2
+    echo "$suspended_out" >&2
+    exit 1
+fi
+grep '^twostep-dist: suspended reason=deadline .*checkpoint=' <<<"$suspended_out" >/dev/null \
+    || { echo "FAIL: suspended run must print a parseable suspension line" >&2; exit 1; }
+[[ -f "$CKPT_DIR/manifest.twockpt" ]] \
+    || { echo "FAIL: suspension left no checkpoint manifest in $CKPT_DIR" >&2; exit 1; }
+# Resume without a deadline: the composed report must be byte-identical
+# to the uninterrupted run of the same system from earlier in this
+# script, and the consumed artifact must be gone.
+resumed_out="$(cargo run --release -q -p twostep-bench --bin twostep-dist -- \
+    --quick --partitions 2 --symmetry off --checkpoint-dir "$CKPT_DIR")"
+resumed_result="$(grep '^twostep-dist: result' <<<"$resumed_out")"
+uninterrupted_result="$(grep '^twostep-dist: result' <<<"$dist_off_out")"
+echo "resumed:       $resumed_result"
+echo "uninterrupted: $uninterrupted_result"
+if [[ "$resumed_result" != "$uninterrupted_result" ]]; then
+    echo "FAIL: resumed report differs from the uninterrupted one" >&2
+    exit 1
+fi
+if [[ -f "$CKPT_DIR/manifest.twockpt" ]]; then
+    echo "FAIL: successful resume must consume the checkpoint artifact" >&2
+    exit 1
+fi
+echo "checkpoint OK: suspended at reason=deadline, resumed to an identical report"
+
+echo "== allocation probe (plain and stepped drivers pinned to the allocs/state budget)"
+cargo run --release -q --example alloc_probe
 
 echo "CI OK"

@@ -7,7 +7,9 @@
 //!
 //! Usage: `twostep-dist [--quick] [--n N] [--t T] [--partitions K]
 //!                      [--depth D] [--worker-threads W] [--spill HOT]
-//!                      [--symmetry off|full] [--cache-dir DIR]`
+//!                      [--symmetry off|full] [--cache-dir DIR]
+//!                      [--max-steps S] [--deadline-ms MS]
+//!                      [--checkpoint-dir DIR]`
 //!
 //! * default — the `(6, 5)` speedup-bench system across 2 partitions;
 //! * `--quick` — the `(5, 4)` system (sub-second), used by `ci.sh`;
@@ -23,13 +25,25 @@
 //!   states are committed back as a delta segment.  Falls back to the
 //!   `TWOSTEP_CACHE_DIR` env var (same warn-on-garbage policy as
 //!   `TWOSTEP_THREADS`) when the flag is absent;
+//! * `--max-steps S` / `--deadline-ms MS` — walk budget for the whole
+//!   coordinator pipeline (the deadline clock covers seed, workers,
+//!   merge, and replay; workers walk unbounded).  Fall back to the
+//!   `TWOSTEP_MAX_STEPS` / `TWOSTEP_DEADLINE_MS` env vars.  A budgeted
+//!   run that suspends prints a parseable `twostep-dist: suspended`
+//!   line and exits with code 3;
+//! * `--checkpoint-dir DIR` — a suspended run serializes its partial
+//!   memo there; rerunning with the same directory (and a looser or no
+//!   budget) resumes to the bit-identical final report and consumes the
+//!   artifact;
 //! * worker processes are recognized by the `--dist-worker` argument
 //!   vector (see `twostep_bench::distcli`) — never pass it by hand.
 
 use std::path::PathBuf;
 
+use std::time::Duration;
+
 use twostep_bench::distcli::{maybe_run_dist_worker, run_partitioned_crw};
-use twostep_modelcheck::{cache_from_env, ExploreConfig, Symmetry};
+use twostep_modelcheck::{budget_from_env, cache_from_env, ExploreConfig, ExploreError, Symmetry};
 
 fn arg_value<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
     match args.iter().position(|a| a == flag) {
@@ -90,6 +104,34 @@ fn main() {
         },
         None => cache_from_env().map(|c| c.dir),
     };
+    // Flags override the TWOSTEP_MAX_STEPS / TWOSTEP_DEADLINE_MS env
+    // defaults; a flagless run inherits whatever the env resolved.
+    let mut budget = budget_from_env();
+    if let Some(i) = args.iter().position(|a| a == "--max-steps") {
+        match args.get(i + 1).and_then(|v| v.parse::<u64>().ok()) {
+            Some(steps) => budget.max_steps = Some(steps),
+            None => eprintln!("twostep-dist: --max-steps needs a step count; flag ignored"),
+        }
+    }
+    if let Some(i) = args.iter().position(|a| a == "--deadline-ms") {
+        match args.get(i + 1).and_then(|v| v.parse::<u64>().ok()) {
+            Some(ms) => budget.deadline = Some(Duration::from_millis(ms)),
+            None => eprintln!("twostep-dist: --deadline-ms needs milliseconds; flag ignored"),
+        }
+    }
+    let checkpoint_dir: Option<PathBuf> = match args.iter().position(|a| a == "--checkpoint-dir") {
+        Some(i) => match args.get(i + 1).filter(|v| !v.starts_with("--")) {
+            Some(dir) => Some(PathBuf::from(dir)),
+            None => {
+                eprintln!(
+                    "twostep-dist: --checkpoint-dir needs a directory; \
+                     a budget suspension would discard its partial work"
+                );
+                None
+            }
+        },
+        None => None,
+    };
 
     eprintln!(
         "twostep-dist: exploring ({n}, {t}) across {partitions} worker processes \
@@ -117,8 +159,27 @@ fn main() {
         50_000_000,
         symmetry,
         cache_dir,
+        budget,
+        checkpoint_dir,
     ) {
         Ok(run) => run,
+        Err(ExploreError::Interrupted {
+            reason,
+            checkpoint,
+            states,
+        }) => {
+            // Parseable suspension line + dedicated exit code, so a
+            // driving script can distinguish "budget ran out, resume
+            // me" from a real failure.
+            println!(
+                "twostep-dist: suspended reason={reason} states={states} checkpoint={}",
+                match &checkpoint {
+                    Some(dir) => dir.display().to_string(),
+                    None => "none".to_string(),
+                }
+            );
+            std::process::exit(3);
+        }
         Err(e) => {
             eprintln!("twostep-dist: {e}");
             std::process::exit(1);

@@ -23,8 +23,9 @@ use std::time::Instant;
 use twostep_core::crw_processes;
 use twostep_model::{SystemConfig, WideValue};
 use twostep_modelcheck::{
-    explore_partitioned_timed, run_worker, CacheConfig, DistOptions, DistTimings, ExploreConfig,
-    ExploreError, ExploreOptions, ExploreReport, MemoConfig, Symmetry, WorkerTask,
+    explore_partitioned_timed, run_worker, CacheConfig, CheckpointConfig, DistOptions, DistTimings,
+    ExploreConfig, ExploreError, ExploreOptions, ExploreReport, MemoConfig, Symmetry, WalkBudget,
+    WorkerTask,
 };
 
 /// Argv marker that switches a binary into worker mode.
@@ -285,7 +286,10 @@ fn parse_worker_timing(stdout: &str) -> Option<WorkerPhaseSeconds> {
 /// exported segments and replaying the canonical walk in this process.
 /// `cache_dir` enables the persistent result cache (read-write): the
 /// coordinator seeds itself and every worker from it, and commits the
-/// run's delta back.
+/// run's delta back.  `budget` governs the coordinator pipeline (the
+/// deadline clock spans seed, workers, merge, and replay; workers
+/// themselves walk unbounded) and `checkpoint_dir` makes a budget
+/// suspension resumable — rerun with the same directory to continue.
 #[allow(clippy::too_many_arguments)]
 pub fn run_partitioned_crw(
     n: usize,
@@ -297,6 +301,8 @@ pub fn run_partitioned_crw(
     max_states: usize,
     symmetry: Symmetry,
     cache_dir: Option<PathBuf>,
+    budget: WalkBudget,
+    checkpoint_dir: Option<PathBuf>,
 ) -> Result<DistRun, ExploreError> {
     let system = SystemConfig::new(n, t).expect("valid bench system");
     let proposals = bench_proposals(n);
@@ -313,7 +319,9 @@ pub fn run_partitioned_crw(
         depth,
         attempts: 3,
         scratch_dir: None,
-        replay: ExploreOptions::default(),
+        replay: ExploreOptions::default()
+            .with_budget(budget)
+            .with_checkpoint(checkpoint_dir.map(CheckpointConfig::at)),
         cache: cache_dir.map(CacheConfig::read_write),
     };
     // Last successful attempt's worker-side phase timings, per partition.

@@ -70,9 +70,11 @@ use twostep_sim::{run_tasks_with_retry, Stepper, TaskAttempt, TraceLevel};
 use twostep_model::codec::{stable_hash64, Canonicalizer};
 
 use crate::cache::{CacheConfig, CacheSession};
+use crate::checkpoint::{self, CheckpointLoad};
 use crate::explorer::{
-    build_report, canonical_key_into, walk_roots, CheckableProtocol, ExploreConfig, ExploreError,
-    ExploreOptions, ExploreReport, Shared, Symmetry, Walker,
+    build_report, canonical_key_into, suspend_to_checkpoint, walk_roots, BudgetKind,
+    CheckableProtocol, ExploreConfig, ExploreError, ExploreOptions, ExploreReport, Shared,
+    Symmetry, WalkBudget, WalkOutcome, Walker,
 };
 use crate::spill::{SpillCodec, SpillDir};
 
@@ -99,7 +101,16 @@ pub struct DistOptions {
     /// in-process workers of [`explore_partitioned_in_process`]).  The
     /// replay's own [`ExploreOptions::cache`] field is ignored — the
     /// partitioned engine's cache is configured by
-    /// [`DistOptions::cache`], which also seeds the workers.
+    /// [`DistOptions::cache`], which also seeds the workers.  The
+    /// replay's [`ExploreOptions::budget`] and
+    /// [`ExploreOptions::checkpoint`] *are* honored and govern the whole
+    /// pipeline: the deadline clock starts at coordinator entry and is
+    /// checked both at the worker/replay phase boundary and per replay
+    /// step, and a suspension checkpoints the coordinator memo — worker
+    /// results included — for a later resumed run (which re-seeds the
+    /// workers with it, so they skip everything already covered).
+    /// Workers themselves always walk unbounded; suspension is a
+    /// coordinator decision.
     pub replay: ExploreOptions,
     /// Persistent result cache ([`crate::cache`]).  When its
     /// fingerprint matches, the coordinator pre-seeds its own memo *and*
@@ -271,7 +282,18 @@ where
         .collect();
     let owned_len = owned.len();
     let walk_start = Instant::now();
-    walk_roots(&shared, engine.threads, owned)?;
+    // Workers walk unbounded: per-walk budgets belong to the
+    // coordinator, which owns the deadline clock and the checkpoint.
+    match walk_roots(
+        &shared,
+        engine.threads,
+        owned,
+        &WalkBudget::unlimited(),
+        walk_start,
+    )? {
+        WalkOutcome::Done(_) => {}
+        WalkOutcome::Suspended { .. } => unreachable!("an unbounded walk never suspends"),
+    }
     let walk_seconds = walk_start.elapsed().as_secs_f64();
     let export_start = Instant::now();
     let exported = shared.memo.export_delta(&task.export_path)?;
@@ -357,6 +379,9 @@ where
     P::Output: Hash + SpillCodec,
     L: Fn(&WorkerTask) -> Result<(), String> + Sync,
 {
+    // The deadline clock covers the whole pipeline — seed, workers,
+    // merge, replay — not just the replay walk.
+    let started = Instant::now();
     let partitions = options.partitions.max(1);
     let fingerprint = crate::cache::run_fingerprint(system, &config, &initial, &proposals);
     let mut session = CacheSession::open(options.cache.clone(), fingerprint);
@@ -379,29 +404,64 @@ where
     // is discarded whole — partial images silently shrink the report's
     // aggregates (see `CacheSession::seed`) — and replaced on commit.
     let seed_start = Instant::now();
-    let seed_path = match session.seed(&shared.memo, crate::memo::key_validator::<P>()) {
-        None => {
-            let initial = std::mem::take(&mut shared.initial);
-            shared = Shared::new(system, config, &options.replay, &proposals, initial)?;
-            None
-        }
-        Some(0) => None,
-        Some(_) => {
-            let mut segments = session.segments();
-            if segments.len() == 1 {
-                // The common warm case: one sealed image the coordinator
-                // just imported end to end.  Hand workers that very file
-                // (they only read it) instead of re-compressing and
-                // re-writing the whole image into the scratch dir.
-                segments.pop()
-            } else {
-                let path = scratch.path().join("seed.seg");
-                shared.memo.export_to(&path)?;
-                Some(path)
+    if session
+        .seed(&shared.memo, crate::memo::key_validator::<P>())
+        .is_none()
+    {
+        let initial = std::mem::take(&mut shared.initial);
+        shared = Shared::new(system, config, &options.replay, &proposals, initial)?;
+    }
+    // Checkpoint resume: a suspended earlier run's fresh delta imports
+    // as *fresh* (relative to the persistent cache it is exactly what
+    // that run added), so the final commit still writes a complete
+    // delta and `cache_hits` matches an uninterrupted run.
+    let mut resumed = 0u64;
+    if let Some(ckpt) = &options.replay.checkpoint {
+        match checkpoint::load_checkpoint(
+            ckpt,
+            fingerprint,
+            &shared.memo,
+            crate::memo::key_validator::<P>(),
+        ) {
+            CheckpointLoad::Loaded { records } => resumed = records,
+            CheckpointLoad::Absent => {}
+            CheckpointLoad::Broken => {
+                // All-or-nothing, like a broken cache: rebuild the memo
+                // whole and re-seed from the (still intact) cache.
+                let initial = std::mem::take(&mut shared.initial);
+                shared = Shared::new(system, config, &options.replay, &proposals, initial)?;
+                if session
+                    .seed(&shared.memo, crate::memo::key_validator::<P>())
+                    .is_none()
+                {
+                    let initial = std::mem::take(&mut shared.initial);
+                    shared = Shared::new(system, config, &options.replay, &proposals, initial)?;
+                }
             }
+        }
+    }
+    let seed_path = if shared.memo.len() == 0 {
+        None
+    } else {
+        let mut segments = session.segments();
+        if resumed == 0 && segments.len() == 1 {
+            // The common warm case: one sealed image the coordinator
+            // just imported end to end.  Hand workers that very file
+            // (they only read it) instead of re-compressing and
+            // re-writing the whole image into the scratch dir.  (With a
+            // resumed checkpoint in the memo the cache file alone would
+            // under-seed, so that case falls through to a full export.)
+            segments.pop()
+        } else {
+            let path = scratch.path().join("seed.seg");
+            shared.memo.export_to(&path)?;
+            Some(path)
         }
     };
     timings.seed_seconds = seed_start.elapsed().as_secs_f64();
+    // Fresh-progress baseline for the phase-boundary deadline check:
+    // suspending with nothing new memoized would make resume a no-op.
+    let session_baseline = shared.memo.len();
 
     let tasks: Vec<WorkerTask> = (0..partitions)
         .map(|partition| WorkerTask {
@@ -449,14 +509,60 @@ where
         }
     }
 
+    // Phase-boundary deadline: the worker phase is the long one and runs
+    // unbounded, so an expired deadline is honored *here*, before the
+    // replay — every merged worker result is fresh progress and rides
+    // into the checkpoint.
+    if let Some(deadline) = options.replay.budget.deadline {
+        if started.elapsed() >= deadline && shared.memo.len() > session_baseline {
+            return Err(suspend_to_checkpoint(
+                &shared,
+                options.replay.checkpoint.as_ref(),
+                fingerprint,
+                BudgetKind::Deadline,
+            ));
+        }
+    }
+
     let replay_start = Instant::now();
-    let mut summaries = walk_roots(&shared, options.replay.threads, vec![root])?;
-    let root_summary = summaries.pop().expect("one root, one summary");
+    let outcome = match walk_roots(
+        &shared,
+        options.replay.threads,
+        vec![root],
+        &options.replay.budget,
+        started,
+    ) {
+        // Same satellite rerouting as `explore_with`: with a checkpoint
+        // configured a `StateLimit` abort preserves the partial memo.
+        Err(ExploreError::StateLimit { .. }) if options.replay.checkpoint.is_some() => {
+            return Err(suspend_to_checkpoint(
+                &shared,
+                options.replay.checkpoint.as_ref(),
+                fingerprint,
+                BudgetKind::States,
+            ));
+        }
+        other => other?,
+    };
+    let root_summary = match outcome {
+        WalkOutcome::Done(mut summaries) => summaries.pop().expect("one root, one summary"),
+        WalkOutcome::Suspended { reason } => {
+            return Err(suspend_to_checkpoint(
+                &shared,
+                options.replay.checkpoint.as_ref(),
+                fingerprint,
+                reason,
+            ));
+        }
+    };
     timings.replay_seconds = replay_start.elapsed().as_secs_f64();
     let report_start = Instant::now();
     let report = build_report(&shared, root_summary)?;
     timings.report_seconds = report_start.elapsed().as_secs_f64();
     session.commit(&shared.memo);
+    if let Some(ckpt) = &options.replay.checkpoint {
+        checkpoint::consume_checkpoint(ckpt);
+    }
     Ok((report, timings))
 }
 

@@ -268,12 +268,57 @@
 //! queue is already closed.  No walker can keep expanding configurations
 //! or block on the queue after an abort, so the exploration call joins
 //! promptly and returns the first recorded failure (regression-tested at
-//! `threads = 4` in this module).
+//! `threads = 4` in this module).  When a checkpoint directory is
+//! configured ([`ExploreOptions::checkpoint`]), a `StateLimit` abort no
+//! longer discards the partial walk: the fresh memo image is serialized
+//! as a resumable checkpoint and the run returns
+//! [`ExploreError::Interrupted`] instead.
+//!
+//! ## Frame-stepped core
+//!
+//! The walker no longer owns its loop.  The DFS body lives in a
+//! `StepWalker` whose `step()` performs **exactly one bounded unit of
+//! work** — one configuration entry (memo probe / terminal evaluation /
+//! frame push) or one frame pop (memoizing insert) — and returns a
+//! [`StepResult`] envelope; every engine (serial, parallel stealers,
+//! spill, distributed workers and replay) is a thin *driver* looping
+//! over `step()`.  Three contracts make this preemption-safe:
+//!
+//! * **step law** — step *order* is exactly the owned loop's iteration
+//!   order (only loop ownership moved), so bit-identity of reports is
+//!   structural, not re-proven: any interleaving of `step()` calls
+//!   performs the same enters and the same canonical-order merges;
+//! * **arbiter contract** — after each unit the driver-supplied
+//!   [`Arbiter`] inspects a [`StepProgress`] snapshot and answers
+//!   [`StepVerdict::Allow`] (keep going), [`StepVerdict::Yield`] (a
+//!   cooperative scheduling point — the primary driver calls
+//!   `thread::yield_now`), or [`StepVerdict::Refuse`] with the exhausted
+//!   [`BudgetKind`] (steps, wall-clock deadline, memo bytes — the
+//!   distinct-state budget keeps its historical `enter()`-site check).
+//!   The built-in [`BudgetArbiter`] enforces a declarative
+//!   [`WalkBudget`] ([`ExploreOptions::budget`], env-resolvable via
+//!   `TWOSTEP_MAX_STEPS` / `TWOSTEP_DEADLINE_MS`).  A refusal is
+//!   honored only after the walk has memoized at least one *fresh*
+//!   configuration this session, so a resume chain always terminates in
+//!   at most `distinct_states` sessions even at `max_steps = 0`;
+//! * **checkpoint format** — suspension serializes the memo's fresh
+//!   delta through the existing v4 interchange segment
+//!   ([`crate::spill`]) plus a CRC'd, fingerprinted manifest
+//!   ([`crate::checkpoint`]).  No frontier frames are saved: memo
+//!   inserts happen only at frame pop or terminal entry, so any
+//!   quiescent memo image is **descendant-closed**, and a resumed run
+//!   simply re-drives the root walk, fast-forwarding through memo hits
+//!   until it reaches unexplored territory.  The resumed final report is
+//!   bit-identical to the uninterrupted one
+//!   (`tests/checkpoint_differential.rs`, plus a proptest composing
+//!   arbitrary step-budget partitions).
 
 use std::collections::HashMap;
 use std::hash::Hash;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use twostep_adversary::crash_outcomes_into;
 use twostep_model::codec::{stable_hash64, Canonicalizer};
@@ -285,6 +330,7 @@ use twostep_sim::{
 };
 
 use crate::cache::{CacheConfig, CacheSession};
+use crate::checkpoint::{self, CheckpointConfig, CheckpointLoad};
 use crate::memo::{key_round, MemoConfig, ShardedMemo};
 use crate::spill::{SpillCodec, SpillError};
 
@@ -509,6 +555,23 @@ pub struct ExploreOptions {
     /// results are identical with and without a cache — only speed
     /// changes.
     pub cache: Option<CacheConfig>,
+    /// Per-walk preemption budget enforced by the frame-stepped driver
+    /// (see the module docs).  An exhausted budget suspends the walk:
+    /// with a [`checkpoint`](Self::checkpoint) directory configured the
+    /// partial memo is serialized for resume; either way the call
+    /// returns [`ExploreError::Interrupted`].  Defaults to the
+    /// `TWOSTEP_MAX_STEPS` / `TWOSTEP_DEADLINE_MS` env vars when set
+    /// ([`budget_from_env`]); unlimited otherwise.  Results are
+    /// identical under every budget — an interrupted-then-resumed chain
+    /// converges to the uninterrupted report.
+    pub budget: WalkBudget,
+    /// Checkpoint directory for suspended walks ([`crate::checkpoint`]):
+    /// `Some` makes budget suspensions (and `StateLimit` aborts) write a
+    /// resumable fresh-delta segment there, and makes a later run with a
+    /// matching fingerprint resume from it (the artifact is consumed on
+    /// successful completion).  `None` (the default) keeps the
+    /// historical behavior: interrupts discard partial work.
+    pub checkpoint: Option<CheckpointConfig>,
 }
 
 impl Default for ExploreOptions {
@@ -519,6 +582,8 @@ impl Default for ExploreOptions {
             memo: MemoConfig::all_ram(),
             donate_depth: donate_depth_from_env(),
             cache: crate::cache::cache_from_env(),
+            budget: budget_from_env(),
+            checkpoint: None,
         }
     }
 }
@@ -532,6 +597,8 @@ impl ExploreOptions {
             memo: MemoConfig::all_ram(),
             donate_depth: None,
             cache: None,
+            budget: WalkBudget::unlimited(),
+            checkpoint: None,
         }
     }
 
@@ -559,6 +626,16 @@ impl ExploreOptions {
     /// The same engine with an explicit persistent-cache configuration.
     pub fn with_cache(self, cache: Option<CacheConfig>) -> Self {
         ExploreOptions { cache, ..self }
+    }
+
+    /// The same engine with an explicit per-walk budget.
+    pub fn with_budget(self, budget: WalkBudget) -> Self {
+        ExploreOptions { budget, ..self }
+    }
+
+    /// The same engine with an explicit checkpoint directory.
+    pub fn with_checkpoint(self, checkpoint: Option<CheckpointConfig>) -> Self {
+        ExploreOptions { checkpoint, ..self }
     }
 }
 
@@ -607,6 +684,259 @@ fn symmetry_from_env() -> Symmetry {
     }
 }
 
+/// Declarative per-walk budget enforced by the frame-stepped driver via
+/// [`BudgetArbiter`] (see the module docs' *Frame-stepped core* section).
+/// `None` everywhere (the [`WalkBudget::unlimited`] default) never
+/// suspends; any `Some` limit suspends the walk with
+/// [`ExploreError::Interrupted`] once exhausted *and* at least one fresh
+/// configuration has been memoized this session (the min-progress
+/// guarantee that makes resume chains terminate).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WalkBudget {
+    /// Maximum `step()` calls for this walk (`None` = unlimited).  A
+    /// step is one configuration entry or one frame pop, so this bounds
+    /// work, not states: memo hits count too.
+    pub max_steps: Option<u64>,
+    /// Wall-clock deadline measured from the start of the exploration
+    /// call (`None` = unlimited).  Checked cooperatively once per step —
+    /// overshoot is at most one configuration expansion.
+    pub deadline: Option<Duration>,
+    /// Approximate memo footprint ceiling in bytes (`None` = unlimited);
+    /// key bytes plus a flat per-record overhead, monotone over a run.
+    pub max_memo_bytes: Option<u64>,
+    /// Emit a cooperative [`StepVerdict::Yield`] every this many steps
+    /// (`None` = never).  The built-in drivers map it to
+    /// `thread::yield_now`; a scheduling server can park the walk
+    /// instead.  Results are unaffected.
+    pub yield_every: Option<u64>,
+}
+
+impl WalkBudget {
+    /// No limits: the walk runs to completion (the historical behavior).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Whether every limit is unset.
+    pub fn is_unlimited(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
+/// Which [`WalkBudget`] limit a refusal or [`ExploreError::Interrupted`]
+/// is attributed to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BudgetKind {
+    /// [`WalkBudget::max_steps`] exhausted.
+    Steps,
+    /// [`WalkBudget::deadline`] passed.
+    Deadline,
+    /// [`WalkBudget::max_memo_bytes`] exceeded.
+    MemoBytes,
+    /// The [`ExploreConfig::max_states`] distinct-state budget — routed
+    /// through the checkpoint path when one is configured.
+    States,
+}
+
+impl std::fmt::Display for BudgetKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BudgetKind::Steps => "steps",
+            BudgetKind::Deadline => "deadline",
+            BudgetKind::MemoBytes => "memo-bytes",
+            BudgetKind::States => "states",
+        })
+    }
+}
+
+/// Progress snapshot handed to an [`Arbiter`] after every step.
+#[derive(Clone, Copy, Debug)]
+pub struct StepProgress {
+    /// Steps performed by this walk so far (monotone).
+    pub steps: u64,
+    /// Current DFS stack depth — frames awaiting completion.
+    pub frontier_len: usize,
+    /// Distinct configurations memoized across the whole exploration
+    /// (all walkers), including cache/checkpoint seeds.
+    pub distinct_states: usize,
+    /// Approximate memo footprint in bytes (see
+    /// [`WalkBudget::max_memo_bytes`]).
+    pub memo_bytes: u64,
+}
+
+/// An [`Arbiter`]'s answer for one step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepVerdict {
+    /// Keep stepping.
+    Allow,
+    /// Cooperative scheduling point: the driver may deschedule the walk
+    /// and step again later; nothing about the walk changes.
+    Yield,
+    /// A budget is exhausted: the driver should suspend the walk
+    /// (honored after the min-progress guarantee, see [`WalkBudget`]).
+    Refuse(BudgetKind),
+}
+
+/// Policy hook consulted by a frame-stepped driver after every `step()`
+/// — the "arbiter" of the one-step-per-call law: the walker does one
+/// bounded unit, the arbiter says Allow/Yield/Refuse, the driver owns
+/// the loop.  Implementations must be cheap (called once per step on
+/// the hot path) and need not be deterministic: verdicts affect only
+/// *when* a walk suspends, never its result.
+pub trait Arbiter {
+    /// Verdict for the step that just completed.
+    fn inspect(&mut self, progress: &StepProgress) -> StepVerdict;
+}
+
+/// The trivial arbiter: always [`StepVerdict::Allow`].  Stealer threads
+/// and distributed workers drive with this — suspension is the primary
+/// (root) driver's decision.
+pub struct Unbounded;
+
+impl Arbiter for Unbounded {
+    fn inspect(&mut self, _progress: &StepProgress) -> StepVerdict {
+        StepVerdict::Allow
+    }
+}
+
+/// The built-in arbiter enforcing a [`WalkBudget`] against a fixed start
+/// instant.
+pub struct BudgetArbiter {
+    budget: WalkBudget,
+    started: Instant,
+}
+
+impl BudgetArbiter {
+    /// An arbiter whose deadline clock starts now.
+    pub fn new(budget: WalkBudget) -> Self {
+        Self::from_start(budget, Instant::now())
+    }
+
+    /// An arbiter measuring [`WalkBudget::deadline`] from an earlier
+    /// instant — e.g. the entry into a multi-phase pipeline, so seed and
+    /// worker phases count against the same clock.
+    pub fn from_start(budget: WalkBudget, started: Instant) -> Self {
+        BudgetArbiter { budget, started }
+    }
+}
+
+impl Arbiter for BudgetArbiter {
+    fn inspect(&mut self, progress: &StepProgress) -> StepVerdict {
+        if let Some(max) = self.budget.max_steps {
+            if progress.steps >= max {
+                return StepVerdict::Refuse(BudgetKind::Steps);
+            }
+        }
+        if let Some(max) = self.budget.max_memo_bytes {
+            if progress.memo_bytes >= max {
+                return StepVerdict::Refuse(BudgetKind::MemoBytes);
+            }
+        }
+        if let Some(deadline) = self.budget.deadline {
+            if self.started.elapsed() >= deadline {
+                return StepVerdict::Refuse(BudgetKind::Deadline);
+            }
+        }
+        if let Some(every) = self.budget.yield_every {
+            if every > 0 && progress.steps.is_multiple_of(every) {
+                return StepVerdict::Yield;
+            }
+        }
+        StepVerdict::Allow
+    }
+}
+
+/// What one `step()` call did — the uniform envelope every driver loops
+/// on.
+#[derive(Clone, Copy, Debug)]
+pub struct StepResult {
+    /// Whether the step pushed a new frame (a configuration expanded),
+    /// as opposed to a memo hit, terminal evaluation, or frame pop.
+    pub expanded: bool,
+    /// DFS stack depth after the step.
+    pub frontier_len: usize,
+    /// Distinct configurations memoized across the whole exploration.
+    pub distinct_states: usize,
+    /// Whether and why to keep stepping.
+    pub status: StepStatus,
+}
+
+/// Driver-facing status of a stepped walk after one `step()`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepStatus {
+    /// More work remains; step again.
+    Running,
+    /// Every root's subtree is fully memoized; the walk is complete.
+    Done,
+    /// The arbiter requested a cooperative yield; step again whenever
+    /// convenient.
+    Yielded,
+    /// The arbiter refused further work: the named budget is exhausted
+    /// and the driver should suspend the walk.
+    Refused(BudgetKind),
+}
+
+/// Pure resolver for `TWOSTEP_MAX_STEPS`: `None` in = unset = no limit;
+/// a non-numeric value yields `(None, Some(warning))` — same policy as
+/// `TWOSTEP_THREADS` (never silently ignored).  `0` is accepted: the
+/// min-progress guarantee still advances one fresh state per session.
+fn resolve_max_steps(raw: Option<&str>) -> (Option<u64>, Option<String>) {
+    let Some(raw) = raw else {
+        return (None, None);
+    };
+    match raw.trim().parse::<u64>() {
+        Ok(steps) => (Some(steps), None),
+        Err(_) => (
+            None,
+            Some(format!(
+                "twostep: TWOSTEP_MAX_STEPS={raw:?} is not a step count; walks are unbounded"
+            )),
+        ),
+    }
+}
+
+/// Pure resolver for `TWOSTEP_DEADLINE_MS` (milliseconds), same policy
+/// as [`resolve_max_steps`].
+fn resolve_deadline_ms(raw: Option<&str>) -> (Option<Duration>, Option<String>) {
+    let Some(raw) = raw else {
+        return (None, None);
+    };
+    match raw.trim().parse::<u64>() {
+        Ok(ms) => (Some(Duration::from_millis(ms)), None),
+        Err(_) => (
+            None,
+            Some(format!(
+                "twostep: TWOSTEP_DEADLINE_MS={raw:?} is not a millisecond count; \
+                 walks have no deadline"
+            )),
+        ),
+    }
+}
+
+/// Resolves the default [`WalkBudget`] from the `TWOSTEP_MAX_STEPS` /
+/// `TWOSTEP_DEADLINE_MS` env vars — unset means unlimited.  Same policy
+/// as `TWOSTEP_THREADS`: a set-but-unparseable value is never silently
+/// ignored (one-time stderr warning each, then the default).
+pub fn budget_from_env() -> WalkBudget {
+    let (max_steps, steps_warning) =
+        resolve_max_steps(std::env::var("TWOSTEP_MAX_STEPS").ok().as_deref());
+    if let Some(warning) = steps_warning {
+        static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+        WARN_ONCE.call_once(|| eprintln!("{warning}"));
+    }
+    let (deadline, deadline_warning) =
+        resolve_deadline_ms(std::env::var("TWOSTEP_DEADLINE_MS").ok().as_deref());
+    if let Some(warning) = deadline_warning {
+        static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+        WARN_ONCE.call_once(|| eprintln!("{warning}"));
+    }
+    WalkBudget {
+        max_steps,
+        deadline,
+        ..WalkBudget::unlimited()
+    }
+}
+
 /// Errors aborting an exploration.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum ExploreError {
@@ -640,6 +970,23 @@ pub enum ExploreError {
         /// What failed, human-readable.
         detail: String,
     },
+    /// The walk was suspended by an exhausted [`WalkBudget`] limit (or a
+    /// `StateLimit` rerouted through the checkpoint path).  Not a
+    /// failure: when [`checkpoint`](Self::Interrupted::checkpoint) is
+    /// `Some`, re-running the identical exploration with that checkpoint
+    /// directory configured resumes from the preserved partial memo and
+    /// converges to the uninterrupted report.
+    Interrupted {
+        /// Which budget suspended the walk.
+        reason: BudgetKind,
+        /// Directory holding the resumable artifact, when one was
+        /// written (`None`: no checkpoint configured, or writing it
+        /// failed — reported loudly on stderr).
+        checkpoint: Option<PathBuf>,
+        /// Distinct configurations memoized at suspension — all of them
+        /// preserved in the checkpoint.
+        states: usize,
+    },
 }
 
 impl From<SpillError> for ExploreError {
@@ -668,6 +1015,21 @@ impl std::fmt::Display for ExploreError {
             }
             ExploreError::Coordinator { detail } => {
                 write!(f, "distributed coordinator failure: {detail}")
+            }
+            ExploreError::Interrupted {
+                reason,
+                checkpoint,
+                states,
+            } => {
+                write!(
+                    f,
+                    "exploration suspended ({reason} budget exhausted) after {states} \
+                     distinct states; "
+                )?;
+                match checkpoint {
+                    Some(dir) => write!(f, "resumable checkpoint at {}", dir.display()),
+                    None => f.write_str("no checkpoint configured, partial work discarded"),
+                }
             }
         }
     }
@@ -1030,6 +1392,9 @@ where
     P: CheckableProtocol,
     P::Output: Hash + SpillCodec,
 {
+    // The deadline clock starts before seeding: the budget bounds the
+    // whole call, not just the walk.
+    let started = Instant::now();
     // Fingerprint before `initial` moves into the stepper; a stale or
     // absent cache is reported (loudly) by the session and ignored.
     let fingerprint = crate::cache::run_fingerprint(system, &config, &initial, &proposals);
@@ -1047,11 +1412,106 @@ where
         let initial = std::mem::take(&mut shared.initial);
         shared = Shared::new(system, config, &options, &proposals, initial)?;
     }
-    let mut summaries = walk_roots(&shared, options.threads, vec![root_stepper])?;
-    let root = summaries.pop().expect("one root, one summary");
-    let report = build_report(&shared, root)?;
-    session.commit(&shared.memo);
-    Ok(report)
+    if let Some(ckpt) = &options.checkpoint {
+        if matches!(
+            checkpoint::load_checkpoint(
+                ckpt,
+                fingerprint,
+                &shared.memo,
+                crate::memo::key_validator::<P>()
+            ),
+            CheckpointLoad::Broken
+        ) {
+            // Same all-or-nothing policy as a broken cache: a partial
+            // checkpoint import would silently shrink the census, so
+            // discard the memo whole and rebuild — re-seeding the cache,
+            // which survived (the session re-iterates its segments).
+            let initial = std::mem::take(&mut shared.initial);
+            shared = Shared::new(system, config, &options, &proposals, initial)?;
+            if session
+                .seed(&shared.memo, crate::memo::key_validator::<P>())
+                .is_none()
+            {
+                let initial = std::mem::take(&mut shared.initial);
+                shared = Shared::new(system, config, &options, &proposals, initial)?;
+            }
+        }
+    }
+    match walk_roots(
+        &shared,
+        options.threads,
+        vec![root_stepper],
+        &options.budget,
+        started,
+    ) {
+        Ok(WalkOutcome::Done(mut summaries)) => {
+            let root = summaries.pop().expect("one root, one summary");
+            let report = build_report(&shared, root)?;
+            session.commit(&shared.memo);
+            if let Some(ckpt) = &options.checkpoint {
+                checkpoint::consume_checkpoint(ckpt);
+            }
+            Ok(report)
+        }
+        Ok(WalkOutcome::Suspended { reason }) => Err(suspend_to_checkpoint(
+            &shared,
+            options.checkpoint.as_ref(),
+            fingerprint,
+            reason,
+        )),
+        // Satellite fix: a `StateLimit` abort no longer discards partial
+        // work when a checkpoint is configured — every memoized state
+        // survives for a resume with a raised budget.  Without a
+        // checkpoint the historical error is preserved exactly.
+        Err(ExploreError::StateLimit { .. }) if options.checkpoint.is_some() => {
+            Err(suspend_to_checkpoint(
+                &shared,
+                options.checkpoint.as_ref(),
+                fingerprint,
+                BudgetKind::States,
+            ))
+        }
+        Err(error) => Err(error),
+    }
+}
+
+/// Serializes the suspended walk's fresh memo delta (when a checkpoint
+/// directory is configured) and builds the [`ExploreError::Interrupted`]
+/// to return.  The exploration is quiescent here: every walker joined
+/// before [`walk_roots`] returned, so the memo image is
+/// descendant-closed (inserts happen only at frame pop / terminal
+/// entry).
+pub(crate) fn suspend_to_checkpoint<P>(
+    shared: &Shared<'_, P>,
+    config: Option<&CheckpointConfig>,
+    fingerprint: u64,
+    reason: BudgetKind,
+) -> ExploreError
+where
+    P: CheckableProtocol,
+    P::Output: Hash + SpillCodec,
+{
+    let states = shared.memo.len();
+    let written = config
+        .and_then(|ckpt| checkpoint::write_checkpoint(ckpt, fingerprint, reason, &shared.memo));
+    ExploreError::Interrupted {
+        reason,
+        checkpoint: written,
+        states,
+    }
+}
+
+/// How a [`walk_roots`] call ended when no error occurred.
+pub(crate) enum WalkOutcome<O> {
+    /// Every root fully memoized: one summary per root, in order.
+    Done(Vec<Arc<Summary<O>>>),
+    /// The budget arbiter suspended the walk after it made fresh
+    /// progress.  The memo holds a descendant-closed partial image; the
+    /// caller decides whether to checkpoint it.
+    Suspended {
+        /// Which budget limit was exhausted.
+        reason: BudgetKind,
+    },
 }
 
 /// Walks every subtree in `roots` (in order, each fully memoized) with
@@ -1063,16 +1523,25 @@ where
 /// one distributed worker ([`crate::dist`]) — and the memo inside
 /// `shared` may be pre-seeded with summaries computed elsewhere; a walk
 /// simply finds those subtrees already answered.
+///
+/// The primary walker is driven one step at a time through a
+/// [`BudgetArbiter`] over `budget` (deadline measured from `started`):
+/// a refusal — once the walk has memoized at least one fresh
+/// configuration — halts every walker and returns
+/// [`WalkOutcome::Suspended`].  Pass [`WalkBudget::unlimited`] for the
+/// historical run-to-completion behavior.
 pub(crate) fn walk_roots<P>(
     shared: &Shared<'_, P>,
     threads: usize,
     roots: Vec<Stepper<P>>,
-) -> Result<Vec<Arc<Summary<P::Output>>>, ExploreError>
+    budget: &WalkBudget,
+    started: Instant,
+) -> Result<WalkOutcome<P::Output>, ExploreError>
 where
     P: CheckableProtocol,
     P::Output: Hash + SpillCodec,
 {
-    type Slot<O> = Mutex<Option<Result<Vec<Arc<Summary<O>>>, Interrupt>>>;
+    type Slot<O> = Mutex<Option<Result<WalkOutcome<O>, Interrupt>>>;
     let threads = threads.max(1);
     let result_slot: Slot<P::Output> = Mutex::new(None);
     // Handed to worker 0 through a mutex so the closure only needs the
@@ -1091,30 +1560,25 @@ where
                 .take()
                 .expect("roots taken once");
             let mut walker = Walker::new(shared);
-            let mut summaries = Vec::with_capacity(roots.len());
-            let mut failed = None;
-            for root in roots {
-                match walker.explore_subtree(root) {
-                    Ok(summary) => summaries.push(summary),
-                    Err(interrupt) => {
-                        failed = Some(interrupt);
-                        break;
-                    }
-                }
-            }
-            *result_slot.lock().expect("result slot poisoned") = Some(match failed {
-                None => Ok(summaries),
-                Some(interrupt) => Err(interrupt),
-            });
+            let outcome = drive_primary(&mut walker, roots, budget, started);
+            *result_slot.lock().expect("result slot poisoned") = Some(outcome);
         } else {
-            // Stealer: drain donated subtrees into the shared memo.  A
-            // failing walk already recorded its error and signalled the
-            // abort at the failure site (`Shared::fail`), so both
-            // interrupt flavors are discarded here.
+            // Stealer: drain donated subtrees into the shared memo,
+            // stepping unbounded — suspension is the primary's call; a
+            // suspending primary halts stealers through the stop flag
+            // exactly like an abort.  A failing walk already recorded
+            // its error and signalled the abort at the failure site
+            // (`Shared::fail`), so both interrupt flavors are discarded
+            // here.
             let mut walker = Walker::new(shared);
             while let Some(job) = shared.queue.pop_wait() {
-                match walker.explore_subtree(job) {
-                    Ok(_) | Err(Interrupt::Stopped) | Err(Interrupt::Failed(_)) => {}
+                let mut stepped = StepWalker::new(&mut walker, vec![job]);
+                loop {
+                    match stepped.step(&mut Unbounded) {
+                        Ok(step) if step.status == StepStatus::Done => break,
+                        Ok(_) => {}
+                        Err(Interrupt::Stopped) | Err(Interrupt::Failed(_)) => break,
+                    }
                 }
             }
         }
@@ -1125,7 +1589,7 @@ where
         .expect("result slot poisoned")
         .expect("primary walker always reports")
     {
-        Ok(summaries) => Ok(summaries),
+        Ok(outcome) => Ok(outcome),
         Err(Interrupt::Failed(error)) => Err(error),
         Err(Interrupt::Stopped) => {
             // The primary walker only observes a stop signal when a
@@ -1136,6 +1600,49 @@ where
                 .expect("failure slot poisoned")
                 .clone()
                 .expect("stop without failure"))
+        }
+    }
+}
+
+/// The primary driver loop: steps the walk under a [`BudgetArbiter`],
+/// yielding cooperatively and honoring refusals only after fresh
+/// progress (the min-progress guarantee — resuming at `max_steps = 0`
+/// still memoizes at least one new configuration per session, so a
+/// resume chain terminates in at most `distinct_states` sessions).
+fn drive_primary<P>(
+    walker: &mut Walker<'_, '_, P>,
+    roots: Vec<Stepper<P>>,
+    budget: &WalkBudget,
+    started: Instant,
+) -> Result<WalkOutcome<P::Output>, Interrupt>
+where
+    P: CheckableProtocol,
+    P::Output: Hash + SpillCodec,
+{
+    let shared = walker.shared;
+    // Fresh-progress baseline: everything memoized before this walk
+    // (cache seeds, checkpoint imports, earlier phases) doesn't count.
+    let baseline = shared.memo.len();
+    let mut arbiter = BudgetArbiter::from_start(budget.clone(), started);
+    let mut stepped = StepWalker::new(walker, roots);
+    loop {
+        let step = stepped.step(&mut arbiter)?;
+        match step.status {
+            StepStatus::Running => {}
+            StepStatus::Done => return Ok(WalkOutcome::Done(stepped.into_summaries())),
+            StepStatus::Yielded => std::thread::yield_now(),
+            StepStatus::Refused(reason) => {
+                if step.distinct_states > baseline {
+                    // Halt stealers mid-subtree (their completed inserts
+                    // are closed; partial frames are discarded) and
+                    // report the suspension once they join.
+                    shared.halt();
+                    return Ok(WalkOutcome::Suspended { reason });
+                }
+                // No fresh state memoized yet this session: honoring the
+                // refusal now would make resume a no-op loop.  Keep
+                // stepping until the walk has something to show.
+            }
         }
     }
 }
@@ -1196,7 +1703,7 @@ impl<T> Drop for QueueCloser<'_, T> {
 
 /// Why a walker stopped before finishing its subtree.
 #[derive(Clone, Debug)]
-enum Interrupt {
+pub(crate) enum Interrupt {
     /// A real error: propagate to the caller.
     Failed(ExploreError),
     /// Another worker failed (or the run is over); discard quietly.
@@ -1282,6 +1789,15 @@ where
         self.queue.close();
         Interrupt::Failed(error)
     }
+
+    /// Halts every walker *without* recording a failure — the suspension
+    /// path: same cancel flag and queue close as [`Self::fail`], so
+    /// stealers bail at their next configuration entry and parked
+    /// workers wake immediately, but the run is suspended, not failed.
+    fn halt(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        self.queue.close();
+    }
 }
 
 /// One exploration walker: an explicit DFS stack plus reusable scratch
@@ -1357,6 +1873,144 @@ where
     Expanded,
 }
 
+/// The frame-stepped walker core: one bounded unit of DFS work per
+/// [`step`](Self::step) call, driver owns the loop (module docs,
+/// *Frame-stepped core*).  Borrows a [`Walker`] so its scratch pools
+/// survive across jobs — a stealer reuses one walker for every donated
+/// subtree it drives.
+///
+/// A *step* is exactly one iteration of the historical owned loop: the
+/// entry of the next configuration (memo probe / terminal evaluation /
+/// frame push, child or next root) or the pop of a completed frame
+/// (memoizing insert).  Step order is therefore identical to the owned
+/// loop's — bit-identity of the final report is structural.
+pub(crate) struct StepWalker<'w, 's, 'a, P>
+where
+    P: CheckableProtocol,
+    P::Output: Hash,
+{
+    walker: &'w mut Walker<'s, 'a, P>,
+    stack: Vec<Frame<P>>,
+    /// A just-completed child's summary, absorbed into the parent frame
+    /// at the start of the next step.
+    pending: Option<Arc<Summary<P::Output>>>,
+    /// Roots not yet entered; the next one starts when the stack drains.
+    roots: std::vec::IntoIter<Stepper<P>>,
+    /// Completed roots' summaries, in root order.
+    summaries: Vec<Arc<Summary<P::Output>>>,
+    steps: u64,
+}
+
+impl<'w, 's, 'a, P> StepWalker<'w, 's, 'a, P>
+where
+    P: CheckableProtocol,
+    P::Output: Hash + SpillCodec,
+{
+    pub(crate) fn new(walker: &'w mut Walker<'s, 'a, P>, roots: Vec<Stepper<P>>) -> Self {
+        let summaries = Vec::with_capacity(roots.len());
+        StepWalker {
+            walker,
+            stack: Vec::new(),
+            pending: None,
+            roots: roots.into_iter(),
+            summaries,
+            steps: 0,
+        }
+    }
+
+    /// Performs one bounded unit of work, then (unless the walk just
+    /// finished) asks `arbiter` whether to continue.  Errors carry the
+    /// usual interrupt protocol — the failure site has already signalled
+    /// the abort.
+    pub(crate) fn step(&mut self, arbiter: &mut impl Arbiter) -> Result<StepResult, Interrupt> {
+        let mut expanded = false;
+        if self.stack.is_empty() {
+            let Some(root) = self.roots.next() else {
+                return Ok(StepResult {
+                    expanded: false,
+                    frontier_len: 0,
+                    distinct_states: self.walker.shared.memo.len(),
+                    status: StepStatus::Done,
+                });
+            };
+            match self.walker.enter(root, &mut self.stack)? {
+                Entered::Ready(summary, stepper) => {
+                    self.walker.stepper_pool.push(stepper);
+                    self.summaries.push(summary);
+                }
+                Entered::Expanded => expanded = true,
+            }
+        } else {
+            let frame = self.stack.last_mut().expect("non-empty stack in DFS loop");
+            if let Some(child_summary) = self.pending.take() {
+                frame.acc.absorb(&child_summary);
+            }
+            if frame.next_action < frame.actions.len() {
+                let idx = frame.next_action;
+                frame.next_action += 1;
+                let mut child = self.walker.fork(&frame.stepper);
+                child
+                    .step(&frame.actions[idx])
+                    .map_err(|e| self.walker.shared.fail(ExploreError::Engine(e)))?;
+                match self.walker.enter(child, &mut self.stack)? {
+                    Entered::Ready(summary, stepper) => {
+                        self.walker.stepper_pool.push(stepper);
+                        self.pending = Some(summary);
+                    }
+                    Entered::Expanded => expanded = true,
+                }
+            } else {
+                let done = self.stack.pop().expect("popping the completed frame");
+                let summary = self
+                    .walker
+                    .shared
+                    .memo
+                    .insert(done.hash, &done.key, Arc::new(done.acc))
+                    .map_err(|e| self.walker.shared.fail(e.into()))?;
+                self.walker.recycle(done.key, done.actions);
+                self.walker.stepper_pool.push(done.stepper);
+                if self.stack.is_empty() {
+                    self.summaries.push(summary);
+                    self.pending = None;
+                } else {
+                    self.pending = Some(summary);
+                }
+            }
+        }
+        self.steps += 1;
+
+        let shared = self.walker.shared;
+        let frontier_len = self.stack.len();
+        let distinct_states = shared.memo.len();
+        let status = if frontier_len == 0 && self.roots.as_slice().is_empty() {
+            StepStatus::Done
+        } else {
+            match arbiter.inspect(&StepProgress {
+                steps: self.steps,
+                frontier_len,
+                distinct_states,
+                memo_bytes: shared.memo.approx_bytes(),
+            }) {
+                StepVerdict::Allow => StepStatus::Running,
+                StepVerdict::Yield => StepStatus::Yielded,
+                StepVerdict::Refuse(kind) => StepStatus::Refused(kind),
+            }
+        };
+        Ok(StepResult {
+            expanded,
+            frontier_len,
+            distinct_states,
+            status,
+        })
+    }
+
+    /// The completed walk's summaries, one per root in root order.  Only
+    /// meaningful after a [`StepStatus::Done`].
+    pub(crate) fn into_summaries(self) -> Vec<Arc<Summary<P::Output>>> {
+        self.summaries
+    }
+}
+
 impl<'s, 'a, P> Walker<'s, 'a, P>
 where
     P: CheckableProtocol,
@@ -1399,56 +2053,6 @@ where
                 stepper
             }
             None => parent.clone(),
-        }
-    }
-
-    /// Fully explores the subtree rooted at `root`, memoizing every
-    /// configuration in it, and returns its summary.
-    fn explore_subtree(&mut self, root: Stepper<P>) -> Result<Arc<Summary<P::Output>>, Interrupt> {
-        let mut stack: Vec<Frame<P>> = Vec::new();
-        let mut pending: Option<Arc<Summary<P::Output>>> = None;
-
-        match self.enter(root, &mut stack)? {
-            Entered::Ready(summary, stepper) => {
-                self.stepper_pool.push(stepper);
-                return Ok(summary);
-            }
-            Entered::Expanded => {}
-        }
-
-        loop {
-            let frame = stack.last_mut().expect("non-empty stack in DFS loop");
-            if let Some(child_summary) = pending.take() {
-                frame.acc.absorb(&child_summary);
-            }
-            if frame.next_action < frame.actions.len() {
-                let idx = frame.next_action;
-                frame.next_action += 1;
-                let mut child = self.fork(&frame.stepper);
-                child
-                    .step(&frame.actions[idx])
-                    .map_err(|e| self.shared.fail(ExploreError::Engine(e)))?;
-                match self.enter(child, &mut stack)? {
-                    Entered::Ready(summary, stepper) => {
-                        self.stepper_pool.push(stepper);
-                        pending = Some(summary);
-                    }
-                    Entered::Expanded => {}
-                }
-            } else {
-                let done = stack.pop().expect("popping the completed frame");
-                let summary = self
-                    .shared
-                    .memo
-                    .insert(done.hash, &done.key, Arc::new(done.acc))
-                    .map_err(|e| self.shared.fail(e.into()))?;
-                self.recycle(done.key, done.actions);
-                self.stepper_pool.push(done.stepper);
-                if stack.is_empty() {
-                    return Ok(summary);
-                }
-                pending = Some(summary);
-            }
         }
     }
 
@@ -2064,6 +2668,8 @@ mod tests {
                         memo: MemoConfig::all_ram(),
                         donate_depth: None,
                         cache: None,
+                        budget: WalkBudget::unlimited(),
+                        checkpoint: None,
                     },
                     procs.clone(),
                     proposals.clone(),
@@ -2196,6 +2802,8 @@ mod tests {
                     memo: MemoConfig::spill(16),
                     donate_depth: None,
                     cache: None,
+                    budget: WalkBudget::unlimited(),
+                    checkpoint: None,
                 },
                 procs.clone(),
                 proposals.clone(),
@@ -2687,5 +3295,189 @@ mod tests {
         let wp = spilled.witness.expect("spilled witness");
         assert_eq!(format!("{:?}", ws.schedule), format!("{:?}", wp.schedule));
         assert_eq!(ws.decisions, wp.decisions);
+    }
+
+    /// Budget env resolvers: unset is unlimited, digits parse, and
+    /// garbage warns instead of being silently ignored — the
+    /// `resolve_threads` policy.
+    #[test]
+    fn budget_resolvers_follow_the_warn_once_policy() {
+        assert_eq!(resolve_max_steps(None), (None, None));
+        assert_eq!(resolve_max_steps(Some("123")), (Some(123), None));
+        assert_eq!(resolve_max_steps(Some(" 7 ")), (Some(7), None));
+        assert_eq!(resolve_max_steps(Some("0")), (Some(0), None));
+        let (steps, warning) = resolve_max_steps(Some("soon"));
+        assert_eq!(steps, None);
+        assert!(warning.unwrap().contains("TWOSTEP_MAX_STEPS=\"soon\""));
+        let (steps, warning) = resolve_max_steps(Some("-3"));
+        assert_eq!(steps, None);
+        assert!(warning.is_some());
+
+        assert_eq!(resolve_deadline_ms(None), (None, None));
+        assert_eq!(
+            resolve_deadline_ms(Some("250")),
+            (Some(Duration::from_millis(250)), None)
+        );
+        let (deadline, warning) = resolve_deadline_ms(Some("1.5s"));
+        assert_eq!(deadline, None);
+        assert!(warning.unwrap().contains("TWOSTEP_DEADLINE_MS=\"1.5s\""));
+    }
+
+    #[test]
+    fn unlimited_budget_is_unlimited() {
+        assert!(WalkBudget::unlimited().is_unlimited());
+        let budget = WalkBudget {
+            max_steps: Some(1),
+            ..WalkBudget::unlimited()
+        };
+        assert!(!budget.is_unlimited());
+    }
+
+    /// An exhausted step budget with no checkpoint configured suspends
+    /// with `checkpoint: None` — the partial work is discarded but the
+    /// error still names the budget and the progress made.  The
+    /// min-progress guarantee means even `max_steps: 0` memoizes at
+    /// least one fresh configuration before suspending.
+    #[test]
+    fn step_budget_without_checkpoint_interrupts() {
+        let system = SystemConfig::new(3, 2).unwrap();
+        let (procs, proposals) = flooder_procs(3);
+        let err = explore_with(
+            system,
+            options(3, 2_000_000),
+            ExploreOptions::serial().with_budget(WalkBudget {
+                max_steps: Some(0),
+                ..WalkBudget::unlimited()
+            }),
+            procs,
+            proposals,
+        )
+        .unwrap_err();
+        match err {
+            ExploreError::Interrupted {
+                reason,
+                checkpoint,
+                states,
+            } => {
+                assert_eq!(reason, BudgetKind::Steps);
+                assert_eq!(checkpoint, None);
+                assert!(states >= 1, "min-progress: at least one fresh state");
+            }
+            other => panic!("expected Interrupted, got {other:?}"),
+        }
+    }
+
+    /// An already-expired deadline suspends promptly and is attributed
+    /// to the deadline budget.
+    #[test]
+    fn expired_deadline_interrupts() {
+        let system = SystemConfig::new(3, 2).unwrap();
+        let (procs, proposals) = flooder_procs(3);
+        let err = explore_with(
+            system,
+            options(3, 2_000_000),
+            ExploreOptions::serial().with_budget(WalkBudget {
+                deadline: Some(Duration::ZERO),
+                ..WalkBudget::unlimited()
+            }),
+            procs,
+            proposals,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ExploreError::Interrupted {
+                    reason: BudgetKind::Deadline,
+                    checkpoint: None,
+                    ..
+                }
+            ),
+            "got {err:?}"
+        );
+    }
+
+    /// A one-byte memo ceiling trips as soon as anything is memoized.
+    #[test]
+    fn memo_byte_ceiling_interrupts() {
+        let system = SystemConfig::new(3, 2).unwrap();
+        let (procs, proposals) = flooder_procs(3);
+        let err = explore_with(
+            system,
+            options(3, 2_000_000),
+            ExploreOptions::serial().with_budget(WalkBudget {
+                max_memo_bytes: Some(1),
+                ..WalkBudget::unlimited()
+            }),
+            procs,
+            proposals,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ExploreError::Interrupted {
+                    reason: BudgetKind::MemoBytes,
+                    ..
+                }
+            ),
+            "got {err:?}"
+        );
+    }
+
+    /// Cooperative yields are scheduling-only: a walk that yields every
+    /// step produces the bit-identical report.
+    #[test]
+    fn yield_every_step_changes_nothing() {
+        let system = SystemConfig::new(3, 2).unwrap();
+        let (procs, proposals) = flooder_procs(3);
+        let plain = explore(
+            system,
+            options(3, 2_000_000),
+            procs.clone(),
+            proposals.clone(),
+        )
+        .unwrap();
+        let yielding = explore_with(
+            system,
+            options(3, 2_000_000),
+            ExploreOptions::serial().with_budget(WalkBudget {
+                yield_every: Some(1),
+                ..WalkBudget::unlimited()
+            }),
+            procs,
+            proposals,
+        )
+        .unwrap();
+        assert_reports_identical(&plain, &yielding, "yield-every-step");
+    }
+
+    /// A generous budget that never trips must not perturb the walk:
+    /// same report, same state count, same census.
+    #[test]
+    fn non_tripping_budget_is_bit_identical() {
+        let system = SystemConfig::new(3, 2).unwrap();
+        let (procs, proposals) = flooder_procs(3);
+        let plain = explore(
+            system,
+            options(3, 2_000_000),
+            procs.clone(),
+            proposals.clone(),
+        )
+        .unwrap();
+        let budgeted = explore_with(
+            system,
+            options(3, 2_000_000),
+            ExploreOptions::serial().with_budget(WalkBudget {
+                max_steps: Some(u64::MAX),
+                deadline: Some(Duration::from_secs(86_400)),
+                max_memo_bytes: Some(u64::MAX),
+                yield_every: None,
+            }),
+            procs,
+            proposals,
+        )
+        .unwrap();
+        assert_reports_identical(&plain, &budgeted, "non-tripping budget");
     }
 }

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod checkpoint;
 pub mod dist;
 pub mod explorer;
 pub mod memo;
@@ -51,13 +52,15 @@ pub mod sample;
 pub mod spill;
 
 pub use cache::{cache_from_env, run_fingerprint, CacheConfig, CacheMode};
+pub use checkpoint::CheckpointConfig;
 pub use dist::{
     explore_partitioned, explore_partitioned_in_process, explore_partitioned_timed, run_worker,
     DistOptions, DistTimings, WorkerReport, WorkerTask,
 };
 pub use explorer::{
-    explore, explore_with, CheckableProtocol, ExploreConfig, ExploreError, ExploreOptions,
-    ExploreReport, RoundBound, SpecMode, Summary, Symmetry, Witness,
+    budget_from_env, explore, explore_with, Arbiter, BudgetArbiter, BudgetKind, CheckableProtocol,
+    ExploreConfig, ExploreError, ExploreOptions, ExploreReport, RoundBound, SpecMode, StepProgress,
+    StepResult, StepStatus, StepVerdict, Summary, Symmetry, Unbounded, WalkBudget, Witness,
 };
 pub use memo::MemoConfig;
 pub use sample::{sample, SampleConfig, SampleReport, SampleStrategy, SampleViolation};

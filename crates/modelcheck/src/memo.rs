@@ -58,7 +58,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::hash::{BuildHasherDefault, Hasher};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 
 use twostep_model::codec::stable_hash64;
@@ -513,6 +513,11 @@ pub(crate) struct ShardedMemo<O> {
     /// entries this run computed (or imported as another run's delta).
     /// `distinct - seeded` is the delta [`Self::export_delta`] writes.
     seeded: AtomicUsize,
+    /// Approximate resident-plus-spilled footprint in bytes: per distinct
+    /// entry, its key length plus a flat per-record overhead.  Kept as a
+    /// relaxed counter so the frame-stepped arbiter can enforce a
+    /// `max_memo_bytes` budget without walking the shards.
+    approx_bytes: AtomicU64,
     /// Hot entries allowed per shard; `usize::MAX` = unbounded (no spill).
     per_shard_hot: usize,
     /// Owns the on-disk spill directory; dropped (and removed) with the
@@ -544,6 +549,7 @@ where
             shards: shard_vec,
             distinct: AtomicUsize::new(0),
             seeded: AtomicUsize::new(0),
+            approx_bytes: AtomicU64::new(0),
             per_shard_hot,
             _spill_dir: spill_dir,
         })
@@ -647,6 +653,11 @@ where
             self.per_shard_hot,
         )?;
         self.distinct.fetch_add(1, Ordering::Relaxed);
+        // Flat per-record estimate: key bytes + entry bookkeeping (Arc
+        // headers, hash, bucket slot).  The budget this feeds is a soft
+        // limit, so "approximately right, always monotone" is enough.
+        self.approx_bytes
+            .fetch_add(key.len() as u64 + 64, Ordering::Relaxed);
         if !fresh {
             self.seeded.fetch_add(1, Ordering::Relaxed);
         }
@@ -662,6 +673,12 @@ where
     /// [`Self::import_seed_from`] — the persistent cache's contribution.
     pub(crate) fn seeded_len(&self) -> usize {
         self.seeded.load(Ordering::Relaxed)
+    }
+
+    /// Approximate total footprint of the memo in bytes (see
+    /// [`ShardedMemo::approx_bytes`]'s field docs).  Monotone over a run.
+    pub(crate) fn approx_bytes(&self) -> u64 {
+        self.approx_bytes.load(Ordering::Relaxed)
     }
 
     /// Visits every memoized entry as `(key bytes, summary)`, rehydrating

@@ -21,7 +21,7 @@ use twostep_model::{ProcessId, SystemConfig, WideValue};
 use twostep_modelcheck::{
     explore_partitioned_in_process, explore_with, validate_segment_file, CacheConfig, CacheMode,
     DistOptions, ExploreConfig, ExploreOptions, ExploreReport, MemoConfig, RoundBound, SpecMode,
-    SpillError, Symmetry,
+    SpillError, Symmetry, WalkBudget,
 };
 use twostep_sim::ModelKind;
 
@@ -80,6 +80,8 @@ fn engines() -> Vec<(&'static str, ExploreOptions)> {
                 memo: MemoConfig::all_ram(),
                 donate_depth: None,
                 cache: None,
+                budget: WalkBudget::unlimited(),
+                checkpoint: None,
             },
         ),
         (

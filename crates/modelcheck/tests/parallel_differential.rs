@@ -17,7 +17,7 @@ use twostep_core::crw_processes;
 use twostep_model::{SystemConfig, WideValue};
 use twostep_modelcheck::{
     explore, explore_with, ExploreConfig, ExploreOptions, ExploreReport, MemoConfig, RoundBound,
-    SpecMode, Symmetry,
+    SpecMode, Symmetry, WalkBudget,
 };
 use twostep_sim::ModelKind;
 
@@ -90,6 +90,8 @@ fn extended_model_crw_parallel_equals_serial() {
                     memo: MemoConfig::all_ram(),
                     donate_depth: None,
                     cache: None,
+                    budget: WalkBudget::unlimited(),
+                    checkpoint: None,
                 },
                 crw_processes(&system, &proposals),
                 proposals.clone(),
@@ -135,6 +137,8 @@ fn classic_model_floodset_parallel_equals_serial() {
                     memo: MemoConfig::all_ram(),
                     donate_depth: None,
                     cache: None,
+                    budget: WalkBudget::unlimited(),
+                    checkpoint: None,
                 },
                 floodset_processes(n, t, &proposals),
                 proposals.clone(),

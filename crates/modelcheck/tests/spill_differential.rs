@@ -16,7 +16,7 @@ use twostep_core::crw_processes;
 use twostep_model::{SystemConfig, WideValue};
 use twostep_modelcheck::{
     explore_with, ExploreConfig, ExploreOptions, ExploreReport, MemoConfig, RoundBound, SpecMode,
-    Symmetry,
+    Symmetry, WalkBudget,
 };
 use twostep_sim::ModelKind;
 
@@ -89,6 +89,8 @@ fn extended_model_crw_spill_equals_ram() {
                         memo,
                         donate_depth: None,
                         cache: None,
+                        budget: WalkBudget::unlimited(),
+                        checkpoint: None,
                     },
                     crw_processes(&system, &proposals),
                     proposals.clone(),
@@ -136,6 +138,8 @@ fn classic_model_floodset_spill_equals_ram() {
                     memo: MemoConfig::spill(HOT_CAPACITY),
                     donate_depth: None,
                     cache: None,
+                    budget: WalkBudget::unlimited(),
+                    checkpoint: None,
                 },
                 floodset_processes(n, t, &proposals),
                 proposals.clone(),

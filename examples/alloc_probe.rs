@@ -1,12 +1,19 @@
 //! Hot-path allocation probe: runs the serial exhaustive CRW
 //! exploration under a counting global allocator and reports total
-//! heap allocations alongside best-of-6 distinct-states/sec.
+//! heap allocations alongside best-of-6 distinct-states/sec — for the
+//! plain serial driver *and* for the frame-stepped driver with a
+//! never-tripping budget arbiter.
 //!
 //! This is the measurement harness behind the explorer's hot-path
-//! budget ("the inner loop allocates nothing in steady state"): watch
-//! `allocs_total` when touching the walker, the stepper fork path, or
-//! the memo — a regression shows up here as thousands of extra
-//! allocations long before it is visible in wall-clock noise.
+//! budget ("the inner loop allocates nothing in steady state", ~7
+//! allocations per distinct state end to end): watch `allocs_total`
+//! when touching the walker, the stepper fork path, or the memo — a
+//! regression shows up here as thousands of extra allocations long
+//! before it is visible in wall-clock noise.  The probe *pins* both
+//! budgets: each driver stays under 8 allocs/state, and the stepped
+//! driver stays within 10% (+64 fixed) of the plain one — one `step()`
+//! call per configuration must not buy its bookkeeping with heap
+//! traffic.
 //!
 //! Usage: `cargo run --release --example alloc_probe` (set
 //! `TWOSTEP_BENCH_N`/`TWOSTEP_BENCH_T` to change the system).
@@ -34,15 +41,44 @@ unsafe impl GlobalAlloc for Counting {
 #[global_allocator]
 static COUNTING: Counting = Counting;
 
+use std::time::Duration;
+
 use twostep_core::crw_processes;
 use twostep_model::{SystemConfig, WideValue};
-use twostep_modelcheck::{explore_with, ExploreConfig, ExploreOptions};
+use twostep_modelcheck::{explore_with, ExploreConfig, ExploreOptions, WalkBudget};
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
         .ok()
         .and_then(|raw| raw.trim().parse().ok())
         .unwrap_or(default)
+}
+
+/// Best-of-6 serial exploration with `options`; returns (distinct
+/// states, heap allocations across all 6 iterations, best seconds).
+fn probe(
+    system: SystemConfig,
+    config: ExploreConfig,
+    options: &ExploreOptions,
+    proposals: &[WideValue],
+) -> (usize, u64, f64) {
+    let mut best = f64::INFINITY;
+    let mut states = 0;
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..6 {
+        let t0 = std::time::Instant::now();
+        let report = explore_with(
+            system,
+            config,
+            options.clone(),
+            crw_processes(&system, proposals),
+            proposals.to_vec(),
+        )
+        .expect("probe exploration within budget");
+        best = best.min(t0.elapsed().as_secs_f64());
+        states = report.distinct_states;
+    }
+    (states, ALLOCS.load(Ordering::Relaxed) - before, best)
 }
 
 fn main() {
@@ -54,27 +90,50 @@ fn main() {
         max_states: 50_000_000,
         ..ExploreConfig::for_crw(&system)
     };
-    let mut best = f64::INFINITY;
-    let mut states = 0;
-    for _ in 0..6 {
-        let t0 = std::time::Instant::now();
-        let report = explore_with(
-            system,
-            config,
-            ExploreOptions::serial(),
-            crw_processes(&system, &proposals),
-            proposals.clone(),
-        )
-        .expect("probe exploration within budget");
-        best = best.min(t0.elapsed().as_secs_f64());
-        states = report.distinct_states;
-    }
-    let allocs = ALLOCS.load(Ordering::Relaxed);
+
+    let (states, plain_allocs, plain_best) =
+        probe(system, config, &ExploreOptions::serial(), &proposals);
+    // The stepped driver with every budget limit armed (but sized never
+    // to trip), so the per-step arbiter inspection is fully exercised.
+    let stepped_options = ExploreOptions::serial().with_budget(WalkBudget {
+        max_steps: Some(u64::MAX),
+        deadline: Some(Duration::from_secs(86_400)),
+        max_memo_bytes: Some(u64::MAX),
+        yield_every: None,
+    });
+    let (stepped_states, stepped_allocs, stepped_best) =
+        probe(system, config, &stepped_options, &proposals);
+    assert_eq!(states, stepped_states, "drivers must agree on the space");
+
+    let per_state = |allocs: u64| allocs as f64 / (6 * states) as f64;
     println!(
-        "(n={n}, t={t}) states={} allocs_total={} best_secs={:.4} states/sec={:.0}",
-        states,
-        allocs,
-        best,
-        states as f64 / best
+        "(n={n}, t={t}) states={states} plain: allocs_total={plain_allocs} \
+         allocs_per_state={:.2} best_secs={plain_best:.4} states/sec={:.0}",
+        per_state(plain_allocs),
+        states as f64 / plain_best
     );
+    println!(
+        "(n={n}, t={t}) states={states} stepped: allocs_total={stepped_allocs} \
+         allocs_per_state={:.2} best_secs={stepped_best:.4} states/sec={:.0}",
+        per_state(stepped_allocs),
+        states as f64 / stepped_best
+    );
+
+    assert!(
+        per_state(plain_allocs) <= 8.0,
+        "plain driver exceeds the ~7 allocs/state budget: {:.2}",
+        per_state(plain_allocs)
+    );
+    assert!(
+        per_state(stepped_allocs) <= 8.0,
+        "stepped driver exceeds the ~7 allocs/state budget: {:.2}",
+        per_state(stepped_allocs)
+    );
+    let ceiling = plain_allocs + plain_allocs / 10 + 64;
+    assert!(
+        stepped_allocs <= ceiling,
+        "stepped driver allocates beyond the plain driver's envelope: \
+         {stepped_allocs} > {ceiling} (plain {plain_allocs})"
+    );
+    println!("alloc_probe: ok (stepped within {ceiling} alloc ceiling)");
 }
