@@ -145,6 +145,45 @@ else
     }' >&2 || exit 1
 fi
 
+echo "== perf gate (elastic steal engine vs the committed partitioned row)"
+# The steal row is the elastic engine with its lazy default policy: on
+# the sub-second pinned system it never offloads, so its states/sec is
+# the cost of elasticity when idle.  The floor is the *committed*
+# partitioned row — elastic-when-idle must never be slower than the
+# static fan-out it replaces, or the "costs nothing until needed" pitch
+# is broken.
+new_steal="$(sed -n 's/.*"engine": "steal".*"states_per_sec": \([0-9.]*\).*/\1/p' BENCH_explorer.json | head -1)"
+baseline_partitioned=""
+if [[ -n "$baseline_json" ]]; then
+    baseline_partitioned="$(sed -n 's/.*"engine": "partitioned".*"states_per_sec": \([0-9.]*\).*/\1/p' <<<"$baseline_json" | head -1)"
+fi
+if [[ -z "$new_steal" ]]; then
+    echo "FAIL: BENCH_explorer.json is missing the steal row" >&2
+    exit 1
+elif [[ "${TWOSTEP_BENCH_SKIP_GATE:-0}" == "1" ]]; then
+    echo "steal gate skipped (TWOSTEP_BENCH_SKIP_GATE=1): steal=$new_steal states/sec"
+elif [[ "$baseline_file_present" == "0" ]]; then
+    echo "steal gate: no committed baseline to compare against (first run); steal=$new_steal states/sec"
+elif [[ -z "$baseline_partitioned" ]]; then
+    # The committed baseline has carried a partitioned row for several
+    # releases; failing to parse one means the JSON format changed and
+    # the gate must not silently disarm.
+    echo "FAIL: steal gate could not parse the committed partitioned states/sec" >&2
+    echo "      — update the sed extraction in ci.sh alongside the bench JSON format." >&2
+    exit 1
+elif [[ "$baseline_n" != "$new_n" || "$baseline_t" != "$new_t" ]]; then
+    echo "steal gate: baseline is ($baseline_n, $baseline_t), this run is ($new_n, $new_t) — not comparable; steal=$new_steal states/sec"
+else
+    awk -v steal="$new_steal" -v part="$baseline_partitioned" 'BEGIN {
+        if (steal < part) {
+            printf "FAIL: elastic steal engine is slower than the committed static partitioned row: %.1f vs %.1f states/sec.\n", steal, part;
+            printf "      Idle elasticity must beat the fan-out it replaces — investigate before committing.\n";
+            exit 1;
+        }
+        printf "steal gate OK: %.1f states/sec vs committed partitioned %.1f\n", steal, part;
+    }' >&2 || exit 1
+fi
+
 echo "== partitioned exploration (2 worker processes, quick, both symmetry modes)"
 dist_off_out="$(cargo run --release -q -p twostep-bench --bin twostep-dist -- --quick --partitions 2 --symmetry off)"
 dist_full_out="$(cargo run --release -q -p twostep-bench --bin twostep-dist -- --quick --partitions 2 --symmetry full)"
@@ -163,6 +202,27 @@ if (( $(states_of "$dist_full_out") > $(states_of "$dist_off_out") )); then
     exit 1
 fi
 echo "symmetry modes agree: $(verdict_of "$dist_off_out") ($(states_of "$dist_off_out") raw -> $(states_of "$dist_full_out") orbit states)"
+
+echo "== elastic steal run (forced policy, quick): bit-identical to the classic engine"
+# Zero warm-up + any-size frontier forces the full steal machinery over
+# real OS worker processes — offload, preempt handshake, frontier
+# re-split, seeded relaunch — on the same quick system; the timing-free
+# result line must match the classic partitioned run byte for byte.
+steal_out="$(cargo run --release -q -p twostep-bench --bin twostep-dist -- \
+    --quick --partitions 2 --symmetry off \
+    --steal --steal-poll-ms 0 --steal-min-frontier 1 --steal-yield-every 64)"
+grep '^twostep-dist: steal workers=' <<<"$steal_out"
+grep '^twostep-dist: steal workers=.* offloaded=true' <<<"$steal_out" >/dev/null \
+    || { echo "FAIL: forced steal policy never offloaded — the elastic path was not exercised" >&2; exit 1; }
+steal_result="$(grep '^twostep-dist: result' <<<"$steal_out")"
+classic_result="$(grep '^twostep-dist: result' <<<"$dist_off_out")"
+echo "steal:   $steal_result"
+echo "classic: $classic_result"
+if [[ "$steal_result" != "$classic_result" ]]; then
+    echo "FAIL: elastic steal report differs from the classic partitioned one" >&2
+    exit 1
+fi
+echo "elastic OK: forced-steal run is bit-identical to the classic engine"
 
 echo "== persistent cache: cold-then-warm partitioned exploration (quick)"
 CACHE_DIR="$(mktemp -d)"

@@ -26,22 +26,35 @@
 //! (`TWOSTEP_DONATE_DEPTH`, default cutoff 2) against the unrestricted
 //! `parallel` row.  The `partitioned` row is end-to-end — two worker OS
 //! processes (re-executions of this binary) plus segment merge plus the
-//! canonical replay — so its states/sec **includes merge time**.
+//! canonical replay — so its states/sec **includes merge time**.  The
+//! `steal` row is the elastic engine under its *default* lazy policy:
+//! on a sub-second bench system it never offloads, so the row records
+//! exactly what elasticity costs when it isn't needed (the pitch is
+//! that it costs nothing — `ci.sh` gates it against the committed
+//! `partitioned` row).
+//!
+//! Every result row records both `threads` (walkers inside one
+//! process) and `partitions` (worker processes); single-process rows
+//! have `partitions: 1`.
 
 use std::time::{Duration, Instant};
 
-use twostep_bench::distcli::{bench_proposals, maybe_run_dist_worker, run_partitioned_crw};
+use twostep_bench::distcli::{
+    bench_proposals, maybe_run_dist_worker, run_elastic_crw, run_partitioned_crw,
+};
 use twostep_core::crw_processes;
 use twostep_model::SystemConfig;
 use twostep_modelcheck::{
-    explore_with, CacheConfig, ExploreConfig, ExploreOptions, MemoConfig, Summary, Symmetry,
-    WalkBudget,
+    explore_with, CacheConfig, ExploreConfig, ExploreOptions, MemoConfig, StealConfig, Summary,
+    Symmetry, WalkBudget,
 };
 use twostep_sim::default_threads;
 
 struct EngineResult {
     engine: &'static str,
     threads: usize,
+    /// Worker OS processes this row fans out to (1 = single-process).
+    partitions: usize,
     hot_capacity: Option<usize>,
     best_seconds: f64,
     states_per_sec: f64,
@@ -183,6 +196,7 @@ fn main() {
         let result = EngineResult {
             engine,
             threads: options.threads,
+            partitions: 1,
             hot_capacity: options
                 .memo
                 .spill_enabled()
@@ -241,6 +255,7 @@ fn main() {
         let result = EngineResult {
             engine: "warm",
             threads: 1,
+            partitions: 1,
             hot_capacity: None,
             best_seconds: best,
             states_per_sec: distinct_states as f64 / best,
@@ -299,7 +314,11 @@ fn main() {
         }
         let result = EngineResult {
             engine: "partitioned",
-            threads: PARTITIONS * threads,
+            // Per-*worker* thread count; the process fan-out is the
+            // `partitions` field.  (This row once recorded the product
+            // as "threads", which disagreed with the file header.)
+            threads,
+            partitions: PARTITIONS,
             hot_capacity: None,
             best_seconds: best,
             states_per_sec: distinct_states as f64 / best,
@@ -307,6 +326,59 @@ fn main() {
         };
         eprintln!(
             "explorer_bench: (n={n}, t={t}) {:<11} procs={PARTITIONS} {:>10.1} states/sec (incl. merge)",
+            result.engine, result.states_per_sec
+        );
+        results.push(result);
+    }
+
+    // Steal row: the elastic engine under its default lazy policy.  A
+    // sub-second bench run never outlives the 250ms warm-up, so no
+    // worker processes are launched and the row prices elasticity's
+    // overhead when idle — the policy check plus the pipeline framing —
+    // which must stay competitive with `parallel` (gated by `ci.sh`
+    // against the committed `partitioned` row as the floor).
+    {
+        let mut best = f64::INFINITY;
+        let mut stats_extra = String::new();
+        for _ in 0..iters {
+            let run = run_elastic_crw(
+                n,
+                t,
+                PARTITIONS,
+                1,
+                threads,
+                None,
+                MAX_STATES,
+                Symmetry::Off,
+                None,
+                WalkBudget::unlimited(),
+                None,
+                StealConfig::on(),
+            )
+            .expect("elastic bench exploration");
+            assert_eq!(
+                run.report.distinct_states, distinct_states,
+                "elastic report must match the single-process engines"
+            );
+            if run.total_seconds < best {
+                best = run.total_seconds;
+                stats_extra = format!(
+                    "\"steal\": {{\"workers\": {}, \"steals\": {}, \"offloaded\": {}}}",
+                    run.stats.workers_launched, run.stats.steals, run.stats.offloaded
+                );
+            }
+        }
+        let result = EngineResult {
+            engine: "steal",
+            threads: 1,
+            partitions: PARTITIONS,
+            hot_capacity: None,
+            best_seconds: best,
+            states_per_sec: distinct_states as f64 / best,
+            extra: Some(stats_extra),
+        };
+        eprintln!(
+            "explorer_bench: (n={n}, t={t}) {:<11} threads=1 {:>10.1} states/sec (elastic, lazy)",
             result.engine, result.states_per_sec
         );
         results.push(result);
@@ -354,6 +426,7 @@ fn main() {
         let result = EngineResult {
             engine: "symmetry",
             threads: 1,
+            partitions: 1,
             hot_capacity: None,
             best_seconds: best,
             states_per_sec: sym_distinct as f64 / best,
@@ -389,10 +462,11 @@ fn main() {
             .as_ref()
             .map_or(String::new(), |extra| format!(", {extra}"));
         json.push_str(&format!(
-            "    {{\"engine\": \"{}\", \"threads\": {}, \"hot_capacity\": {}, \
-             \"best_seconds\": {:.6}, \"states_per_sec\": {:.1}{}}}{}\n",
+            "    {{\"engine\": \"{}\", \"threads\": {}, \"partitions\": {}, \
+             \"hot_capacity\": {}, \"best_seconds\": {:.6}, \"states_per_sec\": {:.1}{}}}{}\n",
             r.engine,
             r.threads,
+            r.partitions,
             hot,
             r.best_seconds,
             r.states_per_sec,

@@ -9,10 +9,19 @@
 //!                      [--depth D] [--worker-threads W] [--spill HOT]
 //!                      [--symmetry off|full] [--cache-dir DIR]
 //!                      [--max-steps S] [--deadline-ms MS]
-//!                      [--checkpoint-dir DIR]`
+//!                      [--checkpoint-dir DIR] [--steal]
+//!                      [--steal-poll-ms MS] [--steal-min-frontier K]
+//!                      [--steal-yield-every S]`
 //!
 //! * default — the `(6, 5)` speedup-bench system across 2 partitions;
 //! * `--quick` — the `(5, 4)` system (sub-second), used by `ci.sh`;
+//! * `--steal` — the **elastic** engine: the coordinator walks locally
+//!   and offloads to worker processes only when the run outlives the
+//!   steal policy's thresholds, then re-balances by preempting loaded
+//!   workers.  `TWOSTEP_STEAL=1|0` toggles it flaglessly (garbage values
+//!   warn once and leave stealing off); the `--steal-*` knobs tune the
+//!   policy and imply nothing on their own.  The `result` line is
+//!   bit-identical to the classic engines — `ci.sh` asserts it;
 //! * `--spill HOT` — workers run a two-tier memo with the given hot
 //!   capacity instead of all-RAM;
 //! * `--symmetry off|full` — symmetry reduction mode for the whole run
@@ -42,8 +51,11 @@ use std::path::PathBuf;
 
 use std::time::Duration;
 
-use twostep_bench::distcli::{maybe_run_dist_worker, run_partitioned_crw};
-use twostep_modelcheck::{budget_from_env, cache_from_env, ExploreConfig, ExploreError, Symmetry};
+use twostep_bench::distcli::{maybe_run_dist_worker, run_elastic_crw, run_partitioned_crw};
+use twostep_modelcheck::{
+    budget_from_env, cache_from_env, steal_from_env, ExploreConfig, ExploreError, ExploreReport,
+    StealConfig, Symmetry,
+};
 
 fn arg_value<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
     match args.iter().position(|a| a == flag) {
@@ -133,9 +145,22 @@ fn main() {
         None => None,
     };
 
+    let steal_enabled = args.iter().any(|a| a == "--steal") || steal_from_env().unwrap_or(false);
+    let mut steal = StealConfig {
+        enabled: steal_enabled,
+        ..StealConfig::default()
+    };
+    steal.poll_interval = Duration::from_millis(arg_value(
+        &args,
+        "--steal-poll-ms",
+        steal.poll_interval.as_millis() as u64,
+    ));
+    steal.min_frontier = arg_value(&args, "--steal-min-frontier", steal.min_frontier);
+    steal.yield_every = arg_value(&args, "--steal-yield-every", steal.yield_every).max(1);
+
     eprintln!(
         "twostep-dist: exploring ({n}, {t}) across {partitions} worker processes \
-         (depth {depth}, {worker_threads} threads each, memo {}, symmetry {}, cache {})",
+         (depth {depth}, {worker_threads} threads each, memo {}, symmetry {}, cache {}, steal {})",
         match hot_capacity {
             Some(h) => format!("spill@{h}"),
             None => "all-RAM".to_string(),
@@ -147,46 +172,84 @@ fn main() {
         match &cache_dir {
             Some(dir) => dir.display().to_string(),
             None => "off".to_string(),
-        }
+        },
+        if steal.enabled { "on" } else { "off" }
     );
-    let run = match run_partitioned_crw(
-        n,
-        t,
-        partitions,
-        depth,
-        worker_threads,
-        hot_capacity,
-        50_000_000,
-        symmetry,
-        cache_dir,
-        budget,
-        checkpoint_dir,
-    ) {
-        Ok(run) => run,
-        Err(ExploreError::Interrupted {
-            reason,
-            checkpoint,
-            states,
-        }) => {
-            // Parseable suspension line + dedicated exit code, so a
-            // driving script can distinguish "budget ran out, resume
-            // me" from a real failure.
-            println!(
-                "twostep-dist: suspended reason={reason} states={states} checkpoint={}",
-                match &checkpoint {
-                    Some(dir) => dir.display().to_string(),
-                    None => "none".to_string(),
+    // Common lines first (summary / result / cache), then the
+    // engine-specific attribution lines collected here.
+    let (report, total_seconds, engine_lines): (ExploreReport<_>, f64, Vec<String>) =
+        if steal.enabled {
+            match run_elastic_crw(
+                n,
+                t,
+                partitions,
+                depth,
+                worker_threads,
+                hot_capacity,
+                50_000_000,
+                symmetry,
+                cache_dir,
+                budget,
+                checkpoint_dir,
+                steal,
+            ) {
+                Ok(run) => {
+                    let lines = vec![
+                        format!(
+                            "twostep-dist: steal workers={} steals={} offloaded={}",
+                            run.stats.workers_launched, run.stats.steals, run.stats.offloaded
+                        ),
+                        format!(
+                            "twostep-dist: phases seed={:.3} frontier={:.3} workers={:.3} \
+                         merge={:.3} replay={:.3} report={:.3}",
+                            run.timings.seed_seconds,
+                            run.timings.frontier_seconds,
+                            run.timings.workers_wall_seconds,
+                            run.timings.merge_seconds,
+                            run.timings.replay_seconds,
+                            run.timings.report_seconds
+                        ),
+                    ];
+                    (run.report, run.total_seconds, lines)
                 }
-            );
-            std::process::exit(3);
-        }
-        Err(e) => {
-            eprintln!("twostep-dist: {e}");
-            std::process::exit(1);
-        }
-    };
+                Err(e) => bail(e),
+            }
+        } else {
+            match run_partitioned_crw(
+                n,
+                t,
+                partitions,
+                depth,
+                worker_threads,
+                hot_capacity,
+                50_000_000,
+                symmetry,
+                cache_dir,
+                budget,
+                checkpoint_dir,
+            ) {
+                Ok(run) => {
+                    let lines = vec![format!(
+                    "twostep-dist: phases seed={:.3} frontier={:.3} workers={:.3} (seed<={:.3} \
+                     frontier<={:.3} walk<={:.3} export<={:.3}) merge={:.3} replay={:.3} \
+                     report={:.3}",
+                    run.timings.seed_seconds,
+                    run.timings.frontier_seconds,
+                    run.timings.workers_wall_seconds,
+                    run.worker_seed_seconds,
+                    run.worker_frontier_seconds,
+                    run.worker_walk_seconds,
+                    run.worker_export_seconds,
+                    run.timings.merge_seconds,
+                    run.timings.replay_seconds,
+                    run.timings.report_seconds
+                )];
+                    (run.report, run.total_seconds, lines)
+                }
+                Err(e) => bail(e),
+            }
+        };
 
-    let report = &run.report;
     let worst = report
         .root
         .worst_round_by_f
@@ -203,11 +266,12 @@ fn main() {
         report.distinct_states,
         report.root.terminals,
         report.root.violating,
-        run.total_seconds,
-        report.distinct_states as f64 / run.total_seconds
+        total_seconds,
+        report.distinct_states as f64 / total_seconds
     );
     // Timing-free result line: identical between a cold and a warm run
-    // of the same system, which is what `ci.sh` asserts.
+    // of the same system — and between the classic and elastic engines —
+    // which is what `ci.sh` asserts.
     println!(
         "twostep-dist: result n={n} t={t} distinct_states={} terminals={} violating={} worst=[{worst}]",
         report.distinct_states, report.root.terminals, report.root.violating
@@ -216,18 +280,33 @@ fn main() {
         "twostep-dist: cache cache_hits={} fresh_states={}",
         report.cache_hits, report.fresh_states
     );
-    println!(
-        "twostep-dist: phases seed={:.3} workers={:.3} (seed<={:.3} frontier<={:.3} walk<={:.3} \
-         export<={:.3}) merge={:.3} replay={:.3} report={:.3}",
-        run.timings.seed_seconds,
-        run.timings.workers_wall_seconds,
-        run.worker_seed_seconds,
-        run.worker_frontier_seconds,
-        run.worker_walk_seconds,
-        run.worker_export_seconds,
-        run.timings.merge_seconds,
-        run.timings.replay_seconds,
-        run.timings.report_seconds
-    );
+    for line in engine_lines {
+        println!("{line}");
+    }
     println!("twostep-dist: worst decision round by crash count: {worst}");
+}
+
+/// Suspensions get a parseable line + dedicated exit code, so a driving
+/// script can distinguish "budget ran out, resume me" from a failure.
+fn bail(e: ExploreError) -> ! {
+    match e {
+        ExploreError::Interrupted {
+            reason,
+            checkpoint,
+            states,
+        } => {
+            println!(
+                "twostep-dist: suspended reason={reason} states={states} checkpoint={}",
+                match &checkpoint {
+                    Some(dir) => dir.display().to_string(),
+                    None => "none".to_string(),
+                }
+            );
+            std::process::exit(3);
+        }
+        e => {
+            eprintln!("twostep-dist: {e}");
+            std::process::exit(1);
+        }
+    }
 }

@@ -15,21 +15,26 @@
 //! initial configuration from `(n, t)` and deterministically agree on
 //! the frontier split.
 
+use std::io::{BufRead, BufReader, Write};
 use std::path::PathBuf;
-use std::process::Command;
+use std::process::{Command, Stdio};
 use std::sync::Mutex;
 use std::time::Instant;
 
 use twostep_core::crw_processes;
 use twostep_model::{SystemConfig, WideValue};
 use twostep_modelcheck::{
-    explore_partitioned_timed, run_worker, CacheConfig, CheckpointConfig, DistOptions, DistTimings,
-    ExploreConfig, ExploreError, ExploreOptions, ExploreReport, MemoConfig, Symmetry, WalkBudget,
-    WorkerTask,
+    explore_elastic_timed, explore_partitioned_timed, run_worker, run_worker_elastic, CacheConfig,
+    CheckpointConfig, DistOptions, DistTimings, ElasticExit, ElasticStats, ElasticTask,
+    ExploreConfig, ExploreError, ExploreOptions, ExploreReport, MemoConfig, StealConfig, Symmetry,
+    WalkBudget, WorkerPulse, WorkerTask,
 };
 
 /// Argv marker that switches a binary into worker mode.
 pub const WORKER_FLAG: &str = "--dist-worker";
+
+/// Argv marker that switches a binary into *elastic* worker mode.
+pub const WORKER_ELASTIC_FLAG: &str = "--dist-elastic-worker";
 
 /// Everything a CRW partition worker needs to reproduce its assignment.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -61,6 +66,9 @@ pub struct CrwWorkerArgs {
     /// Optional seed segment to import before walking (the coordinator's
     /// consolidated cache image).
     pub seed_path: Option<PathBuf>,
+    /// Optional coordinator-expanded frontier segment; `None` re-expands
+    /// in-process (legacy).
+    pub frontier_path: Option<PathBuf>,
 }
 
 impl CrwWorkerArgs {
@@ -87,6 +95,11 @@ impl CrwWorkerArgs {
             self.seed_path
                 .as_ref()
                 .map_or("unseeded".into(), |p| p.display().to_string()),
+        );
+        args.push(
+            self.frontier_path
+                .as_ref()
+                .map_or("nofrontier".into(), |p| p.display().to_string()),
         );
         args
     }
@@ -119,6 +132,8 @@ impl CrwWorkerArgs {
         let export_path = PathBuf::from(it.next()?);
         let seed_raw = it.next()?;
         let seed_path = (seed_raw != "unseeded").then(|| PathBuf::from(seed_raw));
+        let frontier_raw = it.next()?;
+        let frontier_path = (frontier_raw != "nofrontier").then(|| PathBuf::from(frontier_raw));
         it.next().is_none().then_some(CrwWorkerArgs {
             n,
             t,
@@ -131,6 +146,7 @@ impl CrwWorkerArgs {
             symmetry,
             export_path,
             seed_path,
+            frontier_path,
         })
     }
 
@@ -173,6 +189,7 @@ pub fn run_crw_worker(args: &CrwWorkerArgs) -> i32 {
         depth: args.depth,
         export_path: args.export_path.clone(),
         seed_path: args.seed_path.clone(),
+        frontier_path: args.frontier_path.clone(),
     };
     match run_worker(
         system,
@@ -213,12 +230,359 @@ pub fn run_crw_worker(args: &CrwWorkerArgs) -> i32 {
     }
 }
 
-/// If `argv` (without the program name) is a worker invocation, runs the
-/// worker and returns its exit code; `None` means "not a worker, carry
-/// on".  Call first thing in `main` of any binary that launches workers
-/// by re-executing itself.
+/// If `argv` (without the program name) is a worker invocation — classic
+/// partitioned or elastic — runs the worker and returns its exit code;
+/// `None` means "not a worker, carry on".  Call first thing in `main` of
+/// any binary that launches workers by re-executing itself.
 pub fn maybe_run_dist_worker(argv: &[String]) -> Option<i32> {
-    CrwWorkerArgs::parse(argv).as_ref().map(run_crw_worker)
+    if let Some(args) = CrwWorkerArgs::parse(argv) {
+        return Some(run_crw_worker(&args));
+    }
+    CrwElasticArgs::parse(argv)
+        .as_ref()
+        .map(run_crw_elastic_worker)
+}
+
+/// Everything a CRW *elastic* worker needs to reproduce its assignment.
+/// Unlike [`CrwWorkerArgs`] there is no partition arithmetic: the
+/// coordinator ships each worker its own pre-sliced frontier segment,
+/// plus any number of seed segments (trailing argv).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CrwElasticArgs {
+    /// System size.
+    pub n: usize,
+    /// Resilience bound.
+    pub t: usize,
+    /// Worker threads for memo sharding (the elastic walk itself is
+    /// single-threaded).
+    pub threads: usize,
+    /// Spill hot capacity (`None` = all-RAM memo).
+    pub hot_capacity: Option<usize>,
+    /// Distinct-state budget.
+    pub max_states: usize,
+    /// Symmetry-reduction mode (must match the coordinator's — see
+    /// [`CrwWorkerArgs::symmetry`]).
+    pub symmetry: Symmetry,
+    /// Coordinator-assigned worker id.
+    pub worker: u64,
+    /// Progress-pulse cadence in walk steps.
+    pub yield_every: u64,
+    /// This worker's own sealed frontier segment.
+    pub frontier_path: PathBuf,
+    /// Where to export the fresh memo delta.
+    pub export_path: PathBuf,
+    /// Where to write the remaining frontier if preempted.
+    pub preempt_path: PathBuf,
+    /// Steal-request signal file polled every pulse.
+    pub steal_flag: PathBuf,
+    /// Seed segments to import before walking, in order.
+    pub seed_paths: Vec<PathBuf>,
+}
+
+impl CrwElasticArgs {
+    /// The argument vector (starting with [`WORKER_ELASTIC_FLAG`]) that
+    /// [`parse`](Self::parse) inverts.
+    pub fn to_args(&self) -> Vec<String> {
+        let mut args = vec![
+            WORKER_ELASTIC_FLAG.to_string(),
+            self.n.to_string(),
+            self.t.to_string(),
+            self.threads.to_string(),
+            self.hot_capacity.map_or("ram".into(), |h| h.to_string()),
+            self.max_states.to_string(),
+            match self.symmetry {
+                Symmetry::Off => "off".to_string(),
+                Symmetry::Full => "full".to_string(),
+            },
+            self.worker.to_string(),
+            self.yield_every.to_string(),
+            self.frontier_path.display().to_string(),
+            self.export_path.display().to_string(),
+            self.preempt_path.display().to_string(),
+            self.steal_flag.display().to_string(),
+        ];
+        args.extend(self.seed_paths.iter().map(|p| p.display().to_string()));
+        args
+    }
+
+    /// Parses an argument vector produced by [`to_args`](Self::to_args);
+    /// `None` if `args` is not an elastic worker invocation.
+    pub fn parse(args: &[String]) -> Option<CrwElasticArgs> {
+        let mut it = args.iter();
+        if it.next().map(String::as_str) != Some(WORKER_ELASTIC_FLAG) {
+            return None;
+        }
+        let n = it.next()?.parse().ok()?;
+        let t = it.next()?.parse().ok()?;
+        let threads = it.next()?.parse().ok()?;
+        let hot_raw = it.next()?;
+        let hot_capacity = if hot_raw == "ram" {
+            None
+        } else {
+            Some(hot_raw.parse().ok()?)
+        };
+        let max_states = it.next()?.parse().ok()?;
+        let symmetry = match it.next()?.as_str() {
+            "off" => Symmetry::Off,
+            "full" => Symmetry::Full,
+            _ => return None,
+        };
+        let worker = it.next()?.parse().ok()?;
+        let yield_every = it.next()?.parse().ok()?;
+        let frontier_path = PathBuf::from(it.next()?);
+        let export_path = PathBuf::from(it.next()?);
+        let preempt_path = PathBuf::from(it.next()?);
+        let steal_flag = PathBuf::from(it.next()?);
+        let seed_paths = it.map(PathBuf::from).collect();
+        Some(CrwElasticArgs {
+            n,
+            t,
+            threads,
+            hot_capacity,
+            max_states,
+            symmetry,
+            worker,
+            yield_every,
+            frontier_path,
+            export_path,
+            preempt_path,
+            steal_flag,
+            seed_paths,
+        })
+    }
+
+    fn engine(&self) -> ExploreOptions {
+        let memo = match self.hot_capacity {
+            Some(hot) => MemoConfig::spill(hot),
+            None => MemoConfig::all_ram(),
+        };
+        ExploreOptions::with_threads(self.threads).with_memo(memo)
+    }
+
+    fn config(&self, system: &SystemConfig) -> ExploreConfig {
+        ExploreConfig {
+            max_states: self.max_states,
+            symmetry: self.symmetry,
+            ..ExploreConfig::for_crw(system)
+        }
+    }
+
+    fn task(&self) -> ElasticTask {
+        ElasticTask {
+            worker: self.worker,
+            seed_paths: self.seed_paths.clone(),
+            frontier_path: self.frontier_path.clone(),
+            export_path: self.export_path.clone(),
+            preempt_path: self.preempt_path.clone(),
+            steal_flag: self.steal_flag.clone(),
+            yield_every: self.yield_every,
+        }
+    }
+}
+
+/// Runs one CRW elastic worker from parsed args; the body of an elastic
+/// worker process.  Emits one `dist-progress:` line per pulse and a
+/// final `dist-elastic:` outcome line on stdout (flushed per line — the
+/// coordinator tails the pipe live).  Returns the process exit code.
+pub fn run_crw_elastic_worker(args: &CrwElasticArgs) -> i32 {
+    let system = match SystemConfig::new(args.n, args.t) {
+        Ok(system) => system,
+        Err(e) => {
+            eprintln!(
+                "dist-elastic-worker: invalid system ({}, {}): {e}",
+                args.n, args.t
+            );
+            return 2;
+        }
+    };
+    let proposals = bench_proposals(args.n);
+    let task = args.task();
+    let pulse = |p: WorkerPulse| {
+        // Block-buffered when piped; flush per pulse or the coordinator's
+        // load estimates lag an entire buffer behind reality.
+        let mut out = std::io::stdout().lock();
+        let _ = writeln!(
+            out,
+            "dist-progress: worker={} steps={} frontier={} fresh={}",
+            p.worker, p.steps, p.frontier, p.fresh
+        );
+        let _ = out.flush();
+    };
+    match run_worker_elastic(
+        system,
+        args.config(&system),
+        args.engine(),
+        crw_processes(&system, &proposals),
+        proposals,
+        &task,
+        &pulse,
+    ) {
+        Ok(exit) => {
+            println!(
+                "dist-elastic: outcome={}",
+                match exit {
+                    ElasticExit::Finished => "finished",
+                    ElasticExit::Preempted => "preempted",
+                }
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("dist-elastic-worker: worker {} failed: {e}", args.worker);
+            1
+        }
+    }
+}
+
+/// Parses one `dist-progress:` stdout line back into a [`WorkerPulse`].
+fn parse_pulse_line(line: &str) -> Option<WorkerPulse> {
+    let rest = line.strip_prefix("dist-progress:")?;
+    let mut worker = None;
+    let mut steps = None;
+    let mut frontier = None;
+    let mut fresh = None;
+    for token in rest.split_whitespace() {
+        if let Some((key, value)) = token.split_once('=') {
+            match key {
+                "worker" => worker = value.parse::<u64>().ok(),
+                "steps" => steps = value.parse::<u64>().ok(),
+                "frontier" => frontier = value.parse::<usize>().ok(),
+                "fresh" => fresh = value.parse::<usize>().ok(),
+                _ => {}
+            }
+        }
+    }
+    Some(WorkerPulse {
+        worker: worker?,
+        steps: steps?,
+        frontier: frontier?,
+        fresh: fresh?,
+    })
+}
+
+/// Parses the final `dist-elastic:` outcome line.
+fn parse_outcome_line(line: &str) -> Option<ElasticExit> {
+    match line.strip_prefix("dist-elastic: outcome=")?.trim() {
+        "finished" => Some(ElasticExit::Finished),
+        "preempted" => Some(ElasticExit::Preempted),
+        _ => None,
+    }
+}
+
+/// Timing breakdown of a multi-process *elastic* exploration.
+pub struct ElasticRun {
+    /// The merged report (bit-identical to the serial walk).
+    pub report: ExploreReport<WideValue>,
+    /// End-to-end wall time.
+    pub total_seconds: f64,
+    /// Coordinator-side phase attribution.
+    pub timings: DistTimings,
+    /// What the elastic scheduler actually did.
+    pub stats: ElasticStats,
+}
+
+/// Runs a `(n, t)` CRW exploration elastically: the coordinator walks
+/// locally and offloads to worker OS processes (re-executions of the
+/// current binary, stdout-tailed for progress pulses) only when `steal`
+/// says the run is big enough.  See [`run_partitioned_crw`] for the
+/// shared parameter semantics.
+#[allow(clippy::too_many_arguments)]
+pub fn run_elastic_crw(
+    n: usize,
+    t: usize,
+    partitions: usize,
+    depth: u32,
+    worker_threads: usize,
+    hot_capacity: Option<usize>,
+    max_states: usize,
+    symmetry: Symmetry,
+    cache_dir: Option<PathBuf>,
+    budget: WalkBudget,
+    checkpoint_dir: Option<PathBuf>,
+    steal: StealConfig,
+) -> Result<ElasticRun, ExploreError> {
+    let system = SystemConfig::new(n, t).expect("valid bench system");
+    let proposals = bench_proposals(n);
+    let config = ExploreConfig {
+        max_states,
+        symmetry,
+        ..ExploreConfig::for_crw(&system)
+    };
+    let exe = std::env::current_exe().map_err(|e| ExploreError::Coordinator {
+        detail: format!("cannot locate own binary for re-exec: {e}"),
+    })?;
+    let options = DistOptions {
+        partitions,
+        depth,
+        attempts: 3,
+        scratch_dir: None,
+        replay: ExploreOptions::default()
+            .with_budget(budget)
+            .with_checkpoint(checkpoint_dir.map(CheckpointConfig::at)),
+        cache: cache_dir.map(CacheConfig::read_write),
+        steal,
+    };
+    let launch = |task: &ElasticTask, pulse: &(dyn Fn(WorkerPulse) + Sync)| {
+        let args = CrwElasticArgs {
+            n,
+            t,
+            threads: worker_threads,
+            hot_capacity,
+            max_states,
+            symmetry,
+            worker: task.worker,
+            yield_every: task.yield_every,
+            frontier_path: task.frontier_path.clone(),
+            export_path: task.export_path.clone(),
+            preempt_path: task.preempt_path.clone(),
+            steal_flag: task.steal_flag.clone(),
+            seed_paths: task.seed_paths.clone(),
+        };
+        let mut child = Command::new(&exe)
+            .args(args.to_args())
+            .stdout(Stdio::piped())
+            .spawn()
+            .map_err(|e| format!("spawning elastic worker: {e}"))?;
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut outcome = None;
+        for line in BufReader::new(stdout).lines() {
+            let line = match line {
+                Ok(line) => line,
+                Err(e) => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return Err(format!("reading worker pipe: {e}"));
+                }
+            };
+            if let Some(p) = parse_pulse_line(&line) {
+                pulse(p);
+            } else if let Some(exit) = parse_outcome_line(&line) {
+                outcome = Some(exit);
+            }
+        }
+        let status = child
+            .wait()
+            .map_err(|e| format!("waiting for worker: {e}"))?;
+        if !status.success() {
+            return Err(format!("worker process exited with {status}"));
+        }
+        outcome.ok_or_else(|| "worker exited without reporting an outcome".to_string())
+    };
+    let start = Instant::now();
+    let (report, timings, stats) = explore_elastic_timed(
+        system,
+        config,
+        &options,
+        crw_processes(&system, &proposals),
+        proposals,
+        launch,
+    )?;
+    Ok(ElasticRun {
+        report,
+        total_seconds: start.elapsed().as_secs_f64(),
+        timings,
+        stats,
+    })
 }
 
 /// Timing breakdown of a multi-process partitioned exploration.
@@ -323,6 +687,7 @@ pub fn run_partitioned_crw(
             .with_budget(budget)
             .with_checkpoint(checkpoint_dir.map(CheckpointConfig::at)),
         cache: cache_dir.map(CacheConfig::read_write),
+        steal: StealConfig::default(),
     };
     // Last successful attempt's worker-side phase timings, per partition.
     let worker_timings: Mutex<Vec<Option<WorkerPhaseSeconds>>> =
@@ -340,6 +705,7 @@ pub fn run_partitioned_crw(
             symmetry,
             export_path: task.export_path.clone(),
             seed_path: task.seed_path.clone(),
+            frontier_path: task.frontier_path.clone(),
         };
         let output = Command::new(&exe)
             .args(args.to_args())
@@ -403,11 +769,13 @@ mod tests {
             symmetry: Symmetry::Full,
             export_path: PathBuf::from("/tmp/worker1.seg"),
             seed_path: Some(PathBuf::from("/tmp/seed.seg")),
+            frontier_path: Some(PathBuf::from("/tmp/frontier.seg")),
         };
         assert_eq!(CrwWorkerArgs::parse(&args.to_args()), Some(args.clone()));
         let ram = CrwWorkerArgs {
             hot_capacity: None,
             seed_path: None,
+            frontier_path: None,
             symmetry: Symmetry::Off,
             ..args.clone()
         };
@@ -461,9 +829,60 @@ mod tests {
             symmetry: Symmetry::Off,
             export_path: PathBuf::from("x"),
             seed_path: None,
+            frontier_path: None,
         }
         .to_args();
         broken.truncate(4);
         assert_eq!(CrwWorkerArgs::parse(&broken), None);
+    }
+
+    #[test]
+    fn elastic_args_roundtrip() {
+        let args = CrwElasticArgs {
+            n: 6,
+            t: 5,
+            threads: 2,
+            hot_capacity: Some(4096),
+            max_states: 50_000_000,
+            symmetry: Symmetry::Full,
+            worker: 7,
+            yield_every: 2048,
+            frontier_path: PathBuf::from("/tmp/f7.seg"),
+            export_path: PathBuf::from("/tmp/e7.seg"),
+            preempt_path: PathBuf::from("/tmp/p7.seg"),
+            steal_flag: PathBuf::from("/tmp/s7.flag"),
+            seed_paths: vec![
+                PathBuf::from("/tmp/seed0.seg"),
+                PathBuf::from("/tmp/d1.seg"),
+            ],
+        };
+        assert_eq!(CrwElasticArgs::parse(&args.to_args()), Some(args.clone()));
+        let unseeded = CrwElasticArgs {
+            hot_capacity: None,
+            seed_paths: Vec::new(),
+            symmetry: Symmetry::Off,
+            ..args
+        };
+        assert_eq!(CrwElasticArgs::parse(&unseeded.to_args()), Some(unseeded));
+        // The two worker argv dialects never cross-parse.
+        assert_eq!(CrwElasticArgs::parse(&["--dist-worker".to_string()]), None);
+    }
+
+    #[test]
+    fn progress_lines_roundtrip() {
+        let p = parse_pulse_line("dist-progress: worker=3 steps=4096 frontier=17 fresh=900")
+            .expect("pulse parses");
+        assert_eq!((p.worker, p.steps, p.frontier, p.fresh), (3, 4096, 17, 900));
+        assert!(parse_pulse_line("dist-progress: worker=3 steps=x frontier=1 fresh=1").is_none());
+        assert!(parse_pulse_line("unrelated").is_none());
+        assert_eq!(
+            parse_outcome_line("dist-elastic: outcome=finished"),
+            Some(ElasticExit::Finished)
+        );
+        assert_eq!(
+            parse_outcome_line("dist-elastic: outcome=preempted"),
+            Some(ElasticExit::Preempted)
+        );
+        assert_eq!(parse_outcome_line("dist-elastic: outcome=sideways"), None);
     }
 }

@@ -71,12 +71,29 @@ const CHECKPOINT_FORMAT_VERSION: u32 = 1;
 pub struct CheckpointConfig {
     /// The checkpoint directory (created on first suspension).
     pub dir: PathBuf,
+    /// When set, single-threaded walks also snapshot *periodically*:
+    /// every this-many steps the walk parks at a `Yield` point and
+    /// rewrites the checkpoint (write-then-rename, like every manifest
+    /// update), so a crash loses at most one interval of work instead
+    /// of the whole run.  `None` (the default) checkpoints only at
+    /// suspension.
+    pub autosave_every: Option<u64>,
 }
 
 impl CheckpointConfig {
-    /// A checkpoint directory at `dir`.
+    /// A checkpoint directory at `dir`, no autosave.
     pub fn at(dir: impl Into<PathBuf>) -> Self {
-        CheckpointConfig { dir: dir.into() }
+        CheckpointConfig {
+            dir: dir.into(),
+            autosave_every: None,
+        }
+    }
+
+    /// Also autosave every `steps` steps (see
+    /// [`autosave_every`](Self::autosave_every)).
+    pub fn with_autosave_every(mut self, steps: u64) -> Self {
+        self.autosave_every = Some(steps);
+        self
     }
 }
 
@@ -101,6 +118,7 @@ fn reason_byte(reason: BudgetKind) -> u8 {
         BudgetKind::Deadline => 1,
         BudgetKind::MemoBytes => 2,
         BudgetKind::States => 3,
+        BudgetKind::Autosave => 4,
     }
 }
 
@@ -135,7 +153,7 @@ impl CheckpointManifest {
         }
         let fingerprint = u64::decode(&mut input)?;
         let reason = *twostep_model::codec::take(&mut input, 1)?.first()?;
-        if reason > reason_byte(BudgetKind::States) {
+        if reason > reason_byte(BudgetKind::Autosave) {
             return None;
         }
         let states = u64::decode(&mut input)?;

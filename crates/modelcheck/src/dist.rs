@@ -58,11 +58,11 @@
 //! retry loop is [`twostep_sim::run_tasks_with_retry`]; per-partition
 //! attempts are bounded by [`DistOptions::attempts`].
 
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::hash::Hash;
 use std::path::PathBuf;
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::{mpsc, Mutex};
+use std::time::{Duration, Instant};
 
 use twostep_model::SystemConfig;
 use twostep_sim::{run_tasks_with_retry, Stepper, TaskAttempt, TraceLevel};
@@ -72,11 +72,11 @@ use twostep_model::codec::{stable_hash64, Canonicalizer};
 use crate::cache::{CacheConfig, CacheSession};
 use crate::checkpoint::{self, CheckpointLoad};
 use crate::explorer::{
-    build_report, canonical_key_into, suspend_to_checkpoint, walk_roots, BudgetKind,
-    CheckableProtocol, ExploreConfig, ExploreError, ExploreOptions, ExploreReport, Shared,
-    Symmetry, WalkBudget, WalkOutcome, Walker,
+    build_report, canonical_key_into, drive_elastic, suspend_to_checkpoint, walk_roots, BudgetKind,
+    CheckableProtocol, ElasticOutcome, ElasticVerdict, ExploreConfig, ExploreError, ExploreOptions,
+    ExploreReport, Interrupt, PathedRoot, Shared, Symmetry, WalkBudget, WalkOutcome, Walker,
 };
-use crate::spill::{SpillCodec, SpillDir};
+use crate::spill::{read_frontier_segment, write_frontier_segment, SpillCodec, SpillDir};
 
 /// How a partitioned exploration is split and merged.
 #[derive(Clone, Debug)]
@@ -119,11 +119,14 @@ pub struct DistOptions {
     /// export only their (often empty) deltas, which is what removes the
     /// merge traffic from repeated runs.
     pub cache: Option<CacheConfig>,
+    /// Work-stealing policy for the elastic engine
+    /// ([`explore_elastic`]); ignored by [`explore_partitioned`].
+    pub steal: StealConfig,
 }
 
 impl DistOptions {
     /// Defaults for `partitions` workers: depth-1 frontier, 3 attempts,
-    /// temp-dir scratch, default replay engine, no cache.
+    /// temp-dir scratch, default replay engine, no cache, stealing off.
     pub fn new(partitions: usize) -> Self {
         DistOptions {
             partitions: partitions.max(1),
@@ -132,6 +135,77 @@ impl DistOptions {
             scratch_dir: None,
             replay: ExploreOptions::default(),
             cache: None,
+            steal: StealConfig::default(),
+        }
+    }
+}
+
+/// Work-stealing policy for [`explore_elastic`]: when the coordinator
+/// provisions workers, and when it preempts a loaded one to re-balance.
+///
+/// The defaults are deliberately lazy: a run that finishes within
+/// [`poll_interval`](Self::poll_interval) — or whose harvestable
+/// frontier never reaches [`min_frontier`](Self::min_frontier) — is
+/// walked entirely in the coordinator process and never pays a single
+/// worker spawn.  Distribution is an *escalation*, not a default.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StealConfig {
+    /// Master switch; `false` means [`explore_elastic`] runs the whole
+    /// walk locally (observing pulses, never offloading).
+    pub enabled: bool,
+    /// Minimum harvestable frontier (unexplored subtree roots) before
+    /// the coordinator offloads work or preempts a victim — below this
+    /// the handoff costs more than the remaining walk.
+    pub min_frontier: usize,
+    /// How long the coordinator walks locally before considering
+    /// offloading, and how often it re-evaluates steal opportunities
+    /// while workers run.
+    pub poll_interval: Duration,
+    /// Worker progress-pulse cadence in walk steps: every this-many
+    /// steps a worker reports its load and checks for a steal request.
+    pub yield_every: u64,
+}
+
+impl Default for StealConfig {
+    fn default() -> Self {
+        StealConfig {
+            enabled: false,
+            min_frontier: 64,
+            poll_interval: Duration::from_millis(250),
+            yield_every: 2048,
+        }
+    }
+}
+
+impl StealConfig {
+    /// Stealing enabled with the default thresholds.
+    pub fn on() -> Self {
+        StealConfig {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// Resolves the `TWOSTEP_STEAL` env toggle: `Some(true)` for
+/// `1`/`true`/`on`, `Some(false)` for `0`/`false`/`off`, `None` when
+/// unset.  Garbage warns once per process and resolves to `None` —
+/// never silently dropped (the same policy as `TWOSTEP_THREADS`): the
+/// user would otherwise believe stealing is on when it is not.
+pub fn steal_from_env() -> Option<bool> {
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    let raw = std::env::var("TWOSTEP_STEAL").ok()?;
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "1" | "true" | "on" => Some(true),
+        "0" | "false" | "off" => Some(false),
+        _ => {
+            WARNED.call_once(|| {
+                eprintln!(
+                    "TWOSTEP_STEAL={raw:?} is not a toggle (1/0/true/false/on/off); \
+                     work stealing stays off"
+                );
+            });
+            None
         }
     }
 }
@@ -153,6 +227,13 @@ pub struct WorkerTask {
     /// image) the worker imports before walking; subtrees answered by it
     /// are skipped, not re-explored, and excluded from the export.
     pub seed_path: Option<PathBuf>,
+    /// Optional sealed frontier segment written by the coordinator
+    /// (`(hash, path)` records for the *whole* depth-`d` frontier).
+    /// When present the worker imports its slice instead of re-expanding
+    /// the frontier from scratch — the expansion then happens once per
+    /// run instead of once per worker.  `None` preserves the legacy
+    /// re-expansion (any coordinator/worker version mix keeps working).
+    pub frontier_path: Option<PathBuf>,
 }
 
 /// What one worker did, for logs and benches.
@@ -180,15 +261,16 @@ pub struct WorkerReport {
 
 /// Expands `root` to the depth-`depth` frontier: the distinct
 /// configurations reachable in exactly `depth` rounds, each paired with
-/// its partitioning hash, in deterministic (enumeration-order, first
-/// occurrence) order.  Terminal configurations reached earlier are
-/// dropped — they are leaves the coordinator's replay evaluates itself.
+/// its partitioning hash and its action-index path, in deterministic
+/// (enumeration-order, first occurrence) order.  Terminal configurations
+/// reached earlier are dropped — they are leaves the coordinator's
+/// replay evaluates itself.
 fn expand_frontier<P>(
     walker: &mut Walker<'_, '_, P>,
     root: Stepper<P>,
     depth: u32,
     symmetry: Symmetry,
-) -> Result<Vec<(u64, Stepper<P>)>, ExploreError>
+) -> Result<Vec<PathedRoot<P>>, ExploreError>
 where
     P: CheckableProtocol,
     P::Output: Hash + SpillCodec,
@@ -204,27 +286,124 @@ where
     let mut scratch: Vec<u8> = Vec::new();
     canonical_key_into(&root, symmetry, &mut canon, &mut scratch);
     let root_hash = stable_hash64(&scratch);
-    let mut level: Vec<(u64, Stepper<P>)> = vec![(root_hash, root)];
+    let mut level: Vec<PathedRoot<P>> = vec![PathedRoot {
+        hash: root_hash,
+        path: Vec::new(),
+        stepper: root,
+    }];
     for _ in 0..depth {
         let mut seen: HashSet<Vec<u8>> = HashSet::new();
-        let mut next: Vec<(u64, Stepper<P>)> = Vec::new();
-        for (_, stepper) in level {
-            if walker.is_terminal(&stepper) {
+        let mut next: Vec<PathedRoot<P>> = Vec::new();
+        for parent in level {
+            if walker.is_terminal(&parent.stepper) {
                 continue;
             }
-            for actions in walker.enumerate_action_sets(&stepper) {
-                let mut child = stepper.clone();
-                child.step(&actions).map_err(ExploreError::Engine)?;
+            for (idx, actions) in walker
+                .enumerate_action_sets(&parent.stepper)
+                .iter()
+                .enumerate()
+            {
+                let mut child = parent.stepper.clone();
+                child.step(actions).map_err(ExploreError::Engine)?;
                 canonical_key_into(&child, symmetry, &mut canon, &mut scratch);
                 let hash = stable_hash64(&scratch);
                 if seen.insert(scratch.clone()) {
-                    next.push((hash, child));
+                    let mut path = parent.path.clone();
+                    path.push(idx as u32);
+                    next.push(PathedRoot {
+                        hash,
+                        path,
+                        stepper: child,
+                    });
                 }
             }
         }
         level = next;
     }
     Ok(level)
+}
+
+/// A frontier record in wire form: the subtree root's canonical-key
+/// hash plus its action-index path from the true initial configuration.
+type FrontierRecord = (u64, Vec<u32>);
+
+/// Rebuilds concrete configurations from `(hash, path)` frontier records
+/// by re-driving the deterministic action enumeration from `root`.
+/// Records sharing a path prefix share that prefix's enumeration and
+/// stepping (a trie walk, not a per-record replay) — with hundreds of
+/// depth-1 roots this is the difference between one root enumeration and
+/// hundreds.  Output order equals input order: walk order is part of the
+/// bit-identity contract.
+fn reconstruct_paths<P>(
+    walker: &mut Walker<'_, '_, P>,
+    root: &Stepper<P>,
+    records: Vec<(u64, Vec<u32>)>,
+) -> Result<Vec<PathedRoot<P>>, ExploreError>
+where
+    P: CheckableProtocol,
+    P::Output: Hash + SpillCodec,
+{
+    let mut out: Vec<Option<PathedRoot<P>>> = Vec::new();
+    out.resize_with(records.len(), || None);
+    let indexed: Vec<(usize, u64, Vec<u32>)> = records
+        .into_iter()
+        .enumerate()
+        .map(|(slot, (hash, path))| (slot, hash, path))
+        .collect();
+    rebuild_level(walker, root, 0, indexed, &mut out)?;
+    Ok(out
+        .into_iter()
+        .map(|slot| slot.expect("every frontier record was rebuilt"))
+        .collect())
+}
+
+fn rebuild_level<P>(
+    walker: &mut Walker<'_, '_, P>,
+    node: &Stepper<P>,
+    depth: usize,
+    records: Vec<(usize, u64, Vec<u32>)>,
+    out: &mut [Option<PathedRoot<P>>],
+) -> Result<(), ExploreError>
+where
+    P: CheckableProtocol,
+    P::Output: Hash + SpillCodec,
+{
+    let mut groups: BTreeMap<u32, Vec<(usize, u64, Vec<u32>)>> = BTreeMap::new();
+    for (slot, hash, path) in records {
+        if path.len() == depth {
+            out[slot] = Some(PathedRoot {
+                hash,
+                path,
+                stepper: node.clone(),
+            });
+        } else {
+            groups
+                .entry(path[depth])
+                .or_default()
+                .push((slot, hash, path));
+        }
+    }
+    if groups.is_empty() {
+        return Ok(());
+    }
+    let actions = walker.enumerate_action_sets(node);
+    for (idx, group) in groups {
+        let Some(action) = actions.get(idx as usize) else {
+            // A path that indexes past the enumeration cannot have been
+            // written by a same-build coordinator: classify like any
+            // other damaged interchange artifact.
+            return Err(ExploreError::Spill {
+                detail: format!(
+                    "frontier record selects action {idx} of {} at depth {depth}",
+                    actions.len()
+                ),
+            });
+        };
+        let mut child = node.clone();
+        child.step(action).map_err(ExploreError::Engine)?;
+        rebuild_level(walker, &child, depth + 1, group, out)?;
+    }
+    Ok(())
 }
 
 /// Runs one partition worker to completion: expands the frontier,
@@ -269,17 +448,38 @@ where
     };
     let seed_seconds = seed_start.elapsed().as_secs_f64();
     let frontier_start = Instant::now();
-    let frontier = {
+    let (frontier_len, owned): (usize, Vec<Stepper<P>>) = {
         let mut walker = Walker::new(&shared);
-        expand_frontier(&mut walker, root, task.depth, config.symmetry)?
+        match &task.frontier_path {
+            // The coordinator already expanded the frontier; import the
+            // records and rebuild only this partition's slice.
+            Some(path) => {
+                let records = read_frontier_segment(path)?;
+                let total = records.len();
+                let mine: Vec<(u64, Vec<u32>)> = records
+                    .into_iter()
+                    .filter(|(hash, _)| (hash % task.partitions as u64) as usize == task.partition)
+                    .collect();
+                let owned = reconstruct_paths(&mut walker, &root, mine)?
+                    .into_iter()
+                    .map(|r| r.stepper)
+                    .collect();
+                (total, owned)
+            }
+            // Legacy: re-expand the whole frontier in-process.
+            None => {
+                let frontier = expand_frontier(&mut walker, root, task.depth, config.symmetry)?;
+                let total = frontier.len();
+                let owned = frontier
+                    .into_iter()
+                    .filter(|r| (r.hash % task.partitions as u64) as usize == task.partition)
+                    .map(|r| r.stepper)
+                    .collect();
+                (total, owned)
+            }
+        }
     };
     let frontier_seconds = frontier_start.elapsed().as_secs_f64();
-    let frontier_len = frontier.len();
-    let owned: Vec<Stepper<P>> = frontier
-        .into_iter()
-        .filter(|(hash, _)| (hash % task.partitions as u64) as usize == task.partition)
-        .map(|(_, stepper)| stepper)
-        .collect();
     let owned_len = owned.len();
     let walk_start = Instant::now();
     // Workers walk unbounded: per-walk budgets belong to the
@@ -290,6 +490,7 @@ where
         owned,
         &WalkBudget::unlimited(),
         walk_start,
+        None,
     )? {
         WalkOutcome::Done(_) => {}
         WalkOutcome::Suspended { .. } => unreachable!("an unbounded walk never suspends"),
@@ -350,6 +551,10 @@ pub struct DistTimings {
     /// Seeding: importing the persistent cache into the coordinator
     /// memo and writing the consolidated worker seed segment.
     pub seed_seconds: f64,
+    /// The coordinator's single depth-`d` frontier expansion (written to
+    /// the shared frontier segment; workers import their slice instead
+    /// of re-expanding).
+    pub frontier_seconds: f64,
     /// The worker phase, wall clock: first launch to last validated
     /// import (includes crashed-worker retries).
     pub workers_wall_seconds: f64,
@@ -397,49 +602,16 @@ where
     let mut shared = Shared::new(system, config, &options.replay, &proposals, initial)?;
     let mut timings = DistTimings::default();
 
-    // Seed phase: pull the cache into the coordinator memo and hand the
-    // workers one consolidated seed segment (at this point the memo
-    // holds exactly the cache's contents, so a full export *is* the
-    // cache image, merged across its delta segments).  A broken cache
-    // is discarded whole — partial images silently shrink the report's
-    // aggregates (see `CacheSession::seed`) — and replaced on commit.
     let seed_start = Instant::now();
-    if session
-        .seed(&shared.memo, crate::memo::key_validator::<P>())
-        .is_none()
-    {
-        let initial = std::mem::take(&mut shared.initial);
-        shared = Shared::new(system, config, &options.replay, &proposals, initial)?;
-    }
-    // Checkpoint resume: a suspended earlier run's fresh delta imports
-    // as *fresh* (relative to the persistent cache it is exactly what
-    // that run added), so the final commit still writes a complete
-    // delta and `cache_hits` matches an uninterrupted run.
-    let mut resumed = 0u64;
-    if let Some(ckpt) = &options.replay.checkpoint {
-        match checkpoint::load_checkpoint(
-            ckpt,
-            fingerprint,
-            &shared.memo,
-            crate::memo::key_validator::<P>(),
-        ) {
-            CheckpointLoad::Loaded { records } => resumed = records,
-            CheckpointLoad::Absent => {}
-            CheckpointLoad::Broken => {
-                // All-or-nothing, like a broken cache: rebuild the memo
-                // whole and re-seed from the (still intact) cache.
-                let initial = std::mem::take(&mut shared.initial);
-                shared = Shared::new(system, config, &options.replay, &proposals, initial)?;
-                if session
-                    .seed(&shared.memo, crate::memo::key_validator::<P>())
-                    .is_none()
-                {
-                    let initial = std::mem::take(&mut shared.initial);
-                    shared = Shared::new(system, config, &options.replay, &proposals, initial)?;
-                }
-            }
-        }
-    }
+    let resumed = seed_coordinator(
+        system,
+        config,
+        options,
+        &proposals,
+        &mut shared,
+        &mut session,
+        fingerprint,
+    )?;
     let seed_path = if shared.memo.len() == 0 {
         None
     } else {
@@ -463,6 +635,22 @@ where
     // suspending with nothing new memoized would make resume a no-op.
     let session_baseline = shared.memo.len();
 
+    // Expand the depth-`d` frontier once, here, and ship it to every
+    // worker as a sealed frontier segment — the per-worker re-expansion
+    // used to be the second-largest slice of worker wall time.
+    let frontier_start = Instant::now();
+    let frontier_records: Vec<(u64, Vec<u32>)> = {
+        let mut walker = Walker::new(&shared);
+        expand_frontier(&mut walker, root.clone(), options.depth, config.symmetry)?
+            .into_iter()
+            .map(|r| (r.hash, r.path))
+            .collect()
+    };
+    let frontier_path = scratch.path().join("frontier.seg");
+    write_frontier_segment(&frontier_path, &frontier_records)?;
+    drop(frontier_records);
+    timings.frontier_seconds = frontier_start.elapsed().as_secs_f64();
+
     let tasks: Vec<WorkerTask> = (0..partitions)
         .map(|partition| WorkerTask {
             partition,
@@ -470,6 +658,7 @@ where
             depth: options.depth,
             export_path: scratch.path().join(format!("worker{partition}.seg")),
             seed_path: seed_path.clone(),
+            frontier_path: Some(frontier_path.clone()),
         })
         .collect();
 
@@ -509,6 +698,97 @@ where
         }
     }
 
+    let report = finish_pipeline(
+        &shared,
+        &mut session,
+        options,
+        root,
+        fingerprint,
+        started,
+        session_baseline,
+        &mut timings,
+    )?;
+    Ok((report, timings))
+}
+
+/// Seed phase shared by the partitioned and elastic coordinators: pull
+/// the persistent cache into the memo, resume any checkpoint, and
+/// rebuild the memo whole on a broken artifact (a partial image would
+/// silently shrink the report's aggregates).  Returns the records
+/// resumed from a checkpoint (0 when none).
+///
+/// A resumed checkpoint's fresh delta imports as *fresh* — relative to
+/// the persistent cache it is exactly what the suspended run added — so
+/// the final commit still writes a complete delta and `cache_hits`
+/// matches an uninterrupted run.
+fn seed_coordinator<'a, P>(
+    system: SystemConfig,
+    config: ExploreConfig,
+    options: &DistOptions,
+    proposals: &'a [P::Output],
+    shared: &mut Shared<'a, P>,
+    session: &mut CacheSession,
+    fingerprint: u64,
+) -> Result<u64, ExploreError>
+where
+    P: CheckableProtocol,
+    P::Output: Hash + SpillCodec,
+{
+    if session
+        .seed(&shared.memo, crate::memo::key_validator::<P>())
+        .is_none()
+    {
+        let initial = std::mem::take(&mut shared.initial);
+        *shared = Shared::new(system, config, &options.replay, proposals, initial)?;
+    }
+    let mut resumed = 0u64;
+    if let Some(ckpt) = &options.replay.checkpoint {
+        match checkpoint::load_checkpoint(
+            ckpt,
+            fingerprint,
+            &shared.memo,
+            crate::memo::key_validator::<P>(),
+        ) {
+            CheckpointLoad::Loaded { records } => resumed = records,
+            CheckpointLoad::Absent => {}
+            CheckpointLoad::Broken => {
+                // All-or-nothing, like a broken cache: rebuild the memo
+                // whole and re-seed from the (still intact) cache.
+                let initial = std::mem::take(&mut shared.initial);
+                *shared = Shared::new(system, config, &options.replay, proposals, initial)?;
+                if session
+                    .seed(&shared.memo, crate::memo::key_validator::<P>())
+                    .is_none()
+                {
+                    let initial = std::mem::take(&mut shared.initial);
+                    *shared = Shared::new(system, config, &options.replay, proposals, initial)?;
+                }
+            }
+        }
+    }
+    Ok(resumed)
+}
+
+/// The shared pipeline tail: phase-boundary deadline check, canonical
+/// root replay over the merged memo, census/witness report, cache
+/// commit, checkpoint consumption.  Identical for the partitioned and
+/// elastic engines — which is precisely why every differential guarantee
+/// of the classic engine carries over to stealing runs.
+#[allow(clippy::too_many_arguments)]
+fn finish_pipeline<P>(
+    shared: &Shared<'_, P>,
+    session: &mut CacheSession,
+    options: &DistOptions,
+    root: Stepper<P>,
+    fingerprint: u64,
+    started: Instant,
+    session_baseline: usize,
+    timings: &mut DistTimings,
+) -> Result<ExploreReport<P::Output>, ExploreError>
+where
+    P: CheckableProtocol,
+    P::Output: Hash + SpillCodec,
+{
     // Phase-boundary deadline: the worker phase is the long one and runs
     // unbounded, so an expired deadline is honored *here*, before the
     // replay — every merged worker result is fresh progress and rides
@@ -516,7 +796,7 @@ where
     if let Some(deadline) = options.replay.budget.deadline {
         if started.elapsed() >= deadline && shared.memo.len() > session_baseline {
             return Err(suspend_to_checkpoint(
-                &shared,
+                shared,
                 options.replay.checkpoint.as_ref(),
                 fingerprint,
                 BudgetKind::Deadline,
@@ -526,17 +806,18 @@ where
 
     let replay_start = Instant::now();
     let outcome = match walk_roots(
-        &shared,
+        shared,
         options.replay.threads,
         vec![root],
         &options.replay.budget,
         started,
+        None,
     ) {
         // Same satellite rerouting as `explore_with`: with a checkpoint
         // configured a `StateLimit` abort preserves the partial memo.
         Err(ExploreError::StateLimit { .. }) if options.replay.checkpoint.is_some() => {
             return Err(suspend_to_checkpoint(
-                &shared,
+                shared,
                 options.replay.checkpoint.as_ref(),
                 fingerprint,
                 BudgetKind::States,
@@ -548,7 +829,7 @@ where
         WalkOutcome::Done(mut summaries) => summaries.pop().expect("one root, one summary"),
         WalkOutcome::Suspended { reason } => {
             return Err(suspend_to_checkpoint(
-                &shared,
+                shared,
                 options.replay.checkpoint.as_ref(),
                 fingerprint,
                 reason,
@@ -557,13 +838,13 @@ where
     };
     timings.replay_seconds = replay_start.elapsed().as_secs_f64();
     let report_start = Instant::now();
-    let report = build_report(&shared, root_summary)?;
+    let report = build_report(shared, root_summary)?;
     timings.report_seconds = report_start.elapsed().as_secs_f64();
     session.commit(&shared.memo);
     if let Some(ckpt) = &options.replay.checkpoint {
         checkpoint::consume_checkpoint(ckpt);
     }
-    Ok((report, timings))
+    Ok(report)
 }
 
 /// [`explore_partitioned`] with every worker run inside this process —
@@ -600,4 +881,514 @@ where
         .map_err(|e| e.to_string())
     };
     explore_partitioned(system, config, options, initial, proposals, launch)
+}
+
+/// One elastic worker's assignment: the frontier slice it walks, the
+/// seeds it imports first, and the rendezvous files of the steal
+/// handshake.  Unlike [`WorkerTask`] there is no partition arithmetic —
+/// the coordinator already sliced the frontier into this worker's own
+/// sealed segment.
+#[derive(Clone, Debug)]
+pub struct ElasticTask {
+    /// Coordinator-assigned worker id (monotonic across the run,
+    /// including stolen re-splits — not a partition index).
+    pub worker: u64,
+    /// Memo segments to import as *seed* before walking, in order: the
+    /// coordinator's pre-offload image plus every previously merged
+    /// worker delta.  Seeded entries are skipped, not re-explored, and
+    /// excluded from the export.
+    pub seed_paths: Vec<PathBuf>,
+    /// Sealed frontier segment holding exactly this worker's subtree
+    /// roots (`(hash, path)` records; no partition filter applies).
+    pub frontier_path: PathBuf,
+    /// Where the worker exports its fresh memo delta when it exits
+    /// (finished *or* preempted).
+    pub export_path: PathBuf,
+    /// Where a preempted worker writes its remaining frontier as a
+    /// sealed frontier segment for the coordinator to re-split.
+    pub preempt_path: PathBuf,
+    /// Steal-request signal file: the coordinator creates it; the worker
+    /// polls for it every [`yield_every`](Self::yield_every) steps and,
+    /// once seen (and after fresh progress), suspends.
+    pub steal_flag: PathBuf,
+    /// Progress-pulse cadence in walk steps.
+    pub yield_every: u64,
+}
+
+/// How an elastic worker exited.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ElasticExit {
+    /// Walked its whole frontier slice; the export delta covers it.
+    Finished,
+    /// Honored a steal request: the export delta covers every subtree it
+    /// finished, and [`ElasticTask::preempt_path`] holds the rest.
+    Preempted,
+}
+
+/// One progress pulse from an elastic worker, forwarded to the
+/// coordinator every [`ElasticTask::yield_every`] steps.  Over a process
+/// boundary this is a parsed `dist-progress:` stdout line; in-process it
+/// is a plain callback.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkerPulse {
+    /// Which worker ([`ElasticTask::worker`]).
+    pub worker: u64,
+    /// Walk steps performed so far.
+    pub steps: u64,
+    /// Harvestable frontier right now: unexplored immediate children on
+    /// the DFS stack plus whole roots not yet entered — the coordinator's
+    /// live load estimate for victim selection.
+    pub frontier: usize,
+    /// Distinct configurations memoized since the walk began.
+    pub fresh: usize,
+}
+
+/// What the elastic coordinator actually did, for logs and benches.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ElasticStats {
+    /// Worker launches, counting stolen re-splits (not retries).
+    pub workers_launched: usize,
+    /// Completed steals: preempt requests that came back with a frontier
+    /// the coordinator re-split across idle capacity.
+    pub steals: u64,
+    /// Whether the run ever left the coordinator process.  `false` means
+    /// the local-first walk finished inside the steal policy's thresholds
+    /// and the run was effectively serial — the common quick-run case.
+    pub offloaded: bool,
+}
+
+/// Runs one elastic worker to completion or preemption.
+///
+/// The walk itself is single-threaded ([`ElasticTask::yield_every`]-step
+/// pulses require the frame-stepped driver); `engine` still governs memo
+/// tiering and spill configuration.  Callable in-process (the
+/// differential suite does) or as the body of a worker OS process
+/// (`twostep-dist --dist-elastic-worker`); either way the exported
+/// segments are identical.
+pub fn run_worker_elastic<P>(
+    system: SystemConfig,
+    config: ExploreConfig,
+    engine: ExploreOptions,
+    initial: Vec<P>,
+    proposals: Vec<P::Output>,
+    task: &ElasticTask,
+    pulse: &(dyn Fn(WorkerPulse) + Sync),
+) -> Result<ElasticExit, ExploreError>
+where
+    P: CheckableProtocol,
+    P::Output: Hash + SpillCodec,
+{
+    let root = Stepper::new(system, config.model, TraceLevel::Off, initial.clone())
+        .map_err(ExploreError::Engine)?;
+    let shared = Shared::new(system, config, &engine, &proposals, initial)?;
+    for seed in &task.seed_paths {
+        // A damaged seed means the run is broken; fail (and let the
+        // coordinator retry) rather than explore cold and re-export the
+        // world.
+        shared
+            .memo
+            .import_seed_from(seed, crate::memo::key_validator::<P>())?;
+    }
+    let records = read_frontier_segment(&task.frontier_path)?;
+    let mut walker = Walker::new(&shared);
+    let roots = reconstruct_paths(&mut walker, &root, records)?;
+    let worker = task.worker;
+    let outcome = drive_elastic(&mut walker, roots, task.yield_every.max(1), |p| {
+        pulse(WorkerPulse {
+            worker,
+            steps: p.steps,
+            frontier: p.frontier,
+            fresh: p.fresh,
+        });
+        if task.steal_flag.exists() {
+            ElasticVerdict::Preempt
+        } else {
+            ElasticVerdict::Continue
+        }
+    });
+    let outcome = match outcome {
+        Ok(outcome) => outcome,
+        Err(Interrupt::Failed(e)) => return Err(e),
+        Err(Interrupt::Stopped) => unreachable!("an elastic worker walks alone"),
+    };
+    match outcome {
+        ElasticOutcome::Done => {
+            shared.memo.export_delta(&task.export_path)?;
+            Ok(ElasticExit::Finished)
+        }
+        ElasticOutcome::Preempted { frontier } => {
+            // Frontier first: if the process dies between the two writes
+            // the coordinator sees a valid preempt segment but an
+            // unsealed export, fails validation, and retries — never the
+            // reverse (an export without its frontier would silently
+            // drop the unexplored subtrees until the replay recomputed
+            // them serially).
+            write_frontier_segment(&task.preempt_path, &frontier)?;
+            shared.memo.export_delta(&task.export_path)?;
+            Ok(ElasticExit::Preempted)
+        }
+    }
+}
+
+/// A live elastic worker, from the coordinator's side of the handshake.
+struct ActiveWorker {
+    task: ElasticTask,
+    attempt: usize,
+    /// A steal flag has been written and not yet answered; such a victim
+    /// is never flagged twice.
+    flagged: bool,
+}
+
+/// Sends the worker's result to the coordinator exactly once — including
+/// when `launch` panics, so the scheduler loop never hangs on a worker
+/// that will not report.
+struct SendGuard {
+    tx: mpsc::Sender<(u64, Result<ElasticExit, String>)>,
+    worker: u64,
+    done: bool,
+}
+
+impl SendGuard {
+    fn finish(mut self, result: Result<ElasticExit, String>) {
+        self.done = true;
+        let _ = self.tx.send((self.worker, result));
+    }
+}
+
+impl Drop for SendGuard {
+    fn drop(&mut self) {
+        if !self.done {
+            let _ = self
+                .tx
+                .send((self.worker, Err("worker launch panicked".to_string())));
+        }
+    }
+}
+
+/// Explores `initial` elastically: walk locally first, offload to
+/// workers only when the steal policy says the run is big enough, and
+/// re-balance by preempting loaded workers while idle capacity exists.
+///
+/// The report is bit-identical to [`crate::explore_with`] — see the
+/// module docs of [`crate::explorer`] ("Elastic distribution") for the
+/// soundness argument.  `launch` runs one worker to completion —
+/// in-process or by spawning an OS process and tailing its pipe — and
+/// forwards every progress pulse to the provided callback.
+pub fn explore_elastic<P, L>(
+    system: SystemConfig,
+    config: ExploreConfig,
+    options: &DistOptions,
+    initial: Vec<P>,
+    proposals: Vec<P::Output>,
+    launch: L,
+) -> Result<ExploreReport<P::Output>, ExploreError>
+where
+    P: CheckableProtocol,
+    P::Output: Hash + SpillCodec,
+    L: Fn(&ElasticTask, &(dyn Fn(WorkerPulse) + Sync)) -> Result<ElasticExit, String> + Sync,
+{
+    explore_elastic_timed(system, config, options, initial, proposals, launch)
+        .map(|(report, _, _)| report)
+}
+
+/// [`explore_elastic`], additionally returning the coordinator's
+/// per-phase [`DistTimings`] and the run's [`ElasticStats`].
+pub fn explore_elastic_timed<P, L>(
+    system: SystemConfig,
+    config: ExploreConfig,
+    options: &DistOptions,
+    initial: Vec<P>,
+    proposals: Vec<P::Output>,
+    launch: L,
+) -> Result<(ExploreReport<P::Output>, DistTimings, ElasticStats), ExploreError>
+where
+    P: CheckableProtocol,
+    P::Output: Hash + SpillCodec,
+    L: Fn(&ElasticTask, &(dyn Fn(WorkerPulse) + Sync)) -> Result<ElasticExit, String> + Sync,
+{
+    let started = Instant::now();
+    let partitions = options.partitions.max(1);
+    let steal = &options.steal;
+    let attempts = options.attempts.max(1);
+    let fingerprint = crate::cache::run_fingerprint(system, &config, &initial, &proposals);
+    let mut session = CacheSession::open(options.cache.clone(), fingerprint);
+    let scratch = SpillDir::create(options.scratch_dir.as_deref())?;
+
+    let root = Stepper::new(system, config.model, TraceLevel::Off, initial.clone())
+        .map_err(ExploreError::Engine)?;
+    let mut shared = Shared::new(system, config, &options.replay, &proposals, initial)?;
+    let mut timings = DistTimings::default();
+    let mut stats = ElasticStats::default();
+
+    let seed_start = Instant::now();
+    seed_coordinator(
+        system,
+        config,
+        options,
+        &proposals,
+        &mut shared,
+        &mut session,
+        fingerprint,
+    )?;
+    timings.seed_seconds = seed_start.elapsed().as_secs_f64();
+    let session_baseline = shared.memo.len();
+
+    // No upfront frontier expansion (`options.depth` is a partitioned
+    // concern): the local walk starts at the root itself, and a preempted
+    // stack *harvests* its natural frontier — the unexplored children of
+    // whatever the DFS was holding when the steal policy fired.  That
+    // keeps the never-offloads path within a whisker of the plain serial
+    // walk, which is what lets elastic distribution win the quick bench
+    // instead of taxing it.
+    let frontier_start = Instant::now();
+    let roots = {
+        let mut walker = Walker::new(&shared);
+        expand_frontier(&mut walker, root.clone(), 0, config.symmetry)?
+    };
+    timings.frontier_seconds = frontier_start.elapsed().as_secs_f64();
+
+    // Local-first: walk in this very process and only consider
+    // offloading once the run has outlived `poll_interval` *and* still
+    // holds a frontier worth splitting.  A quick run never pays a worker
+    // spawn; a big one sheds its whole remaining frontier in one preempt.
+    let workers_start = Instant::now();
+    let local = {
+        let mut walker = Walker::new(&shared);
+        drive_elastic(&mut walker, roots, steal.yield_every.max(1), |p| {
+            if steal.enabled
+                && partitions > 1
+                && workers_start.elapsed() >= steal.poll_interval
+                && p.frontier >= steal.min_frontier.max(1)
+            {
+                ElasticVerdict::Preempt
+            } else {
+                ElasticVerdict::Continue
+            }
+        })
+    };
+    let mut pending: VecDeque<(u64, Vec<u32>)> = match local {
+        Ok(ElasticOutcome::Done) => VecDeque::new(),
+        Ok(ElasticOutcome::Preempted { frontier }) => frontier.into(),
+        Err(Interrupt::Failed(e)) => return Err(e),
+        Err(Interrupt::Stopped) => unreachable!("the local walker walks alone"),
+    };
+
+    if !pending.is_empty() {
+        stats.offloaded = true;
+        // Everything walked so far — cache seed plus the local phase —
+        // becomes the first worker seed.
+        let first_seed = scratch.path().join("elastic-seed.seg");
+        shared.memo.export_to(&first_seed)?;
+        let mut seed_paths = vec![first_seed];
+
+        let (tx, rx) = mpsc::channel::<(u64, Result<ElasticExit, String>)>();
+        let pulse_board: Mutex<HashMap<u64, usize>> = Mutex::new(HashMap::new());
+        let pulse_fn = |p: WorkerPulse| {
+            pulse_board
+                .lock()
+                .expect("pulse board poisoned")
+                .insert(p.worker, p.frontier);
+        };
+        let pulse_dyn: &(dyn Fn(WorkerPulse) + Sync) = &pulse_fn;
+        let launch = &launch;
+        let mut active: HashMap<u64, ActiveWorker> = HashMap::new();
+        let mut next_worker = 0u64;
+        let poll = steal.poll_interval.max(Duration::from_millis(1));
+
+        std::thread::scope(|scope| -> Result<(), ExploreError> {
+            loop {
+                // Fill idle slots: split the pending frontier evenly
+                // across them (hash-order chunks; determinism of the
+                // *result* never depends on the split — module docs).
+                while !pending.is_empty() && active.len() < partitions {
+                    let take = pending
+                        .len()
+                        .div_ceil(partitions - active.len())
+                        .min(pending.len());
+                    let chunk: Vec<(u64, Vec<u32>)> = pending.drain(..take).collect();
+                    let worker = next_worker;
+                    next_worker += 1;
+                    let frontier_path =
+                        scratch.path().join(format!("elastic-frontier{worker}.seg"));
+                    write_frontier_segment(&frontier_path, &chunk)?;
+                    let task = ElasticTask {
+                        worker,
+                        seed_paths: seed_paths.clone(),
+                        frontier_path,
+                        export_path: scratch.path().join(format!("elastic-export{worker}.seg")),
+                        preempt_path: scratch.path().join(format!("elastic-preempt{worker}.seg")),
+                        steal_flag: scratch.path().join(format!("elastic-steal{worker}.flag")),
+                        yield_every: steal.yield_every.max(1),
+                    };
+                    stats.workers_launched += 1;
+                    let spawn_task = task.clone();
+                    let guard = SendGuard {
+                        tx: tx.clone(),
+                        worker,
+                        done: false,
+                    };
+                    scope.spawn(move || {
+                        let result = launch(&spawn_task, pulse_dyn);
+                        guard.finish(result);
+                    });
+                    active.insert(
+                        worker,
+                        ActiveWorker {
+                            task,
+                            attempt: 1,
+                            flagged: false,
+                        },
+                    );
+                }
+                if active.is_empty() {
+                    break;
+                }
+                // Idle capacity and nothing queued: preempt the most
+                // loaded un-flagged worker whose advertised frontier
+                // clears the threshold.
+                if pending.is_empty() && active.len() < partitions {
+                    let victim = {
+                        let board = pulse_board.lock().expect("pulse board poisoned");
+                        active
+                            .iter()
+                            .filter(|(_, w)| !w.flagged)
+                            .filter_map(|(&id, _)| board.get(&id).map(|&f| (id, f)))
+                            .filter(|&(_, f)| f >= steal.min_frontier.max(1))
+                            .max_by_key(|&(id, f)| (f, std::cmp::Reverse(id)))
+                            .map(|(id, _)| id)
+                    };
+                    if let Some(id) = victim {
+                        let w = active.get_mut(&id).expect("victim is active");
+                        std::fs::write(&w.task.steal_flag, b"steal").map_err(|e| {
+                            ExploreError::Coordinator {
+                                detail: format!("writing steal flag: {e}"),
+                            }
+                        })?;
+                        w.flagged = true;
+                    }
+                }
+                let (worker, result) = match rx.recv_timeout(poll) {
+                    Ok(report) => report,
+                    Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                    Err(mpsc::RecvTimeoutError::Disconnected) => {
+                        unreachable!("the coordinator holds a sender")
+                    }
+                };
+                let w = active.get_mut(&worker).expect("unknown worker reported");
+                // Trust nothing a thread/process boundary crossed: the
+                // import validates header, per-record CRCs, and the
+                // sealed count; a preempt segment is validated the same
+                // way.  Any failure is charged to the worker and retried.
+                let resolved: Result<Option<Vec<FrontierRecord>>, String> =
+                    result.and_then(|exit| {
+                        let merge_start = Instant::now();
+                        let merged = shared
+                            .memo
+                            .import_from(&w.task.export_path, crate::memo::key_validator::<P>())
+                            .map(|_| ())
+                            .map_err(|e| e.to_string());
+                        timings.merge_seconds += merge_start.elapsed().as_secs_f64();
+                        merged?;
+                        match exit {
+                            ElasticExit::Finished => Ok(None),
+                            ElasticExit::Preempted => read_frontier_segment(&w.task.preempt_path)
+                                .map(Some)
+                                .map_err(|e| e.to_string()),
+                        }
+                    });
+                match resolved {
+                    Ok(handed) => {
+                        // The merged delta seeds every future worker, so
+                        // a stolen subtree is never walked twice.
+                        seed_paths.push(w.task.export_path.clone());
+                        if let Some(handed) = handed {
+                            stats.steals += 1;
+                            pending.extend(handed);
+                        }
+                        active.remove(&worker);
+                    }
+                    Err(detail) if w.attempt >= attempts => {
+                        // Hasten the survivors' exit before reporting:
+                        // a flagged worker preempts at its next pulse
+                        // instead of finishing its whole slice.
+                        for other in active.values() {
+                            let _ = std::fs::write(&other.task.steal_flag, b"stop");
+                        }
+                        return Err(ExploreError::Worker {
+                            partition: worker as usize,
+                            detail,
+                        });
+                    }
+                    Err(_) => {
+                        w.attempt += 1;
+                        w.flagged = false;
+                        // A stale flag would preempt the relaunch on its
+                        // first pulse.
+                        let _ = std::fs::remove_file(&w.task.steal_flag);
+                        // Refresh the seeds: deltas merged since the
+                        // first launch shrink the rerun.
+                        w.task.seed_paths = seed_paths.clone();
+                        let spawn_task = w.task.clone();
+                        let guard = SendGuard {
+                            tx: tx.clone(),
+                            worker,
+                            done: false,
+                        };
+                        scope.spawn(move || {
+                            let result = launch(&spawn_task, pulse_dyn);
+                            guard.finish(result);
+                        });
+                    }
+                }
+            }
+            Ok(())
+        })?;
+    }
+    timings.workers_wall_seconds = workers_start.elapsed().as_secs_f64();
+
+    let report = finish_pipeline(
+        &shared,
+        &mut session,
+        options,
+        root,
+        fingerprint,
+        started,
+        session_baseline,
+        &mut timings,
+    )?;
+    Ok((report, timings, stats))
+}
+
+/// [`explore_elastic`] with every worker run inside this process — the
+/// zero-setup path (and the one the differential suite exercises):
+/// workers still communicate solely through exported segment files and
+/// the steal-flag handshake, so the scheduler path is identical to the
+/// multi-process deployment.
+pub fn explore_elastic_in_process<P>(
+    system: SystemConfig,
+    config: ExploreConfig,
+    options: &DistOptions,
+    worker_engine: ExploreOptions,
+    initial: Vec<P>,
+    proposals: Vec<P::Output>,
+) -> Result<ExploreReport<P::Output>, ExploreError>
+where
+    P: CheckableProtocol,
+    P::Output: Hash + SpillCodec,
+{
+    let worker_initial = initial.clone();
+    let worker_proposals = proposals.clone();
+    let launch = |task: &ElasticTask, pulse: &(dyn Fn(WorkerPulse) + Sync)| {
+        run_worker_elastic(
+            system,
+            config,
+            worker_engine.clone(),
+            worker_initial.clone(),
+            worker_proposals.clone(),
+            task,
+            pulse,
+        )
+        .map_err(|e| e.to_string())
+    };
+    explore_elastic(system, config, options, initial, proposals, launch)
 }

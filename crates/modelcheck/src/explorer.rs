@@ -207,6 +207,60 @@
 //! partition counts, frontier depths, worker memo tierings, and worker
 //! crash/retry histories.
 //!
+//! ## Elastic distribution
+//!
+//! Static partitioning pays its whole coordination bill — frontier
+//! expansion, worker spawn-up, export/merge — up front, whether or not
+//! the run is long enough to amortize it.  The **elastic** engine
+//! ([`crate::dist::explore_elastic`]) inverts that: the coordinator
+//! starts walking the root *locally* through the same frame-stepped
+//! core, and distribution is an escape hatch it only reaches for when
+//! the run outlives a [`crate::StealConfig`]'s thresholds.  Short runs
+//! therefore pay nothing — they are a plain serial walk plus one
+//! per-`yield_every`-steps policy check.
+//!
+//! Three mechanisms, all built on machinery this module already proves
+//! correct:
+//!
+//! * **progress protocol** — every elastic walk (local or worker)
+//!   reports `(steps, frontier, fresh)` each `yield_every` steps;
+//!   worker processes print it as parseable `dist-progress:` stdout
+//!   lines which the coordinator tails into a live per-worker load
+//!   board.  `frontier` counts the *unexplored siblings hanging off the
+//!   DFS stack* — the work a preemption could harvest — and `fresh`
+//!   counts new memo inserts, so a walk that is merely re-traversing
+//!   memoized territory advertises no stealable value;
+//! * **steal handshake** — the coordinator requests a steal by writing
+//!   a flag file next to the victim's scratch; the victim observes it
+//!   at its next report boundary, suspends, and exports two artifacts
+//!   *in a fixed order*: first the harvested frontier (every unexplored
+//!   subtree root, addressed by its **action-index path** from the true
+//!   initial configuration — canonical keys are lossy under symmetry,
+//!   so the path is the only faithful cross-process address), then its
+//!   sealed memo delta.  A crash between the two leaves an unsealed
+//!   delta that fails validation, so a half-preempted worker is
+//!   indistinguishable from a dead one and simply retried.  The
+//!   coordinator re-splits the harvested frontier across fresh workers,
+//!   each seeded with *every* delta merged so far — stolen subtrees are
+//!   never walked twice, and a re-assigned subtree that was already
+//!   finished memoizes nothing fresh, cannot be preempted (preemption
+//!   requires `fresh > 0`), and exits immediately, which bounds every
+//!   preempt chain in a finite space;
+//! * **memo handoff soundness** — this is observation 2/3 of the
+//!   distributed argument above, unchanged: summaries are a function of
+//!   the key, so merging a preempted worker's *partial* delta is as
+//!   conflict-free as merging a complete one, and the final canonical
+//!   replay recomputes anything the handoff under-covered.  Elastic
+//!   scheduling decisions (when to offload, whom to preempt, how to
+//!   re-split) can affect only *timing*, never the report.
+//!
+//! `tests/dist_differential.rs` pins the elastic engine the same way:
+//! forced-steal runs (zero warm-up, preempt-everything policy) are
+//! bit-identical to serial across both model kinds and partition
+//! counts, through killed-mid-steal retries, steal requests that lose
+//! the race with a natural finish, and — by proptest — arbitrary
+//! `(yield_every, partitions, min_frontier)` re-split cadences.
+//!
 //! ## Persistent cache
 //!
 //! The same portability argument extends across **run boundaries**
@@ -736,6 +790,11 @@ pub enum BudgetKind {
     /// The [`ExploreConfig::max_states`] distinct-state budget — routed
     /// through the checkpoint path when one is configured.
     States,
+    /// Not a limit at all: a periodic crash-safety snapshot
+    /// ([`crate::CheckpointConfig::autosave_every`]).  Never refuses a
+    /// step — it only labels the checkpoint manifest so a resume can
+    /// tell a mid-run autosave from a budget suspension.
+    Autosave,
 }
 
 impl std::fmt::Display for BudgetKind {
@@ -745,6 +804,7 @@ impl std::fmt::Display for BudgetKind {
             BudgetKind::Deadline => "deadline",
             BudgetKind::MemoBytes => "memo-bytes",
             BudgetKind::States => "states",
+            BudgetKind::Autosave => "autosave",
         })
     }
 }
@@ -1437,12 +1497,20 @@ where
             }
         }
     }
+    let autosave = options.checkpoint.as_ref().and_then(|ckpt| {
+        ckpt.autosave_every.map(|every| Autosave {
+            config: ckpt,
+            fingerprint,
+            every: every.max(1),
+        })
+    });
     match walk_roots(
         &shared,
         options.threads,
         vec![root_stepper],
         &options.budget,
         started,
+        autosave,
     ) {
         Ok(WalkOutcome::Done(mut summaries)) => {
             let root = summaries.pop().expect("one root, one summary");
@@ -1501,6 +1569,24 @@ where
     }
 }
 
+/// Periodic crash-safety snapshotting for [`walk_roots`]
+/// ([`CheckpointConfig::autosave_every`]): at `Yield` points, once at
+/// least `every` steps have passed since the last save, the walk's
+/// fresh memo delta is rewritten as a checkpoint labelled
+/// [`BudgetKind::Autosave`].
+///
+/// Only honored on single-threaded walks: with stealers running, a
+/// mid-walk export scan can race a concurrent insert across shards (a
+/// parent landing in a later-scanned shard after its child's shard was
+/// scanned) and break the descendant-closure the resume path relies on.
+/// A one-walker memo is trivially quiescent at every step boundary.
+#[derive(Clone, Copy)]
+pub(crate) struct Autosave<'c> {
+    pub(crate) config: &'c CheckpointConfig,
+    pub(crate) fingerprint: u64,
+    pub(crate) every: u64,
+}
+
 /// How a [`walk_roots`] call ended when no error occurred.
 pub(crate) enum WalkOutcome<O> {
     /// Every root fully memoized: one summary per root, in order.
@@ -1536,6 +1622,7 @@ pub(crate) fn walk_roots<P>(
     roots: Vec<Stepper<P>>,
     budget: &WalkBudget,
     started: Instant,
+    autosave: Option<Autosave<'_>>,
 ) -> Result<WalkOutcome<P::Output>, ExploreError>
 where
     P: CheckableProtocol,
@@ -1543,6 +1630,10 @@ where
 {
     type Slot<O> = Mutex<Option<Result<WalkOutcome<O>, Interrupt>>>;
     let threads = threads.max(1);
+    // Autosave is a single-threaded feature (see [`Autosave`]); a
+    // multi-walker run silently degrades to suspension-only
+    // checkpointing rather than risking a non-descendant-closed image.
+    let autosave = autosave.filter(|_| threads == 1);
     let result_slot: Slot<P::Output> = Mutex::new(None);
     // Handed to worker 0 through a mutex so the closure only needs the
     // steppers to be `Send`, not `Sync`.
@@ -1560,7 +1651,7 @@ where
                 .take()
                 .expect("roots taken once");
             let mut walker = Walker::new(shared);
-            let outcome = drive_primary(&mut walker, roots, budget, started);
+            let outcome = drive_primary(&mut walker, roots, budget, started, autosave);
             *result_slot.lock().expect("result slot poisoned") = Some(outcome);
         } else {
             // Stealer: drain donated subtrees into the shared memo,
@@ -1614,6 +1705,7 @@ fn drive_primary<P>(
     roots: Vec<Stepper<P>>,
     budget: &WalkBudget,
     started: Instant,
+    autosave: Option<Autosave<'_>>,
 ) -> Result<WalkOutcome<P::Output>, Interrupt>
 where
     P: CheckableProtocol,
@@ -1623,14 +1715,38 @@ where
     // Fresh-progress baseline: everything memoized before this walk
     // (cache seeds, checkpoint imports, earlier phases) doesn't count.
     let baseline = shared.memo.len();
-    let mut arbiter = BudgetArbiter::from_start(budget.clone(), started);
+    // Autosave parks at `Yield` verdicts, so an autosaving walk with no
+    // explicit yield cadence gets one derived from its save interval.
+    let mut effective = budget.clone();
+    if let Some(save) = &autosave {
+        if effective.yield_every.is_none() {
+            effective.yield_every = Some(save.every);
+        }
+    }
+    let mut arbiter = BudgetArbiter::from_start(effective, started);
     let mut stepped = StepWalker::new(walker, roots);
+    let mut steps = 0u64;
+    let mut last_saved = 0u64;
     loop {
         let step = stepped.step(&mut arbiter)?;
+        steps += 1;
         match step.status {
             StepStatus::Running => {}
             StepStatus::Done => return Ok(WalkOutcome::Done(stepped.into_summaries())),
-            StepStatus::Yielded => std::thread::yield_now(),
+            StepStatus::Yielded => {
+                if let Some(save) = &autosave {
+                    if steps - last_saved >= save.every && step.distinct_states > baseline {
+                        checkpoint::write_checkpoint(
+                            save.config,
+                            save.fingerprint,
+                            BudgetKind::Autosave,
+                            &shared.memo,
+                        );
+                        last_saved = steps;
+                    }
+                }
+                std::thread::yield_now()
+            }
             StepStatus::Refused(reason) => {
                 if step.distinct_states > baseline {
                     // Halt stealers mid-subtree (their completed inserts
@@ -1645,6 +1761,113 @@ where
             }
         }
     }
+}
+
+/// A subtree root addressed by its *action-index path* from the true
+/// initial configuration — the wire form of the elastic frontier.
+/// Canonical keys are not invertible (symmetry canonicalization is
+/// lossy), so the only faithful way to ship "this exact configuration"
+/// between processes is the deterministic action sequence reaching it:
+/// index `i` selects `enumerate_action_sets(..)[i]` at each level.
+pub(crate) struct PathedRoot<P>
+where
+    P: CheckableProtocol,
+    P::Output: Hash,
+{
+    /// `stable_hash64` of the configuration's canonical key.
+    pub(crate) hash: u64,
+    /// Action indices from the initial configuration to this root.
+    pub(crate) path: Vec<u32>,
+    /// The reconstructed configuration itself.
+    pub(crate) stepper: Stepper<P>,
+}
+
+/// One progress observation from [`drive_elastic`], emitted every
+/// `yield_every` steps.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ElasticPulse {
+    /// Steps performed across every root so far.
+    pub(crate) steps: u64,
+    /// Harvestable frontier right now: unexplored immediate children on
+    /// the DFS stack plus whole roots not yet entered.
+    pub(crate) frontier: usize,
+    /// Configurations memoized since the walk began (excludes seeds).
+    pub(crate) fresh: usize,
+}
+
+/// The observer's answer to an [`ElasticPulse`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ElasticVerdict {
+    /// Keep walking.
+    Continue,
+    /// Suspend and hand the remaining frontier back (honored only after
+    /// fresh progress — the same min-progress guarantee as
+    /// [`drive_primary`], so a preempt chain terminates).
+    Preempt,
+}
+
+/// How a [`drive_elastic`] walk ended.
+pub(crate) enum ElasticOutcome {
+    /// Every root fully memoized.  No summaries ride back: every elastic
+    /// caller re-derives them through the final replay's memo hits.
+    Done,
+    /// Preempted: the fresh memo image is complete for every *finished*
+    /// subtree, and `frontier` holds the `(hash, path)` of every
+    /// not-yet-explored subtree root — harvested unexplored children of
+    /// the suspended stack plus the untouched remaining roots.
+    /// Partially-explored interior configurations are abandoned; the
+    /// final replay recomputes them through memo hits.
+    Preempted {
+        /// `(canonical-key hash, action-index path)` per remaining root.
+        frontier: Vec<(u64, Vec<u32>)>,
+    },
+}
+
+/// The elastic driver: walks `roots` one at a time (single-threaded),
+/// calling `observe` every `yield_every` steps with the current load
+/// estimate, and on [`ElasticVerdict::Preempt`] suspends the walk and
+/// returns the remaining frontier as `(hash, path)` records.  See the
+/// *Elastic distribution* section of the module docs.
+pub(crate) fn drive_elastic<P>(
+    walker: &mut Walker<'_, '_, P>,
+    roots: Vec<PathedRoot<P>>,
+    yield_every: u64,
+    mut observe: impl FnMut(&ElasticPulse) -> ElasticVerdict,
+) -> Result<ElasticOutcome, Interrupt>
+where
+    P: CheckableProtocol,
+    P::Output: Hash + SpillCodec,
+{
+    let baseline = walker.shared.memo.len();
+    let every = yield_every.max(1);
+    let mut queue: std::collections::VecDeque<PathedRoot<P>> = roots.into();
+    let mut steps = 0u64;
+    while let Some(root) = queue.pop_front() {
+        let path = root.path;
+        let mut stepped = StepWalker::new(walker, vec![root.stepper]);
+        loop {
+            let step = stepped.step(&mut Unbounded)?;
+            steps += 1;
+            if step.status == StepStatus::Done {
+                break;
+            }
+            if steps.is_multiple_of(every) {
+                let fresh = step.distinct_states.saturating_sub(baseline);
+                let pulse = ElasticPulse {
+                    steps,
+                    frontier: stepped.harvestable() + queue.len(),
+                    fresh,
+                };
+                if observe(&pulse) == ElasticVerdict::Preempt && fresh > 0 {
+                    let mut frontier = Vec::new();
+                    stepped.harvest_into(&path, &mut frontier)?;
+                    frontier.extend(queue.into_iter().map(|r| (r.hash, r.path)));
+                    return Ok(ElasticOutcome::Preempted { frontier });
+                }
+            }
+        }
+    }
+    Ok(ElasticOutcome::Done)
 }
 
 /// Post-processing over a completed walk (single-threaded): the
@@ -2008,6 +2231,78 @@ where
     /// meaningful after a [`StepStatus::Done`].
     pub(crate) fn into_summaries(self) -> Vec<Arc<Summary<P::Output>>> {
         self.summaries
+    }
+
+    /// Unexplored immediate children across every frame of the current
+    /// DFS stack — an upper bound on what [`Self::harvest_into`] emits
+    /// (harvest additionally skips children already memoized).
+    pub(crate) fn harvestable(&self) -> usize {
+        self.stack
+            .iter()
+            .map(|f| f.actions.len() - f.next_action)
+            .sum()
+    }
+
+    /// Harvests the suspended walk's remaining frontier: for every frame
+    /// on the stack, each not-yet-started child is forked, stepped, and
+    /// emitted as a `(canonical-key hash, action-index path)` record —
+    /// unless the memo already holds it.  `prefix` is the current root's
+    /// own path; a child of frame `j` extends it with the actions chosen
+    /// into frames `1..=j` plus the child's own index.
+    ///
+    /// The frames themselves (partially-absorbed interiors) are *not*
+    /// emitted: their summaries are recomputed by whoever re-drives the
+    /// path — by then every child is memoized, so the recomputation is
+    /// pure memo-hit fast-forward.
+    pub(crate) fn harvest_into(
+        &mut self,
+        prefix: &[u32],
+        out: &mut Vec<(u64, Vec<u32>)>,
+    ) -> Result<(), Interrupt> {
+        let walker = &mut *self.walker;
+        // Actions chosen into the stack so far: frame `j+1` is frame
+        // `j`'s child via action `next_action - 1` (LIFO: the frame
+        // above is always the most recent fork).
+        let mut path: Vec<u32> = Vec::with_capacity(prefix.len() + self.stack.len() + 1);
+        path.extend_from_slice(prefix);
+        let depth = self.stack.len();
+        for (level, frame) in self.stack.iter().enumerate() {
+            // Interior frames (those with a frame above) necessarily
+            // advanced `next_action` to push that child; only the top
+            // frame may sit just-entered at `next_action == 0`.
+            debug_assert!(
+                level + 1 == depth || frame.next_action > 0,
+                "interior frames were entered through an action"
+            );
+            for idx in frame.next_action..frame.actions.len() {
+                let mut child = walker.fork(&frame.stepper);
+                child
+                    .step(&frame.actions[idx])
+                    .map_err(|e| walker.shared.fail(ExploreError::Engine(e)))?;
+                canonical_key_into(
+                    &child,
+                    walker.shared.config.symmetry,
+                    &mut walker.canon,
+                    &mut walker.key_scratch,
+                );
+                let hash = stable_hash64(&walker.key_scratch);
+                let known = walker
+                    .shared
+                    .memo
+                    .get(hash, &walker.key_scratch)
+                    .map_err(|e| walker.shared.fail(e.into()))?
+                    .is_some();
+                walker.stepper_pool.push(child);
+                if known {
+                    continue;
+                }
+                path.push(idx as u32);
+                out.push((hash, path.clone()));
+                path.pop();
+            }
+            path.push((frame.next_action.max(1) - 1) as u32);
+        }
+        Ok(())
     }
 }
 
@@ -3479,5 +3774,64 @@ mod tests {
         )
         .unwrap();
         assert_reports_identical(&plain, &budgeted, "non-tripping budget");
+    }
+
+    /// Crash-safety autosave ([`CheckpointConfig::autosave_every`]): a
+    /// single-threaded walk snapshots *periodically* at `Yield` points,
+    /// so even an abort that writes no suspension checkpoint (a
+    /// `StateLimit` trip at the raw [`walk_roots`] layer) leaves a
+    /// loadable artifact behind — at most one interval of work is lost.
+    #[test]
+    fn autosave_snapshots_survive_an_unclean_abort() {
+        let system = SystemConfig::new(4, 2).unwrap();
+        let (procs, proposals) = flooder_procs(4);
+        let dir =
+            std::env::temp_dir().join(format!("twostep-autosave-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ckpt = CheckpointConfig::at(&dir).with_autosave_every(4);
+        // Small enough to trip mid-walk, large enough for several
+        // autosave intervals first.
+        let config = options(4, 64);
+        let shared = Shared::new(
+            system,
+            config,
+            &ExploreOptions::serial(),
+            &proposals,
+            procs.clone(),
+        )
+        .unwrap();
+        let root = Stepper::new(system, config.model, TraceLevel::Off, procs.clone()).unwrap();
+        let err = match walk_roots(
+            &shared,
+            1,
+            vec![root],
+            &WalkBudget::unlimited(),
+            Instant::now(),
+            Some(Autosave {
+                config: &ckpt,
+                fingerprint: 42,
+                every: 4,
+            }),
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("a 64-state budget must trip on this system"),
+        };
+        assert_eq!(err, ExploreError::StateLimit { budget: 64 });
+        // The abort itself wrote nothing — whatever is on disk came from
+        // the periodic autosaves during the walk.
+        let probe =
+            Shared::new(system, config, &ExploreOptions::serial(), &proposals, procs).unwrap();
+        match checkpoint::load_checkpoint(
+            &ckpt,
+            42,
+            &probe.memo,
+            crate::memo::key_validator::<Flooder>(),
+        ) {
+            CheckpointLoad::Loaded { records } => {
+                assert!(records > 0, "autosave captured fresh states");
+            }
+            other => panic!("expected a loadable autosave checkpoint, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

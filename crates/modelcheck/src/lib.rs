@@ -30,6 +30,11 @@
 //!   across worker OS processes, merge their exported memo segments, and
 //!   replay the canonical walk — bit-identical to the serial report,
 //!   with crashed workers validated out and retried;
+//! * [`explore_elastic`] / [`run_worker_elastic`] — the **elastic**
+//!   variant: walk locally first, offload only when the run outlives
+//!   [`StealConfig`]'s thresholds, and re-balance live by preempting
+//!   loaded workers (steal-flag handshake, frontier re-split) — still
+//!   bit-identical;
 //! * [`Witness`] — concrete counterexample schedules, reconstructed when
 //!   a violation exists (used by the commit-order ablation, where the
 //!   ascending variant mechanically violates Theorem 1);
@@ -54,8 +59,10 @@ pub mod spill;
 pub use cache::{cache_from_env, run_fingerprint, CacheConfig, CacheMode};
 pub use checkpoint::CheckpointConfig;
 pub use dist::{
-    explore_partitioned, explore_partitioned_in_process, explore_partitioned_timed, run_worker,
-    DistOptions, DistTimings, WorkerReport, WorkerTask,
+    explore_elastic, explore_elastic_in_process, explore_elastic_timed, explore_partitioned,
+    explore_partitioned_in_process, explore_partitioned_timed, run_worker, run_worker_elastic,
+    steal_from_env, DistOptions, DistTimings, ElasticExit, ElasticStats, ElasticTask, StealConfig,
+    WorkerPulse, WorkerReport, WorkerTask,
 };
 pub use explorer::{
     budget_from_env, explore, explore_with, Arbiter, BudgetArbiter, BudgetKind, CheckableProtocol,

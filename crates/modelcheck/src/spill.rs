@@ -76,6 +76,18 @@ pub(crate) const FORMAT_VERSION: u32 = 4;
 /// Header flag bit: record payloads are compressed.
 pub(crate) const FLAG_COMPRESSED: u8 = 1;
 
+/// Header flag bit: the segment holds *frontier records* — action-index
+/// paths from the initial configuration — rather than memo entries.  The
+/// two record kinds share the framing, CRC, and sealing discipline but
+/// are never interchangeable: a memo import reading a frontier file (or
+/// vice versa) is rejected at [`SegmentReader::open`] /
+/// [`SegmentReader::open_frontier`], before any payload is decoded.
+pub(crate) const FLAG_FRONTIER: u8 = 2;
+
+/// Every flag bit this build understands; anything else is a future
+/// format and classified as [`SpillError::Foreign`].
+const KNOWN_FLAGS: u8 = FLAG_COMPRESSED | FLAG_FRONTIER;
+
 /// Upper bound on a single record's uncompressed size, enforced by the
 /// decompressor so a corrupted (CRC-colliding) or crafted length claim
 /// can never force a giant allocation.
@@ -263,14 +275,12 @@ impl Drop for SpillDir {
 // Header helpers
 // ---------------------------------------------------------------------------
 
-fn header_bytes(record_count: u64, compressed: bool) -> [u8; HEADER_LEN as usize] {
+fn header_bytes(record_count: u64, flags: u8) -> [u8; HEADER_LEN as usize] {
     let mut h = [0u8; HEADER_LEN as usize];
     h[..8].copy_from_slice(&MAGIC);
     h[8..12].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
     h[12..20].copy_from_slice(&record_count.to_le_bytes());
-    if compressed {
-        h[20] = FLAG_COMPRESSED;
-    }
+    h[20] = flags;
     h
 }
 
@@ -288,9 +298,8 @@ fn write_framed_record(w: &mut impl Write, payload: &[u8]) -> Result<(), SpillEr
 }
 
 /// Validates a header and returns its record count (`STREAMING_COUNT`
-/// for never-finished streaming segments) plus whether its records are
-/// compressed.
-fn parse_header(h: &[u8], path: &Path) -> Result<(u64, bool), SpillError> {
+/// for never-finished streaming segments) plus its flag byte.
+fn parse_header(h: &[u8], path: &Path) -> Result<(u64, u8), SpillError> {
     if h.len() < HEADER_LEN as usize {
         return Err(SpillError::foreign(format!(
             "{}: {} bytes is too short for a segment header",
@@ -312,14 +321,14 @@ fn parse_header(h: &[u8], path: &Path) -> Result<(u64, bool), SpillError> {
         )));
     }
     let flags = h[20];
-    if flags & !FLAG_COMPRESSED != 0 {
+    if flags & !KNOWN_FLAGS != 0 {
         return Err(SpillError::foreign(format!(
             "{}: unknown header flags {flags:#04x}",
             path.display()
         )));
     }
     let count = u64::from_le_bytes(h[12..20].try_into().expect("8 bytes"));
-    Ok((count, flags & FLAG_COMPRESSED != 0))
+    Ok((count, flags))
 }
 
 /// Unpacks one stored record payload: decompresses when the owning
@@ -396,7 +405,7 @@ impl SegmentStore {
             .map_err(|e| SpillError::io(&format!("creating segment {}", path.display()), e))?;
         // Streaming segments never learn their final record count; they
         // are indexed in memory, not scanned.
-        file.write_all(&header_bytes(STREAMING_COUNT, true))
+        file.write_all(&header_bytes(STREAMING_COUNT, FLAG_COMPRESSED))
             .map_err(|e| SpillError::io("writing segment header", e))?;
         self.segments.push(file);
         self.tail_len = HEADER_LEN;
@@ -488,25 +497,38 @@ impl SegmentWriter {
     /// A compressed export file — the uniform default for spill, export,
     /// and dist interchange segments.
     pub(crate) fn create(path: &Path) -> Result<Self, SpillError> {
-        Self::create_with(path, true)
+        Self::create_flagged(path, FLAG_COMPRESSED)
     }
 
     /// An export file with an explicit compression flag (tests exercise
     /// the uncompressed reader path through this).
+    #[cfg(test)]
     pub(crate) fn create_with(path: &Path, compressed: bool) -> Result<Self, SpillError> {
+        Self::create_flagged(path, if compressed { FLAG_COMPRESSED } else { 0 })
+    }
+
+    /// A frontier segment: records are action-index paths, stored raw
+    /// (paths are a few dozen bytes — compression buys nothing), and the
+    /// [`FLAG_FRONTIER`] bit keeps a memo import from ever consuming the
+    /// file by accident.
+    pub(crate) fn create_frontier(path: &Path) -> Result<Self, SpillError> {
+        Self::create_flagged(path, FLAG_FRONTIER)
+    }
+
+    fn create_flagged(path: &Path, flags: u8) -> Result<Self, SpillError> {
         let mut file = OpenOptions::new()
             .create(true)
             .write(true)
             .truncate(true)
             .open(path)
             .map_err(|e| SpillError::io(&format!("creating export {}", path.display()), e))?;
-        file.write_all(&header_bytes(STREAMING_COUNT, compressed))
+        file.write_all(&header_bytes(STREAMING_COUNT, flags))
             .map_err(|e| SpillError::io("writing export header", e))?;
         Ok(SegmentWriter {
             file: std::io::BufWriter::with_capacity(256 * 1024, file),
             path: path.to_path_buf(),
             records: 0,
-            compressed,
+            compressed: flags & FLAG_COMPRESSED != 0,
             compressor: twostep_model::codec::Compressor::new(),
             packed: Vec::new(),
         })
@@ -560,11 +582,35 @@ pub(crate) struct SegmentReader {
 }
 
 impl SegmentReader {
-    /// Opens and validates the header.  [`SpillError::Foreign`] if the
-    /// file is not a segment file of this format version;
-    /// [`SpillError::Corrupt`] if it is an unfinished export (a worker
-    /// died before sealing it).
+    /// Opens and validates the header of a *memo* segment.
+    /// [`SpillError::Foreign`] if the file is not a segment file of this
+    /// format version or is a frontier segment; [`SpillError::Corrupt`]
+    /// if it is an unfinished export (a worker died before sealing it).
     pub(crate) fn open(path: &Path) -> Result<Self, SpillError> {
+        let (reader, flags) = Self::open_any(path)?;
+        if flags & FLAG_FRONTIER != 0 {
+            return Err(SpillError::foreign(format!(
+                "{}: frontier segment where a memo segment was expected",
+                path.display()
+            )));
+        }
+        Ok(reader)
+    }
+
+    /// Opens a *frontier* segment — rejects memo segments with
+    /// [`SpillError::Foreign`], the mirror of [`Self::open`]'s guard.
+    pub(crate) fn open_frontier(path: &Path) -> Result<Self, SpillError> {
+        let (reader, flags) = Self::open_any(path)?;
+        if flags & FLAG_FRONTIER == 0 {
+            return Err(SpillError::foreign(format!(
+                "{}: memo segment where a frontier segment was expected",
+                path.display()
+            )));
+        }
+        Ok(reader)
+    }
+
+    fn open_any(path: &Path) -> Result<(Self, u8), SpillError> {
         let file = File::open(path)
             .map_err(|e| SpillError::io(&format!("opening segment {}", path.display()), e))?;
         let file_len = file
@@ -583,21 +629,24 @@ impl SegmentReader {
                 n => filled += n,
             }
         }
-        let (expected, compressed) = parse_header(&header, path)?;
+        let (expected, flags) = parse_header(&header, path)?;
         if expected == STREAMING_COUNT {
             return Err(SpillError::corrupt(format!(
                 "{}: unfinished export (record count never sealed)",
                 path.display()
             )));
         }
-        Ok(SegmentReader {
-            reader,
-            path: path.to_path_buf(),
-            expected,
-            seen: 0,
-            compressed,
-            remaining: file_len.saturating_sub(HEADER_LEN),
-        })
+        Ok((
+            SegmentReader {
+                reader,
+                path: path.to_path_buf(),
+                expected,
+                seen: 0,
+                compressed: flags & FLAG_COMPRESSED != 0,
+                remaining: file_len.saturating_sub(HEADER_LEN),
+            },
+            flags,
+        ))
     }
 
     /// The next record's payload, or `None` at a clean end of file.
@@ -688,6 +737,69 @@ pub fn validate_segment_file(path: &Path) -> Result<u64, SpillError> {
         records += 1;
     }
     Ok(records)
+}
+
+// ---------------------------------------------------------------------------
+// Frontier segments (elastic interchange)
+// ---------------------------------------------------------------------------
+
+/// One frontier record: the canonical-key hash of the configuration (for
+/// ownership partitioning without reconstruction) plus its action-index
+/// path from the true initial configuration.  Paths, not keys, because
+/// canonical keys are not invertible under symmetry reduction — the only
+/// faithful wire form of "this exact configuration" is the deterministic
+/// action sequence that reaches it.
+fn encode_frontier_record(hash: u64, path: &[u32], out: &mut Vec<u8>) {
+    out.clear();
+    out.extend_from_slice(&hash.to_le_bytes());
+    out.extend_from_slice(&(path.len() as u32).to_le_bytes());
+    for idx in path {
+        out.extend_from_slice(&idx.to_le_bytes());
+    }
+}
+
+fn decode_frontier_record(payload: &[u8], context: &Path) -> Result<(u64, Vec<u32>), SpillError> {
+    let corrupt =
+        || SpillError::corrupt(format!("{}: malformed frontier record", context.display()));
+    if payload.len() < 12 {
+        return Err(corrupt());
+    }
+    let hash = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+    let len = u32::from_le_bytes(payload[8..12].try_into().expect("4 bytes")) as usize;
+    let body = &payload[12..];
+    if body.len() != len * 4 {
+        return Err(corrupt());
+    }
+    let path = body
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+        .collect();
+    Ok((hash, path))
+}
+
+/// Writes `(hash, path)` frontier records as one sealed frontier
+/// segment; returns the record count.
+pub(crate) fn write_frontier_segment(
+    path: &Path,
+    roots: &[(u64, Vec<u32>)],
+) -> Result<u64, SpillError> {
+    let mut writer = SegmentWriter::create_frontier(path)?;
+    let mut payload = Vec::new();
+    for (hash, root) in roots {
+        encode_frontier_record(*hash, root, &mut payload);
+        writer.append(&payload)?;
+    }
+    writer.finish()
+}
+
+/// Reads every record of a sealed frontier segment, in file order.
+pub(crate) fn read_frontier_segment(path: &Path) -> Result<Vec<(u64, Vec<u32>)>, SpillError> {
+    let mut reader = SegmentReader::open_frontier(path)?;
+    let mut roots = Vec::new();
+    while let Some(payload) = reader.next_record()? {
+        roots.push(decode_frontier_record(&payload, path)?);
+    }
+    Ok(roots)
 }
 
 #[cfg(test)]
@@ -812,7 +924,7 @@ mod tests {
     fn wrong_version_is_rejected_as_foreign() {
         let dir = SpillDir::create(None).unwrap();
         let path = dir.path().join("future.seg");
-        let mut header = header_bytes(0, true);
+        let mut header = header_bytes(0, FLAG_COMPRESSED);
         header[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
         std::fs::write(&path, header).unwrap();
         let err = SegmentReader::open(&path).unwrap_err();
@@ -829,7 +941,7 @@ mod tests {
         assert_eq!(FORMAT_VERSION, 4, "this test pins the v3→v4 boundary");
         let dir = SpillDir::create(None).unwrap();
         let path = dir.path().join("v3.seg");
-        let mut bytes = header_bytes(1, true).to_vec();
+        let mut bytes = header_bytes(1, FLAG_COMPRESSED).to_vec();
         bytes[8..12].copy_from_slice(&3u32.to_le_bytes());
         let record = twostep_model::codec::compress(b"a v3-era structured record");
         bytes.extend_from_slice(&(record.len() as u32).to_le_bytes());
@@ -849,7 +961,7 @@ mod tests {
     fn unknown_header_flags_are_rejected_as_foreign() {
         let dir = SpillDir::create(None).unwrap();
         let path = dir.path().join("flags.seg");
-        let mut header = header_bytes(0, false);
+        let mut header = header_bytes(0, 0);
         header[20] = 0x82; // an unknown flag bit alongside garbage
         std::fs::write(&path, header).unwrap();
         let err = SegmentReader::open(&path).unwrap_err();
@@ -905,7 +1017,7 @@ mod tests {
         let path = dir.path().join("garble.seg");
         let garbage = b"\xFF\xFF\xFF\xFF definitely not an LZ stream";
         let mut file = std::fs::File::create(&path).unwrap();
-        file.write_all(&header_bytes(1, true)).unwrap();
+        file.write_all(&header_bytes(1, FLAG_COMPRESSED)).unwrap();
         write_framed_record(&mut file, garbage).unwrap();
         drop(file);
         let mut reader = SegmentReader::open(&path).unwrap();
@@ -985,6 +1097,57 @@ mod tests {
         bytes[last] ^= 0x01;
         std::fs::write(&path, &bytes).unwrap();
         let err = validate_segment_file(&path).unwrap_err();
+        assert!(matches!(err, SpillError::Corrupt { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn frontier_segment_roundtrips() {
+        let dir = SpillDir::create(None).unwrap();
+        let path = dir.path().join("frontier.seg");
+        let roots = vec![
+            (0xdead_beef_u64, vec![0u32, 3, 951]),
+            (42, Vec::new()),
+            (u64::MAX, vec![u32::MAX]),
+        ];
+        assert_eq!(write_frontier_segment(&path, &roots).unwrap(), 3);
+        assert_eq!(read_frontier_segment(&path).unwrap(), roots);
+    }
+
+    #[test]
+    fn frontier_and_memo_segments_are_not_interchangeable() {
+        let dir = SpillDir::create(None).unwrap();
+        // A memo import must refuse a frontier file…
+        let frontier = dir.path().join("frontier.seg");
+        write_frontier_segment(&frontier, &[(1, vec![2])]).unwrap();
+        let err = SegmentReader::open(&frontier).unwrap_err();
+        match &err {
+            SpillError::Foreign { detail } => {
+                assert!(detail.contains("frontier segment"), "{detail}")
+            }
+            other => panic!("expected Foreign, got {other:?}"),
+        }
+        // …and a frontier read must refuse a memo file.
+        let memo = dir.path().join("memo.seg");
+        let mut writer = SegmentWriter::create(&memo).unwrap();
+        writer.append(b"a memo record").unwrap();
+        writer.finish().unwrap();
+        let err = SegmentReader::open_frontier(&memo).unwrap_err();
+        match &err {
+            SpillError::Foreign { detail } => {
+                assert!(detail.contains("memo segment"), "{detail}")
+            }
+            other => panic!("expected Foreign, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_frontier_record_is_corrupt() {
+        let dir = SpillDir::create(None).unwrap();
+        let path = dir.path().join("bad-frontier.seg");
+        let mut writer = SegmentWriter::create_frontier(&path).unwrap();
+        writer.append(b"too short").unwrap();
+        writer.finish().unwrap();
+        let err = read_frontier_segment(&path).unwrap_err();
         assert!(matches!(err, SpillError::Corrupt { .. }), "{err:?}");
     }
 

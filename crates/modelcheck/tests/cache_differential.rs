@@ -21,7 +21,7 @@ use twostep_model::{ProcessId, SystemConfig, WideValue};
 use twostep_modelcheck::{
     explore_partitioned_in_process, explore_with, validate_segment_file, CacheConfig, CacheMode,
     DistOptions, ExploreConfig, ExploreOptions, ExploreReport, MemoConfig, RoundBound, SpecMode,
-    SpillError, Symmetry, WalkBudget,
+    SpillError, StealConfig, Symmetry, WalkBudget,
 };
 use twostep_sim::ModelKind;
 
@@ -266,6 +266,7 @@ fn partitioned_cold_then_warm_is_bit_identical() {
             dir: dir.path().to_path_buf(),
             mode,
         }),
+        steal: StealConfig::default(),
     };
 
     let cold = explore_partitioned_in_process(
@@ -340,6 +341,7 @@ fn cache_is_engine_agnostic() {
             scratch_dir: None,
             replay: ExploreOptions::serial(),
             cache: cache(CacheMode::Read),
+            steal: StealConfig::default(),
         },
         ExploreOptions::serial(),
         (workload.initial)(),

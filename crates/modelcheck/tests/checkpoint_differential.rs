@@ -17,7 +17,8 @@ use twostep_core::crw_processes;
 use twostep_model::{SystemConfig, WideValue};
 use twostep_modelcheck::{
     explore_partitioned_in_process, explore_with, BudgetKind, CheckpointConfig, DistOptions,
-    ExploreConfig, ExploreError, ExploreOptions, ExploreReport, MemoConfig, Symmetry, WalkBudget,
+    ExploreConfig, ExploreError, ExploreOptions, ExploreReport, MemoConfig, StealConfig, Symmetry,
+    WalkBudget,
 };
 
 /// A unique temp directory removed on drop (checkpoint roots).
@@ -319,6 +320,7 @@ fn partitioned_interrupted_and_resumed_matches_uninterrupted() {
             scratch_dir: None,
             replay,
             cache: None,
+            steal: StealConfig::default(),
         };
         let baseline = explore_partitioned_in_process(
             system,

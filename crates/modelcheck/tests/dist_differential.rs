@@ -16,9 +16,10 @@ use twostep_baselines::floodset_processes;
 use twostep_core::{crw_processes, CommitOrder, Crw};
 use twostep_model::{ProcessId, SystemConfig, WideValue};
 use twostep_modelcheck::{
-    explore_partitioned, explore_partitioned_in_process, explore_with, run_worker, DistOptions,
-    ExploreConfig, ExploreError, ExploreOptions, ExploreReport, MemoConfig, RoundBound, SpecMode,
-    Symmetry, WorkerTask,
+    explore_elastic, explore_elastic_in_process, explore_partitioned,
+    explore_partitioned_in_process, explore_with, run_worker, run_worker_elastic, DistOptions,
+    ElasticTask, ExploreConfig, ExploreError, ExploreOptions, ExploreReport, MemoConfig,
+    RoundBound, SpecMode, StealConfig, Symmetry, WorkerPulse, WorkerTask,
 };
 use twostep_sim::ModelKind;
 
@@ -74,6 +75,20 @@ fn dist_options(partitions: usize) -> DistOptions {
         scratch_dir: None,
         cache: None,
         replay: ExploreOptions::serial(),
+        steal: StealConfig::default(),
+    }
+}
+
+/// A steal policy that *always* fires: zero warm-up, any frontier worth
+/// one root, pulses every few steps — the elastic machinery (preempt,
+/// harvest, re-split, seeded relaunch) exercised on even the smallest
+/// systems, where the lazy defaults would never offload.
+fn forced_steal(yield_every: u64) -> StealConfig {
+    StealConfig {
+        enabled: true,
+        min_frontier: 1,
+        poll_interval: std::time::Duration::ZERO,
+        yield_every,
     }
 }
 
@@ -484,4 +499,354 @@ fn more_partitions_than_frontier_configs_is_fine() {
     )
     .unwrap();
     assert_identical(&serial, &dist, "16 partitions on a tiny frontier");
+}
+
+// ---------------------------------------------------------------------
+// Elastic engine (work stealing)
+// ---------------------------------------------------------------------
+
+/// Forced stealing over the extended-model CRW matrix: every run
+/// offloads immediately, preempts aggressively, and must still be
+/// bit-identical to the serial walk for both worker engines and both
+/// partition counts.
+#[test]
+fn extended_model_crw_elastic_steal_equals_serial() {
+    for (n, t) in systems() {
+        let system = SystemConfig::new(n, t).unwrap();
+        let proposals = crw_proposals(n);
+        let config = ExploreConfig::for_crw(&system);
+        let serial = explore_with(
+            system,
+            config,
+            ExploreOptions::serial(),
+            crw_processes(&system, &proposals),
+            proposals.clone(),
+        )
+        .unwrap();
+        for partitions in [2usize, 4] {
+            for (engine_label, engine) in worker_engines() {
+                let options = DistOptions {
+                    steal: forced_steal(32),
+                    ..dist_options(partitions)
+                };
+                let dist = explore_elastic_in_process(
+                    system,
+                    config,
+                    &options,
+                    engine,
+                    crw_processes(&system, &proposals),
+                    proposals.clone(),
+                )
+                .unwrap();
+                assert_identical(
+                    &serial,
+                    &dist,
+                    &format!("elastic crw n={n} t={t} partitions={partitions} {engine_label}"),
+                );
+            }
+        }
+    }
+}
+
+/// The classic-model floodset matrix under forced stealing.
+#[test]
+fn classic_model_floodset_elastic_steal_equals_serial() {
+    for (n, t) in systems() {
+        let system = SystemConfig::new(n, t).unwrap();
+        let proposals: Vec<u64> = (0..n as u64).map(|i| 10 + i).collect();
+        let config = ExploreConfig {
+            model: ModelKind::Classic,
+            max_rounds: t as u32 + 2,
+            max_states: 10_000_000,
+            round_bound: Some(RoundBound::Fixed(t as u32 + 1)),
+            spec: SpecMode::Uniform,
+            max_crashes_per_round: None,
+            symmetry: Symmetry::Off,
+        };
+        let serial = explore_with(
+            system,
+            config,
+            ExploreOptions::serial(),
+            floodset_processes(n, t, &proposals),
+            proposals.clone(),
+        )
+        .unwrap();
+        for partitions in [2usize, 4] {
+            for (engine_label, engine) in worker_engines() {
+                let options = DistOptions {
+                    steal: forced_steal(32),
+                    ..dist_options(partitions)
+                };
+                let dist = explore_elastic_in_process(
+                    system,
+                    config,
+                    &options,
+                    engine,
+                    floodset_processes(n, t, &proposals),
+                    proposals.clone(),
+                )
+                .unwrap();
+                assert_identical(
+                    &serial,
+                    &dist,
+                    &format!("elastic floodset n={n} t={t} partitions={partitions} {engine_label}"),
+                );
+            }
+        }
+    }
+}
+
+/// Steal-enabled run whose policy never fires (lazy defaults on a small
+/// system): the elastic engine must degrade to a plain local walk and
+/// still match serially — the quick-bench configuration in miniature.
+#[test]
+fn elastic_with_lazy_policy_never_offloads_and_matches_serial() {
+    let (n, t) = (4usize, 2usize);
+    let system = SystemConfig::new(n, t).unwrap();
+    let proposals = crw_proposals(n);
+    let config = ExploreConfig::for_crw(&system);
+    let serial = explore_with(
+        system,
+        config,
+        ExploreOptions::serial(),
+        crw_processes(&system, &proposals),
+        proposals.clone(),
+    )
+    .unwrap();
+    let launches = AtomicUsize::new(0);
+    let options = DistOptions {
+        steal: StealConfig::on(), // default thresholds: 250ms warm-up
+        ..dist_options(2)
+    };
+    let dist = explore_elastic(
+        system,
+        config,
+        &options,
+        crw_processes(&system, &proposals),
+        proposals.clone(),
+        |task: &ElasticTask, pulse: &(dyn Fn(WorkerPulse) + Sync)| {
+            launches.fetch_add(1, Ordering::Relaxed);
+            run_worker_elastic(
+                system,
+                config,
+                ExploreOptions::serial(),
+                crw_processes(&system, &proposals),
+                proposals.clone(),
+                task,
+                pulse,
+            )
+            .map_err(|e| e.to_string())
+        },
+    )
+    .unwrap();
+    assert_eq!(
+        launches.load(Ordering::Relaxed),
+        0,
+        "a sub-250ms run must never leave the coordinator"
+    );
+    assert_identical(&serial, &dist, "lazy elastic == serial");
+}
+
+/// A worker killed mid-steal — it preempted (or finished), but its
+/// export segment is truncated on disk and its launch reports failure —
+/// is relaunched with refreshed seeds and the run still converges to the
+/// identical report.
+#[test]
+fn killed_elastic_worker_mid_steal_is_retried_to_identical_report() {
+    let (n, t) = (4usize, 2usize);
+    let system = SystemConfig::new(n, t).unwrap();
+    let proposals = crw_proposals(n);
+    let config = ExploreConfig::for_crw(&system);
+    let serial = explore_with(
+        system,
+        config,
+        ExploreOptions::serial(),
+        crw_processes(&system, &proposals),
+        proposals.clone(),
+    )
+    .unwrap();
+    let kills = AtomicUsize::new(0);
+    let options = DistOptions {
+        steal: forced_steal(16),
+        ..dist_options(2)
+    };
+    let dist = explore_elastic(
+        system,
+        config,
+        &options,
+        crw_processes(&system, &proposals),
+        proposals.clone(),
+        |task: &ElasticTask, pulse: &(dyn Fn(WorkerPulse) + Sync)| {
+            let exit = run_worker_elastic(
+                system,
+                config,
+                ExploreOptions::serial(),
+                crw_processes(&system, &proposals),
+                proposals.clone(),
+                task,
+                pulse,
+            )
+            .map_err(|e| e.to_string())?;
+            if task.worker == 0 && kills.fetch_add(1, Ordering::Relaxed) == 0 {
+                // The worker ran — steal handshake included — but "dies"
+                // before its export is sealed.
+                let bytes = std::fs::read(&task.export_path).expect("export exists");
+                std::fs::write(&task.export_path, &bytes[..bytes.len() / 2]).expect("truncate");
+                return Err("worker killed mid-steal".to_string());
+            }
+            Ok(exit)
+        },
+    )
+    .unwrap();
+    assert_eq!(kills.load(Ordering::Relaxed), 2, "worker 0 ran twice");
+    assert_identical(&serial, &dist, "killed elastic worker retried");
+}
+
+/// A steal request racing a natural finish: workers that never observe
+/// their steal flag (redirected to a path nobody writes) finish whole
+/// slices even while flagged as victims — the coordinator must absorb a
+/// `Finished` from a flagged worker without waiting for a preempt
+/// segment that will never appear.
+#[test]
+fn steal_raced_with_natural_finish_is_identical() {
+    let (n, t) = (4usize, 3usize);
+    let system = SystemConfig::new(n, t).unwrap();
+    let proposals = crw_proposals(n);
+    let config = ExploreConfig::for_crw(&system);
+    let serial = explore_with(
+        system,
+        config,
+        ExploreOptions::serial(),
+        crw_processes(&system, &proposals),
+        proposals.clone(),
+    )
+    .unwrap();
+    let options = DistOptions {
+        steal: forced_steal(8),
+        ..dist_options(2)
+    };
+    let dist = explore_elastic(
+        system,
+        config,
+        &options,
+        crw_processes(&system, &proposals),
+        proposals.clone(),
+        |task: &ElasticTask, pulse: &(dyn Fn(WorkerPulse) + Sync)| {
+            // Same assignment, but the worker polls a flag file the
+            // coordinator never writes — every steal request loses the
+            // race with the worker's own completion.
+            let deaf = ElasticTask {
+                steal_flag: task.steal_flag.with_extension("never"),
+                ..task.clone()
+            };
+            run_worker_elastic(
+                system,
+                config,
+                ExploreOptions::serial(),
+                crw_processes(&system, &proposals),
+                proposals.clone(),
+                &deaf,
+                pulse,
+            )
+            .map_err(|e| e.to_string())
+        },
+    )
+    .unwrap();
+    assert_identical(&serial, &dist, "steal raced with natural finish");
+}
+
+/// An elastic worker that fails every attempt surfaces as
+/// [`ExploreError::Worker`] — stealing never silently degrades either.
+#[test]
+fn exhausted_elastic_worker_attempts_fail_loudly() {
+    let (n, t) = (3usize, 2usize);
+    let system = SystemConfig::new(n, t).unwrap();
+    let proposals = crw_proposals(n);
+    let config = ExploreConfig::for_crw(&system);
+    let options = DistOptions {
+        attempts: 2,
+        steal: forced_steal(16),
+        ..dist_options(2)
+    };
+    let err = explore_elastic(
+        system,
+        config,
+        &options,
+        crw_processes(&system, &proposals),
+        proposals.clone(),
+        |_task: &ElasticTask, _pulse: &(dyn Fn(WorkerPulse) + Sync)| {
+            Err("this worker never comes up".to_string())
+        },
+    )
+    .unwrap_err();
+    match err {
+        ExploreError::Worker { detail, .. } => {
+            assert!(detail.contains("never comes up"), "{detail}");
+        }
+        other => panic!("expected Worker error, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Property: re-splits compose
+// ---------------------------------------------------------------------
+
+mod resplit_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Any re-split of a suspended frontier composes back to the
+        /// uninterrupted report: whatever preempt cadence and partition
+        /// count the scheduler happens to pick, the merged deltas plus
+        /// the final replay equal the serial walk bit for bit.
+        #[test]
+        fn any_resplit_composes_to_serial_report(
+            yield_every in 16u64..512,
+            partitions in 2usize..=4,
+            min_frontier in 1usize..8,
+            seed in 0usize..2,
+        ) {
+            let (n, t) = [(3usize, 2usize), (4, 2)][seed];
+            let system = SystemConfig::new(n, t).unwrap();
+            let proposals = crw_proposals(n);
+            let config = ExploreConfig::for_crw(&system);
+            let serial = explore_with(
+                system,
+                config,
+                ExploreOptions::serial(),
+                crw_processes(&system, &proposals),
+                proposals.clone(),
+            )
+            .unwrap();
+            let options = DistOptions {
+                steal: StealConfig {
+                    enabled: true,
+                    min_frontier,
+                    poll_interval: std::time::Duration::ZERO,
+                    yield_every,
+                },
+                ..dist_options(partitions)
+            };
+            let dist = explore_elastic_in_process(
+                system,
+                config,
+                &options,
+                ExploreOptions::serial(),
+                crw_processes(&system, &proposals),
+                proposals.clone(),
+            )
+            .unwrap();
+            assert_identical(
+                &serial,
+                &dist,
+                &format!(
+                    "resplit n={n} t={t} partitions={partitions} \
+                     yield_every={yield_every} min_frontier={min_frontier}"
+                ),
+            );
+        }
+    }
 }
