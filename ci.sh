@@ -49,10 +49,14 @@ baseline_n=""
 baseline_t=""
 baseline_file_present=0
 baseline_symmetry=""
+baseline_symmetry_raw=""
+baseline_serial_seconds=""
 if [[ -n "$baseline_json" ]]; then
     baseline_file_present=1
     baseline_serial="$(sed -n 's/.*"engine": "serial".*"states_per_sec": \([0-9.]*\).*/\1/p' <<<"$baseline_json" | head -1)"
+    baseline_serial_seconds="$(sed -n 's/.*"engine": "serial".*"best_seconds": \([0-9.]*\).*/\1/p' <<<"$baseline_json" | head -1)"
     baseline_symmetry="$(sed -n 's/.*"engine": "symmetry".*"states_per_sec": \([0-9.]*\).*/\1/p' <<<"$baseline_json" | head -1)"
+    baseline_symmetry_raw="$(sed -n 's/.*"engine": "symmetry".*"raw_states_per_sec": \([0-9.]*\).*/\1/p' <<<"$baseline_json" | head -1)"
     baseline_n="$(sed -n 's/^  "n": \([0-9]*\),$/\1/p' <<<"$baseline_json")"
     baseline_t="$(sed -n 's/^  "t": \([0-9]*\),$/\1/p' <<<"$baseline_json")"
 fi
@@ -62,10 +66,11 @@ cargo run --release -q -p twostep-bench --bin explorer_bench -- --quick \
 cat BENCH_explorer.json
 
 echo "== symmetry row: both modes ran, verdicts identical"
-# The bench runs the pinned system in both symmetry modes (the Off rows
-# plus the Full-mode `symmetry` row) and asserts the verdict summaries
-# are equal in-process; the marker it writes is the committed witness of
-# that assertion, so its absence means the symmetry row silently
+# The bench runs the pinned system with symmetry off (the baseline
+# rows) and at the strongest sound tier (the `symmetry` row,
+# partial+value for CRW) and asserts the verdict summaries are equal
+# in-process; the marker it writes is the committed witness of that
+# assertion, so its absence means the symmetry row silently
 # disappeared.
 grep '"engine": "symmetry"' BENCH_explorer.json >/dev/null \
     || { echo "FAIL: BENCH_explorer.json is missing the symmetry row" >&2; exit 1; }
@@ -123,25 +128,62 @@ else
     }' >&2 || exit 1
 fi
 
-echo "== perf smoke-gate (symmetry states/sec vs committed baseline, like mode vs like mode)"
-# Full-mode throughput is only comparable with Full-mode throughput (it
-# counts orbits, not raw states), so this row gets its own gate — armed
-# only once a committed baseline *has* a symmetry row.
+echo "== perf smoke-gate (symmetry raw states/sec vs committed baseline)"
+# Orbit-count throughput is only comparable between runs at the *same*
+# canonicalization strength, and the strength has been deepened across
+# releases (full -> partial+value).  The trend gate therefore compares
+# the raw-equivalent figure — raw states stood in for per second —
+# which is mode-independent; it is armed only once a committed baseline
+# carries `raw_states_per_sec` (older baselines predate the field, and
+# their orbit figure is not comparable).
 new_symmetry="$(sed -n 's/.*"engine": "symmetry".*"states_per_sec": \([0-9.]*\).*/\1/p' BENCH_explorer.json | head -1)"
+new_symmetry_raw="$(sed -n 's/.*"engine": "symmetry".*"raw_states_per_sec": \([0-9.]*\).*/\1/p' BENCH_explorer.json | head -1)"
 if [[ "${TWOSTEP_BENCH_SKIP_GATE:-0}" == "1" ]]; then
-    echo "symmetry gate skipped (TWOSTEP_BENCH_SKIP_GATE=1): symmetry=$new_symmetry states/sec"
-elif [[ -z "$baseline_symmetry" ]]; then
-    echo "symmetry gate: committed baseline has no symmetry row yet; symmetry=$new_symmetry states/sec"
+    echo "symmetry gate skipped (TWOSTEP_BENCH_SKIP_GATE=1): symmetry=$new_symmetry_raw raw states/sec"
+elif [[ -z "$new_symmetry_raw" ]]; then
+    echo "FAIL: BENCH_explorer.json symmetry row is missing raw_states_per_sec" >&2
+    exit 1
+elif [[ -z "$baseline_symmetry_raw" ]]; then
+    echo "symmetry gate: committed baseline has no raw_states_per_sec yet (pre-partial format); symmetry=$new_symmetry_raw raw states/sec"
 elif [[ "$baseline_n" != "$new_n" || "$baseline_t" != "$new_t" ]]; then
     echo "symmetry gate: baseline is ($baseline_n, $baseline_t), this run is ($new_n, $new_t) — not comparable"
 else
-    awk -v new="$new_symmetry" -v base="$baseline_symmetry" 'BEGIN {
+    awk -v new="$new_symmetry_raw" -v base="$baseline_symmetry_raw" 'BEGIN {
         floor = 0.7 * base;
         if (new < floor) {
-            printf "FAIL: symmetry-mode throughput regressed >30%%: %.1f orbit-states/sec vs committed baseline %.1f (floor %.1f).\n", new, base, floor;
+            printf "FAIL: symmetry raw-equivalent throughput regressed >30%%: %.1f raw states/sec vs committed baseline %.1f (floor %.1f).\n", new, base, floor;
             exit 1;
         }
-        printf "symmetry gate OK: %.1f orbit-states/sec vs baseline %.1f (floor %.1f)\n", new, base, floor;
+        printf "symmetry gate OK: %.1f raw states/sec vs baseline %.1f (floor %.1f)\n", new, base, floor;
+    }' >&2 || exit 1
+fi
+
+echo "== perf gate (symmetry wall clock beats the committed serial row)"
+# The point of the quotient is to *win on wall clock*, not only on
+# state counts: one full symmetry-reduced exploration of the pinned
+# system must finish faster than the committed serial row's best time.
+# Comparing against the committed (not same-run) serial figure keeps
+# the bar absolute across commits; the usual skip knob covers slow
+# shared runners.
+new_symmetry_seconds="$(sed -n 's/.*"engine": "symmetry".*"best_seconds": \([0-9.]*\).*/\1/p' BENCH_explorer.json | head -1)"
+if [[ "${TWOSTEP_BENCH_SKIP_GATE:-0}" == "1" ]]; then
+    echo "symmetry wall-clock gate skipped (TWOSTEP_BENCH_SKIP_GATE=1): symmetry=$new_symmetry_seconds s"
+elif [[ "$baseline_file_present" == "0" ]]; then
+    echo "symmetry wall-clock gate: no committed baseline to compare against (first run); symmetry=$new_symmetry_seconds s"
+elif [[ -z "$baseline_serial_seconds" || -z "$new_symmetry_seconds" ]]; then
+    echo "FAIL: symmetry wall-clock gate could not parse best_seconds" >&2
+    echo "      (baseline serial='$baseline_serial_seconds', current symmetry='$new_symmetry_seconds') — update the sed extraction in ci.sh alongside the bench JSON format." >&2
+    exit 1
+elif [[ "$baseline_n" != "$new_n" || "$baseline_t" != "$new_t" ]]; then
+    echo "symmetry wall-clock gate: baseline is ($baseline_n, $baseline_t), this run is ($new_n, $new_t) — not comparable"
+else
+    awk -v sym="$new_symmetry_seconds" -v serial="$baseline_serial_seconds" 'BEGIN {
+        if (sym > serial) {
+            printf "FAIL: symmetry-reduced exploration (%.6f s) is slower than the committed serial row (%.6f s).\n", sym, serial;
+            printf "      The quotient must win on wall clock — investigate before committing, or rerun with TWOSTEP_BENCH_SKIP_GATE=1 on a known-slow runner.\n";
+            exit 1;
+        }
+        printf "symmetry wall-clock gate OK: %.6f s vs committed serial %.6f s\n", sym, serial;
     }' >&2 || exit 1
 fi
 
@@ -184,24 +226,36 @@ else
     }' >&2 || exit 1
 fi
 
-echo "== partitioned exploration (2 worker processes, quick, both symmetry modes)"
+echo "== partitioned exploration (2 worker processes, quick, all symmetry strengths)"
 dist_off_out="$(cargo run --release -q -p twostep-bench --bin twostep-dist -- --quick --partitions 2 --symmetry off)"
 dist_full_out="$(cargo run --release -q -p twostep-bench --bin twostep-dist -- --quick --partitions 2 --symmetry full)"
+dist_pv_out="$(cargo run --release -q -p twostep-bench --bin twostep-dist -- --quick --partitions 2 --symmetry partial+value)"
 grep '^twostep-dist: result' <<<"$dist_off_out"
 grep '^twostep-dist: result' <<<"$dist_full_out"
+grep '^twostep-dist: result' <<<"$dist_pv_out"
 # Verdict equality across modes: everything except the state count —
-# which symmetry exists to shrink — must agree between Off and Full.
+# which symmetry exists to shrink — must agree at every strength.
 verdict_of() { sed -n 's/^twostep-dist: result .*\(terminals=.*\)$/\1/p' <<<"$1"; }
 states_of() { sed -n 's/^twostep-dist: result .* distinct_states=\([0-9]*\) .*/\1/p' <<<"$1"; }
 if [[ "$(verdict_of "$dist_off_out")" != "$(verdict_of "$dist_full_out")" ]]; then
     echo "FAIL: symmetry-reduced partitioned verdict differs from the raw one" >&2
     exit 1
 fi
+if [[ "$(verdict_of "$dist_off_out")" != "$(verdict_of "$dist_pv_out")" ]]; then
+    echo "FAIL: partial+value partitioned verdict differs from the raw one" >&2
+    exit 1
+fi
+# The deeper quotient must shrink monotonically:
+# distinct(partial+value) <= distinct(full) <= distinct(off).
 if (( $(states_of "$dist_full_out") > $(states_of "$dist_off_out") )); then
     echo "FAIL: symmetry reduction must never add states" >&2
     exit 1
 fi
-echo "symmetry modes agree: $(verdict_of "$dist_off_out") ($(states_of "$dist_off_out") raw -> $(states_of "$dist_full_out") orbit states)"
+if (( $(states_of "$dist_pv_out") > $(states_of "$dist_full_out") )); then
+    echo "FAIL: the partial+value quotient must be at least as coarse as full" >&2
+    exit 1
+fi
+echo "symmetry modes agree: $(verdict_of "$dist_off_out") ($(states_of "$dist_off_out") raw -> $(states_of "$dist_full_out") settled -> $(states_of "$dist_pv_out") partial+value orbit states)"
 
 echo "== elastic steal run (forced policy, quick): bit-identical to the classic engine"
 # Zero warm-up + any-size frontier forces the full steal machinery over

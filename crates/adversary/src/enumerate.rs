@@ -165,6 +165,85 @@ impl Iterator for CrashOutcomes<'_> {
     }
 }
 
+/// Fills `out` (cleared first) with one representative crash stage per
+/// **live-effect class**: [`crash_outcomes`] quotiented by "produces the
+/// same deliveries to still-*active* receivers".  Deliveries to crashed
+/// or decided receivers are dropped by the engine without any
+/// configuration-visible effect, so two stages differing only there step
+/// to bit-identical successors; enumerating both multiplies identical
+/// subtrees into the execution count without adding a single behavior.
+/// The model checker therefore branches on this pruned set — uniformly,
+/// in every engine — and `terminals` counts *effectively distinct*
+/// executions.
+///
+/// The caller pre-resolves liveness (it owns the configuration):
+///
+/// * `live_data_dests` — the plan's data destinations that are still
+///   active (a subset of the raw `Δ`);
+/// * `had_data_plan` — whether the *raw* plan had any data destination
+///   (distinguishes "no data step at all" from "data step aimed only at
+///   settled receivers", which changes which stage represents the
+///   nothing-delivered class, mirroring [`crash_outcomes`]' edge rule);
+/// * `live_control_ks` — ascending 1-based prefix lengths `k` whose
+///   `k`-th control destination is still active.  A prefix whose last
+///   entry is settled has the same live effect as the next shorter one,
+///   so only these lengths (plus 0) represent distinct commit windows.
+///
+/// With every receiver live this emits exactly the [`crash_outcomes`]
+/// sequence (same order): the quotient is the identity on a live system.
+///
+/// # Panics
+///
+/// Panics if `live_data_dests.len() > 20` (see [`crash_outcomes`]).
+pub fn crash_outcomes_effective_into(
+    n: usize,
+    live_data_dests: &[ProcessId],
+    had_data_plan: bool,
+    live_control_ks: &[usize],
+    out: &mut Vec<CrashStage>,
+) {
+    assert!(
+        live_data_dests.len() <= 20,
+        "exhaustive subset enumeration capped at 20 destinations"
+    );
+    debug_assert!(
+        live_control_ks.windows(2).all(|w| w[0] < w[1]),
+        "live prefix lengths are strictly ascending"
+    );
+    out.clear();
+    let dl = live_data_dests.len();
+    if dl > 0 {
+        // Proper subsets of the live destination set, ascending mask; the
+        // full live set is subsumed by `MidControl{0}` (data step done).
+        let subsets = 1usize << dl;
+        for mask in 0..subsets - 1 {
+            let mut delivered = PidSet::empty(n);
+            for (bit, pid) in live_data_dests.iter().enumerate() {
+                if mask & (1 << bit) != 0 {
+                    delivered.insert(*pid);
+                }
+            }
+            out.push(CrashStage::MidData { delivered });
+        }
+        out.push(CrashStage::MidControl { prefix_len: 0 });
+    } else if had_data_plan {
+        // Every data subset delivers to settled receivers only — the
+        // whole family collapses into `MidControl{0}`'s class.
+        out.push(CrashStage::MidControl { prefix_len: 0 });
+    } else {
+        // No data step at all: `MidData{∅}` is the canonical
+        // nothing-sent representative, exactly as in `crash_outcomes`.
+        out.push(CrashStage::MidData {
+            delivered: PidSet::empty(n),
+        });
+    }
+    for &k in live_control_ks {
+        debug_assert!(k >= 1, "prefix length 0 is the data-complete class");
+        out.push(CrashStage::MidControl { prefix_len: k });
+    }
+    out.push(CrashStage::EndOfRound);
+}
+
 /// Number of outcomes [`crash_outcomes`] will return, without building
 /// them — used to report branching factors.
 pub fn crash_outcome_count(data_dest_count: usize, control_len: usize) -> usize {
@@ -409,6 +488,87 @@ mod tests {
         let outs = crash_outcomes(4, &[], 2);
         assert_eq!(outs.len(), crash_outcome_count(0, 2));
         assert_eq!(outs.len(), 1 + 2 + 1);
+    }
+
+    #[test]
+    fn effective_equals_full_when_every_receiver_is_live() {
+        // On a fully live system the live-effect quotient is the
+        // identity: same stages, same order, byte for byte.
+        let dest_sets: Vec<Vec<ProcessId>> = vec![
+            vec![],
+            vec![pid(2)],
+            vec![pid(2), pid(3)],
+            vec![pid(2), pid(3), pid(5)],
+        ];
+        let mut buf = Vec::new();
+        for dests in &dest_sets {
+            for ctl in 0..=3usize {
+                let live_ks: Vec<usize> = (1..=ctl).collect();
+                crash_outcomes_effective_into(6, dests, !dests.is_empty(), &live_ks, &mut buf);
+                assert_eq!(
+                    buf,
+                    crash_outcomes(6, dests, ctl),
+                    "dests={dests:?} ctl={ctl}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn effective_prunes_settled_receivers() {
+        // Raw plan: data to {2,3,4}, control prefix over [2,3,4]; only
+        // p_2 is still active.  Live classes: deliver-nothing,
+        // deliver-to-2 (≡ full delivery ≡ prefix 0), prefix 1, and
+        // EndOfRound — 4 stages instead of the raw 12.
+        let mut buf = Vec::new();
+        crash_outcomes_effective_into(4, &[pid(2)], true, &[1], &mut buf);
+        assert_eq!(
+            buf,
+            vec![
+                CrashStage::MidData {
+                    delivered: PidSet::empty(4)
+                },
+                CrashStage::MidControl { prefix_len: 0 },
+                CrashStage::MidControl { prefix_len: 1 },
+                CrashStage::EndOfRound,
+            ]
+        );
+        assert_eq!(crash_outcome_count(3, 3), 12, "raw count for contrast");
+    }
+
+    #[test]
+    fn effective_collapses_all_settled_data_plan() {
+        // The plan had data destinations but every one is settled: the
+        // whole subset family folds into the data-step-complete class.
+        let mut buf = Vec::new();
+        crash_outcomes_effective_into(4, &[], true, &[2], &mut buf);
+        assert_eq!(
+            buf,
+            vec![
+                CrashStage::MidControl { prefix_len: 0 },
+                CrashStage::MidControl { prefix_len: 2 },
+                CrashStage::EndOfRound,
+            ]
+        );
+    }
+
+    #[test]
+    fn effective_keeps_empty_data_representative_without_a_plan() {
+        // No data step at all: the nothing-sent class is represented by
+        // `MidData{∅}`, exactly as in the raw enumeration's `d = 0` edge.
+        let mut buf = Vec::new();
+        crash_outcomes_effective_into(4, &[], false, &[1, 3], &mut buf);
+        assert_eq!(
+            buf,
+            vec![
+                CrashStage::MidData {
+                    delivered: PidSet::empty(4)
+                },
+                CrashStage::MidControl { prefix_len: 1 },
+                CrashStage::MidControl { prefix_len: 3 },
+                CrashStage::EndOfRound,
+            ]
+        );
     }
 
     fn assert_effects_distinct(n: usize, dests: &[ProcessId], ctl: usize) {

@@ -22,8 +22,8 @@ pub mod random;
 pub mod worst_case;
 
 pub use enumerate::{
-    all_schedules, crash_outcome_count, crash_outcomes, crash_outcomes_into, crash_outcomes_iter,
-    CrashOutcomes, StagePalette,
+    all_schedules, crash_outcome_count, crash_outcomes, crash_outcomes_effective_into,
+    crash_outcomes_into, crash_outcomes_iter, CrashOutcomes, StagePalette,
 };
 pub use random::{
     random_binary_proposals, random_proposals, random_schedule, random_wide_proposals,

@@ -126,6 +126,29 @@ impl<V: Ord + SpillCodec> SpillCodec for FloodSet<V> {
             fresh,
         })
     }
+
+    /// **Deliberate opt-outs** from the deeper symmetry tiers (the
+    /// defaults already say `false`; these overrides pin the reasoning
+    /// so a refactor cannot flip them silently):
+    ///
+    /// * not *value-symmetric* — FloodSet decides `min(W)` (line 4), and
+    ///   `min` does not commute with an arbitrary value involution (swap
+    ///   `0 ↔ 1` in `W = {0, 1}` and the decision flips from the swapped
+    ///   `0` to the swapped `1`'s preimage);
+    /// * no *rank-inert* actives — every FloodSet process broadcasts
+    ///   every round until it decides, so each active's rank stays
+    ///   dynamics-relevant (its crash pattern aims deliveries at
+    ///   specific ranks) for its whole active life.
+    ///
+    /// FloodSet still benefits from the always-sound settled-record
+    /// canonicalization tier.
+    fn value_symmetric() -> bool {
+        false
+    }
+
+    fn rank_inert(&self, _ctx: &twostep_model::SymmetryContext) -> bool {
+        false
+    }
 }
 
 /// Builds the `n` instances for `proposals[i]` = proposal of `p_{i+1}`.

@@ -33,6 +33,13 @@
 //! that it costs nothing — `ci.sh` gates it against the committed
 //! `partitioned` row).
 //!
+//! The `symmetry` row runs the serial engine at the strongest sound
+//! canonicalization tier for CRW (`partial+value`), asserts the root
+//! verdict field-by-field against the `serial` row, and records both
+//! its orbit-count throughput (`states_per_sec`) and the raw states it
+//! stands in for (`raw_states_per_sec`); `ci.sh` gates its wall clock
+//! directly against the committed `serial` row.
+//!
 //! Every result row records both `threads` (walkers inside one
 //! process) and `partitions` (worker processes); single-process rows
 //! have `partitions: 1`.
@@ -58,6 +65,12 @@ struct EngineResult {
     hot_capacity: Option<usize>,
     best_seconds: f64,
     states_per_sec: f64,
+    /// Raw (unquotiented) states covered per second: `raw distinct /
+    /// best_seconds`.  Identical to `states_per_sec` for every engine
+    /// except `symmetry`, whose memo holds orbit representatives — this
+    /// figure is what makes that row comparable to the others on the
+    /// work-actually-covered axis.
+    raw_states_per_sec: f64,
     /// Extra JSON fields spliced verbatim into this result's object
     /// (the partitioned row's per-phase breakdown).
     extra: Option<String>,
@@ -103,7 +116,10 @@ fn main() {
     let (default_n, default_t) = (6, 5);
     let n = env_usize("TWOSTEP_BENCH_N").unwrap_or(default_n);
     let t = env_usize("TWOSTEP_BENCH_T").unwrap_or(default_t);
-    let iters = if quick { 2 } else { 3 };
+    // Best-of-3 even in quick mode: the wall-clock gate compares a
+    // fresh symmetry row against the committed serial row, and best-of
+    // narrows the fresh side's upward scheduler noise.
+    let iters = 3;
 
     let system = SystemConfig::new(n, t).expect("valid bench system");
     let proposals = bench_proposals(n);
@@ -203,6 +219,7 @@ fn main() {
                 .then_some(options.memo.hot_capacity),
             best_seconds: best,
             states_per_sec: distinct_states as f64 / best,
+            raw_states_per_sec: distinct_states as f64 / best,
             extra: None,
         };
         eprintln!(
@@ -259,6 +276,7 @@ fn main() {
             hot_capacity: None,
             best_seconds: best,
             states_per_sec: distinct_states as f64 / best,
+            raw_states_per_sec: distinct_states as f64 / best,
             extra: None,
         };
         eprintln!(
@@ -322,6 +340,7 @@ fn main() {
             hot_capacity: None,
             best_seconds: best,
             states_per_sec: distinct_states as f64 / best,
+            raw_states_per_sec: distinct_states as f64 / best,
             extra: Some(phases),
         };
         eprintln!(
@@ -375,6 +394,7 @@ fn main() {
             hot_capacity: None,
             best_seconds: best,
             states_per_sec: distinct_states as f64 / best,
+            raw_states_per_sec: distinct_states as f64 / best,
             extra: Some(stats_extra),
         };
         eprintln!(
@@ -384,17 +404,22 @@ fn main() {
         results.push(result);
     }
 
-    // Symmetry row: the serial engine with pid-permutation symmetry
-    // reduction on.  CRW is rank-dependent, so this exercises the
-    // settled-record canonicalization tier, whose root summary is
-    // *exactly* the Off summary — asserted on every iteration, which is
-    // what lets `ci.sh` treat the committed JSON as a verdict-equality
-    // witness.  Its states/sec is computed over its own (smaller)
-    // distinct-state count, so the row stays like-for-like comparable
-    // with previous runs of itself.
+    // Symmetry row: the serial engine at the **strongest sound tier**
+    // for CRW — the rank-inert partial quotient composed with the
+    // binary value quotient (`partial+value`).  The quotient is
+    // summary-exact: violation flag, per-f worst rounds, and terminal
+    // counts all match the Off walk bit for bit, and the decided set
+    // matches as a set (orbit merging reorders the discovery order, so
+    // the vectors are compared sorted) — asserted on every iteration,
+    // which is what lets `ci.sh` treat the committed JSON as a
+    // verdict-equality witness.  `states_per_sec` is computed over the
+    // row's own (smaller) orbit count; `raw_states_per_sec` over the
+    // raw count it stands in for — the like-mode trend gate and the
+    // cross-engine comparison respectively.
     {
-        let full_config = ExploreConfig {
-            symmetry: Symmetry::Full,
+        let sym = Symmetry::PartialValue;
+        let sym_config = ExploreConfig {
+            symmetry: sym,
             ..config
         };
         let mut best = f64::INFINITY;
@@ -403,7 +428,7 @@ fn main() {
             let t0 = Instant::now();
             let report = explore_with(
                 system,
-                full_config,
+                sym_config,
                 ExploreOptions::serial(),
                 crw_processes(&system, &proposals),
                 proposals.clone(),
@@ -413,8 +438,26 @@ fn main() {
             sym_distinct = report.distinct_states;
             let base = serial_root.as_ref().expect("serial row ran first");
             assert_eq!(
-                &report.root, base,
-                "symmetry reduction must preserve the verdict summary"
+                report.root.violating, base.violating,
+                "symmetry reduction must preserve the violation verdict"
+            );
+            assert_eq!(
+                report.root.worst_round_by_f, base.worst_round_by_f,
+                "symmetry reduction must preserve the per-f worst rounds"
+            );
+            assert_eq!(
+                report.root.terminals, base.terminals,
+                "the partial quotient is terminal-exact under effect-pruned enumeration"
+            );
+            let sorted = |v: &[twostep_model::WideValue]| {
+                let mut v = v.to_vec();
+                v.sort_unstable();
+                v
+            };
+            assert_eq!(
+                sorted(&report.root.decided),
+                sorted(&base.decided),
+                "symmetry reduction must preserve the decided set"
             );
             assert!(
                 report.distinct_states < distinct_states,
@@ -430,19 +473,22 @@ fn main() {
             hot_capacity: None,
             best_seconds: best,
             states_per_sec: sym_distinct as f64 / best,
+            raw_states_per_sec: distinct_states as f64 / best,
             extra: Some(format!(
-                "\"symmetry\": {{\"mode\": \"full\", \"distinct_states\": {sym_distinct}, \
+                "\"symmetry\": {{\"mode\": \"{}\", \"distinct_states\": {sym_distinct}, \
                  \"raw_distinct_states\": {distinct_states}, \"reduction\": {:.3}, \
                  \"verdicts_identical\": true}}",
+                sym.token(),
                 distinct_states as f64 / sym_distinct as f64
             )),
         };
         eprintln!(
             "explorer_bench: (n={n}, t={t}) {:<11} threads=1 {:>10.1} states/sec \
-             ({sym_distinct} orbits, {:.2}x reduction)",
+             ({sym_distinct} orbits, {:.2}x reduction, mode {})",
             result.engine,
             result.states_per_sec,
-            distinct_states as f64 / sym_distinct as f64
+            distinct_states as f64 / sym_distinct as f64,
+            sym.token()
         );
         results.push(result);
     }
@@ -463,13 +509,15 @@ fn main() {
             .map_or(String::new(), |extra| format!(", {extra}"));
         json.push_str(&format!(
             "    {{\"engine\": \"{}\", \"threads\": {}, \"partitions\": {}, \
-             \"hot_capacity\": {}, \"best_seconds\": {:.6}, \"states_per_sec\": {:.1}{}}}{}\n",
+             \"hot_capacity\": {}, \"best_seconds\": {:.6}, \"states_per_sec\": {:.1}, \
+             \"raw_states_per_sec\": {:.1}{}}}{}\n",
             r.engine,
             r.threads,
             r.partitions,
             hot,
             r.best_seconds,
             r.states_per_sec,
+            r.raw_states_per_sec,
             extra,
             if i + 1 < results.len() { "," } else { "" }
         ));

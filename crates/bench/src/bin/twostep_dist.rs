@@ -91,12 +91,13 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
     {
-        Some("off") => Symmetry::Off,
-        Some("full") => Symmetry::Full,
-        Some(other) => {
-            eprintln!("twostep-dist: --symmetry must be off|full (got {other:?}); using off");
+        Some(raw) => Symmetry::parse_token(raw).unwrap_or_else(|| {
+            eprintln!(
+                "twostep-dist: --symmetry must be off|full|partial|partial+value (got {raw:?}); \
+                 using off"
+            );
             Symmetry::Off
-        }
+        }),
         // `for_crw` resolves the TWOSTEP_SYMMETRY env override; the
         // system itself does not influence the mode.
         None => {
@@ -165,10 +166,7 @@ fn main() {
             Some(h) => format!("spill@{h}"),
             None => "all-RAM".to_string(),
         },
-        match symmetry {
-            Symmetry::Off => "off",
-            Symmetry::Full => "full",
-        },
+        symmetry.token(),
         match &cache_dir {
             Some(dir) => dir.display().to_string(),
             None => "off".to_string(),

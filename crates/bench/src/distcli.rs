@@ -85,10 +85,7 @@ impl CrwWorkerArgs {
             self.threads.to_string(),
             self.hot_capacity.map_or("ram".into(), |h| h.to_string()),
             self.max_states.to_string(),
-            match self.symmetry {
-                Symmetry::Off => "off".to_string(),
-                Symmetry::Full => "full".to_string(),
-            },
+            self.symmetry.token().to_string(),
         ];
         args.push(self.export_path.display().to_string());
         args.push(
@@ -124,11 +121,7 @@ impl CrwWorkerArgs {
             Some(hot_raw.parse().ok()?)
         };
         let max_states = it.next()?.parse().ok()?;
-        let symmetry = match it.next()?.as_str() {
-            "off" => Symmetry::Off,
-            "full" => Symmetry::Full,
-            _ => return None,
-        };
+        let symmetry = Symmetry::parse_token(it.next()?.as_str())?;
         let export_path = PathBuf::from(it.next()?);
         let seed_raw = it.next()?;
         let seed_path = (seed_raw != "unseeded").then(|| PathBuf::from(seed_raw));
@@ -290,10 +283,7 @@ impl CrwElasticArgs {
             self.threads.to_string(),
             self.hot_capacity.map_or("ram".into(), |h| h.to_string()),
             self.max_states.to_string(),
-            match self.symmetry {
-                Symmetry::Off => "off".to_string(),
-                Symmetry::Full => "full".to_string(),
-            },
+            self.symmetry.token().to_string(),
             self.worker.to_string(),
             self.yield_every.to_string(),
             self.frontier_path.display().to_string(),
@@ -322,11 +312,7 @@ impl CrwElasticArgs {
             Some(hot_raw.parse().ok()?)
         };
         let max_states = it.next()?.parse().ok()?;
-        let symmetry = match it.next()?.as_str() {
-            "off" => Symmetry::Off,
-            "full" => Symmetry::Full,
-            _ => return None,
-        };
+        let symmetry = Symmetry::parse_token(it.next()?.as_str())?;
         let worker = it.next()?.parse().ok()?;
         let yield_every = it.next()?.parse().ok()?;
         let frontier_path = PathBuf::from(it.next()?);
@@ -780,6 +766,15 @@ mod tests {
             ..args.clone()
         };
         assert_eq!(CrwWorkerArgs::parse(&ram.to_args()), Some(ram));
+        // Every strength rides the argv unchanged — including the
+        // two-word partial+value token.
+        for mode in [Symmetry::Partial, Symmetry::PartialValue] {
+            let deep = CrwWorkerArgs {
+                symmetry: mode,
+                ..args.clone()
+            };
+            assert_eq!(CrwWorkerArgs::parse(&deep.to_args()), Some(deep.clone()));
+        }
         // An unknown symmetry token is a parse failure, not a default:
         // silently falling back to `Off` would make one worker partition
         // the frontier differently from the rest of the run.
@@ -857,6 +852,13 @@ mod tests {
             ],
         };
         assert_eq!(CrwElasticArgs::parse(&args.to_args()), Some(args.clone()));
+        for mode in [Symmetry::Partial, Symmetry::PartialValue] {
+            let deep = CrwElasticArgs {
+                symmetry: mode,
+                ..args.clone()
+            };
+            assert_eq!(CrwElasticArgs::parse(&deep.to_args()), Some(deep.clone()));
+        }
         let unseeded = CrwElasticArgs {
             hot_capacity: None,
             seed_paths: Vec::new(),

@@ -151,6 +151,59 @@ impl<V: SpillCodec> SpillCodec for Crw<V> {
         let order = CommitOrder::decode(input)?;
         (me.idx() < n).then_some(Crw { me, n, est, order })
     }
+
+    /// CRW is rank-*dependent* (rotating coordinator), so it never claims
+    /// `pid_symmetric`; the relabel still matters to the partial-orbit
+    /// tier, which owner-strips rank-inert records before pooling them.
+    fn encode_relabelled(&self, at: usize, out: &mut Vec<u8>) {
+        ProcessId::from_idx(at).encode(out);
+        self.n.encode(out);
+        self.est.encode(out);
+        self.order.encode(out);
+    }
+
+    /// Rank-inertness for the rotating-coordinator dynamics, sound only
+    /// under the paper's highest-first commit order:
+    ///
+    /// * `p_i` sends only as round-`i` coordinator, and a live
+    ///   undecided process always has rank ≥ the current round (the
+    ///   engine's asserted invariant), so round `i` arriving with `p_i`
+    ///   still active requires every active ranked in `[round, i)` to
+    ///   leave the execution first *without* settling `p_i`;
+    /// * under `HighestFirst`, any commit prefix that decides a process
+    ///   ranked below `i` covers `p_i` too (prefixes run downward from
+    ///   `p_n`), so those lower actives can only leave by **crashing**;
+    /// * with more actives below `p_i` than the adversary has crashes
+    ///   left, round `i` is therefore unreachable with `p_i` active: its
+    ///   rank can no longer matter.  Deliveries reach inert actives
+    ///   uniformly — data goes to every higher rank, commit prefixes to
+    ///   rank-downward windows all inert ranks share — so the partial
+    ///   tier may pool them (inertness is also monotone along reachable
+    ///   futures: a crash lowers `actives_below` and the budget together,
+    ///   and a decision below `i` settles `p_i` itself).
+    ///
+    /// Under the `LowestFirst` ablation the second bullet fails (a low
+    /// prefix can settle lower ranks while leaving `p_i` active), so the
+    /// answer is pinned `false` there.
+    fn rank_inert(&self, ctx: &twostep_model::SymmetryContext) -> bool {
+        self.order == CommitOrder::HighestFirst && ctx.actives_below > ctx.crash_budget
+    }
+
+    /// CRW only *adopts and forwards* values (lines 4, 7–8 of Figure 1);
+    /// it never computes on them, so its dynamics commute with any value
+    /// relabelling the value type defines.
+    fn value_symmetric() -> bool {
+        V::value_symmetric()
+    }
+
+    fn value_swapped(&self) -> Option<Self> {
+        Some(Crw {
+            me: self.me,
+            n: self.n,
+            est: self.est.value_swapped()?,
+            order: self.order,
+        })
+    }
 }
 
 /// The coordinator of round `r` is `p_r` (rotating coordinator paradigm).

@@ -21,6 +21,26 @@ use std::collections::BTreeSet;
 use crate::pid::ProcessId;
 use crate::value::WideValue;
 
+/// What the model checker knows about one **active** process when it asks
+/// [`SpillCodec::rank_inert`] whether that process's rank can still
+/// influence the future of the execution (the *partial-orbit* symmetry
+/// tier).  Everything here is derived from the configuration alone, so
+/// the answer is a pure function of the canonical key's inputs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SymmetryContext {
+    /// The round the configuration is about to play (1-based).
+    pub round: u32,
+    /// Crashes the adversary can still schedule (`t` minus crashes so
+    /// far) — an upper bound on how many active processes can leave the
+    /// execution by crashing rather than by deciding.
+    pub crash_budget: usize,
+    /// Active processes whose 1-based rank lies in `[round, my rank)` —
+    /// the actives that would all have to crash (deciding settles this
+    /// process too, under a highest-first commit order) before this
+    /// process's own coordination turn could arrive.
+    pub actives_below: usize,
+}
+
 /// Byte encoding for values stored in spilled memo records and
 /// distributed-exploration interchange segments.
 ///
@@ -71,6 +91,58 @@ pub trait SpillCodec: Sized {
     /// override this to substitute the owner for the process at `at`.
     fn encode_relabelled(&self, _at: usize, out: &mut Vec<u8>) {
         self.encode(out)
+    }
+
+    /// Whether this **active** process's rank is *inert* — provably
+    /// irrelevant to every reachable future — in the configuration
+    /// described by `ctx`.  Rank-inert actives may be pooled with the
+    /// settled records by the model checker's partial-orbit symmetry
+    /// tier (their records are owner-stripped via
+    /// [`encode_relabelled`](SpillCodec::encode_relabelled) and sorted).
+    ///
+    /// The contract a `true` answer asserts:
+    ///
+    /// * no reachable future reaches a round in which this process
+    ///   *sends* while still active (its sending turns are all in the
+    ///   past, or unreachable within the remaining crash budget);
+    /// * in every reachable round, every delivery pattern the adversary
+    ///   can aim at this process it can aim identically at any other
+    ///   currently-inert active (deliveries are rank-windowed only in
+    ///   ways that cover all inert actives uniformly, e.g. highest-first
+    ///   commit prefixes over a set the inert ranks share membership of);
+    /// * the current round's coordinator (or any process whose identity
+    ///   the round's dynamics single out) is never reported inert.
+    ///
+    /// The default `false` opts out: every active keeps its true slot.
+    fn rank_inert(&self, _ctx: &SymmetryContext) -> bool {
+        false
+    }
+
+    /// Whether this type's *dynamics* commute with the value involution
+    /// given by [`value_swapped`](SpillCodec::value_swapped): applying
+    /// the swap to every proposal and replaying any adversary schedule
+    /// yields the swapped states, messages, and decisions, move for
+    /// move.  Plain value types answer for themselves (the swap is just
+    /// a relabelling); protocol state types answer for their transition
+    /// function — adopt/forward protocols qualify, while protocols that
+    /// *compute* on values (min/max/threshold decisions) do not.
+    ///
+    /// The model checker's value-symmetry tier activates only when this
+    /// is `true` **and** the run's proposal set is closed under the
+    /// swap; it then keys each configuration by the lexicographically
+    /// smaller of its encoding and its swapped encoding.
+    fn value_symmetric() -> bool {
+        false
+    }
+
+    /// The image of this value/state under the type's value involution
+    /// (`None` if the involution is undefined for it).  Must be a true
+    /// involution where defined: `x.value_swapped().and_then(|y|
+    /// y.value_swapped()) == Some(x)`, with equal values mapping to
+    /// equal images.  For protocol states this swaps every embedded
+    /// value (estimates, decisions) and nothing else.
+    fn value_swapped(&self) -> Option<Self> {
+        None
     }
 }
 
@@ -154,6 +226,17 @@ impl SpillCodec for WideValue {
         // Reject non-canonical encodings (identity bits above the width):
         // equal values must have equal encodings.
         (value.ident() == ident).then_some(value)
+    }
+
+    /// A value carries no dynamics of its own, so the swap is always a
+    /// sound relabelling; the involution itself is only defined on the
+    /// binary (1-bit) alphabet, where it flips the identity bit.
+    fn value_symmetric() -> bool {
+        true
+    }
+
+    fn value_swapped(&self) -> Option<Self> {
+        (self.width() == 1).then(|| WideValue::new(1, self.ident() ^ 1))
     }
 }
 
@@ -247,6 +330,8 @@ pub struct Canonicalizer {
     live: usize,
     /// Argsort of `bufs[..live]`, valid after `sort`.
     order: Vec<u32>,
+    /// Scratch for [`sort_from`](Canonicalizer::sort_from)'s tail run.
+    tail_order: Vec<u32>,
 }
 
 impl Canonicalizer {
@@ -285,11 +370,44 @@ impl Canonicalizer {
 
     /// Sorts the batch by record bytes (ties by original index).
     pub fn sort(&mut self) {
-        self.order.clear();
-        self.order.extend(0..self.live as u32);
+        self.sort_from(0);
+    }
+
+    /// Sorts the batch assuming records `0..sorted_prefix` are *already*
+    /// in byte order (the incremental canonicalization path: a child
+    /// configuration re-seeds its parent's sorted immutable records and
+    /// appends only what changed).  Sorts the tail, then merges the two
+    /// runs — byte-for-byte the same sorted sequence [`sort`] produces,
+    /// since equal records have equal bytes and the emitted key copies
+    /// bytes, never indexes.
+    pub fn sort_from(&mut self, sorted_prefix: usize) {
+        debug_assert!(sorted_prefix <= self.live, "prefix within the batch");
+        debug_assert!(
+            self.bufs[..sorted_prefix].windows(2).all(|w| w[0] <= w[1]),
+            "seeded prefix must be byte-sorted"
+        );
         let bufs = &self.bufs;
-        self.order
+        self.tail_order.clear();
+        self.tail_order
+            .extend(sorted_prefix as u32..self.live as u32);
+        self.tail_order
             .sort_unstable_by(|&a, &b| bufs[a as usize].cmp(&bufs[b as usize]).then(a.cmp(&b)));
+        self.order.clear();
+        let (mut i, mut j) = (0u32, 0usize);
+        while (i as usize) < sorted_prefix && j < self.tail_order.len() {
+            let t = self.tail_order[j];
+            // Prefix-first on byte ties: prefix indexes are the smaller
+            // ones, so this reproduces the full sort's index tie-break.
+            if bufs[i as usize] <= bufs[t as usize] {
+                self.order.push(i);
+                i += 1;
+            } else {
+                self.order.push(t);
+                j += 1;
+            }
+        }
+        self.order.extend(i..sorted_prefix as u32);
+        self.order.extend_from_slice(&self.tail_order[j..]);
     }
 
     /// The sorted batch as `(original_index, record_bytes)` pairs; call
@@ -819,6 +937,72 @@ mod tests {
         canon.record().extend_from_slice(b"zz");
         canon.sort();
         assert_eq!(canon.iter_sorted().count(), 1);
+    }
+
+    #[test]
+    fn sort_from_matches_full_sort() {
+        // The incremental path (sorted seed + merged tail) must emit the
+        // same byte sequence as a from-scratch sort, for every split of
+        // every batch — including byte ties straddling the seed/tail
+        // boundary.
+        let batches: Vec<Vec<&[u8]>> = vec![
+            vec![],
+            vec![b"a"],
+            vec![b"aa", b"ab", b"zz", b"aa", b"a", b"zz"],
+            vec![b"x", b"x", b"x"],
+            vec![b"b", b"d", b"f", b"a", b"c", b"e", b"g"],
+        ];
+        let mut canon = Canonicalizer::new();
+        for batch in &batches {
+            for split in 0..=batch.len() {
+                let mut seed: Vec<&[u8]> = batch[..split].to_vec();
+                seed.sort();
+                canon.begin();
+                for rec in &seed {
+                    canon.record().extend_from_slice(rec);
+                }
+                for rec in &batch[split..] {
+                    canon.record().extend_from_slice(rec);
+                }
+                canon.sort_from(split);
+                let incremental: Vec<Vec<u8>> =
+                    canon.iter_sorted().map(|(_, b)| b.to_vec()).collect();
+                canon.begin();
+                for rec in batch {
+                    canon.record().extend_from_slice(rec);
+                }
+                canon.sort();
+                let full: Vec<Vec<u8>> = canon.iter_sorted().map(|(_, b)| b.to_vec()).collect();
+                assert_eq!(incremental, full, "batch {batch:?} split {split}");
+            }
+        }
+    }
+
+    #[test]
+    fn value_swap_is_a_binary_involution() {
+        // Defined exactly on the 1-bit alphabet, where it flips the bit.
+        let zero = WideValue::new(1, 0);
+        let one = WideValue::new(1, 1);
+        assert_eq!(zero.value_swapped(), Some(one));
+        assert_eq!(one.value_swapped(), Some(zero));
+        assert_eq!(
+            zero.value_swapped().and_then(|v| v.value_swapped()),
+            Some(zero)
+        );
+        // Wider alphabets have no canonical involution: undefined.
+        assert_eq!(WideValue::new(2, 3).value_swapped(), None);
+        assert_eq!(WideValue::new(128, 42).value_swapped(), None);
+        assert!(WideValue::value_symmetric());
+        // The blanket defaults stay conservative: no primitive claims
+        // value symmetry or an involution.
+        assert!(!u64::value_symmetric());
+        assert_eq!(7u64.value_swapped(), None);
+        let ctx = SymmetryContext {
+            round: 3,
+            crash_budget: 1,
+            actives_below: 2,
+        };
+        assert!(!7u64.rank_inert(&ctx), "default rank_inert opts out");
     }
 
     #[test]

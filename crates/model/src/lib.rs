@@ -41,7 +41,7 @@ pub mod theorem2;
 pub mod timing;
 pub mod value;
 
-pub use codec::{Canonicalizer, SpillCodec};
+pub use codec::{Canonicalizer, SpillCodec, SymmetryContext};
 pub use config::SystemConfig;
 pub use fault::{CrashPoint, CrashSchedule, CrashStage, DeliveryOutcome};
 pub use metrics::RunMetrics;

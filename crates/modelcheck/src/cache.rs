@@ -90,7 +90,18 @@ const CACHE_FORMAT_VERSION: u32 = 1;
 /// strength byte keeps `Off` and `Full` caches apart from here on; the
 /// version bump keeps every version-2 cache (written before the byte
 /// existed) from fingerprint-matching a version-3 `Off` run.
-const EXPLORER_LOGIC_VERSION: u32 = 3;
+///
+/// Version 4: effect-pruned adversary enumeration plus the deeper
+/// symmetry tiers.  The enumeration now keeps one representative per
+/// *live-effect* class of crash outcomes (deliveries to settled
+/// receivers are effect-free), which changes every summary's `terminals`
+/// count **at every symmetry mode, including `Off`** — so every
+/// version-3 cache is stale, not just symmetry-reduced ones.  The key
+/// path also gained the partial (rank-inert, tag `3`) and value-swapped
+/// canonical layouts, and the strength byte became the
+/// [`SymmetryPlan`](crate::explorer) encoding (tier code plus value
+/// bit).
+const EXPLORER_LOGIC_VERSION: u32 = 4;
 
 /// How a run uses the persistent cache.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -208,12 +219,14 @@ where
         SpecMode::NonUniform => 1,
     });
     config.max_crashes_per_round.encode(&mut buf);
-    // The *effective* canonicalization strength (off / settled-only /
-    // full-orbit), not just the configured mode: `pid_symmetric` is a
-    // type-level declaration that can change between builds without any
-    // encoding changing, and a cache keyed at the other strength holds a
-    // differently quotiented state space.
-    buf.push(config.symmetry.strength::<P>());
+    // The *effective* canonicalization strength (the resolved
+    // [`SymmetryPlan`](crate::explorer) byte: tier code + value bit),
+    // not just the configured mode: `pid_symmetric` / `value_symmetric`
+    // are type-level declarations and value applicability depends on
+    // the proposal set — any of them can change between builds without
+    // any encoding changing, and a cache keyed at the other strength
+    // holds a differently quotiented state space.
+    buf.push(config.symmetry.plan::<P>(proposals).strength());
     let mut state = fnv1a(&buf, fnv1a_start());
     for process in initial {
         state = fnv1a(&process.fingerprint().to_le_bytes(), state);

@@ -58,8 +58,11 @@ pub const CHECKPOINT_MANIFEST_NAME: &str = "manifest.twockpt";
 const CHECKPOINT_MAGIC: [u8; 8] = *b"TWOCKPT1";
 
 /// Checkpoint manifest format version; independent of the segment
-/// format version, which the fingerprint covers.
-const CHECKPOINT_FORMAT_VERSION: u32 = 1;
+/// format version, which the fingerprint covers.  v2 added the
+/// symmetry-canonicalization strength byte — a checkpoint's memo image
+/// is keyed in one strength's canonical space, and resuming it at
+/// another would mix quotients.
+const CHECKPOINT_FORMAT_VERSION: u32 = 2;
 
 /// Where a suspended walk parks its resumable artifact
 /// ([`crate::ExploreOptions::checkpoint`]).
@@ -108,6 +111,12 @@ struct CheckpointManifest {
     states: u64,
     /// Seeded entries at suspension — the superset guard's floor.
     seeded: u64,
+    /// The symmetry-canonicalization strength the memo image is keyed
+    /// at ([`SymmetryPlan::strength`](crate::explorer) byte).  Checked
+    /// *before* the fingerprint: strength is folded into the
+    /// fingerprint too, but a strength flip deserves a hard refusal
+    /// with a precise message, not the generic foreign-run shrug.
+    strength: u8,
     /// The delta segment's file name (flat, inside the directory).
     segment: String,
 }
@@ -131,6 +140,7 @@ impl CheckpointManifest {
         out.push(self.reason);
         self.states.encode(&mut out);
         self.seeded.encode(&mut out);
+        out.push(self.strength);
         (self.segment.len() as u32).encode(&mut out);
         out.extend_from_slice(self.segment.as_bytes());
         let crc = crc32(&out);
@@ -158,6 +168,7 @@ impl CheckpointManifest {
         }
         let states = u64::decode(&mut input)?;
         let seeded = u64::decode(&mut input)?;
+        let strength = *twostep_model::codec::take(&mut input, 1)?.first()?;
         let len = u32::decode(&mut input)? as usize;
         let raw = twostep_model::codec::take(&mut input, len)?;
         let segment = std::str::from_utf8(raw).ok()?.to_string();
@@ -171,6 +182,7 @@ impl CheckpointManifest {
             reason,
             states,
             seeded,
+            strength,
             segment,
         })
     }
@@ -210,13 +222,14 @@ fn write_manifest(dir: &Path, manifest: &CheckpointManifest) -> Result<(), Spill
 pub(crate) fn write_checkpoint<O>(
     config: &CheckpointConfig,
     fingerprint: u64,
+    strength: u8,
     reason: BudgetKind,
     memo: &ShardedMemo<O>,
 ) -> Option<PathBuf>
 where
     O: Clone + Eq + SpillCodec,
 {
-    match try_write_checkpoint(config, fingerprint, reason, memo) {
+    match try_write_checkpoint(config, fingerprint, strength, reason, memo) {
         Ok(()) => Some(config.dir.clone()),
         Err(e) => {
             eprintln!(
@@ -232,6 +245,7 @@ where
 fn try_write_checkpoint<O>(
     config: &CheckpointConfig,
     fingerprint: u64,
+    strength: u8,
     reason: BudgetKind,
     memo: &ShardedMemo<O>,
 ) -> Result<(), SpillError>
@@ -258,6 +272,7 @@ where
             reason: reason_byte(reason),
             states: memo.len() as u64,
             seeded: memo.seeded_len() as u64,
+            strength,
             segment,
         },
     )
@@ -281,6 +296,19 @@ pub(crate) enum CheckpointLoad {
     /// a partial (descendant-open) image and the caller must discard it
     /// whole and rebuild — exactly the broken-cache protocol.
     Broken,
+    /// The checkpoint was suspended at a different
+    /// symmetry-canonicalization strength.  Unlike every other mismatch
+    /// this is a **hard refusal** (`ExploreError::CheckpointStrength`),
+    /// not a loud restart: the artifact is a resumable image the user
+    /// asked to continue, and silently recomputing it under a different
+    /// quotient — different `distinct_states`, different census — is
+    /// exactly the confusion the strength byte exists to prevent.  The
+    /// user either restores the old symmetry mode or deletes the
+    /// checkpoint.
+    StrengthMismatch {
+        /// Strength byte the checkpoint was suspended at.
+        found: u8,
+    },
 }
 
 /// Seeds `memo` from the checkpoint in `config.dir`, if one exists and
@@ -290,6 +318,7 @@ pub(crate) enum CheckpointLoad {
 pub(crate) fn load_checkpoint<O, V>(
     config: &CheckpointConfig,
     fingerprint: u64,
+    strength: u8,
     memo: &ShardedMemo<O>,
     validate_key: V,
 ) -> CheckpointLoad
@@ -320,6 +349,11 @@ where
             Some(manifest) => manifest,
         },
     };
+    if manifest.strength != strength {
+        return CheckpointLoad::StrengthMismatch {
+            found: manifest.strength,
+        };
+    }
     if manifest.fingerprint != fingerprint {
         eprintln!(
             "twostep: checkpoint {} was suspended from a different run \
@@ -412,6 +446,7 @@ mod tests {
             reason: reason_byte(BudgetKind::Deadline),
             states: 815,
             seeded: 17,
+            strength: 0x13,
             segment: "ckpt-deadbeef0badf00d.seg".into(),
         };
         let bytes = manifest.to_bytes();
@@ -442,6 +477,7 @@ mod tests {
             reason: 0,
             states: 1,
             seeded: 0,
+            strength: 0,
             segment: "../../etc/passwd".into(),
         };
         assert_eq!(CheckpointManifest::parse(&evil.to_bytes()), None);
@@ -471,13 +507,13 @@ mod tests {
         let config = CheckpointConfig::at(dir.path().join("ckpt"));
         let keys: &[&[u8]] = &[b"alpha", b"beta", b"gamma"];
         let memo = memo_with(keys);
-        let written = write_checkpoint(&config, 42, BudgetKind::Steps, &memo);
+        let written = write_checkpoint(&config, 42, 0, BudgetKind::Steps, &memo);
         assert_eq!(written, Some(config.dir.clone()));
 
         // A matching resume imports every record as fresh.
         let resumed = ShardedMemo::<WideValue>::new(2, &MemoConfig::all_ram()).unwrap();
         assert_eq!(
-            load_checkpoint(&config, 42, &resumed, |_| true),
+            load_checkpoint(&config, 42, 0, &resumed, |_| true),
             CheckpointLoad::Loaded { records: 3 }
         );
         assert_eq!(resumed.len(), 3);
@@ -486,7 +522,7 @@ mod tests {
         // A different fingerprint is loudly ignored, memo untouched.
         let foreign = ShardedMemo::<WideValue>::new(2, &MemoConfig::all_ram()).unwrap();
         assert_eq!(
-            load_checkpoint(&config, 43, &foreign, |_| true),
+            load_checkpoint(&config, 43, 0, &foreign, |_| true),
             CheckpointLoad::Absent
         );
         assert_eq!(foreign.len(), 0);
@@ -495,7 +531,7 @@ mod tests {
         consume_checkpoint(&config);
         let after = ShardedMemo::<WideValue>::new(2, &MemoConfig::all_ram()).unwrap();
         assert_eq!(
-            load_checkpoint(&config, 42, &after, |_| true),
+            load_checkpoint(&config, 42, 0, &after, |_| true),
             CheckpointLoad::Absent
         );
         assert!(!config.dir.join(CHECKPOINT_MANIFEST_NAME).exists());
@@ -514,13 +550,13 @@ mod tests {
         suspended
             .insert(stable_hash64(b"gamma"), b"gamma", summary(9))
             .unwrap();
-        assert!(write_checkpoint(&config, 7, BudgetKind::MemoBytes, &suspended).is_some());
+        assert!(write_checkpoint(&config, 7, 0, BudgetKind::MemoBytes, &suspended).is_some());
 
         // Resuming without the seed would hide alpha/beta's descendants
         // behind gamma: rejected, memo untouched.
         let cold = ShardedMemo::<WideValue>::new(2, &MemoConfig::all_ram()).unwrap();
         assert_eq!(
-            load_checkpoint(&config, 7, &cold, |_| true),
+            load_checkpoint(&config, 7, 0, &cold, |_| true),
             CheckpointLoad::Absent
         );
         assert_eq!(cold.len(), 0);
@@ -530,10 +566,31 @@ mod tests {
         let warm = ShardedMemo::<WideValue>::new(2, &MemoConfig::all_ram()).unwrap();
         warm.import_seed_from(&seed_path, |_| true).unwrap();
         assert_eq!(
-            load_checkpoint(&config, 7, &warm, |_| true),
+            load_checkpoint(&config, 7, 0, &warm, |_| true),
             CheckpointLoad::Loaded { records: 1 }
         );
         assert_eq!(warm.len(), 3);
+    }
+
+    #[test]
+    fn strength_mismatch_is_a_hard_refusal_not_a_restart() {
+        let dir = crate::spill::SpillDir::create(None).unwrap();
+        let config = CheckpointConfig::at(dir.path().join("ckpt"));
+        let memo = memo_with(&[b"alpha"]);
+        // Suspended at partial+value strength (0x13); resumed at off (0).
+        assert!(write_checkpoint(&config, 11, 0x13, BudgetKind::Steps, &memo).is_some());
+        let resumed = ShardedMemo::<WideValue>::new(2, &MemoConfig::all_ram()).unwrap();
+        assert_eq!(
+            load_checkpoint(&config, 11, 0, &resumed, |_| true),
+            CheckpointLoad::StrengthMismatch { found: 0x13 }
+        );
+        assert_eq!(resumed.len(), 0, "refusal leaves the memo untouched");
+        // At the matching strength the same artifact resumes normally.
+        let matching = ShardedMemo::<WideValue>::new(2, &MemoConfig::all_ram()).unwrap();
+        assert_eq!(
+            load_checkpoint(&config, 11, 0x13, &matching, |_| true),
+            CheckpointLoad::Loaded { records: 1 }
+        );
     }
 
     #[test]
@@ -541,7 +598,7 @@ mod tests {
         let dir = crate::spill::SpillDir::create(None).unwrap();
         let config = CheckpointConfig::at(dir.path().join("ckpt"));
         let memo = memo_with(&[b"alpha", b"beta"]);
-        assert!(write_checkpoint(&config, 5, BudgetKind::Steps, &memo).is_some());
+        assert!(write_checkpoint(&config, 5, 0, BudgetKind::Steps, &memo).is_some());
         let segment = config.dir.join("ckpt-0000000000000005.seg");
         let mut bytes = std::fs::read(&segment).unwrap();
         let last = bytes.len() - 1;
@@ -550,7 +607,7 @@ mod tests {
 
         let resumed = ShardedMemo::<WideValue>::new(2, &MemoConfig::all_ram()).unwrap();
         assert_eq!(
-            load_checkpoint(&config, 5, &resumed, |_| true),
+            load_checkpoint(&config, 5, 0, &resumed, |_| true),
             CheckpointLoad::Broken
         );
     }

@@ -67,14 +67,12 @@ use std::time::{Duration, Instant};
 use twostep_model::SystemConfig;
 use twostep_sim::{run_tasks_with_retry, Stepper, TaskAttempt, TraceLevel};
 
-use twostep_model::codec::{stable_hash64, Canonicalizer};
-
 use crate::cache::{CacheConfig, CacheSession};
 use crate::checkpoint::{self, CheckpointLoad};
 use crate::explorer::{
-    build_report, canonical_key_into, drive_elastic, suspend_to_checkpoint, walk_roots, BudgetKind,
-    CheckableProtocol, ElasticOutcome, ElasticVerdict, ExploreConfig, ExploreError, ExploreOptions,
-    ExploreReport, Interrupt, PathedRoot, Shared, Symmetry, WalkBudget, WalkOutcome, Walker,
+    build_report, drive_elastic, suspend_to_checkpoint, walk_roots, BudgetKind, CheckableProtocol,
+    ElasticOutcome, ElasticVerdict, ExploreConfig, ExploreError, ExploreOptions, ExploreReport,
+    Interrupt, PathedRoot, Shared, WalkBudget, WalkOutcome, Walker,
 };
 use crate::spill::{read_frontier_segment, write_frontier_segment, SpillCodec, SpillDir};
 
@@ -269,7 +267,6 @@ fn expand_frontier<P>(
     walker: &mut Walker<'_, '_, P>,
     root: Stepper<P>,
     depth: u32,
-    symmetry: Symmetry,
 ) -> Result<Vec<PathedRoot<P>>, ExploreError>
 where
     P: CheckableProtocol,
@@ -278,14 +275,12 @@ where
     // Each level carries the partitioning hash alongside the stepper —
     // computed once per configuration, when it enters the dedup set.
     // The hash is the memo's own stable key-byte hash — canonicalized
-    // under the run's symmetry mode, exactly as the walkers key their
-    // memo lookups — so every process running the same build partitions
+    // under the run's symmetry plan, exactly as the walkers key their
+    // memo lookups (`Walker::canonical_key` keeps every engine on the
+    // one key path) — so every process running the same build partitions
     // identically, and pid-permuted frontier variants collapse onto one
     // owner instead of being walked by several.
-    let mut canon = Canonicalizer::new();
-    let mut scratch: Vec<u8> = Vec::new();
-    canonical_key_into(&root, symmetry, &mut canon, &mut scratch);
-    let root_hash = stable_hash64(&scratch);
+    let (root_hash, _) = walker.canonical_key(&root, None);
     let mut level: Vec<PathedRoot<P>> = vec![PathedRoot {
         hash: root_hash,
         path: Vec::new(),
@@ -305,9 +300,8 @@ where
             {
                 let mut child = parent.stepper.clone();
                 child.step(actions).map_err(ExploreError::Engine)?;
-                canonical_key_into(&child, symmetry, &mut canon, &mut scratch);
-                let hash = stable_hash64(&scratch);
-                if seen.insert(scratch.clone()) {
+                let (hash, _) = walker.canonical_key(&child, None);
+                if seen.insert(walker.key_bytes().to_vec()) {
                     let mut path = parent.path.clone();
                     path.push(idx as u32);
                     next.push(PathedRoot {
@@ -468,7 +462,7 @@ where
             }
             // Legacy: re-expand the whole frontier in-process.
             None => {
-                let frontier = expand_frontier(&mut walker, root, task.depth, config.symmetry)?;
+                let frontier = expand_frontier(&mut walker, root, task.depth)?;
                 let total = frontier.len();
                 let owned = frontier
                     .into_iter()
@@ -641,7 +635,7 @@ where
     let frontier_start = Instant::now();
     let frontier_records: Vec<(u64, Vec<u32>)> = {
         let mut walker = Walker::new(&shared);
-        expand_frontier(&mut walker, root.clone(), options.depth, config.symmetry)?
+        expand_frontier(&mut walker, root.clone(), options.depth)?
             .into_iter()
             .map(|r| (r.hash, r.path))
             .collect()
@@ -746,11 +740,18 @@ where
         match checkpoint::load_checkpoint(
             ckpt,
             fingerprint,
+            shared.plan.strength(),
             &shared.memo,
             crate::memo::key_validator::<P>(),
         ) {
             CheckpointLoad::Loaded { records } => resumed = records,
             CheckpointLoad::Absent => {}
+            CheckpointLoad::StrengthMismatch { found } => {
+                return Err(ExploreError::CheckpointStrength {
+                    found,
+                    expected: shared.plan.strength(),
+                });
+            }
             CheckpointLoad::Broken => {
                 // All-or-nothing, like a broken cache: rebuild the memo
                 // whole and re-seed from the (still intact) cache.
@@ -1143,7 +1144,7 @@ where
     let frontier_start = Instant::now();
     let roots = {
         let mut walker = Walker::new(&shared);
-        expand_frontier(&mut walker, root.clone(), 0, config.symmetry)?
+        expand_frontier(&mut walker, root.clone(), 0)?
     };
     timings.frontier_seconds = frontier_start.elapsed().as_secs_f64();
 

@@ -107,9 +107,10 @@
 //! configurations are mere relabelings of one another — and exploring
 //! each label variant separately pays up to `n!` redundancy that no
 //! constant-factor hot-path win can touch.  [`ExploreConfig::symmetry`]
-//! (`Symmetry::Off | Full`, env override `TWOSTEP_SYMMETRY`) quotients
-//! the key path by the largest permutation group that is *sound for the
-//! protocol being checked*, at two strengths:
+//! (`Symmetry::Off | Full | Partial | PartialValue`, env tokens
+//! `off|full|partial|partial+value` via `TWOSTEP_SYMMETRY`) quotients
+//! the key path by the largest group that is *sound for the protocol
+//! being checked*, at escalating strengths:
 //!
 //! * **settled-record canonicalization** — always applied under
 //!   [`Symmetry::Full`], sound for **every** protocol.  Before hashing,
@@ -136,7 +137,66 @@
 //!   the dynamics are invariant under index permutation (the
 //!   `pid_symmetric` contract), which rank-dependent protocols — the
 //!   paper's rotating-coordinator algorithm among them — do **not**
-//!   satisfy, so they keep the settled-only strength automatically.
+//!   satisfy, so they keep the settled-only strength automatically;
+//! * **rank-inert pooling** (`Symmetry::Partial`) — the partial-orbit
+//!   tier for rank-dependent protocols.  A protocol may declare an
+//!   *active* process rank-inert ([`SpillCodec::rank_inert`]): its
+//!   remaining behaviour no longer depends on its rank.  For CRW under
+//!   `HighestFirst` commit order that is exactly the case when more
+//!   actives sit below it than the adversary has crashes left
+//!   (`actives_below > t − crashed`): its own coordinator round can
+//!   then never arrive with it still the committing frontier, so for
+//!   the rest of the run it only ever *receives* — a role every other
+//!   rank-inert active plays identically.  Rank-inert actives join the
+//!   settled pool (owner-stripped, tag 3), so two configurations that
+//!   differ only in *which* doomed-to-silence ranks hold which state
+//!   merge.  **Normal-form argument**: members of one partial orbit
+//!   have identical true-active slots (bytes and indexes), identical
+//!   settled-record multisets, and identical rank-inert state
+//!   multisets; every transition of one member maps to a transition of
+//!   the other by the slot permutation that witnesses the orbit, and
+//!   — because effect-pruned adversary enumeration (below) keys
+//!   transitions by their *live effect*, not by raw crash pattern —
+//!   the two members enumerate the *same multiset* of child orbits
+//!   with the same multiplicities.  Summaries are multiset-invariant
+//!   merges of child summaries except for `decided` discovery order,
+//!   which the memo normalizes by sorting decided vectors (by
+//!   canonical value encoding) at insert under this tier — so orbit
+//!   members summarize identically and the quotient is summary-exact,
+//!   terminal counts included;
+//! * **value symmetry** (`Symmetry::PartialValue`) — composed on top
+//!   of the partial tier when the protocol declares a value involution
+//!   ([`SpillCodec::value_symmetric`] / [`SpillCodec::value_swapped`],
+//!   e.g. flipping a binary estimate) *and* the run's proposal set is
+//!   closed under it (checked per run against the actual proposals;
+//!   inapplicable requests warn once and degrade to `Partial`).  The
+//!   canonical key becomes the lexicographic minimum of the plain and
+//!   the value-swapped encoding, so a configuration and its value
+//!   mirror share one memo entry holding the canonical-space summary;
+//!   a hit through the swapped encoding maps the summary back through
+//!   the involution (element-wise on `decided` — the swap commutes
+//!   with the dynamics, so terminals, rounds, and the violation flag
+//!   are fixed points).  Composition is sound because the involution
+//!   acts value-wise and commutes with rank inertness (which reads
+//!   only statuses, ranks, and the crash budget — never values).
+//!
+//! ## Effect-pruned adversary enumeration
+//!
+//! Deliveries to settled receivers are no-ops on the configuration, so
+//! two crash outcomes that differ only in such effect-free deliveries
+//! produce byte-identical successors.  The explorer therefore
+//! enumerates crash outcomes keyed by their **live effect** — which
+//! *active* data receivers hear, which *active* control slots fire —
+//! keeping one representative per class
+//! ([`crash_outcomes_effective_into`]).  This prunes duplicate edges at
+//! **every** symmetry mode (`Off` included): the reachable state set is
+//! unchanged, while terminal/path counts drop to one per
+//! effect-distinct schedule — which is also what restores the
+//! transition *bijection* between partial-orbit members whose settled
+//! pools differ in how many effect-free receivers they contain, making
+//! the partial tier's terminal counts exact rather than merely
+//! verdict-preserving.  (Logic version v4; Off-mode reports before v4
+//! counted effect-duplicate terminals separately.)
 //!
 //! What changes and what doesn't: `distinct_states` drops (each memo
 //! entry now summarizes an orbit of configurations), and the per-round
@@ -149,10 +209,30 @@
 //! `violating` bit equals every member's.  Disable symmetry
 //! (`Symmetry::Off`, the default) when raw per-configuration counts or
 //! differential comparison against historical baselines matter.  The
-//! effective strength (off / settled-only / full-orbit) is part of the
-//! persistent-cache fingerprint, so caches never cross modes — or
-//! strengths, should a protocol's `pid_symmetric` declaration change —
-//! silently.
+//! effective strength (off / settled-only / full-orbit / rank-inert,
+//! with a value-quotient bit) is part of the persistent-cache
+//! fingerprint and the checkpoint manifest, so caches never cross
+//! strengths silently — should a protocol's `pid_symmetric` /
+//! `value_symmetric` declarations or the proposal set change — and a
+//! checkpoint suspended at one strength refuses to resume at another
+//! (its frontier keys and memo image are meaningless in the other
+//! quotient).
+//!
+//! ### Canonicalization hot path
+//!
+//! Two mechanisms keep the quotient cheaper than the states it merges.
+//! **Incremental keys**: settled records are immutable once written, so
+//! each frame carries its canonical encoding's sorted settled pool
+//! (`CanonSeed`, one per encoding when the value quotient is active);
+//! a child copies the parent's pool pre-sorted, appends only the
+//! records settled by this one step (plus the rank-inert records,
+//! always re-encoded fresh — inert state still mutates), and
+//! [`Canonicalizer::sort_from`] sorts just that delta and merges.
+//! **Raw→canonical key cache**: each walker keeps a small direct-mapped
+//! cache from raw key bytes (byte-verified, so a hash collision only
+//! costs a miss) to the finished canonical key and its seeds, so
+//! re-visited configurations — the common case in a memoized DFS —
+//! skip canonicalization entirely.
 //!
 //! ## Determinism argument
 //!
@@ -374,9 +454,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use twostep_adversary::crash_outcomes_into;
+use twostep_adversary::crash_outcomes_effective_into;
 use twostep_model::codec::{stable_hash64, Canonicalizer};
-use twostep_model::{CrashPoint, CrashSchedule, CrashStage, ProcessId, SystemConfig};
+use twostep_model::{
+    CrashPoint, CrashSchedule, CrashStage, ProcessId, SymmetryContext, SystemConfig,
+};
 use twostep_sim::{
     check_uniform_consensus, default_threads, run_on_workers, Decision, ModelKind, PlanShape,
     ProcStatus, RoundActions, SimError, SpecViolation, Stepper, SyncProtocol, TraceLevel,
@@ -471,8 +553,9 @@ pub enum SpecMode {
 }
 
 /// Symmetry-reduction mode: whether configurations are canonicalized
-/// modulo process-index permutation before keying the memo (the module
-/// docs' "Symmetry reduction" section).
+/// modulo process-index permutation (and, at the strongest mode, modulo
+/// the binary value involution) before keying the memo — the module
+/// docs' "Symmetry reduction" section.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum Symmetry {
     /// No canonicalization: every raw configuration is a distinct memo
@@ -480,29 +563,178 @@ pub enum Symmetry {
     /// suites compare against.
     #[default]
     Off,
-    /// Canonicalize modulo the largest sound permutation group: settled
-    /// (decided/crashed) records are sorted into their slots for every
-    /// protocol, and the full `n!` orbit is quotiented for protocols
-    /// declaring [`SpillCodec::pid_symmetric`].  Verdicts, the root
-    /// summary, and witness validity are unchanged; `distinct_states`
-    /// and the census count orbits instead of raw configurations.
+    /// Canonicalize modulo the largest *structurally* sound permutation
+    /// group: settled (decided/crashed) records are sorted into their
+    /// slots for every protocol, and the full `n!` orbit is quotiented
+    /// for protocols declaring [`SpillCodec::pid_symmetric`].  Verdicts,
+    /// the root summary, and witness validity are unchanged;
+    /// `distinct_states` and the census count orbits instead of raw
+    /// configurations.
     Full,
+    /// Everything [`Full`](Symmetry::Full) does, plus the **partial
+    /// (mixed-role) quotient**: active processes whose rank is provably
+    /// inert ([`SpillCodec::rank_inert`]) are owner-stripped and pooled
+    /// with the settled records.  Still exact for the root summary (see
+    /// the module docs' soundness argument), up to the order of the
+    /// `decided` valency list, which this tier stores in canonical
+    /// (encoded-byte) order.
+    Partial,
+    /// Everything [`Partial`](Symmetry::Partial) does, plus **value
+    /// symmetry** when it applies ([`SpillCodec::value_symmetric`]
+    /// protocols over a swap-closed binary proposal set): each
+    /// configuration is keyed by the lexicographically smaller of its
+    /// canonical encoding and its value-swapped canonical encoding, and
+    /// memoized summaries are mapped through the involution on the way
+    /// in and out.  When value symmetry does not apply to the run it
+    /// degrades to `Partial` (loudly, once).
+    PartialValue,
 }
 
 impl Symmetry {
-    /// The effective canonicalization strength for protocol `P`, as the
-    /// byte the persistent-cache fingerprint records: `0` off, `1`
-    /// settled-record canonicalization, `2` full-orbit.  Fingerprinting
-    /// the *strength* (not just the mode) matters because
-    /// `pid_symmetric` is a type-level declaration: it can change
-    /// between builds without any encoding changing, and a cache written
-    /// at the other strength would otherwise be silently reused.
-    pub(crate) fn strength<P: SpillCodec>(self) -> u8 {
+    /// The mode's canonical config-string token, shared by the
+    /// `TWOSTEP_SYMMETRY` env override, the bench CLI, and the
+    /// distributed worker argv (so every process of a run agrees on the
+    /// spelling).
+    pub fn token(self) -> &'static str {
         match self {
-            Symmetry::Off => 0,
-            Symmetry::Full if !P::pid_symmetric() => 1,
-            Symmetry::Full => 2,
+            Symmetry::Off => "off",
+            Symmetry::Full => "full",
+            Symmetry::Partial => "partial",
+            Symmetry::PartialValue => "partial+value",
         }
+    }
+
+    /// Parses a [`token`](Self::token) (ASCII case-insensitive,
+    /// surrounding whitespace ignored); `None` for anything else —
+    /// callers decide whether that warrants a warning
+    /// (the `TWOSTEP_SYMMETRY` warn-once policy) or a hard error.
+    pub fn parse_token(raw: &str) -> Option<Symmetry> {
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "off" => Some(Symmetry::Off),
+            "full" => Some(Symmetry::Full),
+            "partial" => Some(Symmetry::Partial),
+            "partial+value" => Some(Symmetry::PartialValue),
+            _ => None,
+        }
+    }
+
+    /// Resolves the mode into the run's concrete [`SymmetryPlan`] —
+    /// computed once per exploration from the protocol type and the
+    /// proposal vector, then carried in [`Shared`]: the per-visit key
+    /// path must not re-derive type-level facts, and value-symmetry
+    /// applicability depends on the proposals, which only the run knows.
+    pub(crate) fn plan<P>(self, proposals: &[P::Output]) -> SymmetryPlan
+    where
+        P: CheckableProtocol,
+        P::Output: Hash + SpillCodec,
+    {
+        let tier = match self {
+            Symmetry::Off => CanonTier::Raw,
+            _ if P::pid_symmetric() => CanonTier::FullOrbit,
+            Symmetry::Full => CanonTier::Settled,
+            Symmetry::Partial | Symmetry::PartialValue => CanonTier::SettledInert,
+        };
+        let value = self == Symmetry::PartialValue && value_symmetry_applies::<P>(proposals);
+        if self == Symmetry::PartialValue && !value {
+            static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+            WARN_ONCE.call_once(|| {
+                eprintln!(
+                    "twostep: symmetry mode \"partial+value\" requested but value \
+                     symmetry does not apply to this run (protocol not value-symmetric, \
+                     or proposal set not closed under the value swap); \
+                     running at \"partial\" strength"
+                )
+            });
+        }
+        SymmetryPlan { tier, value }
+    }
+}
+
+/// Whether the value-symmetry quotient is sound for a run of protocol
+/// `P` over `proposals`: the protocol's dynamics must commute with the
+/// involution ([`SpillCodec::value_symmetric`]), every proposal must
+/// have a swap image, and the proposal *set* must be closed under the
+/// swap — the validity check compares decided values against the
+/// proposal set, so a swap that leaves it would flip a terminal's
+/// verdict between a configuration and its swapped twin.
+fn value_symmetry_applies<P>(proposals: &[P::Output]) -> bool
+where
+    P: CheckableProtocol,
+    P::Output: Hash + SpillCodec,
+{
+    if !P::value_symmetric() || proposals.is_empty() {
+        return false;
+    }
+    let encoded: Vec<Vec<u8>> = proposals
+        .iter()
+        .map(|p| {
+            let mut buf = Vec::new();
+            p.encode(&mut buf);
+            buf
+        })
+        .collect();
+    let mut swap_buf = Vec::new();
+    for proposal in proposals {
+        let Some(swapped) = proposal.value_swapped() else {
+            return false;
+        };
+        swap_buf.clear();
+        swapped.encode(&mut swap_buf);
+        if !encoded.contains(&swap_buf) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Which canonical-key layout a run uses — the [`Symmetry`] mode
+/// resolved against the protocol's type-level declarations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum CanonTier {
+    /// The plain [`make_key_into`] encoding; nothing is sorted.
+    Raw,
+    /// Settled (decided/crashed) records sorted into the settled slots;
+    /// actives keep their true indexes.  Sound for every protocol.
+    Settled,
+    /// `Settled`, plus rank-inert actives ([`SpillCodec::rank_inert`])
+    /// owner-stripped (tag `3`) and sorted jointly with the settled
+    /// records into the non-true-active slots.
+    SettledInert,
+    /// Every record sorted, actives re-encoded at their sorted position
+    /// — the full `n!` quotient for [`SpillCodec::pid_symmetric`]
+    /// protocols (subsumes `SettledInert`, so pid-symmetric protocols
+    /// take this tier at every non-`Off` mode).
+    FullOrbit,
+}
+
+/// A run's resolved symmetry configuration: the canonical-key tier plus
+/// whether the value-involution quotient is active.  Computed once per
+/// run ([`Symmetry::plan`]) and carried in [`Shared`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) struct SymmetryPlan {
+    pub(crate) tier: CanonTier,
+    pub(crate) value: bool,
+}
+
+impl SymmetryPlan {
+    /// The effective canonicalization strength as the byte the
+    /// persistent-cache fingerprint and the checkpoint manifest record:
+    /// the tier code (`0` raw, `1` settled, `2` full-orbit, `3`
+    /// settled-inert) with bit `0x10` set when the value quotient is
+    /// active.  Fingerprinting the *strength* (not the configured mode)
+    /// matters because `pid_symmetric` / `value_symmetric` are
+    /// type-level declarations and value applicability depends on the
+    /// proposals: any of them can change without an encoding changing,
+    /// and a cache keyed at another strength holds a differently
+    /// quotiented state space.
+    pub(crate) fn strength(self) -> u8 {
+        let tier = match self.tier {
+            CanonTier::Raw => 0,
+            CanonTier::Settled => 1,
+            CanonTier::FullOrbit => 2,
+            CanonTier::SettledInert => 3,
+        };
+        tier | if self.value { 0x10 } else { 0 }
     }
 }
 
@@ -722,15 +954,14 @@ fn symmetry_from_env() -> Symmetry {
     let Ok(raw) = std::env::var("TWOSTEP_SYMMETRY") else {
         return Symmetry::Off;
     };
-    match raw.trim().to_ascii_lowercase().as_str() {
-        "off" => Symmetry::Off,
-        "full" => Symmetry::Full,
-        _ => {
+    match Symmetry::parse_token(&raw) {
+        Some(mode) => mode,
+        None => {
             static WARN_ONCE: std::sync::Once = std::sync::Once::new();
             WARN_ONCE.call_once(|| {
                 eprintln!(
-                    "twostep: TWOSTEP_SYMMETRY={raw:?} is not \"off\" or \"full\"; \
-                     symmetry reduction stays off"
+                    "twostep: TWOSTEP_SYMMETRY={raw:?} is not \"off\", \"full\", \
+                     \"partial\", or \"partial+value\"; symmetry reduction stays off"
                 )
             });
             Symmetry::Off
@@ -1047,6 +1278,18 @@ pub enum ExploreError {
         /// preserved in the checkpoint.
         states: usize,
     },
+    /// A resumable checkpoint exists for this run but was suspended at a
+    /// different symmetry-canonicalization strength: its memo image
+    /// lives in another strength's canonical key space and cannot be
+    /// resumed under this one.  A hard refusal, not a silent restart —
+    /// restore the suspended run's symmetry mode, or delete the
+    /// checkpoint to start over at the new strength.
+    CheckpointStrength {
+        /// Strength byte the checkpoint was suspended at.
+        found: u8,
+        /// This run's effective strength byte.
+        expected: u8,
+    },
 }
 
 impl From<SpillError> for ExploreError {
@@ -1090,6 +1333,14 @@ impl std::fmt::Display for ExploreError {
                     Some(dir) => write!(f, "resumable checkpoint at {}", dir.display()),
                     None => f.write_str("no checkpoint configured, partial work discarded"),
                 }
+            }
+            ExploreError::CheckpointStrength { found, expected } => {
+                write!(
+                    f,
+                    "checkpoint was suspended at symmetry strength {found:#04x} but this \
+                     run canonicalizes at {expected:#04x}; restore the suspended run's \
+                     symmetry mode or delete the checkpoint to start over"
+                )
             }
         }
     }
@@ -1188,27 +1439,39 @@ where
                 out.push(0);
                 proc.encode(out);
             }
-            settled => encode_settled_record(settled, decision, out),
+            settled => encode_settled_record(settled, decision, false, out),
         }
     }
 }
 
 /// Appends the key record of one **settled** (decided or crashed)
 /// process: tag `1` decided + value + round, or tag `2` crashed +
-/// optional `(value, round)`.  Shared by the plain key encoding and both
-/// canonical variants, so a settled process encodes identically whether
-/// or not its record is about to be sorted.
+/// optional `(value, round)`.  Shared by the plain key encoding and the
+/// canonical tiers, so a settled process encodes identically whether or
+/// not its record is about to be sorted.  With `swap` set, decided
+/// values encode their [`SpillCodec::value_swapped`] image — the
+/// value-symmetry tier's swapped encoding pass.
 fn encode_settled_record<O: SpillCodec>(
     status: &ProcStatus,
     decision: &Option<Decision<O>>,
+    swap: bool,
     out: &mut Vec<u8>,
 ) {
+    let encode_value = |v: &O, out: &mut Vec<u8>| {
+        if swap {
+            v.value_swapped()
+                .expect("value-symmetry tier active but a decided value has no swap image")
+                .encode(out)
+        } else {
+            v.encode(out)
+        }
+    };
     match status {
         ProcStatus::Active => unreachable!("settled records only"),
         ProcStatus::Decided => {
             let d = decision.as_ref().expect("decided process has a decision");
             out.push(1);
-            d.value.encode(out);
+            encode_value(&d.value, out);
             d.round.get().encode(out);
         }
         ProcStatus::Crashed(_) => {
@@ -1217,7 +1480,7 @@ fn encode_settled_record<O: SpillCodec>(
                 None => out.push(0),
                 Some(d) => {
                     out.push(1);
-                    d.value.encode(out);
+                    encode_value(&d.value, out);
                     d.round.get().encode(out);
                 }
             }
@@ -1225,108 +1488,277 @@ fn encode_settled_record<O: SpillCodec>(
     }
 }
 
-/// Encodes `stepper`'s configuration into its canonical key bytes under
-/// the given symmetry mode — the one key-path dispatch point shared by
-/// the walker hot path, witness reconstruction, and the distributed
-/// frontier expander, so every engine keys (and therefore hashes,
-/// shards, and partitions) a configuration identically.
+/// The value-swapped twin of an active process state — only called on
+/// the value-symmetry tier's swapped encoding pass, where the
+/// activation check ([`value_symmetry_applies`]) has already proven the
+/// protocol value-symmetric.
+fn swapped_proc<P: SpillCodec>(proc: &P) -> P {
+    proc.value_swapped()
+        .expect("value-symmetry tier active but a process state has no swap image")
+}
+
+/// The sorted settled-record bytes of one canonical encoding — the
+/// incremental-canonicalization carry.  Settled records are *immutable*
+/// (a decision's `(value, round)` and a crash's optional decision never
+/// change once written), so a child configuration's settled pool is its
+/// parent's pool plus the records settled by this one step; carrying the
+/// parent's already-sorted pool lets [`Canonicalizer::sort_from`] sort
+/// only the delta and merge.  Records are stored back to back in
+/// `bytes`, with `ends[i]` the exclusive end offset of record `i`.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct CanonSeed {
+    bytes: Vec<u8>,
+    ends: Vec<u32>,
+}
+
+impl CanonSeed {
+    fn clear(&mut self) {
+        self.bytes.clear();
+        self.ends.clear();
+    }
+
+    fn len(&self) -> usize {
+        self.ends.len()
+    }
+
+    fn push(&mut self, rec: &[u8]) {
+        self.bytes.extend_from_slice(rec);
+        self.ends.push(self.bytes.len() as u32);
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &[u8]> {
+        self.ends.iter().scan(0usize, move |start, &end| {
+            let s = *start;
+            *start = end as usize;
+            Some(&self.bytes[s..end as usize])
+        })
+    }
+
+    fn copy_from(&mut self, other: &CanonSeed) {
+        self.bytes.clear();
+        self.bytes.extend_from_slice(&other.bytes);
+        self.ends.clear();
+        self.ends.extend_from_slice(&other.ends);
+    }
+}
+
+/// A configuration's seeds for both encodings of the value-symmetry
+/// tier: the settled pool sorts differently under the plain and the
+/// swapped encoding, so each pass carries its own seed — independent of
+/// which encoding won the lexicographic minimum.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct FrameSeeds {
+    plain: CanonSeed,
+    swapped: CanonSeed,
+}
+
+impl FrameSeeds {
+    fn copy_from(&mut self, other: &FrameSeeds) {
+        self.plain.copy_from(&other.plain);
+        self.swapped.copy_from(&other.swapped);
+    }
+}
+
+/// Fills `inert[i]` for every process: `true` iff `p_{i+1}` is active
+/// and the protocol declares its *rank* inert for the rest of the run
+/// ([`SpillCodec::rank_inert`], soundness in the module docs).  One
+/// ascending pass: `crash_budget` is the remaining crashes `t − crashed`,
+/// and `actives_below` counts the actives `j < i` whose rank `j + 1` is
+/// still reachable by the committing frontier (`j + 1 ≥ round`).
+/// Computed from the **unswapped** state only — the value involution
+/// commutes with the dynamics, so it cannot change rank inertness.
+fn compute_inert_flags<P>(stepper: &Stepper<P>, t: usize, inert: &mut Vec<bool>)
+where
+    P: CheckableProtocol,
+    P::Output: Hash + SpillCodec,
+{
+    let n = stepper.procs().len();
+    let round = stepper.round().get();
+    let crashed = stepper
+        .status()
+        .iter()
+        .filter(|s| matches!(s, ProcStatus::Crashed(_)))
+        .count();
+    let crash_budget = t.saturating_sub(crashed);
+    inert.clear();
+    inert.resize(n, false);
+    let mut running = 0usize;
+    for (i, ((flag, status), proc)) in inert
+        .iter_mut()
+        .zip(stepper.status())
+        .zip(stepper.procs())
+        .enumerate()
+    {
+        if matches!(status, ProcStatus::Active) {
+            let ctx = SymmetryContext {
+                round,
+                crash_budget,
+                actives_below: running,
+            };
+            *flag = proc.rank_inert(&ctx);
+            if (i as u32 + 1) >= round {
+                running += 1;
+            }
+        }
+    }
+}
+
+/// Encodes one canonical key at the given tier — the single encoder
+/// behind every canonicalizing mode, shared by the walker hot path,
+/// witness reconstruction, and the distributed frontier expander, so
+/// every engine keys (and therefore hashes, shards, and partitions) a
+/// configuration identically.
 ///
-/// `Symmetry::Off` is the plain [`make_key_into`] encoding.
-/// `Symmetry::Full` canonicalizes at the strongest strength sound for
-/// `P` (see the module docs): settled-record sorting for every
-/// protocol, the full pid-permutation orbit when `P` declares
-/// [`SpillCodec::pid_symmetric`].  Both canonical layouts remain valid
-/// key encodings — `decode_key_prefix` and the segment key validator
-/// accept them unchanged.
-pub(crate) fn canonical_key_into<P>(
+/// * `swap` — encode the value-swapped twin of the configuration (the
+///   value-symmetry tier runs this encoder twice and keeps the
+///   lexicographically smaller key).
+/// * `inert` — per-process rank-inertness flags
+///   ([`compute_inert_flags`]); consulted only at
+///   [`CanonTier::SettledInert`].
+/// * `seed` — the parent configuration's sorted settled pool plus the
+///   parent's statuses: the pool is copied pre-sorted, only the records
+///   settled since the parent (and the freshly re-encoded inert
+///   actives, which *do* mutate) are sorted and merged
+///   ([`Canonicalizer::sort_from`]).  `None` falls back to a full sort.
+///   Ignored at `FullOrbit`, where active records dominate the pool and
+///   mutate every step.
+/// * `new_seed` — when present, receives this configuration's own
+///   sorted settled pool for its children to seed from.
+///
+/// Every canonical layout remains a valid key encoding —
+/// [`decode_key_prefix`](crate::memo::decode_key_prefix) and the
+/// segment key validator accept tags `0`–`3` unchanged.
+#[allow(clippy::too_many_arguments)]
+fn tier_key_into<P>(
     stepper: &Stepper<P>,
-    symmetry: Symmetry,
+    tier: CanonTier,
+    swap: bool,
+    inert: &[bool],
+    seed: Option<(&CanonSeed, &[ProcStatus])>,
     canon: &mut Canonicalizer,
     out: &mut Vec<u8>,
+    new_seed: Option<&mut CanonSeed>,
 ) where
     P: CheckableProtocol,
     P::Output: Hash + SpillCodec,
 {
-    match symmetry {
-        Symmetry::Off => make_key_into(stepper, out),
-        Symmetry::Full if P::pid_symmetric() => full_orbit_key_into(stepper, canon, out),
-        Symmetry::Full => settled_sorted_key_into(stepper, canon, out),
-    }
-}
-
-/// The settled-record canonical key: active processes keep their true
-/// indexes and encodings; the settled records are sorted by bytes and
-/// redistributed over the settled index slots in that order.  Sound for
-/// every protocol (module docs), and byte-layout-identical to the plain
-/// key — only the assignment of settled records to slots changes.
-fn settled_sorted_key_into<P>(stepper: &Stepper<P>, canon: &mut Canonicalizer, out: &mut Vec<u8>)
-where
-    P: CheckableProtocol,
-    P::Output: Hash + SpillCodec,
-{
+    debug_assert!(tier != CanonTier::Raw, "raw keys take make_key_into");
     out.clear();
     stepper.round().get().encode(out);
     (stepper.procs().len() as u32).encode(out);
     canon.begin();
-    for (status, decision) in stepper.status().iter().zip(stepper.decisions()) {
-        if !matches!(status, ProcStatus::Active) {
-            encode_settled_record(status, decision, canon.record());
+    let mut prefix = 0usize;
+    match tier {
+        CanonTier::Raw => unreachable!(),
+        CanonTier::FullOrbit => {
+            for ((status, proc), decision) in stepper
+                .status()
+                .iter()
+                .zip(stepper.procs())
+                .zip(stepper.decisions())
+            {
+                let rec = canon.record();
+                match status {
+                    ProcStatus::Active => {
+                        rec.push(0);
+                        if swap {
+                            swapped_proc(&**proc).encode_relabelled(0, rec);
+                        } else {
+                            proc.encode_relabelled(0, rec);
+                        }
+                    }
+                    settled => encode_settled_record(settled, decision, swap, rec),
+                }
+            }
+        }
+        CanonTier::Settled | CanonTier::SettledInert => {
+            if let Some((seed, parent_status)) = seed {
+                for rec in seed.iter() {
+                    canon.record().extend_from_slice(rec);
+                }
+                prefix = seed.len();
+                // Only the records settled since the parent are new;
+                // everything settled earlier arrived pre-sorted above.
+                for (i, (status, decision)) in
+                    stepper.status().iter().zip(stepper.decisions()).enumerate()
+                {
+                    if !matches!(status, ProcStatus::Active)
+                        && matches!(parent_status[i], ProcStatus::Active)
+                    {
+                        encode_settled_record(status, decision, swap, canon.record());
+                    }
+                }
+            } else {
+                for (status, decision) in stepper.status().iter().zip(stepper.decisions()) {
+                    if !matches!(status, ProcStatus::Active) {
+                        encode_settled_record(status, decision, swap, canon.record());
+                    }
+                }
+            }
+            if tier == CanonTier::SettledInert {
+                // Inert actives mutate between steps — always re-encoded
+                // fresh (tag 3, owner-stripped), never carried in a seed.
+                for (i, proc) in stepper.procs().iter().enumerate() {
+                    if inert[i] {
+                        let rec = canon.record();
+                        rec.push(3);
+                        if swap {
+                            swapped_proc(&**proc).encode_relabelled(0, rec);
+                        } else {
+                            proc.encode_relabelled(0, rec);
+                        }
+                    }
+                }
+            }
         }
     }
-    canon.sort();
-    let mut settled = canon.iter_sorted();
-    for (status, proc) in stepper.status().iter().zip(stepper.procs()) {
-        match status {
-            ProcStatus::Active => {
-                out.push(0);
-                proc.encode(out);
-            }
-            _ => {
-                let (_, bytes) = settled.next().expect("one sorted record per settled slot");
-                out.extend_from_slice(bytes);
+    canon.sort_from(prefix);
+    match tier {
+        CanonTier::Raw => unreachable!(),
+        CanonTier::FullOrbit => {
+            for (pos, (orig, bytes)) in canon.iter_sorted().enumerate() {
+                if bytes.first() == Some(&0) {
+                    out.push(0);
+                    if swap {
+                        swapped_proc(&*stepper.procs()[orig]).encode_relabelled(pos, out);
+                    } else {
+                        stepper.procs()[orig].encode_relabelled(pos, out);
+                    }
+                } else {
+                    out.extend_from_slice(bytes);
+                }
             }
         }
-    }
-}
-
-/// The full-orbit canonical key for pid-symmetric protocols: every
-/// record (actives stripped to their owner-relabelled-to-slot-0
-/// encoding, settled as-is) is sorted by bytes, and each active is then
-/// re-encoded as owned by its sorted position.  Equivalent
-/// configurations — any index permutation with consistent owner
-/// relabeling — produce byte-identical keys; ties in the sort encode
-/// identical bytes, so the index tie-break cannot break the normal form.
-fn full_orbit_key_into<P>(stepper: &Stepper<P>, canon: &mut Canonicalizer, out: &mut Vec<u8>)
-where
-    P: CheckableProtocol,
-    P::Output: Hash + SpillCodec,
-{
-    out.clear();
-    stepper.round().get().encode(out);
-    (stepper.procs().len() as u32).encode(out);
-    canon.begin();
-    for ((status, proc), decision) in stepper
-        .status()
-        .iter()
-        .zip(stepper.procs())
-        .zip(stepper.decisions())
-    {
-        let rec = canon.record();
-        match status {
-            ProcStatus::Active => {
-                rec.push(0);
-                proc.encode_relabelled(0, rec);
+        CanonTier::Settled | CanonTier::SettledInert => {
+            let mut pooled = canon.iter_sorted();
+            for (i, (status, proc)) in stepper.status().iter().zip(stepper.procs()).enumerate() {
+                let true_active = matches!(status, ProcStatus::Active)
+                    && !(tier == CanonTier::SettledInert && inert[i]);
+                if true_active {
+                    out.push(0);
+                    if swap {
+                        swapped_proc(&**proc).encode(out);
+                    } else {
+                        proc.encode(out);
+                    }
+                } else {
+                    let (_, bytes) = pooled
+                        .next()
+                        .expect("one pooled record per non-true-active slot");
+                    out.extend_from_slice(bytes);
+                }
             }
-            settled => encode_settled_record(settled, decision, rec),
+            debug_assert!(pooled.next().is_none(), "pooled records exceed slots");
         }
     }
-    canon.sort();
-    for (pos, (orig, bytes)) in canon.iter_sorted().enumerate() {
-        if bytes.first() == Some(&0) {
-            out.push(0);
-            stepper.procs()[orig].encode_relabelled(pos, out);
-        } else {
-            out.extend_from_slice(bytes);
+    if let Some(ns) = new_seed {
+        ns.clear();
+        if tier != CanonTier::FullOrbit {
+            for (_, bytes) in canon.iter_sorted() {
+                if bytes.first() != Some(&3) {
+                    ns.push(bytes);
+                }
+            }
         }
     }
 }
@@ -1473,28 +1905,38 @@ where
         shared = Shared::new(system, config, &options, &proposals, initial)?;
     }
     if let Some(ckpt) = &options.checkpoint {
-        if matches!(
-            checkpoint::load_checkpoint(
-                ckpt,
-                fingerprint,
-                &shared.memo,
-                crate::memo::key_validator::<P>()
-            ),
-            CheckpointLoad::Broken
+        match checkpoint::load_checkpoint(
+            ckpt,
+            fingerprint,
+            shared.plan.strength(),
+            &shared.memo,
+            crate::memo::key_validator::<P>(),
         ) {
-            // Same all-or-nothing policy as a broken cache: a partial
-            // checkpoint import would silently shrink the census, so
-            // discard the memo whole and rebuild — re-seeding the cache,
-            // which survived (the session re-iterates its segments).
-            let initial = std::mem::take(&mut shared.initial);
-            shared = Shared::new(system, config, &options, &proposals, initial)?;
-            if session
-                .seed(&shared.memo, crate::memo::key_validator::<P>())
-                .is_none()
-            {
+            CheckpointLoad::Broken => {
+                // Same all-or-nothing policy as a broken cache: a partial
+                // checkpoint import would silently shrink the census, so
+                // discard the memo whole and rebuild — re-seeding the cache,
+                // which survived (the session re-iterates its segments).
                 let initial = std::mem::take(&mut shared.initial);
                 shared = Shared::new(system, config, &options, &proposals, initial)?;
+                if session
+                    .seed(&shared.memo, crate::memo::key_validator::<P>())
+                    .is_none()
+                {
+                    let initial = std::mem::take(&mut shared.initial);
+                    shared = Shared::new(system, config, &options, &proposals, initial)?;
+                }
             }
+            // A strength flip is a hard refusal, not a loud restart: the
+            // user asked to resume a specific suspended image, and that
+            // image lives in another strength's canonical key space.
+            CheckpointLoad::StrengthMismatch { found } => {
+                return Err(ExploreError::CheckpointStrength {
+                    found,
+                    expected: shared.plan.strength(),
+                });
+            }
+            CheckpointLoad::Absent | CheckpointLoad::Loaded { .. } => {}
         }
     }
     let autosave = options.checkpoint.as_ref().and_then(|ckpt| {
@@ -1560,8 +2002,15 @@ where
     P::Output: Hash + SpillCodec,
 {
     let states = shared.memo.len();
-    let written = config
-        .and_then(|ckpt| checkpoint::write_checkpoint(ckpt, fingerprint, reason, &shared.memo));
+    let written = config.and_then(|ckpt| {
+        checkpoint::write_checkpoint(
+            ckpt,
+            fingerprint,
+            shared.plan.strength(),
+            reason,
+            &shared.memo,
+        )
+    });
     ExploreError::Interrupted {
         reason,
         checkpoint: written,
@@ -1739,6 +2188,7 @@ where
                         checkpoint::write_checkpoint(
                             save.config,
                             save.fingerprint,
+                            shared.plan.strength(),
                             BudgetKind::Autosave,
                             &shared.memo,
                         );
@@ -1952,6 +2402,10 @@ where
     /// configuration itself, so the initial processes must be kept, not
     /// recovered from key bytes.
     pub(crate) initial: Vec<P>,
+    /// The run's resolved symmetry plan ([`Symmetry::plan`]) — computed
+    /// once here so the per-visit key path never re-derives type-level
+    /// facts or re-checks value-symmetry applicability.
+    pub(crate) plan: SymmetryPlan,
     pub(crate) memo: ShardedMemo<P::Output>,
     queue: WorkQueue<Stepper<P>>,
     stop: AtomicBool,
@@ -1971,11 +2425,13 @@ where
         proposals: &'a [P::Output],
         initial: Vec<P>,
     ) -> Result<Self, ExploreError> {
+        let plan = config.symmetry.plan::<P>(proposals);
         Ok(Shared {
             system,
             config,
             proposals,
             initial,
+            plan,
             memo: ShardedMemo::new(options.shards, &options.memo)?,
             queue: WorkQueue::new(),
             stop: AtomicBool::new(false),
@@ -2060,10 +2516,116 @@ where
     /// Reusable record-sorting scratch for symmetry-reduced keying
     /// (unused when [`ExploreConfig::symmetry`] is off).
     canon: Canonicalizer,
+    /// Scratch for the *raw* key bytes that index the raw→canonical
+    /// cache (canonicalizing plans only).
+    raw_scratch: Vec<u8>,
+    /// Scratch for the value-swapped candidate key; the lexicographic
+    /// minimum against `key_scratch` decides the canonical key.
+    swap_buf: Vec<u8>,
+    /// Per-process rank-inertness flags ([`compute_inert_flags`]).
+    inert_buf: Vec<bool>,
+    /// The just-keyed configuration's own seeds, left here by
+    /// [`Walker::canonical_key`] for `enter` to move into the frame —
+    /// or, after a cache hit, *deferred*: `seeds_pending_slot` names the
+    /// cache slot holding them and [`Walker::take_frame_seeds`] copies
+    /// lazily, because most entered configurations hit the memo and
+    /// never expand, so an eager per-probe seeds copy was the single
+    /// largest cache-hit cost.
+    seeds_scratch: FrameSeeds,
+    /// Cache slot whose seeds the last [`Walker::canonical_key`] call
+    /// resolved but did not copy (cache-hit fast path).  Valid only
+    /// until the next `canonical_key` call — `enter` consumes it before
+    /// any other key can be computed on this walker.
+    seeds_pending_slot: Option<usize>,
+    /// Cache slot the last [`Walker::canonical_key`] call hit or wrote
+    /// (canonicalizing plans only) — `enter` reads and pins the slot's
+    /// resolved real-space summary through it.  Same validity window as
+    /// `seeds_pending_slot`.
+    last_slot: Option<usize>,
+    /// Retired frame seeds, reused for future frames.
+    seeds_pool: Vec<FrameSeeds>,
+    /// Direct-mapped raw-key → canonical-key cache (the hot-path
+    /// memoization of canonicalization itself); empty under raw plans.
+    key_cache: Vec<KeyCacheSlot<P::Output>>,
+    /// Reusable buffer of a plan's data destinations still active —
+    /// deliveries to settled processes are effect-free, so the adversary
+    /// enumeration quotients them out (`crash_outcomes_effective_into`).
+    live_dests_buf: Vec<ProcessId>,
+    /// Reusable buffer of the 1-based control-message counts `k` whose
+    /// `k`-th receiver is still active (same effect quotient).
+    live_ks_buf: Vec<usize>,
+}
+
+/// One slot of the walker-local raw→canonical key cache: a previously
+/// canonicalized configuration's raw key bytes (the verification tag —
+/// hash equality alone would be unsound under collision), its canonical
+/// key and hash, which encoding won the value minimum, and its seeds.
+///
+/// `real` short-circuits the whole entry path on revisits: once this
+/// raw configuration's summary has been resolved (memo hit or terminal
+/// insert), the *real-space* summary `Arc` is pinned here, and a later
+/// raw-key hit returns it without re-probing the memo or re-mapping
+/// through the value involution.  Sound because summaries are
+/// deterministic and immutable per canonical key, and the raw bytes
+/// fully determine both the canonical key and the swap orientation.
+struct KeyCacheSlot<O> {
+    raw: Vec<u8>,
+    canon: Vec<u8>,
+    hash: u64,
+    swap: bool,
+    seeds: FrameSeeds,
+    real: Option<Arc<Summary<O>>>,
+}
+
+impl<O> Default for KeyCacheSlot<O> {
+    fn default() -> Self {
+        KeyCacheSlot {
+            raw: Vec::new(),
+            canon: Vec::new(),
+            hash: 0,
+            swap: false,
+            seeds: FrameSeeds::default(),
+            real: None,
+        }
+    }
+}
+
+/// Slot count of the raw→canonical key cache (power of two; the raw
+/// hash's low bits index it).  Sized so the bench systems' full raw
+/// state sets fit with headroom — repeated revisits (the dominant
+/// canonicalization repeats in DFS order) then hit at >90%, and the
+/// slots' heap-allocated payloads keep the table itself small.
+const KEY_CACHE_SLOTS: usize = 1 << 14;
+
+/// Fast, non-cryptographic slot index for the raw→canonical cache:
+/// word-wise FNV over the raw key bytes, folded to the table size.  A
+/// collision only costs a cache miss (slots are byte-verified), so the
+/// probe path skips the stable 64-bit hash it would otherwise pay on
+/// every entered successor.
+#[inline]
+fn key_cache_slot(bytes: &[u8]) -> usize {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        h = (h ^ u64::from_le_bytes(c.try_into().unwrap())).wrapping_mul(PRIME);
+    }
+    for &b in chunks.remainder() {
+        h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+    }
+    ((h ^ (h >> 32)) as usize) & (KEY_CACHE_SLOTS - 1)
+}
+
+/// What the `enter` key path resolved: a canonical `(hash, swap)` pair
+/// ready for the memo, or — on a fully warmed cache-hit revisit — the
+/// configuration's real-space summary itself.
+enum KeyedEntry<O> {
+    Key { hash: u64, swap: bool },
+    Resolved(Arc<Summary<O>>),
 }
 
 /// One level of the explicit DFS stack: a configuration mid-expansion.
-struct Frame<P>
+pub(crate) struct Frame<P>
 where
     P: CheckableProtocol,
     P::Output: Hash,
@@ -2077,6 +2639,13 @@ where
     actions: Vec<RoundActions>,
     next_action: usize,
     acc: Summary<P::Output>,
+    /// Whether the value-swapped encoding won this configuration's key
+    /// (value-symmetry tier): the accumulated summary is in *real*
+    /// space, so the memo insert maps it through the involution first.
+    value_swapped: bool,
+    /// This configuration's sorted settled pools, seeding its children's
+    /// incremental canonicalization.
+    seeds: FrameSeeds,
 }
 
 /// Outcome of entering a configuration.
@@ -2184,13 +2753,19 @@ where
                 }
             } else {
                 let done = self.stack.pop().expect("popping the completed frame");
+                // `acc` accumulated in real value space; the memo stores
+                // canonical space, and whatever comes back is translated
+                // again for the parent (an involution, so racing inserts
+                // of the same key agree regardless of which twin won).
+                let canonical = self.walker.to_canonical_arc(done.acc, done.value_swapped);
                 let summary = self
                     .walker
                     .shared
                     .memo
-                    .insert(done.hash, &done.key, Arc::new(done.acc))
+                    .insert(done.hash, &done.key, canonical)
                     .map_err(|e| self.walker.shared.fail(e.into()))?;
-                self.walker.recycle(done.key, done.actions);
+                let summary = self.walker.to_real(summary, done.value_swapped);
+                self.walker.recycle(done.key, done.actions, done.seeds);
                 self.walker.stepper_pool.push(done.stepper);
                 if self.stack.is_empty() {
                     self.summaries.push(summary);
@@ -2279,13 +2854,7 @@ where
                 child
                     .step(&frame.actions[idx])
                     .map_err(|e| walker.shared.fail(ExploreError::Engine(e)))?;
-                canonical_key_into(
-                    &child,
-                    walker.shared.config.symmetry,
-                    &mut walker.canon,
-                    &mut walker.key_scratch,
-                );
-                let hash = stable_hash64(&walker.key_scratch);
+                let (hash, _) = walker.canonical_key(&child, Some(frame));
                 let known = walker
                     .shared
                     .memo
@@ -2323,19 +2892,244 @@ where
             stepper_pool: Vec::new(),
             shape_buf: PlanShape {
                 data_dests: Vec::new(),
+                control_dests: Vec::new(),
                 control_len: 0,
             },
             schedule_buf: CrashSchedule::none(shared.system.n()),
             canon: Canonicalizer::new(),
+            raw_scratch: Vec::new(),
+            swap_buf: Vec::new(),
+            inert_buf: Vec::new(),
+            seeds_scratch: FrameSeeds::default(),
+            seeds_pending_slot: None,
+            last_slot: None,
+            seeds_pool: Vec::new(),
+            key_cache: if shared.plan.tier == CanonTier::Raw {
+                Vec::new()
+            } else {
+                (0..KEY_CACHE_SLOTS)
+                    .map(|_| KeyCacheSlot::default())
+                    .collect()
+            },
+            live_dests_buf: Vec::new(),
+            live_ks_buf: Vec::new(),
         }
     }
 
     /// Returns a completed frame's buffers to the walker's pools so the
     /// next expansion reuses their allocations.
-    fn recycle(&mut self, key: Vec<u8>, mut actions: Vec<RoundActions>) {
+    fn recycle(&mut self, key: Vec<u8>, mut actions: Vec<RoundActions>, seeds: FrameSeeds) {
         self.key_pool.push(key);
         self.row_pool.append(&mut actions);
         self.actions_pool.push(actions);
+        self.seeds_pool.push(seeds);
+    }
+
+    /// Encodes `stepper`'s configuration into its canonical key bytes in
+    /// `key_scratch` and returns `(hash, value_swapped)` — the one
+    /// key-path entry point for every engine.
+    ///
+    /// Raw plans delegate straight to [`make_key_into`].  Canonicalizing
+    /// plans first probe the walker's direct-mapped raw→canonical cache
+    /// (byte-verified against the raw key, so a hash collision can only
+    /// cost a miss, never corrupt a key); on a miss the tier encoder
+    /// runs — seeded from `parent`'s sorted settled pool when the caller
+    /// has one — and the result is cached.  Either way the
+    /// configuration's own seeds are left in `seeds_scratch` for `enter`
+    /// to move into the frame.
+    pub(crate) fn canonical_key(
+        &mut self,
+        stepper: &Stepper<P>,
+        parent: Option<&Frame<P>>,
+    ) -> (u64, bool) {
+        match self.key_or_summary(stepper, parent, false) {
+            KeyedEntry::Key { hash, swap } => (hash, swap),
+            KeyedEntry::Resolved(_) => unreachable!("summary shortcut disabled"),
+        }
+    }
+
+    /// The key path behind [`canonical_key`](Self::canonical_key).
+    /// With `shortcut` set (the `enter` hot path), a cache hit whose
+    /// real-space summary is already pinned returns it directly —
+    /// skipping the canonical-byte copy, the memo probe, and the value
+    /// un-swap entirely.  Without it the canonical key bytes are always
+    /// left in `key_scratch` for callers that need them.
+    fn key_or_summary(
+        &mut self,
+        stepper: &Stepper<P>,
+        parent: Option<&Frame<P>>,
+        shortcut: bool,
+    ) -> KeyedEntry<P::Output> {
+        let plan = self.shared.plan;
+        if plan.tier == CanonTier::Raw {
+            make_key_into(stepper, &mut self.key_scratch);
+            self.last_slot = None;
+            return KeyedEntry::Key {
+                hash: stable_hash64(&self.key_scratch),
+                swap: false,
+            };
+        }
+        make_key_into(stepper, &mut self.raw_scratch);
+        let slot_idx = key_cache_slot(&self.raw_scratch);
+        {
+            let slot = &self.key_cache[slot_idx];
+            if !slot.raw.is_empty() && slot.raw == self.raw_scratch {
+                // The seeds copy is deferred: `take_frame_seeds` pulls
+                // it from the slot only if this configuration actually
+                // expands into a frame (most hits resolve in the memo).
+                self.seeds_pending_slot = Some(slot_idx);
+                self.last_slot = Some(slot_idx);
+                if shortcut {
+                    if let Some(real) = &slot.real {
+                        return KeyedEntry::Resolved(Arc::clone(real));
+                    }
+                }
+                self.key_scratch.clear();
+                self.key_scratch.extend_from_slice(&slot.canon);
+                return KeyedEntry::Key {
+                    hash: slot.hash,
+                    swap: slot.swap,
+                };
+            }
+        }
+        self.seeds_pending_slot = None;
+        if plan.tier == CanonTier::SettledInert {
+            compute_inert_flags(stepper, self.shared.system.t(), &mut self.inert_buf);
+        } else {
+            self.inert_buf.clear();
+            self.inert_buf.resize(stepper.procs().len(), false);
+        }
+        let parent_seeds = parent.map(|f| (&f.seeds, f.stepper.status()));
+        tier_key_into(
+            stepper,
+            plan.tier,
+            false,
+            &self.inert_buf,
+            parent_seeds.map(|(s, st)| (&s.plain, st)),
+            &mut self.canon,
+            &mut self.key_scratch,
+            Some(&mut self.seeds_scratch.plain),
+        );
+        let mut swap = false;
+        if plan.value {
+            tier_key_into(
+                stepper,
+                plan.tier,
+                true,
+                &self.inert_buf,
+                parent_seeds.map(|(s, st)| (&s.swapped, st)),
+                &mut self.canon,
+                &mut self.swap_buf,
+                Some(&mut self.seeds_scratch.swapped),
+            );
+            if self.swap_buf < self.key_scratch {
+                std::mem::swap(&mut self.swap_buf, &mut self.key_scratch);
+                swap = true;
+            }
+        } else {
+            self.seeds_scratch.swapped.clear();
+        }
+        let hash = stable_hash64(&self.key_scratch);
+        let slot = &mut self.key_cache[slot_idx];
+        slot.raw.clear();
+        slot.raw.extend_from_slice(&self.raw_scratch);
+        slot.canon.clear();
+        slot.canon.extend_from_slice(&self.key_scratch);
+        slot.hash = hash;
+        slot.swap = swap;
+        slot.seeds.copy_from(&self.seeds_scratch);
+        slot.real = None;
+        self.last_slot = Some(slot_idx);
+        KeyedEntry::Key { hash, swap }
+    }
+
+    /// The canonical key bytes produced by the last
+    /// [`canonical_key`](Self::canonical_key) call — for callers (the
+    /// distributed frontier expander) that need the bytes, not just the
+    /// hash.
+    pub(crate) fn key_bytes(&self) -> &[u8] {
+        &self.key_scratch
+    }
+
+    /// Takes the seeds belonging to the configuration the last
+    /// [`canonical_key`](Self::canonical_key) call keyed, materializing
+    /// the deferred cache-hit copy if one is pending.  Must be called
+    /// before any further `canonical_key` on this walker (the pending
+    /// slot is only valid until then); `enter` is the sole consumer and
+    /// computes no other keys in between.
+    fn take_frame_seeds(&mut self) -> FrameSeeds {
+        if let Some(idx) = self.seeds_pending_slot.take() {
+            let slot = &self.key_cache[idx];
+            debug_assert_eq!(
+                slot.raw, self.raw_scratch,
+                "pending seeds slot was clobbered between keying and expansion"
+            );
+            self.seeds_scratch.copy_from(&slot.seeds);
+        }
+        std::mem::replace(
+            &mut self.seeds_scratch,
+            self.seeds_pool.pop().unwrap_or_default(),
+        )
+    }
+
+    /// Maps a summary through the value involution: decided values are
+    /// swapped element-wise (discovery order is preserved — the swap
+    /// does not reorder enumeration), counts and rounds are untouched.
+    fn swap_summary(summary: &Summary<P::Output>) -> Summary<P::Output> {
+        Summary {
+            terminals: summary.terminals,
+            worst_round_by_f: summary.worst_round_by_f.clone(),
+            decided: summary
+                .decided
+                .iter()
+                .map(|v| {
+                    v.value_swapped()
+                        .expect("value-symmetry tier active but a decided value has no swap image")
+                })
+                .collect(),
+            violating: summary.violating,
+        }
+    }
+
+    /// A memoized (canonical-space) summary translated back into the
+    /// entered configuration's *real* value space.
+    fn to_real(
+        &self,
+        summary: Arc<Summary<P::Output>>,
+        value_swapped: bool,
+    ) -> Arc<Summary<P::Output>> {
+        if value_swapped {
+            Arc::new(Self::swap_summary(&summary))
+        } else {
+            summary
+        }
+    }
+
+    /// A real-space summary prepared for the memo: mapped into canonical
+    /// value space when the swapped encoding won the key, and — on the
+    /// partial tier only — its `decided` list sorted by encoded bytes,
+    /// because merged orbit members enumerate children in different
+    /// orders and would otherwise disagree on discovery order (the
+    /// module docs' normal-form argument; `Off` and `Full` summaries are
+    /// deliberately left byte-for-byte as before).
+    fn to_canonical_arc(
+        &self,
+        summary: Summary<P::Output>,
+        value_swapped: bool,
+    ) -> Arc<Summary<P::Output>> {
+        let mut summary = if value_swapped {
+            Self::swap_summary(&summary)
+        } else {
+            summary
+        };
+        if self.shared.plan.tier == CanonTier::SettledInert {
+            summary.decided.sort_by_cached_key(|v| {
+                let mut buf = Vec::new();
+                v.encode(&mut buf);
+                buf
+            });
+        }
+        Arc::new(summary)
     }
 
     /// A configuration forked from `parent` — from the stepper pool when
@@ -2366,20 +3160,28 @@ where
         if self.shared.stop.load(Ordering::Relaxed) {
             return Err(Interrupt::Stopped);
         }
-        canonical_key_into(
-            &stepper,
-            self.shared.config.symmetry,
-            &mut self.canon,
-            &mut self.key_scratch,
-        );
-        let hash = stable_hash64(&self.key_scratch);
+        // Revisit fast path: a raw-key cache hit whose real-space
+        // summary is already pinned needs no memo probe and no value
+        // un-swapping — the slot was byte-verified against the raw key.
+        let keyed = {
+            let parent = stack.last();
+            self.key_or_summary(&stepper, parent, true)
+        };
+        let (hash, value_swapped) = match keyed {
+            KeyedEntry::Resolved(real) => return Ok(Entered::Ready(real, stepper)),
+            KeyedEntry::Key { hash, swap } => (hash, swap),
+        };
         if let Some(summary) = self
             .shared
             .memo
             .get(hash, &self.key_scratch)
             .map_err(|e| self.shared.fail(e.into()))?
         {
-            return Ok(Entered::Ready(summary, stepper));
+            let real = self.to_real(summary, value_swapped);
+            if let Some(idx) = self.last_slot {
+                self.key_cache[idx].real = Some(Arc::clone(&real));
+            }
+            return Ok(Entered::Ready(real, stepper));
         }
         if self.shared.memo.len() >= self.shared.config.max_states {
             // Raise the abort (cancel flag + queue close) before this
@@ -2391,13 +3193,18 @@ where
         }
 
         if self.is_terminal(&stepper) {
-            let terminal_summary = Arc::new(self.evaluate_terminal(&stepper));
+            let terminal_summary = self.evaluate_terminal(&stepper);
+            let canonical = self.to_canonical_arc(terminal_summary, value_swapped);
             let summary = self
                 .shared
                 .memo
-                .insert(hash, &self.key_scratch, terminal_summary)
+                .insert(hash, &self.key_scratch, canonical)
                 .map_err(|e| self.shared.fail(e.into()))?;
-            return Ok(Entered::Ready(summary, stepper));
+            let real = self.to_real(summary, value_swapped);
+            if let Some(idx) = self.last_slot {
+                self.key_cache[idx].real = Some(Arc::clone(&real));
+            }
+            return Ok(Entered::Ready(real, stepper));
         }
 
         let actions = self.enumerate_action_sets(&stepper);
@@ -2421,11 +3228,14 @@ where
 
         // The scratch becomes the frame's key; the frame's eventual
         // insert needs exactly these bytes, and the pool hands the
-        // scratch slot a recycled buffer for the next enter.
+        // scratch slot a recycled buffer for the next enter.  Same move
+        // for the seeds the key path left behind: the frame's children
+        // canonicalize incrementally from them.
         let key = std::mem::replace(
             &mut self.key_scratch,
             self.key_pool.pop().unwrap_or_default(),
         );
+        let seeds = self.take_frame_seeds();
         stack.push(Frame {
             stepper,
             hash,
@@ -2433,6 +3243,8 @@ where
             actions,
             next_action: 0,
             acc: Summary::empty(self.shared.system.t()),
+            value_swapped,
+            seeds,
         });
         Ok(Entered::Expanded)
     }
@@ -2512,13 +3324,42 @@ where
         while self.outcome_bufs.len() < active.len() {
             self.outcome_bufs.push(Vec::new());
         }
+        let status = stepper.status();
         for (slot, &i) in active.iter().enumerate() {
             let shaped = stepper.peek_plan_shape_into(i, &mut self.shape_buf);
             debug_assert!(shaped, "active process has a shape");
-            crash_outcomes_into(
-                n,
-                &self.shape_buf.data_dests,
+            debug_assert_eq!(
+                self.shape_buf.control_dests.len(),
                 self.shape_buf.control_len,
+                "one control destination per control message"
+            );
+            // Deliveries to settled (decided/crashed) receivers are
+            // dropped by the engine, so crash stages differing only in
+            // them produce bit-identical successors — enumerate one
+            // representative per *live-effect* class (module docs,
+            // "Effect-pruned adversary enumeration").
+            self.live_dests_buf.clear();
+            self.live_dests_buf.extend(
+                self.shape_buf
+                    .data_dests
+                    .iter()
+                    .copied()
+                    .filter(|p| matches!(status[p.idx()], ProcStatus::Active)),
+            );
+            self.live_ks_buf.clear();
+            self.live_ks_buf.extend(
+                self.shape_buf
+                    .control_dests
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| matches!(status[p.idx()], ProcStatus::Active))
+                    .map(|(k0, _)| k0 + 1),
+            );
+            crash_outcomes_effective_into(
+                n,
+                &self.live_dests_buf,
+                !self.shape_buf.data_dests.is_empty(),
+                &self.live_ks_buf,
                 &mut self.outcome_bufs[slot],
             );
         }
@@ -2645,13 +3486,7 @@ where
             for actions in self.enumerate_action_sets(&stepper) {
                 let mut child = stepper.clone();
                 child.step(&actions).map_err(ExploreError::Engine)?;
-                canonical_key_into(
-                    &child,
-                    self.shared.config.symmetry,
-                    &mut self.canon,
-                    &mut self.key_scratch,
-                );
-                let hash = stable_hash64(&self.key_scratch);
+                let (hash, _) = self.canonical_key(&child, None);
                 let violating = self
                     .shared
                     .memo
@@ -3367,16 +4202,91 @@ mod tests {
             .collect()
     }
 
+    /// A test-only mirror of `Walker::canonical_key` without the cache
+    /// or seeding: plan resolution, tier encoding, and the value
+    /// minimum, so key-level tests can compare modes directly.
+    fn test_key<P>(
+        stepper: &Stepper<P>,
+        mode: Symmetry,
+        proposals: &[P::Output],
+        t: usize,
+    ) -> Vec<u8>
+    where
+        P: CheckableProtocol,
+        P::Output: Hash + SpillCodec,
+    {
+        let plan = mode.plan::<P>(proposals);
+        let mut out = Vec::new();
+        if plan.tier == CanonTier::Raw {
+            make_key_into(stepper, &mut out);
+            return out;
+        }
+        let mut canon = Canonicalizer::new();
+        let mut inert = Vec::new();
+        if plan.tier == CanonTier::SettledInert {
+            compute_inert_flags(stepper, t, &mut inert);
+        } else {
+            inert.resize(stepper.procs().len(), false);
+        }
+        tier_key_into(
+            stepper, plan.tier, false, &inert, None, &mut canon, &mut out, None,
+        );
+        if plan.value {
+            let mut swapped = Vec::new();
+            tier_key_into(
+                stepper,
+                plan.tier,
+                true,
+                &inert,
+                None,
+                &mut canon,
+                &mut swapped,
+                None,
+            );
+            if swapped < out {
+                out = swapped;
+            }
+        }
+        out
+    }
+
     #[test]
     fn symmetry_strength_is_protocol_dependent() {
         // Off is strength 0 for everyone; Full is settled-only (1) for
         // rank-dependent protocols and full-orbit (2) for declared
-        // pid-symmetric ones.
-        assert_eq!(Symmetry::Off.strength::<Flooder>(), 0);
-        assert_eq!(Symmetry::Off.strength::<DecideOwn>(), 0);
-        assert_eq!(Symmetry::Full.strength::<Flooder>(), 1);
-        assert_eq!(Symmetry::Full.strength::<DecideOwn>(), 2);
-        assert_eq!(Symmetry::Full.strength::<Gossip>(), 2);
+        // pid-symmetric ones; Partial adds the rank-inert tier (3) for
+        // rank-dependent protocols and is subsumed by the orbit for
+        // pid-symmetric ones.  u64 outputs are not value-symmetric, so
+        // PartialValue degrades to Partial strength here.
+        let p: Vec<u64> = vec![0, 1];
+        assert_eq!(Symmetry::Off.plan::<Flooder>(&p).strength(), 0);
+        assert_eq!(Symmetry::Off.plan::<DecideOwn>(&p).strength(), 0);
+        assert_eq!(Symmetry::Full.plan::<Flooder>(&p).strength(), 1);
+        assert_eq!(Symmetry::Full.plan::<DecideOwn>(&p).strength(), 2);
+        assert_eq!(Symmetry::Full.plan::<Gossip>(&p).strength(), 2);
+        assert_eq!(Symmetry::Partial.plan::<Flooder>(&p).strength(), 3);
+        assert_eq!(Symmetry::Partial.plan::<Gossip>(&p).strength(), 2);
+        assert_eq!(Symmetry::PartialValue.plan::<Flooder>(&p).strength(), 3);
+    }
+
+    #[test]
+    fn symmetry_tokens_roundtrip_and_reject_garbage() {
+        for mode in [
+            Symmetry::Off,
+            Symmetry::Full,
+            Symmetry::Partial,
+            Symmetry::PartialValue,
+        ] {
+            assert_eq!(Symmetry::parse_token(mode.token()), Some(mode));
+            assert_eq!(
+                Symmetry::parse_token(&format!("  {}  ", mode.token().to_ascii_uppercase())),
+                Some(mode),
+                "tokens are case-insensitive and whitespace-tolerant"
+            );
+        }
+        for garbage in ["", "on", "value", "partial+", "full+value", "partial value"] {
+            assert_eq!(Symmetry::parse_token(garbage), None, "{garbage:?}");
+        }
     }
 
     #[test]
@@ -3396,19 +4306,156 @@ mod tests {
         };
         let a = mk(&[5, 9, 5]);
         let b = mk(&[5, 5, 9]);
-        let mut canon = Canonicalizer::new();
-        let (mut ka, mut kb) = (Vec::new(), Vec::new());
-        canonical_key_into(&a, Symmetry::Full, &mut canon, &mut ka);
-        canonical_key_into(&b, Symmetry::Full, &mut canon, &mut kb);
+        let proposals: Vec<u64> = vec![5, 9, 5];
+        let ka = test_key(&a, Symmetry::Full, &proposals, 1);
+        let kb = test_key(&b, Symmetry::Full, &proposals, 1);
         assert_eq!(ka, kb, "permuted configurations share one canonical key");
-        let (mut oa, mut ob) = (Vec::new(), Vec::new());
-        canonical_key_into(&a, Symmetry::Off, &mut canon, &mut oa);
-        canonical_key_into(&b, Symmetry::Off, &mut canon, &mut ob);
+        let oa = test_key(&a, Symmetry::Off, &proposals, 1);
+        let ob = test_key(&b, Symmetry::Off, &proposals, 1);
         assert_ne!(oa, ob, "Off keeps raw configurations distinct");
         // The canonical key still decodes as an ordinary key encoding.
         let mut input = ka.as_slice();
         assert!(crate::memo::decode_key_prefix::<Gossip>(&mut input).is_some());
         assert!(input.is_empty());
+    }
+
+    /// Walks one seeded pseudo-random CRW path at `(4, 2)` (binary
+    /// proposals, optionally bit-flipped), returning every prefix
+    /// configuration.  The same seed drives the same action *indices*
+    /// regardless of the proposal polarity, which is what makes the
+    /// plain and flipped walks value mirrors of each other.
+    fn crw_walk(
+        flip: bool,
+        mut state: u64,
+    ) -> Vec<Stepper<twostep_core::Crw<twostep_model::WideValue>>> {
+        let system = SystemConfig::new(4, 2).unwrap();
+        let proposals: Vec<twostep_model::WideValue> = (0..4)
+            .map(|i| twostep_model::WideValue::new(1, ((i as u64) % 2) ^ (flip as u64)))
+            .collect();
+        let procs = twostep_core::crw_processes(&system, &proposals);
+        let shared = Shared::new(
+            system,
+            options(6, 1_000_000),
+            &ExploreOptions::serial(),
+            &proposals,
+            procs.clone(),
+        )
+        .unwrap();
+        let mut walker = Walker::new(&shared);
+        let mut stepper =
+            Stepper::new(system, ModelKind::Extended, TraceLevel::Off, procs).unwrap();
+        let mut out = vec![stepper.clone()];
+        while !walker.is_terminal(&stepper) {
+            let actions = walker.enumerate_action_sets(&stepper);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let pick = (state >> 33) as usize % actions.len();
+            stepper.step(&actions[pick]).unwrap();
+            out.push(stepper.clone());
+        }
+        out
+    }
+
+    /// The incremental canonicalization contract: a child key computed
+    /// from the parent's carried (pre-sorted) settled pool is
+    /// byte-identical to the key computed from scratch — for both the
+    /// plain and the swapped encoding, and so is the seed it extracts
+    /// for the next generation.  This is what licenses the hot path to
+    /// sort only the per-step settled delta.
+    #[test]
+    fn seeded_incremental_key_matches_unseeded() {
+        let t = 2usize;
+        for seed in [1u64, 7, 42, 0xBAD5EED] {
+            let walk = crw_walk(false, seed);
+            let mut canon = Canonicalizer::new();
+            // (seed for this encoding, parent status) carried per pass.
+            let mut carried: Option<([CanonSeed; 2], Vec<ProcStatus>)> = None;
+            for stepper in &walk {
+                let mut inert = Vec::new();
+                compute_inert_flags(stepper, t, &mut inert);
+                let mut next_seeds: [CanonSeed; 2] = Default::default();
+                for (pass, swap) in [(0usize, false), (1usize, true)] {
+                    let (mut fresh, mut fresh_seed) = (Vec::new(), CanonSeed::default());
+                    tier_key_into(
+                        stepper,
+                        CanonTier::SettledInert,
+                        swap,
+                        &inert,
+                        None,
+                        &mut canon,
+                        &mut fresh,
+                        Some(&mut fresh_seed),
+                    );
+                    if let Some((seeds, parent_status)) = &carried {
+                        let (mut seeded, mut seeded_seed) = (Vec::new(), CanonSeed::default());
+                        tier_key_into(
+                            stepper,
+                            CanonTier::SettledInert,
+                            swap,
+                            &inert,
+                            Some((&seeds[pass], parent_status)),
+                            &mut canon,
+                            &mut seeded,
+                            Some(&mut seeded_seed),
+                        );
+                        assert_eq!(
+                            fresh, seeded,
+                            "seed={seed} swap={swap}: seeded key must match unseeded"
+                        );
+                        assert_eq!(
+                            (&fresh_seed.bytes, &fresh_seed.ends),
+                            (&seeded_seed.bytes, &seeded_seed.ends),
+                            "seed={seed} swap={swap}: extracted seeds must match"
+                        );
+                    }
+                    next_seeds[pass] = fresh_seed;
+                }
+                carried = Some((next_seeds, stepper.status().to_vec()));
+            }
+        }
+    }
+
+    proptest::proptest! {
+        /// The value-symmetry normal form: walking CRW with bit-flipped
+        /// proposals under the *same* adversary choices produces the
+        /// value-mirror of every configuration, and the
+        /// `partial+value` canonical key — the lexicographic minimum
+        /// over both encodings — must agree on each mirrored pair,
+        /// while staying a valid, self-delimiting key encoding.  The
+        /// plain (swap-free) partial keys must instead tell the two
+        /// polarities apart at the root.
+        #[test]
+        fn value_quotient_key_is_involution_invariant(
+            seed in proptest::prelude::any::<u64>(),
+        ) {
+            let t = 2usize;
+            let walk_a = crw_walk(false, seed);
+            let walk_b = crw_walk(true, seed);
+            proptest::prop_assert_eq!(walk_a.len(), walk_b.len(), "mirrored walks must pace together");
+            let proposals_a: Vec<twostep_model::WideValue> =
+                (0..4).map(|i| twostep_model::WideValue::new(1, (i as u64) % 2)).collect();
+            let proposals_b: Vec<twostep_model::WideValue> =
+                (0..4).map(|i| twostep_model::WideValue::new(1, ((i as u64) % 2) ^ 1)).collect();
+            for (i, (a, b)) in walk_a.iter().zip(&walk_b).enumerate() {
+                let ka = test_key(a, Symmetry::PartialValue, &proposals_a, t);
+                let kb = test_key(b, Symmetry::PartialValue, &proposals_b, t);
+                proptest::prop_assert_eq!(
+                    &ka, &kb,
+                    "step {}: mirrored configurations must share one partial+value key", i
+                );
+                let mut input = ka.as_slice();
+                let decoded = crate::memo::decode_key_prefix::<twostep_core::Crw<twostep_model::WideValue>>(&mut input);
+                proptest::prop_assert!(decoded.is_some(), "step {} key must decode", i);
+                proptest::prop_assert!(input.is_empty(), "step {} key must be self-delimiting", i);
+            }
+            let pa = test_key(&walk_a[0], Symmetry::Partial, &proposals_a, t);
+            let pb = test_key(&walk_b[0], Symmetry::Partial, &proposals_b, t);
+            proptest::prop_assert_ne!(
+                pa, pb,
+                "without the value quotient the two polarities are distinct states"
+            );
+        }
     }
 
     /// Census semantics under symmetry: same rounds, counts never grow,
@@ -3824,6 +4871,7 @@ mod tests {
         match checkpoint::load_checkpoint(
             &ckpt,
             42,
+            probe.plan.strength(),
             &probe.memo,
             crate::memo::key_validator::<Flooder>(),
         ) {

@@ -177,6 +177,12 @@ where
             2 => {
                 let _decision = Option::<(P::Output, u32)>::decode(input)?;
             }
+            // Rank-inert active (partial symmetry tier): the protocol
+            // state, owner-stripped via `encode_relabelled(0, ..)` —
+            // which is still a valid protocol encoding to walk past.
+            3 => {
+                P::decode(input)?;
+            }
             _ => return None,
         }
     }

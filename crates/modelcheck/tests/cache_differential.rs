@@ -535,6 +535,73 @@ fn symmetry_mode_changes_the_cache_fingerprint() {
     assert_eq!(full_warm.cache_hits, full_warm.distinct_states);
 }
 
+/// Strength, not mode, is what the fingerprint records: two *non-Off*
+/// modes that resolve to different canonicalization strengths
+/// (`Full` → the settled tier, `PartialValue` → the rank-inert tier
+/// with the value quotient for CRW's binary proposals) memoize
+/// different orbit spaces, so a cache written at one strength must be
+/// loudly replaced — zero hits, correct cold report — when read at the
+/// other, in both directions.
+#[test]
+fn symmetry_strength_changes_the_cache_fingerprint() {
+    let (n, t) = (4usize, 2usize);
+    let system = SystemConfig::new(n, t).unwrap();
+    let proposals = crw_proposals(n);
+    let config = |symmetry: Symmetry| ExploreConfig {
+        symmetry,
+        ..ExploreConfig::for_crw(&system)
+    };
+    let dir = TempDir::new("symmetry-strength");
+    let cached = || Some(CacheConfig::read_write(dir.path()));
+    let run = |symmetry: Symmetry, cache: Option<CacheConfig>| {
+        explore_with(
+            system,
+            config(symmetry),
+            ExploreOptions::serial().with_cache(cache),
+            crw_processes(&system, &proposals),
+            proposals.clone(),
+        )
+        .unwrap()
+    };
+
+    let full_baseline = run(Symmetry::Full, None);
+    let pv_baseline = run(Symmetry::PartialValue, None);
+    assert!(
+        pv_baseline.distinct_states < full_baseline.distinct_states,
+        "the deeper strength must actually key a smaller orbit space here \
+         ({} vs {})",
+        pv_baseline.distinct_states,
+        full_baseline.distinct_states
+    );
+
+    // Prime under the deeper strength; a Full run must not warm from it.
+    let pv_cold = run(Symmetry::PartialValue, cached());
+    assert_identical(&pv_baseline, &pv_cold, "partial+value cold");
+    assert_eq!(pv_cold.cache_hits, 0);
+    let full_over_pv = run(Symmetry::Full, cached());
+    assert_identical(
+        &full_baseline,
+        &full_over_pv,
+        "full over partial+value cache",
+    );
+    assert_eq!(
+        full_over_pv.cache_hits, 0,
+        "a partial+value cache must never warm a Full run"
+    );
+
+    // The Full run replaced the image; partial+value is foreign again,
+    // replaces it back, and then warms itself completely.
+    let pv_over_full = run(Symmetry::PartialValue, cached());
+    assert_identical(&pv_baseline, &pv_over_full, "partial+value over full cache");
+    assert_eq!(
+        pv_over_full.cache_hits, 0,
+        "a Full cache must never warm a partial+value run"
+    );
+    let pv_warm = run(Symmetry::PartialValue, cached());
+    assert_identical(&pv_baseline, &pv_warm, "partial+value warm");
+    assert_eq!(pv_warm.cache_hits, pv_warm.distinct_states);
+}
+
 /// A damaged cache segment is detected (CRC / decompression / framing),
 /// classified as Corrupt by the standalone validator, and the
 /// exploration **discards the whole seed** and runs cold — a partial

@@ -19,13 +19,27 @@
 //! Census semantics under the quotient: identical round list, per-round
 //! counts become orbit counts (`≤` the raw counts), and a round has a
 //! bivalent configuration after reduction iff it had one before.
+//!
+//! The **deeper tiers** (`Symmetry::Partial`, `Symmetry::PartialValue`)
+//! additionally pool rank-inert actives and (for CRW's binary
+//! proposals) quotient by the value involution.  Merged orbit members
+//! enumerate their children in different orders, so those tiers
+//! guarantee the verdict fields — violation flag, terminal count
+//! (exact under effect-pruned adversary enumeration), per-`f` worst
+//! rounds — bit for bit but the `decided` *set* rather than its
+//! discovery order; [`assert_quotient_set`] pins exactly that.  Every
+//! engine (serial, parallel, spill, partitioned, elastic steal) must
+//! still agree bit-for-bit *within* one strength.
+
+use std::time::Duration;
 
 use twostep_baselines::floodset_processes;
 use twostep_core::crw_processes;
 use twostep_model::{SystemConfig, WideValue};
 use twostep_modelcheck::{
-    explore_partitioned_in_process, explore_with, DistOptions, ExploreConfig, ExploreOptions,
-    ExploreReport, MemoConfig, RoundBound, SpecMode, Symmetry,
+    explore_elastic_in_process, explore_partitioned_in_process, explore_with, DistOptions,
+    ExploreConfig, ExploreOptions, ExploreReport, MemoConfig, RoundBound, SpecMode, StealConfig,
+    Symmetry,
 };
 use twostep_sim::ModelKind;
 
@@ -125,6 +139,74 @@ fn assert_quotient<O: std::fmt::Debug + Eq>(
     );
 }
 
+/// The deeper-tier quotient contract: everything [`assert_quotient`]
+/// pins, except that `decided` is compared as a *set* — the partial
+/// tiers merge orbits whose members enumerate children in different
+/// orders, so discovery order is not preserved (the memo sorts decided
+/// vectors into a normal form instead).  Terminal counts stay exact:
+/// effect-pruned adversary enumeration keeps one transition per
+/// live-effect class at every strength, so pooled-orbit members
+/// contribute identical terminal counts.
+fn assert_quotient_set<O: std::fmt::Debug + Eq + Ord + Clone>(
+    off: &ExploreReport<O>,
+    deep: &ExploreReport<O>,
+    label: &str,
+) {
+    assert_eq!(
+        off.root.violating, deep.root.violating,
+        "{label}: violation verdict"
+    );
+    assert_eq!(
+        off.root.terminals, deep.root.terminals,
+        "{label}: terminal count must be exact"
+    );
+    assert_eq!(
+        off.root.worst_round_by_f, deep.root.worst_round_by_f,
+        "{label}: per-f worst rounds"
+    );
+    let sorted = |v: &[O]| {
+        let mut v = v.to_vec();
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(
+        sorted(&off.root.decided),
+        sorted(&deep.root.decided),
+        "{label}: decided set"
+    );
+    assert!(
+        deep.distinct_states <= off.distinct_states,
+        "{label}: reduction must never add states ({} > {})",
+        deep.distinct_states,
+        off.distinct_states
+    );
+    assert_eq!(
+        off.bivalency_by_round.len(),
+        deep.bivalency_by_round.len(),
+        "{label}: census rounds"
+    );
+    for ((r_off, c_off, b_off), (r_deep, c_deep, b_deep)) in
+        off.bivalency_by_round.iter().zip(&deep.bivalency_by_round)
+    {
+        assert_eq!(r_off, r_deep, "{label}: census round order");
+        assert!(
+            c_deep <= c_off,
+            "{label}: round {r_off} orbit count {c_deep} > raw count {c_off}"
+        );
+        assert!(b_deep <= b_off, "{label}: round {r_off} bivalent counts");
+        assert_eq!(
+            *b_off > 0,
+            *b_deep > 0,
+            "{label}: round {r_off} bivalency presence"
+        );
+    }
+    assert_eq!(
+        off.witness.is_some(),
+        deep.witness.is_some(),
+        "{label}: witness presence"
+    );
+}
+
 fn crw_config(system: &SystemConfig, symmetry: Symmetry) -> ExploreConfig {
     ExploreConfig {
         symmetry,
@@ -174,6 +256,47 @@ fn extended_model_crw_full_agrees_with_off_on_every_engine() {
 }
 
 #[test]
+fn extended_model_crw_deeper_tiers_agree_on_every_engine() {
+    // The rank-inert partial tier and its value-composed variant: the
+    // quotient must stay verdict-exact (decided as a set) against Off,
+    // monotonically coarser than Full, and every engine must agree
+    // bit-for-bit within one strength.
+    for (n, t) in systems() {
+        let system = SystemConfig::new(n, t).unwrap();
+        let proposals: Vec<WideValue> = (0..n).map(|i| WideValue::new(1, (i % 2) as u64)).collect();
+        let run = |symmetry: Symmetry, options: ExploreOptions| {
+            explore_with(
+                system,
+                crw_config(&system, symmetry),
+                options,
+                crw_processes(&system, &proposals),
+                proposals.clone(),
+            )
+            .unwrap()
+        };
+        let off = run(Symmetry::Off, ExploreOptions::serial());
+        let full = run(Symmetry::Full, ExploreOptions::serial());
+        let mut prev_distinct = full.distinct_states;
+        for symmetry in [Symmetry::Partial, Symmetry::PartialValue] {
+            let label = format!("crw n={n} t={t} {symmetry:?}");
+            let deep = run(symmetry, ExploreOptions::serial());
+            assert_quotient_set(&off, &deep, &label);
+            assert!(
+                deep.distinct_states <= prev_distinct,
+                "{label}: deeper tier must be at least as coarse \
+                 ({} orbits vs {prev_distinct} at the previous strength)",
+                deep.distinct_states
+            );
+            prev_distinct = deep.distinct_states;
+            for (engine, options) in engines() {
+                let engine_deep = run(symmetry, options);
+                assert_identical(&deep, &engine_deep, &format!("{label} engine={engine}"));
+            }
+        }
+    }
+}
+
+#[test]
 fn classic_model_floodset_full_agrees_with_off_on_every_engine() {
     for (n, t) in systems() {
         let system = SystemConfig::new(n, t).unwrap();
@@ -203,6 +326,92 @@ fn classic_model_floodset_full_agrees_with_off_on_every_engine() {
 }
 
 #[test]
+fn classic_model_floodset_deeper_tiers_degrade_soundly() {
+    // FloodSet opts out of both deeper quotients (`rank_inert` is
+    // always false — every active broadcasts — and `min(W)` does not
+    // commute with the value involution), so Partial degrades to
+    // exactly the settled tier's orbit count and PartialValue must not
+    // activate the value quotient.  The verdict contract still holds.
+    for (n, t) in [(4usize, 2usize), (4, 3), (5, 2)] {
+        let system = SystemConfig::new(n, t).unwrap();
+        let proposals: Vec<u64> = (0..n as u64).map(|i| 10 + i).collect();
+        let run = |symmetry: Symmetry| {
+            explore_with(
+                system,
+                floodset_config(t, symmetry),
+                ExploreOptions::serial(),
+                floodset_processes(n, t, &proposals),
+                proposals.clone(),
+            )
+            .unwrap()
+        };
+        let off = run(Symmetry::Off);
+        let full = run(Symmetry::Full);
+        for symmetry in [Symmetry::Partial, Symmetry::PartialValue] {
+            let deep = run(symmetry);
+            let label = format!("floodset n={n} t={t} {symmetry:?}");
+            assert_quotient_set(&off, &deep, &label);
+            assert_eq!(
+                deep.distinct_states, full.distinct_states,
+                "{label}: with every deeper hook opted out, the orbit \
+                 count must equal the settled tier's"
+            );
+        }
+    }
+}
+
+#[test]
+fn elastic_steal_engine_commutes_with_symmetry() {
+    // The elastic engine under a policy that always fires: offload,
+    // preempt handshake, frontier re-split, and seeded relaunch all
+    // happen at every strength, and the merged report must still be
+    // bit-identical to the same-strength serial walk.
+    let (n, t) = (4usize, 3usize);
+    let system = SystemConfig::new(n, t).unwrap();
+    let proposals: Vec<WideValue> = (0..n).map(|i| WideValue::new(1, (i % 2) as u64)).collect();
+    let forced_steal = StealConfig {
+        enabled: true,
+        min_frontier: 1,
+        poll_interval: Duration::ZERO,
+        yield_every: 64,
+    };
+    let options = DistOptions {
+        steal: forced_steal,
+        ..DistOptions::new(2)
+    };
+    for symmetry in [
+        Symmetry::Off,
+        Symmetry::Full,
+        Symmetry::Partial,
+        Symmetry::PartialValue,
+    ] {
+        let config = crw_config(&system, symmetry);
+        let serial = explore_with(
+            system,
+            config,
+            ExploreOptions::serial(),
+            crw_processes(&system, &proposals),
+            proposals.clone(),
+        )
+        .unwrap();
+        let elastic = explore_elastic_in_process(
+            system,
+            config,
+            &options,
+            ExploreOptions::serial(),
+            crw_processes(&system, &proposals),
+            proposals.clone(),
+        )
+        .unwrap();
+        assert_identical(
+            &serial,
+            &elastic,
+            &format!("elastic crw n={n} t={t} {symmetry:?}"),
+        );
+    }
+}
+
+#[test]
 fn partitioned_engine_commutes_with_symmetry() {
     // The distributed engine keys its frontier partition with the same
     // canonical bytes the walkers use, so a symmetric run must merge to
@@ -212,7 +421,12 @@ fn partitioned_engine_commutes_with_symmetry() {
     for (n, t) in [(4usize, 2usize), (4, 3), (5, 2)] {
         let system = SystemConfig::new(n, t).unwrap();
         let proposals: Vec<WideValue> = (0..n).map(|i| WideValue::new(1, (i % 2) as u64)).collect();
-        for symmetry in [Symmetry::Off, Symmetry::Full] {
+        for symmetry in [
+            Symmetry::Off,
+            Symmetry::Full,
+            Symmetry::Partial,
+            Symmetry::PartialValue,
+        ] {
             let config = crw_config(&system, symmetry);
             let serial = explore_with(
                 system,
@@ -261,17 +475,51 @@ fn reduction_is_strict_for_a_pinned_system() {
     };
     let off = run(Symmetry::Off);
     let full = run(Symmetry::Full);
+    let partial = run(Symmetry::Partial);
+    let pv = run(Symmetry::PartialValue);
     assert_quotient(&off, &full, "crw n=5 t=4");
+    assert_quotient_set(&off, &partial, "crw n=5 t=4 partial");
+    assert_quotient_set(&off, &pv, "crw n=5 t=4 partial+value");
     assert!(
         full.distinct_states < off.distinct_states,
         "expected a strict reduction at (5, 4): {} orbits vs {} raw states",
         full.distinct_states,
         off.distinct_states
     );
+    // The strength ladder must actually be a ladder at (5, 4), and the
+    // exact rung heights are pinned: the exploration is deterministic,
+    // so any drift in these counts is a semantic change to the quotient
+    // (or to the adversary enumeration) that must be reviewed, not a
+    // flaky measurement.
+    assert!(
+        pv.distinct_states <= partial.distinct_states
+            && partial.distinct_states <= full.distinct_states,
+        "strength ladder violated: {} (partial+value) vs {} (partial) vs {} (full)",
+        pv.distinct_states,
+        partial.distinct_states,
+        full.distinct_states
+    );
     eprintln!(
-        "symmetry_differential: crw (5, 4) {} -> {} distinct states ({:.2}x)",
-        off.distinct_states,
-        full.distinct_states,
-        off.distinct_states as f64 / full.distinct_states as f64
+        "symmetry_differential: crw (5, 4) {} raw -> {} full -> {} partial -> {} partial+value",
+        off.distinct_states, full.distinct_states, partial.distinct_states, pv.distinct_states
+    );
+    assert_eq!(
+        (
+            off.distinct_states,
+            full.distinct_states,
+            partial.distinct_states,
+            pv.distinct_states,
+        ),
+        PINNED_54_COUNTS,
+        "pinned (5, 4) distinct-state counts drifted"
     );
 }
+
+/// The committed `(off, full, partial, partial+value)` distinct-state
+/// counts at CRW `(5, 4)` — see `reduction_is_strict_for_a_pinned_system`.
+/// Partial equals Full here by arithmetic, not by accident: at
+/// `t = n - 1` an active process can never see more actives below it
+/// than the remaining crash budget, so rank-inertness cannot fire (it
+/// pays off at small `t`, where the budget runs out before the ranks
+/// do); the extra 314 → 235 step is the binary value quotient.
+const PINNED_54_COUNTS: (usize, usize, usize, usize) = (815, 314, 314, 235);

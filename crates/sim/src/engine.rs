@@ -117,6 +117,11 @@ pub struct PlanShape {
     pub data_dests: Vec<ProcessId>,
     /// Length of the ordered control list.
     pub control_len: usize,
+    /// Destinations of the ordered control list, in delivery order
+    /// (`control_dests.len() == control_len`).  The model checker needs
+    /// the identities — not just the count — to collapse crash prefixes
+    /// that differ only in deliveries to already-settled receivers.
+    pub control_dests: Vec<ProcessId>,
 }
 
 /// Round-at-a-time executor.  Drive it with [`Stepper::step`]; inspect state
@@ -314,6 +319,8 @@ impl<P: SyncProtocol> Stepper<P> {
         shape.data_dests.clear();
         shape.data_dests.extend(plan.data.iter().map(|(d, _)| *d));
         shape.control_len = plan.control.len();
+        shape.control_dests.clear();
+        shape.control_dests.extend(plan.control.iter().copied());
         true
     }
 
@@ -337,6 +344,7 @@ impl<P: SyncProtocol> Stepper<P> {
                     Some(PlanShape {
                         data_dests: plan.data.iter().map(|(d, _)| *d).collect(),
                         control_len: plan.control.len(),
+                        control_dests: plan.control.clone(),
                     })
                 } else {
                     None
