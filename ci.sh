@@ -278,6 +278,48 @@ if [[ "$steal_result" != "$classic_result" ]]; then
 fi
 echo "elastic OK: forced-steal run is bit-identical to the classic engine"
 
+echo "== fault storm (quick): crash + corrupt + hang survive retries, report untouched"
+# A survivable chaos plan over the same quick system: partition 0 crashes
+# mid-walk on its first launch and hangs on its second (ended by the
+# 2-second attempt timeout), partition 1 corrupts its first export
+# (caught by the segment checksum).  Both recover within the 3-attempt
+# budget, so the timing-free result line must be byte-identical to the
+# clean run above and the supervision marker must show zero degraded
+# partitions.
+storm_out="$(cargo run --release -q -p twostep-bench --bin twostep-dist -- \
+    --quick --partitions 2 --symmetry off --attempt-timeout-ms 2000 --backoff-ms 1 \
+    --fault 'p0a0=crash@walk;p0a1=hang@walk;p1a0=corrupt-export' 2>/dev/null)"
+storm_result="$(grep '^twostep-dist: result' <<<"$storm_out")"
+clean_result="$(grep '^twostep-dist: result' <<<"$dist_off_out")"
+echo "storm: $storm_result"
+echo "clean: $clean_result"
+if [[ "$storm_result" != "$clean_result" ]]; then
+    echo "FAIL: fault-storm report differs from the clean run" >&2
+    exit 1
+fi
+grep '^twostep-dist: supervision degraded=0 ' <<<"$storm_out" >/dev/null \
+    || { echo "FAIL: survivable fault storm must not degrade any partition" >&2; exit 1; }
+echo "fault storm OK: survivable chaos is report-invisible (degraded=0)"
+
+echo "== fault storm (quick): retry exhaustion degrades to a local walk, report untouched"
+# Partition 0 crashes on every one of its 3 launch attempts; the
+# coordinator must give up on remote execution, walk that partition
+# locally, and still produce the identical report — degradation, not
+# failure.
+exhaust_out="$(cargo run --release -q -p twostep-bench --bin twostep-dist -- \
+    --quick --partitions 2 --symmetry off --backoff-ms 1 \
+    --fault 'p0a0=crash@walk;p0a1=crash@export;p0a2=crash@seed' 2>/dev/null)"
+exhaust_result="$(grep '^twostep-dist: result' <<<"$exhaust_out")"
+echo "degraded: $exhaust_result"
+echo "clean:    $clean_result"
+if [[ "$exhaust_result" != "$clean_result" ]]; then
+    echo "FAIL: degraded (locally walked) report differs from the clean run" >&2
+    exit 1
+fi
+grep '^twostep-dist: supervision degraded=1 ' <<<"$exhaust_out" >/dev/null \
+    || { echo "FAIL: retry exhaustion must report exactly one degraded partition" >&2; exit 1; }
+echo "fault storm OK: retry exhaustion degraded to a local walk (degraded=1), report identical"
+
 echo "== persistent cache: cold-then-warm partitioned exploration (quick)"
 CACHE_DIR="$(mktemp -d)"
 trap 'rm -rf "$CACHE_DIR"' EXIT

@@ -52,8 +52,8 @@ use twostep_bench::distcli::{
 use twostep_core::crw_processes;
 use twostep_model::SystemConfig;
 use twostep_modelcheck::{
-    explore_with, CacheConfig, ExploreConfig, ExploreOptions, MemoConfig, StealConfig, Summary,
-    Symmetry, WalkBudget,
+    explore_with, CacheConfig, ExploreConfig, ExploreOptions, FaultPlan, MemoConfig, StealConfig,
+    Summary, SuperviseConfig, Symmetry, WalkBudget,
 };
 use twostep_sim::default_threads;
 
@@ -305,6 +305,8 @@ fn main() {
                 None,
                 WalkBudget::unlimited(),
                 None,
+                FaultPlan::none(),
+                SuperviseConfig::default(),
             )
             .expect("partitioned bench exploration");
             assert_eq!(
@@ -373,6 +375,8 @@ fn main() {
                 WalkBudget::unlimited(),
                 None,
                 StealConfig::on(),
+                FaultPlan::none(),
+                SuperviseConfig::default(),
             )
             .expect("elastic bench exploration");
             assert_eq!(

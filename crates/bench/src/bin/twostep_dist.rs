@@ -11,7 +11,9 @@
 //!                      [--max-steps S] [--deadline-ms MS]
 //!                      [--checkpoint-dir DIR] [--steal]
 //!                      [--steal-poll-ms MS] [--steal-min-frontier K]
-//!                      [--steal-yield-every S]`
+//!                      [--steal-yield-every S] [--fault PLAN]
+//!                      [--attempt-timeout-ms MS] [--watchdog-ms MS]
+//!                      [--backoff-ms MS] [--no-degrade]`
 //!
 //! * default — the `(6, 5)` speedup-bench system across 2 partitions;
 //! * `--quick` — the `(5, 4)` system (sub-second), used by `ci.sh`;
@@ -44,6 +46,21 @@
 //!   memo there; rerunning with the same directory (and a looser or no
 //!   budget) resumes to the bit-identical final report and consumes the
 //!   artifact;
+//! * `--fault PLAN` — deterministic fault injection for chaos testing
+//!   (see `twostep_modelcheck::faults` for the grammar, e.g.
+//!   `p0a0=crash@walk;p1a0=hang@export`).  Overrides the
+//!   `TWOSTEP_FAULT` env var; an unparseable flag value is a hard
+//!   error — a chaos run that silently ran clean would vacuously pass;
+//! * `--attempt-timeout-ms MS` / `--watchdog-ms MS` / `--backoff-ms MS`
+//!   — supervision knobs: per-attempt wall-clock cap, per-worker pulse
+//!   liveness deadline (elastic engine), and the base of the
+//!   deterministic exponential retry backoff.  `0` disables the two
+//!   timeouts.  Fall back to `TWOSTEP_WATCHDOG_MS` / `TWOSTEP_BACKOFF_MS`;
+//! * `--no-degrade` — a partition that exhausts its worker launch
+//!   attempts fails the run loudly instead of being walked locally by
+//!   the coordinator (the default prints a
+//!   `twostep-dist: supervision degraded=N quarantined=M` line either
+//!   way, which `ci.sh` asserts);
 //! * worker processes are recognized by the `--dist-worker` argument
 //!   vector (see `twostep_bench::distcli`) — never pass it by hand.
 
@@ -53,8 +70,8 @@ use std::time::Duration;
 
 use twostep_bench::distcli::{maybe_run_dist_worker, run_elastic_crw, run_partitioned_crw};
 use twostep_modelcheck::{
-    budget_from_env, cache_from_env, steal_from_env, ExploreConfig, ExploreError, ExploreReport,
-    StealConfig, Symmetry,
+    budget_from_env, cache_from_env, fault_plan_from_env, steal_from_env, supervise_from_env,
+    ExploreConfig, ExploreError, ExploreReport, FaultPlan, StealConfig, Symmetry,
 };
 
 fn arg_value<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
@@ -159,6 +176,56 @@ fn main() {
     steal.min_frontier = arg_value(&args, "--steal-min-frontier", steal.min_frontier);
     steal.yield_every = arg_value(&args, "--steal-yield-every", steal.yield_every).max(1);
 
+    // Fault plan: the flag overrides the TWOSTEP_FAULT env var (which
+    // warns once on garbage and runs clean); an unparseable *flag* is a
+    // hard error — a chaos run that silently ran clean would pass
+    // vacuously.
+    let faults = match args.iter().position(|a| a == "--fault") {
+        Some(i) => match args.get(i + 1) {
+            Some(raw) => match FaultPlan::parse(raw) {
+                Ok(plan) => plan,
+                Err(e) => {
+                    eprintln!("twostep-dist: --fault {raw:?}: {e}");
+                    std::process::exit(2);
+                }
+            },
+            None => {
+                eprintln!("twostep-dist: --fault needs a plan (or 'none')");
+                std::process::exit(2);
+            }
+        },
+        None => fault_plan_from_env(),
+    };
+    let mut supervise = supervise_from_env();
+    if let Some(i) = args.iter().position(|a| a == "--attempt-timeout-ms") {
+        match args.get(i + 1).and_then(|v| v.parse::<u64>().ok()) {
+            Some(0) => supervise.attempt_timeout = None,
+            Some(ms) => supervise.attempt_timeout = Some(Duration::from_millis(ms)),
+            None => {
+                eprintln!("twostep-dist: --attempt-timeout-ms needs milliseconds; flag ignored")
+            }
+        }
+    }
+    if let Some(i) = args.iter().position(|a| a == "--watchdog-ms") {
+        match args.get(i + 1).and_then(|v| v.parse::<u64>().ok()) {
+            Some(0) => supervise.watchdog = None,
+            Some(ms) => supervise.watchdog = Some(Duration::from_millis(ms)),
+            None => eprintln!("twostep-dist: --watchdog-ms needs milliseconds; flag ignored"),
+        }
+    }
+    if let Some(i) = args.iter().position(|a| a == "--backoff-ms") {
+        match args.get(i + 1).and_then(|v| v.parse::<u64>().ok()) {
+            Some(ms) => supervise.backoff = Duration::from_millis(ms),
+            None => eprintln!("twostep-dist: --backoff-ms needs milliseconds; flag ignored"),
+        }
+    }
+    if args.iter().any(|a| a == "--no-degrade") {
+        supervise.degrade = false;
+    }
+    if !faults.is_empty() {
+        eprintln!("twostep-dist: fault plan {}", faults.render());
+    }
+
     eprintln!(
         "twostep-dist: exploring ({n}, {t}) across {partitions} worker processes \
          (depth {depth}, {worker_threads} threads each, memo {}, symmetry {}, cache {}, steal {})",
@@ -190,12 +257,18 @@ fn main() {
                 budget,
                 checkpoint_dir,
                 steal,
+                faults,
+                supervise,
             ) {
                 Ok(run) => {
                     let lines = vec![
                         format!(
                             "twostep-dist: steal workers={} steals={} offloaded={}",
                             run.stats.workers_launched, run.stats.steals, run.stats.offloaded
+                        ),
+                        format!(
+                            "twostep-dist: supervision degraded={} quarantined={}",
+                            run.stats.degraded, run.stats.quarantined
                         ),
                         format!(
                             "twostep-dist: phases seed={:.3} frontier={:.3} workers={:.3} \
@@ -225,23 +298,31 @@ fn main() {
                 cache_dir,
                 budget,
                 checkpoint_dir,
+                faults,
+                supervise,
             ) {
                 Ok(run) => {
-                    let lines = vec![format!(
-                    "twostep-dist: phases seed={:.3} frontier={:.3} workers={:.3} (seed<={:.3} \
-                     frontier<={:.3} walk<={:.3} export<={:.3}) merge={:.3} replay={:.3} \
-                     report={:.3}",
-                    run.timings.seed_seconds,
-                    run.timings.frontier_seconds,
-                    run.timings.workers_wall_seconds,
-                    run.worker_seed_seconds,
-                    run.worker_frontier_seconds,
-                    run.worker_walk_seconds,
-                    run.worker_export_seconds,
-                    run.timings.merge_seconds,
-                    run.timings.replay_seconds,
-                    run.timings.report_seconds
-                )];
+                    let lines = vec![
+                        format!(
+                            "twostep-dist: supervision degraded={} quarantined=0",
+                            run.timings.degraded_partitions
+                        ),
+                        format!(
+                            "twostep-dist: phases seed={:.3} frontier={:.3} workers={:.3} \
+                             (seed<={:.3} frontier<={:.3} walk<={:.3} export<={:.3}) \
+                             merge={:.3} replay={:.3} report={:.3}",
+                            run.timings.seed_seconds,
+                            run.timings.frontier_seconds,
+                            run.timings.workers_wall_seconds,
+                            run.worker_seed_seconds,
+                            run.worker_frontier_seconds,
+                            run.worker_walk_seconds,
+                            run.worker_export_seconds,
+                            run.timings.merge_seconds,
+                            run.timings.replay_seconds,
+                            run.timings.report_seconds
+                        ),
+                    ];
                     (run.report, run.total_seconds, lines)
                 }
                 Err(e) => bail(e),

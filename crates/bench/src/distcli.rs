@@ -26,9 +26,10 @@ use twostep_model::{SystemConfig, WideValue};
 use twostep_modelcheck::{
     explore_elastic_timed, explore_partitioned_timed, run_worker, run_worker_elastic, CacheConfig,
     CheckpointConfig, DistOptions, DistTimings, ElasticExit, ElasticStats, ElasticTask,
-    ExploreConfig, ExploreError, ExploreOptions, ExploreReport, MemoConfig, StealConfig, Symmetry,
-    WalkBudget, WorkerPulse, WorkerTask,
+    ExploreConfig, ExploreError, ExploreOptions, ExploreReport, FaultPlan, MemoConfig, StealConfig,
+    SuperviseConfig, Symmetry, WalkBudget, WorkerFault, WorkerPulse, WorkerTask,
 };
+use twostep_sim::CancelToken;
 
 /// Argv marker that switches a binary into worker mode.
 pub const WORKER_FLAG: &str = "--dist-worker";
@@ -69,6 +70,11 @@ pub struct CrwWorkerArgs {
     /// Optional coordinator-expanded frontier segment; `None` re-expands
     /// in-process (legacy).
     pub frontier_path: Option<PathBuf>,
+    /// Injected misbehavior for this launch (fault harness); `None` — the
+    /// production case — runs clean.  The coordinator resolves the fault
+    /// from its [`FaultPlan`] by `(partition, attempt)` and ships only
+    /// the resolved token, so the worker needs no plan of its own.
+    pub fault: Option<WorkerFault>,
 }
 
 impl CrwWorkerArgs {
@@ -98,6 +104,7 @@ impl CrwWorkerArgs {
                 .as_ref()
                 .map_or("nofrontier".into(), |p| p.display().to_string()),
         );
+        args.push(self.fault.map_or("nofault".into(), |f| f.token()));
         args
     }
 
@@ -127,6 +134,12 @@ impl CrwWorkerArgs {
         let seed_path = (seed_raw != "unseeded").then(|| PathBuf::from(seed_raw));
         let frontier_raw = it.next()?;
         let frontier_path = (frontier_raw != "nofrontier").then(|| PathBuf::from(frontier_raw));
+        let fault_raw = it.next()?;
+        let fault = if fault_raw == "nofault" {
+            None
+        } else {
+            Some(WorkerFault::parse_token(fault_raw).ok()?)
+        };
         it.next().is_none().then_some(CrwWorkerArgs {
             n,
             t,
@@ -140,6 +153,7 @@ impl CrwWorkerArgs {
             export_path,
             seed_path,
             frontier_path,
+            fault,
         })
     }
 
@@ -176,6 +190,10 @@ pub fn run_crw_worker(args: &CrwWorkerArgs) -> i32 {
         }
     };
     let proposals = bench_proposals(args.n);
+    // The coordinator resolved the fault before shipping it, so attempt
+    // keying is already done; the cancel token is process-local — an
+    // injected hang in a worker *process* ends when the coordinator's
+    // launch kills the process (or the in-worker hang cap expires).
     let task = WorkerTask {
         partition: args.partition,
         partitions: args.partitions,
@@ -183,6 +201,9 @@ pub fn run_crw_worker(args: &CrwWorkerArgs) -> i32 {
         export_path: args.export_path.clone(),
         seed_path: args.seed_path.clone(),
         frontier_path: args.frontier_path.clone(),
+        attempt: 0,
+        fault: args.fault,
+        cancel: CancelToken::new(),
     };
     match run_worker(
         system,
@@ -268,6 +289,9 @@ pub struct CrwElasticArgs {
     pub preempt_path: PathBuf,
     /// Steal-request signal file polled every pulse.
     pub steal_flag: PathBuf,
+    /// Injected misbehavior for this launch (see
+    /// [`CrwWorkerArgs::fault`]).
+    pub fault: Option<WorkerFault>,
     /// Seed segments to import before walking, in order.
     pub seed_paths: Vec<PathBuf>,
 }
@@ -291,6 +315,7 @@ impl CrwElasticArgs {
             self.preempt_path.display().to_string(),
             self.steal_flag.display().to_string(),
         ];
+        args.push(self.fault.map_or("nofault".into(), |f| f.token()));
         args.extend(self.seed_paths.iter().map(|p| p.display().to_string()));
         args
     }
@@ -319,6 +344,12 @@ impl CrwElasticArgs {
         let export_path = PathBuf::from(it.next()?);
         let preempt_path = PathBuf::from(it.next()?);
         let steal_flag = PathBuf::from(it.next()?);
+        let fault_raw = it.next()?;
+        let fault = if fault_raw == "nofault" {
+            None
+        } else {
+            Some(WorkerFault::parse_token(fault_raw).ok()?)
+        };
         let seed_paths = it.map(PathBuf::from).collect();
         Some(CrwElasticArgs {
             n,
@@ -333,6 +364,7 @@ impl CrwElasticArgs {
             export_path,
             preempt_path,
             steal_flag,
+            fault,
             seed_paths,
         })
     }
@@ -362,6 +394,8 @@ impl CrwElasticArgs {
             preempt_path: self.preempt_path.clone(),
             steal_flag: self.steal_flag.clone(),
             yield_every: self.yield_every,
+            fault: self.fault,
+            cancel: CancelToken::new(),
         }
     }
 }
@@ -420,9 +454,29 @@ pub fn run_crw_elastic_worker(args: &CrwElasticArgs) -> i32 {
     }
 }
 
-/// Parses one `dist-progress:` stdout line back into a [`WorkerPulse`].
-fn parse_pulse_line(line: &str) -> Option<WorkerPulse> {
-    let rest = line.strip_prefix("dist-progress:")?;
+/// How one line of worker stdout classifies for the coordinator's tailer.
+#[derive(Debug, PartialEq)]
+enum PulseLine {
+    /// A well-formed progress pulse.
+    Pulse(WorkerPulse),
+    /// Claimed to be a pulse (`dist-progress:` prefix) but is missing or
+    /// mangling a required field — truncated by a dying process, garbage
+    /// on a shared pipe, or a future dialect this coordinator doesn't
+    /// speak.  Skipped, with one warning per worker launch: a garbled
+    /// pulse must never kill the run, and a pulse storm must never spam
+    /// the log.
+    Garbled,
+    /// Anything else a worker prints (status lines, the outcome line).
+    NotAPulse,
+}
+
+/// Classifies one worker stdout line.  Unknown `key=value` tokens are
+/// ignored, so a *future* worker adding fields still parses — only a
+/// line missing a required field is garbled.
+fn classify_pulse_line(line: &str) -> PulseLine {
+    let Some(rest) = line.strip_prefix("dist-progress:") else {
+        return PulseLine::NotAPulse;
+    };
     let mut worker = None;
     let mut steps = None;
     let mut frontier = None;
@@ -438,12 +492,15 @@ fn parse_pulse_line(line: &str) -> Option<WorkerPulse> {
             }
         }
     }
-    Some(WorkerPulse {
-        worker: worker?,
-        steps: steps?,
-        frontier: frontier?,
-        fresh: fresh?,
-    })
+    match (worker, steps, frontier, fresh) {
+        (Some(worker), Some(steps), Some(frontier), Some(fresh)) => PulseLine::Pulse(WorkerPulse {
+            worker,
+            steps,
+            frontier,
+            fresh,
+        }),
+        _ => PulseLine::Garbled,
+    }
 }
 
 /// Parses the final `dist-elastic:` outcome line.
@@ -486,6 +543,8 @@ pub fn run_elastic_crw(
     budget: WalkBudget,
     checkpoint_dir: Option<PathBuf>,
     steal: StealConfig,
+    faults: FaultPlan,
+    supervise: SuperviseConfig,
 ) -> Result<ElasticRun, ExploreError> {
     let system = SystemConfig::new(n, t).expect("valid bench system");
     let proposals = bench_proposals(n);
@@ -507,6 +566,8 @@ pub fn run_elastic_crw(
             .with_checkpoint(checkpoint_dir.map(CheckpointConfig::at)),
         cache: cache_dir.map(CacheConfig::read_write),
         steal,
+        faults,
+        supervise,
     };
     let launch = |task: &ElasticTask, pulse: &(dyn Fn(WorkerPulse) + Sync)| {
         let args = CrwElasticArgs {
@@ -522,6 +583,7 @@ pub fn run_elastic_crw(
             export_path: task.export_path.clone(),
             preempt_path: task.preempt_path.clone(),
             steal_flag: task.steal_flag.clone(),
+            fault: task.fault,
             seed_paths: task.seed_paths.clone(),
         };
         let mut child = Command::new(&exe)
@@ -530,25 +592,67 @@ pub fn run_elastic_crw(
             .spawn()
             .map_err(|e| format!("spawning elastic worker: {e}"))?;
         let stdout = child.stdout.take().expect("piped stdout");
-        let mut outcome = None;
-        for line in BufReader::new(stdout).lines() {
-            let line = match line {
-                Ok(line) => line,
-                Err(e) => {
-                    let _ = child.kill();
-                    let _ = child.wait();
-                    return Err(format!("reading worker pipe: {e}"));
+        // Kill-watcher: the supervisor's cancel token (watchdog trip)
+        // must terminate a hung worker *process* — the tailer below
+        // blocks on the pipe and cannot poll.  Killing the child closes
+        // the pipe, which unblocks the tailer; the launch then reports
+        // the non-zero exit as an ordinary retryable failure.
+        let child = std::sync::Mutex::new(child);
+        let done = std::sync::atomic::AtomicBool::new(false);
+        let cancel = task.cancel.clone();
+        let (status, outcome) = std::thread::scope(|scope| {
+            scope.spawn(|| {
+                while !done.load(std::sync::atomic::Ordering::Relaxed) {
+                    if cancel.is_cancelled() {
+                        let _ = child.lock().expect("child poisoned").kill();
+                        break;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(10));
                 }
+            });
+            let mut outcome = None;
+            let mut warned_garbled = false;
+            let tail = || -> Result<std::process::ExitStatus, String> {
+                for line in BufReader::new(stdout).lines() {
+                    let line = line.map_err(|e| format!("reading worker pipe: {e}"))?;
+                    match classify_pulse_line(&line) {
+                        PulseLine::Pulse(p) => pulse(p),
+                        PulseLine::Garbled => {
+                            if !warned_garbled {
+                                warned_garbled = true;
+                                eprintln!(
+                                    "dist-elastic: worker {}: ignoring garbled progress \
+                                     line {line:?} (warning once per launch)",
+                                    task.worker
+                                );
+                            }
+                        }
+                        PulseLine::NotAPulse => {
+                            if let Some(exit) = parse_outcome_line(&line) {
+                                outcome = Some(exit);
+                            }
+                        }
+                    }
+                }
+                child
+                    .lock()
+                    .expect("child poisoned")
+                    .wait()
+                    .map_err(|e| format!("waiting for worker: {e}"))
             };
-            if let Some(p) = parse_pulse_line(&line) {
-                pulse(p);
-            } else if let Some(exit) = parse_outcome_line(&line) {
-                outcome = Some(exit);
+            let status = tail();
+            done.store(true, std::sync::atomic::Ordering::Relaxed);
+            if status.is_err() {
+                let mut child = child.lock().expect("child poisoned");
+                let _ = child.kill();
+                let _ = child.wait();
             }
+            (status, outcome)
+        });
+        let status = status?;
+        if task.cancel.is_cancelled() {
+            return Err("worker killed by the supervisor (watchdog/cancel)".to_string());
         }
-        let status = child
-            .wait()
-            .map_err(|e| format!("waiting for worker: {e}"))?;
         if !status.success() {
             return Err(format!("worker process exited with {status}"));
         }
@@ -653,6 +757,8 @@ pub fn run_partitioned_crw(
     cache_dir: Option<PathBuf>,
     budget: WalkBudget,
     checkpoint_dir: Option<PathBuf>,
+    faults: FaultPlan,
+    supervise: SuperviseConfig,
 ) -> Result<DistRun, ExploreError> {
     let system = SystemConfig::new(n, t).expect("valid bench system");
     let proposals = bench_proposals(n);
@@ -674,6 +780,8 @@ pub fn run_partitioned_crw(
             .with_checkpoint(checkpoint_dir.map(CheckpointConfig::at)),
         cache: cache_dir.map(CacheConfig::read_write),
         steal: StealConfig::default(),
+        faults,
+        supervise,
     };
     // Last successful attempt's worker-side phase timings, per partition.
     let worker_timings: Mutex<Vec<Option<WorkerPhaseSeconds>>> =
@@ -692,13 +800,44 @@ pub fn run_partitioned_crw(
             export_path: task.export_path.clone(),
             seed_path: task.seed_path.clone(),
             frontier_path: task.frontier_path.clone(),
+            fault: task.fault,
         };
-        let output = Command::new(&exe)
+        // Spawn + poll instead of a blocking `.output()`: the
+        // supervisor's cancel token (attempt timeout, watchdog) must be
+        // able to kill a hung worker process.  Pipe drains happen after
+        // exit — worker output is a handful of lines, far below the
+        // pipe buffer.
+        let mut child = Command::new(&exe)
             .args(args.to_args())
-            .output()
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
             .map_err(|e| format!("spawning worker process: {e}"))?;
+        let killed = loop {
+            match child.try_wait() {
+                Ok(Some(_)) => break false,
+                Ok(None) => {
+                    if task.cancel.is_cancelled() {
+                        let _ = child.kill();
+                        break true;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+                Err(e) => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return Err(format!("polling worker process: {e}"));
+                }
+            }
+        };
+        let output = child
+            .wait_with_output()
+            .map_err(|e| format!("collecting worker output: {e}"))?;
         // The worker's stderr (status + warnings) stays visible.
         eprint!("{}", String::from_utf8_lossy(&output.stderr));
+        if killed {
+            return Err("worker killed by the supervisor (timeout/cancel)".to_string());
+        }
         if !output.status.success() {
             return Err(format!("worker process exited with {}", output.status));
         }
@@ -756,6 +895,7 @@ mod tests {
             export_path: PathBuf::from("/tmp/worker1.seg"),
             seed_path: Some(PathBuf::from("/tmp/seed.seg")),
             frontier_path: Some(PathBuf::from("/tmp/frontier.seg")),
+            fault: None,
         };
         assert_eq!(CrwWorkerArgs::parse(&args.to_args()), Some(args.clone()));
         let ram = CrwWorkerArgs {
@@ -766,6 +906,29 @@ mod tests {
             ..args.clone()
         };
         assert_eq!(CrwWorkerArgs::parse(&ram.to_args()), Some(ram));
+        // Every injected-fault token rides the argv unchanged.
+        for fault in [
+            WorkerFault::CrashAt(twostep_modelcheck::WorkerPhase::Walk),
+            WorkerFault::HangAt(twostep_modelcheck::WorkerPhase::Export),
+            WorkerFault::CorruptExport,
+            WorkerFault::TruncateExport,
+            WorkerFault::SlowIo(25),
+            WorkerFault::LyingProgress,
+        ] {
+            let faulty = CrwWorkerArgs {
+                fault: Some(fault),
+                ..args.clone()
+            };
+            assert_eq!(
+                CrwWorkerArgs::parse(&faulty.to_args()),
+                Some(faulty.clone())
+            );
+        }
+        // An unknown fault token is a parse failure, not a silent no-op.
+        let mut mangled = args.to_args();
+        let slot = mangled.iter().position(|a| a == "nofault").unwrap();
+        mangled[slot] = "explode@never".to_string();
+        assert_eq!(CrwWorkerArgs::parse(&mangled), None);
         // Every strength rides the argv unchanged — including the
         // two-word partial+value token.
         for mode in [Symmetry::Partial, Symmetry::PartialValue] {
@@ -825,6 +988,7 @@ mod tests {
             export_path: PathBuf::from("x"),
             seed_path: None,
             frontier_path: None,
+            fault: None,
         }
         .to_args();
         broken.truncate(4);
@@ -846,12 +1010,20 @@ mod tests {
             export_path: PathBuf::from("/tmp/e7.seg"),
             preempt_path: PathBuf::from("/tmp/p7.seg"),
             steal_flag: PathBuf::from("/tmp/s7.flag"),
+            fault: None,
             seed_paths: vec![
                 PathBuf::from("/tmp/seed0.seg"),
                 PathBuf::from("/tmp/d1.seg"),
             ],
         };
         assert_eq!(CrwElasticArgs::parse(&args.to_args()), Some(args.clone()));
+        // A fault token rides along without eating the trailing
+        // variadic seed paths.
+        let faulty = CrwElasticArgs {
+            fault: Some(WorkerFault::SlowIo(5)),
+            ..args.clone()
+        };
+        assert_eq!(CrwElasticArgs::parse(&faulty.to_args()), Some(faulty));
         for mode in [Symmetry::Partial, Symmetry::PartialValue] {
             let deep = CrwElasticArgs {
                 symmetry: mode,
@@ -872,11 +1044,14 @@ mod tests {
 
     #[test]
     fn progress_lines_roundtrip() {
-        let p = parse_pulse_line("dist-progress: worker=3 steps=4096 frontier=17 fresh=900")
-            .expect("pulse parses");
+        let PulseLine::Pulse(p) =
+            classify_pulse_line("dist-progress: worker=3 steps=4096 frontier=17 fresh=900")
+        else {
+            panic!("pulse parses");
+        };
         assert_eq!((p.worker, p.steps, p.frontier, p.fresh), (3, 4096, 17, 900));
-        assert!(parse_pulse_line("dist-progress: worker=3 steps=x frontier=1 fresh=1").is_none());
-        assert!(parse_pulse_line("unrelated").is_none());
+        assert_eq!(classify_pulse_line("unrelated"), PulseLine::NotAPulse);
+        assert_eq!(classify_pulse_line(""), PulseLine::NotAPulse);
         assert_eq!(
             parse_outcome_line("dist-elastic: outcome=finished"),
             Some(ElasticExit::Finished)
@@ -886,5 +1061,42 @@ mod tests {
             Some(ElasticExit::Preempted)
         );
         assert_eq!(parse_outcome_line("dist-elastic: outcome=sideways"), None);
+    }
+
+    #[test]
+    fn garbled_progress_lines_classify_as_garbled_not_fatal() {
+        // Mangled value.
+        assert_eq!(
+            classify_pulse_line("dist-progress: worker=3 steps=x frontier=1 fresh=1"),
+            PulseLine::Garbled
+        );
+        // Truncated mid-line, as a dying process would leave it.
+        assert_eq!(
+            classify_pulse_line("dist-progress: worker=3 ste"),
+            PulseLine::Garbled
+        );
+        // Prefix only.
+        assert_eq!(classify_pulse_line("dist-progress:"), PulseLine::Garbled);
+        // Binary garbage after the prefix.
+        assert_eq!(
+            classify_pulse_line("dist-progress: \u{1}\u{2}\u{3}"),
+            PulseLine::Garbled
+        );
+    }
+
+    #[test]
+    fn future_versioned_pulse_with_extra_fields_still_parses() {
+        // A newer worker appending fields must not strand an older
+        // coordinator: unknown keys are skipped, required keys decide.
+        let line = "dist-progress: v=2 worker=9 steps=64 frontier=5 fresh=40 spilled=3";
+        let PulseLine::Pulse(p) = classify_pulse_line(line) else {
+            panic!("future-versioned pulse still parses");
+        };
+        assert_eq!((p.worker, p.steps, p.frontier, p.fresh), (9, 64, 5, 40));
+        // ...but a future line *dropping* a required field is garbled.
+        assert_eq!(
+            classify_pulse_line("dist-progress: v=3 worker=9 progress=0.5"),
+            PulseLine::Garbled
+        );
     }
 }

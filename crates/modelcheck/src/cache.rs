@@ -324,7 +324,7 @@ fn is_cache_segment_name(name: &str) -> bool {
 /// Atomically (write-then-rename) writes `manifest` into `dir`.
 fn write_manifest(dir: &Path, manifest: &Manifest) -> Result<(), SpillError> {
     let tmp = dir.join(format!("{MANIFEST_NAME}.tmp-{}", std::process::id()));
-    std::fs::write(&tmp, manifest.to_bytes())
+    crate::faults::shim_fs_write(&tmp, &manifest.to_bytes())
         .map_err(|e| SpillError::io(&format!("writing manifest {}", tmp.display()), e))?;
     std::fs::rename(&tmp, dir.join(MANIFEST_NAME))
         .map_err(|e| SpillError::io("renaming manifest into place", e))

@@ -207,7 +207,7 @@ fn write_manifest(dir: &Path, manifest: &CheckpointManifest) -> Result<(), Spill
         "{CHECKPOINT_MANIFEST_NAME}.tmp-{}",
         std::process::id()
     ));
-    std::fs::write(&tmp, manifest.to_bytes())
+    crate::faults::shim_fs_write(&tmp, &manifest.to_bytes())
         .map_err(|e| SpillError::io(&format!("writing manifest {}", tmp.display()), e))?;
     std::fs::rename(&tmp, dir.join(CHECKPOINT_MANIFEST_NAME))
         .map_err(|e| SpillError::io("renaming manifest into place", e))

@@ -54,18 +54,48 @@
 //! validation, and the coordinator relaunches it — the rerun overwrites
 //! the remains.  Validation covers the magic/version header, every
 //! record's CRC32, and the sealed record count
-//! ([`crate::spill::SpillError`] classifies the failure modes).  The
-//! retry loop is [`twostep_sim::run_tasks_with_retry`]; per-partition
-//! attempts are bounded by [`DistOptions::attempts`].
+//! ([`crate::spill::SpillError`] classifies the failure modes).
+//!
+//! The retry loop is [`twostep_sim::run_tasks_supervised`]: per-partition
+//! attempts are bounded by [`DistOptions::attempts`], retries back off
+//! deterministically, a panicking launch closure is contained as that
+//! worker's failure, and [`SuperviseConfig::attempt_timeout`] bounds any
+//! single launch (the attempt's [`twostep_sim::CancelToken`] trips and
+//! the launch is expected to kill its process and return).  The elastic
+//! scheduler additionally runs a **liveness watchdog** over the
+//! progress-pulse feed ([`SuperviseConfig::watchdog`]): a worker that
+//! stops pulsing is cancelled and retried as if it had crashed.
+//!
+//! When a partition exhausts every launch attempt the coordinator
+//! **degrades instead of failing** (unless
+//! [`SuperviseConfig::degrade`] is off): it walks the orphaned frontier
+//! slice locally — sound because under-coverage is safe (see above) and
+//! the records to rebuild the slice are already on the coordinator's
+//! side of the process boundary — and reports the event in
+//! [`DistTimings::degraded_partitions`] / [`ElasticStats::degraded`].
+//! The elastic scheduler also *quarantines* such a worker slot
+//! (capacity shrinks; no future re-split lands on it).
+//!
+//! Every failure mode here is reproducible on demand: the
+//! [`crate::faults`] harness injects crashes, hangs, corrupt/truncated
+//! exports, slow IO, and lying pulses keyed by `(partition, attempt)`
+//! ([`DistOptions::faults`]), and the differential suites assert
+//! bit-identity with the serial walk under every survivable plan.
 
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::hash::Hash;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::{mpsc, Mutex};
 use std::time::{Duration, Instant};
 
 use twostep_model::SystemConfig;
-use twostep_sim::{run_tasks_with_retry, Stepper, TaskAttempt, TraceLevel};
+use twostep_sim::{
+    panic_message, run_tasks_supervised, CancelToken, RetryPolicy, Stepper, SupervisedAttempt,
+    TraceLevel,
+};
+
+use crate::faults::{self, FaultPlan, WorkerFault, WorkerPhase};
 
 use crate::cache::{CacheConfig, CacheSession};
 use crate::checkpoint::{self, CheckpointLoad};
@@ -120,11 +150,20 @@ pub struct DistOptions {
     /// Work-stealing policy for the elastic engine
     /// ([`explore_elastic`]); ignored by [`explore_partitioned`].
     pub steal: StealConfig,
+    /// Deterministic fault injection ([`crate::faults`]): which worker
+    /// launches misbehave and how.  Empty by default — production runs
+    /// inject nothing.
+    pub faults: FaultPlan,
+    /// Worker-lifecycle supervision: retry backoff, per-attempt timeout,
+    /// pulse-liveness watchdog, and the degrade-vs-fail policy for
+    /// partitions that exhaust their retry budget.
+    pub supervise: SuperviseConfig,
 }
 
 impl DistOptions {
     /// Defaults for `partitions` workers: depth-1 frontier, 3 attempts,
-    /// temp-dir scratch, default replay engine, no cache, stealing off.
+    /// temp-dir scratch, default replay engine, no cache, stealing off,
+    /// no injected faults, default supervision (degrade on exhaustion).
     pub fn new(partitions: usize) -> Self {
         DistOptions {
             partitions: partitions.max(1),
@@ -134,8 +173,98 @@ impl DistOptions {
             replay: ExploreOptions::default(),
             cache: None,
             steal: StealConfig::default(),
+            faults: FaultPlan::none(),
+            supervise: SuperviseConfig::default(),
         }
     }
+}
+
+/// Worker-lifecycle supervision policy: how the coordinator retries,
+/// times out, watches, and — when everything fails — degrades.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SuperviseConfig {
+    /// Base delay before a worker's first relaunch; doubles per retry
+    /// (deterministic, no jitter) up to [`backoff_cap`](Self::backoff_cap).
+    /// `Duration::ZERO` relaunches immediately, the legacy behavior.
+    pub backoff: Duration,
+    /// Upper bound on any single backoff delay.
+    pub backoff_cap: Duration,
+    /// Wall-clock budget for one worker launch; an attempt still running
+    /// at the deadline has its [`CancelToken`] tripped and is retried as
+    /// a crash.  `None` disables the per-attempt timeout.
+    pub attempt_timeout: Option<Duration>,
+    /// Pulse-liveness deadline for the elastic scheduler: a worker whose
+    /// last `dist-progress:` pulse (or launch) is older than this is
+    /// cancelled and retried as a crash.  `None` disables the watchdog.
+    /// Ignored by the classic partitioned engine, whose workers don't
+    /// pulse — use [`attempt_timeout`](Self::attempt_timeout) there.
+    pub watchdog: Option<Duration>,
+    /// What retry-budget exhaustion means: `true` (default) walks the
+    /// orphaned partition locally in the coordinator — the run *degrades*
+    /// and still produces the exact report — while `false` preserves the
+    /// legacy loud [`ExploreError::Worker`] failure.
+    pub degrade: bool,
+}
+
+impl Default for SuperviseConfig {
+    fn default() -> Self {
+        SuperviseConfig {
+            backoff: Duration::from_millis(25),
+            backoff_cap: Duration::from_secs(2),
+            attempt_timeout: None,
+            watchdog: None,
+            degrade: true,
+        }
+    }
+}
+
+impl SuperviseConfig {
+    /// The [`RetryPolicy`] this supervision config induces for
+    /// `attempts` launches per task.
+    pub fn policy(&self, attempts: usize) -> RetryPolicy {
+        RetryPolicy {
+            attempts: attempts.max(1),
+            backoff: self.backoff,
+            backoff_cap: self.backoff_cap,
+            attempt_timeout: self.attempt_timeout,
+        }
+    }
+}
+
+/// Resolves supervision overrides from the environment:
+/// `TWOSTEP_WATCHDOG_MS` (pulse-liveness deadline, `0` disables) and
+/// `TWOSTEP_BACKOFF_MS` (base retry backoff).  Garbage warns once per
+/// process and leaves the default in place — never silently honored,
+/// per the `TWOSTEP_THREADS` idiom.
+pub fn supervise_from_env() -> SuperviseConfig {
+    let mut config = SuperviseConfig::default();
+    let mut warnings: Vec<String> = Vec::new();
+    for (name, slot) in [
+        ("TWOSTEP_WATCHDOG_MS", 0usize),
+        ("TWOSTEP_BACKOFF_MS", 1usize),
+    ] {
+        let Ok(raw) = std::env::var(name) else {
+            continue;
+        };
+        match raw.trim().parse::<u64>() {
+            Ok(ms) if slot == 0 => {
+                config.watchdog = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            Ok(ms) => config.backoff = Duration::from_millis(ms),
+            Err(_) => warnings.push(format!(
+                "{name}={raw:?} is not a millisecond count; keeping the default"
+            )),
+        }
+    }
+    if !warnings.is_empty() {
+        static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+        WARN_ONCE.call_once(move || {
+            for warning in warnings {
+                eprintln!("twostep: {warning}");
+            }
+        });
+    }
+    config
 }
 
 /// Work-stealing policy for [`explore_elastic`]: when the coordinator
@@ -232,6 +361,17 @@ pub struct WorkerTask {
     /// run instead of once per worker.  `None` preserves the legacy
     /// re-expansion (any coordinator/worker version mix keeps working).
     pub frontier_path: Option<PathBuf>,
+    /// Which launch of this partition this is (0-based); the fault
+    /// harness keys injected misbehavior by `(partition, attempt)`.
+    pub attempt: usize,
+    /// Injected misbehavior for this launch, resolved from
+    /// [`DistOptions::faults`] by the coordinator; `None` (the
+    /// production case) runs clean.
+    pub fault: Option<WorkerFault>,
+    /// The attempt's cooperative stop signal: tripped by the
+    /// supervisor's timeout/watchdog.  An OS-process launch polls it and
+    /// kills the child; in-process injected hangs poll it directly.
+    pub cancel: CancelToken,
 }
 
 /// What one worker did, for logs and benches.
@@ -430,6 +570,7 @@ where
         .map_err(ExploreError::Engine)?;
     let shared = Shared::new(system, config, &engine, &proposals, initial)?;
     let seed_start = Instant::now();
+    faults::at_phase(task.fault, WorkerPhase::Seed, &task.cancel)?;
     let seeded = match &task.seed_path {
         // A worker's seed comes from its own coordinator over a process
         // boundary it shares a disk with; a damaged seed means the run
@@ -442,6 +583,7 @@ where
     };
     let seed_seconds = seed_start.elapsed().as_secs_f64();
     let frontier_start = Instant::now();
+    faults::at_phase(task.fault, WorkerPhase::Frontier, &task.cancel)?;
     let (frontier_len, owned): (usize, Vec<Stepper<P>>) = {
         let mut walker = Walker::new(&shared);
         match &task.frontier_path {
@@ -476,6 +618,7 @@ where
     let frontier_seconds = frontier_start.elapsed().as_secs_f64();
     let owned_len = owned.len();
     let walk_start = Instant::now();
+    faults::at_phase(task.fault, WorkerPhase::Walk, &task.cancel)?;
     // Workers walk unbounded: per-walk budgets belong to the
     // coordinator, which owns the deadline clock and the checkpoint.
     match walk_roots(
@@ -491,7 +634,11 @@ where
     }
     let walk_seconds = walk_start.elapsed().as_secs_f64();
     let export_start = Instant::now();
+    faults::at_phase(task.fault, WorkerPhase::Export, &task.cancel)?;
     let exported = shared.memo.export_delta(&task.export_path)?;
+    // Post-export damage (corrupt/truncate): the worker then *claims*
+    // success, and the coordinator's validation must catch it.
+    faults::mangle_export(task.fault, &task.export_path)?;
     Ok(WorkerReport {
         frontier: frontier_len,
         owned: owned_len,
@@ -561,6 +708,12 @@ pub struct DistTimings {
     pub replay_seconds: f64,
     /// Census and (if violating) witness reconstruction.
     pub report_seconds: f64,
+    /// Partitions that exhausted their retry budget and were walked
+    /// locally by the coordinator instead ([`SuperviseConfig::degrade`]).
+    /// `0` on every clean run.
+    pub degraded_partitions: usize,
+    /// Wall clock spent on those degraded local walks.
+    pub degraded_seconds: f64,
 }
 
 /// [`explore_partitioned`], additionally returning the coordinator's
@@ -582,6 +735,10 @@ where
     // merge, replay — not just the replay walk.
     let started = Instant::now();
     let partitions = options.partitions.max(1);
+    // An `io=` clause in the fault plan arms the coordinator-process IO
+    // shim for the run's duration (worker OS processes have their own
+    // address space and are untouched — their faults ride the task).
+    let _io_fault = options.faults.io.map(crate::faults::install_io_fault);
     let fingerprint = crate::cache::run_fingerprint(system, &config, &initial, &proposals);
     let mut session = CacheSession::open(options.cache.clone(), fingerprint);
     // The scratch dir is owned by this function: whichever way it exits
@@ -642,7 +799,9 @@ where
     };
     let frontier_path = scratch.path().join("frontier.seg");
     write_frontier_segment(&frontier_path, &frontier_records)?;
-    drop(frontier_records);
+    // `frontier_records` stays alive past the worker phase: if a
+    // partition exhausts its retry budget, the coordinator rebuilds that
+    // slice from these records and walks it locally (degraded mode).
     timings.frontier_seconds = frontier_start.elapsed().as_secs_f64();
 
     let tasks: Vec<WorkerTask> = (0..partitions)
@@ -653,43 +812,91 @@ where
             export_path: scratch.path().join(format!("worker{partition}.seg")),
             seed_path: seed_path.clone(),
             frontier_path: Some(frontier_path.clone()),
+            attempt: 0,
+            fault: None,
+            cancel: CancelToken::new(),
         })
         .collect();
 
     let merge_seconds = Mutex::new(0f64);
     let workers_start = Instant::now();
-    let outcomes = run_tasks_with_retry(
-        partitions,
-        options.attempts.max(1),
-        |attempt: TaskAttempt| {
-            let task = &tasks[attempt.index];
-            launch(task)?;
-            // Trust nothing a process boundary crossed: the import scans
-            // header, every record's CRC, and the sealed record count —
-            // merging and validating in one pass over the file.  A
-            // partial import of a file that fails mid-scan is harmless:
-            // every record that passed its CRC is a correct
-            // (key, summary) pair, so it simply pre-seeds the memo the
-            // retried worker would re-export anyway (duplicate inserts
-            // are absorbed).  Deltas import as *fresh*: relative to the
-            // persistent cache they are exactly what this run added.
-            let merge_start = Instant::now();
-            let result = shared
-                .memo
-                .import_from(&task.export_path, crate::memo::key_validator::<P>())
-                .map(|_| ())
-                .map_err(|e| e.to_string());
-            *merge_seconds.lock().expect("merge timing poisoned") +=
-                merge_start.elapsed().as_secs_f64();
-            result
-        },
-    );
+    let policy = options.supervise.policy(options.attempts);
+    let outcomes = run_tasks_supervised(partitions, &policy, |ctx: &SupervisedAttempt| {
+        let mut task = tasks[ctx.index].clone();
+        task.attempt = ctx.attempt;
+        task.fault = options.faults.for_worker(ctx.index as u64, ctx.attempt);
+        task.cancel = ctx.cancel.clone();
+        launch(&task)?;
+        // Trust nothing a process boundary crossed: the import scans
+        // header, every record's CRC, and the sealed record count —
+        // merging and validating in one pass over the file.  A
+        // partial import of a file that fails mid-scan is harmless:
+        // every record that passed its CRC is a correct
+        // (key, summary) pair, so it simply pre-seeds the memo the
+        // retried worker would re-export anyway (duplicate inserts
+        // are absorbed).  Deltas import as *fresh*: relative to the
+        // persistent cache they are exactly what this run added.
+        let merge_start = Instant::now();
+        let result = shared
+            .memo
+            .import_from(&task.export_path, crate::memo::key_validator::<P>())
+            .map(|_| ())
+            .map_err(|e| e.to_string());
+        *merge_seconds.lock().expect("merge timing poisoned") +=
+            merge_start.elapsed().as_secs_f64();
+        result
+    });
     timings.workers_wall_seconds = workers_start.elapsed().as_secs_f64();
     timings.merge_seconds = merge_seconds.into_inner().expect("merge timing poisoned");
+    let mut orphaned: Vec<(usize, String)> = Vec::new();
     for (partition, outcome) in outcomes.into_iter().enumerate() {
-        if let Err(detail) = outcome {
-            return Err(ExploreError::Worker { partition, detail });
+        if let Err(err) = outcome {
+            let detail = err.to_string();
+            if options.supervise.degrade {
+                orphaned.push((partition, detail));
+            } else {
+                return Err(ExploreError::Worker { partition, detail });
+            }
         }
+    }
+    if !orphaned.is_empty() {
+        // Graceful degradation: under-coverage is safe (module docs), so
+        // an orphaned partition is walked right here — slower than a
+        // worker, but the run completes with the exact report instead of
+        // dying after every retry already failed.
+        let degraded_start = Instant::now();
+        for (partition, detail) in &orphaned {
+            eprintln!(
+                "twostep: partition {partition} exhausted its {} launch attempt(s) \
+                 ({detail}); walking it locally in degraded mode",
+                policy.attempts
+            );
+            let mine: Vec<FrontierRecord> = frontier_records
+                .iter()
+                .filter(|(hash, _)| (hash % partitions as u64) as usize == *partition)
+                .cloned()
+                .collect();
+            let roots: Vec<Stepper<P>> = {
+                let mut walker = Walker::new(&shared);
+                reconstruct_paths(&mut walker, &root, mine)?
+                    .into_iter()
+                    .map(|r| r.stepper)
+                    .collect()
+            };
+            match walk_roots(
+                &shared,
+                options.replay.threads,
+                roots,
+                &WalkBudget::unlimited(),
+                started,
+                None,
+            )? {
+                WalkOutcome::Done(_) => {}
+                WalkOutcome::Suspended { .. } => unreachable!("an unbounded walk never suspends"),
+            }
+        }
+        timings.degraded_partitions = orphaned.len();
+        timings.degraded_seconds = degraded_start.elapsed().as_secs_f64();
     }
 
     let report = finish_pipeline(
@@ -914,6 +1121,15 @@ pub struct ElasticTask {
     pub steal_flag: PathBuf,
     /// Progress-pulse cadence in walk steps.
     pub yield_every: u64,
+    /// Injected misbehavior for this launch, resolved from
+    /// [`DistOptions::faults`] by `(worker id, attempt)`; `None` (the
+    /// production case) runs clean.
+    pub fault: Option<WorkerFault>,
+    /// The attempt's cooperative stop signal: tripped by the
+    /// supervisor's watchdog when the worker stops pulsing.  An
+    /// OS-process launch polls it and kills the child; in-process
+    /// injected hangs poll it directly.
+    pub cancel: CancelToken,
 }
 
 /// How an elastic worker exited.
@@ -930,7 +1146,7 @@ pub enum ElasticExit {
 /// coordinator every [`ElasticTask::yield_every`] steps.  Over a process
 /// boundary this is a parsed `dist-progress:` stdout line; in-process it
 /// is a plain callback.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct WorkerPulse {
     /// Which worker ([`ElasticTask::worker`]).
     pub worker: u64,
@@ -956,6 +1172,13 @@ pub struct ElasticStats {
     /// the local-first walk finished inside the steal policy's thresholds
     /// and the run was effectively serial — the common quick-run case.
     pub offloaded: bool,
+    /// Worker slices that exhausted their retry budget and were walked
+    /// locally by the coordinator instead ([`SuperviseConfig::degrade`]).
+    /// `0` on every clean run.
+    pub degraded: usize,
+    /// Worker slots quarantined after retry exhaustion: capacity the
+    /// scheduler stopped re-splitting onto.
+    pub quarantined: usize,
 }
 
 /// Runs one elastic worker to completion or preemption.
@@ -982,6 +1205,7 @@ where
     let root = Stepper::new(system, config.model, TraceLevel::Off, initial.clone())
         .map_err(ExploreError::Engine)?;
     let shared = Shared::new(system, config, &engine, &proposals, initial)?;
+    faults::at_phase(task.fault, WorkerPhase::Seed, &task.cancel)?;
     for seed in &task.seed_paths {
         // A damaged seed means the run is broken; fail (and let the
         // coordinator retry) rather than explore cold and re-export the
@@ -990,15 +1214,25 @@ where
             .memo
             .import_seed_from(seed, crate::memo::key_validator::<P>())?;
     }
+    faults::at_phase(task.fault, WorkerPhase::Frontier, &task.cancel)?;
     let records = read_frontier_segment(&task.frontier_path)?;
     let mut walker = Walker::new(&shared);
     let roots = reconstruct_paths(&mut walker, &root, records)?;
     let worker = task.worker;
+    let lying = faults::lies(task.fault);
+    faults::at_phase(task.fault, WorkerPhase::Walk, &task.cancel)?;
     let outcome = drive_elastic(&mut walker, roots, task.yield_every.max(1), |p| {
         pulse(WorkerPulse {
             worker,
             steps: p.steps,
-            frontier: p.frontier,
+            // A lying worker advertises a wildly inflated load; the
+            // steal scheduler may preempt it for nothing, and the result
+            // must still be exact.
+            frontier: if lying {
+                faults::lying_frontier(p.frontier)
+            } else {
+                p.frontier
+            },
             fresh: p.fresh,
         });
         if task.steal_flag.exists() {
@@ -1012,9 +1246,11 @@ where
         Err(Interrupt::Failed(e)) => return Err(e),
         Err(Interrupt::Stopped) => unreachable!("an elastic worker walks alone"),
     };
+    faults::at_phase(task.fault, WorkerPhase::Export, &task.cancel)?;
     match outcome {
         ElasticOutcome::Done => {
             shared.memo.export_delta(&task.export_path)?;
+            faults::mangle_export(task.fault, &task.export_path)?;
             Ok(ElasticExit::Finished)
         }
         ElasticOutcome::Preempted { frontier } => {
@@ -1026,6 +1262,7 @@ where
             // them serially).
             write_frontier_segment(&task.preempt_path, &frontier)?;
             shared.memo.export_delta(&task.export_path)?;
+            faults::mangle_export(task.fault, &task.export_path)?;
             Ok(ElasticExit::Preempted)
         }
     }
@@ -1038,6 +1275,12 @@ struct ActiveWorker {
     /// A steal flag has been written and not yet answered; such a victim
     /// is never flagged twice.
     flagged: bool,
+    /// When the current attempt was launched — the liveness baseline for
+    /// a worker that has not pulsed yet.
+    spawned_at: Instant,
+    /// A failed attempt waiting out its deterministic backoff; respawned
+    /// when the deadline passes.  The slot stays occupied meanwhile.
+    retry_at: Option<Instant>,
 }
 
 /// Sends the worker's result to the coordinator exactly once — including
@@ -1111,6 +1354,9 @@ where
     let partitions = options.partitions.max(1);
     let steal = &options.steal;
     let attempts = options.attempts.max(1);
+    // See `explore_partitioned_timed`: an `io=` clause arms the
+    // coordinator-process IO shim for the run.
+    let _io_fault = options.faults.io.map(crate::faults::install_io_fault);
     let fingerprint = crate::cache::run_fingerprint(system, &config, &initial, &proposals);
     let mut session = CacheSession::open(options.cache.clone(), fingerprint);
     let scratch = SpillDir::create(options.scratch_dir.as_deref())?;
@@ -1183,28 +1429,99 @@ where
         let mut seed_paths = vec![first_seed];
 
         let (tx, rx) = mpsc::channel::<(u64, Result<ElasticExit, String>)>();
-        let pulse_board: Mutex<HashMap<u64, usize>> = Mutex::new(HashMap::new());
+        let pulse_board: Mutex<HashMap<u64, (usize, Instant)>> = Mutex::new(HashMap::new());
         let pulse_fn = |p: WorkerPulse| {
             pulse_board
                 .lock()
                 .expect("pulse board poisoned")
-                .insert(p.worker, p.frontier);
+                .insert(p.worker, (p.frontier, Instant::now()));
         };
         let pulse_dyn: &(dyn Fn(WorkerPulse) + Sync) = &pulse_fn;
         let launch = &launch;
         let mut active: HashMap<u64, ActiveWorker> = HashMap::new();
         let mut next_worker = 0u64;
         let poll = steal.poll_interval.max(Duration::from_millis(1));
+        let policy = options.supervise.policy(attempts);
+
+        // Walks `(hash, path)` records in the coordinator itself — the
+        // degraded fallback for a slice whose worker exhausted every
+        // retry.  Sound for the same reason under-coverage is: whatever
+        // the failed launches did or didn't export, these subtrees end
+        // up memoized exactly once, here.
+        let walk_locally = |records: Vec<FrontierRecord>| -> Result<(), ExploreError> {
+            let roots: Vec<Stepper<P>> = {
+                let mut walker = Walker::new(&shared);
+                reconstruct_paths(&mut walker, &root, records)?
+                    .into_iter()
+                    .map(|r| r.stepper)
+                    .collect()
+            };
+            match walk_roots(&shared, 1, roots, &WalkBudget::unlimited(), started, None)? {
+                WalkOutcome::Done(_) => Ok(()),
+                WalkOutcome::Suspended { .. } => unreachable!("an unbounded walk never suspends"),
+            }
+        };
 
         std::thread::scope(|scope| -> Result<(), ExploreError> {
+            // Launches one attempt of `task`, containing panics: a
+            // panicking launch closure reports as that worker's failure
+            // (and is retried), never as coordinator death.
+            let spawn_launch = |task: &ElasticTask| {
+                let spawn_task = task.clone();
+                let guard = SendGuard {
+                    tx: tx.clone(),
+                    worker: task.worker,
+                    done: false,
+                };
+                scope.spawn(move || {
+                    let result = catch_unwind(AssertUnwindSafe(|| launch(&spawn_task, pulse_dyn)))
+                        .unwrap_or_else(|payload| {
+                            Err(format!(
+                                "worker launch panicked: {}",
+                                panic_message(payload)
+                            ))
+                        });
+                    guard.finish(result);
+                });
+            };
             loop {
+                // Quarantined slots shrink capacity; with every slot
+                // quarantined, whatever is still pending is walked
+                // locally — the scheduler refuses to hand work to a
+                // worker population that has failed every budget.
+                let capacity = partitions - stats.quarantined.min(partitions - 1);
+                if stats.quarantined >= partitions && !pending.is_empty() {
+                    let records: Vec<FrontierRecord> = pending.drain(..).collect();
+                    eprintln!(
+                        "twostep: every worker slot is quarantined; walking the remaining \
+                         {} frontier record(s) locally in degraded mode",
+                        records.len()
+                    );
+                    walk_locally(records)?;
+                    stats.degraded += 1;
+                }
+                // Respawn attempts whose deterministic backoff elapsed.
+                let now = Instant::now();
+                for w in active.values_mut() {
+                    if w.retry_at.is_some_and(|at| at <= now) {
+                        w.retry_at = None;
+                        // Refresh the seeds: deltas merged since the
+                        // first launch shrink the rerun.
+                        w.task.seed_paths = seed_paths.clone();
+                        w.task.fault = options.faults.for_worker(w.task.worker, w.attempt);
+                        w.task.cancel = CancelToken::new();
+                        w.attempt += 1;
+                        w.spawned_at = now;
+                        spawn_launch(&w.task);
+                    }
+                }
                 // Fill idle slots: split the pending frontier evenly
                 // across them (hash-order chunks; determinism of the
                 // *result* never depends on the split — module docs).
-                while !pending.is_empty() && active.len() < partitions {
+                while !pending.is_empty() && active.len() < capacity {
                     let take = pending
                         .len()
-                        .div_ceil(partitions - active.len())
+                        .div_ceil(capacity - active.len())
                         .min(pending.len());
                     let chunk: Vec<(u64, Vec<u32>)> = pending.drain(..take).collect();
                     let worker = next_worker;
@@ -1220,40 +1537,38 @@ where
                         preempt_path: scratch.path().join(format!("elastic-preempt{worker}.seg")),
                         steal_flag: scratch.path().join(format!("elastic-steal{worker}.flag")),
                         yield_every: steal.yield_every.max(1),
+                        fault: options.faults.for_worker(worker, 0),
+                        cancel: CancelToken::new(),
                     };
                     stats.workers_launched += 1;
-                    let spawn_task = task.clone();
-                    let guard = SendGuard {
-                        tx: tx.clone(),
-                        worker,
-                        done: false,
-                    };
-                    scope.spawn(move || {
-                        let result = launch(&spawn_task, pulse_dyn);
-                        guard.finish(result);
-                    });
+                    spawn_launch(&task);
                     active.insert(
                         worker,
                         ActiveWorker {
                             task,
                             attempt: 1,
                             flagged: false,
+                            spawned_at: Instant::now(),
+                            retry_at: None,
                         },
                     );
                 }
                 if active.is_empty() {
-                    break;
+                    if pending.is_empty() {
+                        break;
+                    }
+                    continue;
                 }
                 // Idle capacity and nothing queued: preempt the most
                 // loaded un-flagged worker whose advertised frontier
                 // clears the threshold.
-                if pending.is_empty() && active.len() < partitions {
+                if pending.is_empty() && active.len() < capacity {
                     let victim = {
                         let board = pulse_board.lock().expect("pulse board poisoned");
                         active
                             .iter()
-                            .filter(|(_, w)| !w.flagged)
-                            .filter_map(|(&id, _)| board.get(&id).map(|&f| (id, f)))
+                            .filter(|(_, w)| !w.flagged && w.retry_at.is_none())
+                            .filter_map(|(&id, _)| board.get(&id).map(|&(f, _)| (id, f)))
                             .filter(|&(_, f)| f >= steal.min_frontier.max(1))
                             .max_by_key(|&(id, f)| (f, std::cmp::Reverse(id)))
                             .map(|(id, _)| id)
@@ -1266,6 +1581,30 @@ where
                             }
                         })?;
                         w.flagged = true;
+                    }
+                }
+                // Liveness watchdog: a worker whose last pulse (or
+                // launch) is older than the deadline is cancelled — the
+                // launch kills its process and reports a failure, which
+                // flows into the ordinary retry path below.
+                if let Some(deadline) = options.supervise.watchdog {
+                    let board = pulse_board.lock().expect("pulse board poisoned");
+                    for w in active.values() {
+                        if w.retry_at.is_some() || w.task.cancel.is_cancelled() {
+                            continue;
+                        }
+                        let last_alive = board
+                            .get(&w.task.worker)
+                            .map(|&(_, at)| at.max(w.spawned_at))
+                            .unwrap_or(w.spawned_at);
+                        if last_alive.elapsed() >= deadline {
+                            eprintln!(
+                                "twostep: worker {} has not pulsed within {:?}; \
+                                 cancelling the attempt and retrying it as crashed",
+                                w.task.worker, deadline
+                            );
+                            w.task.cancel.cancel();
+                        }
                     }
                 }
                 let (worker, result) = match rx.recv_timeout(poll) {
@@ -1308,6 +1647,23 @@ where
                         }
                         active.remove(&worker);
                     }
+                    Err(detail) if w.attempt >= attempts && options.supervise.degrade => {
+                        // Quarantine the slot and walk its slice locally:
+                        // the run degrades, it does not die.  The slice's
+                        // own frontier segment is intact — the
+                        // coordinator wrote it.
+                        eprintln!(
+                            "twostep: worker {worker} exhausted its {attempts} launch \
+                             attempt(s) ({detail}); quarantining the slot and walking \
+                             its slice locally in degraded mode"
+                        );
+                        let records = read_frontier_segment(&w.task.frontier_path)?;
+                        let _ = std::fs::remove_file(&w.task.steal_flag);
+                        active.remove(&worker);
+                        walk_locally(records)?;
+                        stats.degraded += 1;
+                        stats.quarantined += 1;
+                    }
                     Err(detail) if w.attempt >= attempts => {
                         // Hasten the survivors' exit before reporting:
                         // a flagged worker preempts at its next pulse
@@ -1321,24 +1677,13 @@ where
                         });
                     }
                     Err(_) => {
-                        w.attempt += 1;
                         w.flagged = false;
                         // A stale flag would preempt the relaunch on its
                         // first pulse.
                         let _ = std::fs::remove_file(&w.task.steal_flag);
-                        // Refresh the seeds: deltas merged since the
-                        // first launch shrink the rerun.
-                        w.task.seed_paths = seed_paths.clone();
-                        let spawn_task = w.task.clone();
-                        let guard = SendGuard {
-                            tx: tx.clone(),
-                            worker,
-                            done: false,
-                        };
-                        scope.spawn(move || {
-                            let result = launch(&spawn_task, pulse_dyn);
-                            guard.finish(result);
-                        });
+                        // Deterministic backoff before the relaunch; the
+                        // slot waits it out without blocking the loop.
+                        w.retry_at = Some(Instant::now() + policy.delay_before(w.attempt));
                     }
                 }
             }

@@ -341,6 +341,57 @@
 //! the race with a natural finish, and — by proptest — arbitrary
 //! `(yield_every, partitions, min_frontier)` re-split cadences.
 //!
+//! ## Fault tolerance
+//!
+//! Worker launches are assumed to fail — crash, hang, corrupt their
+//! exports, lie in their progress reports — and the coordinator is
+//! engineered so none of that can reach the report.  The argument has
+//! three layers:
+//!
+//! * **supervised lifecycle** ([`crate::dist::SuperviseConfig`], built
+//!   on [`twostep_sim::run_tasks_supervised`]) — every launch runs
+//!   under a supervisor that converts panics into ordinary retryable
+//!   failures (a panicking launch closure can never abort the
+//!   coordinator), enforces an optional per-attempt wall-clock cap,
+//!   and — for the elastic engine — runs a pulse-liveness watchdog
+//!   over the `dist-progress:` board: a worker whose last pulse (or
+//!   spawn) is older than the deadline has its
+//!   [`twostep_sim::CancelToken`] tripped, its OS process killed, and
+//!   is retried as a crash.  Retries back off deterministically
+//!   (doubling from [`SuperviseConfig::backoff`](crate::dist::SuperviseConfig::backoff),
+//!   no jitter — reruns schedule identically);
+//! * **validated ingestion** — everything a worker hands back is
+//!   checked before it is believed: frontier and delta segments carry
+//!   CRCs and seals ([`crate::spill`]), manifests are written
+//!   all-or-nothing (write-then-rename), and garbled `dist-progress:`
+//!   lines are *skipped with a once-per-worker warning*, never parsed
+//!   into the load board.  A worker that lies about its progress can
+//!   waste a steal attempt; it cannot corrupt state;
+//! * **graceful degradation** — a partition that exhausts its launch
+//!   attempts is not a run failure (unless
+//!   [`SuperviseConfig::degrade`](crate::dist::SuperviseConfig::degrade)
+//!   is off): the coordinator walks the orphaned subtree roots
+//!   *locally* through the same frame-stepped core into the same memo,
+//!   which is sound for exactly the reason replay is — under-coverage
+//!   only costs recomputation.  The elastic scheduler additionally
+//!   *quarantines* the repeat offender (capacity shrinks by one, never
+//!   below one) so a poisoned worker slot cannot absorb the whole
+//!   retry budget.  Degraded work is reported
+//!   ([`crate::dist::DistTimings::degraded_partitions`],
+//!   [`crate::dist::ElasticStats::degraded`]), never hidden.
+//!
+//! All of it is testable deterministically because faults are *data*:
+//! a [`crate::faults::FaultPlan`] (`TWOSTEP_FAULT`, `--fault`) maps
+//! `(partition, attempt)` to an injected fault — crash/hang at a named
+//! phase, export corruption or truncation, slow IO, lying progress —
+//! and an IO shim can fail or tear the nth coordinator-side
+//! spill/cache/checkpoint write.  `tests/fault_differential.rs` pins
+//! the contract: every survivable plan is report-invisible
+//! (bit-identical to serial, by matrix and by proptest), retry
+//! exhaustion degrades to an identical report, hung workers die within
+//! the watchdog/timeout deadline, and no single torn write leaves a
+//! cache a later run would trust.
+//!
 //! ## Persistent cache
 //!
 //! The same portability argument extends across **run boundaries**
@@ -1290,6 +1341,14 @@ pub enum ExploreError {
         /// This run's effective strength byte.
         expected: u8,
     },
+    /// A deliberately injected failure from the fault harness
+    /// ([`crate::faults`]) — only ever produced under an armed
+    /// `FaultPlan`, and distinguished so supervision tests can tell
+    /// injected chaos from a genuine defect.
+    Injected {
+        /// Which fault fired, human-readable.
+        detail: String,
+    },
 }
 
 impl From<SpillError> for ExploreError {
@@ -1333,6 +1392,9 @@ impl std::fmt::Display for ExploreError {
                     Some(dir) => write!(f, "resumable checkpoint at {}", dir.display()),
                     None => f.write_str("no checkpoint configured, partial work discarded"),
                 }
+            }
+            ExploreError::Injected { detail } => {
+                write!(f, "injected fault: {detail}")
             }
             ExploreError::CheckpointStrength { found, expected } => {
                 write!(

@@ -52,6 +52,7 @@ pub mod cache;
 pub mod checkpoint;
 pub mod dist;
 pub mod explorer;
+pub mod faults;
 pub mod memo;
 pub mod sample;
 pub mod spill;
@@ -61,13 +62,17 @@ pub use checkpoint::CheckpointConfig;
 pub use dist::{
     explore_elastic, explore_elastic_in_process, explore_elastic_timed, explore_partitioned,
     explore_partitioned_in_process, explore_partitioned_timed, run_worker, run_worker_elastic,
-    steal_from_env, DistOptions, DistTimings, ElasticExit, ElasticStats, ElasticTask, StealConfig,
-    WorkerPulse, WorkerReport, WorkerTask,
+    steal_from_env, supervise_from_env, DistOptions, DistTimings, ElasticExit, ElasticStats,
+    ElasticTask, StealConfig, SuperviseConfig, WorkerPulse, WorkerReport, WorkerTask,
 };
 pub use explorer::{
     budget_from_env, explore, explore_with, Arbiter, BudgetArbiter, BudgetKind, CheckableProtocol,
     ExploreConfig, ExploreError, ExploreOptions, ExploreReport, RoundBound, SpecMode, StepProgress,
     StepResult, StepStatus, StepVerdict, Summary, Symmetry, Unbounded, WalkBudget, Witness,
+};
+pub use faults::{
+    fault_plan_from_env, install_io_fault, FaultPlan, IoFault, IoFaultGuard, WorkerFault,
+    WorkerPhase,
 };
 pub use memo::MemoConfig;
 pub use sample::{sample, SampleConfig, SampleReport, SampleStrategy, SampleViolation};

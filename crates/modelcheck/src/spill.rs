@@ -289,6 +289,20 @@ fn header_bytes(record_count: u64, flags: u8) -> [u8; HEADER_LEN as usize] {
 /// store and the interchange export writer so the two can never
 /// silently diverge within one `FORMAT_VERSION`.
 fn write_framed_record(w: &mut impl Write, payload: &[u8]) -> Result<(), SpillError> {
+    if let Some(tap) = crate::faults::tap_write() {
+        if tap == crate::faults::IoTap::Torn {
+            // A torn write leaves the frame header and a partial payload
+            // behind — exactly what a crash mid-write produces.
+            let _ = w.write_all(&(payload.len() as u32).to_le_bytes());
+            let _ = w.write_all(&crc32(payload).to_le_bytes());
+            let _ = w.write_all(&payload[..payload.len() / 2]);
+            let _ = w.flush();
+        }
+        return Err(SpillError::io(
+            "writing record",
+            crate::faults::injected_io_error(tap),
+        ));
+    }
     w.write_all(&(payload.len() as u32).to_le_bytes())
         .map_err(|e| SpillError::io("writing record length", e))?;
     w.write_all(&crc32(payload).to_le_bytes())

@@ -20,8 +20,8 @@ use twostep_core::{crw_processes, CommitOrder, Crw};
 use twostep_model::{ProcessId, SystemConfig, WideValue};
 use twostep_modelcheck::{
     explore_partitioned_in_process, explore_with, validate_segment_file, CacheConfig, CacheMode,
-    DistOptions, ExploreConfig, ExploreOptions, ExploreReport, MemoConfig, RoundBound, SpecMode,
-    SpillError, StealConfig, Symmetry, WalkBudget,
+    DistOptions, ExploreConfig, ExploreOptions, ExploreReport, FaultPlan, MemoConfig, RoundBound,
+    SpecMode, SpillError, StealConfig, SuperviseConfig, Symmetry, WalkBudget,
 };
 use twostep_sim::ModelKind;
 
@@ -267,6 +267,8 @@ fn partitioned_cold_then_warm_is_bit_identical() {
             mode,
         }),
         steal: StealConfig::default(),
+        faults: FaultPlan::none(),
+        supervise: SuperviseConfig::default(),
     };
 
     let cold = explore_partitioned_in_process(
@@ -342,6 +344,8 @@ fn cache_is_engine_agnostic() {
             replay: ExploreOptions::serial(),
             cache: cache(CacheMode::Read),
             steal: StealConfig::default(),
+            faults: FaultPlan::none(),
+            supervise: SuperviseConfig::default(),
         },
         ExploreOptions::serial(),
         (workload.initial)(),

@@ -17,8 +17,8 @@ use twostep_core::crw_processes;
 use twostep_model::{SystemConfig, WideValue};
 use twostep_modelcheck::{
     explore_partitioned_in_process, explore_with, BudgetKind, CheckpointConfig, DistOptions,
-    ExploreConfig, ExploreError, ExploreOptions, ExploreReport, MemoConfig, StealConfig, Symmetry,
-    WalkBudget,
+    ExploreConfig, ExploreError, ExploreOptions, ExploreReport, FaultPlan, MemoConfig, StealConfig,
+    SuperviseConfig, Symmetry, WalkBudget,
 };
 
 /// A unique temp directory removed on drop (checkpoint roots).
@@ -321,6 +321,8 @@ fn partitioned_interrupted_and_resumed_matches_uninterrupted() {
             replay,
             cache: None,
             steal: StealConfig::default(),
+            faults: FaultPlan::none(),
+            supervise: SuperviseConfig::default(),
         };
         let baseline = explore_partitioned_in_process(
             system,

@@ -18,8 +18,8 @@ use twostep_model::{ProcessId, SystemConfig, WideValue};
 use twostep_modelcheck::{
     explore_elastic, explore_elastic_in_process, explore_partitioned,
     explore_partitioned_in_process, explore_with, run_worker, run_worker_elastic, DistOptions,
-    ElasticTask, ExploreConfig, ExploreError, ExploreOptions, ExploreReport, MemoConfig,
-    RoundBound, SpecMode, StealConfig, Symmetry, WorkerPulse, WorkerTask,
+    ElasticTask, ExploreConfig, ExploreError, ExploreOptions, ExploreReport, FaultPlan, MemoConfig,
+    RoundBound, SpecMode, StealConfig, SuperviseConfig, Symmetry, WorkerPulse, WorkerTask,
 };
 use twostep_sim::ModelKind;
 
@@ -76,6 +76,18 @@ fn dist_options(partitions: usize) -> DistOptions {
         cache: None,
         replay: ExploreOptions::serial(),
         steal: StealConfig::default(),
+        faults: FaultPlan::none(),
+        supervise: SuperviseConfig::default(),
+    }
+}
+
+/// Supervision with graceful degradation turned *off*: retry exhaustion
+/// must surface as [`ExploreError::Worker`], which the loud-failure
+/// tests below assert.
+fn no_degrade() -> SuperviseConfig {
+    SuperviseConfig {
+        degrade: false,
+        ..SuperviseConfig::default()
     }
 }
 
@@ -377,6 +389,7 @@ fn exhausted_worker_attempts_fail_loudly() {
     };
     let options = DistOptions {
         attempts: 2,
+        supervise: no_degrade(),
         ..dist_options(2)
     };
     let err = explore_partitioned(
@@ -414,6 +427,7 @@ fn scratch_dir_is_removed_on_every_coordinator_outcome() {
     let options = DistOptions {
         scratch_dir: Some(root.clone()),
         attempts: 2,
+        supervise: no_degrade(),
         ..dist_options(2)
     };
     let assert_scratch_empty = |label: &str| {
@@ -469,6 +483,26 @@ fn scratch_dir_is_removed_on_every_coordinator_outcome() {
     .unwrap_err();
     assert!(matches!(err, ExploreError::Worker { .. }), "{err:?}");
     assert_scratch_empty("validation failure");
+
+    // Graceful degradation: with the default supervision, the same
+    // never-comes-up launch *succeeds* (the coordinator walks the
+    // orphaned partitions locally) — and the scratch dir is still
+    // removed on this outcome too.
+    let degrading = DistOptions {
+        supervise: SuperviseConfig::default(),
+        ..options.clone()
+    };
+    let report = explore_partitioned(
+        system,
+        config,
+        &degrading,
+        crw_processes(&system, &proposals),
+        proposals.clone(),
+        |_task: &WorkerTask| Err("never comes up".to_string()),
+    )
+    .unwrap();
+    assert!(report.distinct_states > 0, "degraded run still explores");
+    assert_scratch_empty("degraded success");
 
     std::fs::remove_dir_all(&root).unwrap();
 }
@@ -766,6 +800,7 @@ fn exhausted_elastic_worker_attempts_fail_loudly() {
     let options = DistOptions {
         attempts: 2,
         steal: forced_steal(16),
+        supervise: no_degrade(),
         ..dist_options(2)
     };
     let err = explore_elastic(

@@ -43,7 +43,8 @@ pub use engine::{
 };
 pub use protocol::{Inbox, SendPlan, Step, SyncProtocol};
 pub use scheduler::{
-    default_threads, run_on_workers, run_tasks_with_retry, TaskAttempt, WorkQueue, MAX_THREADS,
+    default_threads, panic_message, run_on_workers, run_tasks_supervised, run_tasks_with_retry,
+    CancelToken, RetryPolicy, SupervisedAttempt, TaskAttempt, TaskError, WorkQueue, MAX_THREADS,
 };
 pub use spec::{check_uniform_consensus, SpecReport, SpecViolation};
 pub use stats::{Histogram, Summary};

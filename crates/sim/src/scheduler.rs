@@ -1,12 +1,18 @@
 //! The workspace's one worker-scheduling idiom, shared by sweeps and the
 //! model checker.
 //!
-//! Two pieces:
+//! Three pieces:
 //!
 //! * [`run_on_workers`] — fan a closure out over scoped `std::thread`
 //!   workers, running worker 0 on the calling thread (so a single-worker
 //!   run costs no spawn at all, and the caller's stack hosts the "primary"
 //!   walker in parallel exploration);
+//! * [`run_tasks_supervised`] — the fault-containing retry scheduler: one
+//!   supervisor thread per fallible task, a [`RetryPolicy`] of attempt
+//!   budget / deterministic backoff / per-attempt timeout, a
+//!   [`CancelToken`] handed to every attempt so hung work can be told to
+//!   stop, and panic containment (a panicking task closure becomes that
+//!   task's [`TaskError::Panicked`] — never the caller's death);
 //! * [`WorkQueue`] — a closable MPMC injector with idle-worker accounting,
 //!   the channel through which busy explorer walkers *share* unexplored
 //!   subtrees with idle ones.
@@ -18,8 +24,10 @@
 //! default through this single function.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Hard cap on the worker count accepted from `TWOSTEP_THREADS`: values
 /// above this are almost certainly typos (no machine this workspace
@@ -120,49 +128,327 @@ pub struct TaskAttempt {
     pub attempt: usize,
 }
 
+/// A cooperative stop signal shared between a supervisor and the work it
+/// supervises.
+///
+/// Cloning is cheap (one `Arc`); every clone observes the same flag.
+/// There is deliberately no "un-cancel": a token represents one attempt's
+/// lifetime, and a retry gets a fresh token.  Long-running work is
+/// expected to poll [`is_cancelled`](Self::is_cancelled) at its natural
+/// yield points (a poll is one relaxed atomic load); work driving an OS
+/// process should kill the child when the token trips.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, untripped token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trips the token.  Idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`cancel`](Self::cancel) has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Retry discipline for [`run_tasks_supervised`]: how many launches each
+/// task gets, how long to wait between them, and how long any single
+/// attempt may run.
+///
+/// Backoff is **deterministic** (no jitter): the delay before attempt
+/// `k >= 1` is `backoff * 2^(k-1)`, capped at `backoff_cap` — so a given
+/// policy produces the same launch schedule every run, which keeps
+/// fault-injection scenarios reproducible.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total launches allowed per task (must be at least 1).
+    pub attempts: usize,
+    /// Base delay before the first retry; `Duration::ZERO` disables
+    /// backoff entirely.
+    pub backoff: Duration,
+    /// Upper bound on any single backoff delay.
+    pub backoff_cap: Duration,
+    /// Wall-clock budget for one attempt.  When it expires the attempt's
+    /// [`CancelToken`] is tripped and, once the closure returns, the
+    /// attempt is recorded as [`TaskError::TimedOut`] and retried like
+    /// any other failure.  `None` disables the watchdog.
+    pub attempt_timeout: Option<Duration>,
+}
+
+impl RetryPolicy {
+    /// A policy with `attempts` launches, no backoff, and no per-attempt
+    /// timeout — the behavior of the legacy retry loop.
+    pub fn new(attempts: usize) -> Self {
+        RetryPolicy {
+            attempts,
+            backoff: Duration::ZERO,
+            backoff_cap: Duration::from_secs(5),
+            attempt_timeout: None,
+        }
+    }
+
+    /// The deterministic delay slept before launching `attempt`
+    /// (0-based): zero for the first launch, then exponential in the
+    /// retry count and capped.
+    pub fn delay_before(&self, attempt: usize) -> Duration {
+        if attempt == 0 || self.backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        let doublings = u32::try_from(attempt - 1).unwrap_or(u32::MAX).min(20);
+        let factor = 1u32 << doublings;
+        self.backoff
+            .checked_mul(factor)
+            .unwrap_or(self.backoff_cap)
+            .min(self.backoff_cap)
+    }
+}
+
+/// Why one supervised task ultimately failed (the error of its *last*
+/// attempt).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TaskError<E> {
+    /// The task closure returned an error.
+    Failed(E),
+    /// The task closure panicked; the payload's message is preserved.
+    /// Contained by the supervisor — a panicking task never aborts the
+    /// caller.
+    Panicked(String),
+    /// The attempt outlived [`RetryPolicy::attempt_timeout`]: the
+    /// watchdog tripped the attempt's [`CancelToken`] and the closure
+    /// returned an error afterwards.  (A closure that returns `Ok` after
+    /// its token trips is still a success — it finished the work.)
+    TimedOut {
+        /// The timeout that expired.
+        after: Duration,
+    },
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for TaskError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaskError::Failed(e) => write!(f, "{e}"),
+            TaskError::Panicked(msg) => write!(f, "task panicked: {msg}"),
+            TaskError::TimedOut { after } => {
+                write!(f, "attempt exceeded its {:?} timeout", after)
+            }
+        }
+    }
+}
+
+/// One launch attempt under [`run_tasks_supervised`]: which task, which
+/// attempt, and the attempt's cancellation token (fresh per attempt).
+#[derive(Clone, Debug)]
+pub struct SupervisedAttempt {
+    /// The task index, `0..count`.
+    pub index: usize,
+    /// The attempt number for this task, `0..policy.attempts`.
+    pub attempt: usize,
+    /// Tripped by the watchdog when the attempt outlives its timeout;
+    /// the closure should poll it at yield points and abandon the work
+    /// (killing any child process it spawned).
+    pub cancel: CancelToken,
+}
+
+/// Best-effort extraction of a human-readable message from a panic
+/// payload (`&str` and `String` payloads cover `panic!`, `assert!`,
+/// `unwrap`, and friends).
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(msg) = payload.downcast_ref::<&str>() {
+        (*msg).to_string()
+    } else if let Some(msg) = payload.downcast_ref::<String>() {
+        msg.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Opened by the attempt when it finishes; watched by the watchdog
+/// thread, which trips the cancel token if the gate is still shut at the
+/// deadline.
+struct AttemptGate {
+    done: Mutex<bool>,
+    finished: Condvar,
+}
+
+impl AttemptGate {
+    fn new() -> Self {
+        AttemptGate {
+            done: Mutex::new(false),
+            finished: Condvar::new(),
+        }
+    }
+
+    fn open(&self) {
+        *self.done.lock().expect("attempt gate poisoned") = true;
+        self.finished.notify_all();
+    }
+
+    fn watch(&self, timeout: Duration, cancel: &CancelToken) {
+        let deadline = Instant::now() + timeout;
+        let mut done = self.done.lock().expect("attempt gate poisoned");
+        while !*done {
+            let now = Instant::now();
+            if now >= deadline {
+                cancel.cancel();
+                return;
+            }
+            let (guard, _) = self
+                .finished
+                .wait_timeout(done, deadline - now)
+                .expect("attempt gate poisoned");
+            done = guard;
+        }
+    }
+}
+
+/// Runs `attempt()` with an optional watchdog: if the attempt is still
+/// running when `timeout` expires, `cancel` is tripped (the attempt is
+/// *not* abandoned — scoped threads always join — but cooperative work
+/// observes the token and returns).
+fn with_watchdog<R>(
+    timeout: Option<Duration>,
+    cancel: &CancelToken,
+    attempt: impl FnOnce() -> R,
+) -> R {
+    let Some(timeout) = timeout else {
+        return attempt();
+    };
+    let gate = AttemptGate::new();
+    std::thread::scope(|scope| {
+        let gate = &gate;
+        scope.spawn(move || gate.watch(timeout, cancel));
+        let result = attempt();
+        gate.open();
+        result
+    })
+}
+
 /// Runs `count` independent fallible tasks concurrently — one scoped
-/// thread per task — retrying each failed task up to `attempts` total
-/// launches, and returns the per-task outcome (`Ok(())`, or the error of
-/// the *last* failed attempt).
+/// supervisor thread per task — under a [`RetryPolicy`], and returns the
+/// per-task outcome (`Ok(())`, or the [`TaskError`] of the *last* failed
+/// attempt).
 ///
 /// This is the workspace's process-orchestration idiom: the distributed
 /// explorer uses it to launch one worker OS process per partition, where
-/// "failure" covers both a non-zero exit and an export file that fails
-/// validation, and a crashed worker is simply launched again.  Tasks are
-/// expected to be coarse (each backed by a process or a long computation),
-/// so a plain thread per task is the right cost model — no pooling.
+/// "failure" covers a non-zero exit, an export file that fails
+/// validation, a hung attempt (timeout), or a panicking launch closure.
+/// Tasks are expected to be coarse (each backed by a process or a long
+/// computation), so a plain thread per task is the right cost model — no
+/// pooling.
+///
+/// Fault containment:
+///
+/// * a **panic** in the task closure is caught and recorded as
+///   [`TaskError::Panicked`] for that attempt — retryable like any
+///   failure, and never propagated to the caller;
+/// * a **hung** attempt is detected by the per-attempt watchdog
+///   ([`RetryPolicy::attempt_timeout`]): the attempt's [`CancelToken`]
+///   trips, and once the closure observes it and returns, the attempt is
+///   recorded as [`TaskError::TimedOut`].  The closure *must* poll the
+///   token at its yield points for this to terminate — the supervisor
+///   cannot abandon a scoped thread;
+/// * **retries back off deterministically** per
+///   [`RetryPolicy::delay_before`].
 ///
 /// # Panics
 ///
-/// Panics if `attempts == 0` (every task needs at least one launch).
-pub fn run_tasks_with_retry<E, F>(count: usize, attempts: usize, run: F) -> Vec<Result<(), E>>
+/// Panics if `policy.attempts == 0` (every task needs at least one
+/// launch).
+pub fn run_tasks_supervised<E, F>(
+    count: usize,
+    policy: &RetryPolicy,
+    run: F,
+) -> Vec<Result<(), TaskError<E>>>
 where
     E: Send,
-    F: Fn(TaskAttempt) -> Result<(), E> + Sync,
+    F: Fn(&SupervisedAttempt) -> Result<(), E> + Sync,
 {
-    assert!(attempts >= 1, "every task needs at least one attempt");
-    let mut results: Vec<Result<(), E>> = Vec::with_capacity(count);
+    assert!(
+        policy.attempts >= 1,
+        "every task needs at least one attempt"
+    );
+    let mut results: Vec<Result<(), TaskError<E>>> = Vec::with_capacity(count);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..count)
             .map(|index| {
                 let run = &run;
                 scope.spawn(move || {
-                    let mut last = run(TaskAttempt { index, attempt: 0 });
-                    for attempt in 1..attempts {
+                    let mut last: Result<(), TaskError<E>> = Ok(());
+                    for attempt in 0..policy.attempts {
+                        let delay = policy.delay_before(attempt);
+                        if !delay.is_zero() {
+                            std::thread::sleep(delay);
+                        }
+                        let ctx = SupervisedAttempt {
+                            index,
+                            attempt,
+                            cancel: CancelToken::new(),
+                        };
+                        let outcome = with_watchdog(policy.attempt_timeout, &ctx.cancel, || {
+                            catch_unwind(AssertUnwindSafe(|| run(&ctx)))
+                        });
+                        last = match outcome {
+                            Ok(Ok(())) => Ok(()),
+                            Ok(Err(_)) if ctx.cancel.is_cancelled() => Err(TaskError::TimedOut {
+                                after: policy.attempt_timeout.unwrap_or_default(),
+                            }),
+                            Ok(Err(e)) => Err(TaskError::Failed(e)),
+                            Err(payload) => Err(TaskError::Panicked(panic_message(payload))),
+                        };
                         if last.is_ok() {
                             break;
                         }
-                        last = run(TaskAttempt { index, attempt });
                     }
                     last
                 })
             })
             .collect();
         for handle in handles {
-            results.push(handle.join().expect("task thread panicked"));
+            // The closure inside is already panic-contained; this join
+            // can only see a panic from the supervisor scaffolding
+            // itself, and even that must not abort the caller.
+            results.push(match handle.join() {
+                Ok(result) => result,
+                Err(payload) => Err(TaskError::Panicked(panic_message(payload))),
+            });
         }
     });
     results
+}
+
+/// Runs `count` independent fallible tasks concurrently, retrying each
+/// failed task up to `attempts` total launches with no backoff and no
+/// per-attempt timeout.  A thin wrapper over [`run_tasks_supervised`]
+/// kept for callers that don't need a full [`RetryPolicy`]; panics in
+/// the task closure surface as [`TaskError::Panicked`] for that task,
+/// never as a panic of this function.
+///
+/// # Panics
+///
+/// Panics if `attempts == 0` (every task needs at least one launch).
+pub fn run_tasks_with_retry<E, F>(
+    count: usize,
+    attempts: usize,
+    run: F,
+) -> Vec<Result<(), TaskError<E>>>
+where
+    E: Send,
+    F: Fn(TaskAttempt) -> Result<(), E> + Sync,
+{
+    run_tasks_supervised(count, &RetryPolicy::new(attempts), |ctx| {
+        run(TaskAttempt {
+            index: ctx.index,
+            attempt: ctx.attempt,
+        })
+    })
 }
 
 /// A closable multi-producer multi-consumer work injector.
@@ -352,8 +638,145 @@ mod tests {
                 Ok(())
             }
         });
-        assert_eq!(results[0], Err("always dies"));
+        assert_eq!(results[0], Err(TaskError::Failed("always dies")));
         assert_eq!(results[1], Ok(()));
+    }
+
+    #[test]
+    fn panicking_task_is_contained_and_retried() {
+        // Regression for the old `handle.join().expect(...)`: a panic in
+        // the task closure must surface as that task's retryable failure,
+        // not abort the scheduler.  Task 0 panics once, then succeeds.
+        let results = run_tasks_with_retry(2, 2, |task: TaskAttempt| {
+            if task.index == 0 && task.attempt == 0 {
+                panic!("injected panic on attempt {}", task.attempt);
+            }
+            Ok::<(), String>(())
+        });
+        assert_eq!(results, vec![Ok(()), Ok(())]);
+    }
+
+    #[test]
+    fn always_panicking_task_reports_panicked_without_aborting_siblings() {
+        let results = run_tasks_with_retry(3, 2, |task: TaskAttempt| {
+            if task.index == 1 {
+                panic!("task 1 always panics");
+            }
+            Ok::<(), String>(())
+        });
+        assert_eq!(results[0], Ok(()));
+        assert_eq!(results[2], Ok(()));
+        match &results[1] {
+            Err(TaskError::Panicked(msg)) => {
+                assert!(msg.contains("task 1 always panics"), "{msg}");
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_capped() {
+        let policy = RetryPolicy {
+            attempts: 6,
+            backoff: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(35),
+            attempt_timeout: None,
+        };
+        let delays: Vec<Duration> = (0..5).map(|a| policy.delay_before(a)).collect();
+        assert_eq!(
+            delays,
+            vec![
+                Duration::ZERO,
+                Duration::from_millis(10),
+                Duration::from_millis(20),
+                Duration::from_millis(35),
+                Duration::from_millis(35),
+            ]
+        );
+        // Zero base backoff disables the sleep entirely.
+        assert_eq!(RetryPolicy::new(5).delay_before(4), Duration::ZERO);
+        // Absurd attempt numbers must not overflow.
+        assert_eq!(policy.delay_before(10_000), Duration::from_millis(35));
+    }
+
+    #[test]
+    fn watchdog_trips_cancel_and_classifies_timeout() {
+        let policy = RetryPolicy {
+            attempts: 1,
+            backoff: Duration::ZERO,
+            backoff_cap: Duration::ZERO,
+            attempt_timeout: Some(Duration::from_millis(40)),
+        };
+        let started = Instant::now();
+        let results = run_tasks_supervised(1, &policy, |ctx: &SupervisedAttempt| {
+            // A cooperative "hang": spins until the watchdog trips the
+            // token, then reports failure.  The hard cap keeps the test
+            // from wedging if the watchdog never fires.
+            let hung_at = Instant::now();
+            while !ctx.cancel.is_cancelled() {
+                if hung_at.elapsed() > Duration::from_secs(30) {
+                    return Err("watchdog never fired".to_string());
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err("killed".to_string())
+        });
+        assert_eq!(
+            results[0],
+            Err(TaskError::TimedOut {
+                after: Duration::from_millis(40)
+            })
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "hang must be detected by the watchdog, not by the hard cap"
+        );
+    }
+
+    #[test]
+    fn timed_out_attempt_is_retried_with_fresh_token() {
+        let policy = RetryPolicy {
+            attempts: 2,
+            backoff: Duration::ZERO,
+            backoff_cap: Duration::ZERO,
+            attempt_timeout: Some(Duration::from_millis(40)),
+        };
+        let results = run_tasks_supervised(1, &policy, |ctx: &SupervisedAttempt| {
+            if ctx.attempt == 0 {
+                // Hang until cancelled.
+                let hung_at = Instant::now();
+                while !ctx.cancel.is_cancelled() {
+                    if hung_at.elapsed() > Duration::from_secs(30) {
+                        return Err("watchdog never fired".to_string());
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                return Err("killed".to_string());
+            }
+            // The retry's token must be fresh, not inherited tripped.
+            assert!(!ctx.cancel.is_cancelled(), "retry saw a tripped token");
+            Ok(())
+        });
+        assert_eq!(results, vec![Ok(())]);
+    }
+
+    #[test]
+    fn successful_attempt_after_cancel_still_counts_as_success() {
+        // A closure that finishes the work just as the watchdog fires
+        // must not have its completed work discarded.
+        let policy = RetryPolicy {
+            attempts: 1,
+            backoff: Duration::ZERO,
+            backoff_cap: Duration::ZERO,
+            attempt_timeout: Some(Duration::from_millis(5)),
+        };
+        let results = run_tasks_supervised(1, &policy, |ctx: &SupervisedAttempt| {
+            while !ctx.cancel.is_cancelled() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Ok::<(), String>(())
+        });
+        assert_eq!(results, vec![Ok(())]);
     }
 
     #[test]
